@@ -1,0 +1,24 @@
+"""Ablation A — lean monitoring: accuracy vs monitored-feature count
+(Section 2.1 benefit #1), with the monitoring overhead saved at each step.
+"""
+
+from __future__ import annotations
+
+from repro.harness.ablations import ablation_lean_monitoring
+
+
+def test_lean_monitoring_sweep(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: ablation_lean_monitoring(feature_counts=(15, 8, 4, 2, 1)),
+        rounds=1, iterations=1,
+    )
+    record_rows("lean_monitoring", rows)
+    by_k = {row["n_features"]: row for row in rows}
+    # Full monitoring is the accuracy ceiling; 2 features stay >= 90%
+    # (the paper's 94+% regime) while saving most of the overhead.
+    assert by_k[15]["mean_accuracy_pct"] >= by_k[1]["mean_accuracy_pct"]
+    assert by_k[2]["min_accuracy_pct"] > 88
+    assert by_k[2]["overhead_saved_pct"] > 50
+    # Overhead saved grows monotonically as features are dropped.
+    savings = [by_k[k]["overhead_saved_pct"] for k in (15, 8, 4, 2, 1)]
+    assert savings == sorted(savings)

@@ -1,0 +1,23 @@
+"""Ablation E — online vs offline training under workload drift
+(Section 3.2: real-time training 'can better handle rapidly changing
+workloads').  A stride pattern that switches twice; the offline model is
+trained once on the first phase, the online model retrains per window."""
+
+from __future__ import annotations
+
+from repro.harness.ablations import ablation_online_vs_offline
+
+
+def test_online_vs_offline_drift(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: ablation_online_vs_offline(n_accesses=3600),
+        rounds=1, iterations=1,
+    )
+    record_rows("online_vs_offline", rows)
+    by_arm = {row["arm"]: row for row in rows}
+    online = by_arm["online-ml"]
+    offline = by_arm["offline-ml"]
+    # Online adapts across phase changes; offline is stuck on phase 1.
+    assert online["coverage_pct"] > offline["coverage_pct"] + 30
+    assert online["accuracy_pct"] > offline["accuracy_pct"] + 30
+    assert online["jct_ms"] < offline["jct_ms"]

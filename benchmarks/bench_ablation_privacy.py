@@ -1,0 +1,20 @@
+"""Ablation F — differential privacy on cross-application aggregates
+(Section 3.3): query error vs epsilon, and budget exhaustion fail-closed."""
+
+from __future__ import annotations
+
+from repro.harness.ablations import ablation_privacy
+
+
+def test_privacy_epsilon_sweep(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: ablation_privacy(epsilons=(0.1, 0.5, 1.0, 5.0)),
+        rounds=1, iterations=1,
+    )
+    record_rows("privacy", rows)
+    errors = [row["mean_abs_error"] for row in rows]
+    # More privacy (smaller epsilon) means more error, monotonically
+    # across this sweep.
+    assert errors == sorted(errors, reverse=True)
+    # Every configuration denies the queries beyond its budget.
+    assert all(row["queries_denied"] == 5 for row in rows)

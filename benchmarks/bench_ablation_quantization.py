@@ -1,0 +1,23 @@
+"""Ablation C — quantization bit-width sweep (Section 3.2).
+
+Float accuracy is the ceiling; int16/int8 should match it (the paper's
+'quantizing pretrained models ... has good performance'), with fidelity
+degrading only at aggressive widths.
+"""
+
+from __future__ import annotations
+
+from repro.harness.ablations import ablation_quantization
+
+
+def test_quantization_sweep(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: ablation_quantization(bit_widths=(16, 8, 6, 4, 3, 2)),
+        rounds=1, iterations=1,
+    )
+    record_rows("quantization", rows)
+    by_bits = {row["bits"]: row for row in rows}
+    assert by_bits[8]["agreement_pct"] > 97
+    assert by_bits[16]["accuracy_pct"] >= by_bits[2]["accuracy_pct"]
+    # int8 keeps essentially all of the float model's accuracy.
+    assert by_bits[8]["accuracy_pct"] > by_bits[8]["float_accuracy_pct"] - 2.0

@@ -1,0 +1,44 @@
+"""Ablation D — verifier admission latency vs program size, plus the
+rejection taxonomy (every unsafe-program class must be caught)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.ablations import (
+    ablation_verifier_latency,
+    verifier_rejection_taxonomy,
+    _straightline_program,
+)
+from repro.core.verifier import AttachPolicy, Verifier
+
+
+@pytest.mark.parametrize("size", [16, 256, 4096])
+def test_verify_latency(benchmark, size):
+    program = _straightline_program(size)
+    verifier = Verifier(AttachPolicy("bench_hook"))
+
+    def verify():
+        program.verified = False
+        return verifier.verify(program)
+
+    report = benchmark(verify)
+    assert report.ok
+
+
+def test_verifier_scaling(benchmark, record_rows):
+    rows = benchmark.pedantic(
+        lambda: ablation_verifier_latency(sizes=(16, 64, 256, 1024, 4096)),
+        rounds=1, iterations=1,
+    )
+    record_rows("verifier_latency", rows)
+    # Near-linear: 256x more instructions < 2000x more time.
+    assert rows[-1]["verify_ms"] < rows[0]["verify_ms"] * 2000
+
+
+def test_rejection_taxonomy(benchmark, record_rows):
+    cases = benchmark.pedantic(verifier_rejection_taxonomy,
+                               rounds=1, iterations=1)
+    record_rows("verifier_rejections", cases)
+    assert all(case["rejected"] for case in cases)
+    assert len(cases) >= 7

@@ -1,0 +1,33 @@
+"""Extension — learned NIC interrupt coalescing (a third subsystem).
+
+The paper names networking among its target subsystems without
+evaluating one; this bench regenerates the extension experiment: three
+coalescing policies on a mixed bulk/RPC/periodic flow schedule.  The
+learned per-flow policy must reach the corner the static knobs cannot:
+RPC latency close to per-packet interrupts AND an interrupt rate close
+to heavy static batching.
+"""
+
+from __future__ import annotations
+
+from repro.harness.net_experiment import run_net_experiment
+from repro.harness.report import format_table
+
+
+def test_net_coalescing(benchmark, record_rows):
+    results = benchmark.pedantic(
+        lambda: run_net_experiment(duration_ms=50), rounds=1, iterations=1
+    )
+    rows = [r.row() for r in results]
+    record_rows("net_coalescing", rows)
+    print("\n" + format_table(
+        list(rows[0].keys()), [list(r.values()) for r in rows]
+    ))
+    by_policy = {r.policy: r for r in results}
+    immediate = by_policy["immediate"]
+    fixed = by_policy["fixed-64us"]
+    ml = by_policy["rmt-ml"]
+    # The shape: per-flow learning dominates both static corners.
+    assert ml.rpc_latency_us < fixed.rpc_latency_us / 2
+    assert ml.interrupts_per_kpkt < immediate.interrupts_per_kpkt / 2
+    assert ml.extra["models_pushed"] >= 1

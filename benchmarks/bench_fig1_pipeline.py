@@ -1,0 +1,125 @@
+"""Figure 1 — the in-kernel RMT VM lifecycle, timed stage by stage.
+
+The figure is the architecture diagram: an RMT program (the page-prefetch
+listing) flows through syscall_rmt → rmt_verify → rmt_jit → kernel ML.
+Each benchmark here times one stage of that flow on the paper's own
+program, plus the end-to-end datapath invocation in both execution tiers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dsl import compile_source, parse
+from repro.core.jit import JitCompiler
+from repro.core.verifier import AttachPolicy, Verifier
+from repro.core.interpreter import Interpreter, RuntimeEnv
+from repro.kernel.hooks import HookRegistry
+from repro.kernel.mm.rmt_prefetch import (
+    PREDICT_PROGRAM_DSL,
+    build_prefetch_schemas,
+)
+from repro.kernel.syscalls import RmtSyscallInterface
+from repro.ml.cost_model import CostBudget
+from repro.ml.decision_tree import IntegerDecisionTree
+
+
+def _tree():
+    rng = np.random.default_rng(0)
+    deltas = rng.integers(1, 5, size=400)
+    x = np.stack([deltas] * 4, axis=1)
+    return IntegerDecisionTree(max_depth=4).fit(x, deltas)
+
+
+def _hooks():
+    from repro.core.helpers import HelperRegistry
+
+    _, predict_schema = build_prefetch_schemas()
+    helpers = HelperRegistry()
+    helpers.register(1, "pf_page", 1, lambda env, p: 1)
+    helpers.grant("swap_cluster_readahead", "pf_page")
+    hooks = HookRegistry(helpers)
+    hooks.declare("swap_cluster_readahead", predict_schema,
+                  AttachPolicy("swap_cluster_readahead", verdict_min=0,
+                               verdict_max=4, cost_budget=CostBudget()))
+    return hooks
+
+
+def _compile(hooks):
+    schema = hooks.hook("swap_cluster_readahead").schema
+    return compile_source(
+        PREDICT_PROGRAM_DSL, "page_prefetch", "swap_cluster_readahead",
+        schema, helpers=hooks.helpers, models={"dt_1": _tree()},
+    )
+
+
+def test_stage_dsl_parse(benchmark):
+    module = benchmark(parse, PREDICT_PROGRAM_DSL)
+    assert module.actions
+
+
+def test_stage_dsl_compile(benchmark):
+    hooks = _hooks()
+    program = benchmark(_compile, hooks)
+    assert program.total_instructions() > 30
+
+
+def test_stage_verify(benchmark):
+    hooks = _hooks()
+    program = _compile(hooks)
+    policy = hooks.hook("swap_cluster_readahead").policy
+
+    def verify():
+        program.verified = False
+        return Verifier(policy, hooks.helpers).verify(program)
+
+    report = benchmark(verify)
+    assert report.ok
+
+
+def test_stage_jit_compile(benchmark):
+    hooks = _hooks()
+    program = _compile(hooks)
+    policy = hooks.hook("swap_cluster_readahead").policy
+    Verifier(policy, hooks.helpers).verify_or_raise(program)
+    jitted = benchmark(JitCompiler(hooks.helpers).compile_program, program)
+    assert "predict" in jitted.action_names
+
+
+def test_stage_syscall_install(benchmark, record_rows):
+    def install():
+        hooks = _hooks()
+        iface = RmtSyscallInterface(hooks)
+        return iface.install(_compile(hooks), mode="jit")
+
+    result = benchmark(install)
+    record_rows("fig1_install", {
+        "worst_case_insns": result.report.worst_case_insns,
+    })
+
+
+def _prepared_datapath(mode):
+    hooks = _hooks()
+    iface = RmtSyscallInterface(hooks)
+    iface.install(_compile(hooks), mode=mode)
+    iface.control_plane.add_entry(
+        "page_prefetch", "page_prefetch_tab", [56], "predict", pf_steps=4)
+    # Seed history.
+    hist = iface.datapath("page_prefetch").program.map_by_name("hist")
+    for d in (3, 3, 3, 3):
+        hist.push(56, d)
+    schema = hooks.hook("swap_cluster_readahead").schema
+    return hooks, schema
+
+
+@pytest.mark.parametrize("mode", ["interpret", "jit"])
+def test_stage_datapath_invoke(benchmark, mode):
+    hooks, schema = _prepared_datapath(mode)
+
+    def fire():
+        ctx = schema.new_context(pid=56, fault_page=100)
+        return hooks.fire("swap_cluster_readahead", ctx, helper_env=None)
+
+    verdict = benchmark(fire)
+    assert verdict == 4

@@ -1,0 +1,43 @@
+"""Table 2 — CFS load-balancing mimicry: full/lean MLP vs Linux.
+
+Regenerates the paper's Table 2 end to end: collect the decision corpus
+under the CFS heuristic, train + quantize the full and lean MLPs, push
+the compiled networks into the can_migrate_task RMT datapath, and replay
+the four benchmarks under each policy.  The benchmark timing is the full
+pipeline wall-clock (collection + training + three replays per row).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.report import format_table2
+from repro.harness.sched_experiment import (
+    PAPER_TABLE2,
+    SchedExperimentConfig,
+    run_sched_experiment,
+)
+
+
+def test_table2_full_pipeline(benchmark, record_rows):
+    result = benchmark.pedantic(
+        lambda: run_sched_experiment(SchedExperimentConfig()),
+        rounds=1, iterations=1,
+    )
+    print("\n" + format_table2(result, PAPER_TABLE2))
+    record_rows("table2", {
+        "rows": result.rows(),
+        "paper": PAPER_TABLE2,
+        "selected_features": [
+            result.feature_names[i] for i in result.selected_features
+        ],
+        "monitor_overhead_saved_pct": result.monitor_overhead_saved_pct,
+        "train_samples": result.train_samples,
+    })
+    # Paper shape: full approx 99+%, lean 94+%-ish, JCT competitive.
+    for cell in result.cells:
+        assert cell.full_acc_pct > 95, cell.benchmark
+        assert cell.lean_acc_pct > 88, cell.benchmark
+        assert cell.full_jct_s <= cell.linux_jct_s * 1.1, cell.benchmark
+        assert cell.lean_jct_s <= cell.linux_jct_s * 1.1, cell.benchmark
+    assert len(result.selected_features) == 2

@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Every benchmark stores its experiment output (the regenerated table rows
+and the paper's reference numbers) in ``benchmark.extra_info`` so the
+pytest-benchmark JSON/saved output carries the science, not just the
+timings.  Run with ``--benchmark-only -rA`` to also see the printed
+paper-vs-measured tables.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def record_rows(benchmark):
+    """Attach experiment rows to the benchmark record and echo them."""
+
+    def _record(name: str, rows) -> None:
+        benchmark.extra_info[name] = rows
+        print(f"\n== {name} ==")
+        for row in rows if isinstance(rows, list) else [rows]:
+            print(row)
+
+    return _record

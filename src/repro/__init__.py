@@ -1,0 +1,31 @@
+"""repro — reconfigurable kernel datapaths with learned optimizations.
+
+A complete reproduction of "Toward Reconfigurable Kernel Datapaths with
+Learned Optimizations" (HotOS '21): an RMT-style in-kernel virtual
+machine (bytecode ISA with an ML instruction set, DSL + assembler front
+ends, verifier, interpreter and JIT tiers, control plane), a lightweight
+integer ML library, a simulated Linux-like kernel substrate (swap/mm,
+CFS scheduler, storage models), the paper's workloads, and an experiment
+harness regenerating both of the paper's tables plus ablations.
+
+Quick start::
+
+    from repro.harness import run_prefetch_experiment
+    for cell in run_prefetch_experiment():
+        print(cell.row())
+
+Sub-packages
+------------
+``repro.core``       the RMT virtual machine (the paper's contribution)
+``repro.ml``         integer-first ML library (trees, MLPs, SVMs, CNNs,
+                     quantization, NAS, distillation, feature selection)
+``repro.kernel``     simulated kernel: DES core, mm/swap, CFS, storage
+``repro.workloads``  page-trace and task-graph workload generators
+``repro.harness``    Table-1/Table-2 drivers, ablations, reporting
+"""
+
+from . import core, harness, kernel, ml, workloads
+
+__version__ = "0.1.0"
+
+__all__ = ["core", "harness", "kernel", "ml", "workloads", "__version__"]

@@ -1,0 +1,109 @@
+"""The in-kernel RMT virtual machine — the paper's primary contribution.
+
+Lifecycle of an RMT program::
+
+    DSL source / assembly / ProgramBuilder
+        │  compile / assemble / build
+        ▼
+    RmtProgram  (tables + bytecode actions + maps + tensors + models)
+        │  ControlPlane.install  →  Verifier (admission)
+        ▼
+    RmtDatapath (interpreter or JIT tier), bound to a kernel hook point
+        │  hook fires with an ExecutionContext
+        ▼
+    verdict (clamped by the attach policy's guardrail) → kernel decision
+"""
+
+from .assembler import Assembler, assemble
+from .bytecode import BytecodeProgram, Instruction, decode_instruction, encode_instruction
+from .context import ContextSchema, ExecutionContext, FieldSpec
+from .control_plane import AccuracyWatchdog, ControlPlane, RmtDatapath
+from .errors import (
+    AssemblerError,
+    ControlPlaneError,
+    DslError,
+    PrivacyBudgetExceeded,
+    RmtError,
+    RmtRuntimeError,
+    VerifierError,
+)
+from .helpers import HelperRegistry, HelperSpec
+from .interpreter import Interpreter, RuntimeEnv
+from .isa import N_SCALAR_REGS, N_VECTOR_REGS, Opcode
+from .jit import JitCompiler, JittedProgram
+from .model_compiler import compile_mlp_action, compile_tree_action, fold_input_transform
+from .maps import (
+    ArrayMap,
+    HashMap,
+    HistoryMap,
+    LruHashMap,
+    PerCpuArrayMap,
+    RingBuffer,
+    RmtMap,
+    TensorStore,
+    VectorMap,
+)
+from .privacy import LaplaceMechanism, PrivacyBudget, PrivateAggregator
+from .program import ProgramBuilder, RmtProgram
+from .serialize import TableTreeModel, payload_to_program, program_to_payload
+from .tables import MatchActionTable, MatchKind, MatchPattern, Pipeline, TableEntry
+from .verifier import AttachPolicy, VerificationReport, Verifier
+
+__all__ = [
+    "AccuracyWatchdog",
+    "ArrayMap",
+    "Assembler",
+    "AssemblerError",
+    "AttachPolicy",
+    "BytecodeProgram",
+    "ContextSchema",
+    "ControlPlane",
+    "ControlPlaneError",
+    "DslError",
+    "ExecutionContext",
+    "FieldSpec",
+    "HashMap",
+    "HelperRegistry",
+    "HelperSpec",
+    "HistoryMap",
+    "Instruction",
+    "Interpreter",
+    "JitCompiler",
+    "JittedProgram",
+    "LaplaceMechanism",
+    "LruHashMap",
+    "MatchActionTable",
+    "MatchKind",
+    "MatchPattern",
+    "N_SCALAR_REGS",
+    "N_VECTOR_REGS",
+    "Opcode",
+    "PerCpuArrayMap",
+    "Pipeline",
+    "PrivacyBudget",
+    "PrivacyBudgetExceeded",
+    "PrivateAggregator",
+    "ProgramBuilder",
+    "RingBuffer",
+    "RmtDatapath",
+    "RmtError",
+    "RmtMap",
+    "RmtProgram",
+    "RmtRuntimeError",
+    "RuntimeEnv",
+    "TableEntry",
+    "TableTreeModel",
+    "TensorStore",
+    "VectorMap",
+    "VerificationReport",
+    "Verifier",
+    "VerifierError",
+    "assemble",
+    "compile_mlp_action",
+    "compile_tree_action",
+    "decode_instruction",
+    "encode_instruction",
+    "fold_input_transform",
+    "payload_to_program",
+    "program_to_payload",
+]

@@ -1,0 +1,266 @@
+"""Textual RMT assembly — the low-level authoring front end.
+
+The DSL (``repro.core.dsl``) is the paper's "constrained C" front end;
+this assembler is the level below it, useful for tests, for tooling, and
+for inspecting what the DSL code generator emits.
+
+Syntax, one instruction per line::
+
+    ; comment
+    start:                        ; labels end with ':'
+        LD_CTXT   r1, $pid        ; $name   -> context field id
+        MOV_IMM   r2, #5          ; #n      -> integer immediate
+        JNE       r1, r2, miss    ; last operand of jumps: label (forward)
+        CALL      @pf_now         ; @name   -> helper id
+        MAP_LOOKUP r3, r1, %stats ; %name   -> map id
+        MATCH_CTXT r4, &ptab      ; &name   -> table id
+        TAIL_CALL !next           ; !name   -> action id
+        VEC_LD_HIST v0, r1, %hist, #4
+        EXIT
+    miss:
+        MOV_IMM   r0, #0
+        EXIT
+
+Operand order is always: destination register (scalar ``rN`` or vector
+``vN``), source register, then symbolic/immediate operands, with the jump
+label last.  Two passes resolve labels to forward offsets.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .bytecode import BytecodeProgram, Instruction
+from .errors import AssemblerError
+from .isa import OPCODE_SPECS, Opcode
+
+__all__ = ["Assembler", "assemble"]
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+#: Which namespace each opcode's ``imm`` operand belongs to (for symbol
+#: resolution).  Opcodes not listed take a plain integer immediate.
+_IMM_NAMESPACE: dict[Opcode, str] = {
+    Opcode.LD_CTXT: "ctxt",
+    Opcode.ST_CTXT: "ctxt",
+    Opcode.MATCH_CTXT: "table",
+    Opcode.CALL: "helper",
+    Opcode.TAIL_CALL: "action",
+    Opcode.MAP_LOOKUP: "map",
+    Opcode.MAP_UPDATE: "map",
+    Opcode.MAP_DELETE: "map",
+    Opcode.MAP_PEEK: "map",
+    Opcode.HIST_PUSH: "map",
+    Opcode.VEC_LD: "map",
+    Opcode.ML_INFER: "model",
+    Opcode.MAT_MUL: "tensor",
+    Opcode.VEC_ADD: "tensor",
+    Opcode.VEC_MUL_T: "tensor",
+}
+
+_SIGIL_NAMESPACE = {"$": "ctxt", "@": "helper", "%": "map", "&": "table",
+                    "!": "action", "*": "model"}
+
+
+class Assembler:
+    """Two-pass assembler with pluggable symbol resolvers.
+
+    Resolvers are name->id mappings per namespace.  A
+    :class:`~repro.core.program.ProgramBuilder` can be adapted via
+    :meth:`for_builder`, which wires field/map/table/action names
+    automatically.
+    """
+
+    def __init__(
+        self,
+        ctxt_fields: dict[str, int] | None = None,
+        helpers: dict[str, int] | None = None,
+        maps: dict[str, int] | None = None,
+        tables: dict[str, int] | None = None,
+        actions: dict[str, int] | None = None,
+        models: dict[str, int] | None = None,
+    ) -> None:
+        self._namespaces: dict[str, dict[str, int]] = {
+            "ctxt": dict(ctxt_fields or {}),
+            "helper": dict(helpers or {}),
+            "map": dict(maps or {}),
+            "table": dict(tables or {}),
+            "action": dict(actions or {}),
+            "model": dict(models or {}),
+            "tensor": {},  # tensors are addressed numerically
+        }
+
+    @classmethod
+    def for_builder(cls, builder, helpers=None) -> "Assembler":
+        """Build an assembler wired to a ProgramBuilder's symbols."""
+        schema = builder.schema
+        helper_map = {}
+        if helpers is not None:
+            helper_map = {name: helpers.by_name(name).helper_id
+                          for name in helpers.names()}
+        return cls(
+            ctxt_fields={n: schema.field_id(n) for n in schema.field_names},
+            helpers=helper_map,
+            maps=dict(builder._map_ids),
+            tables=dict(builder._table_ids),
+            actions=dict(builder._action_ids),
+        )
+
+    # ------------------------------------------------------------------
+
+    def assemble(self, name: str, text: str) -> BytecodeProgram:
+        """Assemble ``text`` into a named bytecode program."""
+        lines = self._strip(text)
+        labels, statements = self._collect_labels(lines)
+        instructions: list[Instruction] = []
+        for pc, (lineno, mnemonic, operands) in enumerate(statements):
+            try:
+                instructions.append(
+                    self._encode(pc, mnemonic, operands, labels)
+                )
+            except AssemblerError as exc:
+                raise AssemblerError(f"line {lineno}: {exc}") from None
+        return BytecodeProgram(name=name, instructions=instructions)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _strip(text: str) -> list[tuple[int, str]]:
+        out = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split(";", 1)[0].strip()
+            if line:
+                out.append((lineno, line))
+        return out
+
+    @staticmethod
+    def _collect_labels(
+        lines: list[tuple[int, str]]
+    ) -> tuple[dict[str, int], list[tuple[int, str, list[str]]]]:
+        labels: dict[str, int] = {}
+        statements: list[tuple[int, str, list[str]]] = []
+        for lineno, line in lines:
+            while line.split()[0].endswith(":") if line.split() else False:
+                label = line.split()[0][:-1]
+                if not _LABEL_RE.match(label):
+                    raise AssemblerError(f"line {lineno}: bad label {label!r}")
+                if label in labels:
+                    raise AssemblerError(f"line {lineno}: duplicate label {label!r}")
+                labels[label] = len(statements)
+                line = line[len(label) + 1:].strip()
+                if not line:
+                    break
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].upper()
+            operands = []
+            if len(parts) > 1:
+                operands = [tok.strip() for tok in parts[1].split(",")]
+            statements.append((lineno, mnemonic, operands))
+        return labels, statements
+
+    def _encode(
+        self, pc: int, mnemonic: str, operands: list[str], labels: dict[str, int]
+    ) -> Instruction:
+        try:
+            opcode = Opcode[mnemonic]
+        except KeyError:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}") from None
+        spec = OPCODE_SPECS[opcode]
+        tokens = list(operands)
+        dst = src = offset = imm = 0
+
+        def take() -> str:
+            if not tokens:
+                raise AssemblerError(f"{mnemonic}: missing operand")
+            return tokens.pop(0)
+
+        # Destination operand (scalar or vector).  EXIT implicitly reads
+        # r0 and CALL implicitly writes it; neither takes a textual dst.
+        wants_vdst = "dst" in spec.vwrites or "dst" in spec.vreads
+        wants_dst = (
+            wants_vdst or "dst" in spec.writes or "dst" in spec.reads
+        ) and opcode not in (Opcode.EXIT, Opcode.CALL)
+        if wants_dst:
+            dst = self._parse_reg(take(), vector=wants_vdst, mnemonic=mnemonic)
+        # Source operand.
+        wants_vsrc = "src" in spec.vreads
+        wants_src = wants_vsrc or "src" in spec.reads
+        if wants_src:
+            src = self._parse_reg(take(), vector=wants_vsrc, mnemonic=mnemonic)
+
+        # VEC_LD_HIST is the one op with a symbolic offset (its map).
+        if opcode is Opcode.VEC_LD_HIST:
+            offset = self._parse_imm(take(), "map", mnemonic)
+            imm = self._parse_imm(take(), "int", mnemonic)
+        else:
+            if spec.uses_imm:
+                namespace = _IMM_NAMESPACE.get(opcode, "int")
+                imm = self._parse_imm(take(), namespace, mnemonic)
+            if spec.uses_offset:
+                token = take()
+                if token in labels:
+                    target = labels[token]
+                    offset = target - pc - 1
+                    if offset < 0:
+                        raise AssemblerError(
+                            f"{mnemonic}: backward jump to {token!r} "
+                            "(forward-only control flow)"
+                        )
+                else:
+                    offset = self._parse_int(token.lstrip("#"), mnemonic)
+        if tokens:
+            raise AssemblerError(
+                f"{mnemonic}: unexpected extra operands {tokens}"
+            )
+        try:
+            return Instruction(opcode=opcode, dst=dst, src=src, offset=offset, imm=imm)
+        except ValueError as exc:
+            raise AssemblerError(f"{mnemonic}: {exc}") from None
+
+    @staticmethod
+    def _parse_reg(token: str, vector: bool, mnemonic: str) -> int:
+        prefix = "v" if vector else "r"
+        if not token.startswith(prefix):
+            raise AssemblerError(
+                f"{mnemonic}: expected {prefix}-register, got {token!r}"
+            )
+        try:
+            return int(token[1:])
+        except ValueError:
+            raise AssemblerError(f"{mnemonic}: bad register {token!r}") from None
+
+    def _parse_imm(self, token: str, namespace: str, mnemonic: str) -> int:
+        if token.startswith("#"):
+            return self._parse_int(token[1:], mnemonic)
+        sigil = token[0] if token else ""
+        if sigil in _SIGIL_NAMESPACE:
+            sigil_ns = _SIGIL_NAMESPACE[sigil]
+            if namespace != "int" and sigil_ns != namespace:
+                raise AssemblerError(
+                    f"{mnemonic}: operand {token!r} is a {sigil_ns} symbol, "
+                    f"but this opcode takes a {namespace} id"
+                )
+            name = token[1:]
+            table = self._namespaces[sigil_ns]
+            if name not in table:
+                raise AssemblerError(
+                    f"{mnemonic}: unknown {sigil_ns} symbol {name!r}; "
+                    f"known: {sorted(table)}"
+                )
+            return table[name]
+        # Bare integer fallback (e.g. tensor ids).
+        return self._parse_int(token, mnemonic)
+
+    @staticmethod
+    def _parse_int(token: str, mnemonic: str) -> int:
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise AssemblerError(f"{mnemonic}: bad integer {token!r}") from None
+
+
+def assemble(name: str, text: str, **resolvers) -> BytecodeProgram:
+    """One-shot convenience wrapper around :class:`Assembler`."""
+    return Assembler(**resolvers).assemble(name, text)

@@ -1,0 +1,188 @@
+"""Bytecode representation: instructions, programs, and word encoding.
+
+RMT programs are "compiled into machine-independent bytecode, and
+installed via a system call" (Section 3.1).  The machine-independent form
+here is a sequence of 64-bit words with the fixed layout::
+
+    bits 63..56   opcode      (8 bits, unsigned)
+    bits 55..52   dst         (4 bits, register index)
+    bits 51..48   src         (4 bits, register index)
+    bits 47..32   offset      (16 bits, signed — jump displacement)
+    bits 31..0    imm         (32 bits, signed)
+
+which is deliberately the shape of an eBPF instruction.  The control plane
+serializes programs to words (plus a side table of models/maps) for the
+``syscall_rmt`` boundary; the kernel decodes and verifies them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import AssemblerError
+from .isa import N_SCALAR_REGS, N_VECTOR_REGS, OPCODE_SPECS, Opcode
+
+__all__ = ["Instruction", "BytecodeProgram", "encode_instruction", "decode_instruction"]
+
+_OFFSET_MIN, _OFFSET_MAX = -(1 << 15), (1 << 15) - 1
+_IMM_MIN, _IMM_MAX = -(1 << 31), (1 << 31) - 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded RMT instruction."""
+
+    opcode: Opcode
+    dst: int = 0
+    src: int = 0
+    offset: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        spec = OPCODE_SPECS[self.opcode]
+        dst_limit = (
+            N_VECTOR_REGS
+            if ("dst" in spec.vwrites or "dst" in spec.vreads)
+            else N_SCALAR_REGS
+        )
+        src_limit = N_VECTOR_REGS if "src" in spec.vreads else N_SCALAR_REGS
+        if not 0 <= self.dst < dst_limit:
+            raise ValueError(
+                f"dst register {self.dst} out of range for {self.opcode.name}"
+            )
+        if not 0 <= self.src < src_limit:
+            raise ValueError(
+                f"src register {self.src} out of range for {self.opcode.name}"
+            )
+        if not _OFFSET_MIN <= self.offset <= _OFFSET_MAX:
+            raise ValueError(f"offset {self.offset} out of 16-bit range")
+        if not _IMM_MIN <= self.imm <= _IMM_MAX:
+            raise ValueError(f"imm {self.imm} out of 32-bit range")
+
+    def __str__(self) -> str:
+        spec = OPCODE_SPECS[self.opcode]
+        parts = [self.opcode.name]
+        if spec.vwrites or spec.vreads:
+            if "dst" in spec.vwrites or "dst" in spec.vreads:
+                parts.append(f"v{self.dst}")
+            elif "dst" in spec.writes or "dst" in spec.reads:
+                parts.append(f"r{self.dst}")
+            if "src" in spec.vreads:
+                parts.append(f"v{self.src}")
+            elif "src" in spec.reads:
+                parts.append(f"r{self.src}")
+        else:
+            if "dst" in spec.writes or "dst" in spec.reads:
+                parts.append(f"r{self.dst}")
+            if "src" in spec.reads:
+                parts.append(f"r{self.src}")
+        if spec.uses_offset:
+            parts.append(f"+{self.offset}" if self.offset >= 0 else str(self.offset))
+        if spec.uses_imm:
+            parts.append(f"#{self.imm}")
+        return " ".join(parts)
+
+
+def encode_instruction(instr: Instruction) -> int:
+    """Pack an instruction into its 64-bit word."""
+    offset_u = instr.offset & 0xFFFF
+    imm_u = instr.imm & 0xFFFFFFFF
+    return (
+        (int(instr.opcode) << 56)
+        | ((instr.dst & 0xF) << 52)
+        | ((instr.src & 0xF) << 48)
+        | (offset_u << 32)
+        | imm_u
+    )
+
+
+def decode_instruction(word: int) -> Instruction:
+    """Unpack a 64-bit word; raises on unknown opcodes."""
+    if not 0 <= word < (1 << 64):
+        raise AssemblerError(f"word {word:#x} out of 64-bit range")
+    opcode_raw = (word >> 56) & 0xFF
+    try:
+        opcode = Opcode(opcode_raw)
+    except ValueError as exc:
+        raise AssemblerError(f"unknown opcode {opcode_raw:#x}") from exc
+    offset = (word >> 32) & 0xFFFF
+    if offset >= 1 << 15:
+        offset -= 1 << 16
+    imm = word & 0xFFFFFFFF
+    if imm >= 1 << 31:
+        imm -= 1 << 32
+    return Instruction(
+        opcode=opcode,
+        dst=(word >> 52) & 0xF,
+        src=(word >> 48) & 0xF,
+        offset=offset,
+        imm=imm,
+    )
+
+
+@dataclass
+class BytecodeProgram:
+    """A named sequence of instructions (one table action's body).
+
+    ``name`` identifies the action; the datapath invokes it when a table
+    entry whose action points here matches.  The return value (r0 at
+    EXIT) is the action's verdict, interpreted by the hook point (e.g.
+    number of pages to prefetch, or migrate yes/no).
+    """
+
+    name: str
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def to_words(self) -> list[int]:
+        """Serialize to machine-independent 64-bit words."""
+        return [encode_instruction(i) for i in self.instructions]
+
+    @classmethod
+    def from_words(cls, name: str, words: list[int]) -> "BytecodeProgram":
+        """Decode from 64-bit words (the kernel side of syscall_rmt)."""
+        return cls(name=name, instructions=[decode_instruction(w) for w in words])
+
+    def disassemble(self) -> str:
+        """Human-readable listing, one instruction per line."""
+        lines = [f"; program {self.name} ({len(self.instructions)} instrs)"]
+        for pc, instr in enumerate(self.instructions):
+            lines.append(f"{pc:4d}: {instr}")
+        return "\n".join(lines)
+
+    def to_assembly(self) -> str:
+        """Assembler-compatible text: ``assemble(name, prog.to_assembly())``
+        reproduces the exact instruction sequence.
+
+        Symbolic ids (maps, helpers, context fields, ...) are emitted as
+        bare integers — the assembler accepts numerics in every symbol
+        position — and jump targets as numeric forward offsets.
+        """
+        lines = []
+        for instr in self.instructions:
+            spec = OPCODE_SPECS[instr.opcode]
+            operands: list[str] = []
+            if instr.opcode not in (Opcode.EXIT, Opcode.CALL):
+                if "dst" in spec.vwrites or "dst" in spec.vreads:
+                    operands.append(f"v{instr.dst}")
+                elif "dst" in spec.writes or "dst" in spec.reads:
+                    operands.append(f"r{instr.dst}")
+            if "src" in spec.vreads:
+                operands.append(f"v{instr.src}")
+            elif "src" in spec.reads:
+                operands.append(f"r{instr.src}")
+            if instr.opcode is Opcode.VEC_LD_HIST:
+                operands.append(str(instr.offset))
+                operands.append(f"#{instr.imm}")
+            else:
+                if spec.uses_imm:
+                    operands.append(f"#{instr.imm}")
+                if spec.uses_offset:
+                    operands.append(str(instr.offset))
+            lines.append(f"    {instr.opcode.name} " + ", ".join(operands))
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,146 @@
+"""The RMT execution context (``RMT_CTXT``).
+
+Section 3.1: "We call these match fields the 'execution context', and such
+information is organized in a key/value map of the type RMT_CTXT and can
+be retrieved using a match key.  In essence, the execution context is akin
+to today's kernel monitoring data, but the pattern match strips away
+unnecessary monitoring and only preserves monitors critical to decision
+making.  This is also constant-time in a system-wide manner without
+having to walk complex kernel data structures."
+
+Implementation: a *schema* declares the integer fields a hook point
+publishes (pid, inode, cgroup, last_page, ...), each with a stable field
+id and a writability flag.  A context instance is then a flat array
+indexed by field id — constant-time access, no structure walking, and the
+field-id indirection is what ``RMT_LD_CTXT``/``RMT_ST_CTXT`` encode in
+their ``imm`` slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FieldSpec", "ContextSchema", "ExecutionContext"]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One context field: name, id, and whether actions may write it."""
+
+    name: str
+    field_id: int
+    writable: bool = False
+
+
+class ContextSchema:
+    """The set of fields a hook point publishes to RMT programs.
+
+    Field ids are assigned densely in declaration order so a context is a
+    flat integer array.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._fields: list[FieldSpec] = []
+        self._by_name: dict[str, FieldSpec] = {}
+
+    def add_field(self, name: str, writable: bool = False) -> FieldSpec:
+        """Declare a field; returns its spec (with the assigned id)."""
+        if name in self._by_name:
+            raise ValueError(f"duplicate context field {name!r} in {self.name}")
+        spec = FieldSpec(name=name, field_id=len(self._fields), writable=writable)
+        self._fields.append(spec)
+        self._by_name[name] = spec
+        return spec
+
+    def field(self, name: str) -> FieldSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown context field {name!r} in schema {self.name!r}; "
+                f"known: {sorted(self._by_name)}"
+            ) from None
+
+    def field_id(self, name: str) -> int:
+        return self.field(name).field_id
+
+    def has_field(self, name: str) -> bool:
+        return name in self._by_name
+
+    def is_writable(self, field_id: int) -> bool:
+        return self._fields[field_id].writable if self.valid_id(field_id) else False
+
+    def valid_id(self, field_id: int) -> bool:
+        return 0 <= field_id < len(self._fields)
+
+    @property
+    def n_fields(self) -> int:
+        return len(self._fields)
+
+    @property
+    def field_names(self) -> list[str]:
+        return [f.name for f in self._fields]
+
+    def new_context(self, **values: int) -> "ExecutionContext":
+        """Instantiate a zeroed context, optionally seeding named fields."""
+        ctx = ExecutionContext(self)
+        for name, value in values.items():
+            ctx.set(name, value)
+        return ctx
+
+
+class ExecutionContext:
+    """A flat, constant-time integer field store bound to a schema.
+
+    Kernel code uses the name-based API (:meth:`get`/:meth:`set`); the VM
+    uses the id-based API (:meth:`load`/:meth:`store`), which is what the
+    bytecode encodes.  :meth:`store` enforces the writability flag —
+    non-writable fields are kernel-owned monitors an action must not
+    forge.
+    """
+
+    __slots__ = ("schema", "_values")
+
+    def __init__(self, schema: ContextSchema) -> None:
+        self.schema = schema
+        self._values = [0] * schema.n_fields
+
+    # -- name-based (kernel side) --------------------------------------
+
+    def get(self, name: str) -> int:
+        return self._values[self.schema.field_id(name)]
+
+    def set(self, name: str, value: int) -> None:
+        """Kernel-side write: ignores the writability flag (the kernel
+        owns all fields; the flag restricts *actions*, not the kernel)."""
+        self._values[self.schema.field_id(name)] = int(value)
+
+    # -- id-based (VM side) ---------------------------------------------
+
+    def load(self, field_id: int) -> int:
+        if not self.schema.valid_id(field_id):
+            raise IndexError(
+                f"context field id {field_id} out of range for "
+                f"schema {self.schema.name!r}"
+            )
+        return self._values[field_id]
+
+    def store(self, field_id: int, value: int) -> None:
+        if not self.schema.valid_id(field_id):
+            raise IndexError(
+                f"context field id {field_id} out of range for "
+                f"schema {self.schema.name!r}"
+            )
+        if not self.schema.is_writable(field_id):
+            raise PermissionError(
+                f"context field {self.schema.field_names[field_id]!r} "
+                "is read-only for RMT actions"
+            )
+        self._values[field_id] = int(value)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(zip(self.schema.field_names, self._values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutionContext({self.schema.name}, {self.as_dict()})"

@@ -1,0 +1,298 @@
+"""The RMT datapath engine and the userland control plane.
+
+Datapath (:class:`RmtDatapath`): the kernel-resident execution engine a
+hook point invokes.  It walks the program's pipeline of tables in order;
+each stage matches the execution context and, on a hit (or via the
+table's default action on a miss), runs the bound action in either the
+interpreter or the JIT tier.  The verdict of the *last* stage that ran an
+action is returned to the hook (clamped by the attach policy's rate-limit
+guardrail); ``None`` means no stage matched and the kernel should take
+its default path.  Per-entry action parameters (e.g. ``{"ml": 1}`` — the
+paper's ``.ml = dt_1``) are published to the action through writable
+context fields of the same name.
+
+Control plane (:class:`ControlPlane`): "the RMT datapath represent
+decision points, but their policies are reconfigured via the control
+plane API.  This API supports adding, removing, modifying match/action
+entries and ML models" (Section 3.1).  It owns installation (verify →
+admit → optionally JIT), runtime entry management, model hot-swap with
+mandatory re-verification, and the accuracy watchdog that reconfigures
+tables when prediction quality drops.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..ml.online import AccuracyTracker
+from .context import ExecutionContext
+from .errors import ControlPlaneError
+from .helpers import HelperRegistry
+from .interpreter import Interpreter, RuntimeEnv
+from .jit import JitCompiler, JittedProgram
+from .program import RmtProgram
+from .tables import TableEntry
+from .verifier import AttachPolicy, VerificationReport, Verifier
+
+__all__ = ["RmtDatapath", "ControlPlane", "AccuracyWatchdog"]
+
+
+class RmtDatapath:
+    """Executes one installed program at its hook point.
+
+    ``mode`` is ``"interpret"`` or ``"jit"``; the JIT tier requires the
+    program to have passed verification (the compiler enforces it).
+    """
+
+    def __init__(
+        self,
+        program: RmtProgram,
+        policy: AttachPolicy,
+        helpers: HelperRegistry | None = None,
+        mode: str = "interpret",
+    ) -> None:
+        if mode not in ("interpret", "jit"):
+            raise ValueError(f"mode must be 'interpret' or 'jit', got {mode!r}")
+        self.program = program
+        self.policy = policy
+        self.helpers = helpers
+        self.mode = mode
+        self._interpreter = Interpreter()
+        self._jitted: JittedProgram | None = None
+        if mode == "jit":
+            self._jitted = JitCompiler(helpers).compile_program(program)
+        self.invocations = 0
+        self.actions_run = 0
+        # Self-accounting of the datapath's own overhead — the "OS tax"
+        # this mechanism adds, which the paper's whole premise is about
+        # keeping small relative to the decisions it improves.
+        self.overhead_ns = 0
+
+    def rejit(self) -> None:
+        """Recompile after a model/tensor hot-swap (JIT binds objects)."""
+        if self.mode == "jit":
+            self._jitted = JitCompiler(self.helpers).compile_program(self.program)
+
+    def invoke(self, ctx: ExecutionContext, helper_env: object = None) -> int | None:
+        """Run the pipeline against a context; returns the clamped verdict
+        of the last stage that executed an action, or None."""
+        started = time.perf_counter_ns()
+        self.invocations += 1
+        verdict: int | None = None
+        for table in self.program.pipeline:
+            entry = table.lookup(ctx)
+            if entry is not None:
+                action_name = entry.action
+                self._publish_entry_data(ctx, entry)
+            elif table.default_action is not None:
+                action_name = table.default_action
+            else:
+                continue
+            env = RuntimeEnv(
+                program=self.program,
+                ctx=ctx,
+                helpers=self.helpers,
+                helper_env=helper_env,
+                entry_data=dict(entry.action_data) if entry else {},
+            )
+            action = self.program.action(action_name)
+            if self._jitted is not None:
+                raw = self._jitted.run(action_name, env)
+            else:
+                raw = self._interpreter.run(action, env)
+            self.actions_run += 1
+            verdict = self.policy.clamp_verdict(raw)
+        self.overhead_ns += time.perf_counter_ns() - started
+        return verdict
+
+    def _publish_entry_data(self, ctx: ExecutionContext, entry: TableEntry) -> None:
+        for key, value in entry.action_data.items():
+            if ctx.schema.has_field(key):
+                ctx.set(key, int(value))
+
+    def stats(self) -> dict:
+        return {
+            "program": self.program.name,
+            "mode": self.mode,
+            "invocations": self.invocations,
+            "actions_run": self.actions_run,
+            "overhead_ns": self.overhead_ns,
+            "mean_invoke_us": (
+                self.overhead_ns / self.invocations / 1e3
+                if self.invocations else 0.0
+            ),
+            "tables": [t.stats() for t in self.program.pipeline],
+        }
+
+
+@dataclass
+class AccuracyWatchdog:
+    """Reconfigure the datapath when live accuracy drops (Section 3.1).
+
+    ``on_degraded``/``on_recovered`` are control-plane callbacks (e.g.
+    shrink the prefetch window entry parameter, or swap in a conservative
+    default action).  Hysteresis: recovery requires accuracy back above
+    ``threshold + margin``.
+    """
+
+    threshold: float
+    tracker: AccuracyTracker
+    on_degraded: Callable[[], None]
+    on_recovered: Callable[[], None] | None = None
+    margin: float = 0.05
+    min_samples: int = 32
+    degraded: bool = False
+    transitions: int = 0
+
+    def record(self, correct: bool) -> None:
+        """Feed one live prediction outcome and react if needed."""
+        self.tracker.record(correct)
+        if self.tracker.n_windowed < self.min_samples:
+            return
+        accuracy = self.tracker.windowed_accuracy
+        if not self.degraded and accuracy < self.threshold:
+            self.degraded = True
+            self.transitions += 1
+            self.on_degraded()
+        elif self.degraded and accuracy > self.threshold + self.margin:
+            self.degraded = False
+            self.transitions += 1
+            if self.on_recovered is not None:
+                self.on_recovered()
+
+
+class ControlPlane:
+    """Userland management of installed RMT programs."""
+
+    def __init__(self, helpers: HelperRegistry | None = None) -> None:
+        self.helpers = helpers
+        self._datapaths: dict[str, RmtDatapath] = {}
+        self._watchdogs: dict[str, AccuracyWatchdog] = {}
+
+    # -- installation ----------------------------------------------------
+
+    def install(
+        self,
+        program: RmtProgram,
+        policy: AttachPolicy,
+        mode: str = "interpret",
+    ) -> VerificationReport:
+        """Verify and admit a program; raises VerifierError on rejection."""
+        if program.name in self._datapaths:
+            raise ControlPlaneError(f"program {program.name!r} already installed")
+        report = Verifier(policy, self.helpers).verify_or_raise(program)
+        self._datapaths[program.name] = RmtDatapath(
+            program, policy, self.helpers, mode=mode
+        )
+        return report
+
+    def uninstall(self, program_name: str) -> None:
+        if program_name not in self._datapaths:
+            raise ControlPlaneError(f"program {program_name!r} not installed")
+        del self._datapaths[program_name]
+        self._watchdogs.pop(program_name, None)
+
+    def datapath(self, program_name: str) -> RmtDatapath:
+        try:
+            return self._datapaths[program_name]
+        except KeyError:
+            raise ControlPlaneError(
+                f"program {program_name!r} not installed; "
+                f"installed: {sorted(self._datapaths)}"
+            ) from None
+
+    @property
+    def installed(self) -> list[str]:
+        return sorted(self._datapaths)
+
+    # -- entry management (the paper's control-plane API) ------------------
+
+    def add_entry(
+        self,
+        program_name: str,
+        table_name: str,
+        key_values: list[int],
+        action: str,
+        priority: int = 0,
+        **action_data,
+    ) -> TableEntry:
+        """Insert an exact-match entry at runtime (e.g. "adding extra table
+        entries for newly started applications")."""
+        dp = self.datapath(program_name)
+        if action not in dp.program.actions:
+            raise ControlPlaneError(
+                f"action {action!r} does not exist in {program_name!r}"
+            )
+        model_ref = action_data.get("ml")
+        if model_ref is not None and model_ref not in dp.program.models:
+            raise ControlPlaneError(
+                f"entry references unknown model id {model_ref}"
+            )
+        table = dp.program.pipeline.table(table_name)
+        return table.insert_exact(key_values, action, priority, **action_data)
+
+    def remove_entry(self, program_name: str, table_name: str, entry_id: int) -> bool:
+        dp = self.datapath(program_name)
+        return dp.program.pipeline.table(table_name).remove(entry_id)
+
+    def modify_entry(
+        self, program_name: str, table_name: str, entry_id: int, **action_data
+    ) -> TableEntry:
+        """Update an entry's action parameters in place."""
+        dp = self.datapath(program_name)
+        table = dp.program.pipeline.table(table_name)
+        for entry in table.entries:
+            if entry.entry_id == entry_id:
+                entry.action_data.update(action_data)
+                return entry
+        raise ControlPlaneError(
+            f"entry {entry_id} not found in {program_name}.{table_name}"
+        )
+
+    # -- model management ---------------------------------------------------
+
+    def push_model(self, program_name: str, model_id: int, model: object) -> None:
+        """Hot-swap a model, re-verify, and re-JIT.
+
+        This is the "models periodically quantized and pushed to the
+        kernel" path: the swap invalidates verification, the program must
+        re-pass the cost check, and the JIT tier is recompiled because it
+        binds model objects at compile time.
+        """
+        dp = self.datapath(program_name)
+        dp.program.replace_model(model_id, model)
+        Verifier(dp.policy, self.helpers).verify_or_raise(dp.program)
+        dp.rejit()
+
+    # -- accuracy watchdog ---------------------------------------------------
+
+    def attach_watchdog(
+        self,
+        program_name: str,
+        threshold: float,
+        on_degraded: Callable[[], None],
+        on_recovered: Callable[[], None] | None = None,
+        window: int = 128,
+        min_samples: int = 32,
+    ) -> AccuracyWatchdog:
+        self.datapath(program_name)  # existence check
+        watchdog = AccuracyWatchdog(
+            threshold=threshold,
+            tracker=AccuracyTracker(window=window),
+            on_degraded=on_degraded,
+            on_recovered=on_recovered,
+            min_samples=min_samples,
+        )
+        self._watchdogs[program_name] = watchdog
+        return watchdog
+
+    def report_outcome(self, program_name: str, correct: bool) -> None:
+        """Feed a live prediction outcome to the program's watchdog."""
+        watchdog = self._watchdogs.get(program_name)
+        if watchdog is not None:
+            watchdog.record(correct)
+
+    def stats(self) -> dict:
+        return {name: dp.stats() for name, dp in self._datapaths.items()}

@@ -1,0 +1,21 @@
+"""The RMT DSL — the paper's "constrained C" front end (Section 3.1).
+
+A loop-free C-like language for writing RMT programs: declare maps,
+tables, static entries, models and tensors, then write actions compiled
+to RMT bytecode.  See :mod:`repro.core.dsl.parser` for the grammar and
+``examples/custom_rmt_program.py`` for a complete program.
+"""
+
+from .codegen import DslCompiler, compile_module, compile_source
+from .parser import Parser, parse
+from .lexer import Token, tokenize
+
+__all__ = [
+    "DslCompiler",
+    "Parser",
+    "Token",
+    "compile_module",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

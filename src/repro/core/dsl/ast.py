@@ -1,0 +1,222 @@
+"""AST node definitions for the RMT DSL.
+
+The DSL is the paper's "constrained C" (Section 3.1): a small, loop-free
+C-like language for declaring maps, tables, models and actions, compiled
+to RMT bytecode.  Loop-freedom is not an implementation shortcut — it is
+the language-level enforcement of the verifier's bounded-execution rule,
+exactly like classic eBPF C.
+
+Nodes carry the source line for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    # expressions
+    "Expr", "IntLiteral", "VarRef", "CtxtRef", "UnaryOp", "BinaryOp",
+    "CompareOp", "BoolOp", "CallExpr", "MapMethod", "IndexExpr",
+    # statements
+    "Stmt", "Assign", "CtxtAssign", "ExprStmt", "If", "Return",
+    # declarations
+    "MapDecl", "TableDecl", "EntryDecl", "ActionDecl", "ModelDecl",
+    "TensorDecl", "ConstDecl", "Module",
+]
+
+
+# -- expressions --------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class CtxtRef(Expr):
+    """``ctxt.field`` — an execution-context read."""
+
+    field_name: str = ""
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = "-"
+    operand: Expr | None = None
+
+
+@dataclass
+class BinaryOp(Expr):
+    """Arithmetic/bitwise binary expression (no comparisons here)."""
+
+    op: str = "+"
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class CompareOp(Expr):
+    """Comparison — only legal as (part of) an ``if`` condition."""
+
+    op: str = "=="
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class BoolOp(Expr):
+    """Short-circuit ``&&`` / ``||`` — only legal in conditions."""
+
+    op: str = "&&"
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class CallExpr(Expr):
+    """Builtin or kernel-helper call: ``name(arg, ...)``."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class MapMethod(Expr):
+    """``mapname.method(args...)`` — lookup/contains/window as expressions,
+    update/delete/push as statements."""
+
+    map_name: str = ""
+    method: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class IndexExpr(Expr):
+    """``vec[i]`` with a constant index (lowered to SCALAR_VAL)."""
+
+    base: Expr | None = None
+    index: int = 0
+
+
+# -- statements ----------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Assign(Stmt):
+    name: str = ""
+    value: Expr | None = None
+
+
+@dataclass
+class CtxtAssign(Stmt):
+    field_name: str = ""
+    value: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr | None = None
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+# -- declarations -----------------------------------------------------------
+
+
+@dataclass
+class MapDecl:
+    name: str = ""
+    kind: str = "hash"
+    params: dict[str, int] = field(default_factory=dict)
+    line: int = 0
+
+
+@dataclass
+class TableDecl:
+    name: str = ""
+    match_fields: list[str] = field(default_factory=list)
+    match_kinds: list[str] = field(default_factory=list)
+    default_action: str | None = None
+    line: int = 0
+
+
+@dataclass
+class EntryDecl:
+    """Static table entry: key values + action + extra action data."""
+
+    table_name: str = ""
+    key_values: dict[str, int] = field(default_factory=dict)
+    action: str = ""
+    action_data: dict[str, int] = field(default_factory=dict)
+    priority: int = 0
+    line: int = 0
+
+
+@dataclass
+class ActionDecl:
+    name: str = ""
+    body: list[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ModelDecl:
+    """``model dt_1;`` — names an ML model slot; the object is bound at
+    compile() time.  Ids are assigned in declaration order."""
+
+    name: str = ""
+    line: int = 0
+
+
+@dataclass
+class TensorDecl:
+    """``tensor w1;`` — names a weight/bias tensor slot."""
+
+    name: str = ""
+    line: int = 0
+
+
+@dataclass
+class ConstDecl:
+    name: str = ""
+    value: int = 0
+    line: int = 0
+
+
+@dataclass
+class Module:
+    """A parsed DSL source file."""
+
+    maps: list[MapDecl] = field(default_factory=list)
+    tables: list[TableDecl] = field(default_factory=list)
+    entries: list[EntryDecl] = field(default_factory=list)
+    actions: list[ActionDecl] = field(default_factory=list)
+    models: list[ModelDecl] = field(default_factory=list)
+    tensors: list[TensorDecl] = field(default_factory=list)
+    consts: list[ConstDecl] = field(default_factory=list)

@@ -1,0 +1,835 @@
+"""Code generator: RMT DSL AST → :class:`~repro.core.program.RmtProgram`.
+
+Lowering decisions:
+
+* **Register allocation.**  ``r0`` is the verdict, ``r1``–``r5`` are the
+  helper-call argument registers (clobbered by CALL, per the eBPF
+  convention the verifier enforces), so named integer locals and
+  expression temporaries share the pool ``r6``–``r15``.  Vector locals
+  and temporaries share ``v0``–``v7``.  Exhaustion is a compile error
+  ("expression too complex") — a constrained language gets constrained
+  expressions.
+* **Control flow.**  ``if``/``else`` lower to forward conditional jumps
+  with short-circuit ``&&``/``||`` via jump threading; the language has
+  no loops, so every generated program trivially satisfies the
+  verifier's forward-only rule.
+* **Builtins.**  ``ml_infer``, ``matvec``, ``bias_add``, ``relu``,
+  ``vshift``, ``zeros``, ``vset``, ``argmax``, ``abs``, ``min``, ``max``
+  lower to single ML-ISA/ALU instructions; any other callee name must be
+  a registered kernel helper (granted or not is the verifier's call).
+"""
+
+from __future__ import annotations
+
+from ..bytecode import BytecodeProgram, Instruction
+from ..context import ContextSchema
+from ..errors import DslError
+from ..helpers import HelperRegistry
+from ..isa import ARG_REGS, Opcode
+from ..maps import (
+    ArrayMap,
+    HashMap,
+    HistoryMap,
+    LruHashMap,
+    RingBuffer,
+    VectorMap,
+)
+from ..program import ProgramBuilder, RmtProgram
+from ..tables import MatchActionTable, MatchKind, MatchPattern, TableEntry
+from . import ast
+from .parser import parse
+
+__all__ = ["compile_source", "compile_module", "DslCompiler"]
+
+_INT_TEMP_POOL = tuple(range(6, 16))
+_VEC_POOL = tuple(range(0, 8))
+
+_MAP_KINDS = {
+    "history": (HistoryMap, {"depth": 8, "max_keys": 1024}),
+    "hash": (HashMap, {"max_entries": 1 << 16}),
+    "lru": (LruHashMap, {"max_entries": 1024}),
+    "array": (ArrayMap, {"size": 64}),
+    "vector": (VectorMap, {"width": 4, "max_keys": 1024}),
+    "ringbuf": (RingBuffer, {"capacity": 4096}),
+}
+
+_MATCH_KINDS = {
+    "exact": MatchKind.EXACT,
+    "ternary": MatchKind.TERNARY,
+    "range": MatchKind.RANGE,
+    "lpm": MatchKind.LPM,
+}
+
+_BINOP_OPCODE = {
+    "+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL, "/": Opcode.DIV,
+    "%": Opcode.MOD, "&": Opcode.AND, "|": Opcode.OR, "^": Opcode.XOR,
+    "<<": Opcode.LSH, ">>": Opcode.RSH,
+}
+
+# Jump opcode for "branch when comparison op holds".
+_CMP_JUMP = {
+    "==": Opcode.JEQ, "!=": Opcode.JNE, "<": Opcode.JLT,
+    "<=": Opcode.JLE, ">": Opcode.JGT, ">=": Opcode.JGE,
+}
+_CMP_JUMP_IMM = {
+    "==": Opcode.JEQ_IMM, "!=": Opcode.JNE_IMM, "<": Opcode.JLT_IMM,
+    "<=": Opcode.JLE_IMM, ">": Opcode.JGT_IMM, ">=": Opcode.JGE_IMM,
+}
+_CMP_INVERSE = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+_IMM_MIN, _IMM_MAX = -(1 << 31), (1 << 31) - 1
+
+
+class _PendingInstr:
+    """An instruction under construction; jumps hold a label name until
+    the patch pass resolves it to a forward offset."""
+
+    __slots__ = ("opcode", "dst", "src", "offset", "imm", "label", "line")
+
+    def __init__(self, opcode, dst=0, src=0, offset=0, imm=0, label=None, line=0):
+        self.opcode = opcode
+        self.dst = dst
+        self.src = src
+        self.offset = offset
+        self.imm = imm
+        self.label = label
+        self.line = line
+
+
+class _ActionCodegen:
+    """Compiles one action body to bytecode."""
+
+    def __init__(self, compiler: "DslCompiler", action: ast.ActionDecl) -> None:
+        self.c = compiler
+        self.action = action
+        self.instrs: list[_PendingInstr] = []
+        self.labels: dict[str, int] = {}
+        self._label_counter = 0
+        self.int_locals: dict[str, int] = {}
+        self.vec_locals: dict[str, int] = {}
+        self._free_ints = list(_INT_TEMP_POOL)
+        self._free_vecs = list(_VEC_POOL)
+
+    # -- emission helpers ---------------------------------------------------
+
+    def emit(self, opcode, dst=0, src=0, offset=0, imm=0, label=None, line=0):
+        if not _IMM_MIN <= imm <= _IMM_MAX:
+            raise DslError(f"immediate {imm} out of 32-bit range", line)
+        self.instrs.append(
+            _PendingInstr(opcode, dst, src, offset, imm, label, line)
+        )
+
+    def new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"{hint}_{self._label_counter}"
+
+    def place_label(self, label: str) -> None:
+        self.labels[label] = len(self.instrs)
+
+    # -- register pools ------------------------------------------------------
+
+    def _alloc_int(self, line: int) -> int:
+        if not self._free_ints:
+            raise DslError(
+                "expression too complex: out of integer registers "
+                f"(locals: {sorted(self.int_locals)})", line,
+            )
+        return self._free_ints.pop(0)
+
+    def _free_int(self, reg: int, is_temp: bool) -> None:
+        if is_temp and reg not in self._free_ints:
+            self._free_ints.insert(0, reg)
+
+    def _alloc_vec(self, line: int) -> int:
+        if not self._free_vecs:
+            raise DslError(
+                "expression too complex: out of vector registers "
+                f"(locals: {sorted(self.vec_locals)})", line,
+            )
+        return self._free_vecs.pop(0)
+
+    def _free_vec(self, reg: int, is_temp: bool) -> None:
+        if is_temp and reg not in self._free_vecs:
+            self._free_vecs.insert(0, reg)
+
+    # -- expression typing -----------------------------------------------------
+
+    def _is_vector_expr(self, expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.VarRef):
+            return expr.name in self.vec_locals
+        if isinstance(expr, ast.MapMethod):
+            return expr.method == "window"
+        if isinstance(expr, ast.CallExpr):
+            return expr.name in ("matvec", "bias_add", "relu", "vshift", "zeros")
+        return False
+
+    # -- integer expressions ------------------------------------------------
+
+    def eval_int(self, expr: ast.Expr) -> tuple[int, bool]:
+        """Evaluate to a scalar register; returns (reg, is_temp)."""
+        if isinstance(expr, ast.IntLiteral):
+            reg = self._alloc_int(expr.line)
+            self.emit(Opcode.MOV_IMM, dst=reg, imm=self._const(expr), line=expr.line)
+            return reg, True
+        if isinstance(expr, ast.VarRef):
+            if expr.name in self.int_locals:
+                return self.int_locals[expr.name], False
+            if expr.name in self.c.consts:
+                reg = self._alloc_int(expr.line)
+                self.emit(Opcode.MOV_IMM, dst=reg, imm=self.c.consts[expr.name],
+                          line=expr.line)
+                return reg, True
+            if expr.name in self.vec_locals:
+                raise DslError(
+                    f"{expr.name!r} is a vector; index it or use argmax()",
+                    expr.line,
+                )
+            raise DslError(f"undefined variable {expr.name!r}", expr.line)
+        if isinstance(expr, ast.CtxtRef):
+            reg = self._alloc_int(expr.line)
+            self.emit(Opcode.LD_CTXT, dst=reg,
+                      imm=self.c.field_id(expr.field_name, expr.line),
+                      line=expr.line)
+            return reg, True
+        if isinstance(expr, ast.UnaryOp):
+            reg, is_temp = self.eval_int(expr.operand)
+            reg = self._into_temp(reg, is_temp, expr.line)
+            self.emit(Opcode.NEG, dst=reg, line=expr.line)
+            return reg, True
+        if isinstance(expr, ast.BinaryOp):
+            return self._eval_binary(expr)
+        if isinstance(expr, ast.IndexExpr):
+            vreg, vtemp = self.eval_vec(expr.base)
+            reg = self._alloc_int(expr.line)
+            self.emit(Opcode.SCALAR_VAL, dst=reg, src=vreg, imm=expr.index,
+                      line=expr.line)
+            self._free_vec(vreg, vtemp)
+            return reg, True
+        if isinstance(expr, ast.MapMethod):
+            return self._eval_map_method(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self._eval_call(expr)
+        if isinstance(expr, (ast.CompareOp, ast.BoolOp)):
+            raise DslError(
+                "comparisons are only allowed in 'if' conditions", expr.line
+            )
+        raise DslError(f"cannot evaluate expression {type(expr).__name__}", expr.line)
+
+    def _const(self, expr: ast.IntLiteral) -> int:
+        if not _IMM_MIN <= expr.value <= _IMM_MAX:
+            raise DslError(f"literal {expr.value} out of 32-bit range", expr.line)
+        return expr.value
+
+    def _into_temp(self, reg: int, is_temp: bool, line: int) -> int:
+        """Ensure the value lives in a scratch register we may mutate."""
+        if is_temp:
+            return reg
+        temp = self._alloc_int(line)
+        self.emit(Opcode.MOV, dst=temp, src=reg, line=line)
+        return temp
+
+    def _eval_binary(self, expr: ast.BinaryOp) -> tuple[int, bool]:
+        opcode = _BINOP_OPCODE.get(expr.op)
+        if opcode is None:
+            raise DslError(f"unsupported operator {expr.op!r}", expr.line)
+        left, ltemp = self.eval_int(expr.left)
+        dst = self._into_temp(left, ltemp, expr.line)
+        # Immediate forms for literal right operands where they exist.
+        imm_forms = {
+            Opcode.ADD: Opcode.ADD_IMM, Opcode.SUB: Opcode.SUB_IMM,
+            Opcode.MUL: Opcode.MUL_IMM, Opcode.AND: Opcode.AND_IMM,
+            Opcode.OR: Opcode.OR_IMM, Opcode.LSH: Opcode.LSH_IMM,
+            Opcode.RSH: Opcode.RSH_IMM,
+        }
+        if isinstance(expr.right, ast.IntLiteral) and opcode in imm_forms:
+            self.emit(imm_forms[opcode], dst=dst, imm=self._const(expr.right),
+                      line=expr.line)
+            return dst, True
+        right, rtemp = self.eval_int(expr.right)
+        self.emit(opcode, dst=dst, src=right, line=expr.line)
+        self._free_int(right, rtemp)
+        return dst, True
+
+    def _eval_map_method(self, expr: ast.MapMethod) -> tuple[int, bool]:
+        map_id = self.c.map_id(expr.map_name, expr.line)
+        if expr.method == "lookup":
+            self._arity(expr, 1)
+            key, ktemp = self.eval_int(expr.args[0])
+            dst = self._alloc_int(expr.line)
+            self.emit(Opcode.MAP_LOOKUP, dst=dst, src=key, imm=map_id,
+                      line=expr.line)
+            self._free_int(key, ktemp)
+            return dst, True
+        if expr.method == "contains":
+            self._arity(expr, 1)
+            key, ktemp = self.eval_int(expr.args[0])
+            dst = self._alloc_int(expr.line)
+            self.emit(Opcode.MAP_PEEK, dst=dst, src=key, imm=map_id,
+                      line=expr.line)
+            self._free_int(key, ktemp)
+            return dst, True
+        raise DslError(
+            f"map method {expr.method!r} is not an integer expression "
+            "(statement-only methods: update/delete/push)", expr.line,
+        )
+
+    def _eval_call(self, expr: ast.CallExpr) -> tuple[int, bool]:
+        name = expr.name
+        if name == "ml_infer":
+            self._arity(expr, 2)
+            model_id = self.c.model_id(expr.args[0])
+            vreg, vtemp = self.eval_vec(expr.args[1])
+            dst = self._alloc_int(expr.line)
+            self.emit(Opcode.ML_INFER, dst=dst, src=vreg, imm=model_id,
+                      line=expr.line)
+            self._free_vec(vreg, vtemp)
+            return dst, True
+        if name == "argmax":
+            self._arity(expr, 1)
+            vreg, vtemp = self.eval_vec(expr.args[0])
+            dst = self._alloc_int(expr.line)
+            self.emit(Opcode.VEC_ARGMAX, dst=dst, src=vreg, line=expr.line)
+            self._free_vec(vreg, vtemp)
+            return dst, True
+        if name == "abs":
+            self._arity(expr, 1)
+            reg, is_temp = self.eval_int(expr.args[0])
+            reg = self._into_temp(reg, is_temp, expr.line)
+            self.emit(Opcode.ABS, dst=reg, line=expr.line)
+            return reg, True
+        if name in ("min", "max"):
+            self._arity(expr, 2)
+            left, ltemp = self.eval_int(expr.args[0])
+            dst = self._into_temp(left, ltemp, expr.line)
+            right, rtemp = self.eval_int(expr.args[1])
+            self.emit(Opcode.MIN if name == "min" else Opcode.MAX,
+                      dst=dst, src=right, line=expr.line)
+            self._free_int(right, rtemp)
+            return dst, True
+        # Fallback: kernel helper call.
+        return self._eval_helper_call(expr)
+
+    def _eval_helper_call(self, expr: ast.CallExpr) -> tuple[int, bool]:
+        if self.c.helpers is None:
+            raise DslError(
+                f"unknown function {expr.name!r} (no helper registry bound)",
+                expr.line,
+            )
+        try:
+            spec = self.c.helpers.by_name(expr.name)
+        except KeyError:
+            raise DslError(f"unknown function {expr.name!r}", expr.line) from None
+        if len(expr.args) != spec.n_args:
+            raise DslError(
+                f"helper {expr.name!r} takes {spec.n_args} args, "
+                f"got {len(expr.args)}", expr.line,
+            )
+        # Evaluate all args into scratch registers first, then marshal into
+        # r1..rN — nested helper calls in args would clobber r1..r5.
+        arg_regs: list[tuple[int, bool]] = [
+            self.eval_int(arg) for arg in expr.args
+        ]
+        for target, (reg, _) in zip(ARG_REGS, arg_regs):
+            self.emit(Opcode.MOV, dst=target, src=reg, line=expr.line)
+        for reg, is_temp in arg_regs:
+            self._free_int(reg, is_temp)
+        self.emit(Opcode.CALL, imm=spec.helper_id, line=expr.line)
+        dst = self._alloc_int(expr.line)
+        self.emit(Opcode.MOV, dst=dst, src=0, line=expr.line)
+        return dst, True
+
+    def _arity(self, expr, n: int) -> None:
+        if len(expr.args) != n:
+            name = getattr(expr, "name", None) or (
+                f"{expr.map_name}.{expr.method}"
+            )
+            raise DslError(f"{name} takes {n} argument(s), got {len(expr.args)}",
+                           expr.line)
+
+    # -- vector expressions -----------------------------------------------------
+
+    def eval_vec(self, expr: ast.Expr) -> tuple[int, bool]:
+        """Evaluate to a vector register; returns (vreg, is_temp)."""
+        if isinstance(expr, ast.VarRef):
+            if expr.name in self.vec_locals:
+                return self.vec_locals[expr.name], False
+            raise DslError(f"undefined vector {expr.name!r}", expr.line)
+        if isinstance(expr, ast.MapMethod) and expr.method == "window":
+            self._arity(expr, 2)
+            map_id = self.c.map_id(expr.map_name, expr.line)
+            if not isinstance(expr.args[1], ast.IntLiteral):
+                raise DslError("window length must be a constant", expr.line)
+            key, ktemp = self.eval_int(expr.args[0])
+            dst = self._alloc_vec(expr.line)
+            self.emit(Opcode.VEC_LD_HIST, dst=dst, src=key, offset=map_id,
+                      imm=expr.args[1].value, line=expr.line)
+            self._free_int(key, ktemp)
+            return dst, True
+        if isinstance(expr, ast.MapMethod) and expr.method == "vector":
+            self._arity(expr, 1)
+            map_id = self.c.map_id(expr.map_name, expr.line)
+            key, ktemp = self.eval_int(expr.args[0])
+            dst = self._alloc_vec(expr.line)
+            self.emit(Opcode.VEC_LD, dst=dst, src=key, imm=map_id, line=expr.line)
+            self._free_int(key, ktemp)
+            return dst, True
+        if isinstance(expr, ast.CallExpr):
+            name = expr.name
+            if name == "zeros":
+                self._arity(expr, 1)
+                if not isinstance(expr.args[0], ast.IntLiteral):
+                    raise DslError("zeros() length must be a constant", expr.line)
+                dst = self._alloc_vec(expr.line)
+                self.emit(Opcode.VEC_ZERO, dst=dst, imm=expr.args[0].value,
+                          line=expr.line)
+                return dst, True
+            if name == "matvec":
+                self._arity(expr, 2)
+                tensor_id = self.c.tensor_id(expr.args[0])
+                src, stemp = self.eval_vec(expr.args[1])
+                dst = self._alloc_vec(expr.line)
+                self.emit(Opcode.MAT_MUL, dst=dst, src=src, imm=tensor_id,
+                          line=expr.line)
+                self._free_vec(src, stemp)
+                return dst, True
+            if name == "bias_add":
+                self._arity(expr, 2)
+                tensor_id = self.c.tensor_id(expr.args[0])
+                dst = self._vec_into_temp(expr.args[1], expr.line)
+                self.emit(Opcode.VEC_ADD, dst=dst, imm=tensor_id, line=expr.line)
+                return dst, True
+            if name == "relu":
+                self._arity(expr, 1)
+                dst = self._vec_into_temp(expr.args[0], expr.line)
+                self.emit(Opcode.VEC_RELU, dst=dst, line=expr.line)
+                return dst, True
+            if name == "vshift":
+                self._arity(expr, 2)
+                if not isinstance(expr.args[1], ast.IntLiteral):
+                    raise DslError("vshift() amount must be a constant", expr.line)
+                dst = self._vec_into_temp(expr.args[0], expr.line)
+                self.emit(Opcode.VEC_SHIFT, dst=dst, imm=expr.args[1].value,
+                          line=expr.line)
+                return dst, True
+        raise DslError(
+            f"expression is not a vector ({type(expr).__name__})", expr.line
+        )
+
+    def _vec_into_temp(self, expr: ast.Expr, line: int) -> int:
+        """Evaluate a vector expr into a mutable (temp) vector register."""
+        vreg, vtemp = self.eval_vec(expr)
+        if vtemp:
+            return vreg
+        dst = self._alloc_vec(line)
+        self.emit(Opcode.VEC_MOV, dst=dst, src=vreg, line=line)
+        return dst
+
+    # -- conditions ----------------------------------------------------------
+
+    def compile_cond(self, cond: ast.Expr, jump_if: bool, target: str) -> None:
+        """Emit jumps so control reaches ``target`` iff cond == jump_if."""
+        if isinstance(cond, ast.BoolOp):
+            if cond.op == "&&":
+                if jump_if:
+                    skip = self.new_label("and_skip")
+                    self.compile_cond(cond.left, False, skip)
+                    self.compile_cond(cond.right, True, target)
+                    self.place_label(skip)
+                else:
+                    self.compile_cond(cond.left, False, target)
+                    self.compile_cond(cond.right, False, target)
+            else:  # "||"
+                if jump_if:
+                    self.compile_cond(cond.left, True, target)
+                    self.compile_cond(cond.right, True, target)
+                else:
+                    skip = self.new_label("or_skip")
+                    self.compile_cond(cond.left, True, skip)
+                    self.compile_cond(cond.right, False, target)
+                    self.place_label(skip)
+            return
+        if not isinstance(cond, ast.CompareOp):
+            raise DslError("conditions must be comparisons", cond.line)
+        op = cond.op if jump_if else _CMP_INVERSE[cond.op]
+        left, ltemp = self.eval_int(cond.left)
+        if isinstance(cond.right, ast.IntLiteral):
+            self.emit(_CMP_JUMP_IMM[op], dst=left, imm=self._const(cond.right),
+                      label=target, line=cond.line)
+            self._free_int(left, ltemp)
+            return
+        right, rtemp = self.eval_int(cond.right)
+        self.emit(_CMP_JUMP[op], dst=left, src=right, label=target, line=cond.line)
+        self._free_int(left, ltemp)
+        self._free_int(right, rtemp)
+
+    # -- statements ------------------------------------------------------------
+
+    def compile_body(self, body: list[ast.Stmt]) -> None:
+        for stmt in body:
+            self.compile_stmt(stmt)
+
+    @staticmethod
+    def _guarantees_return(body: list[ast.Stmt]) -> bool:
+        if not body:
+            return False
+        last = body[-1]
+        if isinstance(last, ast.Return):
+            return True
+        if isinstance(last, ast.If) and last.else_body:
+            return (_ActionCodegen._guarantees_return(last.then_body)
+                    and _ActionCodegen._guarantees_return(last.else_body))
+        return False
+
+    def compile_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Return):
+            reg, is_temp = self.eval_int(stmt.value)
+            self.emit(Opcode.MOV, dst=0, src=reg, line=stmt.line)
+            self.emit(Opcode.EXIT, line=stmt.line)
+            self._free_int(reg, is_temp)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._compile_assign(stmt)
+            return
+        if isinstance(stmt, ast.CtxtAssign):
+            reg, is_temp = self.eval_int(stmt.value)
+            self.emit(Opcode.ST_CTXT, src=reg,
+                      imm=self.c.field_id(stmt.field_name, stmt.line),
+                      line=stmt.line)
+            self._free_int(reg, is_temp)
+            return
+        if isinstance(stmt, ast.If):
+            self._compile_if(stmt)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self._compile_expr_stmt(stmt)
+            return
+        raise DslError(f"unsupported statement {type(stmt).__name__}", stmt.line)
+
+    def _compile_assign(self, stmt: ast.Assign) -> None:
+        name = stmt.name
+        if self._is_vector_expr(stmt.value):
+            if name in self.int_locals:
+                raise DslError(
+                    f"{name!r} is an integer; cannot assign a vector", stmt.line
+                )
+            vreg, vtemp = self.eval_vec(stmt.value)
+            if name in self.vec_locals:
+                home = self.vec_locals[name]
+                if home != vreg:
+                    self.emit(Opcode.VEC_MOV, dst=home, src=vreg, line=stmt.line)
+                self._free_vec(vreg, vtemp)
+            elif vtemp:
+                self.vec_locals[name] = vreg  # adopt the temp as the home
+            else:
+                home = self._alloc_vec(stmt.line)
+                self.emit(Opcode.VEC_MOV, dst=home, src=vreg, line=stmt.line)
+                self.vec_locals[name] = home
+            return
+        if name in self.vec_locals:
+            raise DslError(
+                f"{name!r} is a vector; cannot assign an integer", stmt.line
+            )
+        if name in self.c.consts:
+            raise DslError(f"cannot assign to const {name!r}", stmt.line)
+        reg, is_temp = self.eval_int(stmt.value)
+        if name in self.int_locals:
+            home = self.int_locals[name]
+            if home != reg:
+                self.emit(Opcode.MOV, dst=home, src=reg, line=stmt.line)
+            self._free_int(reg, is_temp)
+        elif is_temp:
+            self.int_locals[name] = reg
+        else:
+            home = self._alloc_int(stmt.line)
+            self.emit(Opcode.MOV, dst=home, src=reg, line=stmt.line)
+            self.int_locals[name] = home
+
+    def _compile_if(self, stmt: ast.If) -> None:
+        end_label = self.new_label("endif")
+        if stmt.else_body:
+            else_label = self.new_label("else")
+            self.compile_cond(stmt.condition, False, else_label)
+            self.compile_body(stmt.then_body)
+            if not self._guarantees_return(stmt.then_body):
+                self.emit(Opcode.JMP, label=end_label, line=stmt.line)
+            self.place_label(else_label)
+            self.compile_body(stmt.else_body)
+        else:
+            self.compile_cond(stmt.condition, False, end_label)
+            self.compile_body(stmt.then_body)
+        self.place_label(end_label)
+
+    def _compile_expr_stmt(self, stmt: ast.ExprStmt) -> None:
+        expr = stmt.expr
+        if isinstance(expr, ast.MapMethod):
+            map_id = self.c.map_id(expr.map_name, expr.line)
+            if expr.method in ("update", "push"):
+                self._arity(expr, 2)
+                key, ktemp = self.eval_int(expr.args[0])
+                value, vtemp = self.eval_int(expr.args[1])
+                opcode = (Opcode.HIST_PUSH if expr.method == "push"
+                          else Opcode.MAP_UPDATE)
+                self.emit(opcode, dst=key, src=value, imm=map_id, line=expr.line)
+                self._free_int(key, ktemp)
+                self._free_int(value, vtemp)
+                return
+            if expr.method == "delete":
+                self._arity(expr, 1)
+                key, ktemp = self.eval_int(expr.args[0])
+                self.emit(Opcode.MAP_DELETE, dst=key, imm=map_id, line=expr.line)
+                self._free_int(key, ktemp)
+                return
+            raise DslError(
+                f"map method {expr.method!r} is not a statement", expr.line
+            )
+        if isinstance(expr, ast.CallExpr) and expr.name == "vset":
+            self._arity(expr, 3)
+            vec = expr.args[0]
+            if not isinstance(vec, ast.VarRef) or vec.name not in self.vec_locals:
+                raise DslError("vset() target must be a vector variable", expr.line)
+            if not isinstance(expr.args[1], ast.IntLiteral):
+                raise DslError("vset() index must be a constant", expr.line)
+            value, vtemp = self.eval_int(expr.args[2])
+            self.emit(Opcode.VEC_SET, dst=self.vec_locals[vec.name], src=value,
+                      imm=expr.args[1].value, line=expr.line)
+            self._free_int(value, vtemp)
+            return
+        # A bare call whose result is dropped (helper side effects).
+        reg, is_temp = self.eval_int(expr)
+        self._free_int(reg, is_temp)
+
+    # -- finalization ----------------------------------------------------------
+
+    def finish(self) -> BytecodeProgram:
+        if not self._guarantees_return(self.action.body):
+            self.emit(Opcode.MOV_IMM, dst=0, imm=0, line=self.action.line)
+            self.emit(Opcode.EXIT, line=self.action.line)
+        instructions: list[Instruction] = []
+        for pc, pending in enumerate(self.instrs):
+            offset = pending.offset
+            if pending.label is not None:
+                if pending.label not in self.labels:
+                    raise DslError(
+                        f"internal: unplaced label {pending.label!r}", pending.line
+                    )
+                offset = self.labels[pending.label] - pc - 1
+                if offset < 0:
+                    raise DslError(
+                        f"internal: backward jump to {pending.label!r}",
+                        pending.line,
+                    )
+            instructions.append(
+                Instruction(opcode=pending.opcode, dst=pending.dst,
+                            src=pending.src, offset=offset, imm=pending.imm)
+            )
+        return BytecodeProgram(name=self.action.name, instructions=instructions)
+
+    def compile(self) -> BytecodeProgram:
+        self.compile_body(self.action.body)
+        return self.finish()
+
+
+class DslCompiler:
+    """Compiles a parsed module into an installable program."""
+
+    def __init__(
+        self,
+        program_name: str,
+        attach_point: str,
+        schema: ContextSchema,
+        helpers: HelperRegistry | None = None,
+        models: dict[str, object] | None = None,
+        tensors: dict[str, object] | None = None,
+    ) -> None:
+        self.program_name = program_name
+        self.attach_point = attach_point
+        self.schema = schema
+        self.helpers = helpers
+        self._model_objects = dict(models or {})
+        self._tensor_objects = dict(tensors or {})
+        self.consts: dict[str, int] = {}
+        self.map_ids: dict[str, int] = {}
+        self.model_ids: dict[str, int] = {}
+        self.tensor_ids: dict[str, int] = {}
+        self._builder: ProgramBuilder | None = None
+
+    # -- symbol resolution (used by _ActionCodegen) --------------------------
+
+    def field_id(self, name: str, line: int) -> int:
+        if not self.schema.has_field(name):
+            raise DslError(
+                f"unknown context field {name!r} "
+                f"(schema {self.schema.name!r} has {self.schema.field_names})",
+                line,
+            )
+        return self.schema.field_id(name)
+
+    def map_id(self, name: str, line: int) -> int:
+        if name not in self.map_ids:
+            raise DslError(f"unknown map {name!r}", line)
+        return self.map_ids[name]
+
+    def model_id(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.VarRef) and expr.name in self.model_ids:
+            return self.model_ids[expr.name]
+        raise DslError("ml_infer() model must be a model name or constant",
+                       expr.line)
+
+    def tensor_id(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.VarRef) and expr.name in self.tensor_ids:
+            return self.tensor_ids[expr.name]
+        raise DslError("tensor argument must be a tensor name or constant",
+                       expr.line)
+
+    # -- compilation ------------------------------------------------------------
+
+    def compile_module(self, module: ast.Module) -> RmtProgram:
+        builder = ProgramBuilder(self.program_name, self.attach_point, self.schema)
+        self._builder = builder
+
+        for const in module.consts:
+            if const.name in self.consts:
+                raise DslError(f"duplicate const {const.name!r}", const.line)
+            self.consts[const.name] = const.value
+
+        for decl in module.maps:
+            self.map_ids[decl.name] = builder.add_map(
+                decl.name, self._make_map(decl)
+            )
+
+        for i, decl in enumerate(module.models):
+            if decl.name not in self._model_objects:
+                raise DslError(
+                    f"model {decl.name!r} declared but no object bound "
+                    "(pass models={...} to compile)", decl.line,
+                )
+            self.model_ids[decl.name] = i
+            builder.add_model(i, self._model_objects[decl.name])
+
+        for i, decl in enumerate(module.tensors):
+            if decl.name not in self._tensor_objects:
+                raise DslError(
+                    f"tensor {decl.name!r} declared but no array bound "
+                    "(pass tensors={...} to compile)", decl.line,
+                )
+            self.tensor_ids[decl.name] = i
+            builder.add_tensor(i, self._tensor_objects[decl.name])
+
+        tables: dict[str, MatchActionTable] = {}
+        table_decls: dict[str, ast.TableDecl] = {}
+        for decl in module.tables:
+            kinds = []
+            for kind_name in decl.match_kinds:
+                if kind_name not in _MATCH_KINDS:
+                    raise DslError(
+                        f"unknown match kind {kind_name!r} "
+                        f"(known: {sorted(_MATCH_KINDS)})", decl.line,
+                    )
+                kinds.append(_MATCH_KINDS[kind_name])
+            table = MatchActionTable(
+                decl.name, decl.match_fields, kinds,
+                default_action=decl.default_action,
+            )
+            builder.add_table(table)
+            tables[decl.name] = table
+            table_decls[decl.name] = decl
+
+        for action in module.actions:
+            builder.add_action(_ActionCodegen(self, action).compile())
+
+        for entry in module.entries:
+            self._install_entry(entry, tables, table_decls)
+
+        return builder.build()
+
+    def _make_map(self, decl: ast.MapDecl):
+        if decl.kind not in _MAP_KINDS:
+            raise DslError(
+                f"unknown map kind {decl.kind!r} (known: {sorted(_MAP_KINDS)})",
+                decl.line,
+            )
+        cls, defaults = _MAP_KINDS[decl.kind]
+        params = dict(defaults)
+        for key, value in decl.params.items():
+            if key not in defaults:
+                raise DslError(
+                    f"map kind {decl.kind!r} has no parameter {key!r} "
+                    f"(known: {sorted(defaults)})", decl.line,
+                )
+            params[key] = value
+        return cls(decl.name, **params)
+
+    def _resolve_symbolic(self, value, line: int) -> int:
+        """Entry values may be ints or names of consts/models."""
+        if isinstance(value, int):
+            return value
+        if value in self.consts:
+            return self.consts[value]
+        if value in self.model_ids:
+            return self.model_ids[value]
+        raise DslError(f"unknown symbol {value!r} in entry", line)
+
+    def _install_entry(self, entry: ast.EntryDecl, tables, table_decls) -> None:
+        if entry.table_name not in tables:
+            raise DslError(f"entry for unknown table {entry.table_name!r}",
+                           entry.line)
+        table = tables[entry.table_name]
+        decl = table_decls[entry.table_name]
+        key_values = dict(entry.key_values)
+        action_data = {}
+        for key, value in entry.action_data.items():
+            resolved = self._resolve_symbolic(value, entry.line)
+            if key in decl.match_fields:
+                key_values[key] = resolved
+            else:
+                action_data[key] = resolved
+        patterns = []
+        for field_name in decl.match_fields:
+            if field_name in key_values:
+                patterns.append(MatchPattern.exact(key_values[field_name]))
+                del key_values[field_name]
+            else:
+                patterns.append(MatchPattern.wildcard())
+        if key_values:
+            raise DslError(
+                f"entry keys {sorted(key_values)} are not match fields of "
+                f"table {entry.table_name!r}", entry.line,
+            )
+        table.insert(TableEntry(
+            patterns=tuple(patterns), action=entry.action,
+            action_data=action_data, priority=entry.priority,
+        ))
+
+
+def compile_module(
+    module: ast.Module,
+    program_name: str,
+    attach_point: str,
+    schema: ContextSchema,
+    helpers: HelperRegistry | None = None,
+    models: dict[str, object] | None = None,
+    tensors: dict[str, object] | None = None,
+) -> RmtProgram:
+    """Compile a parsed module to an installable RMT program."""
+    return DslCompiler(
+        program_name, attach_point, schema, helpers, models, tensors
+    ).compile_module(module)
+
+
+def compile_source(
+    source: str,
+    program_name: str,
+    attach_point: str,
+    schema: ContextSchema,
+    helpers: HelperRegistry | None = None,
+    models: dict[str, object] | None = None,
+    tensors: dict[str, object] | None = None,
+) -> RmtProgram:
+    """Parse + compile DSL source to an installable RMT program."""
+    return compile_module(
+        parse(source), program_name, attach_point, schema, helpers, models, tensors
+    )

@@ -1,0 +1,104 @@
+"""Tokenizer for the RMT DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DslError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "map", "table", "entry", "action", "model", "tensor", "const",
+    "if", "else", "return", "ctxt", "var",
+}
+
+_TWO_CHAR = {"==", "!=", "<=", ">=", "&&", "||", "<<", ">>"}
+_ONE_CHAR = set("+-*/%&|^<>=(){}[];,.:!")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'int' | 'ident' | 'keyword' | 'op' | 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize DSL source; supports ``//`` and ``/* */`` comments."""
+    tokens: list[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise DslError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < n and source[i + 1].isdigit()
+            and _negative_ok(tokens)
+        ):
+            j = i + 1 if ch == "-" else i
+            while j < n and (source[j].isalnum() or source[j] == "x"):
+                j += 1
+            text = source[i:j]
+            try:
+                int(text, 0)
+            except ValueError:
+                raise DslError(f"bad integer literal {text!r}", line) from None
+            tokens.append(Token("int", text, line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token("op", two, line))
+            i += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token("op", ch, line))
+            i += 1
+            continue
+        raise DslError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _negative_ok(tokens: list[Token]) -> bool:
+    """A '-' begins a negative literal only where a value may start —
+    i.e. not after an int/ident/')'/']', where it must be subtraction."""
+    if not tokens:
+        return True
+    prev = tokens[-1]
+    if prev.kind in ("int", "ident"):
+        return False
+    if prev.kind == "op" and prev.text in (")", "]"):
+        return False
+    return True

@@ -1,0 +1,387 @@
+"""Recursive-descent parser for the RMT DSL.
+
+Grammar (loop-free by construction — the bounded-execution property is a
+*language* property, not just a verifier check)::
+
+    module      := decl*
+    decl        := map_decl | table_decl | entry_decl | action_decl
+                 | model_decl | tensor_decl | const_decl
+    map_decl    := "map" IDENT ":" IDENT "(" [param ("," param)*] ")" ";"
+    param       := IDENT "=" INT
+    table_decl  := "table" IDENT "{" table_field* "}"
+    table_field := "match" "=" match_spec ("," match_spec)* ";"
+                 | "default_action" "=" IDENT ";"
+    match_spec  := IDENT [":" IDENT]
+    entry_decl  := "entry" IDENT "{" (IDENT "=" (INT|IDENT) ";")* "}"
+    action_decl := "action" IDENT "(" ")" "{" stmt* "}"
+    model_decl  := "model" IDENT ";"
+    tensor_decl := "tensor" IDENT ";"
+    const_decl  := "const" IDENT "=" INT ";"
+
+    stmt        := ["var"] IDENT "=" expr ";"
+                 | "ctxt" "." IDENT "=" expr ";"
+                 | "return" expr ";"
+                 | "if" "(" cond ")" block ["else" (block | if_stmt)]
+                 | call_or_method ";"
+    block       := "{" stmt* "}"
+
+    cond        := or_cond
+    or_cond     := and_cond ("||" and_cond)*
+    and_cond    := cmp ("&&" cmp)*
+    cmp         := expr (("=="|"!="|"<"|"<="|">"|">=") expr)?
+
+    expr        := bitor
+    bitor       := bitxor ("|" bitxor)*
+    bitxor      := bitand ("^" bitand)*
+    bitand      := shift ("&" shift)*
+    shift       := sum (("<<"|">>") sum)*
+    sum         := term (("+"|"-") term)*
+    term        := unary (("*"|"/"|"%") unary)*
+    unary       := "-" unary | primary
+    primary     := INT | IDENT | IDENT "(" args ")" | IDENT "." IDENT "(" args ")"
+                 | "ctxt" "." IDENT | "(" expr ")" | primary "[" INT "]"
+"""
+
+from __future__ import annotations
+
+from ..errors import DslError
+from . import ast
+from .lexer import Token, tokenize
+
+__all__ = ["Parser", "parse"]
+
+_CMP_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        tok = self._cur
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        if not self._check(kind, text):
+            want = text if text is not None else kind
+            raise DslError(
+                f"expected {want!r}, got {self._cur.text!r}", self._cur.line
+            )
+        return self._advance()
+
+    def _expect_int(self) -> int:
+        tok = self._expect("int")
+        return int(tok.text, 0)
+
+    # -- module --------------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        module = ast.Module()
+        while not self._check("eof"):
+            tok = self._cur
+            if self._accept("keyword", "map"):
+                module.maps.append(self._map_decl(tok.line))
+            elif self._accept("keyword", "table"):
+                module.tables.append(self._table_decl(tok.line))
+            elif self._accept("keyword", "entry"):
+                module.entries.append(self._entry_decl(tok.line))
+            elif self._accept("keyword", "action"):
+                module.actions.append(self._action_decl(tok.line))
+            elif self._accept("keyword", "model"):
+                name = self._expect("ident").text
+                self._expect("op", ";")
+                module.models.append(ast.ModelDecl(name=name, line=tok.line))
+            elif self._accept("keyword", "tensor"):
+                name = self._expect("ident").text
+                self._expect("op", ";")
+                module.tensors.append(ast.TensorDecl(name=name, line=tok.line))
+            elif self._accept("keyword", "const"):
+                name = self._expect("ident").text
+                self._expect("op", "=")
+                value = self._signed_int()
+                self._expect("op", ";")
+                module.consts.append(
+                    ast.ConstDecl(name=name, value=value, line=tok.line)
+                )
+            else:
+                raise DslError(
+                    f"expected a declaration, got {tok.text!r}", tok.line
+                )
+        return module
+
+    def _signed_int(self) -> int:
+        if self._accept("op", "-"):
+            return -self._expect_int()
+        return self._expect_int()
+
+    def _map_decl(self, line: int) -> ast.MapDecl:
+        name = self._expect("ident").text
+        self._expect("op", ":")
+        kind = self._expect("ident").text
+        params: dict[str, int] = {}
+        self._expect("op", "(")
+        if not self._check("op", ")"):
+            while True:
+                pname = self._expect("ident").text
+                self._expect("op", "=")
+                params[pname] = self._signed_int()
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        self._expect("op", ";")
+        return ast.MapDecl(name=name, kind=kind, params=params, line=line)
+
+    def _table_decl(self, line: int) -> ast.TableDecl:
+        decl = ast.TableDecl(name=self._expect("ident").text, line=line)
+        self._expect("op", "{")
+        while not self._accept("op", "}"):
+            field_tok = self._expect("ident")
+            self._expect("op", "=")
+            if field_tok.text == "match":
+                while True:
+                    fname = self._expect("ident").text
+                    kind = "exact"
+                    if self._accept("op", ":"):
+                        kind = self._expect("ident").text
+                    decl.match_fields.append(fname)
+                    decl.match_kinds.append(kind)
+                    if not self._accept("op", ","):
+                        break
+            elif field_tok.text == "default_action":
+                decl.default_action = self._expect("ident").text
+            else:
+                raise DslError(
+                    f"unknown table field {field_tok.text!r}", field_tok.line
+                )
+            self._expect("op", ";")
+        return decl
+
+    def _entry_decl(self, line: int) -> ast.EntryDecl:
+        decl = ast.EntryDecl(table_name=self._expect("ident").text, line=line)
+        self._expect("op", "{")
+        while not self._accept("op", "}"):
+            if not self._check("ident") and not self._check("keyword"):
+                raise DslError(
+                    f"expected entry field name, got {self._cur.text!r}",
+                    self._cur.line,
+                )
+            key = self._advance().text
+            self._expect("op", "=")
+            if key == "action":
+                decl.action = self._expect("ident").text
+            elif self._check("ident"):
+                # Symbolic value (model/const name), resolved by codegen.
+                decl.action_data[key] = self._advance().text  # type: ignore[assignment]
+            elif key == "priority":
+                decl.priority = self._signed_int()
+            else:
+                decl.key_values[key] = self._signed_int()
+            self._expect("op", ";")
+        if not decl.action:
+            raise DslError(
+                f"entry for table {decl.table_name!r} has no action", line
+            )
+        return decl
+
+    def _action_decl(self, line: int) -> ast.ActionDecl:
+        name = self._expect("ident").text
+        self._expect("op", "(")
+        self._expect("op", ")")
+        body = self._block()
+        return ast.ActionDecl(name=name, body=body, line=line)
+
+    # -- statements -------------------------------------------------------------
+
+    def _block(self) -> list[ast.Stmt]:
+        self._expect("op", "{")
+        body: list[ast.Stmt] = []
+        while not self._accept("op", "}"):
+            body.append(self._statement())
+        return body
+
+    def _statement(self) -> ast.Stmt:
+        tok = self._cur
+        if self._accept("keyword", "return"):
+            value = self._expression()
+            self._expect("op", ";")
+            return ast.Return(value=value, line=tok.line)
+        if self._accept("keyword", "if"):
+            return self._if_stmt(tok.line)
+        if self._accept("keyword", "ctxt"):
+            self._expect("op", ".")
+            field_name = self._expect("ident").text
+            self._expect("op", "=")
+            value = self._expression()
+            self._expect("op", ";")
+            return ast.CtxtAssign(field_name=field_name, value=value, line=tok.line)
+        self._accept("keyword", "var")  # optional 'var' noise word
+        if self._check("ident"):
+            name_tok = self._advance()
+            if self._accept("op", "="):
+                value = self._expression()
+                self._expect("op", ";")
+                return ast.Assign(name=name_tok.text, value=value, line=tok.line)
+            if self._check("op", "(") or self._check("op", "."):
+                expr = self._call_tail(name_tok)
+                self._expect("op", ";")
+                return ast.ExprStmt(expr=expr, line=tok.line)
+            raise DslError(
+                f"expected '=', '(' or '.' after {name_tok.text!r}", name_tok.line
+            )
+        raise DslError(f"unexpected token {tok.text!r}", tok.line)
+
+    def _if_stmt(self, line: int) -> ast.If:
+        self._expect("op", "(")
+        condition = self._condition()
+        self._expect("op", ")")
+        then_body = self._block()
+        else_body: list[ast.Stmt] = []
+        if self._accept("keyword", "else"):
+            if self._check("keyword", "if"):
+                self._advance()
+                else_body = [self._if_stmt(self._cur.line)]
+            else:
+                else_body = self._block()
+        return ast.If(
+            condition=condition, then_body=then_body, else_body=else_body, line=line
+        )
+
+    # -- conditions (comparisons and boolean connectives) --------------------
+
+    def _condition(self) -> ast.Expr:
+        left = self._and_condition()
+        while self._accept("op", "||"):
+            right = self._and_condition()
+            left = ast.BoolOp(op="||", left=left, right=right, line=left.line)
+        return left
+
+    def _and_condition(self) -> ast.Expr:
+        left = self._comparison()
+        while self._accept("op", "&&"):
+            right = self._comparison()
+            left = ast.BoolOp(op="&&", left=left, right=right, line=left.line)
+        return left
+
+    def _comparison(self) -> ast.Expr:
+        if self._accept("op", "("):
+            # Parenthesized sub-condition or arithmetic expression.
+            saved = self._pos
+            try:
+                cond = self._condition()
+                self._expect("op", ")")
+                if isinstance(cond, (ast.CompareOp, ast.BoolOp)):
+                    return cond
+            except DslError:
+                pass
+            self._pos = saved
+            inner = self._expression()
+            self._expect("op", ")")
+            left: ast.Expr = inner
+        else:
+            left = self._expression()
+        if self._cur.kind == "op" and self._cur.text in _CMP_OPS:
+            op = self._advance().text
+            right = self._expression()
+            return ast.CompareOp(op=op, left=left, right=right, line=left.line)
+        # Bare expression condition means "!= 0".
+        return ast.CompareOp(
+            op="!=", left=left, right=ast.IntLiteral(value=0, line=left.line),
+            line=left.line,
+        )
+
+    # -- arithmetic expressions --------------------------------------------
+
+    def _expression(self) -> ast.Expr:
+        return self._binary_chain(
+            [("|",), ("^",), ("&",), ("<<", ">>"), ("+", "-"), ("*", "/", "%")], 0
+        )
+
+    def _binary_chain(self, levels: list[tuple[str, ...]], depth: int) -> ast.Expr:
+        if depth == len(levels):
+            return self._unary()
+        ops = levels[depth]
+        left = self._binary_chain(levels, depth + 1)
+        while self._cur.kind == "op" and self._cur.text in ops:
+            op = self._advance().text
+            right = self._binary_chain(levels, depth + 1)
+            left = ast.BinaryOp(op=op, left=left, right=right, line=left.line)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        tok = self._cur
+        if self._accept("op", "-"):
+            return ast.UnaryOp(op="-", operand=self._unary(), line=tok.line)
+        return self._postfix(self._primary())
+
+    def _postfix(self, base: ast.Expr) -> ast.Expr:
+        while self._check("op", "["):
+            self._advance()
+            index = self._expect_int()
+            self._expect("op", "]")
+            base = ast.IndexExpr(base=base, index=index, line=base.line)
+        return base
+
+    def _primary(self) -> ast.Expr:
+        tok = self._cur
+        if tok.kind == "int":
+            self._advance()
+            return ast.IntLiteral(value=int(tok.text, 0), line=tok.line)
+        if self._accept("op", "("):
+            expr = self._expression()
+            self._expect("op", ")")
+            return expr
+        if self._accept("keyword", "ctxt"):
+            self._expect("op", ".")
+            field_name = self._expect("ident").text
+            return ast.CtxtRef(field_name=field_name, line=tok.line)
+        if tok.kind == "ident":
+            self._advance()
+            if self._check("op", "(") or self._check("op", "."):
+                return self._call_tail(tok)
+            return ast.VarRef(name=tok.text, line=tok.line)
+        raise DslError(f"unexpected token {tok.text!r}", tok.line)
+
+    def _call_tail(self, name_tok: Token) -> ast.Expr:
+        """Parse ``name(args)`` or ``name.method(args)`` after the name."""
+        if self._accept("op", "."):
+            method = self._expect("ident").text
+            args = self._arg_list()
+            return ast.MapMethod(
+                map_name=name_tok.text, method=method, args=args, line=name_tok.line
+            )
+        args = self._arg_list()
+        return ast.CallExpr(name=name_tok.text, args=args, line=name_tok.line)
+
+    def _arg_list(self) -> list[ast.Expr]:
+        self._expect("op", "(")
+        args: list[ast.Expr] = []
+        if not self._check("op", ")"):
+            while True:
+                args.append(self._expression())
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        return args
+
+
+def parse(source: str) -> ast.Module:
+    """Tokenize + parse DSL source into a module AST."""
+    return Parser(tokenize(source)).parse_module()

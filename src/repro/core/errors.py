@@ -1,0 +1,54 @@
+"""Exception taxonomy for the RMT virtual machine.
+
+The split mirrors the lifecycle of an RMT program: it can fail to
+assemble/compile, fail admission at the verifier, or trap at runtime.
+Runtime traps should be rare — the verifier exists to make most of them
+impossible — so anything raising :class:`RmtRuntimeError` in practice is a
+bug in the VM or a hole in the verifier, and tests treat it that way.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RmtError",
+    "AssemblerError",
+    "DslError",
+    "VerifierError",
+    "RmtRuntimeError",
+    "ControlPlaneError",
+    "PrivacyBudgetExceeded",
+]
+
+
+class RmtError(Exception):
+    """Base class for every error raised by the RMT stack."""
+
+
+class AssemblerError(RmtError):
+    """Malformed RMT assembly text."""
+
+
+class DslError(RmtError):
+    """Syntax or semantic error in an RMT DSL source program."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class VerifierError(RmtError):
+    """Program rejected by the RMT verifier (with the reason why)."""
+
+
+class RmtRuntimeError(RmtError):
+    """Trap during bytecode execution (budget exhausted, bad model id...)."""
+
+
+class ControlPlaneError(RmtError):
+    """Invalid control-plane operation (unknown table, bad entry, ...)."""
+
+
+class PrivacyBudgetExceeded(RmtError):
+    """A differentially-private query would exceed the table's budget."""

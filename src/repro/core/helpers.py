@@ -1,0 +1,94 @@
+"""The constrained kernel-helper registry.
+
+Section 3.1: "At runtime, an RMT program has access to a constrained set
+of kernel functions that are dedicated to learning and inference" — and
+the verifier "prevents arbitrary kernel calls".
+
+A helper is a named kernel function with a stable id; programs invoke it
+with ``CALL #id`` (arguments in r1..r5, result in r0 — the eBPF calling
+convention).  Helpers are *granted per hook point*: the registry maps
+each attach type to the subset of helper ids its programs may call, and
+the verifier rejects calls outside that subset.  This is how, e.g., a
+scheduler-attached program is prevented from issuing disk prefetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["HelperSpec", "HelperRegistry"]
+
+
+@dataclass(frozen=True)
+class HelperSpec:
+    """One kernel helper: id, name, arity, and the implementation.
+
+    ``fn`` is called as ``fn(env, *args)`` where ``env`` is the hook
+    point's runtime environment object (kernel-owned, opaque to the
+    program) and ``args`` are the ``n_args`` integer argument registers.
+    It must return an int.
+    """
+
+    helper_id: int
+    name: str
+    n_args: int
+    fn: Callable
+
+    def __post_init__(self) -> None:
+        if self.helper_id < 0:
+            raise ValueError(f"helper id must be >= 0, got {self.helper_id}")
+        if not 0 <= self.n_args <= 5:
+            raise ValueError(f"helpers take 0..5 args, got {self.n_args}")
+
+
+class HelperRegistry:
+    """Registry of helpers plus the per-attach-type grant sets."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[int, HelperSpec] = {}
+        self._by_name: dict[str, HelperSpec] = {}
+        self._grants: dict[str, set[int]] = {}
+
+    def register(
+        self, helper_id: int, name: str, n_args: int, fn: Callable
+    ) -> HelperSpec:
+        """Register a helper; ids and names must both be unique."""
+        if helper_id in self._by_id:
+            raise ValueError(f"helper id {helper_id} already registered")
+        if name in self._by_name:
+            raise ValueError(f"helper name {name!r} already registered")
+        spec = HelperSpec(helper_id=helper_id, name=name, n_args=n_args, fn=fn)
+        self._by_id[helper_id] = spec
+        self._by_name[name] = spec
+        return spec
+
+    def grant(self, attach_type: str, *helper_names: str) -> None:
+        """Allow programs attached at ``attach_type`` to call the helpers."""
+        ids = self._grants.setdefault(attach_type, set())
+        for name in helper_names:
+            ids.add(self.by_name(name).helper_id)
+
+    def allowed_ids(self, attach_type: str) -> set[int]:
+        """Helper ids callable from the given attach type."""
+        return set(self._grants.get(attach_type, set()))
+
+    def by_id(self, helper_id: int) -> HelperSpec:
+        try:
+            return self._by_id[helper_id]
+        except KeyError:
+            raise KeyError(f"unknown helper id {helper_id}") from None
+
+    def by_name(self, name: str) -> HelperSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown helper {name!r}; known: {sorted(self._by_name)}"
+            ) from None
+
+    def contains_id(self, helper_id: int) -> bool:
+        return helper_id in self._by_id
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)

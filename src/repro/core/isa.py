@@ -1,0 +1,224 @@
+"""The RMT instruction set architecture.
+
+Section 3.1: "table matches are compiled into RMT bytecode instructions,
+such as memory accesses (e.g., RMT_LD_CTXT) and compute instructions
+(e.g., RMT_MATCH_CTXT).  An action may modify the execution context ...
+using instructions like RMT_ST_CTXT, or it may call into an ML model using
+CALL instructions."  Section 3.2 adds "a dedicated ML instruction set
+(e.g., RMT_VECTOR_LD, RMT_MAT_MUL, RMT_SCALAR_VAL), which is patterned
+after hardware ISA for neural processors".
+
+Machine model
+-------------
+* 16 scalar registers ``r0``–``r15``, signed 64-bit.  By convention
+  ``r0`` is the return value; helper-call arguments go in ``r1``–``r5``
+  (the eBPF calling convention).
+* 8 vector registers ``v0``–``v7`` holding integer vectors (for the ML
+  ISA); scalar and vector files are disjoint.
+* No general memory.  State lives in the execution context (typed
+  key/value fields, accessed by field id), in maps (via MAP_* ops), and
+  in model/tensor objects owned by the program.
+* Control flow is **forward-only** (verified), so every program is a DAG
+  and terminates; the interpreter also enforces an instruction budget as
+  a second line of defence.
+
+Instructions are fixed-format: ``opcode, dst, src, offset, imm`` — see
+``repro.core.bytecode`` for the 64-bit word encoding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Opcode",
+    "OpSpec",
+    "OPCODE_SPECS",
+    "N_SCALAR_REGS",
+    "N_VECTOR_REGS",
+    "RET_REG",
+    "ARG_REGS",
+]
+
+#: Number of scalar registers (r0..r15).
+N_SCALAR_REGS = 16
+#: Number of vector registers (v0..v7).
+N_VECTOR_REGS = 8
+#: Return-value register.
+RET_REG = 0
+#: Helper-call argument registers (eBPF convention).
+ARG_REGS = (1, 2, 3, 4, 5)
+
+
+class Opcode(enum.IntEnum):
+    """All RMT bytecode opcodes."""
+
+    # -- control flow -------------------------------------------------
+    EXIT = 0x00  # return r0 to the datapath
+    JMP = 0x01  # pc += offset (offset > 0, verified)
+    JEQ = 0x02  # if r[dst] == r[src]: pc += offset
+    JNE = 0x03
+    JLT = 0x04
+    JLE = 0x05
+    JGT = 0x06
+    JGE = 0x07
+    JEQ_IMM = 0x08  # if r[dst] == imm: pc += offset
+    JNE_IMM = 0x09
+    JLT_IMM = 0x0A
+    JLE_IMM = 0x0B
+    JGT_IMM = 0x0C
+    JGE_IMM = 0x0D
+    CALL = 0x0E  # call helper imm; args r1..r5, result in r0
+    TAIL_CALL = 0x0F  # jump to program imm; never returns
+
+    # -- ALU -----------------------------------------------------------
+    MOV = 0x10  # r[dst] = r[src]
+    MOV_IMM = 0x11  # r[dst] = imm
+    ADD = 0x12
+    SUB = 0x13
+    MUL = 0x14
+    DIV = 0x15  # r[dst] /= r[src]; division by zero yields 0 (eBPF rule)
+    MOD = 0x16  # modulo; by zero yields 0
+    AND = 0x17
+    OR = 0x18
+    XOR = 0x19
+    LSH = 0x1A
+    RSH = 0x1B  # arithmetic shift right
+    NEG = 0x1C
+    ADD_IMM = 0x1D
+    SUB_IMM = 0x1E
+    MUL_IMM = 0x1F
+    AND_IMM = 0x20
+    OR_IMM = 0x21
+    LSH_IMM = 0x22
+    RSH_IMM = 0x23
+    MIN = 0x24
+    MAX = 0x25
+    ABS = 0x26
+
+    # -- execution context (RMT_LD_CTXT / RMT_ST_CTXT / RMT_MATCH_CTXT) -
+    LD_CTXT = 0x30  # r[dst] = ctx[field imm]
+    ST_CTXT = 0x31  # ctx[field imm] = r[src]
+    MATCH_CTXT = 0x32  # r[dst] = table[imm].match(ctx) -> entry action id or -1
+
+    # -- maps ------------------------------------------------------------
+    MAP_LOOKUP = 0x40  # r[dst] = map[imm].lookup(r[src]) (0 if absent)
+    MAP_UPDATE = 0x41  # map[imm][r[dst]] = r[src]
+    MAP_DELETE = 0x42  # del map[imm][r[dst]]
+    MAP_PEEK = 0x43  # r[dst] = 1 if key r[src] present in map imm else 0
+    HIST_PUSH = 0x44  # ring-history map imm: push r[src] for key r[dst]
+
+    # -- ML ISA (RMT_VECTOR_LD, RMT_MAT_MUL, RMT_SCALAR_VAL, ...) --------
+    VEC_LD = 0x50  # v[dst] = vector map imm entry keyed by r[src]
+    VEC_ZERO = 0x51  # v[dst] = zeros(imm)
+    VEC_SET = 0x52  # v[dst][imm] = r[src]
+    SCALAR_VAL = 0x53  # r[dst] = v[src][imm]  (RMT_SCALAR_VAL)
+    MAT_MUL = 0x54  # v[dst] = tensor[imm] @ v[src], requantized (RMT_MAT_MUL)
+    VEC_ADD = 0x55  # v[dst] += tensor[imm] (bias add)
+    VEC_RELU = 0x56  # v[dst] = relu(v[dst])
+    VEC_ARGMAX = 0x57  # r[dst] = argmax(v[src])
+    VEC_SHIFT = 0x58  # v[dst] = round_shift(v[dst], imm)
+    ML_INFER = 0x59  # r[dst] = model[imm].predict(v[src])  (whole-model call)
+    VEC_LD_HIST = 0x5A  # v[dst] = last-imm history of key r[src] (hist map via offset)
+    VEC_MOV = 0x5B  # v[dst] = copy of v[src]
+    VEC_SCALE = 0x5C  # v[dst] = round_shift(v[dst] * imm, offset) — the
+    #                   TFLite-style integer multiplier+shift requantize
+    VEC_MUL_T = 0x5D  # v[dst] = round_shift(v[dst] * tensor[imm], offset)
+    #                   elementwise — per-feature input scaling
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static operand discipline for one opcode, consumed by the verifier.
+
+    ``reads``/``writes`` name the operand slots interpreted as scalar
+    registers; ``vreads``/``vwrites`` the slots interpreted as vector
+    registers.  Slots are 'dst' or 'src'.  ``uses_imm``/``uses_offset``
+    note whether the field is meaningful (for the disassembler).
+    """
+
+    reads: tuple[str, ...] = ()
+    writes: tuple[str, ...] = ()
+    vreads: tuple[str, ...] = ()
+    vwrites: tuple[str, ...] = ()
+    uses_imm: bool = False
+    uses_offset: bool = False
+    is_jump: bool = False
+    is_terminal: bool = False
+
+
+_J = dict(uses_offset=True, is_jump=True)
+
+#: Operand discipline for every opcode.
+OPCODE_SPECS: dict[Opcode, OpSpec] = {
+    Opcode.EXIT: OpSpec(reads=("dst",), is_terminal=True),  # returns r0; dst unused
+    Opcode.JMP: OpSpec(**_J),
+    Opcode.JEQ: OpSpec(reads=("dst", "src"), **_J),
+    Opcode.JNE: OpSpec(reads=("dst", "src"), **_J),
+    Opcode.JLT: OpSpec(reads=("dst", "src"), **_J),
+    Opcode.JLE: OpSpec(reads=("dst", "src"), **_J),
+    Opcode.JGT: OpSpec(reads=("dst", "src"), **_J),
+    Opcode.JGE: OpSpec(reads=("dst", "src"), **_J),
+    Opcode.JEQ_IMM: OpSpec(reads=("dst",), uses_imm=True, **_J),
+    Opcode.JNE_IMM: OpSpec(reads=("dst",), uses_imm=True, **_J),
+    Opcode.JLT_IMM: OpSpec(reads=("dst",), uses_imm=True, **_J),
+    Opcode.JLE_IMM: OpSpec(reads=("dst",), uses_imm=True, **_J),
+    Opcode.JGT_IMM: OpSpec(reads=("dst",), uses_imm=True, **_J),
+    Opcode.JGE_IMM: OpSpec(reads=("dst",), uses_imm=True, **_J),
+    Opcode.CALL: OpSpec(writes=("dst",), uses_imm=True),  # dst forced to r0
+    Opcode.TAIL_CALL: OpSpec(uses_imm=True, is_terminal=True),
+    Opcode.MOV: OpSpec(reads=("src",), writes=("dst",)),
+    Opcode.MOV_IMM: OpSpec(writes=("dst",), uses_imm=True),
+    Opcode.ADD: OpSpec(reads=("dst", "src"), writes=("dst",)),
+    Opcode.SUB: OpSpec(reads=("dst", "src"), writes=("dst",)),
+    Opcode.MUL: OpSpec(reads=("dst", "src"), writes=("dst",)),
+    Opcode.DIV: OpSpec(reads=("dst", "src"), writes=("dst",)),
+    Opcode.MOD: OpSpec(reads=("dst", "src"), writes=("dst",)),
+    Opcode.AND: OpSpec(reads=("dst", "src"), writes=("dst",)),
+    Opcode.OR: OpSpec(reads=("dst", "src"), writes=("dst",)),
+    Opcode.XOR: OpSpec(reads=("dst", "src"), writes=("dst",)),
+    Opcode.LSH: OpSpec(reads=("dst", "src"), writes=("dst",)),
+    Opcode.RSH: OpSpec(reads=("dst", "src"), writes=("dst",)),
+    Opcode.NEG: OpSpec(reads=("dst",), writes=("dst",)),
+    Opcode.ADD_IMM: OpSpec(reads=("dst",), writes=("dst",), uses_imm=True),
+    Opcode.SUB_IMM: OpSpec(reads=("dst",), writes=("dst",), uses_imm=True),
+    Opcode.MUL_IMM: OpSpec(reads=("dst",), writes=("dst",), uses_imm=True),
+    Opcode.AND_IMM: OpSpec(reads=("dst",), writes=("dst",), uses_imm=True),
+    Opcode.OR_IMM: OpSpec(reads=("dst",), writes=("dst",), uses_imm=True),
+    Opcode.LSH_IMM: OpSpec(reads=("dst",), writes=("dst",), uses_imm=True),
+    Opcode.RSH_IMM: OpSpec(reads=("dst",), writes=("dst",), uses_imm=True),
+    Opcode.MIN: OpSpec(reads=("dst", "src"), writes=("dst",)),
+    Opcode.MAX: OpSpec(reads=("dst", "src"), writes=("dst",)),
+    Opcode.ABS: OpSpec(reads=("dst",), writes=("dst",)),
+    Opcode.LD_CTXT: OpSpec(writes=("dst",), uses_imm=True),
+    Opcode.ST_CTXT: OpSpec(reads=("src",), uses_imm=True),
+    Opcode.MATCH_CTXT: OpSpec(writes=("dst",), uses_imm=True),
+    Opcode.MAP_LOOKUP: OpSpec(reads=("src",), writes=("dst",), uses_imm=True),
+    Opcode.MAP_UPDATE: OpSpec(reads=("dst", "src"), uses_imm=True),
+    Opcode.MAP_DELETE: OpSpec(reads=("dst",), uses_imm=True),
+    Opcode.MAP_PEEK: OpSpec(reads=("src",), writes=("dst",), uses_imm=True),
+    Opcode.HIST_PUSH: OpSpec(reads=("dst", "src"), uses_imm=True),
+    Opcode.VEC_LD: OpSpec(reads=("src",), vwrites=("dst",), uses_imm=True),
+    Opcode.VEC_ZERO: OpSpec(vwrites=("dst",), uses_imm=True),
+    Opcode.VEC_SET: OpSpec(reads=("src",), vreads=("dst",), vwrites=("dst",), uses_imm=True),
+    Opcode.SCALAR_VAL: OpSpec(vreads=("src",), writes=("dst",), uses_imm=True),
+    Opcode.MAT_MUL: OpSpec(vreads=("src",), vwrites=("dst",), uses_imm=True),
+    Opcode.VEC_ADD: OpSpec(vreads=("dst",), vwrites=("dst",), uses_imm=True),
+    Opcode.VEC_RELU: OpSpec(vreads=("dst",), vwrites=("dst",)),
+    Opcode.VEC_ARGMAX: OpSpec(vreads=("src",), writes=("dst",)),
+    Opcode.VEC_SHIFT: OpSpec(vreads=("dst",), vwrites=("dst",), uses_imm=True),
+    Opcode.ML_INFER: OpSpec(vreads=("src",), writes=("dst",), uses_imm=True),
+    Opcode.VEC_LD_HIST: OpSpec(reads=("src",), vwrites=("dst",), uses_imm=True,
+                               uses_offset=True),
+    Opcode.VEC_MOV: OpSpec(vreads=("src",), vwrites=("dst",)),
+    Opcode.VEC_SCALE: OpSpec(vreads=("dst",), vwrites=("dst",), uses_imm=True,
+                             uses_offset=True),
+    Opcode.VEC_MUL_T: OpSpec(vreads=("dst",), vwrites=("dst",), uses_imm=True,
+                             uses_offset=True),
+}
+
+# Every opcode must have a spec; catch drift at import time.
+_missing = [op for op in Opcode if op not in OPCODE_SPECS]
+if _missing:  # pragma: no cover - developer error
+    raise RuntimeError(f"opcodes missing OpSpec: {_missing}")

@@ -1,0 +1,371 @@
+"""The RMT JIT: bytecode → compiled Python functions.
+
+"The RMT bytecode can further be JIT compiled directly to machine code for
+efficiency" (Section 3.1).  In this reproduction the "machine code" tier
+is generated Python compiled with :func:`compile` — one native function
+per action, with registers as local variables, no per-instruction decode
+or dispatch, and map/tensor/model/helper references resolved to direct
+object bindings at compile time.
+
+Control-flow lowering exploits the verifier's guarantee that jumps are
+*forward only*: the program is split into basic blocks, emitted in order,
+each guarded by ``if _t <= <leader>:`` where ``_t`` is the pending jump
+target.  Taken jumps set ``_t`` and fall out of their block; the guards
+skip exactly the instructions between the jump and its target.  This is
+branch-free-decode straight-line code — the standard trick for compiling
+DAG-shaped bytecode to a goto-less language.
+
+Semantics are kept bit-identical to the interpreter (wrap-to-int64,
+division-by-zero-yields-zero, saturation in the ML ops); the test suite
+runs differential tests between the two tiers, echoing the JIT-correctness
+concerns the paper cites (Jitterbug [42]).
+
+Only **verified** programs may be JIT compiled: the compiler refuses
+unverified input, because the generated code omits the dynamic guards
+(instruction budget, init checks) that the verifier proves unnecessary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..ml.fixed_point import requantize_shift
+from ..ml.tensor import int_add_bias, int_matvec
+from .bytecode import BytecodeProgram
+from .errors import RmtRuntimeError
+from .helpers import HelperRegistry
+from .interpreter import RuntimeEnv, _truncdiv, _truncmod, _wrap64
+from .isa import ARG_REGS, OPCODE_SPECS, Opcode
+from .program import RmtProgram
+
+__all__ = ["JitCompiler", "JittedProgram"]
+
+
+# -- runtime support shared by all generated functions ----------------------
+
+def _jit_div(a: int, b: int) -> int:
+    return 0 if b == 0 else _wrap64(_truncdiv(a, b))
+
+
+def _jit_mod(a: int, b: int) -> int:
+    return 0 if b == 0 else _wrap64(_truncmod(a, b))
+
+
+def _jit_st_ctxt(ctx, field_id: int, value: int) -> None:
+    try:
+        ctx.store(field_id, value)
+    except (IndexError, PermissionError) as exc:
+        raise RmtRuntimeError(str(exc)) from exc
+
+
+def _jit_vec_set(vec: np.ndarray, index: int, value: int) -> np.ndarray:
+    if not 0 <= index < vec.shape[0]:
+        raise RmtRuntimeError(
+            f"VEC_SET index {index} out of bounds (len {vec.shape[0]})"
+        )
+    out = vec.copy()
+    out[index] = value
+    return out
+
+
+def _jit_scalar(vec: np.ndarray, index: int) -> int:
+    if not 0 <= index < vec.shape[0]:
+        raise RmtRuntimeError(
+            f"SCALAR_VAL index {index} out of bounds (len {vec.shape[0]})"
+        )
+    return int(vec[index])
+
+
+def _jit_argmax(vec: np.ndarray) -> int:
+    if vec.shape[0] == 0:
+        raise RmtRuntimeError("VEC_ARGMAX of empty vector")
+    return int(np.argmax(vec))
+
+
+def _jit_matmul(weight: np.ndarray, vec: np.ndarray) -> np.ndarray:
+    try:
+        return int_matvec(weight, vec)
+    except ValueError as exc:
+        raise RmtRuntimeError(str(exc)) from exc
+
+
+def _jit_vadd(vec: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    if bias.shape != vec.shape:
+        raise RmtRuntimeError(
+            f"VEC_ADD shape mismatch: {bias.shape} vs {vec.shape}"
+        )
+    return int_add_bias(vec, bias)
+
+
+def _jit_sat32(vec: np.ndarray) -> np.ndarray:
+    return np.clip(vec, -(1 << 31), (1 << 31) - 1)
+
+
+def _jit_mul_t(vec: np.ndarray, factors: np.ndarray, shift: int) -> np.ndarray:
+    if factors.shape != vec.shape:
+        raise RmtRuntimeError(
+            f"VEC_MUL_T shape mismatch: {factors.shape} vs {vec.shape}"
+        )
+    return _jit_sat32(requantize_shift(vec.astype(np.int64) * factors, shift))
+
+
+class JittedProgram:
+    """The compiled form of an RMT program: one callable per action."""
+
+    def __init__(self, program: RmtProgram, functions: dict[str, Callable]):
+        self.program = program
+        self._functions = functions
+
+    def run(self, action_name: str, env: RuntimeEnv) -> int:
+        """Invoke a compiled action; returns its verdict (r0 at EXIT)."""
+        try:
+            fn = self._functions[action_name]
+        except KeyError:
+            raise KeyError(
+                f"no compiled action {action_name!r}; "
+                f"known: {sorted(self._functions)}"
+            ) from None
+        return fn(env)
+
+    def function(self, action_name: str) -> Callable:
+        return self._functions[action_name]
+
+    @property
+    def action_names(self) -> list[str]:
+        return sorted(self._functions)
+
+
+class JitCompiler:
+    """Compiles verified RMT programs to Python functions."""
+
+    def __init__(self, helpers: HelperRegistry | None = None) -> None:
+        self.helpers = helpers
+
+    def compile_program(self, program: RmtProgram) -> JittedProgram:
+        """Compile every action; tail calls resolve to compiled targets."""
+        if not program.verified:
+            raise RmtRuntimeError(
+                f"refusing to JIT unverified program {program.name!r}; "
+                "run the verifier first"
+            )
+        functions: dict[str, Callable] = {}
+        # Two-phase: declare a forwarding dict first so tail calls can
+        # reference actions compiled later.
+        for name, action in program.actions.items():
+            functions[name] = self._compile_action(action, program, functions)
+        return JittedProgram(program, functions)
+
+    # ------------------------------------------------------------------
+
+    def _compile_action(
+        self,
+        action: BytecodeProgram,
+        program: RmtProgram,
+        functions: dict[str, Callable],
+    ) -> Callable:
+        namespace: dict[str, object] = {
+            "_w": _wrap64,
+            "_div": _jit_div,
+            "_mod": _jit_mod,
+            "_st_ctxt": _jit_st_ctxt,
+            "_vec_set": _jit_vec_set,
+            "_scalar": _jit_scalar,
+            "_argmax": _jit_argmax,
+            "_matmul": _jit_matmul,
+            "_vadd": _jit_vadd,
+            "_rshift": requantize_shift,
+            "_sat32": _jit_sat32,
+            "_jit_mul_t": _jit_mul_t,
+            "_np": np,
+            "_Err": RmtRuntimeError,
+            "_functions": functions,
+        }
+        lines: list[str] = [
+            "def _action(env):",
+            "    ctx = env.ctx",
+            "    _t = 0",
+        ]
+
+        instructions = action.instructions
+        leaders = self._leaders(action)
+        for pc, instr in enumerate(instructions):
+            if pc in leaders:
+                lines.append(f"    if _t <= {pc}:")
+            stmt = self._emit(pc, instr, program, namespace)
+            for part in stmt:
+                lines.append(f"        {part}")
+        lines.append(
+            f"    raise _Err({('action %r fell off the end' % action.name)!r})"
+        )
+        source = "\n".join(lines)
+        code = compile(source, filename=f"<rmt-jit:{action.name}>", mode="exec")
+        exec(code, namespace)  # noqa: S102 - deliberate codegen
+        fn = namespace["_action"]
+        fn.__name__ = f"rmt_jit_{action.name}"
+        fn.__rmt_source__ = source  # kept for tests and debugging
+        return fn
+
+    @staticmethod
+    def _leaders(action: BytecodeProgram) -> set[int]:
+        """Basic-block leader pcs: entry, jump targets, post-jump pcs."""
+        leaders = {0}
+        for pc, instr in enumerate(action.instructions):
+            spec = OPCODE_SPECS[instr.opcode]
+            if spec.is_jump:
+                leaders.add(pc + 1 + instr.offset)
+                leaders.add(pc + 1)
+        return {pc for pc in leaders if pc < len(action.instructions)}
+
+    def _emit(
+        self, pc: int, instr, program: RmtProgram, ns: dict
+    ) -> list[str]:
+        op = instr.opcode
+        d, s, imm, off = instr.dst, instr.src, instr.imm, instr.offset
+
+        # -- control flow ---------------------------------------------
+        if op is Opcode.EXIT:
+            return ["return r0"]
+        if op is Opcode.JMP:
+            return [f"_t = {pc + 1 + off}"]
+        _CMP = {
+            Opcode.JEQ: "==", Opcode.JNE: "!=", Opcode.JLT: "<",
+            Opcode.JLE: "<=", Opcode.JGT: ">", Opcode.JGE: ">=",
+        }
+        if op in _CMP:
+            return [f"if r{d} {_CMP[op]} r{s}: _t = {pc + 1 + off}"]
+        _CMP_IMM = {
+            Opcode.JEQ_IMM: "==", Opcode.JNE_IMM: "!=", Opcode.JLT_IMM: "<",
+            Opcode.JLE_IMM: "<=", Opcode.JGT_IMM: ">", Opcode.JGE_IMM: ">=",
+        }
+        if op in _CMP_IMM:
+            return [f"if r{d} {_CMP_IMM[op]} {imm}: _t = {pc + 1 + off}"]
+        if op is Opcode.CALL:
+            if self.helpers is None:
+                raise RmtRuntimeError("JIT: program calls helpers but none bound")
+            spec = self.helpers.by_id(imm)
+            ns[f"_h{imm}"] = spec.fn
+            args = ", ".join(f"r{r}" for r in ARG_REGS[: spec.n_args])
+            call = f"_h{imm}(env.helper_env{', ' + args if args else ''})"
+            return [f"r0 = _w(int({call} or 0))"]
+        if op is Opcode.TAIL_CALL:
+            target_name = next(
+                n for n, aid in program.action_ids.items() if aid == imm
+            )
+            return [f"return _functions[{target_name!r}](env)"]
+
+        # -- ALU ----------------------------------------------------------
+        _BIN = {
+            Opcode.ADD: "+", Opcode.SUB: "-", Opcode.MUL: "*",
+            Opcode.AND: "&", Opcode.OR: "|", Opcode.XOR: "^",
+        }
+        if op is Opcode.MOV:
+            return [f"r{d} = r{s}"]
+        if op is Opcode.MOV_IMM:
+            return [f"r{d} = {imm}"]
+        if op in _BIN:
+            return [f"r{d} = _w(r{d} {_BIN[op]} r{s})"]
+        if op is Opcode.DIV:
+            return [f"r{d} = _div(r{d}, r{s})"]
+        if op is Opcode.MOD:
+            return [f"r{d} = _mod(r{d}, r{s})"]
+        if op is Opcode.LSH:
+            return [f"r{d} = _w(r{d} << (r{s} & 63))"]
+        if op is Opcode.RSH:
+            return [f"r{d} = _w(r{d} >> (r{s} & 63))"]
+        if op is Opcode.NEG:
+            return [f"r{d} = _w(-r{d})"]
+        _BIN_IMM = {
+            Opcode.ADD_IMM: "+", Opcode.SUB_IMM: "-", Opcode.MUL_IMM: "*",
+            Opcode.AND_IMM: "&", Opcode.OR_IMM: "|",
+        }
+        if op in _BIN_IMM:
+            return [f"r{d} = _w(r{d} {_BIN_IMM[op]} {imm})"]
+        if op is Opcode.LSH_IMM:
+            return [f"r{d} = _w(r{d} << {imm & 63})"]
+        if op is Opcode.RSH_IMM:
+            return [f"r{d} = _w(r{d} >> {imm & 63})"]
+        if op is Opcode.MIN:
+            return [f"r{d} = min(r{d}, r{s})"]
+        if op is Opcode.MAX:
+            return [f"r{d} = max(r{d}, r{s})"]
+        if op is Opcode.ABS:
+            return [f"r{d} = _w(abs(r{d}))"]
+
+        # -- context -------------------------------------------------------
+        if op is Opcode.LD_CTXT:
+            return [f"r{d} = ctx.load({imm})"]
+        if op is Opcode.ST_CTXT:
+            return [f"_st_ctxt(ctx, {imm}, r{s})"]
+        if op is Opcode.MATCH_CTXT:
+            table = program.table_by_id(imm)
+            ns[f"_tab{imm}"] = table
+            return [
+                f"_e = _tab{imm}.lookup(ctx)",
+                f"r{d} = -1 if _e is None else _e.entry_id",
+            ]
+
+        # -- maps ------------------------------------------------------------
+        if op in (Opcode.MAP_LOOKUP, Opcode.MAP_UPDATE, Opcode.MAP_DELETE,
+                  Opcode.MAP_PEEK, Opcode.HIST_PUSH, Opcode.VEC_LD):
+            rmt_map = program.maps.get(imm)
+            if rmt_map is None:
+                raise RmtRuntimeError(f"JIT: unknown map id {imm}")
+            ns[f"_m{imm}"] = rmt_map
+            if op is Opcode.MAP_LOOKUP:
+                return [f"r{d} = _w(int(_m{imm}.lookup(r{s})))"]
+            if op is Opcode.MAP_UPDATE:
+                return [f"_m{imm}.update(r{d}, r{s})"]
+            if op is Opcode.MAP_DELETE:
+                return [f"_m{imm}.delete(r{d})"]
+            if op is Opcode.MAP_PEEK:
+                return [f"r{d} = 1 if _m{imm}.contains(r{s}) else 0"]
+            if op is Opcode.HIST_PUSH:
+                return [f"_m{imm}.push(r{d}, r{s})"]
+            return [f"v{d} = _m{imm}.get_vector(r{s})"]
+        if op is Opcode.VEC_LD_HIST:
+            rmt_map = program.maps.get(off)
+            if rmt_map is None:
+                raise RmtRuntimeError(f"JIT: unknown map id {off}")
+            ns[f"_m{off}"] = rmt_map
+            return [f"v{d} = _m{off}.window(r{s}, {imm})"]
+
+        # -- ML ISA ---------------------------------------------------------
+        if op is Opcode.VEC_ZERO:
+            return [f"v{d} = _np.zeros({imm}, dtype=_np.int64)"]
+        if op is Opcode.VEC_SET:
+            return [f"v{d} = _vec_set(v{d}, {imm}, r{s})"]
+        if op is Opcode.SCALAR_VAL:
+            return [f"r{d} = _scalar(v{s}, {imm})"]
+        if op is Opcode.MAT_MUL:
+            ns[f"_tn{imm}"] = program.tensors.get(imm)
+            return [f"v{d} = _matmul(_tn{imm}, v{s})"]
+        if op is Opcode.VEC_ADD:
+            ns[f"_tn{imm}"] = program.tensors.get(imm)
+            return [f"v{d} = _vadd(v{d}, _tn{imm})"]
+        if op is Opcode.VEC_MOV:
+            return [f"v{d} = v{s}.copy()"]
+        if op is Opcode.VEC_SCALE:
+            return [
+                f"v{d} = _sat32(_rshift(v{d}.astype(_np.int64) * {imm}, {off}))"
+            ]
+        if op is Opcode.VEC_MUL_T:
+            ns[f"_tn{imm}"] = program.tensors.get(imm)
+            return [
+                f"v{d} = _jit_mul_t(v{d}, _tn{imm}, {off})"
+            ]
+        if op is Opcode.VEC_RELU:
+            return [f"v{d} = _np.maximum(v{d}, 0)"]
+        if op is Opcode.VEC_SHIFT:
+            return [f"v{d} = _rshift(v{d}, {imm})"]
+        if op is Opcode.VEC_ARGMAX:
+            return [f"r{d} = _argmax(v{s})"]
+        if op is Opcode.ML_INFER:
+            model = program.models.get(imm)
+            if model is None:
+                raise RmtRuntimeError(f"JIT: unknown model id {imm}")
+            ns[f"_mdl{imm}"] = model
+            return [f"r{d} = _w(int(_mdl{imm}.predict_one(v{s})))"]
+
+        raise RmtRuntimeError(f"JIT: unhandled opcode {op.name}")  # pragma: no cover

@@ -1,0 +1,405 @@
+"""RMT maps — the VM's stateful data structures.
+
+Section 3.1: "The virtual machine also provides an additional set of data
+structures for in-kernel ML.  This includes data structures for monitoring
+purposes (e.g., akin to different types of eBPF maps), as well as ones for
+training and inference."
+
+Map types (all keys/values are integers unless noted):
+
+* :class:`ArrayMap`     — fixed-size integer array, index keys.
+* :class:`HashMap`      — unbounded hash map with an optional max size.
+* :class:`LruHashMap`   — bounded hash map with LRU eviction.
+* :class:`PerCpuArrayMap` — one :class:`ArrayMap` per simulated CPU.
+* :class:`RingBuffer`   — bounded FIFO of records (monitoring stream).
+* :class:`HistoryMap`   — per-key ring of the last N values (the "access
+  pattern history" the paper's actions append to); backs ``HIST_PUSH``
+  and ``VEC_LD_HIST``.
+* :class:`VectorMap`    — per-key integer vectors (feature rows for the
+  ML ISA's ``VEC_LD``).
+* :class:`TensorStore`  — the program's read-only weight matrices /
+  bias vectors for ``MAT_MUL``/``VEC_ADD``.
+
+Every map reports ``memory_bytes()`` so the verifier can bound a
+program's kernel-memory footprint.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+import numpy as np
+
+__all__ = [
+    "RmtMap",
+    "ArrayMap",
+    "HashMap",
+    "LruHashMap",
+    "PerCpuArrayMap",
+    "RingBuffer",
+    "HistoryMap",
+    "VectorMap",
+    "TensorStore",
+]
+
+
+class RmtMap:
+    """Base interface: integer lookup/update/delete plus sizing."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def lookup(self, key: int) -> int:
+        raise NotImplementedError
+
+    def update(self, key: int, value: int) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: int) -> None:
+        raise NotImplementedError
+
+    def contains(self, key: int) -> bool:
+        raise NotImplementedError
+
+    def memory_bytes(self) -> int:
+        raise NotImplementedError
+
+
+class ArrayMap(RmtMap):
+    """Fixed-size array; out-of-range keys read as 0 and write as no-ops
+    (the eBPF array-map convention of clamping misbehaviour to silence is
+    replaced by explicit errors — silent wraparound hides bugs)."""
+
+    kind = "array"
+
+    def __init__(self, name: str, size: int) -> None:
+        super().__init__(name)
+        if size < 1:
+            raise ValueError(f"array map size must be >= 1, got {size}")
+        self.size = size
+        self._values = [0] * size
+
+    def _check(self, key: int) -> int:
+        key = int(key)
+        if not 0 <= key < self.size:
+            raise IndexError(f"array map {self.name!r}: key {key} out of [0, {self.size})")
+        return key
+
+    def lookup(self, key: int) -> int:
+        return self._values[self._check(key)]
+
+    def update(self, key: int, value: int) -> None:
+        self._values[self._check(key)] = int(value)
+
+    def delete(self, key: int) -> None:
+        self._values[self._check(key)] = 0
+
+    def contains(self, key: int) -> bool:
+        return 0 <= int(key) < self.size
+
+    def memory_bytes(self) -> int:
+        return self.size * 8
+
+
+class HashMap(RmtMap):
+    """Hash map; absent keys look up as 0 (eBPF returns NULL, callers
+    treat it as zero)."""
+
+    kind = "hash"
+
+    def __init__(self, name: str, max_entries: int = 1 << 16) -> None:
+        super().__init__(name)
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._data: dict[int, int] = {}
+
+    def lookup(self, key: int) -> int:
+        return self._data.get(int(key), 0)
+
+    def update(self, key: int, value: int) -> None:
+        key = int(key)
+        if key not in self._data and len(self._data) >= self.max_entries:
+            raise MemoryError(
+                f"hash map {self.name!r} full ({self.max_entries} entries)"
+            )
+        self._data[key] = int(value)
+
+    def delete(self, key: int) -> None:
+        self._data.pop(int(key), None)
+
+    def contains(self, key: int) -> bool:
+        return int(key) in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def items(self):
+        return self._data.items()
+
+    def memory_bytes(self) -> int:
+        return self.max_entries * 16
+
+
+class LruHashMap(HashMap):
+    """Bounded hash map that evicts the least-recently-used entry instead
+    of failing when full — the right shape for per-flow/per-file monitors
+    whose key population churns."""
+
+    kind = "lru_hash"
+
+    def __init__(self, name: str, max_entries: int = 1024) -> None:
+        super().__init__(name, max_entries)
+        self._data: OrderedDict[int, int] = OrderedDict()
+
+    def lookup(self, key: int) -> int:
+        key = int(key)
+        if key in self._data:
+            self._data.move_to_end(key)
+            return self._data[key]
+        return 0
+
+    def update(self, key: int, value: int) -> None:
+        key = int(key)
+        if key in self._data:
+            self._data.move_to_end(key)
+        elif len(self._data) >= self.max_entries:
+            self._data.popitem(last=False)
+        self._data[key] = int(value)
+
+
+class PerCpuArrayMap(RmtMap):
+    """One array per CPU; the VM resolves the CPU id from the context."""
+
+    kind = "percpu_array"
+
+    def __init__(self, name: str, size: int, n_cpus: int) -> None:
+        super().__init__(name)
+        if n_cpus < 1:
+            raise ValueError(f"n_cpus must be >= 1, got {n_cpus}")
+        self.n_cpus = n_cpus
+        self._arrays = [ArrayMap(f"{name}[cpu{i}]", size) for i in range(n_cpus)]
+
+    def cpu(self, cpu_id: int) -> ArrayMap:
+        if not 0 <= cpu_id < self.n_cpus:
+            raise IndexError(f"cpu {cpu_id} out of [0, {self.n_cpus})")
+        return self._arrays[cpu_id]
+
+    # The flat interface targets CPU 0 (used when no CPU is in scope).
+    def lookup(self, key: int) -> int:
+        return self._arrays[0].lookup(key)
+
+    def update(self, key: int, value: int) -> None:
+        self._arrays[0].update(key, value)
+
+    def delete(self, key: int) -> None:
+        self._arrays[0].delete(key)
+
+    def contains(self, key: int) -> bool:
+        return self._arrays[0].contains(key)
+
+    def memory_bytes(self) -> int:
+        return sum(a.memory_bytes() for a in self._arrays)
+
+
+class RingBuffer(RmtMap):
+    """Bounded FIFO of integer records; producers drop-oldest when full.
+
+    ``lookup(i)`` reads the i-th oldest record; ``update`` ignores the key
+    and appends.  The monitoring pipeline drains it with :meth:`drain`.
+    """
+
+    kind = "ringbuf"
+
+    def __init__(self, name: str, capacity: int = 4096) -> None:
+        super().__init__(name)
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buf: deque[int] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def push(self, value: int) -> None:
+        if len(self._buf) == self.capacity:
+            self.dropped += 1
+        self._buf.append(int(value))
+
+    def drain(self) -> list[int]:
+        out = list(self._buf)
+        self._buf.clear()
+        return out
+
+    def lookup(self, key: int) -> int:
+        key = int(key)
+        if not 0 <= key < len(self._buf):
+            return 0
+        return self._buf[key]
+
+    def update(self, key: int, value: int) -> None:
+        self.push(value)
+
+    def delete(self, key: int) -> None:
+        if self._buf:
+            self._buf.popleft()
+
+    def contains(self, key: int) -> bool:
+        return 0 <= int(key) < len(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def memory_bytes(self) -> int:
+        return self.capacity * 8
+
+
+class HistoryMap(RmtMap):
+    """Per-key ring of the last ``depth`` values (newest last).
+
+    This is the "append to access pattern history" structure: the
+    data-collection action pushes each page delta, and the prediction
+    action loads the last-k window as the model's feature vector.
+    """
+
+    kind = "history"
+
+    def __init__(self, name: str, depth: int = 8, max_keys: int = 1024) -> None:
+        super().__init__(name)
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.max_keys = max_keys
+        self._rings: OrderedDict[int, deque[int]] = OrderedDict()
+
+    def push(self, key: int, value: int) -> None:
+        key = int(key)
+        ring = self._rings.get(key)
+        if ring is None:
+            if len(self._rings) >= self.max_keys:
+                self._rings.popitem(last=False)
+            ring = deque(maxlen=self.depth)
+            self._rings[key] = ring
+        else:
+            self._rings.move_to_end(key)
+        ring.append(int(value))
+
+    def window(self, key: int, n: int | None = None) -> np.ndarray:
+        """Last-n values for ``key``, zero-padded on the left to length n."""
+        if n is None:
+            n = self.depth
+        if n < 1 or n > self.depth:
+            raise ValueError(f"window length {n} out of [1, {self.depth}]")
+        ring = self._rings.get(int(key))
+        values = list(ring)[-n:] if ring else []
+        padded = [0] * (n - len(values)) + values
+        return np.asarray(padded, dtype=np.int64)
+
+    def length(self, key: int) -> int:
+        ring = self._rings.get(int(key))
+        return len(ring) if ring else 0
+
+    def lookup(self, key: int) -> int:
+        """Most recent value for the key (0 if none)."""
+        ring = self._rings.get(int(key))
+        return ring[-1] if ring else 0
+
+    def update(self, key: int, value: int) -> None:
+        self.push(key, value)
+
+    def delete(self, key: int) -> None:
+        self._rings.pop(int(key), None)
+
+    def contains(self, key: int) -> bool:
+        return int(key) in self._rings
+
+    def memory_bytes(self) -> int:
+        return self.max_keys * (self.depth + 1) * 8
+
+
+class VectorMap(RmtMap):
+    """Per-key integer vectors of a fixed width (feature rows)."""
+
+    kind = "vector"
+
+    def __init__(self, name: str, width: int, max_keys: int = 1024) -> None:
+        super().__init__(name)
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        self.width = width
+        self.max_keys = max_keys
+        self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
+
+    def set_vector(self, key: int, vector) -> None:
+        vec = np.asarray(vector, dtype=np.int64)
+        if vec.shape != (self.width,):
+            raise ValueError(
+                f"vector map {self.name!r} expects width {self.width}, "
+                f"got shape {vec.shape}"
+            )
+        key = int(key)
+        if key not in self._rows and len(self._rows) >= self.max_keys:
+            self._rows.popitem(last=False)
+        self._rows[key] = vec.copy()
+
+    def get_vector(self, key: int) -> np.ndarray:
+        row = self._rows.get(int(key))
+        if row is None:
+            return np.zeros(self.width, dtype=np.int64)
+        return row.copy()
+
+    def lookup(self, key: int) -> int:
+        """First element of the key's vector (scalar view)."""
+        return int(self.get_vector(key)[0])
+
+    def update(self, key: int, value: int) -> None:
+        row = self.get_vector(key)
+        row[0] = int(value)
+        self.set_vector(key, row)
+
+    def delete(self, key: int) -> None:
+        self._rows.pop(int(key), None)
+
+    def contains(self, key: int) -> bool:
+        return int(key) in self._rows
+
+    def memory_bytes(self) -> int:
+        return self.max_keys * self.width * 8
+
+
+class TensorStore:
+    """Read-only integer tensors owned by a program (weights, biases).
+
+    Indexed by small integer ids, which is what ``MAT_MUL``/``VEC_ADD``
+    encode in their ``imm`` slot.  The control plane replaces tensors
+    wholesale when a new quantized model is pushed down.
+    """
+
+    def __init__(self) -> None:
+        self._tensors: dict[int, np.ndarray] = {}
+
+    def put(self, tensor_id: int, tensor) -> None:
+        arr = np.asarray(tensor)
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise TypeError(
+                f"tensor {tensor_id} must be integer (kernel is FPU-free), "
+                f"got {arr.dtype}"
+            )
+        if arr.ndim not in (1, 2):
+            raise ValueError(f"tensor {tensor_id} must be 1-D or 2-D, got {arr.ndim}-D")
+        self._tensors[int(tensor_id)] = arr.astype(np.int64)
+
+    def get(self, tensor_id: int) -> np.ndarray:
+        try:
+            return self._tensors[int(tensor_id)]
+        except KeyError:
+            raise KeyError(f"unknown tensor id {tensor_id}") from None
+
+    def contains(self, tensor_id: int) -> bool:
+        return int(tensor_id) in self._tensors
+
+    def ids(self) -> list[int]:
+        return sorted(self._tensors)
+
+    def memory_bytes(self) -> int:
+        return sum(t.size * 8 for t in self._tensors.values())

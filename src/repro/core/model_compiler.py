@@ -1,0 +1,169 @@
+"""Compile trained models to native RMT bytecode.
+
+Section 3.2: RMT actions "are compiled into RMT bytecode with a dedicated
+ML instruction set (e.g., RMT_VECTOR_LD, RMT_MAT_MUL, RMT_SCALAR_VAL),
+patterned after hardware ISA for neural processors".  This module is that
+compiler: it lowers a :class:`~repro.ml.mlp.QuantizedMLP` or an
+:class:`~repro.ml.decision_tree.IntegerDecisionTree` into a bytecode
+action that the verifier can statically bound and the JIT can compile —
+no Python model object on the inference path at all (contrast with the
+``ML_INFER`` whole-model call, which treats the model as an opaque
+library routine).
+
+* **MLP**: ``VEC_LD`` the raw integer feature row, fold the userspace
+  standardize+quantize transform into a per-feature integer multiply
+  (``VEC_MUL_T`` + shift) and offset (``VEC_ADD``), then per layer
+  ``MAT_MUL`` / ``VEC_ADD`` / ``VEC_SCALE`` (the TFLite-style
+  multiplier+shift requantize) / ``VEC_RELU``, ending in ``VEC_ARGMAX``.
+* **Decision tree**: each internal node becomes ``SCALAR_VAL`` +
+  ``JGT_IMM`` with the left subtree emitted before the right, so every
+  jump is forward — a decision tree is *naturally* a verifier-friendly
+  DAG program.
+
+Both compiled forms are bit-exact against their source model's integer
+inference (the test suite checks equivalence exhaustively).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.decision_tree import IntegerDecisionTree, TreeNode
+from ..ml.mlp import QuantizedMLP
+from .bytecode import BytecodeProgram, Instruction
+from .isa import Opcode
+from .program import ProgramBuilder
+
+__all__ = ["compile_mlp_action", "compile_tree_action", "fold_input_transform"]
+
+#: Shift used for the folded input transform q = ((x * a) >> SHIFT) + b.
+INPUT_SHIFT = 12
+
+_I32_MAX = (1 << 31) - 1
+
+
+def fold_input_transform(
+    qmlp: QuantizedMLP, shift: int = INPUT_SHIFT
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fold standardize+quantize into integer (a, b): q = ((x*a)>>shift)+b.
+
+    ``quantize_input`` computes ``round(((x - mean)/std) / scale)``; with
+    ``c = 1/(std*scale)`` that is ``x*c - mean*c``.  We return
+    ``a = round(c * 2**shift)`` and ``b = round(-mean*c)``.  Raises if a
+    feature's scale factor cannot be represented in int32 at this shift —
+    that means the feature was not range-bounded by the monitor and must
+    be fixed at the feature-extraction layer, not papered over here.
+    """
+    c = 1.0 / (qmlp.input_std * qmlp.input_scale)
+    a_float = c * (1 << shift)
+    if np.any(~np.isfinite(a_float)) or np.any(np.abs(a_float) > _I32_MAX):
+        worst = int(np.argmax(np.abs(a_float)))
+        raise ValueError(
+            f"input feature {worst} needs multiplier {a_float[worst]:.3g} "
+            "which exceeds int32; bound the feature's range in the monitor"
+        )
+    a = np.rint(a_float).astype(np.int64)
+    if np.any(a == 0):
+        dead = [int(i) for i in np.flatnonzero(a == 0)]
+        raise ValueError(
+            f"input features {dead} quantize to a zero multiplier at "
+            f"shift {shift}; their dynamic range is too large"
+        )
+    b = np.rint(-qmlp.input_mean * c).astype(np.int64)
+    return a, b
+
+
+def compile_mlp_action(
+    builder: ProgramBuilder,
+    qmlp: QuantizedMLP,
+    features_map: str,
+    key_field: str,
+    name: str = "mlp_infer",
+) -> BytecodeProgram:
+    """Lower a quantized MLP to bytecode and register its tensors.
+
+    The action reads the integer feature row for ``ctx[key_field]`` from
+    ``features_map`` (a :class:`~repro.core.maps.VectorMap` the kernel
+    fills before firing the hook) and returns the argmax class in r0.
+    """
+    schema = builder.schema
+    key_id = schema.field_id(key_field)
+    map_id = builder.map_id(features_map)
+
+    next_id = (max(builder._tensors.ids()) + 1) if builder._tensors.ids() else 0
+
+    def add_tensor(array) -> int:
+        nonlocal next_id
+        builder.add_tensor(next_id, np.asarray(array, dtype=np.int64))
+        next_id += 1
+        return next_id - 1
+
+    a, b = fold_input_transform(qmlp)
+    t_a = add_tensor(a)
+    t_b = add_tensor(b)
+
+    instrs = [
+        Instruction(Opcode.LD_CTXT, dst=1, imm=key_id),
+        Instruction(Opcode.VEC_LD, dst=0, src=1, imm=map_id),
+        Instruction(Opcode.VEC_MUL_T, dst=0, offset=INPUT_SHIFT, imm=t_a),
+        Instruction(Opcode.VEC_ADD, dst=0, imm=t_b),
+    ]
+    vec = 0
+    for layer, (w_q, b_q) in enumerate(zip(qmlp.weights_q, qmlp.biases_q)):
+        nxt = 1 - vec  # ping-pong between v0 and v1
+        t_w = add_tensor(w_q)
+        t_bias = add_tensor(b_q)
+        instrs.append(Instruction(Opcode.MAT_MUL, dst=nxt, src=vec, imm=t_w))
+        instrs.append(Instruction(Opcode.VEC_ADD, dst=nxt, imm=t_bias))
+        if layer < len(qmlp.weights_q) - 1:
+            multiplier, shift = qmlp.rescales[layer]
+            instrs.append(
+                Instruction(Opcode.VEC_SCALE, dst=nxt, offset=shift,
+                            imm=multiplier)
+            )
+            instrs.append(Instruction(Opcode.VEC_RELU, dst=nxt))
+        vec = nxt
+    instrs.append(Instruction(Opcode.VEC_ARGMAX, dst=0, src=vec))
+    instrs.append(Instruction(Opcode.EXIT))
+    return builder.add_action(BytecodeProgram(name=name, instructions=instrs))
+
+
+def compile_tree_action(
+    builder: ProgramBuilder,
+    tree: IntegerDecisionTree,
+    features_map: str,
+    key_field: str,
+    name: str = "tree_infer",
+) -> BytecodeProgram:
+    """Lower an integer decision tree to branchy forward-jump bytecode."""
+    if tree.root is None:
+        raise ValueError("tree is not fitted")
+    schema = builder.schema
+    key_id = schema.field_id(key_field)
+    map_id = builder.map_id(features_map)
+
+    instrs: list[Instruction | None] = [
+        Instruction(Opcode.LD_CTXT, dst=1, imm=key_id),
+        Instruction(Opcode.VEC_LD, dst=0, src=1, imm=map_id),
+    ]
+
+    def emit(node: TreeNode) -> None:
+        if node.is_leaf:
+            instrs.append(Instruction(Opcode.MOV_IMM, dst=0, imm=node.prediction))
+            instrs.append(Instruction(Opcode.EXIT))
+            return
+        instrs.append(
+            Instruction(Opcode.SCALAR_VAL, dst=2, src=0, imm=node.feature)
+        )
+        branch_pc = len(instrs)
+        instrs.append(None)  # patched below: JGT_IMM r2, threshold, right
+        emit(node.left)
+        right_pc = len(instrs)
+        instrs[branch_pc] = Instruction(
+            Opcode.JGT_IMM, dst=2, imm=node.threshold,
+            offset=right_pc - branch_pc - 1,
+        )
+        emit(node.right)
+
+    emit(tree.root)
+    return builder.add_action(BytecodeProgram(name=name, instructions=instrs))

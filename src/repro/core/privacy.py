@@ -1,0 +1,127 @@
+"""Differential privacy for cross-application RMT queries.
+
+Section 3.3 ("Privacy"): cross-application ML must not become a side
+channel (the paper cites the Linux page-cache attack).  The proposed
+mechanism: "if an RMT query returns some aggregate statistics, we can
+leverage differential privacy (DP) to noise the outputs ... The kernel
+can maintain a 'privacy budget', in DP terms, and subtract from this
+overall budget for each table match."
+
+Implementation:
+
+* :class:`PrivacyBudget` — per-table epsilon accounting.  Every noised
+  query spends its epsilon; queries that would drive the spend past the
+  budget raise :class:`~repro.core.errors.PrivacyBudgetExceeded` (fail
+  closed).
+* :class:`LaplaceMechanism` — the classic Lap(sensitivity/epsilon)
+  additive noise, with integer rounding since RMT values are integers.
+* :class:`PrivateAggregator` — the query surface the control plane and
+  cross-application actions use: noised SUM / COUNT / MEAN over a map,
+  charged against the budget.
+
+The noise source is a seeded ``numpy`` generator so experiments are
+reproducible; a deployment would use a CSPRNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import PrivacyBudgetExceeded
+from .maps import HashMap
+
+__all__ = ["PrivacyBudget", "LaplaceMechanism", "PrivateAggregator"]
+
+
+class PrivacyBudget:
+    """Epsilon accounting for one query surface (e.g. one RMT table)."""
+
+    def __init__(self, total_epsilon: float) -> None:
+        if total_epsilon <= 0:
+            raise ValueError(f"total_epsilon must be positive, got {total_epsilon}")
+        self.total_epsilon = total_epsilon
+        self.spent = 0.0
+        self.queries = 0
+        self.denied = 0
+
+    @property
+    def remaining(self) -> float:
+        return max(self.total_epsilon - self.spent, 0.0)
+
+    def charge(self, epsilon: float) -> None:
+        """Spend epsilon or raise; failed charges are counted but free."""
+        if epsilon <= 0:
+            raise ValueError(f"query epsilon must be positive, got {epsilon}")
+        if self.spent + epsilon > self.total_epsilon + 1e-12:
+            self.denied += 1
+            raise PrivacyBudgetExceeded(
+                f"query epsilon {epsilon} exceeds remaining budget "
+                f"{self.remaining:.4f} (of {self.total_epsilon})"
+            )
+        self.spent += epsilon
+        self.queries += 1
+
+
+class LaplaceMechanism:
+    """Additive Laplace noise calibrated to sensitivity/epsilon."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def noise(self, sensitivity: float, epsilon: float) -> float:
+        if sensitivity <= 0:
+            raise ValueError(f"sensitivity must be positive, got {sensitivity}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        return float(self._rng.laplace(loc=0.0, scale=sensitivity / epsilon))
+
+    def release_int(self, true_value: float, sensitivity: float, epsilon: float) -> int:
+        """Noised integer release (RMT values are integers)."""
+        return int(round(true_value + self.noise(sensitivity, epsilon)))
+
+
+class PrivateAggregator:
+    """Budgeted, noised aggregate queries over an RMT map.
+
+    Sensitivities assume each application contributes one map entry and
+    entry values are clamped to ``value_bound`` — the standard bounded-
+    contribution setting.  MEAN is released as two sub-queries (noised
+    sum and noised count), each charged half the epsilon.
+    """
+
+    def __init__(
+        self,
+        budget: PrivacyBudget,
+        mechanism: LaplaceMechanism | None = None,
+        value_bound: int = 1 << 20,
+    ) -> None:
+        if value_bound <= 0:
+            raise ValueError(f"value_bound must be positive, got {value_bound}")
+        self.budget = budget
+        self.mechanism = mechanism or LaplaceMechanism()
+        self.value_bound = value_bound
+
+    def _values(self, rmt_map: HashMap) -> list[int]:
+        bound = self.value_bound
+        return [max(-bound, min(bound, v)) for _, v in rmt_map.items()]
+
+    def count(self, rmt_map: HashMap, epsilon: float) -> int:
+        """Noised number of entries (sensitivity 1)."""
+        self.budget.charge(epsilon)
+        return self.mechanism.release_int(len(self._values(rmt_map)), 1.0, epsilon)
+
+    def sum(self, rmt_map: HashMap, epsilon: float) -> int:
+        """Noised sum of clamped values (sensitivity = value_bound)."""
+        self.budget.charge(epsilon)
+        return self.mechanism.release_int(
+            float(np.sum(self._values(rmt_map))) if rmt_map.items() else 0.0,
+            float(self.value_bound),
+            epsilon,
+        )
+
+    def mean(self, rmt_map: HashMap, epsilon: float) -> float:
+        """Noised mean via noised sum / noised count (epsilon split)."""
+        half = epsilon / 2.0
+        noisy_sum = self.sum(rmt_map, half)
+        noisy_count = self.count(rmt_map, half)
+        return noisy_sum / max(noisy_count, 1)

@@ -1,0 +1,205 @@
+"""The RMT program — the unit of installation, verification and execution.
+
+An :class:`RmtProgram` bundles everything one reconfiguration ships to the
+kernel (Section 3.1's ``rmt_prefetch_prog``):
+
+* an **attach point** — the kernel hook the program binds to,
+* a **pipeline** of match-action tables,
+* **action programs** (bytecode bodies referenced by table entries),
+* **maps** (monitoring state), a **tensor store** (quantized weights) and
+  **models** (whole-model objects callable via ``ML_INFER``),
+* resolved numeric ids for all of the above, since bytecode addresses
+  maps/tables/models by small integers.
+
+Programs are built through :class:`ProgramBuilder` (used by the DSL
+code generator, the assembler front end, and directly by library users),
+then pass through the verifier before the datapath will run them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bytecode import BytecodeProgram
+from .context import ContextSchema
+from .maps import RmtMap, TensorStore
+from .tables import MatchActionTable, Pipeline
+
+__all__ = ["RmtProgram", "ProgramBuilder"]
+
+
+@dataclass
+class RmtProgram:
+    """A complete, installable RMT program."""
+
+    name: str
+    attach_point: str
+    schema: ContextSchema
+    pipeline: Pipeline
+    actions: dict[str, BytecodeProgram] = field(default_factory=dict)
+    maps: dict[int, RmtMap] = field(default_factory=dict)
+    map_ids: dict[str, int] = field(default_factory=dict)
+    tensors: TensorStore = field(default_factory=TensorStore)
+    models: dict[int, object] = field(default_factory=dict)
+    table_ids: dict[str, int] = field(default_factory=dict)
+    action_ids: dict[str, int] = field(default_factory=dict)
+    verified: bool = False
+
+    def action_by_id(self, action_id: int) -> BytecodeProgram:
+        """Resolve a TAIL_CALL target id to its action program."""
+        for name, aid in self.action_ids.items():
+            if aid == action_id:
+                return self.actions[name]
+        raise KeyError(f"program {self.name!r} has no action id {action_id}")
+
+    def action(self, name: str) -> BytecodeProgram:
+        try:
+            return self.actions[name]
+        except KeyError:
+            raise KeyError(
+                f"program {self.name!r} has no action {name!r}; "
+                f"known: {sorted(self.actions)}"
+            ) from None
+
+    def map_by_name(self, name: str) -> RmtMap:
+        try:
+            return self.maps[self.map_ids[name]]
+        except KeyError:
+            raise KeyError(
+                f"program {self.name!r} has no map {name!r}; "
+                f"known: {sorted(self.map_ids)}"
+            ) from None
+
+    def table_by_id(self, table_id: int) -> MatchActionTable:
+        for table in self.pipeline:
+            if self.table_ids[table.name] == table_id:
+                return table
+        raise KeyError(f"program {self.name!r} has no table id {table_id}")
+
+    def replace_model(self, model_id: int, model: object) -> None:
+        """Hot-swap a model (the control plane's quantize-and-push path).
+
+        Invalidates verification: the new model must re-pass the cost
+        check before the datapath runs the program again.
+        """
+        if model_id not in self.models:
+            raise KeyError(f"program {self.name!r} has no model id {model_id}")
+        self.models[model_id] = model
+        self.verified = False
+
+    def memory_bytes(self) -> int:
+        """Total kernel memory the program pins (maps + tensors)."""
+        return (
+            sum(m.memory_bytes() for m in self.maps.values())
+            + self.tensors.memory_bytes()
+        )
+
+    def total_instructions(self) -> int:
+        return sum(len(a) for a in self.actions.values())
+
+    def summary(self) -> dict:
+        """Human-facing inventory (what `bpftool prog show` would print)."""
+        return {
+            "name": self.name,
+            "attach_point": self.attach_point,
+            "tables": [t.name for t in self.pipeline],
+            "actions": {n: len(a) for n, a in self.actions.items()},
+            "maps": sorted(self.map_ids),
+            "models": sorted(self.models),
+            "tensors": self.tensors.ids(),
+            "instructions": self.total_instructions(),
+            "memory_bytes": self.memory_bytes(),
+            "verified": self.verified,
+        }
+
+
+class ProgramBuilder:
+    """Fluent builder assigning ids as components are added.
+
+    >>> builder = ProgramBuilder("prefetch", "swap_cluster_readahead", schema)
+    >>> builder.add_map("history", HistoryMap("history", depth=8))
+    0
+    >>> table = builder.add_table(MatchActionTable(...))
+    >>> builder.add_action(BytecodeProgram("predict", [...]))
+    >>> prog = builder.build()
+    """
+
+    def __init__(self, name: str, attach_point: str, schema: ContextSchema) -> None:
+        self.name = name
+        self.attach_point = attach_point
+        self.schema = schema
+        self._pipeline = Pipeline(f"{name}.pipeline")
+        self._actions: dict[str, BytecodeProgram] = {}
+        self._action_ids: dict[str, int] = {}
+        self._maps: dict[int, RmtMap] = {}
+        self._map_ids: dict[str, int] = {}
+        self._tensors = TensorStore()
+        self._models: dict[int, object] = {}
+        self._table_ids: dict[str, int] = {}
+
+    def add_table(self, table: MatchActionTable) -> MatchActionTable:
+        """Add a pipeline stage; stages execute in insertion order."""
+        for key_field in table.key_fields:
+            if not self.schema.has_field(key_field):
+                raise KeyError(
+                    f"table {table.name!r} matches on {key_field!r}, which is "
+                    f"not a field of schema {self.schema.name!r}"
+                )
+        self._pipeline.add_table(table)
+        self._table_ids[table.name] = len(self._table_ids)
+        return table
+
+    def add_action(self, action: BytecodeProgram) -> BytecodeProgram:
+        if action.name in self._actions:
+            raise ValueError(f"duplicate action {action.name!r}")
+        self._action_ids[action.name] = len(self._actions)
+        self._actions[action.name] = action
+        return action
+
+    def add_map(self, name: str, rmt_map: RmtMap) -> int:
+        """Register a map; returns the id bytecode uses to address it."""
+        if name in self._map_ids:
+            raise ValueError(f"duplicate map {name!r}")
+        map_id = len(self._maps)
+        self._maps[map_id] = rmt_map
+        self._map_ids[name] = map_id
+        return map_id
+
+    def add_tensor(self, tensor_id: int, tensor) -> int:
+        self._tensors.put(tensor_id, tensor)
+        return tensor_id
+
+    def add_model(self, model_id: int, model: object) -> int:
+        """Register a whole-model object for ``ML_INFER``.
+
+        The model must expose ``predict_one(features) -> int`` and
+        ``cost_signature() -> dict`` (for the verifier).
+        """
+        if model_id in self._models:
+            raise ValueError(f"duplicate model id {model_id}")
+        for attr in ("predict_one", "cost_signature"):
+            if not hasattr(model, attr):
+                raise TypeError(f"model {model_id} lacks required method {attr!r}")
+        self._models[model_id] = model
+        return model_id
+
+    def map_id(self, name: str) -> int:
+        return self._map_ids[name]
+
+    def table_id(self, name: str) -> int:
+        return self._table_ids[name]
+
+    def build(self) -> RmtProgram:
+        return RmtProgram(
+            name=self.name,
+            attach_point=self.attach_point,
+            schema=self.schema,
+            pipeline=self._pipeline,
+            actions=dict(self._actions),
+            maps=dict(self._maps),
+            map_ids=dict(self._map_ids),
+            tensors=self._tensors,
+            models=dict(self._models),
+            table_ids=dict(self._table_ids),
+            action_ids=dict(self._action_ids),
+        )

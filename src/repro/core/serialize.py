@@ -1,0 +1,256 @@
+"""Whole-program serialization: the complete ``syscall_rmt`` payload.
+
+``BytecodeProgram.to_words`` covers the instructions; a real loader also
+ships the *side tables* — map descriptors, match-action tables and their
+entries, quantized tensors, and models.  This module serializes an
+entire :class:`~repro.core.program.RmtProgram` to a JSON-able dict and
+reconstructs it, so the user/kernel boundary can be pure data end to end
+(no Python objects crossing).
+
+Model objects are serialized by family:
+
+* integer decision trees ship as their flattened node table (the same
+  rows :meth:`IntegerDecisionTree.to_table` produces) and are
+  reconstructed as :class:`TableTreeModel` — table-walk inference only;
+* quantized MLPs ship their integer weights/biases/rescales and the
+  input transform.
+
+Anything else must be lowered to bytecode+tensors first (see
+:mod:`repro.core.model_compiler`), which is the preferred path anyway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bytecode import BytecodeProgram
+from .context import ContextSchema
+from .errors import ControlPlaneError
+from .maps import (
+    ArrayMap,
+    HashMap,
+    HistoryMap,
+    LruHashMap,
+    PerCpuArrayMap,
+    RingBuffer,
+    VectorMap,
+)
+from .program import ProgramBuilder, RmtProgram
+from .tables import MatchActionTable, MatchKind, MatchPattern, TableEntry
+
+__all__ = ["TableTreeModel", "program_to_payload", "payload_to_program"]
+
+PAYLOAD_VERSION = 1
+
+_MAP_SPECS = {
+    "array": (ArrayMap, ("size",)),
+    "hash": (HashMap, ("max_entries",)),
+    "lru_hash": (LruHashMap, ("max_entries",)),
+    "percpu_array": (PerCpuArrayMap, ("size", "n_cpus")),
+    "ringbuf": (RingBuffer, ("capacity",)),
+    "history": (HistoryMap, ("depth", "max_keys")),
+    "vector": (VectorMap, ("width", "max_keys")),
+}
+
+
+class TableTreeModel:
+    """A decision tree reconstituted from its flattened node table.
+
+    Inference is the pure table walk of
+    :meth:`IntegerDecisionTree.predict_from_table`; depth/size metadata
+    travels with the table so the verifier's cost gate still applies.
+    """
+
+    def __init__(self, rows: list[tuple[int, int, int, int, int]],
+                 depth: int) -> None:
+        if not rows:
+            raise ValueError("empty tree table")
+        self.rows = [tuple(int(v) for v in row) for row in rows]
+        self.depth = max(int(depth), 1)
+
+    def predict_one(self, features) -> int:
+        from ..ml.decision_tree import IntegerDecisionTree
+
+        return IntegerDecisionTree.predict_from_table(self.rows, features)
+
+    def cost_signature(self) -> dict:
+        return {"kind": "decision_tree", "depth": self.depth,
+                "n_nodes": len(self.rows)}
+
+
+def _serialize_model(model) -> dict:
+    from ..ml.decision_tree import IntegerDecisionTree
+    from ..ml.mlp import QuantizedMLP
+
+    if isinstance(model, IntegerDecisionTree):
+        return {"family": "tree_table", "rows": model.to_table(),
+                "depth": max(model.depth_, 1)}
+    if isinstance(model, TableTreeModel):
+        return {"family": "tree_table", "rows": list(model.rows),
+                "depth": model.depth}
+    if isinstance(model, QuantizedMLP):
+        return {
+            "family": "quantized_mlp",
+            "weights_q": [w.tolist() for w in model.weights_q],
+            "biases_q": [b.tolist() for b in model.biases_q],
+            "rescales": [list(r) for r in model.rescales],
+            "input_scale": model.input_scale,
+            "input_mean": model.input_mean.tolist(),
+            "input_std": model.input_std.tolist(),
+            "layer_sizes": list(model.layer_sizes),
+            "bits": model.bits,
+        }
+    raise ControlPlaneError(
+        f"model type {type(model).__name__} has no wire format; lower it "
+        "to bytecode with repro.core.model_compiler instead"
+    )
+
+
+def _deserialize_model(data: dict):
+    from ..ml.mlp import QuantizedMLP
+
+    family = data["family"]
+    if family == "tree_table":
+        return TableTreeModel(data["rows"], data["depth"])
+    if family == "quantized_mlp":
+        return QuantizedMLP(
+            weights_q=[np.asarray(w, dtype=np.int64)
+                       for w in data["weights_q"]],
+            biases_q=[np.asarray(b, dtype=np.int64)
+                      for b in data["biases_q"]],
+            rescales=[tuple(r) for r in data["rescales"]],
+            input_scale=float(data["input_scale"]),
+            input_mean=np.asarray(data["input_mean"], dtype=np.float64),
+            input_std=np.asarray(data["input_std"], dtype=np.float64),
+            layer_sizes=list(data["layer_sizes"]),
+            bits=int(data["bits"]),
+        )
+    raise ControlPlaneError(f"unknown model family {family!r}")
+
+
+def _serialize_map(rmt_map) -> dict:
+    kind = rmt_map.kind
+    if kind not in _MAP_SPECS:
+        raise ControlPlaneError(f"map kind {kind!r} has no wire format")
+    _, params = _MAP_SPECS[kind]
+    return {"kind": kind,
+            "params": {p: getattr(rmt_map, p) for p in params}}
+
+
+def _serialize_pattern(pattern: MatchPattern) -> dict:
+    return {"value": pattern.value, "mask": pattern.mask,
+            "wildcard": pattern.is_wildcard}
+
+
+def _serialize_table(table: MatchActionTable) -> dict:
+    return {
+        "name": table.name,
+        "key_fields": list(table.key_fields),
+        "kinds": [k.value for k in table.kinds],
+        "default_action": table.default_action,
+        "max_entries": table.max_entries,
+        "entries": [
+            {
+                "patterns": [_serialize_pattern(p) for p in entry.patterns],
+                "action": entry.action,
+                "action_data": dict(entry.action_data),
+                "priority": entry.priority,
+            }
+            for entry in table.entries
+        ],
+    }
+
+
+def program_to_payload(program: RmtProgram) -> dict:
+    """Serialize a whole program to a JSON-able dict.
+
+    Map *contents* are not shipped — installation creates fresh state,
+    exactly as loading an eBPF object file does.
+    """
+    schema = program.schema
+    return {
+        "version": PAYLOAD_VERSION,
+        "name": program.name,
+        "attach_point": program.attach_point,
+        "schema": {
+            "name": schema.name,
+            "fields": [
+                {"name": n, "writable": schema.is_writable(i)}
+                for i, n in enumerate(schema.field_names)
+            ],
+        },
+        "actions": [
+            {"name": name, "words": action.to_words()}
+            for name, action in sorted(
+                program.actions.items(),
+                key=lambda kv: program.action_ids[kv[0]],
+            )
+        ],
+        "maps": [
+            {"name": name, **_serialize_map(program.maps[map_id])}
+            for name, map_id in sorted(program.map_ids.items(),
+                                       key=lambda kv: kv[1])
+        ],
+        "tables": [
+            _serialize_table(table) for table in program.pipeline
+        ],
+        "tensors": [
+            {"id": tid, "data": program.tensors.get(tid).tolist()}
+            for tid in program.tensors.ids()
+        ],
+        "models": [
+            {"id": mid, **_serialize_model(model)}
+            for mid, model in sorted(program.models.items())
+        ],
+    }
+
+
+def payload_to_program(payload: dict) -> RmtProgram:
+    """Reconstruct an installable program from its wire form."""
+    version = payload.get("version")
+    if version != PAYLOAD_VERSION:
+        raise ControlPlaneError(
+            f"unsupported payload version {version!r} "
+            f"(expected {PAYLOAD_VERSION})"
+        )
+    schema = ContextSchema(payload["schema"]["name"])
+    for field in payload["schema"]["fields"]:
+        schema.add_field(field["name"], writable=field["writable"])
+
+    builder = ProgramBuilder(payload["name"], payload["attach_point"], schema)
+    for map_entry in payload["maps"]:
+        cls, _ = _MAP_SPECS[map_entry["kind"]]
+        builder.add_map(
+            map_entry["name"],
+            cls(map_entry["name"], **map_entry["params"]),
+        )
+    for table_entry in payload["tables"]:
+        table = MatchActionTable(
+            table_entry["name"],
+            table_entry["key_fields"],
+            [MatchKind(k) for k in table_entry["kinds"]],
+            default_action=table_entry["default_action"],
+            max_entries=table_entry["max_entries"],
+        )
+        builder.add_table(table)
+        for entry in table_entry["entries"]:
+            table.insert(TableEntry(
+                patterns=tuple(
+                    MatchPattern(value=p["value"], mask=p["mask"],
+                                 is_wildcard=p["wildcard"])
+                    for p in entry["patterns"]
+                ),
+                action=entry["action"],
+                action_data=dict(entry["action_data"]),
+                priority=entry["priority"],
+            ))
+    for action in payload["actions"]:
+        builder.add_action(
+            BytecodeProgram.from_words(action["name"], action["words"])
+        )
+    for tensor in payload["tensors"]:
+        builder.add_tensor(tensor["id"],
+                           np.asarray(tensor["data"], dtype=np.int64))
+    for model in payload["models"]:
+        builder.add_model(model["id"], _deserialize_model(model))
+    return builder.build()

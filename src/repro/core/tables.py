@@ -1,0 +1,294 @@
+"""Match-action tables — the RMT datapath building block.
+
+Section 3.1: "The key building block of an RMT program is a pipeline of
+match/action tables.  Each table represents a kernel hooking point, which
+may trigger data collection about the current execution, intercept
+performance-critical kernel events, or consult ML models based on the
+execution context."
+
+A table declares which context fields it matches on (its *key*), a match
+kind per field (exact / ternary / range / longest-prefix), and holds a
+priority-ordered set of entries.  Each entry names the action program to
+run on a hit, plus per-entry action parameters (e.g. which ML model id to
+consult — this is how ``page_prefetch_entry p1 = {.pid = 56; .ml = dt_1;}``
+from the paper's listing is represented).  Entries can be installed
+statically in the program or added/removed at runtime through the
+control-plane API.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from .context import ExecutionContext
+
+__all__ = ["MatchKind", "MatchPattern", "TableEntry", "MatchActionTable", "Pipeline"]
+
+
+class MatchKind(enum.Enum):
+    """How one key field is matched."""
+
+    EXACT = "exact"
+    TERNARY = "ternary"  # value/mask
+    RANGE = "range"  # [lo, hi] inclusive
+    LPM = "lpm"  # longest-prefix on the integer's top bits
+
+    # Width (in bits) assumed for LPM keys.
+    LPM_BITS = 64
+
+
+@dataclass(frozen=True)
+class MatchPattern:
+    """One field's pattern inside an entry.
+
+    The interpretation of (value, mask) depends on the field's kind:
+
+    * EXACT:   field == value            (mask unused)
+    * TERNARY: field & mask == value & mask
+    * RANGE:   value <= field <= mask    (mask doubles as 'hi')
+    * LPM:     top-``mask`` bits of field equal top-``mask`` bits of value
+
+    ``wildcard()`` matches anything (ternary mask 0).
+    """
+
+    value: int = 0
+    mask: int = 0
+    is_wildcard: bool = False
+
+    @classmethod
+    def exact(cls, value: int) -> "MatchPattern":
+        return cls(value=int(value))
+
+    @classmethod
+    def ternary(cls, value: int, mask: int) -> "MatchPattern":
+        return cls(value=int(value), mask=int(mask))
+
+    @classmethod
+    def range(cls, lo: int, hi: int) -> "MatchPattern":
+        if lo > hi:
+            raise ValueError(f"range pattern requires lo <= hi, got [{lo}, {hi}]")
+        return cls(value=int(lo), mask=int(hi))
+
+    @classmethod
+    def lpm(cls, value: int, prefix_len: int) -> "MatchPattern":
+        if not 0 <= prefix_len <= 64:
+            raise ValueError(f"prefix_len must be in [0, 64], got {prefix_len}")
+        return cls(value=int(value), mask=int(prefix_len))
+
+    @classmethod
+    def wildcard(cls) -> "MatchPattern":
+        return cls(is_wildcard=True)
+
+    def matches(self, field_value: int, kind: MatchKind) -> bool:
+        if self.is_wildcard:
+            return True
+        if kind is MatchKind.EXACT:
+            return field_value == self.value
+        if kind is MatchKind.TERNARY:
+            return (field_value & self.mask) == (self.value & self.mask)
+        if kind is MatchKind.RANGE:
+            return self.value <= field_value <= self.mask
+        if kind is MatchKind.LPM:
+            prefix_len = self.mask
+            if prefix_len == 0:
+                return True
+            shift = 64 - prefix_len
+            return (field_value & ~((1 << shift) - 1)) == (
+                self.value & ~((1 << shift) - 1)
+            )
+        raise ValueError(f"unknown match kind {kind}")
+
+
+_entry_ids = itertools.count(1)
+
+
+@dataclass
+class TableEntry:
+    """One match/action entry: patterns, priority, action binding.
+
+    ``action`` names the bytecode action program (or a builtin) to run on
+    hit; ``action_data`` carries per-entry parameters visible to the
+    action through the context (e.g. ``{"ml": 1}`` selects model id 1).
+    Higher ``priority`` wins; insertion order breaks ties (stable).
+    """
+
+    patterns: tuple[MatchPattern, ...]
+    action: str
+    action_data: dict = field(default_factory=dict)
+    priority: int = 0
+    entry_id: int = field(default_factory=lambda: next(_entry_ids))
+    hits: int = 0
+
+    def matches(self, key_values: tuple[int, ...], kinds: tuple[MatchKind, ...]) -> bool:
+        return all(
+            p.matches(v, k) for p, v, k in zip(self.patterns, key_values, kinds)
+        )
+
+
+class MatchActionTable:
+    """A reconfigurable match-action table bound to a hook point.
+
+    Parameters
+    ----------
+    name:
+        Table name (e.g. ``page_prefetch_tab``).
+    key_fields:
+        Context field names forming the match key (e.g. ``["pid"]``).
+    kinds:
+        Match kind per key field; defaults to all-EXACT.
+    default_action:
+        Action to run on a miss (None = pipeline continues untouched).
+    max_entries:
+        Admission bound, checked by the verifier and at insert time.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key_fields: list[str],
+        kinds: list[MatchKind] | None = None,
+        default_action: str | None = None,
+        max_entries: int = 4096,
+    ) -> None:
+        if not key_fields:
+            raise ValueError(f"table {name!r} needs at least one key field")
+        self.name = name
+        self.key_fields = list(key_fields)
+        self.kinds = tuple(kinds) if kinds else tuple(
+            MatchKind.EXACT for _ in key_fields
+        )
+        if len(self.kinds) != len(self.key_fields):
+            raise ValueError(
+                f"table {name!r}: {len(self.kinds)} kinds for "
+                f"{len(self.key_fields)} key fields"
+            )
+        self.default_action = default_action
+        self.max_entries = max_entries
+        self._entries: list[TableEntry] = []
+        # Fast path for all-exact tables: key tuple -> entry.
+        self._all_exact = all(k is MatchKind.EXACT for k in self.kinds)
+        self._exact_index: dict[tuple[int, ...], TableEntry] = {}
+        self.lookups = 0
+        self.misses = 0
+
+    # -- entry management (the control-plane API calls these) -----------
+
+    def insert(self, entry: TableEntry) -> TableEntry:
+        if len(entry.patterns) != len(self.key_fields):
+            raise ValueError(
+                f"table {self.name!r}: entry has {len(entry.patterns)} patterns "
+                f"for {len(self.key_fields)} key fields"
+            )
+        if len(self._entries) >= self.max_entries:
+            raise MemoryError(f"table {self.name!r} full ({self.max_entries} entries)")
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: -e.priority)
+        if self._all_exact and not any(p.is_wildcard for p in entry.patterns):
+            self._exact_index[tuple(p.value for p in entry.patterns)] = entry
+        return entry
+
+    def insert_exact(
+        self, key_values: list[int], action: str, priority: int = 0, **action_data
+    ) -> TableEntry:
+        """Convenience: insert an all-exact entry keyed by raw values."""
+        patterns = tuple(MatchPattern.exact(v) for v in key_values)
+        return self.insert(
+            TableEntry(
+                patterns=patterns,
+                action=action,
+                action_data=action_data,
+                priority=priority,
+            )
+        )
+
+    def remove(self, entry_id: int) -> bool:
+        """Remove by entry id; returns whether anything was removed."""
+        for i, entry in enumerate(self._entries):
+            if entry.entry_id == entry_id:
+                del self._entries[i]
+                self._exact_index = {
+                    k: e for k, e in self._exact_index.items()
+                    if e.entry_id != entry_id
+                }
+                return True
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._exact_index.clear()
+
+    @property
+    def entries(self) -> list[TableEntry]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- matching ---------------------------------------------------------
+
+    def key_values(self, ctx: ExecutionContext) -> tuple[int, ...]:
+        return tuple(ctx.get(name) for name in self.key_fields)
+
+    def lookup(self, ctx: ExecutionContext) -> TableEntry | None:
+        """Match the current execution context; None on miss."""
+        self.lookups += 1
+        key = self.key_values(ctx)
+        if self._all_exact:
+            entry = self._exact_index.get(key)
+            if entry is not None:
+                entry.hits += 1
+                return entry
+            # Fall through: wildcard entries are not in the exact index.
+        for entry in self._entries:
+            if entry.matches(key, self.kinds):
+                entry.hits += 1
+                return entry
+        self.misses += 1
+        return None
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "entries": len(self._entries),
+            "lookups": self.lookups,
+            "misses": self.misses,
+            "hit_rate": 0.0 if self.lookups == 0
+            else 1.0 - self.misses / self.lookups,
+        }
+
+
+class Pipeline:
+    """An ordered sequence of tables executed at one hook point.
+
+    Execution walks the stages in order; each stage's matched action runs
+    in the VM, and an action's verdict can short-circuit the rest of the
+    pipeline (the paper's ``EXIT`` semantics: "ML-based actions will EXIT
+    the RMT pipeline and enter regular kernel execution").
+    """
+
+    def __init__(self, name: str, tables: list[MatchActionTable] | None = None) -> None:
+        self.name = name
+        self.tables: list[MatchActionTable] = list(tables or [])
+
+    def add_table(self, table: MatchActionTable) -> MatchActionTable:
+        if any(t.name == table.name for t in self.tables):
+            raise ValueError(f"pipeline {self.name!r} already has table {table.name!r}")
+        self.tables.append(table)
+        return table
+
+    def table(self, name: str) -> MatchActionTable:
+        for t in self.tables:
+            if t.name == name:
+                return t
+        raise KeyError(
+            f"pipeline {self.name!r} has no table {name!r}; "
+            f"known: {[t.name for t in self.tables]}"
+        )
+
+    def __iter__(self):
+        return iter(self.tables)
+
+    def __len__(self) -> int:
+        return len(self.tables)

@@ -1,0 +1,654 @@
+"""The RMT program verifier.
+
+Section 3.1: "A program verifier checks well-formedness and bounded
+execution, and it prevents arbitrary kernel calls or data modification."
+Section 3.2 adds the model-efficiency check ("the RMT verifier will
+statically check the model ... before JIT-compiling it"), and Section 3.3
+adds performance-interference guardrails ("the verifier may insert
+additional logic to enforce rate limits").
+
+What is verified, statically, per action program:
+
+1. **Well-formedness** — known opcodes, register indices in range for the
+   scalar/vector file each operand addresses, a terminal instruction
+   (EXIT/TAIL_CALL) at the end.
+2. **Bounded execution** — all jumps are *forward*, so the CFG is a DAG
+   and every path terminates; the verifier additionally computes the
+   longest path (worst-case dynamic instruction count), expands it
+   through the tail-call graph (which must itself be acyclic), and
+   compares it against the attach policy's budget.
+3. **Register discipline** — a register must be provably initialized on
+   every path before it is read (helper calls clobber the argument
+   registers, as in eBPF); vector register *lengths* are tracked as a
+   small abstract domain so shape mismatches in the ML ISA are caught at
+   load time, not at runtime.
+4. **No arbitrary kernel calls** — CALL targets must be registered
+   helpers granted to this attach type.
+5. **No arbitrary data modification** — ST_CTXT only to fields the schema
+   marks writable; map/table/tensor/model ids must all resolve.
+6. **Model efficiency** — every model's static cost (via
+   :mod:`repro.ml.cost_model`) must fit the attach policy's ops/memory/
+   latency budget, as must the program's pinned map+tensor memory.
+7. **Guardrails** — the attach policy may declare a verdict clamp (e.g.
+   "prefetch at most 64 pages"); the verifier attaches it to the program
+   so the datapath enforces it on every action verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ml.cost_model import CostBudget, estimate_cost
+from .bytecode import BytecodeProgram
+from .errors import VerifierError
+from .helpers import HelperRegistry
+from .isa import (
+    ARG_REGS,
+    N_SCALAR_REGS,
+    N_VECTOR_REGS,
+    OPCODE_SPECS,
+    RET_REG,
+    Opcode,
+)
+from .maps import HistoryMap, VectorMap
+from .program import RmtProgram
+
+__all__ = ["AttachPolicy", "VerificationReport", "Verifier"]
+
+#: Length conflict marker for the vector-shape abstract domain.
+_SHAPE_CONFLICT = -1
+
+
+@dataclass(frozen=True)
+class AttachPolicy:
+    """Per-hook admission policy the verifier enforces.
+
+    ``verdict_min``/``verdict_max`` are the rate-limit guardrail: the
+    datapath clamps every action verdict into this interval.  The
+    scheduler hook, for instance, uses [0, 1] (a boolean decision), while
+    the prefetch hook caps the number of prefetched pages.
+    """
+
+    attach_point: str
+    cost_budget: CostBudget = field(default_factory=CostBudget)
+    max_insns_per_action: int = 4096
+    max_dynamic_insns: int = 65536
+    verdict_min: int | None = None
+    verdict_max: int | None = None
+
+    def clamp_verdict(self, verdict: int) -> int:
+        if self.verdict_min is not None and verdict < self.verdict_min:
+            return self.verdict_min
+        if self.verdict_max is not None and verdict > self.verdict_max:
+            return self.verdict_max
+        return verdict
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one program."""
+
+    program_name: str
+    ok: bool = True
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    worst_case_insns: dict[str, int] = field(default_factory=dict)
+    model_costs: dict[int, object] = field(default_factory=dict)
+    guardrail: tuple[int | None, int | None] | None = None
+
+    def fail(self, message: str) -> None:
+        self.ok = False
+        self.errors.append(message)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise VerifierError(
+                f"program {self.program_name!r} rejected "
+                f"({len(self.errors)} errors):\n  " + "\n  ".join(self.errors)
+            )
+
+
+class Verifier:
+    """Static checker gating admission of RMT programs to the kernel."""
+
+    def __init__(self, policy: AttachPolicy, helpers: HelperRegistry | None = None):
+        self.policy = policy
+        self.helpers = helpers
+
+    # ------------------------------------------------------------------
+
+    def verify(self, program: RmtProgram) -> VerificationReport:
+        """Run all checks; returns a report (never raises)."""
+        report = VerificationReport(program_name=program.name)
+        if program.attach_point != self.policy.attach_point:
+            report.fail(
+                f"program targets {program.attach_point!r} but policy is for "
+                f"{self.policy.attach_point!r}"
+            )
+        if not program.actions:
+            report.fail("program has no actions")
+
+        for action in program.actions.values():
+            self._verify_action(action, program, report)
+            self._verify_action_ml_cost(action, program, report)
+
+        self._verify_tables(program, report)
+        self._verify_tail_call_graph(program, report)
+        self._verify_models(program, report)
+        self._verify_memory(program, report)
+
+        report.guardrail = (self.policy.verdict_min, self.policy.verdict_max)
+        if report.ok:
+            program.verified = True
+        return report
+
+    def verify_or_raise(self, program: RmtProgram) -> VerificationReport:
+        report = self.verify(program)
+        report.raise_if_failed()
+        return report
+
+    # -- per-action checks ------------------------------------------------
+
+    def _verify_action(
+        self, action: BytecodeProgram, program: RmtProgram, report: VerificationReport
+    ) -> None:
+        name = action.name
+        n = len(action.instructions)
+        if n == 0:
+            report.fail(f"action {name!r} is empty")
+            return
+        if n > self.policy.max_insns_per_action:
+            report.fail(
+                f"action {name!r} has {n} instructions, limit is "
+                f"{self.policy.max_insns_per_action}"
+            )
+            return
+
+        last = action.instructions[-1]
+        if not OPCODE_SPECS[last.opcode].is_terminal:
+            report.fail(
+                f"action {name!r} does not end with EXIT/TAIL_CALL "
+                f"(ends with {last.opcode.name})"
+            )
+
+        # Per-instruction static checks + CFG construction.
+        ok_structure = True
+        for pc, instr in enumerate(action.instructions):
+            if not self._check_instruction(pc, instr, program, report, name):
+                ok_structure = False
+            spec = OPCODE_SPECS[instr.opcode]
+            if spec.is_jump:
+                if instr.offset < 0:
+                    report.fail(
+                        f"{name}:{pc}: backward jump (offset {instr.offset}); "
+                        "only forward jumps are admissible (bounded execution)"
+                    )
+                    ok_structure = False
+                elif pc + 1 + instr.offset >= n:
+                    # Target == n would fall off the end; every path must
+                    # reach an explicit terminal instruction.
+                    report.fail(
+                        f"{name}:{pc}: jump target {pc + 1 + instr.offset} "
+                        f"beyond last instruction ({n - 1})"
+                    )
+                    ok_structure = False
+        if not ok_structure:
+            return
+
+        self._check_register_discipline(action, program, report)
+        report.worst_case_insns[name] = self._longest_path(action)
+
+    def _check_instruction(
+        self,
+        pc: int,
+        instr,
+        program: RmtProgram,
+        report: VerificationReport,
+        name: str,
+    ) -> bool:
+        """Operand-resolution checks for one instruction."""
+        ok = True
+        op = instr.opcode
+        spec = OPCODE_SPECS[op]
+
+        # Register-file range checks (vector ops use 8 regs, scalar 16).
+        if ("dst" in spec.vreads or "dst" in spec.vwrites) and not (
+            0 <= instr.dst < N_VECTOR_REGS
+        ):
+            report.fail(f"{name}:{pc}: vector register v{instr.dst} out of range")
+            ok = False
+        if "src" in spec.vreads and not 0 <= instr.src < N_VECTOR_REGS:
+            report.fail(f"{name}:{pc}: vector register v{instr.src} out of range")
+            ok = False
+
+        if op in (Opcode.LD_CTXT, Opcode.ST_CTXT):
+            if not program.schema.valid_id(instr.imm):
+                report.fail(
+                    f"{name}:{pc}: context field id {instr.imm} not in schema "
+                    f"{program.schema.name!r}"
+                )
+                ok = False
+            elif op is Opcode.ST_CTXT and not program.schema.is_writable(instr.imm):
+                report.fail(
+                    f"{name}:{pc}: ST_CTXT to read-only field "
+                    f"{program.schema.field_names[instr.imm]!r} "
+                    "(arbitrary data modification rejected)"
+                )
+                ok = False
+        elif op is Opcode.MATCH_CTXT:
+            if instr.imm not in program.table_ids.values():
+                report.fail(f"{name}:{pc}: MATCH_CTXT on unknown table id {instr.imm}")
+                ok = False
+        elif op in (
+            Opcode.MAP_LOOKUP,
+            Opcode.MAP_UPDATE,
+            Opcode.MAP_DELETE,
+            Opcode.MAP_PEEK,
+            Opcode.HIST_PUSH,
+            Opcode.VEC_LD,
+        ):
+            rmt_map = program.maps.get(instr.imm)
+            if rmt_map is None:
+                report.fail(f"{name}:{pc}: unknown map id {instr.imm}")
+                ok = False
+            elif op is Opcode.HIST_PUSH and not isinstance(rmt_map, HistoryMap):
+                report.fail(
+                    f"{name}:{pc}: HIST_PUSH requires a history map, "
+                    f"map {instr.imm} is {rmt_map.kind}"
+                )
+                ok = False
+            elif op is Opcode.VEC_LD and not isinstance(rmt_map, VectorMap):
+                report.fail(
+                    f"{name}:{pc}: VEC_LD requires a vector map, "
+                    f"map {instr.imm} is {rmt_map.kind}"
+                )
+                ok = False
+        elif op is Opcode.VEC_LD_HIST:
+            rmt_map = program.maps.get(instr.offset)
+            if not isinstance(rmt_map, HistoryMap):
+                report.fail(
+                    f"{name}:{pc}: VEC_LD_HIST map id {instr.offset} is not a "
+                    "history map"
+                )
+                ok = False
+            elif not 1 <= instr.imm <= rmt_map.depth:
+                report.fail(
+                    f"{name}:{pc}: VEC_LD_HIST window {instr.imm} out of "
+                    f"[1, {rmt_map.depth}]"
+                )
+                ok = False
+        elif op in (Opcode.MAT_MUL, Opcode.VEC_ADD, Opcode.VEC_MUL_T):
+            if not program.tensors.contains(instr.imm):
+                report.fail(f"{name}:{pc}: unknown tensor id {instr.imm}")
+                ok = False
+        elif op is Opcode.ML_INFER:
+            if instr.imm not in program.models:
+                report.fail(f"{name}:{pc}: ML_INFER on unknown model id {instr.imm}")
+                ok = False
+        elif op is Opcode.VEC_ZERO:
+            if instr.imm < 0:
+                report.fail(f"{name}:{pc}: VEC_ZERO negative length {instr.imm}")
+                ok = False
+        elif op is Opcode.CALL:
+            if self.helpers is None:
+                report.fail(
+                    f"{name}:{pc}: CALL but no helper registry bound to verifier"
+                )
+                ok = False
+            elif not self.helpers.contains_id(instr.imm):
+                report.fail(f"{name}:{pc}: CALL to unregistered helper {instr.imm}")
+                ok = False
+            elif instr.imm not in self.helpers.allowed_ids(self.policy.attach_point):
+                helper = self.helpers.by_id(instr.imm)
+                report.fail(
+                    f"{name}:{pc}: helper {helper.name!r} is not granted at "
+                    f"attach point {self.policy.attach_point!r} "
+                    "(arbitrary kernel calls rejected)"
+                )
+                ok = False
+        elif op is Opcode.TAIL_CALL:
+            if instr.imm not in program.action_ids.values():
+                report.fail(f"{name}:{pc}: TAIL_CALL to unknown action id {instr.imm}")
+                ok = False
+        return ok
+
+    # -- register discipline -----------------------------------------------
+
+    def _check_register_discipline(
+        self, action: BytecodeProgram, program: RmtProgram, report: VerificationReport
+    ) -> None:
+        """Forward dataflow: initialized-register sets and vector shapes.
+
+        Because jumps are forward-only, a single pass in program order
+        visits every predecessor of an instruction before the instruction
+        itself, so the meet-over-predecessors is exact.
+        """
+        n = len(action.instructions)
+        # in_state[pc] = (frozenset initialized scalar regs,
+        #                 frozenset initialized vregs,
+        #                 tuple of vreg lengths or None)
+        unknown = tuple([None] * N_VECTOR_REGS)
+        in_scalars: list[set[int] | None] = [None] * (n + 1)
+        in_vecs: list[set[int] | None] = [None] * (n + 1)
+        in_shapes: list[list[int | None] | None] = [None] * (n + 1)
+        in_scalars[0] = set()
+        in_vecs[0] = set()
+        in_shapes[0] = list(unknown)
+
+        def merge(pc: int, scalars: set[int], vecs: set[int], shapes: list) -> None:
+            if pc > n:
+                return
+            if in_scalars[pc] is None:
+                in_scalars[pc] = set(scalars)
+                in_vecs[pc] = set(vecs)
+                in_shapes[pc] = list(shapes)
+            else:
+                in_scalars[pc] &= scalars
+                in_vecs[pc] &= vecs
+                merged = in_shapes[pc]
+                for i in range(N_VECTOR_REGS):
+                    if merged[i] != shapes[i]:
+                        merged[i] = _SHAPE_CONFLICT
+
+        for pc in range(n):
+            if in_scalars[pc] is None:
+                # Unreachable instruction (all paths jump past it).
+                report.warnings.append(
+                    f"{action.name}:{pc}: unreachable instruction"
+                )
+                continue
+            instr = action.instructions[pc]
+            spec = OPCODE_SPECS[instr.opcode]
+            scalars = set(in_scalars[pc])
+            vecs = set(in_vecs[pc])
+            shapes = list(in_shapes[pc])
+
+            for slot in spec.reads:
+                reg = instr.dst if slot == "dst" else instr.src
+                if reg not in scalars:
+                    report.fail(
+                        f"{action.name}:{pc}: read of uninitialized register "
+                        f"r{reg} ({instr.opcode.name})"
+                    )
+            for slot in spec.vreads:
+                reg = instr.dst if slot == "dst" else instr.src
+                if reg not in vecs:
+                    report.fail(
+                        f"{action.name}:{pc}: read of uninitialized vector "
+                        f"register v{reg} ({instr.opcode.name})"
+                    )
+
+            op = instr.opcode
+            if op is Opcode.CALL:
+                scalars.add(RET_REG)
+                scalars.difference_update(ARG_REGS)  # clobbered, as in eBPF
+            else:
+                for slot in spec.writes:
+                    scalars.add(instr.dst if slot == "dst" else instr.src)
+            for slot in spec.vwrites:
+                reg = instr.dst if slot == "dst" else instr.src
+                vecs.add(reg)
+                shapes[reg] = self._static_vec_len(instr, program, shapes)
+
+            # Static shape checks for the ML ISA where lengths are known.
+            self._check_shapes(action.name, pc, instr, shapes, program, report)
+
+            if spec.is_terminal:
+                continue
+            if spec.is_jump:
+                target = pc + 1 + instr.offset
+                merge(target, scalars, vecs, shapes)
+                if op is not Opcode.JMP:
+                    merge(pc + 1, scalars, vecs, shapes)
+            else:
+                merge(pc + 1, scalars, vecs, shapes)
+
+    def _static_vec_len(
+        self, instr, program: RmtProgram, shapes: list
+    ) -> int | None:
+        """Best-effort static length of the vector an op writes."""
+        op = instr.opcode
+        if op is Opcode.VEC_ZERO:
+            return instr.imm
+        if op is Opcode.VEC_LD_HIST:
+            return instr.imm
+        if op is Opcode.VEC_LD:
+            rmt_map = program.maps.get(instr.imm)
+            return rmt_map.width if isinstance(rmt_map, VectorMap) else None
+        if op is Opcode.MAT_MUL:
+            if program.tensors.contains(instr.imm):
+                tensor = program.tensors.get(instr.imm)
+                if tensor.ndim == 2:
+                    return int(tensor.shape[0])
+            return None
+        if op in (Opcode.VEC_SET, Opcode.VEC_ADD, Opcode.VEC_RELU,
+                  Opcode.VEC_SHIFT, Opcode.VEC_SCALE, Opcode.VEC_MUL_T):
+            return shapes[instr.dst]  # length-preserving
+        if op is Opcode.VEC_MOV:
+            return shapes[instr.src]
+        return None
+
+    def _check_shapes(
+        self, name: str, pc: int, instr, shapes: list, program: RmtProgram,
+        report: VerificationReport,
+    ) -> None:
+        op = instr.opcode
+        if op is Opcode.MAT_MUL and program.tensors.contains(instr.imm):
+            tensor = program.tensors.get(instr.imm)
+            src_len = shapes[instr.src] if 0 <= instr.src < N_VECTOR_REGS else None
+            if (
+                tensor.ndim == 2
+                and src_len not in (None, _SHAPE_CONFLICT)
+                and tensor.shape[1] != src_len
+            ):
+                report.fail(
+                    f"{name}:{pc}: MAT_MUL shape mismatch — tensor {instr.imm} "
+                    f"is {tensor.shape}, v{instr.src} has length {src_len}"
+                )
+        elif op in (Opcode.VEC_ADD, Opcode.VEC_MUL_T) and program.tensors.contains(
+            instr.imm
+        ):
+            tensor = program.tensors.get(instr.imm)
+            dst_len = shapes[instr.dst]
+            if (
+                tensor.ndim == 1
+                and dst_len not in (None, _SHAPE_CONFLICT)
+                and tensor.shape[0] != dst_len
+            ):
+                report.fail(
+                    f"{name}:{pc}: {op.name} shape mismatch — tensor {instr.imm} "
+                    f"has length {tensor.shape[0]}, v{instr.dst} has {dst_len}"
+                )
+        elif op in (Opcode.VEC_SET, Opcode.SCALAR_VAL):
+            reg = instr.dst if op is Opcode.VEC_SET else instr.src
+            length = shapes[reg] if 0 <= reg < N_VECTOR_REGS else None
+            if length not in (None, _SHAPE_CONFLICT) and not (
+                0 <= instr.imm < length
+            ):
+                report.fail(
+                    f"{name}:{pc}: {op.name} index {instr.imm} out of bounds "
+                    f"for v{reg} (length {length})"
+                )
+
+    # -- whole-program checks -----------------------------------------------
+
+    @staticmethod
+    def _longest_path(action: BytecodeProgram) -> int:
+        """Worst-case dynamic instruction count (DAG longest path)."""
+        n = len(action.instructions)
+        # dist[pc] = longest number of instructions executed up to and
+        # including pc; process in order (forward jumps only).
+        dist = [0] * (n + 1)
+        reachable = [False] * (n + 1)
+        reachable[0] = True
+        worst = 0
+        for pc in range(n):
+            if not reachable[pc]:
+                continue
+            here = dist[pc] + 1
+            worst = max(worst, here)
+            instr = action.instructions[pc]
+            spec = OPCODE_SPECS[instr.opcode]
+            if spec.is_terminal:
+                continue
+            successors = []
+            if spec.is_jump:
+                successors.append(pc + 1 + instr.offset)
+                if instr.opcode is not Opcode.JMP:
+                    successors.append(pc + 1)
+            else:
+                successors.append(pc + 1)
+            for target in successors:
+                if target <= n:
+                    reachable[target] = True
+                    dist[target] = max(dist[target], here)
+        return worst
+
+    def _verify_tail_call_graph(
+        self, program: RmtProgram, report: VerificationReport
+    ) -> None:
+        """Tail-call graph must be a DAG; expand worst-case instruction
+        counts through it and compare against the dynamic budget."""
+        graph: dict[str, set[str]] = {name: set() for name in program.actions}
+        id_to_name = {aid: name for name, aid in program.action_ids.items()}
+        for name, action in program.actions.items():
+            for instr in action.instructions:
+                if instr.opcode is Opcode.TAIL_CALL and instr.imm in id_to_name:
+                    graph[name].add(id_to_name[instr.imm])
+
+        # Cycle detection via DFS coloring.
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in graph}
+
+        def dfs(node: str, stack: list[str]) -> bool:
+            color[node] = GREY
+            stack.append(node)
+            for succ in graph[node]:
+                if color[succ] == GREY:
+                    cycle = " -> ".join(stack + [succ])
+                    report.fail(
+                        f"tail-call cycle (unbounded execution): {cycle}"
+                    )
+                    return False
+                if color[succ] == WHITE and not dfs(succ, stack):
+                    return False
+            stack.pop()
+            color[node] = BLACK
+            return True
+
+        for name in graph:
+            if color[name] == WHITE:
+                if not dfs(name, []):
+                    return
+
+        # Expanded worst case: memoized longest chain over the DAG.
+        expanded: dict[str, int] = {}
+
+        def expand(name: str) -> int:
+            if name in expanded:
+                return expanded[name]
+            base = report.worst_case_insns.get(name, 0)
+            extra = max((expand(s) for s in graph[name]), default=0)
+            expanded[name] = base + extra
+            return expanded[name]
+
+        for name in graph:
+            total = expand(name)
+            if total > self.policy.max_dynamic_insns:
+                report.fail(
+                    f"action {name!r} worst-case dynamic instructions {total} "
+                    f"exceed budget {self.policy.max_dynamic_insns}"
+                )
+            report.worst_case_insns[name] = total
+
+    def _verify_tables(self, program: RmtProgram, report: VerificationReport) -> None:
+        for table in program.pipeline:
+            known_actions = set(program.actions)
+            if table.default_action is not None and (
+                table.default_action not in known_actions
+            ):
+                report.fail(
+                    f"table {table.name!r} default action "
+                    f"{table.default_action!r} does not exist"
+                )
+            for entry in table.entries:
+                if entry.action not in known_actions:
+                    report.fail(
+                        f"table {table.name!r} entry {entry.entry_id} action "
+                        f"{entry.action!r} does not exist"
+                    )
+                model_ref = entry.action_data.get("ml")
+                if model_ref is not None and model_ref not in program.models:
+                    report.fail(
+                        f"table {table.name!r} entry {entry.entry_id} references "
+                        f"unknown model id {model_ref}"
+                    )
+
+    def _verify_action_ml_cost(
+        self, action: BytecodeProgram, program: RmtProgram,
+        report: VerificationReport,
+    ) -> None:
+        """Static cost of the ML ISA instructions in one action.
+
+        A model lowered to bytecode is tensors + MAT_MUL/VEC_* ops, so the
+        paper's model-efficiency gate must be computed from the
+        instruction stream, not only from registered model objects.  The
+        sum over all ML instructions is a (conservative) upper bound on
+        any execution path.
+        """
+        from ..ml.cost_model import CPU_COST_MODEL, estimate_cost
+
+        ops = 0
+        tensor_bytes = 0
+        for instr in action.instructions:
+            if instr.opcode in (Opcode.MAT_MUL, Opcode.VEC_ADD,
+                                Opcode.VEC_MUL_T):
+                if program.tensors.contains(instr.imm):
+                    tensor = program.tensors.get(instr.imm)
+                    ops += int(tensor.size)
+                    tensor_bytes += int(tensor.size) * 8
+            elif instr.opcode is Opcode.ML_INFER:
+                model = program.models.get(instr.imm)
+                if model is not None:
+                    try:
+                        ops += estimate_cost(model).ops
+                    except Exception:  # noqa: BLE001 - reported elsewhere
+                        pass
+        if ops == 0:
+            return
+        budget = self.policy.cost_budget
+        latency = CPU_COST_MODEL.latency_ns(ops, tensor_bytes)
+        if ops > budget.max_ops:
+            report.fail(
+                f"action {action.name!r}: static ML op count {ops} exceeds "
+                f"budget {budget.max_ops}"
+            )
+        if latency > budget.max_latency_ns:
+            report.fail(
+                f"action {action.name!r}: estimated ML latency "
+                f"{latency:.0f}ns exceeds budget "
+                f"{budget.max_latency_ns:.0f}ns"
+            )
+
+    def _verify_models(self, program: RmtProgram, report: VerificationReport) -> None:
+        budget = self.policy.cost_budget
+        for model_id, model in program.models.items():
+            try:
+                cost = estimate_cost(model)
+            except Exception as exc:  # noqa: BLE001 - any cost failure rejects
+                report.fail(f"model {model_id}: cost estimation failed: {exc}")
+                continue
+            report.model_costs[model_id] = cost
+            sig = model.cost_signature()
+            layers = len(sig.get("layer_sizes", [0, 0])) - 1 if sig["kind"] == "mlp" \
+                else len(sig.get("layers", [None]))
+            for problem in budget.violations(cost, layers=layers):
+                report.fail(f"model {model_id} rejected: {problem}")
+
+    def _verify_memory(self, program: RmtProgram, report: VerificationReport) -> None:
+        memory = program.memory_bytes()
+        if memory > self.policy.cost_budget.max_memory_bytes:
+            report.fail(
+                f"program pins {memory}B of kernel memory, budget is "
+                f"{self.policy.cost_budget.max_memory_bytes}B"
+            )

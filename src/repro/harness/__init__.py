@@ -1,0 +1,63 @@
+"""Experiment harness: one driver per paper table/figure plus ablations."""
+
+from .ablations import (
+    ablation_distillation,
+    ablation_execution_tiers,
+    ablation_lean_monitoring,
+    ablation_online_vs_offline,
+    ablation_privacy,
+    ablation_quantization,
+    ablation_verifier_latency,
+    build_reference_program,
+    verifier_rejection_taxonomy,
+)
+from .prefetch_experiment import (
+    PAPER_TABLE1,
+    PrefetchResult,
+    make_prefetcher,
+    run_prefetch_experiment,
+    run_trace,
+    table1_workloads,
+)
+from .net_experiment import NetResult, run_net_experiment, run_policy
+from .report import format_table, format_table1, format_table2
+from .sched_experiment import (
+    PAPER_TABLE2,
+    SchedCell,
+    SchedExperimentConfig,
+    SchedExperimentResult,
+    collect_decision_dataset,
+    run_sched_experiment,
+    train_migration_mlp,
+)
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "NetResult",
+    "PrefetchResult",
+    "SchedCell",
+    "SchedExperimentConfig",
+    "SchedExperimentResult",
+    "ablation_distillation",
+    "ablation_execution_tiers",
+    "ablation_lean_monitoring",
+    "ablation_online_vs_offline",
+    "ablation_privacy",
+    "ablation_quantization",
+    "ablation_verifier_latency",
+    "build_reference_program",
+    "collect_decision_dataset",
+    "format_table",
+    "format_table1",
+    "format_table2",
+    "make_prefetcher",
+    "run_net_experiment",
+    "run_policy",
+    "run_prefetch_experiment",
+    "run_sched_experiment",
+    "run_trace",
+    "table1_workloads",
+    "train_migration_mlp",
+    "verifier_rejection_taxonomy",
+]

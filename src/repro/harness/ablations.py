@@ -1,0 +1,471 @@
+"""Ablation drivers for the design choices DESIGN.md calls out.
+
+Each function is a self-contained experiment returning plain dict rows;
+``benchmarks/bench_ablation_*.py`` wrap them for pytest-benchmark, and
+the examples print them.
+
+A — lean monitoring: mimicry accuracy vs number of monitored features,
+    with the monitoring overhead eliminated at each step (Section 2.1 #1).
+B — execution tiers: interpreter vs JIT on the same verified program
+    (Section 3.1, "interpreted mode or JIT compiled ... for efficiency").
+C — quantization: float→int agreement and accuracy vs bit width
+    (Section 3.2, quantized inference).
+D — verifier: admission latency vs program size, plus the rejection
+    taxonomy (every class of program the verifier must catch).
+E — online vs offline training under workload drift (Section 3.2).
+F — differential privacy: aggregate-query error vs epsilon and budget
+    exhaustion (Section 3.3).
+G — knowledge distillation: teacher MLP → student decision tree, both
+    compiled to kernel bytecode (Section 3.2, "ML inference").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.context import ContextSchema
+from ..core.errors import PrivacyBudgetExceeded, VerifierError
+from ..core.interpreter import Interpreter, RuntimeEnv
+from ..core.jit import JitCompiler
+from ..core.maps import HashMap, HistoryMap
+from ..core.privacy import LaplaceMechanism, PrivacyBudget, PrivateAggregator
+from ..core.program import ProgramBuilder
+from ..core.tables import MatchActionTable
+from ..core.bytecode import BytecodeProgram, Instruction
+from ..core.isa import Opcode
+from ..core.verifier import AttachPolicy, Verifier
+from ..kernel.mm.prefetch import LeapPrefetcher
+from ..kernel.mm.rmt_prefetch import RmtMlPrefetcher
+from ..kernel.mm.swap import SwapSubsystem
+from ..kernel.storage import RemoteMemoryModel
+from ..ml.decision_tree import IntegerDecisionTree
+from ..ml.mlp import QuantizedMLP
+from ..workloads.traces import phased_trace
+from .sched_experiment import (
+    SchedExperimentConfig,
+    collect_decision_dataset,
+    default_monitors,
+    select_lean_features,
+    train_migration_mlp,
+)
+from ..kernel.monitor import MonitoringPlan
+from ..ml.feature_selection import permutation_importance
+
+__all__ = [
+    "ablation_lean_monitoring",
+    "ablation_execution_tiers",
+    "ablation_quantization",
+    "ablation_verifier_latency",
+    "ablation_online_vs_offline",
+    "ablation_privacy",
+    "ablation_distillation",
+    "build_reference_program",
+    "verifier_rejection_taxonomy",
+]
+
+
+# ---------------------------------------------------------------------------
+# A — lean monitoring
+# ---------------------------------------------------------------------------
+
+def ablation_lean_monitoring(
+    feature_counts: tuple[int, ...] = (15, 8, 4, 2, 1),
+    config: SchedExperimentConfig | None = None,
+) -> list[dict]:
+    """Accuracy vs number of monitored features, with overhead savings."""
+    config = config or SchedExperimentConfig()
+    x, y, held_out = collect_decision_dataset(config)
+    full_float, _ = train_migration_mlp(x, y, config)
+    ranking = permutation_importance(
+        full_float, x.astype(np.float64), y, n_repeats=3, seed=0
+    )
+    monitors = default_monitors()
+    full_cost = MonitoringPlan.all_enabled(monitors).cost_per_sample_ns()
+    rows = []
+    for k in feature_counts:
+        if k >= x.shape[1]:
+            selected = list(range(x.shape[1]))
+        elif k == config.lean_features:
+            selected = select_lean_features(full_float, x, y, config)
+        else:
+            selected = ranking.top(k)
+        _, lean_q = train_migration_mlp(x, y, config, mask=selected, seed=1)
+        accs = []
+        for x_test, y_test in held_out.values():
+            masked = np.zeros_like(x_test, dtype=np.float64)
+            masked[:, selected] = x_test[:, selected]
+            accs.append(float(np.mean(lean_q.predict(masked) == y_test)))
+        plan = MonitoringPlan.lean(monitors, selected)
+        rows.append({
+            "n_features": k,
+            "mean_accuracy_pct": 100.0 * float(np.mean(accs)),
+            "min_accuracy_pct": 100.0 * float(np.min(accs)),
+            "overhead_saved_pct": 100.0 * (
+                1.0 - plan.cost_per_sample_ns() / full_cost
+            ),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# B — interpreter vs JIT
+# ---------------------------------------------------------------------------
+
+def build_reference_program():
+    """A representative verified program used by the tier comparison:
+    context loads, map traffic, arithmetic, branches and an ML call."""
+    schema = ContextSchema("bench_hook")
+    schema.add_field("pid")
+    schema.add_field("value")
+    builder = ProgramBuilder("bench_prog", "bench_hook", schema)
+    builder.add_map("stats", HashMap("stats"))
+    builder.add_table(MatchActionTable("tab", ["pid"]))
+    rng = np.random.default_rng(0)
+    xt = rng.integers(-64, 64, size=(400, 4))
+    yt = (xt.sum(axis=1) > 0).astype(int)
+    builder.add_model(0, IntegerDecisionTree(max_depth=6).fit(xt, yt))
+    builder.add_map("hist", HistoryMap("hist", depth=8))
+    instrs = [
+        Instruction(Opcode.LD_CTXT, dst=1, imm=0),
+        Instruction(Opcode.LD_CTXT, dst=2, imm=1),
+        Instruction(Opcode.HIST_PUSH, dst=1, src=2, imm=1),
+        Instruction(Opcode.MAP_LOOKUP, dst=3, src=1, imm=0),
+        Instruction(Opcode.ADD_IMM, dst=3, imm=1),
+        Instruction(Opcode.MAP_UPDATE, dst=1, src=3, imm=0),
+        Instruction(Opcode.VEC_LD_HIST, dst=0, src=1, offset=1, imm=4),
+        Instruction(Opcode.ML_INFER, dst=4, src=0, imm=0),
+        Instruction(Opcode.MOV, dst=0, src=4),
+        Instruction(Opcode.JLE_IMM, dst=3, imm=10, offset=1),
+        Instruction(Opcode.ADD_IMM, dst=0, imm=100),
+        Instruction(Opcode.EXIT),
+    ]
+    builder.add_action(BytecodeProgram("act", instrs))
+    program = builder.build()
+    Verifier(AttachPolicy("bench_hook")).verify_or_raise(program)
+    return program, schema
+
+
+def ablation_execution_tiers(iterations: int = 2000) -> dict:
+    """Wall-clock per invocation: interpreter vs JIT on the same program."""
+    import timeit
+
+    program, schema = build_reference_program()
+    interp = Interpreter()
+    action = program.action("act")
+    jitted = JitCompiler().compile_program(program)
+
+    def run_interp():
+        env = RuntimeEnv(program=program,
+                         ctx=schema.new_context(pid=1, value=42))
+        return interp.run(action, env)
+
+    def run_jit():
+        env = RuntimeEnv(program=program,
+                         ctx=schema.new_context(pid=1, value=42))
+        return jitted.run("act", env)
+
+    if run_interp() != run_jit():
+        raise AssertionError("tier divergence in the reference program")
+    t_interp = timeit.timeit(run_interp, number=iterations) / iterations
+    t_jit = timeit.timeit(run_jit, number=iterations) / iterations
+    return {
+        "interp_us": t_interp * 1e6,
+        "jit_us": t_jit * 1e6,
+        "speedup": t_interp / t_jit,
+    }
+
+
+# ---------------------------------------------------------------------------
+# C — quantization sweep
+# ---------------------------------------------------------------------------
+
+def ablation_quantization(
+    bit_widths: tuple[int, ...] = (16, 8, 6, 4, 3, 2),
+    config: SchedExperimentConfig | None = None,
+) -> list[dict]:
+    """Quantized-vs-float fidelity and accuracy per bit width."""
+    config = config or SchedExperimentConfig()
+    x, y, held_out = collect_decision_dataset(config)
+    full_float, _ = train_migration_mlp(x, y, config)
+    x_test = np.vstack([xt for xt, _ in held_out.values()])
+    y_test = np.concatenate([yt for _, yt in held_out.values()])
+    float_acc = full_float.accuracy(x_test.astype(np.float64), y_test)
+    rows = []
+    for bits in bit_widths:
+        qmlp = QuantizedMLP.from_float(
+            full_float, x[: min(len(x), 512)].astype(np.float64), bits=bits
+        )
+        rows.append({
+            "bits": bits,
+            "accuracy_pct": 100.0 * qmlp.accuracy(
+                x_test.astype(np.float64), y_test
+            ),
+            "float_accuracy_pct": 100.0 * float_acc,
+            "agreement_pct": 100.0 * qmlp.agreement(
+                full_float, x_test.astype(np.float64)
+            ),
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# D — verifier latency and rejection taxonomy
+# ---------------------------------------------------------------------------
+
+def _straightline_program(n_instrs: int):
+    """A verifiable program of n instructions (ALU chain + EXIT)."""
+    schema = ContextSchema("bench_hook")
+    schema.add_field("pid")
+    builder = ProgramBuilder(f"chain_{n_instrs}", "bench_hook", schema)
+    builder.add_table(MatchActionTable("tab", ["pid"]))
+    instrs = [Instruction(Opcode.MOV_IMM, dst=0, imm=1)]
+    for i in range(max(n_instrs - 2, 0)):
+        instrs.append(Instruction(Opcode.ADD_IMM, dst=0, imm=i % 7))
+    instrs.append(Instruction(Opcode.EXIT))
+    builder.add_action(BytecodeProgram("act", instrs))
+    return builder.build()
+
+
+def ablation_verifier_latency(
+    sizes: tuple[int, ...] = (16, 64, 256, 1024, 4096),
+) -> list[dict]:
+    """Verification wall-clock vs program size."""
+    import timeit
+
+    rows = []
+    for size in sizes:
+        program = _straightline_program(size)
+        verifier = Verifier(AttachPolicy("bench_hook"))
+
+        def verify(p=program, v=verifier):
+            p.verified = False
+            report = v.verify(p)
+            assert report.ok
+        t = timeit.timeit(verify, number=5) / 5
+        rows.append({"instructions": size, "verify_ms": t * 1e3})
+    return rows
+
+
+def verifier_rejection_taxonomy() -> list[dict]:
+    """One malformed program per safety property; all must be rejected."""
+    schema = ContextSchema("bench_hook")
+    schema.add_field("pid")
+    schema.add_field("rw", writable=True)
+
+    cases = []
+
+    def case(name: str, instrs: list[Instruction]) -> None:
+        builder = ProgramBuilder(f"bad_{name}", "bench_hook", schema)
+        builder.add_table(MatchActionTable("tab", ["pid"]))
+        builder.add_action(BytecodeProgram("act", instrs))
+        program = builder.build()
+        try:
+            Verifier(AttachPolicy("bench_hook")).verify_or_raise(program)
+            rejected = False
+            reason = ""
+        except VerifierError as exc:
+            rejected = True
+            reason = str(exc).splitlines()[-1].strip()
+        cases.append({"case": name, "rejected": rejected, "reason": reason})
+
+    case("no_exit", [Instruction(Opcode.MOV_IMM, dst=0, imm=1)])
+    case("uninitialized_read", [
+        Instruction(Opcode.MOV, dst=0, src=5),
+        Instruction(Opcode.EXIT),
+    ])
+    case("bad_ctxt_field", [
+        Instruction(Opcode.LD_CTXT, dst=0, imm=99),
+        Instruction(Opcode.EXIT),
+    ])
+    case("readonly_store", [
+        Instruction(Opcode.MOV_IMM, dst=0, imm=1),
+        Instruction(Opcode.ST_CTXT, src=0, imm=0),  # field 'pid' read-only
+        Instruction(Opcode.EXIT),
+    ])
+    case("unknown_map", [
+        Instruction(Opcode.MOV_IMM, dst=1, imm=0),
+        Instruction(Opcode.MAP_LOOKUP, dst=0, src=1, imm=7),
+        Instruction(Opcode.EXIT),
+    ])
+    case("ungranted_helper", [
+        Instruction(Opcode.CALL, imm=1),
+        Instruction(Opcode.EXIT),
+    ])
+    case("unknown_model", [
+        Instruction(Opcode.VEC_ZERO, dst=0, imm=4),
+        Instruction(Opcode.ML_INFER, dst=0, src=0, imm=3),
+        Instruction(Opcode.EXIT),
+    ])
+    return cases
+
+
+# ---------------------------------------------------------------------------
+# E — online vs offline training under drift
+# ---------------------------------------------------------------------------
+
+def ablation_online_vs_offline(n_accesses: int = 3600) -> list[dict]:
+    """Prefetch quality on a phase-switching trace.
+
+    The offline arm trains once on the first phase and never retrains
+    (``retrain_every`` larger than the trace); the online arm retrains
+    every window.  Leap is included as the adaptive-heuristic reference.
+    """
+    workload = phased_trace(n_accesses)
+    rows = []
+    arms = {
+        "offline-ml": RmtMlPrefetcher(retrain_every=10 * n_accesses,
+                                      feature_window=4),
+        "online-ml": RmtMlPrefetcher(retrain_every=256, feature_window=4),
+        "leap": LeapPrefetcher(),
+    }
+    for name, prefetcher in arms.items():
+        swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=64,
+                             prefetcher=prefetcher)
+        now = 0
+        for page in workload.accesses:
+            result = swap.access(workload.pid, page, now)
+            now = result.available_at + workload.compute_ns_per_access
+        rows.append({
+            "arm": name,
+            "accuracy_pct": 100.0 * swap.stats.prefetch_accuracy,
+            "coverage_pct": 100.0 * swap.stats.coverage,
+            "jct_ms": now / 1e6,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# G — distillation: teacher MLP -> student tree, both as kernel bytecode
+# ---------------------------------------------------------------------------
+
+def ablation_distillation(
+    config: SchedExperimentConfig | None = None,
+    iterations: int = 300,
+) -> dict:
+    """Distill the CFS-mimicry MLP into an integer decision tree and
+    compare the two *as installed kernel datapaths* (Section 3.2:
+    distillation to "drastically smaller students ... or even decision
+    trees", which also serves lean monitoring via interpretability).
+
+    Reports fidelity (student vs teacher), accuracy (vs the CFS
+    heuristic), static cost, and measured per-inference latency of the
+    compiled bytecode in the JIT tier.
+    """
+    import timeit
+
+    from ..core.maps import VectorMap
+    from ..core.model_compiler import compile_mlp_action, compile_tree_action
+    from ..core.tables import MatchPattern, TableEntry
+    from ..kernel.sched.features import N_FEATURES
+    from ..kernel.sched.rmt_sched import build_sched_hook
+    from ..kernel.syscalls import RmtSyscallInterface
+    from ..ml.cost_model import estimate_cost
+    from ..ml.distillation import distill_to_tree, fidelity
+    from ..ml.mlp import QuantizedMLP as _QMLP
+
+    config = config or SchedExperimentConfig()
+    x, y, held_out = collect_decision_dataset(config)
+    teacher_float, teacher_q = train_migration_mlp(x, y, config)
+    student = distill_to_tree(
+        teacher_float, x.astype(np.float64), n_synthetic=2 * len(y),
+        tree_params={"max_depth": 8}, seed=0,
+    )
+    x_test = np.vstack([xt for xt, _ in held_out.values()])
+    y_test = np.concatenate([yt for _, yt in held_out.values()])
+
+    # Install both as compiled bytecode at a fresh scheduler hook.
+    from ..core.program import ProgramBuilder
+
+    hooks = build_sched_hook()
+    schema = hooks.hook("can_migrate_task").schema
+    builder = ProgramBuilder("distill_cmp", "can_migrate_task", schema)
+    builder.add_map("features", VectorMap("features", width=N_FEATURES))
+    table = builder.add_table(
+        __import__("repro.core.tables", fromlist=["MatchActionTable"])
+        .MatchActionTable("tab", ["cpu"])
+    )
+    compile_mlp_action(builder, teacher_q, "features", "cpu",
+                       name="teacher_infer")
+    compile_tree_action(builder, student, "features", "cpu",
+                        name="student_infer")
+    table.insert(TableEntry(patterns=(MatchPattern.wildcard(),),
+                            action="teacher_infer"))
+    program = builder.build()
+    iface = RmtSyscallInterface(hooks)
+    iface.install(program, mode="jit")
+    datapath = iface.datapath("distill_cmp")
+    features_map = program.map_by_name("features")
+
+    from ..core.interpreter import RuntimeEnv
+
+    def run_action(name, row):
+        features_map.set_vector(0, row.astype(np.int64))
+        return datapath._jitted.run(
+            name, RuntimeEnv(program=program, ctx=schema.new_context(cpu=0))
+        )
+
+    sample = x_test[0]
+    t_teacher = timeit.timeit(
+        lambda: run_action("teacher_infer", sample), number=iterations
+    ) / iterations
+    t_student = timeit.timeit(
+        lambda: run_action("student_infer", sample), number=iterations
+    ) / iterations
+
+    return {
+        "fidelity_pct": 100.0 * fidelity(
+            student, teacher_float, np.rint(x_test).astype(np.int64)
+        ),
+        "teacher_acc_pct": 100.0 * float(
+            np.mean(teacher_q.predict(x_test.astype(np.float64)) == y_test)),
+        "student_acc_pct": 100.0 * float(
+            np.mean(student.predict(np.rint(x_test).astype(np.int64))
+                    == y_test)),
+        "teacher_static_ops": estimate_cost(teacher_q).ops,
+        "student_static_ops": estimate_cost(student).ops,
+        "teacher_us": t_teacher * 1e6,
+        "student_us": t_student * 1e6,
+        "student_depth": student.depth_,
+        "student_nodes": student.n_nodes_,
+    }
+
+
+# ---------------------------------------------------------------------------
+# F — differential privacy
+# ---------------------------------------------------------------------------
+
+def ablation_privacy(
+    epsilons: tuple[float, ...] = (0.1, 0.5, 1.0, 5.0),
+    n_apps: int = 64,
+    queries_per_epsilon: int = 50,
+    seed: int = 0,
+) -> list[dict]:
+    """Noised-aggregate error vs epsilon, plus budget-exhaustion counts."""
+    rng = np.random.default_rng(seed)
+    stats_map = HashMap("per_app_faults", max_entries=256)
+    true_values = rng.integers(0, 1000, size=n_apps)
+    for pid, value in enumerate(true_values):
+        stats_map.update(pid + 1, int(value))
+    true_mean = float(true_values.mean())
+
+    rows = []
+    for epsilon in epsilons:
+        budget = PrivacyBudget(total_epsilon=epsilon * queries_per_epsilon)
+        agg = PrivateAggregator(
+            budget, LaplaceMechanism(seed=seed), value_bound=1024
+        )
+        errors = []
+        denied = 0
+        for _ in range(queries_per_epsilon + 5):  # overrun the budget
+            try:
+                errors.append(abs(agg.mean(stats_map, epsilon) - true_mean))
+            except PrivacyBudgetExceeded:
+                denied += 1
+        rows.append({
+            "epsilon": epsilon,
+            "mean_abs_error": float(np.mean(errors)),
+            "queries_answered": len(errors),
+            "queries_denied": denied,
+            "budget_spent": budget.spent,
+        })
+    return rows

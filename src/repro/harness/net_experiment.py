@@ -1,0 +1,88 @@
+"""The networking extension experiment: learned interrupt coalescing.
+
+Compares three RX coalescing policies on a mixed-flow packet schedule:
+
+* ``immediate``   — interrupt per packet,
+* ``fixed-64us``  — the static `ethtool -C rx-usecs 64` compromise,
+* ``rmt-ml``      — the paper's architecture at a third kernel hook:
+  per-flow gap history in RMT maps, an online-trained tree predicting
+  the next gap, per-flow holdoff verdicts clamped by the guardrail.
+
+The claim (asserted by ``benchmarks/bench_extension_net_coalesce.py``):
+the learned policy approaches immediate delivery's *latency* for
+latency-sensitive flows while approaching fixed coalescing's *interrupt
+rate* for bulk flows — the corner neither static policy can reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..kernel.net.coalesce import FixedPolicy, ImmediatePolicy, RmtMlCoalescer
+from ..kernel.net.device import NicDevice, Packet
+from ..kernel.sim import Simulator
+from ..workloads.netflows import mixed_flows
+
+__all__ = ["NetResult", "run_policy", "run_net_experiment"]
+
+
+@dataclass
+class NetResult:
+    """One policy's outcome on the shared workload."""
+
+    policy: str
+    mean_latency_us: float
+    p99_latency_us: float
+    rpc_latency_us: float
+    bulk_latency_us: float
+    interrupts_per_kpkt: float
+    packets_per_interrupt: float
+    irq_cpu_ms: float
+    extra: dict
+
+    def row(self) -> dict:
+        return {
+            "policy": self.policy,
+            "rpc_latency_us": round(self.rpc_latency_us, 2),
+            "bulk_latency_us": round(self.bulk_latency_us, 2),
+            "p99_latency_us": round(self.p99_latency_us, 2),
+            "interrupts_per_kpkt": round(self.interrupts_per_kpkt, 1),
+            "packets_per_interrupt": round(self.packets_per_interrupt, 2),
+            "irq_cpu_ms": round(self.irq_cpu_ms, 3),
+        }
+
+
+def run_policy(policy, packets: list[Packet],
+               classes: dict[str, list[int]] | None = None,
+               irq_cost_ns: int = 8_000) -> NetResult:
+    """Replay a packet schedule under one coalescing policy."""
+    sim = Simulator()
+    nic = NicDevice(sim, policy, irq_cost_ns=irq_cost_ns)
+    nic.submit_all(packets)
+    stats = nic.run()
+    classes = classes or {}
+    extra = policy.stats() if hasattr(policy, "stats") else {}
+    return NetResult(
+        policy=policy.name,
+        mean_latency_us=stats.mean_latency_us,
+        p99_latency_us=stats.p99_latency_us,
+        rpc_latency_us=stats.flow_mean_latency_us(
+            classes.get("latency", [])),
+        bulk_latency_us=stats.flow_mean_latency_us(classes.get("bulk", [])),
+        interrupts_per_kpkt=stats.interrupts_per_kpkt,
+        packets_per_interrupt=stats.packets_per_interrupt,
+        irq_cpu_ms=stats.irq_cpu_ns / 1e6,
+        extra=extra,
+    )
+
+
+def run_net_experiment(duration_ms: int = 50,
+                       seed: int = 0) -> list[NetResult]:
+    """The full policy comparison on one shared workload."""
+    packets, classes = mixed_flows(duration_ms=duration_ms, seed=seed)
+    policies = [
+        ImmediatePolicy(),
+        FixedPolicy(holdoff_us=64),
+        RmtMlCoalescer(),
+    ]
+    return [run_policy(policy, packets, classes) for policy in policies]

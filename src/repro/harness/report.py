@@ -1,0 +1,72 @@
+"""Paper-vs-measured table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_table1", "format_table2"]
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Plain fixed-width table (no external deps)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(row):
+        return "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def format_table1(results, paper: dict) -> str:
+    """Render Table 1 with the paper's numbers alongside ours."""
+    headers = ["workload", "prefetcher",
+               "acc% (paper)", "cov% (paper)", "jct (paper ratio)"]
+    rows = []
+    # Normalize JCTs to each workload's rmt-ml cell so the paper's and
+    # our absolute scales (seconds on a testbed vs a simulated clock)
+    # compare as ratios.
+    ml_jct = {r.workload: r.jct_s for r in results if r.prefetcher == "rmt-ml"}
+    for r in results:
+        ref = paper.get(r.workload, {}).get(r.prefetcher, {})
+        paper_ml = paper.get(r.workload, {}).get("rmt-ml", {}).get("jct_s")
+        paper_ratio = (
+            f"{ref['jct_s'] / paper_ml:.2f}x" if ref and paper_ml else "-"
+        )
+        our_ratio = (
+            f"{r.jct_s / ml_jct[r.workload]:.2f}x"
+            if ml_jct.get(r.workload) else "-"
+        )
+        rows.append([
+            r.workload,
+            r.prefetcher,
+            f"{r.accuracy_pct:.1f} ({ref.get('accuracy', '-')})",
+            f"{r.coverage_pct:.1f} ({ref.get('coverage', '-')})",
+            f"{our_ratio} ({paper_ratio})",
+        ])
+    return format_table(headers, rows)
+
+
+def format_table2(result, paper: dict) -> str:
+    """Render Table 2 with the paper's numbers alongside ours."""
+    headers = ["benchmark", "full acc% (paper)", "lean acc% (paper)",
+               "full jct/linux (paper)", "lean jct/linux (paper)"]
+    rows = []
+    for cell in result.cells:
+        ref = paper.get(cell.benchmark, {})
+        paper_full_ratio = (
+            f"{ref['full_jct_s'] / ref['linux_jct_s']:.3f}" if ref else "-"
+        )
+        paper_lean_ratio = (
+            f"{ref['lean_jct_s'] / ref['linux_jct_s']:.3f}" if ref else "-"
+        )
+        rows.append([
+            cell.benchmark,
+            f"{cell.full_acc_pct:.1f} ({ref.get('full_acc', '-')})",
+            f"{cell.lean_acc_pct:.1f} ({ref.get('lean_acc', '-')})",
+            f"{cell.full_jct_s / cell.linux_jct_s:.3f} ({paper_full_ratio})",
+            f"{cell.lean_jct_s / cell.linux_jct_s:.3f} ({paper_lean_ratio})",
+        ])
+    return format_table(headers, rows)

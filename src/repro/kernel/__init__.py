@@ -1,0 +1,27 @@
+"""The simulated kernel substrate: DES core, storage, hooks, mm, sched, net."""
+
+from .hooks import HookPoint, HookRegistry
+from .monitor import KernelMonitor, MonitoringPlan, MonitorSpec
+from .sim import NS_PER_MS, NS_PER_SEC, NS_PER_US, Event, Simulator
+from .storage import HddModel, RemoteMemoryModel, SsdModel, StorageModel
+from .syscalls import RmtSyscallInterface, sys_rmt_install, sys_rmt_uninstall
+
+__all__ = [
+    "Event",
+    "HddModel",
+    "HookPoint",
+    "HookRegistry",
+    "KernelMonitor",
+    "MonitorSpec",
+    "MonitoringPlan",
+    "NS_PER_MS",
+    "NS_PER_SEC",
+    "NS_PER_US",
+    "RemoteMemoryModel",
+    "RmtSyscallInterface",
+    "Simulator",
+    "SsdModel",
+    "StorageModel",
+    "sys_rmt_install",
+    "sys_rmt_uninstall",
+]

@@ -1,0 +1,103 @@
+"""Kernel hook points — where RMT tables are installed.
+
+Section 3.1: "tables are installed into the kernel at points where
+performance-critical events occur".  The hook registry is the kernel-side
+half of that sentence: each subsystem declares its hooks (named after the
+real kernel functions — ``lookup_swap_cache``, ``swap_cluster_readahead``,
+``can_migrate_task``), publishing a context schema, an attach policy, and
+the helper grants; installed RMT datapaths attach to hooks, and the
+subsystem fires the hook at the corresponding point in its code.
+
+Multiple programs may attach to one hook (like multiple XDP programs on a
+device); they run in install order and the last verdict wins — but the
+standard configuration is one program per hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.context import ContextSchema, ExecutionContext
+from ..core.control_plane import RmtDatapath
+from ..core.helpers import HelperRegistry
+from ..core.verifier import AttachPolicy
+
+__all__ = ["HookPoint", "HookRegistry"]
+
+
+@dataclass
+class HookPoint:
+    """One kernel hook: schema + policy + attached datapaths."""
+
+    name: str
+    schema: ContextSchema
+    policy: AttachPolicy
+    datapaths: list[RmtDatapath] = field(default_factory=list)
+    fires: int = 0
+
+    def new_context(self, **values: int) -> ExecutionContext:
+        return self.schema.new_context(**values)
+
+    def fire(self, ctx: ExecutionContext, helper_env: object = None) -> int | None:
+        """Invoke all attached datapaths; last non-None verdict wins."""
+        self.fires += 1
+        verdict: int | None = None
+        for datapath in self.datapaths:
+            result = datapath.invoke(ctx, helper_env)
+            if result is not None:
+                verdict = result
+        return verdict
+
+    @property
+    def has_programs(self) -> bool:
+        return bool(self.datapaths)
+
+
+class HookRegistry:
+    """All hook points of a simulated kernel, plus the helper registry."""
+
+    def __init__(self, helpers: HelperRegistry | None = None) -> None:
+        self.helpers = helpers or HelperRegistry()
+        self._hooks: dict[str, HookPoint] = {}
+
+    def declare(
+        self, name: str, schema: ContextSchema, policy: AttachPolicy
+    ) -> HookPoint:
+        if name in self._hooks:
+            raise ValueError(f"hook {name!r} already declared")
+        if policy.attach_point != name:
+            raise ValueError(
+                f"policy attach point {policy.attach_point!r} != hook {name!r}"
+            )
+        hook = HookPoint(name=name, schema=schema, policy=policy)
+        self._hooks[name] = hook
+        return hook
+
+    def hook(self, name: str) -> HookPoint:
+        try:
+            return self._hooks[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown hook {name!r}; declared: {sorted(self._hooks)}"
+            ) from None
+
+    def has_hook(self, name: str) -> bool:
+        return name in self._hooks
+
+    def attach(self, name: str, datapath: RmtDatapath) -> None:
+        self.hook(name).datapaths.append(datapath)
+
+    def detach(self, name: str, program_name: str) -> bool:
+        hook = self.hook(name)
+        before = len(hook.datapaths)
+        hook.datapaths = [
+            dp for dp in hook.datapaths if dp.program.name != program_name
+        ]
+        return len(hook.datapaths) < before
+
+    def fire(self, name: str, ctx: ExecutionContext, helper_env=None) -> int | None:
+        return self.hook(name).fire(ctx, helper_env)
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._hooks)

@@ -1,0 +1,31 @@
+"""The simulated memory-management subsystem (case study #1 substrate)."""
+
+from .page_cache import PageCache, PageInfo
+from .prefetch import LeapPrefetcher, NullPrefetcher, Prefetcher, ReadaheadPrefetcher
+from .rmt_prefetch import (
+    COLLECT_PROGRAM_DSL,
+    PREDICT_PROGRAM_DSL,
+    RmtMlPrefetcher,
+    build_prefetch_schemas,
+)
+from .swap import AccessResult, SwapStats, SwapSubsystem
+from .vma import PAGE_SIZE, AddressSpace, Region
+
+__all__ = [
+    "AccessResult",
+    "AddressSpace",
+    "COLLECT_PROGRAM_DSL",
+    "LeapPrefetcher",
+    "NullPrefetcher",
+    "PAGE_SIZE",
+    "PREDICT_PROGRAM_DSL",
+    "PageCache",
+    "PageInfo",
+    "Prefetcher",
+    "ReadaheadPrefetcher",
+    "Region",
+    "RmtMlPrefetcher",
+    "SwapStats",
+    "SwapSubsystem",
+    "build_prefetch_schemas",
+]

@@ -1,0 +1,90 @@
+"""The page/swap cache: bounded LRU of resident pages.
+
+Keys are ``(pid, page)``; values carry the ready time (pages still being
+read from the device are *in flight* until then) and prefetch provenance,
+which is what the accuracy/coverage accounting in Table 1 is built on:
+
+* accuracy  = prefetched pages that were used / prefetched pages,
+* coverage  = accesses served by a prefetched page / accesses that would
+  otherwise have faulted.
+
+Eviction of a never-used prefetched page is the cache-pollution event a
+bad prefetcher causes; the cache counts those too.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["PageInfo", "PageCache"]
+
+
+@dataclass
+class PageInfo:
+    """Residency metadata for one cached page."""
+
+    ready_time: int
+    prefetched: bool = False
+    used: bool = False
+
+
+class PageCache:
+    """LRU cache of (pid, page) → :class:`PageInfo`."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity_pages}")
+        self.capacity = capacity_pages
+        self._pages: OrderedDict[tuple[int, int], PageInfo] = OrderedDict()
+        self.evictions = 0
+        self.wasted_prefetches = 0  # prefetched pages evicted unused
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._pages
+
+    def get(self, pid: int, page: int, touch: bool = True) -> PageInfo | None:
+        key = (pid, page)
+        info = self._pages.get(key)
+        if info is not None and touch:
+            self._pages.move_to_end(key)
+        return info
+
+    def insert(
+        self, pid: int, page: int, ready_time: int, prefetched: bool = False
+    ) -> PageInfo:
+        """Insert (or refresh) a page; evicts LRU pages when full."""
+        key = (pid, page)
+        existing = self._pages.get(key)
+        if existing is not None:
+            # Demand read of an in-flight/resident page refreshes recency
+            # but never turns a demand page back into a prefetched one.
+            existing.ready_time = min(existing.ready_time, ready_time)
+            self._pages.move_to_end(key)
+            return existing
+        while len(self._pages) >= self.capacity:
+            self._evict_one()
+        info = PageInfo(ready_time=ready_time, prefetched=prefetched)
+        self._pages[key] = info
+        return info
+
+    def _evict_one(self) -> None:
+        _, info = self._pages.popitem(last=False)
+        self.evictions += 1
+        if info.prefetched and not info.used:
+            self.wasted_prefetches += 1
+
+    def drop_pid(self, pid: int) -> int:
+        """Drop all of a process's pages (process exit); returns count."""
+        keys = [k for k in self._pages if k[0] == pid]
+        for key in keys:
+            info = self._pages.pop(key)
+            if info.prefetched and not info.used:
+                self.wasted_prefetches += 1
+        return len(keys)
+
+    def resident_pages(self, pid: int) -> list[int]:
+        return sorted(page for (p, page) in self._pages if p == pid)

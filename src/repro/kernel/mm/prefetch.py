@@ -1,0 +1,242 @@
+"""The prefetcher zoo: Linux readahead, Leap, and the common interface.
+
+Case study #1 compares three prefetchers on the swap fault path:
+
+* **Linux readahead** (:class:`ReadaheadPrefetcher`) — "detects
+  sequential page accesses and prefetches the next set of pages": a
+  cluster read on every fault whose window doubles while the access
+  stream stays sequential and collapses when it does not.
+* **Leap** (:class:`LeapPrefetcher`, Al Maruf & Chowdhury, ATC '20) —
+  majority-vote *trend* detection over a sliding window of deltas
+  (Boyer–Moore majority + verification pass), prefetching along the
+  detected stride with a window that adapts to prefetch effectiveness;
+  no majority → no prefetch.
+* The ML prefetcher lives in :mod:`repro.kernel.mm.rmt_prefetch`; it is
+  an RMT program + userspace training agent, not a plain object, which
+  is the point of the paper.
+
+Interface: the swap subsystem calls :meth:`Prefetcher.on_access` for
+every page access (hit or fault); the return value is the list of pages
+to read ahead.  :meth:`Prefetcher.on_prefetch_used` is the feedback
+signal for adaptive windows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["Prefetcher", "NullPrefetcher", "ReadaheadPrefetcher", "LeapPrefetcher"]
+
+
+class Prefetcher:
+    """Base interface; stateless default = never prefetch."""
+
+    name = "abstract"
+
+    def on_access(
+        self, pid: int, page: int, now: int, was_fault: bool,
+        prefetch_hit: bool = False,
+    ) -> list[int]:
+        """Observe an access; return pages to prefetch (may be empty).
+
+        ``was_fault`` marks demand faults; ``prefetch_hit`` marks the
+        first use of a prefetched page — the async-readahead trigger
+        (Linux's PG_readahead marker), which lets a prefetcher sustain
+        its pipeline without waiting for the next fault.
+        """
+        raise NotImplementedError
+
+    def on_prefetch_used(self, pid: int, page: int, now: int) -> None:
+        """Feedback: a previously prefetched page was just used."""
+
+    def reset(self) -> None:
+        """Drop all per-process state (between experiment runs)."""
+
+
+class NullPrefetcher(Prefetcher):
+    """No prefetching — the floor every prefetcher must beat."""
+
+    name = "none"
+
+    def on_access(self, pid: int, page: int, now: int, was_fault: bool,
+                  prefetch_hit: bool = False) -> list[int]:
+        return []
+
+
+class _ReadaheadState:
+    __slots__ = ("last_page", "seq_len", "window")
+
+    def __init__(self, min_window: int) -> None:
+        self.last_page = -(1 << 40)
+        self.seq_len = 0
+        self.window = min_window
+
+
+class ReadaheadPrefetcher(Prefetcher):
+    """The Linux swap readahead model: sequential windows + cluster reads.
+
+    Two regimes, matching the kernel's swap-in path:
+
+    * **Sequential** — "detects sequential page accesses and prefetches
+      the next set of pages": once two consecutive accesses are
+      adjacent, it reads forward with a window that doubles up to
+      ``max_window`` and collapses on the first non-sequential access.
+    * **Cluster** — with no sequential run, ``swapin_readahead`` falls
+      back to reading the *aligned cluster around* the faulting offset
+      (``2^page-cluster`` = 8 pages by default).  For strided access
+      patterns the surrounding cluster is mostly never used — this is
+      the mechanism behind Table 1's 12.5% (= 1/8) accuracy on the
+      matrix-convolution workload.
+    """
+
+    name = "linux"
+
+    def __init__(self, min_window: int = 4, max_window: int = 32,
+                 cluster: int = 8) -> None:
+        if min_window < 1 or max_window < min_window:
+            raise ValueError(
+                f"bad windows: min {min_window}, max {max_window}"
+            )
+        if cluster < 1:
+            raise ValueError(f"cluster must be >= 1, got {cluster}")
+        self.min_window = min_window
+        self.max_window = max_window
+        self.cluster = cluster
+        self._state: dict[int, _ReadaheadState] = {}
+
+    def _pid_state(self, pid: int) -> _ReadaheadState:
+        state = self._state.get(pid)
+        if state is None:
+            state = _ReadaheadState(self.min_window)
+            self._state[pid] = state
+        return state
+
+    def on_access(self, pid: int, page: int, now: int, was_fault: bool,
+                  prefetch_hit: bool = False) -> list[int]:
+        state = self._pid_state(pid)
+        if page == state.last_page + 1:
+            state.seq_len += 1
+            if state.seq_len >= 2:
+                state.window = min(state.window * 2, self.max_window)
+        else:
+            state.seq_len = 1
+            state.window = self.min_window
+        state.last_page = page
+        if not (was_fault or prefetch_hit):
+            return []
+        if state.seq_len >= 2:
+            return [page + k for k in range(1, state.window + 1)]
+        if not was_fault:
+            return []
+        # Cluster mode: the aligned block around the faulting page.
+        base = (page // self.cluster) * self.cluster
+        return [base + k for k in range(self.cluster) if base + k != page]
+
+    def reset(self) -> None:
+        self._state.clear()
+
+
+class _LeapState:
+    __slots__ = ("history", "last_page", "window", "recent_used", "recent_issued")
+
+    def __init__(self, history_len: int, min_window: int) -> None:
+        self.history: deque[int] = deque(maxlen=history_len)
+        self.last_page = None
+        self.window = min_window
+        self.recent_used = 0
+        self.recent_issued = 0
+
+
+class LeapPrefetcher(Prefetcher):
+    """Leap: majority-trend detection with an effectiveness-adaptive window.
+
+    Trend detection is the two-pass Boyer–Moore majority algorithm over
+    the last ``history_len`` page-offset deltas: a candidate delta is a
+    *trend* only if it truly occurs in more than half the window.  With a
+    trend ``d``, a fault at page ``p`` prefetches ``p+d, p+2d, ...,
+    p+window*d``; with no trend Leap prefetches nothing (it falls back to
+    demand paging).  The window doubles while at least half the recent
+    prefetches get used and halves otherwise.
+    """
+
+    name = "leap"
+
+    def __init__(
+        self,
+        history_len: int = 32,
+        min_window: int = 2,
+        max_window: int = 16,
+    ) -> None:
+        if history_len < 2:
+            raise ValueError(f"history_len must be >= 2, got {history_len}")
+        if min_window < 1 or max_window < min_window:
+            raise ValueError(f"bad windows: min {min_window}, max {max_window}")
+        self.history_len = history_len
+        self.min_window = min_window
+        self.max_window = max_window
+        self._state: dict[int, _LeapState] = {}
+
+    def _pid_state(self, pid: int) -> _LeapState:
+        state = self._state.get(pid)
+        if state is None:
+            state = _LeapState(self.history_len, self.min_window)
+            self._state[pid] = state
+        return state
+
+    @staticmethod
+    def majority_delta(history) -> int | None:
+        """Two-pass Boyer–Moore: candidate, then verification."""
+        candidate = None
+        count = 0
+        for delta in history:
+            if count == 0:
+                candidate = delta
+                count = 1
+            elif delta == candidate:
+                count += 1
+            else:
+                count -= 1
+        if candidate is None:
+            return None
+        occurrences = sum(1 for delta in history if delta == candidate)
+        if occurrences * 2 > len(history):
+            return candidate
+        return None
+
+    def _adapt_window(self, state: _LeapState) -> None:
+        """Resize the window from recent prefetch effectiveness."""
+        if state.recent_issued < 8:
+            return
+        hit_rate = state.recent_used / state.recent_issued
+        if hit_rate >= 0.5:
+            state.window = min(state.window * 2, self.max_window)
+        else:
+            state.window = max(state.window // 2, self.min_window)
+        state.recent_issued = 0
+        state.recent_used = 0
+
+    def on_access(self, pid: int, page: int, now: int, was_fault: bool,
+                  prefetch_hit: bool = False) -> list[int]:
+        state = self._pid_state(pid)
+        if state.last_page is not None:
+            state.history.append(page - state.last_page)
+        state.last_page = page
+        if not (was_fault or prefetch_hit):
+            return []
+        if len(state.history) < 4:
+            return []
+        trend = self.majority_delta(state.history)
+        if trend is None or trend == 0:
+            return []
+        self._adapt_window(state)
+        pages = [page + trend * k for k in range(1, state.window + 1)]
+        state.recent_issued += len(pages)
+        return pages
+
+    def on_prefetch_used(self, pid: int, page: int, now: int) -> None:
+        state = self._state.get(pid)
+        if state is not None:
+            state.recent_used += 1
+
+    def reset(self) -> None:
+        self._state.clear()

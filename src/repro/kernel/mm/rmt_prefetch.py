@@ -1,0 +1,359 @@
+"""The RMT ML prefetcher — case study #1, end to end.
+
+This module wires the full architecture of the paper's Figure 1 around
+the swap subsystem:
+
+* Two RMT programs written in the DSL, mirroring the paper's listing:
+  ``page_access_tab`` attached at ``lookup_swap_cache`` collects per-PID
+  page-delta history into a (shared) history map, and
+  ``page_prefetch_tab`` attached at ``swap_cluster_readahead`` consults
+  an integer decision tree (``rmt_ml_dt dt_1 = {.split_rule =
+  gini_index;}``) to predict the next deltas and issue prefetches.
+  (The paper hosts both tables in one program; we split one program per
+  hook with a shared map — the eBPF "pinned map" idiom — because attach
+  policies are per hook.  Behaviour is identical.)
+* Prediction is *multi-step*: the action is loop-free, so up to
+  ``max_steps`` inference steps are unrolled, each shifting the delta
+  window with ``vset`` and re-invoking ``ml_infer``.
+* Training is online and userspace: a :class:`WindowedTreeTrainer`
+  consumes the kernel-collected history (read out of the RMT map, the
+  monitoring path of Section 3.1) and each retrained tree is pushed down
+  through the control plane (re-verified, re-JITted) — the "models
+  periodically quantized and pushed to the kernel" loop.
+* An :class:`~repro.core.control_plane.AccuracyWatchdog` implements the
+  paper's reconfiguration rule: when prefetch usefulness drops, the
+  per-PID entries are rewritten to a conservative single-step mode; when
+  it recovers, the full depth is restored.
+"""
+
+from __future__ import annotations
+
+from ...core.context import ContextSchema
+from ...core.dsl import compile_source
+from ...core.helpers import HelperRegistry
+from ...core.maps import HistoryMap
+from ...core.verifier import AttachPolicy
+from ...ml.cost_model import CostBudget
+from ...ml.decision_tree import WindowedTreeTrainer
+from ..hooks import HookRegistry
+from ..syscalls import RmtSyscallInterface
+from .prefetch import Prefetcher
+
+__all__ = [
+    "RmtMlPrefetcher",
+    "COLLECT_PROGRAM_DSL",
+    "PREDICT_PROGRAM_DSL",
+    "build_predict_dsl",
+    "build_collect_dsl",
+]
+
+#: Default delta-history window used as the tree's feature vector.
+DEFAULT_FEATURE_WINDOW = 4
+
+COLLECT_PROGRAM_DSL = """
+// page_access_tab: per-PID data collection (paper: data_collection()).
+map hist : history(depth = 8, max_keys = 512);
+map last : hash(max_entries = 512);
+map count : hash(max_entries = 512);
+
+table page_access_tab {
+    match = pid;
+}
+
+action collect() {
+    pid = ctxt.pid;
+    page = ctxt.page;
+    prev = last.lookup(pid);
+    if (prev != 0) {
+        hist.push(pid, page - prev);
+        count.update(pid, count.lookup(pid) + 1);
+    }
+    last.update(pid, page);
+    return 0;
+}
+"""
+
+def build_predict_dsl(window: int = 4, max_steps: int = 4,
+                      history_depth: int = 8) -> str:
+    """Generate the prediction program for a given feature window and
+    unroll depth.  The action is loop-free: each inference step is
+    unrolled, shifting the delta window with ``vset`` and re-invoking
+    ``ml_infer`` — multi-step prediction within the verifier's
+    forward-only control flow."""
+    if not 1 <= max_steps <= 8:
+        raise ValueError(f"max_steps must be in [1, 8], got {max_steps}")
+    if window < 2 or window > history_depth:
+        raise ValueError(f"window {window} out of [2, {history_depth}]")
+    lines = [
+        "// page_prefetch_tab: ML prediction (paper: ml_prediction()).",
+        f"map hist : history(depth = {history_depth}, max_keys = 512);",
+        "",
+        "model dt_1;",
+        "",
+        "table page_prefetch_tab {",
+        "    match = pid;",
+        "}",
+        "",
+        "action predict() {",
+        "    steps = ctxt.pf_steps;",
+        "    if (steps < 1) { return 0; }",
+        f"    w = hist.window(ctxt.pid, {window});",
+        "    p = ctxt.fault_page;",
+    ]
+    for step in range(1, max_steps + 1):
+        if step > 1:
+            lines.append(f"    if (steps < {step}) {{ return {step - 1}; }}")
+            shift = "; ".join(
+                f"vset(w, {k}, w[{k + 1}])" for k in range(window - 1)
+            )
+            lines.append(f"    {shift}; vset(w, {window - 1}, d);")
+        lines.append("    d = ml_infer(dt_1, w);")
+        lines.append(f"    if (d == 0) {{ return {step - 1}; }}")
+        lines.append("    p = p + d;")
+        lines.append("    pf_page(p);")
+    lines.append(f"    return {max_steps};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def build_collect_dsl(history_depth: int = 8) -> str:
+    """Generate the data-collection program with a given history depth."""
+    return COLLECT_PROGRAM_DSL.replace("depth = 8", f"depth = {history_depth}")
+
+
+#: Default prediction program (window 4, 4 unrolled steps).
+PREDICT_PROGRAM_DSL = build_predict_dsl()
+
+
+class _ZeroModel:
+    """Placeholder model installed before the first training window —
+    always predicts delta 0, i.e. "no idea, don't prefetch"."""
+
+    @staticmethod
+    def predict_one(features) -> int:
+        return 0
+
+    @staticmethod
+    def cost_signature() -> dict:
+        return {"kind": "decision_tree", "depth": 1, "n_nodes": 1}
+
+
+class _PrefetchSink:
+    """Helper environment for ``pf_page``: collects predicted pages."""
+
+    __slots__ = ("pages",)
+
+    def __init__(self) -> None:
+        self.pages: list[int] = []
+
+    def push(self, page: int) -> int:
+        self.pages.append(int(page))
+        return len(self.pages)
+
+
+def build_prefetch_schemas() -> tuple[ContextSchema, ContextSchema]:
+    """Schemas for the two hook points."""
+    collect = ContextSchema("lookup_swap_cache")
+    collect.add_field("pid")
+    collect.add_field("page")
+
+    predict = ContextSchema("swap_cluster_readahead")
+    predict.add_field("pid")
+    predict.add_field("fault_page")
+    predict.add_field("pf_steps")  # per-entry parameter, published on match
+    return collect, predict
+
+
+class RmtMlPrefetcher(Prefetcher):
+    """The full RMT/ML prefetcher, pluggable into :class:`SwapSubsystem`."""
+
+    name = "rmt-ml"
+
+    def __init__(
+        self,
+        max_steps: int = 4,
+        feature_window: int = DEFAULT_FEATURE_WINDOW,
+        retrain_every: int = 512,
+        history_depth: int = 8,
+        max_depth: int = 10,
+        mode: str = "jit",
+        accuracy_threshold: float = 0.25,
+    ) -> None:
+        if not 1 <= max_steps <= 8:
+            raise ValueError(f"max_steps must be in [1, 8], got {max_steps}")
+        self.max_steps = max_steps
+        self.feature_window = feature_window
+        self.mode = mode
+        self.accuracy_threshold = accuracy_threshold
+        self.retrain_every = retrain_every
+        self.history_depth = max(history_depth, feature_window + 1)
+        self.max_depth = max_depth
+        self._build()
+
+    def _build(self) -> None:
+        collect_schema, predict_schema = build_prefetch_schemas()
+        helpers = HelperRegistry()
+        helpers.register(1, "pf_page", 1, lambda env, page: env.push(page))
+        helpers.grant("swap_cluster_readahead", "pf_page")
+
+        self.hooks = HookRegistry(helpers)
+        self.hooks.declare(
+            "lookup_swap_cache", collect_schema,
+            AttachPolicy("lookup_swap_cache", verdict_min=0, verdict_max=0),
+        )
+        self.hooks.declare(
+            "swap_cluster_readahead", predict_schema,
+            AttachPolicy(
+                "swap_cluster_readahead",
+                # Rate-limit guardrail: at most max_steps pages per fault.
+                verdict_min=0, verdict_max=self.max_steps,
+                cost_budget=CostBudget(max_ops=10_000,
+                                       max_memory_bytes=1 << 20,
+                                       max_latency_ns=50_000.0),
+            ),
+        )
+        self.syscalls = RmtSyscallInterface(self.hooks)
+
+        # The shared history map — the eBPF pinned-map idiom.
+        shared_hist = HistoryMap("hist", depth=self.history_depth, max_keys=512)
+
+        self._collect_prog = compile_source(
+            build_collect_dsl(self.history_depth),
+            "rmt_page_access", "lookup_swap_cache",
+            collect_schema, helpers=helpers,
+        )
+        self._collect_prog.maps[self._collect_prog.map_ids["hist"]] = shared_hist
+
+        self._predict_prog = compile_source(
+            build_predict_dsl(self.feature_window, self.max_steps,
+                              self.history_depth),
+            "rmt_page_prefetch", "swap_cluster_readahead",
+            predict_schema, helpers=helpers, models={"dt_1": _ZeroModel()},
+        )
+        self._predict_prog.maps[self._predict_prog.map_ids["hist"]] = shared_hist
+        self._hist = shared_hist
+        self._count_map = self._collect_prog.map_by_name("count")
+
+        self.syscalls.install(self._collect_prog, mode=self.mode)
+        self.syscalls.install(self._predict_prog, mode=self.mode)
+
+        self.trainer = WindowedTreeTrainer(
+            window_size=self.retrain_every,
+            min_train_samples=64,
+            # The pattern is a deterministic per-app cycle: let the tree
+            # memorize it (leaf size 1), as the in-kernel prototype does.
+            tree_params={
+                "max_depth": self.max_depth,
+                "min_samples_leaf": 1,
+                "min_samples_split": 2,
+                "max_thresholds": 64,
+            },
+        )
+        self.models_pushed = 0
+        self._known_pids: set[int] = set()
+        self._predict_entries: dict[int, int] = {}  # pid -> entry_id
+        self._seen_deltas: dict[int, int] = {}  # pid -> samples observed
+        self.conservative = False
+        self.watchdog = self.syscalls.control_plane.attach_watchdog(
+            "rmt_page_prefetch",
+            threshold=self.accuracy_threshold,
+            on_degraded=self._go_conservative,
+            on_recovered=self._go_aggressive,
+        )
+
+    # -- control-plane reconfiguration (the paper's watchdog policy) -------
+
+    def _set_steps(self, steps: int) -> None:
+        cp = self.syscalls.control_plane
+        for pid, entry_id in self._predict_entries.items():
+            cp.modify_entry("rmt_page_prefetch", "page_prefetch_tab",
+                            entry_id, pf_steps=steps)
+
+    def _go_conservative(self) -> None:
+        self.conservative = True
+        self._set_steps(1)
+
+    def _go_aggressive(self) -> None:
+        self.conservative = False
+        self._set_steps(self.max_steps)
+
+    # -- per-process lifecycle ----------------------------------------------
+
+    def _ensure_pid(self, pid: int) -> None:
+        """Insert per-PID entries when a new application appears
+        ("new entries are inserted when applications are created")."""
+        if pid in self._known_pids:
+            return
+        self._known_pids.add(pid)
+        cp = self.syscalls.control_plane
+        cp.add_entry("rmt_page_access", "page_access_tab", [pid], "collect")
+        steps = 1 if self.conservative else self.max_steps
+        entry = cp.add_entry(
+            "rmt_page_prefetch", "page_prefetch_tab", [pid], "predict",
+            pf_steps=steps,
+        )
+        self._predict_entries[pid] = entry.entry_id
+
+    # -- the Prefetcher interface -----------------------------------------------
+
+    def on_access(self, pid: int, page: int, now: int, was_fault: bool,
+                  prefetch_hit: bool = False) -> list[int]:
+        self._ensure_pid(pid)
+
+        # Fire the data-collection hook (every access).
+        ctx = self.hooks.hook("lookup_swap_cache").new_context(pid=pid, page=page)
+        self.hooks.fire("lookup_swap_cache", ctx)
+
+        # Userspace training agent: consume the kernel-collected history.
+        self._train_from_history(pid)
+
+        if not (was_fault or prefetch_hit):
+            return []
+        if was_fault and self.models_pushed > 0:
+            # A demand fault is a miss the model failed to cover — but
+            # only the live model is accountable, not the warmup phase.
+            self.watchdog.record(False)
+        sink = _PrefetchSink()
+        ctx = self.hooks.hook("swap_cluster_readahead").new_context(
+            pid=pid, fault_page=page
+        )
+        self.hooks.fire("swap_cluster_readahead", ctx, helper_env=sink)
+        return sink.pages
+
+    def on_prefetch_used(self, pid: int, page: int, now: int) -> None:
+        self.watchdog.record(True)
+
+    def _train_from_history(self, pid: int) -> None:
+        """Read the newest delta out of the RMT maps and feed the
+        windowed trainer; push the model down when a window completes."""
+        count = self._count_map.lookup(pid)
+        seen = self._seen_deltas.get(pid, 0)
+        self._seen_deltas[pid] = count
+        if count == seen or count < self.feature_window + 1:
+            return
+        window = self._hist.window(pid, self.feature_window + 1)
+        features, label = window[:-1], int(window[-1])
+        if self.trainer.observe(features, label):
+            self._push_model()
+
+    def _push_model(self) -> None:
+        model = self.trainer.model
+        if model is None:
+            return
+        self.syscalls.control_plane.push_model("rmt_page_prefetch", 0, model)
+        self.models_pushed += 1
+
+    def reset(self) -> None:
+        """Full rebuild (fresh maps, entries, trainer) between runs."""
+        self._build()
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "models_pushed": self.models_pushed,
+            "known_pids": len(self._known_pids),
+            "conservative": self.conservative,
+            "trainer_generation": self.trainer.generation,
+            "datapaths": self.syscalls.control_plane.stats(),
+        }

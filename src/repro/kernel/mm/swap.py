@@ -1,0 +1,165 @@
+"""The swap subsystem: the fault path the prefetchers live on.
+
+This is the simulated analogue of the kernel path the paper hooks:
+``lookup_swap_cache`` (is the page resident?) followed, on a miss, by
+``swap_cluster_readahead`` (what else should we read?).  Every access
+goes through :meth:`SwapSubsystem.access`:
+
+1. **Hit, ready** — the page is resident and its device read completed:
+   costs ``hit_ns``.  If it was prefetched and unused until now, it
+   counts toward prefetch accuracy and coverage.
+2. **Hit, in flight** — the page is being read (a prefetch raced the
+   access): the process stalls until the read completes.  A *late* but
+   still useful prefetch: counted as used, and the saved latency still
+   shows up in completion time.
+3. **Miss** — a major fault: a demand read is issued and the process
+   stalls for it; then the prefetcher is consulted and its pages are
+   queued behind the demand read.
+
+Table-1 metrics fall out of the counters here (see :class:`SwapStats`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..storage import StorageModel
+from .page_cache import PageCache
+from .prefetch import NullPrefetcher, Prefetcher
+
+__all__ = ["SwapStats", "AccessResult", "SwapSubsystem"]
+
+
+@dataclass
+class SwapStats:
+    """Counters behind the Table-1 metrics."""
+
+    accesses: int = 0
+    hits: int = 0
+    demand_faults: int = 0
+    late_hits: int = 0  # prefetch in flight when the access arrived
+    prefetch_issued: int = 0
+    prefetch_used: int = 0
+    stall_ns: int = 0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Used prefetched pages / issued prefetched pages."""
+        if self.prefetch_issued == 0:
+            return 0.0
+        return self.prefetch_used / self.prefetch_issued
+
+    @property
+    def coverage(self) -> float:
+        """Would-be faults served by prefetch / all would-be faults.
+
+        A demand fault is a would-be fault the prefetcher missed; a hit
+        on a prefetched page (timely or late) is one it covered.
+        """
+        covered = self.prefetch_used
+        total = covered + self.demand_faults
+        if total == 0:
+            return 0.0
+        return covered / total
+
+    @property
+    def fault_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.demand_faults / self.accesses
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one page access."""
+
+    available_at: int  # virtual time the data is usable
+    kind: str  # 'hit' | 'late' | 'fault'
+    stall_ns: int
+
+
+class SwapSubsystem:
+    """Swap cache + backing device + pluggable prefetcher."""
+
+    def __init__(
+        self,
+        device: StorageModel,
+        cache_pages: int = 4096,
+        prefetcher: Prefetcher | None = None,
+        hit_ns: int = 200,
+        max_prefetch_batch: int = 64,
+    ) -> None:
+        self.device = device
+        self.cache = PageCache(cache_pages)
+        self.prefetcher = prefetcher or NullPrefetcher()
+        self.hit_ns = hit_ns
+        self.max_prefetch_batch = max_prefetch_batch
+        self.stats = SwapStats()
+        self._last_demand_page: dict[int, int] = {}
+
+    def access(self, pid: int, page: int, now: int) -> AccessResult:
+        """One page access at virtual time ``now``."""
+        self.stats.accesses += 1
+        info = self.cache.get(pid, page)
+
+        if info is not None:
+            prefetch_hit = info.prefetched and not info.used
+            if prefetch_hit:
+                info.used = True
+                self.stats.prefetch_used += 1
+                self.prefetcher.on_prefetch_used(pid, page, now)
+            if info.ready_time <= now:
+                self.stats.hits += 1
+                self._consult_prefetcher(pid, page, now, was_fault=False,
+                                         prefetch_hit=prefetch_hit)
+                return AccessResult(now + self.hit_ns, "hit", 0)
+            # In flight: stall until the read lands.
+            stall = info.ready_time - now
+            self.stats.late_hits += 1
+            self.stats.hits += 1
+            self.stats.stall_ns += stall
+            self._consult_prefetcher(pid, page, now, was_fault=False,
+                                     prefetch_hit=prefetch_hit)
+            return AccessResult(info.ready_time + self.hit_ns, "late", stall)
+
+        # Major fault: demand read, then consult the prefetcher.
+        sequential = page == self._last_demand_page.get(pid, page - 100) + 1
+        done = self.device.read(now, 1, sequential=sequential)
+        self.cache.insert(pid, page, ready_time=done, prefetched=False)
+        self._last_demand_page[pid] = page
+        self.stats.demand_faults += 1
+        stall = done - now
+        self.stats.stall_ns += stall
+        self._consult_prefetcher(pid, page, now, was_fault=True)
+        return AccessResult(done + self.hit_ns, "fault", stall)
+
+    def _consult_prefetcher(
+        self, pid: int, page: int, now: int, was_fault: bool,
+        prefetch_hit: bool = False,
+    ) -> None:
+        pages = self.prefetcher.on_access(pid, page, now, was_fault, prefetch_hit)
+        if not pages:
+            return
+        todo = [
+            p for p in pages[: self.max_prefetch_batch]
+            if p >= 0 and self.cache.get(pid, p, touch=False) is None
+        ]
+        if not todo:
+            return
+        sequential = all(b - a == 1 for a, b in zip(todo, todo[1:]))
+        done = self.device.read(now, len(todo), sequential=sequential)
+        for p in todo:
+            self.cache.insert(pid, p, ready_time=done, prefetched=True)
+        self.stats.prefetch_issued += len(todo)
+
+    def process_exit(self, pid: int) -> None:
+        """Drop a process's pages and prefetcher state."""
+        self.cache.drop_pid(pid)
+        self._last_demand_page.pop(pid, None)
+
+    def reset(self) -> None:
+        self.cache = PageCache(self.cache.capacity)
+        self.stats = SwapStats()
+        self.device.reset()
+        self.prefetcher.reset()
+        self._last_demand_page.clear()

@@ -1,0 +1,84 @@
+"""Address spaces and memory regions.
+
+Workloads address memory as (region, offset) — "the input frame", "the
+output frame", "the matrix" — and the address space lays regions out in a
+flat page-number space per process.  Page numbers are what the swap
+subsystem, the prefetchers and the RMT programs all operate on, exactly
+like the swap-entry offsets the real kernel's swap readahead sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Region", "AddressSpace"]
+
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous range of virtual pages."""
+
+    name: str
+    start_page: int
+    n_pages: int
+
+    def page(self, offset: int) -> int:
+        """Absolute page number for a page offset within the region."""
+        if not 0 <= offset < self.n_pages:
+            raise IndexError(
+                f"offset {offset} out of region {self.name!r} "
+                f"[0, {self.n_pages})"
+            )
+        return self.start_page + offset
+
+    def byte_to_page(self, byte_offset: int) -> int:
+        """Absolute page number for a byte offset within the region."""
+        return self.page(byte_offset // PAGE_SIZE)
+
+    @property
+    def end_page(self) -> int:
+        return self.start_page + self.n_pages
+
+
+class AddressSpace:
+    """Per-process region layout with a guard gap between regions.
+
+    The gap keeps distinct regions' pages non-adjacent so a sequential
+    prefetcher cannot accidentally stream across region boundaries —
+    matching real address-space layout, where mappings are far apart.
+    """
+
+    def __init__(self, pid: int, guard_pages: int = 64) -> None:
+        self.pid = pid
+        self.guard_pages = guard_pages
+        self._regions: dict[str, Region] = {}
+        self._next_page = 0x1000  # arbitrary non-zero base
+
+    def map_region(self, name: str, n_pages: int) -> Region:
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already mapped in pid {self.pid}")
+        if n_pages < 1:
+            raise ValueError(f"n_pages must be >= 1, got {n_pages}")
+        region = Region(name=name, start_page=self._next_page, n_pages=n_pages)
+        self._regions[name] = region
+        self._next_page = region.end_page + self.guard_pages
+        return region
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise KeyError(
+                f"pid {self.pid} has no region {name!r}; "
+                f"mapped: {sorted(self._regions)}"
+            ) from None
+
+    @property
+    def total_pages(self) -> int:
+        return sum(r.n_pages for r in self._regions.values())
+
+    @property
+    def region_names(self) -> list[str]:
+        return sorted(self._regions)

@@ -1,0 +1,21 @@
+"""The NIC receive-path subsystem (the repository's extension case study:
+the paper names networking as a target subsystem but does not evaluate
+one)."""
+
+from .coalesce import (
+    COALESCE_PROGRAM_DSL,
+    FixedPolicy,
+    ImmediatePolicy,
+    RmtMlCoalescer,
+)
+from .device import NicDevice, NicStats, Packet
+
+__all__ = [
+    "COALESCE_PROGRAM_DSL",
+    "FixedPolicy",
+    "ImmediatePolicy",
+    "NicDevice",
+    "NicStats",
+    "Packet",
+    "RmtMlCoalescer",
+]

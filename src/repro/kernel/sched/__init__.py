@@ -1,0 +1,23 @@
+"""The CFS-style scheduler subsystem (case study #2 substrate)."""
+
+from .cfs import CfsScheduler, SchedStats
+from .features import F, FEATURE_NAMES, N_FEATURES, extract_features
+from .loadbalance import CfsMigrationHeuristic, DecisionRecorder
+from .rmt_sched import RmtMigrationPolicy, build_sched_hook
+from .task import NICE_0_WEIGHT, Task, TaskSpec
+
+__all__ = [
+    "CfsMigrationHeuristic",
+    "CfsScheduler",
+    "DecisionRecorder",
+    "F",
+    "FEATURE_NAMES",
+    "N_FEATURES",
+    "NICE_0_WEIGHT",
+    "RmtMigrationPolicy",
+    "SchedStats",
+    "Task",
+    "TaskSpec",
+    "build_sched_hook",
+    "extract_features",
+]

@@ -1,0 +1,297 @@
+"""A CFS-style multicore scheduler on the discrete-event simulator.
+
+The pieces that matter for case study #2:
+
+* per-CPU runqueues ordered by **vruntime** (weighted fair time), with a
+  fixed timeslice;
+* **wake affinity**: a task is first enqueued on its spec's origin CPU
+  (typically the forking parent's), which is what creates the load
+  imbalance the balancer then has to fix — as in a real fork-heavy
+  PARSEC run;
+* a periodic **load balancer** that finds the busiest and idlest CPUs
+  and walks the busiest queue asking ``can_migrate_task`` (the pluggable
+  ``migrate_decision``) per candidate, with per-CPU
+  ``nr_balance_failed`` escalation exactly like the kernel's.
+
+The balancer consults an arbitrary decision function — the CFS heuristic,
+a Python model, or an installed RMT datapath — and optionally records
+every (features, verdict) pair for training.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..sim import NS_PER_MS, Simulator
+from .features import extract_features
+from .loadbalance import CfsMigrationHeuristic
+from .task import Task, TaskSpec
+
+__all__ = ["SchedStats", "CfsScheduler"]
+
+
+@dataclass
+class SchedStats:
+    """Aggregate outcome of one scheduling run."""
+
+    makespan_ns: int = 0
+    total_jct_ns: int = 0
+    n_tasks: int = 0
+    migrations: int = 0
+    balance_passes: int = 0
+    decisions: int = 0
+    monitor_overhead_ns: int = 0
+    per_task_jct_ns: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_jct_ns(self) -> float:
+        return self.total_jct_ns / self.n_tasks if self.n_tasks else 0.0
+
+
+class _RunQueue:
+    """vruntime-ordered queue (heap keyed by (vruntime, seq))."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Task]] = []
+        self._seq = itertools.count()
+
+    def push(self, task: Task) -> None:
+        heapq.heappush(self._heap, (task.vruntime_ns, next(self._seq), task))
+
+    def pop(self) -> Task | None:
+        while self._heap:
+            _, _, task = heapq.heappop(self._heap)
+            if task.state == "ready":
+                return task
+        return None
+
+    def remove(self, task: Task) -> None:
+        """Lazy removal: mark + rebuild (migration is rare)."""
+        self._heap = [
+            entry for entry in self._heap if entry[2] is not task
+        ]
+        heapq.heapify(self._heap)
+
+    def tasks(self) -> list[Task]:
+        return [t for _, _, t in self._heap if t.state == "ready"]
+
+    def min_vruntime(self) -> int:
+        tasks = self.tasks()
+        return min((t.vruntime_ns for t in tasks), default=0)
+
+    def __len__(self) -> int:
+        return len(self.tasks())
+
+
+class CfsScheduler:
+    """Event-driven CFS-style scheduler with pluggable migration policy."""
+
+    def __init__(
+        self,
+        n_cpus: int = 8,
+        timeslice_ns: int = 4 * NS_PER_MS,
+        balance_interval_ns: int = 10 * NS_PER_MS,
+        migrate_decision: Callable[[np.ndarray], bool] | None = None,
+        decision_recorder=None,
+        monitor=None,
+        sim: Simulator | None = None,
+    ) -> None:
+        if n_cpus < 1:
+            raise ValueError(f"n_cpus must be >= 1, got {n_cpus}")
+        if timeslice_ns < 1 or balance_interval_ns < 1:
+            raise ValueError("timeslice and balance interval must be >= 1ns")
+        self.n_cpus = n_cpus
+        self.timeslice_ns = timeslice_ns
+        self.balance_interval_ns = balance_interval_ns
+        self.migrate_decision = migrate_decision or CfsMigrationHeuristic()
+        self.decision_recorder = decision_recorder
+        self.monitor = monitor
+        self.sim = sim or Simulator()
+
+        self._rq = [_RunQueue() for _ in range(n_cpus)]
+        self._running: list[Task | None] = [None] * n_cpus
+        self._nr_balance_failed = [0] * n_cpus
+        self._pids = itertools.count(1)
+        self._tasks: list[Task] = []
+        self._pending = 0
+        self.stats = SchedStats()
+        self._balancer_armed = False
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, spec: TaskSpec) -> Task:
+        """Register a task to arrive at its spec'd time."""
+        task = Task.from_spec(next(self._pids), spec)
+        self._tasks.append(task)
+        self._pending += 1
+        cpu = spec.origin_cpu % self.n_cpus
+        self.sim.schedule_at(
+            spec.arrival_ns, lambda t=task, c=cpu: self._arrive(t, c)
+        )
+        return task
+
+    def submit_all(self, specs: list[TaskSpec]) -> list[Task]:
+        return [self.submit(spec) for spec in specs]
+
+    def _arrive(self, task: Task, cpu: int) -> None:
+        task.state = "ready"
+        # New tasks start at the destination queue's min vruntime so they
+        # neither starve nor monopolize (CFS place_entity).
+        task.vruntime_ns = self._rq[cpu].min_vruntime()
+        self._enqueue(task, cpu)
+        self._maybe_start(cpu)
+        self._arm_balancer()
+
+    def _enqueue(self, task: Task, cpu: int) -> None:
+        task.cpu = cpu
+        task.enqueued_at_ns = self.sim.now
+        self._rq[cpu].push(task)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _maybe_start(self, cpu: int) -> None:
+        if self._running[cpu] is not None:
+            return
+        task = self._rq[cpu].pop()
+        if task is None:
+            return
+        task.state = "running"
+        if task.start_ns is None:
+            task.start_ns = self.sim.now
+        self._running[cpu] = task
+        slice_ns = min(self.timeslice_ns, task.remaining_ns)
+        self.sim.schedule(
+            slice_ns, lambda t=task, c=cpu, s=slice_ns: self._slice_end(t, c, s)
+        )
+
+    def _slice_end(self, task: Task, cpu: int, ran_ns: int) -> None:
+        task.charge(ran_ns)
+        task.last_cpu = cpu
+        task.last_ran_end_ns = self.sim.now
+        self._running[cpu] = None
+        if task.done:
+            task.state = "done"
+            task.finish_ns = self.sim.now
+            self._pending -= 1
+        else:
+            task.state = "ready"
+            self._enqueue(task, cpu)
+        self._maybe_start(cpu)
+
+    # -- load balancing ------------------------------------------------------
+
+    def _arm_balancer(self) -> None:
+        if self._balancer_armed:
+            return
+        self._balancer_armed = True
+        self.sim.schedule(self.balance_interval_ns, self._balance_tick)
+
+    def _balance_tick(self) -> None:
+        self._balancer_armed = False
+        if self._pending > 0:
+            self._load_balance()
+            self._arm_balancer()
+
+    def _nr(self, cpu: int) -> int:
+        return len(self._rq[cpu]) + (1 if self._running[cpu] else 0)
+
+    def _load(self, cpu: int) -> int:
+        queued = sum(t.weight for t in self._rq[cpu].tasks())
+        running = self._running[cpu].weight if self._running[cpu] else 0
+        return queued + running
+
+    def _load_balance(self) -> None:
+        """One periodic pass: every CPU pulls from the busiest, idlest
+        first — each CPU runs its own balancer in the kernel, and the
+        emptiest one wins the race for the spare work."""
+        self.stats.balance_passes += 1
+        order = sorted(
+            range(self.n_cpus), key=lambda c: (self._nr(c), self._load(c))
+        )
+        for dst in order:
+            src = max(
+                range(self.n_cpus),
+                key=lambda c: (self._nr(c), self._load(c)),
+            )
+            if src == dst or self._nr(src) - self._nr(dst) < 2:
+                continue
+            moved = self._balance_pair(src, dst)
+            if moved == 0:
+                self._nr_balance_failed[src] += 1
+            else:
+                self._nr_balance_failed[src] = 0
+        for cpu in range(self.n_cpus):
+            self._maybe_start(cpu)
+
+    def _balance_pair(self, src: int, dst: int) -> int:
+        moved = 0
+        now = self.sim.now
+        # Scan in vruntime order (the queue's natural order): this mixes
+        # recently-descheduled (cache-hot) candidates with cold ones,
+        # exactly what makes can_migrate_task non-trivial.
+        candidates = sorted(self._rq[src].tasks(), key=lambda t: t.vruntime_ns)
+        for task in candidates:
+            src_nr, dst_nr = self._nr(src), self._nr(dst)
+            if src_nr - dst_nr < 2:
+                break
+            src_load, dst_load = self._load(src), self._load(dst)
+            imbalance = max((src_load - dst_load) // 2, 0)
+            features = extract_features(
+                now_ns=now,
+                task=task,
+                src_cpu=src,
+                dst_cpu=dst,
+                src_nr=src_nr,
+                dst_nr=dst_nr,
+                src_load=src_load,
+                dst_load=dst_load,
+                imbalance=imbalance,
+                src_min_vruntime_ns=self._rq[src].min_vruntime(),
+                nr_balance_failed=self._nr_balance_failed[src],
+                dst_idle=self._running[dst] is None and len(self._rq[dst]) == 0,
+            )
+            if self.monitor is not None:
+                features = np.asarray(
+                    self.monitor.sample(list(features)), dtype=np.int64
+                )
+            verdict = bool(self.migrate_decision(features))
+            self.stats.decisions += 1
+            if self.decision_recorder is not None:
+                self.decision_recorder.record(features, verdict)
+            if verdict:
+                self._rq[src].remove(task)
+                task.migrations += 1
+                task.state = "ready"
+                self._enqueue(task, dst)
+                moved += 1
+                self.stats.migrations += 1
+        return moved
+
+    # -- running the simulation --------------------------------------------
+
+    def run(self, max_events: int | None = 10_000_000) -> SchedStats:
+        """Run to completion; returns the aggregate stats."""
+        self.sim.run(max_events=max_events)
+        if self._pending > 0:
+            raise RuntimeError(
+                f"{self._pending} tasks unfinished after event budget"
+            )
+        finishes = [t.finish_ns for t in self._tasks if t.finish_ns is not None]
+        arrivals = [t.arrival_ns for t in self._tasks]
+        self.stats.makespan_ns = max(finishes) - min(arrivals) if finishes else 0
+        self.stats.n_tasks = len(self._tasks)
+        self.stats.total_jct_ns = sum(
+            t.jct_ns for t in self._tasks if t.jct_ns is not None
+        )
+        self.stats.per_task_jct_ns = {
+            f"{t.name}#{t.pid}": t.jct_ns for t in self._tasks
+            if t.jct_ns is not None
+        }
+        if self.monitor is not None:
+            self.stats.monitor_overhead_ns = self.monitor.overhead_ns
+        return self.stats

@@ -1,0 +1,89 @@
+"""The 15 load-balancing features (after Chen et al., APSys '20).
+
+Case study #2 trains an MLP on "15 [features] used in [14]" — the inputs
+to the Linux CFS ``can_migrate_task`` decision.  We publish the analogous
+15 features of our simulated CFS.  All features are integers with
+**bounded ranges** (times in microseconds capped at ~1s, loads in weight
+units): bounding is a monitoring-design requirement, and it is also what
+lets the userspace standardize+quantize transform fold into the int32
+per-feature multipliers of the compiled RMT action (see
+``repro.core.model_compiler.fold_input_transform``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FEATURE_NAMES", "N_FEATURES", "F", "extract_features"]
+
+FEATURE_NAMES = [
+    "src_nr_running",        # 0: tasks on the source runqueue (incl. running)
+    "dst_nr_running",        # 1: tasks on the destination runqueue
+    "src_load",              # 2: sum of task weights on src
+    "dst_load",              # 3: sum of task weights on dst
+    "load_diff",             # 4: src_load - dst_load
+    "imbalance",             # 5: load the balancer wants to move
+    "task_load",             # 6: the candidate task's weight
+    "task_total_ran_us",     # 7: lifetime CPU time of the candidate
+    "task_since_ran_us",     # 8: time since the candidate last ran
+    "task_on_src_before",    # 9: 1 if it last executed on the source CPU
+    "task_migrations",       # 10: times the candidate has been migrated
+    "task_vruntime_rel_us",  # 11: vruntime above the src queue minimum
+    "nr_balance_failed",     # 12: consecutive failed balance passes (src)
+    "task_wait_us",          # 13: how long the candidate has been queued
+    "dst_idle",              # 14: 1 if the destination CPU is idle
+]
+
+N_FEATURES = len(FEATURE_NAMES)
+
+
+class F:
+    """Feature indices by name (F.TASK_SINCE_RAN_US etc.)."""
+
+
+for _i, _name in enumerate(FEATURE_NAMES):
+    setattr(F, _name.upper(), _i)
+
+_US_CAP = 1_000_000  # cap time features at 1 second
+_COUNT_CAP = 1 << 10
+
+
+def _us(ns: int) -> int:
+    return min(max(ns, 0) // 1_000, _US_CAP)
+
+
+def extract_features(
+    now_ns: int,
+    task,
+    src_cpu: int,
+    dst_cpu: int,
+    src_nr: int,
+    dst_nr: int,
+    src_load: int,
+    dst_load: int,
+    imbalance: int,
+    src_min_vruntime_ns: int,
+    nr_balance_failed: int,
+    dst_idle: bool,
+) -> np.ndarray:
+    """Build the 15-feature vector for one candidate migration."""
+    return np.array(
+        [
+            min(src_nr, _COUNT_CAP),
+            min(dst_nr, _COUNT_CAP),
+            min(src_load, 1 << 20),
+            min(dst_load, 1 << 20),
+            max(min(src_load - dst_load, 1 << 20), -(1 << 20)),
+            min(imbalance, 1 << 20),
+            task.weight,
+            _us(task.total_ran_ns),
+            _us(now_ns - task.last_ran_end_ns),
+            1 if task.last_cpu == src_cpu else 0,
+            min(task.migrations, _COUNT_CAP),
+            _us(task.vruntime_ns - src_min_vruntime_ns),
+            min(nr_balance_failed, _COUNT_CAP),
+            _us(now_ns - task.enqueued_at_ns),
+            1 if dst_idle else 0,
+        ],
+        dtype=np.int64,
+    )

@@ -1,0 +1,87 @@
+"""The ``can_migrate_task`` decision: the Linux CFS heuristic baseline.
+
+This is the decision point of case study #2: "The can_migrate_task
+function in CFS calls into RMT to query the ML model to predict whether
+or not a task should be migrated."  The baseline below approximates the
+real kernel's checks on the same feature vector the MLP sees:
+
+1. *cache hotness* — a task that executed on the source CPU within
+   ``hot_ns`` is not migrated, unless the balancer has failed several
+   consecutive passes (``nr_balance_failed``) and gets aggressive —
+   exactly the interplay that makes the decision non-trivial to mimic;
+2. *don't overshoot* — never invert the imbalance the move is fixing;
+3. *don't move the whole imbalance in one task* — a task heavier than
+   twice the imbalance stays put.
+
+The heuristic is a pure function of the feature vector, so the recorded
+``(features, decision)`` pairs are a clean supervised dataset for the
+MLP mimicry experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .features import F
+
+__all__ = ["CfsMigrationHeuristic", "DecisionRecorder"]
+
+
+class CfsMigrationHeuristic:
+    """The kernel's built-in policy (a pure function of the features)."""
+
+    name = "linux-cfs"
+
+    def __init__(self, hot_us: int = 2_000, failed_relax: int = 3) -> None:
+        self.hot_us = hot_us
+        self.failed_relax = failed_relax
+
+    def __call__(self, features: np.ndarray) -> bool:
+        f = features
+        # 1. Cache-hot tasks stay, unless balancing keeps failing.
+        cache_hot = (
+            f[F.TASK_ON_SRC_BEFORE] == 1
+            and f[F.TASK_SINCE_RAN_US] < self.hot_us
+        )
+        if cache_hot and f[F.NR_BALANCE_FAILED] < self.failed_relax:
+            return False
+        # 2. Never invert the imbalance.
+        if f[F.DST_NR_RUNNING] + 1 > f[F.SRC_NR_RUNNING] - 1:
+            return False
+        # 3. Don't move a task heavier than twice the imbalance.
+        if f[F.TASK_LOAD] > 2 * f[F.IMBALANCE]:
+            return False
+        return True
+
+
+@dataclass
+class DecisionRecorder:
+    """Collects (features, decision) pairs — the training telemetry.
+
+    In the full architecture this is an RMT data-collection table writing
+    into a map; the harness uses the recorded arrays directly as the
+    supervised dataset (they are identical by construction).
+    """
+
+    features: list[np.ndarray] = field(default_factory=list)
+    decisions: list[int] = field(default_factory=list)
+
+    def record(self, features: np.ndarray, decision: bool) -> None:
+        self.features.append(features.copy())
+        self.decisions.append(1 if decision else 0)
+
+    def dataset(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self.features:
+            return (
+                np.empty((0, 0), dtype=np.int64),
+                np.empty((0,), dtype=np.int64),
+            )
+        return (
+            np.stack(self.features).astype(np.int64),
+            np.asarray(self.decisions, dtype=np.int64),
+        )
+
+    def __len__(self) -> int:
+        return len(self.decisions)

@@ -1,0 +1,126 @@
+"""RMT integration at ``can_migrate_task`` — case study #2's datapath.
+
+"The can_migrate_task function in CFS calls into RMT to query the ML
+model to predict whether or not a task should be migrated."  Wiring:
+
+* the kernel writes the candidate's 15-feature vector into a
+  :class:`~repro.core.maps.VectorMap` keyed by the source CPU and fires
+  the ``can_migrate_task`` hook;
+* the installed RMT program matches on the CPU (a wildcard entry by
+  default — per-CPU entries can specialize policies per socket) and runs
+  the **compiled MLP action**: the quantized network lowered to RMT ML
+  bytecode by :mod:`repro.core.model_compiler`, not a Python call;
+* the action's verdict (argmax class: 0 = keep, 1 = migrate) is clamped
+  by the attach policy to {0, 1} and returned to the balancer.
+
+The attach policy's latency budget is the microseconds-scale bound the
+paper calls out for CPU scheduling; the verifier rejects models whose
+static cost exceeds it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.context import ContextSchema
+from ...core.maps import VectorMap
+from ...core.model_compiler import compile_mlp_action
+from ...core.program import ProgramBuilder
+from ...core.tables import MatchActionTable, MatchPattern, TableEntry
+from ...core.verifier import AttachPolicy
+from ...ml.cost_model import CostBudget
+from ...ml.mlp import QuantizedMLP
+from ..hooks import HookRegistry
+from ..syscalls import RmtSyscallInterface
+from .features import N_FEATURES
+
+__all__ = ["RmtMigrationPolicy", "build_sched_hook"]
+
+
+def build_sched_hook(max_latency_ns: float = 10_000.0) -> HookRegistry:
+    """Declare the ``can_migrate_task`` hook with a tight latency budget.
+
+    Scheduling decisions are "on the order of microseconds" (Section
+    3.2), so the default admission budget is 10 us per inference.
+    """
+    schema = ContextSchema("can_migrate_task")
+    schema.add_field("cpu")
+    hooks = HookRegistry()
+    hooks.declare(
+        "can_migrate_task",
+        schema,
+        AttachPolicy(
+            "can_migrate_task",
+            verdict_min=0,
+            verdict_max=1,  # guardrail: the verdict is a boolean
+            cost_budget=CostBudget(
+                max_ops=100_000,
+                max_memory_bytes=1 << 20,
+                max_latency_ns=max_latency_ns,
+            ),
+        ),
+    )
+    return hooks
+
+
+class RmtMigrationPolicy:
+    """A migrate-decision callable backed by an installed RMT program.
+
+    Drop-in replacement for :class:`CfsMigrationHeuristic` in
+    :class:`~repro.kernel.sched.cfs.CfsScheduler`.
+    """
+
+    name = "rmt-mlp"
+
+    def __init__(
+        self,
+        qmlp: QuantizedMLP,
+        mode: str = "jit",
+        hooks: HookRegistry | None = None,
+        program_name: str = "rmt_can_migrate",
+    ) -> None:
+        if qmlp.layer_sizes[0] != N_FEATURES:
+            raise ValueError(
+                f"MLP input width {qmlp.layer_sizes[0]} != {N_FEATURES} features"
+            )
+        self.hooks = hooks or build_sched_hook()
+        self.syscalls = RmtSyscallInterface(self.hooks)
+        schema = self.hooks.hook("can_migrate_task").schema
+
+        builder = ProgramBuilder(program_name, "can_migrate_task", schema)
+        builder.add_map(
+            "features", VectorMap("features", width=N_FEATURES, max_keys=256)
+        )
+        table = builder.add_table(MatchActionTable("migrate_tab", ["cpu"]))
+        compile_mlp_action(builder, qmlp, "features", "cpu", name="mlp_infer")
+        # Default policy: one wildcard entry for all CPUs.
+        table.insert(TableEntry(
+            patterns=(MatchPattern.wildcard(),), action="mlp_infer",
+        ))
+        self.program = builder.build()
+        self.syscalls.install(self.program, mode=mode)
+        self._features_map = self.program.map_by_name("features")
+        self._hook = self.hooks.hook("can_migrate_task")
+        self.queries = 0
+
+    def __call__(self, features: np.ndarray) -> bool:
+        """The can_migrate_task query: kernel → map → RMT → verdict."""
+        features = np.asarray(features, dtype=np.int64)
+        src_cpu = int(features[0]) % 256 if features.size else 0
+        self._features_map.set_vector(src_cpu, features)
+        ctx = self._hook.new_context(cpu=src_cpu)
+        verdict = self._hook.fire(ctx)
+        self.queries += 1
+        return verdict == 1
+
+    def push_model(self, qmlp: QuantizedMLP, mode: str = "jit") -> None:
+        """Replace the installed network with a newly quantized one.
+
+        The model is bytecode + tensors (not an object), so the push is a
+        full program rebuild reinstalled through the syscall path — the
+        repeatable "periodically quantized and pushed" loop.
+        """
+        self.syscalls.uninstall(self.program.name)
+        self.__init__(
+            qmlp, mode=mode, hooks=self.hooks, program_name=self.program.name
+        )

@@ -1,0 +1,79 @@
+"""Task model for the CFS-style scheduler simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TaskSpec", "Task", "NICE_0_WEIGHT"]
+
+#: The weight of a nice-0 task (Linux's NICE_0_LOAD).
+NICE_0_WEIGHT = 1024
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A workload's description of one task before it exists."""
+
+    name: str
+    arrival_ns: int
+    work_ns: int
+    weight: int = NICE_0_WEIGHT
+    origin_cpu: int = 0  # wake-affinity: where the task is first enqueued
+
+    def __post_init__(self) -> None:
+        if self.work_ns <= 0:
+            raise ValueError(f"task {self.name!r} needs positive work")
+        if self.arrival_ns < 0:
+            raise ValueError(f"task {self.name!r} has negative arrival")
+        if self.weight <= 0:
+            raise ValueError(f"task {self.name!r} needs positive weight")
+
+
+@dataclass
+class Task:
+    """A live task inside the scheduler."""
+
+    pid: int
+    name: str
+    work_ns: int
+    weight: int = NICE_0_WEIGHT
+    arrival_ns: int = 0
+
+    remaining_ns: int = field(default=0)
+    vruntime_ns: int = 0
+    state: str = "waiting"  # waiting | ready | running | done
+    cpu: int = -1  # current runqueue
+    last_cpu: int = -1  # where it last executed
+    last_ran_end_ns: int = 0  # when it was last descheduled
+    enqueued_at_ns: int = 0  # when it last entered a runqueue
+    total_ran_ns: int = 0
+    migrations: int = 0
+    start_ns: int | None = None
+    finish_ns: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.remaining_ns == 0:
+            self.remaining_ns = self.work_ns
+
+    @classmethod
+    def from_spec(cls, pid: int, spec: TaskSpec) -> "Task":
+        return cls(
+            pid=pid, name=spec.name, work_ns=spec.work_ns,
+            weight=spec.weight, arrival_ns=spec.arrival_ns,
+        )
+
+    def charge(self, ran_ns: int) -> None:
+        """Account ``ran_ns`` of CPU time (weighted vruntime, CFS-style)."""
+        self.remaining_ns -= ran_ns
+        self.total_ran_ns += ran_ns
+        self.vruntime_ns += ran_ns * NICE_0_WEIGHT // self.weight
+
+    @property
+    def done(self) -> bool:
+        return self.remaining_ns <= 0
+
+    @property
+    def jct_ns(self) -> int | None:
+        if self.finish_ns is None:
+            return None
+        return self.finish_ns - self.arrival_ns

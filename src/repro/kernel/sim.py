@@ -1,0 +1,97 @@
+"""Discrete-event simulation core for the kernel substrate.
+
+The paper's prototype runs inside Linux v5.9.15; this reproduction runs
+the same *algorithms* inside a simulated kernel.  The simulator is a
+classic event-queue DES: a virtual clock in nanoseconds, a heap of
+scheduled events, and deterministic FIFO ordering for simultaneous events
+(by insertion sequence), which keeps every experiment bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "Simulator", "NS_PER_US", "NS_PER_MS", "NS_PER_SEC"]
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering: (time, sequence number)."""
+
+    time: int
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic event-queue simulator with a nanosecond clock."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def schedule(self, delay_ns: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise ValueError(f"cannot schedule in the past (delay {delay_ns})")
+        return self.schedule_at(self.now + delay_ns, fn)
+
+    def schedule_at(self, time_ns: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at an absolute virtual time."""
+        if time_ns < self.now:
+            raise ValueError(
+                f"cannot schedule at {time_ns} before now ({self.now})"
+            )
+        event = Event(time=int(time_ns), seq=next(self._seq), fn=fn)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Run the next event; False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.events_processed += 1
+            event.fn()
+            return True
+        return False
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the queue (optionally bounded); returns events run."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                break
+        return count
+
+    def run_until(self, time_ns: int) -> None:
+        """Run events with time <= time_ns, then advance the clock there."""
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time_ns:
+                break
+            self.step()
+        self.now = max(self.now, int(time_ns))
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

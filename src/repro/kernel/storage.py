@@ -1,0 +1,102 @@
+"""Storage / backing-device latency models.
+
+The prefetching case study targets the swap path, where the device behind
+a page fault determines how much a good prefetcher is worth.  Three
+models, matching the scenarios the paper and Leap (ATC '20) discuss:
+
+* :class:`HddModel` — seek-dominated; sequential runs are nearly free
+  after the first page, which is why Linux readahead exists at all.
+* :class:`SsdModel` — flat latency with modest sequential benefit.
+* :class:`RemoteMemoryModel` — Leap's setting: RDMA-attached far memory,
+  a few microseconds per page.
+
+All models expose a single-server queue: requests issued while the device
+is busy wait behind it.  ``read(now, pages)`` returns the completion time
+for a batch; the memory subsystem uses per-page completion times to model
+prefetches that are still in flight when the demand access arrives.
+"""
+
+from __future__ import annotations
+
+from .sim import NS_PER_US
+
+__all__ = ["StorageModel", "HddModel", "SsdModel", "RemoteMemoryModel"]
+
+
+class StorageModel:
+    """Base single-queue device model."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.busy_until: int = 0
+        self.reads = 0
+        self.pages_read = 0
+
+    def _service_time(self, pages: int, sequential: bool) -> int:
+        raise NotImplementedError
+
+    def read(self, now: int, pages: int, sequential: bool = True) -> int:
+        """Issue a read of ``pages``; returns completion time (ns).
+
+        Requests serialize behind the device's queue (single server).
+        """
+        if pages < 1:
+            raise ValueError(f"pages must be >= 1, got {pages}")
+        start = max(now, self.busy_until)
+        done = start + self._service_time(pages, sequential)
+        self.busy_until = done
+        self.reads += 1
+        self.pages_read += pages
+        return done
+
+    def reset(self) -> None:
+        self.busy_until = 0
+        self.reads = 0
+        self.pages_read = 0
+
+
+class HddModel(StorageModel):
+    """Rotational disk: expensive seek, cheap sequential streaming."""
+
+    name = "hdd"
+
+    def __init__(self, seek_ns: int = 8 * 1000 * NS_PER_US,
+                 per_page_ns: int = 40 * NS_PER_US) -> None:
+        super().__init__()
+        self.seek_ns = seek_ns
+        self.per_page_ns = per_page_ns
+
+    def _service_time(self, pages: int, sequential: bool) -> int:
+        seek = self.per_page_ns if sequential else self.seek_ns
+        return seek + pages * self.per_page_ns
+
+
+class SsdModel(StorageModel):
+    """Flash: flat access latency, slight batching benefit."""
+
+    name = "ssd"
+
+    def __init__(self, access_ns: int = 80 * NS_PER_US,
+                 per_page_ns: int = 10 * NS_PER_US) -> None:
+        super().__init__()
+        self.access_ns = access_ns
+        self.per_page_ns = per_page_ns
+
+    def _service_time(self, pages: int, sequential: bool) -> int:
+        return self.access_ns + (pages - 1) * self.per_page_ns
+
+
+class RemoteMemoryModel(StorageModel):
+    """RDMA far memory (the Leap scenario): microseconds per page."""
+
+    name = "remote"
+
+    def __init__(self, rtt_ns: int = 5 * NS_PER_US,
+                 per_page_ns: int = 2 * NS_PER_US) -> None:
+        super().__init__()
+        self.rtt_ns = rtt_ns
+        self.per_page_ns = per_page_ns
+
+    def _service_time(self, pages: int, sequential: bool) -> int:
+        return self.rtt_ns + (pages - 1) * self.per_page_ns

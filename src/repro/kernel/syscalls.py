@@ -1,0 +1,117 @@
+"""``syscall_rmt`` — the user/kernel installation boundary.
+
+Section 3.1: an RMT program is "compiled into machine-independent
+bytecode, and installed via a system call".  This module is that
+boundary.  :func:`sys_rmt_install` deliberately round-trips every action
+through its 64-bit word encoding (serialize in "userspace", decode in the
+"kernel") before verification, so the installed program is provably the
+decoded form — the same discipline that keeps real eBPF loaders honest.
+
+The syscall returns a small handle table (program name + attach point),
+and :func:`sys_rmt_uninstall` detaches and removes a program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.bytecode import BytecodeProgram
+from ..core.control_plane import ControlPlane, RmtDatapath
+from ..core.errors import ControlPlaneError
+from ..core.program import RmtProgram
+from ..core.verifier import VerificationReport, Verifier
+from .hooks import HookRegistry
+
+__all__ = ["RmtSyscallInterface", "sys_rmt_install", "sys_rmt_uninstall"]
+
+
+@dataclass
+class InstallResult:
+    """What the syscall returns to userspace."""
+
+    program_name: str
+    attach_point: str
+    mode: str
+    report: VerificationReport
+
+
+class RmtSyscallInterface:
+    """The kernel's RMT syscall surface, bound to its hook registry."""
+
+    def __init__(self, hooks: HookRegistry) -> None:
+        self.hooks = hooks
+        self.control_plane = ControlPlane(hooks.helpers)
+        self.installs = 0
+        self.rejections = 0
+
+    def install(self, program: RmtProgram, mode: str = "jit") -> InstallResult:
+        """Verify and attach a program at its declared hook point.
+
+        Every action crosses the boundary as machine-independent words and
+        is decoded kernel-side before verification.
+        """
+        if not self.hooks.has_hook(program.attach_point):
+            raise ControlPlaneError(
+                f"program {program.name!r} targets unknown hook "
+                f"{program.attach_point!r}; kernel hooks: {self.hooks.names}"
+            )
+        hook = self.hooks.hook(program.attach_point)
+
+        # Userspace → kernel: serialize, then decode (the actual installed
+        # bytecode is the decoded form).
+        decoded_actions = {
+            name: BytecodeProgram.from_words(name, action.to_words())
+            for name, action in program.actions.items()
+        }
+        program.actions = decoded_actions
+        program.verified = False
+
+        report = Verifier(hook.policy, self.hooks.helpers).verify(program)
+        if not report.ok:
+            self.rejections += 1
+            report.raise_if_failed()
+
+        if program.name in self.control_plane.installed:
+            raise ControlPlaneError(f"program {program.name!r} already installed")
+        # Admit through the control plane (it re-runs the verifier; cheap
+        # and keeps a single admission path).
+        self.control_plane.install(program, hook.policy, mode=mode)
+        datapath = self.control_plane.datapath(program.name)
+        self.hooks.attach(program.attach_point, datapath)
+        self.installs += 1
+        return InstallResult(
+            program_name=program.name,
+            attach_point=program.attach_point,
+            mode=mode,
+            report=report,
+        )
+
+    def install_payload(self, payload: dict, mode: str = "jit") -> InstallResult:
+        """Install from the pure-data wire form (the real syscall ABI).
+
+        The payload is what :func:`repro.core.serialize.program_to_payload`
+        produces: instructions as 64-bit words plus side tables for maps,
+        tables, tensors and models — no Python objects cross the
+        boundary.
+        """
+        from ..core.serialize import payload_to_program
+
+        return self.install(payload_to_program(payload), mode=mode)
+
+    def uninstall(self, program_name: str) -> None:
+        datapath = self.control_plane.datapath(program_name)
+        self.hooks.detach(datapath.program.attach_point, program_name)
+        self.control_plane.uninstall(program_name)
+
+    def datapath(self, program_name: str) -> RmtDatapath:
+        return self.control_plane.datapath(program_name)
+
+
+def sys_rmt_install(hooks: HookRegistry, program: RmtProgram,
+                    mode: str = "jit") -> InstallResult:
+    """One-shot convenience: install a program on a kernel's hooks."""
+    return RmtSyscallInterface(hooks).install(program, mode=mode)
+
+
+def sys_rmt_uninstall(interface: RmtSyscallInterface, program_name: str) -> None:
+    interface.uninstall(program_name)

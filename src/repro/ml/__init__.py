@@ -1,0 +1,76 @@
+"""Lightweight in-kernel ML library (Section 3.2 of the paper).
+
+Userspace trains in float; the kernel infers in integers.  Every model
+that may be pushed into the kernel exposes ``cost_signature()`` so the RMT
+verifier can statically bound its per-inference cost.
+"""
+
+from .cost_model import (
+    CPU_COST_MODEL,
+    CostBudget,
+    ModelCost,
+    conv_layer_cost,
+    decision_tree_cost,
+    estimate_cost,
+    mlp_cost,
+    svm_cost,
+)
+from .cache import CachedModel
+from .compression import CompressionReport, compress_mlp, compress_tree
+from .datasets import class_balance, delta_history_dataset, train_test_split
+from .decision_tree import IntegerDecisionTree, TreeNode, WindowedTreeTrainer
+from .distillation import distill_to_mlp, distill_to_tree, fidelity
+from .feature_selection import (
+    FeatureRanking,
+    mutual_information_ranking,
+    permutation_importance,
+    select_top_features,
+)
+from .fixed_point import DEFAULT_QFORMAT, AffineQuantizer, QFormat
+from .mlp import FloatMLP, QuantizedMLP, quantize_multiplier
+from .nas import NasResult, SearchSpace, evolutionary_search, random_search
+from .online import AccuracyTracker, DriftDetector, OnlineTrainer
+from .svm import IntegerSVM, LinearSVM
+
+__all__ = [
+    "AccuracyTracker",
+    "AffineQuantizer",
+    "CPU_COST_MODEL",
+    "CachedModel",
+    "CompressionReport",
+    "CostBudget",
+    "DEFAULT_QFORMAT",
+    "DriftDetector",
+    "FeatureRanking",
+    "FloatMLP",
+    "IntegerDecisionTree",
+    "IntegerSVM",
+    "LinearSVM",
+    "ModelCost",
+    "NasResult",
+    "OnlineTrainer",
+    "QFormat",
+    "QuantizedMLP",
+    "SearchSpace",
+    "TreeNode",
+    "WindowedTreeTrainer",
+    "class_balance",
+    "compress_mlp",
+    "compress_tree",
+    "conv_layer_cost",
+    "decision_tree_cost",
+    "delta_history_dataset",
+    "distill_to_mlp",
+    "distill_to_tree",
+    "estimate_cost",
+    "evolutionary_search",
+    "fidelity",
+    "mlp_cost",
+    "mutual_information_ranking",
+    "permutation_importance",
+    "quantize_multiplier",
+    "random_search",
+    "select_top_features",
+    "svm_cost",
+    "train_test_split",
+]

@@ -1,0 +1,67 @@
+"""Inference-result caching (Section 3.2).
+
+"When appropriate, inference results can be cached and reused in a
+kernel subsystem without incurring repeated queries."
+
+:class:`CachedModel` wraps any kernel model (``predict_one`` +
+``cost_signature``) with a bounded LRU over feature tuples.  The wrapper
+is itself a valid kernel model, so it drops into a program's model slot
+(``ML_INFER``) or the control plane's ``push_model`` unchanged; the cost
+signature passes through, since the verifier must budget for the miss
+path.
+
+Scheduler-style hooks see heavily repeated feature vectors (the same
+task re-examined every balance tick), which is where this pays off.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["CachedModel"]
+
+
+class CachedModel:
+    """Bounded LRU memoization around a kernel model."""
+
+    def __init__(self, model, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        for attr in ("predict_one", "cost_signature"):
+            if not hasattr(model, attr):
+                raise TypeError(f"wrapped model lacks {attr!r}")
+        self.model = model
+        self.capacity = capacity
+        self._cache: OrderedDict[tuple[int, ...], int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def predict_one(self, features) -> int:
+        key = tuple(int(v) for v in features)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = int(self.model.predict_one(features))
+        if len(self._cache) >= self.capacity:
+            self._cache.popitem(last=False)
+        self._cache[key] = result
+        return result
+
+    def cost_signature(self) -> dict:
+        """The miss path's cost — what the verifier must budget for."""
+        return self.model.cost_signature()
+
+    def invalidate(self) -> None:
+        """Drop all cached results (call after a model hot-swap)."""
+        self._cache.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,195 @@
+"""Small quantized CNNs — the "Quantized DNN" tier of the kernel ML library.
+
+Section 3.2 sketches a library of "ML data structures (e.g., conv_layer)
+and helper functions (e.g., matrix_multiply)" from which RMT programs
+construct more complex models (``action_cnn``).  This module provides the
+building blocks as integer-only layers plus a tiny sequential container.
+Layers expose the shape parameters the verifier needs for the conv-layer
+FLOP check (Section 3.2 / Molchanov et al.).
+
+These CNNs are deliberately small — they model the class of "drastically
+smaller students" a distillation pipeline would push into the kernel, not
+ImageNet-scale networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fixed_point import AffineQuantizer
+from .tensor import int_argmax, int_conv2d, int_matvec, int_maxpool2d, int_relu
+
+__all__ = ["ConvLayer", "MaxPoolLayer", "FlattenLayer", "DenseLayer", "QuantizedCNN"]
+
+
+class ConvLayer:
+    """Single-input-channel integer conv layer (valid padding) + ReLU."""
+
+    def __init__(
+        self,
+        kernels: np.ndarray,
+        shift: int = 8,
+        stride: int = 1,
+    ) -> None:
+        kernels = np.asarray(kernels)
+        if kernels.ndim != 3:
+            raise ValueError(
+                f"kernels must be (out_channels, kh, kw), got shape {kernels.shape}"
+            )
+        if not np.issubdtype(kernels.dtype, np.integer):
+            raise TypeError("ConvLayer kernels must be integer (quantized)")
+        if kernels.shape[1] != kernels.shape[2]:
+            raise ValueError("only square kernels are supported")
+        self.kernels = kernels.astype(np.int64)
+        self.shift = shift
+        self.stride = stride
+
+    @classmethod
+    def from_float(
+        cls, kernels: np.ndarray, bits: int = 8, shift: int = 8, stride: int = 1
+    ) -> "ConvLayer":
+        q = AffineQuantizer(bits=bits, symmetric=True).fit(kernels)
+        return cls(q.quantize(np.asarray(kernels, dtype=np.float64)), shift, stride)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Input (h, w) int array -> output (out_channels, oh, ow)."""
+        x = np.asarray(x)
+        if x.ndim == 3:
+            # Multi-channel input: sum convolution over input channels.
+            maps = [
+                sum(
+                    int_conv2d(x[c], k, shift=0, stride=self.stride)
+                    for c in range(x.shape[0])
+                )
+                for k in self.kernels
+            ]
+            out = np.stack([int_relu(np.asarray(m) >> self.shift) for m in maps])
+            return out
+        maps = [
+            int_conv2d(x, k, shift=self.shift, stride=self.stride)
+            for k in self.kernels
+        ]
+        return np.stack([int_relu(m) for m in maps])
+
+    def shape_params(self, in_height: int, in_width: int, in_channels: int) -> dict:
+        """Verifier cost-signature entry for this layer."""
+        return {
+            "in_height": in_height,
+            "in_width": in_width,
+            "in_channels": in_channels,
+            "out_channels": int(self.kernels.shape[0]),
+            "kernel_size": int(self.kernels.shape[1]),
+            "stride": self.stride,
+        }
+
+    def out_shape(self, in_height: int, in_width: int) -> tuple[int, int, int]:
+        k = self.kernels.shape[1]
+        oh = (in_height - k) // self.stride + 1
+        ow = (in_width - k) // self.stride + 1
+        return int(self.kernels.shape[0]), oh, ow
+
+
+class MaxPoolLayer:
+    """Integer max pooling applied per channel."""
+
+    def __init__(self, size: int = 2) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.size = size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim == 2:
+            return int_maxpool2d(x, self.size)
+        return np.stack([int_maxpool2d(ch, self.size) for ch in x])
+
+    def out_shape(self, channels: int, h: int, w: int) -> tuple[int, int, int]:
+        return channels, h // self.size, w // self.size
+
+
+class FlattenLayer:
+    """Flatten (c, h, w) to a vector for the dense head."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x).reshape(-1)
+
+
+class DenseLayer:
+    """Integer dense layer with optional ReLU."""
+
+    def __init__(
+        self, w_q: np.ndarray, b_q: np.ndarray, shift: int = 8, relu: bool = True
+    ) -> None:
+        w_q = np.asarray(w_q)
+        if not np.issubdtype(w_q.dtype, np.integer):
+            raise TypeError("DenseLayer weights must be integer (quantized)")
+        self.w_q = w_q.astype(np.int64)
+        self.b_q = np.asarray(b_q, dtype=np.int64)
+        self.shift = shift
+        self.relu = relu
+
+    @classmethod
+    def from_float(
+        cls,
+        w: np.ndarray,
+        b: np.ndarray,
+        bits: int = 8,
+        shift: int = 8,
+        relu: bool = True,
+    ) -> "DenseLayer":
+        wq = AffineQuantizer(bits=bits, symmetric=True).fit(w)
+        w_q = wq.quantize(np.asarray(w, dtype=np.float64))
+        b_q = np.rint(np.asarray(b, dtype=np.float64) / wq.scale).astype(np.int64)
+        return cls(w_q, b_q, shift, relu)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = int_matvec(self.w_q, np.asarray(x, dtype=np.int64), shift=self.shift)
+        out = out + self.b_q
+        return int_relu(out) if self.relu else out
+
+
+class QuantizedCNN:
+    """A tiny sequential integer CNN: conv/pool stages + dense head.
+
+    The constructor takes the input feature-map shape so the model can
+    compute its own verifier cost signature statically.
+    """
+
+    def __init__(
+        self,
+        layers: list,
+        input_shape: tuple[int, int],
+        in_channels: int = 1,
+        bits: int = 8,
+    ) -> None:
+        self.layers = list(layers)
+        self.input_shape = tuple(input_shape)
+        self.in_channels = in_channels
+        self.bits = bits
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = np.asarray(x)
+        for layer in self.layers:
+            h = layer.forward(h)
+        return h
+
+    def predict_one(self, x: np.ndarray) -> int:
+        return int_argmax(self.forward(x))
+
+    def cost_signature(self) -> dict:
+        """Per-conv-layer shape parameters for the verifier FLOP check."""
+        entries = []
+        c, h, w = self.in_channels, self.input_shape[0], self.input_shape[1]
+        for layer in self.layers:
+            if isinstance(layer, ConvLayer):
+                entries.append(layer.shape_params(h, w, c))
+                c, h, w = layer.out_shape(h, w)
+            elif isinstance(layer, MaxPoolLayer):
+                c, h, w = layer.out_shape(c, h, w)
+        if not entries:
+            raise ValueError("QuantizedCNN has no conv layers to cost")
+        return {"kind": "conv", "layers": entries}
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)

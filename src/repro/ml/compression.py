@@ -1,0 +1,153 @@
+"""On-demand model compression (Section 3.2).
+
+"On-demand model compression techniques can also trim a model based on a
+specified performance goal and resource constraints — e.g., as a
+subsequent step that can be invoked from the RMT verifier."
+
+Two compressors, one per kernel model family:
+
+* :func:`compress_tree` — depth-prunes an integer decision tree until it
+  fits a :class:`~repro.ml.cost_model.CostBudget`, collapsing subtrees
+  into majority-vote leaves (the pruning that loses the least training
+  mass first).
+* :func:`compress_mlp` — re-quantizes an MLP at decreasing bit widths
+  until the budget fits, reporting the fidelity retained at each step.
+
+Both return the compressed model plus a :class:`CompressionReport`; both
+raise if no admissible configuration exists (fail closed — the verifier
+then rejects the program rather than installing a useless model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cost_model import CostBudget, estimate_cost
+from .decision_tree import IntegerDecisionTree, TreeNode
+from .mlp import FloatMLP, QuantizedMLP
+
+__all__ = ["CompressionReport", "compress_tree", "compress_mlp"]
+
+
+@dataclass
+class CompressionReport:
+    """What compression did and what it cost."""
+
+    steps: list[dict] = field(default_factory=list)
+    admissible: bool = False
+
+    def record(self, **info) -> None:
+        self.steps.append(info)
+
+
+def _copy_tree(node: TreeNode) -> TreeNode:
+    if node.is_leaf:
+        return TreeNode(prediction=node.prediction, counts=dict(node.counts))
+    return TreeNode(
+        feature=node.feature,
+        threshold=node.threshold,
+        left=_copy_tree(node.left),
+        right=_copy_tree(node.right),
+        prediction=node.prediction,
+        counts=dict(node.counts),
+    )
+
+
+def _prune_below(node: TreeNode, depth: int, max_depth: int) -> None:
+    """Collapse every subtree below ``max_depth`` into its majority leaf."""
+    if node.is_leaf:
+        return
+    if depth >= max_depth:
+        node.left = None
+        node.right = None
+        node.feature = -1
+        return
+    _prune_below(node.left, depth + 1, max_depth)
+    _prune_below(node.right, depth + 1, max_depth)
+
+
+def _measure(node: TreeNode) -> tuple[int, int]:
+    """(depth, n_nodes) of a tree."""
+    if node.is_leaf:
+        return 0, 1
+    left_depth, left_nodes = _measure(node.left)
+    right_depth, right_nodes = _measure(node.right)
+    return max(left_depth, right_depth) + 1, left_nodes + right_nodes + 1
+
+
+def compress_tree(
+    tree: IntegerDecisionTree,
+    budget: CostBudget,
+    min_depth: int = 1,
+) -> tuple[IntegerDecisionTree, CompressionReport]:
+    """Depth-prune ``tree`` until it fits ``budget``.
+
+    Returns a *new* fitted tree (the input is untouched).  Raises
+    ``ValueError`` if even a depth-``min_depth`` stump exceeds the
+    budget.
+    """
+    if tree.root is None:
+        raise ValueError("tree is not fitted")
+    report = CompressionReport()
+    for max_depth in range(tree.depth_, min_depth - 1, -1):
+        candidate = IntegerDecisionTree(
+            max_depth=max(max_depth, 1),
+            min_samples_split=tree.min_samples_split,
+            min_samples_leaf=tree.min_samples_leaf,
+            max_thresholds=tree.max_thresholds,
+        )
+        candidate.root = _copy_tree(tree.root)
+        _prune_below(candidate.root, 0, max(max_depth, 1))
+        candidate.classes_ = tree.classes_
+        candidate.n_features_ = tree.n_features_
+        candidate._importances = (
+            tree._importances.copy() if tree._importances is not None else None
+        )
+        candidate.depth_, candidate.n_nodes_ = _measure(candidate.root)
+        cost = estimate_cost(candidate)
+        violations = budget.violations(cost)
+        report.record(max_depth=max_depth, n_nodes=candidate.n_nodes_,
+                      ops=cost.ops, memory_bytes=cost.memory_bytes,
+                      violations=list(violations))
+        if not violations:
+            report.admissible = True
+            return candidate, report
+    raise ValueError(
+        f"no admissible tree at any depth >= {min_depth}; "
+        f"budget {budget} is unsatisfiable for this model"
+    )
+
+
+def compress_mlp(
+    mlp: FloatMLP,
+    calibration_x: np.ndarray,
+    budget: CostBudget,
+    bit_widths: tuple[int, ...] = (16, 8, 6, 4, 3, 2),
+    fidelity_x: np.ndarray | None = None,
+) -> tuple[QuantizedMLP, CompressionReport]:
+    """Quantize ``mlp`` at decreasing widths until the budget fits.
+
+    ``fidelity_x`` (default: the calibration set) is used to report the
+    agreement retained at each width, so callers can see what the budget
+    cost them.
+    """
+    report = CompressionReport()
+    fidelity_x = calibration_x if fidelity_x is None else fidelity_x
+    layers = len(mlp.layer_sizes) - 1
+    for bits in sorted(bit_widths, reverse=True):
+        candidate = QuantizedMLP.from_float(mlp, calibration_x, bits=bits)
+        cost = estimate_cost(candidate)
+        violations = budget.violations(cost, layers=layers)
+        agreement = candidate.agreement(mlp, np.asarray(fidelity_x))
+        report.record(bits=bits, ops=cost.ops,
+                      memory_bytes=cost.memory_bytes,
+                      agreement=agreement, violations=list(violations))
+        if not violations:
+            report.admissible = True
+            return candidate, report
+    raise ValueError(
+        f"no admissible quantization in {bit_widths}; budget {budget} is "
+        "unsatisfiable for this architecture (shrink the network instead)"
+    )

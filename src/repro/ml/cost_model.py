@@ -1,0 +1,216 @@
+"""Static cost models for ML models admitted into the kernel.
+
+Section 3.2: "Models can be added to this library, but they must satisfy a
+set of performance requirements (e.g., the number of NN layers, memory
+accesses, or floating point operations).  The RMT verifier will statically
+check the model — e.g., by computing the number of floating point
+operations for a convolutional layer using the height, width and number of
+channels of the input feature map — before JIT-compiling it."
+
+This module is that static analysis.  It computes, **without running the
+model**, three quantities for every model type the library supports:
+
+* ``ops``      — multiply-accumulate count per inference,
+* ``memory``   — bytes of parameter + working-set memory,
+* ``latency_ns`` — an estimated per-inference latency on a simple CPU
+  cost model (used when the verifier enforces a subsystem latency budget,
+  e.g. "CPU scheduling is on the order of microseconds").
+
+The verifier consumes :func:`estimate_cost` through a
+:class:`CostBudget`; see ``repro.core.verifier``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ModelCost",
+    "CostBudget",
+    "mlp_cost",
+    "conv_layer_cost",
+    "decision_tree_cost",
+    "svm_cost",
+    "estimate_cost",
+    "CPU_COST_MODEL",
+]
+
+
+@dataclass(frozen=True)
+class ModelCost:
+    """Static per-inference cost of a model."""
+
+    ops: int  # multiply-accumulate operations
+    memory_bytes: int  # parameters + activations
+    latency_ns: float  # estimated on the target platform cost model
+
+    def __add__(self, other: "ModelCost") -> "ModelCost":
+        return ModelCost(
+            ops=self.ops + other.ops,
+            memory_bytes=self.memory_bytes + other.memory_bytes,
+            latency_ns=self.latency_ns + other.latency_ns,
+        )
+
+
+@dataclass(frozen=True)
+class PlatformCostModel:
+    """A simple roofline-ish platform model (Section 3.2, "automate the
+    construction of platform cost models").
+
+    ``ns_per_op`` models integer MAC throughput; ``ns_per_byte`` models
+    the memory stream; per-inference latency is the max of the two plus a
+    fixed dispatch overhead.
+    """
+
+    name: str
+    ns_per_op: float
+    ns_per_byte: float
+    dispatch_ns: float
+
+    def latency_ns(self, ops: int, memory_bytes: int) -> float:
+        compute = ops * self.ns_per_op
+        memory = memory_bytes * self.ns_per_byte
+        return self.dispatch_ns + max(compute, memory)
+
+
+#: Default platform: a contemporary server core doing int16 MACs.
+CPU_COST_MODEL = PlatformCostModel(
+    name="cpu-int16", ns_per_op=0.25, ns_per_byte=0.05, dispatch_ns=40.0
+)
+
+
+@dataclass(frozen=True)
+class CostBudget:
+    """Admission thresholds enforced by the RMT verifier."""
+
+    max_ops: int = 1_000_000
+    max_memory_bytes: int = 4 * 1024 * 1024
+    max_latency_ns: float = 1_000_000.0  # 1 ms default
+    max_layers: int = 16
+
+    def violations(self, cost: ModelCost, layers: int = 1) -> list[str]:
+        """Return human-readable violations (empty list == admissible)."""
+        problems = []
+        if cost.ops > self.max_ops:
+            problems.append(f"ops {cost.ops} exceeds budget {self.max_ops}")
+        if cost.memory_bytes > self.max_memory_bytes:
+            problems.append(
+                f"memory {cost.memory_bytes}B exceeds budget {self.max_memory_bytes}B"
+            )
+        if cost.latency_ns > self.max_latency_ns:
+            problems.append(
+                f"latency {cost.latency_ns:.0f}ns exceeds budget "
+                f"{self.max_latency_ns:.0f}ns"
+            )
+        if layers > self.max_layers:
+            problems.append(f"{layers} layers exceeds budget {self.max_layers}")
+        return problems
+
+
+def mlp_cost(
+    layer_sizes: list[int],
+    weight_bytes: int = 2,
+    platform: PlatformCostModel = CPU_COST_MODEL,
+) -> ModelCost:
+    """Cost of a dense MLP given its layer widths, e.g. ``[15, 16, 2]``."""
+    if len(layer_sizes) < 2:
+        raise ValueError("an MLP needs at least input and output layers")
+    if any(s <= 0 for s in layer_sizes):
+        raise ValueError(f"layer sizes must be positive: {layer_sizes}")
+    ops = 0
+    params = 0
+    for fan_in, fan_out in zip(layer_sizes, layer_sizes[1:]):
+        ops += fan_in * fan_out  # MACs
+        params += fan_in * fan_out + fan_out  # weights + biases
+    activations = sum(layer_sizes)
+    memory = params * weight_bytes + activations * 4
+    return ModelCost(ops, memory, platform.latency_ns(ops, memory))
+
+
+def conv_layer_cost(
+    in_height: int,
+    in_width: int,
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int,
+    stride: int = 1,
+    weight_bytes: int = 2,
+    platform: PlatformCostModel = CPU_COST_MODEL,
+) -> ModelCost:
+    """Cost of one convolutional layer from its input feature-map shape.
+
+    This is the exact check the paper names: "computing the number of
+    floating point operations for a convolutional layer using the height,
+    width and number of channels of the input feature map" [41].
+    """
+    for name, value in (
+        ("in_height", in_height),
+        ("in_width", in_width),
+        ("in_channels", in_channels),
+        ("out_channels", out_channels),
+        ("kernel_size", kernel_size),
+        ("stride", stride),
+    ):
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+    if kernel_size > in_height or kernel_size > in_width:
+        raise ValueError("kernel larger than input feature map")
+    out_h = (in_height - kernel_size) // stride + 1
+    out_w = (in_width - kernel_size) // stride + 1
+    macs_per_output = kernel_size * kernel_size * in_channels
+    ops = out_h * out_w * out_channels * macs_per_output
+    params = out_channels * macs_per_output + out_channels
+    activations = in_height * in_width * in_channels + out_h * out_w * out_channels
+    memory = params * weight_bytes + activations * 4
+    return ModelCost(ops, memory, platform.latency_ns(ops, memory))
+
+
+def decision_tree_cost(
+    depth: int,
+    n_nodes: int,
+    platform: PlatformCostModel = CPU_COST_MODEL,
+) -> ModelCost:
+    """Cost of an integer decision tree: one compare per level walked."""
+    if depth < 0 or n_nodes < 1:
+        raise ValueError(f"invalid tree shape: depth={depth}, nodes={n_nodes}")
+    ops = max(depth, 1)  # comparisons on the walked path
+    memory = n_nodes * 16  # (feature idx, threshold, left, right) packed
+    return ModelCost(ops, memory, platform.latency_ns(ops, memory))
+
+
+def svm_cost(
+    n_features: int,
+    weight_bytes: int = 2,
+    platform: PlatformCostModel = CPU_COST_MODEL,
+) -> ModelCost:
+    """Cost of a linear integer SVM: one dot product."""
+    if n_features <= 0:
+        raise ValueError(f"n_features must be positive, got {n_features}")
+    ops = n_features
+    memory = n_features * weight_bytes + 8
+    return ModelCost(ops, memory, platform.latency_ns(ops, memory))
+
+
+def estimate_cost(model, platform: PlatformCostModel = CPU_COST_MODEL) -> ModelCost:
+    """Estimate the cost of any model object in this library.
+
+    Dispatches on a ``cost_signature()`` duck-typed method that every
+    kernel-admissible model implements; the signature is a dict naming the
+    model family plus its shape parameters.  Keeping the dispatch here (and
+    not as a method computing its own cost) means the verifier only trusts
+    *this* audited module for admission maths.
+    """
+    sig = model.cost_signature()
+    kind = sig["kind"]
+    if kind == "mlp":
+        return mlp_cost(sig["layer_sizes"], sig.get("weight_bytes", 2), platform)
+    if kind == "decision_tree":
+        return decision_tree_cost(sig["depth"], sig["n_nodes"], platform)
+    if kind == "svm":
+        return svm_cost(sig["n_features"], sig.get("weight_bytes", 2), platform)
+    if kind == "conv":
+        total = ModelCost(0, 0, 0.0)
+        for layer in sig["layers"]:
+            total = total + conv_layer_cost(platform=platform, **layer)
+        return total
+    raise ValueError(f"unknown model kind {kind!r}")

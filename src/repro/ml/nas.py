@@ -1,0 +1,205 @@
+"""Lightweight neural architecture search under a platform cost model.
+
+Section 3.2 ("Customized ML"): NAS "can automatically construct NNs with
+different depths, widths, and hyperparameters ... for a given task", is
+"usually a time-consuming operation, so it is performed in an offline
+training phase", and the resulting model is installed into the kernel for
+inference.  The paper also calls for hardware-aware co-design ("we should
+tune or co-design the ML algorithms based on the underlying platform") —
+i.e. the search objective must include the platform cost model, not just
+accuracy.
+
+We implement a deliberately small, offline NAS over MLP architectures:
+
+* search space: number of hidden layers × widths (both bounded),
+* objective: validation accuracy minus a latency penalty from
+  :mod:`repro.ml.cost_model` (hardware-aware),
+* strategies: pure random search (Bergstra & Bengio) and a (mu+lambda)
+  evolutionary search with mutation on depth/width.
+
+The winner is an ordinary :class:`~repro.ml.mlp.FloatMLP`, so it flows
+into the same quantize-and-push pipeline as hand-designed models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cost_model import CPU_COST_MODEL, PlatformCostModel, mlp_cost
+from .mlp import FloatMLP
+
+__all__ = ["SearchSpace", "NasResult", "random_search", "evolutionary_search"]
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Bounded MLP search space."""
+
+    n_inputs: int
+    n_outputs: int
+    min_layers: int = 1
+    max_layers: int = 3
+    width_choices: tuple[int, ...] = (4, 8, 16, 32)
+
+    def __post_init__(self) -> None:
+        if self.min_layers < 0 or self.max_layers < self.min_layers:
+            raise ValueError(
+                f"invalid layer bounds [{self.min_layers}, {self.max_layers}]"
+            )
+        if not self.width_choices:
+            raise ValueError("width_choices must be non-empty")
+
+    def sample(self, rng: np.random.Generator) -> tuple[int, ...]:
+        """Sample a hidden-layer width tuple."""
+        depth = int(rng.integers(self.min_layers, self.max_layers + 1))
+        return tuple(int(rng.choice(self.width_choices)) for _ in range(depth))
+
+    def mutate(self, hidden: tuple[int, ...], rng: np.random.Generator) -> tuple[int, ...]:
+        """One random edit: grow, shrink, or re-roll a layer width."""
+        hidden = list(hidden)
+        moves = ["width"]
+        if len(hidden) < self.max_layers:
+            moves.append("grow")
+        if len(hidden) > self.min_layers:
+            moves.append("shrink")
+        move = rng.choice(moves)
+        if move == "grow":
+            hidden.insert(
+                int(rng.integers(0, len(hidden) + 1)),
+                int(rng.choice(self.width_choices)),
+            )
+        elif move == "shrink":
+            hidden.pop(int(rng.integers(0, len(hidden))))
+        elif hidden:
+            hidden[int(rng.integers(0, len(hidden)))] = int(
+                rng.choice(self.width_choices)
+            )
+        return tuple(hidden)
+
+    def full_layers(self, hidden: tuple[int, ...]) -> list[int]:
+        return [self.n_inputs, *hidden, self.n_outputs]
+
+
+@dataclass
+class NasResult:
+    """Best architecture found plus the full search trace."""
+
+    best_layers: list[int]
+    best_model: FloatMLP
+    best_score: float
+    best_accuracy: float
+    best_latency_ns: float
+    trace: list[dict] = field(default_factory=list)
+
+
+def _evaluate(
+    space: SearchSpace,
+    hidden: tuple[int, ...],
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    latency_weight: float,
+    platform: PlatformCostModel,
+    epochs: int,
+    seed: int,
+) -> tuple[float, float, float, FloatMLP]:
+    layers = space.full_layers(hidden)
+    model = FloatMLP(layers, epochs=epochs, seed=seed)
+    model.fit(x_train, y_train)
+    accuracy = model.accuracy(x_val, y_val)
+    latency = mlp_cost(layers, weight_bytes=2, platform=platform).latency_ns
+    # Hardware-aware objective: accuracy minus normalized latency penalty.
+    score = accuracy - latency_weight * latency / 1e6
+    return score, accuracy, latency, model
+
+
+def random_search(
+    space: SearchSpace,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    n_trials: int = 10,
+    latency_weight: float = 0.5,
+    platform: PlatformCostModel = CPU_COST_MODEL,
+    epochs: int = 15,
+    seed: int = 0,
+) -> NasResult:
+    """Random search (the paper's cited baseline strategy [8])."""
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    rng = np.random.default_rng(seed)
+    best: NasResult | None = None
+    trace: list[dict] = []
+    for trial in range(n_trials):
+        hidden = space.sample(rng)
+        score, acc, lat, model = _evaluate(
+            space, hidden, x_train, y_train, x_val, y_val,
+            latency_weight, platform, epochs, seed + trial,
+        )
+        trace.append({"hidden": hidden, "score": score, "accuracy": acc,
+                      "latency_ns": lat})
+        if best is None or score > best.best_score:
+            best = NasResult(
+                best_layers=space.full_layers(hidden),
+                best_model=model,
+                best_score=score,
+                best_accuracy=acc,
+                best_latency_ns=lat,
+            )
+    best.trace = trace
+    return best
+
+
+def evolutionary_search(
+    space: SearchSpace,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    population: int = 4,
+    generations: int = 3,
+    latency_weight: float = 0.5,
+    platform: PlatformCostModel = CPU_COST_MODEL,
+    epochs: int = 15,
+    seed: int = 0,
+) -> NasResult:
+    """(mu+lambda) evolution: keep the best half, mutate to refill."""
+    if population < 2:
+        raise ValueError(f"population must be >= 2, got {population}")
+    if generations < 1:
+        raise ValueError(f"generations must be >= 1, got {generations}")
+    rng = np.random.default_rng(seed)
+    candidates = [space.sample(rng) for _ in range(population)]
+    trace: list[dict] = []
+    scored: list[tuple[float, tuple[int, ...], float, float, FloatMLP]] = []
+    trial = 0
+    for generation in range(generations):
+        scored = []
+        for hidden in candidates:
+            score, acc, lat, model = _evaluate(
+                space, hidden, x_train, y_train, x_val, y_val,
+                latency_weight, platform, epochs, seed + trial,
+            )
+            trial += 1
+            scored.append((score, hidden, acc, lat, model))
+            trace.append({"generation": generation, "hidden": hidden,
+                          "score": score, "accuracy": acc, "latency_ns": lat})
+        scored.sort(key=lambda item: -item[0])
+        survivors = [hidden for _, hidden, _, _, _ in scored[: max(population // 2, 1)]]
+        candidates = list(survivors)
+        while len(candidates) < population:
+            parent = survivors[int(rng.integers(0, len(survivors)))]
+            candidates.append(space.mutate(parent, rng))
+    best_score, best_hidden, best_acc, best_lat, best_model = scored[0]
+    return NasResult(
+        best_layers=space.full_layers(best_hidden),
+        best_model=best_model,
+        best_score=best_score,
+        best_accuracy=best_acc,
+        best_latency_ns=best_lat,
+        trace=trace,
+    )

@@ -1,0 +1,144 @@
+"""Online-training drivers: windowed retrain loops and drift detection.
+
+Section 3.2 ("ML training") distinguishes *offline* training (asynchronous,
+no kernel overhead) from *online, real-time* training that "can better
+handle rapidly changing workloads".  Section 3.1 adds the control-plane
+policy: "if the prefetching accuracy falls below a threshold, the control
+plane will recompute ML decisions to be more conservative in prefetching".
+
+This module packages those loops so kernel subsystems don't re-implement
+them:
+
+* :class:`AccuracyTracker` — sliding-window accuracy of live predictions.
+* :class:`DriftDetector` — flags workload phase changes when windowed
+  accuracy drops by a margin relative to the post-(re)train baseline.
+* :class:`OnlineTrainer` — orchestrates observe → (drift | window full)
+  → retrain → hot-swap, wrapping any trainer with the
+  :class:`~repro.ml.decision_tree.WindowedTreeTrainer` interface.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["AccuracyTracker", "DriftDetector", "OnlineTrainer"]
+
+
+class AccuracyTracker:
+    """Sliding-window hit rate of live predictions."""
+
+    def __init__(self, window: int = 256) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self.total_observed = 0
+        self.total_correct = 0
+
+    def record(self, correct: bool) -> None:
+        self._outcomes.append(bool(correct))
+        self.total_observed += 1
+        if correct:
+            self.total_correct += 1
+
+    @property
+    def windowed_accuracy(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(self._outcomes) / len(self._outcomes)
+
+    @property
+    def lifetime_accuracy(self) -> float:
+        if self.total_observed == 0:
+            return 0.0
+        return self.total_correct / self.total_observed
+
+    @property
+    def n_windowed(self) -> int:
+        return len(self._outcomes)
+
+    def reset_window(self) -> None:
+        self._outcomes.clear()
+
+
+class DriftDetector:
+    """Detect workload phase changes from accuracy degradation.
+
+    After each (re)train the caller sets a baseline; drift is declared
+    when windowed accuracy falls more than ``drop_threshold`` below it
+    (with at least ``min_samples`` observations in the window, to avoid
+    firing on startup noise).
+    """
+
+    def __init__(self, drop_threshold: float = 0.2, min_samples: int = 32) -> None:
+        if not 0.0 < drop_threshold <= 1.0:
+            raise ValueError(f"drop_threshold must be in (0, 1], got {drop_threshold}")
+        self.drop_threshold = drop_threshold
+        self.min_samples = min_samples
+        self.baseline: float | None = None
+        self.n_drift_events = 0
+
+    def set_baseline(self, accuracy: float) -> None:
+        self.baseline = accuracy
+
+    def check(self, tracker: AccuracyTracker) -> bool:
+        """Return True (and count the event) when drift is detected."""
+        if self.baseline is None or tracker.n_windowed < self.min_samples:
+            return False
+        if tracker.windowed_accuracy < self.baseline - self.drop_threshold:
+            self.n_drift_events += 1
+            return True
+        return False
+
+
+class OnlineTrainer:
+    """Observe/predict/retrain loop for an underlying windowed trainer.
+
+    The underlying ``trainer`` must provide ``observe(features, label)``
+    (returning True when it retrained on its own schedule), ``retrain()``,
+    and a ``model`` attribute.  This wrapper adds accuracy tracking and
+    drift-triggered early retrains on top.
+    """
+
+    def __init__(
+        self,
+        trainer,
+        accuracy_window: int = 256,
+        drift_threshold: float = 0.2,
+        min_drift_samples: int = 32,
+    ) -> None:
+        self.trainer = trainer
+        self.tracker = AccuracyTracker(window=accuracy_window)
+        self.detector = DriftDetector(drift_threshold, min_drift_samples)
+        self.n_retrains = 0
+        self.n_predictions = 0
+
+    @property
+    def model(self):
+        return self.trainer.model
+
+    def predict(self, features):
+        """Predict with the current model; None if no model trained yet."""
+        if self.trainer.model is None:
+            return None
+        self.n_predictions += 1
+        return self.trainer.model.predict_one(features)
+
+    def observe(self, features, label, predicted=None) -> bool:
+        """Feed a ground-truth sample; returns True if a retrain happened.
+
+        If ``predicted`` is supplied (the model's earlier prediction for
+        this sample), it feeds the accuracy tracker and drift detector.
+        """
+        if predicted is not None:
+            self.tracker.record(predicted == label)
+        retrained = self.trainer.observe(features, label)
+        if not retrained and self.detector.check(self.tracker):
+            retrained = self.trainer.retrain() is not None
+        if retrained:
+            self.n_retrains += 1
+            # New model: reset the window and re-baseline optimistically;
+            # the next window of live predictions recalibrates it.
+            self.tracker.reset_window()
+            self.detector.set_baseline(1.0)
+        return retrained

@@ -1,0 +1,155 @@
+"""Integer linear SVM — the "Integer SVM" tier of the kernel ML library.
+
+The paper's Figure 1 lists three kernel-resident model families: Integer
+SVM, Decision tree, and Quantized DNN.  This module provides the first:
+a linear SVM trained in userspace with float sub-gradient descent on the
+hinge loss, then quantized so inference is a single integer dot product
+plus a sign test — the cheapest possible learned predicate, suitable for
+the hottest kernel paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fixed_point import AffineQuantizer
+from .tensor import int_dot
+
+__all__ = ["LinearSVM", "IntegerSVM"]
+
+
+class LinearSVM:
+    """Userspace float trainer: hinge loss + L2, sub-gradient descent.
+
+    Labels are ``{0, 1}`` externally and mapped to ``{-1, +1}``
+    internally.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        learning_rate: float = 0.01,
+        l2: float = 1e-3,
+        epochs: int = 50,
+        seed: int = 0,
+    ) -> None:
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        self.n_features = n_features
+        self.learning_rate = learning_rate
+        self.l2 = l2
+        self.epochs = epochs
+        self.seed = seed
+        self.w = np.zeros(n_features)
+        self.b = 0.0
+        self.feature_mean_: np.ndarray | None = None
+        self.feature_std_: np.ndarray | None = None
+
+    def _standardize(self, x: np.ndarray) -> np.ndarray:
+        if self.feature_mean_ is None:
+            return x
+        return (x - self.feature_mean_) / self.feature_std_
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2 or x.shape[1] != self.n_features:
+            raise ValueError(f"x shape {x.shape} != (n, {self.n_features})")
+        if set(np.unique(y)) - {0, 1}:
+            raise ValueError("labels must be 0/1")
+        self.feature_mean_ = x.mean(axis=0)
+        self.feature_std_ = x.std(axis=0)
+        self.feature_std_[self.feature_std_ < 1e-9] = 1.0
+        x = self._standardize(x)
+        sign = np.where(y == 1, 1.0, -1.0)
+        rng = np.random.default_rng(self.seed)
+        n = x.shape[0]
+        for _ in range(self.epochs):
+            for i in rng.permutation(n):
+                margin = sign[i] * (x[i] @ self.w + self.b)
+                if margin < 1.0:
+                    grad_w = self.l2 * self.w - sign[i] * x[i]
+                    grad_b = -sign[i]
+                else:
+                    grad_w = self.l2 * self.w
+                    grad_b = 0.0
+                self.w -= self.learning_rate * grad_w
+                self.b -= self.learning_rate * grad_b
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        x = self._standardize(np.asarray(x, dtype=np.float64))
+        return x @ self.w + self.b
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.decision_function(x) >= 0.0).astype(np.int64)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(x) == np.asarray(y, dtype=np.int64)))
+
+
+class IntegerSVM:
+    """Kernel-side quantized form: sign of an integer dot product."""
+
+    def __init__(
+        self,
+        w_q: np.ndarray,
+        b_q: int,
+        input_scale: float,
+        input_mean: np.ndarray,
+        input_std: np.ndarray,
+        bits: int,
+    ) -> None:
+        self.w_q = np.asarray(w_q, dtype=np.int64)
+        self.b_q = int(b_q)
+        self.input_scale = input_scale
+        self.input_mean = input_mean
+        self.input_std = input_std
+        self.bits = bits
+
+    @classmethod
+    def from_float(
+        cls, svm: LinearSVM, calibration_x: np.ndarray, bits: int = 8
+    ) -> "IntegerSVM":
+        if svm.feature_mean_ is None:
+            raise RuntimeError("LinearSVM must be fitted before quantization")
+        calib = svm._standardize(np.asarray(calibration_x, dtype=np.float64))
+        in_q = AffineQuantizer(bits=16, symmetric=True).fit(calib)
+        w_q = AffineQuantizer(bits=bits, symmetric=True).fit(svm.w)
+        acc_scale = in_q.scale * w_q.scale
+        return cls(
+            w_q=w_q.quantize(svm.w),
+            b_q=int(round(svm.b / acc_scale)),
+            input_scale=in_q.scale,
+            input_mean=svm.feature_mean_.copy(),
+            input_std=svm.feature_std_.copy(),
+            bits=bits,
+        )
+
+    def quantize_input(self, x) -> np.ndarray:
+        x = (np.asarray(x, dtype=np.float64) - self.input_mean) / self.input_std
+        return np.rint(x / self.input_scale).astype(np.int64)
+
+    def decision_value(self, xq) -> int:
+        """Integer decision value (sign is the class)."""
+        return int_dot(np.asarray(xq, dtype=np.int64), self.w_q) + self.b_q
+
+    def predict_one(self, x) -> int:
+        return 1 if self.decision_value(self.quantize_input(x)) >= 0 else 0
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        return np.array([self.predict_one(row) for row in x], dtype=np.int64)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(x) == np.asarray(y, dtype=np.int64)))
+
+    def cost_signature(self) -> dict:
+        weight_bytes = max(1, (self.bits + 7) // 8)
+        return {
+            "kind": "svm",
+            "n_features": int(self.w_q.shape[0]),
+            "weight_bytes": weight_bytes,
+        }

@@ -1,0 +1,160 @@
+"""Integer tensor kernels backing the RMT ML instruction set.
+
+Section 3.2 of the paper describes a dedicated ML instruction set
+(``RMT_VECTOR_LD``, ``RMT_MAT_MUL``, ``RMT_SCALAR_VAL``) "patterned after
+hardware ISA for neural processors" (Cambricon).  The RMT interpreter and
+JIT lower those instructions onto the kernels in this module.
+
+All kernels take and return **integer** arrays; the fractional scaling of
+fixed-point operands is handled by an explicit requantization shift, the
+same way integer NPUs fold scales into a per-layer right shift.  Floating
+point is deliberately absent — the verifier rejects programs whose models
+would require it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fixed_point import requantize_shift, saturate
+
+__all__ = [
+    "int_matmul",
+    "int_matvec",
+    "int_conv2d",
+    "int_relu",
+    "int_argmax",
+    "int_maxpool2d",
+    "int_add_bias",
+    "int_dot",
+]
+
+_ACC_DTYPE = np.int64
+
+
+def _as_int(a: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(a)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"{name} must be an integer array, got {arr.dtype}")
+    return arr.astype(_ACC_DTYPE)
+
+
+def int_dot(a: np.ndarray, b: np.ndarray, shift: int = 0, word_bits: int = 32) -> int:
+    """Integer dot product with a final requantization shift."""
+    a = _as_int(a, "a")
+    b = _as_int(b, "b")
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    acc = int(np.dot(a, b))
+    return saturate(requantize_shift(acc, shift), word_bits)
+
+
+def int_matvec(
+    w: np.ndarray, x: np.ndarray, shift: int = 0, word_bits: int = 32
+) -> np.ndarray:
+    """Integer matrix-vector product ``w @ x`` with requantization.
+
+    This is the workhorse of quantized MLP inference: int8/int16 weights
+    against int activations, accumulated in int64, then shifted back down
+    to the activation format.
+    """
+    w = _as_int(w, "w")
+    x = _as_int(x, "x")
+    if w.ndim != 2 or x.ndim != 1:
+        raise ValueError(f"expected (2-D, 1-D), got ({w.ndim}-D, {x.ndim}-D)")
+    if w.shape[1] != x.shape[0]:
+        raise ValueError(f"inner dims differ: {w.shape[1]} vs {x.shape[0]}")
+    acc = w @ x
+    return saturate(requantize_shift(acc, shift), word_bits)
+
+
+def int_matmul(
+    a: np.ndarray, b: np.ndarray, shift: int = 0, word_bits: int = 32
+) -> np.ndarray:
+    """Integer matrix-matrix product with requantization (``RMT_MAT_MUL``)."""
+    a = _as_int(a, "a")
+    b = _as_int(b, "b")
+    if a.ndim != 2 or b.ndim != 2:
+        raise ValueError(f"expected 2-D operands, got {a.ndim}-D and {b.ndim}-D")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dims differ: {a.shape[1]} vs {b.shape[0]}")
+    acc = a @ b
+    return saturate(requantize_shift(acc, shift), word_bits)
+
+
+def int_add_bias(x: np.ndarray, bias: np.ndarray, word_bits: int = 32) -> np.ndarray:
+    """Saturating bias addition (bias already in the activation format)."""
+    x = _as_int(x, "x")
+    bias = _as_int(bias, "bias")
+    return saturate(x + bias, word_bits)
+
+
+def int_relu(x: np.ndarray) -> np.ndarray:
+    """Integer ReLU — exact in fixed point (no requantization needed)."""
+    x = _as_int(x, "x")
+    return np.maximum(x, 0)
+
+
+def int_argmax(x: np.ndarray) -> int:
+    """Index of the maximum logit (ties break to the lowest index)."""
+    x = _as_int(x, "x")
+    if x.size == 0:
+        raise ValueError("argmax of empty vector")
+    return int(np.argmax(x))
+
+
+def int_conv2d(
+    image: np.ndarray,
+    kernel: np.ndarray,
+    shift: int = 0,
+    stride: int = 1,
+    word_bits: int = 32,
+) -> np.ndarray:
+    """Valid-mode 2-D integer convolution (single channel).
+
+    Used by the quantized-CNN tier (``conv_layer`` in the paper's library
+    sketch) and by the verifier test that computes the FLOP count of a
+    convolutional layer from the input feature-map dimensions.
+    """
+    image = _as_int(image, "image")
+    kernel = _as_int(kernel, "kernel")
+    if image.ndim != 2 or kernel.ndim != 2:
+        raise ValueError("image and kernel must be 2-D")
+    kh, kw = kernel.shape
+    ih, iw = image.shape
+    if kh > ih or kw > iw:
+        raise ValueError(f"kernel {kernel.shape} larger than image {image.shape}")
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    oh = (ih - kh) // stride + 1
+    ow = (iw - kw) // stride + 1
+    out = np.zeros((oh, ow), dtype=_ACC_DTYPE)
+    flipped = kernel  # cross-correlation convention, as in NN frameworks
+    for oy in range(oh):
+        for ox in range(ow):
+            window = image[oy * stride : oy * stride + kh, ox * stride : ox * stride + kw]
+            out[oy, ox] = int(np.sum(window * flipped))
+    return saturate(requantize_shift(out, shift), word_bits)
+
+
+def int_maxpool2d(x: np.ndarray, size: int = 2, stride: int | None = None) -> np.ndarray:
+    """Integer max pooling (exact, format-preserving)."""
+    x = _as_int(x, "x")
+    if x.ndim != 2:
+        raise ValueError("maxpool input must be 2-D")
+    if stride is None:
+        stride = size
+    if size < 1 or stride < 1:
+        raise ValueError("size and stride must be >= 1")
+    ih, iw = x.shape
+    if size > ih or size > iw:
+        raise ValueError(f"pool size {size} larger than input {x.shape}")
+    oh = (ih - size) // stride + 1
+    ow = (iw - size) // stride + 1
+    out = np.zeros((oh, ow), dtype=_ACC_DTYPE)
+    for oy in range(oh):
+        for ox in range(ow):
+            out[oy, ox] = int(
+                np.max(x[oy * stride : oy * stride + size, ox * stride : ox * stride + size])
+            )
+    return out

@@ -1,0 +1,37 @@
+"""Workload generators: page traces (Table 1) and task graphs (Table 2)."""
+
+from .matrix_conv import matrix_conv_trace
+from .netflows import mixed_flows
+from .parsec import (
+    blackscholes,
+    fib_calculation,
+    matrix_multiply,
+    streamcluster,
+    table2_workloads,
+)
+from .traces import (
+    TraceWorkload,
+    phased_trace,
+    random_trace,
+    sequential_trace,
+    strided_trace,
+    zipfian_trace,
+)
+from .video_resize import video_resize_trace
+
+__all__ = [
+    "TraceWorkload",
+    "blackscholes",
+    "fib_calculation",
+    "matrix_conv_trace",
+    "matrix_multiply",
+    "mixed_flows",
+    "phased_trace",
+    "random_trace",
+    "sequential_trace",
+    "streamcluster",
+    "strided_trace",
+    "table2_workloads",
+    "video_resize_trace",
+    "zipfian_trace",
+]

@@ -1,0 +1,85 @@
+"""NumPy-style matrix-convolution page-access workload (Table 1, column 2).
+
+The paper's second prefetching benchmark is "a Numpy matrix convolution
+program".  A sliding-window 2-D convolution with a k-row kernel reads,
+for each output position, one page from each of the k rows under the
+window — at page granularity a repeating delta cycle::
+
+    +R, +R, ..., +R, -(k-1)*R [+1 every page's worth of columns]
+
+where ``R`` is the page footprint of one matrix row.  This is the
+pattern that produces Table 1's most dramatic spread:
+
+* Linux readahead sees no sequential run at all (every delta is a
+  multi-page stride) — near-floor accuracy;
+* Leap's majority trend finds ``+R`` (it is (k-1)/k of the deltas) and
+  prefetches down the column, which is right k-1 times out of k but
+  wrong at every window return — the ~50% regime the paper reports;
+* the decision tree sees the full cycle inside its 4-delta window and
+  predicts every step, including the return jump.
+"""
+
+from __future__ import annotations
+
+from ..kernel.mm.vma import AddressSpace
+from .traces import TraceWorkload
+
+__all__ = ["matrix_conv_trace"]
+
+
+def matrix_conv_trace(
+    matrix_rows: int = 96,
+    row_pages: int = 24,
+    kernel_rows: int = 3,
+    col_steps_per_page: int = 1,
+    out_write_every: int = 64,
+    pid: int = 11,
+    compute_ns: int = 3_000,
+) -> TraceWorkload:
+    """Generate the access stream of a k-row sliding-window convolution.
+
+    ``col_steps_per_page`` is how many column advances fit in one page of
+    a row (pixel width x bytes / 4096 per page); crossing it shifts the
+    within-row page by +1.  ``out_write_every`` models the occasional
+    flush of accumulated output pixels to the (separate) output region.
+    """
+    if matrix_rows < kernel_rows + 1:
+        raise ValueError("matrix must have more rows than the kernel")
+    if kernel_rows < 2:
+        raise ValueError(f"kernel_rows must be >= 2, got {kernel_rows}")
+    if row_pages < 1 or col_steps_per_page < 1:
+        raise ValueError("row_pages and col_steps_per_page must be >= 1")
+
+    space = AddressSpace(pid)
+    matrix = space.map_region("matrix", matrix_rows * row_pages)
+    out_pages_needed = max(
+        (matrix_rows * row_pages * col_steps_per_page) // max(out_write_every, 1),
+        1,
+    )
+    output = space.map_region("output", out_pages_needed + 8)
+
+    accesses: list[int] = []
+    out_page = 0
+    steps = 0
+    out_rows = matrix_rows - kernel_rows + 1
+    for out_row in range(out_rows):
+        for col_page in range(row_pages):
+            for col_step in range(col_steps_per_page):
+                for k in range(kernel_rows):
+                    row = out_row + k
+                    accesses.append(matrix.page(row * row_pages + col_page))
+                steps += 1
+                if out_write_every and steps % out_write_every == 0:
+                    accesses.append(output.page(out_page))
+                    out_page = (out_page + 1) % output.n_pages
+
+    return TraceWorkload(
+        name="numpy-matrix-conv", pid=pid, accesses=accesses,
+        compute_ns_per_access=compute_ns,
+        metadata={
+            "matrix_rows": matrix_rows,
+            "row_pages": row_pages,
+            "kernel_rows": kernel_rows,
+            "col_steps_per_page": col_steps_per_page,
+        },
+    )

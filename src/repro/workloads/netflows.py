@@ -1,0 +1,80 @@
+"""Packet-arrival workloads for the NIC coalescing extension.
+
+A mix of flow classes on one NIC is precisely the situation a single
+static ``rx-usecs`` knob cannot serve:
+
+* **bulk** flows deliver bursts of back-to-back frames (a few µs apart)
+  separated by long think times — batching them is nearly free;
+* **latency-sensitive** flows send isolated small requests (RPC pings)
+  — every µs of holdoff is a µs of added tail latency;
+* **periodic** flows tick at a fixed rate in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernel.net.device import Packet
+from ..kernel.sim import NS_PER_US
+
+__all__ = ["mixed_flows"]
+
+
+def mixed_flows(
+    duration_ms: int = 50,
+    n_bulk: int = 2,
+    n_latency: int = 2,
+    n_periodic: int = 1,
+    burst_len: int = 24,
+    burst_gap_us: int = 4,
+    think_time_us: int = 900,
+    rpc_interval_us: int = 700,
+    periodic_interval_us: int = 150,
+    seed: int = 0,
+) -> tuple[list[Packet], dict[str, list[int]]]:
+    """Generate a time-sorted packet schedule for the flow mix.
+
+    Returns ``(packets, classes)`` where ``classes`` maps the class name
+    ('bulk' / 'latency' / 'periodic') to its flow ids.
+    """
+    if duration_ms < 1:
+        raise ValueError(f"duration_ms must be >= 1, got {duration_ms}")
+    rng = np.random.default_rng(seed)
+    horizon_ns = duration_ms * 1_000_000
+    packets: list[Packet] = []
+    classes: dict[str, list[int]] = {"bulk": [], "latency": [], "periodic": []}
+    flow = 0
+
+    for _ in range(n_bulk):
+        flow += 1
+        classes["bulk"].append(flow)
+        now = int(rng.integers(0, think_time_us)) * NS_PER_US
+        while now < horizon_ns:
+            for k in range(burst_len):
+                arrival = now + k * burst_gap_us * NS_PER_US
+                if arrival >= horizon_ns:
+                    break
+                packets.append(Packet(flow=flow, arrival_ns=arrival))
+            jitter = 0.8 + 0.4 * rng.random()
+            now += int((burst_len * burst_gap_us + think_time_us * jitter)
+                       * NS_PER_US)
+
+    for _ in range(n_latency):
+        flow += 1
+        classes["latency"].append(flow)
+        now = int(rng.integers(0, rpc_interval_us)) * NS_PER_US
+        while now < horizon_ns:
+            packets.append(Packet(flow=flow, arrival_ns=now, size=128))
+            jitter = 0.7 + 0.6 * rng.random()
+            now += int(rpc_interval_us * jitter * NS_PER_US)
+
+    for _ in range(n_periodic):
+        flow += 1
+        classes["periodic"].append(flow)
+        now = int(rng.integers(0, periodic_interval_us)) * NS_PER_US
+        while now < horizon_ns:
+            packets.append(Packet(flow=flow, arrival_ns=now, size=512))
+            now += periodic_interval_us * NS_PER_US
+
+    packets.sort(key=lambda p: p.arrival_ns)
+    return packets, classes

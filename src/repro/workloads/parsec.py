@@ -1,0 +1,145 @@
+"""PARSEC-style scheduler workloads (Table 2's four benchmarks).
+
+Case study #2 uses "the Blackscholes and other models in the PARSEC
+benchmark suite, as well as matrix multiplication and Fibonacci
+calculation programs".  The scheduler only sees task arrival times, CPU
+demands and fork placement, so each benchmark is modeled by its task
+graph shape:
+
+* **blackscholes** — embarrassingly parallel: one wave of equal-sized
+  workers, all forked onto the parent's CPU (classic pthread fan-out) —
+  the canonical load-balancing stress.
+* **streamcluster** — phased: waves of mixed-size tasks arriving as the
+  algorithm alternates between parallel phases; long total runtime (it
+  is by far the longest JCT in the paper's table too).
+* **fib** — recursive fork: generations of exponentially more, smaller
+  tasks arriving in a cascade.
+* **matmul** — a few large blocked-multiply tasks plus small reduction
+  stragglers.
+
+Sizes carry deterministic seeded jitter so migration decisions are not
+degenerate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernel.sched.task import TaskSpec
+from ..kernel.sim import NS_PER_MS
+
+__all__ = [
+    "blackscholes",
+    "streamcluster",
+    "fib_calculation",
+    "matrix_multiply",
+    "table2_workloads",
+]
+
+
+def _jitter(rng: np.random.Generator, base_ns: int, frac: float = 0.2) -> int:
+    return int(base_ns * (1.0 + frac * (rng.random() * 2.0 - 1.0)))
+
+
+def blackscholes(
+    n_workers: int = 32, work_ms: int = 60, seed: int = 0
+) -> list[TaskSpec]:
+    """One fan-out wave of equal workers, all forked on CPU 0."""
+    rng = np.random.default_rng(seed)
+    return [
+        TaskSpec(
+            name="blackscholes",
+            arrival_ns=i * 100_000,  # fork loop spacing: 0.1 ms apart
+            work_ns=_jitter(rng, work_ms * NS_PER_MS, 0.1),
+            origin_cpu=0,
+        )
+        for i in range(n_workers)
+    ]
+
+
+def streamcluster(
+    n_phases: int = 6,
+    tasks_per_phase: int = 16,
+    phase_gap_ms: int = 120,
+    work_ms: int = 45,
+    seed: int = 1,
+) -> list[TaskSpec]:
+    """Phased waves of mixed-size tasks (kmeans-style iterations)."""
+    rng = np.random.default_rng(seed)
+    specs: list[TaskSpec] = []
+    for phase in range(n_phases):
+        base = phase * phase_gap_ms * NS_PER_MS
+        for i in range(tasks_per_phase):
+            # Phases alternate between balanced and skewed work.
+            factor = 1.0 if phase % 2 == 0 else (0.4 if i % 3 else 2.2)
+            specs.append(
+                TaskSpec(
+                    name=f"streamcluster-p{phase}",
+                    arrival_ns=base + i * 50_000,
+                    work_ns=_jitter(rng, int(work_ms * factor) * NS_PER_MS),
+                    origin_cpu=0,
+                )
+            )
+    return specs
+
+
+def fib_calculation(
+    depth: int = 6, unit_ms: int = 96, seed: int = 2
+) -> list[TaskSpec]:
+    """Recursive fork cascade: level k has 2^k tasks of ~unit/2^k work."""
+    rng = np.random.default_rng(seed)
+    specs: list[TaskSpec] = []
+    for level in range(depth):
+        n = 2**level
+        work_ms = max(unit_ms // n, 4)
+        for i in range(n):
+            specs.append(
+                TaskSpec(
+                    name=f"fib-l{level}",
+                    arrival_ns=level * 15 * NS_PER_MS + i * 200_000,
+                    work_ns=_jitter(rng, work_ms * NS_PER_MS),
+                    # Children fork onto their parent's CPU.
+                    origin_cpu=i // 2 % 4,
+                )
+            )
+    return specs
+
+
+def matrix_multiply(
+    n_blocks: int = 8,
+    block_ms: int = 140,
+    n_stragglers: int = 8,
+    straggler_ms: int = 25,
+    seed: int = 3,
+) -> list[TaskSpec]:
+    """A few large block-multiply tasks plus small reduction stragglers."""
+    rng = np.random.default_rng(seed)
+    specs = [
+        TaskSpec(
+            name="matmul-block",
+            arrival_ns=i * 100_000,
+            work_ns=_jitter(rng, block_ms * NS_PER_MS, 0.1),
+            origin_cpu=0,
+        )
+        for i in range(n_blocks)
+    ]
+    specs.extend(
+        TaskSpec(
+            name="matmul-reduce",
+            arrival_ns=60 * NS_PER_MS + i * 300_000,
+            work_ns=_jitter(rng, straggler_ms * NS_PER_MS),
+            origin_cpu=0,
+        )
+        for i in range(n_stragglers)
+    )
+    return specs
+
+
+def table2_workloads(seed: int = 0) -> dict[str, list[TaskSpec]]:
+    """The four Table-2 benchmarks, keyed by the paper's row names."""
+    return {
+        "Blackscholes": blackscholes(seed=seed),
+        "Streamcluster": streamcluster(seed=seed + 1),
+        "Fib Calculation": fib_calculation(seed=seed + 2),
+        "Matrix Multiply": matrix_multiply(seed=seed + 3),
+    }

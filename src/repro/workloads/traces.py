@@ -1,0 +1,137 @@
+"""Base page-access trace generators.
+
+A trace workload is a process identity plus an ordered page-access
+sequence plus a per-access compute cost; the prefetching harness replays
+it against the swap subsystem and measures completion time and the
+prefetch counters.  Besides the two paper workloads (see
+:mod:`repro.workloads.video_resize` / :mod:`repro.workloads.matrix_conv`),
+this module provides the canonical synthetic patterns used by tests and
+ablations: sequential, strided, random, zipfian, and phase-switching
+(for the online-vs-offline drift ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernel.mm.vma import AddressSpace
+
+__all__ = [
+    "TraceWorkload",
+    "sequential_trace",
+    "strided_trace",
+    "random_trace",
+    "zipfian_trace",
+    "phased_trace",
+]
+
+
+@dataclass
+class TraceWorkload:
+    """A replayable page-access workload."""
+
+    name: str
+    pid: int
+    accesses: list[int]
+    compute_ns_per_access: int = 1_000
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_accesses(self) -> int:
+        return len(self.accesses)
+
+    def unique_pages(self) -> int:
+        return len(set(self.accesses))
+
+
+def _space(pid: int, n_pages: int) -> tuple[AddressSpace, int]:
+    space = AddressSpace(pid)
+    region = space.map_region("data", n_pages)
+    return space, region.start_page
+
+
+def sequential_trace(
+    n_accesses: int, pid: int = 1, compute_ns: int = 1_000
+) -> TraceWorkload:
+    """Pure sequential scan — readahead's home turf."""
+    if n_accesses < 1:
+        raise ValueError(f"n_accesses must be >= 1, got {n_accesses}")
+    _, base = _space(pid, n_accesses)
+    return TraceWorkload(
+        name="sequential", pid=pid,
+        accesses=[base + i for i in range(n_accesses)],
+        compute_ns_per_access=compute_ns,
+    )
+
+
+def strided_trace(
+    n_accesses: int, stride: int = 7, pid: int = 1, compute_ns: int = 1_000
+) -> TraceWorkload:
+    """Constant-stride scan — Leap's home turf."""
+    if stride == 0:
+        raise ValueError("stride must be non-zero")
+    _, base = _space(pid, abs(stride) * n_accesses + 1)
+    start = base if stride > 0 else base + abs(stride) * n_accesses
+    return TraceWorkload(
+        name=f"strided[{stride}]", pid=pid,
+        accesses=[start + i * stride for i in range(n_accesses)],
+        compute_ns_per_access=compute_ns,
+        metadata={"stride": stride},
+    )
+
+
+def random_trace(
+    n_accesses: int, working_set_pages: int = 4096, pid: int = 1,
+    compute_ns: int = 1_000, seed: int = 0,
+) -> TraceWorkload:
+    """Uniform random — unlearnable; every prefetcher should give up."""
+    rng = np.random.default_rng(seed)
+    _, base = _space(pid, working_set_pages)
+    pages = base + rng.integers(0, working_set_pages, size=n_accesses)
+    return TraceWorkload(
+        name="random", pid=pid, accesses=[int(p) for p in pages],
+        compute_ns_per_access=compute_ns,
+    )
+
+
+def zipfian_trace(
+    n_accesses: int, working_set_pages: int = 4096, alpha: float = 1.1,
+    pid: int = 1, compute_ns: int = 1_000, seed: int = 0,
+) -> TraceWorkload:
+    """Zipf-distributed popularity — cache-friendly, prefetch-hostile."""
+    if alpha <= 1.0:
+        raise ValueError(f"zipf alpha must be > 1, got {alpha}")
+    rng = np.random.default_rng(seed)
+    _, base = _space(pid, working_set_pages)
+    ranks = rng.zipf(alpha, size=n_accesses)
+    pages = base + (ranks - 1) % working_set_pages
+    return TraceWorkload(
+        name="zipfian", pid=pid, accesses=[int(p) for p in pages],
+        compute_ns_per_access=compute_ns,
+    )
+
+
+def phased_trace(
+    n_accesses: int, pid: int = 1, compute_ns: int = 1_000, seed: int = 0,
+    phase_strides: tuple[int, ...] = (1, 9, 3),
+) -> TraceWorkload:
+    """Stride pattern that switches every third of the trace — the
+    workload-drift scenario for the online-training ablation."""
+    if len(phase_strides) < 2:
+        raise ValueError("need at least two phases")
+    per_phase = n_accesses // len(phase_strides)
+    max_span = sum(abs(s) * per_phase for s in phase_strides) + len(phase_strides)
+    _, base = _space(pid, max_span + 1)
+    accesses: list[int] = []
+    page = base
+    for stride in phase_strides:
+        for _ in range(per_phase):
+            accesses.append(page)
+            page += stride
+    return TraceWorkload(
+        name="phased", pid=pid, accesses=accesses,
+        compute_ns_per_access=compute_ns,
+        metadata={"phase_strides": list(phase_strides), "per_phase": per_phase},
+    )

@@ -1,0 +1,111 @@
+"""OpenCV-style video-resize page-access workload (Table 1, column 1).
+
+The paper's first prefetching benchmark is "an OpenCV video resizing
+application".  Prefetchers only observe the page-access stream, so we
+generate the stream a bilinear down-scaling loop produces:
+
+* For each *output* row, the resizer reads the neighbouring *input* rows
+  (bilinear interpolation) and writes one output row.  With ``scale <
+  1`` the input row index advances in the classic ``{1, 1, 2}`` cadence
+  (for scale 0.75), so some input rows are skipped.
+* Input rows are **stride-padded**, as OpenCV ``Mat`` rows are: a row
+  spans ``row_stride_pages`` but only the first ``row_pages`` are
+  touched (alignment padding / ROI cropping).  Within a row the deltas
+  are ``+1``; crossing to the next row is a ``+1 + padding`` jump.
+* Output rows live in a separate region and are written between input
+  rows, adding a region-jump pair to every cycle.
+
+Why Table 1 comes out the way it does: within-row ``+1`` deltas are the
+(slim) majority, so Linux readahead and Leap both stream sequentially —
+useful inside rows, but every row boundary wastes fetches on padding
+pages and misses the next row start, and the region jumps are never
+predicted.  The whole per-row delta cycle is deterministic and short, so
+the integer decision tree learns it — including the padding hop and the
+region jumps.
+"""
+
+from __future__ import annotations
+
+from ..kernel.mm.vma import AddressSpace
+from .traces import TraceWorkload
+
+__all__ = ["video_resize_trace"]
+
+
+def video_resize_trace(
+    n_frames: int = 10,
+    rows_per_frame: int = 48,
+    row_pages: int = 3,
+    row_stride_pages: int | None = 5,
+    scale: float = 0.75,
+    out_row_pages: int = 3,
+    reuse_buffers: bool = True,
+    pid: int = 10,
+    compute_ns: int = 2_000,
+) -> TraceWorkload:
+    """Generate the page-access stream of a bilinear video resize.
+
+    ``row_pages`` is how many pages of each input row are touched;
+    ``row_stride_pages`` (default ``row_pages + 1``) is the allocated
+    row pitch — the gap models OpenCV row alignment padding.
+    ``reuse_buffers`` models the standard capture loop (``cap.read``
+    decodes every frame into the *same* ``Mat``), so the per-frame page
+    access map repeats identically frame after frame; set it False for
+    a decode-into-fresh-buffers pipeline.
+    """
+    if n_frames < 1 or rows_per_frame < 2:
+        raise ValueError("need at least 1 frame and 2 rows")
+    if not 0.1 <= scale <= 1.0:
+        raise ValueError(f"scale must be in [0.1, 1.0], got {scale}")
+    if row_pages < 1 or out_row_pages < 1:
+        raise ValueError("row footprints must be >= 1 page")
+    if row_stride_pages is None:
+        row_stride_pages = row_pages + 1
+    if row_stride_pages < row_pages:
+        raise ValueError(
+            f"row_stride_pages {row_stride_pages} < row_pages {row_pages}"
+        )
+
+    out_rows = max(int(rows_per_frame * scale), 1)
+    buffered_frames = 1 if reuse_buffers else n_frames
+    space = AddressSpace(pid)
+    in_frames = space.map_region(
+        "in_frames", buffered_frames * rows_per_frame * row_stride_pages
+    )
+    out_frames = space.map_region(
+        "out_frames", buffered_frames * out_rows * out_row_pages
+    )
+
+    accesses: list[int] = []
+    for frame in range(n_frames):
+        buf = 0 if reuse_buffers else frame
+        in_base = buf * rows_per_frame * row_stride_pages
+        out_base = buf * out_rows * out_row_pages
+        prev_bottom_row = -1
+        for out_row in range(out_rows):
+            top_row = min(int(out_row / scale), rows_per_frame - 2)
+            for in_row in (top_row, top_row + 1):
+                if in_row <= prev_bottom_row:
+                    continue  # row already live from the previous output row
+                row_start = in_base + in_row * row_stride_pages
+                accesses.extend(
+                    in_frames.page(row_start + k) for k in range(row_pages)
+                )
+            prev_bottom_row = top_row + 1
+            out_start = out_base + out_row * out_row_pages
+            accesses.extend(
+                out_frames.page(out_start + k) for k in range(out_row_pages)
+            )
+
+    return TraceWorkload(
+        name="opencv-video-resize", pid=pid, accesses=accesses,
+        compute_ns_per_access=compute_ns,
+        metadata={
+            "n_frames": n_frames,
+            "rows_per_frame": rows_per_frame,
+            "row_pages": row_pages,
+            "row_stride_pages": row_stride_pages,
+            "scale": scale,
+            "out_row_pages": out_row_pages,
+        },
+    )

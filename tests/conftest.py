@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (trained models, decision datasets) are session-scoped
+so the suite stays fast; anything mutated by a test builds its own copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ContextSchema,
+    HashMap,
+    HelperRegistry,
+    HistoryMap,
+    MatchActionTable,
+    ProgramBuilder,
+)
+from repro.ml import FloatMLP, IntegerDecisionTree, QuantizedMLP
+
+
+@pytest.fixture()
+def schema() -> ContextSchema:
+    """A small hook schema with one writable field."""
+    s = ContextSchema("test_hook")
+    s.add_field("pid")
+    s.add_field("page")
+    s.add_field("scratch", writable=True)
+    return s
+
+
+@pytest.fixture()
+def helpers() -> HelperRegistry:
+    """A registry with one granted and one ungranted helper."""
+    reg = HelperRegistry()
+    reg.register(1, "add_seven", 1, lambda env, a: a + 7)
+    reg.register(2, "forbidden", 0, lambda env: 0)
+    reg.grant("test_hook", "add_seven")
+    return reg
+
+
+@pytest.fixture()
+def builder(schema) -> ProgramBuilder:
+    """A builder pre-populated with a map, a history map and a table."""
+    b = ProgramBuilder("prog", "test_hook", schema)
+    b.add_map("stats", HashMap("stats"))
+    b.add_map("hist", HistoryMap("hist", depth=8))
+    b.add_table(MatchActionTable("tab", ["pid"]))
+    return b
+
+
+@pytest.fixture(scope="session")
+def xor_dataset():
+    """A 2-class dataset an MLP can learn but a linear model cannot."""
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=(800, 4))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+    return x, y
+
+
+@pytest.fixture(scope="session")
+def linear_int_dataset():
+    """A linearly separable integer dataset."""
+    rng = np.random.default_rng(7)
+    x = rng.integers(-20, 20, size=(600, 5))
+    y = ((2 * x[:, 0] + x[:, 1] - x[:, 2]) > 0).astype(np.int64)
+    return x, y
+
+
+@pytest.fixture(scope="session")
+def trained_mlp(xor_dataset) -> FloatMLP:
+    x, y = xor_dataset
+    return FloatMLP([4, 16, 2], epochs=40, seed=1).fit(x, y)
+
+
+@pytest.fixture(scope="session")
+def quantized_mlp(trained_mlp, xor_dataset) -> QuantizedMLP:
+    x, _ = xor_dataset
+    return QuantizedMLP.from_float(trained_mlp, x[:200], bits=8)
+
+
+@pytest.fixture(scope="session")
+def trained_tree(linear_int_dataset) -> IntegerDecisionTree:
+    x, y = linear_int_dataset
+    return IntegerDecisionTree(max_depth=8).fit(x, y)

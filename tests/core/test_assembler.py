@@ -1,0 +1,250 @@
+"""The textual assembler: syntax, symbol resolution, error reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assembler import Assembler, assemble
+from repro.core.errors import AssemblerError
+from repro.core.isa import Opcode
+
+
+class TestBasicAssembly:
+    def test_minimal(self):
+        program = assemble("p", """
+            MOV_IMM r0, #42
+            EXIT
+        """)
+        assert len(program) == 2
+        assert program.instructions[0].imm == 42
+        assert program.instructions[1].opcode == Opcode.EXIT
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("p", """
+            ; a comment
+
+            MOV_IMM r0, #1  ; trailing comment
+            EXIT
+        """)
+        assert len(program) == 2
+
+    def test_hex_and_negative_immediates(self):
+        program = assemble("p", """
+            MOV_IMM r0, #0x10
+            ADD_IMM r0, #-3
+            EXIT
+        """)
+        assert program.instructions[0].imm == 16
+        assert program.instructions[1].imm == -3
+
+    def test_labels_resolve_forward(self):
+        program = assemble("p", """
+            MOV_IMM r0, #0
+            JEQ_IMM r0, #0, done
+            ADD_IMM r0, #1
+        done:
+            EXIT
+        """)
+        assert program.instructions[1].offset == 1
+
+    def test_label_on_same_line_as_instruction(self):
+        program = assemble("p", """
+            MOV_IMM r0, #1
+            JMP end
+            ADD_IMM r0, #1
+        end: EXIT
+        """)
+        assert program.instructions[1].offset == 1
+
+    def test_backward_label_rejected(self):
+        with pytest.raises(AssemblerError, match="backward"):
+            assemble("p", """
+            top:
+                MOV_IMM r0, #1
+                JMP top
+            """)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("p", """
+            x:
+                MOV_IMM r0, #1
+            x:
+                EXIT
+            """)
+
+    def test_vector_registers(self):
+        program = assemble("p", """
+            VEC_ZERO v1, #4
+            VEC_RELU v1
+            VEC_ARGMAX r0, v1
+            EXIT
+        """)
+        assert program.instructions[0].dst == 1
+        assert program.instructions[2].src == 1
+
+
+class TestSymbolResolution:
+    def _asm(self) -> Assembler:
+        return Assembler(
+            ctxt_fields={"pid": 0, "page": 1},
+            helpers={"prefetch": 3},
+            maps={"hist": 1},
+            tables={"ptab": 0},
+            actions={"next_act": 2},
+            models={"dt": 0},
+        )
+
+    def test_ctxt_symbols(self):
+        program = self._asm().assemble("p", """
+            LD_CTXT r0, $page
+            EXIT
+        """)
+        assert program.instructions[0].imm == 1
+
+    def test_helper_symbols(self):
+        program = self._asm().assemble("p", """
+            MOV_IMM r1, #1
+            CALL @prefetch
+            EXIT
+        """)
+        assert program.instructions[1].imm == 3
+
+    def test_map_table_action_symbols(self):
+        program = self._asm().assemble("p", """
+            MOV_IMM r1, #1
+            MAP_LOOKUP r2, r1, %hist
+            MATCH_CTXT r3, &ptab
+            MOV r0, r3
+            TAIL_CALL !next_act
+        """)
+        assert program.instructions[1].imm == 1
+        assert program.instructions[2].imm == 0
+        assert program.instructions[4].imm == 2
+
+    def test_model_symbol(self):
+        program = self._asm().assemble("p", """
+            VEC_ZERO v0, #2
+            ML_INFER r0, v0, *dt
+            EXIT
+        """)
+        assert program.instructions[1].imm == 0
+
+    def test_unknown_symbol_lists_known(self):
+        with pytest.raises(AssemblerError, match="hist"):
+            self._asm().assemble("p", """
+                MOV_IMM r1, #1
+                MAP_LOOKUP r2, r1, %nonexistent
+                EXIT
+            """)
+
+    def test_wrong_namespace_rejected(self):
+        with pytest.raises(AssemblerError, match="helper"):
+            self._asm().assemble("p", """
+                MOV_IMM r1, #1
+                MAP_LOOKUP r2, r1, @prefetch
+                EXIT
+            """)
+
+    def test_vec_ld_hist_two_special_operands(self):
+        program = self._asm().assemble("p", """
+            MOV_IMM r1, #5
+            VEC_LD_HIST v0, r1, %hist, #4
+            VEC_ARGMAX r0, v0
+            EXIT
+        """)
+        instr = program.instructions[1]
+        assert instr.offset == 1 and instr.imm == 4
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="FROBNICATE"):
+            assemble("p", "FROBNICATE r0\nEXIT")
+
+    def test_missing_operand(self):
+        with pytest.raises(AssemblerError, match="missing operand"):
+            assemble("p", "MOV_IMM r0\nEXIT")
+
+    def test_extra_operands(self):
+        with pytest.raises(AssemblerError, match="extra"):
+            assemble("p", "EXIT r1, r2")
+
+    def test_wrong_register_file(self):
+        with pytest.raises(AssemblerError, match="expected v-register"):
+            assemble("p", "VEC_RELU r0\nEXIT")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError, match="bad register"):
+            assemble("p", "MOV rX, r1\nEXIT")
+
+    def test_error_includes_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("p", "MOV_IMM r0, #1\nEXIT\nBOGUS")
+
+    def test_bad_integer(self):
+        with pytest.raises(AssemblerError, match="bad integer"):
+            assemble("p", "MOV_IMM r0, #zzz\nEXIT")
+
+
+class TestAssemblyRoundTrip:
+    def test_to_assembly_reassembles_exactly(self):
+        source = """
+            LD_CTXT r1, #0
+            MOV_IMM r2, #-7
+            JGT_IMM r1, #3, 2
+            ADD r1, r2
+            MAP_LOOKUP r3, r1, 0
+            VEC_ZERO v0, #4
+            VEC_SET v0, r3, #1
+            VEC_LD_HIST v1, r1, 1, #4
+            VEC_ARGMAX r0, v1
+            CALL #1
+            EXIT
+        """
+        program = assemble("p", source)
+        rebuilt = assemble("p", program.to_assembly())
+        assert rebuilt.instructions == program.instructions
+
+    def test_random_programs_round_trip(self):
+        """Every generator-produced program must survive
+        disassemble-to-assembly → reassemble bit-exactly."""
+        from hypothesis import given, settings
+
+        from .test_jit import random_valid_program
+
+        @settings(max_examples=60, deadline=None)
+        @given(random_valid_program())
+        def check(instrs):
+            from repro.core.bytecode import BytecodeProgram
+
+            program = BytecodeProgram("p", instrs)
+            rebuilt = assemble("p", program.to_assembly())
+            assert rebuilt.instructions == program.instructions
+
+        check()
+
+
+class TestForBuilder:
+    def test_wires_builder_symbols(self, builder, helpers):
+        asm = Assembler.for_builder(builder, helpers)
+        program = asm.assemble("p", """
+            LD_CTXT r1, $pid
+            MAP_LOOKUP r2, r1, %stats
+            MATCH_CTXT r0, &tab
+            EXIT
+        """)
+        assert program.instructions[0].imm == 0
+        assert program.instructions[1].imm == 0  # stats is map id 0
+        assert program.instructions[2].imm == 0  # tab is table id 0
+
+    def test_round_trip_through_disassembler_names(self):
+        program = assemble("p", """
+            MOV_IMM r0, #7
+            JGT_IMM r0, #3, done
+            MOV_IMM r0, #0
+        done:
+            EXIT
+        """)
+        listing = program.disassemble()
+        assert "JGT_IMM" in listing and "#7" in listing

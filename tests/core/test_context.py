@@ -1,0 +1,93 @@
+"""Execution context: schemas, field ids, writability enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import ContextSchema
+
+
+class TestSchema:
+    def test_dense_field_ids(self, schema):
+        assert schema.field_id("pid") == 0
+        assert schema.field_id("page") == 1
+        assert schema.field_id("scratch") == 2
+        assert schema.n_fields == 3
+
+    def test_duplicate_field_rejected(self, schema):
+        with pytest.raises(ValueError):
+            schema.add_field("pid")
+
+    def test_unknown_field_lists_known(self, schema):
+        with pytest.raises(KeyError, match="pid"):
+            schema.field("nonexistent")
+
+    def test_has_field(self, schema):
+        assert schema.has_field("pid")
+        assert not schema.has_field("nope")
+
+    def test_writability_flags(self, schema):
+        assert not schema.is_writable(schema.field_id("pid"))
+        assert schema.is_writable(schema.field_id("scratch"))
+        assert not schema.is_writable(99)
+
+    def test_valid_id(self, schema):
+        assert schema.valid_id(0) and schema.valid_id(2)
+        assert not schema.valid_id(3) and not schema.valid_id(-1)
+
+    def test_field_names_order(self, schema):
+        assert schema.field_names == ["pid", "page", "scratch"]
+
+
+class TestExecutionContext:
+    def test_zero_initialized(self, schema):
+        ctx = schema.new_context()
+        assert ctx.get("pid") == 0
+
+    def test_seeded_construction(self, schema):
+        ctx = schema.new_context(pid=42, page=7)
+        assert ctx.get("pid") == 42
+        assert ctx.get("page") == 7
+
+    def test_kernel_set_ignores_writability(self, schema):
+        ctx = schema.new_context()
+        ctx.set("pid", 9)  # kernel-side write to a read-only field is fine
+        assert ctx.get("pid") == 9
+
+    def test_vm_load_store(self, schema):
+        ctx = schema.new_context(pid=5)
+        assert ctx.load(0) == 5
+        ctx.store(2, 77)
+        assert ctx.get("scratch") == 77
+
+    def test_vm_store_readonly_rejected(self, schema):
+        ctx = schema.new_context()
+        with pytest.raises(PermissionError):
+            ctx.store(0, 1)
+
+    def test_vm_bad_field_id(self, schema):
+        ctx = schema.new_context()
+        with pytest.raises(IndexError):
+            ctx.load(99)
+        with pytest.raises(IndexError):
+            ctx.store(99, 1)
+
+    def test_as_dict(self, schema):
+        ctx = schema.new_context(pid=1)
+        assert ctx.as_dict() == {"pid": 1, "page": 0, "scratch": 0}
+
+    def test_values_coerced_to_int(self, schema):
+        ctx = schema.new_context()
+        ctx.set("page", 7.0)
+        assert ctx.get("page") == 7
+        assert isinstance(ctx.get("page"), int)
+
+    def test_independent_instances(self, schema):
+        a = schema.new_context(pid=1)
+        b = schema.new_context(pid=2)
+        assert a.get("pid") == 1 and b.get("pid") == 2
+
+    def test_empty_schema_context(self):
+        empty = ContextSchema("empty")
+        ctx = empty.new_context()
+        assert ctx.as_dict() == {}

@@ -1,0 +1,266 @@
+"""Control plane + datapath: installation, reconfiguration, watchdog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.control_plane import ControlPlane, RmtDatapath
+from repro.core.errors import ControlPlaneError, VerifierError
+from repro.core.isa import Opcode
+from repro.core.verifier import AttachPolicy
+from repro.ml.cost_model import CostBudget
+
+I = Instruction
+OP = Opcode
+
+RETURN_PAGE = [
+    I(OP.LD_CTXT, dst=0, imm=1),  # page
+    I(OP.EXIT),
+]
+RETURN_SCRATCH = [
+    I(OP.LD_CTXT, dst=0, imm=2),  # scratch (writable, entry-data target)
+    I(OP.EXIT),
+]
+
+
+def make_program(builder, instrs=None, action="act"):
+    builder.add_action(BytecodeProgram(action, instrs or RETURN_PAGE))
+    return builder.build()
+
+
+class TestInstallation:
+    def test_install_verifies_and_registers(self, builder):
+        cp = ControlPlane()
+        report = cp.install(make_program(builder), AttachPolicy("test_hook"))
+        assert report.ok
+        assert cp.installed == ["prog"]
+
+    def test_rejected_program_not_installed(self, builder):
+        builder.add_action(BytecodeProgram("act", [I(OP.EXIT)]))  # r0 uninit
+        cp = ControlPlane()
+        with pytest.raises(VerifierError):
+            cp.install(builder.build(), AttachPolicy("test_hook"))
+        assert cp.installed == []
+
+    def test_duplicate_install_rejected(self, builder, schema):
+        from repro.core import HashMap, HistoryMap, MatchActionTable, ProgramBuilder
+
+        cp = ControlPlane()
+        cp.install(make_program(builder), AttachPolicy("test_hook"))
+        clone = ProgramBuilder("prog", "test_hook", schema)
+        clone.add_table(MatchActionTable("tab", ["pid"]))
+        clone.add_action(BytecodeProgram("act", RETURN_PAGE))
+        with pytest.raises(ControlPlaneError, match="already installed"):
+            cp.install(clone.build(), AttachPolicy("test_hook"))
+
+    def test_uninstall(self, builder):
+        cp = ControlPlane()
+        cp.install(make_program(builder), AttachPolicy("test_hook"))
+        cp.uninstall("prog")
+        assert cp.installed == []
+        with pytest.raises(ControlPlaneError):
+            cp.uninstall("prog")
+
+    def test_datapath_lookup_error(self):
+        with pytest.raises(ControlPlaneError, match="not installed"):
+            ControlPlane().datapath("nope")
+
+
+class TestDatapathInvocation:
+    def test_miss_returns_none(self, builder, schema):
+        dp = RmtDatapath(make_program(builder), AttachPolicy("test_hook"))
+        assert dp.invoke(schema.new_context(pid=5)) is None
+
+    def test_hit_runs_action(self, builder, schema):
+        program = make_program(builder)
+        program.pipeline.table("tab").insert_exact([5], "act")
+        dp = RmtDatapath(program, AttachPolicy("test_hook"))
+        assert dp.invoke(schema.new_context(pid=5, page=33)) == 33
+
+    def test_verdict_clamped_by_guardrail(self, builder, schema):
+        program = make_program(builder)
+        program.pipeline.table("tab").insert_exact([5], "act")
+        dp = RmtDatapath(program, AttachPolicy("test_hook", verdict_min=0,
+                                               verdict_max=10))
+        assert dp.invoke(schema.new_context(pid=5, page=1000)) == 10
+
+    def test_entry_data_published_to_context(self, builder, schema):
+        program = make_program(builder, RETURN_SCRATCH)
+        program.pipeline.table("tab").insert_exact([5], "act", scratch=42)
+        dp = RmtDatapath(program, AttachPolicy("test_hook"))
+        assert dp.invoke(schema.new_context(pid=5)) == 42
+
+    def test_multi_stage_last_verdict_wins(self, schema):
+        from repro.core import MatchActionTable, ProgramBuilder
+
+        b = ProgramBuilder("prog", "test_hook", schema)
+        b.add_table(MatchActionTable("first", ["pid"]))
+        b.add_table(MatchActionTable("second", ["pid"]))
+        b.add_action(BytecodeProgram("one", [
+            I(OP.MOV_IMM, dst=0, imm=1), I(OP.EXIT)]))
+        b.add_action(BytecodeProgram("two", [
+            I(OP.MOV_IMM, dst=0, imm=2), I(OP.EXIT)]))
+        program = b.build()
+        program.pipeline.table("first").insert_exact([5], "one")
+        program.pipeline.table("second").insert_exact([5], "two")
+        dp = RmtDatapath(program, AttachPolicy("test_hook"))
+        assert dp.invoke(schema.new_context(pid=5)) == 2
+        assert dp.actions_run == 2
+
+    def test_stats(self, builder, schema):
+        program = make_program(builder)
+        program.pipeline.table("tab").insert_exact([5], "act")
+        dp = RmtDatapath(program, AttachPolicy("test_hook"))
+        dp.invoke(schema.new_context(pid=5))
+        dp.invoke(schema.new_context(pid=6))
+        stats = dp.stats()
+        assert stats["invocations"] == 2
+        assert stats["actions_run"] == 1
+
+    def test_bad_mode_rejected(self, builder):
+        with pytest.raises(ValueError):
+            RmtDatapath(make_program(builder), AttachPolicy("test_hook"),
+                        mode="native")
+
+
+class TestEntryManagement:
+    def _cp(self, builder):
+        cp = ControlPlane()
+        cp.install(make_program(builder), AttachPolicy("test_hook"))
+        return cp
+
+    def test_add_entry(self, builder, schema):
+        cp = self._cp(builder)
+        cp.add_entry("prog", "tab", [5], "act")
+        dp = cp.datapath("prog")
+        assert dp.invoke(schema.new_context(pid=5, page=3)) == 3
+
+    def test_add_entry_unknown_action(self, builder):
+        cp = self._cp(builder)
+        with pytest.raises(ControlPlaneError, match="ghost"):
+            cp.add_entry("prog", "tab", [5], "ghost")
+
+    def test_add_entry_unknown_model(self, builder):
+        cp = self._cp(builder)
+        with pytest.raises(ControlPlaneError, match="model"):
+            cp.add_entry("prog", "tab", [5], "act", ml=4)
+
+    def test_remove_entry(self, builder, schema):
+        cp = self._cp(builder)
+        entry = cp.add_entry("prog", "tab", [5], "act")
+        assert cp.remove_entry("prog", "tab", entry.entry_id)
+        assert cp.datapath("prog").invoke(schema.new_context(pid=5)) is None
+
+    def test_modify_entry(self, builder, schema):
+        cp = self._cp(builder)
+        entry = cp.add_entry("prog", "tab", [5], "act", scratch=1)
+        cp.modify_entry("prog", "tab", entry.entry_id, scratch=9)
+        assert entry.action_data["scratch"] == 9
+
+    def test_modify_missing_entry(self, builder):
+        cp = self._cp(builder)
+        with pytest.raises(ControlPlaneError, match="not found"):
+            cp.modify_entry("prog", "tab", 99999, scratch=1)
+
+
+class TestModelPush:
+    def _program_with_model(self, builder, trained_tree):
+        builder.add_model(0, trained_tree)
+        builder.add_action(BytecodeProgram("act", [
+            I(OP.VEC_ZERO, dst=0, imm=5),
+            I(OP.ML_INFER, dst=0, src=0, imm=0),
+            I(OP.EXIT),
+        ]))
+        return builder.build()
+
+    def test_push_reverifies_and_swaps(self, builder, schema, trained_tree,
+                                       linear_int_dataset):
+        from repro.ml import IntegerDecisionTree
+
+        x, y = linear_int_dataset
+        cp = ControlPlane()
+        cp.install(self._program_with_model(builder, trained_tree),
+                   AttachPolicy("test_hook"), mode="jit")
+        replacement = IntegerDecisionTree(max_depth=3).fit(x, 1 - y)
+        cp.push_model("prog", 0, replacement)
+        assert cp.datapath("prog").program.models[0] is replacement
+        assert cp.datapath("prog").program.verified
+
+    def test_push_over_budget_rejected(self, builder, trained_tree):
+        cp = ControlPlane()
+        policy = AttachPolicy(
+            "test_hook",
+            cost_budget=CostBudget(max_ops=trained_tree.depth_ + 100),
+        )
+        cp.install(self._program_with_model(builder, trained_tree), policy)
+
+        class HugeModel:
+            @staticmethod
+            def predict_one(v):
+                return 0
+
+            @staticmethod
+            def cost_signature():
+                return {"kind": "mlp", "layer_sizes": [1000, 1000, 2]}
+
+        with pytest.raises(VerifierError):
+            cp.push_model("prog", 0, HugeModel())
+
+    def test_push_unknown_model_id(self, builder, trained_tree):
+        cp = ControlPlane()
+        cp.install(self._program_with_model(builder, trained_tree),
+                   AttachPolicy("test_hook"))
+        with pytest.raises(KeyError):
+            cp.push_model("prog", 7, trained_tree)
+
+
+class TestWatchdog:
+    def test_degrade_and_recover(self, builder):
+        cp = ControlPlane()
+        cp.install(make_program(builder), AttachPolicy("test_hook"))
+        events = []
+        watchdog = cp.attach_watchdog(
+            "prog", threshold=0.5,
+            on_degraded=lambda: events.append("down"),
+            on_recovered=lambda: events.append("up"),
+            window=16, min_samples=8,
+        )
+        for _ in range(16):
+            cp.report_outcome("prog", False)
+        assert events == ["down"]
+        assert watchdog.degraded
+        for _ in range(16):
+            cp.report_outcome("prog", True)
+        assert events == ["down", "up"]
+        assert not watchdog.degraded
+        assert watchdog.transitions == 2
+
+    def test_hysteresis_prevents_flapping(self, builder):
+        cp = ControlPlane()
+        cp.install(make_program(builder), AttachPolicy("test_hook"))
+        events = []
+        cp.attach_watchdog(
+            "prog", threshold=0.5,
+            on_degraded=lambda: events.append("down"),
+            on_recovered=lambda: events.append("up"),
+            window=20, min_samples=10,
+        )
+        # Exactly alternating outcomes: accuracy hovers at 0.5, which is
+        # not < 0.5, so no transition should ever fire.
+        for i in range(100):
+            cp.report_outcome("prog", i % 2 == 0)
+        assert events == []
+
+    def test_no_watchdog_is_noop(self, builder):
+        cp = ControlPlane()
+        cp.install(make_program(builder), AttachPolicy("test_hook"))
+        cp.report_outcome("prog", True)  # must not raise
+
+    def test_uninstall_removes_watchdog(self, builder):
+        cp = ControlPlane()
+        cp.install(make_program(builder), AttachPolicy("test_hook"))
+        cp.attach_watchdog("prog", 0.5, lambda: None)
+        cp.uninstall("prog")
+        assert "prog" not in cp._watchdogs

@@ -1,0 +1,411 @@
+"""The constrained-C DSL: lexer, parser, codegen, end-to-end execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.context import ContextSchema
+from repro.core.control_plane import RmtDatapath
+from repro.core.dsl import compile_source, parse, tokenize
+from repro.core.dsl.lexer import Token
+from repro.core.errors import DslError
+from repro.core.helpers import HelperRegistry
+from repro.core.verifier import AttachPolicy, Verifier
+
+
+def _schema() -> ContextSchema:
+    s = ContextSchema("test_hook")
+    s.add_field("pid")
+    s.add_field("page")
+    s.add_field("out", writable=True)
+    return s
+
+
+def compile_and_install(source, helpers=None, models=None, tensors=None,
+                        mode="interpret", policy=None):
+    schema = _schema()
+    program = compile_source(source, "prog", "test_hook", schema,
+                             helpers=helpers, models=models, tensors=tensors)
+    policy = policy or AttachPolicy("test_hook")
+    Verifier(policy, helpers).verify_or_raise(program)
+    return RmtDatapath(program, policy, helpers, mode=mode), schema
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        tokens = tokenize("action f() { x = 3; } // c")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword"
+        assert kinds[1] == "ident"
+        assert tokens[-1].kind == "eof"
+
+    def test_block_comments(self):
+        tokens = tokenize("a /* multi\nline */ b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+        assert tokens[1].line == 2
+
+    def test_unterminated_comment(self):
+        with pytest.raises(DslError, match="unterminated"):
+            tokenize("/* oops")
+
+    def test_negative_literal_vs_subtraction(self):
+        tokens = tokenize("x = -5; y = x - 3;")
+        texts = [t.text for t in tokens]
+        assert "-5" in texts  # negative literal
+        assert "-" in texts  # subtraction operator
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b && c >> 2")
+        texts = [t.text for t in tokens[:-1]]
+        assert "<=" in texts and "&&" in texts and ">>" in texts
+
+    def test_bad_character(self):
+        with pytest.raises(DslError):
+            tokenize("a ~ b")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+
+class TestParser:
+    def test_module_sections(self):
+        module = parse("""
+            const K = 4;
+            map h : history(depth = 8);
+            model m1;
+            tensor w1;
+            table t { match = pid; }
+            entry t { pid = 3; action = go; }
+            action go() { return K; }
+        """)
+        assert len(module.consts) == 1
+        assert len(module.maps) == 1
+        assert len(module.models) == 1
+        assert len(module.tensors) == 1
+        assert len(module.tables) == 1
+        assert len(module.entries) == 1
+        assert len(module.actions) == 1
+
+    def test_table_match_kinds(self):
+        module = parse("table t { match = pid:range, page; }")
+        assert module.tables[0].match_kinds == ["range", "exact"]
+
+    def test_entry_requires_action(self):
+        with pytest.raises(DslError, match="no action"):
+            parse("entry t { pid = 3; }")
+
+    def test_if_else_chain(self):
+        module = parse("""
+            action f() {
+                if (ctxt.pid > 3) { return 1; }
+                else if (ctxt.pid > 1) { return 2; }
+                else { return 3; }
+            }
+        """)
+        outer = module.actions[0].body[0]
+        assert outer.else_body  # chained else-if
+
+    def test_syntax_error_reports_line(self):
+        with pytest.raises(DslError, match="line 3"):
+            parse("action f() {\n  x = 1;\n  !!!\n}")
+
+    def test_no_loops_in_grammar(self):
+        with pytest.raises(DslError):
+            parse("action f() { while (1) { } }")
+
+
+class TestCodegenExecution:
+    def test_arithmetic_and_locals(self):
+        dp, schema = compile_and_install("""
+            table t { match = pid; }
+            entry t { pid = 1; action = f; }
+            action f() {
+                a = ctxt.page * 3;
+                b = a + 10;
+                return b - (a / 2);
+            }
+        """)
+        verdict = dp.invoke(schema.new_context(pid=1, page=8))
+        assert verdict == (8 * 3 + 10) - (8 * 3) // 2
+
+    def test_operator_precedence(self):
+        dp, schema = compile_and_install("""
+            table t { match = pid; }
+            entry t { pid = 1; action = f; }
+            action f() { return 2 + 3 * 4; }
+        """)
+        assert dp.invoke(schema.new_context(pid=1)) == 14
+
+    def test_if_else_branches(self):
+        dp, schema = compile_and_install("""
+            table t { match = pid; }
+            entry t { pid = 1; action = f; }
+            action f() {
+                if (ctxt.page > 10) { return 1; } else { return 2; }
+            }
+        """)
+        assert dp.invoke(schema.new_context(pid=1, page=20)) == 1
+        assert dp.invoke(schema.new_context(pid=1, page=5)) == 2
+
+    def test_short_circuit_and_or(self):
+        dp, schema = compile_and_install("""
+            table t { match = pid; }
+            entry t { pid = 1; action = f; }
+            action f() {
+                if (ctxt.page > 5 && ctxt.page < 10) { return 1; }
+                if (ctxt.page == 0 || ctxt.page == 100) { return 2; }
+                return 0;
+            }
+        """)
+        assert dp.invoke(schema.new_context(pid=1, page=7)) == 1
+        assert dp.invoke(schema.new_context(pid=1, page=100)) == 2
+        assert dp.invoke(schema.new_context(pid=1, page=50)) == 0
+
+    def test_implicit_return_zero(self):
+        dp, schema = compile_and_install("""
+            table t { match = pid; }
+            entry t { pid = 1; action = f; }
+            action f() { x = 5; }
+        """)
+        assert dp.invoke(schema.new_context(pid=1)) == 0
+
+    def test_ctxt_write(self):
+        dp, schema = compile_and_install("""
+            table t { match = pid; }
+            entry t { pid = 1; action = f; }
+            action f() { ctxt.out = ctxt.page + 1; return 0; }
+        """)
+        ctx = schema.new_context(pid=1, page=9)
+        dp.invoke(ctx)
+        assert ctx.get("out") == 10
+
+    def test_map_operations(self):
+        dp, schema = compile_and_install("""
+            map m : hash(max_entries = 64);
+            table t { match = pid; }
+            entry t { pid = 1; action = f; }
+            action f() {
+                n = m.lookup(ctxt.pid);
+                m.update(ctxt.pid, n + 1);
+                return m.lookup(ctxt.pid);
+            }
+        """)
+        ctx = lambda: schema.new_context(pid=1)
+        assert dp.invoke(ctx()) == 1
+        assert dp.invoke(ctx()) == 2
+
+    def test_history_and_ml(self, trained_tree):
+        dp, schema = compile_and_install("""
+            map h : history(depth = 8);
+            model dt;
+            table t { match = pid; }
+            entry t { pid = 1; action = f; }
+            action f() {
+                h.push(ctxt.pid, ctxt.page);
+                w = h.window(ctxt.pid, 5);
+                return ml_infer(dt, w);
+            }
+        """, models={"dt": trained_tree})
+        verdict = dp.invoke(schema.new_context(pid=1, page=3))
+        assert verdict in (0, 1)
+
+    def test_helper_call(self):
+        helpers = HelperRegistry()
+        seen = []
+        helpers.register(1, "notify", 2, lambda env, a, b: seen.append((a, b)) or 99)
+        helpers.grant("test_hook", "notify")
+        dp, schema = compile_and_install("""
+            table t { match = pid; }
+            entry t { pid = 1; action = f; }
+            action f() { return notify(ctxt.pid, 7); }
+        """, helpers=helpers)
+        assert dp.invoke(schema.new_context(pid=1)) == 99
+        assert seen == [(1, 7)]
+
+    def test_builtins(self):
+        dp, schema = compile_and_install("""
+            table t { match = pid; }
+            entry t { pid = 1; action = f; }
+            action f() {
+                return abs(0 - 4) + min(3, 9) + max(3, 9);
+            }
+        """)
+        assert dp.invoke(schema.new_context(pid=1)) == 4 + 3 + 9
+
+    def test_vector_builtins(self):
+        tensors = {"w": np.array([[1, 1], [2, 2]], dtype=np.int64),
+                   "b": np.array([0, -100], dtype=np.int64)}
+        dp, schema = compile_and_install("""
+            tensor w;
+            tensor b;
+            table t { match = pid; }
+            entry t { pid = 1; action = f; }
+            action f() {
+                v = zeros(2);
+                vset(v, 0, ctxt.page);
+                vset(v, 1, 1);
+                v2 = relu(bias_add(b, matvec(w, v)));
+                return argmax(v2) + v2[0];
+            }
+        """, tensors=tensors)
+        # page=5: w@[5,1] = [6,12]; +b = [6,-88]; relu = [6,0]; argmax=0 +6
+        assert dp.invoke(schema.new_context(pid=1, page=5)) == 6
+
+    def test_consts_and_entry_symbols(self, trained_tree):
+        dp, schema = compile_and_install("""
+            const TARGET_PID = 7;
+            model dt;
+            table t { match = pid; }
+            entry t { pid = TARGET_PID; action = f; ml = dt; }
+            action f() { return 1; }
+        """, models={"dt": trained_tree})
+        assert dp.invoke(schema.new_context(pid=7)) == 1
+        assert dp.invoke(schema.new_context(pid=8)) is None
+
+    def test_default_action(self):
+        dp, schema = compile_and_install("""
+            table t { match = pid; default_action = fallback; }
+            action fallback() { return 77; }
+        """)
+        assert dp.invoke(schema.new_context(pid=123)) == 77
+
+    def test_jit_matches_interpreter(self, trained_tree):
+        source = """
+            map h : history(depth = 8);
+            model dt;
+            table t { match = pid; }
+            entry t { pid = 1; action = f; }
+            action f() {
+                h.push(ctxt.pid, ctxt.page);
+                w = h.window(ctxt.pid, 5);
+                d = ml_infer(dt, w);
+                if (d > 0) { return d * 2; }
+                return 0;
+            }
+        """
+        dp_i, schema = compile_and_install(source, models={"dt": trained_tree})
+        dp_j, _ = compile_and_install(source, models={"dt": trained_tree},
+                                      mode="jit")
+        for page in (3, 5, 8, 13, 21):
+            assert dp_i.invoke(schema.new_context(pid=1, page=page)) == \
+                dp_j.invoke(schema.new_context(pid=1, page=page))
+
+
+class TestCodegenErrors:
+    def _compile(self, source, **kwargs):
+        return compile_source(source, "p", "test_hook", _schema(), **kwargs)
+
+    def test_undefined_variable(self):
+        with pytest.raises(DslError, match="undefined variable"):
+            self._compile("table t { match = pid; } action f() { return q; }")
+
+    def test_unknown_ctxt_field(self):
+        with pytest.raises(DslError, match="unknown context field"):
+            self._compile("action f() { return ctxt.bogus; }")
+
+    def test_unknown_map(self):
+        with pytest.raises(DslError, match="unknown map"):
+            self._compile("action f() { return m.lookup(1); }")
+
+    def test_unbound_model(self):
+        with pytest.raises(DslError, match="no object bound"):
+            self._compile("model m; action f() { return 0; }")
+
+    def test_type_confusion_vector_as_int(self, trained_tree):
+        with pytest.raises(DslError, match="vector"):
+            self._compile("""
+                map h : history(depth = 8);
+                action f() {
+                    w = h.window(ctxt.pid, 4);
+                    return w + 1;
+                }
+            """)
+
+    def test_comparison_outside_condition(self):
+        # Comparisons are only grammatical inside 'if' conditions; using
+        # one as a value is a syntax error.
+        with pytest.raises(DslError):
+            self._compile("action f() { x = (ctxt.pid == 3); return x; }")
+
+    def test_assign_to_const(self):
+        with pytest.raises(DslError, match="const"):
+            self._compile("const K = 1; action f() { K = 2; return 0; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(DslError, match="unknown function"):
+            self._compile("action f() { return frob(1); }")
+
+    def test_unknown_map_kind(self):
+        with pytest.raises(DslError, match="unknown map kind"):
+            self._compile("map m : btree(depth = 2); action f() { return 0; }")
+
+    def test_unknown_map_param(self):
+        with pytest.raises(DslError, match="no parameter"):
+            self._compile("map m : hash(depth = 2); action f() { return 0; }")
+
+    def test_window_length_must_be_const(self):
+        with pytest.raises(DslError, match="constant"):
+            self._compile("""
+                map h : history(depth = 8);
+                action f() {
+                    n = 4;
+                    w = h.window(ctxt.pid, n);
+                    return argmax(w);
+                }
+            """)
+
+    def test_register_exhaustion_reported(self):
+        # 11 live integer locals exceed the r6..r15 pool.
+        decls = "\n".join(f"x{i} = {i};" for i in range(11))
+        uses = " + ".join(f"x{i}" for i in range(11))
+        with pytest.raises(DslError, match="out of integer registers"):
+            self._compile(f"action f() {{ {decls} return {uses}; }}")
+
+    def test_entry_for_unknown_table(self):
+        with pytest.raises(DslError, match="unknown table"):
+            self._compile("""
+                entry ghost { pid = 1; action = f; }
+                action f() { return 0; }
+            """)
+
+    def test_entry_key_not_match_field(self):
+        with pytest.raises(DslError, match="not match fields"):
+            self._compile("""
+                table t { match = pid; }
+                entry t { page = 3; action = f; }
+                action f() { return 0; }
+            """)
+
+
+class TestCompiledProgramsVerify:
+    def test_every_dsl_program_passes_verifier(self, trained_tree):
+        """Codegen output must always be verifier-clean (forward jumps,
+        init-before-read, resolved symbols)."""
+        source = """
+            map h : history(depth = 8);
+            map c : hash(max_entries = 32);
+            model dt;
+            table t { match = pid; }
+            entry t { pid = 1; action = f; }
+            action f() {
+                h.push(ctxt.pid, ctxt.page);
+                n = c.lookup(ctxt.pid);
+                if (n > 3 && ctxt.page != 0) {
+                    w = h.window(ctxt.pid, 5);
+                    d = ml_infer(dt, w);
+                    if (d == 0) { return 0; }
+                    return d;
+                } else if (n > 1) {
+                    c.update(ctxt.pid, n + 1);
+                } else {
+                    c.update(ctxt.pid, 1);
+                }
+                return 0;
+            }
+        """
+        program = compile_source(source, "p", "test_hook", _schema(),
+                                 models={"dt": trained_tree})
+        report = Verifier(AttachPolicy("test_hook")).verify(program)
+        assert report.ok, report.errors

@@ -1,0 +1,151 @@
+"""Helper registry and program/builder plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.helpers import HelperRegistry, HelperSpec
+from repro.core.isa import Opcode
+from repro.core.maps import HashMap
+from repro.core.program import ProgramBuilder
+from repro.core.tables import MatchActionTable
+
+I = Instruction
+OP = Opcode
+
+
+class TestHelperRegistry:
+    def test_register_and_lookup(self):
+        reg = HelperRegistry()
+        spec = reg.register(5, "now", 0, lambda env: 123)
+        assert reg.by_id(5) is spec
+        assert reg.by_name("now") is spec
+        assert reg.contains_id(5)
+
+    def test_duplicate_id_rejected(self):
+        reg = HelperRegistry()
+        reg.register(1, "a", 0, lambda env: 0)
+        with pytest.raises(ValueError, match="id 1"):
+            reg.register(1, "b", 0, lambda env: 0)
+
+    def test_duplicate_name_rejected(self):
+        reg = HelperRegistry()
+        reg.register(1, "a", 0, lambda env: 0)
+        with pytest.raises(ValueError, match="'a'"):
+            reg.register(2, "a", 0, lambda env: 0)
+
+    def test_grants_scoped_per_attach_type(self):
+        reg = HelperRegistry()
+        reg.register(1, "a", 0, lambda env: 0)
+        reg.register(2, "b", 0, lambda env: 0)
+        reg.grant("hook_x", "a")
+        reg.grant("hook_y", "a", "b")
+        assert reg.allowed_ids("hook_x") == {1}
+        assert reg.allowed_ids("hook_y") == {1, 2}
+        assert reg.allowed_ids("hook_z") == set()
+
+    def test_unknown_lookups(self):
+        reg = HelperRegistry()
+        with pytest.raises(KeyError):
+            reg.by_id(9)
+        with pytest.raises(KeyError):
+            reg.by_name("nope")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            HelperSpec(-1, "x", 0, lambda env: 0)
+        with pytest.raises(ValueError):
+            HelperSpec(1, "x", 6, lambda env: 0)
+
+    def test_names_sorted(self):
+        reg = HelperRegistry()
+        reg.register(1, "zeta", 0, lambda env: 0)
+        reg.register(2, "alpha", 0, lambda env: 0)
+        assert reg.names() == ["alpha", "zeta"]
+
+
+class TestProgramBuilder:
+    def test_ids_assigned_in_order(self, schema):
+        b = ProgramBuilder("p", "hook", schema)
+        assert b.add_map("m0", HashMap("m0")) == 0
+        assert b.add_map("m1", HashMap("m1")) == 1
+        b.add_action(BytecodeProgram("a0", [I(OP.EXIT)]))
+        b.add_action(BytecodeProgram("a1", [I(OP.EXIT)]))
+        program = b.build()
+        assert program.action_ids == {"a0": 0, "a1": 1}
+        assert program.map_ids == {"m0": 0, "m1": 1}
+
+    def test_duplicate_names_rejected(self, schema):
+        b = ProgramBuilder("p", "hook", schema)
+        b.add_map("m", HashMap("m"))
+        with pytest.raises(ValueError):
+            b.add_map("m", HashMap("m"))
+        b.add_action(BytecodeProgram("a", [I(OP.EXIT)]))
+        with pytest.raises(ValueError):
+            b.add_action(BytecodeProgram("a", [I(OP.EXIT)]))
+
+    def test_table_key_must_be_in_schema(self, schema):
+        b = ProgramBuilder("p", "hook", schema)
+        with pytest.raises(KeyError, match="bogus"):
+            b.add_table(MatchActionTable("t", ["bogus"]))
+
+    def test_model_interface_checked(self, schema):
+        b = ProgramBuilder("p", "hook", schema)
+        with pytest.raises(TypeError, match="predict_one"):
+            b.add_model(0, object())
+
+    def test_duplicate_model_id(self, schema, trained_tree):
+        b = ProgramBuilder("p", "hook", schema)
+        b.add_model(0, trained_tree)
+        with pytest.raises(ValueError):
+            b.add_model(0, trained_tree)
+
+
+class TestRmtProgram:
+    def _program(self, builder, trained_tree):
+        builder.add_model(0, trained_tree)
+        builder.add_tensor(0, np.zeros(4, dtype=np.int64))
+        builder.add_action(BytecodeProgram("act", [
+            I(OP.MOV_IMM, dst=0, imm=1), I(OP.EXIT)]))
+        return builder.build()
+
+    def test_lookup_apis(self, builder, trained_tree):
+        program = self._program(builder, trained_tree)
+        assert program.action("act").name == "act"
+        assert program.action_by_id(0).name == "act"
+        assert program.map_by_name("stats").name == "stats"
+        assert program.table_by_id(0).name == "tab"
+
+    def test_unknown_lookups(self, builder, trained_tree):
+        program = self._program(builder, trained_tree)
+        with pytest.raises(KeyError):
+            program.action("ghost")
+        with pytest.raises(KeyError):
+            program.action_by_id(5)
+        with pytest.raises(KeyError):
+            program.map_by_name("ghost")
+        with pytest.raises(KeyError):
+            program.table_by_id(9)
+
+    def test_replace_model_invalidates_verification(self, builder, trained_tree):
+        program = self._program(builder, trained_tree)
+        program.verified = True
+        program.replace_model(0, trained_tree)
+        assert not program.verified
+        with pytest.raises(KeyError):
+            program.replace_model(7, trained_tree)
+
+    def test_memory_accounting(self, builder, trained_tree):
+        program = self._program(builder, trained_tree)
+        expected = sum(m.memory_bytes() for m in program.maps.values()) + 32
+        assert program.memory_bytes() == expected
+
+    def test_summary(self, builder, trained_tree):
+        program = self._program(builder, trained_tree)
+        summary = program.summary()
+        assert summary["name"] == "prog"
+        assert summary["actions"] == {"act": 2}
+        assert summary["models"] == [0]
+        assert summary["instructions"] == 2

@@ -1,0 +1,429 @@
+"""Interpreter semantics: per-opcode behaviour and runtime guards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.errors import RmtRuntimeError
+from repro.core.interpreter import Interpreter, RuntimeEnv
+from repro.core.isa import Opcode
+from repro.core.maps import VectorMap
+
+
+def run_instrs(builder, schema, instrs, ctx=None, helpers=None, **env_kw):
+    """Build a one-action program and run it (bypasses the verifier so
+    malformed programs can be tested against runtime guards)."""
+    action = BytecodeProgram("act", instrs)
+    builder.add_action(action)
+    program = builder.build()
+    env = RuntimeEnv(
+        program=program,
+        ctx=ctx if ctx is not None else schema.new_context(),
+        helpers=helpers,
+        **env_kw,
+    )
+    return Interpreter().run(action, env), env
+
+
+I = Instruction
+OP = Opcode
+
+
+class TestAlu:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (OP.ADD, 5, 3, 8),
+        (OP.SUB, 5, 3, 2),
+        (OP.MUL, 5, 3, 15),
+        (OP.DIV, 7, 2, 3),
+        (OP.DIV, -7, 2, -3),  # truncation toward zero, not floor
+        (OP.MOD, 7, 3, 1),
+        (OP.MOD, -7, 3, -1),  # sign follows the dividend
+        (OP.AND, 0b1100, 0b1010, 0b1000),
+        (OP.OR, 0b1100, 0b1010, 0b1110),
+        (OP.XOR, 0b1100, 0b1010, 0b0110),
+        (OP.LSH, 1, 4, 16),
+        (OP.RSH, 16, 2, 4),
+        (OP.MIN, 5, 3, 3),
+        (OP.MAX, 5, 3, 5),
+    ])
+    def test_binary_ops(self, builder, schema, op, a, b, expected):
+        result, _ = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=0, imm=a),
+            I(OP.MOV_IMM, dst=1, imm=b),
+            I(op, dst=0, src=1),
+            I(OP.EXIT),
+        ])
+        assert result == expected
+
+    def test_div_by_zero_yields_zero(self, builder, schema):
+        result, _ = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=0, imm=42),
+            I(OP.MOV_IMM, dst=1, imm=0),
+            I(OP.DIV, dst=0, src=1),
+            I(OP.EXIT),
+        ])
+        assert result == 0
+
+    def test_mod_by_zero_yields_zero(self, builder, schema):
+        result, _ = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=0, imm=42),
+            I(OP.MOV_IMM, dst=1, imm=0),
+            I(OP.MOD, dst=0, src=1),
+            I(OP.EXIT),
+        ])
+        assert result == 0
+
+    def test_wraparound_64bit(self, builder, schema):
+        result, _ = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=0, imm=(1 << 31) - 1),
+            I(OP.LSH_IMM, dst=0, imm=33),
+            I(OP.ADD_IMM, dst=0, imm=0),
+            I(OP.EXIT),
+        ])
+        # (2^31-1) << 33 wraps in int64.
+        expected = ((1 << 31) - 1) << 33
+        expected &= (1 << 64) - 1
+        if expected >= 1 << 63:
+            expected -= 1 << 64
+        assert result == expected
+
+    def test_neg_abs(self, builder, schema):
+        result, _ = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=0, imm=5),
+            I(OP.NEG, dst=0),
+            I(OP.ABS, dst=0),
+            I(OP.EXIT),
+        ])
+        assert result == 5
+
+    def test_imm_forms(self, builder, schema):
+        result, _ = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=0, imm=10),
+            I(OP.ADD_IMM, dst=0, imm=5),
+            I(OP.SUB_IMM, dst=0, imm=3),
+            I(OP.MUL_IMM, dst=0, imm=2),
+            I(OP.AND_IMM, dst=0, imm=0xFF),
+            I(OP.OR_IMM, dst=0, imm=0x100),
+            I(OP.RSH_IMM, dst=0, imm=1),
+            I(OP.EXIT),
+        ])
+        assert result == ((((10 + 5 - 3) * 2) & 0xFF) | 0x100) >> 1
+
+    def test_shift_amount_masked_to_63(self, builder, schema):
+        result, _ = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=0, imm=1),
+            I(OP.LSH_IMM, dst=0, imm=64),  # & 63 -> shift by 0
+            I(OP.EXIT),
+        ])
+        assert result == 1
+
+
+class TestControlFlow:
+    def test_taken_and_untaken_jumps(self, builder, schema):
+        result, _ = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=0, imm=0),
+            I(OP.MOV_IMM, dst=1, imm=5),
+            I(OP.JEQ_IMM, dst=1, imm=5, offset=1),  # taken: skip next
+            I(OP.ADD_IMM, dst=0, imm=100),
+            I(OP.JNE_IMM, dst=1, imm=5, offset=1),  # not taken
+            I(OP.ADD_IMM, dst=0, imm=1),
+            I(OP.EXIT),
+        ])
+        assert result == 1
+
+    def test_unconditional_jmp(self, builder, schema):
+        result, _ = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=0, imm=1),
+            I(OP.JMP, offset=1),
+            I(OP.MOV_IMM, dst=0, imm=99),
+            I(OP.EXIT),
+        ])
+        assert result == 1
+
+    def test_register_compare_jumps(self, builder, schema):
+        for op, a, b, taken in [
+            (OP.JLT, 1, 2, True), (OP.JLE, 2, 2, True),
+            (OP.JGT, 3, 2, True), (OP.JGE, 2, 3, False),
+        ]:
+            result, _ = run_instrs(
+                __import__("repro.core", fromlist=["ProgramBuilder"])
+                .ProgramBuilder("p", "test_hook", schema),
+                schema,
+                [
+                    I(OP.MOV_IMM, dst=0, imm=0),
+                    I(OP.MOV_IMM, dst=1, imm=a),
+                    I(OP.MOV_IMM, dst=2, imm=b),
+                    I(op, dst=1, src=2, offset=1),
+                    I(OP.MOV_IMM, dst=0, imm=99),
+                    I(OP.EXIT),
+                ],
+            )
+            assert (result == 0) == taken, f"{op.name} {a} {b}"
+
+    def test_fallthrough_without_exit_traps(self, builder, schema):
+        with pytest.raises(RmtRuntimeError, match="fell off"):
+            run_instrs(builder, schema, [I(OP.MOV_IMM, dst=0, imm=1)])
+
+    def test_instruction_budget(self, builder, schema):
+        # A long straight-line program with a tiny budget traps.
+        instrs = [I(OP.MOV_IMM, dst=0, imm=0)]
+        instrs += [I(OP.ADD_IMM, dst=0, imm=1)] * 50
+        instrs.append(I(OP.EXIT))
+        with pytest.raises(RmtRuntimeError, match="budget"):
+            run_instrs(builder, schema, instrs, insn_budget=10)
+
+    def test_trace_records_instructions(self, builder, schema):
+        _, env = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=0, imm=1),
+            I(OP.EXIT),
+        ], trace=[])
+        assert len(env.trace) == 2
+        assert "MOV_IMM" in env.trace[0]
+
+
+class TestTailCalls:
+    def test_tail_call_chains(self, builder, schema):
+        second = BytecodeProgram("second", [
+            I(OP.MOV_IMM, dst=0, imm=7),
+            I(OP.EXIT),
+        ])
+        first = BytecodeProgram("first", [
+            I(OP.TAIL_CALL, imm=1),
+        ])
+        builder.add_action(first)
+        builder.add_action(second)
+        program = builder.build()
+        env = RuntimeEnv(program=program, ctx=schema.new_context())
+        assert Interpreter().run(first, env) == 7
+
+    def test_self_tail_call_depth_limited(self, builder, schema):
+        loop = BytecodeProgram("loop", [I(OP.TAIL_CALL, imm=0)])
+        builder.add_action(loop)
+        program = builder.build()
+        env = RuntimeEnv(program=program, ctx=schema.new_context())
+        with pytest.raises(RmtRuntimeError, match="tail-call"):
+            Interpreter().run(loop, env)
+
+    def test_unknown_tail_target(self, builder, schema):
+        bad = BytecodeProgram("bad", [I(OP.TAIL_CALL, imm=9)])
+        builder.add_action(bad)
+        program = builder.build()
+        env = RuntimeEnv(program=program, ctx=schema.new_context())
+        with pytest.raises(KeyError):
+            Interpreter().run(bad, env)
+
+
+class TestContextOps:
+    def test_ld_st_ctxt(self, builder, schema):
+        ctx = schema.new_context(pid=42)
+        result, env = run_instrs(builder, schema, [
+            I(OP.LD_CTXT, dst=0, imm=0),  # pid
+            I(OP.ST_CTXT, src=0, imm=2),  # scratch (writable)
+            I(OP.EXIT),
+        ], ctx=ctx)
+        assert result == 42
+        assert env.ctx.get("scratch") == 42
+
+    def test_st_readonly_traps(self, builder, schema):
+        with pytest.raises(RmtRuntimeError):
+            run_instrs(builder, schema, [
+                I(OP.MOV_IMM, dst=1, imm=1),
+                I(OP.ST_CTXT, src=1, imm=0),  # pid is read-only
+                I(OP.EXIT),
+            ])
+
+    def test_match_ctxt(self, builder, schema):
+        table = builder._pipeline.table("tab")
+        entry = table.insert_exact([5], "act")
+        ctx = schema.new_context(pid=5)
+        result, _ = run_instrs(builder, schema, [
+            I(OP.MATCH_CTXT, dst=0, imm=0),
+            I(OP.EXIT),
+        ], ctx=ctx)
+        assert result == entry.entry_id
+
+    def test_match_ctxt_miss_is_minus_one(self, builder, schema):
+        result, _ = run_instrs(builder, schema, [
+            I(OP.MATCH_CTXT, dst=0, imm=0),
+            I(OP.EXIT),
+        ], ctx=schema.new_context(pid=5))
+        assert result == -1
+
+
+class TestMapOps:
+    def test_lookup_update_delete_peek(self, builder, schema):
+        result, env = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=1, imm=7),       # key
+            I(OP.MOV_IMM, dst=2, imm=30),      # value
+            I(OP.MAP_UPDATE, dst=1, src=2, imm=0),
+            I(OP.MAP_PEEK, dst=3, src=1, imm=0),
+            I(OP.MAP_LOOKUP, dst=0, src=1, imm=0),
+            I(OP.ADD, dst=0, src=3),
+            I(OP.MAP_DELETE, dst=1, imm=0),
+            I(OP.MAP_PEEK, dst=4, src=1, imm=0),
+            I(OP.ADD, dst=0, src=4),
+            I(OP.EXIT),
+        ])
+        assert result == 31  # 30 + present(1) + absent(0)
+
+    def test_unknown_map_traps(self, builder, schema):
+        with pytest.raises(RmtRuntimeError, match="unknown map"):
+            run_instrs(builder, schema, [
+                I(OP.MOV_IMM, dst=1, imm=0),
+                I(OP.MAP_LOOKUP, dst=0, src=1, imm=9),
+                I(OP.EXIT),
+            ])
+
+    def test_hist_push_and_window(self, builder, schema):
+        result, env = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=1, imm=5),   # key
+            I(OP.MOV_IMM, dst=2, imm=11),
+            I(OP.HIST_PUSH, dst=1, src=2, imm=1),
+            I(OP.MOV_IMM, dst=2, imm=22),
+            I(OP.HIST_PUSH, dst=1, src=2, imm=1),
+            I(OP.VEC_LD_HIST, dst=0, src=1, offset=1, imm=2),
+            I(OP.SCALAR_VAL, dst=0, src=0, imm=1),
+            I(OP.EXIT),
+        ])
+        assert result == 22
+
+    def test_hist_push_on_hash_traps(self, builder, schema):
+        with pytest.raises(RmtRuntimeError, match="non-history"):
+            run_instrs(builder, schema, [
+                I(OP.MOV_IMM, dst=1, imm=1),
+                I(OP.MOV_IMM, dst=2, imm=1),
+                I(OP.HIST_PUSH, dst=1, src=2, imm=0),  # map 0 is a hash
+                I(OP.EXIT),
+            ])
+
+
+class TestMlOps:
+    def test_vec_pipeline(self, builder, schema):
+        builder.add_tensor(0, np.array([[1, 0], [0, 2]], dtype=np.int64))
+        builder.add_tensor(1, np.array([10, -100], dtype=np.int64))
+        result, _ = run_instrs(builder, schema, [
+            I(OP.VEC_ZERO, dst=0, imm=2),
+            I(OP.MOV_IMM, dst=1, imm=3),
+            I(OP.VEC_SET, dst=0, src=1, imm=0),
+            I(OP.MOV_IMM, dst=1, imm=4),
+            I(OP.VEC_SET, dst=0, src=1, imm=1),
+            I(OP.MAT_MUL, dst=1, src=0, imm=0),   # [3, 8]
+            I(OP.VEC_ADD, dst=1, imm=1),          # [13, -92]
+            I(OP.VEC_RELU, dst=1),                # [13, 0]
+            I(OP.VEC_ARGMAX, dst=0, src=1),
+            I(OP.EXIT),
+        ])
+        assert result == 0
+
+    def test_vec_mov_copies(self, builder, schema):
+        result, _ = run_instrs(builder, schema, [
+            I(OP.VEC_ZERO, dst=0, imm=2),
+            I(OP.VEC_MOV, dst=1, src=0),
+            I(OP.MOV_IMM, dst=1, imm=9),
+            I(OP.VEC_SET, dst=0, src=1, imm=0),   # mutate v0 only
+            I(OP.SCALAR_VAL, dst=0, src=1, imm=0),  # v1 unchanged
+            I(OP.EXIT),
+        ])
+        assert result == 0
+
+    def test_vec_shift_and_scale(self, builder, schema):
+        result, _ = run_instrs(builder, schema, [
+            I(OP.VEC_ZERO, dst=0, imm=1),
+            I(OP.MOV_IMM, dst=1, imm=100),
+            I(OP.VEC_SET, dst=0, src=1, imm=0),
+            I(OP.VEC_SHIFT, dst=0, imm=2),        # 100 >> 2 = 25
+            I(OP.VEC_SCALE, dst=0, imm=3, offset=1),  # (25*3)>>1 = 38 (round)
+            I(OP.SCALAR_VAL, dst=0, src=0, imm=0),
+            I(OP.EXIT),
+        ])
+        assert result == 38
+
+    def test_vec_mul_t(self, builder, schema):
+        builder.add_tensor(0, np.array([2, 4], dtype=np.int64))
+        result, _ = run_instrs(builder, schema, [
+            I(OP.VEC_ZERO, dst=0, imm=2),
+            I(OP.MOV_IMM, dst=1, imm=8),
+            I(OP.VEC_SET, dst=0, src=1, imm=0),
+            I(OP.VEC_SET, dst=0, src=1, imm=1),
+            I(OP.VEC_MUL_T, dst=0, imm=0, offset=1),  # [8*2>>1, 8*4>>1]
+            I(OP.SCALAR_VAL, dst=0, src=0, imm=1),
+            I(OP.EXIT),
+        ])
+        assert result == 16
+
+    def test_vec_ld_from_vector_map(self, builder, schema):
+        vmap_id = builder.add_map("features", VectorMap("features", width=3))
+        builder._maps[vmap_id].set_vector(5, [7, 8, 9])
+        result, _ = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=1, imm=5),
+            I(OP.VEC_LD, dst=0, src=1, imm=vmap_id),
+            I(OP.SCALAR_VAL, dst=0, src=0, imm=2),
+            I(OP.EXIT),
+        ])
+        assert result == 9
+
+    def test_ml_infer(self, builder, schema, trained_tree, linear_int_dataset):
+        x, _ = linear_int_dataset
+        builder.add_model(0, trained_tree)
+        row = x[0]
+        instrs = [I(OP.VEC_ZERO, dst=0, imm=5)]
+        for k, v in enumerate(row):
+            instrs.append(I(OP.MOV_IMM, dst=1, imm=int(v)))
+            instrs.append(I(OP.VEC_SET, dst=0, src=1, imm=k))
+        instrs += [I(OP.ML_INFER, dst=0, src=0, imm=0), I(OP.EXIT)]
+        result, _ = run_instrs(builder, schema, instrs)
+        assert result == trained_tree.predict_one(row)
+
+    def test_ml_infer_unknown_model_traps(self, builder, schema):
+        with pytest.raises(RmtRuntimeError, match="unknown model"):
+            run_instrs(builder, schema, [
+                I(OP.VEC_ZERO, dst=0, imm=2),
+                I(OP.ML_INFER, dst=0, src=0, imm=5),
+                I(OP.EXIT),
+            ])
+
+    def test_vec_set_out_of_bounds_traps(self, builder, schema):
+        with pytest.raises(RmtRuntimeError, match="out of bounds"):
+            run_instrs(builder, schema, [
+                I(OP.VEC_ZERO, dst=0, imm=2),
+                I(OP.MOV_IMM, dst=1, imm=1),
+                I(OP.VEC_SET, dst=0, src=1, imm=5),
+                I(OP.EXIT),
+            ])
+
+    def test_vec_argmax_empty_traps(self, builder, schema):
+        with pytest.raises(RmtRuntimeError):
+            run_instrs(builder, schema, [
+                I(OP.VEC_ZERO, dst=0, imm=0),
+                I(OP.VEC_ARGMAX, dst=0, src=0),
+                I(OP.EXIT),
+            ])
+
+
+class TestHelperCalls:
+    def test_call_result_in_r0(self, builder, schema, helpers):
+        result, env = run_instrs(builder, schema, [
+            I(OP.MOV_IMM, dst=1, imm=10),
+            I(OP.CALL, imm=1),  # add_seven
+            I(OP.EXIT),
+        ], helpers=helpers)
+        assert result == 17
+        assert env.helper_calls == 1
+
+    def test_call_without_registry_traps(self, builder, schema):
+        with pytest.raises(RmtRuntimeError, match="helper"):
+            run_instrs(builder, schema, [
+                I(OP.MOV_IMM, dst=1, imm=1),
+                I(OP.CALL, imm=1),
+                I(OP.EXIT),
+            ])
+
+    def test_helper_none_result_is_zero(self, builder, schema, helpers):
+        helpers.register(3, "returns_none", 0, lambda env: None)
+        result, _ = run_instrs(builder, schema, [
+            I(OP.CALL, imm=3),
+            I(OP.EXIT),
+        ], helpers=helpers)
+        assert result == 0

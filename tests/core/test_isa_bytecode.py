@@ -1,0 +1,125 @@
+"""ISA metadata and the 64-bit word encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bytecode import (
+    BytecodeProgram,
+    Instruction,
+    decode_instruction,
+    encode_instruction,
+)
+from repro.core.errors import AssemblerError
+from repro.core.isa import N_SCALAR_REGS, N_VECTOR_REGS, OPCODE_SPECS, Opcode
+
+
+class TestIsaMetadata:
+    def test_every_opcode_has_spec(self):
+        assert set(Opcode) == set(OPCODE_SPECS)
+
+    def test_opcodes_unique(self):
+        values = [int(op) for op in Opcode]
+        assert len(values) == len(set(values))
+
+    def test_jump_opcodes_marked(self):
+        for op in (Opcode.JMP, Opcode.JEQ, Opcode.JGE_IMM):
+            assert OPCODE_SPECS[op].is_jump
+        assert not OPCODE_SPECS[Opcode.ADD].is_jump
+
+    def test_terminal_opcodes(self):
+        assert OPCODE_SPECS[Opcode.EXIT].is_terminal
+        assert OPCODE_SPECS[Opcode.TAIL_CALL].is_terminal
+        assert not OPCODE_SPECS[Opcode.MOV].is_terminal
+
+    def test_register_file_sizes(self):
+        assert N_SCALAR_REGS == 16
+        assert N_VECTOR_REGS == 8
+
+
+class TestInstructionValidation:
+    def test_scalar_register_range(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MOV, dst=16)
+
+    def test_vector_register_range(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.VEC_RELU, dst=8)
+
+    def test_offset_range(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JMP, offset=1 << 15)
+        Instruction(Opcode.JMP, offset=(1 << 15) - 1)  # boundary ok
+
+    def test_imm_range(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MOV_IMM, dst=0, imm=1 << 31)
+        Instruction(Opcode.MOV_IMM, dst=0, imm=(1 << 31) - 1)
+
+    def test_str_forms(self):
+        assert str(Instruction(Opcode.MOV, dst=1, src=2)) == "MOV r1 r2"
+        assert "#5" in str(Instruction(Opcode.MOV_IMM, dst=0, imm=5))
+        assert "v2" in str(Instruction(Opcode.VEC_RELU, dst=2))
+
+
+class TestWordEncoding:
+    def test_round_trip_specific(self):
+        instr = Instruction(Opcode.JLT_IMM, dst=3, src=0, offset=-7, imm=-1234)
+        assert decode_instruction(encode_instruction(instr)) == instr
+
+    def test_word_is_64_bit(self):
+        word = encode_instruction(
+            Instruction(Opcode.MOV_IMM, dst=15, imm=-1)
+        )
+        assert 0 <= word < (1 << 64)
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(AssemblerError):
+            decode_instruction(0xFF << 56)
+
+    def test_out_of_range_word_rejected(self):
+        with pytest.raises(AssemblerError):
+            decode_instruction(1 << 64)
+        with pytest.raises(AssemblerError):
+            decode_instruction(-1)
+
+    @given(
+        st.sampled_from(list(Opcode)),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(-(1 << 15), (1 << 15) - 1),
+        st.integers(-(1 << 31), (1 << 31) - 1),
+    )
+    def test_round_trip_property(self, opcode, dst, src, offset, imm):
+        spec = OPCODE_SPECS[opcode]
+        if "dst" in spec.vwrites or "dst" in spec.vreads:
+            dst %= N_VECTOR_REGS
+        if "src" in spec.vreads:
+            src %= N_VECTOR_REGS
+        instr = Instruction(opcode, dst=dst, src=src, offset=offset, imm=imm)
+        assert decode_instruction(encode_instruction(instr)) == instr
+
+
+class TestBytecodeProgram:
+    def _program(self) -> BytecodeProgram:
+        return BytecodeProgram("p", [
+            Instruction(Opcode.MOV_IMM, dst=0, imm=42),
+            Instruction(Opcode.EXIT),
+        ])
+
+    def test_word_round_trip(self):
+        program = self._program()
+        rebuilt = BytecodeProgram.from_words("p", program.to_words())
+        assert rebuilt.instructions == program.instructions
+
+    def test_len_and_iter(self):
+        program = self._program()
+        assert len(program) == 2
+        assert [i.opcode for i in program] == [Opcode.MOV_IMM, Opcode.EXIT]
+
+    def test_disassemble_lists_every_instruction(self):
+        text = self._program().disassemble()
+        assert "MOV_IMM" in text and "EXIT" in text
+        assert text.count("\n") == 2

@@ -1,0 +1,266 @@
+"""JIT tier: compilation rules and differential testing vs the interpreter.
+
+The paper cites Jitterbug [42] for JIT-correctness concerns; our
+equivalent assurance is exhaustive differential testing, including a
+hypothesis-driven generator of random *verifier-accepted* programs whose
+interpreted and JIT-compiled results must agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.context import ContextSchema
+from repro.core.errors import RmtRuntimeError
+from repro.core.interpreter import Interpreter, RuntimeEnv
+from repro.core.jit import JitCompiler
+from repro.core.isa import Opcode
+from repro.core.program import ProgramBuilder
+from repro.core.tables import MatchActionTable
+from repro.core.verifier import AttachPolicy, Verifier
+
+I = Instruction
+OP = Opcode
+
+
+def _verified_program(schema, instrs_by_action, helpers=None, tensors=None):
+    builder = ProgramBuilder("p", "test_hook", schema)
+    builder.add_table(MatchActionTable("tab", ["pid"]))
+    for tensor_id, tensor in (tensors or {}).items():
+        builder.add_tensor(tensor_id, tensor)
+    for name, instrs in instrs_by_action.items():
+        builder.add_action(BytecodeProgram(name, instrs))
+    program = builder.build()
+    Verifier(AttachPolicy("test_hook"), helpers).verify_or_raise(program)
+    return program
+
+
+class TestCompilationRules:
+    def test_refuses_unverified_program(self, builder):
+        builder.add_action(BytecodeProgram("act", [
+            I(OP.MOV_IMM, dst=0, imm=1), I(OP.EXIT),
+        ]))
+        program = builder.build()
+        with pytest.raises(RmtRuntimeError, match="unverified"):
+            JitCompiler().compile_program(program)
+
+    def test_compiles_all_actions(self, schema):
+        program = _verified_program(schema, {
+            "a": [I(OP.MOV_IMM, dst=0, imm=1), I(OP.EXIT)],
+            "b": [I(OP.MOV_IMM, dst=0, imm=2), I(OP.EXIT)],
+        })
+        jitted = JitCompiler().compile_program(program)
+        assert jitted.action_names == ["a", "b"]
+
+    def test_unknown_action_name(self, schema):
+        program = _verified_program(schema, {
+            "a": [I(OP.MOV_IMM, dst=0, imm=1), I(OP.EXIT)],
+        })
+        jitted = JitCompiler().compile_program(program)
+        with pytest.raises(KeyError):
+            jitted.run("zzz", RuntimeEnv(program=program,
+                                         ctx=schema.new_context()))
+
+    def test_source_attached_for_inspection(self, schema):
+        program = _verified_program(schema, {
+            "a": [I(OP.MOV_IMM, dst=0, imm=1), I(OP.EXIT)],
+        })
+        jitted = JitCompiler().compile_program(program)
+        source = jitted.function("a").__rmt_source__
+        assert "def _action(env):" in source
+        assert "return r0" in source
+
+    def test_tail_call_resolved_to_compiled_target(self, schema):
+        program = _verified_program(schema, {
+            "a": [I(OP.TAIL_CALL, imm=1)],
+            "b": [I(OP.MOV_IMM, dst=0, imm=42), I(OP.EXIT)],
+        })
+        jitted = JitCompiler().compile_program(program)
+        env = RuntimeEnv(program=program, ctx=schema.new_context())
+        assert jitted.run("a", env) == 42
+
+
+class TestDifferentialFixed:
+    """Hand-written programs covering each opcode family in both tiers."""
+
+    def _both(self, schema, instrs, ctx_values=None, helpers=None,
+              tensors=None):
+        program = _verified_program(schema, {"act": instrs},
+                                    helpers=helpers, tensors=tensors)
+        jitted = JitCompiler(helpers).compile_program(program)
+        iv = Interpreter().run(
+            program.action("act"),
+            RuntimeEnv(program=program, helpers=helpers,
+                       ctx=schema.new_context(**(ctx_values or {}))),
+        )
+        jv = jitted.run("act", RuntimeEnv(
+            program=program, helpers=helpers,
+            ctx=schema.new_context(**(ctx_values or {}))))
+        assert iv == jv
+        return iv
+
+    def test_alu_chain(self, schema):
+        result = self._both(schema, [
+            I(OP.MOV_IMM, dst=0, imm=100),
+            I(OP.MOV_IMM, dst=1, imm=7),
+            I(OP.DIV, dst=0, src=1),
+            I(OP.MOD, dst=0, src=1),
+            I(OP.NEG, dst=0),
+            I(OP.ABS, dst=0),
+            I(OP.EXIT),
+        ])
+        assert result == 0
+
+    def test_div_by_zero_same(self, schema):
+        self._both(schema, [
+            I(OP.MOV_IMM, dst=0, imm=5),
+            I(OP.MOV_IMM, dst=1, imm=0),
+            I(OP.DIV, dst=0, src=1),
+            I(OP.EXIT),
+        ])
+
+    def test_branches(self, schema):
+        self._both(schema, [
+            I(OP.LD_CTXT, dst=1, imm=0),
+            I(OP.MOV_IMM, dst=0, imm=0),
+            I(OP.JGT_IMM, dst=1, imm=10, offset=1),
+            I(OP.ADD_IMM, dst=0, imm=5),
+            I(OP.EXIT),
+        ], ctx_values={"pid": 20})
+
+    def test_negative_immediates(self, schema):
+        self._both(schema, [
+            I(OP.MOV_IMM, dst=0, imm=-(1 << 31)),
+            I(OP.SUB_IMM, dst=0, imm=1),
+            I(OP.EXIT),
+        ])
+
+    def test_vector_pipeline(self, schema):
+        tensors = {
+            0: np.array([[2, -1], [1, 1]], dtype=np.int64),
+            1: np.array([5, -5], dtype=np.int64),
+            2: np.array([3, 3], dtype=np.int64),
+        }
+        self._both(schema, [
+            I(OP.VEC_ZERO, dst=0, imm=2),
+            I(OP.MOV_IMM, dst=1, imm=9),
+            I(OP.VEC_SET, dst=0, src=1, imm=0),
+            I(OP.MAT_MUL, dst=1, src=0, imm=0),
+            I(OP.VEC_ADD, dst=1, imm=1),
+            I(OP.VEC_MUL_T, dst=1, imm=2, offset=1),
+            I(OP.VEC_SCALE, dst=1, imm=3, offset=2),
+            I(OP.VEC_RELU, dst=1),
+            I(OP.VEC_SHIFT, dst=1, imm=1),
+            I(OP.VEC_ARGMAX, dst=0, src=1),
+            I(OP.EXIT),
+        ], tensors=tensors)
+
+    def test_map_side_effects_identical(self, schema, helpers):
+        """Both tiers must leave identical map state behind."""
+        from repro.core.maps import HashMap
+
+        def build():
+            builder = ProgramBuilder("p", "test_hook", schema)
+            builder.add_table(MatchActionTable("tab", ["pid"]))
+            builder.add_map("m", HashMap("m"))
+            builder.add_action(BytecodeProgram("act", [
+                I(OP.LD_CTXT, dst=1, imm=0),
+                I(OP.MAP_LOOKUP, dst=2, src=1, imm=0),
+                I(OP.ADD_IMM, dst=2, imm=3),
+                I(OP.MAP_UPDATE, dst=1, src=2, imm=0),
+                I(OP.MOV, dst=0, src=2),
+                I(OP.EXIT),
+            ]))
+            program = builder.build()
+            Verifier(AttachPolicy("test_hook"), helpers).verify_or_raise(program)
+            return program
+
+        prog_i = build()
+        prog_j = build()
+        jitted = JitCompiler(helpers).compile_program(prog_j)
+        for pid in (1, 2, 1, 1, 3):
+            iv = Interpreter().run(prog_i.action("act"), RuntimeEnv(
+                program=prog_i, ctx=schema.new_context(pid=pid)))
+            jv = jitted.run("act", RuntimeEnv(
+                program=prog_j, ctx=schema.new_context(pid=pid)))
+            assert iv == jv
+        assert dict(prog_i.map_by_name("m").items()) == \
+            dict(prog_j.map_by_name("m").items())
+
+    def test_helper_calls(self, schema, helpers):
+        self._both(schema, [
+            I(OP.MOV_IMM, dst=1, imm=35),
+            I(OP.CALL, imm=1),
+            I(OP.EXIT),
+        ], helpers=helpers)
+
+
+# ---------------------------------------------------------------------------
+# Random-program differential testing
+# ---------------------------------------------------------------------------
+
+_ALU_RR = [OP.ADD, OP.SUB, OP.MUL, OP.DIV, OP.MOD, OP.AND, OP.OR, OP.XOR,
+           OP.LSH, OP.RSH, OP.MIN, OP.MAX]
+_ALU_IMM = [OP.ADD_IMM, OP.SUB_IMM, OP.MUL_IMM, OP.AND_IMM, OP.OR_IMM,
+            OP.LSH_IMM, OP.RSH_IMM]
+_JUMPS_IMM = [OP.JEQ_IMM, OP.JNE_IMM, OP.JLT_IMM, OP.JLE_IMM, OP.JGT_IMM,
+              OP.JGE_IMM]
+
+
+@st.composite
+def random_valid_program(draw):
+    """A random program that passes the verifier.
+
+    Structure: initialize r0..r5 with random immediates, then a random
+    mix of ALU ops and forward conditional jumps over r0..r5, then EXIT.
+    """
+    n_body = draw(st.integers(3, 25))
+    instrs = [
+        I(OP.MOV_IMM, dst=r, imm=draw(st.integers(-(1 << 20), 1 << 20)))
+        for r in range(6)
+    ]
+    body_start = len(instrs)
+    total = body_start + n_body + 1  # + EXIT
+    for pc in range(body_start, body_start + n_body):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            instrs.append(I(draw(st.sampled_from(_ALU_RR)),
+                            dst=draw(st.integers(0, 5)),
+                            src=draw(st.integers(0, 5))))
+        elif kind == 1:
+            instrs.append(I(draw(st.sampled_from(_ALU_IMM)),
+                            dst=draw(st.integers(0, 5)),
+                            imm=draw(st.integers(-(1 << 10), 1 << 10))))
+        elif kind == 2:
+            instrs.append(I(OP.NEG, dst=draw(st.integers(0, 5))))
+        else:
+            max_offset = total - 2 - pc  # target must stay < total - 1 + 1
+            offset = draw(st.integers(0, max(max_offset, 0)))
+            instrs.append(I(draw(st.sampled_from(_JUMPS_IMM)),
+                            dst=draw(st.integers(0, 5)),
+                            imm=draw(st.integers(-16, 16)),
+                            offset=offset))
+    instrs.append(I(OP.EXIT))
+    return instrs
+
+
+class TestDifferentialRandom:
+    @settings(max_examples=120, deadline=None)
+    @given(random_valid_program())
+    def test_random_programs_agree(self, instrs):
+        schema = ContextSchema("test_hook")
+        schema.add_field("pid")
+        program = _verified_program(schema, {"act": instrs})
+        interp_result = Interpreter().run(
+            program.action("act"),
+            RuntimeEnv(program=program, ctx=schema.new_context()),
+        )
+        jitted = JitCompiler().compile_program(program)
+        jit_result = jitted.run(
+            "act", RuntimeEnv(program=program, ctx=schema.new_context())
+        )
+        assert interp_result == jit_result

@@ -1,0 +1,281 @@
+"""RMT maps: each kind's semantics plus property tests against models."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maps import (
+    ArrayMap,
+    HashMap,
+    HistoryMap,
+    LruHashMap,
+    PerCpuArrayMap,
+    RingBuffer,
+    TensorStore,
+    VectorMap,
+)
+
+
+class TestArrayMap:
+    def test_lookup_update_delete(self):
+        m = ArrayMap("a", 4)
+        m.update(2, 99)
+        assert m.lookup(2) == 99
+        m.delete(2)
+        assert m.lookup(2) == 0
+
+    def test_out_of_range_raises(self):
+        m = ArrayMap("a", 4)
+        with pytest.raises(IndexError):
+            m.lookup(4)
+        with pytest.raises(IndexError):
+            m.update(-1, 1)
+
+    def test_contains_is_range_check(self):
+        m = ArrayMap("a", 4)
+        assert m.contains(0) and m.contains(3)
+        assert not m.contains(4)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ArrayMap("a", 0)
+
+    def test_memory_accounting(self):
+        assert ArrayMap("a", 100).memory_bytes() == 800
+
+
+class TestHashMap:
+    def test_absent_reads_zero(self):
+        assert HashMap("h").lookup(12345) == 0
+
+    def test_full_map_raises(self):
+        m = HashMap("h", max_entries=2)
+        m.update(1, 1)
+        m.update(2, 2)
+        with pytest.raises(MemoryError):
+            m.update(3, 3)
+        m.update(1, 99)  # overwriting an existing key is always fine
+        assert m.lookup(1) == 99
+
+    def test_delete_missing_is_noop(self):
+        HashMap("h").delete(42)
+
+    def test_items_and_len(self):
+        m = HashMap("h")
+        m.update(1, 10)
+        m.update(2, 20)
+        assert len(m) == 2
+        assert dict(m.items()) == {1: 10, 2: 20}
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(-100, 100)),
+                    max_size=60))
+    def test_matches_dict_model(self, ops):
+        m = HashMap("h")
+        model: dict[int, int] = {}
+        for key, value in ops:
+            m.update(key, value)
+            model[key] = value
+        for key in range(21):
+            assert m.lookup(key) == model.get(key, 0)
+            assert m.contains(key) == (key in model)
+
+
+class TestLruHashMap:
+    def test_evicts_least_recent(self):
+        m = LruHashMap("lru", max_entries=2)
+        m.update(1, 10)
+        m.update(2, 20)
+        m.lookup(1)  # refresh key 1
+        m.update(3, 30)  # evicts key 2
+        assert m.contains(1) and m.contains(3)
+        assert not m.contains(2)
+
+    def test_update_refreshes(self):
+        m = LruHashMap("lru", max_entries=2)
+        m.update(1, 10)
+        m.update(2, 20)
+        m.update(1, 11)
+        m.update(3, 30)  # evicts 2, not 1
+        assert m.lookup(1) == 11
+        assert not m.contains(2)
+
+    def test_never_exceeds_capacity(self):
+        m = LruHashMap("lru", max_entries=4)
+        for i in range(100):
+            m.update(i, i)
+        assert len(m._data) == 4
+
+
+class TestPerCpuArray:
+    def test_cpu_isolation(self):
+        m = PerCpuArrayMap("p", size=4, n_cpus=2)
+        m.cpu(0).update(1, 111)
+        assert m.cpu(1).lookup(1) == 0
+
+    def test_flat_interface_is_cpu0(self):
+        m = PerCpuArrayMap("p", size=4, n_cpus=2)
+        m.update(1, 5)
+        assert m.cpu(0).lookup(1) == 5
+
+    def test_bad_cpu(self):
+        with pytest.raises(IndexError):
+            PerCpuArrayMap("p", 4, 2).cpu(2)
+
+    def test_memory_sums_cpus(self):
+        assert PerCpuArrayMap("p", 4, 3).memory_bytes() == 3 * 32
+
+
+class TestRingBuffer:
+    def test_fifo_order(self):
+        rb = RingBuffer("r", capacity=8)
+        for i in range(5):
+            rb.push(i)
+        assert rb.drain() == [0, 1, 2, 3, 4]
+        assert len(rb) == 0
+
+    def test_drop_oldest_counts(self):
+        rb = RingBuffer("r", capacity=2)
+        rb.push(1)
+        rb.push(2)
+        rb.push(3)
+        assert rb.dropped == 1
+        assert rb.drain() == [2, 3]
+
+    def test_indexed_lookup(self):
+        rb = RingBuffer("r", capacity=4)
+        rb.push(10)
+        rb.push(20)
+        assert rb.lookup(0) == 10
+        assert rb.lookup(1) == 20
+        assert rb.lookup(5) == 0
+
+    def test_update_appends_delete_pops(self):
+        rb = RingBuffer("r", capacity=4)
+        rb.update(0, 7)
+        rb.delete(0)
+        assert len(rb) == 0
+
+
+class TestHistoryMap:
+    def test_window_padding(self):
+        h = HistoryMap("h", depth=4)
+        h.push(1, 10)
+        assert h.window(1, 4).tolist() == [0, 0, 0, 10]
+
+    def test_window_keeps_newest(self):
+        h = HistoryMap("h", depth=3)
+        for v in range(10):
+            h.push(1, v)
+        assert h.window(1, 3).tolist() == [7, 8, 9]
+
+    def test_window_length_validation(self):
+        h = HistoryMap("h", depth=4)
+        with pytest.raises(ValueError):
+            h.window(1, 5)
+        with pytest.raises(ValueError):
+            h.window(1, 0)
+
+    def test_key_eviction(self):
+        h = HistoryMap("h", depth=2, max_keys=2)
+        h.push(1, 1)
+        h.push(2, 2)
+        h.push(1, 1)  # refresh key 1
+        h.push(3, 3)  # evicts key 2
+        assert h.contains(1) and h.contains(3)
+        assert not h.contains(2)
+
+    def test_lookup_is_latest(self):
+        h = HistoryMap("h", depth=4)
+        h.push(1, 5)
+        h.push(1, 9)
+        assert h.lookup(1) == 9
+        assert h.lookup(999) == 0
+
+    def test_length(self):
+        h = HistoryMap("h", depth=4)
+        assert h.length(1) == 0
+        h.push(1, 1)
+        h.push(1, 2)
+        assert h.length(1) == 2
+
+    @settings(max_examples=40)
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(-50, 50)),
+                    max_size=60))
+    def test_matches_deque_model(self, ops):
+        depth = 4
+        h = HistoryMap("h", depth=depth, max_keys=100)
+        model: dict[int, deque] = {}
+        for key, value in ops:
+            h.push(key, value)
+            model.setdefault(key, deque(maxlen=depth)).append(value)
+        for key, ring in model.items():
+            padded = [0] * (depth - len(ring)) + list(ring)
+            assert h.window(key, depth).tolist() == padded
+
+
+class TestVectorMap:
+    def test_set_get(self):
+        vm = VectorMap("v", width=3)
+        vm.set_vector(1, [1, 2, 3])
+        assert vm.get_vector(1).tolist() == [1, 2, 3]
+
+    def test_absent_is_zeros(self):
+        vm = VectorMap("v", width=3)
+        assert vm.get_vector(9).tolist() == [0, 0, 0]
+
+    def test_width_enforced(self):
+        vm = VectorMap("v", width=3)
+        with pytest.raises(ValueError):
+            vm.set_vector(1, [1, 2])
+
+    def test_returns_copies(self):
+        vm = VectorMap("v", width=2)
+        vm.set_vector(1, [5, 6])
+        out = vm.get_vector(1)
+        out[0] = 99
+        assert vm.get_vector(1).tolist() == [5, 6]
+
+    def test_scalar_view(self):
+        vm = VectorMap("v", width=2)
+        vm.set_vector(1, [5, 6])
+        assert vm.lookup(1) == 5
+        vm.update(1, 9)
+        assert vm.get_vector(1).tolist() == [9, 6]
+
+    def test_key_eviction(self):
+        vm = VectorMap("v", width=1, max_keys=2)
+        vm.set_vector(1, [1])
+        vm.set_vector(2, [2])
+        vm.set_vector(3, [3])
+        assert not vm.contains(1)
+
+
+class TestTensorStore:
+    def test_put_get(self):
+        ts = TensorStore()
+        ts.put(0, np.array([[1, 2], [3, 4]]))
+        assert ts.get(0).shape == (2, 2)
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            TensorStore().put(0, np.array([1.5]))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            TensorStore().put(0, np.zeros((2, 2, 2), dtype=np.int64))
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            TensorStore().get(5)
+
+    def test_ids_and_memory(self):
+        ts = TensorStore()
+        ts.put(3, np.zeros(4, dtype=np.int64))
+        ts.put(1, np.zeros((2, 2), dtype=np.int64))
+        assert ts.ids() == [1, 3]
+        assert ts.memory_bytes() == 8 * 8

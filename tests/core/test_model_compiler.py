@@ -1,0 +1,198 @@
+"""Model → bytecode compilation: exact equivalence with native inference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.context import ContextSchema
+from repro.core.interpreter import Interpreter, RuntimeEnv
+from repro.core.jit import JitCompiler
+from repro.core.maps import VectorMap
+from repro.core.model_compiler import (
+    compile_mlp_action,
+    compile_tree_action,
+    fold_input_transform,
+)
+from repro.core.program import ProgramBuilder
+from repro.core.tables import MatchActionTable
+from repro.core.verifier import AttachPolicy, Verifier
+from repro.ml.decision_tree import IntegerDecisionTree
+from repro.ml.mlp import FloatMLP, QuantizedMLP
+
+
+@pytest.fixture(scope="module")
+def sched_like_dataset():
+    """Bounded integer features, like the scheduler's monitor output."""
+    rng = np.random.default_rng(11)
+    x = rng.integers(0, 2000, size=(900, 6)).astype(np.float64)
+    y = ((x[:, 0] + 3 * x[:, 1] - 2 * x[:, 2]) > 1500).astype(np.int64)
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def qmlp(sched_like_dataset):
+    x, y = sched_like_dataset
+    mlp = FloatMLP([6, 10, 2], epochs=30, seed=2).fit(x, y)
+    return QuantizedMLP.from_float(mlp, x[:200], bits=8)
+
+
+def build_with(compile_fn, schema, width):
+    builder = ProgramBuilder("p", "test", schema)
+    builder.add_map("features", VectorMap("features", width=width))
+    builder.add_table(MatchActionTable("t", ["key"]))
+    action = compile_fn(builder)
+    program = builder.build()
+    Verifier(AttachPolicy("test")).verify_or_raise(program)
+    return program, action
+
+
+@pytest.fixture(scope="module")
+def model_schema():
+    schema = ContextSchema("test")
+    schema.add_field("key")
+    return schema
+
+
+class TestFoldInputTransform:
+    def test_matches_float_transform(self, qmlp, sched_like_dataset):
+        x, _ = sched_like_dataset
+        a, b = fold_input_transform(qmlp)
+        for row in x[:50]:
+            float_q = qmlp.quantize_input(row)
+            int_q = ((row.astype(np.int64) * a) + (1 << 11)) // (1 << 12) + b
+            # Within one quantization step of the float path everywhere.
+            assert np.max(np.abs(float_q - int_q)) <= 1
+
+    def test_rejects_unbounded_feature(self, qmlp):
+        # Forge a pathological scale: std so tiny the multiplier overflows.
+        qmlp2 = QuantizedMLP(
+            weights_q=qmlp.weights_q, biases_q=qmlp.biases_q,
+            rescales=qmlp.rescales, input_scale=1e-12,
+            input_mean=qmlp.input_mean, input_std=qmlp.input_std * 1e-9,
+            layer_sizes=qmlp.layer_sizes, bits=8,
+        )
+        with pytest.raises(ValueError, match="int32"):
+            fold_input_transform(qmlp2)
+
+    def test_rejects_zero_multiplier(self, qmlp):
+        qmlp2 = QuantizedMLP(
+            weights_q=qmlp.weights_q, biases_q=qmlp.biases_q,
+            rescales=qmlp.rescales, input_scale=1e9,
+            input_mean=qmlp.input_mean, input_std=qmlp.input_std * 1e9,
+            layer_sizes=qmlp.layer_sizes, bits=8,
+        )
+        with pytest.raises(ValueError, match="zero multiplier"):
+            fold_input_transform(qmlp2)
+
+
+class TestCompiledMlp:
+    def test_bytecode_matches_native(self, model_schema, qmlp,
+                                     sched_like_dataset):
+        x, _ = sched_like_dataset
+        program, _ = build_with(
+            lambda b: compile_mlp_action(b, qmlp, "features", "key"),
+            model_schema, width=6,
+        )
+        fmap = program.map_by_name("features")
+        interp = Interpreter()
+        agree = 0
+        for row in x[:200]:
+            fmap.set_vector(1, row.astype(np.int64))
+            verdict = interp.run(
+                program.action("mlp_infer"),
+                RuntimeEnv(program=program,
+                           ctx=model_schema.new_context(key=1)),
+            )
+            agree += verdict == qmlp.predict_one(row)
+        assert agree >= 198  # folded input transform: <=1% divergence
+
+    def test_jit_matches_interpreter(self, model_schema, qmlp,
+                                     sched_like_dataset):
+        x, _ = sched_like_dataset
+        program, _ = build_with(
+            lambda b: compile_mlp_action(b, qmlp, "features", "key"),
+            model_schema, width=6,
+        )
+        jitted = JitCompiler().compile_program(program)
+        fmap = program.map_by_name("features")
+        for row in x[:100]:
+            fmap.set_vector(1, row.astype(np.int64))
+            iv = Interpreter().run(
+                program.action("mlp_infer"),
+                RuntimeEnv(program=program,
+                           ctx=model_schema.new_context(key=1)))
+            jv = jitted.run("mlp_infer", RuntimeEnv(
+                program=program, ctx=model_schema.new_context(key=1)))
+            assert iv == jv
+
+    def test_action_is_loop_free_and_small(self, model_schema, qmlp):
+        program, action = build_with(
+            lambda b: compile_mlp_action(b, qmlp, "features", "key"),
+            model_schema, width=6,
+        )
+        # 4 prologue + 4 per hidden layer + 2 output + argmax + exit.
+        assert len(action) <= 20
+
+    def test_tensors_registered(self, model_schema, qmlp):
+        program, _ = build_with(
+            lambda b: compile_mlp_action(b, qmlp, "features", "key"),
+            model_schema, width=6,
+        )
+        # input a/b + 2 layers x (w, b) = 6 tensors.
+        assert len(program.tensors.ids()) == 6
+
+
+class TestCompiledTree:
+    def test_bytecode_matches_native(self, model_schema):
+        rng = np.random.default_rng(5)
+        x = rng.integers(-50, 50, size=(600, 4))
+        y = ((x[:, 0] > 0) & (x[:, 1] > 10)).astype(np.int64)
+        tree = IntegerDecisionTree(max_depth=7).fit(x, y)
+        program, _ = build_with(
+            lambda b: compile_tree_action(b, tree, "features", "key"),
+            model_schema, width=4,
+        )
+        fmap = program.map_by_name("features")
+        for row in x[:300]:
+            fmap.set_vector(1, row)
+            verdict = Interpreter().run(
+                program.action("tree_infer"),
+                RuntimeEnv(program=program,
+                           ctx=model_schema.new_context(key=1)))
+            assert verdict == tree.predict_one(row)
+
+    def test_forward_jumps_only(self, model_schema, trained_tree):
+        program, action = build_with(
+            lambda b: compile_tree_action(b, trained_tree, "features", "key"),
+            model_schema, width=5,
+        )
+        for instr in action:
+            if instr.opcode.name.startswith("J"):
+                assert instr.offset >= 0
+
+    def test_unfitted_tree_rejected(self, model_schema):
+        builder = ProgramBuilder("p", "test", model_schema)
+        builder.add_map("features", VectorMap("features", width=2))
+        with pytest.raises(ValueError):
+            compile_tree_action(builder, IntegerDecisionTree(), "features",
+                                "key")
+
+    def test_jit_matches_interpreter(self, model_schema, trained_tree,
+                                     linear_int_dataset):
+        x, _ = linear_int_dataset
+        program, _ = build_with(
+            lambda b: compile_tree_action(b, trained_tree, "features", "key"),
+            model_schema, width=5,
+        )
+        jitted = JitCompiler().compile_program(program)
+        fmap = program.map_by_name("features")
+        for row in x[:100]:
+            fmap.set_vector(1, row)
+            iv = Interpreter().run(
+                program.action("tree_infer"),
+                RuntimeEnv(program=program,
+                           ctx=model_schema.new_context(key=1)))
+            jv = jitted.run("tree_infer", RuntimeEnv(
+                program=program, ctx=model_schema.new_context(key=1)))
+            assert iv == jv

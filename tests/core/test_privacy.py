@@ -1,0 +1,119 @@
+"""Differential privacy: budget accounting and Laplace releases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import PrivacyBudgetExceeded
+from repro.core.maps import HashMap
+from repro.core.privacy import LaplaceMechanism, PrivacyBudget, PrivateAggregator
+
+
+def _map_with(values: dict[int, int]) -> HashMap:
+    m = HashMap("m")
+    for k, v in values.items():
+        m.update(k, v)
+    return m
+
+
+class TestPrivacyBudget:
+    def test_charging_accumulates(self):
+        budget = PrivacyBudget(1.0)
+        budget.charge(0.3)
+        budget.charge(0.3)
+        assert budget.spent == pytest.approx(0.6)
+        assert budget.remaining == pytest.approx(0.4)
+        assert budget.queries == 2
+
+    def test_fails_closed_at_exhaustion(self):
+        budget = PrivacyBudget(0.5)
+        budget.charge(0.5)
+        with pytest.raises(PrivacyBudgetExceeded):
+            budget.charge(0.01)
+        assert budget.denied == 1
+        assert budget.spent == pytest.approx(0.5)  # denied query is free
+
+    def test_exact_exhaustion_allowed(self):
+        budget = PrivacyBudget(1.0)
+        for _ in range(10):
+            budget.charge(0.1)
+        assert budget.remaining == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(0.0)
+        with pytest.raises(ValueError):
+            PrivacyBudget(1.0).charge(0.0)
+
+
+class TestLaplaceMechanism:
+    def test_deterministic_with_seed(self):
+        a = LaplaceMechanism(seed=3).noise(1.0, 1.0)
+        b = LaplaceMechanism(seed=3).noise(1.0, 1.0)
+        assert a == b
+
+    def test_noise_scale_tracks_epsilon(self):
+        mech = LaplaceMechanism(seed=0)
+        tight = [abs(mech.noise(1.0, 10.0)) for _ in range(500)]
+        loose = [abs(mech.noise(1.0, 0.1)) for _ in range(500)]
+        assert np.mean(loose) > np.mean(tight) * 10
+
+    def test_release_int_is_int(self):
+        out = LaplaceMechanism(seed=1).release_int(100.0, 1.0, 1.0)
+        assert isinstance(out, int)
+
+    def test_validation(self):
+        mech = LaplaceMechanism()
+        with pytest.raises(ValueError):
+            mech.noise(0.0, 1.0)
+        with pytest.raises(ValueError):
+            mech.noise(1.0, -1.0)
+
+
+class TestPrivateAggregator:
+    def test_count_close_at_high_epsilon(self):
+        agg = PrivateAggregator(PrivacyBudget(1000.0),
+                                LaplaceMechanism(seed=0))
+        m = _map_with({i: 1 for i in range(50)})
+        assert abs(agg.count(m, 100.0) - 50) <= 1
+
+    def test_sum_clamps_contributions(self):
+        agg = PrivateAggregator(PrivacyBudget(1000.0),
+                                LaplaceMechanism(seed=0), value_bound=10)
+        m = _map_with({1: 10**9})  # one wild outlier
+        # Clamped to 10, so even noised the release stays near 10.
+        assert abs(agg.sum(m, 100.0) - 10) < 5
+
+    def test_mean_splits_epsilon(self):
+        budget = PrivacyBudget(1.0)
+        agg = PrivateAggregator(budget, LaplaceMechanism(seed=0))
+        agg.mean(_map_with({1: 5, 2: 7}), epsilon=1.0)
+        assert budget.spent == pytest.approx(1.0)
+        assert budget.queries == 2  # sum + count sub-queries
+
+    def test_budget_enforced_across_queries(self):
+        agg = PrivateAggregator(PrivacyBudget(1.0), LaplaceMechanism(seed=0))
+        m = _map_with({1: 5})
+        agg.count(m, 0.6)
+        with pytest.raises(PrivacyBudgetExceeded):
+            agg.count(m, 0.6)
+
+    def test_empty_map_sum(self):
+        agg = PrivateAggregator(PrivacyBudget(10.0), LaplaceMechanism(seed=2))
+        out = agg.sum(HashMap("empty"), 1.0)
+        assert isinstance(out, int)
+
+    def test_error_decreases_with_epsilon(self):
+        m = _map_with({i: 100 for i in range(20)})
+        def mean_err(eps, seed):
+            agg = PrivateAggregator(PrivacyBudget(10_000.0),
+                                    LaplaceMechanism(seed=seed),
+                                    value_bound=128)
+            errs = [abs(agg.mean(m, eps) - 100.0) for _ in range(60)]
+            return float(np.mean(errs))
+        assert mean_err(20.0, 0) < mean_err(0.2, 0)
+
+    def test_value_bound_validation(self):
+        with pytest.raises(ValueError):
+            PrivateAggregator(PrivacyBudget(1.0), value_bound=0)

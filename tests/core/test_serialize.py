@@ -1,0 +1,177 @@
+"""Whole-program serialization: the pure-data syscall payload."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.control_plane import RmtDatapath
+from repro.core.errors import ControlPlaneError
+from repro.core.isa import Opcode
+from repro.core.maps import RingBuffer, VectorMap
+from repro.core.serialize import (
+    TableTreeModel,
+    payload_to_program,
+    program_to_payload,
+)
+from repro.core.tables import MatchKind, MatchActionTable, MatchPattern, TableEntry
+from repro.core.verifier import AttachPolicy, Verifier
+from repro.ml.mlp import QuantizedMLP
+
+I = Instruction
+OP = Opcode
+
+
+def _rich_program(builder, trained_tree, quantized_mlp):
+    """A program exercising every serializable component."""
+    builder.add_map("ring", RingBuffer("ring", capacity=128))
+    builder.add_map("features", VectorMap("features", width=4))
+    ranged = MatchActionTable(
+        "ranged", ["page"], [MatchKind.RANGE], default_action="fallback"
+    )
+    builder.add_table(ranged)
+    ranged.insert(TableEntry(
+        patterns=(MatchPattern.range(10, 20),), action="act",
+        action_data={"ml": 0}, priority=3,
+    ))
+    builder._pipeline.table("tab").insert_exact([5], "act", pf_steps=2)
+    builder.add_model(0, trained_tree)
+    builder.add_model(1, quantized_mlp)
+    builder.add_tensor(0, np.array([[1, 2], [3, 4]], dtype=np.int64))
+    builder.add_action(BytecodeProgram("act", [
+        I(OP.LD_CTXT, dst=0, imm=1),
+        I(OP.ADD_IMM, dst=0, imm=1),
+        I(OP.EXIT),
+    ]))
+    builder.add_action(BytecodeProgram("fallback", [
+        I(OP.MOV_IMM, dst=0, imm=0),
+        I(OP.EXIT),
+    ]))
+    return builder.build()
+
+
+class TestRoundTrip:
+    def test_payload_is_json_able(self, builder, trained_tree, quantized_mlp):
+        payload = program_to_payload(
+            _rich_program(builder, trained_tree, quantized_mlp))
+        text = json.dumps(payload)  # must not raise
+        rebuilt = payload_to_program(json.loads(text))
+        assert rebuilt.name == "prog"
+
+    def test_structure_preserved(self, builder, trained_tree, quantized_mlp):
+        program = _rich_program(builder, trained_tree, quantized_mlp)
+        rebuilt = payload_to_program(program_to_payload(program))
+        assert rebuilt.attach_point == program.attach_point
+        assert rebuilt.action_ids == program.action_ids
+        assert sorted(rebuilt.map_ids) == sorted(program.map_ids)
+        assert [t.name for t in rebuilt.pipeline] == \
+            [t.name for t in program.pipeline]
+        assert rebuilt.tensors.ids() == program.tensors.ids()
+        assert sorted(rebuilt.models) == sorted(program.models)
+
+    def test_instructions_identical(self, builder, trained_tree,
+                                    quantized_mlp):
+        program = _rich_program(builder, trained_tree, quantized_mlp)
+        rebuilt = payload_to_program(program_to_payload(program))
+        for name, action in program.actions.items():
+            assert rebuilt.actions[name].instructions == action.instructions
+
+    def test_entries_and_kinds_preserved(self, builder, trained_tree,
+                                         quantized_mlp, schema):
+        program = _rich_program(builder, trained_tree, quantized_mlp)
+        rebuilt = payload_to_program(program_to_payload(program))
+        table = rebuilt.pipeline.table("ranged")
+        assert table.kinds == (MatchKind.RANGE,)
+        assert table.default_action == "fallback"
+        entry = table.lookup(schema.new_context(page=15))
+        assert entry.action == "act"
+        assert entry.action_data == {"ml": 0}
+        assert entry.priority == 3
+
+    def test_rebuilt_program_behaves_identically(self, builder, trained_tree,
+                                                 quantized_mlp, schema):
+        program = _rich_program(builder, trained_tree, quantized_mlp)
+        rebuilt = payload_to_program(program_to_payload(program))
+        policy = AttachPolicy("test_hook")
+        Verifier(policy).verify_or_raise(program)
+        Verifier(policy).verify_or_raise(rebuilt)
+        dp_orig = RmtDatapath(program, policy, mode="jit")
+        dp_new = RmtDatapath(rebuilt, policy, mode="jit")
+        for pid, page in [(5, 7), (5, 15), (9, 12), (9, 99)]:
+            assert dp_orig.invoke(schema.new_context(pid=pid, page=page)) \
+                == dp_new.invoke(schema.new_context(pid=pid, page=page))
+
+    def test_tree_model_predictions_preserved(self, builder, trained_tree,
+                                              quantized_mlp,
+                                              linear_int_dataset):
+        x, _ = linear_int_dataset
+        program = _rich_program(builder, trained_tree, quantized_mlp)
+        rebuilt = payload_to_program(program_to_payload(program))
+        model = rebuilt.models[0]
+        assert isinstance(model, TableTreeModel)
+        for row in x[:100]:
+            assert model.predict_one(row) == trained_tree.predict_one(row)
+        assert model.cost_signature()["depth"] == max(trained_tree.depth_, 1)
+
+    def test_mlp_model_predictions_preserved(self, builder, trained_tree,
+                                             quantized_mlp, xor_dataset):
+        x, _ = xor_dataset
+        program = _rich_program(builder, trained_tree, quantized_mlp)
+        rebuilt = payload_to_program(program_to_payload(program))
+        mlp = rebuilt.models[1]
+        assert isinstance(mlp, QuantizedMLP)
+        for row in x[:50]:
+            assert mlp.predict_one(row) == quantized_mlp.predict_one(row)
+
+
+class TestErrors:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ControlPlaneError, match="version"):
+            payload_to_program({"version": 99})
+
+    def test_unserializable_model_rejected(self, builder):
+        class Opaque:
+            def predict_one(self, v):
+                return 0
+
+            def cost_signature(self):
+                return {"kind": "decision_tree", "depth": 1, "n_nodes": 1}
+
+        builder.add_model(0, Opaque())
+        builder.add_action(BytecodeProgram("act", [
+            I(OP.MOV_IMM, dst=0, imm=0), I(OP.EXIT)]))
+        with pytest.raises(ControlPlaneError, match="wire format"):
+            program_to_payload(builder.build())
+
+    def test_unknown_model_family_rejected(self, builder, trained_tree,
+                                           quantized_mlp):
+        payload = program_to_payload(
+            _rich_program(builder, trained_tree, quantized_mlp))
+        payload["models"][0]["family"] = "transformer"
+        with pytest.raises(ControlPlaneError, match="family"):
+            payload_to_program(payload)
+
+    def test_empty_tree_table_rejected(self):
+        with pytest.raises(ValueError):
+            TableTreeModel([], depth=1)
+
+
+class TestSyscallPayloadPath:
+    def test_install_payload_end_to_end(self, schema, builder, trained_tree,
+                                        quantized_mlp):
+        from repro.kernel.hooks import HookRegistry
+        from repro.kernel.syscalls import RmtSyscallInterface
+
+        program = _rich_program(builder, trained_tree, quantized_mlp)
+        payload = json.loads(json.dumps(program_to_payload(program)))
+        hooks = HookRegistry()
+        hooks.declare("test_hook", schema, AttachPolicy("test_hook"))
+        iface = RmtSyscallInterface(hooks)
+        result = iface.install_payload(payload, mode="jit")
+        assert result.program_name == "prog"
+        # page 15 hits both stages; the ranged stage runs 'act' last.
+        assert hooks.fire("test_hook",
+                          schema.new_context(pid=5, page=15)) == 16

@@ -1,0 +1,177 @@
+"""Match-action tables: every match kind, priorities, pipelines."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tables import (
+    MatchActionTable,
+    MatchKind,
+    MatchPattern,
+    Pipeline,
+    TableEntry,
+)
+
+
+class TestMatchPattern:
+    def test_exact(self):
+        p = MatchPattern.exact(5)
+        assert p.matches(5, MatchKind.EXACT)
+        assert not p.matches(6, MatchKind.EXACT)
+
+    def test_ternary(self):
+        p = MatchPattern.ternary(0b1010, 0b1110)  # don't care on bit 0
+        assert p.matches(0b1010, MatchKind.TERNARY)
+        assert p.matches(0b1011, MatchKind.TERNARY)
+        assert not p.matches(0b1110, MatchKind.TERNARY)
+
+    def test_range_inclusive(self):
+        p = MatchPattern.range(10, 20)
+        assert p.matches(10, MatchKind.RANGE)
+        assert p.matches(20, MatchKind.RANGE)
+        assert not p.matches(21, MatchKind.RANGE)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            MatchPattern.range(5, 4)
+
+    def test_lpm(self):
+        prefix = 0xAB << 56
+        p = MatchPattern.lpm(prefix, 8)
+        assert p.matches(prefix | 0x1234, MatchKind.LPM)
+        assert not p.matches(0xAC << 56, MatchKind.LPM)
+
+    def test_lpm_zero_prefix_matches_all(self):
+        p = MatchPattern.lpm(0, 0)
+        assert p.matches(12345, MatchKind.LPM)
+
+    def test_lpm_validation(self):
+        with pytest.raises(ValueError):
+            MatchPattern.lpm(0, 65)
+
+    def test_wildcard_matches_everything(self):
+        p = MatchPattern.wildcard()
+        for kind in (MatchKind.EXACT, MatchKind.TERNARY, MatchKind.RANGE):
+            assert p.matches(12345, kind)
+
+    @given(st.integers(-(1 << 40), 1 << 40))
+    def test_exact_property(self, value):
+        assert MatchPattern.exact(value).matches(value, MatchKind.EXACT)
+
+    @given(st.integers(0, 1 << 40), st.integers(0, 1 << 40))
+    def test_range_property(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        p = MatchPattern.range(lo, hi)
+        assert p.matches(lo, MatchKind.RANGE) and p.matches(hi, MatchKind.RANGE)
+        assert not p.matches(hi + 1, MatchKind.RANGE)
+        assert not p.matches(lo - 1, MatchKind.RANGE)
+
+
+class TestMatchActionTable:
+    def _table(self, **kwargs) -> MatchActionTable:
+        return MatchActionTable("t", ["pid"], **kwargs)
+
+    def test_exact_lookup(self, schema):
+        table = self._table()
+        table.insert_exact([42], "act")
+        ctx = schema.new_context(pid=42)
+        assert table.lookup(ctx).action == "act"
+        assert table.lookup(schema.new_context(pid=7)) is None
+
+    def test_priority_wins(self, schema):
+        table = MatchActionTable("t", ["pid"], [MatchKind.RANGE])
+        low = TableEntry(patterns=(MatchPattern.range(0, 100),),
+                         action="low", priority=0)
+        high = TableEntry(patterns=(MatchPattern.range(40, 60),),
+                          action="high", priority=10)
+        table.insert(low)
+        table.insert(high)
+        assert table.lookup(schema.new_context(pid=50)).action == "high"
+        assert table.lookup(schema.new_context(pid=10)).action == "low"
+
+    def test_wildcard_fallback_with_exact_index(self, schema):
+        table = self._table()
+        table.insert_exact([1], "specific")
+        table.insert(TableEntry(patterns=(MatchPattern.wildcard(),),
+                                action="default", priority=-1))
+        assert table.lookup(schema.new_context(pid=1)).action == "specific"
+        assert table.lookup(schema.new_context(pid=99)).action == "default"
+
+    def test_hit_counters_and_stats(self, schema):
+        table = self._table()
+        entry = table.insert_exact([1], "act")
+        table.lookup(schema.new_context(pid=1))
+        table.lookup(schema.new_context(pid=2))
+        assert entry.hits == 1
+        stats = table.stats()
+        assert stats["lookups"] == 2
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_remove_entry(self, schema):
+        table = self._table()
+        entry = table.insert_exact([1], "act")
+        assert table.remove(entry.entry_id)
+        assert not table.remove(entry.entry_id)
+        assert table.lookup(schema.new_context(pid=1)) is None
+
+    def test_clear(self, schema):
+        table = self._table()
+        table.insert_exact([1], "a")
+        table.clear()
+        assert len(table) == 0
+
+    def test_capacity_enforced(self):
+        table = self._table(max_entries=1)
+        table.insert_exact([1], "a")
+        with pytest.raises(MemoryError):
+            table.insert_exact([2], "b")
+
+    def test_pattern_arity_checked(self):
+        table = MatchActionTable("t", ["pid", "page"])
+        with pytest.raises(ValueError):
+            table.insert(TableEntry(patterns=(MatchPattern.exact(1),),
+                                    action="a"))
+
+    def test_multi_field_key(self, schema):
+        table = MatchActionTable("t", ["pid", "page"])
+        table.insert_exact([1, 2], "a")
+        assert table.lookup(schema.new_context(pid=1, page=2)).action == "a"
+        assert table.lookup(schema.new_context(pid=1, page=3)) is None
+
+    def test_kind_count_mismatch(self):
+        with pytest.raises(ValueError):
+            MatchActionTable("t", ["pid", "page"], [MatchKind.EXACT])
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            MatchActionTable("t", [])
+
+    def test_action_data_kept(self, schema):
+        table = self._table()
+        table.insert_exact([1], "a", ml=3, pf_steps=4)
+        entry = table.lookup(schema.new_context(pid=1))
+        assert entry.action_data == {"ml": 3, "pf_steps": 4}
+
+
+class TestPipeline:
+    def test_stage_order_preserved(self):
+        p = Pipeline("p")
+        p.add_table(MatchActionTable("first", ["pid"]))
+        p.add_table(MatchActionTable("second", ["pid"]))
+        assert [t.name for t in p] == ["first", "second"]
+        assert len(p) == 2
+
+    def test_duplicate_table_rejected(self):
+        p = Pipeline("p")
+        p.add_table(MatchActionTable("t", ["pid"]))
+        with pytest.raises(ValueError):
+            p.add_table(MatchActionTable("t", ["pid"]))
+
+    def test_table_lookup_by_name(self):
+        p = Pipeline("p", [MatchActionTable("t", ["pid"])])
+        assert p.table("t").name == "t"
+        with pytest.raises(KeyError):
+            p.table("missing")

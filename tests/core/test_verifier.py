@@ -1,0 +1,424 @@
+"""The RMT verifier: every admission rule, acceptance and rejection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.errors import VerifierError
+from repro.core.isa import Opcode
+from repro.core.maps import VectorMap
+from repro.core.verifier import AttachPolicy, Verifier
+from repro.ml.cost_model import CostBudget
+
+I = Instruction
+OP = Opcode
+
+
+def verify(builder, instrs_by_action, helpers=None, policy=None):
+    for name, instrs in instrs_by_action.items():
+        builder.add_action(BytecodeProgram(name, instrs))
+    program = builder.build()
+    policy = policy or AttachPolicy("test_hook")
+    return program, Verifier(policy, helpers).verify(program)
+
+
+VALID = [I(OP.MOV_IMM, dst=0, imm=1), I(OP.EXIT)]
+
+
+class TestBasicStructure:
+    def test_accepts_minimal_program(self, builder):
+        program, report = verify(builder, {"act": VALID})
+        assert report.ok
+        assert program.verified
+
+    def test_rejects_empty_program(self, builder):
+        program = builder.build()
+        report = Verifier(AttachPolicy("test_hook")).verify(program)
+        assert not report.ok
+        assert any("no actions" in e for e in report.errors)
+
+    def test_rejects_empty_action(self, builder):
+        _, report = verify(builder, {"act": []})
+        assert not report.ok
+
+    def test_rejects_missing_terminal(self, builder):
+        _, report = verify(builder, {"act": [I(OP.MOV_IMM, dst=0, imm=1)]})
+        assert any("EXIT" in e for e in report.errors)
+
+    def test_rejects_wrong_attach_point(self, builder):
+        program = builder.build()
+        report = Verifier(AttachPolicy("other_hook")).verify(program)
+        assert any("other_hook" in e for e in report.errors)
+
+    def test_rejects_oversized_action(self, builder):
+        instrs = [I(OP.MOV_IMM, dst=0, imm=1)] * 50 + [I(OP.EXIT)]
+        policy = AttachPolicy("test_hook", max_insns_per_action=10)
+        _, report = verify(builder, {"act": instrs}, policy=policy)
+        assert any("limit" in e for e in report.errors)
+
+    def test_raise_if_failed(self, builder):
+        _, report = verify(builder, {"act": []})
+        with pytest.raises(VerifierError):
+            report.raise_if_failed()
+
+
+class TestControlFlowRules:
+    def test_rejects_backward_jump(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=0, imm=1),
+            I(OP.JEQ_IMM, dst=0, imm=1, offset=-2),
+            I(OP.EXIT),
+        ]})
+        assert any("backward" in e for e in report.errors)
+
+    def test_rejects_jump_past_end(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=0, imm=1),
+            I(OP.JEQ_IMM, dst=0, imm=1, offset=5),
+            I(OP.EXIT),
+        ]})
+        assert any("beyond" in e for e in report.errors)
+
+    def test_rejects_jump_to_exactly_end(self, builder):
+        """Target == len(program) would fall off; must be rejected."""
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=0, imm=1),
+            I(OP.JEQ_IMM, dst=0, imm=1, offset=1),
+            I(OP.EXIT),
+        ]})
+        assert any("beyond" in e for e in report.errors)
+
+    def test_worst_case_counts_longest_path(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=0, imm=1),
+            I(OP.JEQ_IMM, dst=0, imm=1, offset=2),  # skip the two adds
+            I(OP.ADD_IMM, dst=0, imm=1),
+            I(OP.ADD_IMM, dst=0, imm=1),
+            I(OP.EXIT),
+        ]})
+        assert report.ok
+        assert report.worst_case_insns["act"] == 5  # untaken path is longest
+
+    def test_unreachable_code_warns(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=0, imm=1),
+            I(OP.JMP, offset=1),
+            I(OP.MOV_IMM, dst=0, imm=9),  # unreachable
+            I(OP.EXIT),
+        ]})
+        assert report.ok
+        assert any("unreachable" in w for w in report.warnings)
+
+    def test_dynamic_budget_enforced(self, builder):
+        policy = AttachPolicy("test_hook", max_dynamic_insns=3)
+        instrs = [I(OP.MOV_IMM, dst=0, imm=1)]
+        instrs += [I(OP.ADD_IMM, dst=0, imm=1)] * 5
+        instrs.append(I(OP.EXIT))
+        _, report = verify(builder, {"act": instrs}, policy=policy)
+        assert any("worst-case" in e for e in report.errors)
+
+
+class TestRegisterDiscipline:
+    def test_rejects_uninitialized_read(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.MOV, dst=0, src=3),
+            I(OP.EXIT),
+        ]})
+        assert any("uninitialized register r3" in e for e in report.errors)
+
+    def test_rejects_exit_without_r0(self, builder):
+        _, report = verify(builder, {"act": [I(OP.EXIT)]})
+        assert any("uninitialized register r0" in e for e in report.errors)
+
+    def test_partial_path_initialization_rejected(self, builder):
+        # r1 set only on one branch, read after the join.
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=0, imm=0),
+            I(OP.JEQ_IMM, dst=0, imm=0, offset=1),
+            I(OP.MOV_IMM, dst=1, imm=5),
+            I(OP.MOV, dst=0, src=1),  # r1 maybe-uninitialized here
+            I(OP.EXIT),
+        ]})
+        assert any("uninitialized register r1" in e for e in report.errors)
+
+    def test_both_paths_initialized_accepted(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=0, imm=0),
+            I(OP.JEQ_IMM, dst=0, imm=0, offset=2),
+            I(OP.MOV_IMM, dst=1, imm=5),
+            I(OP.JMP, offset=1),
+            I(OP.MOV_IMM, dst=1, imm=6),
+            I(OP.MOV, dst=0, src=1),
+            I(OP.EXIT),
+        ]})
+        assert report.ok
+
+    def test_call_clobbers_arg_registers(self, builder, helpers):
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=1, imm=5),
+            I(OP.CALL, imm=1),
+            I(OP.MOV, dst=0, src=1),  # r1 clobbered by the call
+            I(OP.EXIT),
+        ]}, helpers=helpers)
+        assert any("uninitialized register r1" in e for e in report.errors)
+
+    def test_call_defines_r0(self, builder, helpers):
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=1, imm=5),
+            I(OP.CALL, imm=1),
+            I(OP.EXIT),  # r0 holds the helper result
+        ]}, helpers=helpers)
+        assert report.ok
+
+    def test_rejects_uninitialized_vector_read(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.VEC_ARGMAX, dst=0, src=2),
+            I(OP.EXIT),
+        ]})
+        assert any("vector register v2" in e for e in report.errors)
+
+
+class TestResourceResolution:
+    def test_rejects_bad_ctxt_field(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.LD_CTXT, dst=0, imm=9),
+            I(OP.EXIT),
+        ]})
+        assert any("field id 9" in e for e in report.errors)
+
+    def test_rejects_store_to_readonly(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=0, imm=1),
+            I(OP.ST_CTXT, src=0, imm=0),  # pid
+            I(OP.EXIT),
+        ]})
+        assert any("read-only" in e for e in report.errors)
+
+    def test_allows_store_to_writable(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=0, imm=1),
+            I(OP.ST_CTXT, src=0, imm=2),  # scratch
+            I(OP.EXIT),
+        ]})
+        assert report.ok
+
+    def test_rejects_unknown_map(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=1, imm=0),
+            I(OP.MAP_LOOKUP, dst=0, src=1, imm=9),
+            I(OP.EXIT),
+        ]})
+        assert any("unknown map id 9" in e for e in report.errors)
+
+    def test_rejects_hist_push_on_hash(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=1, imm=0),
+            I(OP.MOV_IMM, dst=2, imm=0),
+            I(OP.HIST_PUSH, dst=1, src=2, imm=0),  # map 0 is hash
+            I(OP.MOV_IMM, dst=0, imm=0),
+            I(OP.EXIT),
+        ]})
+        assert any("history map" in e for e in report.errors)
+
+    def test_rejects_vec_ld_hist_window_too_large(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=1, imm=0),
+            I(OP.VEC_LD_HIST, dst=0, src=1, offset=1, imm=20),  # depth 8
+            I(OP.MOV_IMM, dst=0, imm=0),
+            I(OP.EXIT),
+        ]})
+        assert any("window" in e for e in report.errors)
+
+    def test_rejects_unknown_tensor(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.VEC_ZERO, dst=0, imm=2),
+            I(OP.MAT_MUL, dst=1, src=0, imm=4),
+            I(OP.MOV_IMM, dst=0, imm=0),
+            I(OP.EXIT),
+        ]})
+        assert any("unknown tensor" in e for e in report.errors)
+
+    def test_rejects_unknown_tail_target(self, builder):
+        _, report = verify(builder, {"act": [I(OP.TAIL_CALL, imm=7)]})
+        assert any("unknown action" in e for e in report.errors)
+
+    def test_rejects_ungranted_helper(self, builder, helpers):
+        _, report = verify(builder, {"act": [
+            I(OP.CALL, imm=2),  # 'forbidden' not granted at test_hook
+            I(OP.EXIT),
+        ]}, helpers=helpers)
+        assert any("not granted" in e for e in report.errors)
+
+    def test_rejects_unregistered_helper(self, builder, helpers):
+        _, report = verify(builder, {"act": [
+            I(OP.CALL, imm=99),
+            I(OP.EXIT),
+        ]}, helpers=helpers)
+        assert any("unregistered" in e for e in report.errors)
+
+    def test_rejects_call_without_registry(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.CALL, imm=1),
+            I(OP.EXIT),
+        ]})
+        assert any("no helper registry" in e for e in report.errors)
+
+
+class TestShapeTracking:
+    def test_rejects_static_matmul_mismatch(self, builder):
+        builder.add_tensor(0, np.zeros((2, 3), dtype=np.int64))
+        _, report = verify(builder, {"act": [
+            I(OP.VEC_ZERO, dst=0, imm=4),  # length 4, tensor wants 3
+            I(OP.MAT_MUL, dst=1, src=0, imm=0),
+            I(OP.MOV_IMM, dst=0, imm=0),
+            I(OP.EXIT),
+        ]})
+        assert any("MAT_MUL shape mismatch" in e for e in report.errors)
+
+    def test_accepts_matching_matmul(self, builder):
+        builder.add_tensor(0, np.zeros((2, 3), dtype=np.int64))
+        _, report = verify(builder, {"act": [
+            I(OP.VEC_ZERO, dst=0, imm=3),
+            I(OP.MAT_MUL, dst=1, src=0, imm=0),
+            I(OP.MOV_IMM, dst=0, imm=0),
+            I(OP.EXIT),
+        ]})
+        assert report.ok
+
+    def test_rejects_static_vec_set_oob(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.VEC_ZERO, dst=0, imm=2),
+            I(OP.MOV_IMM, dst=1, imm=1),
+            I(OP.VEC_SET, dst=0, src=1, imm=5),
+            I(OP.MOV_IMM, dst=0, imm=0),
+            I(OP.EXIT),
+        ]})
+        assert any("out of bounds" in e for e in report.errors)
+
+    def test_rejects_vec_add_length_mismatch(self, builder):
+        builder.add_tensor(0, np.zeros(5, dtype=np.int64))
+        _, report = verify(builder, {"act": [
+            I(OP.VEC_ZERO, dst=0, imm=3),
+            I(OP.VEC_ADD, dst=0, imm=0),
+            I(OP.MOV_IMM, dst=0, imm=0),
+            I(OP.EXIT),
+        ]})
+        assert any("shape mismatch" in e for e in report.errors)
+
+    def test_vec_mov_propagates_shape(self, builder):
+        _, report = verify(builder, {"act": [
+            I(OP.VEC_ZERO, dst=0, imm=2),
+            I(OP.VEC_MOV, dst=1, src=0),
+            I(OP.MOV_IMM, dst=1, imm=1),
+            I(OP.VEC_SET, dst=1, src=1, imm=4),  # OOB through the copy
+            I(OP.MOV_IMM, dst=0, imm=0),
+            I(OP.EXIT),
+        ]})
+        assert any("out of bounds" in e for e in report.errors)
+
+    def test_conflicting_shapes_fall_back_to_runtime(self, builder):
+        """When two paths produce different lengths, the verifier cannot
+        statically check indices and must accept (runtime guards catch)."""
+        vmap = VectorMap("feats", width=6)
+        builder.add_map("feats", vmap)
+        _, report = verify(builder, {"act": [
+            I(OP.MOV_IMM, dst=0, imm=0),
+            I(OP.JEQ_IMM, dst=0, imm=0, offset=2),
+            I(OP.VEC_ZERO, dst=0, imm=2),
+            I(OP.JMP, offset=1),
+            I(OP.VEC_ZERO, dst=0, imm=6),
+            I(OP.SCALAR_VAL, dst=0, src=0, imm=4),  # legal on one path
+            I(OP.EXIT),
+        ]})
+        assert report.ok
+
+
+class TestTailCallGraph:
+    def test_rejects_tail_cycle(self, builder):
+        _, report = verify(builder, {
+            "a": [I(OP.TAIL_CALL, imm=1)],
+            "b": [I(OP.TAIL_CALL, imm=0)],
+        })
+        assert any("cycle" in e for e in report.errors)
+
+    def test_rejects_self_tail_call(self, builder):
+        _, report = verify(builder, {"a": [I(OP.TAIL_CALL, imm=0)]})
+        assert any("cycle" in e for e in report.errors)
+
+    def test_chain_expands_worst_case(self, builder):
+        _, report = verify(builder, {
+            "a": [I(OP.MOV_IMM, dst=0, imm=1), I(OP.TAIL_CALL, imm=1)],
+            "b": [I(OP.MOV_IMM, dst=0, imm=2), I(OP.EXIT)],
+        })
+        assert report.ok
+        assert report.worst_case_insns["a"] == 4  # 2 + 2 through the chain
+
+
+class TestModelAndMemoryBudgets:
+    def test_model_over_ops_budget_rejected(self, builder, trained_tree):
+        builder.add_model(0, trained_tree)
+        policy = AttachPolicy(
+            "test_hook", cost_budget=CostBudget(max_ops=0)
+        )
+        _, report = verify(builder, {"act": VALID}, policy=policy)
+        assert any("rejected" in e and "ops" in e for e in report.errors)
+
+    def test_model_within_budget_reported(self, builder, trained_tree):
+        builder.add_model(0, trained_tree)
+        _, report = verify(builder, {"act": VALID})
+        assert report.ok
+        assert 0 in report.model_costs
+
+    def test_memory_budget_enforced(self, builder):
+        policy = AttachPolicy(
+            "test_hook",
+            cost_budget=CostBudget(max_memory_bytes=64),
+        )
+        _, report = verify(builder, {"act": VALID}, policy=policy)
+        assert any("kernel memory" in e for e in report.errors)
+
+    def test_mlp_layer_budget(self, builder, quantized_mlp):
+        builder.add_model(0, quantized_mlp)
+        policy = AttachPolicy(
+            "test_hook",
+            cost_budget=CostBudget(max_layers=1,
+                                   max_memory_bytes=1 << 30),
+        )
+        _, report = verify(builder, {"act": VALID}, policy=policy)
+        assert any("layers" in e for e in report.errors)
+
+
+class TestTableChecks:
+    def test_entry_with_unknown_action_rejected(self, builder):
+        builder._pipeline.table("tab").insert_exact([1], "ghost")
+        _, report = verify(builder, {"act": VALID})
+        assert any("ghost" in e for e in report.errors)
+
+    def test_entry_with_unknown_model_rejected(self, builder):
+        builder._pipeline.table("tab").insert_exact([1], "act", ml=5)
+        _, report = verify(builder, {"act": VALID})
+        assert any("model id 5" in e for e in report.errors)
+
+    def test_default_action_must_exist(self, schema):
+        from repro.core import MatchActionTable, ProgramBuilder
+
+        b = ProgramBuilder("p", "test_hook", schema)
+        b.add_table(MatchActionTable("t", ["pid"], default_action="ghost"))
+        b.add_action(BytecodeProgram("act", VALID))
+        report = Verifier(AttachPolicy("test_hook")).verify(b.build())
+        assert any("default action" in e for e in report.errors)
+
+
+class TestGuardrails:
+    def test_policy_clamps_verdicts(self):
+        policy = AttachPolicy("h", verdict_min=0, verdict_max=4)
+        assert policy.clamp_verdict(-5) == 0
+        assert policy.clamp_verdict(2) == 2
+        assert policy.clamp_verdict(99) == 4
+
+    def test_guardrail_recorded_in_report(self, builder):
+        policy = AttachPolicy("test_hook", verdict_min=0, verdict_max=1)
+        _, report = verify(builder, {"act": VALID}, policy=policy)
+        assert report.guardrail == (0, 1)

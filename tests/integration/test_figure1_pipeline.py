@@ -1,0 +1,133 @@
+"""Integration: the Figure-1 lifecycle — DSL program → syscall_rmt →
+verifier → JIT → kernel ML — exactly the architecture diagram's flow."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dsl import compile_source
+from repro.core.errors import VerifierError
+from repro.core.verifier import AttachPolicy
+from repro.kernel.hooks import HookRegistry
+from repro.kernel.mm.rmt_prefetch import (
+    COLLECT_PROGRAM_DSL,
+    PREDICT_PROGRAM_DSL,
+    build_prefetch_schemas,
+)
+from repro.kernel.syscalls import RmtSyscallInterface
+from repro.ml.decision_tree import IntegerDecisionTree
+
+
+@pytest.fixture()
+def figure1_kernel():
+    """A kernel with the paper's two hooks declared."""
+    from repro.core.helpers import HelperRegistry
+    from repro.ml.cost_model import CostBudget
+
+    collect_schema, predict_schema = build_prefetch_schemas()
+    helpers = HelperRegistry()
+    sink = []
+    helpers.register(1, "pf_page", 1, lambda env, p: sink.append(p) or 1)
+    helpers.grant("swap_cluster_readahead", "pf_page")
+    hooks = HookRegistry(helpers)
+    hooks.declare("lookup_swap_cache", collect_schema,
+                  AttachPolicy("lookup_swap_cache"))
+    hooks.declare("swap_cluster_readahead", predict_schema,
+                  AttachPolicy("swap_cluster_readahead",
+                               verdict_min=0, verdict_max=8,
+                               cost_budget=CostBudget()))
+    return hooks, sink
+
+
+def _trained_delta_tree() -> IntegerDecisionTree:
+    """A tree that has learned 'the next delta equals the last delta'."""
+    rng = np.random.default_rng(0)
+    deltas = rng.integers(1, 5, size=600)
+    x = np.stack([deltas, deltas, deltas, deltas], axis=1)
+    return IntegerDecisionTree(max_depth=4).fit(x, deltas)
+
+
+class TestFigure1Lifecycle:
+    def test_paper_listing_compiles_verifies_and_runs(self, figure1_kernel):
+        hooks, sink = figure1_kernel
+        iface = RmtSyscallInterface(hooks)
+        collect_schema, predict_schema = (
+            hooks.hook("lookup_swap_cache").schema,
+            hooks.hook("swap_cluster_readahead").schema,
+        )
+        collect = compile_source(
+            COLLECT_PROGRAM_DSL, "page_access", "lookup_swap_cache",
+            collect_schema, helpers=hooks.helpers,
+        )
+        predict = compile_source(
+            PREDICT_PROGRAM_DSL, "page_prefetch", "swap_cluster_readahead",
+            predict_schema, helpers=hooks.helpers,
+            models={"dt_1": _trained_delta_tree()},
+        )
+        # Share the history map (the paper's single-program two-table
+        # layout, expressed as two programs + a pinned map).
+        shared = collect.map_by_name("hist")
+        predict.maps[predict.map_ids["hist"]] = shared
+
+        iface.install(collect, mode="jit")
+        iface.install(predict, mode="jit")
+
+        # Configure per-PID entries (the listing's a1/p1 entries).
+        cp = iface.control_plane
+        cp.add_entry("page_access", "page_access_tab", [56], "collect")
+        cp.add_entry("page_prefetch", "page_prefetch_tab", [56], "predict",
+                     pf_steps=4)
+
+        # Drive the datapath: stride-3 accesses, then a fault.
+        for page in (100, 103, 106, 109, 112, 115):
+            ctx = collect_schema.new_context(pid=56, page=page)
+            hooks.fire("lookup_swap_cache", ctx)
+        ctx = predict_schema.new_context(pid=56, fault_page=115)
+        verdict = hooks.fire("swap_cluster_readahead", ctx, helper_env=None)
+        # The tree predicts delta 3 each step: 4 prefetches issued.
+        assert verdict == 4
+        assert sink == [118, 121, 124, 127]
+
+    def test_unmatched_pid_takes_kernel_default_path(self, figure1_kernel):
+        hooks, sink = figure1_kernel
+        iface = RmtSyscallInterface(hooks)
+        collect_schema, predict_schema = (
+            hooks.hook("lookup_swap_cache").schema,
+            hooks.hook("swap_cluster_readahead").schema,
+        )
+        predict = compile_source(
+            PREDICT_PROGRAM_DSL, "page_prefetch", "swap_cluster_readahead",
+            predict_schema, helpers=hooks.helpers,
+            models={"dt_1": _trained_delta_tree()},
+        )
+        iface.install(predict, mode="interpret")
+        ctx = predict_schema.new_context(pid=99, fault_page=100)
+        assert hooks.fire("swap_cluster_readahead", ctx) is None
+        assert sink == []
+
+    def test_guardrail_clamps_runaway_prefetch(self, figure1_kernel):
+        """Section 3.3: 'if an RMT program aggressively prefetches disk
+        pages ... the verifier may insert additional logic to enforce
+        rate limits' — the verdict clamp is that logic."""
+        hooks, _ = figure1_kernel
+        policy = hooks.hook("swap_cluster_readahead").policy
+        assert policy.clamp_verdict(1000) == 8
+
+    def test_helper_not_granted_at_collect_hook(self, figure1_kernel):
+        """pf_page is granted at the readahead hook only; a collect-hook
+        program calling it must be rejected at install time."""
+        hooks, _ = figure1_kernel
+        iface = RmtSyscallInterface(hooks)
+        collect_schema = hooks.hook("lookup_swap_cache").schema
+        bad = compile_source(
+            """
+            table page_access_tab { match = pid; }
+            entry page_access_tab { pid = 1; action = naughty; }
+            action naughty() { return pf_page(123); }
+            """,
+            "naughty_prog", "lookup_swap_cache", collect_schema,
+            helpers=hooks.helpers,
+        )
+        with pytest.raises(VerifierError, match="not granted"):
+            iface.install(bad)

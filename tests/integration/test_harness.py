@@ -1,0 +1,152 @@
+"""The harness itself: ablation drivers, reporting, experiment plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.ablations import (
+    ablation_execution_tiers,
+    ablation_online_vs_offline,
+    ablation_privacy,
+    ablation_quantization,
+    ablation_verifier_latency,
+    build_reference_program,
+    verifier_rejection_taxonomy,
+)
+from repro.harness.prefetch_experiment import (
+    make_prefetcher,
+    run_prefetch_experiment,
+    table1_workloads,
+)
+from repro.harness.report import format_table
+from repro.harness.sched_experiment import (
+    SchedExperimentConfig,
+    collect_decision_dataset,
+    default_monitors,
+    select_lean_features,
+    train_migration_mlp,
+)
+from repro.kernel.sched.features import N_FEATURES
+
+
+class TestReportFormatting:
+    def test_plain_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # All rows equally wide (fixed-width columns).
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert "only" in text
+
+
+class TestPrefetchHarness:
+    def test_factory_names(self):
+        for name in ("none", "linux", "leap", "rmt-ml"):
+            assert make_prefetcher(name).name == name.replace("none", "none")
+        with pytest.raises(ValueError):
+            make_prefetcher("bogus")
+
+    def test_factory_overrides(self):
+        pf = make_prefetcher("rmt-ml", max_steps=2)
+        assert pf.max_steps == 2
+
+    def test_workload_scaling(self):
+        small = table1_workloads(scale=0.3)
+        full = table1_workloads(scale=1.0)
+        assert small[0].n_accesses < full[0].n_accesses
+
+    def test_experiment_grid_shape(self):
+        results = run_prefetch_experiment(
+            workloads=table1_workloads(scale=0.2),
+            prefetchers=("linux", "leap"),
+        )
+        assert len(results) == 4
+        assert {r.prefetcher for r in results} == {"linux", "leap"}
+
+
+class TestSchedHarness:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        config = SchedExperimentConfig(train_seeds=(0, 10))
+        return config, *collect_decision_dataset(config)
+
+    def test_corpus_shapes(self, corpus):
+        _, x, y, held_out = corpus
+        assert x.shape[1] == N_FEATURES
+        assert len(y) == len(x)
+        assert set(held_out) == {"Blackscholes", "Streamcluster",
+                                 "Fib Calculation", "Matrix Multiply"}
+
+    def test_corpus_has_both_classes(self, corpus):
+        _, _, y, _ = corpus
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_training_produces_high_mimicry(self, corpus):
+        config, x, y, _ = corpus
+        _, qmlp = train_migration_mlp(x, y, config)
+        assert float(np.mean(qmlp.predict(x.astype(np.float64)) == y)) > 0.97
+
+    def test_masked_training_zeroes_features(self, corpus):
+        config, x, y, _ = corpus
+        float_mlp, _ = train_migration_mlp(x, y, config, mask=[0, 1])
+        # Features outside the mask were zeroed during training, so the
+        # fitted standardization must see zero variance there.
+        assert float_mlp.feature_std_[5] == 1.0  # zero-var fallback
+
+    def test_lean_selection_returns_k(self, corpus):
+        config, x, y, _ = corpus
+        float_mlp, _ = train_migration_mlp(x, y, config)
+        selected = select_lean_features(float_mlp, x, y, config)
+        assert len(selected) == config.lean_features
+        assert len(set(selected)) == config.lean_features
+
+    def test_default_monitors_cover_features(self):
+        monitors = default_monitors()
+        assert {m.feature_index for m in monitors} == set(range(N_FEATURES))
+
+
+class TestAblationDrivers:
+    def test_tiers_returns_speedup(self):
+        row = ablation_execution_tiers(iterations=200)
+        assert row["speedup"] > 1.5
+        assert row["interp_us"] > row["jit_us"]
+
+    def test_reference_program_verified(self):
+        program, schema = build_reference_program()
+        assert program.verified
+        assert schema.has_field("pid")
+
+    def test_verifier_latency_rows(self):
+        rows = ablation_verifier_latency(sizes=(16, 64))
+        assert [r["instructions"] for r in rows] == [16, 64]
+        assert all(r["verify_ms"] > 0 for r in rows)
+
+    def test_rejection_taxonomy_complete(self):
+        cases = verifier_rejection_taxonomy()
+        assert {c["case"] for c in cases} >= {
+            "no_exit", "uninitialized_read", "bad_ctxt_field",
+            "readonly_store", "unknown_map", "ungranted_helper",
+            "unknown_model",
+        }
+        assert all(c["rejected"] for c in cases)
+
+    def test_online_vs_offline_has_three_arms(self):
+        rows = ablation_online_vs_offline(n_accesses=900)
+        assert {r["arm"] for r in rows} == {"offline-ml", "online-ml", "leap"}
+
+    def test_privacy_rows_monotone(self):
+        rows = ablation_privacy(epsilons=(0.5, 5.0),
+                                queries_per_epsilon=20)
+        assert rows[0]["mean_abs_error"] > rows[1]["mean_abs_error"]
+
+    def test_quantization_includes_float_ceiling(self):
+        config = SchedExperimentConfig(train_seeds=(0,), epochs=20)
+        rows = ablation_quantization(bit_widths=(8, 2), config=config)
+        assert all("float_accuracy_pct" in r for r in rows)
+        by_bits = {r["bits"]: r for r in rows}
+        assert by_bits[8]["agreement_pct"] >= by_bits[2]["agreement_pct"]

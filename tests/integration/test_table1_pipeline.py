@@ -1,0 +1,86 @@
+"""Integration: a scaled-down Table-1 run must reproduce the paper's shape.
+
+These use reduced trace sizes so the whole file stays in CI time; the
+full-scale run lives in ``benchmarks/bench_table1_prefetch.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.prefetch_experiment import (
+    PAPER_TABLE1,
+    make_prefetcher,
+    run_trace,
+)
+from repro.kernel.storage import RemoteMemoryModel
+from repro.workloads.matrix_conv import matrix_conv_trace
+from repro.workloads.video_resize import video_resize_trace
+
+
+@pytest.fixture(scope="module")
+def conv_results():
+    trace = matrix_conv_trace(matrix_rows=48)
+    return {
+        name: run_trace(trace, make_prefetcher(name),
+                        RemoteMemoryModel(), cache_pages=18)
+        for name in ("linux", "leap", "rmt-ml")
+    }
+
+
+@pytest.fixture(scope="module")
+def video_results():
+    trace = video_resize_trace(n_frames=6)
+    return {
+        name: run_trace(trace, make_prefetcher(name),
+                        RemoteMemoryModel(), cache_pages=48)
+        for name in ("linux", "leap", "rmt-ml")
+    }
+
+
+class TestConvShape:
+    def test_accuracy_ordering(self, conv_results):
+        """Paper: Linux 12.5 < Leap 48.9 < Ours 92.9."""
+        r = conv_results
+        assert r["linux"].accuracy_pct < r["leap"].accuracy_pct
+        assert r["leap"].accuracy_pct < r["rmt-ml"].accuracy_pct
+
+    def test_ml_coverage_dominates(self, conv_results):
+        r = conv_results
+        assert r["rmt-ml"].coverage_pct > r["leap"].coverage_pct
+        assert r["rmt-ml"].coverage_pct > r["linux"].coverage_pct
+
+    def test_ml_fastest_jct(self, conv_results):
+        r = conv_results
+        assert r["rmt-ml"].jct_s < r["leap"].jct_s
+        assert r["rmt-ml"].jct_s < r["linux"].jct_s
+
+    def test_ml_absolute_quality(self, conv_results):
+        assert conv_results["rmt-ml"].accuracy_pct > 80
+        assert conv_results["rmt-ml"].coverage_pct > 80
+
+
+class TestVideoShape:
+    def test_accuracy_ordering(self, video_results):
+        """Paper: Linux 40.7 < Leap 45.4 < Ours 78.9."""
+        r = video_results
+        assert r["linux"].accuracy_pct < r["leap"].accuracy_pct
+        assert r["leap"].accuracy_pct < r["rmt-ml"].accuracy_pct
+
+    def test_ml_best_coverage_and_jct(self, video_results):
+        r = video_results
+        assert r["rmt-ml"].coverage_pct >= r["leap"].coverage_pct
+        assert r["rmt-ml"].jct_s <= r["linux"].jct_s
+
+
+class TestOnlineArchitecture:
+    def test_models_actually_pushed_during_run(self, conv_results):
+        extra = conv_results["rmt-ml"].extra
+        assert extra["models_pushed"] >= 1
+        assert extra["trainer_generation"] >= 1
+
+    def test_paper_reference_is_complete(self):
+        for workload, cells in PAPER_TABLE1.items():
+            assert set(cells) == {"linux", "leap", "rmt-ml"}
+            for metrics in cells.values():
+                assert {"accuracy", "coverage", "jct_s"} <= set(metrics)

@@ -1,0 +1,156 @@
+"""The CFS-style scheduler: fairness, balancing, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.sched.cfs import CfsScheduler
+from repro.kernel.sched.loadbalance import CfsMigrationHeuristic, DecisionRecorder
+from repro.kernel.sched.task import NICE_0_WEIGHT, Task, TaskSpec
+from repro.kernel.sim import NS_PER_MS
+
+
+def specs(n, work_ms=20, origin=0, spacing_ns=0):
+    return [
+        TaskSpec(name=f"t{i}", arrival_ns=i * spacing_ns,
+                 work_ns=work_ms * NS_PER_MS, origin_cpu=origin)
+        for i in range(n)
+    ]
+
+
+class TestTaskModel:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            TaskSpec("t", 0, work_ns=0)
+        with pytest.raises(ValueError):
+            TaskSpec("t", -1, work_ns=10)
+        with pytest.raises(ValueError):
+            TaskSpec("t", 0, work_ns=10, weight=0)
+
+    def test_charge_updates_vruntime_by_weight(self):
+        heavy = Task(1, "h", work_ns=100, weight=2 * NICE_0_WEIGHT)
+        light = Task(2, "l", work_ns=100, weight=NICE_0_WEIGHT)
+        heavy.charge(100)
+        light.charge(100)
+        assert heavy.vruntime_ns == 50
+        assert light.vruntime_ns == 100
+
+    def test_jct(self):
+        task = Task(1, "t", work_ns=10, arrival_ns=100)
+        assert task.jct_ns is None
+        task.finish_ns = 250
+        assert task.jct_ns == 150
+
+
+class TestSingleCpu:
+    def test_single_task_runs_to_completion(self):
+        sched = CfsScheduler(n_cpus=1)
+        task = sched.submit(TaskSpec("t", 0, 10 * NS_PER_MS))
+        stats = sched.run()
+        assert task.state == "done"
+        assert stats.makespan_ns == 10 * NS_PER_MS
+
+    def test_two_tasks_serialize(self):
+        sched = CfsScheduler(n_cpus=1)
+        sched.submit_all(specs(2, work_ms=10))
+        stats = sched.run()
+        assert stats.makespan_ns == 20 * NS_PER_MS
+
+    def test_fairness_interleaves(self):
+        """With two equal tasks, neither finishes a timeslice before the
+        other gets one: finish times must be within one slice."""
+        sched = CfsScheduler(n_cpus=1, timeslice_ns=2 * NS_PER_MS)
+        tasks = sched.submit_all(specs(2, work_ms=10))
+        sched.run()
+        gap = abs(tasks[0].finish_ns - tasks[1].finish_ns)
+        assert gap <= 2 * NS_PER_MS
+
+    def test_weighted_task_finishes_first(self):
+        sched = CfsScheduler(n_cpus=1, timeslice_ns=1 * NS_PER_MS)
+        light = sched.submit(TaskSpec("light", 0, 10 * NS_PER_MS))
+        heavy = sched.submit(TaskSpec("heavy", 0, 10 * NS_PER_MS,
+                                      weight=4 * NICE_0_WEIGHT))
+        sched.run()
+        assert heavy.finish_ns < light.finish_ns
+
+
+class TestMultiCpuBalancing:
+    def test_fanout_spreads_across_cpus(self):
+        sched = CfsScheduler(n_cpus=4, balance_interval_ns=2 * NS_PER_MS)
+        sched.submit_all(specs(8, work_ms=40, origin=0))
+        stats = sched.run()
+        assert stats.migrations >= 6  # 8 tasks on cpu0 must spread out
+        # Ideal makespan is 80ms; without balancing it would be 320ms.
+        assert stats.makespan_ns < 150 * NS_PER_MS
+
+    def test_no_balancing_without_imbalance(self):
+        sched = CfsScheduler(n_cpus=4)
+        for cpu in range(4):
+            sched.submit(TaskSpec(f"t{cpu}", 0, 20 * NS_PER_MS,
+                                  origin_cpu=cpu))
+        stats = sched.run()
+        assert stats.migrations == 0
+
+    def test_decisions_recorded(self):
+        recorder = DecisionRecorder()
+        sched = CfsScheduler(n_cpus=4, decision_recorder=recorder,
+                             balance_interval_ns=2 * NS_PER_MS)
+        sched.submit_all(specs(12, work_ms=30))
+        sched.run()
+        x, y = recorder.dataset()
+        assert x.shape[0] == len(recorder)
+        assert x.shape[1] == 15
+        assert set(y.tolist()) <= {0, 1}
+
+    def test_custom_decision_function_consulted(self):
+        calls = []
+
+        def never_migrate(features):
+            calls.append(1)
+            return False
+
+        sched = CfsScheduler(n_cpus=2, migrate_decision=never_migrate,
+                             balance_interval_ns=2 * NS_PER_MS)
+        sched.submit_all(specs(6, work_ms=20))
+        stats = sched.run()
+        assert calls  # the policy was consulted
+        assert stats.migrations == 0
+
+    def test_never_migrate_hurts_makespan(self):
+        def run_with(decision):
+            sched = CfsScheduler(n_cpus=4, migrate_decision=decision,
+                                 balance_interval_ns=2 * NS_PER_MS)
+            sched.submit_all(specs(8, work_ms=40))
+            return sched.run().makespan_ns
+
+        heuristic = run_with(CfsMigrationHeuristic())
+        frozen = run_with(lambda f: False)
+        assert heuristic < frozen
+
+    def test_deterministic(self):
+        def run_once():
+            sched = CfsScheduler(n_cpus=4)
+            sched.submit_all(specs(10, work_ms=25, spacing_ns=100_000))
+            return sched.run().makespan_ns
+
+        assert run_once() == run_once()
+
+    def test_unfinished_tasks_detected(self):
+        sched = CfsScheduler(n_cpus=1)
+        sched.submit(TaskSpec("t", 0, 1000 * NS_PER_MS))
+        with pytest.raises(RuntimeError, match="unfinished"):
+            sched.run(max_events=3)
+
+    def test_stats_totals(self):
+        sched = CfsScheduler(n_cpus=2)
+        sched.submit_all(specs(3, work_ms=10))
+        stats = sched.run()
+        assert stats.n_tasks == 3
+        assert stats.total_jct_ns > 0
+        assert len(stats.per_task_jct_ns) == 3
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            CfsScheduler(n_cpus=0)
+        with pytest.raises(ValueError):
+            CfsScheduler(timeslice_ns=0)

@@ -1,0 +1,117 @@
+"""Feature extraction and the CFS migration heuristic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernel.sched.features import F, FEATURE_NAMES, N_FEATURES, extract_features
+from repro.kernel.sched.loadbalance import CfsMigrationHeuristic, DecisionRecorder
+from repro.kernel.sched.task import Task
+
+
+def make_features(**overrides) -> np.ndarray:
+    """A migratable-by-default feature vector, overridable per test."""
+    task = Task(1, "t", work_ns=1000)
+    task.last_cpu = 0
+    task.last_ran_end_ns = 0
+    defaults = dict(
+        now_ns=100_000_000, task=task, src_cpu=0, dst_cpu=1,
+        src_nr=5, dst_nr=1, src_load=5 * 1024, dst_load=1024,
+        imbalance=2048, src_min_vruntime_ns=0, nr_balance_failed=0,
+        dst_idle=False,
+    )
+    defaults.update(overrides)
+    return extract_features(**defaults)
+
+
+class TestFeatureExtraction:
+    def test_fifteen_features(self):
+        assert N_FEATURES == 15
+        assert len(FEATURE_NAMES) == 15
+        assert make_features().shape == (15,)
+
+    def test_indices_match_names(self):
+        assert FEATURE_NAMES[F.TASK_SINCE_RAN_US] == "task_since_ran_us"
+        assert FEATURE_NAMES[F.NR_BALANCE_FAILED] == "nr_balance_failed"
+
+    def test_time_features_in_microseconds(self):
+        f = make_features(now_ns=5_000_000)
+        assert f[F.TASK_SINCE_RAN_US] == 5_000
+
+    def test_time_features_capped(self):
+        f = make_features(now_ns=10**12)
+        assert f[F.TASK_SINCE_RAN_US] == 1_000_000
+
+    def test_on_src_before_flag(self):
+        task = Task(1, "t", work_ns=1000)
+        task.last_cpu = 3
+        f = make_features(task=task, src_cpu=3)
+        assert f[F.TASK_ON_SRC_BEFORE] == 1
+        f = make_features(task=task, src_cpu=0)
+        assert f[F.TASK_ON_SRC_BEFORE] == 0
+
+    def test_load_diff_signed(self):
+        f = make_features(src_load=100, dst_load=500)
+        assert f[F.LOAD_DIFF] == -400
+
+    def test_dst_idle_flag(self):
+        assert make_features(dst_idle=True)[F.DST_IDLE] == 1
+
+    def test_integer_dtype(self):
+        assert make_features().dtype == np.int64
+
+
+class TestHeuristic:
+    def test_migrates_cold_task_under_imbalance(self):
+        assert CfsMigrationHeuristic()(make_features())
+
+    def test_rejects_cache_hot(self):
+        task = Task(1, "t", work_ns=1000)
+        task.last_cpu = 0
+        task.last_ran_end_ns = 99_900_000  # ran 0.1ms ago on src
+        f = make_features(task=task)
+        assert not CfsMigrationHeuristic(hot_us=2_000)(f)
+
+    def test_hotness_relaxed_after_failures(self):
+        task = Task(1, "t", work_ns=1000)
+        task.last_cpu = 0
+        task.last_ran_end_ns = 99_900_000
+        f = make_features(task=task, nr_balance_failed=5)
+        assert CfsMigrationHeuristic(hot_us=2_000, failed_relax=3)(f)
+
+    def test_rejects_imbalance_inversion(self):
+        f = make_features(src_nr=2, dst_nr=2)
+        assert not CfsMigrationHeuristic()(f)
+
+    def test_rejects_oversized_task(self):
+        f = make_features(imbalance=100)  # task weight 1024 > 2*100
+        assert not CfsMigrationHeuristic()(f)
+
+    def test_pure_function_of_features(self):
+        f = make_features()
+        heuristic = CfsMigrationHeuristic()
+        assert heuristic(f) == heuristic(f.copy())
+
+
+class TestDecisionRecorder:
+    def test_records_pairs(self):
+        recorder = DecisionRecorder()
+        f = make_features()
+        recorder.record(f, True)
+        recorder.record(f, False)
+        x, y = recorder.dataset()
+        assert x.shape == (2, 15)
+        assert y.tolist() == [1, 0]
+
+    def test_copies_features(self):
+        recorder = DecisionRecorder()
+        f = make_features()
+        recorder.record(f, True)
+        f[0] = -999
+        x, _ = recorder.dataset()
+        assert x[0, 0] != -999
+
+    def test_empty_dataset(self):
+        x, y = DecisionRecorder().dataset()
+        assert x.size == 0 and y.size == 0

@@ -1,0 +1,106 @@
+"""Hook registry and the syscall installation boundary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.errors import ControlPlaneError, VerifierError
+from repro.core.isa import Opcode
+from repro.core.program import ProgramBuilder
+from repro.core.tables import MatchActionTable
+from repro.core.verifier import AttachPolicy
+from repro.kernel.hooks import HookRegistry
+from repro.kernel.syscalls import RmtSyscallInterface
+
+I = Instruction
+OP = Opcode
+
+
+def make_program(schema, name="prog", verdict=7):
+    builder = ProgramBuilder(name, "test_hook", schema)
+    table = builder.add_table(MatchActionTable("tab", ["pid"]))
+    builder.add_action(BytecodeProgram("act", [
+        I(OP.MOV_IMM, dst=0, imm=verdict), I(OP.EXIT)]))
+    table.insert_exact([5], "act")
+    return builder.build()
+
+
+@pytest.fixture()
+def hooks(schema) -> HookRegistry:
+    registry = HookRegistry()
+    registry.declare("test_hook", schema, AttachPolicy("test_hook"))
+    return registry
+
+
+class TestHookRegistry:
+    def test_declare_and_fire_without_programs(self, hooks, schema):
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) is None
+        assert hooks.hook("test_hook").fires == 1
+
+    def test_duplicate_declare_rejected(self, hooks, schema):
+        with pytest.raises(ValueError):
+            hooks.declare("test_hook", schema, AttachPolicy("test_hook"))
+
+    def test_policy_name_must_match(self, schema):
+        registry = HookRegistry()
+        with pytest.raises(ValueError):
+            registry.declare("h1", schema, AttachPolicy("other"))
+
+    def test_unknown_hook(self, hooks, schema):
+        with pytest.raises(KeyError):
+            hooks.fire("ghost", schema.new_context())
+
+    def test_names(self, hooks):
+        assert hooks.names == ["test_hook"]
+
+
+class TestSyscallInstall:
+    def test_install_and_fire(self, hooks, schema):
+        iface = RmtSyscallInterface(hooks)
+        result = iface.install(make_program(schema), mode="interpret")
+        assert result.attach_point == "test_hook"
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) == 7
+        assert iface.installs == 1
+
+    def test_bytecode_round_trips_through_words(self, hooks, schema):
+        """The installed program is the decoded serialized form."""
+        program = make_program(schema)
+        original_action = program.actions["act"]
+        iface = RmtSyscallInterface(hooks)
+        iface.install(program, mode="interpret")
+        installed = iface.datapath("prog").program.actions["act"]
+        assert installed is not original_action
+        assert installed.instructions == original_action.instructions
+
+    def test_unknown_hook_rejected(self, schema):
+        iface = RmtSyscallInterface(HookRegistry())
+        with pytest.raises(ControlPlaneError, match="unknown hook"):
+            iface.install(make_program(schema))
+
+    def test_rejection_counted(self, hooks, schema):
+        builder = ProgramBuilder("bad", "test_hook", schema)
+        builder.add_table(MatchActionTable("tab", ["pid"]))
+        builder.add_action(BytecodeProgram("act", [I(OP.EXIT)]))  # r0 uninit
+        iface = RmtSyscallInterface(hooks)
+        with pytest.raises(VerifierError):
+            iface.install(builder.build())
+        assert iface.rejections == 1
+        assert iface.installs == 0
+
+    def test_uninstall_detaches(self, hooks, schema):
+        iface = RmtSyscallInterface(hooks)
+        iface.install(make_program(schema), mode="interpret")
+        iface.uninstall("prog")
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) is None
+
+    def test_multiple_programs_last_verdict_wins(self, hooks, schema):
+        iface = RmtSyscallInterface(hooks)
+        iface.install(make_program(schema, "p1", verdict=1), mode="interpret")
+        iface.install(make_program(schema, "p2", verdict=2), mode="interpret")
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) == 2
+
+    def test_jit_mode_end_to_end(self, hooks, schema):
+        iface = RmtSyscallInterface(hooks)
+        iface.install(make_program(schema), mode="jit")
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) == 7

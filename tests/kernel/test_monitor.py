@@ -1,0 +1,59 @@
+"""Monitoring plans and overhead accounting (lean monitoring substrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.monitor import KernelMonitor, MonitoringPlan, MonitorSpec
+
+
+def _monitors():
+    return [
+        MonitorSpec("cheap", 0, cost_ns=10),
+        MonitorSpec("mid", 1, cost_ns=50),
+        MonitorSpec("invasive", 2, cost_ns=100, induced_ns=400),
+    ]
+
+
+class TestMonitoringPlan:
+    def test_all_enabled(self):
+        plan = MonitoringPlan.all_enabled(_monitors())
+        assert plan.n_enabled == 3
+        assert plan.cost_per_sample_ns() == 10 + 50 + 500
+
+    def test_lean_keeps_selected(self):
+        plan = MonitoringPlan.lean(_monitors(), [0])
+        assert plan.is_enabled(0)
+        assert not plan.is_enabled(2)
+        assert plan.cost_per_sample_ns() == 10
+
+    def test_lean_unknown_feature_rejected(self):
+        with pytest.raises(ValueError):
+            MonitoringPlan.lean(_monitors(), [7])
+
+    def test_dropping_invasive_monitor_saves_most(self):
+        full = MonitoringPlan.all_enabled(_monitors())
+        lean = MonitoringPlan.lean(_monitors(), [0, 1])
+        saving = 1 - lean.cost_per_sample_ns() / full.cost_per_sample_ns()
+        assert saving > 0.85  # the induced-degradation monitor dominates
+
+
+class TestKernelMonitor:
+    def test_disabled_features_zeroed(self):
+        monitor = KernelMonitor(MonitoringPlan.lean(_monitors(), [1]))
+        out = monitor.sample([7.0, 8.0, 9.0])
+        assert out == [0.0, 8.0, 0.0]
+
+    def test_overhead_accrues(self):
+        monitor = KernelMonitor(MonitoringPlan.all_enabled(_monitors()))
+        for _ in range(5):
+            monitor.sample([1.0, 2.0, 3.0])
+        assert monitor.samples == 5
+        assert monitor.overhead_ns == 5 * 560
+
+    def test_stats(self):
+        monitor = KernelMonitor(MonitoringPlan.lean(_monitors(), [0]))
+        monitor.sample([1.0, 2.0, 3.0])
+        stats = monitor.stats()
+        assert stats == {"samples": 1, "overhead_ns": 10,
+                         "enabled_monitors": 1, "cost_per_sample_ns": 10}

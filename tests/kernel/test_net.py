@@ -1,0 +1,166 @@
+"""The NIC receive path and coalescing policies (extension subsystem)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.net.coalesce import FixedPolicy, ImmediatePolicy, RmtMlCoalescer
+from repro.kernel.net.device import NicDevice, Packet
+from repro.kernel.sim import NS_PER_US, Simulator
+from repro.workloads.netflows import mixed_flows
+
+
+def run(policy, packets, **nic_kwargs):
+    sim = Simulator()
+    nic = NicDevice(sim, policy, **nic_kwargs)
+    nic.submit_all(packets)
+    return nic.run()
+
+
+def burst(flow, start_us, n, gap_us):
+    return [Packet(flow=flow, arrival_ns=(start_us + i * gap_us) * NS_PER_US)
+            for i in range(n)]
+
+
+class TestNicDevice:
+    def test_immediate_one_interrupt_per_packet(self):
+        stats = run(ImmediatePolicy(), burst(1, 0, 10, 50))
+        assert stats.interrupts == 10
+        assert stats.packets == 10
+
+    def test_fixed_batches_a_burst(self):
+        stats = run(FixedPolicy(holdoff_us=64), burst(1, 0, 10, 4))
+        # 10 packets over 36us fit in one 64us holdoff.
+        assert stats.interrupts == 1
+        assert stats.packets_per_interrupt == 10
+
+    def test_latency_includes_holdoff_and_irq_cost(self):
+        stats = run(FixedPolicy(holdoff_us=10), burst(1, 0, 1, 0),
+                    irq_cost_ns=2_000)
+        assert stats.latencies_ns == [10 * NS_PER_US + 2_000]
+
+    def test_max_frames_forces_interrupt(self):
+        stats = run(FixedPolicy(holdoff_us=500), burst(1, 0, 20, 1),
+                    max_frames=8)
+        assert stats.forced_interrupts >= 2
+        assert stats.interrupts >= 2
+
+    def test_zero_verdict_preempts_pending_timer(self):
+        class RpcAware:
+            name = "test"
+
+            def holdoff_us(self, flow, now_ns, queue_len):
+                return 0 if flow == 2 else 100
+
+        packets = burst(1, 0, 4, 2) + [Packet(flow=2, arrival_ns=10 * NS_PER_US)]
+        stats = run(RpcAware(), packets)
+        # The flow-2 packet flushed the batch immediately at t=10us.
+        rpc_latency = stats.latencies_by_flow[2][0]
+        assert rpc_latency <= 8_000 + 1_000  # irq cost + slack
+
+    def test_trailing_queue_flushed_at_run_end(self):
+        stats = run(FixedPolicy(holdoff_us=500), burst(1, 0, 3, 1))
+        assert stats.packets == 3
+        assert len(stats.latencies_ns) == 3
+
+    def test_holdoff_clamped_to_max(self):
+        stats = run(FixedPolicy(holdoff_us=10_000), burst(1, 0, 1, 0),
+                    max_holdoff_us=50)
+        assert stats.latencies_ns[0] <= 50 * NS_PER_US + 8_000
+
+    def test_per_flow_latency_accounting(self):
+        packets = burst(1, 0, 2, 5) + burst(2, 100, 2, 5)
+        stats = run(ImmediatePolicy(), packets)
+        assert set(stats.latencies_by_flow) == {1, 2}
+        assert stats.flow_mean_latency_us([1]) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NicDevice(Simulator(), ImmediatePolicy(), max_frames=0)
+        with pytest.raises(ValueError):
+            FixedPolicy(holdoff_us=-1)
+
+
+class TestMixedFlows:
+    def test_classes_partition_flows(self):
+        packets, classes = mixed_flows(duration_ms=10)
+        all_flows = {p.flow for p in packets}
+        classified = set().union(*classes.values())
+        assert all_flows == classified
+        assert not set(classes["bulk"]) & set(classes["latency"])
+
+    def test_sorted_by_arrival(self):
+        packets, _ = mixed_flows(duration_ms=10)
+        arrivals = [p.arrival_ns for p in packets]
+        assert arrivals == sorted(arrivals)
+
+    def test_bulk_flows_are_bursty(self):
+        packets, classes = mixed_flows(duration_ms=20)
+        bulk_flow = classes["bulk"][0]
+        gaps = []
+        prev = None
+        for p in packets:
+            if p.flow == bulk_flow:
+                if prev is not None:
+                    gaps.append((p.arrival_ns - prev) // NS_PER_US)
+                prev = p.arrival_ns
+        assert min(gaps) <= 5      # intra-burst
+        assert max(gaps) >= 400    # think time
+
+    def test_deterministic(self):
+        a, _ = mixed_flows(duration_ms=10, seed=4)
+        b, _ = mixed_flows(duration_ms=10, seed=4)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mixed_flows(duration_ms=0)
+
+
+class TestRmtMlCoalescer:
+    def test_installs_and_verifies(self):
+        policy = RmtMlCoalescer(mode="interpret")
+        assert policy.syscalls.control_plane.installed == ["rmt_net_rx"]
+
+    def test_first_packets_deliver_immediately(self):
+        policy = RmtMlCoalescer(mode="interpret")
+        assert policy.holdoff_us(1, 0, 1) == 0
+
+    def test_learns_burst_flow(self):
+        policy = RmtMlCoalescer(mode="interpret", retrain_every=64)
+        # Feed a long regular burst train so the tree learns gap=4.
+        now = 0
+        verdicts = []
+        for i in range(400):
+            verdicts.append(policy.holdoff_us(1, now, 1))
+            now += 4 * NS_PER_US
+        assert policy.models_pushed >= 1
+        # After training, bursty arrivals earn a batching holdoff.
+        assert verdicts[-1] > 0
+
+    def test_sparse_flow_stays_immediate(self):
+        policy = RmtMlCoalescer(mode="interpret", retrain_every=64)
+        now = 0
+        for _ in range(300):
+            verdict = policy.holdoff_us(2, now, 1)
+            now += 700 * NS_PER_US  # sparse RPC cadence
+        assert verdict == 0
+
+    def test_guardrail_bounds_verdict(self):
+        policy = RmtMlCoalescer(mode="interpret")
+        hook_policy = policy.hooks.hook("net_rx").policy
+        assert hook_policy.verdict_max == 500
+
+
+class TestPolicyComparison:
+    def test_learned_reaches_the_unreachable_corner(self):
+        """RPC latency near immediate's AND interrupt rate far below it."""
+        from repro.harness.net_experiment import run_net_experiment
+
+        rows = {r.policy: r for r in run_net_experiment(duration_ms=40)}
+        immediate = rows["immediate"]
+        fixed = rows["fixed-64us"]
+        ml = rows["rmt-ml"]
+        assert ml.rpc_latency_us < fixed.rpc_latency_us / 2
+        assert ml.interrupts_per_kpkt < immediate.interrupts_per_kpkt / 2
+        assert ml.irq_cpu_ms < immediate.irq_cpu_ms / 2

@@ -1,0 +1,203 @@
+"""Page cache residency/eviction and the swap fault path accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.mm.page_cache import PageCache
+from repro.kernel.mm.prefetch import NullPrefetcher, Prefetcher
+from repro.kernel.mm.swap import SwapSubsystem
+from repro.kernel.mm.vma import AddressSpace, Region
+from repro.kernel.storage import RemoteMemoryModel, SsdModel
+
+
+class TestAddressSpace:
+    def test_regions_do_not_overlap(self):
+        space = AddressSpace(pid=1)
+        a = space.map_region("a", 100)
+        b = space.map_region("b", 100)
+        assert b.start_page >= a.end_page + space.guard_pages
+
+    def test_page_addressing(self):
+        region = Region("r", start_page=1000, n_pages=10)
+        assert region.page(0) == 1000
+        assert region.page(9) == 1009
+        with pytest.raises(IndexError):
+            region.page(10)
+
+    def test_byte_to_page(self):
+        region = Region("r", start_page=1000, n_pages=10)
+        assert region.byte_to_page(0) == 1000
+        assert region.byte_to_page(4096) == 1001
+
+    def test_duplicate_region_rejected(self):
+        space = AddressSpace(pid=1)
+        space.map_region("a", 10)
+        with pytest.raises(ValueError):
+            space.map_region("a", 10)
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError):
+            AddressSpace(pid=1).region("ghost")
+
+    def test_totals(self):
+        space = AddressSpace(pid=1)
+        space.map_region("a", 10)
+        space.map_region("b", 5)
+        assert space.total_pages == 15
+        assert space.region_names == ["a", "b"]
+
+
+class TestPageCache:
+    def test_insert_and_get(self):
+        cache = PageCache(4)
+        cache.insert(1, 100, ready_time=10)
+        info = cache.get(1, 100)
+        assert info.ready_time == 10
+        assert not info.prefetched
+
+    def test_lru_eviction_order(self):
+        cache = PageCache(2)
+        cache.insert(1, 100, 0)
+        cache.insert(1, 101, 0)
+        cache.get(1, 100)  # refresh
+        cache.insert(1, 102, 0)  # evicts 101
+        assert (1, 100) in cache and (1, 102) in cache
+        assert (1, 101) not in cache
+        assert cache.evictions == 1
+
+    def test_wasted_prefetch_counted(self):
+        cache = PageCache(1)
+        cache.insert(1, 100, 0, prefetched=True)
+        cache.insert(1, 101, 0)  # evicts the unused prefetch
+        assert cache.wasted_prefetches == 1
+
+    def test_used_prefetch_not_wasted(self):
+        cache = PageCache(1)
+        info = cache.insert(1, 100, 0, prefetched=True)
+        info.used = True
+        cache.insert(1, 101, 0)
+        assert cache.wasted_prefetches == 0
+
+    def test_demand_reinsert_keeps_earlier_ready_time(self):
+        cache = PageCache(4)
+        cache.insert(1, 100, ready_time=50, prefetched=True)
+        info = cache.insert(1, 100, ready_time=90)
+        assert info.ready_time == 50
+        assert info.prefetched  # provenance preserved
+
+    def test_drop_pid(self):
+        cache = PageCache(8)
+        cache.insert(1, 100, 0, prefetched=True)
+        cache.insert(2, 100, 0)
+        assert cache.drop_pid(1) == 1
+        assert (2, 100) in cache
+        assert cache.wasted_prefetches == 1
+
+    def test_resident_pages_sorted(self):
+        cache = PageCache(8)
+        for page in (5, 3, 9):
+            cache.insert(1, page, 0)
+        assert cache.resident_pages(1) == [3, 5, 9]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PageCache(0)
+
+
+class _FixedPrefetcher(Prefetcher):
+    """Prefetches a fixed offset list after every fault."""
+
+    name = "fixed"
+
+    def __init__(self, offsets):
+        self.offsets = offsets
+
+    def on_access(self, pid, page, now, was_fault, prefetch_hit=False):
+        return [page + k for k in self.offsets] if was_fault else []
+
+
+class TestSwapSubsystem:
+    def test_fault_then_hit(self):
+        swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=16)
+        first = swap.access(1, 100, 0)
+        assert first.kind == "fault"
+        second = swap.access(1, 100, first.available_at)
+        assert second.kind == "hit"
+        assert swap.stats.demand_faults == 1
+        assert swap.stats.hits == 1
+
+    def test_prefetch_hit_counts_coverage(self):
+        swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=16,
+                             prefetcher=_FixedPrefetcher([1]))
+        r = swap.access(1, 100, 0)       # fault; prefetches 101
+        r2 = swap.access(1, 101, r.available_at + 100_000)
+        assert r2.kind == "hit"
+        assert swap.stats.prefetch_used == 1
+        assert swap.stats.coverage == 0.5  # 1 covered, 1 demand fault
+
+    def test_late_prefetch_counted_and_stalls(self):
+        swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=16,
+                             prefetcher=_FixedPrefetcher([1]))
+        r = swap.access(1, 100, 0)
+        # Access the prefetched page immediately — still in flight.
+        r2 = swap.access(1, 101, r.available_at)
+        assert r2.kind == "late"
+        assert r2.stall_ns > 0
+        assert swap.stats.late_hits == 1
+        assert swap.stats.prefetch_used == 1
+
+    def test_accuracy_counts_used_over_issued(self):
+        swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=16,
+                             prefetcher=_FixedPrefetcher([1, 50]))
+        r = swap.access(1, 100, 0)  # prefetches 101 and 150
+        swap.access(1, 101, r.available_at + 1_000_000)
+        assert swap.stats.prefetch_issued == 2
+        assert swap.stats.prefetch_accuracy == 0.5
+
+    def test_already_cached_pages_not_reissued(self):
+        swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=16,
+                             prefetcher=_FixedPrefetcher([1]))
+        r1 = swap.access(1, 100, 0)          # prefetch 101
+        r2 = swap.access(1, 200, r1.available_at)  # prefetch 201
+        swap.access(1, 100, r2.available_at)  # hit; no new prefetch
+        assert swap.stats.prefetch_issued == 2
+
+    def test_negative_prefetch_pages_filtered(self):
+        swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=16,
+                             prefetcher=_FixedPrefetcher([-200]))
+        swap.access(1, 100, 0)
+        assert swap.stats.prefetch_issued == 0
+
+    def test_batch_limit(self):
+        swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=512,
+                             prefetcher=_FixedPrefetcher(range(1, 200)),
+                             max_prefetch_batch=64)
+        swap.access(1, 100, 0)
+        assert swap.stats.prefetch_issued == 64
+
+    def test_process_exit_drops_pages(self):
+        swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=16)
+        r = swap.access(1, 100, 0)
+        swap.process_exit(1)
+        again = swap.access(1, 100, r.available_at)
+        assert again.kind == "fault"
+
+    def test_reset_clears_everything(self):
+        swap = SwapSubsystem(SsdModel(), cache_pages=16)
+        swap.access(1, 100, 0)
+        swap.reset()
+        assert swap.stats.accesses == 0
+        assert swap.device.reads == 0
+
+    def test_fault_rate(self):
+        swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=16)
+        r = swap.access(1, 100, 0)
+        swap.access(1, 100, r.available_at)
+        assert swap.stats.fault_rate == 0.5
+
+    def test_zero_division_guards(self):
+        swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=16)
+        assert swap.stats.prefetch_accuracy == 0.0
+        assert swap.stats.coverage == 0.0
+        assert swap.stats.fault_rate == 0.0

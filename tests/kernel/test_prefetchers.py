@@ -1,0 +1,165 @@
+"""Baseline prefetchers: readahead regimes and Leap's majority trend."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel.mm.prefetch import (
+    LeapPrefetcher,
+    NullPrefetcher,
+    ReadaheadPrefetcher,
+)
+
+
+class TestNull:
+    def test_never_prefetches(self):
+        pf = NullPrefetcher()
+        assert pf.on_access(1, 100, 0, True) == []
+        assert pf.on_access(1, 101, 0, False, prefetch_hit=True) == []
+
+
+class TestReadahead:
+    def test_cluster_mode_on_isolated_fault(self):
+        pf = ReadaheadPrefetcher(cluster=8)
+        pages = pf.on_access(1, 100, 0, was_fault=True)
+        # Aligned 8-cluster around 100 = [96..103], excluding 100 itself.
+        assert pages == [96, 97, 98, 99, 101, 102, 103]
+
+    def test_sequential_mode_reads_forward(self):
+        pf = ReadaheadPrefetcher(min_window=4, max_window=32)
+        pf.on_access(1, 100, 0, True)
+        pages = pf.on_access(1, 101, 0, True)
+        assert pages == [102, 103, 104, 105, 106, 107, 108, 109]
+
+    def test_window_doubles_then_caps(self):
+        pf = ReadaheadPrefetcher(min_window=4, max_window=16)
+        last = []
+        for i in range(10):
+            last = pf.on_access(1, 100 + i, 0, True)
+        assert len(last) == 16
+
+    def test_window_collapses_on_jump(self):
+        pf = ReadaheadPrefetcher(min_window=4, max_window=32)
+        for i in range(5):
+            pf.on_access(1, 100 + i, 0, True)
+        pages = pf.on_access(1, 500, 0, True)  # non-sequential: cluster mode
+        assert len(pages) == 7  # cluster 8 minus the faulting page
+
+    def test_prefetch_hit_sustains_pipeline(self):
+        pf = ReadaheadPrefetcher()
+        pf.on_access(1, 100, 0, True)
+        pf.on_access(1, 101, 0, True)
+        pages = pf.on_access(1, 102, 0, False, prefetch_hit=True)
+        assert pages and pages[0] == 103
+
+    def test_plain_hit_returns_nothing(self):
+        pf = ReadaheadPrefetcher()
+        pf.on_access(1, 100, 0, True)
+        pf.on_access(1, 101, 0, True)
+        assert pf.on_access(1, 102, 0, False) == []
+
+    def test_per_pid_isolation(self):
+        pf = ReadaheadPrefetcher()
+        pf.on_access(1, 100, 0, True)
+        pf.on_access(1, 101, 0, True)
+        # pid 2's first access must not inherit pid 1's window.
+        pages = pf.on_access(2, 500, 0, True)
+        assert len(pages) == 7  # cluster mode
+
+    def test_reset(self):
+        pf = ReadaheadPrefetcher()
+        pf.on_access(1, 100, 0, True)
+        pf.reset()
+        assert pf._state == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadaheadPrefetcher(min_window=0)
+        with pytest.raises(ValueError):
+            ReadaheadPrefetcher(min_window=8, max_window=4)
+        with pytest.raises(ValueError):
+            ReadaheadPrefetcher(cluster=0)
+
+
+class TestLeapMajority:
+    def test_majority_detected(self):
+        assert LeapPrefetcher.majority_delta([3, 3, 3, 1, 3]) == 3
+
+    def test_no_majority_is_none(self):
+        assert LeapPrefetcher.majority_delta([1, 2, 1, 2]) is None
+
+    def test_exact_half_is_not_majority(self):
+        assert LeapPrefetcher.majority_delta([1, 1, 2, 2]) is None
+
+    def test_empty_history(self):
+        assert LeapPrefetcher.majority_delta([]) is None
+
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=40))
+    def test_matches_counting_reference(self, history):
+        got = LeapPrefetcher.majority_delta(history)
+        counts = {d: history.count(d) for d in set(history)}
+        true_majority = [d for d, c in counts.items() if 2 * c > len(history)]
+        assert got == (true_majority[0] if true_majority else None)
+
+
+class TestLeapPrefetcher:
+    def _warm(self, pf, pid, stride, n=12):
+        page = 1000
+        result = []
+        for _ in range(n):
+            result = pf.on_access(pid, page, 0, was_fault=True)
+            page += stride
+        return page, result
+
+    def test_prefetches_along_trend(self):
+        pf = LeapPrefetcher(min_window=2)
+        page, pages = self._warm(pf, 1, stride=7)
+        # pages are relative to the last faulted page (page - 7).
+        assert pages[0] == (page - 7) + 7
+        assert pages[1] == (page - 7) + 14
+
+    def test_no_trend_no_prefetch(self):
+        pf = LeapPrefetcher()
+        deltas = [1, 5, -2] * 8  # three-way cycle: never a majority
+        page = 1000
+        for d in deltas:
+            pages = pf.on_access(1, page, 0, True)
+            page += d
+        assert pages == []
+
+    def test_negative_stride_supported(self):
+        pf = LeapPrefetcher(min_window=2)
+        page, pages = self._warm(pf, 1, stride=-3)
+        last_access = page - (-3)
+        assert pages[0] == last_access - 3
+        assert pages[1] == last_access - 6
+
+    def test_needs_warmup(self):
+        pf = LeapPrefetcher()
+        assert pf.on_access(1, 100, 0, True) == []
+        assert pf.on_access(1, 101, 0, True) == []  # < 4 deltas
+
+    def test_window_adapts_to_feedback(self):
+        pf = LeapPrefetcher(min_window=2, max_window=16)
+        # Warm up trend, then report every prefetch used.
+        self._warm(pf, 1, stride=1, n=10)
+        for _ in range(16):
+            pf.on_prefetch_used(1, 0, 0)
+        state = pf._state[1]
+        before = state.window
+        pf._adapt_window(state)
+        assert state.window >= before
+
+    def test_reset(self):
+        pf = LeapPrefetcher()
+        self._warm(pf, 1, stride=2)
+        pf.reset()
+        assert pf._state == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LeapPrefetcher(history_len=1)
+        with pytest.raises(ValueError):
+            LeapPrefetcher(min_window=3, max_window=2)

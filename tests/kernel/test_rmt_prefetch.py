@@ -1,0 +1,149 @@
+"""The RMT ML prefetcher: the full in-kernel architecture end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.mm.rmt_prefetch import (
+    RmtMlPrefetcher,
+    build_collect_dsl,
+    build_predict_dsl,
+)
+from repro.kernel.mm.swap import SwapSubsystem
+from repro.kernel.storage import RemoteMemoryModel
+from repro.workloads.traces import strided_trace
+
+
+def run_workload(prefetcher, workload, cache_pages=64):
+    swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=cache_pages,
+                         prefetcher=prefetcher)
+    now = 0
+    for page in workload.accesses:
+        result = swap.access(workload.pid, page, now)
+        now = result.available_at + workload.compute_ns_per_access
+    return swap.stats
+
+
+class TestDslGeneration:
+    def test_predict_dsl_window_and_steps(self):
+        source = build_predict_dsl(window=6, max_steps=3)
+        assert "hist.window(ctxt.pid, 6)" in source
+        assert source.count("ml_infer") == 3
+        assert "vset(w, 5, d)" in source
+
+    def test_collect_dsl_depth(self):
+        assert "depth = 12" in build_collect_dsl(12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_predict_dsl(window=1)
+        with pytest.raises(ValueError):
+            build_predict_dsl(max_steps=0)
+        with pytest.raises(ValueError):
+            build_predict_dsl(window=9, history_depth=8)
+
+
+class TestConstruction:
+    def test_programs_install_and_verify(self):
+        pf = RmtMlPrefetcher(mode="interpret")
+        installed = pf.syscalls.control_plane.installed
+        assert installed == ["rmt_page_access", "rmt_page_prefetch"]
+        for name in installed:
+            assert pf.syscalls.control_plane.datapath(name).program.verified
+
+    def test_shared_history_map(self):
+        pf = RmtMlPrefetcher()
+        collect = pf.syscalls.control_plane.datapath("rmt_page_access")
+        predict = pf.syscalls.control_plane.datapath("rmt_page_prefetch")
+        assert collect.program.map_by_name("hist") is \
+            predict.program.map_by_name("hist")
+
+    def test_guardrail_limits_prefetch_count(self):
+        pf = RmtMlPrefetcher(max_steps=2)
+        hook = pf.hooks.hook("swap_cluster_readahead")
+        assert hook.policy.verdict_max == 2
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            RmtMlPrefetcher(max_steps=0)
+
+
+class TestLearningLoop:
+    def test_learns_stride_and_prefetches(self):
+        pf = RmtMlPrefetcher(retrain_every=128, feature_window=4,
+                             mode="interpret")
+        workload = strided_trace(1500, stride=5)
+        stats = run_workload(pf, workload)
+        assert pf.models_pushed >= 1
+        assert stats.prefetch_accuracy > 0.8
+        assert stats.coverage > 0.5
+
+    def test_per_pid_entries_created(self):
+        pf = RmtMlPrefetcher(mode="interpret")
+        pf.on_access(11, 100, 0, True)
+        pf.on_access(22, 200, 0, True)
+        assert pf._known_pids == {11, 22}
+        table = (pf.syscalls.control_plane
+                 .datapath("rmt_page_prefetch").program
+                 .pipeline.table("page_prefetch_tab"))
+        assert len(table) == 2
+
+    def test_no_prefetch_before_first_model(self):
+        pf = RmtMlPrefetcher(mode="interpret")
+        pages = pf.on_access(1, 100, 0, True)
+        assert pages == []  # _ZeroModel predicts delta 0
+
+    def test_kernel_collects_history(self):
+        pf = RmtMlPrefetcher(mode="interpret")
+        for page in (100, 103, 106):
+            pf.on_access(1, page, 0, False)
+        assert pf._hist.window(1, 2).tolist() == [3, 3]
+        count_map = pf._count_map
+        assert count_map.lookup(1) == 2
+
+    def test_conservative_mode_reconfigures_entries(self):
+        pf = RmtMlPrefetcher(mode="interpret")
+        pf.on_access(1, 100, 0, True)
+        pf._go_conservative()
+        assert pf.conservative
+        table = (pf.syscalls.control_plane
+                 .datapath("rmt_page_prefetch").program
+                 .pipeline.table("page_prefetch_tab"))
+        assert table.entries[0].action_data["pf_steps"] == 1
+        pf._go_aggressive()
+        assert table.entries[0].action_data["pf_steps"] == pf.max_steps
+
+    def test_new_pids_inherit_conservative_mode(self):
+        pf = RmtMlPrefetcher(mode="interpret")
+        pf._go_conservative()
+        pf.on_access(5, 100, 0, True)
+        table = (pf.syscalls.control_plane
+                 .datapath("rmt_page_prefetch").program
+                 .pipeline.table("page_prefetch_tab"))
+        assert table.entries[0].action_data["pf_steps"] == 1
+
+    def test_reset_rebuilds_everything(self):
+        pf = RmtMlPrefetcher(retrain_every=64, mode="interpret")
+        run_workload(pf, strided_trace(300, stride=2))
+        assert pf.models_pushed > 0
+        pf.reset()
+        assert pf.models_pushed == 0
+        assert pf._known_pids == set()
+        assert pf._hist.length(1) == 0
+
+    def test_stats_surface(self):
+        pf = RmtMlPrefetcher(mode="interpret")
+        pf.on_access(1, 100, 0, True)
+        stats = pf.stats()
+        assert stats["known_pids"] == 1
+        assert "datapaths" in stats
+
+    def test_jit_and_interpreter_same_prefetches(self):
+        workload = strided_trace(600, stride=3)
+        stats_i = run_workload(
+            RmtMlPrefetcher(retrain_every=128, mode="interpret"), workload)
+        stats_j = run_workload(
+            RmtMlPrefetcher(retrain_every=128, mode="jit"), workload)
+        assert stats_i.prefetch_issued == stats_j.prefetch_issued
+        assert stats_i.prefetch_used == stats_j.prefetch_used
+        assert stats_i.demand_faults == stats_j.demand_faults

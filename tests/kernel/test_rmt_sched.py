@@ -1,0 +1,100 @@
+"""The RMT migration policy at the can_migrate_task hook."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import VerifierError
+from repro.kernel.sched.cfs import CfsScheduler
+from repro.kernel.sched.features import N_FEATURES
+from repro.kernel.sched.rmt_sched import RmtMigrationPolicy, build_sched_hook
+from repro.kernel.sched.task import TaskSpec
+from repro.kernel.sim import NS_PER_MS
+from repro.ml.mlp import FloatMLP, QuantizedMLP
+
+
+@pytest.fixture(scope="module")
+def migration_qmlp():
+    """An MLP trained on a simple surrogate rule over the 15 features."""
+    rng = np.random.default_rng(9)
+    x = rng.integers(0, 1000, size=(1200, N_FEATURES)).astype(np.float64)
+    y = ((x[:, 0] > x[:, 1]) & (x[:, 8] > 300)).astype(np.int64)
+    mlp = FloatMLP([N_FEATURES, 12, 2], epochs=30, seed=4).fit(x, y)
+    return QuantizedMLP.from_float(mlp, x[:300], bits=8), mlp, x, y
+
+
+class TestHookSetup:
+    def test_hook_declared_with_boolean_guardrail(self):
+        hooks = build_sched_hook()
+        policy = hooks.hook("can_migrate_task").policy
+        assert policy.verdict_min == 0 and policy.verdict_max == 1
+
+    def test_latency_budget_is_microseconds(self):
+        hooks = build_sched_hook(max_latency_ns=5_000.0)
+        budget = hooks.hook("can_migrate_task").policy.cost_budget
+        assert budget.max_latency_ns == 5_000.0
+
+
+class TestRmtMigrationPolicy:
+    def test_matches_quantized_model(self, migration_qmlp):
+        qmlp, _, x, _ = migration_qmlp
+        policy = RmtMigrationPolicy(qmlp, mode="interpret")
+        agree = sum(
+            policy(row.astype(np.int64)) == bool(qmlp.predict_one(row))
+            for row in x[:150]
+        )
+        assert agree >= 148  # folded input transform: <=1% divergence
+
+    def test_jit_matches_interpreter(self, migration_qmlp):
+        qmlp, _, x, _ = migration_qmlp
+        p_interp = RmtMigrationPolicy(qmlp, mode="interpret")
+        p_jit = RmtMigrationPolicy(qmlp, mode="jit")
+        for row in x[:80]:
+            f = row.astype(np.int64)
+            assert p_interp(f) == p_jit(f)
+
+    def test_wrong_input_width_rejected(self, quantized_mlp):
+        with pytest.raises(ValueError, match="input width"):
+            RmtMigrationPolicy(quantized_mlp)  # 4-wide XOR model
+
+    def test_oversized_model_rejected_by_verifier(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, N_FEATURES))
+        y = (x[:, 0] > 0).astype(np.int64)
+        big = FloatMLP([N_FEATURES, 4096, 2], epochs=1, seed=0).fit(x, y)
+        qbig = QuantizedMLP.from_float(big, x[:100], bits=8)
+        hooks = build_sched_hook(max_latency_ns=1_000.0)
+        with pytest.raises(VerifierError):
+            RmtMigrationPolicy(qbig, hooks=hooks)
+
+    def test_query_counter(self, migration_qmlp):
+        qmlp, _, x, _ = migration_qmlp
+        policy = RmtMigrationPolicy(qmlp, mode="interpret")
+        policy(x[0].astype(np.int64))
+        assert policy.queries == 1
+
+    def test_push_model_reinstalls(self, migration_qmlp):
+        qmlp, mlp, x, y = migration_qmlp
+        policy = RmtMigrationPolicy(qmlp, mode="interpret")
+        retrained = FloatMLP([N_FEATURES, 12, 2], epochs=10, seed=8).fit(x, y)
+        q2 = QuantizedMLP.from_float(retrained, x[:300], bits=8)
+        policy.push_model(q2, mode="interpret")
+        agree = sum(
+            policy(row.astype(np.int64)) == bool(q2.predict_one(row))
+            for row in x[:60]
+        )
+        assert agree >= 58
+
+    def test_drives_scheduler_end_to_end(self, migration_qmlp):
+        qmlp, _, _, _ = migration_qmlp
+        policy = RmtMigrationPolicy(qmlp, mode="jit")
+        sched = CfsScheduler(n_cpus=4, migrate_decision=policy,
+                             balance_interval_ns=2 * NS_PER_MS)
+        sched.submit_all([
+            TaskSpec(f"t{i}", 0, 20 * NS_PER_MS, origin_cpu=0)
+            for i in range(8)
+        ])
+        stats = sched.run()
+        assert stats.n_tasks == 8
+        assert policy.queries > 0

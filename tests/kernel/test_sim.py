@@ -1,0 +1,98 @@
+"""The discrete-event simulator core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.sim import NS_PER_MS, NS_PER_SEC, NS_PER_US, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 30
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5, lambda: order.append(1))
+        sim.schedule(5, lambda: order.append(2))
+        sim.schedule(5, lambda: order.append(3))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_events_scheduled_from_events(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(5, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(10, first)
+        sim.run()
+        assert log == [("first", 10), ("second", 15)]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+        sim.now = 100
+        with pytest.raises(ValueError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_cancellation(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_pending_ignores_cancelled(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        event = sim.schedule(20, lambda: None)
+        event.cancel()
+        assert sim.pending == 1
+
+
+class TestRunControl:
+    def test_step_returns_false_when_empty(self):
+        assert not Simulator().step()
+
+    def test_run_with_event_bound(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i + 1, lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending == 7
+
+    def test_run_until_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append("early"))
+        sim.schedule(100, lambda: fired.append("late"))
+        sim.run_until(50)
+        assert fired == ["early"]
+        assert sim.now == 50
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        sim.run()
+        assert sim.events_processed == 2
+
+    def test_time_constants(self):
+        assert NS_PER_US == 1_000
+        assert NS_PER_MS == 1_000_000
+        assert NS_PER_SEC == 1_000_000_000

@@ -1,0 +1,61 @@
+"""Storage latency models and their single-server queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel.storage import HddModel, RemoteMemoryModel, SsdModel
+
+
+class TestQueueing:
+    def test_back_to_back_requests_serialize(self):
+        dev = SsdModel(access_ns=100, per_page_ns=10)
+        first = dev.read(0, 1)
+        second = dev.read(0, 1)  # issued while busy
+        assert second == first + 100
+
+    def test_idle_device_starts_immediately(self):
+        dev = SsdModel(access_ns=100, per_page_ns=10)
+        dev.read(0, 1)
+        late = dev.read(10_000, 1)
+        assert late == 10_000 + 100
+
+    def test_counters(self):
+        dev = SsdModel()
+        dev.read(0, 4)
+        dev.read(0, 2)
+        assert dev.reads == 2
+        assert dev.pages_read == 6
+
+    def test_reset(self):
+        dev = SsdModel()
+        dev.read(0, 4)
+        dev.reset()
+        assert dev.reads == 0 and dev.busy_until == 0
+
+    def test_rejects_zero_pages(self):
+        with pytest.raises(ValueError):
+            SsdModel().read(0, 0)
+
+
+class TestLatencyShapes:
+    def test_hdd_seek_dominates_random(self):
+        dev = HddModel()
+        random_read = dev._service_time(1, sequential=False)
+        sequential_read = dev._service_time(1, sequential=True)
+        assert random_read > 10 * sequential_read
+
+    def test_ssd_flat_latency(self):
+        dev = SsdModel()
+        assert dev._service_time(1, False) == dev._service_time(1, True)
+
+    def test_remote_memory_fastest(self):
+        assert RemoteMemoryModel()._service_time(1, False) < \
+            SsdModel()._service_time(1, False) < \
+            HddModel()._service_time(1, False)
+
+    def test_batching_amortizes(self):
+        dev = RemoteMemoryModel()
+        one = dev._service_time(1, True)
+        eight = dev._service_time(8, True)
+        assert eight < 8 * one

@@ -1,0 +1,116 @@
+"""Quantized CNN layers and the sequential container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.cnn import ConvLayer, DenseLayer, FlattenLayer, MaxPoolLayer, QuantizedCNN
+from repro.ml.cost_model import estimate_cost
+
+
+def _tiny_cnn() -> QuantizedCNN:
+    rng = np.random.default_rng(0)
+    conv = ConvLayer.from_float(rng.normal(size=(2, 3, 3)), bits=8, shift=6)
+    pool = MaxPoolLayer(2)
+    dense = DenseLayer.from_float(rng.normal(size=(3, 2 * 3 * 3)),
+                                  rng.normal(size=3), shift=6, relu=False)
+    return QuantizedCNN([conv, pool, FlattenLayer(), dense],
+                        input_shape=(8, 8))
+
+
+class TestConvLayer:
+    def test_rejects_float_kernels(self):
+        with pytest.raises(TypeError):
+            ConvLayer(np.zeros((1, 3, 3)))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            ConvLayer(np.zeros((1, 2, 3), dtype=np.int64))
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            ConvLayer(np.zeros((3, 3), dtype=np.int64))
+
+    def test_output_shape(self):
+        conv = ConvLayer(np.ones((4, 3, 3), dtype=np.int64))
+        assert conv.out_shape(10, 10) == (4, 8, 8)
+        out = conv.forward(np.ones((10, 10), dtype=np.int64))
+        assert out.shape == (4, 8, 8)
+
+    def test_relu_applied(self):
+        conv = ConvLayer(np.full((1, 2, 2), -1, dtype=np.int64), shift=0)
+        out = conv.forward(np.ones((3, 3), dtype=np.int64))
+        assert (out == 0).all()
+
+    def test_multichannel_input(self):
+        conv = ConvLayer(np.ones((2, 2, 2), dtype=np.int64), shift=0)
+        x = np.ones((3, 4, 4), dtype=np.int64)  # 3 input channels
+        out = conv.forward(x)
+        assert out.shape == (2, 3, 3)
+        assert (out == 12).all()  # 2x2 window * 3 channels
+
+    def test_shape_params_for_verifier(self):
+        conv = ConvLayer(np.ones((4, 3, 3), dtype=np.int64))
+        params = conv.shape_params(16, 16, 1)
+        assert params["out_channels"] == 4
+        assert params["kernel_size"] == 3
+
+
+class TestPoolAndDense:
+    def test_pool_per_channel(self):
+        pool = MaxPoolLayer(2)
+        x = np.arange(32, dtype=np.int64).reshape(2, 4, 4)
+        out = pool.forward(x)
+        assert out.shape == (2, 2, 2)
+
+    def test_pool_bad_size(self):
+        with pytest.raises(ValueError):
+            MaxPoolLayer(0)
+
+    def test_flatten(self):
+        out = FlattenLayer().forward(np.ones((2, 3, 3), dtype=np.int64))
+        assert out.shape == (18,)
+
+    def test_dense_rejects_float(self):
+        with pytest.raises(TypeError):
+            DenseLayer(np.zeros((2, 3)), np.zeros(2, dtype=np.int64))
+
+    def test_dense_relu_flag(self):
+        w = np.full((1, 2), -1, dtype=np.int64)
+        b = np.zeros(1, dtype=np.int64)
+        x = np.ones(2, dtype=np.int64)
+        assert DenseLayer(w, b, shift=0, relu=True).forward(x)[0] == 0
+        assert DenseLayer(w, b, shift=0, relu=False).forward(x)[0] == -2
+
+
+class TestQuantizedCNN:
+    def test_forward_and_predict(self):
+        cnn = _tiny_cnn()
+        x = np.random.default_rng(1).integers(0, 128, size=(8, 8))
+        logits = cnn.forward(x)
+        assert logits.shape == (3,)
+        assert cnn.predict_one(x) in (0, 1, 2)
+
+    def test_cost_signature_tracks_shapes(self):
+        cnn = _tiny_cnn()
+        sig = cnn.cost_signature()
+        assert sig["kind"] == "conv"
+        layer = sig["layers"][0]
+        assert layer == {"in_height": 8, "in_width": 8, "in_channels": 1,
+                         "out_channels": 2, "kernel_size": 3, "stride": 1}
+
+    def test_cost_estimation_integrates(self):
+        cost = estimate_cost(_tiny_cnn())
+        # 6x6 output, 2 channels, 3x3 kernel: 6*6*2*9 = 648 MACs.
+        assert cost.ops == 648
+
+    def test_cost_signature_without_conv_raises(self):
+        cnn = QuantizedCNN([FlattenLayer()], input_shape=(4, 4))
+        with pytest.raises(ValueError):
+            cnn.cost_signature()
+
+    def test_deterministic(self):
+        cnn = _tiny_cnn()
+        x = np.ones((8, 8), dtype=np.int64)
+        assert cnn.predict_one(x) == cnn.predict_one(x)

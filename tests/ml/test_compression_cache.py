@@ -1,0 +1,160 @@
+"""On-demand model compression and inference caching (Section 3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.cache import CachedModel
+from repro.ml.compression import compress_mlp, compress_tree
+from repro.ml.cost_model import CostBudget, estimate_cost
+from repro.ml.decision_tree import IntegerDecisionTree
+from repro.ml.mlp import FloatMLP
+
+
+class TestCompressTree:
+    def test_already_admissible_returned_as_is_shape(self, trained_tree):
+        budget = CostBudget()
+        compressed, report = compress_tree(trained_tree, budget)
+        assert report.admissible
+        assert compressed.depth_ == trained_tree.depth_
+
+    def test_prunes_to_budget(self, trained_tree):
+        budget = CostBudget(max_ops=3)  # depth <= 3
+        compressed, report = compress_tree(trained_tree, budget)
+        assert compressed.depth_ <= 3
+        assert not estimate_cost(compressed).ops > 3
+
+    def test_input_tree_untouched(self, trained_tree):
+        depth_before = trained_tree.depth_
+        nodes_before = trained_tree.n_nodes_
+        compress_tree(trained_tree, CostBudget(max_ops=2))
+        assert trained_tree.depth_ == depth_before
+        assert trained_tree.n_nodes_ == nodes_before
+
+    def test_compressed_tree_still_predicts(self, trained_tree,
+                                            linear_int_dataset):
+        x, y = linear_int_dataset
+        compressed, _ = compress_tree(trained_tree, CostBudget(max_ops=3))
+        accuracy = np.mean(compressed.predict(x) == y)
+        assert accuracy > 0.8  # shallower, but not broken
+
+    def test_accuracy_degrades_gracefully(self, trained_tree,
+                                          linear_int_dataset):
+        x, y = linear_int_dataset
+        accs = []
+        for max_ops in (1, 3, 100):
+            compressed, _ = compress_tree(trained_tree,
+                                          CostBudget(max_ops=max_ops))
+            accs.append(float(np.mean(compressed.predict(x) == y)))
+        assert accs[0] <= accs[1] <= accs[2] + 1e-9
+
+    def test_unsatisfiable_budget_raises(self, trained_tree):
+        with pytest.raises(ValueError, match="unsatisfiable"):
+            compress_tree(trained_tree, CostBudget(max_memory_bytes=1))
+
+    def test_report_records_every_step(self, trained_tree):
+        _, report = compress_tree(trained_tree, CostBudget(max_ops=2))
+        assert len(report.steps) >= trained_tree.depth_ - 2
+        assert all("violations" in step for step in report.steps)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError):
+            compress_tree(IntegerDecisionTree(), CostBudget())
+
+
+class TestCompressMlp:
+    def test_picks_widest_admissible(self, trained_mlp, xor_dataset):
+        x, _ = xor_dataset
+        # Budget permits 16-bit weights.
+        compressed, report = compress_mlp(trained_mlp, x[:100], CostBudget())
+        assert compressed.bits == 16
+        assert report.admissible
+
+    def test_memory_budget_forces_narrow(self, trained_mlp, xor_dataset):
+        x, _ = xor_dataset
+        full = estimate_cost(
+            compress_mlp(trained_mlp, x[:100], CostBudget())[0]
+        ).memory_bytes
+        tight = CostBudget(max_memory_bytes=full - 1)
+        compressed, _ = compress_mlp(trained_mlp, x[:100], tight)
+        assert compressed.bits < 16
+        assert estimate_cost(compressed).memory_bytes <= full - 1
+
+    def test_reports_fidelity(self, trained_mlp, xor_dataset):
+        x, _ = xor_dataset
+        _, report = compress_mlp(trained_mlp, x[:100], CostBudget())
+        assert all(0.0 <= step["agreement"] <= 1.0 for step in report.steps)
+
+    def test_unsatisfiable_raises(self, trained_mlp, xor_dataset):
+        x, _ = xor_dataset
+        with pytest.raises(ValueError, match="unsatisfiable"):
+            compress_mlp(trained_mlp, x[:100], CostBudget(max_ops=1))
+
+
+class TestCachedModel:
+    class _Counting:
+        def __init__(self):
+            self.calls = 0
+
+        def predict_one(self, features):
+            self.calls += 1
+            return int(sum(features)) % 3
+
+        def cost_signature(self):
+            return {"kind": "decision_tree", "depth": 2, "n_nodes": 3}
+
+    def test_hits_avoid_inference(self):
+        inner = self._Counting()
+        cached = CachedModel(inner, capacity=8)
+        assert cached.predict_one([1, 2]) == cached.predict_one([1, 2])
+        assert inner.calls == 1
+        assert cached.hits == 1 and cached.misses == 1
+        assert cached.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        inner = self._Counting()
+        cached = CachedModel(inner, capacity=2)
+        cached.predict_one([1])
+        cached.predict_one([2])
+        cached.predict_one([1])  # refresh
+        cached.predict_one([3])  # evicts [2]
+        cached.predict_one([2])  # miss again
+        assert inner.calls == 4
+
+    def test_invalidate_after_model_push(self):
+        inner = self._Counting()
+        cached = CachedModel(inner)
+        cached.predict_one([1])
+        cached.invalidate()
+        cached.predict_one([1])
+        assert inner.calls == 2
+        assert len(cached) == 1
+
+    def test_cost_signature_passthrough(self):
+        cached = CachedModel(self._Counting())
+        assert cached.cost_signature()["depth"] == 2
+
+    def test_is_a_valid_kernel_model(self, schema):
+        """The wrapper drops into a program's model slot unchanged."""
+        from repro.core import AttachPolicy, ProgramBuilder, Verifier
+        from repro.core.bytecode import BytecodeProgram, Instruction
+        from repro.core.isa import Opcode
+        from repro.core.tables import MatchActionTable
+
+        builder = ProgramBuilder("p", "test_hook", schema)
+        builder.add_table(MatchActionTable("t", ["pid"]))
+        builder.add_model(0, CachedModel(self._Counting()))
+        builder.add_action(BytecodeProgram("act", [
+            Instruction(Opcode.VEC_ZERO, dst=0, imm=2),
+            Instruction(Opcode.ML_INFER, dst=0, src=0, imm=0),
+            Instruction(Opcode.EXIT),
+        ]))
+        program = builder.build()
+        Verifier(AttachPolicy("test_hook")).verify_or_raise(program)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CachedModel(self._Counting(), capacity=0)
+        with pytest.raises(TypeError):
+            CachedModel(object())

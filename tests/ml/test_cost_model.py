@@ -1,0 +1,110 @@
+"""Static model cost estimation (the verifier's admission maths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ml.cost_model import (
+    CPU_COST_MODEL,
+    CostBudget,
+    ModelCost,
+    conv_layer_cost,
+    decision_tree_cost,
+    estimate_cost,
+    mlp_cost,
+    svm_cost,
+)
+
+
+class TestMlpCost:
+    def test_mac_count(self):
+        cost = mlp_cost([15, 16, 2])
+        assert cost.ops == 15 * 16 + 16 * 2
+
+    def test_memory_includes_biases(self):
+        cost = mlp_cost([4, 4], weight_bytes=2)
+        assert cost.memory_bytes == (4 * 4 + 4) * 2 + (4 + 4) * 4
+
+    def test_rejects_short_layers(self):
+        with pytest.raises(ValueError):
+            mlp_cost([5])
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            mlp_cost([5, 0, 2])
+
+    def test_latency_monotone_in_size(self):
+        assert mlp_cost([15, 64, 2]).latency_ns > mlp_cost([15, 4, 2]).latency_ns
+
+
+class TestConvCost:
+    def test_paper_formula(self):
+        """ops = out_h * out_w * out_c * k * k * in_c (the paper's check)."""
+        cost = conv_layer_cost(32, 32, 3, 8, kernel_size=3)
+        assert cost.ops == 30 * 30 * 8 * 3 * 3 * 3
+
+    def test_stride_reduces_ops(self):
+        a = conv_layer_cost(32, 32, 1, 1, 3, stride=1)
+        b = conv_layer_cost(32, 32, 1, 1, 3, stride=2)
+        assert b.ops < a.ops
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError):
+            conv_layer_cost(2, 2, 1, 1, kernel_size=3)
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            conv_layer_cost(0, 32, 1, 1, 3)
+
+
+class TestTreeAndSvmCost:
+    def test_tree_ops_is_depth(self):
+        assert decision_tree_cost(depth=7, n_nodes=100).ops == 7
+
+    def test_tree_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            decision_tree_cost(depth=-1, n_nodes=3)
+        with pytest.raises(ValueError):
+            decision_tree_cost(depth=2, n_nodes=0)
+
+    def test_svm_ops_is_features(self):
+        assert svm_cost(15).ops == 15
+
+    def test_svm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            svm_cost(0)
+
+
+class TestBudget:
+    def test_no_violations_when_within(self):
+        budget = CostBudget()
+        assert budget.violations(ModelCost(10, 10, 10.0)) == []
+
+    def test_each_dimension_reported(self):
+        budget = CostBudget(max_ops=1, max_memory_bytes=1,
+                            max_latency_ns=1.0, max_layers=1)
+        problems = budget.violations(ModelCost(10, 10, 10.0), layers=5)
+        assert len(problems) == 4
+
+    def test_cost_addition(self):
+        total = ModelCost(1, 2, 3.0) + ModelCost(10, 20, 30.0)
+        assert (total.ops, total.memory_bytes, total.latency_ns) == (11, 22, 33.0)
+
+
+class TestEstimateCostDispatch:
+    def test_dispatch_on_models(self, trained_mlp, trained_tree):
+        assert estimate_cost(trained_mlp).ops == 4 * 16 + 16 * 2
+        assert estimate_cost(trained_tree).ops == max(trained_tree.depth_, 1)
+
+    def test_unknown_kind_raises(self):
+        class Bogus:
+            def cost_signature(self):
+                return {"kind": "transformer"}
+
+        with pytest.raises(ValueError):
+            estimate_cost(Bogus())
+
+    def test_platform_latency_model(self):
+        # Compute-bound: ops dominate memory.
+        cost = mlp_cost([100, 100], platform=CPU_COST_MODEL)
+        assert cost.latency_ns >= CPU_COST_MODEL.dispatch_ns

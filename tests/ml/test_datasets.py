@@ -1,0 +1,100 @@
+"""Dataset assembly helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.datasets import class_balance, delta_history_dataset, train_test_split
+
+
+class TestDeltaHistoryDataset:
+    def test_basic_shape(self):
+        x, y = delta_history_dataset([0, 1, 2, 3, 4, 5], history=2)
+        assert x.shape == (3, 2)
+        assert y.shape == (3,)
+
+    def test_sequential_deltas(self):
+        x, y = delta_history_dataset([10, 11, 12, 13, 14], history=2)
+        assert (x == 1).all()
+        assert (y == 1).all()
+
+    def test_stride_pattern(self):
+        pages = [0, 3, 6, 9, 12, 15]
+        x, y = delta_history_dataset(pages, history=3)
+        assert (y == 3).all()
+
+    def test_too_short_returns_empty(self):
+        x, y = delta_history_dataset([1, 2], history=4)
+        assert x.shape == (0, 4)
+        assert y.shape == (0,)
+
+    def test_clipping(self):
+        x, y = delta_history_dataset([0, 10**9, 0, 10**9, 0, 10**9],
+                                     history=2, clip=100)
+        assert np.abs(x).max() <= 100
+        assert np.abs(y).max() <= 100
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(ValueError):
+            delta_history_dataset([1, 2, 3], history=0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            delta_history_dataset(np.zeros((3, 3)), history=1)
+
+    @given(st.lists(st.integers(0, 10_000), min_size=6, max_size=40),
+           st.integers(1, 3))
+    def test_windows_consistent_with_trace(self, pages, history):
+        x, y = delta_history_dataset(pages, history=history)
+        deltas = np.diff(np.asarray(pages, dtype=np.int64))
+        for i in range(x.shape[0]):
+            assert x[i].tolist() == deltas[i:i + history].tolist()
+            assert y[i] == deltas[i + history]
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self):
+        x = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        x_tr, y_tr, x_te, y_te = train_test_split(x, y, test_fraction=0.25)
+        assert x_tr.shape[0] == 15 and x_te.shape[0] == 5
+        assert y_tr.shape[0] == 15 and y_te.shape[0] == 5
+
+    def test_no_overlap_and_complete(self):
+        x = np.arange(30).reshape(30, 1)
+        y = np.arange(30)
+        x_tr, y_tr, x_te, y_te = train_test_split(x, y, seed=2)
+        combined = sorted(y_tr.tolist() + y_te.tolist())
+        assert combined == list(range(30))
+
+    def test_deterministic(self):
+        x = np.arange(20).reshape(20, 1)
+        y = np.arange(20)
+        a = train_test_split(x, y, seed=5)
+        b = train_test_split(x, y, seed=5)
+        assert np.array_equal(a[3], b[3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(3))
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((1, 1)), np.zeros(1))
+
+
+class TestClassBalance:
+    def test_fractions(self):
+        balance = class_balance(np.array([0, 0, 0, 1]))
+        assert balance == {0: 0.75, 1: 0.25}
+
+    def test_empty(self):
+        assert class_balance(np.array([])) == {}
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_fractions_sum_to_one(self, labels):
+        balance = class_balance(np.asarray(labels))
+        assert abs(sum(balance.values()) - 1.0) < 1e-9

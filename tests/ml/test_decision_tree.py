@@ -1,0 +1,199 @@
+"""Integer decision tree: fitting, inference, serialization, online mode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.decision_tree import IntegerDecisionTree, WindowedTreeTrainer
+
+
+class TestFitting:
+    def test_learns_linear_boundary(self, linear_int_dataset):
+        x, y = linear_int_dataset
+        tree = IntegerDecisionTree(max_depth=8).fit(x, y)
+        assert np.mean(tree.predict(x) == y) > 0.95
+
+    def test_pure_node_stops_early(self):
+        x = np.array([[1], [2], [3]], dtype=np.int64)
+        y = np.array([1, 1, 1])
+        tree = IntegerDecisionTree().fit(x, y)
+        assert tree.root.is_leaf
+        assert tree.predict_one([99]) == 1
+
+    def test_depth_bound_respected(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 100, size=(500, 3))
+        y = rng.integers(0, 2, size=500)  # noise: forces deep growth attempts
+        tree = IntegerDecisionTree(max_depth=3, min_samples_leaf=1,
+                                   min_samples_split=2).fit(x, y)
+        assert tree.depth_ <= 3
+
+    def test_min_samples_leaf(self):
+        x = np.array([[0], [1]], dtype=np.int64)
+        y = np.array([0, 1])
+        tree = IntegerDecisionTree(min_samples_leaf=2).fit(x, y)
+        assert tree.root.is_leaf  # cannot split without starving a leaf
+
+    def test_multiclass(self):
+        x = np.array([[i] for i in range(30)], dtype=np.int64)
+        y = np.array([i // 10 for i in range(30)])
+        tree = IntegerDecisionTree(max_depth=4, min_samples_split=2,
+                                   min_samples_leaf=1).fit(x, y)
+        assert tree.predict_one([5]) == 0
+        assert tree.predict_one([15]) == 1
+        assert tree.predict_one([25]) == 2
+
+    def test_arbitrary_label_values(self):
+        x = np.array([[0], [0], [10], [10]], dtype=np.int64)
+        y = np.array([-5, -5, 77, 77])
+        tree = IntegerDecisionTree(min_samples_split=2,
+                                   min_samples_leaf=1).fit(x, y)
+        assert tree.predict_one([0]) == -5
+        assert tree.predict_one([10]) == 77
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            IntegerDecisionTree().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_rejects_float_features(self):
+        with pytest.raises(TypeError):
+            IntegerDecisionTree().fit(np.array([[1.5]]), np.array([0]))
+
+    def test_accepts_integral_floats(self):
+        tree = IntegerDecisionTree(min_samples_split=2, min_samples_leaf=1)
+        tree.fit(np.array([[1.0], [2.0], [3.0], [4.0]]), np.array([0, 0, 1, 1]))
+        assert tree.predict_one([4]) == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            IntegerDecisionTree().fit(np.array([1, 2, 3]), np.array([0, 1, 0]))
+        with pytest.raises(ValueError):
+            IntegerDecisionTree().fit(np.array([[1], [2]]), np.array([0]))
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            IntegerDecisionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            IntegerDecisionTree(min_samples_leaf=0)
+
+
+class TestInference:
+    def test_predict_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            IntegerDecisionTree().predict_one([1])
+
+    def test_confidence_of_pure_leaf(self, trained_tree, linear_int_dataset):
+        x, _ = linear_int_dataset
+        label, confidence = trained_tree.predict_with_confidence(x[0])
+        assert 0.0 < confidence <= 1.0
+        assert label == trained_tree.predict_one(x[0])
+
+    def test_predict_batch_matches_single(self, trained_tree, linear_int_dataset):
+        x, _ = linear_int_dataset
+        batch = trained_tree.predict(x[:50])
+        singles = [trained_tree.predict_one(row) for row in x[:50]]
+        assert batch.tolist() == singles
+
+    def test_feature_importances_sum_to_one(self, trained_tree):
+        imp = trained_tree.feature_importances()
+        assert imp.shape == (5,)
+        assert abs(imp.sum() - 1.0) < 1e-9
+
+    def test_importances_identify_used_features(self, trained_tree):
+        imp = trained_tree.feature_importances()
+        # y depends on features 0,1,2 only; 3,4 are noise.
+        assert imp[0] + imp[1] + imp[2] > 0.9
+
+    def test_cost_signature(self, trained_tree):
+        sig = trained_tree.cost_signature()
+        assert sig["kind"] == "decision_tree"
+        assert sig["depth"] >= 1
+        assert sig["n_nodes"] == trained_tree.n_nodes_
+
+
+class TestTableSerialization:
+    def test_round_trip_equivalence(self, trained_tree, linear_int_dataset):
+        x, _ = linear_int_dataset
+        table = trained_tree.to_table()
+        for row in x[:100]:
+            assert (
+                IntegerDecisionTree.predict_from_table(table, row)
+                == trained_tree.predict_one(row)
+            )
+
+    def test_table_row_count_matches_nodes(self, trained_tree):
+        assert len(trained_tree.to_table()) == trained_tree.n_nodes_
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerDecisionTree.predict_from_table([], [1])
+
+    def test_malformed_cycle_detected(self):
+        # A table whose "leaf" pointers loop must not hang.
+        table = [(0, 5, 0, 0, -1)]
+        with pytest.raises(RuntimeError):
+            IntegerDecisionTree.predict_from_table(table, [1])
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 2**31))
+    def test_serialized_tree_total_function(self, trained_tree, seed):
+        """The table form classifies any integer input without error."""
+        rng = np.random.default_rng(seed)
+        row = rng.integers(-(1 << 30), 1 << 30, size=5)
+        table = trained_tree.to_table()
+        result = IntegerDecisionTree.predict_from_table(table, row)
+        assert result in (0, 1)
+
+
+class TestWindowedTrainer:
+    def test_bootstrap_trains_at_min_samples(self):
+        trainer = WindowedTreeTrainer(window_size=512, min_train_samples=16)
+        retrained = False
+        for i in range(16):
+            retrained = trainer.observe([i % 4, i % 3], i % 2) or retrained
+        assert retrained
+        assert trainer.model is not None
+        assert trainer.generation == 1
+
+    def test_periodic_retrain(self):
+        trainer = WindowedTreeTrainer(window_size=32, min_train_samples=8)
+        for i in range(100):
+            trainer.observe([i % 7], (i % 7) > 3)
+        assert trainer.generation >= 2
+
+    def test_window_bounds_buffer(self):
+        trainer = WindowedTreeTrainer(window_size=16, min_train_samples=4)
+        for i in range(100):
+            trainer.observe([i], i % 2)
+        assert trainer.n_buffered == 16
+
+    def test_old_model_discarded(self):
+        trainer = WindowedTreeTrainer(window_size=16, min_train_samples=8)
+        for i in range(16):
+            trainer.observe([i], 0)
+        first = trainer.model
+        for i in range(16):
+            trainer.observe([i], 1)
+        assert trainer.model is not first  # "discarding the old ones"
+
+    def test_retrain_without_data_returns_none(self):
+        trainer = WindowedTreeTrainer(window_size=16, min_train_samples=8)
+        assert trainer.retrain() is None
+
+    def test_learns_recent_pattern(self):
+        trainer = WindowedTreeTrainer(window_size=64, min_train_samples=32,
+                                      tree_params={"max_depth": 4})
+        # Phase 1: label = x > 5; Phase 2: label = x < 5.
+        for i in range(64):
+            trainer.observe([i % 10], int(i % 10 > 5))
+        for i in range(128):
+            trainer.observe([i % 10], int(i % 10 < 5))
+        assert trainer.model.predict_one([2]) == 1
+        assert trainer.model.predict_one([8]) == 0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            WindowedTreeTrainer(window_size=0)

@@ -1,0 +1,77 @@
+"""Knowledge distillation: teacher → student fidelity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.distillation import distill_to_mlp, distill_to_tree, fidelity
+from repro.ml.mlp import FloatMLP
+
+
+class TestDistillToTree:
+    def test_student_mimics_teacher(self, trained_mlp, xor_dataset):
+        x, _ = xor_dataset
+        student = distill_to_tree(trained_mlp, x * 10,  # integer-ish scale
+                                  tree_params={"max_depth": 10})
+        assert fidelity(student, trained_mlp,
+                        np.rint(x * 10).astype(np.int64)) > 0.85
+
+    def test_synthetic_augmentation_grows_coverage(self, trained_mlp, xor_dataset):
+        x, _ = xor_dataset
+        plain = distill_to_tree(trained_mlp, x * 10, n_synthetic=0, seed=0)
+        augmented = distill_to_tree(trained_mlp, x * 10, n_synthetic=2000, seed=0)
+        assert augmented.n_nodes_ >= plain.n_nodes_
+
+    def test_student_is_integer_model(self, trained_mlp, xor_dataset):
+        x, _ = xor_dataset
+        student = distill_to_tree(trained_mlp, x * 10)
+        sig = student.cost_signature()
+        assert sig["kind"] == "decision_tree"
+
+    def test_requires_2d(self, trained_mlp):
+        with pytest.raises(ValueError):
+            distill_to_tree(trained_mlp, np.zeros(4))
+
+    def test_interpretability_feature_importances(self, trained_mlp, xor_dataset):
+        """Distillation to trees 'elucidates which features are key'."""
+        x, _ = xor_dataset
+        student = distill_to_tree(trained_mlp, x * 10,
+                                  tree_params={"max_depth": 10})
+        imp = student.feature_importances()
+        # XOR depends on features 0 and 1 only.
+        assert imp[0] + imp[1] > 0.8
+
+
+class TestDistillToMlp:
+    def test_smaller_student_close_to_teacher(self, trained_mlp, xor_dataset):
+        x, _ = xor_dataset
+        student = distill_to_mlp(trained_mlp, x, [4, 6, 2], epochs=30, seed=0)
+        assert fidelity(student, trained_mlp, x) > 0.9
+        assert sum(w.size for w in student.weights) < sum(
+            w.size for w in trained_mlp.weights
+        )
+
+    def test_width_validation(self, trained_mlp, xor_dataset):
+        x, _ = xor_dataset
+        with pytest.raises(ValueError):
+            distill_to_mlp(trained_mlp, x, [3, 6, 2])
+        with pytest.raises(ValueError):
+            distill_to_mlp(trained_mlp, x, [4, 6, 3])
+
+    def test_temperature_validation(self, trained_mlp, xor_dataset):
+        x, _ = xor_dataset
+        with pytest.raises(ValueError):
+            distill_to_mlp(trained_mlp, x, [4, 6, 2], temperature=0.0)
+
+
+class TestFidelity:
+    def test_identical_models(self, trained_mlp, xor_dataset):
+        x, _ = xor_dataset
+        assert fidelity(trained_mlp, trained_mlp, x) == 1.0
+
+    def test_disagreeing_models(self, xor_dataset):
+        x, y = xor_dataset
+        a = FloatMLP([4, 8, 2], epochs=1, seed=0).fit(x, y)
+        b = FloatMLP([4, 8, 2], epochs=30, seed=5).fit(x, y)
+        assert 0.0 <= fidelity(a, b, x) <= 1.0

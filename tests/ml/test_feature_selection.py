@@ -1,0 +1,100 @@
+"""Feature-importance ranking and lean-monitoring plans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.feature_selection import (
+    FeatureRanking,
+    mutual_information_ranking,
+    permutation_importance,
+    select_top_features,
+)
+from repro.ml.mlp import FloatMLP
+
+
+@pytest.fixture(scope="module")
+def informative_dataset():
+    """Only features 0 and 2 matter; 1 and 3 are pure noise."""
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=(1000, 4))
+    y = ((x[:, 0] + x[:, 2]) > 0).astype(np.int64)
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def model(informative_dataset):
+    x, y = informative_dataset
+    return FloatMLP([4, 8, 2], epochs=25, seed=0).fit(x, y)
+
+
+class TestPermutationImportance:
+    def test_finds_informative_features(self, model, informative_dataset):
+        x, y = informative_dataset
+        ranking = permutation_importance(model, x, y, n_repeats=3, seed=0)
+        assert set(ranking.top(2)) == {0, 2}
+
+    def test_noise_features_near_zero(self, model, informative_dataset):
+        x, y = informative_dataset
+        ranking = permutation_importance(model, x, y, n_repeats=3, seed=0)
+        assert ranking.importances[1] < 0.02
+        assert ranking.importances[3] < 0.02
+
+    def test_importances_nonnegative(self, model, informative_dataset):
+        x, y = informative_dataset
+        ranking = permutation_importance(model, x, y, seed=1)
+        assert (ranking.importances >= 0).all()
+
+    def test_requires_2d(self, model):
+        with pytest.raises(ValueError):
+            permutation_importance(model, np.zeros(4), np.zeros(1))
+
+    def test_rejects_zero_repeats(self, model, informative_dataset):
+        x, y = informative_dataset
+        with pytest.raises(ValueError):
+            permutation_importance(model, x, y, n_repeats=0)
+
+
+class TestMutualInformation:
+    def test_finds_informative_features(self, informative_dataset):
+        x, y = informative_dataset
+        ranking = mutual_information_ranking(x, y)
+        assert set(ranking.top(2)) == {0, 2}
+
+    def test_scores_nonnegative(self, informative_dataset):
+        x, y = informative_dataset
+        ranking = mutual_information_ranking(x, y)
+        assert (ranking.importances >= 0).all()
+
+    def test_bins_validation(self, informative_dataset):
+        x, y = informative_dataset
+        with pytest.raises(ValueError):
+            mutual_information_ranking(x, y, bins=1)
+
+
+class TestRankingAndPlans:
+    def test_top_k_validation(self):
+        ranking = FeatureRanking(np.array([0.3, 0.1]), "test")
+        with pytest.raises(ValueError):
+            ranking.top(0)
+        with pytest.raises(ValueError):
+            ranking.top(3)
+
+    def test_as_pairs_sorted(self):
+        ranking = FeatureRanking(np.array([0.1, 0.9, 0.5]), "test")
+        pairs = ranking.as_pairs()
+        assert [i for i, _ in pairs] == [1, 2, 0]
+
+    def test_plan_overhead_savings(self):
+        ranking = FeatureRanking(np.array([0.9, 0.1, 0.0, 0.0]), "test")
+        plan = select_top_features(ranking, 1,
+                                   monitor_costs=np.array([10, 10, 40, 40]))
+        assert plan["selected"] == [0]
+        assert plan["dropped"] == [1, 2, 3]
+        assert plan["overhead_saved_fraction"] == pytest.approx(0.9)
+
+    def test_plan_cost_length_mismatch(self):
+        ranking = FeatureRanking(np.array([0.9, 0.1]), "test")
+        with pytest.raises(ValueError):
+            select_top_features(ranking, 1, monitor_costs=np.array([1.0]))

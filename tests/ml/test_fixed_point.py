@@ -1,0 +1,186 @@
+"""Unit + property tests for Q-format fixed point and affine quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.fixed_point import (
+    DEFAULT_QFORMAT,
+    AffineQuantizer,
+    QFormat,
+    requantize_shift,
+    sat_add,
+    sat_mul,
+    sat_sub,
+    saturate,
+)
+
+
+class TestSaturate:
+    def test_within_range_unchanged(self):
+        assert saturate(1234, 32) == 1234
+        assert saturate(-1234, 32) == -1234
+
+    def test_clamps_to_rails(self):
+        assert saturate(1 << 40, 32) == (1 << 31) - 1
+        assert saturate(-(1 << 40), 32) == -(1 << 31)
+
+    def test_array_form(self):
+        arr = np.array([0, 1 << 40, -(1 << 40)], dtype=np.int64)
+        out = saturate(arr, 32)
+        assert out.tolist() == [0, (1 << 31) - 1, -(1 << 31)]
+
+    def test_rejects_tiny_word(self):
+        with pytest.raises(ValueError):
+            saturate(0, 1)
+
+    @given(st.integers(min_value=-(1 << 70), max_value=1 << 70),
+           st.integers(min_value=2, max_value=64))
+    def test_always_within_bounds(self, value, bits):
+        out = saturate(value, bits)
+        assert -(1 << (bits - 1)) <= out <= (1 << (bits - 1)) - 1
+
+    @given(st.integers(min_value=-(1 << 30), max_value=1 << 30))
+    def test_idempotent(self, value):
+        assert saturate(saturate(value, 32), 32) == saturate(value, 32)
+
+
+class TestSatArithmetic:
+    def test_add_saturates(self):
+        hi = (1 << 31) - 1
+        assert sat_add(hi, hi, 32) == hi
+
+    def test_sub_saturates(self):
+        lo = -(1 << 31)
+        assert sat_sub(lo, 100, 32) == lo
+
+    def test_mul_requantizes(self):
+        # 2.0 * 3.0 in Q.8 -> 6.0
+        q = QFormat(7, 8, 32)
+        assert sat_mul(q.to_fixed(2.0), q.to_fixed(3.0), 8) == q.to_fixed(6.0)
+
+    @given(st.integers(-(1 << 31), (1 << 31) - 1),
+           st.integers(-(1 << 31), (1 << 31) - 1))
+    def test_add_matches_python_when_in_range(self, a, b):
+        if -(1 << 31) <= a + b <= (1 << 31) - 1:
+            assert sat_add(a, b, 32) == a + b
+
+
+class TestRequantizeShift:
+    def test_round_half_up(self):
+        assert requantize_shift(3, 1) == 2  # 1.5 -> 2
+        assert requantize_shift(5, 2) == 1  # 1.25 -> 1
+        assert requantize_shift(6, 2) == 2  # 1.5 -> 2
+
+    def test_negative_shift_is_left_shift(self):
+        assert requantize_shift(3, -2) == 12
+
+    def test_array(self):
+        arr = np.array([4, 5, 6, 7], dtype=np.int64)
+        assert requantize_shift(arr, 2).tolist() == [1, 1, 2, 2]
+
+    @given(st.integers(-(1 << 40), 1 << 40), st.integers(1, 20))
+    def test_error_at_most_half_ulp(self, value, shift):
+        out = requantize_shift(value, shift)
+        assert abs(out - value / (1 << shift)) <= 0.5
+
+
+class TestQFormat:
+    def test_round_trip_exact_for_representable(self):
+        q = QFormat(7, 8)
+        assert q.to_float(q.to_fixed(1.5)) == 1.5
+
+    def test_scale_and_resolution(self):
+        q = QFormat(15, 16)
+        assert q.scale == 65536
+        assert q.resolution == 1.0 / 65536
+
+    def test_saturates_overflow(self):
+        q = QFormat(3, 4, word_bits=8)
+        assert q.to_fixed(100.0) == 127
+        assert q.to_fixed(-100.0) == -128
+
+    def test_rejects_format_not_fitting_word(self):
+        with pytest.raises(ValueError):
+            QFormat(20, 16, word_bits=32)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            QFormat(-1, 4)
+
+    def test_default_format(self):
+        assert DEFAULT_QFORMAT.int_bits == 15
+        assert DEFAULT_QFORMAT.frac_bits == 16
+
+    def test_str(self):
+        assert str(QFormat(7, 8)) == "Q7.8/32b"
+
+    def test_mul_identity(self):
+        q = QFormat(15, 16)
+        one = q.to_fixed(1.0)
+        assert q.mul(q.to_fixed(3.25), one) == q.to_fixed(3.25)
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_round_trip_error_within_resolution(self, value):
+        q = QFormat(15, 16)
+        assert abs(q.to_float(q.to_fixed(value)) - value) <= q.resolution
+
+    @given(st.floats(-50, 50), st.floats(-50, 50))
+    def test_add_matches_float(self, a, b):
+        q = QFormat(15, 16)
+        got = q.to_float(q.add(q.to_fixed(a), q.to_fixed(b)))
+        assert abs(got - (a + b)) <= 2 * q.resolution
+
+
+class TestAffineQuantizer:
+    def test_symmetric_zero_point_is_zero(self):
+        q = AffineQuantizer(bits=8, symmetric=True).fit(np.array([-2.0, 3.0]))
+        assert q.zero_point == 0
+
+    def test_asymmetric_covers_range(self):
+        data = np.linspace(0.0, 10.0, 100)
+        q = AffineQuantizer(bits=8, symmetric=False).fit(data)
+        round_trip = q.dequantize(q.quantize(data))
+        assert np.max(np.abs(round_trip - data)) <= q.scale
+
+    def test_quantize_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            AffineQuantizer().quantize(np.array([1.0]))
+
+    def test_empty_calibration_raises(self):
+        with pytest.raises(ValueError):
+            AffineQuantizer().fit(np.array([]))
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            AffineQuantizer(bits=1)
+        with pytest.raises(ValueError):
+            AffineQuantizer(bits=64)
+
+    def test_quantized_values_within_grid(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=1000) * 10
+        q = AffineQuantizer(bits=4).fit(data)
+        vals = q.quantize(data)
+        assert vals.min() >= q.qmin and vals.max() <= q.qmax
+
+    def test_error_decreases_with_bits(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=2000)
+        errors = [
+            AffineQuantizer(bits=b).fit(data).quantization_error(data)
+            for b in (2, 4, 8, 16)
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.floats(-1000, 1000), min_size=2, max_size=50),
+           st.integers(2, 16))
+    def test_round_trip_error_bounded_by_scale(self, values, bits):
+        data = np.asarray(values)
+        q = AffineQuantizer(bits=bits, symmetric=True).fit(data)
+        round_trip = q.dequantize(q.quantize(data))
+        assert np.max(np.abs(round_trip - data)) <= q.scale * 1.0000001

@@ -1,0 +1,147 @@
+"""Float MLP training and post-training quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.fixed_point import requantize_shift
+from repro.ml.mlp import FloatMLP, QuantizedMLP, quantize_multiplier
+
+
+class TestFloatMLP:
+    def test_learns_xor(self, trained_mlp, xor_dataset):
+        x, y = xor_dataset
+        assert trained_mlp.accuracy(x, y) > 0.95
+
+    def test_loss_decreases(self, trained_mlp):
+        losses = trained_mlp.loss_history
+        assert losses[-1] < losses[0]
+
+    def test_proba_sums_to_one(self, trained_mlp, xor_dataset):
+        x, _ = xor_dataset
+        probs = trained_mlp.predict_proba(x[:20])
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_input_width_validation(self, trained_mlp):
+        with pytest.raises(ValueError):
+            trained_mlp.fit(np.zeros((10, 7)), np.zeros(10, dtype=int))
+
+    def test_label_range_validation(self):
+        mlp = FloatMLP([2, 4, 2], epochs=1)
+        with pytest.raises(ValueError):
+            mlp.fit(np.zeros((4, 2)), np.array([0, 1, 2, 0]))
+
+    def test_rejects_degenerate_layers(self):
+        with pytest.raises(ValueError):
+            FloatMLP([4])
+        with pytest.raises(ValueError):
+            FloatMLP([4, 0, 2])
+
+    def test_deterministic_given_seed(self, xor_dataset):
+        x, y = xor_dataset
+        a = FloatMLP([4, 8, 2], epochs=5, seed=3).fit(x, y)
+        b = FloatMLP([4, 8, 2], epochs=5, seed=3).fit(x, y)
+        assert np.array_equal(a.predict(x), b.predict(x))
+
+    def test_cost_signature(self, trained_mlp):
+        sig = trained_mlp.cost_signature()
+        assert sig == {"kind": "mlp", "layer_sizes": [4, 16, 2],
+                       "weight_bytes": 4}
+
+    def test_constant_feature_handled(self):
+        x = np.zeros((50, 3))
+        x[:, 0] = np.arange(50)
+        y = (x[:, 0] > 25).astype(int)
+        mlp = FloatMLP([3, 4, 2], epochs=20, seed=0).fit(x, y)
+        assert mlp.accuracy(x, y) > 0.9  # zero-std features must not NaN
+
+
+class TestQuantizeMultiplier:
+    def test_half(self):
+        # Applying (m, s) for factor 0.5 to a value must halve it.
+        m, s = quantize_multiplier(0.5)
+        value = 1 << 20
+        assert requantize_shift(value * m, s) == value // 2
+
+    def test_identity_factor(self):
+        m, s = quantize_multiplier(1.0)
+        assert abs((m / 2**s) - 1.0) < 1e-6
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            quantize_multiplier(0.0)
+        with pytest.raises(ValueError):
+            quantize_multiplier(-1.0)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_relative_error_tiny(self, real):
+        m, s = quantize_multiplier(real)
+        approx = m / (1 << s) if s >= 0 else m * (1 << -s)
+        assert abs(approx - real) / real < 1e-8
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_multiplier_is_31_bit(self, real):
+        m, _ = quantize_multiplier(real)
+        assert (1 << 30) <= m < (1 << 31)
+
+
+class TestQuantizedMLP:
+    def test_agreement_with_teacher(self, trained_mlp, quantized_mlp, xor_dataset):
+        x, _ = xor_dataset
+        assert quantized_mlp.agreement(trained_mlp, x) > 0.97
+
+    def test_accuracy_preserved(self, quantized_mlp, xor_dataset):
+        x, y = xor_dataset
+        assert quantized_mlp.accuracy(x, y) > 0.93
+
+    def test_integer_only_forward(self, quantized_mlp, xor_dataset):
+        x, _ = xor_dataset
+        xq = quantized_mlp.quantize_input(x[0])
+        assert np.issubdtype(xq.dtype, np.integer)
+        logits = quantized_mlp.logits_from_quantized(xq)
+        assert np.issubdtype(logits.dtype, np.integer)
+
+    def test_weights_within_bit_range(self, quantized_mlp):
+        for w in quantized_mlp.weights_q:
+            assert w.min() >= -128 and w.max() <= 127  # int8
+
+    def test_requires_fitted_teacher(self):
+        with pytest.raises(RuntimeError):
+            QuantizedMLP.from_float(FloatMLP([2, 2]), np.zeros((4, 2)))
+
+    def test_predict_shape_validation(self, quantized_mlp):
+        with pytest.raises(ValueError):
+            quantized_mlp.predict(np.zeros(4))
+
+    def test_cost_signature_scales_with_bits(self, trained_mlp, xor_dataset):
+        x, _ = xor_dataset
+        q4 = QuantizedMLP.from_float(trained_mlp, x[:100], bits=4)
+        q16 = QuantizedMLP.from_float(trained_mlp, x[:100], bits=16)
+        assert q4.cost_signature()["weight_bytes"] == 1
+        assert q16.cost_signature()["weight_bytes"] == 2
+
+    def test_lower_bits_weakly_worse(self, trained_mlp, xor_dataset):
+        x, y = xor_dataset
+        accs = {
+            bits: QuantizedMLP.from_float(trained_mlp, x[:200], bits=bits)
+            .accuracy(x[:300], y[:300])
+            for bits in (2, 8)
+        }
+        assert accs[8] >= accs[2]
+
+    def test_matvec_ref_layer(self, quantized_mlp):
+        xq = np.ones(4, dtype=np.int64)
+        out = quantized_mlp.matvec_ref(0, xq)
+        expected = quantized_mlp.weights_q[0] @ xq
+        assert out.tolist() == expected.tolist()
+
+    def test_predict_one_quantized_matches(self, quantized_mlp, xor_dataset):
+        x, _ = xor_dataset
+        for row in x[:10]:
+            xq = quantized_mlp.quantize_input(row)
+            assert quantized_mlp.predict_one_quantized(xq) == \
+                quantized_mlp.predict_one(row)

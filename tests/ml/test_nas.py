@@ -1,0 +1,90 @@
+"""Neural architecture search under the platform cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.nas import NasResult, SearchSpace, evolutionary_search, random_search
+
+
+@pytest.fixture(scope="module")
+def nas_data():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(400, 4))
+    y = ((x[:, 0] + x[:, 1]) > 0).astype(np.int64)
+    return x[:300], y[:300], x[300:], y[300:]
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SearchSpace(n_inputs=4, n_outputs=2, min_layers=1, max_layers=2,
+                       width_choices=(4, 8))
+
+
+class TestSearchSpace:
+    def test_sample_within_bounds(self, space):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            hidden = space.sample(rng)
+            assert 1 <= len(hidden) <= 2
+            assert all(w in (4, 8) for w in hidden)
+
+    def test_mutate_stays_within_bounds(self, space):
+        rng = np.random.default_rng(1)
+        hidden = (4,)
+        for _ in range(50):
+            hidden = space.mutate(hidden, rng)
+            assert space.min_layers <= len(hidden) <= space.max_layers
+            assert all(w in space.width_choices for w in hidden)
+
+    def test_full_layers(self, space):
+        assert space.full_layers((8,)) == [4, 8, 2]
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            SearchSpace(4, 2, min_layers=3, max_layers=1)
+        with pytest.raises(ValueError):
+            SearchSpace(4, 2, width_choices=())
+
+
+class TestRandomSearch:
+    def test_finds_accurate_architecture(self, space, nas_data):
+        result = random_search(space, *nas_data, n_trials=4, epochs=10, seed=0)
+        assert isinstance(result, NasResult)
+        assert result.best_accuracy > 0.85
+        assert len(result.trace) == 4
+
+    def test_latency_penalty_prefers_small(self, space, nas_data):
+        # With an overwhelming latency weight the smallest net must win.
+        result = random_search(space, *nas_data, n_trials=6,
+                               latency_weight=1e6, epochs=3, seed=1)
+        sizes = [sum(t["hidden"]) for t in result.trace]
+        best_size = sum(result.best_layers[1:-1])
+        assert best_size == min(sizes)
+
+    def test_rejects_zero_trials(self, space, nas_data):
+        with pytest.raises(ValueError):
+            random_search(space, *nas_data, n_trials=0)
+
+
+class TestEvolutionarySearch:
+    def test_improves_or_matches(self, space, nas_data):
+        result = evolutionary_search(space, *nas_data, population=3,
+                                     generations=2, epochs=8, seed=0)
+        assert result.best_accuracy > 0.8
+        # Trace covers population x generations evaluations.
+        assert len(result.trace) == 6
+
+    def test_best_model_usable(self, space, nas_data):
+        result = evolutionary_search(space, *nas_data, population=2,
+                                     generations=1, epochs=8, seed=2)
+        x_val = nas_data[2]
+        preds = result.best_model.predict(x_val)
+        assert preds.shape == (x_val.shape[0],)
+
+    def test_param_validation(self, space, nas_data):
+        with pytest.raises(ValueError):
+            evolutionary_search(space, *nas_data, population=1)
+        with pytest.raises(ValueError):
+            evolutionary_search(space, *nas_data, generations=0)

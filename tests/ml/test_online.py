@@ -1,0 +1,115 @@
+"""Online training machinery: accuracy tracking, drift, retrain loops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ml.decision_tree import WindowedTreeTrainer
+from repro.ml.online import AccuracyTracker, DriftDetector, OnlineTrainer
+
+
+class TestAccuracyTracker:
+    def test_windowed_vs_lifetime(self):
+        tracker = AccuracyTracker(window=4)
+        for outcome in [True, True, True, True, False, False, False, False]:
+            tracker.record(outcome)
+        assert tracker.windowed_accuracy == 0.0  # last 4 are misses
+        assert tracker.lifetime_accuracy == 0.5
+
+    def test_empty_is_zero(self):
+        assert AccuracyTracker().windowed_accuracy == 0.0
+        assert AccuracyTracker().lifetime_accuracy == 0.0
+
+    def test_reset_window_keeps_lifetime(self):
+        tracker = AccuracyTracker(window=8)
+        for _ in range(8):
+            tracker.record(True)
+        tracker.reset_window()
+        assert tracker.n_windowed == 0
+        assert tracker.lifetime_accuracy == 1.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            AccuracyTracker(window=0)
+
+
+class TestDriftDetector:
+    def test_no_drift_without_baseline(self):
+        tracker = AccuracyTracker(window=8)
+        for _ in range(8):
+            tracker.record(False)
+        assert not DriftDetector(min_samples=4).check(tracker)
+
+    def test_detects_drop(self):
+        tracker = AccuracyTracker(window=16)
+        detector = DriftDetector(drop_threshold=0.2, min_samples=8)
+        detector.set_baseline(0.9)
+        for _ in range(16):
+            tracker.record(False)
+        assert detector.check(tracker)
+        assert detector.n_drift_events == 1
+
+    def test_min_samples_guard(self):
+        tracker = AccuracyTracker(window=16)
+        detector = DriftDetector(drop_threshold=0.2, min_samples=8)
+        detector.set_baseline(0.9)
+        tracker.record(False)
+        assert not detector.check(tracker)
+
+    def test_small_drop_tolerated(self):
+        tracker = AccuracyTracker(window=10)
+        detector = DriftDetector(drop_threshold=0.3, min_samples=5)
+        detector.set_baseline(0.9)
+        for outcome in [True] * 8 + [False] * 2:
+            tracker.record(outcome)
+        assert not detector.check(tracker)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetector(drop_threshold=0.0)
+        with pytest.raises(ValueError):
+            DriftDetector(drop_threshold=1.5)
+
+
+class TestOnlineTrainer:
+    def _trainer(self, window=32):
+        return OnlineTrainer(
+            WindowedTreeTrainer(window_size=window, min_train_samples=16),
+            accuracy_window=32,
+            drift_threshold=0.3,
+            min_drift_samples=8,
+        )
+
+    def test_predict_before_training_is_none(self):
+        assert self._trainer().predict([1, 2]) is None
+
+    def test_trains_after_min_samples(self):
+        online = self._trainer()
+        for i in range(20):
+            online.observe([i % 4], (i % 4) > 1)
+        assert online.model is not None
+        assert online.n_retrains >= 1
+
+    def test_drift_triggers_early_retrain(self):
+        online = self._trainer(window=1000)  # periodic retrain never fires
+        # Phase 1: learn x>1.
+        for i in range(40):
+            online.observe([i % 4], int(i % 4 > 1))
+        retrains_before = online.n_retrains
+        # Phase 2: inverted labels; feed predictions so accuracy tanks.
+        drift_retrain = False
+        for i in range(200):
+            features = [i % 4]
+            predicted = online.predict(features)
+            drift_retrain |= online.observe(
+                features, int(i % 4 <= 1), predicted=predicted
+            )
+        assert drift_retrain
+        assert online.n_retrains > retrains_before
+
+    def test_prediction_counter(self):
+        online = self._trainer()
+        for i in range(20):
+            online.observe([i % 4], i % 2)
+        online.predict([1])
+        assert online.n_predictions == 1

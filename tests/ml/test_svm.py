@@ -1,0 +1,83 @@
+"""Linear SVM training and integer quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.svm import IntegerSVM, LinearSVM
+
+
+@pytest.fixture(scope="module")
+def separable():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(400, 3)) * 5
+    y = ((x[:, 0] - 0.5 * x[:, 1]) > 1.0).astype(np.int64)
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def fitted(separable):
+    x, y = separable
+    return LinearSVM(3, epochs=40, seed=1).fit(x, y)
+
+
+class TestLinearSVM:
+    def test_learns_separable(self, fitted, separable):
+        x, y = separable
+        assert fitted.accuracy(x, y) > 0.95
+
+    def test_decision_sign_matches_prediction(self, fitted, separable):
+        x, _ = separable
+        df = fitted.decision_function(x[:50])
+        preds = fitted.predict(x[:50])
+        assert ((df >= 0) == (preds == 1)).all()
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError):
+            LinearSVM(2, epochs=1).fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ValueError):
+            LinearSVM(2, epochs=1).fit(np.zeros((3, 5)),
+                                       np.array([0, 1, 0]))
+
+    def test_rejects_nonpositive_features(self):
+        with pytest.raises(ValueError):
+            LinearSVM(0)
+
+
+class TestIntegerSVM:
+    def test_quantized_matches_float(self, fitted, separable):
+        x, y = separable
+        isvm = IntegerSVM.from_float(fitted, x[:100], bits=8)
+        agreement = np.mean(isvm.predict(x) == fitted.predict(x))
+        assert agreement > 0.97
+
+    def test_accuracy_preserved(self, fitted, separable):
+        x, y = separable
+        isvm = IntegerSVM.from_float(fitted, x[:100])
+        assert isvm.accuracy(x, y) > 0.93
+
+    def test_integer_decision_path(self, fitted, separable):
+        x, _ = separable
+        isvm = IntegerSVM.from_float(fitted, x[:100])
+        xq = isvm.quantize_input(x[0])
+        assert np.issubdtype(xq.dtype, np.integer)
+        assert isinstance(isvm.decision_value(xq), int)
+
+    def test_requires_fitted(self):
+        with pytest.raises(RuntimeError):
+            IntegerSVM.from_float(LinearSVM(2), np.zeros((4, 2)))
+
+    def test_cost_signature(self, fitted, separable):
+        x, _ = separable
+        isvm = IntegerSVM.from_float(fitted, x[:100], bits=8)
+        sig = isvm.cost_signature()
+        assert sig == {"kind": "svm", "n_features": 3, "weight_bytes": 1}
+
+    def test_predict_requires_2d(self, fitted, separable):
+        x, _ = separable
+        isvm = IntegerSVM.from_float(fitted, x[:100])
+        with pytest.raises(ValueError):
+            isvm.predict(np.zeros(3))

@@ -1,0 +1,169 @@
+"""Integer tensor kernels: unit tests + hypothesis vs NumPy reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.tensor import (
+    int_add_bias,
+    int_argmax,
+    int_conv2d,
+    int_dot,
+    int_matmul,
+    int_matvec,
+    int_maxpool2d,
+    int_relu,
+)
+
+_small_ints = st.integers(min_value=-(1 << 20), max_value=1 << 20)
+
+
+def _int_array(shape):
+    return hnp.arrays(np.int64, shape, elements=_small_ints)
+
+
+class TestDotAndMatvec:
+    def test_dot_simple(self):
+        assert int_dot(np.array([1, 2, 3]), np.array([4, 5, 6])) == 32
+
+    def test_dot_shift(self):
+        assert int_dot(np.array([4]), np.array([4]), shift=2) == 4
+
+    def test_dot_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            int_dot(np.array([1, 2]), np.array([1, 2, 3]))
+
+    def test_rejects_float_input(self):
+        with pytest.raises(TypeError):
+            int_dot(np.array([1.5]), np.array([2.0]))
+
+    def test_matvec_matches_numpy(self):
+        w = np.arange(12, dtype=np.int64).reshape(3, 4)
+        x = np.array([1, -1, 2, -2], dtype=np.int64)
+        assert int_matvec(w, x).tolist() == (w @ x).tolist()
+
+    def test_matvec_dim_checks(self):
+        with pytest.raises(ValueError):
+            int_matvec(np.zeros((2, 3), dtype=np.int64),
+                       np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError):
+            int_matvec(np.zeros(3, dtype=np.int64), np.zeros(3, dtype=np.int64))
+
+    def test_matvec_saturates(self):
+        w = np.full((1, 1), 1 << 30, dtype=np.int64)
+        x = np.array([1 << 30], dtype=np.int64)
+        assert int_matvec(w, x)[0] == (1 << 31) - 1
+
+    @settings(max_examples=40)
+    @given(_int_array((3, 5)), _int_array((5,)))
+    def test_matvec_property(self, w, x):
+        got = int_matvec(w, x, word_bits=64)
+        assert got.tolist() == (w.astype(object) @ x.astype(object)).tolist()
+
+
+class TestMatmul:
+    def test_matches_numpy(self):
+        a = np.arange(6, dtype=np.int64).reshape(2, 3)
+        b = np.arange(12, dtype=np.int64).reshape(3, 4)
+        assert int_matmul(a, b).tolist() == (a @ b).tolist()
+
+    def test_inner_dim_check(self):
+        with pytest.raises(ValueError):
+            int_matmul(np.zeros((2, 3), dtype=np.int64),
+                       np.zeros((4, 2), dtype=np.int64))
+
+    def test_shift_applied(self):
+        a = np.array([[8]], dtype=np.int64)
+        b = np.array([[8]], dtype=np.int64)
+        assert int_matmul(a, b, shift=3)[0, 0] == 8
+
+
+class TestActivations:
+    def test_relu(self):
+        assert int_relu(np.array([-5, 0, 7])).tolist() == [0, 0, 7]
+
+    def test_add_bias(self):
+        out = int_add_bias(np.array([1, 2]), np.array([10, 20]))
+        assert out.tolist() == [11, 22]
+
+    def test_argmax_first_of_ties(self):
+        assert int_argmax(np.array([3, 7, 7, 1])) == 1
+
+    def test_argmax_empty_raises(self):
+        with pytest.raises(ValueError):
+            int_argmax(np.array([], dtype=np.int64))
+
+    @given(_int_array((8,)))
+    def test_relu_nonnegative_and_idempotent(self, x):
+        out = int_relu(x)
+        assert (out >= 0).all()
+        assert int_relu(out).tolist() == out.tolist()
+
+    @given(_int_array((6,)))
+    def test_argmax_matches_numpy(self, x):
+        assert int_argmax(x) == int(np.argmax(x))
+
+
+class TestConv2d:
+    def test_identity_kernel(self):
+        img = np.arange(16, dtype=np.int64).reshape(4, 4)
+        kernel = np.array([[1]], dtype=np.int64)
+        assert int_conv2d(img, kernel).tolist() == img.tolist()
+
+    def test_box_sum(self):
+        img = np.ones((3, 3), dtype=np.int64)
+        kernel = np.ones((2, 2), dtype=np.int64)
+        out = int_conv2d(img, kernel)
+        assert out.shape == (2, 2)
+        assert (out == 4).all()
+
+    def test_stride(self):
+        img = np.arange(25, dtype=np.int64).reshape(5, 5)
+        out = int_conv2d(img, np.array([[1]], dtype=np.int64), stride=2)
+        assert out.shape == (3, 3)
+        assert out[0].tolist() == [0, 2, 4]
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError):
+            int_conv2d(np.zeros((2, 2), dtype=np.int64),
+                       np.zeros((3, 3), dtype=np.int64))
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            int_conv2d(np.zeros((3, 3), dtype=np.int64),
+                       np.zeros((2, 2), dtype=np.int64), stride=0)
+
+    @settings(max_examples=20)
+    @given(_int_array((5, 5)), _int_array((2, 2)))
+    def test_matches_naive_reference(self, img, kernel):
+        out = int_conv2d(img, kernel, word_bits=64)
+        for i in range(4):
+            for j in range(4):
+                expected = int(np.sum(img[i:i + 2, j:j + 2] * kernel))
+                assert out[i, j] == expected
+
+
+class TestMaxPool:
+    def test_basic(self):
+        x = np.array([[1, 2, 5, 6], [3, 4, 7, 8],
+                      [9, 10, 13, 14], [11, 12, 15, 16]], dtype=np.int64)
+        out = int_maxpool2d(x, 2)
+        assert out.tolist() == [[4, 8], [12, 16]]
+
+    def test_stride_override(self):
+        x = np.arange(16, dtype=np.int64).reshape(4, 4)
+        out = int_maxpool2d(x, 2, stride=1)
+        assert out.shape == (3, 3)
+
+    def test_pool_too_large(self):
+        with pytest.raises(ValueError):
+            int_maxpool2d(np.zeros((2, 2), dtype=np.int64), 3)
+
+    @given(_int_array((4, 4)))
+    def test_pool_output_subset_of_input(self, x):
+        out = int_maxpool2d(x, 2)
+        assert set(out.flatten().tolist()) <= set(x.flatten().tolist())

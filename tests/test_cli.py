@@ -1,0 +1,98 @@
+"""The command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, parse_schema_spec
+
+
+class TestSchemaSpec:
+    def test_fields_and_writability(self):
+        schema = parse_schema_spec("pid,page,out:rw")
+        assert schema.field_names == ["pid", "page", "out"]
+        assert not schema.is_writable(0)
+        assert schema.is_writable(2)
+
+    def test_whitespace_tolerated(self):
+        schema = parse_schema_spec(" a , b ")
+        assert schema.field_names == ["a", "b"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_schema_spec(" , ")
+
+
+class TestInventory:
+    def test_lists_isa_and_rules(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "RMT ISA" in out
+        assert "MAT_MUL" in out
+        assert "forward-only" in out
+
+
+class TestCompile:
+    def _write(self, tmp_path, source):
+        path = tmp_path / "prog.rmt"
+        path.write_text(source)
+        return str(path)
+
+    def test_valid_program(self, tmp_path, capsys):
+        path = self._write(tmp_path, """
+            table t { match = pid; }
+            entry t { pid = 1; action = go; }
+            action go() { return ctxt.page + 1; }
+        """)
+        assert main(["compile", path]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert "LD_CTXT" in out
+
+    def test_custom_schema(self, tmp_path, capsys):
+        path = self._write(tmp_path, """
+            table t { match = flow; }
+            action go() { ctxt.mark = 1; return 0; }
+        """)
+        code = main(["compile", path, "--schema", "flow,mark:rw"])
+        assert code == 0
+
+    def test_dsl_error_reported(self, tmp_path, capsys):
+        path = self._write(tmp_path, "action go() { return q; }")
+        assert main(["compile", path]) == 1
+        assert "compile error" in capsys.readouterr().err
+
+    def test_verifier_rejection_reported(self, tmp_path, capsys):
+        # Storing to a read-only field passes the DSL (it only knows the
+        # schema says non-writable... actually the codegen catches it at
+        # ST_CTXT verification time).  Use an over-budget action instead:
+        path = self._write(tmp_path, """
+            table t { match = pid; }
+            action go() { ctxt.pid = 1; return 0; }
+        """)
+        code = main(["compile", path])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REJECTED" in captured.err
+
+    def test_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent/x.rmt"]) == 2
+
+    def test_bad_schema_spec(self, tmp_path, capsys):
+        path = self._write(tmp_path, "action go() { return 0; }")
+        assert main(["compile", path, "--schema", ","]) == 2
+
+
+class TestAblationCommand:
+    def test_privacy_ablation_runs(self, capsys):
+        assert main(["ablation", "privacy"]) == 0
+        out = capsys.readouterr().out
+        assert "epsilon" in out
+
+    def test_jit_ablation_runs(self, capsys):
+        assert main(["ablation", "jit"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ablation", "bogus"])

@@ -1,0 +1,130 @@
+"""The two Table-1 trace generators and the Table-2 task graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.matrix_conv import matrix_conv_trace
+from repro.workloads.parsec import (
+    blackscholes,
+    fib_calculation,
+    matrix_multiply,
+    streamcluster,
+    table2_workloads,
+)
+from repro.workloads.video_resize import video_resize_trace
+
+
+class TestVideoResize:
+    def test_buffer_reuse_repeats_pattern(self):
+        trace = video_resize_trace(n_frames=2)
+        per_frame = trace.n_accesses // 2
+        assert trace.accesses[:per_frame] == trace.accesses[per_frame:]
+
+    def test_fresh_buffers_do_not_repeat(self):
+        trace = video_resize_trace(n_frames=2, reuse_buffers=False)
+        per_frame = trace.n_accesses // 2
+        assert trace.accesses[:per_frame] != trace.accesses[per_frame:]
+
+    def test_row_padding_creates_stride_gaps(self):
+        trace = video_resize_trace(n_frames=1, row_pages=3,
+                                   row_stride_pages=5)
+        deltas = set(np.diff(trace.accesses).tolist())
+        # Within-row +1 and the padding hop +3 (= stride - pages + 1).
+        assert 1 in deltas and 3 in deltas
+
+    def test_input_and_output_regions_disjoint(self):
+        trace = video_resize_trace(n_frames=1)
+        meta = trace.metadata
+        rows = meta["rows_per_frame"] * meta["row_stride_pages"]
+        in_pages = {p for p in trace.accesses if p < 0x1000 + rows}
+        out_pages = set(trace.accesses) - in_pages
+        assert in_pages and out_pages
+
+    def test_majority_delta_is_plus_one(self):
+        """The slim +1 majority is what hands Leap its Table-1 behaviour."""
+        trace = video_resize_trace()
+        deltas = np.diff(trace.accesses)
+        assert np.mean(deltas == 1) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            video_resize_trace(n_frames=0)
+        with pytest.raises(ValueError):
+            video_resize_trace(scale=0.01)
+        with pytest.raises(ValueError):
+            video_resize_trace(row_pages=4, row_stride_pages=2)
+
+
+class TestMatrixConv:
+    def test_kernel_row_cycle(self):
+        trace = matrix_conv_trace(matrix_rows=10, row_pages=4,
+                                  kernel_rows=3, out_write_every=0)
+        deltas = np.diff(trace.accesses[:3 * 4])
+        # Cycle is (+R, +R, back-jump): two of every three deltas are +R.
+        assert (deltas[0], deltas[1]) == (4, 4)
+        assert deltas[2] < 0
+
+    def test_majority_delta_is_row_stride(self):
+        trace = matrix_conv_trace(out_write_every=0)
+        deltas = np.diff(trace.accesses).tolist()
+        row_pages = trace.metadata["row_pages"]
+        assert deltas.count(row_pages) / len(deltas) > 0.5
+
+    def test_no_sequential_runs(self):
+        """No +1 deltas: Linux readahead's sequential mode never engages."""
+        trace = matrix_conv_trace(out_write_every=0)
+        assert 1 not in set(np.diff(trace.accesses).tolist())
+
+    def test_output_writes_interleaved(self):
+        with_out = matrix_conv_trace(out_write_every=16)
+        without = matrix_conv_trace(out_write_every=0)
+        assert with_out.n_accesses > without.n_accesses
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            matrix_conv_trace(matrix_rows=2, kernel_rows=3)
+        with pytest.raises(ValueError):
+            matrix_conv_trace(kernel_rows=1)
+
+
+class TestParsecWorkloads:
+    def test_blackscholes_fanout_on_one_cpu(self):
+        specs = blackscholes(n_workers=16)
+        assert len(specs) == 16
+        assert all(s.origin_cpu == 0 for s in specs)
+        works = [s.work_ns for s in specs]
+        assert max(works) / min(works) < 1.5  # near-equal workers
+
+    def test_streamcluster_is_phased(self):
+        specs = streamcluster(n_phases=3, tasks_per_phase=4)
+        arrivals = sorted({s.arrival_ns // (120 * 10**6) for s in specs})
+        assert len(arrivals) == 3
+
+    def test_fib_exponential_levels(self):
+        specs = fib_calculation(depth=4)
+        assert len(specs) == 1 + 2 + 4 + 8
+        level_work = {}
+        for s in specs:
+            level_work.setdefault(s.name, []).append(s.work_ns)
+        assert np.mean(level_work["fib-l0"]) > np.mean(level_work["fib-l3"])
+
+    def test_matmul_blocks_and_stragglers(self):
+        specs = matrix_multiply(n_blocks=4, n_stragglers=3)
+        blocks = [s for s in specs if s.name == "matmul-block"]
+        reducers = [s for s in specs if s.name == "matmul-reduce"]
+        assert len(blocks) == 4 and len(reducers) == 3
+        assert min(s.work_ns for s in blocks) > max(
+            s.work_ns for s in reducers)
+
+    def test_table2_has_paper_row_names(self):
+        names = set(table2_workloads())
+        assert names == {"Blackscholes", "Streamcluster", "Fib Calculation",
+                         "Matrix Multiply"}
+
+    def test_seeds_change_jitter_not_structure(self):
+        a = blackscholes(seed=0)
+        b = blackscholes(seed=1)
+        assert len(a) == len(b)
+        assert a[0].work_ns != b[0].work_ns

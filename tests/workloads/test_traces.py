@@ -1,0 +1,85 @@
+"""Base trace generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.traces import (
+    TraceWorkload,
+    phased_trace,
+    random_trace,
+    sequential_trace,
+    strided_trace,
+    zipfian_trace,
+)
+
+
+class TestSequential:
+    def test_deltas_all_one(self):
+        trace = sequential_trace(100)
+        deltas = np.diff(trace.accesses)
+        assert (deltas == 1).all()
+
+    def test_metadata(self):
+        trace = sequential_trace(10, pid=3, compute_ns=500)
+        assert trace.pid == 3
+        assert trace.compute_ns_per_access == 500
+        assert trace.n_accesses == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequential_trace(0)
+
+
+class TestStrided:
+    def test_constant_stride(self):
+        trace = strided_trace(50, stride=7)
+        assert (np.diff(trace.accesses) == 7).all()
+
+    def test_negative_stride_stays_positive_pages(self):
+        trace = strided_trace(50, stride=-3)
+        assert (np.diff(trace.accesses) == -3).all()
+        assert min(trace.accesses) >= 0
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(ValueError):
+            strided_trace(10, stride=0)
+
+
+class TestRandomAndZipf:
+    def test_random_within_working_set(self):
+        trace = random_trace(500, working_set_pages=100, seed=1)
+        assert trace.unique_pages() <= 100
+
+    def test_random_deterministic_by_seed(self):
+        a = random_trace(100, seed=5).accesses
+        b = random_trace(100, seed=5).accesses
+        assert a == b
+
+    def test_zipf_is_skewed(self):
+        trace = zipfian_trace(2000, working_set_pages=1000, seed=0)
+        _, counts = np.unique(trace.accesses, return_counts=True)
+        # The most popular page dominates a uniform page's share.
+        assert counts.max() > 10 * np.median(counts)
+
+    def test_zipf_alpha_validation(self):
+        with pytest.raises(ValueError):
+            zipfian_trace(10, alpha=1.0)
+
+
+class TestPhased:
+    def test_phases_have_distinct_strides(self):
+        trace = phased_trace(300, phase_strides=(1, 9, 3))
+        per = trace.metadata["per_phase"]
+        deltas = np.diff(trace.accesses)
+        assert (deltas[: per - 1] == 1).all()
+        assert (deltas[per + 1: 2 * per - 1] == 9).all()
+
+    def test_needs_two_phases(self):
+        with pytest.raises(ValueError):
+            phased_trace(100, phase_strides=(1,))
+
+    def test_workload_dataclass(self):
+        workload = TraceWorkload("w", 1, [1, 2, 2])
+        assert workload.unique_pages() == 2
