@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fault injection + the datapath supervisor (robustness, Section 4).
+
+"The kernel must be protected from a misbehaving model": this demo runs
+the Table-1 page-prefetching case study while a deterministic fault plan
+injects helper failures, map corruption, budget exhaustion and model
+saturation into the RMT datapath — plus I/O errors and latency spikes
+into the swap device underneath it.
+
+Three kernels face the same faults:
+
+1. **unsupervised** — the trap escapes ``HookPoint.fire`` and the
+   simulated kernel panics (an uncontained ``RmtRuntimeError``);
+2. **supervised** — each datapath runs behind a per-program circuit
+   breaker: traps are contained, the program quarantines after repeated
+   faults (exponential backoff, half-open probation), and the hook
+   serves the stock readahead heuristic as the fallback verdict;
+3. **stock** — plain Linux readahead on the same degraded device: the
+   floor that graceful degradation must stay close to.
+
+Run:  python examples/fault_injection_demo.py
+"""
+
+from repro.core.errors import RmtRuntimeError
+from repro.harness.prefetch_experiment import (
+    TABLE1_CACHE_PAGES,
+    run_trace,
+    table1_workloads,
+)
+from repro.kernel.faults import FaultPlan, FaultyStorageModel, StorageFaultProfile
+from repro.kernel.mm.prefetch import ReadaheadPrefetcher
+from repro.kernel.mm.rmt_prefetch import RmtMlPrefetcher
+from repro.kernel.storage import RemoteMemoryModel
+
+FAULT_RATE = 0.05
+SEED = 7
+
+
+def make_plan() -> FaultPlan:
+    return FaultPlan.uniform(
+        FAULT_RATE,
+        seed=SEED,
+        storage=StorageFaultProfile(
+            io_error_rate=FAULT_RATE / 2, latency_spike_rate=FAULT_RATE / 2
+        ),
+    )
+
+
+def faulty_device() -> FaultyStorageModel:
+    return FaultyStorageModel(RemoteMemoryModel(), make_plan().storage, seed=SEED)
+
+
+def main() -> None:
+    workload = table1_workloads(scale=0.5)[0]
+    cache = TABLE1_CACHE_PAGES[workload.name]
+    print(f"workload: {workload.name}  ({workload.n_accesses} accesses, "
+          f"{FAULT_RATE:.0%} fault rate, seed {SEED})\n")
+
+    # 1. Unsupervised: the crash mode.
+    print("-- unsupervised kernel " + "-" * 40)
+    prefetcher = RmtMlPrefetcher(supervised=False, fault_plan=make_plan())
+    try:
+        run_trace(workload, prefetcher, device=faulty_device(), cache_pages=cache)
+    except RmtRuntimeError as exc:
+        print(f"KERNEL PANIC: {type(exc).__name__}: {exc}")
+        print(f"  attributed to program={exc.program!r} action={exc.action!r}\n")
+
+    # 2. Supervised: contained, quarantined, degraded gracefully.
+    print("-- supervised kernel " + "-" * 42)
+    prefetcher = RmtMlPrefetcher(supervised=True, fault_plan=make_plan())
+    result = run_trace(
+        workload, prefetcher, device=faulty_device(), cache_pages=cache
+    )
+    stats = prefetcher.stats()
+    print(f"completed: jct={result.jct_s:.4f}s accuracy={result.accuracy_pct:.1f}%")
+    print(f"faults injected : {prefetcher.injector.injected}")
+    print(f"contained traps : {stats['contained_traps']}")
+    print(f"fallback fires  : {stats['fallback_fires']}  (stock readahead served)")
+    print("per-program supervision (ControlPlane.stats()):")
+    for name, dp_stats in prefetcher.syscalls.control_plane.stats().items():
+        sup = dp_stats.get("supervision")
+        if not sup:
+            continue
+        print(f"  {name}: state={sup['state']} traps={sup['traps']} "
+              f"quarantines={sup['quarantines']} "
+              f"fallbacks={sup['fallback_verdicts']} by_kind={sup['by_kind']}")
+
+    # 3. Stock floor: readahead alone on the same degraded device.
+    print("\n-- stock kernel (readahead only) " + "-" * 30)
+    stock = run_trace(
+        workload, ReadaheadPrefetcher(), device=faulty_device(), cache_pages=cache
+    )
+    print(f"completed: jct={stock.jct_s:.4f}s accuracy={stock.accuracy_pct:.1f}%")
+    ratio = result.jct_s / stock.jct_s if stock.jct_s else float("inf")
+    print(f"\nsupervised JCT is {ratio:.2f}x the stock kernel on the same "
+          f"faulty device — degraded, not dead.")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,9 @@ from .control_plane import AccuracyWatchdog, ControlPlane, RmtDatapath
 from .errors import (
     AssemblerError,
     ControlPlaneError,
+    DatapathQuarantined,
     DslError,
+    FaultInjected,
     PrivacyBudgetExceeded,
     RmtError,
     RmtRuntimeError,
@@ -46,6 +48,13 @@ from .maps import (
 from .privacy import LaplaceMechanism, PrivacyBudget, PrivateAggregator
 from .program import ProgramBuilder, RmtProgram
 from .serialize import TableTreeModel, payload_to_program, program_to_payload
+from .supervisor import (
+    BreakerState,
+    CircuitBreaker,
+    DatapathSupervisor,
+    SupervisorConfig,
+    TrapStats,
+)
 from .tables import MatchActionTable, MatchKind, MatchPattern, Pipeline, TableEntry
 from .verifier import AttachPolicy, VerificationReport, Verifier
 
@@ -55,11 +64,16 @@ __all__ = [
     "Assembler",
     "AssemblerError",
     "AttachPolicy",
+    "BreakerState",
     "BytecodeProgram",
+    "CircuitBreaker",
     "ContextSchema",
     "ControlPlane",
     "ControlPlaneError",
+    "DatapathQuarantined",
+    "DatapathSupervisor",
     "DslError",
+    "FaultInjected",
     "ExecutionContext",
     "FieldSpec",
     "HashMap",
@@ -91,9 +105,11 @@ __all__ = [
     "RmtProgram",
     "RmtRuntimeError",
     "RuntimeEnv",
+    "SupervisorConfig",
     "TableEntry",
     "TableTreeModel",
     "TensorStore",
+    "TrapStats",
     "VectorMap",
     "VerificationReport",
     "Verifier",

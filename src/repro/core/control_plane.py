@@ -28,7 +28,7 @@ from typing import Callable
 
 from ..ml.online import AccuracyTracker
 from .context import ExecutionContext
-from .errors import ControlPlaneError
+from .errors import ControlPlaneError, VerifierError
 from .helpers import HelperRegistry
 from .interpreter import Interpreter, RuntimeEnv
 from .jit import JitCompiler, JittedProgram
@@ -170,6 +170,7 @@ class ControlPlane:
         self.helpers = helpers
         self._datapaths: dict[str, RmtDatapath] = {}
         self._watchdogs: dict[str, AccuracyWatchdog] = {}
+        self.supervisor = None  # set via attach_supervisor
 
     # -- installation ----------------------------------------------------
 
@@ -193,6 +194,8 @@ class ControlPlane:
             raise ControlPlaneError(f"program {program_name!r} not installed")
         del self._datapaths[program_name]
         self._watchdogs.pop(program_name, None)
+        if self.supervisor is not None:
+            self.supervisor.forget(program_name)
 
     def datapath(self, program_name: str) -> RmtDatapath:
         try:
@@ -242,6 +245,11 @@ class ControlPlane:
     ) -> TableEntry:
         """Update an entry's action parameters in place."""
         dp = self.datapath(program_name)
+        model_ref = action_data.get("ml")
+        if model_ref is not None and model_ref not in dp.program.models:
+            raise ControlPlaneError(
+                f"entry references unknown model id {model_ref}"
+            )
         table = dp.program.pipeline.table(table_name)
         for entry in table.entries:
             if entry.entry_id == entry_id:
@@ -254,17 +262,69 @@ class ControlPlane:
     # -- model management ---------------------------------------------------
 
     def push_model(self, program_name: str, model_id: int, model: object) -> None:
-        """Hot-swap a model, re-verify, and re-JIT.
+        """Hot-swap a model transactionally: snapshot → verify → commit.
 
         This is the "models periodically quantized and pushed to the
         kernel" path: the swap invalidates verification, the program must
         re-pass the cost check, and the JIT tier is recompiled because it
-        binds model objects at compile time.
+        binds model objects at compile time.  A rejected push rolls the
+        previous model back (and re-verifies it), so the datapath never
+        serves a half-swapped, unverified program.
         """
         dp = self.datapath(program_name)
+        if model_id not in dp.program.models:
+            raise KeyError(
+                f"program {program_name!r} has no model id {model_id}"
+            )
+        previous = dp.program.models[model_id]
         dp.program.replace_model(model_id, model)
-        Verifier(dp.policy, self.helpers).verify_or_raise(dp.program)
+        try:
+            Verifier(dp.policy, self.helpers).verify_or_raise(dp.program)
+        except VerifierError:
+            dp.program.replace_model(model_id, previous)
+            # The old model already passed admission; restore its
+            # verified status so the datapath keeps serving it.
+            Verifier(dp.policy, self.helpers).verify_or_raise(dp.program)
+            raise
         dp.rejit()
+
+    # -- runtime supervision (fault containment / quarantine) ---------------
+
+    def attach_supervisor(self, supervisor) -> None:
+        """Bind a :class:`~repro.core.supervisor.DatapathSupervisor`.
+
+        The supervisor is shared with the hook registry (the kernel side
+        that actually contains traps); the control plane surfaces its
+        quarantine management and statistics to userspace.
+        """
+        self.supervisor = supervisor
+
+    def _require_supervisor(self):
+        if self.supervisor is None:
+            raise ControlPlaneError("no supervisor attached")
+        return self.supervisor
+
+    def quarantine(self, program_name: str) -> None:
+        """Operator kill switch: force a program's breaker open."""
+        self.datapath(program_name)  # existence check
+        self._require_supervisor().quarantine(program_name)
+
+    def release(self, program_name: str) -> None:
+        """Lift a quarantine and reset the program's breaker."""
+        self.datapath(program_name)  # existence check
+        self._require_supervisor().release(program_name)
+
+    @property
+    def quarantined(self) -> list[str]:
+        """Programs currently refused by their circuit breaker."""
+        if self.supervisor is None:
+            return []
+        return self.supervisor.quarantined
+
+    def supervisor_state(self, program_name: str) -> str:
+        """Breaker state for one program: closed / open / half_open."""
+        self.datapath(program_name)  # existence check
+        return self._require_supervisor().state(program_name)
 
     # -- accuracy watchdog ---------------------------------------------------
 
@@ -295,4 +355,10 @@ class ControlPlane:
             watchdog.record(correct)
 
     def stats(self) -> dict:
-        return {name: dp.stats() for name, dp in self._datapaths.items()}
+        out = {name: dp.stats() for name, dp in self._datapaths.items()}
+        if self.supervisor is not None:
+            supervision = self.supervisor.stats()
+            for name, dp_stats in out.items():
+                if name in supervision:
+                    dp_stats["supervision"] = supervision[name]
+        return out

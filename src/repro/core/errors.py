@@ -5,6 +5,20 @@ assemble/compile, fail admission at the verifier, or trap at runtime.
 Runtime traps should be rare — the verifier exists to make most of them
 impossible — so anything raising :class:`RmtRuntimeError` in practice is a
 bug in the VM or a hole in the verifier, and tests treat it that way.
+
+Runtime-containment additions:
+
+* :class:`RmtRuntimeError` carries *trap attribution* — the program name
+  and program counter where the trap fired — so the datapath supervisor
+  can charge the fault to the right program and the right action site.
+* :class:`FaultInjected` is the trap raised by the fault-injection
+  harness (:mod:`repro.kernel.faults`); it subclasses
+  :class:`RmtRuntimeError` so the containment path treats an injected
+  fault exactly like a real one (that equivalence is what the resilience
+  experiments rely on).
+* :class:`DatapathQuarantined` signals that an invocation was refused
+  because the program's circuit breaker is open and no fallback was
+  available to absorb the refusal.
 """
 
 from __future__ import annotations
@@ -15,6 +29,8 @@ __all__ = [
     "DslError",
     "VerifierError",
     "RmtRuntimeError",
+    "FaultInjected",
+    "DatapathQuarantined",
     "ControlPlaneError",
     "PrivacyBudgetExceeded",
 ]
@@ -43,7 +59,78 @@ class VerifierError(RmtError):
 
 
 class RmtRuntimeError(RmtError):
-    """Trap during bytecode execution (budget exhausted, bad model id...)."""
+    """Trap during bytecode execution (budget exhausted, bad model id...).
+
+    ``program`` and ``pc`` attribute the trap to the offending program
+    and instruction; they are filled in by whichever layer knows them
+    (the interpreter knows the pc, the datapath knows the program) so a
+    trap that bubbles up through the supervisor is always chargeable.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        program: str | None = None,
+        pc: int | None = None,
+        action: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.program = program
+        self.pc = pc
+        self.action = action
+
+    def attribute(
+        self,
+        program: str | None = None,
+        pc: int | None = None,
+        action: str | None = None,
+    ) -> "RmtRuntimeError":
+        """Fill in missing attribution without clobbering what is known."""
+        if self.program is None and program is not None:
+            self.program = program
+        if self.pc is None and pc is not None:
+            self.pc = pc
+        if self.action is None and action is not None:
+            self.action = action
+        return self
+
+    @property
+    def site(self) -> str:
+        """Human-readable trap site, e.g. ``prog/act@12``."""
+        program = self.program or "?"
+        action = f"/{self.action}" if self.action else ""
+        pc = f"@{self.pc}" if self.pc is not None else ""
+        return f"{program}{action}{pc}"
+
+
+class FaultInjected(RmtRuntimeError):
+    """A deliberately injected fault (see :mod:`repro.kernel.faults`).
+
+    Subclasses :class:`RmtRuntimeError` so containment, circuit breaking
+    and trap accounting treat injected and organic faults identically.
+    ``kind`` names the injected scenario (``helper_fault``,
+    ``map_corrupt``, ``budget_exhaust``, ``model_saturate``, ...).
+    """
+
+    def __init__(self, message: str = "", *, kind: str = "injected",
+                 **attribution) -> None:
+        super().__init__(message, **attribution)
+        self.kind = kind
+
+
+class DatapathQuarantined(RmtError):
+    """Invocation refused: the program's circuit breaker is open.
+
+    Raised only when there is no fallback to absorb the refusal (hook
+    points with a registered stock heuristic degrade silently instead).
+    """
+
+    def __init__(self, message: str = "", *, program: str | None = None,
+                 until: int | None = None) -> None:
+        super().__init__(message)
+        self.program = program
+        self.until = until
 
 
 class ControlPlaneError(RmtError):

@@ -98,223 +98,228 @@ class Interpreter:
         instructions = action.instructions
         n = len(instructions)
         pc = 0
-        while pc < n:
-            env.insns_executed += 1
-            if env.insns_executed > env.insn_budget:
-                raise RmtRuntimeError(
-                    f"instruction budget {env.insn_budget} exhausted in "
-                    f"{action.name!r}"
-                )
-            instr = instructions[pc]
-            if env.trace is not None:
-                env.trace.append(f"{action.name}:{pc}: {instr}")
-            op = instr.opcode
-            dst, src, offset, imm = instr.dst, instr.src, instr.offset, instr.imm
+        try:
+            while pc < n:
+                env.insns_executed += 1
+                if env.insns_executed > env.insn_budget:
+                    raise RmtRuntimeError(
+                        f"instruction budget {env.insn_budget} exhausted in "
+                        f"{action.name!r}"
+                    )
+                instr = instructions[pc]
+                if env.trace is not None:
+                    env.trace.append(f"{action.name}:{pc}: {instr}")
+                op = instr.opcode
+                dst, src, offset, imm = instr.dst, instr.src, instr.offset, instr.imm
 
-            # -- control flow -------------------------------------------
-            if op is Opcode.EXIT:
-                return regs[RET_REG]
-            if op is Opcode.JMP:
-                pc += 1 + offset
-                continue
-            if Opcode.JEQ <= op <= Opcode.JGE_IMM:
-                a = regs[dst]
-                b = imm if op >= Opcode.JEQ_IMM else regs[src]
-                base = op if op < Opcode.JEQ_IMM else Opcode(op - 6)
-                taken = (
-                    (base is Opcode.JEQ and a == b)
-                    or (base is Opcode.JNE and a != b)
-                    or (base is Opcode.JLT and a < b)
-                    or (base is Opcode.JLE and a <= b)
-                    or (base is Opcode.JGT and a > b)
-                    or (base is Opcode.JGE and a >= b)
-                )
-                pc += 1 + offset if taken else 1
-                continue
-            if op is Opcode.CALL:
-                regs[RET_REG] = self._call_helper(env, imm, regs)
+                # -- control flow -------------------------------------------
+                if op is Opcode.EXIT:
+                    return regs[RET_REG]
+                if op is Opcode.JMP:
+                    pc += 1 + offset
+                    continue
+                if Opcode.JEQ <= op <= Opcode.JGE_IMM:
+                    a = regs[dst]
+                    b = imm if op >= Opcode.JEQ_IMM else regs[src]
+                    base = op if op < Opcode.JEQ_IMM else Opcode(op - 6)
+                    taken = (
+                        (base is Opcode.JEQ and a == b)
+                        or (base is Opcode.JNE and a != b)
+                        or (base is Opcode.JLT and a < b)
+                        or (base is Opcode.JLE and a <= b)
+                        or (base is Opcode.JGT and a > b)
+                        or (base is Opcode.JGE and a >= b)
+                    )
+                    pc += 1 + offset if taken else 1
+                    continue
+                if op is Opcode.CALL:
+                    regs[RET_REG] = self._call_helper(env, imm, regs)
+                    pc += 1
+                    continue
+                if op is Opcode.TAIL_CALL:
+                    target = program.action_by_id(imm)
+                    return self._run(target, env, depth + 1)
+
+                # -- ALU ------------------------------------------------------
+                if op is Opcode.MOV:
+                    regs[dst] = regs[src]
+                elif op is Opcode.MOV_IMM:
+                    regs[dst] = imm
+                elif op is Opcode.ADD:
+                    regs[dst] = _wrap64(regs[dst] + regs[src])
+                elif op is Opcode.SUB:
+                    regs[dst] = _wrap64(regs[dst] - regs[src])
+                elif op is Opcode.MUL:
+                    regs[dst] = _wrap64(regs[dst] * regs[src])
+                elif op is Opcode.DIV:
+                    divisor = regs[src]
+                    # eBPF semantics: division by zero yields 0; the quotient
+                    # truncates toward zero (C semantics).
+                    regs[dst] = 0 if divisor == 0 else _wrap64(
+                        _truncdiv(regs[dst], divisor)
+                    )
+                elif op is Opcode.MOD:
+                    divisor = regs[src]
+                    regs[dst] = 0 if divisor == 0 else _wrap64(
+                        _truncmod(regs[dst], divisor)
+                    )
+                elif op is Opcode.AND:
+                    regs[dst] = _wrap64(regs[dst] & regs[src])
+                elif op is Opcode.OR:
+                    regs[dst] = _wrap64(regs[dst] | regs[src])
+                elif op is Opcode.XOR:
+                    regs[dst] = _wrap64(regs[dst] ^ regs[src])
+                elif op is Opcode.LSH:
+                    regs[dst] = _wrap64(regs[dst] << (regs[src] & 63))
+                elif op is Opcode.RSH:
+                    regs[dst] = _wrap64(regs[dst] >> (regs[src] & 63))
+                elif op is Opcode.NEG:
+                    regs[dst] = _wrap64(-regs[dst])
+                elif op is Opcode.ADD_IMM:
+                    regs[dst] = _wrap64(regs[dst] + imm)
+                elif op is Opcode.SUB_IMM:
+                    regs[dst] = _wrap64(regs[dst] - imm)
+                elif op is Opcode.MUL_IMM:
+                    regs[dst] = _wrap64(regs[dst] * imm)
+                elif op is Opcode.AND_IMM:
+                    regs[dst] = _wrap64(regs[dst] & imm)
+                elif op is Opcode.OR_IMM:
+                    regs[dst] = _wrap64(regs[dst] | imm)
+                elif op is Opcode.LSH_IMM:
+                    regs[dst] = _wrap64(regs[dst] << (imm & 63))
+                elif op is Opcode.RSH_IMM:
+                    regs[dst] = _wrap64(regs[dst] >> (imm & 63))
+                elif op is Opcode.MIN:
+                    regs[dst] = min(regs[dst], regs[src])
+                elif op is Opcode.MAX:
+                    regs[dst] = max(regs[dst], regs[src])
+                elif op is Opcode.ABS:
+                    regs[dst] = _wrap64(abs(regs[dst]))
+
+                # -- context ---------------------------------------------------
+                elif op is Opcode.LD_CTXT:
+                    regs[dst] = env.ctx.load(imm)
+                elif op is Opcode.ST_CTXT:
+                    try:
+                        env.ctx.store(imm, regs[src])
+                    except (IndexError, PermissionError) as exc:
+                        raise RmtRuntimeError(str(exc)) from exc
+                elif op is Opcode.MATCH_CTXT:
+                    table = program.table_by_id(imm)
+                    entry = table.lookup(env.ctx)
+                    regs[dst] = -1 if entry is None else entry.entry_id
+
+                # -- maps --------------------------------------------------------
+                elif op is Opcode.MAP_LOOKUP:
+                    regs[dst] = _wrap64(int(self._map(env, imm).lookup(regs[src])))
+                elif op is Opcode.MAP_UPDATE:
+                    self._map(env, imm).update(regs[dst], regs[src])
+                elif op is Opcode.MAP_DELETE:
+                    self._map(env, imm).delete(regs[dst])
+                elif op is Opcode.MAP_PEEK:
+                    regs[dst] = 1 if self._map(env, imm).contains(regs[src]) else 0
+                elif op is Opcode.HIST_PUSH:
+                    hist = self._map(env, imm)
+                    if not isinstance(hist, HistoryMap):
+                        raise RmtRuntimeError(
+                            f"HIST_PUSH on non-history map id {imm}"
+                        )
+                    hist.push(regs[dst], regs[src])
+
+                # -- ML ISA ---------------------------------------------------
+                elif op is Opcode.VEC_LD:
+                    vmap = self._map(env, imm)
+                    if not isinstance(vmap, VectorMap):
+                        raise RmtRuntimeError(f"VEC_LD on non-vector map id {imm}")
+                    vregs[dst] = vmap.get_vector(regs[src])
+                elif op is Opcode.VEC_LD_HIST:
+                    hist = self._map(env, offset)
+                    if not isinstance(hist, HistoryMap):
+                        raise RmtRuntimeError(
+                            f"VEC_LD_HIST on non-history map id {offset}"
+                        )
+                    vregs[dst] = hist.window(regs[src], imm)
+                elif op is Opcode.VEC_ZERO:
+                    if imm < 0:
+                        raise RmtRuntimeError(f"VEC_ZERO with negative length {imm}")
+                    vregs[dst] = np.zeros(imm, dtype=np.int64)
+                elif op is Opcode.VEC_SET:
+                    vec = vregs[dst]
+                    if not 0 <= imm < vec.shape[0]:
+                        raise RmtRuntimeError(
+                            f"VEC_SET index {imm} out of bounds for v{dst} "
+                            f"(len {vec.shape[0]})"
+                        )
+                    vec = vec.copy()
+                    vec[imm] = regs[src]
+                    vregs[dst] = vec
+                elif op is Opcode.SCALAR_VAL:
+                    vec = vregs[src]
+                    if not 0 <= imm < vec.shape[0]:
+                        raise RmtRuntimeError(
+                            f"SCALAR_VAL index {imm} out of bounds for v{src} "
+                            f"(len {vec.shape[0]})"
+                        )
+                    regs[dst] = int(vec[imm])
+                elif op is Opcode.MAT_MUL:
+                    weight = self._tensor(env, imm)
+                    if weight.ndim != 2:
+                        raise RmtRuntimeError(f"MAT_MUL tensor {imm} is not 2-D")
+                    try:
+                        vregs[dst] = int_matvec(weight, vregs[src])
+                    except ValueError as exc:
+                        raise RmtRuntimeError(str(exc)) from exc
+                elif op is Opcode.VEC_ADD:
+                    bias = self._tensor(env, imm)
+                    if bias.shape != vregs[dst].shape:
+                        raise RmtRuntimeError(
+                            f"VEC_ADD shape mismatch: tensor {imm} {bias.shape} "
+                            f"vs v{dst} {vregs[dst].shape}"
+                        )
+                    vregs[dst] = int_add_bias(vregs[dst], bias)
+                elif op is Opcode.VEC_MOV:
+                    vregs[dst] = vregs[src].copy()
+                elif op is Opcode.VEC_SCALE:
+                    # 32-bit-saturated activations x 31-bit multiplier fits
+                    # in the int64 accumulator (2^31 * 2^31 = 2^62 < 2^63).
+                    wide = vregs[dst].astype(np.int64) * imm
+                    vregs[dst] = saturate(requantize_shift(wide, offset), 32)
+                elif op is Opcode.VEC_MUL_T:
+                    factors = self._tensor(env, imm)
+                    if factors.shape != vregs[dst].shape:
+                        raise RmtRuntimeError(
+                            f"VEC_MUL_T shape mismatch: tensor {imm} "
+                            f"{factors.shape} vs v{dst} {vregs[dst].shape}"
+                        )
+                    wide = vregs[dst].astype(np.int64) * factors
+                    vregs[dst] = saturate(requantize_shift(wide, offset), 32)
+                elif op is Opcode.VEC_RELU:
+                    vregs[dst] = int_relu(vregs[dst])
+                elif op is Opcode.VEC_SHIFT:
+                    vregs[dst] = requantize_shift(vregs[dst], imm)
+                elif op is Opcode.VEC_ARGMAX:
+                    if vregs[src].shape[0] == 0:
+                        raise RmtRuntimeError(f"VEC_ARGMAX of empty v{src}")
+                    regs[dst] = int_argmax(vregs[src])
+                elif op is Opcode.ML_INFER:
+                    model = program.models.get(imm)
+                    if model is None:
+                        raise RmtRuntimeError(
+                            f"ML_INFER: unknown model id {imm} in {program.name!r}"
+                        )
+                    regs[dst] = _wrap64(int(model.predict_one(vregs[src])))
+                else:  # pragma: no cover - the verifier rejects unknown opcodes
+                    raise RmtRuntimeError(f"unhandled opcode {op.name}")
+
                 pc += 1
-                continue
-            if op is Opcode.TAIL_CALL:
-                target = program.action_by_id(imm)
-                return self._run(target, env, depth + 1)
 
-            # -- ALU ------------------------------------------------------
-            if op is Opcode.MOV:
-                regs[dst] = regs[src]
-            elif op is Opcode.MOV_IMM:
-                regs[dst] = imm
-            elif op is Opcode.ADD:
-                regs[dst] = _wrap64(regs[dst] + regs[src])
-            elif op is Opcode.SUB:
-                regs[dst] = _wrap64(regs[dst] - regs[src])
-            elif op is Opcode.MUL:
-                regs[dst] = _wrap64(regs[dst] * regs[src])
-            elif op is Opcode.DIV:
-                divisor = regs[src]
-                # eBPF semantics: division by zero yields 0; the quotient
-                # truncates toward zero (C semantics).
-                regs[dst] = 0 if divisor == 0 else _wrap64(
-                    _truncdiv(regs[dst], divisor)
-                )
-            elif op is Opcode.MOD:
-                divisor = regs[src]
-                regs[dst] = 0 if divisor == 0 else _wrap64(
-                    _truncmod(regs[dst], divisor)
-                )
-            elif op is Opcode.AND:
-                regs[dst] = _wrap64(regs[dst] & regs[src])
-            elif op is Opcode.OR:
-                regs[dst] = _wrap64(regs[dst] | regs[src])
-            elif op is Opcode.XOR:
-                regs[dst] = _wrap64(regs[dst] ^ regs[src])
-            elif op is Opcode.LSH:
-                regs[dst] = _wrap64(regs[dst] << (regs[src] & 63))
-            elif op is Opcode.RSH:
-                regs[dst] = _wrap64(regs[dst] >> (regs[src] & 63))
-            elif op is Opcode.NEG:
-                regs[dst] = _wrap64(-regs[dst])
-            elif op is Opcode.ADD_IMM:
-                regs[dst] = _wrap64(regs[dst] + imm)
-            elif op is Opcode.SUB_IMM:
-                regs[dst] = _wrap64(regs[dst] - imm)
-            elif op is Opcode.MUL_IMM:
-                regs[dst] = _wrap64(regs[dst] * imm)
-            elif op is Opcode.AND_IMM:
-                regs[dst] = _wrap64(regs[dst] & imm)
-            elif op is Opcode.OR_IMM:
-                regs[dst] = _wrap64(regs[dst] | imm)
-            elif op is Opcode.LSH_IMM:
-                regs[dst] = _wrap64(regs[dst] << (imm & 63))
-            elif op is Opcode.RSH_IMM:
-                regs[dst] = _wrap64(regs[dst] >> (imm & 63))
-            elif op is Opcode.MIN:
-                regs[dst] = min(regs[dst], regs[src])
-            elif op is Opcode.MAX:
-                regs[dst] = max(regs[dst], regs[src])
-            elif op is Opcode.ABS:
-                regs[dst] = _wrap64(abs(regs[dst]))
-
-            # -- context ---------------------------------------------------
-            elif op is Opcode.LD_CTXT:
-                regs[dst] = env.ctx.load(imm)
-            elif op is Opcode.ST_CTXT:
-                try:
-                    env.ctx.store(imm, regs[src])
-                except (IndexError, PermissionError) as exc:
-                    raise RmtRuntimeError(str(exc)) from exc
-            elif op is Opcode.MATCH_CTXT:
-                table = program.table_by_id(imm)
-                entry = table.lookup(env.ctx)
-                regs[dst] = -1 if entry is None else entry.entry_id
-
-            # -- maps --------------------------------------------------------
-            elif op is Opcode.MAP_LOOKUP:
-                regs[dst] = _wrap64(int(self._map(env, imm).lookup(regs[src])))
-            elif op is Opcode.MAP_UPDATE:
-                self._map(env, imm).update(regs[dst], regs[src])
-            elif op is Opcode.MAP_DELETE:
-                self._map(env, imm).delete(regs[dst])
-            elif op is Opcode.MAP_PEEK:
-                regs[dst] = 1 if self._map(env, imm).contains(regs[src]) else 0
-            elif op is Opcode.HIST_PUSH:
-                hist = self._map(env, imm)
-                if not isinstance(hist, HistoryMap):
-                    raise RmtRuntimeError(
-                        f"HIST_PUSH on non-history map id {imm}"
-                    )
-                hist.push(regs[dst], regs[src])
-
-            # -- ML ISA ---------------------------------------------------
-            elif op is Opcode.VEC_LD:
-                vmap = self._map(env, imm)
-                if not isinstance(vmap, VectorMap):
-                    raise RmtRuntimeError(f"VEC_LD on non-vector map id {imm}")
-                vregs[dst] = vmap.get_vector(regs[src])
-            elif op is Opcode.VEC_LD_HIST:
-                hist = self._map(env, offset)
-                if not isinstance(hist, HistoryMap):
-                    raise RmtRuntimeError(
-                        f"VEC_LD_HIST on non-history map id {offset}"
-                    )
-                vregs[dst] = hist.window(regs[src], imm)
-            elif op is Opcode.VEC_ZERO:
-                if imm < 0:
-                    raise RmtRuntimeError(f"VEC_ZERO with negative length {imm}")
-                vregs[dst] = np.zeros(imm, dtype=np.int64)
-            elif op is Opcode.VEC_SET:
-                vec = vregs[dst]
-                if not 0 <= imm < vec.shape[0]:
-                    raise RmtRuntimeError(
-                        f"VEC_SET index {imm} out of bounds for v{dst} "
-                        f"(len {vec.shape[0]})"
-                    )
-                vec = vec.copy()
-                vec[imm] = regs[src]
-                vregs[dst] = vec
-            elif op is Opcode.SCALAR_VAL:
-                vec = vregs[src]
-                if not 0 <= imm < vec.shape[0]:
-                    raise RmtRuntimeError(
-                        f"SCALAR_VAL index {imm} out of bounds for v{src} "
-                        f"(len {vec.shape[0]})"
-                    )
-                regs[dst] = int(vec[imm])
-            elif op is Opcode.MAT_MUL:
-                weight = self._tensor(env, imm)
-                if weight.ndim != 2:
-                    raise RmtRuntimeError(f"MAT_MUL tensor {imm} is not 2-D")
-                try:
-                    vregs[dst] = int_matvec(weight, vregs[src])
-                except ValueError as exc:
-                    raise RmtRuntimeError(str(exc)) from exc
-            elif op is Opcode.VEC_ADD:
-                bias = self._tensor(env, imm)
-                if bias.shape != vregs[dst].shape:
-                    raise RmtRuntimeError(
-                        f"VEC_ADD shape mismatch: tensor {imm} {bias.shape} "
-                        f"vs v{dst} {vregs[dst].shape}"
-                    )
-                vregs[dst] = int_add_bias(vregs[dst], bias)
-            elif op is Opcode.VEC_MOV:
-                vregs[dst] = vregs[src].copy()
-            elif op is Opcode.VEC_SCALE:
-                # 32-bit-saturated activations x 31-bit multiplier fits
-                # in the int64 accumulator (2^31 * 2^31 = 2^62 < 2^63).
-                wide = vregs[dst].astype(np.int64) * imm
-                vregs[dst] = saturate(requantize_shift(wide, offset), 32)
-            elif op is Opcode.VEC_MUL_T:
-                factors = self._tensor(env, imm)
-                if factors.shape != vregs[dst].shape:
-                    raise RmtRuntimeError(
-                        f"VEC_MUL_T shape mismatch: tensor {imm} "
-                        f"{factors.shape} vs v{dst} {vregs[dst].shape}"
-                    )
-                wide = vregs[dst].astype(np.int64) * factors
-                vregs[dst] = saturate(requantize_shift(wide, offset), 32)
-            elif op is Opcode.VEC_RELU:
-                vregs[dst] = int_relu(vregs[dst])
-            elif op is Opcode.VEC_SHIFT:
-                vregs[dst] = requantize_shift(vregs[dst], imm)
-            elif op is Opcode.VEC_ARGMAX:
-                if vregs[src].shape[0] == 0:
-                    raise RmtRuntimeError(f"VEC_ARGMAX of empty v{src}")
-                regs[dst] = int_argmax(vregs[src])
-            elif op is Opcode.ML_INFER:
-                model = program.models.get(imm)
-                if model is None:
-                    raise RmtRuntimeError(
-                        f"ML_INFER: unknown model id {imm} in {program.name!r}"
-                    )
-                regs[dst] = _wrap64(int(model.predict_one(vregs[src])))
-            else:  # pragma: no cover - the verifier rejects unknown opcodes
-                raise RmtRuntimeError(f"unhandled opcode {op.name}")
-
-            pc += 1
-
-        raise RmtRuntimeError(
-            f"action {action.name!r} fell off the end without EXIT"
-        )
+            raise RmtRuntimeError(
+                f"action {action.name!r} fell off the end without EXIT"
+            )
+        except RmtRuntimeError as exc:
+            # Trap attribution: charge the fault to this program/action/pc
+            # so the supervisor's per-program accounting is exact.
+            raise exc.attribute(program=program.name, action=action.name, pc=pc)
 
     # ------------------------------------------------------------------
 

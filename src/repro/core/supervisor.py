@@ -1,0 +1,345 @@
+"""The datapath supervisor: runtime fault containment for RMT programs.
+
+The verifier proves *static* safety (bounded execution, typed operands,
+admitted model costs); this module is the *runtime* half of the safety
+story.  Section 3.3's bargain — learned datapaths may only live in the
+kernel if they can never take it down — requires that a trap inside an
+installed program is contained at the hook boundary, charged to the
+offending program, and, when the program keeps misbehaving, that the
+kernel quarantines it and falls back to the stock heuristic the datapath
+replaced (readahead for prefetching, ``can_migrate_task`` for the
+scheduler).  KML (arXiv 2111.11554) treats this fallback-to-heuristic
+path as a first-class requirement; so do we.
+
+Mechanism: one :class:`CircuitBreaker` per installed program, driven by
+a *logical clock* (the program's own invocation count, so behaviour is
+deterministic and independent of wall time):
+
+* **closed** — invocations flow through; each trap is recorded, and when
+  ``fault_threshold`` traps land within the last ``fault_window``
+  invocations the breaker trips **open** (the program is quarantined).
+* **open** — invocations are refused for ``backoff`` logical ticks; the
+  hook serves its registered fallback instead.  Each successive trip
+  doubles the backoff up to ``max_backoff`` (exponential backoff).
+* **half-open** — after the backoff elapses the breaker admits *probe*
+  invocations (probation).  ``probe_successes`` clean probes close the
+  breaker and reset the backoff; a single probe trap re-opens it with
+  the doubled backoff.
+
+The supervisor never mutates the datapath itself — a quarantined program
+stays installed with its maps and entries intact, so re-admission after
+probation is instant (matching the control plane's hot-swap philosophy:
+reconfigure, don't reinstall).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from .control_plane import RmtDatapath
+from .errors import DatapathQuarantined, FaultInjected, RmtRuntimeError
+
+__all__ = [
+    "BreakerState",
+    "SupervisorConfig",
+    "CircuitBreaker",
+    "TrapStats",
+    "DatapathSupervisor",
+]
+
+
+class BreakerState:
+    """The three circuit-breaker states (plain strings, easy to log)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs of the containment policy.
+
+    All windows/backoffs are in *logical ticks* — one tick per admission
+    decision for that program — which keeps experiments bit-reproducible.
+    """
+
+    #: Traps within ``fault_window`` ticks that trip the breaker open.
+    fault_threshold: int = 3
+    #: Sliding window (ticks) the threshold is evaluated over.
+    fault_window: int = 64
+    #: Initial quarantine length (ticks) after the first trip.
+    base_backoff: int = 32
+    #: Quarantine length ceiling for the exponential backoff.
+    max_backoff: int = 4096
+    #: Clean probe invocations required to close from half-open.
+    probe_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.fault_threshold < 1:
+            raise ValueError(f"fault_threshold must be >= 1, got {self.fault_threshold}")
+        if self.fault_window < 1:
+            raise ValueError(f"fault_window must be >= 1, got {self.fault_window}")
+        if self.base_backoff < 1 or self.max_backoff < self.base_backoff:
+            raise ValueError(
+                f"bad backoff range [{self.base_backoff}, {self.max_backoff}]"
+            )
+        if self.probe_successes < 1:
+            raise ValueError(f"probe_successes must be >= 1, got {self.probe_successes}")
+
+
+class CircuitBreaker:
+    """Closed → open → half-open → closed, on a logical clock."""
+
+    def __init__(self, config: SupervisorConfig | None = None) -> None:
+        self.config = config or SupervisorConfig()
+        self.state = BreakerState.CLOSED
+        self.clock = 0
+        self.backoff = self.config.base_backoff
+        self.trips = 0
+        self._fault_clocks: deque[int] = deque()
+        self._opened_at = 0
+        self._probes_ok = 0
+
+    # -- admission -------------------------------------------------------
+
+    def admit(self) -> bool:
+        """One admission decision; advances the logical clock.
+
+        Returns True when the invocation may proceed (closed, or a
+        half-open probe), False while quarantined.
+        """
+        self.clock += 1
+        if self.state == BreakerState.OPEN:
+            if self.clock - self._opened_at >= self.backoff:
+                self.state = BreakerState.HALF_OPEN
+                self._probes_ok = 0
+            else:
+                return False
+        return True
+
+    @property
+    def quarantined(self) -> bool:
+        return self.state == BreakerState.OPEN
+
+    @property
+    def release_at(self) -> int | None:
+        """Logical tick at which the quarantine lifts (None if closed)."""
+        if self.state != BreakerState.OPEN:
+            return None
+        return self._opened_at + self.backoff
+
+    # -- outcomes --------------------------------------------------------
+
+    def record_success(self) -> None:
+        if self.state == BreakerState.HALF_OPEN:
+            self._probes_ok += 1
+            if self._probes_ok >= self.config.probe_successes:
+                self._close()
+
+    def record_fault(self) -> None:
+        if self.state == BreakerState.HALF_OPEN:
+            # A probe failed: back to quarantine, twice as patient.
+            self._open(double=True)
+            return
+        window_start = self.clock - self.config.fault_window
+        self._fault_clocks.append(self.clock)
+        while self._fault_clocks and self._fault_clocks[0] <= window_start:
+            self._fault_clocks.popleft()
+        if len(self._fault_clocks) >= self.config.fault_threshold:
+            self._open(double=self.trips > 0)
+
+    def trip(self) -> None:
+        """Force the breaker open (manual quarantine)."""
+        if self.state != BreakerState.OPEN:
+            self._open(double=False)
+
+    def reset(self) -> None:
+        """Force-close and forget history (manual release)."""
+        self._close()
+
+    # -- internals -------------------------------------------------------
+
+    def _open(self, double: bool) -> None:
+        if double:
+            self.backoff = min(self.backoff * 2, self.config.max_backoff)
+        self.state = BreakerState.OPEN
+        self._opened_at = self.clock
+        self.trips += 1
+        self._fault_clocks.clear()
+
+    def _close(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.backoff = self.config.base_backoff
+        self._fault_clocks.clear()
+        self._probes_ok = 0
+
+
+@dataclass
+class TrapStats:
+    """Per-program fault accounting (the supervisor's ledger)."""
+
+    traps: int = 0
+    injected: int = 0
+    refusals: int = 0  # invocations refused while quarantined
+    fallback_verdicts: int = 0
+    quarantines: int = 0
+    last_trap: str = ""
+    last_trap_site: str = ""
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "traps": self.traps,
+            "injected": self.injected,
+            "refusals": self.refusals,
+            "fallback_verdicts": self.fallback_verdicts,
+            "quarantines": self.quarantines,
+            "last_trap": self.last_trap,
+            "last_trap_site": self.last_trap_site,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class DatapathSupervisor:
+    """Wraps :meth:`RmtDatapath.invoke` with containment + quarantine.
+
+    One supervisor serves a whole kernel (all hooks of a registry); the
+    breakers and ledgers are per program, so a misbehaving program is
+    isolated without starving its co-attached peers.
+    """
+
+    def __init__(self, config: SupervisorConfig | None = None) -> None:
+        self.config = config or SupervisorConfig()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._stats: dict[str, TrapStats] = {}
+
+    # -- per-program state ----------------------------------------------
+
+    def breaker(self, program_name: str) -> CircuitBreaker:
+        breaker = self._breakers.get(program_name)
+        if breaker is None:
+            breaker = CircuitBreaker(self.config)
+            self._breakers[program_name] = breaker
+        return breaker
+
+    def trap_stats(self, program_name: str) -> TrapStats:
+        stats = self._stats.get(program_name)
+        if stats is None:
+            stats = TrapStats()
+            self._stats[program_name] = stats
+        return stats
+
+    def state(self, program_name: str) -> str:
+        return self.breaker(program_name).state
+
+    @property
+    def quarantined(self) -> list[str]:
+        return sorted(
+            name for name, b in self._breakers.items() if b.quarantined
+        )
+
+    # -- the containment path --------------------------------------------
+
+    def admit(self, datapath: RmtDatapath) -> bool:
+        """Admission decision for one invocation (advances the clock)."""
+        name = datapath.program.name
+        admitted = self.breaker(name).admit()
+        if not admitted:
+            self.trap_stats(name).refusals += 1
+        return admitted
+
+    def record_trap(self, datapath: RmtDatapath, exc: RmtRuntimeError) -> None:
+        """Charge a contained trap to its program; may trip the breaker."""
+        name = datapath.program.name
+        exc.attribute(program=name)
+        stats = self.trap_stats(name)
+        stats.traps += 1
+        stats.last_trap = str(exc)
+        stats.last_trap_site = exc.site
+        kind = exc.kind if isinstance(exc, FaultInjected) else "trap"
+        if isinstance(exc, FaultInjected):
+            stats.injected += 1
+        stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+        breaker = self.breaker(name)
+        was_quarantined = breaker.quarantined
+        breaker.record_fault()
+        if breaker.quarantined and not was_quarantined:
+            stats.quarantines += 1
+
+    def record_success(self, datapath: RmtDatapath) -> None:
+        self.breaker(datapath.program.name).record_success()
+
+    def record_fallback(self, program_name: str) -> None:
+        self.trap_stats(program_name).fallback_verdicts += 1
+
+    def invoke(
+        self,
+        datapath: RmtDatapath,
+        ctx,
+        helper_env: object = None,
+        fallback=None,
+    ):
+        """Supervised invocation of a single datapath.
+
+        Traps are contained; while quarantined (or on a trap) the
+        ``fallback(ctx, helper_env)`` verdict is served.  With no
+        fallback, a quarantine refusal raises
+        :class:`DatapathQuarantined` (the caller opted out of graceful
+        degradation) and a trap returns None (the kernel default path).
+        """
+        name = datapath.program.name
+        if not self.admit(datapath):
+            if fallback is None:
+                breaker = self.breaker(name)
+                raise DatapathQuarantined(
+                    f"program {name!r} quarantined until tick "
+                    f"{breaker.release_at} (backoff {breaker.backoff})",
+                    program=name,
+                    until=breaker.release_at,
+                )
+            self.record_fallback(name)
+            return fallback(ctx, helper_env)
+        try:
+            verdict = datapath.invoke(ctx, helper_env)
+        except RmtRuntimeError as exc:
+            self.record_trap(datapath, exc)
+            if fallback is None:
+                return None
+            self.record_fallback(name)
+            return fallback(ctx, helper_env)
+        self.record_success(datapath)
+        return verdict
+
+    # -- management API (surfaced through the control plane) -------------
+
+    def quarantine(self, program_name: str) -> None:
+        """Manually quarantine a program (operator kill switch)."""
+        breaker = self.breaker(program_name)
+        if not breaker.quarantined:
+            breaker.trip()
+            self.trap_stats(program_name).quarantines += 1
+
+    def release(self, program_name: str) -> None:
+        """Manually lift a quarantine and reset the breaker."""
+        self.breaker(program_name).reset()
+
+    def forget(self, program_name: str) -> None:
+        """Drop all supervision state for an uninstalled program."""
+        self._breakers.pop(program_name, None)
+        self._stats.pop(program_name, None)
+
+    def stats(self) -> dict:
+        """Ledger + breaker state for every supervised program."""
+        out: dict[str, dict] = {}
+        for name in sorted(set(self._breakers) | set(self._stats)):
+            breaker = self.breaker(name)
+            out[name] = {
+                "state": breaker.state,
+                "backoff": breaker.backoff,
+                "trips": breaker.trips,
+                "clock": breaker.clock,
+                **self.trap_stats(name).as_dict(),
+            }
+        return out

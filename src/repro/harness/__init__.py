@@ -21,6 +21,14 @@ from .prefetch_experiment import (
 )
 from .net_experiment import NetResult, run_net_experiment, run_policy
 from .report import format_table, format_table1, format_table2
+from .resilience_experiment import (
+    DEFAULT_FAULT_RATES,
+    ResilienceCell,
+    ResilienceResult,
+    run_prefetch_resilience,
+    run_resilience_experiment,
+    run_sched_resilience,
+)
 from .sched_experiment import (
     PAPER_TABLE2,
     SchedCell,
@@ -32,10 +40,13 @@ from .sched_experiment import (
 )
 
 __all__ = [
+    "DEFAULT_FAULT_RATES",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
     "NetResult",
     "PrefetchResult",
+    "ResilienceCell",
+    "ResilienceResult",
     "SchedCell",
     "SchedExperimentConfig",
     "SchedExperimentResult",
@@ -55,7 +66,10 @@ __all__ = [
     "run_net_experiment",
     "run_policy",
     "run_prefetch_experiment",
+    "run_prefetch_resilience",
+    "run_resilience_experiment",
     "run_sched_experiment",
+    "run_sched_resilience",
     "run_trace",
     "table1_workloads",
     "train_migration_mlp",

@@ -1,0 +1,330 @@
+"""Resilience under fault injection — the supervisor's proof of worth.
+
+Runs the paper's two case-study workloads (Table 1 page prefetching,
+Table 2 CFS load balancing) under escalating injected fault rates, with
+and without the datapath supervisor, and reports per cell:
+
+* whether the simulated kernel **completed** the workload or crashed on
+  an uncontained :class:`~repro.core.errors.RmtRuntimeError`;
+* job completion time (and prefetch accuracy for Table 1);
+* the containment ledger: contained traps, quarantines, fallback
+  verdicts served by the stock heuristic.
+
+The expected shape — and what the benchmark asserts — is *graceful
+degradation*: the supervised kernel completes every workload at every
+fault rate with a bounded JCT slowdown relative to its own fault-free
+run (quarantined programs degrade to readahead / the CFS heuristic, not
+to a crash), while the unsupervised kernel dies on the first trap that
+reaches the hook boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import RmtRuntimeError
+from ..core.supervisor import SupervisorConfig
+from ..kernel.faults import FaultPlan, FaultyStorageModel, StorageFaultProfile
+from ..kernel.mm.prefetch import ReadaheadPrefetcher
+from ..kernel.mm.rmt_prefetch import RmtMlPrefetcher
+from ..kernel.sched.cfs import CfsScheduler
+from ..kernel.sched.loadbalance import CfsMigrationHeuristic
+from ..kernel.sched.rmt_sched import RmtMigrationPolicy
+from ..kernel.storage import RemoteMemoryModel
+from ..workloads.parsec import table2_workloads
+from .prefetch_experiment import TABLE1_CACHE_PAGES, run_trace, table1_workloads
+from .sched_experiment import SchedExperimentConfig, collect_decision_dataset, train_migration_mlp
+
+__all__ = [
+    "DEFAULT_FAULT_RATES",
+    "ResilienceCell",
+    "ResilienceResult",
+    "run_prefetch_resilience",
+    "run_sched_resilience",
+    "run_resilience_experiment",
+]
+
+#: Escalation ladder: fault-free baseline, the acceptance gate (5%), and
+#: a harsher point to show the degradation stays bounded.
+DEFAULT_FAULT_RATES = (0.0, 0.05, 0.10)
+
+
+@dataclass
+class ResilienceCell:
+    """One (case study, workload, fault rate, supervised?) run."""
+
+    case_study: str
+    workload: str
+    fault_rate: float
+    supervised: bool
+    completed: bool
+    crashed_with: str = ""
+    jct_s: float = 0.0
+    accuracy_pct: float = 0.0
+    contained_traps: int = 0
+    quarantines: int = 0
+    fallback_fires: int = 0
+    faults_injected: int = 0
+    #: JCT of the stock-heuristic-only kernel (readahead / CFS) on the
+    #: same workload and the same degraded device — the floor a
+    #: gracefully degrading kernel must stay close to.
+    stock_jct_s: float = 0.0
+
+    def row(self) -> dict:
+        return {
+            "case_study": self.case_study,
+            "workload": self.workload,
+            "fault_rate": self.fault_rate,
+            "supervised": self.supervised,
+            "completed": self.completed,
+            "crashed_with": self.crashed_with,
+            "jct_s": round(self.jct_s, 4),
+            "accuracy_pct": round(self.accuracy_pct, 2),
+            "contained_traps": self.contained_traps,
+            "quarantines": self.quarantines,
+            "fallback_fires": self.fallback_fires,
+            "faults_injected": self.faults_injected,
+            "stock_jct_s": round(self.stock_jct_s, 4),
+        }
+
+
+@dataclass
+class ResilienceResult:
+    """All cells plus the graceful-degradation summary."""
+
+    cells: list[ResilienceCell] = field(default_factory=list)
+
+    def rows(self) -> list[dict]:
+        return [cell.row() for cell in self.cells]
+
+    def baseline_jct(self, case_study: str, workload: str) -> float:
+        """Fault-free supervised JCT for one workload (the yardstick)."""
+        for cell in self.cells:
+            if (cell.case_study == case_study and cell.workload == workload
+                    and cell.supervised and cell.fault_rate == 0.0):
+                return cell.jct_s
+        return 0.0
+
+    def worst_supervised_slowdown(self) -> float:
+        """max over supervised faulty cells of JCT / fault-free JCT."""
+        worst = 1.0
+        for cell in self.cells:
+            if not (cell.supervised and cell.completed and cell.fault_rate > 0):
+                continue
+            baseline = self.baseline_jct(cell.case_study, cell.workload)
+            if baseline > 0:
+                worst = max(worst, cell.jct_s / baseline)
+        return worst
+
+    def worst_slowdown_vs_stock(self) -> float:
+        """max over supervised faulty cells of JCT / stock-kernel JCT.
+
+        The fair yardstick for graceful degradation: the stock heuristic
+        on the *same* degraded device.  A supervised kernel whose faulty
+        datapaths quarantine down to the heuristic should stay within a
+        small constant of this floor.
+        """
+        worst = 1.0
+        for cell in self.cells:
+            if not (cell.supervised and cell.completed and cell.fault_rate > 0):
+                continue
+            if cell.stock_jct_s > 0:
+                worst = max(worst, cell.jct_s / cell.stock_jct_s)
+        return worst
+
+    def all_supervised_completed(self) -> bool:
+        return all(c.completed for c in self.cells if c.supervised)
+
+    def any_unsupervised_crash(self) -> bool:
+        return any(
+            not c.completed
+            for c in self.cells
+            if not c.supervised and c.fault_rate > 0
+        )
+
+
+def _quarantine_count(control_plane) -> int:
+    total = 0
+    for dp_stats in control_plane.stats().values():
+        total += dp_stats.get("supervision", {}).get("quarantines", 0)
+    return total
+
+
+def _make_plan(rate: float, seed: int, storage_faults: bool) -> FaultPlan | None:
+    if rate <= 0.0:
+        return None
+    storage = StorageFaultProfile()
+    if storage_faults:
+        # The device degrades alongside the datapath: half the rate goes
+        # to transient EIO+retry, half to latency spikes.
+        storage = StorageFaultProfile(
+            io_error_rate=rate / 2, latency_spike_rate=rate / 2
+        )
+    return FaultPlan.uniform(rate, seed=seed, storage=storage)
+
+
+def run_prefetch_resilience(
+    fault_rates: tuple[float, ...] = DEFAULT_FAULT_RATES,
+    scale: float = 1.0,
+    seed: int = 0,
+    include_unsupervised: bool = True,
+    storage_faults: bool = True,
+    supervisor_config: SupervisorConfig | None = None,
+) -> list[ResilienceCell]:
+    """Table-1 workloads under escalating fault rates."""
+    cells: list[ResilienceCell] = []
+    stock_jct: dict[tuple[str, float], float] = {}
+    for workload in table1_workloads(scale=scale):
+        cache = TABLE1_CACHE_PAGES.get(workload.name, 48)
+        for rate in fault_rates:
+            # Stock-kernel floor: plain readahead on the same degraded
+            # device — what graceful degradation must stay close to.
+            if (workload.name, rate) not in stock_jct:
+                plan = _make_plan(rate, seed, storage_faults)
+                device = RemoteMemoryModel()
+                if plan is not None and storage_faults:
+                    device = FaultyStorageModel(device, plan.storage, seed=seed)
+                stock_result = run_trace(
+                    workload, ReadaheadPrefetcher(),
+                    device=device, cache_pages=cache,
+                )
+                stock_jct[(workload.name, rate)] = stock_result.jct_s
+            modes = (True, False) if include_unsupervised else (True,)
+            for supervised in modes:
+                plan = _make_plan(rate, seed, storage_faults)
+                device = RemoteMemoryModel()
+                if plan is not None and storage_faults:
+                    device = FaultyStorageModel(device, plan.storage, seed=seed)
+                prefetcher = RmtMlPrefetcher(
+                    supervised=supervised,
+                    supervisor_config=supervisor_config,
+                    fault_plan=plan,
+                )
+                cell = ResilienceCell(
+                    case_study="prefetch",
+                    workload=workload.name,
+                    fault_rate=rate,
+                    supervised=supervised,
+                    completed=False,
+                    stock_jct_s=stock_jct[(workload.name, rate)],
+                )
+                try:
+                    result = run_trace(
+                        workload, prefetcher, device=device, cache_pages=cache
+                    )
+                except RmtRuntimeError as exc:
+                    cell.crashed_with = f"{type(exc).__name__}: {exc}"
+                else:
+                    cell.completed = True
+                    cell.jct_s = result.jct_s
+                    cell.accuracy_pct = result.accuracy_pct
+                stats = prefetcher.stats()
+                cell.contained_traps = stats.get("contained_traps", 0)
+                cell.fallback_fires = stats.get("fallback_fires", 0)
+                cell.quarantines = _quarantine_count(
+                    prefetcher.syscalls.control_plane
+                )
+                if prefetcher.injector is not None:
+                    cell.faults_injected = prefetcher.injector.injected
+                cells.append(cell)
+    return cells
+
+
+def _quick_sched_config() -> SchedExperimentConfig:
+    """A cheap training pipeline: resilience needs a plausible model in
+    the datapath, not Table-2 mimicry accuracy."""
+    return SchedExperimentConfig(train_seeds=(0,), epochs=20, hidden=(8,))
+
+
+def run_sched_resilience(
+    fault_rates: tuple[float, ...] = DEFAULT_FAULT_RATES,
+    config: SchedExperimentConfig | None = None,
+    benchmarks: tuple[str, ...] | None = None,
+    seed: int = 0,
+    include_unsupervised: bool = True,
+    supervisor_config: SupervisorConfig | None = None,
+) -> list[ResilienceCell]:
+    """Table-2 workloads with the RMT migration policy under faults."""
+    config = config or _quick_sched_config()
+    train_x, train_y, _ = collect_decision_dataset(config)
+    _, qmlp = train_migration_mlp(train_x, train_y, config)
+
+    workloads = table2_workloads(seed=config.eval_seed)
+    if benchmarks is not None:
+        workloads = {k: v for k, v in workloads.items() if k in benchmarks}
+
+    cells: list[ResilienceCell] = []
+    stock_jct: dict[str, float] = {}
+    for name, specs in workloads.items():
+        # Stock-kernel floor: the native CFS heuristic (no RMT datapath,
+        # so hook faults cannot touch it — one run covers every rate).
+        stock_sched = CfsScheduler(
+            n_cpus=config.n_cpus,
+            balance_interval_ns=config.balance_interval_ms * 1_000_000,
+            migrate_decision=CfsMigrationHeuristic(),
+        )
+        stock_sched.submit_all(specs)
+        stock_jct[name] = stock_sched.run().makespan_ns / 1e9
+        for rate in fault_rates:
+            modes = (True, False) if include_unsupervised else (True,)
+            for supervised in modes:
+                plan = _make_plan(rate, seed, storage_faults=False)
+                policy = RmtMigrationPolicy(
+                    qmlp,
+                    mode=config.mode,
+                    supervised=supervised,
+                    supervisor_config=supervisor_config,
+                    fault_plan=plan,
+                )
+                sched = CfsScheduler(
+                    n_cpus=config.n_cpus,
+                    balance_interval_ns=config.balance_interval_ms * 1_000_000,
+                    migrate_decision=policy,
+                )
+                sched.submit_all(specs)
+                cell = ResilienceCell(
+                    case_study="sched",
+                    workload=name,
+                    fault_rate=rate,
+                    supervised=supervised,
+                    completed=False,
+                    stock_jct_s=stock_jct[name],
+                )
+                try:
+                    stats = sched.run()
+                except RmtRuntimeError as exc:
+                    cell.crashed_with = f"{type(exc).__name__}: {exc}"
+                else:
+                    cell.completed = True
+                    cell.jct_s = stats.makespan_ns / 1e9
+                hook = policy.hooks.hook("can_migrate_task")
+                cell.contained_traps = hook.contained_traps
+                cell.fallback_fires = hook.fallback_fires
+                cell.quarantines = _quarantine_count(
+                    policy.syscalls.control_plane
+                )
+                if policy.injector is not None:
+                    cell.faults_injected = policy.injector.injected
+                cells.append(cell)
+    return cells
+
+
+def run_resilience_experiment(
+    fault_rates: tuple[float, ...] = DEFAULT_FAULT_RATES,
+    scale: float = 1.0,
+    seed: int = 0,
+    include_unsupervised: bool = True,
+    sched_config: SchedExperimentConfig | None = None,
+    sched_benchmarks: tuple[str, ...] | None = None,
+) -> ResilienceResult:
+    """Both case studies, the full supervised-vs-unsupervised grid."""
+    result = ResilienceResult()
+    result.cells.extend(run_prefetch_resilience(
+        fault_rates, scale=scale, seed=seed,
+        include_unsupervised=include_unsupervised,
+    ))
+    result.cells.extend(run_sched_resilience(
+        fault_rates, config=sched_config, benchmarks=sched_benchmarks,
+        seed=seed, include_unsupervised=include_unsupervised,
+    ))
+    return result

@@ -1,5 +1,13 @@
 """The simulated kernel substrate: DES core, storage, hooks, mm, sched, net."""
 
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRates,
+    FaultyStorageModel,
+    StorageFaultProfile,
+)
 from .hooks import HookPoint, HookRegistry
 from .monitor import KernelMonitor, MonitoringPlan, MonitorSpec
 from .sim import NS_PER_MS, NS_PER_SEC, NS_PER_US, Event, Simulator
@@ -8,6 +16,11 @@ from .syscalls import RmtSyscallInterface, sys_rmt_install, sys_rmt_uninstall
 
 __all__ = [
     "Event",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRates",
+    "FaultyStorageModel",
     "HddModel",
     "HookPoint",
     "HookRegistry",
@@ -21,6 +34,7 @@ __all__ = [
     "RmtSyscallInterface",
     "Simulator",
     "SsdModel",
+    "StorageFaultProfile",
     "StorageModel",
     "sys_rmt_install",
     "sys_rmt_uninstall",

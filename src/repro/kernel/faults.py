@@ -1,0 +1,250 @@
+"""Seeded, deterministic fault injection for the resilience harness.
+
+The supervisor (:mod:`repro.core.supervisor`) claims that a misbehaving
+datapath is contained, quarantined, and replaced by the stock heuristic.
+This module is the machinery that *proves* it: a :class:`FaultPlan`
+describes, per hook, how often each fault scenario should strike, and a
+:class:`FaultInjector` armed on a :class:`~repro.kernel.hooks.HookRegistry`
+raises a :class:`~repro.core.errors.FaultInjected` trap (an
+:class:`~repro.core.errors.RmtRuntimeError` subclass, so containment
+treats it exactly like an organic trap) at the datapath invocation
+boundary.
+
+Injectable datapath scenarios (``FaultRates`` fields):
+
+* ``helper_fault`` — a kernel helper fails mid-action (e.g. the prefetch
+  sink rejects a page).
+* ``map_corrupt`` — a map lookup returns poison / the key vanished
+  between match and action.
+* ``budget_exhaust`` — the dynamic instruction budget blows (a verifier
+  escape, the second line of defence firing).
+* ``model_saturate`` — a freshly pushed quantized model saturates and
+  emits garbage that trips the runtime shape/bounds checks.
+
+Storage faults live below the datapath and therefore never raise: a
+:class:`FaultyStorageModel` wraps any :class:`~repro.kernel.storage.StorageModel`
+and models transient I/O errors (failed read + retry penalty) and
+latency spikes as service-time inflation, so the resilience experiments
+can degrade the device and the datapath independently.
+
+Determinism: every injector stream is seeded per hook (seed ⊕ crc32 of
+the hook name), so two runs with the same plan and the same invocation
+sequence inject the identical fault pattern — experiments stay
+bit-reproducible, and a crash found at fault rate r is replayable.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field, fields
+
+from ..core.errors import FaultInjected
+from .storage import StorageModel
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultRates",
+    "StorageFaultProfile",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultyStorageModel",
+]
+
+#: The injectable datapath fault scenarios.
+FAULT_KINDS = ("helper_fault", "map_corrupt", "budget_exhaust", "model_saturate")
+
+_KIND_MESSAGES = {
+    "helper_fault": "injected: helper call failed (EFAULT)",
+    "map_corrupt": "injected: map lookup returned corrupted entry",
+    "budget_exhaust": "injected: instruction budget exhausted",
+    "model_saturate": "injected: quantized model saturated post-push",
+}
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-invocation probability of each datapath fault scenario."""
+
+    helper_fault: float = 0.0
+    map_corrupt: float = 0.0
+    budget_exhaust: float = 0.0
+    model_saturate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            rate = getattr(self, spec.name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{spec.name} rate {rate} outside [0, 1]")
+
+    @classmethod
+    def uniform(cls, total_rate: float) -> "FaultRates":
+        """Spread one total fault rate evenly across all scenarios."""
+        if not 0.0 <= total_rate <= 1.0:
+            raise ValueError(f"total_rate {total_rate} outside [0, 1]")
+        share = total_rate / len(FAULT_KINDS)
+        return cls(**{kind: share for kind in FAULT_KINDS})
+
+    @property
+    def total(self) -> float:
+        return sum(getattr(self, kind) for kind in FAULT_KINDS)
+
+    def items(self) -> list[tuple[str, float]]:
+        return [(kind, getattr(self, kind)) for kind in FAULT_KINDS]
+
+
+@dataclass(frozen=True)
+class StorageFaultProfile:
+    """Device-level faults: transient I/O errors and latency spikes."""
+
+    io_error_rate: float = 0.0
+    #: Cost of a failed read + retry (EIO → requeue), in ns.
+    retry_penalty_ns: int = 2_000_000
+    latency_spike_rate: float = 0.0
+    #: Service-time multiplier during a spike (GC pause, requeue storm).
+    spike_factor: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.io_error_rate <= 1.0:
+            raise ValueError(f"io_error_rate {self.io_error_rate} outside [0, 1]")
+        if not 0.0 <= self.latency_spike_rate <= 1.0:
+            raise ValueError(
+                f"latency_spike_rate {self.latency_spike_rate} outside [0, 1]"
+            )
+        if self.retry_penalty_ns < 0 or self.spike_factor < 1:
+            raise ValueError("retry_penalty_ns >= 0 and spike_factor >= 1 required")
+
+
+@dataclass
+class FaultPlan:
+    """What to inject where: per-hook datapath rates + storage profile."""
+
+    seed: int = 0
+    #: Per-hook rates; hooks not listed use ``default``.
+    hooks: dict[str, FaultRates] = field(default_factory=dict)
+    default: FaultRates = field(default_factory=FaultRates)
+    storage: StorageFaultProfile = field(default_factory=StorageFaultProfile)
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0,
+                storage: StorageFaultProfile | None = None) -> "FaultPlan":
+        """Every hook faults with total probability ``rate`` per
+        invocation, spread evenly across the fault scenarios."""
+        return cls(
+            seed=seed,
+            default=FaultRates.uniform(rate),
+            storage=storage or StorageFaultProfile(),
+        )
+
+    def rates_for(self, hook_name: str) -> FaultRates:
+        return self.hooks.get(hook_name, self.default)
+
+
+class FaultInjector:
+    """Draws from the plan at each datapath invocation; raises on a hit.
+
+    Armed via ``HookRegistry.inject_faults(injector)``; the hook calls
+    :meth:`maybe_inject` just before each ``RmtDatapath.invoke``.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rngs: dict[str, random.Random] = {}
+        self.draws = 0
+        self.injected = 0
+        self.by_kind: dict[str, int] = {}
+        self.by_program: dict[str, int] = {}
+
+    def _rng(self, hook_name: str) -> random.Random:
+        rng = self._rngs.get(hook_name)
+        if rng is None:
+            # Deterministic per hook and independent of other hooks'
+            # draw interleaving (crc32, not hash(): no PYTHONHASHSEED).
+            rng = random.Random(
+                (self.plan.seed << 32) ^ zlib.crc32(hook_name.encode())
+            )
+            self._rngs[hook_name] = rng
+        return rng
+
+    def maybe_inject(self, hook_name: str, program_name: str) -> None:
+        """Raise :class:`FaultInjected` if this invocation draws a fault."""
+        rates = self.plan.rates_for(hook_name)
+        if rates.total <= 0.0:
+            return
+        self.draws += 1
+        draw = self._rng(hook_name).random()
+        cumulative = 0.0
+        for kind, rate in rates.items():
+            cumulative += rate
+            if draw < cumulative:
+                self.injected += 1
+                self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+                self.by_program[program_name] = (
+                    self.by_program.get(program_name, 0) + 1
+                )
+                raise FaultInjected(
+                    f"{_KIND_MESSAGES[kind]} [hook {hook_name}]",
+                    kind=kind,
+                    program=program_name,
+                )
+
+    def reset(self) -> None:
+        """Rewind every stream to the start of the plan."""
+        self._rngs.clear()
+        self.draws = 0
+        self.injected = 0
+        self.by_kind.clear()
+        self.by_program.clear()
+
+    def stats(self) -> dict:
+        return {
+            "draws": self.draws,
+            "injected": self.injected,
+            "by_kind": dict(self.by_kind),
+            "by_program": dict(self.by_program),
+        }
+
+
+class FaultyStorageModel(StorageModel):
+    """Wrap a storage model with seeded I/O errors and latency spikes.
+
+    Device faults manifest as service-time inflation (a failed read costs
+    the retry penalty on top of the reissued read; a spike multiplies the
+    service time), never as an exception: the block layer retries below
+    the datapath, which is exactly why datapath containment is a separate
+    mechanism.
+    """
+
+    def __init__(self, inner: StorageModel,
+                 profile: StorageFaultProfile | None = None,
+                 seed: int = 0) -> None:
+        super().__init__()
+        self.inner = inner
+        self.profile = profile or StorageFaultProfile()
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.io_errors = 0
+        self.latency_spikes = 0
+        self.name = f"faulty-{inner.name}"
+
+    def _service_time(self, pages: int, sequential: bool) -> int:
+        service = self.inner._service_time(pages, sequential)
+        profile = self.profile
+        if profile.latency_spike_rate and (
+            self._rng.random() < profile.latency_spike_rate
+        ):
+            self.latency_spikes += 1
+            service *= profile.spike_factor
+        if profile.io_error_rate and (
+            self._rng.random() < profile.io_error_rate
+        ):
+            self.io_errors += 1
+            service += profile.retry_penalty_ns
+        return service
+
+    def reset(self) -> None:
+        super().reset()
+        self.inner.reset()
+        self._rng = random.Random(self.seed)
+        self.io_errors = 0
+        self.latency_spikes = 0

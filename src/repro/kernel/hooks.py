@@ -11,18 +11,40 @@ subsystem fires the hook at the corresponding point in its code.
 Multiple programs may attach to one hook (like multiple XDP programs on a
 device); they run in install order and the last verdict wins — but the
 standard configuration is one program per hook.
+
+Runtime containment: a hook may carry
+
+* a **fallback** — the stock heuristic this hook's datapaths replaced
+  (Linux readahead, CFS ``can_migrate_task``).  Under supervision it is
+  the graceful-degradation path: served whenever every attached program
+  is quarantined or trapped on this fire.
+* a **supervisor** — the per-program circuit breakers of
+  :mod:`repro.core.supervisor`.  With one attached, ``fire`` contains
+  every :class:`RmtRuntimeError` at the per-datapath boundary, so one
+  faulty program cannot crash the kernel or starve its co-attached
+  peers.  Without one, traps propagate (the pre-supervisor behaviour —
+  and the crash mode the resilience benchmark demonstrates).
+* a **fault injector** (:mod:`repro.kernel.faults`) consulted before
+  each datapath invocation — the mechanism the resilience experiments
+  use to prove containment works.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..core.context import ContextSchema, ExecutionContext
 from ..core.control_plane import RmtDatapath
+from ..core.errors import RmtRuntimeError
 from ..core.helpers import HelperRegistry
+from ..core.supervisor import DatapathSupervisor
 from ..core.verifier import AttachPolicy
 
 __all__ = ["HookPoint", "HookRegistry"]
+
+#: Fallback signature: (ctx, helper_env) -> verdict | None.
+Fallback = Callable[[ExecutionContext, object], "int | None"]
 
 
 @dataclass
@@ -34,18 +56,70 @@ class HookPoint:
     policy: AttachPolicy
     datapaths: list[RmtDatapath] = field(default_factory=list)
     fires: int = 0
+    fallback: Fallback | None = None
+    supervisor: DatapathSupervisor | None = None
+    injector: object = None  # duck-typed FaultInjector (maybe_inject)
+    fallback_fires: int = 0
+    contained_traps: int = 0
 
     def new_context(self, **values: int) -> ExecutionContext:
         return self.schema.new_context(**values)
 
+    def set_fallback(self, fallback: Fallback | None) -> None:
+        """Register the stock heuristic served while programs misbehave."""
+        self.fallback = fallback
+
     def fire(self, ctx: ExecutionContext, helper_env: object = None) -> int | None:
-        """Invoke all attached datapaths; last non-None verdict wins."""
+        """Invoke all attached datapaths; last non-None verdict wins.
+
+        Unsupervised, this is the raw dispatch loop and any trap
+        propagates.  Supervised, each datapath runs behind its circuit
+        breaker: traps are contained and charged per program, and if no
+        program produced a verdict while at least one was suppressed
+        (quarantined or trapped), the hook's fallback verdict is served.
+        """
         self.fires += 1
+        if self.supervisor is None and self.injector is None:
+            verdict: int | None = None
+            for datapath in self.datapaths:
+                result = datapath.invoke(ctx, helper_env)
+                if result is not None:
+                    verdict = result
+            return verdict
+        return self._fire_supervised(ctx, helper_env)
+
+    def _fire_supervised(
+        self, ctx: ExecutionContext, helper_env: object
+    ) -> int | None:
+        supervisor = self.supervisor
         verdict: int | None = None
+        suppressed: list[str] = []
         for datapath in self.datapaths:
-            result = datapath.invoke(ctx, helper_env)
+            if supervisor is not None and not supervisor.admit(datapath):
+                suppressed.append(datapath.program.name)
+                continue
+            try:
+                if self.injector is not None:
+                    self.injector.maybe_inject(self.name, datapath.program.name)
+                result = datapath.invoke(ctx, helper_env)
+            except RmtRuntimeError as exc:
+                exc.attribute(program=datapath.program.name)
+                if supervisor is None:
+                    raise  # injection without supervision: the crash mode
+                supervisor.record_trap(datapath, exc)
+                self.contained_traps += 1
+                suppressed.append(datapath.program.name)
+                continue
+            if supervisor is not None:
+                supervisor.record_success(datapath)
             if result is not None:
                 verdict = result
+        if verdict is None and suppressed and self.fallback is not None:
+            verdict = self.fallback(ctx, helper_env)
+            self.fallback_fires += 1
+            if supervisor is not None:
+                for name in suppressed:
+                    supervisor.record_fallback(name)
         return verdict
 
     @property
@@ -59,6 +133,8 @@ class HookRegistry:
     def __init__(self, helpers: HelperRegistry | None = None) -> None:
         self.helpers = helpers or HelperRegistry()
         self._hooks: dict[str, HookPoint] = {}
+        self._supervisor: DatapathSupervisor | None = None
+        self._injector: object = None
 
     def declare(
         self, name: str, schema: ContextSchema, policy: AttachPolicy
@@ -70,6 +146,8 @@ class HookRegistry:
                 f"policy attach point {policy.attach_point!r} != hook {name!r}"
             )
         hook = HookPoint(name=name, schema=schema, policy=policy)
+        hook.supervisor = self._supervisor
+        hook.injector = self._injector
         self._hooks[name] = hook
         return hook
 
@@ -97,6 +175,32 @@ class HookRegistry:
 
     def fire(self, name: str, ctx: ExecutionContext, helper_env=None) -> int | None:
         return self.hook(name).fire(ctx, helper_env)
+
+    # -- containment wiring ------------------------------------------------
+
+    def supervise(self, supervisor: DatapathSupervisor | None) -> None:
+        """Attach (or detach, with None) a supervisor to every hook —
+        current and future."""
+        self._supervisor = supervisor
+        for hook in self._hooks.values():
+            hook.supervisor = supervisor
+
+    def inject_faults(self, injector: object) -> None:
+        """Arm (or disarm, with None) a fault injector on every hook."""
+        self._injector = injector
+        for hook in self._hooks.values():
+            hook.injector = injector
+
+    def set_fallback(self, name: str, fallback: Fallback | None) -> None:
+        self.hook(name).set_fallback(fallback)
+
+    @property
+    def supervisor(self) -> DatapathSupervisor | None:
+        return self._supervisor
+
+    @property
+    def injector(self) -> object:
+        return self._injector
 
     @property
     def names(self) -> list[str]:

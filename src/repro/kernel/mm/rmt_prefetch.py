@@ -32,12 +32,14 @@ from ...core.context import ContextSchema
 from ...core.dsl import compile_source
 from ...core.helpers import HelperRegistry
 from ...core.maps import HistoryMap
+from ...core.supervisor import SupervisorConfig
 from ...core.verifier import AttachPolicy
 from ...ml.cost_model import CostBudget
 from ...ml.decision_tree import WindowedTreeTrainer
+from ..faults import FaultInjector, FaultPlan
 from ..hooks import HookRegistry
 from ..syscalls import RmtSyscallInterface
-from .prefetch import Prefetcher
+from .prefetch import Prefetcher, ReadaheadPrefetcher
 
 __all__ = [
     "RmtMlPrefetcher",
@@ -178,6 +180,9 @@ class RmtMlPrefetcher(Prefetcher):
         max_depth: int = 10,
         mode: str = "jit",
         accuracy_threshold: float = 0.25,
+        supervised: bool = False,
+        supervisor_config: SupervisorConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if not 1 <= max_steps <= 8:
             raise ValueError(f"max_steps must be in [1, 8], got {max_steps}")
@@ -188,6 +193,9 @@ class RmtMlPrefetcher(Prefetcher):
         self.retrain_every = retrain_every
         self.history_depth = max(history_depth, feature_window + 1)
         self.max_depth = max_depth
+        self.supervised = supervised
+        self.supervisor_config = supervisor_config
+        self.fault_plan = fault_plan
         self._build()
 
     def _build(self) -> None:
@@ -213,6 +221,25 @@ class RmtMlPrefetcher(Prefetcher):
             ),
         )
         self.syscalls = RmtSyscallInterface(self.hooks)
+
+        # Runtime containment: supervise the datapaths and register the
+        # stock heuristic (Linux readahead) as the prediction hook's
+        # fallback — the graceful-degradation path while the learned
+        # program is quarantined.
+        self.supervisor = None
+        self.injector = None
+        self._stock = ReadaheadPrefetcher()
+        self._stock_pages: list[int] = []
+        if self.supervised:
+            self.supervisor = self.syscalls.enable_supervision(
+                self.supervisor_config
+            )
+            self.hooks.set_fallback(
+                "swap_cluster_readahead", self._readahead_fallback
+            )
+        if self.fault_plan is not None:
+            self.injector = FaultInjector(self.fault_plan)
+            self.hooks.inject_faults(self.injector)
 
         # The shared history map — the eBPF pinned-map idiom.
         shared_hist = HistoryMap("hist", depth=self.history_depth, max_keys=512)
@@ -261,6 +288,16 @@ class RmtMlPrefetcher(Prefetcher):
             on_recovered=self._go_aggressive,
         )
 
+    def _readahead_fallback(self, ctx, sink) -> int:
+        """Serve the stock readahead decision while the RMT program is
+        quarantined or trapped (fed every access in ``on_access`` so its
+        sequential-run state stays warm)."""
+        pages = self._stock_pages
+        if sink is not None:
+            for page in pages:
+                sink.push(page)
+        return len(pages)
+
     # -- control-plane reconfiguration (the paper's watchdog policy) -------
 
     def _set_steps(self, steps: int) -> None:
@@ -300,6 +337,13 @@ class RmtMlPrefetcher(Prefetcher):
                   prefetch_hit: bool = False) -> list[int]:
         self._ensure_pid(pid)
 
+        # Keep the stock heuristic's state warm so a fallback verdict is
+        # as good as native readahead the instant a quarantine trips.
+        if self.supervised:
+            self._stock_pages = self._stock.on_access(
+                pid, page, now, was_fault, prefetch_hit
+            )
+
         # Fire the data-collection hook (every access).
         ctx = self.hooks.hook("lookup_swap_cache").new_context(pid=pid, page=page)
         self.hooks.fire("lookup_swap_cache", ctx)
@@ -322,6 +366,8 @@ class RmtMlPrefetcher(Prefetcher):
 
     def on_prefetch_used(self, pid: int, page: int, now: int) -> None:
         self.watchdog.record(True)
+        if self.supervised:
+            self._stock.on_prefetch_used(pid, page, now)
 
     def _train_from_history(self, pid: int) -> None:
         """Read the newest delta out of the RMT maps and feed the
@@ -350,10 +396,21 @@ class RmtMlPrefetcher(Prefetcher):
     # -- introspection -------------------------------------------------------
 
     def stats(self) -> dict:
-        return {
+        out = {
             "models_pushed": self.models_pushed,
             "known_pids": len(self._known_pids),
             "conservative": self.conservative,
             "trainer_generation": self.trainer.generation,
             "datapaths": self.syscalls.control_plane.stats(),
         }
+        if self.supervised:
+            predict_hook = self.hooks.hook("swap_cluster_readahead")
+            out["quarantined"] = self.syscalls.control_plane.quarantined
+            out["fallback_fires"] = predict_hook.fallback_fires
+            out["contained_traps"] = (
+                predict_hook.contained_traps
+                + self.hooks.hook("lookup_swap_cache").contained_traps
+            )
+        if self.injector is not None:
+            out["faults"] = self.injector.stats()
+        return out

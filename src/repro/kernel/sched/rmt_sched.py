@@ -26,13 +26,16 @@ from ...core.context import ContextSchema
 from ...core.maps import VectorMap
 from ...core.model_compiler import compile_mlp_action
 from ...core.program import ProgramBuilder
+from ...core.supervisor import SupervisorConfig
 from ...core.tables import MatchActionTable, MatchPattern, TableEntry
 from ...core.verifier import AttachPolicy
 from ...ml.cost_model import CostBudget
 from ...ml.mlp import QuantizedMLP
+from ..faults import FaultInjector, FaultPlan
 from ..hooks import HookRegistry
 from ..syscalls import RmtSyscallInterface
 from .features import N_FEATURES
+from .loadbalance import CfsMigrationHeuristic
 
 __all__ = ["RmtMigrationPolicy", "build_sched_hook"]
 
@@ -78,6 +81,9 @@ class RmtMigrationPolicy:
         mode: str = "jit",
         hooks: HookRegistry | None = None,
         program_name: str = "rmt_can_migrate",
+        supervised: bool = False,
+        supervisor_config: SupervisorConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if qmlp.layer_sizes[0] != N_FEATURES:
             raise ValueError(
@@ -85,6 +91,27 @@ class RmtMigrationPolicy:
             )
         self.hooks = hooks or build_sched_hook()
         self.syscalls = RmtSyscallInterface(self.hooks)
+        self.supervised = supervised
+        self.supervisor_config = supervisor_config
+        self.fault_plan = fault_plan
+        self.supervisor = None
+        self.injector = None
+        self._stock = CfsMigrationHeuristic()
+        self._last_features = np.zeros(N_FEATURES, dtype=np.int64)
+        if supervised:
+            # Reuse the registry's supervisor across model pushes so
+            # breaker state survives a program rebuild.
+            self.supervisor = self.hooks.supervisor
+            if self.supervisor is None:
+                self.supervisor = self.syscalls.enable_supervision(
+                    supervisor_config
+                )
+            self.hooks.set_fallback("can_migrate_task", self._stock_fallback)
+        if fault_plan is not None:
+            self.injector = self.hooks.injector
+            if self.injector is None:
+                self.injector = FaultInjector(fault_plan)
+                self.hooks.inject_faults(self.injector)
         schema = self.hooks.hook("can_migrate_task").schema
 
         builder = ProgramBuilder(program_name, "can_migrate_task", schema)
@@ -103,9 +130,15 @@ class RmtMigrationPolicy:
         self._hook = self.hooks.hook("can_migrate_task")
         self.queries = 0
 
+    def _stock_fallback(self, ctx, helper_env) -> int:
+        """Graceful degradation: the native CFS heuristic decides while
+        the RMT program is quarantined or trapped."""
+        return 1 if self._stock(self._last_features) else 0
+
     def __call__(self, features: np.ndarray) -> bool:
         """The can_migrate_task query: kernel → map → RMT → verdict."""
         features = np.asarray(features, dtype=np.int64)
+        self._last_features = features
         src_cpu = int(features[0]) % 256 if features.size else 0
         self._features_map.set_vector(src_cpu, features)
         ctx = self._hook.new_context(cpu=src_cpu)
@@ -122,5 +155,8 @@ class RmtMigrationPolicy:
         """
         self.syscalls.uninstall(self.program.name)
         self.__init__(
-            qmlp, mode=mode, hooks=self.hooks, program_name=self.program.name
+            qmlp, mode=mode, hooks=self.hooks, program_name=self.program.name,
+            supervised=self.supervised,
+            supervisor_config=self.supervisor_config,
+            fault_plan=self.fault_plan,
         )

@@ -19,6 +19,7 @@ from ..core.bytecode import BytecodeProgram
 from ..core.control_plane import ControlPlane, RmtDatapath
 from ..core.errors import ControlPlaneError
 from ..core.program import RmtProgram
+from ..core.supervisor import DatapathSupervisor, SupervisorConfig
 from ..core.verifier import VerificationReport, Verifier
 from .hooks import HookRegistry
 
@@ -41,8 +42,25 @@ class RmtSyscallInterface:
     def __init__(self, hooks: HookRegistry) -> None:
         self.hooks = hooks
         self.control_plane = ControlPlane(hooks.helpers)
+        if hooks.supervisor is not None:
+            self.control_plane.attach_supervisor(hooks.supervisor)
         self.installs = 0
         self.rejections = 0
+
+    def enable_supervision(
+        self, config: SupervisorConfig | None = None
+    ) -> DatapathSupervisor:
+        """Turn on runtime fault containment for this kernel.
+
+        One supervisor is shared between the hook registry (which
+        contains traps and drives the circuit breakers) and the control
+        plane (which surfaces quarantine management + stats to
+        userspace).
+        """
+        supervisor = DatapathSupervisor(config)
+        self.hooks.supervise(supervisor)
+        self.control_plane.attach_supervisor(supervisor)
+        return supervisor
 
     def install(self, program: RmtProgram, mode: str = "jit") -> InstallResult:
         """Verify and attach a program at its declared hook point.

@@ -164,6 +164,24 @@ class TestEntryManagement:
         with pytest.raises(ControlPlaneError, match="not found"):
             cp.modify_entry("prog", "tab", 99999, scratch=1)
 
+    def test_modify_entry_unknown_model(self, builder):
+        """modify_entry validates ``ml`` refs exactly like add_entry —
+        a runtime reconfiguration cannot point an entry at a model slot
+        the verifier never admitted."""
+        cp = self._cp(builder)
+        entry = cp.add_entry("prog", "tab", [5], "act")
+        with pytest.raises(ControlPlaneError, match="model"):
+            cp.modify_entry("prog", "tab", entry.entry_id, ml=4)
+        assert "ml" not in entry.action_data
+
+    def test_modify_entry_valid_model(self, builder, trained_tree):
+        builder.add_model(0, trained_tree)
+        cp = ControlPlane()
+        cp.install(make_program(builder), AttachPolicy("test_hook"))
+        entry = cp.add_entry("prog", "tab", [5], "act")
+        cp.modify_entry("prog", "tab", entry.entry_id, ml=0)
+        assert entry.action_data["ml"] == 0
+
 
 class TestModelPush:
     def _program_with_model(self, builder, trained_tree):
@@ -207,6 +225,44 @@ class TestModelPush:
 
         with pytest.raises(VerifierError):
             cp.push_model("prog", 0, HugeModel())
+
+    def test_push_over_budget_rolls_back_old_model(self, builder, schema,
+                                                   trained_tree):
+        """Regression: a rejected push must leave the *old* model serving.
+
+        Previously the replacement was committed before verification, so
+        an over-budget push left the program unverified with the huge
+        model wired in; the datapath then served a model that never
+        passed admission.  The transactional order (snapshot → verify →
+        commit, rollback on VerifierError) keeps the old model live.
+        """
+        cp = ControlPlane()
+        policy = AttachPolicy(
+            "test_hook",
+            cost_budget=CostBudget(max_ops=trained_tree.depth_ + 100),
+        )
+        cp.install(self._program_with_model(builder, trained_tree), policy,
+                   mode="jit")
+        dp = cp.datapath("prog")
+        cp.add_entry("prog", "tab", [1], "act")
+        ctx = schema.new_context(pid=1, page=0)
+        before = dp.invoke(ctx)
+
+        class HugeModel:
+            @staticmethod
+            def predict_one(v):
+                return 0
+
+            @staticmethod
+            def cost_signature():
+                return {"kind": "mlp", "layer_sizes": [1000, 1000, 2]}
+
+        with pytest.raises(VerifierError):
+            cp.push_model("prog", 0, HugeModel())
+        # The snapshot was restored, re-verified, and still serves.
+        assert dp.program.models[0] is trained_tree
+        assert dp.program.verified
+        assert dp.invoke(schema.new_context(pid=1, page=0)) == before
 
     def test_push_unknown_model_id(self, builder, trained_tree):
         cp = ControlPlane()

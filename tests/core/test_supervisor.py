@@ -1,0 +1,379 @@
+"""Datapath supervisor: circuit breaker, containment, quarantine.
+
+The property test at the bottom is the robustness contract in one
+sentence: a randomly-trapping program under supervision never lets an
+exception escape ``HookPoint.fire``, serves the fallback verdict while
+quarantined, and is re-admitted after its backoff.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.context import ContextSchema
+from repro.core.control_plane import ControlPlane
+from repro.core.errors import DatapathQuarantined, FaultInjected, RmtRuntimeError
+from repro.core.isa import Opcode
+from repro.core.program import ProgramBuilder
+from repro.core.supervisor import (
+    BreakerState,
+    CircuitBreaker,
+    DatapathSupervisor,
+    SupervisorConfig,
+)
+from repro.core.tables import MatchActionTable, MatchPattern, TableEntry
+from repro.core.verifier import AttachPolicy
+from repro.kernel.hooks import HookRegistry
+
+I = Instruction
+OP = Opcode
+
+#: Small, fast breaker for tests: trips after 2 traps in 8 ticks,
+#: 4-tick base quarantine doubling to 32, 2 clean probes to close.
+CFG = SupervisorConfig(
+    fault_threshold=2, fault_window=8, base_backoff=4,
+    max_backoff=32, probe_successes=2,
+)
+
+PROGRAM_VERDICT = 3
+FALLBACK_VERDICT = 7
+
+
+class FakeDatapath:
+    """Duck-typed RmtDatapath: .program.name + .invoke."""
+
+    def __init__(self, name: str = "prog", fail: bool = False,
+                 verdict: int = PROGRAM_VERDICT) -> None:
+        self.program = SimpleNamespace(name=name)
+        self.fail = fail
+        self.verdict = verdict
+
+    def invoke(self, ctx, helper_env=None):
+        if self.fail:
+            raise RmtRuntimeError("boom", pc=3, action="act")
+        return self.verdict
+
+
+class ScriptedInjector:
+    """Raises FaultInjected on fires whose script slot is True."""
+
+    def __init__(self, script, target: str | None = None) -> None:
+        self.script = list(script)
+        self.target = target
+        self.i = 0
+
+    def maybe_inject(self, hook_name: str, program_name: str) -> None:
+        if self.target is not None and program_name != self.target:
+            return
+        fire = self.i < len(self.script) and self.script[self.i]
+        self.i += 1
+        if fire:
+            raise FaultInjected("scripted fault", kind="helper_fault")
+
+
+def build_supervised_hook(config=CFG, fallback_verdict=FALLBACK_VERDICT,
+                          extra_program: str | None = None):
+    """A real hook + installed program(s) + supervisor + fallback."""
+    schema = ContextSchema("test_hook")
+    schema.add_field("pid")
+    schema.add_field("page")
+    hooks = HookRegistry()
+    hook = hooks.declare("test_hook", schema, AttachPolicy("test_hook"))
+    cp = ControlPlane(helpers=hooks.helpers)
+
+    def install(name):
+        builder = ProgramBuilder(name, "test_hook", schema)
+        table = builder.add_table(MatchActionTable("tab", ["pid"]))
+        builder.add_action(BytecodeProgram("act", [
+            I(OP.LD_CTXT, dst=0, imm=1),  # page
+            I(OP.EXIT),
+        ]))
+        table.insert(TableEntry(patterns=(MatchPattern.wildcard(),),
+                                action="act"))
+        cp.install(builder.build(), AttachPolicy("test_hook"))
+        hooks.attach("test_hook", cp.datapath(name))
+
+    install("prog")
+    if extra_program:
+        install(extra_program)
+    supervisor = DatapathSupervisor(config)
+    hooks.supervise(supervisor)
+    cp.attach_supervisor(supervisor)
+    if fallback_verdict is not None:
+        hooks.set_fallback(
+            "test_hook", lambda ctx, env: fallback_verdict
+        )
+    return hook, supervisor, cp
+
+
+class TestSupervisorConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"fault_threshold": 0},
+        {"fault_window": 0},
+        {"base_backoff": 0},
+        {"base_backoff": 64, "max_backoff": 32},
+        {"probe_successes": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisorConfig(**kwargs)
+
+
+class TestCircuitBreaker:
+    def _trip(self, breaker):
+        """Drive a closed breaker open: threshold faults back to back."""
+        for _ in range(breaker.config.fault_threshold):
+            assert breaker.admit()
+            breaker.record_fault()
+        assert breaker.state == BreakerState.OPEN
+
+    def test_starts_closed_and_admits(self):
+        breaker = CircuitBreaker(CFG)
+        assert breaker.state == BreakerState.CLOSED
+        assert all(breaker.admit() for _ in range(100))
+
+    def test_closed_to_open_on_threshold(self):
+        breaker = CircuitBreaker(CFG)
+        self._trip(breaker)
+        assert breaker.quarantined
+        assert breaker.trips == 1
+        assert breaker.release_at == breaker.clock + CFG.base_backoff
+
+    def test_open_refuses_until_backoff_elapses(self):
+        breaker = CircuitBreaker(CFG)
+        self._trip(breaker)
+        for _ in range(CFG.base_backoff - 1):
+            assert not breaker.admit()
+        # The admission that crosses the backoff is a half-open probe.
+        assert breaker.admit()
+        assert breaker.state == BreakerState.HALF_OPEN
+
+    def test_half_open_closes_after_probe_successes(self):
+        breaker = CircuitBreaker(CFG)
+        self._trip(breaker)
+        for _ in range(CFG.base_backoff):
+            breaker.admit()
+        assert breaker.state == BreakerState.HALF_OPEN
+        for _ in range(CFG.probe_successes):
+            breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.backoff == CFG.base_backoff  # reset on close
+
+    def test_half_open_probe_fault_doubles_backoff(self):
+        breaker = CircuitBreaker(CFG)
+        self._trip(breaker)
+        for _ in range(CFG.base_backoff):
+            breaker.admit()
+        assert breaker.state == BreakerState.HALF_OPEN
+        breaker.record_fault()
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.backoff == CFG.base_backoff * 2
+        assert breaker.trips == 2
+
+    def test_backoff_caps_at_max(self):
+        breaker = CircuitBreaker(CFG)
+        for _ in range(10):  # trip, probe-fail, trip, probe-fail ...
+            if breaker.state == BreakerState.CLOSED:
+                self._trip(breaker)
+            while not breaker.admit():
+                pass
+            breaker.record_fault()
+        assert breaker.backoff == CFG.max_backoff
+
+    def test_sparse_faults_do_not_trip(self):
+        """Faults spaced wider than the window never reach threshold."""
+        breaker = CircuitBreaker(CFG)
+        for _ in range(6):
+            for _ in range(CFG.fault_window + 1):
+                assert breaker.admit()
+            breaker.record_fault()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_manual_trip_and_reset(self):
+        breaker = CircuitBreaker(CFG)
+        breaker.trip()
+        assert breaker.quarantined
+        breaker.reset()
+        assert breaker.state == BreakerState.CLOSED
+        assert breaker.backoff == CFG.base_backoff
+
+    def test_success_in_closed_is_noop(self):
+        breaker = CircuitBreaker(CFG)
+        breaker.admit()
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+
+
+class TestDatapathSupervisor:
+    def test_trap_contained_returns_none_without_fallback(self):
+        sup = DatapathSupervisor(CFG)
+        dp = FakeDatapath(fail=True)
+        assert sup.invoke(dp, ctx=None) is None
+        assert sup.trap_stats("prog").traps == 1
+        assert sup.trap_stats("prog").last_trap_site == "prog/act@3"
+
+    def test_trap_served_by_fallback(self):
+        sup = DatapathSupervisor(CFG)
+        dp = FakeDatapath(fail=True)
+        verdict = sup.invoke(dp, ctx=None,
+                             fallback=lambda c, e: FALLBACK_VERDICT)
+        assert verdict == FALLBACK_VERDICT
+        assert sup.trap_stats("prog").fallback_verdicts == 1
+
+    def test_quarantine_refusal_raises_without_fallback(self):
+        sup = DatapathSupervisor(CFG)
+        dp = FakeDatapath(fail=True)
+        for _ in range(CFG.fault_threshold):
+            sup.invoke(dp, ctx=None)
+        assert "prog" in sup.quarantined
+        with pytest.raises(DatapathQuarantined) as excinfo:
+            sup.invoke(dp, ctx=None)
+        assert excinfo.value.program == "prog"
+        assert excinfo.value.until is not None
+        assert sup.trap_stats("prog").refusals == 1
+
+    def test_quarantine_refusal_served_by_fallback(self):
+        sup = DatapathSupervisor(CFG)
+        dp = FakeDatapath(fail=True)
+        for _ in range(CFG.fault_threshold):
+            sup.invoke(dp, ctx=None)
+        verdict = sup.invoke(dp, ctx=None,
+                             fallback=lambda c, e: FALLBACK_VERDICT)
+        assert verdict == FALLBACK_VERDICT
+
+    def test_healthy_program_unaffected_by_faulty_peer(self):
+        """Per-program breakers: one faulty program cannot starve peers."""
+        sup = DatapathSupervisor(CFG)
+        bad = FakeDatapath(name="bad", fail=True)
+        good = FakeDatapath(name="good")
+        for _ in range(20):
+            sup.invoke(bad, ctx=None, fallback=lambda c, e: FALLBACK_VERDICT)
+            assert sup.invoke(good, ctx=None) == PROGRAM_VERDICT
+        assert sup.quarantined == ["bad"]
+        assert sup.trap_stats("good").traps == 0
+
+    def test_injected_fault_accounted_by_kind(self):
+        sup = DatapathSupervisor(CFG)
+        dp = FakeDatapath()
+        sup.record_trap(dp, FaultInjected("x", kind="map_corrupt"))
+        stats = sup.trap_stats("prog")
+        assert stats.injected == 1
+        assert stats.by_kind == {"map_corrupt": 1}
+
+    def test_manual_quarantine_and_release(self):
+        sup = DatapathSupervisor(CFG)
+        dp = FakeDatapath()
+        sup.quarantine("prog")
+        assert sup.quarantined == ["prog"]
+        assert not sup.admit(dp)
+        sup.release("prog")
+        assert sup.quarantined == []
+        assert sup.admit(dp)
+
+    def test_forget_drops_state(self):
+        sup = DatapathSupervisor(CFG)
+        sup.quarantine("prog")
+        sup.forget("prog")
+        assert sup.quarantined == []
+        assert sup.stats() == {}
+
+    def test_stats_shape(self):
+        sup = DatapathSupervisor(CFG)
+        dp = FakeDatapath(fail=True)
+        for _ in range(3):
+            sup.invoke(dp, ctx=None, fallback=lambda c, e: 0)
+        stats = sup.stats()["prog"]
+        for key in ("state", "backoff", "trips", "clock", "traps",
+                    "refusals", "fallback_verdicts", "quarantines",
+                    "by_kind", "last_trap_site"):
+            assert key in stats
+
+
+class TestSupervisedHook:
+    def test_fallback_served_while_quarantined(self):
+        hook, sup, _ = build_supervised_hook()
+        hook.injector = ScriptedInjector([True] * 10)
+        verdicts = [hook.fire(hook.new_context(pid=1, page=PROGRAM_VERDICT))
+                    for _ in range(10)]
+        assert all(v == FALLBACK_VERDICT for v in verdicts)
+        assert "prog" in sup.quarantined
+        # threshold traps tripped the breaker; half-open probes that
+        # trapped again are contained too.
+        assert hook.contained_traps >= CFG.fault_threshold
+        assert hook.fallback_fires == 10
+
+    def test_unsupervised_injection_is_the_crash_mode(self):
+        hook, sup, _ = build_supervised_hook()
+        hook.supervisor = None
+        hook.injector = ScriptedInjector([True])
+        with pytest.raises(FaultInjected):
+            hook.fire(hook.new_context(pid=1, page=PROGRAM_VERDICT))
+
+    def test_faulty_program_does_not_starve_coattached_peer(self):
+        hook, sup, _ = build_supervised_hook(extra_program="peer")
+        hook.injector = ScriptedInjector([True] * 50, target="prog")
+        for _ in range(50):
+            verdict = hook.fire(hook.new_context(pid=1, page=PROGRAM_VERDICT))
+            # The healthy peer's verdict always wins; never the fallback.
+            assert verdict == PROGRAM_VERDICT
+        assert sup.quarantined == ["prog"]
+        assert sup.trap_stats("peer").traps == 0
+
+    def test_control_plane_surfaces_supervision(self):
+        hook, sup, cp = build_supervised_hook()
+        hook.injector = ScriptedInjector([True] * 10)
+        for _ in range(10):
+            hook.fire(hook.new_context(pid=1, page=PROGRAM_VERDICT))
+        supervision = cp.stats()["prog"]["supervision"]
+        assert supervision["state"] == BreakerState.OPEN
+        assert supervision["quarantines"] >= 1
+        assert cp.quarantined == ["prog"]
+        cp.release("prog")
+        assert cp.quarantined == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(script=st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_random_traps_never_escape_and_readmit(self, script):
+        """The robustness contract, property-tested.
+
+        For ANY trap pattern: (1) no exception escapes fire; (2) every
+        verdict is the program's or the fallback's — and while the
+        breaker stays quarantined it is the fallback's; (3) once faults
+        stop, the program is re-admitted and serves verdicts again.
+        """
+        hook, sup, _ = build_supervised_hook()
+        hook.injector = ScriptedInjector(script)
+        breaker = sup.breaker("prog")
+        for _ in script:
+            still_open_before = breaker.quarantined and (
+                breaker.clock + 1 - breaker._opened_at < breaker.backoff
+            )
+            verdict = hook.fire(hook.new_context(pid=1, page=PROGRAM_VERDICT))
+            assert verdict in (PROGRAM_VERDICT, FALLBACK_VERDICT)
+            if still_open_before:
+                assert verdict == FALLBACK_VERDICT
+        # Conservation: injected faults either became contained traps or
+        # were never drawn because the breaker refused admission.
+        stats = sup.trap_stats("prog")
+        assert stats.traps == hook.contained_traps
+        assert stats.traps + stats.refusals <= len(script)
+        # Drain the script: refused fires don't consume injector slots,
+        # so trailing faults can keep failing half-open probes — each one
+        # at most max_backoff ticks after the last.
+        injector = hook.injector
+        for _ in range(len(script) * (CFG.max_backoff + 1)):
+            if injector.i >= len(script):
+                break
+            hook.fire(hook.new_context(pid=1, page=PROGRAM_VERDICT))
+        assert injector.i >= len(script)
+        # Faults stop; within max_backoff + probes the program re-admits.
+        clean = CFG.max_backoff + CFG.probe_successes + 4
+        tail = [hook.fire(hook.new_context(pid=1, page=PROGRAM_VERDICT))
+                for _ in range(clean)]
+        assert breaker.state == BreakerState.CLOSED
+        assert tail[-1] == PROGRAM_VERDICT

@@ -1,0 +1,96 @@
+"""Integration: supervised kernels survive faults the unsupervised die on.
+
+Scaled-down versions of the resilience experiment so the file stays in
+CI time; the full grid lives in ``benchmarks/bench_resilience.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RmtRuntimeError
+from repro.harness.resilience_experiment import (
+    ResilienceResult,
+    run_prefetch_resilience,
+    run_sched_resilience,
+)
+
+RATES = (0.0, 0.05)
+
+
+@pytest.fixture(scope="module")
+def prefetch_cells():
+    return run_prefetch_resilience(fault_rates=RATES, scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def sched_cells():
+    return run_sched_resilience(
+        fault_rates=RATES, benchmarks=("Fib Calculation",)
+    )
+
+
+class TestPrefetchResilience:
+    def test_supervised_completes_every_rate(self, prefetch_cells):
+        supervised = [c for c in prefetch_cells if c.supervised]
+        assert supervised
+        for cell in supervised:
+            assert cell.completed, cell.crashed_with
+
+    def test_unsupervised_crashes_under_faults(self, prefetch_cells):
+        crashed = [c for c in prefetch_cells
+                   if not c.supervised and c.fault_rate > 0]
+        assert crashed
+        for cell in crashed:
+            assert not cell.completed
+            assert "FaultInjected" in cell.crashed_with
+
+    def test_containment_ledger_populated(self, prefetch_cells):
+        faulty = [c for c in prefetch_cells
+                  if c.supervised and c.fault_rate > 0]
+        for cell in faulty:
+            assert cell.contained_traps > 0
+            assert cell.quarantines > 0
+            assert cell.fallback_fires > 0
+            assert cell.faults_injected >= cell.contained_traps
+
+    def test_fault_free_runs_identical_supervised_or_not(self, prefetch_cells):
+        """Zero faults: supervision must not change the result."""
+        by_mode = {}
+        for cell in prefetch_cells:
+            if cell.fault_rate == 0.0:
+                by_mode.setdefault(cell.workload, {})[cell.supervised] = cell
+        for cells in by_mode.values():
+            assert cells[True].jct_s == pytest.approx(cells[False].jct_s)
+            assert cells[True].accuracy_pct == pytest.approx(
+                cells[False].accuracy_pct
+            )
+
+
+class TestSchedResilience:
+    def test_supervised_completes_unsupervised_crashes(self, sched_cells):
+        for cell in sched_cells:
+            if cell.supervised:
+                assert cell.completed, cell.crashed_with
+            elif cell.fault_rate > 0:
+                assert not cell.completed
+
+    def test_degradation_bounded_by_stock_kernel(self, sched_cells):
+        """Quarantined down to the CFS heuristic, the supervised sched
+        should land at (not far from) the stock kernel's makespan."""
+        for cell in sched_cells:
+            if cell.supervised and cell.completed and cell.fault_rate > 0:
+                assert cell.jct_s <= cell.stock_jct_s * 3.0
+
+
+class TestSummary:
+    def test_result_summary_contract(self, prefetch_cells, sched_cells):
+        result = ResilienceResult(cells=list(prefetch_cells) + list(sched_cells))
+        assert result.all_supervised_completed()
+        assert result.any_unsupervised_crash()
+        assert result.worst_supervised_slowdown() >= 1.0
+        assert result.worst_slowdown_vs_stock() <= 3.0
+        rows = result.rows()
+        assert len(rows) == len(prefetch_cells) + len(sched_cells)
+        assert {"case_study", "fault_rate", "supervised", "completed",
+                "stock_jct_s"} <= set(rows[0])

@@ -1,0 +1,152 @@
+"""Fault injection: plans, injector determinism, degraded storage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import FaultInjected, RmtRuntimeError
+from repro.kernel.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultRates,
+    FaultyStorageModel,
+    StorageFaultProfile,
+)
+from repro.kernel.storage import RemoteMemoryModel, SsdModel
+
+
+def drive(injector: FaultInjector, hook: str, n: int, program: str = "prog"):
+    """Fire n invocations; return the injected-fault kind sequence
+    (None for clean invocations)."""
+    seq = []
+    for _ in range(n):
+        try:
+            injector.maybe_inject(hook, program)
+        except FaultInjected as exc:
+            seq.append(exc.kind)
+        else:
+            seq.append(None)
+    return seq
+
+
+class TestFaultRates:
+    def test_uniform_splits_evenly(self):
+        rates = FaultRates.uniform(0.2)
+        assert rates.total == pytest.approx(0.2)
+        assert all(rate == pytest.approx(0.05) for _, rate in rates.items())
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRates(helper_fault=1.5)
+        with pytest.raises(ValueError):
+            FaultRates.uniform(-0.1)
+
+    def test_plan_per_hook_override(self):
+        plan = FaultPlan(
+            hooks={"hot": FaultRates(map_corrupt=0.5)},
+            default=FaultRates.uniform(0.04),
+        )
+        assert plan.rates_for("hot").map_corrupt == 0.5
+        assert plan.rates_for("cold").total == pytest.approx(0.04)
+
+
+class TestStorageFaultProfile:
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            StorageFaultProfile(io_error_rate=2.0)
+        with pytest.raises(ValueError):
+            StorageFaultProfile(spike_factor=0)
+
+
+class TestFaultInjector:
+    def test_same_seed_same_sequence(self):
+        plan = FaultPlan.uniform(0.1, seed=42)
+        a = drive(FaultInjector(plan), "hook_a", 500)
+        b = drive(FaultInjector(plan), "hook_a", 500)
+        assert a == b
+        assert any(kind is not None for kind in a)
+
+    def test_different_seeds_differ(self):
+        a = drive(FaultInjector(FaultPlan.uniform(0.1, seed=1)), "h", 500)
+        b = drive(FaultInjector(FaultPlan.uniform(0.1, seed=2)), "h", 500)
+        assert a != b
+
+    def test_hooks_have_independent_streams(self):
+        """Interleaving draws on one hook must not perturb another's."""
+        plan = FaultPlan.uniform(0.1, seed=0)
+        solo = FaultInjector(plan)
+        seq_solo = drive(solo, "hook_a", 300)
+
+        mixed = FaultInjector(plan)
+        seq_mixed = []
+        for _ in range(300):
+            drive(mixed, "hook_b", 3)  # noise on another hook
+            seq_mixed.extend(drive(mixed, "hook_a", 1))
+        assert seq_solo == seq_mixed
+
+    def test_reset_rewinds_streams(self):
+        injector = FaultInjector(FaultPlan.uniform(0.1, seed=7))
+        first = drive(injector, "h", 200)
+        injector.reset()
+        assert injector.injected == 0
+        assert drive(injector, "h", 200) == first
+
+    def test_rate_roughly_honoured(self):
+        injector = FaultInjector(FaultPlan.uniform(0.1, seed=3))
+        seq = drive(injector, "h", 4000)
+        hits = sum(kind is not None for kind in seq)
+        assert 0.06 < hits / 4000 < 0.14
+
+    def test_all_kinds_reachable_and_counted(self):
+        injector = FaultInjector(FaultPlan.uniform(0.5, seed=11))
+        drive(injector, "h", 2000)
+        stats = injector.stats()
+        assert set(stats["by_kind"]) == set(FAULT_KINDS)
+        assert stats["injected"] == sum(stats["by_kind"].values())
+        assert stats["by_program"] == {"prog": stats["injected"]}
+
+    def test_zero_rate_never_draws(self):
+        injector = FaultInjector(FaultPlan())
+        assert drive(injector, "h", 100) == [None] * 100
+        assert injector.draws == 0
+
+    def test_injected_fault_is_a_runtime_trap(self):
+        injector = FaultInjector(FaultPlan.uniform(1.0, seed=0))
+        with pytest.raises(RmtRuntimeError) as excinfo:
+            injector.maybe_inject("h", "prog")
+        assert isinstance(excinfo.value, FaultInjected)
+        assert excinfo.value.program == "prog"
+        assert excinfo.value.kind in FAULT_KINDS
+
+
+class TestFaultyStorageModel:
+    def test_clean_profile_is_transparent(self):
+        inner, wrapped = RemoteMemoryModel(), FaultyStorageModel(RemoteMemoryModel())
+        for pages in (1, 4, 16):
+            assert (wrapped._service_time(pages, True)
+                    == inner._service_time(pages, True))
+
+    def test_faults_inflate_never_raise(self):
+        profile = StorageFaultProfile(io_error_rate=0.2, latency_spike_rate=0.2)
+        inner = RemoteMemoryModel()
+        wrapped = FaultyStorageModel(RemoteMemoryModel(), profile, seed=5)
+        clean = sum(inner._service_time(4, True) for _ in range(500))
+        faulty = sum(wrapped._service_time(4, True) for _ in range(500))
+        assert faulty > clean
+        assert wrapped.io_errors > 0
+        assert wrapped.latency_spikes > 0
+
+    def test_deterministic_and_resettable(self):
+        profile = StorageFaultProfile(io_error_rate=0.3, latency_spike_rate=0.3)
+        wrapped = FaultyStorageModel(SsdModel(), profile, seed=9)
+        first = [wrapped._service_time(2, True) for _ in range(100)]
+        wrapped.reset()
+        assert [wrapped._service_time(2, True) for _ in range(100)] == first
+
+    def test_read_integrates_with_des_queue(self):
+        profile = StorageFaultProfile(io_error_rate=1.0, retry_penalty_ns=10_000)
+        wrapped = FaultyStorageModel(RemoteMemoryModel(), profile, seed=0)
+        done = wrapped.read(now=0, pages=1)
+        clean_done = RemoteMemoryModel().read(now=0, pages=1)
+        assert done == clean_done + 10_000
