@@ -1,0 +1,215 @@
+"""Staged rollout — the model-lifecycle safety contract, made measurable.
+
+Both case studies stage candidates through the deploy subsystem
+(registry → shadow → canary → promote | roll back) and the benchmark
+asserts the contract:
+
+* a **poisoned** candidate never reaches PROMOTED: it is blocked at the
+  shadow gate (with *exactly zero* workload impact — shadow runs add no
+  simulated time), or rolled back at the first canary stage when shadow
+  is skipped (bounded impact: a few routed fires at the smallest ramp
+  fraction);
+* an **improved** candidate passes shadow, survives the full canary
+  ramp, and is promoted — ``push_model``/datapath-swap + registry
+  promotion;
+* the whole lifecycle is **deterministic** under a fixed seed: identical
+  transition logs, tick for tick, across repeated runs;
+* the registry records the full lineage (bootstrap push, staged
+  candidate, promotion/rollback verdicts).
+
+Run standalone for the CI smoke: ``python benchmarks/bench_rollout.py
+--smoke`` (prefetch cases only, scaled down), or ``--full`` for the
+whole grid.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.deploy.plan import RolloutState
+from repro.harness.rollout_experiment import (
+    run_prefetch_rollout,
+    run_sched_rollout,
+)
+
+#: A rollout run's JCT may differ from the no-rollout baseline by at
+#: most this much while the candidate never served live traffic (shadow
+#: block) or served only a handful of canary fires before rollback.
+JCT_NOISE_PCT = 2.0
+
+#: Trace scale for the benchmark cells (full traces in the harness
+#: default; half-scale keeps CI fast and still drives every gate).
+SCALE = 0.5
+
+
+def _assert_never_promoted(outcome) -> None:
+    assert outcome.final_state == RolloutState.ROLLED_BACK, (
+        f"poisoned candidate ended {outcome.final_state}, expected rollback"
+    )
+    assert all(t["to"] != RolloutState.PROMOTED for t in outcome.transitions)
+    staged = [v for v in outcome.registry if v["status"] == "rolled_back"]
+    assert staged, "registry never recorded the rollback verdict"
+
+
+def _assert_promoted(outcome) -> None:
+    assert outcome.final_state == RolloutState.PROMOTED, (
+        f"improved candidate ended {outcome.final_state}: "
+        f"{outcome.transitions}"
+    )
+    assert any(v["status"] == "live" for v in outcome.registry)
+
+
+# -- pytest-benchmark cells -------------------------------------------------
+
+
+def test_prefetch_poisoned_blocked_in_shadow(benchmark, record_rows):
+    outcome = benchmark.pedantic(
+        run_prefetch_rollout,
+        kwargs={"candidate": "poisoned", "seed": 0, "scale": SCALE},
+        rounds=1, iterations=1,
+    )
+    record_rows("rollout[prefetch][poisoned][shadow]", outcome.row())
+    _assert_never_promoted(outcome)
+    assert outcome.routed_fires == 0, "shadow-blocked candidate was routed"
+    assert abs(outcome.jct_delta_pct) <= JCT_NOISE_PCT, (
+        f"shadow evaluation changed JCT by {outcome.jct_delta_pct:.2f}%"
+    )
+
+
+def test_prefetch_poisoned_rolled_back_in_canary(benchmark, record_rows):
+    outcome = benchmark.pedantic(
+        run_prefetch_rollout,
+        kwargs={"candidate": "poisoned", "seed": 0, "scale": SCALE,
+                "skip_shadow": True},
+        rounds=1, iterations=1,
+    )
+    record_rows("rollout[prefetch][poisoned][canary]", outcome.row())
+    _assert_never_promoted(outcome)
+    assert abs(outcome.jct_delta_pct) <= JCT_NOISE_PCT, (
+        f"canary rollback cost {outcome.jct_delta_pct:.2f}% JCT "
+        f"(bound {JCT_NOISE_PCT}%)"
+    )
+
+
+def test_prefetch_improved_promotes(benchmark, record_rows):
+    outcome = benchmark.pedantic(
+        run_prefetch_rollout,
+        kwargs={"candidate": "improved", "seed": 0, "scale": SCALE},
+        rounds=1, iterations=1,
+    )
+    record_rows("rollout[prefetch][improved]", outcome.row())
+    _assert_promoted(outcome)
+    assert outcome.routed_fires > 0, "promotion without any canary traffic"
+
+
+def test_sched_poisoned_blocked(benchmark, record_rows):
+    outcome = benchmark.pedantic(
+        run_sched_rollout,
+        kwargs={"candidate": "poisoned", "seed": 0},
+        rounds=1, iterations=1,
+    )
+    record_rows("rollout[sched][poisoned]", outcome.row())
+    _assert_never_promoted(outcome)
+    assert abs(outcome.jct_delta_pct) <= JCT_NOISE_PCT
+
+
+def test_sched_improved_promotes(benchmark, record_rows):
+    outcome = benchmark.pedantic(
+        run_sched_rollout,
+        kwargs={"candidate": "improved", "seed": 0},
+        rounds=1, iterations=1,
+    )
+    record_rows("rollout[sched][improved]", outcome.row())
+    _assert_promoted(outcome)
+
+
+def test_rollout_deterministic(benchmark, record_rows):
+    """Same seed → identical transition log and routing, run to run."""
+    first = run_prefetch_rollout("poisoned", seed=0, scale=SCALE,
+                                 skip_shadow=True)
+    second = benchmark.pedantic(
+        run_prefetch_rollout,
+        kwargs={"candidate": "poisoned", "seed": 0, "scale": SCALE,
+                "skip_shadow": True},
+        rounds=1, iterations=1,
+    )
+    record_rows("rollout[determinism]", {
+        "transitions": first.transitions,
+        "routed_fires": first.routed_fires,
+    })
+    assert first.transitions == second.transitions
+    assert first.routed_fires == second.routed_fires
+    assert first.scored == second.scored
+
+
+# -- standalone smoke (CI): python benchmarks/bench_rollout.py --smoke ------
+
+
+def _smoke(seed: int, full: bool) -> int:
+    checks: list[tuple[str, bool]] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        checks.append((name, ok))
+        print(f"{'PASS' if ok else 'FAIL'}  {name}" + (f"  ({detail})" if detail else ""))
+
+    shadow = run_prefetch_rollout("poisoned", seed=seed, scale=SCALE)
+    check("poisoned blocked in shadow",
+          shadow.final_state == RolloutState.ROLLED_BACK
+          and shadow.routed_fires == 0,
+          f"state={shadow.final_state}")
+    check("shadow block has zero JCT impact",
+          abs(shadow.jct_delta_pct) <= JCT_NOISE_PCT,
+          f"delta={shadow.jct_delta_pct:+.2f}%")
+
+    canary = run_prefetch_rollout("poisoned", seed=seed, scale=SCALE,
+                                  skip_shadow=True)
+    check("poisoned rolled back in canary",
+          canary.final_state == RolloutState.ROLLED_BACK,
+          f"routed={canary.routed_fires}")
+    check("canary rollback within JCT noise",
+          abs(canary.jct_delta_pct) <= JCT_NOISE_PCT,
+          f"delta={canary.jct_delta_pct:+.2f}%")
+
+    improved = run_prefetch_rollout("improved", seed=seed, scale=SCALE)
+    check("improved candidate promotes",
+          improved.final_state == RolloutState.PROMOTED,
+          f"state={improved.final_state}")
+
+    again = run_prefetch_rollout("poisoned", seed=seed, scale=SCALE,
+                                 skip_shadow=True)
+    check("transition log reproducible under fixed seed",
+          again.transitions == canary.transitions
+          and again.routed_fires == canary.routed_fires)
+
+    if full:
+        sched_bad = run_sched_rollout("poisoned", seed=seed)
+        check("sched poisoned blocked",
+              sched_bad.final_state == RolloutState.ROLLED_BACK)
+        sched_good = run_sched_rollout("improved", seed=seed)
+        check("sched improved promotes",
+              sched_good.final_state == RolloutState.PROMOTED)
+
+    failed = [name for name, ok in checks if not ok]
+    print(f"\n{len(checks) - len(failed)}/{len(checks)} rollout checks passed")
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Staged-rollout lifecycle benchmark (standalone mode)"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="prefetch-only contract checks (the CI gate)")
+    parser.add_argument("--full", action="store_true",
+                        help="also run the scheduler case study")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if not (args.smoke or args.full):
+        parser.error("pick --smoke or --full (or run under pytest)")
+    return _smoke(args.seed, full=args.full)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -6,6 +6,8 @@ tooling:
 * ``table1`` / ``table2`` — regenerate the paper's tables with
   paper-vs-measured reporting,
 * ``ablation <name>``     — run one of the six ablations,
+* ``rollout``             — stage a candidate model through the
+  shadow/canary lifecycle on a case study and print the transition log,
 * ``compile <file.rmt>``  — compile a DSL source file, print the
   disassembly and the verifier's report (the offline half of the
   Figure-1 toolchain),
@@ -76,6 +78,56 @@ def _cmd_ablation(args) -> int:
         rows = [rows]
     for row in rows:
         print(row)
+    return 0
+
+
+def _cmd_rollout(args) -> int:
+    from .harness.rollout_experiment import (
+        demo_rollout_config,
+        run_prefetch_rollout,
+        run_sched_rollout,
+    )
+
+    config = demo_rollout_config(seed=args.seed, skip_shadow=args.skip_shadow)
+    if args.case == "prefetch":
+        outcome = run_prefetch_rollout(
+            args.candidate, seed=args.seed, skip_shadow=args.skip_shadow,
+            config=config, scale=0.5 if args.quick else 1.0,
+        )
+    else:
+        outcome = run_sched_rollout(
+            args.candidate, seed=args.seed, skip_shadow=args.skip_shadow,
+            config=config,
+        )
+
+    print(f"rollout: case={outcome.case} candidate={outcome.candidate} "
+          f"seed={args.seed}")
+    print(f"final state: {outcome.final_state}")
+    print("transitions:")
+    for row in outcome.transitions:
+        print(f"  tick {row['tick']:>5d}  {row['from']:>7s} -> "
+              f"{row['to']:<11s} {row['reason']}")
+    if outcome.shadow_report:
+        rep = outcome.shadow_report
+        print(f"shadow report: candidate {rep['candidate_accuracy']:.3f} "
+              f"vs primary {rep['primary_accuracy']:.3f} over "
+              f"{rep['samples']} samples "
+              f"(trap rate {rep['trap_rate']:.3f})")
+    for stage in outcome.stage_history:
+        print(f"canary stage {stage['fraction']:.0%}: "
+              f"{stage['samples']} samples, "
+              f"candidate {stage['candidate_accuracy']:.3f} "
+              f"vs primary {stage['primary_accuracy']:.3f} "
+              f"({stage['routed_fires']} routed fires)")
+    print(f"scored outcomes: {outcome.scored}  "
+          f"routed fires: {outcome.routed_fires}")
+    print(f"jct: {outcome.jct_s:.4f}s vs baseline "
+          f"{outcome.baseline_jct_s:.4f}s "
+          f"({outcome.jct_delta_pct:+.2f}%)")
+    print("registry track:")
+    for version in outcome.registry:
+        print(f"  v{version['version']} [{version['hash']}] "
+              f"{version['family']:<14s} {version['status']}")
     return 0
 
 
@@ -183,6 +235,21 @@ def build_parser() -> argparse.ArgumentParser:
     pa = sub.add_parser("ablation", help="run one ablation")
     pa.add_argument("name", choices=sorted(_ABLATIONS))
     pa.set_defaults(fn=_cmd_ablation)
+
+    pr = sub.add_parser("rollout",
+                        help="stage a candidate model through the "
+                             "shadow/canary lifecycle")
+    pr.add_argument("--case", choices=("prefetch", "sched"),
+                    default="prefetch")
+    pr.add_argument("--candidate", choices=("improved", "poisoned"),
+                    default="improved")
+    pr.add_argument("--skip-shadow", action="store_true",
+                    help="go straight to canary (demonstrates the "
+                         "canary-stage rollback path)")
+    pr.add_argument("--seed", type=int, default=0,
+                    help="canary hash-split seed (default: 0)")
+    pr.add_argument("--quick", action="store_true")
+    pr.set_defaults(fn=_cmd_rollout)
 
     pc = sub.add_parser("compile",
                         help="compile a DSL file; print disassembly + "

@@ -116,6 +116,17 @@ class ExecutionContext:
         owns all fields; the flag restricts *actions*, not the kernel)."""
         self._values[self.schema.field_id(name)] = int(value)
 
+    def copy(self) -> "ExecutionContext":
+        """Snapshot this context (same schema, independent values).
+
+        Shadow-lane dispatch runs candidate programs on a copy so their
+        entry-data publishing and writable-field stores can never leak
+        into the context the kernel decision was made from.
+        """
+        clone = ExecutionContext(self.schema)
+        clone._values = list(self._values)
+        return clone
+
     # -- id-based (VM side) ---------------------------------------------
 
     def load(self, field_id: int) -> int:

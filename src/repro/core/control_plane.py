@@ -164,13 +164,36 @@ class AccuracyWatchdog:
 
 
 class ControlPlane:
-    """Userland management of installed RMT programs."""
+    """Userland management of installed RMT programs.
 
-    def __init__(self, helpers: HelperRegistry | None = None) -> None:
+    ``hook_registry`` binds the control plane to the kernel side it
+    manages: uninstall detaches the program from its hook (previously a
+    deleted datapath kept firing), and the staged-rollout API
+    (:meth:`stage_model` / :meth:`advance_rollout`) attaches
+    shadow/canary lanes to the right hook point.
+    """
+
+    def __init__(
+        self,
+        helpers: HelperRegistry | None = None,
+        hook_registry=None,
+    ) -> None:
+        from ..deploy.registry import ModelRegistry
+
         self.helpers = helpers
+        self.hook_registry = hook_registry
         self._datapaths: dict[str, RmtDatapath] = {}
         self._watchdogs: dict[str, AccuracyWatchdog] = {}
         self.supervisor = None  # set via attach_supervisor
+        #: Versioned model artifacts, one track per installed program.
+        self.registry = ModelRegistry()
+        #: Active staged rollouts, keyed by target program name.
+        self._rollouts: dict = {}
+
+    def attach_hook_registry(self, hook_registry) -> None:
+        """Late-bind the kernel's hook registry (normally passed by
+        :class:`~repro.kernel.syscalls.RmtSyscallInterface`)."""
+        self.hook_registry = hook_registry
 
     # -- installation ----------------------------------------------------
 
@@ -190,8 +213,25 @@ class ControlPlane:
         return report
 
     def uninstall(self, program_name: str) -> None:
+        """Remove a program — and detach it from its hook point.
+
+        Deleting the datapath without detaching left the hook firing an
+        uninstalled program forever; with a hook registry bound, the
+        program is detached first, and any staged rollout targeting it
+        is aborted (its candidate has nothing left to replace).
+        """
         if program_name not in self._datapaths:
             raise ControlPlaneError(f"program {program_name!r} not installed")
+        rollout = self._rollouts.get(program_name)
+        if rollout is not None and rollout.active:
+            rollout.abort(f"target {program_name!r} uninstalled")
+        self._rollouts.pop(program_name, None)
+        datapath = self._datapaths[program_name]
+        if self.hook_registry is not None and self.hook_registry.has_hook(
+                datapath.program.attach_point):
+            self.hook_registry.detach(
+                datapath.program.attach_point, program_name
+            )
         del self._datapaths[program_name]
         self._watchdogs.pop(program_name, None)
         if self.supervisor is not None:
@@ -261,15 +301,14 @@ class ControlPlane:
 
     # -- model management ---------------------------------------------------
 
-    def push_model(self, program_name: str, model_id: int, model: object) -> None:
-        """Hot-swap a model transactionally: snapshot → verify → commit.
+    def _apply_model(self, program_name: str, model_id: int,
+                     model: object) -> RmtDatapath:
+        """The transactional swap itself: snapshot → verify → commit.
 
-        This is the "models periodically quantized and pushed to the
-        kernel" path: the swap invalidates verification, the program must
-        re-pass the cost check, and the JIT tier is recompiled because it
-        binds model objects at compile time.  A rejected push rolls the
-        previous model back (and re-verifies it), so the datapath never
-        serves a half-swapped, unverified program.
+        A rejected swap rolls the previous model back (and re-verifies
+        it), so the datapath never serves a half-swapped, unverified
+        program.  No registry bookkeeping happens here — callers decide
+        whether the swap is a push, a promotion, or a rollback.
         """
         dp = self.datapath(program_name)
         if model_id not in dp.program.models:
@@ -287,6 +326,286 @@ class ControlPlane:
             Verifier(dp.policy, self.helpers).verify_or_raise(dp.program)
             raise
         dp.rejit()
+        return dp
+
+    def push_model(
+        self,
+        program_name: str,
+        model_id: int,
+        model: object,
+        metadata: dict | None = None,
+    ) -> None:
+        """Hot-swap a model transactionally and record it in the registry.
+
+        This is the "models periodically quantized and pushed to the
+        kernel" path: the swap invalidates verification, the program must
+        re-pass the cost check, and the JIT tier is recompiled because it
+        binds model objects at compile time.  Every successful push
+        registers a versioned artifact on the program's registry track
+        and promotes it to live, so there is always a lineage to pin or
+        roll back to.
+        """
+        dp = self._apply_model(program_name, model_id, model)
+        lineage = {
+            "hook": dp.program.attach_point,
+            "model_id": model_id,
+            "origin": "push",
+        }
+        lineage.update(metadata or {})
+        artifact = self.registry.register(program_name, model, lineage)
+        self.registry.promote(program_name, artifact.version)
+
+    def rollback_model(self, program_name: str, model_id: int) -> None:
+        """Registry-driven rollback: restore the previous live version.
+
+        The demoted version is marked ``rolled_back`` in the registry so
+        it never silently returns; the restored model goes through the
+        same transactional verify-and-commit as any push.
+        """
+        previous = self.registry.rollback(program_name)
+        self._apply_model(program_name, model_id, previous.model)
+
+    # -- staged rollout (shadow → canary → promote | roll back) -----------
+
+    def _candidate_program(self, program, model_id: int, model: object):
+        """Clone a program around a candidate model.
+
+        Pipeline, tables, actions, maps and tensors are *shared* with
+        the primary — the candidate sees exactly the same runtime entry
+        configuration and monitoring state, so shadow scores measure the
+        model, not a stale config — while the models dict (and the
+        verified flag) are the candidate's own.
+        """
+        from .program import RmtProgram
+
+        models = dict(program.models)
+        models[model_id] = model
+        return RmtProgram(
+            name=f"{program.name}@candidate",
+            attach_point=program.attach_point,
+            schema=program.schema,
+            pipeline=program.pipeline,
+            actions=program.actions,
+            maps=program.maps,
+            map_ids=program.map_ids,
+            tensors=program.tensors,
+            models=models,
+            table_ids=program.table_ids,
+            action_ids=program.action_ids,
+        )
+
+    def _require_hook(self, attach_point: str):
+        if self.hook_registry is None:
+            raise ControlPlaneError(
+                "no hook registry attached; staged rollouts need one "
+                "(construct ControlPlane with hook_registry=... or call "
+                "attach_hook_registry)"
+            )
+        return self.hook_registry.hook(attach_point)
+
+    def stage_model(
+        self,
+        program_name: str,
+        model_id: int,
+        model: object,
+        metadata: dict | None = None,
+        config=None,
+        mode: str | None = None,
+        helper_env_factory=None,
+    ):
+        """Stage a candidate model for shadow/canary rollout.
+
+        The candidate is verified against the same attach policy and
+        compiled into its own datapath (its own JIT, its own stats), a
+        ``staged`` artifact is registered on the program's track, and a
+        shadow lane is attached to the program's hook point.  The
+        returned :class:`~repro.deploy.rollout.ModelRollout` starts in
+        SHADOW (or CANARY with ``config.skip_shadow``); promotion pushes
+        the model through the transactional swap and promotes the
+        artifact, rollback records the verdict and detaches the lane —
+        the primary is never touched until the candidate earns it.
+        """
+        from ..deploy.rollout import ModelRollout
+
+        dp = self.datapath(program_name)
+        if model_id not in dp.program.models:
+            raise KeyError(
+                f"program {program_name!r} has no model id {model_id}"
+            )
+        active = self._rollouts.get(program_name)
+        if active is not None and active.active:
+            raise ControlPlaneError(
+                f"program {program_name!r} already has an active rollout "
+                f"({active.state})"
+            )
+        hook = self._require_hook(dp.program.attach_point)
+        candidate_prog = self._candidate_program(dp.program, model_id, model)
+        Verifier(dp.policy, self.helpers).verify_or_raise(candidate_prog)
+        candidate_dp = RmtDatapath(
+            candidate_prog, dp.policy, self.helpers, mode=mode or dp.mode
+        )
+        lineage = {
+            "hook": dp.program.attach_point,
+            "model_id": model_id,
+            "origin": "stage",
+        }
+        lineage.update(metadata or {})
+        artifact = self.registry.register(program_name, model, lineage)
+
+        def _promote(rollout) -> None:
+            self.push_model(program_name, model_id, model)
+            hook.detach_rollout(rollout)
+            self._rollouts.pop(program_name, None)
+
+        def _roll_back(rollout) -> None:
+            from ..deploy.registry import ArtifactStatus
+
+            if artifact.status == ArtifactStatus.STAGED:
+                self.registry.mark_rolled_back(program_name, artifact.version)
+            hook.detach_rollout(rollout)
+            self._rollouts.pop(program_name, None)
+
+        rollout = ModelRollout(
+            target=program_name,
+            candidate_datapath=candidate_dp,
+            config=config,
+            supervisor=self.supervisor,
+            helper_env_factory=helper_env_factory,
+            on_promote=_promote,
+            on_rollback=_roll_back,
+            artifact=artifact,
+        )
+        hook.attach_rollout(rollout)
+        self._rollouts[program_name] = rollout
+        rollout.start()
+        return rollout
+
+    def stage_program(
+        self,
+        target_name: str,
+        candidate_program,
+        artifact_model: object,
+        metadata: dict | None = None,
+        config=None,
+        mode: str | None = None,
+        helper_env_factory=None,
+    ):
+        """Stage a whole replacement program (bytecode-lowered models).
+
+        For programs whose model lives as compiled bytecode + tensors
+        (e.g. the scheduler's MLP action) rather than a swappable model
+        object, the candidate is a full program; promotion swaps the
+        datapath in place at the hook (the candidate takes over the
+        target's name, supervision ledger and hook slot).
+        ``artifact_model`` is the underlying model object recorded in
+        the registry (for the content hash and lineage).
+        """
+        from ..deploy.rollout import ModelRollout
+
+        dp = self.datapath(target_name)
+        if candidate_program.attach_point != dp.program.attach_point:
+            raise ControlPlaneError(
+                f"candidate attaches to {candidate_program.attach_point!r}, "
+                f"target runs at {dp.program.attach_point!r}"
+            )
+        active = self._rollouts.get(target_name)
+        if active is not None and active.active:
+            raise ControlPlaneError(
+                f"program {target_name!r} already has an active rollout "
+                f"({active.state})"
+            )
+        hook = self._require_hook(dp.program.attach_point)
+        Verifier(dp.policy, self.helpers).verify_or_raise(candidate_program)
+        candidate_dp = RmtDatapath(
+            candidate_program, dp.policy, self.helpers, mode=mode or dp.mode
+        )
+        lineage = {
+            "hook": dp.program.attach_point,
+            "origin": "stage_program",
+        }
+        lineage.update(metadata or {})
+        artifact = self.registry.register(target_name, artifact_model, lineage)
+
+        def _promote(rollout) -> None:
+            candidate_name = candidate_dp.program.name
+            # The candidate takes over the target's identity: hook slot,
+            # datapath table entry, and (fresh) supervision ledger.
+            hook.datapaths = [
+                candidate_dp if d.program.name == target_name else d
+                for d in hook.datapaths
+            ]
+            candidate_dp.program.name = target_name
+            self._datapaths[target_name] = candidate_dp
+            if self.supervisor is not None:
+                self.supervisor.forget(candidate_name)
+            self.registry.promote(target_name, artifact.version)
+            hook.detach_rollout(rollout)
+            self._rollouts.pop(target_name, None)
+
+        def _roll_back(rollout) -> None:
+            from ..deploy.registry import ArtifactStatus
+
+            if artifact.status == ArtifactStatus.STAGED:
+                self.registry.mark_rolled_back(target_name, artifact.version)
+            hook.detach_rollout(rollout)
+            self._rollouts.pop(target_name, None)
+
+        rollout = ModelRollout(
+            target=target_name,
+            candidate_datapath=candidate_dp,
+            config=config,
+            supervisor=self.supervisor,
+            helper_env_factory=helper_env_factory,
+            on_promote=_promote,
+            on_rollback=_roll_back,
+            artifact=artifact,
+        )
+        hook.attach_rollout(rollout)
+        self._rollouts[target_name] = rollout
+        rollout.start()
+        return rollout
+
+    def rollout(self, program_name: str):
+        """The active rollout targeting a program (None if none)."""
+        return self._rollouts.get(program_name)
+
+    def advance_rollout(self, program_name: str) -> str:
+        """Nudge a rollout: start it if staged, else evaluate its gate.
+
+        Returns the (possibly new) rollout state.
+        """
+        rollout = self._rollouts.get(program_name)
+        if rollout is None:
+            raise ControlPlaneError(
+                f"program {program_name!r} has no active rollout"
+            )
+        return rollout.advance()
+
+    def abort_rollout(self, program_name: str,
+                      reason: str = "aborted by operator") -> None:
+        rollout = self._rollouts.get(program_name)
+        if rollout is None:
+            raise ControlPlaneError(
+                f"program {program_name!r} has no active rollout"
+            )
+        rollout.abort(reason)
+
+    def rollout_status(self, program_name: str) -> dict:
+        """Full lifecycle report: plan state, transition log, shadow
+        report, canary ramp, registry track."""
+        rollout = self._rollouts.get(program_name)
+        out = {"program": program_name}
+        if rollout is not None:
+            out.update(rollout.status())
+        else:
+            out["state"] = None
+        out["registry"] = {
+            "live_version": (self.registry.live(program_name).version
+                             if self.registry.live(program_name) else None),
+            "versions": [a.summary()
+                         for a in self.registry.history(program_name)],
+        }
+        return out
 
     # -- runtime supervision (fault containment / quarantine) ---------------
 
@@ -361,4 +680,17 @@ class ControlPlane:
             for name, dp_stats in out.items():
                 if name in supervision:
                     dp_stats["supervision"] = supervision[name]
+        for name, dp_stats in out.items():
+            rollout = self._rollouts.get(name)
+            if rollout is not None:
+                dp_stats["rollout"] = {
+                    "state": rollout.state,
+                    "candidate": rollout.shadow.program_name,
+                }
+            live = self.registry.live(name)
+            if live is not None or self.registry.history(name):
+                dp_stats["registry"] = {
+                    "live_version": live.version if live else None,
+                    "versions": len(self.registry.history(name)),
+                }
         return out

@@ -1,0 +1,39 @@
+"""Model lifecycle: versioned registry + shadow/canary staged rollout.
+
+The deployment layer between the userspace training agent and the
+in-kernel datapath — the model-serving shape (registry → shadow →
+canary → promote/rollback) applied to kernel policies:
+
+* :mod:`repro.deploy.registry` — content-hashed, versioned model
+  artifacts with lineage metadata and pin/promote/rollback;
+* :mod:`repro.deploy.shadow` — evaluate a candidate beside the primary
+  without applying its verdicts;
+* :mod:`repro.deploy.canary` — deterministic seeded traffic split with
+  accuracy / trap-rate / drift guardrails;
+* :mod:`repro.deploy.plan` — the STAGED → SHADOW → CANARY →
+  PROMOTED | ROLLED_BACK state machine;
+* :mod:`repro.deploy.rollout` — the orchestrator a hook point consults
+  and the control plane manages.
+"""
+
+from .canary import CanaryController, route_hash
+from .plan import RolloutConfig, RolloutPlan, RolloutState, Transition
+from .registry import ModelArtifact, ModelRegistry, model_fingerprint
+from .rollout import LaneSample, ModelRollout
+from .shadow import ShadowEvaluator, ShadowSink
+
+__all__ = [
+    "CanaryController",
+    "LaneSample",
+    "ModelArtifact",
+    "ModelRegistry",
+    "ModelRollout",
+    "RolloutConfig",
+    "RolloutPlan",
+    "RolloutState",
+    "ShadowEvaluator",
+    "ShadowSink",
+    "Transition",
+    "model_fingerprint",
+    "route_hash",
+]

@@ -1,0 +1,169 @@
+"""Canary routing and guardrails — the guarded traffic ramp.
+
+Once a candidate survives shadow, the canary controller routes a
+ramping fraction of hook invocations to it (1% → 5% → 25% → 100% by
+default).  Routing is a **seeded hash split** over the rollout's
+logical fire counter — no wall clock, no ``random`` — so the exact set
+of routed invocations is reproducible under a fixed seed, and the
+split is uniform over any window of fires.
+
+Guardrails, re-checked as scored outcomes arrive:
+
+* **accuracy** — the candidate's windowed accuracy may not trail the
+  primary's by more than the configured margin;
+* **trap rate** — candidate traps per invocation stay under the
+  ceiling, and the candidate's circuit breaker (when supervised) must
+  not be open;
+* **drift** — a :class:`~repro.ml.online.DriftDetector` watches the
+  candidate's windowed accuracy against the baseline it established in
+  shadow; a drift event during canary is an immediate rollback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..ml.online import AccuracyTracker, DriftDetector
+from .plan import RolloutConfig
+
+__all__ = ["CanaryController", "route_hash"]
+
+#: Resolution of the hash split (1/10000ths of traffic).
+_SPLIT_DENOM = 10_000
+
+
+def route_hash(seed: int, tick: int) -> int:
+    """Deterministic per-invocation bucket in [0, _SPLIT_DENOM).
+
+    SHA-256 over (seed, tick) — stable across platforms and Python
+    hash randomization, unlike ``hash()``.
+    """
+    digest = hashlib.sha256(f"{seed}:{tick}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % _SPLIT_DENOM
+
+
+class CanaryController:
+    """Ramp schedule + guardrail evaluation for one candidate."""
+
+    def __init__(self, config: RolloutConfig) -> None:
+        self.config = config
+        self.stage = 0  # index into config.ramp
+        self.stage_samples = 0  # scored outcomes at the current stage
+        self.routed_fires = 0
+        self.candidate = AccuracyTracker(window=config.accuracy_window)
+        self.primary = AccuracyTracker(window=config.accuracy_window)
+        self.drift = DriftDetector(
+            drop_threshold=config.drift_drop,
+            min_samples=min(config.canary_min_samples, 32),
+        )
+        #: History of completed ramp stages: (fraction, samples, cand
+        #: accuracy, primary accuracy) at the moment the gate passed.
+        self.stage_history: list[dict] = []
+
+    @property
+    def fraction(self) -> float:
+        """Traffic fraction of the current ramp stage."""
+        return self.config.ramp[self.stage]
+
+    @property
+    def final_stage(self) -> bool:
+        return self.stage == len(self.config.ramp) - 1
+
+    def route(self, tick: int) -> bool:
+        """Deterministic split: route this fire to the candidate?"""
+        routed = route_hash(self.config.seed, tick) < int(
+            self.fraction * _SPLIT_DENOM
+        )
+        if routed:
+            self.routed_fires += 1
+        return routed
+
+    def set_baseline(self, accuracy: float) -> None:
+        """Anchor the drift detector at the shadow-exit accuracy."""
+        self.drift.set_baseline(accuracy)
+
+    # -- outcome scoring -------------------------------------------------
+
+    def observe(self, candidate_correct: bool | None,
+                primary_correct: bool | None) -> None:
+        """Feed one ground-truth outcome (either lane may be unscored)."""
+        if candidate_correct is not None:
+            self.candidate.record(candidate_correct)
+            self.stage_samples += 1
+        if primary_correct is not None:
+            self.primary.record(primary_correct)
+
+    # -- guardrails ------------------------------------------------------
+
+    def accuracy_ok(self, margin: float) -> bool:
+        """Candidate within ``margin`` of the primary (or the absolute
+        floor when the primary has no scored verdicts)."""
+        if self.primary.n_windowed == 0:
+            return (self.candidate.windowed_accuracy
+                    >= self.config.shadow_min_accuracy)
+        return (self.candidate.windowed_accuracy
+                >= self.primary.windowed_accuracy - margin)
+
+    def trap_ok(self, shadow) -> bool:
+        """Trap-rate ceiling over the candidate's whole rollout life."""
+        if shadow.invocations < self.config.min_trap_samples:
+            return True
+        return shadow.trap_rate <= self.config.max_trap_rate
+
+    def drifted(self) -> bool:
+        """Drift check against the shadow-exit baseline (no baseline —
+        e.g. ``skip_shadow`` — means the detector never fires)."""
+        return self.drift.check(self.candidate)
+
+    def breach(self, shadow, supervisor=None) -> str | None:
+        """First violated guardrail, or None.  Checked on every scored
+        outcome during canary — breaches roll back immediately."""
+        if not self.trap_ok(shadow):
+            return (f"trap rate {shadow.trap_rate:.3f} > "
+                    f"{self.config.max_trap_rate}")
+        if supervisor is not None:
+            state = supervisor.state(shadow.program_name)
+            if state == "open":
+                return "candidate quarantined by supervisor"
+        if self.drifted():
+            return (f"drift: windowed accuracy "
+                    f"{self.candidate.windowed_accuracy:.3f} fell more than "
+                    f"{self.config.drift_drop} below baseline "
+                    f"{self.drift.baseline:.3f}")
+        if (self.stage_samples >= self.config.canary_min_samples
+                and not self.accuracy_ok(self.config.canary_margin)):
+            return (f"accuracy {self.candidate.windowed_accuracy:.3f} "
+                    f"trails primary {self.primary.windowed_accuracy:.3f} "
+                    f"by more than {self.config.canary_margin}")
+        return None
+
+    def stage_complete(self) -> bool:
+        return self.stage_samples >= self.config.canary_min_samples
+
+    def advance_stage(self) -> bool:
+        """Record the finished stage; returns True if the ramp is done
+        (the candidate is ready to promote)."""
+        self.stage_history.append({
+            "fraction": self.fraction,
+            "samples": self.stage_samples,
+            "candidate_accuracy": round(self.candidate.windowed_accuracy, 4),
+            "primary_accuracy": round(self.primary.windowed_accuracy, 4),
+            "routed_fires": self.routed_fires,
+        })
+        if self.final_stage:
+            return True
+        self.stage += 1
+        self.stage_samples = 0
+        return False
+
+    def stats(self) -> dict:
+        return {
+            "stage": self.stage,
+            "fraction": self.fraction,
+            "stage_samples": self.stage_samples,
+            "routed_fires": self.routed_fires,
+            "candidate_accuracy": round(self.candidate.windowed_accuracy, 4),
+            "primary_accuracy": round(self.primary.windowed_accuracy, 4),
+            "drift_events": self.drift.n_drift_events,
+            "stage_history": list(self.stage_history),
+        }

@@ -1,0 +1,144 @@
+"""The rollout plan — the staged-deployment state machine.
+
+A candidate model moves through::
+
+    STAGED ──► SHADOW ──► CANARY ──► PROMOTED
+       │          │          │
+       │          └──────────┴────► ROLLED_BACK
+       └──(skip_shadow)──► CANARY
+
+All transitions are driven by the simulation's logical clock (hook-fire
+ticks and scored-outcome counts) — never wall time or unseeded
+randomness — so a rollout's full transition log is bit-reproducible
+under a fixed seed.  ``PROMOTED`` and ``ROLLED_BACK`` are terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import ControlPlaneError
+
+__all__ = ["RolloutState", "RolloutConfig", "RolloutPlan", "Transition"]
+
+
+class RolloutState:
+    """Lifecycle states (plain strings, easy to log and compare)."""
+
+    STAGED = "staged"
+    SHADOW = "shadow"
+    CANARY = "canary"
+    PROMOTED = "promoted"
+    ROLLED_BACK = "rolled_back"
+
+
+#: Legal transitions; anything else is a bug in the driver.
+_LEGAL = {
+    (RolloutState.STAGED, RolloutState.SHADOW),
+    (RolloutState.STAGED, RolloutState.CANARY),
+    (RolloutState.STAGED, RolloutState.ROLLED_BACK),
+    (RolloutState.SHADOW, RolloutState.CANARY),
+    (RolloutState.SHADOW, RolloutState.ROLLED_BACK),
+    (RolloutState.CANARY, RolloutState.PROMOTED),
+    (RolloutState.CANARY, RolloutState.ROLLED_BACK),
+}
+
+_TERMINAL = {RolloutState.PROMOTED, RolloutState.ROLLED_BACK}
+
+
+@dataclass(frozen=True)
+class RolloutConfig:
+    """Knobs of the staged rollout (all thresholds in logical units).
+
+    The shadow gate compares the candidate's windowed accuracy against
+    the primary's over the same scored outcomes; the canary gate
+    re-checks it at every ramp stage, plus the trap-rate and drift
+    guardrails.  ``seed`` drives the deterministic canary hash split.
+    """
+
+    seed: int = 0
+    #: Scored outcomes required before the shadow gate is evaluated.
+    shadow_min_samples: int = 64
+    #: Candidate accuracy may trail the primary by at most this margin.
+    shadow_margin: float = 0.05
+    #: Optional absolute accuracy floor for the shadow gate (used when
+    #: the primary produced no scorable verdicts in the shadow window).
+    shadow_min_accuracy: float = 0.0
+    #: Skip the shadow phase entirely (STAGED goes straight to CANARY).
+    skip_shadow: bool = False
+    #: Traffic fractions of the canary ramp, in order; the last stage
+    #: passing its gate promotes the candidate.
+    ramp: tuple[float, ...] = (0.01, 0.05, 0.25, 1.0)
+    #: Scored outcomes required per ramp stage before its gate runs.
+    canary_min_samples: int = 32
+    #: Accuracy margin vs the primary during canary stages.
+    canary_margin: float = 0.05
+    #: Candidate trap-rate ceiling (traps / candidate invocations).
+    max_trap_rate: float = 0.05
+    #: Candidate invocations before the trap-rate guardrail engages.
+    min_trap_samples: int = 20
+    #: Windowed-accuracy drop vs the shadow-exit baseline that counts
+    #: as drift (feeds a :class:`~repro.ml.online.DriftDetector`).
+    drift_drop: float = 0.2
+    #: Sliding window for the per-lane accuracy trackers.
+    accuracy_window: int = 128
+    #: Evaluate gates automatically as outcomes arrive; with False the
+    #: driver must call ``advance()`` (the control plane's
+    #: ``advance_rollout``) to move the plan along.
+    auto_advance: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.ramp:
+            raise ValueError("ramp must name at least one traffic fraction")
+        last = 0.0
+        for fraction in self.ramp:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(f"ramp fraction {fraction} outside (0, 1]")
+            if fraction < last:
+                raise ValueError(f"ramp must be non-decreasing, got {self.ramp}")
+            last = fraction
+        if self.shadow_min_samples < 1 or self.canary_min_samples < 1:
+            raise ValueError("min sample counts must be >= 1")
+        if not 0.0 <= self.max_trap_rate <= 1.0:
+            raise ValueError(f"max_trap_rate {self.max_trap_rate} outside [0, 1]")
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One edge taken by the plan, with its logical timestamp."""
+
+    tick: int
+    frm: str
+    to: str
+    reason: str
+
+    def row(self) -> dict:
+        return {"tick": self.tick, "from": self.frm, "to": self.to,
+                "reason": self.reason}
+
+
+class RolloutPlan:
+    """The state machine itself; owners call :meth:`to` to move it."""
+
+    def __init__(self) -> None:
+        self.state = RolloutState.STAGED
+        self.transitions: list[Transition] = []
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in _TERMINAL
+
+    def to(self, state: str, tick: int, reason: str) -> Transition:
+        """Take one transition; illegal edges raise ControlPlaneError."""
+        if (self.state, state) not in _LEGAL:
+            raise ControlPlaneError(
+                f"illegal rollout transition {self.state} -> {state}"
+            )
+        transition = Transition(tick=tick, frm=self.state, to=state,
+                                reason=reason)
+        self.transitions.append(transition)
+        self.state = state
+        return transition
+
+    def log(self) -> list[dict]:
+        return [t.row() for t in self.transitions]

@@ -1,0 +1,251 @@
+"""The model registry — versioned, content-hashed artifacts per track.
+
+The paper's control-plane loop ("models periodically quantized and
+pushed to the kernel") needs a deployment ledger between the training
+agent and ``push_model``: which model is live at each hook, what it was
+trained on, and what to roll back to when a push goes wrong.  A *track*
+is one deployment target (we key tracks by installed program name), and
+each artifact on a track carries:
+
+* a **content hash** — SHA-256 over the model's canonical wire form
+  (:mod:`repro.core.serialize`), falling back to the cost signature for
+  model types with no wire format.  Registering byte-identical content
+  twice returns the existing artifact instead of minting a new version.
+* a **monotonic version** per track;
+* **lineage metadata** — hook, feature set, quantization, training
+  window, parent version — whatever the training pipeline records;
+* a **status**: ``staged`` (registered, not serving), ``live`` (what
+  the datapath serves), ``retired`` (superseded), ``rolled_back``
+  (demoted by a guardrail or operator).
+
+The registry is driven by its own logical clock (one tick per mutating
+operation) so histories are reproducible without wall-clock timestamps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from ..core.errors import ControlPlaneError
+
+__all__ = ["ModelArtifact", "ModelRegistry", "model_fingerprint"]
+
+
+class ArtifactStatus:
+    """Lifecycle states of one registered artifact (plain strings)."""
+
+    STAGED = "staged"
+    LIVE = "live"
+    RETIRED = "retired"
+    ROLLED_BACK = "rolled_back"
+
+
+def model_fingerprint(model: object) -> tuple[str, str]:
+    """Content hash + family for a model object.
+
+    Prefers the canonical wire form so two trainings that produce the
+    same tree/weights hash identically; models with no wire format hash
+    their cost signature and class name (deterministic, but only
+    structure-unique — good enough to version placeholder models).
+    """
+    try:
+        from ..core.serialize import _serialize_model
+
+        payload = _serialize_model(model)
+        family = payload["family"]
+    except Exception:
+        signature = (model.cost_signature()
+                     if hasattr(model, "cost_signature") else {})
+        payload = {"class": type(model).__name__, "signature": signature}
+        family = signature.get("kind", type(model).__name__)
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode()
+    ).hexdigest()
+    return digest, str(family)
+
+
+@dataclass
+class ModelArtifact:
+    """One versioned model on a deployment track."""
+
+    track: str
+    version: int
+    content_hash: str
+    family: str
+    model: object
+    metadata: dict = field(default_factory=dict)
+    status: str = ArtifactStatus.STAGED
+    created_tick: int = 0
+    pinned: bool = False
+
+    @property
+    def short_hash(self) -> str:
+        return self.content_hash[:12]
+
+    def summary(self) -> dict:
+        return {
+            "track": self.track,
+            "version": self.version,
+            "hash": self.short_hash,
+            "family": self.family,
+            "status": self.status,
+            "pinned": self.pinned,
+            "created_tick": self.created_tick,
+            "metadata": dict(self.metadata),
+        }
+
+
+class ModelRegistry:
+    """Per-track artifact ledger with promote / rollback / pin."""
+
+    def __init__(self) -> None:
+        self._tracks: dict[str, list[ModelArtifact]] = {}
+        self.clock = 0
+
+    def _tick(self) -> int:
+        self.clock += 1
+        return self.clock
+
+    # -- registration ----------------------------------------------------
+
+    def register(
+        self,
+        track: str,
+        model: object,
+        metadata: dict | None = None,
+    ) -> ModelArtifact:
+        """Register a model on a track; dedupes by content hash.
+
+        Re-registering identical content returns the existing artifact
+        (its metadata is left untouched — lineage describes the first
+        registration) rather than minting a redundant version.
+        """
+        content_hash, family = model_fingerprint(model)
+        artifacts = self._tracks.setdefault(track, [])
+        for artifact in artifacts:
+            if artifact.content_hash == content_hash:
+                return artifact
+        artifact = ModelArtifact(
+            track=track,
+            version=len(artifacts) + 1,
+            content_hash=content_hash,
+            family=family,
+            model=model,
+            metadata=dict(metadata or {}),
+            created_tick=self._tick(),
+        )
+        artifacts.append(artifact)
+        return artifact
+
+    # -- lookup ----------------------------------------------------------
+
+    def tracks(self) -> list[str]:
+        return sorted(self._tracks)
+
+    def history(self, track: str) -> list[ModelArtifact]:
+        return list(self._tracks.get(track, []))
+
+    def artifact(self, track: str, version: int) -> ModelArtifact:
+        for artifact in self._tracks.get(track, []):
+            if artifact.version == version:
+                return artifact
+        raise ControlPlaneError(
+            f"track {track!r} has no version {version}; "
+            f"versions: {[a.version for a in self._tracks.get(track, [])]}"
+        )
+
+    def by_hash(self, track: str, content_hash: str) -> ModelArtifact | None:
+        for artifact in self._tracks.get(track, []):
+            if artifact.content_hash.startswith(content_hash):
+                return artifact
+        return None
+
+    def live(self, track: str) -> ModelArtifact | None:
+        for artifact in self._tracks.get(track, []):
+            if artifact.status == ArtifactStatus.LIVE:
+                return artifact
+        return None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def promote(self, track: str, version: int) -> ModelArtifact:
+        """Make a version live; the previous live version is retired."""
+        artifact = self.artifact(track, version)
+        current = self.live(track)
+        if current is not None and current.version == version:
+            return current
+        if current is not None and current.pinned:
+            raise ControlPlaneError(
+                f"track {track!r} is pinned to version {current.version}; "
+                "unpin before promoting"
+            )
+        tick = self._tick()
+        if current is not None:
+            current.status = ArtifactStatus.RETIRED
+        artifact.status = ArtifactStatus.LIVE
+        artifact.metadata.setdefault("promoted_tick", tick)
+        return artifact
+
+    def rollback(self, track: str) -> ModelArtifact:
+        """Demote the live version and restore the newest retired one.
+
+        The demoted artifact is marked ``rolled_back`` so it is skipped
+        by future rollbacks (a bad version never silently returns).
+        """
+        current = self.live(track)
+        if current is None:
+            raise ControlPlaneError(f"track {track!r} has no live version")
+        if current.pinned:
+            raise ControlPlaneError(
+                f"track {track!r} is pinned to version {current.version}; "
+                "unpin before rolling back"
+            )
+        previous = None
+        for artifact in self._tracks[track]:
+            if (artifact.status == ArtifactStatus.RETIRED
+                    and artifact.version < current.version):
+                if previous is None or artifact.version > previous.version:
+                    previous = artifact
+        if previous is None:
+            raise ControlPlaneError(
+                f"track {track!r} has no earlier version to roll back to"
+            )
+        self._tick()
+        current.status = ArtifactStatus.ROLLED_BACK
+        previous.status = ArtifactStatus.LIVE
+        return previous
+
+    def mark_rolled_back(self, track: str, version: int) -> ModelArtifact:
+        """Record that a staged candidate was rejected by its rollout."""
+        artifact = self.artifact(track, version)
+        if artifact.status == ArtifactStatus.LIVE:
+            raise ControlPlaneError(
+                f"version {version} on {track!r} is live; use rollback()"
+            )
+        self._tick()
+        artifact.status = ArtifactStatus.ROLLED_BACK
+        return artifact
+
+    def pin(self, track: str, version: int) -> ModelArtifact:
+        """Pin a version: promote/rollback refuse to displace it."""
+        artifact = self.artifact(track, version)
+        artifact.pinned = True
+        return artifact
+
+    def unpin(self, track: str, version: int) -> ModelArtifact:
+        artifact = self.artifact(track, version)
+        artifact.pinned = False
+        return artifact
+
+    def stats(self) -> dict:
+        return {
+            track: {
+                "versions": len(artifacts),
+                "live": (self.live(track).version
+                         if self.live(track) else None),
+                "history": [a.summary() for a in artifacts],
+            }
+            for track, artifacts in sorted(self._tracks.items())
+        }

@@ -1,0 +1,294 @@
+"""The model rollout — one candidate's guarded journey to production.
+
+A :class:`ModelRollout` is the object a hook point consults on every
+fire (its shadow/canary dispatch lane) and the object the control plane
+manages (``stage_model`` creates one, ``advance_rollout`` prods it,
+``rollout_status`` reads it).  It owns:
+
+* the :class:`~repro.deploy.plan.RolloutPlan` state machine,
+* a :class:`~repro.deploy.shadow.ShadowEvaluator` wrapping the
+  candidate datapath,
+* a :class:`~repro.deploy.canary.CanaryController` for the ramp and
+  guardrails,
+* promotion/rollback callbacks supplied by the control plane (push the
+  candidate model / record the verdict in the registry / detach the
+  lane).
+
+Everything is driven by logical ticks (hook fires and scored outcomes);
+ground truth arrives asynchronously via :meth:`observe_outcome`, fed by
+the kernel subsystem or experiment harness that knows what the correct
+decision turned out to be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import ControlPlaneError, RmtRuntimeError
+from .canary import CanaryController
+from .plan import RolloutConfig, RolloutPlan, RolloutState
+from .shadow import ShadowEvaluator
+
+__all__ = ["ModelRollout", "LaneSample"]
+
+
+@dataclass
+class LaneSample:
+    """What each lane did on the most recent hook fire (for scoring)."""
+
+    tick: int
+    routed: bool
+    candidate_verdict: int | None = None
+    primary_verdict: int | None = None
+    candidate_env: object = None
+
+
+class ModelRollout:
+    """Shadow/canary lane for one candidate against one installed program."""
+
+    def __init__(
+        self,
+        target: str,
+        candidate_datapath,
+        config: RolloutConfig | None = None,
+        supervisor=None,
+        helper_env_factory=None,
+        on_promote=None,
+        on_rollback=None,
+        artifact=None,
+    ) -> None:
+        self.target = target
+        self.config = config or RolloutConfig()
+        self.plan = RolloutPlan()
+        self.supervisor = supervisor
+        self.shadow = ShadowEvaluator(
+            candidate_datapath,
+            helper_env_factory=helper_env_factory,
+            supervisor=supervisor,
+        )
+        self.canary = CanaryController(self.config)
+        self.on_promote = on_promote
+        self.on_rollback = on_rollback
+        self.artifact = artifact
+        self.tick = 0  # logical clock: hook fires seen by this lane
+        self.scored = 0  # ground-truth outcomes observed
+        self.last_sample: LaneSample | None = None
+        self._routed_now = False
+        #: Shadow-gate snapshot (filled when the gate is evaluated).
+        self.shadow_report: dict | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        return self.plan.state
+
+    @property
+    def active(self) -> bool:
+        """Should the hook still consult this lane?"""
+        return not self.plan.terminal
+
+    def start(self) -> None:
+        """STAGED → SHADOW (or straight to CANARY with ``skip_shadow``)."""
+        if self.plan.state != RolloutState.STAGED:
+            raise ControlPlaneError(
+                f"rollout for {self.target!r} already started "
+                f"({self.plan.state})"
+            )
+        if self.config.skip_shadow:
+            self.plan.to(RolloutState.CANARY, self.tick, "shadow skipped")
+        else:
+            self.plan.to(RolloutState.SHADOW, self.tick, "staged for shadow")
+
+    # -- hook integration (called from HookPoint.fire) -------------------
+
+    def begin_fire(self) -> bool:
+        """Advance the logical clock; True if this fire canary-routes."""
+        self.tick += 1
+        self._routed_now = (
+            self.plan.state == RolloutState.CANARY
+            and self.canary.route(self.tick)
+        )
+        return self._routed_now
+
+    @property
+    def routed_now(self) -> bool:
+        return self._routed_now
+
+    @property
+    def wants_shadow(self) -> bool:
+        """Run a shadow observation on this fire?  Every non-routed fire
+        while the rollout is live — canary stages keep scoring the
+        candidate on the traffic they don't route."""
+        return self.active and not self._routed_now and self.plan.state in (
+            RolloutState.SHADOW, RolloutState.CANARY,
+        )
+
+    def canary_invoke(self, ctx, helper_env) -> int | None:
+        """Routed invocation: the candidate serves this fire for real.
+
+        A candidate trap is contained (charged via the supervisor when
+        attached) and yields no verdict — the kernel takes its default
+        path for this fire — then the trap guardrail is re-checked
+        immediately, so a trapping candidate rolls back without waiting
+        for the next scored outcome.
+        """
+        self.last_sample = LaneSample(tick=self.tick, routed=True)
+        try:
+            verdict = self.shadow.datapath.invoke(ctx, helper_env)
+        except RmtRuntimeError as exc:
+            exc.attribute(program=self.shadow.program_name)
+            self.shadow.invocations += 1
+            self.shadow.traps += 1
+            self.shadow.last_trap = str(exc)
+            if self.supervisor is not None:
+                self.supervisor.record_trap(self.shadow.datapath, exc)
+            self._check_trap_guardrail()
+            return None
+        self.shadow.invocations += 1
+        if self.supervisor is not None:
+            self.supervisor.record_success(self.shadow.datapath)
+        self.last_sample.candidate_verdict = verdict
+        return verdict
+
+    def shadow_observe(self, ctx, primary_verdict: int | None) -> None:
+        """Unrouted fire: evaluate the candidate on a copied context."""
+        verdict = self.shadow.run(ctx)
+        self.last_sample = LaneSample(
+            tick=self.tick,
+            routed=False,
+            candidate_verdict=verdict,
+            primary_verdict=primary_verdict,
+            candidate_env=self.shadow.last_env,
+        )
+        if self.plan.state == RolloutState.CANARY:
+            self._check_trap_guardrail()
+
+    # -- ground truth ----------------------------------------------------
+
+    def observe_outcome(self, candidate_correct: bool | None,
+                        primary_correct: bool | None = None) -> None:
+        """Feed one scored outcome; auto-advances gates when configured."""
+        if not self.active:
+            return
+        self.canary.observe(candidate_correct, primary_correct)
+        if candidate_correct is not None:
+            self.scored += 1
+        if self.config.auto_advance:
+            self.evaluate()
+
+    # -- gate evaluation -------------------------------------------------
+
+    def evaluate(self) -> str:
+        """Run the current stage's gate; returns the (possibly new) state."""
+        if self.plan.state == RolloutState.SHADOW:
+            self._evaluate_shadow_gate()
+        elif self.plan.state == RolloutState.CANARY:
+            self._evaluate_canary_gate()
+        return self.plan.state
+
+    def advance(self) -> str:
+        """Operator nudge (``ControlPlane.advance_rollout``): start a
+        staged rollout or force the current gate to be evaluated now."""
+        if self.plan.state == RolloutState.STAGED:
+            self.start()
+        else:
+            self.evaluate()
+        return self.plan.state
+
+    def abort(self, reason: str = "aborted by operator") -> None:
+        if self.active:
+            self._roll_back(reason)
+
+    def _evaluate_shadow_gate(self) -> None:
+        if self.canary.stage_samples < self.config.shadow_min_samples:
+            return
+        candidate_acc = self.canary.candidate.windowed_accuracy
+        primary_acc = self.canary.primary.windowed_accuracy
+        self.shadow_report = {
+            "samples": self.canary.stage_samples,
+            "candidate_accuracy": round(candidate_acc, 4),
+            "primary_accuracy": round(primary_acc, 4),
+            "candidate_traps": self.shadow.traps,
+            "trap_rate": round(self.shadow.trap_rate, 4),
+        }
+        if not self.canary.trap_ok(self.shadow):
+            self._roll_back(
+                f"shadow gate: trap rate {self.shadow.trap_rate:.3f} > "
+                f"{self.config.max_trap_rate}"
+            )
+            return
+        if not self.canary.accuracy_ok(self.config.shadow_margin):
+            self._roll_back(
+                f"shadow gate: candidate accuracy {candidate_acc:.3f} "
+                f"trails primary {primary_acc:.3f} beyond margin "
+                f"{self.config.shadow_margin}"
+            )
+            return
+        # Gate passed: anchor the drift detector at the accuracy the
+        # candidate demonstrated in shadow, reset the stage counter, go.
+        self.canary.set_baseline(candidate_acc)
+        self.canary.stage_samples = 0
+        self.plan.to(
+            RolloutState.CANARY, self.tick,
+            f"shadow gate passed ({candidate_acc:.3f} vs "
+            f"primary {primary_acc:.3f} over "
+            f"{self.shadow_report['samples']} samples)",
+        )
+
+    def _evaluate_canary_gate(self) -> None:
+        breach = self.canary.breach(self.shadow, self.supervisor)
+        if breach is not None:
+            self._roll_back(f"canary guardrail: {breach}")
+            return
+        if not self.canary.stage_complete():
+            return
+        fraction = self.canary.fraction
+        done = self.canary.advance_stage()
+        if done:
+            self._promote(
+                f"canary ramp complete at {fraction:.0%} "
+                f"(accuracy {self.canary.candidate.windowed_accuracy:.3f})"
+            )
+
+    def _check_trap_guardrail(self) -> None:
+        if self.plan.state != RolloutState.CANARY:
+            return
+        breach = None
+        if not self.canary.trap_ok(self.shadow):
+            breach = (f"trap rate {self.shadow.trap_rate:.3f} > "
+                      f"{self.config.max_trap_rate}")
+        elif self.supervisor is not None and (
+                self.supervisor.state(self.shadow.program_name) == "open"):
+            breach = "candidate quarantined by supervisor"
+        if breach is not None:
+            self._roll_back(f"canary guardrail: {breach}")
+
+    def _promote(self, reason: str) -> None:
+        self.plan.to(RolloutState.PROMOTED, self.tick, reason)
+        if self.on_promote is not None:
+            self.on_promote(self)
+
+    def _roll_back(self, reason: str) -> None:
+        self.plan.to(RolloutState.ROLLED_BACK, self.tick, reason)
+        if self.on_rollback is not None:
+            self.on_rollback(self)
+
+    # -- introspection ---------------------------------------------------
+
+    def status(self) -> dict:
+        out = {
+            "target": self.target,
+            "candidate": self.shadow.program_name,
+            "state": self.plan.state,
+            "tick": self.tick,
+            "scored_outcomes": self.scored,
+            "transitions": self.plan.log(),
+            "shadow": self.shadow.stats(),
+            "canary": self.canary.stats(),
+        }
+        if self.shadow_report is not None:
+            out["shadow_report"] = dict(self.shadow_report)
+        if self.artifact is not None:
+            out["artifact"] = self.artifact.summary()
+        return out

@@ -1,0 +1,102 @@
+"""Shadow evaluation — run a candidate beside the primary, apply nothing.
+
+The shadow lane is the first guarded stage of a rollout: the candidate
+datapath is invoked on (a copy of) every execution context the primary
+sees, its verdicts are recorded and scored against ground-truth
+outcomes, but nothing it does reaches the kernel decision — contexts
+are copied before the candidate runs, and helper side effects land in a
+scratch environment built by ``helper_env_factory`` (never the real
+one).  Candidate traps are contained here and charged to the candidate
+program (via the supervisor when one is attached), exactly as KML and
+LearnedCache gate learned verdicts behind the stock path before
+trusting them.
+
+Shadow execution cost is accounted separately by the hook
+(``shadow_overhead_ns`` in :class:`~repro.kernel.hooks.HookPoint`), so
+the price of evaluating a candidate never pollutes the primary's
+overhead ledger.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import RmtRuntimeError
+
+__all__ = ["ShadowSink", "ShadowEvaluator"]
+
+
+class ShadowSink:
+    """Scratch helper environment: absorbs helper effects of a shadow run.
+
+    Mirrors the ``push`` protocol of the kernel-side sinks (e.g. the
+    prefetcher's page sink) so candidate actions can call their helpers;
+    whatever they emit is recorded for scoring and discarded.
+    """
+
+    __slots__ = ("pages",)
+
+    def __init__(self) -> None:
+        self.pages: list[int] = []
+
+    def push(self, value: int) -> int:
+        self.pages.append(int(value))
+        return len(self.pages)
+
+
+class ShadowEvaluator:
+    """Invoke a candidate datapath without applying its verdicts."""
+
+    def __init__(self, datapath, helper_env_factory=None,
+                 supervisor=None) -> None:
+        self.datapath = datapath
+        self.helper_env_factory = helper_env_factory or ShadowSink
+        self.supervisor = supervisor
+        self.invocations = 0
+        self.traps = 0
+        self.last_verdict: int | None = None
+        self.last_env = None
+        self.last_trap: str = ""
+
+    @property
+    def program_name(self) -> str:
+        return self.datapath.program.name
+
+    def run(self, ctx) -> int | None:
+        """One shadow invocation on an already-copied context.
+
+        Returns the candidate's (clamped) verdict, or None if the
+        candidate trapped — the trap is contained, counted, and charged
+        to the candidate's breaker when a supervisor is attached.
+        """
+        self.invocations += 1
+        env = self.helper_env_factory()
+        self.last_env = env
+        try:
+            verdict = self.datapath.invoke(ctx, env)
+        except RmtRuntimeError as exc:
+            exc.attribute(program=self.program_name)
+            self.traps += 1
+            self.last_trap = str(exc)
+            self.last_verdict = None
+            if self.supervisor is not None:
+                self.supervisor.record_trap(self.datapath, exc)
+            return None
+        if self.supervisor is not None:
+            self.supervisor.record_success(self.datapath)
+        self.last_verdict = verdict
+        return verdict
+
+    @property
+    def trap_rate(self) -> float:
+        if self.invocations == 0:
+            return 0.0
+        return self.traps / self.invocations
+
+    def stats(self) -> dict:
+        return {
+            "program": self.program_name,
+            "invocations": self.invocations,
+            "traps": self.traps,
+            "trap_rate": round(self.trap_rate, 4),
+            "last_trap": self.last_trap,
+            "mean_invoke_us": self.datapath.stats()["mean_invoke_us"],
+        }

@@ -1,0 +1,496 @@
+"""Staged-rollout experiment — shadow/canary deployment on both case studies.
+
+The deployment question the paper's control loop leaves open: a freshly
+(re)trained model is about to replace the in-kernel policy — how do you
+know it won't make things worse?  This harness answers it with the
+:mod:`repro.deploy` subsystem on both case studies:
+
+* **Prefetch** (case study #1): the live decision tree keeps serving
+  ``swap_cluster_readahead`` while a candidate tree rides a shadow lane,
+  scored against the trace's actual upcoming accesses; survivors ramp
+  through a deterministic canary split before ``push_model`` promotes
+  them.
+* **Scheduler** (case study #2): the compiled-MLP program at
+  ``can_migrate_task`` is challenged by a full replacement program
+  (:meth:`ControlPlane.stage_program`), scored by mimicry against the
+  native CFS heuristic.
+
+Each run stages either an ``improved`` candidate (trained better than a
+deliberately weakened primary — it should promote) or a ``poisoned`` one
+(wrong by construction — it must be stopped in shadow, or rolled back in
+canary when shadow is skipped).  Everything is logical-clock driven and
+seeded, so transition logs are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..deploy.plan import RolloutConfig, RolloutState
+from ..kernel.mm.rmt_prefetch import RmtMlPrefetcher
+from ..kernel.mm.swap import SwapSubsystem
+from ..kernel.sched.cfs import CfsScheduler
+from ..kernel.sched.loadbalance import CfsMigrationHeuristic
+from ..kernel.sched.rmt_sched import RmtMigrationPolicy
+from ..kernel.storage import RemoteMemoryModel
+from ..ml.decision_tree import IntegerDecisionTree
+from ..workloads.parsec import table2_workloads
+from ..workloads.video_resize import video_resize_trace
+from .sched_experiment import SchedExperimentConfig, train_migration_mlp
+
+__all__ = [
+    "RolloutOutcome",
+    "demo_rollout_config",
+    "run_prefetch_rollout",
+    "run_sched_rollout",
+    "run_rollout_experiment",
+]
+
+#: A predicted page counts as correct if it appears within this many
+#: upcoming trace accesses.
+PREFETCH_LOOKAHEAD = 12
+
+
+def demo_rollout_config(seed: int = 0, skip_shadow: bool = False,
+                        **overrides) -> RolloutConfig:
+    """Rollout thresholds sized for the simulation traces.
+
+    The defaults in :class:`RolloutConfig` are sized for production-like
+    fire volumes; the experiment traces produce a few hundred scorable
+    fires, so the gates are proportionally smaller (still large enough
+    that windowed accuracies are meaningful).
+    """
+    params = dict(
+        seed=seed,
+        skip_shadow=skip_shadow,
+        shadow_min_samples=48,
+        canary_min_samples=24,
+        ramp=(0.05, 0.25, 1.0),
+        min_trap_samples=10,
+        accuracy_window=96,
+    )
+    params.update(overrides)
+    return RolloutConfig(**params)
+
+
+@dataclass
+class RolloutOutcome:
+    """One staged-rollout run: lifecycle verdict + workload impact."""
+
+    case: str
+    candidate: str
+    final_state: str
+    transitions: list[dict]
+    jct_s: float
+    baseline_jct_s: float
+    scored: int
+    routed_fires: int
+    shadow_report: dict | None = None
+    stage_history: list[dict] = field(default_factory=list)
+    registry: list[dict] = field(default_factory=list)
+
+    @property
+    def jct_delta_pct(self) -> float:
+        if self.baseline_jct_s == 0:
+            return 0.0
+        return 100.0 * (self.jct_s - self.baseline_jct_s) / self.baseline_jct_s
+
+    @property
+    def promoted(self) -> bool:
+        return self.final_state == RolloutState.PROMOTED
+
+    def row(self) -> dict:
+        return {
+            "case": self.case,
+            "candidate": self.candidate,
+            "final_state": self.final_state,
+            "scored": self.scored,
+            "routed_fires": self.routed_fires,
+            "jct_s": round(self.jct_s, 4),
+            "baseline_jct_s": round(self.baseline_jct_s, 4),
+            "jct_delta_pct": round(self.jct_delta_pct, 2),
+            "transitions": list(self.transitions),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Case study #1: the prefetcher
+# ---------------------------------------------------------------------------
+
+
+class PoisonedDeltaModel:
+    """A corrupted candidate: predicts a constant far-away delta.
+
+    Every prefetch it issues lands thousands of pages from the actual
+    access stream — the shape of a model trained on garbage telemetry.
+    It passes the verifier (tiny static cost) so only runtime evaluation
+    can catch it.
+    """
+
+    @staticmethod
+    def predict_one(features) -> int:
+        return 4093  # prime offset: never matches the cyclic traces
+
+    @staticmethod
+    def cost_signature() -> dict:
+        return {"kind": "decision_tree", "depth": 1, "n_nodes": 1}
+
+
+class _PageTap:
+    """Prefetcher wrapper exposing the pages issued on the last access
+    (the primary lane's output, which the swap subsystem consumes)."""
+
+    def __init__(self, inner: RmtMlPrefetcher) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.last_pages: list[int] = []
+
+    def on_access(self, pid, page, now, was_fault, prefetch_hit=False):
+        self.last_pages = self.inner.on_access(
+            pid, page, now, was_fault, prefetch_hit
+        )
+        return self.last_pages
+
+    def on_prefetch_used(self, pid, page, now):
+        self.inner.on_prefetch_used(pid, page, now)
+
+    def reset(self):
+        self.inner.reset()
+
+
+def _pages_hit(pages: list[int], upcoming: set[int]) -> bool:
+    return any(page in upcoming for page in pages)
+
+
+def _replay_prefetch(workload, tap: _PageTap, swap: SwapSubsystem,
+                     now: int, rollout=None, seen_tick: int = 0
+                     ) -> tuple[int, int]:
+    """One pass over the trace; scores rollout lanes when one is live.
+
+    Ground truth: a lane's prediction is correct when any page it issued
+    appears within the next :data:`PREFETCH_LOOKAHEAD` trace accesses.
+    Returns (virtual clock, last scored lane tick).
+    """
+    accesses = workload.accesses
+    for i, page in enumerate(accesses):
+        result = swap.access(workload.pid, page, now)
+        now = result.available_at + workload.compute_ns_per_access
+        if rollout is None or not rollout.active:
+            continue
+        sample = rollout.last_sample
+        if sample is None or sample.tick == seen_tick:
+            continue  # this access did not fire the prediction hook
+        seen_tick = sample.tick
+        upcoming = set(accesses[i + 1:i + 1 + PREFETCH_LOOKAHEAD])
+        if sample.routed:
+            # The candidate served the real fire; the tapped pages are its.
+            rollout.observe_outcome(_pages_hit(tap.last_pages, upcoming), None)
+        else:
+            env = sample.candidate_env
+            candidate_pages = list(env.pages) if env is not None else []
+            rollout.observe_outcome(
+                _pages_hit(candidate_pages, upcoming),
+                _pages_hit(tap.last_pages, upcoming),
+            )
+    return now, seen_tick
+
+
+def _prefetch_candidate(kind: str, prefetcher: RmtMlPrefetcher):
+    if kind == "poisoned":
+        return PoisonedDeltaModel()
+    if kind != "improved":
+        raise ValueError(f"candidate must be 'improved' or 'poisoned', got {kind!r}")
+    x, y = prefetcher.trainer.samples()
+    if len(y) == 0:
+        raise RuntimeError("primary trainer has no samples; warm up first")
+    tree = IntegerDecisionTree(
+        max_depth=16, min_samples_leaf=1, min_samples_split=2,
+        max_thresholds=64,
+    )
+    tree.fit(x, y)
+    return tree
+
+
+def _run_prefetch_passes(workload, prefetcher: RmtMlPrefetcher, passes: int,
+                         stage_after_pass: int = 0, candidate_model=None,
+                         config: RolloutConfig | None = None,
+                         cache_pages: int = 48):
+    """Replay ``passes`` passes of the trace over one continuous swap
+    subsystem; optionally stage a rollout after a warmup pass."""
+    tap = _PageTap(prefetcher)
+    swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=cache_pages,
+                         prefetcher=tap)
+    now, seen_tick = 0, 0
+    rollout = None
+    for n in range(1, passes + 1):
+        if candidate_model is not None and n == stage_after_pass + 1:
+            cp = prefetcher.syscalls.control_plane
+            rollout = cp.stage_model(
+                "rmt_page_prefetch", 0, candidate_model,
+                metadata={"origin": "rollout_experiment"},
+                config=config,
+            )
+        now, seen_tick = _replay_prefetch(
+            workload, tap, swap, now, rollout, seen_tick
+        )
+    return now / 1e9, rollout
+
+
+def run_prefetch_rollout(
+    candidate: str = "improved",
+    seed: int = 0,
+    skip_shadow: bool = False,
+    config: RolloutConfig | None = None,
+    scale: float = 1.0,
+    passes: int = 4,
+) -> RolloutOutcome:
+    """Stage a candidate tree against the live prefetcher, end to end.
+
+    Pass 1 warms the primary up (online training pushes a real tree);
+    the candidate is staged before pass 2 and the remaining passes drive
+    it through its lifecycle.  The baseline run replays the identical
+    schedule with no rollout staged.
+    """
+    config = config or demo_rollout_config(seed=seed, skip_shadow=skip_shadow)
+    # A weakened primary (shallow tree) gives the improved candidate
+    # headroom; the poisoned candidate runs against the full-depth
+    # primary it is trying to displace.
+    primary_depth = 4 if candidate == "improved" else 16
+    params = dict(feature_window=6, max_steps=4, max_depth=primary_depth,
+                  retrain_every=10_000)
+
+    workload = video_resize_trace(n_frames=max(int(10 * scale), 2))
+
+    baseline_pf = RmtMlPrefetcher(**params)
+    baseline_jct, _ = _run_prefetch_passes(workload, baseline_pf, passes)
+
+    prefetcher = RmtMlPrefetcher(**params)
+    # Warmup pass: train + push the primary model before staging.
+    _run_prefetch_passes(workload, prefetcher, 1)
+    if prefetcher.models_pushed == 0:
+        raise RuntimeError("warmup pass never trained a primary model")
+
+    # Trained on the warmup run's window; trees transfer between builds
+    # (the verifier re-checks them against the fresh program anyway).
+    model = _prefetch_candidate(candidate, prefetcher)
+
+    # The rollout run mirrors the baseline's continuous multi-pass
+    # schedule exactly, with the candidate staged after the warmup pass.
+    prefetcher = RmtMlPrefetcher(**params)
+    jct_s, rollout = _run_prefetch_passes(
+        workload, prefetcher, passes,
+        stage_after_pass=1,
+        candidate_model=model,
+        config=config,
+    )
+
+    registry = [a.summary() for a in
+                prefetcher.syscalls.control_plane.registry.history(
+                    "rmt_page_prefetch")]
+    return RolloutOutcome(
+        case="prefetch",
+        candidate=candidate,
+        final_state=rollout.state if rollout else RolloutState.STAGED,
+        transitions=rollout.plan.log() if rollout else [],
+        jct_s=jct_s,
+        baseline_jct_s=baseline_jct,
+        scored=rollout.scored if rollout else 0,
+        routed_fires=rollout.canary.routed_fires if rollout else 0,
+        shadow_report=rollout.shadow_report if rollout else None,
+        stage_history=rollout.canary.stage_history if rollout else [],
+        registry=registry,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Case study #2: the scheduler
+# ---------------------------------------------------------------------------
+
+
+def _candidate_sched_program(policy: RmtMigrationPolicy, qmlp,
+                             name: str = "rmt_can_migrate@candidate"):
+    """A full replacement program for ``can_migrate_task``.
+
+    The candidate shares the primary's ``features`` VectorMap (the eBPF
+    pinned-map idiom) so shadow invocations read exactly the feature
+    vector the kernel published for the fire being shadowed.
+    """
+    from ..core.model_compiler import compile_mlp_action
+    from ..core.program import ProgramBuilder
+    from ..core.tables import MatchActionTable, MatchPattern, TableEntry
+
+    schema = policy.hooks.hook("can_migrate_task").schema
+    builder = ProgramBuilder(name, "can_migrate_task", schema)
+    builder.add_map("features", policy.program.map_by_name("features"))
+    table = builder.add_table(MatchActionTable("migrate_tab", ["cpu"]))
+    compile_mlp_action(builder, qmlp, "features", "cpu", name="mlp_infer")
+    table.insert(TableEntry(
+        patterns=(MatchPattern.wildcard(),), action="mlp_infer",
+    ))
+    return builder.build()
+
+
+class _ScoredMigrationPolicy:
+    """Decision callable that feeds the rollout ground truth.
+
+    The mimicry target (the native CFS heuristic — a pure function of
+    the features) scores both lanes on every ``can_migrate_task`` fire.
+    """
+
+    def __init__(self, policy: RmtMigrationPolicy, rollout) -> None:
+        self.policy = policy
+        self.rollout = rollout
+        self.truth = CfsMigrationHeuristic()
+        self._seen_tick = 0
+        self.name = policy.name
+
+    def __call__(self, features: np.ndarray) -> bool:
+        decision = self.policy(features)
+        rollout = self.rollout
+        if rollout is None or not rollout.active:
+            return decision
+        sample = rollout.last_sample
+        if sample is None or sample.tick == self._seen_tick:
+            return decision
+        self._seen_tick = sample.tick
+        want = 1 if self.truth(features) else 0
+        if sample.routed:
+            # The candidate's verdict is what the scheduler received.
+            rollout.observe_outcome((1 if decision else 0) == want, None)
+        else:
+            verdict = sample.candidate_verdict
+            candidate_ok = verdict is not None and verdict == want
+            rollout.observe_outcome(candidate_ok, (1 if decision else 0) == want)
+        return decision
+
+
+def _collect_sched_training(benchmark: str, scfg: SchedExperimentConfig):
+    from ..kernel.sched.loadbalance import DecisionRecorder
+
+    xs, ys = [], []
+    for train_seed in scfg.train_seeds:
+        specs = table2_workloads(seed=train_seed)[benchmark]
+        sched = CfsScheduler(
+            n_cpus=scfg.n_cpus,
+            balance_interval_ns=scfg.balance_interval_ms * 1_000_000,
+            decision_recorder=(recorder := DecisionRecorder()),
+        )
+        sched.submit_all(specs)
+        sched.run()
+        x, y = recorder.dataset()
+        if len(y):
+            xs.append(x)
+            ys.append(y)
+    if not xs:
+        raise RuntimeError(f"no migration decisions recorded for {benchmark}")
+    return np.vstack(xs), np.concatenate(ys)
+
+
+def _run_sched(specs, scfg: SchedExperimentConfig, decision_fn):
+    sched = CfsScheduler(
+        n_cpus=scfg.n_cpus,
+        balance_interval_ns=scfg.balance_interval_ms * 1_000_000,
+        migrate_decision=decision_fn,
+    )
+    sched.submit_all(specs)
+    return sched.run()
+
+
+def run_sched_rollout(
+    candidate: str = "improved",
+    seed: int = 0,
+    skip_shadow: bool = False,
+    config: RolloutConfig | None = None,
+    benchmark: str = "Blackscholes",
+    scfg: SchedExperimentConfig | None = None,
+    max_rounds: int = 6,
+) -> RolloutOutcome:
+    """Stage a replacement MLP program against the migration policy.
+
+    ``improved`` trains the candidate properly while the primary is an
+    underfit MLP (few epochs); ``poisoned`` inverts the training labels
+    — a model that *systematically* contradicts the heuristic it is
+    supposed to mimic.  Workload rounds (different seeds of the same
+    benchmark) repeat until the rollout reaches a terminal state.
+    """
+    if candidate not in ("improved", "poisoned"):
+        raise ValueError(f"candidate must be 'improved' or 'poisoned', got {candidate!r}")
+    scfg = scfg or SchedExperimentConfig(
+        train_seeds=(0, 10), epochs=40, n_cpus=8
+    )
+    config = config or demo_rollout_config(seed=seed, skip_shadow=skip_shadow)
+
+    x, y = _collect_sched_training(benchmark, scfg)
+    if candidate == "improved":
+        weak = SchedExperimentConfig(hidden=scfg.hidden, bits=scfg.bits, epochs=2)
+        _, primary_q = train_migration_mlp(x, y, weak, seed=0)
+        _, candidate_q = train_migration_mlp(x, y, scfg, seed=0)
+    else:
+        _, primary_q = train_migration_mlp(x, y, scfg, seed=0)
+        _, candidate_q = train_migration_mlp(x, 1 - y, scfg, seed=0)
+
+    eval_specs = table2_workloads(seed=scfg.eval_seed)[benchmark]
+
+    # Baseline: the primary alone, no rollout lanes attached.
+    baseline_policy = RmtMigrationPolicy(primary_q, mode=scfg.mode)
+    baseline_stats = _run_sched(eval_specs, scfg, baseline_policy)
+
+    policy = RmtMigrationPolicy(primary_q, mode=scfg.mode)
+    cp = policy.syscalls.control_plane
+    cand_prog = _candidate_sched_program(policy, candidate_q)
+    rollout = cp.stage_program(
+        "rmt_can_migrate", cand_prog, artifact_model=candidate_q,
+        metadata={"origin": "rollout_experiment", "benchmark": benchmark},
+        config=config,
+    )
+    scored_policy = _ScoredMigrationPolicy(policy, rollout)
+
+    stats = _run_sched(eval_specs, scfg, scored_policy)
+    jct_s = stats.makespan_ns / 1e9
+    rounds = 1
+    while rollout.active and rounds < max_rounds:
+        specs = table2_workloads(seed=scfg.eval_seed + rounds)[benchmark]
+        _run_sched(specs, scfg, scored_policy)
+        rounds += 1
+
+    registry = [a.summary() for a in cp.registry.history("rmt_can_migrate")]
+    return RolloutOutcome(
+        case="sched",
+        candidate=candidate,
+        final_state=rollout.state,
+        transitions=rollout.plan.log(),
+        jct_s=jct_s,
+        baseline_jct_s=baseline_stats.makespan_ns / 1e9,
+        scored=rollout.scored,
+        routed_fires=rollout.canary.routed_fires,
+        shadow_report=rollout.shadow_report,
+        stage_history=rollout.canary.stage_history,
+        registry=registry,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The full grid
+# ---------------------------------------------------------------------------
+
+
+def run_rollout_experiment(
+    seed: int = 0,
+    scale: float = 1.0,
+    cases: tuple[str, ...] = ("prefetch", "sched"),
+) -> list[RolloutOutcome]:
+    """Both case studies × (improved, poisoned), plus the skip-shadow
+    canary-rollback demonstration for the prefetcher."""
+    outcomes = []
+    if "prefetch" in cases:
+        outcomes.append(run_prefetch_rollout("improved", seed=seed, scale=scale))
+        outcomes.append(run_prefetch_rollout("poisoned", seed=seed, scale=scale))
+        outcomes.append(run_prefetch_rollout(
+            "poisoned", seed=seed, scale=scale, skip_shadow=True,
+        ))
+    if "sched" in cases:
+        outcomes.append(run_sched_rollout("improved", seed=seed))
+        outcomes.append(run_sched_rollout("poisoned", seed=seed))
+    return outcomes

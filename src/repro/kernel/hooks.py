@@ -27,10 +27,19 @@ Runtime containment: a hook may carry
 * a **fault injector** (:mod:`repro.kernel.faults`) consulted before
   each datapath invocation — the mechanism the resilience experiments
   use to prove containment works.
+* **rollout lanes** (:mod:`repro.deploy.rollout`) — staged candidates
+  shadowing or canary-routing the hook's traffic.  A canary-routed fire
+  substitutes the candidate for its target program; every other fire
+  additionally shadow-evaluates the candidate on a *copy* of the
+  context (side effects land in a scratch helper environment, never the
+  real one).  Shadow/canary execution cost is accounted separately in
+  ``shadow_overhead_ns`` so candidate evaluation never pollutes the
+  primary datapath's overhead ledger.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -61,6 +70,13 @@ class HookPoint:
     injector: object = None  # duck-typed FaultInjector (maybe_inject)
     fallback_fires: int = 0
     contained_traps: int = 0
+    #: Active rollout lanes (duck-typed ModelRollout: begin_fire /
+    #: canary_invoke / shadow_observe / target / wants_shadow / active).
+    rollouts: list = field(default_factory=list)
+    shadow_fires: int = 0
+    canary_fires: int = 0
+    #: Candidate-evaluation cost, kept out of the primaries' ledgers.
+    shadow_overhead_ns: int = 0
 
     def new_context(self, **values: int) -> ExecutionContext:
         return self.schema.new_context(**values)
@@ -68,6 +84,15 @@ class HookPoint:
     def set_fallback(self, fallback: Fallback | None) -> None:
         """Register the stock heuristic served while programs misbehave."""
         self.fallback = fallback
+
+    def attach_rollout(self, rollout) -> None:
+        """Add a shadow/canary lane for one of this hook's programs."""
+        self.rollouts.append(rollout)
+
+    def detach_rollout(self, rollout) -> bool:
+        before = len(self.rollouts)
+        self.rollouts = [r for r in self.rollouts if r is not rollout]
+        return len(self.rollouts) < before
 
     def fire(self, ctx: ExecutionContext, helper_env: object = None) -> int | None:
         """Invoke all attached datapaths; last non-None verdict wins.
@@ -77,24 +102,59 @@ class HookPoint:
         breaker: traps are contained and charged per program, and if no
         program produced a verdict while at least one was suppressed
         (quarantined or trapped), the hook's fallback verdict is served.
+
+        With rollout lanes attached, a canary-routed fire runs the
+        candidate *in place of* its target program (candidate traps are
+        contained by the lane; the fire yields the kernel default), and
+        every unrouted fire shadow-evaluates the candidate on a copied
+        context after the primaries ran.
         """
         self.fires += 1
+        lanes = [r for r in self.rollouts if r.active] if self.rollouts else ()
+        routed: dict[str, object] = {}
+        for lane in lanes:
+            if lane.begin_fire():
+                routed[lane.target] = lane
         if self.supervisor is None and self.injector is None:
             verdict: int | None = None
+            results: dict[str, int | None] = {}
             for datapath in self.datapaths:
-                result = datapath.invoke(ctx, helper_env)
+                lane = routed.get(datapath.program.name)
+                if lane is not None:
+                    result = lane.canary_invoke(ctx, helper_env)
+                    self.canary_fires += 1
+                else:
+                    result = datapath.invoke(ctx, helper_env)
+                results[datapath.program.name] = result
                 if result is not None:
                     verdict = result
-            return verdict
-        return self._fire_supervised(ctx, helper_env)
+        else:
+            verdict, results = self._fire_supervised(ctx, helper_env, routed)
+        if lanes:
+            self._shadow_observe(lanes, ctx, results)
+        return verdict
 
     def _fire_supervised(
-        self, ctx: ExecutionContext, helper_env: object
-    ) -> int | None:
+        self,
+        ctx: ExecutionContext,
+        helper_env: object,
+        routed: dict[str, object],
+    ) -> tuple[int | None, dict[str, int | None]]:
         supervisor = self.supervisor
         verdict: int | None = None
+        results: dict[str, int | None] = {}
         suppressed: list[str] = []
         for datapath in self.datapaths:
+            lane = routed.get(datapath.program.name)
+            if lane is not None:
+                # Canary substitution: the candidate serves this fire;
+                # the primary's breaker is neither ticked nor charged.
+                result = lane.canary_invoke(ctx, helper_env)
+                self.canary_fires += 1
+                results[datapath.program.name] = result
+                if result is not None:
+                    verdict = result
+                continue
             if supervisor is not None and not supervisor.admit(datapath):
                 suppressed.append(datapath.program.name)
                 continue
@@ -112,6 +172,7 @@ class HookPoint:
                 continue
             if supervisor is not None:
                 supervisor.record_success(datapath)
+            results[datapath.program.name] = result
             if result is not None:
                 verdict = result
         if verdict is None and suppressed and self.fallback is not None:
@@ -120,11 +181,40 @@ class HookPoint:
             if supervisor is not None:
                 for name in suppressed:
                     supervisor.record_fallback(name)
-        return verdict
+        return verdict, results
+
+    def _shadow_observe(
+        self, lanes, ctx: ExecutionContext, results: dict[str, int | None]
+    ) -> None:
+        """Run shadow evaluations after the real dispatch; separately
+        timed so candidate cost never pollutes primary overhead."""
+        started = time.perf_counter_ns()
+        for lane in lanes:
+            if lane.wants_shadow:
+                self.shadow_fires += 1
+                lane.shadow_observe(ctx.copy(), results.get(lane.target))
+        self.shadow_overhead_ns += time.perf_counter_ns() - started
 
     @property
     def has_programs(self) -> bool:
         return bool(self.datapaths)
+
+    def stats(self) -> dict:
+        """Hook-level dispatch ledger, shadow cost accounted separately."""
+        return {
+            "name": self.name,
+            "fires": self.fires,
+            "fallback_fires": self.fallback_fires,
+            "contained_traps": self.contained_traps,
+            "programs": [dp.program.name for dp in self.datapaths],
+            "shadow_fires": self.shadow_fires,
+            "canary_fires": self.canary_fires,
+            "shadow_overhead_ns": self.shadow_overhead_ns,
+            "rollouts": [
+                {"target": r.target, "state": r.plan.state}
+                for r in self.rollouts
+            ],
+        }
 
 
 class HookRegistry:

@@ -41,7 +41,7 @@ class RmtSyscallInterface:
 
     def __init__(self, hooks: HookRegistry) -> None:
         self.hooks = hooks
-        self.control_plane = ControlPlane(hooks.helpers)
+        self.control_plane = ControlPlane(hooks.helpers, hook_registry=hooks)
         if hooks.supervisor is not None:
             self.control_plane.attach_supervisor(hooks.supervisor)
         self.installs = 0
@@ -117,8 +117,8 @@ class RmtSyscallInterface:
         return self.install(payload_to_program(payload), mode=mode)
 
     def uninstall(self, program_name: str) -> None:
-        datapath = self.control_plane.datapath(program_name)
-        self.hooks.detach(datapath.program.attach_point, program_name)
+        # The control plane is bound to this kernel's hook registry, so
+        # it detaches the program from its hook as part of uninstall.
         self.control_plane.uninstall(program_name)
 
     def datapath(self, program_name: str) -> RmtDatapath:

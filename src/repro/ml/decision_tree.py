@@ -377,3 +377,16 @@ class WindowedTreeTrainer:
     @property
     def n_buffered(self) -> int:
         return len(self._features)
+
+    def samples(self) -> tuple[np.ndarray, np.ndarray]:
+        """The buffered training window as arrays (features, labels).
+
+        Lets deployment tooling train candidate models on exactly the
+        data the live model saw (e.g. a deeper tree staged for rollout).
+        """
+        return (
+            np.asarray(self._features, dtype=np.int64).reshape(
+                len(self._features), -1
+            ),
+            np.asarray(self._labels, dtype=np.int64),
+        )

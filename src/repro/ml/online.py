@@ -68,22 +68,49 @@ class DriftDetector:
     when windowed accuracy falls more than ``drop_threshold`` below it
     (with at least ``min_samples`` observations in the window, to avoid
     firing on startup noise).
+
+    An unbaselined detector cannot drift: there is nothing to drop
+    *from*.  By default :meth:`check` answers False for that case and
+    counts it in ``n_unbaselined_checks`` (so a mis-wired caller that
+    never baselines is visible in stats rather than silently
+    drift-blind); with ``require_baseline=True`` the same case raises,
+    for callers whose guardrails are meaningless without a baseline
+    (the canary controller).
     """
 
-    def __init__(self, drop_threshold: float = 0.2, min_samples: int = 32) -> None:
+    def __init__(
+        self,
+        drop_threshold: float = 0.2,
+        min_samples: int = 32,
+        require_baseline: bool = False,
+    ) -> None:
         if not 0.0 < drop_threshold <= 1.0:
             raise ValueError(f"drop_threshold must be in (0, 1], got {drop_threshold}")
         self.drop_threshold = drop_threshold
         self.min_samples = min_samples
+        self.require_baseline = require_baseline
         self.baseline: float | None = None
         self.n_drift_events = 0
+        self.n_unbaselined_checks = 0
 
     def set_baseline(self, accuracy: float) -> None:
         self.baseline = accuracy
 
+    @property
+    def has_baseline(self) -> bool:
+        return self.baseline is not None
+
     def check(self, tracker: AccuracyTracker) -> bool:
         """Return True (and count the event) when drift is detected."""
-        if self.baseline is None or tracker.n_windowed < self.min_samples:
+        if self.baseline is None:
+            if self.require_baseline:
+                raise ValueError(
+                    "DriftDetector.check called before set_baseline; "
+                    "an unbaselined detector cannot detect drift"
+                )
+            self.n_unbaselined_checks += 1
+            return False
+        if tracker.n_windowed < self.min_samples:
             return False
         if tracker.windowed_accuracy < self.baseline - self.drop_threshold:
             self.n_drift_events += 1
@@ -98,6 +125,12 @@ class OnlineTrainer:
     (returning True when it retrained on its own schedule), ``retrain()``,
     and a ``model`` attribute.  This wrapper adds accuracy tracking and
     drift-triggered early retrains on top.
+
+    With a ``registry`` (and ``track``) attached, every retrained model
+    snapshot is registered as a versioned artifact — the lineage
+    metadata records the retrain count and sample count — so the
+    deployment layer can stage, diff, or roll back to any snapshot the
+    online loop ever produced.
     """
 
     def __init__(
@@ -106,10 +139,14 @@ class OnlineTrainer:
         accuracy_window: int = 256,
         drift_threshold: float = 0.2,
         min_drift_samples: int = 32,
+        registry=None,
+        track: str | None = None,
     ) -> None:
         self.trainer = trainer
         self.tracker = AccuracyTracker(window=accuracy_window)
         self.detector = DriftDetector(drift_threshold, min_drift_samples)
+        self.registry = registry
+        self.track = track
         self.n_retrains = 0
         self.n_predictions = 0
 
@@ -141,4 +178,20 @@ class OnlineTrainer:
             # the next window of live predictions recalibrates it.
             self.tracker.reset_window()
             self.detector.set_baseline(1.0)
+            self._snapshot()
         return retrained
+
+    def _snapshot(self) -> None:
+        """Register the freshly trained model on the registry track."""
+        if self.registry is None or self.trainer.model is None:
+            return
+        self.registry.register(
+            self.track or "online",
+            self.trainer.model,
+            metadata={
+                "origin": "online_retrain",
+                "retrain": self.n_retrains,
+                "samples_observed": self.tracker.total_observed,
+                "drift_events": self.detector.n_drift_events,
+            },
+        )

@@ -1,0 +1,224 @@
+"""Control plane × hook registry: staged rollouts end to end.
+
+A real program (decision-tree model behind ``ML_INFER``) is installed
+through the syscall interface, a candidate is staged, and hook fires +
+scored outcomes drive the lifecycle to promotion or rollback — the
+wiring the harness experiments rely on, tested at millimetre range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.control_plane import ControlPlane
+from repro.core.errors import ControlPlaneError
+from repro.core.isa import Opcode
+from repro.core.program import ProgramBuilder
+from repro.core.tables import MatchActionTable
+from repro.core.verifier import AttachPolicy
+from repro.deploy import RolloutConfig, RolloutState, model_fingerprint
+from repro.deploy.registry import ArtifactStatus
+from repro.kernel.hooks import HookRegistry
+from repro.kernel.syscalls import RmtSyscallInterface
+from repro.ml import IntegerDecisionTree
+
+I = Instruction
+OP = Opcode
+
+
+def model_program(schema, model, name="prog"):
+    builder = ProgramBuilder(name, "test_hook", schema)
+    table = builder.add_table(MatchActionTable("tab", ["pid"]))
+    builder.add_model(0, model)
+    builder.add_action(BytecodeProgram("act", [
+        I(OP.VEC_ZERO, dst=0, imm=5),
+        I(OP.ML_INFER, dst=0, src=0, imm=0),
+        I(OP.EXIT),
+    ]))
+    table.insert_exact([5], "act")
+    return builder.build()
+
+
+def quick_config(**overrides):
+    defaults = dict(shadow_min_samples=6, canary_min_samples=3,
+                    ramp=(0.5, 1.0), min_trap_samples=100, seed=0)
+    defaults.update(overrides)
+    return RolloutConfig(**defaults)
+
+
+@pytest.fixture()
+def hooks(schema):
+    registry = HookRegistry()
+    registry.declare("test_hook", schema, AttachPolicy("test_hook"))
+    return registry
+
+
+@pytest.fixture()
+def iface(hooks, schema, trained_tree):
+    iface = RmtSyscallInterface(hooks)
+    iface.install(model_program(schema, trained_tree), mode="interpret")
+    return iface
+
+
+@pytest.fixture()
+def candidate(linear_int_dataset):
+    x, y = linear_int_dataset
+    return IntegerDecisionTree(max_depth=6).fit(x, 1 - y)
+
+
+def drive(hooks, schema, rollout, n, candidate_correct=True,
+          primary_correct=True):
+    for _ in range(n):
+        if rollout.plan.terminal:
+            return
+        hooks.fire("test_hook", schema.new_context(pid=5, page=0))
+        rollout.observe_outcome(candidate_correct, primary_correct)
+
+
+class TestStaging:
+    def test_stage_attaches_lane_and_registers_artifact(
+            self, iface, hooks, schema, candidate):
+        cp = iface.control_plane
+        rollout = cp.stage_model("prog", 0, candidate, config=quick_config())
+        assert rollout.state == RolloutState.SHADOW
+        assert hooks.hook("test_hook").rollouts == [rollout]
+        artifact = cp.registry.history("prog")[-1]
+        assert artifact.status == ArtifactStatus.STAGED
+        assert artifact.metadata["origin"] == "stage"
+        assert artifact.metadata["hook"] == "test_hook"
+
+    def test_fires_run_shadow_without_touching_primary(
+            self, iface, hooks, schema, candidate, trained_tree):
+        cp = iface.control_plane
+        rollout = cp.stage_model("prog", 0, candidate, config=quick_config())
+        before = hooks.fire("test_hook", schema.new_context(pid=5, page=0))
+        for _ in range(4):
+            hooks.fire("test_hook", schema.new_context(pid=5, page=0))
+        assert rollout.shadow.invocations == 5
+        assert rollout.tick == 5
+        # The primary still serves its own model's verdict.
+        assert hooks.fire(
+            "test_hook", schema.new_context(pid=5, page=0)) == before
+        assert model_fingerprint(cp.datapath("prog").program.models[0]) == \
+            model_fingerprint(trained_tree)
+
+    def test_second_stage_while_active_rejected(
+            self, iface, candidate):
+        cp = iface.control_plane
+        cp.stage_model("prog", 0, candidate, config=quick_config())
+        with pytest.raises(ControlPlaneError, match="active rollout"):
+            cp.stage_model("prog", 0, candidate, config=quick_config())
+
+    def test_unknown_model_id_rejected(self, iface, candidate):
+        with pytest.raises(KeyError, match="no model id 7"):
+            iface.control_plane.stage_model("prog", 7, candidate)
+
+    def test_no_hook_registry_rejected(self, schema, trained_tree, candidate):
+        cp = ControlPlane()
+        cp.install(model_program(schema, trained_tree),
+                   AttachPolicy("test_hook"))
+        with pytest.raises(ControlPlaneError, match="no hook registry"):
+            cp.stage_model("prog", 0, candidate)
+
+
+class TestPromotion:
+    def test_earned_promotion_swaps_model_and_detaches(
+            self, iface, hooks, schema, candidate):
+        cp = iface.control_plane
+        rollout = cp.stage_model("prog", 0, candidate, config=quick_config())
+        drive(hooks, schema, rollout, 40)
+        assert rollout.state == RolloutState.PROMOTED
+        # The candidate object itself now serves at the hook.
+        assert cp.datapath("prog").program.models[0] is candidate
+        assert hooks.hook("test_hook").rollouts == []
+        assert cp.rollout("prog") is None
+        live = cp.registry.live("prog")
+        assert live is not None
+        assert live.model is candidate
+
+    def test_status_reports_full_lifecycle(
+            self, iface, hooks, schema, candidate):
+        cp = iface.control_plane
+        rollout = cp.stage_model("prog", 0, candidate, config=quick_config())
+        drive(hooks, schema, rollout, 40)
+        status = cp.rollout_status("prog")
+        assert status["state"] is None  # rollout finished and detached
+        assert status["registry"]["live_version"] is not None
+        statuses = [v["status"] for v in status["registry"]["versions"]]
+        assert "live" in statuses
+
+    def test_stats_expose_active_rollout(self, iface, hooks, schema,
+                                         candidate):
+        cp = iface.control_plane
+        cp.stage_model("prog", 0, candidate, config=quick_config())
+        per_prog = cp.stats()["prog"]
+        assert per_prog["rollout"]["state"] == RolloutState.SHADOW
+        assert per_prog["rollout"]["candidate"] == "prog@candidate"
+
+
+class TestRollback:
+    def test_failed_candidate_never_serves(
+            self, iface, hooks, schema, candidate, trained_tree):
+        cp = iface.control_plane
+        rollout = cp.stage_model("prog", 0, candidate, config=quick_config())
+        drive(hooks, schema, rollout, 10,
+              candidate_correct=False, primary_correct=True)
+        assert rollout.state == RolloutState.ROLLED_BACK
+        assert model_fingerprint(cp.datapath("prog").program.models[0]) == \
+            model_fingerprint(trained_tree)
+        assert hooks.hook("test_hook").rollouts == []
+        artifact = cp.registry.history("prog")[-1]
+        assert artifact.status == ArtifactStatus.ROLLED_BACK
+        assert cp.registry.live("prog") is None
+
+    def test_abort_rollout(self, iface, hooks, schema, candidate):
+        cp = iface.control_plane
+        cp.stage_model("prog", 0, candidate, config=quick_config())
+        cp.abort_rollout("prog", "operator change of heart")
+        assert hooks.hook("test_hook").rollouts == []
+        assert cp.rollout("prog") is None
+
+    def test_advance_and_abort_require_active_rollout(self, iface):
+        cp = iface.control_plane
+        with pytest.raises(ControlPlaneError, match="no active rollout"):
+            cp.advance_rollout("prog")
+        with pytest.raises(ControlPlaneError, match="no active rollout"):
+            cp.abort_rollout("prog")
+
+
+class TestUninstallDetach:
+    def test_uninstall_detaches_hook_and_stops_firing(
+            self, iface, hooks, schema):
+        """Regression: uninstall used to delete the datapath but leave it
+        attached, so the hook kept firing an uninstalled program."""
+        assert hooks.fire(
+            "test_hook", schema.new_context(pid=5, page=0)) is not None
+        iface.uninstall("prog")
+        assert hooks.hook("test_hook").datapaths == []
+        assert hooks.fire(
+            "test_hook", schema.new_context(pid=5, page=0)) is None
+
+    def test_uninstall_via_control_plane_detaches(self, iface, hooks, schema):
+        """The detach lives in ControlPlane.uninstall itself, not just in
+        the syscall wrapper."""
+        iface.control_plane.uninstall("prog")
+        assert hooks.hook("test_hook").datapaths == []
+
+    def test_uninstall_aborts_active_rollout(
+            self, iface, hooks, schema, candidate):
+        cp = iface.control_plane
+        rollout = cp.stage_model("prog", 0, candidate, config=quick_config())
+        iface.uninstall("prog")
+        assert rollout.state == RolloutState.ROLLED_BACK
+        assert "uninstalled" in rollout.plan.log()[-1]["reason"]
+        assert hooks.hook("test_hook").rollouts == []
+        assert cp.rollout("prog") is None
+
+    def test_uninstall_without_hook_registry_still_works(
+            self, schema, trained_tree):
+        cp = ControlPlane()
+        cp.install(model_program(schema, trained_tree),
+                   AttachPolicy("test_hook"))
+        cp.uninstall("prog")
+        assert cp.installed == []

@@ -1,0 +1,96 @@
+"""Rollout plan: the state machine and its config validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ControlPlaneError
+from repro.deploy import RolloutConfig, RolloutPlan, RolloutState
+
+
+class TestStateMachine:
+    def test_initial_state(self):
+        plan = RolloutPlan()
+        assert plan.state == RolloutState.STAGED
+        assert not plan.terminal
+        assert plan.log() == []
+
+    def test_full_promotion_path(self):
+        plan = RolloutPlan()
+        plan.to(RolloutState.SHADOW, 0, "staged for shadow")
+        plan.to(RolloutState.CANARY, 64, "shadow gate passed")
+        plan.to(RolloutState.PROMOTED, 200, "ramp complete")
+        assert plan.terminal
+        assert [t["to"] for t in plan.log()] == [
+            "shadow", "canary", "promoted"]
+        assert [t["tick"] for t in plan.log()] == [0, 64, 200]
+
+    def test_skip_shadow_path(self):
+        plan = RolloutPlan()
+        plan.to(RolloutState.CANARY, 0, "shadow skipped")
+        assert plan.state == RolloutState.CANARY
+
+    def test_rollback_from_every_live_state(self):
+        for prefix in ([], [RolloutState.SHADOW],
+                       [RolloutState.SHADOW, RolloutState.CANARY]):
+            plan = RolloutPlan()
+            for i, state in enumerate(prefix):
+                plan.to(state, i, "step")
+            plan.to(RolloutState.ROLLED_BACK, 99, "guardrail")
+            assert plan.terminal
+
+    @pytest.mark.parametrize("frm,to", [
+        (RolloutState.STAGED, RolloutState.PROMOTED),  # no free promotion
+        (RolloutState.SHADOW, RolloutState.PROMOTED),  # must pass canary
+        (RolloutState.CANARY, RolloutState.SHADOW),    # no going back
+        (RolloutState.SHADOW, RolloutState.STAGED),
+    ])
+    def test_illegal_edges_raise(self, frm, to):
+        plan = RolloutPlan()
+        path = {
+            RolloutState.STAGED: [],
+            RolloutState.SHADOW: [RolloutState.SHADOW],
+            RolloutState.CANARY: [RolloutState.SHADOW, RolloutState.CANARY],
+        }[frm]
+        for i, state in enumerate(path):
+            plan.to(state, i, "setup")
+        with pytest.raises(ControlPlaneError, match="illegal"):
+            plan.to(to, 2, "bad")
+
+    def test_terminal_states_are_absorbing(self):
+        plan = RolloutPlan()
+        plan.to(RolloutState.ROLLED_BACK, 0, "aborted")
+        for state in (RolloutState.SHADOW, RolloutState.CANARY,
+                      RolloutState.PROMOTED):
+            with pytest.raises(ControlPlaneError, match="illegal"):
+                plan.to(state, 1, "resurrect")
+
+    def test_transition_rows_record_reasons(self):
+        plan = RolloutPlan()
+        t = plan.to(RolloutState.SHADOW, 5, "because")
+        assert t.row() == {"tick": 5, "from": "staged", "to": "shadow",
+                           "reason": "because"}
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        config = RolloutConfig()
+        assert config.ramp == (0.01, 0.05, 0.25, 1.0)
+        assert config.auto_advance
+
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"ramp": ()}, "at least one"),
+        ({"ramp": (0.5, 1.5)}, "outside"),
+        ({"ramp": (0.0, 1.0)}, "outside"),
+        ({"ramp": (0.5, 0.25)}, "non-decreasing"),
+        ({"shadow_min_samples": 0}, ">= 1"),
+        ({"canary_min_samples": 0}, ">= 1"),
+        ({"max_trap_rate": 1.5}, "outside"),
+    ])
+    def test_invalid_configs_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            RolloutConfig(**kwargs)
+
+    def test_config_is_frozen(self):
+        with pytest.raises(AttributeError):
+            RolloutConfig().seed = 7

@@ -1,0 +1,187 @@
+"""Model registry: content-hashed versions, promote / rollback / pin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ControlPlaneError
+from repro.deploy import ModelRegistry, model_fingerprint
+from repro.deploy.registry import ArtifactStatus
+from repro.ml import IntegerDecisionTree
+
+
+@pytest.fixture()
+def trees(linear_int_dataset):
+    """Three content-distinct trained trees."""
+    x, y = linear_int_dataset
+    return (
+        IntegerDecisionTree(max_depth=4).fit(x, y),
+        IntegerDecisionTree(max_depth=4).fit(x, 1 - y),
+        IntegerDecisionTree(max_depth=2).fit(x, y),
+    )
+
+
+class TestFingerprint:
+    def test_identical_content_identical_hash(self, linear_int_dataset):
+        x, y = linear_int_dataset
+        a = IntegerDecisionTree(max_depth=4).fit(x, y)
+        b = IntegerDecisionTree(max_depth=4).fit(x, y)
+        assert a is not b
+        assert model_fingerprint(a) == model_fingerprint(b)
+
+    def test_different_content_different_hash(self, trees):
+        hashes = {model_fingerprint(t)[0] for t in trees}
+        assert len(hashes) == 3
+
+    def test_family_from_wire_form(self, trees):
+        _, family = model_fingerprint(trees[0])
+        assert family == "tree_table"
+
+    def test_fallback_for_unserializable_model(self):
+        class Opaque:
+            @staticmethod
+            def predict_one(v):
+                return 0
+
+            @staticmethod
+            def cost_signature():
+                return {"kind": "oracle", "depth": 3}
+
+        digest, family = model_fingerprint(Opaque())
+        assert family == "oracle"
+        # Deterministic: structure-identical objects hash identically.
+        assert model_fingerprint(Opaque()) == (digest, family)
+
+
+class TestRegistration:
+    def test_register_mints_staged_v1(self, trees):
+        reg = ModelRegistry()
+        artifact = reg.register("prog", trees[0], {"origin": "test"})
+        assert artifact.version == 1
+        assert artifact.status == ArtifactStatus.STAGED
+        assert artifact.track == "prog"
+        assert artifact.metadata["origin"] == "test"
+        assert reg.tracks() == ["prog"]
+
+    def test_versions_are_monotonic_per_track(self, trees):
+        reg = ModelRegistry()
+        versions = [reg.register("prog", t).version for t in trees]
+        assert versions == [1, 2, 3]
+        assert reg.register("other", trees[0]).version == 1
+
+    def test_dedupe_by_content_hash(self, trees, linear_int_dataset):
+        x, y = linear_int_dataset
+        reg = ModelRegistry()
+        first = reg.register("prog", trees[0], {"origin": "first"})
+        # Same object and a byte-identical retrain both dedupe.
+        assert reg.register("prog", trees[0]) is first
+        clone = IntegerDecisionTree(max_depth=4).fit(x, y)
+        again = reg.register("prog", clone, {"origin": "second"})
+        assert again is first
+        assert again.metadata["origin"] == "first"  # lineage untouched
+        assert len(reg.history("prog")) == 1
+
+    def test_created_ticks_monotonic(self, trees):
+        reg = ModelRegistry()
+        ticks = [reg.register("prog", t).created_tick for t in trees]
+        assert ticks == sorted(ticks)
+        assert len(set(ticks)) == 3
+
+
+class TestLifecycle:
+    def _reg(self, trees):
+        reg = ModelRegistry()
+        for tree in trees:
+            reg.register("prog", tree)
+        return reg
+
+    def test_promote_retires_previous_live(self, trees):
+        reg = self._reg(trees)
+        reg.promote("prog", 1)
+        assert reg.live("prog").version == 1
+        reg.promote("prog", 2)
+        assert reg.live("prog").version == 2
+        assert reg.artifact("prog", 1).status == ArtifactStatus.RETIRED
+
+    def test_promote_live_version_is_noop(self, trees):
+        reg = self._reg(trees)
+        reg.promote("prog", 1)
+        assert reg.promote("prog", 1).version == 1
+        assert reg.live("prog").version == 1
+
+    def test_rollback_restores_newest_retired(self, trees):
+        reg = self._reg(trees)
+        reg.promote("prog", 1)
+        reg.promote("prog", 2)
+        reg.promote("prog", 3)
+        restored = reg.rollback("prog")
+        assert restored.version == 2
+        assert reg.live("prog").version == 2
+        assert reg.artifact("prog", 3).status == ArtifactStatus.ROLLED_BACK
+
+    def test_rolled_back_version_never_silently_returns(self, trees):
+        reg = self._reg(trees)
+        reg.promote("prog", 1)
+        reg.promote("prog", 2)
+        reg.promote("prog", 3)
+        reg.rollback("prog")  # 3 -> rolled_back, 2 live
+        restored = reg.rollback("prog")  # must pick 1, not 3
+        assert restored.version == 1
+
+    def test_rollback_without_live_raises(self, trees):
+        reg = self._reg(trees)
+        with pytest.raises(ControlPlaneError, match="no live version"):
+            reg.rollback("prog")
+
+    def test_rollback_without_predecessor_raises(self, trees):
+        reg = self._reg(trees)
+        reg.promote("prog", 1)
+        with pytest.raises(ControlPlaneError, match="no earlier version"):
+            reg.rollback("prog")
+
+    def test_mark_rolled_back_rejects_live(self, trees):
+        reg = self._reg(trees)
+        reg.promote("prog", 1)
+        with pytest.raises(ControlPlaneError, match="live"):
+            reg.mark_rolled_back("prog", 1)
+        marked = reg.mark_rolled_back("prog", 2)
+        assert marked.status == ArtifactStatus.ROLLED_BACK
+
+    def test_unknown_version_raises(self, trees):
+        reg = self._reg(trees)
+        with pytest.raises(ControlPlaneError, match="no version 9"):
+            reg.artifact("prog", 9)
+
+    def test_by_hash_prefix(self, trees):
+        reg = self._reg(trees)
+        artifact = reg.artifact("prog", 2)
+        assert reg.by_hash("prog", artifact.short_hash) is artifact
+        assert reg.by_hash("prog", "ffffffffffff" * 4) is None
+
+
+class TestPinning:
+    def test_pin_blocks_promote_and_rollback(self, trees):
+        reg = ModelRegistry()
+        for tree in trees:
+            reg.register("prog", tree)
+        reg.promote("prog", 1)
+        reg.promote("prog", 2)
+        reg.pin("prog", 2)
+        with pytest.raises(ControlPlaneError, match="pinned"):
+            reg.promote("prog", 3)
+        with pytest.raises(ControlPlaneError, match="pinned"):
+            reg.rollback("prog")
+        reg.unpin("prog", 2)
+        reg.promote("prog", 3)
+        assert reg.live("prog").version == 3
+
+    def test_stats_shape(self, trees):
+        reg = ModelRegistry()
+        for tree in trees:
+            reg.register("prog", tree)
+        reg.promote("prog", 2)
+        stats = reg.stats()
+        assert stats["prog"]["versions"] == 3
+        assert stats["prog"]["live"] == 2
+        assert [h["status"] for h in stats["prog"]["history"]] == [
+            "staged", "live", "staged"]

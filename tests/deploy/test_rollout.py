@@ -1,0 +1,253 @@
+"""ModelRollout unit behavior: lanes, gates, guardrails, determinism.
+
+These tests drive the rollout object directly with a fake candidate
+datapath — no hook registry, no real programs — so each gate can be
+exercised in isolation.  End-to-end control-plane + hook wiring lives
+in ``test_control_plane_rollout.py``.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.errors import ControlPlaneError, RmtRuntimeError
+from repro.deploy import (
+    ModelRollout,
+    RolloutConfig,
+    RolloutState,
+    ShadowEvaluator,
+    ShadowSink,
+    route_hash,
+)
+from repro.deploy.canary import _SPLIT_DENOM, CanaryController
+
+
+class FakeDatapath:
+    """Just enough datapath for the shadow/canary lanes."""
+
+    def __init__(self, verdict=1, trap=False, name="prog@candidate"):
+        self.program = SimpleNamespace(name=name)
+        self.verdict = verdict
+        self.trap = trap
+        self.invocations = 0
+
+    def invoke(self, ctx, helper_env=None):
+        self.invocations += 1
+        if self.trap:
+            raise RmtRuntimeError("synthetic trap")
+        return self.verdict
+
+    def stats(self):
+        return {"mean_invoke_us": 0.0}
+
+
+def make_rollout(dp=None, **config_kwargs) -> ModelRollout:
+    defaults = dict(shadow_min_samples=8, canary_min_samples=4,
+                    ramp=(0.5, 1.0), min_trap_samples=4, seed=0)
+    defaults.update(config_kwargs)
+    return ModelRollout("prog", dp or FakeDatapath(),
+                        config=RolloutConfig(**defaults))
+
+
+def drive(rollout, n, candidate_correct=True, primary_correct=True):
+    """n hook fires, each producing one scored outcome for both lanes."""
+    for _ in range(n):
+        if rollout.plan.terminal:
+            return
+        routed = rollout.begin_fire()
+        if routed:
+            rollout.canary_invoke(None, None)
+        elif rollout.wants_shadow:
+            rollout.shadow_observe(None, primary_verdict=0)
+        rollout.observe_outcome(candidate_correct, primary_correct)
+
+
+class TestLifecycle:
+    def test_start_enters_shadow(self):
+        rollout = make_rollout()
+        rollout.start()
+        assert rollout.state == RolloutState.SHADOW
+        assert rollout.active
+
+    def test_skip_shadow_enters_canary(self):
+        rollout = make_rollout(skip_shadow=True)
+        rollout.start()
+        assert rollout.state == RolloutState.CANARY
+
+    def test_double_start_rejected(self):
+        rollout = make_rollout()
+        rollout.start()
+        with pytest.raises(ControlPlaneError, match="already started"):
+            rollout.start()
+
+    def test_abort_rolls_back(self):
+        rollout = make_rollout()
+        rollout.start()
+        rollout.abort("operator said no")
+        assert rollout.state == RolloutState.ROLLED_BACK
+        assert not rollout.active
+        assert rollout.plan.log()[-1]["reason"] == "operator said no"
+
+    def test_outcomes_after_terminal_are_ignored(self):
+        rollout = make_rollout()
+        rollout.start()
+        rollout.abort()
+        rollout.observe_outcome(True, True)
+        assert rollout.scored == 0
+
+
+class TestShadowGate:
+    def test_good_candidate_passes_to_canary(self):
+        rollout = make_rollout()
+        rollout.start()
+        drive(rollout, 8)
+        assert rollout.state == RolloutState.CANARY
+        assert rollout.shadow_report["candidate_accuracy"] == 1.0
+        # Drift baseline anchored at the shadow-exit accuracy.
+        assert rollout.canary.drift.baseline == 1.0
+
+    def test_gate_waits_for_min_samples(self):
+        rollout = make_rollout()
+        rollout.start()
+        drive(rollout, 7)
+        assert rollout.state == RolloutState.SHADOW
+        assert rollout.shadow_report is None
+
+    def test_trailing_candidate_rolls_back(self):
+        rollout = make_rollout()
+        rollout.start()
+        drive(rollout, 8, candidate_correct=False, primary_correct=True)
+        assert rollout.state == RolloutState.ROLLED_BACK
+        assert "trails primary" in rollout.plan.log()[-1]["reason"]
+
+    def test_margin_tolerates_small_deficit(self):
+        rollout = make_rollout(shadow_min_samples=16, shadow_margin=0.10)
+        rollout.start()
+        drive(rollout, 15)
+        drive(rollout, 1, candidate_correct=False)  # 15/16 vs 16/16
+        assert rollout.state == RolloutState.CANARY
+
+    def test_trapping_candidate_rolls_back(self):
+        rollout = make_rollout(dp=FakeDatapath(trap=True))
+        rollout.start()
+        drive(rollout, 8, candidate_correct=None, primary_correct=True)
+        # Traps yield no scored outcomes for the candidate; force the
+        # gate once enough candidate invocations accumulated.
+        drive(rollout, 8, candidate_correct=True, primary_correct=True)
+        assert rollout.state == RolloutState.ROLLED_BACK
+        assert "trap rate" in rollout.plan.log()[-1]["reason"]
+
+    def test_unscored_primary_uses_absolute_floor(self):
+        rollout = make_rollout(shadow_min_accuracy=0.9)
+        rollout.start()
+        drive(rollout, 8, candidate_correct=True, primary_correct=None)
+        assert rollout.state == RolloutState.CANARY
+        weak = make_rollout(shadow_min_accuracy=0.9)
+        weak.start()
+        drive(weak, 8, candidate_correct=False, primary_correct=None)
+        assert weak.state == RolloutState.ROLLED_BACK
+
+
+class TestCanaryGate:
+    def test_full_ramp_promotes(self):
+        promoted = []
+        rollout = make_rollout(skip_shadow=True)
+        rollout.on_promote = promoted.append
+        rollout.start()
+        drive(rollout, 12)
+        assert rollout.state == RolloutState.PROMOTED
+        assert promoted == [rollout]
+        assert [s["fraction"] for s in rollout.canary.stage_history] == [
+            0.5, 1.0]
+
+    def test_accuracy_breach_rolls_back(self):
+        rolled = []
+        rollout = make_rollout(skip_shadow=True)
+        rollout.on_rollback = rolled.append
+        rollout.start()
+        drive(rollout, 6, candidate_correct=False, primary_correct=True)
+        assert rollout.state == RolloutState.ROLLED_BACK
+        assert rolled == [rollout]
+        assert "accuracy" in rollout.plan.log()[-1]["reason"]
+
+    def test_drift_from_shadow_baseline_rolls_back(self):
+        # Pass shadow at 100%, then degrade both lanes together: the
+        # relative accuracy guardrail stays satisfied (primary falls
+        # too), but the drift detector still catches the drop from the
+        # shadow-exit baseline.
+        rollout = make_rollout(shadow_min_samples=8, canary_min_samples=64,
+                               accuracy_window=32, drift_drop=0.2)
+        rollout.start()
+        drive(rollout, 8)
+        assert rollout.state == RolloutState.CANARY
+        drive(rollout, 40, candidate_correct=False, primary_correct=False)
+        assert rollout.state == RolloutState.ROLLED_BACK
+        assert "drift" in rollout.plan.log()[-1]["reason"]
+
+    def test_routed_trap_checks_guardrail_immediately(self):
+        dp = FakeDatapath(trap=True)
+        rollout = make_rollout(dp=dp, skip_shadow=True, ramp=(1.0,),
+                               min_trap_samples=1)
+        rollout.start()
+        routed = rollout.begin_fire()
+        assert routed  # ramp is 100%
+        assert rollout.canary_invoke(None, None) is None
+        assert rollout.state == RolloutState.ROLLED_BACK
+
+    def test_manual_advance_without_auto(self):
+        rollout = make_rollout(skip_shadow=True, ramp=(1.0,),
+                               auto_advance=False)
+        rollout.start()
+        drive(rollout, 6)
+        assert rollout.state == RolloutState.CANARY  # gate never ran
+        assert rollout.advance() == RolloutState.PROMOTED
+
+
+class TestDeterministicRouting:
+    def test_route_hash_is_stable(self):
+        buckets = [route_hash(0, t) for t in range(50)]
+        assert buckets == [route_hash(0, t) for t in range(50)]
+        assert all(0 <= b < _SPLIT_DENOM for b in buckets)
+
+    def test_seed_changes_split(self):
+        a = [route_hash(0, t) < 5000 for t in range(200)]
+        b = [route_hash(7, t) < 5000 for t in range(200)]
+        assert a != b
+
+    def test_fraction_controls_routed_share(self):
+        config = RolloutConfig(ramp=(0.25,), seed=3)
+        canary = CanaryController(config)
+        routed = sum(canary.route(t) for t in range(1, 4001))
+        assert routed == canary.routed_fires
+        assert 0.20 < routed / 4000 < 0.30
+
+    def test_identical_rollouts_take_identical_paths(self):
+        logs = []
+        for _ in range(2):
+            rollout = make_rollout(skip_shadow=True, ramp=(0.2, 1.0))
+            rollout.start()
+            drive(rollout, 20)
+            logs.append((rollout.plan.log(), rollout.canary.routed_fires))
+        assert logs[0] == logs[1]
+
+
+class TestShadowEvaluator:
+    def test_contains_and_counts_traps(self):
+        shadow = ShadowEvaluator(FakeDatapath(trap=True))
+        assert shadow.run(None) is None
+        assert shadow.traps == 1
+        assert shadow.trap_rate == 1.0
+        assert "synthetic trap" in shadow.last_trap
+
+    def test_records_verdict_and_scratch_env(self):
+        shadow = ShadowEvaluator(FakeDatapath(verdict=42))
+        assert shadow.run(None) == 42
+        assert isinstance(shadow.last_env, ShadowSink)
+
+    def test_sink_absorbs_helper_pushes(self):
+        sink = ShadowSink()
+        assert sink.push(4093) == 1
+        assert sink.push(4094) == 2
+        assert sink.pages == [4093, 4094]

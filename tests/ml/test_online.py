@@ -70,6 +70,35 @@ class TestDriftDetector:
         with pytest.raises(ValueError):
             DriftDetector(drop_threshold=1.5)
 
+    def test_unbaselined_checks_are_counted(self):
+        """An unbaselined detector is drift-blind by design, but the
+        blindness must be visible: every such check is counted."""
+        tracker = AccuracyTracker(window=8)
+        for _ in range(8):
+            tracker.record(False)
+        detector = DriftDetector(min_samples=4)
+        assert not detector.has_baseline
+        assert not detector.check(tracker)
+        assert not detector.check(tracker)
+        assert detector.n_unbaselined_checks == 2
+        detector.set_baseline(0.9)
+        assert detector.has_baseline
+        assert detector.check(tracker)
+        assert detector.n_unbaselined_checks == 2  # stops counting
+
+    def test_require_baseline_raises_on_unbaselined_check(self):
+        """Callers whose guardrails are meaningless without a baseline
+        opt into a hard failure instead of silent blindness."""
+        tracker = AccuracyTracker(window=8)
+        tracker.record(False)
+        detector = DriftDetector(min_samples=1, require_baseline=True)
+        with pytest.raises(ValueError, match="before set_baseline"):
+            detector.check(tracker)
+        detector.set_baseline(0.9)
+        for _ in range(7):
+            tracker.record(False)
+        assert detector.check(tracker)
+
 
 class TestOnlineTrainer:
     def _trainer(self, window=32):
@@ -113,3 +142,28 @@ class TestOnlineTrainer:
             online.observe([i % 4], i % 2)
         online.predict([1])
         assert online.n_predictions == 1
+
+    def test_retrain_snapshots_land_in_registry(self):
+        from repro.deploy import ModelRegistry
+
+        registry = ModelRegistry()
+        online = OnlineTrainer(
+            WindowedTreeTrainer(window_size=16, min_train_samples=16),
+            registry=registry,
+            track="prog",
+        )
+        for i in range(64):
+            online.observe([i % 4, (i * 7) % 5], (i % 4) > 1)
+        assert online.n_retrains >= 1
+        history = registry.history("prog")
+        assert history, "retrain produced no registry artifact"
+        assert all(a.metadata["origin"] == "online_retrain" for a in history)
+        # Content-identical retrains dedupe: at most one artifact per
+        # distinct model, each with its lineage counters.
+        assert history[-1].metadata["retrain"] >= 1
+
+    def test_no_registry_is_noop(self):
+        online = self._trainer()
+        for i in range(20):
+            online.observe([i % 4], (i % 4) > 1)
+        assert online.registry is None  # nothing to snapshot into

@@ -83,6 +83,38 @@ class TestCompile:
         assert main(["compile", path, "--schema", ","]) == 2
 
 
+class TestRolloutCommand:
+    def test_poisoned_canary_rollback_reported(self, capsys):
+        code = main(["rollout", "--case", "prefetch",
+                     "--candidate", "poisoned", "--skip-shadow",
+                     "--quick", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "final state: rolled_back" in out
+        assert "shadow skipped" in out
+        assert "registry track:" in out
+        assert "promoted" not in out.split("transitions:")[1]
+
+    def test_sched_improved_promotes(self, capsys):
+        code = main(["rollout", "--case", "sched",
+                     "--candidate", "improved", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "final state: promoted" in out
+        assert "shadow report:" in out
+        assert "live" in out.split("registry track:")[1]
+
+    def test_fixed_seed_output_is_reproducible(self, capsys):
+        """Everything the command prints is driven by logical clocks and
+        the seeded hash split, so two runs must match byte for byte."""
+        args = ["rollout", "--case", "prefetch", "--candidate", "poisoned",
+                "--skip-shadow", "--quick", "--seed", "3"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestAblationCommand:
     def test_privacy_ablation_runs(self, capsys):
         assert main(["ablation", "privacy"]) == 0
