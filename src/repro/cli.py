@@ -12,7 +12,9 @@ tooling:
   disassembly and the verifier's report (the offline half of the
   Figure-1 toolchain),
 * ``inventory``           — print the ISA and the verifier's rule list
-  (what a datapath developer needs at a glance).
+  (what a datapath developer needs at a glance),
+* ``hotpath``             — run the hot-path microbenchmarks and print
+  per-hook verdict-cache and per-table index statistics.
 """
 
 from __future__ import annotations
@@ -217,6 +219,43 @@ def _cmd_inventory(args) -> int:
     return 0
 
 
+def _cmd_hotpath(args) -> int:
+    from .harness.hotpath import bench_lookup, bench_memo, bench_shadow
+
+    sizes = (64,) if args.quick else (64, 256)
+    print("per-table index stats (indexed vs linear lookup):")
+    for row in bench_lookup(sizes=sizes, seed=args.seed):
+        ix = row["index"]
+        print(f"  {row['shape']:8s} n={row['entries']:<5d} "
+              f"{row['speedup']:7.1f}x   gen={ix['generation']} "
+              f"exact={ix['exact_keys']} lpm={ix['lpm_buckets']} "
+              f"range_segs={ix['range_segments']} "
+              f"residual={ix['residual_entries']}")
+
+    result = bench_memo(n_fires=4_000 if args.quick else 20_000,
+                        seed=args.seed)
+    memo = result["memo"]
+    print(f"\nper-hook verdict cache (hotpath_hook):")
+    print(f"  fires: {result['fires']}  "
+          f"throughput: {result['plain_fires_per_s']:,.0f} -> "
+          f"{result['memo_fires_per_s']:,.0f} fires/s "
+          f"({result['speedup']:.1f}x)")
+    print(f"  entries: {memo['entries']}/{memo['capacity']}  "
+          f"read fields: {memo['read_fields']}")
+    print(f"  hits: {memo['hits']}  misses: {memo['misses']}  "
+          f"hit rate: {memo['hit_rate']:.1%}")
+    print(f"  invalidations: {memo['invalidations']}  "
+          f"bypasses: {memo['bypasses']}")
+
+    shadow = bench_shadow(n_fires=512 if args.quick else 2048,
+                          seed=args.seed)
+    print(f"\nbatched shadow inference (batch {shadow['batch_size']}):")
+    print(f"  {shadow['eager_us_per_fire']:.1f} -> "
+          f"{shadow['batched_us_per_fire']:.1f} us/fire "
+          f"({shadow['overhead_reduction_pct']:.1f}% overhead reduction)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -265,6 +304,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     pi = sub.add_parser("inventory", help="print the ISA and verifier rules")
     pi.set_defaults(fn=_cmd_inventory)
+
+    ph = sub.add_parser("hotpath",
+                        help="hot-path microbenchmarks: per-table index "
+                             "and per-hook verdict-cache stats")
+    ph.add_argument("--quick", action="store_true")
+    ph.add_argument("--seed", type=int, default=0)
+    ph.set_defaults(fn=_cmd_hotpath)
     return parser
 
 

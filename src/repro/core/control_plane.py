@@ -22,6 +22,7 @@ tables when prediction quality drops.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -37,6 +38,9 @@ from .tables import TableEntry
 from .verifier import AttachPolicy, VerificationReport, Verifier
 
 __all__ = ["RmtDatapath", "ControlPlane", "AccuracyWatchdog"]
+
+
+_datapath_instances = itertools.count(1)
 
 
 class RmtDatapath:
@@ -69,9 +73,22 @@ class RmtDatapath:
         # this mechanism adds, which the paper's whole premise is about
         # keeping small relative to the decisions it improves.
         self.overhead_ns = 0
+        #: Unique per construction — two datapaths never share an id, so
+        #: swapping a whole datapath at a hook changes any epoch that
+        #: includes it.
+        self.instance_id = next(_datapath_instances)
+        #: Bumped on every model/tensor hot-swap; memo caches include it
+        #: in their validity epoch.
+        self.config_epoch = 0
 
     def rejit(self) -> None:
-        """Recompile after a model/tensor hot-swap (JIT binds objects)."""
+        """Recompile after a model/tensor hot-swap (JIT binds objects).
+
+        Always bumps ``config_epoch`` — the interpreter tier binds
+        nothing at compile time, but the swap still changes what the
+        program computes, and memo caches key off the epoch.
+        """
+        self.config_epoch += 1
         if self.mode == "jit":
             self._jitted = JitCompiler(self.helpers).compile_program(self.program)
 
@@ -294,10 +311,42 @@ class ControlPlane:
         for entry in table.entries:
             if entry.entry_id == entry_id:
                 entry.action_data.update(action_data)
+                table.note_modified()
                 return entry
         raise ControlPlaneError(
             f"entry {entry_id} not found in {program_name}.{table_name}"
         )
+
+    # -- hot-path memoization ----------------------------------------------
+
+    def _hook_for(self, program_name: str):
+        dp = self.datapath(program_name)
+        return self._require_hook(dp.program.attach_point)
+
+    def enable_memo(self, program_name: str, capacity: int = 4096,
+                    force: bool = False):
+        """Turn on verdict memoization at a program's hook point.
+
+        The cache is keyed on the fingerprint of context fields the
+        hook's programs actually read (the verifier's read-set) and is
+        invalidated by table generations, model pushes (datapath config
+        epochs), supervisor breaker flips and rollout-lane activity.
+        Programs that call helpers, touch maps/history state or write
+        the context are rejected unless ``force=True`` — their verdicts
+        are not pure functions of the context.
+        """
+        return self._hook_for(program_name).enable_memo(
+            capacity=capacity, force=force
+        )
+
+    def disable_memo(self, program_name: str) -> None:
+        self._hook_for(program_name).disable_memo()
+
+    def memo_stats(self, program_name: str) -> dict | None:
+        """Hit/miss/invalidation counters of the hook's memo cache
+        (None when memoization is off)."""
+        hook = self._hook_for(program_name)
+        return hook.memo.stats() if hook.memo is not None else None
 
     # -- model management ---------------------------------------------------
 
@@ -412,6 +461,7 @@ class ControlPlane:
         config=None,
         mode: str | None = None,
         helper_env_factory=None,
+        batch_plan=None,
     ):
         """Stage a candidate model for shadow/canary rollout.
 
@@ -474,6 +524,7 @@ class ControlPlane:
             on_promote=_promote,
             on_rollback=_roll_back,
             artifact=artifact,
+            batch_plan=batch_plan,
         )
         hook.attach_rollout(rollout)
         self._rollouts[program_name] = rollout
@@ -489,6 +540,7 @@ class ControlPlane:
         config=None,
         mode: str | None = None,
         helper_env_factory=None,
+        batch_plan=None,
     ):
         """Stage a whole replacement program (bytecode-lowered models).
 
@@ -559,6 +611,7 @@ class ControlPlane:
             on_promote=_promote,
             on_rollback=_roll_back,
             artifact=artifact,
+            batch_plan=batch_plan,
         )
         hook.attach_rollout(rollout)
         self._rollouts[target_name] = rollout
@@ -693,4 +746,11 @@ class ControlPlane:
                     "live_version": live.version if live else None,
                     "versions": len(self.registry.history(name)),
                 }
+        if self.hook_registry is not None:
+            for name, dp_stats in out.items():
+                attach = self._datapaths[name].program.attach_point
+                if self.hook_registry.has_hook(attach):
+                    hook = self.hook_registry.hook(attach)
+                    if hook.memo is not None:
+                        dp_stats["memo"] = hook.memo.stats()
         return out

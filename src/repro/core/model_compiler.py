@@ -29,12 +29,19 @@ from __future__ import annotations
 import numpy as np
 
 from ..ml.decision_tree import IntegerDecisionTree, TreeNode
+from ..ml.fixed_point import requantize_shift, saturate
 from ..ml.mlp import QuantizedMLP
+from ..ml.tensor import int_add_bias, int_batch_matvec, int_relu
 from .bytecode import BytecodeProgram, Instruction
 from .isa import Opcode
 from .program import ProgramBuilder
 
-__all__ = ["compile_mlp_action", "compile_tree_action", "fold_input_transform"]
+__all__ = [
+    "compile_mlp_action",
+    "compile_tree_action",
+    "fold_input_transform",
+    "mlp_batch_forward",
+]
 
 #: Shift used for the folded input transform q = ((x * a) >> SHIFT) + b.
 INPUT_SHIFT = 12
@@ -126,6 +133,32 @@ def compile_mlp_action(
     instrs.append(Instruction(Opcode.VEC_ARGMAX, dst=0, src=vec))
     instrs.append(Instruction(Opcode.EXIT))
     return builder.add_action(BytecodeProgram(name=name, instructions=instrs))
+
+
+def mlp_batch_forward(qmlp: QuantizedMLP, rows: np.ndarray) -> np.ndarray:
+    """Row-batched replica of :func:`compile_mlp_action`'s VM semantics.
+
+    Takes raw integer feature rows (what the kernel publishes into the
+    features :class:`~repro.core.maps.VectorMap`) and returns the argmax
+    class per row.  Every stage mirrors the interpreter's lowering —
+    the folded input transform, ``int_matvec``'s 32-bit saturation after
+    each layer, the ``VEC_SCALE`` int64 widening — so row ``i`` is
+    bit-identical to executing the compiled action on ``rows[i]``.  The
+    batched shadow lane flushes through this path.
+    """
+    a, b = fold_input_transform(qmlp)
+    x = np.asarray(rows, dtype=np.int64)
+    if x.ndim != 2:
+        raise ValueError(f"rows must be 2-D, got shape {x.shape}")
+    # VEC_MUL_T + VEC_ADD: q = sat32(round_shift(x * a, SHIFT)) + b
+    h = int_add_bias(saturate(requantize_shift(x * a, INPUT_SHIFT), 32), b)
+    for layer, (w_q, b_q) in enumerate(zip(qmlp.weights_q, qmlp.biases_q)):
+        h = int_add_bias(int_batch_matvec(w_q, h), b_q)
+        if layer < len(qmlp.weights_q) - 1:
+            multiplier, shift = qmlp.rescales[layer]
+            wide = h.astype(np.int64) * multiplier  # as VEC_SCALE: fits int64
+            h = int_relu(saturate(requantize_shift(wide, shift), 32))
+    return np.argmax(h, axis=1).astype(np.int64)
 
 
 def compile_tree_action(

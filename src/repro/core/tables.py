@@ -14,11 +14,20 @@ consult — this is how ``page_prefetch_entry p1 = {.pid = 56; .ml = dt_1;}``
 from the paper's listing is represented).  Entries can be installed
 statically in the program or added/removed at runtime through the
 control-plane API.
+
+Lookup is served by per-kind dispatch indexes (hash for exact keys,
+prefix-length buckets for LPM, an elementary-interval bisect index for
+ranges, a residual priority-ordered scan for everything else) that are
+rebuilt lazily from a ``generation`` counter the entry-management API
+bumps — so control-plane reconfiguration invalidates them, and a lookup
+is bit-identical to the reference linear scan (``lookup_linear``).
 """
 
 from __future__ import annotations
 
+import bisect
 import enum
+import heapq
 import itertools
 from dataclasses import dataclass, field
 
@@ -127,6 +136,12 @@ class TableEntry:
         )
 
 
+def _lpm_masked(value: int, prefix_len: int) -> int:
+    if prefix_len == 0:
+        return 0
+    return value & ~((1 << (64 - prefix_len)) - 1)
+
+
 class MatchActionTable:
     """A reconfigurable match-action table bound to a hook point.
 
@@ -142,6 +157,28 @@ class MatchActionTable:
         Action to run on a miss (None = pipeline continues untouched).
     max_entries:
         Admission bound, checked by the verifier and at insert time.
+
+    Lookup strategy
+    ---------------
+    Entries are partitioned into per-kind groups whenever the table's
+    ``generation`` counter moves past the built index:
+
+    * **exact** — for all-EXACT key tuples with no wildcard: a hash from
+      the full key tuple to its best entry.
+    * **lpm** — single-field LPM keys: hash buckets per prefix length,
+      keyed by the masked value; a lookup probes each length present
+      (longest first) and keeps the best-ordered hit.
+    * **range** — single-field RANGE keys: the interval endpoints cut the
+      key space into elementary segments; the winning entry of every
+      segment is precomputed (heap sweep over interval starts), so a
+      lookup is one ``bisect``.
+    * **residual** — wildcards, TERNARY fields and multi-field non-exact
+      keys: the classic priority-ordered scan, short-circuited as soon
+      as an indexed candidate already outranks the remaining entries.
+
+    The groups are combined by entry-order key ``(-priority, seq)``
+    (``seq`` is the per-table insertion sequence), which makes the
+    result bit-identical to :meth:`lookup_linear`, the pre-index scan.
     """
 
     def __init__(
@@ -166,14 +203,33 @@ class MatchActionTable:
             )
         self.default_action = default_action
         self.max_entries = max_entries
-        self._entries: list[TableEntry] = []
-        # Fast path for all-exact tables: key tuple -> entry.
+        self._entries: list[TableEntry] = []  # kept sorted by order key
+        self._order: dict[int, int] = {}  # entry_id -> insertion seq
+        self._next_seq = itertools.count()
         self._all_exact = all(k is MatchKind.EXACT for k in self.kinds)
-        self._exact_index: dict[tuple[int, ...], TableEntry] = {}
+        self._single_lpm = self.kinds == (MatchKind.LPM,)
+        self._single_range = self.kinds == (MatchKind.RANGE,)
+        #: Bumped by every entry mutation; indexes rebuild lazily on the
+        #: next lookup, and memo caches key their validity off it.
+        self.generation = 0
+        self._indexed_generation = -1
+        self._ix_exact: dict[tuple[int, ...], TableEntry] = {}
+        self._ix_lpm: dict[int, dict[int, TableEntry]] = {}
+        self._ix_lpm_lens: list[int] = []
+        self._ix_range_points: list[int] = []
+        self._ix_range_winners: list[TableEntry | None] = []
+        self._ix_residual: list[TableEntry] = []
         self.lookups = 0
         self.misses = 0
+        # Where lookups resolve (the benchmark's attribution counters).
+        self.exact_hits = 0
+        self.indexed_hits = 0
+        self.scan_hits = 0
 
     # -- entry management (the control-plane API calls these) -----------
+
+    def _order_key(self, entry: TableEntry) -> tuple[int, int]:
+        return (-entry.priority, self._order[entry.entry_id])
 
     def insert(self, entry: TableEntry) -> TableEntry:
         if len(entry.patterns) != len(self.key_fields):
@@ -183,10 +239,10 @@ class MatchActionTable:
             )
         if len(self._entries) >= self.max_entries:
             raise MemoryError(f"table {self.name!r} full ({self.max_entries} entries)")
+        self._order[entry.entry_id] = next(self._next_seq)
         self._entries.append(entry)
-        self._entries.sort(key=lambda e: -e.priority)
-        if self._all_exact and not any(p.is_wildcard for p in entry.patterns):
-            self._exact_index[tuple(p.value for p in entry.patterns)] = entry
+        self._entries.sort(key=self._order_key)
+        self.generation += 1
         return entry
 
     def insert_exact(
@@ -208,16 +264,20 @@ class MatchActionTable:
         for i, entry in enumerate(self._entries):
             if entry.entry_id == entry_id:
                 del self._entries[i]
-                self._exact_index = {
-                    k: e for k, e in self._exact_index.items()
-                    if e.entry_id != entry_id
-                }
+                self._order.pop(entry_id, None)
+                self.generation += 1
                 return True
         return False
 
     def clear(self) -> None:
         self._entries.clear()
-        self._exact_index.clear()
+        self._order.clear()
+        self.generation += 1
+
+    def note_modified(self) -> None:
+        """Record an in-place entry mutation (``modify_entry``): bumps the
+        generation so indexes and memo caches shed the stale view."""
+        self.generation += 1
 
     @property
     def entries(self) -> list[TableEntry]:
@@ -226,24 +286,148 @@ class MatchActionTable:
     def __len__(self) -> int:
         return len(self._entries)
 
+    # -- index construction ----------------------------------------------
+
+    def _build_indexes(self) -> None:
+        exact: dict[tuple[int, ...], TableEntry] = {}
+        lpm: dict[int, dict[int, TableEntry]] = {}
+        range_group: list[TableEntry] = []
+        residual: list[TableEntry] = []
+        for entry in self._entries:  # already in order-key order
+            patterns = entry.patterns
+            if self._all_exact and not any(p.is_wildcard for p in patterns):
+                exact.setdefault(tuple(p.value for p in patterns), entry)
+            elif self._single_lpm and not patterns[0].is_wildcard:
+                p = patterns[0]
+                lpm.setdefault(p.mask, {}).setdefault(
+                    _lpm_masked(p.value, p.mask), entry
+                )
+            elif self._single_range and not patterns[0].is_wildcard:
+                range_group.append(entry)
+            else:
+                residual.append(entry)
+        self._ix_exact = exact
+        self._ix_lpm = lpm
+        self._ix_lpm_lens = sorted(lpm, reverse=True)
+        self._ix_residual = residual
+        self._build_range_index(range_group)
+        self._indexed_generation = self.generation
+
+    def _build_range_index(self, group: list[TableEntry]) -> None:
+        """Elementary-interval index: entry endpoints cut the key space
+        into segments; each segment's winner (lowest order key among the
+        intervals covering it) is precomputed with a heap sweep."""
+        if not group:
+            self._ix_range_points = []
+            self._ix_range_winners = []
+            return
+        points = sorted(
+            {e.patterns[0].value for e in group}
+            | {e.patterns[0].mask + 1 for e in group}
+        )
+        by_lo = sorted(group, key=lambda e: e.patterns[0].value)
+        heap: list[tuple[tuple[int, int], int, TableEntry]] = []
+        winners: list[TableEntry | None] = []
+        i = 0
+        for seg_start in points[:-1]:
+            while i < len(by_lo) and by_lo[i].patterns[0].value <= seg_start:
+                e = by_lo[i]
+                heapq.heappush(heap, (self._order_key(e), e.entry_id, e))
+                i += 1
+            # Lazy-pop expired intervals: an expired top can never beat a
+            # live entry deeper in the heap, so popping is safe.
+            while heap and heap[0][2].patterns[0].mask < seg_start:
+                heapq.heappop(heap)
+            winners.append(heap[0][2] if heap else None)
+        self._ix_range_points = points
+        self._ix_range_winners = winners
+
+    def index_stats(self) -> dict:
+        """Shape of the dispatch indexes (building them if stale)."""
+        if self._indexed_generation != self.generation:
+            self._build_indexes()
+        return {
+            "generation": self.generation,
+            "exact_keys": len(self._ix_exact),
+            "lpm_prefix_lens": len(self._ix_lpm_lens),
+            "lpm_buckets": sum(len(b) for b in self._ix_lpm.values()),
+            "range_segments": len(self._ix_range_winners),
+            "residual_entries": len(self._ix_residual),
+        }
+
     # -- matching ---------------------------------------------------------
 
     def key_values(self, ctx: ExecutionContext) -> tuple[int, ...]:
         return tuple(ctx.get(name) for name in self.key_fields)
 
     def lookup(self, ctx: ExecutionContext) -> TableEntry | None:
-        """Match the current execution context; None on miss."""
+        """Match the current execution context; None on miss.
+
+        Equivalent to :meth:`lookup_linear` entry-for-entry, but served
+        by the per-kind indexes.
+        """
+        self.lookups += 1
+        if self._indexed_generation != self.generation:
+            self._build_indexes()
+        key = self.key_values(ctx)
+        best: TableEntry | None = None
+        best_key: tuple[int, int] | None = None
+        source = 0  # 1 = exact, 2 = indexed, 3 = scan
+
+        if self._ix_exact:
+            cand = self._ix_exact.get(key)
+            if cand is not None:
+                best = cand
+                best_key = self._order_key(cand)
+                source = 1
+        if self._ix_lpm_lens:
+            value = key[0]
+            for plen in self._ix_lpm_lens:
+                cand = self._ix_lpm[plen].get(_lpm_masked(value, plen))
+                if cand is not None:
+                    ckey = self._order_key(cand)
+                    if best_key is None or ckey < best_key:
+                        best, best_key, source = cand, ckey, 2
+        if self._ix_range_winners:
+            seg = bisect.bisect_right(self._ix_range_points, key[0]) - 1
+            if 0 <= seg < len(self._ix_range_winners):
+                cand = self._ix_range_winners[seg]
+                if cand is not None:
+                    ckey = self._order_key(cand)
+                    if best_key is None or ckey < best_key:
+                        best, best_key, source = cand, ckey, 2
+        for entry in self._ix_residual:
+            ekey = self._order_key(entry)
+            if best_key is not None and best_key < ekey:
+                break  # residual is order-sorted: nothing later can win
+            if entry.matches(key, self.kinds):
+                best, best_key, source = entry, ekey, 3
+                break
+
+        if best is None:
+            self.misses += 1
+            return None
+        best.hits += 1
+        if source == 1:
+            self.exact_hits += 1
+        elif source == 2:
+            self.indexed_hits += 1
+        else:
+            self.scan_hits += 1
+        return best
+
+    def lookup_linear(self, ctx: ExecutionContext) -> TableEntry | None:
+        """Reference priority-ordered scan (the pre-index semantics).
+
+        Kept as the differential-test oracle and the benchmark baseline;
+        hits are attributed to ``scan_hits``.
+        """
         self.lookups += 1
         key = self.key_values(ctx)
-        if self._all_exact:
-            entry = self._exact_index.get(key)
-            if entry is not None:
-                entry.hits += 1
-                return entry
-            # Fall through: wildcard entries are not in the exact index.
         for entry in self._entries:
             if entry.matches(key, self.kinds):
                 entry.hits += 1
+                self.scan_hits += 1
                 return entry
         self.misses += 1
         return None
@@ -252,8 +436,12 @@ class MatchActionTable:
         return {
             "name": self.name,
             "entries": len(self._entries),
+            "generation": self.generation,
             "lookups": self.lookups,
             "misses": self.misses,
+            "exact_hits": self.exact_hits,
+            "indexed_hits": self.indexed_hits,
+            "scan_hits": self.scan_hits,
             "hit_rate": 0.0 if self.lookups == 0
             else 1.0 - self.misses / self.lookups,
         }

@@ -53,7 +53,13 @@ from .isa import (
 from .maps import HistoryMap, VectorMap
 from .program import RmtProgram
 
-__all__ = ["AttachPolicy", "VerificationReport", "Verifier"]
+__all__ = [
+    "AttachPolicy",
+    "VerificationReport",
+    "Verifier",
+    "context_read_set",
+    "is_memo_safe",
+]
 
 #: Length conflict marker for the vector-shape abstract domain.
 _SHAPE_CONFLICT = -1
@@ -652,3 +658,58 @@ class Verifier:
                 f"program pins {memory}B of kernel memory, budget is "
                 f"{self.policy.cost_budget.max_memory_bytes}B"
             )
+
+
+# ---------------------------------------------------------------------------
+# Static program analyses reused by the hot-path engine
+# ---------------------------------------------------------------------------
+
+def context_read_set(program: RmtProgram) -> frozenset[int]:
+    """Context field ids a program's verdict can depend on.
+
+    The union of every action's ``LD_CTXT`` immediates plus the key
+    fields of every pipeline table (``MATCH_CTXT`` reads them through
+    the table).  This is the fingerprint the verdict memo cache keys on:
+    two contexts equal on these fields are indistinguishable to a
+    memo-safe program.
+    """
+    fields: set[int] = set()
+    for action in program.actions.values():
+        for instr in action.instructions:
+            if instr.opcode is Opcode.LD_CTXT:
+                fields.add(instr.imm)
+    for table in program.pipeline:
+        for name in table.key_fields:
+            fields.add(program.schema.field_id(name))
+    return frozenset(fields)
+
+
+#: Opcodes whose behaviour depends on (or mutates) state outside the
+#: execution context + table configuration + model set — i.e. anything
+#: that makes "same context fields => same verdict" unsound.  Helper
+#: calls have arbitrary side effects; map/history state mutates across
+#: fires; ST_CTXT writes the caller-visible context (a memo hit would
+#: silently skip the write).  ``ML_INFER`` *is* safe: a model swap bumps
+#: the datapath's config epoch, which invalidates the cache.
+_MEMO_UNSAFE_OPCODES = frozenset({
+    Opcode.CALL,
+    Opcode.ST_CTXT,
+    Opcode.MAP_LOOKUP,
+    Opcode.MAP_UPDATE,
+    Opcode.MAP_DELETE,
+    Opcode.MAP_PEEK,
+    Opcode.HIST_PUSH,
+    Opcode.VEC_LD,
+    Opcode.VEC_LD_HIST,
+})
+
+
+def is_memo_safe(program: RmtProgram) -> bool:
+    """True if a program's verdict is a pure function of its context
+    read-set, table configuration and installed models — the condition
+    for verdict memoization to be sound."""
+    for action in program.actions.values():
+        for instr in action.instructions:
+            if instr.opcode in _MEMO_UNSAFE_OPCODES:
+                return False
+    return True

@@ -82,6 +82,9 @@ class RolloutConfig:
     drift_drop: float = 0.2
     #: Sliding window for the per-lane accuracy trackers.
     accuracy_window: int = 128
+    #: Shadow fires accumulated before one vectorized batch inference
+    #: (1 = eager per-fire evaluation; > 1 needs a ShadowBatchPlan).
+    shadow_batch_size: int = 1
     #: Evaluate gates automatically as outcomes arrive; with False the
     #: driver must call ``advance()`` (the control plane's
     #: ``advance_rollout``) to move the plan along.
@@ -101,6 +104,10 @@ class RolloutConfig:
             raise ValueError("min sample counts must be >= 1")
         if not 0.0 <= self.max_trap_rate <= 1.0:
             raise ValueError(f"max_trap_rate {self.max_trap_rate} outside [0, 1]")
+        if self.shadow_batch_size < 1:
+            raise ValueError(
+                f"shadow_batch_size must be >= 1, got {self.shadow_batch_size}"
+            )
 
 
 @dataclass(frozen=True)

@@ -34,13 +34,20 @@ __all__ = ["ModelRollout", "LaneSample"]
 
 @dataclass
 class LaneSample:
-    """What each lane did on the most recent hook fire (for scoring)."""
+    """What each lane did on the most recent hook fire (for scoring).
+
+    ``pending`` marks a batched shadow fire whose candidate verdict is
+    not resolved yet; score it with :meth:`ModelRollout.defer_outcome`
+    and the rollout fills it in (and feeds the outcome) at the next
+    batch flush.
+    """
 
     tick: int
     routed: bool
     candidate_verdict: int | None = None
     primary_verdict: int | None = None
     candidate_env: object = None
+    pending: bool = False
 
 
 class ModelRollout:
@@ -56,6 +63,7 @@ class ModelRollout:
         on_promote=None,
         on_rollback=None,
         artifact=None,
+        batch_plan=None,
     ) -> None:
         self.target = target
         self.config = config or RolloutConfig()
@@ -65,7 +73,13 @@ class ModelRollout:
             candidate_datapath,
             helper_env_factory=helper_env_factory,
             supervisor=supervisor,
+            batch_size=self.config.shadow_batch_size,
+            batch_plan=batch_plan,
         )
+        #: Batched fires awaiting resolution: [handle, sample, truth_fn,
+        #: primary_correct] records, scored at the next flush.
+        self._deferred: list[list] = []
+        self._flushing = False
         self.canary = CanaryController(self.config)
         self.on_promote = on_promote
         self.on_rollback = on_rollback
@@ -152,7 +166,30 @@ class ModelRollout:
         return verdict
 
     def shadow_observe(self, ctx, primary_verdict: int | None) -> None:
-        """Unrouted fire: evaluate the candidate on a copied context."""
+        """Unrouted fire: evaluate the candidate on a copied context.
+
+        With batching enabled the fire is enqueued instead of executed;
+        ``last_sample`` comes back ``pending`` and resolves (feeding any
+        deferred outcome) when the batch flushes — on queue-full, gate
+        evaluation, or abort.
+        """
+        if self.shadow.batching:
+            handle = self.shadow.enqueue(ctx)
+            sample = LaneSample(
+                tick=self.tick,
+                routed=False,
+                primary_verdict=primary_verdict,
+                pending=not handle.resolved,
+            )
+            if handle.resolved:  # plan could not extract: ran eagerly
+                sample.candidate_verdict = handle.verdict
+                sample.candidate_env = handle.env
+            else:
+                self._deferred.append([handle, sample, None, None])
+            self.last_sample = sample
+            if self.shadow.queue_full:
+                self._flush_shadow()
+            return
         verdict = self.shadow.run(ctx)
         self.last_sample = LaneSample(
             tick=self.tick,
@@ -164,7 +201,43 @@ class ModelRollout:
         if self.plan.state == RolloutState.CANARY:
             self._check_trap_guardrail()
 
+    def _flush_shadow(self) -> None:
+        """Resolve the shadow batch and feed any deferred outcomes."""
+        if self._flushing or not self.shadow.batching:
+            return
+        self._flushing = True
+        try:
+            self.shadow.flush()
+            deferred, self._deferred = self._deferred, []
+            for handle, sample, truth_fn, primary_correct in deferred:
+                sample.candidate_verdict = handle.verdict
+                sample.candidate_env = handle.env
+                sample.pending = False
+                if truth_fn is not None and self.active:
+                    self.observe_outcome(
+                        truth_fn(handle.verdict, handle.env), primary_correct
+                    )
+        finally:
+            self._flushing = False
+
     # -- ground truth ----------------------------------------------------
+
+    def defer_outcome(self, sample: LaneSample, truth_fn,
+                      primary_correct: bool | None = None) -> bool:
+        """Score a ``pending`` sample once its batch resolves.
+
+        ``truth_fn(candidate_verdict, candidate_env)`` must return the
+        candidate-correct bool (or None for unscorable); it is evaluated
+        at flush time and fed through :meth:`observe_outcome` together
+        with ``primary_correct``.  Returns False if the sample is not
+        (or no longer) pending.
+        """
+        for record in self._deferred:
+            if record[1] is sample:
+                record[2] = truth_fn
+                record[3] = primary_correct
+                return True
+        return False
 
     def observe_outcome(self, candidate_correct: bool | None,
                         primary_correct: bool | None = None) -> None:
@@ -181,6 +254,7 @@ class ModelRollout:
 
     def evaluate(self) -> str:
         """Run the current stage's gate; returns the (possibly new) state."""
+        self._flush_shadow()  # gates must see every enqueued fire scored
         if self.plan.state == RolloutState.SHADOW:
             self._evaluate_shadow_gate()
         elif self.plan.state == RolloutState.CANARY:
@@ -197,6 +271,7 @@ class ModelRollout:
         return self.plan.state
 
     def abort(self, reason: str = "aborted by operator") -> None:
+        self._flush_shadow()  # resolve pending samples before detaching
         if self.active:
             self._roll_back(reason)
 
@@ -286,6 +361,7 @@ class ModelRollout:
             "transitions": self.plan.log(),
             "shadow": self.shadow.stats(),
             "canary": self.canary.stats(),
+            "pending_outcomes": len(self._deferred),
         }
         if self.shadow_report is not None:
             out["shadow_report"] = dict(self.shadow_report)

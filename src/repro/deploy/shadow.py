@@ -19,9 +19,14 @@ overhead ledger.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
 from ..core.errors import RmtRuntimeError
 
-__all__ = ["ShadowSink", "ShadowEvaluator"]
+__all__ = ["ShadowSink", "ShadowEvaluator", "ShadowBatchPlan", "PendingShadow"]
 
 
 class ShadowSink:
@@ -42,14 +47,58 @@ class ShadowSink:
         return len(self.pages)
 
 
+@dataclass
+class ShadowBatchPlan:
+    """How to batch a candidate's shadow inference.
+
+    ``extract(ctx)`` snapshots the integer feature row a fire would feed
+    the candidate (copy it — shared kernel state mutates between fires);
+    returning None falls back to an eager VM run for that fire.
+    ``infer(rows)`` maps the stacked ``(n, features)`` matrix to one raw
+    verdict per row and must be bit-identical to executing the candidate
+    datapath row by row (see
+    :func:`~repro.core.model_compiler.mlp_batch_forward`); the evaluator
+    applies the attach policy's verdict clamp afterwards, exactly as the
+    datapath would.
+    """
+
+    extract: Callable[[object], "list[int] | None"]
+    infer: Callable[[np.ndarray], np.ndarray]
+
+
+class PendingShadow:
+    """Handle for one enqueued shadow fire; resolved at flush time."""
+
+    __slots__ = ("row", "verdict", "env", "resolved")
+
+    def __init__(self) -> None:
+        self.row = None
+        self.verdict: int | None = None
+        self.env = None
+        self.resolved = False
+
+
 class ShadowEvaluator:
-    """Invoke a candidate datapath without applying its verdicts."""
+    """Invoke a candidate datapath without applying its verdicts.
+
+    With ``batch_size > 1`` and a :class:`ShadowBatchPlan`, shadow fires
+    are *enqueued* (:meth:`enqueue`) rather than executed: the feature
+    row is snapshotted per fire, and :meth:`flush` resolves the whole
+    queue through one vectorized batch inference — one matmul instead of
+    ``batch_size`` full VM walks.
+    """
 
     def __init__(self, datapath, helper_env_factory=None,
-                 supervisor=None) -> None:
+                 supervisor=None, batch_size: int = 1,
+                 batch_plan: ShadowBatchPlan | None = None) -> None:
         self.datapath = datapath
         self.helper_env_factory = helper_env_factory or ShadowSink
         self.supervisor = supervisor
+        self.batch_size = max(1, int(batch_size))
+        self.batch_plan = batch_plan
+        self._queue: list[PendingShadow] = []
+        self.batched_flushes = 0
+        self.batched_rows = 0
         self.invocations = 0
         self.traps = 0
         self.last_verdict: int | None = None
@@ -85,6 +134,54 @@ class ShadowEvaluator:
         self.last_verdict = verdict
         return verdict
 
+    # -- batched path ----------------------------------------------------
+
+    @property
+    def batching(self) -> bool:
+        return self.batch_size > 1 and self.batch_plan is not None
+
+    @property
+    def queue_full(self) -> bool:
+        return len(self._queue) >= self.batch_size
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, ctx) -> PendingShadow:
+        """Snapshot one fire for the next batch flush.
+
+        If the batch plan cannot extract a feature row for this context,
+        the fire runs eagerly and the handle comes back resolved.
+        """
+        pending = PendingShadow()
+        row = self.batch_plan.extract(ctx)
+        if row is None:
+            pending.verdict = self.run(ctx)
+            pending.env = self.last_env
+            pending.resolved = True
+        else:
+            pending.row = row
+            self._queue.append(pending)
+        return pending
+
+    def flush(self) -> int:
+        """Resolve every queued fire through one batch inference."""
+        if not self._queue:
+            return 0
+        batch, self._queue = self._queue, []
+        rows = np.asarray([p.row for p in batch], dtype=np.int64)
+        raw = self.batch_plan.infer(rows)
+        clamp = self.datapath.policy.clamp_verdict
+        for pending, verdict in zip(batch, raw):
+            pending.verdict = clamp(int(verdict))
+            pending.resolved = True
+        self.invocations += len(batch)
+        self.batched_flushes += 1
+        self.batched_rows += len(batch)
+        self.last_verdict = batch[-1].verdict
+        return len(batch)
+
     @property
     def trap_rate(self) -> float:
         if self.invocations == 0:
@@ -99,4 +196,8 @@ class ShadowEvaluator:
             "trap_rate": round(self.trap_rate, 4),
             "last_trap": self.last_trap,
             "mean_invoke_us": self.datapath.stats()["mean_invoke_us"],
+            "batch_size": self.batch_size,
+            "batched_flushes": self.batched_flushes,
+            "batched_rows": self.batched_rows,
+            "queued": len(self._queue),
         }

@@ -1,0 +1,408 @@
+"""Hot-path engine microbenchmarks — indexed lookup, memo, batched shadow.
+
+Three optimizations carry the datapath's per-fire cost, and each comes
+with a differential oracle proving it changes *nothing* but time:
+
+* **indexed table lookup** vs the reference priority scan
+  (:meth:`~repro.core.tables.MatchActionTable.lookup_linear`),
+* **verdict memoization** at the hook (:class:`~repro.kernel.hooks.VerdictMemo`)
+  vs re-running the VM on every fire,
+* **batched shadow inference** (one matmul per batch) vs eager per-fire
+  shadow VM walks.
+
+Every bench first replays its workload down both paths and asserts
+bit-identical results, then times them.  ``run_hotpath_bench`` bundles
+the lot (plus Table 1 / Table 2 end-to-end wall-clock) into the JSON
+shape ``benchmarks/bench_hotpath.py`` emits.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.context import ContextSchema
+from ..core.control_plane import RmtDatapath
+from ..core.maps import VectorMap
+from ..core.model_compiler import compile_mlp_action, mlp_batch_forward
+from ..core.program import ProgramBuilder
+from ..core.tables import MatchActionTable, MatchKind, MatchPattern, TableEntry
+from ..core.verifier import AttachPolicy
+from ..deploy.shadow import ShadowBatchPlan, ShadowEvaluator
+from ..kernel.hooks import HookRegistry
+from ..kernel.syscalls import RmtSyscallInterface
+from ..ml.mlp import FloatMLP, QuantizedMLP
+
+__all__ = [
+    "LOOKUP_SHAPES",
+    "build_lookup_table",
+    "bench_lookup",
+    "bench_memo",
+    "bench_shadow",
+    "bench_e2e",
+    "run_hotpath_bench",
+]
+
+#: Table shapes the lookup bench sweeps.  ``ternary`` stays on the
+#: residual scan by design (no index covers value/mask patterns), so its
+#: row documents the no-win case rather than a speedup.
+LOOKUP_SHAPES = ("exact", "lpm", "range", "ternary", "mixed")
+
+#: Timing repeats; the best (minimum) wall-clock of each path is kept.
+_REPEATS = 3
+
+
+def _lookup_schema() -> ContextSchema:
+    schema = ContextSchema("hotpath_lookup")
+    schema.add_field("key")
+    schema.add_field("aux")
+    return schema
+
+
+def build_lookup_table(shape: str, size: int, seed: int = 0):
+    """One populated table + a context stream that mixes hits and misses.
+
+    Returns ``(table, contexts)``; entry layouts per shape:
+
+    * ``exact``   — one exact entry per key value.
+    * ``lpm``     — prefixes over four lengths, random high bits.
+    * ``range``   — contiguous non-overlapping [lo, hi] strips.
+    * ``ternary`` — low-byte value/mask entries (never indexed).
+    * ``mixed``   — LPM entries over a wildcard catch-all at priorities
+      that force the index/residual merge to arbitrate.
+    """
+    rng = np.random.default_rng(seed)
+    schema = _lookup_schema()
+    if shape == "exact":
+        table = MatchActionTable("t_exact", ["key"])
+        for i in range(size):
+            table.insert_exact([i], "act", priority=int(rng.integers(0, 4)))
+        keys = rng.integers(0, 2 * size, size=4 * size)
+    elif shape == "lpm":
+        table = MatchActionTable("t_lpm", ["key"], kinds=[MatchKind.LPM])
+        for i in range(size):
+            plen = int(rng.choice((8, 16, 24, 32)))
+            value = int(rng.integers(0, 1 << 32)) << 32
+            table.insert(TableEntry(
+                patterns=(MatchPattern.lpm(value, plen),), action="act",
+                priority=int(rng.integers(0, 4)),
+            ))
+        keys = rng.integers(0, 1 << 63, size=4 * size)
+    elif shape == "range":
+        table = MatchActionTable("t_range", ["key"], kinds=[MatchKind.RANGE])
+        width = 16
+        for i in range(size):
+            lo = i * 2 * width  # gaps between strips exercise misses
+            table.insert(TableEntry(
+                patterns=(MatchPattern.range(lo, lo + width - 1),),
+                action="act", priority=int(rng.integers(0, 4)),
+            ))
+        keys = rng.integers(0, 2 * size * 2 * width, size=4 * size)
+    elif shape == "ternary":
+        table = MatchActionTable("t_tern", ["key"], kinds=[MatchKind.TERNARY])
+        for i in range(size):
+            table.insert(TableEntry(
+                patterns=(MatchPattern.ternary(i % 256, 0xFF),), action="act",
+                priority=int(rng.integers(0, 4)),
+            ))
+        keys = rng.integers(0, 1 << 16, size=4 * size)
+    elif shape == "mixed":
+        table = MatchActionTable("t_mixed", ["key"], kinds=[MatchKind.LPM])
+        for i in range(size - 1):
+            plen = int(rng.choice((8, 16, 24)))
+            value = int(rng.integers(0, 1 << 32)) << 32
+            table.insert(TableEntry(
+                patterns=(MatchPattern.lpm(value, plen),), action="act",
+                priority=int(rng.integers(0, 4)),
+            ))
+        table.insert(TableEntry(  # wildcard floor: every lookup hits
+            patterns=(MatchPattern.wildcard(),), action="act", priority=-1,
+        ))
+        keys = rng.integers(0, 1 << 63, size=4 * size)
+    else:
+        raise ValueError(f"unknown lookup shape {shape!r}")
+    contexts = [schema.new_context(key=int(k)) for k in keys]
+    return table, contexts
+
+
+def _time_lookups(table, contexts, method) -> float:
+    fn = getattr(table, method)
+    best = float("inf")
+    for _ in range(_REPEATS):
+        start = time.perf_counter()
+        for ctx in contexts:
+            fn(ctx)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_lookup(
+    shapes: tuple[str, ...] = LOOKUP_SHAPES,
+    sizes: tuple[int, ...] = (16, 64, 256, 1024),
+    seed: int = 0,
+) -> list[dict]:
+    """Indexed vs linear lookup across table shapes and sizes.
+
+    Each cell first proves the differential (same entry for every
+    context down both paths), then reports best-of-N wall-clock and the
+    speedup ratio.
+    """
+    rows = []
+    for shape in shapes:
+        for size in sizes:
+            table, contexts = build_lookup_table(shape, size, seed=seed)
+            for ctx in contexts:  # differential oracle, and index warmup
+                a = table.lookup(ctx)
+                b = table.lookup_linear(ctx)
+                if (a.entry_id if a else None) != (b.entry_id if b else None):
+                    raise AssertionError(
+                        f"{shape}/{size}: indexed {a} != linear {b} "
+                        f"for key {ctx.get('key')}"
+                    )
+            linear_s = _time_lookups(table, contexts, "lookup_linear")
+            indexed_s = _time_lookups(table, contexts, "lookup")
+            rows.append({
+                "shape": shape,
+                "entries": size,
+                "lookups": len(contexts),
+                "linear_us_per_lookup": 1e6 * linear_s / len(contexts),
+                "indexed_us_per_lookup": 1e6 * indexed_s / len(contexts),
+                "speedup": linear_s / indexed_s if indexed_s > 0 else float("inf"),
+                "index": table.index_stats(),
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Verdict memoization
+# ---------------------------------------------------------------------------
+
+
+def _memo_fixture(n_entries: int, seed: int = 0):
+    """A hook with one memo-safe program: exact table over ``pid``, the
+    action returns ``pid`` (so verdicts are checkable per fire)."""
+    from ..core.bytecode import BytecodeProgram, Instruction
+    from ..core.isa import Opcode
+
+    schema = ContextSchema("hotpath_hook")
+    schema.add_field("pid")
+    schema.add_field("page")
+    hooks = HookRegistry()
+    hooks.declare("hotpath_hook", schema, AttachPolicy("hotpath_hook"))
+    builder = ProgramBuilder("memo_prog", "hotpath_hook", schema)
+    table = builder.add_table(MatchActionTable("tab", ["pid"]))
+    pid_id = schema.field_id("pid")
+    builder.add_action(BytecodeProgram("act", [
+        Instruction(Opcode.LD_CTXT, dst=0, imm=pid_id),
+        Instruction(Opcode.EXIT),
+    ]))
+    for i in range(n_entries):
+        table.insert_exact([i], "act")
+    RmtSyscallInterface(hooks).install(builder.build(), mode="interpret")
+    return hooks, schema
+
+
+def bench_memo(
+    n_entries: int = 64,
+    n_keys: int = 256,
+    n_fires: int = 20_000,
+    seed: int = 0,
+) -> dict:
+    """Hook-fire throughput with and without verdict memoization.
+
+    The fire stream cycles ``n_keys`` distinct pids over ``n_entries``
+    table entries, so the memoized run settles into pure cache hits.
+    Verdict streams are asserted identical before anything is timed.
+    """
+    rng = np.random.default_rng(seed)
+    pids = rng.integers(0, n_keys, size=n_fires)
+    hooks, schema = _memo_fixture(n_entries, seed=seed)
+    hook = hooks.hook("hotpath_hook")
+    contexts = [schema.new_context(pid=int(p)) for p in pids]
+
+    plain = [hook.fire(ctx) for ctx in contexts]
+    hook.enable_memo(capacity=2 * n_keys)
+    memoized = [hook.fire(ctx) for ctx in contexts]
+    if plain != memoized:
+        raise AssertionError("memoized verdict stream diverged from plain")
+
+    def timed(enabled: bool) -> float:
+        if enabled:
+            hook.enable_memo(capacity=2 * n_keys)
+        else:
+            hook.disable_memo()
+        best = float("inf")
+        for _ in range(_REPEATS):
+            start = time.perf_counter()
+            for ctx in contexts:
+                hook.fire(ctx)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    plain_s = timed(False)
+    memo_s = timed(True)
+    stats = hook.memo.stats()
+    hook.disable_memo()
+    return {
+        "fires": n_fires,
+        "distinct_keys": n_keys,
+        "table_entries": n_entries,
+        "plain_fires_per_s": n_fires / plain_s,
+        "memo_fires_per_s": n_fires / memo_s,
+        "speedup": plain_s / memo_s if memo_s > 0 else float("inf"),
+        "memo": stats,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Batched shadow inference
+# ---------------------------------------------------------------------------
+
+
+def _shadow_fixture(n_features: int = 4, seed: int = 0):
+    """A compiled-MLP datapath plus its feature map and batch plan."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(400, n_features)) * 10
+    y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    qmlp = QuantizedMLP.from_float(
+        FloatMLP([n_features, 8, 2], epochs=15, seed=seed).fit(x, y),
+        x[:100], bits=8,
+    )
+    schema = ContextSchema("hotpath_shadow")
+    schema.add_field("cpu")
+    features = VectorMap("features", width=n_features)
+    builder = ProgramBuilder("shadow_prog", "hotpath_shadow", schema)
+    builder.add_map("features", features)
+    table = builder.add_table(MatchActionTable("tab", ["cpu"]))
+    compile_mlp_action(builder, qmlp, "features", "cpu", name="mlp_infer")
+    table.insert(TableEntry(
+        patterns=(MatchPattern.wildcard(),), action="mlp_infer",
+    ))
+    policy = AttachPolicy("hotpath_shadow", verdict_min=0, verdict_max=1)
+    datapath = RmtDatapath(builder.build(), policy, mode="interpret")
+    cpu_id = schema.field_id("cpu")
+    plan = ShadowBatchPlan(
+        extract=lambda ctx: [
+            int(v) for v in features.get_vector(ctx.load(cpu_id))
+        ],
+        infer=lambda rows: mlp_batch_forward(qmlp, rows),
+    )
+    rows = rng.integers(-40, 40, size=(2048, n_features))
+    return datapath, schema, features, plan, rows
+
+
+def bench_shadow(
+    batch_size: int = 32,
+    n_fires: int = 2048,
+    seed: int = 0,
+) -> dict:
+    """Eager per-fire shadow VM walks vs one batch inference per flush.
+
+    The feature row is rewritten in place between fires (the shared-map
+    reality the snapshot copy in ``enqueue`` exists for); verdict
+    sequences down both paths are asserted identical before timing.
+    """
+    datapath, schema, features, plan, rows = _shadow_fixture(seed=seed)
+    rows = rows[:n_fires]
+    contexts = [schema.new_context(cpu=0) for _ in rows]
+
+    def eager() -> list[int | None]:
+        shadow = ShadowEvaluator(datapath)
+        out = []
+        for row, ctx in zip(rows, contexts):
+            features.set_vector(0, row)
+            out.append(shadow.run(ctx))
+        return out
+
+    def batched() -> list[int | None]:
+        shadow = ShadowEvaluator(datapath, batch_size=batch_size,
+                                 batch_plan=plan)
+        handles = []
+        for row, ctx in zip(rows, contexts):
+            features.set_vector(0, row)
+            handles.append(shadow.enqueue(ctx))
+            if shadow.queue_full:
+                shadow.flush()
+        shadow.flush()
+        return [h.verdict for h in handles]
+
+    if eager() != batched():
+        raise AssertionError("batched shadow verdicts diverged from eager")
+
+    def timed(fn) -> float:
+        best = float("inf")
+        for _ in range(_REPEATS):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    eager_s = timed(eager)
+    batched_s = timed(batched)
+    return {
+        "fires": len(rows),
+        "batch_size": batch_size,
+        "eager_us_per_fire": 1e6 * eager_s / len(rows),
+        "batched_us_per_fire": 1e6 * batched_s / len(rows),
+        "overhead_reduction_pct": 100.0 * (1.0 - batched_s / eager_s),
+        "speedup": eager_s / batched_s if batched_s > 0 else float("inf"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# End-to-end wall-clock (the no-regression guard)
+# ---------------------------------------------------------------------------
+
+
+def bench_e2e(smoke: bool = False) -> dict:
+    """Wall-clock of the Table 1 / Table 2 pipelines on this tree.
+
+    Smoke mode shrinks the traces/training so CI stays fast; the full
+    mode matches the committed experiment configurations.  These are the
+    regression canaries for the hot-path work: the optimizations must
+    not move the experiments' simulated results, and must not slow the
+    harness down.
+    """
+    from ..kernel.storage import RemoteMemoryModel
+    from ..workloads.video_resize import video_resize_trace
+    from .prefetch_experiment import make_prefetcher, run_trace
+    from .sched_experiment import SchedExperimentConfig, run_sched_experiment
+
+    start = time.perf_counter()
+    workload = video_resize_trace(n_frames=4 if smoke else 10)
+    t1 = run_trace(workload, make_prefetcher("rmt-ml"),
+                   device=RemoteMemoryModel(), cache_pages=48)
+    table1_s = time.perf_counter() - start
+
+    scfg = (SchedExperimentConfig(train_seeds=(0,), epochs=10)
+            if smoke else SchedExperimentConfig(train_seeds=(0, 10), epochs=30))
+    start = time.perf_counter()
+    t2 = run_sched_experiment(scfg)
+    table2_s = time.perf_counter() - start
+    return {
+        "smoke": smoke,
+        "table1_wall_s": round(table1_s, 3),
+        "table1_jct_s": round(t1.jct_s, 4),
+        "table1_accuracy_pct": round(t1.accuracy_pct, 2),
+        "table2_wall_s": round(table2_s, 3),
+        "table2_cells": t2.rows(),
+    }
+
+
+def run_hotpath_bench(smoke: bool = False, seed: int = 0) -> dict:
+    """The full hot-path suite in the ``BENCH_hotpath.json`` shape."""
+    sizes = (16, 64, 256) if smoke else (16, 64, 256, 1024)
+    return {
+        "suite": "hotpath",
+        "smoke": smoke,
+        "seed": seed,
+        "lookup": bench_lookup(sizes=sizes, seed=seed),
+        "memo": bench_memo(
+            n_fires=4_000 if smoke else 20_000, seed=seed
+        ),
+        "shadow": bench_shadow(
+            n_fires=512 if smoke else 2048, seed=seed
+        ),
+        "e2e": bench_e2e(smoke=smoke),
+    }

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..deploy.plan import RolloutConfig, RolloutState
+from ..deploy.shadow import ShadowBatchPlan
 from ..kernel.mm.rmt_prefetch import RmtMlPrefetcher
 from ..kernel.mm.swap import SwapSubsystem
 from ..kernel.sched.cfs import CfsScheduler
@@ -332,6 +333,30 @@ def _candidate_sched_program(policy: RmtMigrationPolicy, qmlp,
     return builder.build()
 
 
+def _sched_batch_plan(policy: RmtMigrationPolicy, qmlp) -> ShadowBatchPlan:
+    """Batch the candidate MLP's shadow lane.
+
+    ``extract`` snapshots the feature row the kernel published for the
+    CPU this fire concerns (``get_vector`` already copies); ``infer``
+    replays the compiled action's exact integer semantics row-batched
+    (:func:`~repro.core.model_compiler.mlp_batch_forward`), so batched
+    verdicts are bit-identical to eager shadow runs.
+    """
+    from ..core.model_compiler import mlp_batch_forward
+
+    schema = policy.hooks.hook("can_migrate_task").schema
+    cpu_field = schema.field_id("cpu")
+    features_map = policy.program.map_by_name("features")
+
+    def extract(ctx):
+        return [int(v) for v in features_map.get_vector(ctx.load(cpu_field))]
+
+    def infer(rows):
+        return mlp_batch_forward(qmlp, rows)
+
+    return ShadowBatchPlan(extract=extract, infer=infer)
+
+
 class _ScoredMigrationPolicy:
     """Decision callable that feeds the rollout ground truth.
 
@@ -359,6 +384,15 @@ class _ScoredMigrationPolicy:
         if sample.routed:
             # The candidate's verdict is what the scheduler received.
             rollout.observe_outcome((1 if decision else 0) == want, None)
+        elif sample.pending:
+            # Batched shadow fire: the candidate verdict arrives at the
+            # next flush; park the ground truth with the rollout.
+            rollout.defer_outcome(
+                sample,
+                lambda verdict, env, want=want: (
+                    verdict is not None and verdict == want),
+                (1 if decision else 0) == want,
+            )
         else:
             verdict = sample.candidate_verdict
             candidate_ok = verdict is not None and verdict == want
@@ -440,10 +474,13 @@ def run_sched_rollout(
     policy = RmtMigrationPolicy(primary_q, mode=scfg.mode)
     cp = policy.syscalls.control_plane
     cand_prog = _candidate_sched_program(policy, candidate_q)
+    batch_plan = (_sched_batch_plan(policy, candidate_q)
+                  if config.shadow_batch_size > 1 else None)
     rollout = cp.stage_program(
         "rmt_can_migrate", cand_prog, artifact_model=candidate_q,
         metadata={"origin": "rollout_experiment", "benchmark": benchmark},
         config=config,
+        batch_plan=batch_plan,
     )
     scored_policy = _ScoredMigrationPolicy(policy, rollout)
 

@@ -48,12 +48,81 @@ from ..core.control_plane import RmtDatapath
 from ..core.errors import RmtRuntimeError
 from ..core.helpers import HelperRegistry
 from ..core.supervisor import DatapathSupervisor
-from ..core.verifier import AttachPolicy
+from ..core.verifier import AttachPolicy, context_read_set, is_memo_safe
 
-__all__ = ["HookPoint", "HookRegistry"]
+__all__ = ["HookPoint", "HookRegistry", "VerdictMemo"]
 
 #: Fallback signature: (ctx, helper_env) -> verdict | None.
 Fallback = Callable[[ExecutionContext, object], "int | None"]
+
+_MISS = object()  # memo-cache sentinel (verdicts may legitimately be None)
+
+
+class VerdictMemo:
+    """Opt-in per-hook verdict cache for memo-safe programs.
+
+    The key is a fingerprint of the context fields the hook's programs
+    actually read (the verifier's :func:`context_read_set`); the cached
+    value is the hook's final verdict.  Validity is an *epoch*: a tuple
+    of every table generation, every datapath's ``(instance_id,
+    config_epoch)``, every breaker's ``(state, trips)`` and the rollout
+    lane count — any control-plane reconfiguration moves the epoch and
+    drops the cache.  A served hit skips the VM entirely, so it also
+    skips per-datapath invocation accounting and breaker clock ticks;
+    fires that must see the full machinery (armed fault injector, live
+    rollout lanes, non-closed breakers) bypass the cache instead.
+    """
+
+    __slots__ = ("read_fields", "capacity", "hits", "misses",
+                 "invalidations", "bypasses", "_cache", "_epoch")
+
+    def __init__(self, read_fields, capacity: int = 4096) -> None:
+        self.read_fields = tuple(sorted(read_fields))
+        self.capacity = max(1, int(capacity))
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.bypasses = 0
+        self._cache: dict[tuple[int, ...], int | None] = {}
+        self._epoch: tuple | None = None
+
+    def key_for(self, ctx: ExecutionContext) -> tuple[int, ...]:
+        load = ctx.load
+        return tuple(load(f) for f in self.read_fields)
+
+    def refresh(self, epoch: tuple) -> None:
+        """Adopt the current epoch, dropping the cache if it moved."""
+        if self._epoch is not None and epoch != self._epoch:
+            self.invalidations += 1
+            self._cache.clear()
+        self._epoch = epoch
+
+    def get(self, key: tuple[int, ...]):
+        """Cached verdict for ``key`` or the module's miss sentinel."""
+        return self._cache.get(key, _MISS)
+
+    def put(self, key: tuple[int, ...], verdict: int | None) -> None:
+        if len(self._cache) >= self.capacity:
+            # FIFO eviction: drop the oldest insertion.
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = verdict
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._cache),
+            "capacity": self.capacity,
+            "read_fields": list(self.read_fields),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "bypasses": self.bypasses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
 
 
 @dataclass
@@ -77,9 +146,76 @@ class HookPoint:
     canary_fires: int = 0
     #: Candidate-evaluation cost, kept out of the primaries' ledgers.
     shadow_overhead_ns: int = 0
+    #: Opt-in verdict cache (see :class:`VerdictMemo`); None = off.
+    memo: VerdictMemo | None = None
 
     def new_context(self, **values: int) -> ExecutionContext:
         return self.schema.new_context(**values)
+
+    # -- verdict memoization ---------------------------------------------
+
+    def enable_memo(self, capacity: int = 4096,
+                    force: bool = False) -> VerdictMemo:
+        """Turn on verdict memoization for this hook's attached programs.
+
+        Rejects programs whose verdicts are not pure functions of their
+        context read-set (helper calls, map/history state, context
+        writes) unless ``force=True`` — forcing trades correctness for
+        speed and is only for callers who know their state is static.
+        """
+        if not self.datapaths:
+            raise ValueError(
+                f"hook {self.name!r} has no datapaths to memoize"
+            )
+        unsafe = [dp.program.name for dp in self.datapaths
+                  if not is_memo_safe(dp.program)]
+        if unsafe and not force:
+            raise ValueError(
+                f"hook {self.name!r}: programs {unsafe} use helpers, maps "
+                "or context writes; memoizing them is unsound "
+                "(pass force=True to override)"
+            )
+        fields: set[int] = set()
+        for dp in self.datapaths:
+            fields |= context_read_set(dp.program)
+        self.memo = VerdictMemo(fields, capacity=capacity)
+        return self.memo
+
+    def disable_memo(self) -> None:
+        self.memo = None
+
+    def _memo_epoch(self) -> tuple:
+        """Everything a cached verdict's validity depends on."""
+        generations = []
+        datapaths = []
+        for dp in self.datapaths:
+            datapaths.append((dp.instance_id, dp.config_epoch))
+            for table in dp.program.pipeline:
+                generations.append(table.generation)
+        breakers = None
+        if self.supervisor is not None:
+            breakers = tuple(
+                (b.state, b.trips)
+                for b in (self.supervisor.breaker(dp.program.name)
+                          for dp in self.datapaths)
+            )
+        return (tuple(generations), tuple(datapaths), breakers,
+                len(self.rollouts))
+
+    def _memo_bypass(self) -> bool:
+        """Fires that must see the full machinery skip the cache: armed
+        fault injectors, live rollout lanes, and non-closed breakers
+        (half-open probes and quarantine refusals have per-fire
+        side effects a cache hit would suppress)."""
+        if self.injector is not None:
+            return True
+        if any(r.active for r in self.rollouts):
+            return True
+        if self.supervisor is not None:
+            for dp in self.datapaths:
+                if self.supervisor.state(dp.program.name) != "closed":
+                    return True
+        return False
 
     def set_fallback(self, fallback: Fallback | None) -> None:
         """Register the stock heuristic served while programs misbehave."""
@@ -108,7 +244,35 @@ class HookPoint:
         contained by the lane; the fire yields the kernel default), and
         every unrouted fire shadow-evaluates the candidate on a copied
         context after the primaries ran.
+
+        With memoization enabled, a fast-path fire (no injector, no
+        live lanes, breakers closed) whose context fingerprint is
+        cached returns the cached verdict without touching the VM; a
+        cache hit therefore does not advance datapath invocation
+        counters or breaker clocks.
         """
+        memo = self.memo
+        if memo is not None:
+            if self._memo_bypass():
+                memo.bypasses += 1
+            else:
+                memo.refresh(self._memo_epoch())
+                key = memo.key_for(ctx)
+                cached = memo.get(key)
+                if cached is not _MISS:
+                    memo.hits += 1
+                    self.fires += 1
+                    return cached
+                memo.misses += 1
+                verdict = self._dispatch(ctx, helper_env)
+                memo.put(key, verdict)
+                return verdict
+        return self._dispatch(ctx, helper_env)
+
+    def _dispatch(
+        self, ctx: ExecutionContext, helper_env: object = None
+    ) -> int | None:
+        """The uncached fire path (see :meth:`fire` for semantics)."""
         self.fires += 1
         lanes = [r for r in self.rollouts if r.active] if self.rollouts else ()
         routed: dict[str, object] = {}
@@ -214,6 +378,7 @@ class HookPoint:
                 {"target": r.target, "state": r.plan.state}
                 for r in self.rollouts
             ],
+            "memo": self.memo.stats() if self.memo is not None else None,
         }
 
 

@@ -5,6 +5,12 @@ the same *algorithms* inside a simulated kernel.  The simulator is a
 classic event-queue DES: a virtual clock in nanoseconds, a heap of
 scheduled events, and deterministic FIFO ordering for simultaneous events
 (by insertion sequence), which keeps every experiment bit-reproducible.
+
+Cancelled events are removed lazily (timer-wheel style): :meth:`Event.cancel`
+only flags the event and tells its owning simulator, which compacts the
+heap once tombstones outnumber live events — so heavy cancel/reschedule
+workloads (timer churn in the scheduler) never grow the heap unboundedly
+and never pay an O(n) scan per cancellation.
 """
 
 from __future__ import annotations
@@ -20,6 +26,10 @@ NS_PER_US = 1_000
 NS_PER_MS = 1_000_000
 NS_PER_SEC = 1_000_000_000
 
+#: Don't bother compacting heaps smaller than this — the lazy pops in
+#: :meth:`Simulator.step` clean tiny queues up for free.
+_COMPACT_MIN_QUEUE = 64
+
 
 @dataclass(order=True)
 class Event:
@@ -29,9 +39,15 @@ class Event:
     seq: int
     fn: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Owning simulator (for tombstone accounting); None once consumed.
+    sim: "Simulator | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.sim is not None:
+            self.sim._note_cancelled()
 
 
 class Simulator:
@@ -41,7 +57,9 @@ class Simulator:
         self.now: int = 0
         self._queue: list[Event] = []
         self._seq = itertools.count()
+        self._cancelled = 0  # tombstones still sitting in the heap
         self.events_processed = 0
+        self.compactions = 0
 
     def schedule(self, delay_ns: int, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` to run ``delay_ns`` from now."""
@@ -55,14 +73,35 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {time_ns} before now ({self.now})"
             )
-        event = Event(time=int(time_ns), seq=next(self._seq), fn=fn)
+        event = Event(time=int(time_ns), seq=next(self._seq), fn=fn, sim=self)
         heapq.heappush(self._queue, event)
+        return event
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; compacts when tombstones win."""
+        self._cancelled += 1
+        if (len(self._queue) >= _COMPACT_MIN_QUEUE
+                and self._cancelled * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every tombstone and re-heapify the survivors."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+        self.compactions += 1
+
+    def _pop(self) -> Event:
+        event = heapq.heappop(self._queue)
+        if event.cancelled:
+            self._cancelled -= 1
+        event.sim = None
         return event
 
     def step(self) -> bool:
         """Run the next event; False when the queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            event = self._pop()
             if event.cancelled:
                 continue
             self.now = event.time
@@ -85,7 +124,7 @@ class Simulator:
         while self._queue:
             head = self._queue[0]
             if head.cancelled:
-                heapq.heappop(self._queue)
+                self._pop()
                 continue
             if head.time > time_ns:
                 break
@@ -94,4 +133,4 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled

@@ -56,10 +56,15 @@ def quantize_multiplier(real: float) -> tuple[int, int]:
 
 
 def _apply_multiplier(acc: np.ndarray, multiplier: int, shift: int) -> np.ndarray:
-    """Apply an integer multiplier+shift rescale to an int64 accumulator."""
-    wide = acc.astype(object) * multiplier  # exact big-int to avoid overflow
-    out = np.array([requantize_shift(int(v), shift) for v in wide], dtype=np.int64)
-    return out
+    """Apply an integer multiplier+shift rescale to an int64 accumulator.
+
+    ``acc * multiplier`` can exceed 64 bits, so the widening multiply
+    runs in object (arbitrary-precision) space; the rounding shift is
+    elementwise over the whole array (1-D or 2-D), which avoids the
+    per-element Python call that used to dominate batched inference.
+    """
+    wide = acc.astype(object) * int(multiplier)  # exact big-int
+    return np.asarray(requantize_shift(wide, shift), dtype=np.int64)
 
 
 class FloatMLP:
@@ -307,10 +312,16 @@ class QuantizedMLP:
         return saturate(q, 32)
 
     def logits_from_quantized(self, xq: np.ndarray) -> np.ndarray:
-        """Integer-only forward pass from a quantized input vector."""
+        """Integer-only forward pass from quantized input.
+
+        Accepts a single vector or a ``(batch, features)`` matrix; the
+        batched form stacks the rows through one integer matmul per
+        layer and is bit-identical to running the rows one by one.
+        """
         h = np.asarray(xq, dtype=np.int64)
         for i, (w, b) in enumerate(zip(self.weights_q, self.biases_q)):
-            acc = w.astype(np.int64) @ h + b  # int64 accumulator
+            w64 = w.astype(np.int64)
+            acc = (h @ w64.T + b) if h.ndim == 2 else (w64 @ h + b)
             if i < len(self.weights_q) - 1:
                 multiplier, shift = self.rescales[i]
                 acc = _apply_multiplier(acc, multiplier, shift)
@@ -327,11 +338,24 @@ class QuantizedMLP:
         """Classify an already-quantized integer feature vector."""
         return int_argmax(self.logits_from_quantized(np.asarray(xq, dtype=np.int64)))
 
+    def predict_batch_quantized(self, xq: np.ndarray) -> np.ndarray:
+        """Classify a batch of already-quantized feature vectors."""
+        xq = np.asarray(xq, dtype=np.int64)
+        if xq.ndim != 2:
+            raise ValueError(f"xq must be 2-D, got shape {xq.shape}")
+        if xq.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        logits = self.logits_from_quantized(xq)
+        return np.argmax(logits, axis=1).astype(np.int64)
+
     def predict(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2:
             raise ValueError(f"x must be 2-D, got shape {x.shape}")
-        return np.array([self.predict_one(row) for row in x], dtype=np.int64)
+        if x.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        logits = self.logits_from_quantized(self.quantize_input(x))
+        return np.argmax(logits, axis=1).astype(np.int64)
 
     def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
         y = np.asarray(y, dtype=np.int64)

@@ -21,6 +21,7 @@ from .fixed_point import requantize_shift, saturate
 __all__ = [
     "int_matmul",
     "int_matvec",
+    "int_batch_matvec",
     "int_conv2d",
     "int_relu",
     "int_argmax",
@@ -65,6 +66,25 @@ def int_matvec(
     if w.shape[1] != x.shape[0]:
         raise ValueError(f"inner dims differ: {w.shape[1]} vs {x.shape[0]}")
     acc = w @ x
+    return saturate(requantize_shift(acc, shift), word_bits)
+
+
+def int_batch_matvec(
+    w: np.ndarray, x: np.ndarray, shift: int = 0, word_bits: int = 32
+) -> np.ndarray:
+    """Row-batched :func:`int_matvec`: ``w @ x[i]`` for every row of ``x``.
+
+    One integer matmul over the stacked activation rows; result row
+    ``i`` is bit-identical to ``int_matvec(w, x[i], shift, word_bits)``.
+    This is the kernel the batched shadow lane flushes through.
+    """
+    w = _as_int(w, "w")
+    x = _as_int(x, "x")
+    if w.ndim != 2 or x.ndim != 2:
+        raise ValueError(f"expected 2-D operands, got ({w.ndim}-D, {x.ndim}-D)")
+    if w.shape[1] != x.shape[1]:
+        raise ValueError(f"inner dims differ: {w.shape[1]} vs {x.shape[1]}")
+    acc = x @ w.T
     return saturate(requantize_shift(acc, shift), word_bits)
 
 

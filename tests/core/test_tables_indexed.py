@@ -1,0 +1,284 @@
+"""Differential tests: indexed lookup is bit-identical to the linear scan.
+
+The dispatch indexes (exact hash, LPM prefix buckets, RANGE elementary
+intervals, the residual scan) must never change *which* entry a lookup
+returns — only how fast.  These tests drive randomly generated tables
+down both paths (:meth:`lookup` vs :meth:`lookup_linear`) over key
+streams chosen to hit the nasty cases: priority ties resolved by
+insertion order, wildcards outranking indexed entries, overlapping LPM
+prefixes, adjacent and nested ranges, and mid-stream mutations that must
+invalidate the built index.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import ContextSchema
+from repro.core.tables import (
+    MatchActionTable,
+    MatchKind,
+    MatchPattern,
+    TableEntry,
+)
+
+_SCHEMA = ContextSchema("ix_test")
+_SCHEMA.add_field("key")
+
+_SCHEMA2 = ContextSchema("ix_test2")
+_SCHEMA2.add_field("a")
+_SCHEMA2.add_field("b")
+
+
+def _assert_differential(table, keys, schema=_SCHEMA, field="key"):
+    for key in keys:
+        ctx = schema.new_context(**{field: int(key)})
+        indexed = table.lookup(ctx)
+        linear = table.lookup_linear(ctx)
+        a = indexed.entry_id if indexed is not None else None
+        b = linear.entry_id if linear is not None else None
+        assert a == b, (
+            f"key {key}: indexed entry {a} != linear entry {b} "
+            f"(generation {table.generation})"
+        )
+
+
+# Small priority range maximizes ties; the tie-break is insertion order.
+_prio = st.integers(min_value=0, max_value=2)
+
+
+class TestLpmDifferential:
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 2**16 - 1),  # value seed (spread below)
+                      st.integers(0, 16),          # prefix length
+                      _prio),
+            min_size=0, max_size=24,
+        ),
+        wildcards=st.lists(_prio, max_size=2),
+        keys=st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lpm_with_wildcards(self, entries, wildcards, keys):
+        table = MatchActionTable("t", ["key"], kinds=[MatchKind.LPM])
+        for value, plen, prio in entries:
+            table.insert(TableEntry(
+                patterns=(MatchPattern.lpm(value << 48, plen),),
+                action="act", priority=prio,
+            ))
+        for prio in wildcards:
+            table.insert(TableEntry(
+                patterns=(MatchPattern.wildcard(),), action="act",
+                priority=prio,
+            ))
+        # Probe both random keys and every entry's own prefix value, so
+        # overlapping-prefix arbitration actually gets exercised.
+        probes = list(keys) + [value << 48 for value, _, _ in entries]
+        _assert_differential(table, probes)
+
+    @given(
+        dup=st.integers(0, 255),
+        plen=st.integers(1, 8),
+        n_dups=st.integers(2, 5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_duplicate_prefixes_resolve_by_insertion(self, dup, plen, n_dups):
+        """Same (value, prefix) inserted repeatedly at one priority: the
+        first insertion must win down both paths."""
+        table = MatchActionTable("t", ["key"], kinds=[MatchKind.LPM])
+        for _ in range(n_dups):
+            table.insert(TableEntry(
+                patterns=(MatchPattern.lpm(dup << 56, plen),), action="act",
+            ))
+        _assert_differential(table, [dup << 56, 0, 2**63])
+
+
+class TestRangeDifferential:
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 500), st.integers(0, 120), _prio),
+            min_size=0, max_size=24,
+        ),
+        keys=st.lists(st.integers(0, 700), min_size=1, max_size=48),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_overlapping_ranges(self, entries, keys):
+        table = MatchActionTable("t", ["key"], kinds=[MatchKind.RANGE])
+        for lo, width, prio in entries:
+            table.insert(TableEntry(
+                patterns=(MatchPattern.range(lo, lo + width),), action="act",
+                priority=prio,
+            ))
+        # Probe the boundary values too — off-by-one segment bugs live
+        # exactly at lo, hi and hi+1.
+        probes = set(keys)
+        for lo, width, _ in entries:
+            probes.update((lo, lo + width, lo + width + 1, max(0, lo - 1)))
+        _assert_differential(table, sorted(probes))
+
+    @given(entries=st.lists(st.tuples(st.integers(0, 100), _prio),
+                            min_size=1, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_point_ranges(self, entries):
+        """Degenerate [v, v] ranges: segment width one."""
+        table = MatchActionTable("t", ["key"], kinds=[MatchKind.RANGE])
+        for value, prio in entries:
+            table.insert(TableEntry(
+                patterns=(MatchPattern.range(value, value),), action="act",
+                priority=prio,
+            ))
+        probes = {v for v, _ in entries} | {v + 1 for v, _ in entries}
+        _assert_differential(table, sorted(probes))
+
+
+class TestExactDifferential:
+    @given(
+        exact=st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30),
+                                 _prio),
+                       min_size=0, max_size=24),
+        wild=st.lists(st.tuples(st.integers(0, 30), _prio), max_size=4),
+        keys=st.lists(st.tuples(st.integers(0, 40), st.integers(0, 40)),
+                      min_size=1, max_size=32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_two_field_exact_with_partial_wildcards(self, exact, wild, keys):
+        """Partial-wildcard entries land in the residual scan and must
+        still outrank indexed exact hits when their order key wins."""
+        table = MatchActionTable("t", ["a", "b"])
+        for a, b, prio in exact:
+            table.insert(TableEntry(
+                patterns=(MatchPattern.exact(a), MatchPattern.exact(b)),
+                action="act", priority=prio,
+            ))
+        for a, prio in wild:
+            table.insert(TableEntry(
+                patterns=(MatchPattern.exact(a), MatchPattern.wildcard()),
+                action="act", priority=prio,
+            ))
+        probes = list(keys) + [(a, b) for a, b, _ in exact]
+        for a, b in probes:
+            ctx = _SCHEMA2.new_context(a=int(a), b=int(b))
+            indexed = table.lookup(ctx)
+            linear = table.lookup_linear(ctx)
+            ia = indexed.entry_id if indexed is not None else None
+            ib = linear.entry_id if linear is not None else None
+            assert ia == ib
+
+    @given(key=st.integers(0, 10), n_dups=st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_duplicate_exact_keys_first_wins(self, key, n_dups):
+        table = MatchActionTable("t", ["key"])
+        first = table.insert_exact([key], "act")
+        for _ in range(n_dups - 1):
+            table.insert_exact([key], "act")
+        ctx = _SCHEMA.new_context(key=key)
+        assert table.lookup(ctx).entry_id == first.entry_id
+        assert table.lookup_linear(ctx).entry_id == first.entry_id
+
+
+class TestMixedKindsDifferential:
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 63), st.integers(0, 63), _prio,
+                      st.booleans()),
+            min_size=0, max_size=16,
+        ),
+        keys=st.lists(st.tuples(st.integers(0, 80), st.integers(0, 80)),
+                      min_size=1, max_size=24),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ternary_range_pairs_stay_residual(self, entries, keys):
+        """Multi-field non-exact tables take the residual scan; the
+        indexed entry point must still agree with the reference."""
+        table = MatchActionTable(
+            "t", ["a", "b"], kinds=[MatchKind.TERNARY, MatchKind.RANGE]
+        )
+        for value, lo, prio, wildcard_b in entries:
+            b = (MatchPattern.wildcard() if wildcard_b
+                 else MatchPattern.range(lo, lo + 10))
+            table.insert(TableEntry(
+                patterns=(MatchPattern.ternary(value, 0x3F), b),
+                action="act", priority=prio,
+            ))
+        for a, b in keys:
+            ctx = _SCHEMA2.new_context(a=int(a), b=int(b))
+            indexed = table.lookup(ctx)
+            linear = table.lookup_linear(ctx)
+            ia = indexed.entry_id if indexed is not None else None
+            ib = linear.entry_id if linear is not None else None
+            assert ia == ib
+
+
+class TestMutationInvalidation:
+    @given(
+        initial=st.lists(st.tuples(st.integers(0, 20), _prio),
+                         min_size=1, max_size=12),
+        added=st.tuples(st.integers(0, 20), _prio),
+        keys=st.lists(st.integers(0, 25), min_size=1, max_size=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_insert_remove_between_lookups(self, initial, added, keys):
+        """Mutations bump the generation; the rebuilt index must agree
+        with the linear scan before *and* after every mutation."""
+        table = MatchActionTable("t", ["key"], kinds=[MatchKind.RANGE])
+        entries = []
+        for lo, prio in initial:
+            entries.append(table.insert(TableEntry(
+                patterns=(MatchPattern.range(lo, lo + 5),), action="act",
+                priority=prio,
+            )))
+        _assert_differential(table, keys)
+        generation = table.generation
+
+        lo, prio = added
+        table.insert(TableEntry(
+            patterns=(MatchPattern.range(lo, lo + 5),), action="act",
+            priority=prio,
+        ))
+        assert table.generation > generation
+        _assert_differential(table, keys)
+
+        assert table.remove(entries[0].entry_id)
+        _assert_differential(table, keys)
+
+        table.clear()
+        _assert_differential(table, keys)  # all misses, both paths
+
+    def test_note_modified_invalidates(self):
+        table = MatchActionTable("t", ["key"])
+        table.insert_exact([1], "act")
+        table.lookup(_SCHEMA.new_context(key=1))  # builds the index
+        generation = table.generation
+        table.note_modified()
+        assert table.generation == generation + 1
+        assert table._indexed_generation != table.generation
+        # Next lookup rebuilds and still agrees.
+        _assert_differential(table, [1, 2])
+
+
+class TestCounters:
+    def test_hit_attribution_split(self):
+        table = MatchActionTable("t", ["key"])
+        table.insert_exact([1], "act")
+        table.insert(TableEntry(
+            patterns=(MatchPattern.wildcard(),), action="act", priority=-1,
+        ))
+        table.lookup(_SCHEMA.new_context(key=1))   # exact index
+        table.lookup(_SCHEMA.new_context(key=99))  # residual wildcard
+        table.lookup_linear(_SCHEMA.new_context(key=1))  # reference scan
+        stats = table.stats()
+        assert stats["exact_hits"] == 1
+        assert stats["scan_hits"] == 2
+        assert stats["indexed_hits"] == 0
+        assert stats["lookups"] == 3
+        assert stats["misses"] == 0
+        assert stats["generation"] == table.generation
+
+    def test_indexed_hits_counted_for_lpm(self):
+        table = MatchActionTable("t", ["key"], kinds=[MatchKind.LPM])
+        table.insert(TableEntry(
+            patterns=(MatchPattern.lpm(1 << 60, 8),), action="act",
+        ))
+        assert table.lookup(_SCHEMA.new_context(key=1 << 60)) is not None
+        assert table.stats()["indexed_hits"] == 1

@@ -1,0 +1,195 @@
+"""Batched shadow inference is bit-identical to eager per-fire runs.
+
+Batching only changes *when* candidate inference happens (one matmul at
+flush instead of a VM walk per fire), never *what* it computes.  These
+tests pin that equivalence at every layer: the vectorized forward vs the
+interpreted datapath, the evaluator's queue/flush vs eager ``run``, and
+a full :class:`ModelRollout` driven down both paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.context import ContextSchema
+from repro.core.control_plane import RmtDatapath
+from repro.core.maps import VectorMap
+from repro.core.model_compiler import compile_mlp_action, mlp_batch_forward
+from repro.core.program import ProgramBuilder
+from repro.core.tables import MatchActionTable, MatchPattern, TableEntry
+from repro.core.verifier import AttachPolicy
+from repro.deploy.plan import RolloutConfig
+from repro.deploy.rollout import ModelRollout
+from repro.deploy.shadow import ShadowBatchPlan, ShadowEvaluator
+from repro.ml.mlp import FloatMLP, QuantizedMLP
+
+N_FEATURES = 4
+
+
+@pytest.fixture(scope="module")
+def shadow_fixture():
+    """Compiled-MLP datapath + feature map + batch plan + row stream."""
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(300, N_FEATURES)) * 10
+    y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    qmlp = QuantizedMLP.from_float(
+        FloatMLP([N_FEATURES, 8, 2], epochs=10, seed=7).fit(x, y),
+        x[:100], bits=8,
+    )
+    schema = ContextSchema("shadow_hook")
+    schema.add_field("cpu")
+    features = VectorMap("features", width=N_FEATURES)
+    builder = ProgramBuilder("shadow_prog", "shadow_hook", schema)
+    builder.add_map("features", features)
+    table = builder.add_table(MatchActionTable("tab", ["cpu"]))
+    compile_mlp_action(builder, qmlp, "features", "cpu", name="mlp_infer")
+    table.insert(TableEntry(
+        patterns=(MatchPattern.wildcard(),), action="mlp_infer",
+    ))
+    policy = AttachPolicy("shadow_hook", verdict_min=0, verdict_max=1)
+    datapath = RmtDatapath(builder.build(), policy, mode="interpret")
+    cpu_id = schema.field_id("cpu")
+    plan = ShadowBatchPlan(
+        extract=lambda ctx: [
+            int(v) for v in features.get_vector(ctx.load(cpu_id))
+        ],
+        infer=lambda rows: mlp_batch_forward(qmlp, rows),
+    )
+    rows = rng.integers(-40, 40, size=(96, N_FEATURES))
+    return qmlp, schema, features, datapath, plan, rows
+
+
+class TestBatchForwardMatchesVM:
+    def test_rows_match_interpreted_datapath(self, shadow_fixture):
+        qmlp, schema, features, datapath, _, rows = shadow_fixture
+        batched = mlp_batch_forward(qmlp, rows)
+        for i, row in enumerate(rows):
+            features.set_vector(0, row)
+            vm_verdict = datapath.invoke(schema.new_context(cpu=0))
+            assert batched[i] == vm_verdict, f"row {i} diverged"
+
+    def test_empty_batch(self, shadow_fixture):
+        qmlp = shadow_fixture[0]
+        out = mlp_batch_forward(
+            qmlp, np.zeros((0, N_FEATURES), dtype=np.int64)
+        )
+        assert out.shape == (0,)
+
+
+class TestEvaluatorQueue:
+    def test_flush_matches_eager_with_inplace_overwrites(self, shadow_fixture):
+        """The feature row is overwritten between fires — the snapshot
+        taken at enqueue time must preserve eager semantics anyway."""
+        _, schema, features, datapath, plan, rows = shadow_fixture
+        eager = ShadowEvaluator(datapath)
+        eager_verdicts = []
+        for row in rows:
+            features.set_vector(0, row)
+            eager_verdicts.append(eager.run(schema.new_context(cpu=0)))
+
+        batched = ShadowEvaluator(datapath, batch_size=8, batch_plan=plan)
+        handles = []
+        for row in rows:
+            features.set_vector(0, row)
+            handles.append(batched.enqueue(schema.new_context(cpu=0)))
+            if batched.queue_full:
+                batched.flush()
+        batched.flush()
+        assert [h.verdict for h in handles] == eager_verdicts
+        assert all(h.resolved for h in handles)
+
+    def test_flush_accounting(self, shadow_fixture):
+        _, schema, features, datapath, plan, rows = shadow_fixture
+        shadow = ShadowEvaluator(datapath, batch_size=8, batch_plan=plan)
+        features.set_vector(0, rows[0])
+        for _ in range(20):
+            shadow.enqueue(schema.new_context(cpu=0))
+            if shadow.queue_full:
+                shadow.flush()
+        shadow.flush()
+        assert shadow.queued == 0
+        assert shadow.batched_rows == 20
+        assert shadow.batched_flushes == 3  # 8 + 8 + 4
+        assert shadow.invocations == 20
+
+    def test_extract_none_falls_back_to_eager(self, shadow_fixture):
+        _, schema, features, datapath, _, rows = shadow_fixture
+        refusing = ShadowBatchPlan(extract=lambda ctx: None,
+                                   infer=lambda rows: rows[:, 0])
+        shadow = ShadowEvaluator(datapath, batch_size=8, batch_plan=refusing)
+        features.set_vector(0, rows[0])
+        handle = shadow.enqueue(schema.new_context(cpu=0))
+        assert handle.resolved  # ran eagerly, nothing queued
+        assert shadow.queued == 0
+        expected = ShadowEvaluator(datapath).run(schema.new_context(cpu=0))
+        assert handle.verdict == expected
+
+    def test_unbatched_evaluator_has_no_queue(self, shadow_fixture):
+        datapath = shadow_fixture[3]
+        shadow = ShadowEvaluator(datapath)
+        assert not shadow.batching
+        assert shadow.queued == 0
+
+
+class TestRolloutDifferential:
+    def _drive(self, datapath, schema, features, rows, batch_size, plan):
+        config = RolloutConfig(
+            shadow_min_samples=10_000,  # stay in SHADOW for the whole drive
+            canary_min_samples=8, ramp=(0.5, 1.0), accuracy_window=256,
+            min_trap_samples=100, shadow_batch_size=batch_size, seed=0,
+        )
+        rollout = ModelRollout(
+            "shadow_prog", datapath, config=config,
+            batch_plan=plan if batch_size > 1 else None,
+        )
+        rollout.start()
+        samples = []
+        for row in rows:
+            features.set_vector(0, row)
+            rollout.begin_fire()
+            rollout.shadow_observe(schema.new_context(cpu=0),
+                                   primary_verdict=0)
+            sample = rollout.last_sample
+            samples.append(sample)
+            if sample.pending:
+                assert rollout.defer_outcome(
+                    sample, lambda verdict, env: verdict is not None, True
+                )
+            else:
+                rollout.observe_outcome(
+                    sample.candidate_verdict is not None, True
+                )
+        rollout.evaluate()  # flushes any tail still queued
+        return rollout, samples
+
+    def test_batched_lane_matches_eager_lane(self, shadow_fixture):
+        _, schema, features, datapath, plan, rows = shadow_fixture
+        eager, eager_samples = self._drive(
+            datapath, schema, features, rows, batch_size=1, plan=plan)
+        batched, batched_samples = self._drive(
+            datapath, schema, features, rows, batch_size=8, plan=plan)
+
+        assert ([s.candidate_verdict for s in batched_samples]
+                == [s.candidate_verdict for s in eager_samples])
+        assert not any(s.pending for s in batched_samples)
+        assert batched.scored == eager.scored == len(rows)
+        assert batched.state == eager.state
+        assert batched.status()["pending_outcomes"] == 0
+
+    def test_abort_resolves_pending_samples(self, shadow_fixture):
+        _, schema, features, datapath, plan, rows = shadow_fixture
+        config = RolloutConfig(shadow_min_samples=10_000,
+                               shadow_batch_size=16, seed=0)
+        rollout = ModelRollout("shadow_prog", datapath, config=config,
+                               batch_plan=plan)
+        rollout.start()
+        for row in rows[:5]:  # fewer than one batch: all stay queued
+            features.set_vector(0, row)
+            rollout.begin_fire()
+            rollout.shadow_observe(schema.new_context(cpu=0),
+                                   primary_verdict=0)
+        assert rollout.status()["pending_outcomes"] == 5
+        rollout.abort("operator stop")
+        assert rollout.status()["pending_outcomes"] == 0
+        assert rollout.last_sample.candidate_verdict is not None

@@ -1,0 +1,262 @@
+"""Verdict memoization at the hook point: serving, safety, invalidation.
+
+The cache must be invisible except for speed: every control-plane
+reconfiguration that could change a verdict (table mutations, model
+pushes, breaker flips) has to move the memo epoch, and fires that need
+the full machinery (live rollout lanes, quarantined programs) must
+bypass the cache rather than serve through it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.isa import Opcode
+from repro.core.program import ProgramBuilder
+from repro.core.tables import MatchActionTable
+from repro.core.verifier import AttachPolicy
+from repro.deploy import RolloutConfig
+from repro.kernel.hooks import HookRegistry
+from repro.kernel.syscalls import RmtSyscallInterface
+
+I = Instruction
+OP = Opcode
+
+
+def _const_model(verdict: int):
+    """Duck-typed model whose prediction is a constant — lets the tests
+    observe exactly which model version served a fire."""
+
+    class _Const:
+        @staticmethod
+        def predict_one(v):
+            return verdict
+
+        @staticmethod
+        def cost_signature():
+            return {"kind": "decision_tree", "depth": 1, "n_nodes": 1}
+
+    return _Const()
+
+
+def two_action_program(schema, name="prog"):
+    """Exact table over ``pid``; actions "lo"/"hi" return 1/2."""
+    builder = ProgramBuilder(name, "test_hook", schema)
+    table = builder.add_table(MatchActionTable("tab", ["pid"]))
+    builder.add_action(BytecodeProgram("lo", [
+        I(OP.MOV_IMM, dst=0, imm=1), I(OP.EXIT)]))
+    builder.add_action(BytecodeProgram("hi", [
+        I(OP.MOV_IMM, dst=0, imm=2), I(OP.EXIT)]))
+    table.insert_exact([5], "lo")
+    return builder.build()
+
+
+def model_program(schema, model, name="prog"):
+    builder = ProgramBuilder(name, "test_hook", schema)
+    table = builder.add_table(MatchActionTable("tab", ["pid"]))
+    builder.add_model(0, model)
+    builder.add_action(BytecodeProgram("act", [
+        I(OP.VEC_ZERO, dst=0, imm=5),
+        I(OP.ML_INFER, dst=0, src=0, imm=0),
+        I(OP.EXIT),
+    ]))
+    table.insert_exact([5], "act")
+    return builder.build()
+
+
+def writing_program(schema, name="writer"):
+    """Writes the context (``scratch``) — not a pure function of its
+    read-set, so memoization must reject it."""
+    builder = ProgramBuilder(name, "test_hook", schema)
+    table = builder.add_table(MatchActionTable("tab", ["pid"]))
+    builder.add_action(BytecodeProgram("act", [
+        I(OP.MOV_IMM, dst=0, imm=9),
+        I(OP.ST_CTXT, src=0, imm=schema.field_id("scratch")),
+        I(OP.EXIT),
+    ]))
+    table.insert_exact([5], "act")
+    return builder.build()
+
+
+@pytest.fixture()
+def hooks(schema):
+    registry = HookRegistry()
+    registry.declare("test_hook", schema, AttachPolicy("test_hook"))
+    return registry
+
+
+@pytest.fixture()
+def iface(hooks, schema):
+    iface = RmtSyscallInterface(hooks)
+    iface.install(two_action_program(schema), mode="interpret")
+    return iface
+
+
+class TestEnableMemoGuards:
+    def test_no_datapaths_rejected(self, hooks):
+        with pytest.raises(ValueError, match="no datapaths"):
+            hooks.hook("test_hook").enable_memo()
+
+    def test_context_writer_rejected(self, hooks, schema):
+        iface = RmtSyscallInterface(hooks)
+        iface.install(writing_program(schema), mode="interpret")
+        with pytest.raises(ValueError, match="writer"):
+            hooks.hook("test_hook").enable_memo()
+
+    def test_force_overrides_rejection(self, hooks, schema):
+        iface = RmtSyscallInterface(hooks)
+        iface.install(writing_program(schema), mode="interpret")
+        memo = hooks.hook("test_hook").enable_memo(force=True)
+        ctx = schema.new_context(pid=5)
+        assert hooks.fire("test_hook", ctx) == 9
+        assert memo.misses == 1
+
+    def test_control_plane_plumbing(self, iface, hooks, schema):
+        cp = iface.control_plane
+        assert cp.memo_stats("prog") is None
+        cp.enable_memo("prog", capacity=8)
+        hooks.fire("test_hook", schema.new_context(pid=5))
+        stats = cp.memo_stats("prog")
+        assert stats["misses"] == 1
+        assert stats["capacity"] == 8
+        assert stats["read_fields"] == [schema.field_id("pid")]
+        cp.disable_memo("prog")
+        assert cp.memo_stats("prog") is None
+
+
+class TestMemoServing:
+    def test_hit_and_miss_counters(self, iface, hooks, schema):
+        memo = hooks.hook("test_hook").enable_memo()
+        first = hooks.fire("test_hook", schema.new_context(pid=5))
+        second = hooks.fire("test_hook", schema.new_context(pid=5))
+        assert first == second == 1
+        assert (memo.misses, memo.hits) == (1, 1)
+        assert memo.hit_rate == 0.5
+
+    def test_miss_verdicts_match_unmemoized(self, iface, hooks, schema):
+        plain = [hooks.fire("test_hook", schema.new_context(pid=p))
+                 for p in (5, 6, 5)]
+        hooks.hook("test_hook").enable_memo()
+        memoized = [hooks.fire("test_hook", schema.new_context(pid=p))
+                    for p in (5, 6, 5)]
+        assert memoized == plain == [1, None, 1]
+
+    def test_fifo_eviction_at_capacity(self, iface, hooks, schema):
+        memo = hooks.hook("test_hook").enable_memo(capacity=2)
+        for pid in (1, 2, 3):  # third insert evicts pid=1
+            hooks.fire("test_hook", schema.new_context(pid=pid))
+        assert len(memo._cache) == 2
+        hooks.fire("test_hook", schema.new_context(pid=1))
+        assert memo.hits == 0 and memo.misses == 4
+        hooks.fire("test_hook", schema.new_context(pid=1))
+        assert memo.hits == 1
+
+    def test_hit_skips_datapath_accounting(self, iface, hooks, schema):
+        dp = iface.control_plane.datapath("prog")
+        hooks.hook("test_hook").enable_memo()
+        hooks.fire("test_hook", schema.new_context(pid=5))
+        invocations = dp.invocations
+        hooks.fire("test_hook", schema.new_context(pid=5))
+        assert dp.invocations == invocations  # VM never ran
+        assert hooks.hook("test_hook").fires == 2  # but the fire counted
+
+
+class TestTableInvalidation:
+    def test_add_entry_moves_epoch_and_verdict(self, iface, hooks, schema):
+        cp = iface.control_plane
+        memo = hooks.hook("test_hook").enable_memo()
+        ctx = lambda: schema.new_context(pid=5)  # noqa: E731
+        assert hooks.fire("test_hook", ctx()) == 1
+        assert hooks.fire("test_hook", ctx()) == 1  # served from cache
+        cp.add_entry("prog", "tab", [5], "hi", priority=5)
+        assert hooks.fire("test_hook", ctx()) == 2  # new entry wins
+        assert memo.invalidations == 1
+
+    def test_remove_entry_restores_and_invalidates(self, iface, hooks, schema):
+        cp = iface.control_plane
+        memo = hooks.hook("test_hook").enable_memo()
+        entry = cp.add_entry("prog", "tab", [5], "hi", priority=5)
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) == 2
+        assert cp.remove_entry("prog", "tab", entry.entry_id)
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) == 1
+        assert memo.invalidations == 1
+
+    def test_modify_entry_invalidates(self, iface, hooks, schema):
+        cp = iface.control_plane
+        memo = hooks.hook("test_hook").enable_memo()
+        entry = cp.add_entry("prog", "tab", [7], "hi", window=4)
+        hooks.fire("test_hook", schema.new_context(pid=7))
+        cp.modify_entry("prog", "tab", entry.entry_id, window=8)
+        hooks.fire("test_hook", schema.new_context(pid=7))
+        assert memo.invalidations == 1
+
+
+class TestModelPushInvalidation:
+    def test_push_model_moves_epoch(self, hooks, schema):
+        iface = RmtSyscallInterface(hooks)
+        iface.install(model_program(schema, _const_model(3)),
+                      mode="interpret")
+        cp = iface.control_plane
+        memo = hooks.hook("test_hook").enable_memo()
+        ctx = lambda: schema.new_context(pid=5)  # noqa: E731
+        assert hooks.fire("test_hook", ctx()) == 3
+        assert hooks.fire("test_hook", ctx()) == 3
+        assert memo.hits == 1
+        cp.push_model("prog", 0, _const_model(4))
+        assert hooks.fire("test_hook", ctx()) == 4  # swapped model serves
+        assert memo.invalidations == 1
+
+
+class TestSupervisorInteraction:
+    def test_quarantine_bypasses_then_release_invalidates(
+            self, iface, hooks, schema):
+        iface.enable_supervision()
+        cp = iface.control_plane
+        memo = hooks.hook("test_hook").enable_memo()
+        ctx = lambda: schema.new_context(pid=5)  # noqa: E731
+        hooks.fire("test_hook", ctx())
+        hooks.fire("test_hook", ctx())
+        assert memo.hits == 1
+
+        cp.quarantine("prog")
+        assert hooks.fire("test_hook", ctx()) is None  # refused, not cached
+        assert memo.bypasses == 1
+        assert memo.hits == 1  # the cache did not serve around the breaker
+
+        cp.release("prog")
+        hooks.fire("test_hook", ctx())
+        # trips moved even though the breaker is closed again: the old
+        # cache must not survive the quarantine round-trip.
+        assert memo.invalidations == 1
+
+
+class TestRolloutInteraction:
+    def test_active_lane_bypasses_cache(self, hooks, schema):
+        iface = RmtSyscallInterface(hooks)
+        iface.install(model_program(schema, _const_model(3)),
+                      mode="interpret")
+        cp = iface.control_plane
+        memo = hooks.hook("test_hook").enable_memo()
+        ctx = lambda: schema.new_context(pid=5)  # noqa: E731
+        hooks.fire("test_hook", ctx())
+        hooks.fire("test_hook", ctx())
+        assert memo.hits == 1
+
+        rollout = cp.stage_model(
+            "prog", 0, _const_model(4),
+            config=RolloutConfig(shadow_min_samples=6, canary_min_samples=3,
+                                 ramp=(0.5, 1.0), min_trap_samples=100,
+                                 seed=0),
+        )
+        hooks.fire("test_hook", ctx())
+        hooks.fire("test_hook", ctx())
+        assert memo.bypasses == 2  # candidate lanes see every fire
+        assert memo.hits == 1
+
+        rollout.abort("test over")
+        hooks.fire("test_hook", ctx())
+        # Lane count returned to its pre-staging value and the primary
+        # was never touched, so the old cache entries are still valid.
+        assert memo.hits == 2
+        assert memo.invalidations == 0

@@ -63,6 +63,62 @@ class TestScheduling:
         assert sim.pending == 1
 
 
+class TestHeapHygiene:
+    def test_compaction_triggers_when_tombstones_win(self):
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None) for i in range(128)]
+        for event in events[: 128 // 2 + 1]:
+            event.cancel()
+        assert sim.compactions >= 1
+        assert sim.pending == 128 - (128 // 2 + 1)
+        assert len(sim._queue) == sim.pending  # tombstones really dropped
+
+    def test_small_queues_never_compact(self):
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None) for i in range(8)]
+        for event in events:
+            event.cancel()
+        assert sim.compactions == 0
+
+    def test_order_preserved_across_compaction(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for i in range(200):
+            event = sim.schedule(i + 1, lambda i=i: fired.append(i))
+            if i % 2:
+                keep.append(i)
+            else:
+                event.cancel()
+        assert sim.compactions >= 1
+        sim.run()
+        assert fired == keep
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 0
+
+    def test_pending_is_constant_time_counter(self):
+        sim = Simulator()
+        events = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+        events[3].cancel()
+        events[7].cancel()
+        assert sim.pending == 8
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == 8
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        event = sim.schedule(1, lambda: None)
+        sim.run()
+        event.cancel()  # consumed events no longer touch the queue stats
+        assert sim.pending == 0
+
+
 class TestRunControl:
     def test_step_returns_false_when_empty(self):
         assert not Simulator().step()

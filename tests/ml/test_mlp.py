@@ -145,3 +145,42 @@ class TestQuantizedMLP:
             xq = quantized_mlp.quantize_input(row)
             assert quantized_mlp.predict_one_quantized(xq) == \
                 quantized_mlp.predict_one(row)
+
+
+class TestBatchedInference:
+    """The vectorized predict paths are bit-identical to per-row calls."""
+
+    def test_predict_matches_predict_one(self, quantized_mlp, xor_dataset):
+        x, _ = xor_dataset
+        batch = quantized_mlp.predict(x[:200])
+        assert batch.tolist() == [
+            quantized_mlp.predict_one(row) for row in x[:200]
+        ]
+
+    def test_predict_batch_quantized_matches(self, quantized_mlp, xor_dataset):
+        x, _ = xor_dataset
+        xq = np.vstack([quantized_mlp.quantize_input(row) for row in x[:100]])
+        batch = quantized_mlp.predict_batch_quantized(xq)
+        assert batch.tolist() == [
+            quantized_mlp.predict_one_quantized(row) for row in xq
+        ]
+
+    def test_batched_logits_match_per_row(self, quantized_mlp, xor_dataset):
+        x, _ = xor_dataset
+        xq = np.vstack([quantized_mlp.quantize_input(row) for row in x[:50]])
+        stacked = quantized_mlp.logits_from_quantized(xq)
+        for i, row in enumerate(xq):
+            assert stacked[i].tolist() == \
+                quantized_mlp.logits_from_quantized(row).tolist()
+
+    def test_empty_batch(self, quantized_mlp):
+        assert quantized_mlp.predict(np.zeros((0, 4))).shape == (0,)
+        assert quantized_mlp.predict_batch_quantized(
+            np.zeros((0, 4), dtype=np.int64)
+        ).shape == (0,)
+
+    def test_batch_quantized_rejects_1d(self, quantized_mlp):
+        with pytest.raises(ValueError):
+            quantized_mlp.predict_batch_quantized(
+                np.zeros(4, dtype=np.int64)
+            )
