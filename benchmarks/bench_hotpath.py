@@ -26,6 +26,7 @@ from repro.harness.hotpath import (
     bench_lookup,
     bench_memo,
     bench_shadow,
+    bench_trace_overhead,
     run_hotpath_bench,
 )
 
@@ -36,6 +37,12 @@ INDEXED_SPEEDUP_FLOOR = 5.0
 #: Shapes the index is expected to win on.  ``ternary`` is residual-scan
 #: by design and is exempt from the speedup gates.
 INDEXED_SHAPES = ("exact", "lpm", "range", "mixed")
+
+#: Ceiling on fire-throughput loss while a trace recorder is active
+#: (the observability layer's acceptance budget).  The disabled path is
+#: a single branch per site and is not gated — it is indistinguishable
+#: from measurement noise.
+TRACE_OVERHEAD_CEILING_PCT = 10.0
 
 
 # -- pytest-benchmark cells -------------------------------------------------
@@ -63,6 +70,18 @@ def test_memo_throughput(benchmark, record_rows):
         "memoized hook fires slower than unmemoized"
     )
     assert result["memo"]["hit_rate"] > 0.9
+
+
+def test_trace_overhead(benchmark, record_rows):
+    result = benchmark.pedantic(
+        bench_trace_overhead, kwargs={"n_fires": 4_000}, rounds=1,
+        iterations=1
+    )
+    record_rows("hotpath[trace]", result)
+    assert result["memo_overhead_pct"] <= TRACE_OVERHEAD_CEILING_PCT, (
+        f"tracing costs {result['memo_overhead_pct']:.1f}% on memoized "
+        f"fires (ceiling {TRACE_OVERHEAD_CEILING_PCT:.0f}%)"
+    )
 
 
 def test_shadow_batching(benchmark, record_rows):
@@ -95,6 +114,14 @@ def _check_results(results: dict) -> list[str]:
         failures.append("memoized fire throughput below unmemoized")
     if results["shadow"]["overhead_reduction_pct"] <= 0:
         failures.append("batched shadow is not cheaper than eager")
+    trace = results["trace"]
+    for path in ("plain", "memo"):
+        pct = trace[f"{path}_overhead_pct"]
+        if pct > TRACE_OVERHEAD_CEILING_PCT:
+            failures.append(
+                f"tracing overhead on {path} fires {pct:.1f}% > "
+                f"{TRACE_OVERHEAD_CEILING_PCT:.0f}% ceiling"
+            )
     return failures
 
 
@@ -115,6 +142,11 @@ def _report(results: dict) -> None:
           f"{shadow['batched_us_per_fire']:.1f} us/fire "
           f"({shadow['overhead_reduction_pct']:.1f}% overhead reduction "
           f"at batch {shadow['batch_size']})")
+    trace = results["trace"]
+    print(f"== trace: recording costs "
+          f"{trace['plain_overhead_pct']:.1f}% on dispatched fires, "
+          f"{trace['memo_overhead_pct']:.1f}% on memoized fires "
+          f"(ceiling {TRACE_OVERHEAD_CEILING_PCT:.0f}%)")
     e2e = results["e2e"]
     print(f"== e2e: table1 {e2e['table1_wall_s']:.1f}s wall "
           f"(jct {e2e['table1_jct_s']:.2f}s), "

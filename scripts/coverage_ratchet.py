@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Coverage ratchet: fail CI when tier-1 line coverage drops.
+
+Reads the ``totals.percent_covered`` figure from a ``coverage json``
+report and compares it against the pinned baseline in
+``ci/coverage_baseline.json``.  The contract:
+
+* measured >= baseline - tolerance  → pass (and if measured beats the
+  baseline, CI logs a reminder to ratchet the pin upward);
+* measured <  baseline - tolerance  → fail with the delta;
+* baseline is ``null``              → bootstrap mode: print the measured
+  value and pass, so the first CI run on a new branch can pin it;
+* report file missing               → skip with exit 0, so local runs
+  without the ``coverage`` package (it is deliberately not a repo
+  dependency) are never broken by this script.
+
+Usage::
+
+    python -m coverage run --source=src -m pytest -q
+    python -m coverage json -o coverage.json
+    python scripts/coverage_ratchet.py coverage.json [--update]
+
+``--update`` rewrites the baseline to the measured value (rounded down
+to 0.01) instead of checking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "ci" / "coverage_baseline.json"
+
+
+def load_baseline(path: Path) -> dict:
+    data = json.loads(path.read_text())
+    if "tolerance_pct" not in data:
+        raise SystemExit(f"{path}: missing 'tolerance_pct'")
+    return data
+
+
+def measured_percent(report_path: Path) -> float:
+    report = json.loads(report_path.read_text())
+    try:
+        return float(report["totals"]["percent_covered"])
+    except (KeyError, TypeError) as exc:
+        raise SystemExit(
+            f"{report_path}: not a `coverage json` report ({exc})"
+        ) from exc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path,
+                        help="path to the `coverage json` output")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
+                        help="baseline json (default: ci/coverage_baseline.json)")
+    parser.add_argument("--update", action="store_true",
+                        help="pin the baseline to the measured value")
+    args = parser.parse_args(argv)
+
+    if not args.report.exists():
+        print(f"coverage ratchet: no report at {args.report}; skipping "
+              "(coverage is optional outside CI)")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    measured = measured_percent(args.report)
+    pinned = baseline.get("line_percent")
+    tolerance = float(baseline["tolerance_pct"])
+
+    if args.update:
+        baseline["line_percent"] = math.floor(measured * 100) / 100
+        args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"coverage ratchet: baseline pinned at "
+              f"{baseline['line_percent']:.2f}%")
+        return 0
+
+    if pinned is None:
+        print(f"coverage ratchet: bootstrap — measured {measured:.2f}%, "
+              f"no baseline pinned yet; run with --update to pin it")
+        return 0
+
+    floor = float(pinned) - tolerance
+    if measured < floor:
+        print(f"coverage ratchet: FAIL — measured {measured:.2f}% is below "
+              f"the floor {floor:.2f}% (baseline {pinned:.2f}% - "
+              f"tolerance {tolerance:.2f}%)")
+        return 1
+
+    note = ""
+    if measured > float(pinned):
+        note = " (above baseline — consider --update to ratchet the pin up)"
+    print(f"coverage ratchet: OK — measured {measured:.2f}%, baseline "
+          f"{pinned:.2f}%, tolerance {tolerance:.2f}%{note}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,11 @@ tooling:
 * ``inventory``           — print the ISA and the verifier's rule list
   (what a datapath developer needs at a glance),
 * ``hotpath``             — run the hot-path microbenchmarks and print
-  per-hook verdict-cache and per-table index statistics.
+  per-hook verdict-cache and per-table index statistics,
+* ``trace``               — the observability layer: record a golden
+  scenario's canonical trace, summarize a trace file, or diff the
+  scenarios against the committed goldens (``--update-goldens``
+  regenerates them after an intentional behaviour change).
 """
 
 from __future__ import annotations
@@ -256,6 +260,76 @@ def _cmd_hotpath(args) -> int:
     return 0
 
 
+_DIFF_PREVIEW_LINES = 40
+
+
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from .harness import goldens
+
+    if args.trace_cmd == "record":
+        text = goldens.canonical_trace(args.scenario, seed=args.seed)
+        if args.out:
+            Path(args.out).write_text(text)
+            print(f"wrote {args.out} ({len(text.splitlines())} events)")
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    if args.trace_cmd == "summarize":
+        import json
+
+        by_kind: dict[str, int] = {}
+        spans: list[str] = []
+        t_last = 0
+        n = 0
+        with open(args.file) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                n += 1
+                by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+                t_last = event["t"]
+                if event["kind"] == "span_begin":
+                    spans.append("  " * event["depth"] + event["name"])
+        print(f"{args.file}: {n} events, sim-time span 0..{t_last}ns")
+        for kind in sorted(by_kind):
+            print(f"  {kind:16s} {by_kind[kind]:6d}")
+        if spans:
+            print("spans:")
+            for span in spans:
+                print(f"  {span}")
+        return 0
+
+    # trace diff [scenario] [--update-goldens]
+    directory = Path(args.goldens_dir) if args.goldens_dir else None
+    names = (args.scenario,) if args.scenario else None
+    results = goldens.check_all(directory=directory,
+                                update=args.update_goldens, names=names)
+    drift = 0
+    for result in results:
+        print(f"{result.name:12s} {result.status:8s} "
+              f"({result.events} events)")
+        if not result.ok:
+            drift += 1
+            diff_lines = result.diff.splitlines()
+            for line in diff_lines[:_DIFF_PREVIEW_LINES]:
+                print(f"  {line}")
+            if len(diff_lines) > _DIFF_PREVIEW_LINES:
+                print(f"  ... ({len(diff_lines) - _DIFF_PREVIEW_LINES} "
+                      f"more diff lines)")
+    if drift:
+        print(f"\nDRIFT in {drift} golden(s).  If the behaviour change "
+              f"is intentional, regenerate with:\n"
+              f"  python -m repro trace diff --update-goldens")
+        return 1
+    print("\nno drift: canonical traces match the committed goldens")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -311,6 +385,40 @@ def build_parser() -> argparse.ArgumentParser:
     ph.add_argument("--quick", action="store_true")
     ph.add_argument("--seed", type=int, default=0)
     ph.set_defaults(fn=_cmd_hotpath)
+
+    pt = sub.add_parser("trace",
+                        help="observability: record / summarize / diff "
+                             "canonical traces")
+    tsub = pt.add_subparsers(dest="trace_cmd", required=True)
+
+    tr = tsub.add_parser("record",
+                         help="run one golden scenario, print (or write) "
+                              "its canonical JSONL trace")
+    tr.add_argument("scenario",
+                    choices=("table1", "table2", "resilience", "rollout"))
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--out", default=None,
+                    help="write the trace here instead of stdout")
+    tr.set_defaults(fn=_cmd_trace)
+
+    ts = tsub.add_parser("summarize",
+                         help="per-kind event counts and span tree of a "
+                              "canonical JSONL trace file")
+    ts.add_argument("file")
+    ts.set_defaults(fn=_cmd_trace)
+
+    td = tsub.add_parser("diff",
+                         help="re-run the golden scenarios and diff "
+                              "against tests/goldens/")
+    td.add_argument("scenario", nargs="?", default=None,
+                    choices=("table1", "table2", "resilience", "rollout"),
+                    help="one scenario (default: all)")
+    td.add_argument("--update-goldens", action="store_true",
+                    help="rewrite the goldens from the current run")
+    td.add_argument("--goldens-dir", default=None,
+                    help="override the golden directory "
+                         "(default: tests/goldens/)")
+    td.set_defaults(fn=_cmd_trace)
     return parser
 
 

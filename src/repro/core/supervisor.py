@@ -37,6 +37,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from ..obs import trace as obs_trace
+from ..obs.events import BREAKER
 from .control_plane import RmtDatapath
 from .errors import DatapathQuarantined, FaultInjected, RmtRuntimeError
 
@@ -92,8 +94,11 @@ class SupervisorConfig:
 class CircuitBreaker:
     """Closed → open → half-open → closed, on a logical clock."""
 
-    def __init__(self, config: SupervisorConfig | None = None) -> None:
+    def __init__(
+        self, config: SupervisorConfig | None = None, name: str = ""
+    ) -> None:
         self.config = config or SupervisorConfig()
+        self.name = name  # program name, for trace attribution
         self.state = BreakerState.CLOSED
         self.clock = 0
         self.backoff = self.config.base_backoff
@@ -101,6 +106,12 @@ class CircuitBreaker:
         self._fault_clocks: deque[int] = deque()
         self._opened_at = 0
         self._probes_ok = 0
+
+    def _transition(self, to: str) -> None:
+        rec = obs_trace.ACTIVE
+        if rec is not None and rec.want_breaker:
+            rec.emit(BREAKER, (self.name, self.state, to, self.clock))
+        self.state = to
 
     # -- admission -------------------------------------------------------
 
@@ -113,7 +124,7 @@ class CircuitBreaker:
         self.clock += 1
         if self.state == BreakerState.OPEN:
             if self.clock - self._opened_at >= self.backoff:
-                self.state = BreakerState.HALF_OPEN
+                self._transition(BreakerState.HALF_OPEN)
                 self._probes_ok = 0
             else:
                 return False
@@ -164,13 +175,14 @@ class CircuitBreaker:
     def _open(self, double: bool) -> None:
         if double:
             self.backoff = min(self.backoff * 2, self.config.max_backoff)
-        self.state = BreakerState.OPEN
+        self._transition(BreakerState.OPEN)
         self._opened_at = self.clock
         self.trips += 1
         self._fault_clocks.clear()
 
     def _close(self) -> None:
-        self.state = BreakerState.CLOSED
+        if self.state != BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED)
         self.backoff = self.config.base_backoff
         self._fault_clocks.clear()
         self._probes_ok = 0
@@ -220,7 +232,7 @@ class DatapathSupervisor:
     def breaker(self, program_name: str) -> CircuitBreaker:
         breaker = self._breakers.get(program_name)
         if breaker is None:
-            breaker = CircuitBreaker(self.config)
+            breaker = CircuitBreaker(self.config, name=program_name)
             self._breakers[program_name] = breaker
         return breaker
 

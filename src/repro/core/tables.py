@@ -31,9 +31,15 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 
+from ..obs import trace as obs_trace
+from ..obs.events import TABLE_LOOKUP
 from .context import ExecutionContext
 
 __all__ = ["MatchKind", "MatchPattern", "TableEntry", "MatchActionTable", "Pipeline"]
+
+#: Lookup-path attribution labels for trace events, indexed by the
+#: internal ``source`` code (0 = miss).
+_LOOKUP_SOURCES = ("miss", "exact", "indexed", "scan")
 
 
 class MatchKind(enum.Enum):
@@ -406,6 +412,9 @@ class MatchActionTable:
 
         if best is None:
             self.misses += 1
+            rec = obs_trace.ACTIVE
+            if rec is not None and rec.want_lookup:
+                rec.emit(TABLE_LOOKUP, (self.name, key, "miss"))
             return None
         best.hits += 1
         if source == 1:
@@ -414,6 +423,12 @@ class MatchActionTable:
             self.indexed_hits += 1
         else:
             self.scan_hits += 1
+        rec = obs_trace.ACTIVE
+        if rec is not None and rec.want_lookup:
+            # Inlined emit — this is the per-fire hot path.  The key
+            # tuple is stored as-is (json renders tuples as arrays).
+            rec.push((rec.now, TABLE_LOOKUP, self.name, key,
+                      _LOOKUP_SOURCES[source]))
         return best
 
     def lookup_linear(self, ctx: ExecutionContext) -> TableEntry | None:
@@ -424,12 +439,17 @@ class MatchActionTable:
         """
         self.lookups += 1
         key = self.key_values(ctx)
+        rec = obs_trace.ACTIVE
         for entry in self._entries:
             if entry.matches(key, self.kinds):
                 entry.hits += 1
                 self.scan_hits += 1
+                if rec is not None and rec.want_lookup:
+                    rec.emit(TABLE_LOOKUP, (self.name, key, "linear"))
                 return entry
         self.misses += 1
+        if rec is not None and rec.want_lookup:
+            rec.emit(TABLE_LOOKUP, (self.name, key, "miss"))
         return None
 
     def stats(self) -> dict:

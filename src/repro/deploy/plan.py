@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.errors import ControlPlaneError
+from ..obs import trace as obs_trace
+from ..obs.events import ROLLOUT
 
 __all__ = ["RolloutState", "RolloutConfig", "RolloutPlan", "Transition"]
 
@@ -127,8 +129,9 @@ class Transition:
 class RolloutPlan:
     """The state machine itself; owners call :meth:`to` to move it."""
 
-    def __init__(self) -> None:
+    def __init__(self, target: str = "") -> None:
         self.state = RolloutState.STAGED
+        self.target = target  # hook/program the rollout replaces (traces)
         self.transitions: list[Transition] = []
 
     @property
@@ -144,6 +147,9 @@ class RolloutPlan:
         transition = Transition(tick=tick, frm=self.state, to=state,
                                 reason=reason)
         self.transitions.append(transition)
+        rec = obs_trace.ACTIVE
+        if rec is not None and rec.want_rollout:
+            rec.emit(ROLLOUT, (self.target, self.state, state, tick, reason))
         self.state = state
         return transition
 

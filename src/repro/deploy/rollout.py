@@ -67,7 +67,7 @@ class ModelRollout:
     ) -> None:
         self.target = target
         self.config = config or RolloutConfig()
-        self.plan = RolloutPlan()
+        self.plan = RolloutPlan(target=target)
         self.supervisor = supervisor
         self.shadow = ShadowEvaluator(
             candidate_datapath,

@@ -1,0 +1,283 @@
+"""Golden-trace regression harness.
+
+Re-runs the four experiment harnesses (Table 1, Table 2, resilience,
+rollout) at small scale under an active trace recorder, canonicalizes
+the event stream (sim-time and seeds only — wall-clock never enters an
+event), and diffs the canonical JSONL against the goldens committed in
+``tests/goldens/``.  A byte difference in any golden means a future PR
+changed datapath behaviour: verdicts, lookup attribution, containment,
+or rollout gating — the silent drift this suite turns into a test
+failure.
+
+Each scenario records the event kinds that pin its layer:
+
+* ``table1``  — full stream (lookup attribution + verdicts) of one
+  tiny video-resize cell under the RMT/ML prefetcher;
+* ``table2``  — full stream of one scheduler benchmark with a trained
+  quantized MLP making the migration decisions;
+* ``resilience`` — containment kinds (fires, traps, injections,
+  breaker transitions) under 8% fault injection;
+* ``rollout`` — lifecycle kinds (lane routing, plan transitions,
+  candidate traps) of a poisoned canary being rolled back.
+
+Update workflow (after an intentional behaviour change)::
+
+    PYTHONPATH=src python -m repro trace diff --all --update-goldens
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..obs.trace import TraceRecorder, recording
+
+__all__ = [
+    "SCENARIOS",
+    "GoldenResult",
+    "default_golden_dir",
+    "golden_path",
+    "record_scenario",
+    "canonical_trace",
+    "diff_traces",
+    "check_golden",
+    "check_all",
+]
+
+#: Lines of context shown around each hunk of a golden diff.
+_DIFF_CONTEXT = 3
+
+
+def default_golden_dir() -> Path:
+    """``tests/goldens/`` relative to the repository checkout."""
+    return Path(__file__).resolve().parents[3] / "tests" / "goldens"
+
+
+# -- scenarios ------------------------------------------------------------
+
+
+def _build_table1(seed: int) -> Callable[[TraceRecorder], None]:
+    from ..workloads.video_resize import video_resize_trace
+    from .prefetch_experiment import make_prefetcher, run_trace
+
+    # Seed shifts the pid, which flows into every table-lookup key:
+    # different seeds yield different canonical bytes by construction.
+    workload = video_resize_trace(n_frames=2, rows_per_frame=12,
+                                  pid=10 + seed)
+
+    def run(rec: TraceRecorder) -> None:
+        with rec.span(f"table1:{workload.name}:rmt-ml"):
+            run_trace(workload, make_prefetcher("rmt-ml"), cache_pages=24)
+
+    return run
+
+
+def _build_table2(seed: int) -> Callable[[TraceRecorder], None]:
+    from ..kernel.sched.loadbalance import DecisionRecorder
+    from ..kernel.sched.rmt_sched import RmtMigrationPolicy
+    from ..workloads.parsec import table2_workloads
+    from .sched_experiment import (
+        SchedExperimentConfig,
+        _run_cfs,
+        train_migration_mlp,
+    )
+
+    # Training happens before the recorder goes live — the golden pins
+    # the *datapath* behaviour of the trained policy, not the training
+    # loop (which emits no datapath events anyway).
+    config = SchedExperimentConfig(n_cpus=4, train_seeds=(0,), epochs=8,
+                                   hidden=(8,), mode="jit")
+    train_recorder = DecisionRecorder()
+    train_specs = table2_workloads(seed=0)["Fib Calculation"]
+    _run_cfs(train_specs, config, recorder=train_recorder)
+    x, y = train_recorder.dataset()
+    _, qmlp = train_migration_mlp(x, y, config)
+    eval_specs = table2_workloads(seed=100 + seed)["Fib Calculation"]
+
+    def run(rec: TraceRecorder) -> None:
+        with rec.span(f"table2:fib:rmt-mlp:seed{seed}"):
+            _run_cfs(eval_specs, config,
+                     decision_fn=RmtMigrationPolicy(qmlp, mode=config.mode))
+
+    return run
+
+
+def _build_resilience(seed: int) -> Callable[[TraceRecorder], None]:
+    from ..workloads.video_resize import video_resize_trace
+    from .resilience_experiment import run_prefetch_resilience
+
+    workload = video_resize_trace(n_frames=2, rows_per_frame=12, pid=10)
+
+    def run(rec: TraceRecorder) -> None:
+        with rec.span(f"resilience:video:rate0.08:seed{seed}"):
+            run_prefetch_resilience(
+                fault_rates=(0.08,),
+                seed=seed,
+                include_unsupervised=False,
+                workloads=[workload],
+            )
+
+    return run
+
+
+def _build_rollout(seed: int) -> Callable[[TraceRecorder], None]:
+    from .rollout_experiment import run_prefetch_rollout
+
+    def run(rec: TraceRecorder) -> None:
+        # skip_shadow drives the seeded canary hash split, so the lane
+        # routing pattern (and hence the bytes) depends on the seed.
+        with rec.span(f"rollout:prefetch:poisoned:seed{seed}"):
+            run_prefetch_rollout("poisoned", seed=seed, skip_shadow=True,
+                                 scale=0.2, passes=3)
+
+    return run
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One golden cell: how to run it and which kinds it records."""
+
+    name: str
+    description: str
+    #: Event kinds recorded (None = every kind).  Restricting kinds
+    #: keeps each golden focused on its layer and its file small.
+    kinds: frozenset[str] | None
+    build: Callable[[int], Callable[[TraceRecorder], None]]
+
+
+SCENARIOS: dict[str, Scenario] = {
+    "table1": Scenario(
+        name="table1",
+        description="prefetch datapath: lookup attribution + verdicts",
+        kinds=None,
+        build=_build_table1,
+    ),
+    "table2": Scenario(
+        name="table2",
+        description="scheduler datapath: quantized-MLP migration verdicts",
+        kinds=None,
+        build=_build_table2,
+    ),
+    "resilience": Scenario(
+        name="resilience",
+        description="fault containment: injections, traps, breakers",
+        kinds=frozenset({"hook_fire", "trap", "fault_injected", "breaker",
+                         "span_begin", "span_end"}),
+        build=_build_resilience,
+    ),
+    "rollout": Scenario(
+        name="rollout",
+        description="staged rollout: lane routing + plan transitions",
+        kinds=frozenset({"lane", "rollout", "trap", "breaker",
+                         "fault_injected", "span_begin", "span_end"}),
+        build=_build_rollout,
+    ),
+}
+
+
+# -- record / diff --------------------------------------------------------
+
+
+def record_scenario(name: str, seed: int = 0) -> TraceRecorder:
+    """Run one scenario under a fresh recorder; returns the recorder."""
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise KeyError(
+            f"unknown scenario {name!r} (have: {', '.join(SCENARIOS)})"
+        )
+    runner = scenario.build(seed)
+    rec = TraceRecorder(kinds=scenario.kinds)
+    with recording(rec):
+        runner(rec)
+    if rec.maybe_wrapped:
+        raise RuntimeError(
+            f"golden scenario {name!r} filled the ring "
+            f"(events may have dropped) — raise the capacity"
+        )
+    return rec
+
+
+def canonical_trace(name: str, seed: int = 0) -> str:
+    """The scenario's canonical JSONL bytes (str form)."""
+    return record_scenario(name, seed=seed).canonical_jsonl()
+
+
+def golden_path(name: str, directory: Path | None = None) -> Path:
+    return (directory or default_golden_dir()) / f"{name}.jsonl"
+
+
+def diff_traces(expected: str, actual: str,
+                expected_label: str = "golden",
+                actual_label: str = "current") -> str:
+    """Human-readable unified diff; empty string when identical."""
+    if expected == actual:
+        return ""
+    lines = difflib.unified_diff(
+        expected.splitlines(keepends=True),
+        actual.splitlines(keepends=True),
+        fromfile=expected_label,
+        tofile=actual_label,
+        n=_DIFF_CONTEXT,
+    )
+    return "".join(lines)
+
+
+@dataclass(frozen=True)
+class GoldenResult:
+    """Outcome of one golden comparison."""
+
+    name: str
+    ok: bool
+    diff: str  # empty when ok (or when the golden was just written)
+    updated: bool = False
+    events: int = 0
+
+    @property
+    def status(self) -> str:
+        if self.updated:
+            return "updated"
+        return "ok" if self.ok else "DRIFT"
+
+
+def check_golden(name: str, seed: int = 0,
+                 directory: Path | None = None,
+                 update: bool = False) -> GoldenResult:
+    """Compare one scenario against its committed golden.
+
+    With ``update=True`` the golden is (re)written from the current run
+    and the result reports ``updated``.  A missing golden is drift
+    unless updating.
+    """
+    rec = record_scenario(name, seed=seed)
+    actual = rec.canonical_jsonl()
+    path = golden_path(name, directory)
+    if update:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(actual)
+        return GoldenResult(name=name, ok=True, diff="", updated=True,
+                            events=len(rec.events))
+    if not path.exists():
+        return GoldenResult(
+            name=name, ok=False,
+            diff=f"golden file missing: {path}\n"
+                 f"(generate with: repro trace diff --update-goldens)\n",
+            events=len(rec.events),
+        )
+    expected = path.read_text()
+    diff = diff_traces(expected, actual,
+                       expected_label=str(path),
+                       actual_label=f"{name} (current run)")
+    return GoldenResult(name=name, ok=not diff, diff=diff,
+                        events=len(rec.events))
+
+
+def check_all(directory: Path | None = None,
+              update: bool = False,
+              names: tuple[str, ...] | None = None) -> list[GoldenResult]:
+    """Check (or regenerate) every scenario's golden."""
+    return [
+        check_golden(name, directory=directory, update=update)
+        for name in (names or tuple(SCENARIOS))
+    ]

@@ -40,6 +40,7 @@ __all__ = [
     "bench_lookup",
     "bench_memo",
     "bench_shadow",
+    "bench_trace_overhead",
     "bench_e2e",
     "run_hotpath_bench",
 ]
@@ -51,6 +52,11 @@ LOOKUP_SHAPES = ("exact", "lpm", "range", "ternary", "mixed")
 
 #: Timing repeats; the best (minimum) wall-clock of each path is kept.
 _REPEATS = 3
+
+#: Interleaved off/on pairs for the trace-overhead bench.  More than
+#: the generic ``_REPEATS`` because the quantity of interest is a small
+#: difference between two large numbers; the median pair wins.
+_TRACE_REPEATS = 7
 
 
 def _lookup_schema() -> ContextSchema:
@@ -255,6 +261,96 @@ def bench_memo(
     }
 
 
+def bench_trace_overhead(
+    n_entries: int = 64,
+    n_keys: int = 256,
+    n_fires: int = 8_000,
+    seed: int = 0,
+) -> dict:
+    """Hook-fire throughput with the trace recorder on vs off.
+
+    The disabled path is a single module-load + ``is None`` branch per
+    instrumentation site, so "off" here doubles as the no-tracing
+    baseline; "on" pays one tuple append per emitted event (one event
+    per memo-hit fire, two per dispatched fire).  The acceptance budget
+    is <= 10% throughput loss while recording.
+
+    Methodology (the quantity of interest is a ~300ns difference
+    between two ~4µs numbers, so hygiene matters more than repeats):
+
+    * off and on runs are *interleaved* pairwise and the overhead is
+      the median of per-pair ratios, so slow machine-level drift
+      (frequency scaling, noisy neighbours) hits both sides of each
+      pair equally instead of masquerading as tracing overhead;
+    * the collector is disabled inside the timed windows (pyperf-style)
+      — retained event tuples otherwise re-trigger generational scans
+      whose cost tracks allocator pressure, not the emit path.
+    """
+    import gc
+    import statistics
+
+    from ..obs.trace import TraceRecorder, recording
+
+    rng = np.random.default_rng(seed)
+    pids = rng.integers(0, n_keys, size=n_fires)
+    hooks, schema = _memo_fixture(n_entries, seed=seed)
+    hook = hooks.hook("hotpath_hook")
+    contexts = [schema.new_context(pid=int(p)) for p in pids]
+
+    def _run_once() -> float:
+        start = time.perf_counter()
+        for ctx in contexts:
+            hook.fire(ctx)
+        return time.perf_counter() - start
+
+    def _one_pass() -> tuple[float, float, float]:
+        """(best_off, best_on, median per-pair overhead pct)."""
+        offs, ons = [], []
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            for _ in range(_TRACE_REPEATS):
+                offs.append(_run_once())
+                with recording(TraceRecorder()):
+                    ons.append(_run_once())
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        pcts = [
+            100.0 * (on_s - off_s) / off_s
+            for off_s, on_s in zip(offs, ons)
+        ]
+        return min(offs), min(ons), statistics.median(pcts)
+
+    def timed_pairs() -> tuple[float, float, float]:
+        """Best of three passes — external contention only ever
+        inflates a pass's median, so the lowest is the best estimate."""
+        passes = [_one_pass() for _ in range(3)]
+        return (
+            min(p[0] for p in passes),
+            min(p[1] for p in passes),
+            min(p[2] for p in passes),
+        )
+
+    _run_once()  # warm caches/specializations before any timed window
+    plain_off, plain_on, plain_pct = timed_pairs()
+    hook.enable_memo(capacity=2 * n_keys)
+    for ctx in contexts:  # warm the verdict cache before timing
+        hook.fire(ctx)
+    memo_off, memo_on, memo_pct = timed_pairs()
+    hook.disable_memo()
+    return {
+        "fires": n_fires,
+        "plain_fires_per_s_off": n_fires / plain_off,
+        "plain_fires_per_s_on": n_fires / plain_on,
+        "plain_overhead_pct": plain_pct,
+        "memo_fires_per_s_off": n_fires / memo_off,
+        "memo_fires_per_s_on": n_fires / memo_on,
+        "memo_overhead_pct": memo_pct,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Batched shadow inference
 # ---------------------------------------------------------------------------
@@ -403,6 +499,9 @@ def run_hotpath_bench(smoke: bool = False, seed: int = 0) -> dict:
         ),
         "shadow": bench_shadow(
             n_fires=512 if smoke else 2048, seed=seed
+        ),
+        "trace": bench_trace_overhead(
+            n_fires=4_000 if smoke else 8_000, seed=seed
         ),
         "e2e": bench_e2e(smoke=smoke),
     }

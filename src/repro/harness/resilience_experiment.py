@@ -170,11 +170,18 @@ def run_prefetch_resilience(
     include_unsupervised: bool = True,
     storage_faults: bool = True,
     supervisor_config: SupervisorConfig | None = None,
+    workloads: list | None = None,
 ) -> list[ResilienceCell]:
-    """Table-1 workloads under escalating fault rates."""
+    """Table-1 workloads under escalating fault rates.
+
+    ``workloads`` overrides the Table-1 pair (the golden-trace harness
+    runs a single tiny trace through the identical code path).
+    """
     cells: list[ResilienceCell] = []
     stock_jct: dict[tuple[str, float], float] = {}
-    for workload in table1_workloads(scale=scale):
+    if workloads is None:
+        workloads = table1_workloads(scale=scale)
+    for workload in workloads:
         cache = TABLE1_CACHE_PAGES.get(workload.name, 48)
         for rate in fault_rates:
             # Stock-kernel floor: plain readahead on the same degraded

@@ -40,6 +40,8 @@ import zlib
 from dataclasses import dataclass, field, fields
 
 from ..core.errors import FaultInjected
+from ..obs import trace as obs_trace
+from ..obs.events import FAULT_INJECTED
 from .storage import StorageModel
 
 __all__ = [
@@ -182,6 +184,10 @@ class FaultInjector:
                 self.by_program[program_name] = (
                     self.by_program.get(program_name, 0) + 1
                 )
+                rec = obs_trace.ACTIVE
+                if rec is not None and rec.want_fault:
+                    rec.emit(FAULT_INJECTED,
+                             (hook_name, program_name, kind))
                 raise FaultInjected(
                     f"{_KIND_MESSAGES[kind]} [hook {hook_name}]",
                     kind=kind,

@@ -49,6 +49,8 @@ from ..core.errors import RmtRuntimeError
 from ..core.helpers import HelperRegistry
 from ..core.supervisor import DatapathSupervisor
 from ..core.verifier import AttachPolicy, context_read_set, is_memo_safe
+from ..obs import trace as obs_trace
+from ..obs.events import HOOK_FIRE, LANE, MEMO, TRAP
 
 __all__ = ["HookPoint", "HookRegistry", "VerdictMemo"]
 
@@ -253,17 +255,34 @@ class HookPoint:
         """
         memo = self.memo
         if memo is not None:
+            rec = obs_trace.ACTIVE
             if self._memo_bypass():
                 memo.bypasses += 1
+                if rec is not None and rec.want_memo:
+                    rec.emit(MEMO, (self.name, "bypass"))
             else:
-                memo.refresh(self._memo_epoch())
+                if rec is not None and rec.want_memo:
+                    invalidations = memo.invalidations
+                    memo.refresh(self._memo_epoch())
+                    if memo.invalidations != invalidations:
+                        rec.emit(MEMO, (self.name, "invalidate"))
+                else:
+                    memo.refresh(self._memo_epoch())
                 key = memo.key_for(ctx)
                 cached = memo.get(key)
                 if cached is not _MISS:
                     memo.hits += 1
                     self.fires += 1
+                    if rec is not None and rec.want_fire:
+                        # Inlined emit: a method call here costs more
+                        # than the event itself (hot-path budget).
+                        rec.push(
+                            (rec.now, HOOK_FIRE, self.name, cached, "memo")
+                        )
                     return cached
                 memo.misses += 1
+                if rec is not None and rec.want_memo:
+                    rec.emit(MEMO, (self.name, "miss"))
                 verdict = self._dispatch(ctx, helper_env)
                 memo.put(key, verdict)
                 return verdict
@@ -274,11 +293,15 @@ class HookPoint:
     ) -> int | None:
         """The uncached fire path (see :meth:`fire` for semantics)."""
         self.fires += 1
+        rec = obs_trace.ACTIVE
         lanes = [r for r in self.rollouts if r.active] if self.rollouts else ()
         routed: dict[str, object] = {}
         for lane in lanes:
             if lane.begin_fire():
                 routed[lane.target] = lane
+                if rec is not None and rec.want_lane:
+                    rec.emit(LANE, (lane.target, "canary", lane.tick))
+        path = "dispatch"
         if self.supervisor is None and self.injector is None:
             verdict: int | None = None
             results: dict[str, int | None] = {}
@@ -293,7 +316,11 @@ class HookPoint:
                 if result is not None:
                     verdict = result
         else:
-            verdict, results = self._fire_supervised(ctx, helper_env, routed)
+            verdict, results, path = self._fire_supervised(
+                ctx, helper_env, routed
+            )
+        if rec is not None and rec.want_fire:
+            rec.push((rec.now, HOOK_FIRE, self.name, verdict, path))
         if lanes:
             self._shadow_observe(lanes, ctx, results)
         return verdict
@@ -303,8 +330,9 @@ class HookPoint:
         ctx: ExecutionContext,
         helper_env: object,
         routed: dict[str, object],
-    ) -> tuple[int | None, dict[str, int | None]]:
+    ) -> tuple[int | None, dict[str, int | None], str]:
         supervisor = self.supervisor
+        rec = obs_trace.ACTIVE
         verdict: int | None = None
         results: dict[str, int | None] = {}
         suppressed: list[str] = []
@@ -332,6 +360,10 @@ class HookPoint:
                     raise  # injection without supervision: the crash mode
                 supervisor.record_trap(datapath, exc)
                 self.contained_traps += 1
+                if rec is not None and rec.want_trap:
+                    rec.emit(TRAP, (self.name, datapath.program.name,
+                                    getattr(exc, "kind",
+                                            type(exc).__name__)))
                 suppressed.append(datapath.program.name)
                 continue
             if supervisor is not None:
@@ -339,23 +371,28 @@ class HookPoint:
             results[datapath.program.name] = result
             if result is not None:
                 verdict = result
+        path = "dispatch"
         if verdict is None and suppressed and self.fallback is not None:
             verdict = self.fallback(ctx, helper_env)
             self.fallback_fires += 1
+            path = "fallback"
             if supervisor is not None:
                 for name in suppressed:
                     supervisor.record_fallback(name)
-        return verdict, results
+        return verdict, results, path
 
     def _shadow_observe(
         self, lanes, ctx: ExecutionContext, results: dict[str, int | None]
     ) -> None:
         """Run shadow evaluations after the real dispatch; separately
         timed so candidate cost never pollutes primary overhead."""
+        rec = obs_trace.ACTIVE
         started = time.perf_counter_ns()
         for lane in lanes:
             if lane.wants_shadow:
                 self.shadow_fires += 1
+                if rec is not None and rec.want_lane:
+                    rec.emit(LANE, (lane.target, "shadow", lane.tick))
                 lane.shadow_observe(ctx.copy(), results.get(lane.target))
         self.shadow_overhead_ns += time.perf_counter_ns() - started
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ...obs import trace as obs_trace
 from ..storage import StorageModel
 from .page_cache import PageCache
 from .prefetch import NullPrefetcher, Prefetcher
@@ -100,6 +101,12 @@ class SwapSubsystem:
     def access(self, pid: int, page: int, now: int) -> AccessResult:
         """One page access at virtual time ``now``."""
         self.stats.accesses += 1
+        # Swap traffic is a trace-time carrier: the access stream drives
+        # the recorder's sim-ns clock (hook fires below happen "at" this
+        # virtual time) and feeds the stall-latency histogram.
+        rec = obs_trace.ACTIVE
+        if rec is not None:
+            rec.now = now
         info = self.cache.get(pid, page)
 
         if info is not None:
@@ -118,6 +125,8 @@ class SwapSubsystem:
             self.stats.late_hits += 1
             self.stats.hits += 1
             self.stats.stall_ns += stall
+            if rec is not None:
+                rec.metrics.histogram("rmt.swap.stall_ns").observe(stall)
             self._consult_prefetcher(pid, page, now, was_fault=False,
                                      prefetch_hit=prefetch_hit)
             return AccessResult(info.ready_time + self.hit_ns, "late", stall)
@@ -130,6 +139,8 @@ class SwapSubsystem:
         self.stats.demand_faults += 1
         stall = done - now
         self.stats.stall_ns += stall
+        if rec is not None:
+            rec.metrics.histogram("rmt.swap.stall_ns").observe(stall)
         self._consult_prefetcher(pid, page, now, was_fault=True)
         return AccessResult(done + self.hit_ns, "fault", stall)
 

@@ -65,6 +65,12 @@ class DecisionRecorder:
     supervised dataset (they are identical by construction).
     """
 
+    # Determinism audit (golden traces): this module holds no dict or
+    # set whose iteration order could leak into a trace — the recorder
+    # is append-only, so dataset row order is exactly the balancer's
+    # call order, which the simulator already fixes by its strict
+    # (time, seq) event ordering (see ``sim.Simulator.step``).  Keep it
+    # that way: any future keyed aggregation here must iterate sorted.
     features: list[np.ndarray] = field(default_factory=list)
     decisions: list[int] = field(default_factory=list)
 

@@ -20,6 +20,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..obs import trace as obs_trace
+
 __all__ = ["Event", "Simulator", "NS_PER_US", "NS_PER_MS", "NS_PER_SEC"]
 
 NS_PER_US = 1_000
@@ -105,6 +107,13 @@ class Simulator:
             if event.cancelled:
                 continue
             self.now = event.time
+            # Push the virtual clock into the active trace recorder so
+            # events emitted from this callback carry sim-time, never
+            # wall-clock.  Iteration order here is the heap's strict
+            # (time, seq) order — the determinism traces depend on.
+            rec = obs_trace.ACTIVE
+            if rec is not None:
+                rec.now = event.time
             self.events_processed += 1
             event.fn()
             return True

@@ -1,0 +1,46 @@
+"""Datapath observability: structured tracing, metrics, golden traces.
+
+Three pieces, each usable on its own:
+
+* :mod:`repro.obs.trace` — a low-overhead ring-buffer trace recorder.
+  Instrumentation sites across core/kernel/deploy emit typed events
+  (hook fires, table lookups with exact/indexed/scan attribution, memo
+  outcomes, breaker transitions, rollout lane decisions, traps, fault
+  injections) keyed on sim-time, never wall-clock.  When no recorder is
+  active the hot path pays a single global load + ``is None`` branch.
+* :mod:`repro.obs.events` — the event schema: kind constants and the
+  per-kind field tables that define the canonical JSONL wire format.
+* :mod:`repro.obs.metrics` — counters / gauges / fixed-bucket sim-ns
+  histograms behind one dotted namespace, plus collectors that pull the
+  subsystem ``stats()`` dicts into that namespace.
+
+The golden-trace harness built on top lives in
+:mod:`repro.harness.goldens`; committed goldens live in
+``tests/goldens/``.
+"""
+
+from .events import EVENT_FIELDS, EVENT_KINDS, event_to_dict
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_control_plane,
+    collect_hooks,
+)
+from .trace import TraceRecorder, active_recorder, recording
+
+__all__ = [
+    "Counter",
+    "EVENT_FIELDS",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceRecorder",
+    "active_recorder",
+    "collect_control_plane",
+    "collect_hooks",
+    "event_to_dict",
+    "recording",
+]

@@ -1,0 +1,106 @@
+"""Trace event schema: kind constants and canonical field tables.
+
+Every recorded event is one flat tuple ``(t, kind, f1, f2, ...)``
+where ``t`` is the logical sim-time in nanoseconds known to the
+recorder when the event fired (never wall-clock), ``kind`` is one of
+the string constants below, and the remaining elements are the fields
+named by ``EVENT_FIELDS[kind]``, in order.  One flat tuple — no
+nesting, no per-event sequence counter — keeps the emit path to a
+single allocation plus a deque append (~200ns), which is what lets the
+per-fire hot paths stay inside the 10% tracing-overhead budget; the
+sequence number and the dict form only materialize at export time.
+
+The canonical JSONL wire format is one JSON object per line with
+``sort_keys=True`` and compact separators — see
+:meth:`repro.obs.trace.TraceRecorder.canonical_jsonl`.  Goldens diff
+these bytes, so the schema here is a compatibility surface: adding a
+kind is fine, changing the fields of an existing kind invalidates
+committed goldens and must be paired with ``--update-goldens``.
+
+Determinism rules for event payloads:
+
+* no wall-clock values (``time.*``) — sim-time only;
+* no process-global counters (``TableEntry.entry_id``,
+  ``RmtDatapath.instance_id`` shift with test execution order) — name
+  things by table/action/program name instead;
+* values must be JSON-stable primitives (str / int / float / None /
+  flat lists thereof).
+"""
+
+from __future__ import annotations
+
+#: A hook point completed a fire.  ``path`` attributes how the verdict
+#: was produced: ``dispatch`` (datapath ran), ``memo`` (served from the
+#: verdict cache), ``fallback`` (breaker open, fallback program served),
+#: ``default`` (nothing attached / everything refused).
+HOOK_FIRE = "hook_fire"
+
+#: A match-action table resolved a key.  ``source`` is the lookup-path
+#: attribution: ``exact`` (hash hit), ``indexed`` (LPM/range index),
+#: ``scan`` (residual linear scan), ``miss``, or ``linear`` (the
+#: differential oracle path).  The event deliberately stops at
+#: attribution — the winning entry's effect is already pinned by the
+#: ``hook_fire`` verdict, and the two extra attribute loads per lookup
+#: would eat a third of the hot-path tracing budget.
+TABLE_LOOKUP = "table_lookup"
+
+#: Verdict-memo outcome that did *not* serve a fire directly:
+#: ``miss``, ``bypass`` (supervision/fault/rollout forced the slow
+#: path), or ``invalidate`` (epoch changed, cache dropped).  Memo hits
+#: appear as ``hook_fire`` with ``path="memo"`` so the hit fast path
+#: emits exactly one event.
+MEMO = "memo"
+
+#: Circuit-breaker state transition (closed / open / half_open) with
+#: the supervisor's logical clock.
+BREAKER = "breaker"
+
+#: Rollout plan state transition (STAGED/SHADOW/CANARY/...) with the
+#: rollout tick and gate reason.
+ROLLOUT = "rollout"
+
+#: Per-fire rollout lane decision: ``canary`` (fire routed to the
+#: candidate) or ``shadow`` (candidate observed the fire off-path).
+LANE = "lane"
+
+#: A datapath trap was contained by supervision.  ``kind`` is the
+#: injected fault kind when the trap came from the injector, else the
+#: exception class name.
+TRAP = "trap"
+
+#: The fault injector fired on its seeded draw.
+FAULT_INJECTED = "fault_injected"
+
+#: Span delimiters emitted by harness code to structure a trace
+#: (e.g. one span per experiment cell).  Spans nest; ``depth`` is the
+#: nesting level at entry.
+SPAN_BEGIN = "span_begin"
+SPAN_END = "span_end"
+
+#: Positional field names for each kind's ``data`` tuple.
+EVENT_FIELDS: dict[str, tuple[str, ...]] = {
+    HOOK_FIRE: ("hook", "verdict", "path"),
+    TABLE_LOOKUP: ("table", "key", "source"),
+    MEMO: ("hook", "outcome"),
+    BREAKER: ("program", "from", "to", "clock"),
+    ROLLOUT: ("target", "from", "to", "tick", "reason"),
+    LANE: ("target", "lane", "tick"),
+    TRAP: ("hook", "program", "kind"),
+    FAULT_INJECTED: ("hook", "program", "kind"),
+    SPAN_BEGIN: ("name", "depth"),
+    SPAN_END: ("name", "depth"),
+}
+
+EVENT_KINDS: tuple[str, ...] = tuple(EVENT_FIELDS)
+
+
+def event_to_dict(seq: int, event: tuple) -> dict:
+    """Expand a recorded ``(t, kind, *fields)`` tuple to its dict form.
+
+    ``seq`` is the event's position in the retained stream (assigned at
+    export — emission order is the deque order).
+    """
+    out = {"seq": seq, "t": event[0], "kind": event[1]}
+    for name, value in zip(EVENT_FIELDS[event[1]], event[2:]):
+        out[name] = value
+    return out

@@ -1,0 +1,316 @@
+"""Metrics registry: counters, gauges, fixed-bucket sim-ns histograms.
+
+One queryable dotted namespace over everything the subsystems already
+count.  Two usage modes:
+
+* **direct instrumentation** — code holds a ``Counter``/``Histogram``
+  and updates it inline (the swap subsystem feeds stall latencies into
+  ``rmt.swap.stall_ns`` on the active recorder's registry);
+* **pull-model collection** — the ``collect_*`` functions snapshot the
+  existing ``stats()`` dicts from hooks / control plane / supervisor /
+  fault injector / rollouts into the namespace, so callers query
+  ``registry.query("rmt.table.")`` instead of spelunking per-subsystem
+  dict shapes.
+
+Metric identity is ``name{label=value,...}`` with labels sorted, e.g.
+``rmt.table.lookups{table=prefetch_policy}``.  Histograms use fixed
+bucket bounds in **sim-nanoseconds** so snapshots are deterministic and
+mergeable; wall-clock durations (e.g. ``shadow_overhead_ns``) are kept
+out of golden comparisons but still land in the namespace for ad-hoc
+inspection.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Fixed histogram bounds (sim-ns) spanning cache-hit to slow-device
+#: latencies: 100ns .. 1s, roughly 1-2-5 per decade.
+DEFAULT_LATENCY_BOUNDS_NS: tuple[int, ...] = (
+    100, 250, 500,
+    1_000, 2_500, 5_000,
+    10_000, 25_000, 50_000,
+    100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000,
+    10_000_000, 50_000_000, 100_000_000,
+    500_000_000, 1_000_000_000,
+)
+
+#: Breaker states as stable numeric codes for gauge export.
+BREAKER_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+class Counter:
+    """Monotonic count.  ``value`` may be assigned directly when a
+    collector ingests an external snapshot."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """Point-in-time value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def snapshot(self):
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram; the last bucket is the +inf overflow."""
+
+    __slots__ = ("bounds", "counts", "total", "count")
+
+    def __init__(self, bounds: tuple[int, ...] = DEFAULT_LATENCY_BOUNDS_NS):
+        if tuple(sorted(bounds)) != tuple(bounds) or not bounds:
+            raise ValueError("bucket bounds must be non-empty and sorted")
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> int:
+        """Upper bucket bound covering quantile *q* (conservative)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target and n:
+                return (self.bounds[i] if i < len(self.bounds)
+                        else self.bounds[-1])
+        return self.bounds[-1]
+
+    def snapshot(self) -> dict:
+        buckets = {f"le_{b}": c for b, c in zip(self.bounds, self.counts)}
+        buckets["inf"] = self.counts[-1]
+        return {"count": self.count, "sum": self.total, "buckets": buckets}
+
+
+def metric_key(name: str, labels: dict | None = None) -> str:
+    """Canonical metric identity: ``name{k=v,...}`` with sorted labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create store of metrics keyed by canonical identity."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, kind, key, factory):
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"{key} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, metric_key(name, labels), Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, metric_key(name, labels), Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[int, ...] = DEFAULT_LATENCY_BOUNDS_NS,
+        **labels,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, metric_key(name, labels), lambda: Histogram(bounds)
+        )
+
+    def get(self, name: str, **labels):
+        return self._metrics.get(metric_key(name, labels))
+
+    def query(self, prefix: str = "") -> dict:
+        """Snapshot every metric whose key starts with *prefix*."""
+        return {
+            key: metric.snapshot()
+            for key, metric in sorted(self._metrics.items())
+            if key.startswith(prefix)
+        }
+
+    def as_dict(self) -> dict:
+        return self.query("")
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._metrics
+
+
+# -- pull-model collectors over the subsystem stats() dicts ---------------
+
+
+def _ingest(metrics: MetricsRegistry, prefix: str, mapping: dict,
+            labels: dict) -> None:
+    """Flatten numeric leaves of a stats() dict into gauges."""
+    for key, value in mapping.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, dict):
+            _ingest(metrics, f"{prefix}.{key}", value, labels)
+        elif isinstance(value, (int, float)):
+            metrics.gauge(f"{prefix}.{key}", **labels).set(value)
+
+
+_HOOK_COUNTERS = ("fires", "fallback_fires", "contained_traps",
+                  "shadow_fires", "canary_fires", "shadow_overhead_ns")
+_MEMO_COUNTERS = ("hits", "misses", "invalidations", "bypasses")
+_TABLE_COUNTERS = ("lookups", "misses", "exact_hits", "indexed_hits",
+                   "scan_hits")
+
+
+def collect_hooks(hooks, metrics: MetricsRegistry | None = None
+                  ) -> MetricsRegistry:
+    """Snapshot a :class:`HookRegistry` into ``rmt.hook.*`` /
+    ``rmt.memo.*`` / ``rmt.rollout.*``."""
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    for name in hooks.names:
+        st = hooks.hook(name).stats()
+        for field in _HOOK_COUNTERS:
+            metrics.counter(f"rmt.hook.{field}", hook=name).value = st[field]
+        memo = st.get("memo")
+        if memo:
+            for field in _MEMO_COUNTERS:
+                metrics.counter(f"rmt.memo.{field}", hook=name).value = (
+                    memo[field]
+                )
+            metrics.gauge("rmt.memo.entries", hook=name).set(memo["entries"])
+            metrics.gauge("rmt.memo.hit_rate", hook=name).set(
+                memo["hit_rate"]
+            )
+        for rollout in st["rollouts"]:
+            metrics.gauge(
+                "rmt.rollout.active", hook=name, target=rollout["target"],
+                state=rollout["state"],
+            ).set(1)
+    return metrics
+
+
+def collect_control_plane(control_plane,
+                          metrics: MetricsRegistry | None = None
+                          ) -> MetricsRegistry:
+    """Snapshot ``ControlPlane.stats()`` into ``rmt.datapath.*`` /
+    ``rmt.table.*`` / ``rmt.supervisor.*``."""
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    for name, dp_stats in control_plane.stats().items():
+        labels = {"program": name}
+        for field in ("invocations", "actions_run", "overhead_ns"):
+            metrics.counter(f"rmt.datapath.{field}", **labels).value = (
+                dp_stats[field]
+            )
+        for table in dp_stats["tables"]:
+            tlabels = {"program": name, "table": table["name"]}
+            for field in _TABLE_COUNTERS:
+                metrics.counter(f"rmt.table.{field}", **tlabels).value = (
+                    table[field]
+                )
+            metrics.gauge("rmt.table.entries", **tlabels).set(
+                table["entries"]
+            )
+            metrics.gauge("rmt.table.generation", **tlabels).set(
+                table["generation"]
+            )
+        supervision = dp_stats.get("supervision")
+        if supervision:
+            state = supervision.get("state")
+            if state in BREAKER_STATE_CODES:
+                metrics.gauge("rmt.breaker.state_code", **labels).set(
+                    BREAKER_STATE_CODES[state]
+                )
+            _ingest(metrics, "rmt.supervisor",
+                    {k: v for k, v in supervision.items() if k != "state"},
+                    labels)
+        if "memo" in dp_stats and dp_stats["memo"]:
+            _ingest(metrics, "rmt.memo", dp_stats["memo"], labels)
+    return metrics
+
+
+def collect_supervisor(supervisor, metrics: MetricsRegistry | None = None
+                       ) -> MetricsRegistry:
+    """Snapshot ``DatapathSupervisor.stats()`` into ``rmt.supervisor.*``."""
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    for name, st in supervisor.stats().items():
+        labels = {"program": name}
+        state = st.get("state")
+        if state in BREAKER_STATE_CODES:
+            metrics.gauge("rmt.breaker.state_code", **labels).set(
+                BREAKER_STATE_CODES[state]
+            )
+        _ingest(metrics, "rmt.supervisor",
+                {k: v for k, v in st.items() if k != "state"}, labels)
+    return metrics
+
+
+def collect_injector(injector, metrics: MetricsRegistry | None = None
+                     ) -> MetricsRegistry:
+    """Snapshot ``FaultInjector.stats()`` into ``rmt.faults.*``."""
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    st = injector.stats()
+    metrics.counter("rmt.faults.draws").value = st["draws"]
+    metrics.counter("rmt.faults.injected").value = st["injected"]
+    for kind, n in st["by_kind"].items():
+        metrics.counter("rmt.faults.injected_by_kind", kind=kind).value = n
+    for program, n in st["by_program"].items():
+        metrics.counter(
+            "rmt.faults.injected_by_program", program=program
+        ).value = n
+    return metrics
+
+
+def collect_rollout(rollout, metrics: MetricsRegistry | None = None
+                    ) -> MetricsRegistry:
+    """Snapshot ``ModelRollout.status()`` into ``rmt.rollout.*``."""
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    status = rollout.status()
+    labels = {"target": status["target"]}
+    metrics.gauge("rmt.rollout.tick", **labels).set(status["tick"])
+    metrics.gauge("rmt.rollout.scored_outcomes", **labels).set(
+        status["scored_outcomes"]
+    )
+    metrics.gauge("rmt.rollout.pending_outcomes", **labels).set(
+        status["pending_outcomes"]
+    )
+    metrics.gauge(
+        "rmt.rollout.active", target=status["target"],
+        state=status["state"],
+    ).set(1)
+    _ingest(metrics, "rmt.rollout.shadow", status["shadow"], labels)
+    _ingest(metrics, "rmt.rollout.canary", status["canary"], labels)
+    return metrics

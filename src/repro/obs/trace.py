@@ -1,0 +1,202 @@
+"""Low-overhead structured trace recorder.
+
+The recorder is a ring buffer of typed event tuples plus a logical
+clock.  Instrumentation sites across the tree follow one idiom::
+
+    from ..obs import trace as obs_trace
+    ...
+    rec = obs_trace.ACTIVE
+    if rec is not None and rec.want_lookup:
+        rec.emit(TABLE_LOOKUP, (self.name, key, "exact", action, prio))
+
+When tracing is off ``ACTIVE`` is ``None`` and the site costs one
+module-attribute load and an ``is None`` branch — nothing else.  When
+tracing is on, an event is one flat tuple ``(t, kind, *fields)``
+appended to a deque; the dict/JSON form (and the sequence number) only
+materialize at export.  The per-fire hot paths (memoized hook fires,
+table lookups) inline the append instead of calling :meth:`emit` — a
+Python method call there costs more than the event itself.
+
+Time discipline: ``rec.now`` is the *logical* sim-time in nanoseconds,
+pushed forward by the simulator event loop and the swap subsystem.
+Wall-clock never enters an event, which is what makes canonical traces
+byte-stable across machines and runs — the property the golden suite
+(:mod:`repro.harness.goldens`) is built on.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _TallyCounter
+from collections import deque
+from contextlib import contextmanager
+
+from .events import EVENT_FIELDS, event_to_dict
+from .metrics import MetricsRegistry
+
+#: The active recorder, or None when tracing is disabled.  Hot paths
+#: read this module attribute directly; only activate()/deactivate()
+#: write it.
+ACTIVE: TraceRecorder | None = None
+
+#: Default ring capacity — large enough that golden-scale experiment
+#: runs never wrap (wrapping is fine for flight-recorder use, but a
+#: golden diff needs the full stream).
+DEFAULT_CAPACITY = 1 << 20
+
+#: Maps event kind -> the recorder gate attribute that guards its emit
+#: sites.  Per-kind booleans let a recorder subscribe to a subset of
+#: the stream (goldens for the rollout scenario keep only lifecycle
+#: kinds, for instance) while the skipped sites still pay only the
+#: attribute check.
+_KIND_GATES = {
+    "hook_fire": "want_fire",
+    "table_lookup": "want_lookup",
+    "memo": "want_memo",
+    "breaker": "want_breaker",
+    "rollout": "want_rollout",
+    "lane": "want_lane",
+    "trap": "want_trap",
+    "fault_injected": "want_fault",
+    "span_begin": "want_span",
+    "span_end": "want_span",
+}
+
+
+class TraceRecorder:
+    """Ring buffer of flat ``(t, kind, *fields)`` event tuples."""
+
+    __slots__ = (
+        "events",
+        "push",
+        "now",
+        "capacity",
+        "metrics",
+        "_span_depth",
+        "want_fire",
+        "want_lookup",
+        "want_memo",
+        "want_breaker",
+        "want_rollout",
+        "want_lane",
+        "want_trap",
+        "want_fault",
+        "want_span",
+    )
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        kinds: set[str] | frozenset[str] | tuple[str, ...] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if kinds is not None:
+            unknown = set(kinds) - set(EVENT_FIELDS)
+            if unknown:
+                raise ValueError(f"unknown event kinds: {sorted(unknown)}")
+        self.events: deque[tuple] = deque(maxlen=capacity)
+        # Pre-bound append: hot emit sites call ``rec.push(event)``,
+        # one slot load instead of an attribute chain per event.
+        self.push = self.events.append
+        self.capacity = capacity
+        self.now = 0
+        self.metrics = MetricsRegistry()
+        self._span_depth = 0
+        for kind, gate in _KIND_GATES.items():
+            setattr(self, gate, kinds is None or kind in kinds)
+
+    # -- recording ----------------------------------------------------
+
+    def emit(self, kind: str, data: tuple) -> None:
+        """Append one event (cold sites; hot sites inline the push)."""
+        self.push((self.now, kind) + data)
+
+    @property
+    def maybe_wrapped(self) -> bool:
+        """True when the ring is full — older events may have been
+        dropped.  There is deliberately no exact drop counter: hot-path
+        emits are a bare append, with no bookkeeping to pay for."""
+        return len(self.events) == self.capacity
+
+    @contextmanager
+    def span(self, name: str):
+        """Bracket a region of the trace with begin/end span events."""
+        depth = self._span_depth
+        self._span_depth = depth + 1
+        if self.want_span:
+            self.emit("span_begin", (name, depth))
+        try:
+            yield self
+        finally:
+            self._span_depth = depth
+            if self.want_span:
+                self.emit("span_end", (name, depth))
+
+    # -- export -------------------------------------------------------
+
+    def canonical(self) -> list[dict]:
+        """Events as dicts in emission order (the canonical stream)."""
+        return [event_to_dict(seq, event)
+                for seq, event in enumerate(self.events)]
+
+    def canonical_jsonl(self) -> str:
+        """Stable wire format: one compact sorted-key JSON object/line."""
+        lines = [
+            json.dumps(d, sort_keys=True, separators=(",", ":"))
+            for d in self.canonical()
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def summary(self) -> dict:
+        """Counts by kind plus stream totals — the ``summarize`` view."""
+        by_kind = _TallyCounter(event[1] for event in self.events)
+        return {
+            "events": len(self.events),
+            "maybe_wrapped": self.maybe_wrapped,
+            "t_last": self.events[-1][0] if self.events else 0,
+            "by_kind": dict(sorted(by_kind.items())),
+        }
+
+
+def active_recorder() -> TraceRecorder | None:
+    """The currently active recorder, if any."""
+    return ACTIVE
+
+
+def activate(recorder: TraceRecorder) -> TraceRecorder:
+    """Install *recorder* as the process-wide trace sink."""
+    global ACTIVE
+    if ACTIVE is not None:
+        raise RuntimeError("a trace recorder is already active")
+    ACTIVE = recorder
+    return recorder
+
+
+def deactivate() -> None:
+    """Stop tracing (idempotent)."""
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def recording(
+    recorder: TraceRecorder | None = None,
+    *,
+    capacity: int = DEFAULT_CAPACITY,
+    kinds=None,
+):
+    """Activate a recorder for the duration of the block.
+
+    >>> with recording() as rec:
+    ...     registry.fire("hook", ctx)
+    >>> rec.summary()["events"]
+    """
+    rec = recorder if recorder is not None else TraceRecorder(
+        capacity=capacity, kinds=kinds
+    )
+    activate(rec)
+    try:
+        yield rec
+    finally:
+        deactivate()

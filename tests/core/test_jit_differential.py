@@ -1,0 +1,130 @@
+"""Differential testing: JIT tier vs interpreter tier on random DSL
+programs.
+
+The sibling suite (``test_dsl_differential.py``) pins both tiers
+against a *reference evaluator* for pure expressions.  This one widens
+the program space — if/else trees, local-variable chains, context
+writes — and uses the interpreter itself as the oracle: for every
+generated program, the JIT tier must produce the same verdict AND the
+same context side effects.  Any divergence is a bug in exactly one of
+the two execution tiers (or in the code generator feeding them).
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import ContextSchema
+from repro.core.control_plane import RmtDatapath
+from repro.core.dsl import compile_source
+from repro.core.errors import DslError
+from repro.core.verifier import AttachPolicy, Verifier
+
+_FIELDS = ("a", "b", "c")
+_OUT = "out"
+
+
+# -- program strategy -------------------------------------------------------
+#
+# A generated action is: a few local assignments, optionally a context
+# write, then an if/else tree whose leaves return expressions over the
+# fields and locals defined so far.
+
+_ops = st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^"])
+_cmps = st.sampled_from(["<", "<=", ">", ">=", "==", "!="])
+
+
+def _expr_strategy(names: tuple[str, ...]):
+    leaf = st.one_of(
+        st.integers(-100, 100).map(str),
+        st.sampled_from([f"ctxt.{f}" for f in _FIELDS]),
+        *([st.sampled_from(list(names))] if names else []),
+    )
+    return st.recursive(
+        leaf,
+        lambda kids: st.builds(
+            lambda op, l_, r_: f"({l_} {op} {r_})", _ops, kids, kids
+        ),
+        max_leaves=6,
+    )
+
+
+@st.composite
+def programs(draw):
+    lines = []
+    locals_so_far: tuple[str, ...] = ()
+    for i in range(draw(st.integers(0, 3))):
+        name = f"v{i}"
+        expr = draw(_expr_strategy(locals_so_far))
+        lines.append(f"{name} = {expr};")
+        locals_so_far = locals_so_far + (name,)
+    if draw(st.booleans()):
+        lines.append(
+            f"ctxt.{_OUT} = {draw(_expr_strategy(locals_so_far))};"
+        )
+
+    def branch(depth: int) -> list[str]:
+        if depth <= 0 or draw(st.booleans()):
+            return [f"return {draw(_expr_strategy(locals_so_far))};"]
+        # The grammar parses a leading '(' inside a condition as a
+        # nested condition, so the comparison LHS must be a bare atom.
+        lhs = draw(st.one_of(
+            st.integers(-100, 100).map(str),
+            st.sampled_from([f"ctxt.{f}" for f in _FIELDS]),
+            *([st.sampled_from(list(locals_so_far))]
+              if locals_so_far else []),
+        ))
+        cond = (f"({lhs} {draw(_cmps)} "
+                f"{draw(_expr_strategy(locals_so_far))})")
+        return (
+            [f"if {cond} {{"] + branch(depth - 1)
+            + ["} else {"] + branch(depth - 1) + ["}"]
+        )
+
+    lines.extend(branch(draw(st.integers(0, 2))))
+    body = "\n".join(lines)
+    env = {f: draw(st.integers(-(1 << 16), 1 << 16)) for f in _FIELDS}
+    return body, env
+
+
+class TestJitDifferential:
+    @settings(max_examples=100, deadline=None)
+    @given(programs())
+    def test_random_programs_agree(self, case):
+        body, env = case
+        schema = ContextSchema("test_hook")
+        for name in _FIELDS:
+            schema.add_field(name)
+        schema.add_field(_OUT, writable=True)
+        source = f"""
+            table t {{ match = a; default_action = f; }}
+            action f() {{
+                {body}
+            }}
+        """
+        try:
+            program = compile_source(source, "p", "test_hook", schema)
+        except DslError as exc:
+            # Register pressure is a documented hard bound of the
+            # constrained language; discard pathological random trees.
+            if "too complex" in str(exc):
+                assume(False)
+            raise
+        policy = AttachPolicy("test_hook")
+        Verifier(policy).verify_or_raise(program)
+
+        ctx_interp = schema.new_context(**env)
+        got_interp = RmtDatapath(
+            program, policy, mode="interpret"
+        ).invoke(ctx_interp)
+        ctx_jit = schema.new_context(**env)
+        got_jit = RmtDatapath(program, policy, mode="jit").invoke(ctx_jit)
+
+        assert got_interp == got_jit, (
+            f"verdict diverged (interp={got_interp}, jit={got_jit}) on:\n"
+            f"{body}\nwith {env}"
+        )
+        assert ctx_interp.as_dict() == ctx_jit.as_dict(), (
+            f"context side effects diverged on:\n{body}\nwith {env}"
+        )

@@ -1,0 +1,182 @@
+"""Property-based round-trip tests for the wire formats.
+
+Two layers get the hypothesis treatment:
+
+* the 64-bit instruction word (``encode_instruction`` /
+  ``decode_instruction``) — every opcode, the full signed ranges of
+  ``offset`` and ``imm``, and the per-opcode register-file limits;
+* the whole-program syscall payload (``program_to_payload`` /
+  ``payload_to_program``) for table-backed programs with randomized
+  entries across all four match kinds.
+
+The example-based suite (``test_serialize.py``) pins one rich program;
+these tests sweep the input space so an encoding change that only
+corrupts, say, negative offsets or LPM masks cannot slip through.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bytecode import (
+    BytecodeProgram,
+    Instruction,
+    decode_instruction,
+    encode_instruction,
+)
+from repro.core.context import ContextSchema
+from repro.core.isa import N_SCALAR_REGS, N_VECTOR_REGS, OPCODE_SPECS, Opcode
+from repro.core.program import ProgramBuilder
+from repro.core.serialize import payload_to_program, program_to_payload
+from repro.core.tables import (
+    MatchActionTable,
+    MatchKind,
+    MatchPattern,
+    TableEntry,
+)
+
+_OFFSET = st.integers(-(1 << 15), (1 << 15) - 1)
+_IMM = st.integers(-(1 << 31), (1 << 31) - 1)
+
+
+@st.composite
+def instructions(draw) -> Instruction:
+    """Any valid instruction: opcode-aware register limits, full
+    signed immediate/offset ranges."""
+    op = draw(st.sampled_from(list(Opcode)))
+    spec = OPCODE_SPECS[op]
+    dst_limit = (
+        N_VECTOR_REGS
+        if ("dst" in spec.vwrites or "dst" in spec.vreads)
+        else N_SCALAR_REGS
+    )
+    src_limit = N_VECTOR_REGS if "src" in spec.vreads else N_SCALAR_REGS
+    return Instruction(
+        opcode=op,
+        dst=draw(st.integers(0, dst_limit - 1)),
+        src=draw(st.integers(0, src_limit - 1)),
+        offset=draw(_OFFSET),
+        imm=draw(_IMM),
+    )
+
+
+class TestInstructionWords:
+    @settings(max_examples=300, deadline=None)
+    @given(instructions())
+    def test_word_roundtrip_identity(self, instr):
+        word = encode_instruction(instr)
+        assert 0 <= word < (1 << 64)
+        assert decode_instruction(word) == instr
+
+    def test_every_opcode_roundtrips(self):
+        # Deterministic sweep: hypothesis sampling could in principle
+        # miss an opcode; the wire contract covers all of them.
+        for op in Opcode:
+            instr = Instruction(opcode=op, dst=0, src=0,
+                                offset=-1, imm=-(1 << 31))
+            assert decode_instruction(encode_instruction(instr)) == instr
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(instructions(), max_size=16))
+    def test_program_words_roundtrip(self, instrs):
+        prog = BytecodeProgram("p", instrs)
+        words = prog.to_words()
+        # words must survive a JSON hop (the syscall payload embeds them)
+        words = json.loads(json.dumps(words))
+        assert BytecodeProgram.from_words("p", words).instructions == instrs
+
+
+# -- table-backed payload round-trip ----------------------------------------
+
+_KINDS = st.sampled_from(
+    [MatchKind.EXACT, MatchKind.TERNARY, MatchKind.RANGE, MatchKind.LPM]
+)
+_VAL = st.integers(0, (1 << 32) - 1)
+_ACTIONS = ("act_a", "act_b")
+
+
+@st.composite
+def patterns(draw, kind: MatchKind) -> MatchPattern:
+    if draw(st.booleans() if kind is MatchKind.TERNARY else st.just(False)):
+        return MatchPattern.wildcard()
+    if kind is MatchKind.EXACT:
+        return MatchPattern.exact(draw(_VAL))
+    if kind is MatchKind.TERNARY:
+        return MatchPattern.ternary(draw(_VAL), draw(_VAL))
+    if kind is MatchKind.RANGE:
+        lo, hi = sorted((draw(_VAL), draw(_VAL)))
+        return MatchPattern.range(lo, hi)
+    return MatchPattern.lpm(draw(_VAL), draw(st.integers(0, 64)))
+
+
+@st.composite
+def table_programs(draw):
+    """A program whose single table has randomized kinds and entries."""
+    kinds = (draw(_KINDS), draw(_KINDS))
+    table = MatchActionTable(
+        "t", ["pid", "page"], list(kinds), default_action="fallback"
+    )
+    n_entries = draw(st.integers(0, 6))
+    for _ in range(n_entries):
+        table.insert(TableEntry(
+            patterns=(draw(patterns(kinds[0])), draw(patterns(kinds[1]))),
+            action=draw(st.sampled_from(_ACTIONS)),
+            action_data=draw(st.dictionaries(
+                st.sampled_from(["ml", "pf_steps", "x"]),
+                st.integers(0, 7), max_size=2,
+            )),
+            priority=draw(st.integers(0, 5)),
+        ))
+    schema = ContextSchema("test_hook")
+    schema.add_field("pid")
+    schema.add_field("page")
+    builder = ProgramBuilder("prog", "test_hook", schema)
+    builder.add_table(table)
+    for name in _ACTIONS + ("fallback",):
+        builder.add_action(BytecodeProgram(name, [
+            Instruction(Opcode.MOV_IMM, dst=0, imm=draw(_IMM)),
+            Instruction(Opcode.EXIT),
+        ]))
+    probes = [
+        (draw(_VAL), draw(_VAL)) for _ in range(draw(st.integers(1, 4)))
+    ]
+    return builder.build(), schema, probes
+
+
+class TestPayloadRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(table_programs())
+    def test_table_backed_program_roundtrips(self, case):
+        program, schema, probes = case
+        payload = json.loads(json.dumps(program_to_payload(program)))
+        rebuilt = payload_to_program(payload)
+
+        orig_t = program.pipeline.table("t")
+        new_t = rebuilt.pipeline.table("t")
+        assert new_t.kinds == orig_t.kinds
+        assert new_t.default_action == orig_t.default_action
+        assert len(new_t.entries) == len(orig_t.entries)
+        for old, new in zip(orig_t.entries, new_t.entries):
+            assert new.patterns == old.patterns
+            assert new.action == old.action
+            assert new.action_data == old.action_data
+            assert new.priority == old.priority
+
+        for name, action in program.actions.items():
+            assert rebuilt.actions[name].instructions == action.instructions
+
+        # lookup behaviour is preserved, not just structure
+        for pid, page in probes:
+            ctx_a = schema.new_context(pid=pid, page=page)
+            ctx_b = schema.new_context(pid=pid, page=page)
+            old = orig_t.lookup(ctx_a)
+            new = new_t.lookup(ctx_b)
+            if old is None:
+                assert new is None
+            else:
+                assert (new.action, new.priority, new.action_data) == (
+                    old.action, old.priority, old.action_data
+                )

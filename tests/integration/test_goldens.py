@@ -1,0 +1,94 @@
+"""Golden-trace regression suite.
+
+Each scenario re-runs one experiment harness at tiny scale under a
+recorder and compares the canonical JSONL byte-for-byte against the
+file committed in ``tests/goldens/``.  A failure here means a change
+altered datapath *behaviour* — verdicts, lookup attribution, fault
+containment, or rollout gating — and the diff in the failure message
+shows exactly which events moved.  If the change is intentional,
+regenerate with::
+
+    PYTHONPATH=src python -m repro trace diff --update-goldens
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.goldens import (
+    SCENARIOS,
+    check_golden,
+    default_golden_dir,
+    diff_traces,
+    golden_path,
+    record_scenario,
+)
+
+_NAMES = tuple(SCENARIOS)
+
+
+class TestGoldenFiles:
+    def test_all_scenarios_have_committed_goldens(self):
+        for name in _NAMES:
+            assert golden_path(name).exists(), (
+                f"missing golden for {name!r}; run "
+                f"`repro trace diff --update-goldens`"
+            )
+
+    def test_goldens_are_canonical_jsonl(self):
+        for name in _NAMES:
+            for i, line in enumerate(
+                golden_path(name).read_text().splitlines()
+            ):
+                obj = json.loads(line)
+                assert obj["seq"] == i
+                assert line == json.dumps(obj, sort_keys=True,
+                                          separators=(",", ":"))
+
+
+@pytest.mark.parametrize("name", _NAMES)
+class TestGoldenMatch:
+    def test_scenario_matches_golden(self, name):
+        result = check_golden(name)
+        assert result.ok, (
+            f"golden drift in {name!r} "
+            f"({result.events} events recorded):\n{result.diff}"
+        )
+
+
+class TestHarnessMechanics:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            record_scenario("nope")
+
+    def test_diff_is_empty_on_identical(self):
+        assert diff_traces("a\nb\n", "a\nb\n") == ""
+
+    def test_diff_is_unified_on_mismatch(self):
+        diff = diff_traces("a\nb\n", "a\nc\n")
+        assert "-b" in diff and "+c" in diff
+        assert diff.startswith("--- golden")
+
+    def test_missing_golden_reports_drift_with_hint(self, tmp_path):
+        result = check_golden("rollout", directory=tmp_path)
+        assert not result.ok
+        assert "update-goldens" in result.diff
+
+    def test_update_writes_golden(self, tmp_path):
+        result = check_golden("rollout", directory=tmp_path, update=True)
+        assert result.updated and result.ok
+        assert (tmp_path / "rollout.jsonl").exists()
+        # and the freshly written golden immediately verifies
+        again = check_golden("rollout", directory=tmp_path)
+        assert again.ok
+
+    def test_kind_filter_respected(self):
+        rec = record_scenario("rollout")
+        kinds = {e[1] for e in rec.events}
+        assert kinds <= SCENARIOS["rollout"].kinds
+
+    def test_default_golden_dir_is_tests_goldens(self):
+        assert default_golden_dir().name == "goldens"
+        assert default_golden_dir().parent.name == "tests"

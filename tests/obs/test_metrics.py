@@ -1,0 +1,207 @@
+"""Metrics registry: primitives, canonical identity, and the pull-model
+collectors that subsume the subsystem ``stats()`` dicts.
+
+The registry's value is a single queryable namespace: after a run,
+``registry.query("rmt.table.")`` answers what previously required
+knowing each subsystem's private dict shape.  The collectors are pure
+snapshots — calling them must never mutate the source objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.context import ContextSchema
+from repro.core.isa import Opcode
+from repro.core.program import ProgramBuilder
+from repro.core.tables import MatchActionTable
+from repro.core.verifier import AttachPolicy
+from repro.kernel.faults import FaultInjector, FaultPlan
+from repro.kernel.hooks import HookRegistry
+from repro.kernel.syscalls import RmtSyscallInterface
+from repro.obs.metrics import (
+    BREAKER_STATE_CODES,
+    DEFAULT_LATENCY_BOUNDS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_control_plane,
+    collect_hooks,
+    collect_injector,
+    metric_key,
+)
+
+I = Instruction
+OP = Opcode
+
+
+def _fixture():
+    schema = ContextSchema("m_hook")
+    schema.add_field("pid")
+    hooks = HookRegistry()
+    hooks.declare("m_hook", schema, AttachPolicy("m_hook"))
+    builder = ProgramBuilder("m_prog", "m_hook", schema)
+    table = builder.add_table(MatchActionTable("m_tab", ["pid"]))
+    builder.add_action(BytecodeProgram("act", [
+        I(OP.LD_CTXT, dst=0, imm=schema.field_id("pid")),
+        I(OP.EXIT),
+    ]))
+    for i in range(4):
+        table.insert_exact([i], "act")
+    iface = RmtSyscallInterface(hooks)
+    iface.install(builder.build(), mode="interpret")
+    return hooks, schema, iface
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(5)
+        assert c.snapshot() == 6
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(3.5)
+        assert g.snapshot() == 3.5
+
+    def test_histogram_buckets(self):
+        h = Histogram(bounds=(10, 100, 1000))
+        for v in (5, 10, 11, 500, 10_000):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == 5 + 10 + 11 + 500 + 10_000
+        # bisect_left: a value equal to a bound lands in that bucket
+        assert snap["buckets"] == {"le_10": 2, "le_100": 1, "le_1000": 1,
+                                   "inf": 1}
+
+    def test_histogram_mean_and_quantile(self):
+        h = Histogram(bounds=(10, 100, 1000))
+        for v in (1, 2, 3, 200):
+            h.observe(v)
+        assert h.mean == pytest.approx(206 / 4)
+        assert h.quantile(0.5) == 10
+        assert h.quantile(1.0) == 1000
+
+    def test_histogram_empty(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        assert h.snapshot()["count"] == 0
+
+    def test_histogram_bounds_validated(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram(bounds=(100, 10))
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram(bounds=())
+
+    def test_default_bounds_sorted(self):
+        assert tuple(sorted(DEFAULT_LATENCY_BOUNDS_NS)) == (
+            DEFAULT_LATENCY_BOUNDS_NS
+        )
+
+
+class TestIdentityAndRegistry:
+    def test_metric_key_sorts_labels(self):
+        assert metric_key("m", {"b": 2, "a": 1}) == "m{a=1,b=2}"
+        assert metric_key("m") == "m"
+
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("rmt.x", table="t")
+        c2 = reg.counter("rmt.x", table="t")
+        assert c1 is c2
+        assert len(reg) == 1
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("rmt.x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("rmt.x")
+
+    def test_query_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("rmt.table.lookups", table="t").inc(3)
+        reg.counter("rmt.hook.fires", hook="h").inc(2)
+        got = reg.query("rmt.table.")
+        assert got == {"rmt.table.lookups{table=t}": 3}
+        assert "rmt.hook.fires{hook=h}" in reg
+        assert reg.get("rmt.hook.fires", hook="h").value == 2
+
+    def test_as_dict_is_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc()
+        assert list(reg.as_dict()) == ["a", "b"]
+
+
+class TestCollectors:
+    def test_collect_hooks_counters(self):
+        hooks, schema, _ = _fixture()
+        hook = hooks.hook("m_hook")
+        hook.enable_memo()
+        hook.fire(schema.new_context(pid=1))  # miss
+        hook.fire(schema.new_context(pid=1))  # hit
+        reg = collect_hooks(hooks)
+        assert reg.get("rmt.hook.fires", hook="m_hook").value == 2
+        assert reg.get("rmt.memo.hits", hook="m_hook").value == 1
+        assert reg.get("rmt.memo.misses", hook="m_hook").value == 1
+        assert reg.get("rmt.memo.entries", hook="m_hook").value == 1
+
+    def test_collect_control_plane_tables(self):
+        hooks, schema, iface = _fixture()
+        hooks.fire("m_hook", schema.new_context(pid=2))
+        hooks.fire("m_hook", schema.new_context(pid=99))
+        reg = collect_control_plane(iface.control_plane)
+        labels = {"program": "m_prog", "table": "m_tab"}
+        assert reg.get("rmt.table.lookups", **labels).value == 2
+        assert reg.get("rmt.table.exact_hits", **labels).value == 1
+        assert reg.get("rmt.table.misses", **labels).value == 1
+        assert reg.get("rmt.datapath.invocations",
+                       program="m_prog").value == 2
+
+    def test_collect_is_a_pure_snapshot(self):
+        hooks, schema, _ = _fixture()
+        hooks.fire("m_hook", schema.new_context(pid=1))
+        before = hooks.hook("m_hook").stats()
+        collect_hooks(hooks)
+        assert hooks.hook("m_hook").stats() == before
+
+    def test_collect_injector(self):
+        injector = FaultInjector(FaultPlan.uniform(1.0, seed=3))
+        try:
+            injector.maybe_inject("m_hook", "m_prog")
+        except Exception:
+            pass
+        reg = collect_injector(injector)
+        assert reg.get("rmt.faults.draws").value == 1
+        assert reg.get("rmt.faults.injected").value == 1
+
+    def test_collectors_share_one_registry(self):
+        hooks, schema, iface = _fixture()
+        hooks.fire("m_hook", schema.new_context(pid=1))
+        reg = MetricsRegistry()
+        collect_hooks(hooks, reg)
+        collect_control_plane(iface.control_plane, reg)
+        assert reg.query("rmt.hook.")
+        assert reg.query("rmt.table.")
+
+    def test_breaker_state_codes_cover_states(self):
+        assert set(BREAKER_STATE_CODES) == {"closed", "half_open", "open"}
+
+
+class TestRecorderRegistryIntegration:
+    def test_swap_stalls_feed_histogram(self):
+        from repro.kernel.mm.swap import SwapSubsystem
+        from repro.kernel.storage import RemoteMemoryModel
+        from repro.obs.trace import recording
+
+        with recording() as rec:
+            swap = SwapSubsystem(RemoteMemoryModel(), cache_pages=8)
+            swap.access(pid=1, page=1, now=0)  # cold demand fault stalls
+        hist = rec.metrics.get("rmt.swap.stall_ns")
+        assert hist is not None
+        assert hist.count >= 1
+        assert hist.total == swap.stats.stall_ns

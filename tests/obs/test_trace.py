@@ -1,0 +1,304 @@
+"""Trace recorder: ring semantics, gates, canonical export, and the
+instrumentation sites across hooks / tables / supervisor / faults /
+rollout.
+
+The recorder's contract has two halves: when inactive, instrumented
+code must behave exactly as if the obs package did not exist; when
+active, every datapath-visible decision lands in the stream as a flat
+``(t, kind, *fields)`` tuple whose canonical JSONL form is byte-stable
+(that property is exercised end-to-end by the golden suite — here we
+pin the building blocks).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.context import ContextSchema
+from repro.core.isa import Opcode
+from repro.core.supervisor import CircuitBreaker, SupervisorConfig
+from repro.core.tables import MatchActionTable
+from repro.core.verifier import AttachPolicy
+from repro.deploy.plan import RolloutPlan
+from repro.kernel.faults import FaultInjected, FaultInjector, FaultPlan
+from repro.kernel.hooks import HookRegistry
+from repro.kernel.syscalls import RmtSyscallInterface
+from repro.obs import (
+    EVENT_FIELDS,
+    EVENT_KINDS,
+    TraceRecorder,
+    active_recorder,
+    event_to_dict,
+    recording,
+)
+from repro.obs import trace as obs_trace
+
+I = Instruction
+OP = Opcode
+
+
+def _hook_fixture(n_entries: int = 8):
+    """One hook, one memo-safe program: exact table over ``pid``, the
+    action returns the pid (verdicts are checkable per fire)."""
+    schema = ContextSchema("obs_hook")
+    schema.add_field("pid")
+    hooks = HookRegistry()
+    hooks.declare("obs_hook", schema, AttachPolicy("obs_hook"))
+    from repro.core.program import ProgramBuilder
+
+    builder = ProgramBuilder("obs_prog", "obs_hook", schema)
+    table = builder.add_table(MatchActionTable("obs_tab", ["pid"]))
+    builder.add_action(BytecodeProgram("act", [
+        I(OP.LD_CTXT, dst=0, imm=schema.field_id("pid")),
+        I(OP.EXIT),
+    ]))
+    for i in range(n_entries):
+        table.insert_exact([i], "act")
+    RmtSyscallInterface(hooks).install(builder.build(), mode="interpret")
+    return hooks, schema
+
+
+class TestRecorderCore:
+    def test_emit_appends_flat_tuples(self):
+        rec = TraceRecorder()
+        rec.now = 42
+        rec.emit("hook_fire", ("h", 1, "dispatch"))
+        assert list(rec.events) == [(42, "hook_fire", "h", 1, "dispatch")]
+
+    def test_ring_wraps_at_capacity(self):
+        rec = TraceRecorder(capacity=3)
+        for i in range(5):
+            rec.now = i
+            rec.emit("hook_fire", ("h", i, "dispatch"))
+        assert rec.maybe_wrapped
+        assert [e[0] for e in rec.events] == [2, 3, 4]
+        # seq is assigned over the *retained* stream at export
+        assert [d["seq"] for d in rec.canonical()] == [0, 1, 2]
+
+    def test_not_wrapped_below_capacity(self):
+        rec = TraceRecorder(capacity=3)
+        rec.emit("hook_fire", ("h", 1, "dispatch"))
+        assert not rec.maybe_wrapped
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TraceRecorder(capacity=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kinds"):
+            TraceRecorder(kinds={"hook_fire", "nope"})
+
+    def test_kind_filter_sets_gates(self):
+        rec = TraceRecorder(kinds={"hook_fire", "trap"})
+        assert rec.want_fire and rec.want_trap
+        assert not (rec.want_lookup or rec.want_memo or rec.want_breaker
+                    or rec.want_rollout or rec.want_lane or rec.want_fault
+                    or rec.want_span)
+
+    def test_default_gates_all_on(self):
+        rec = TraceRecorder()
+        assert all(
+            getattr(rec, g) for g in (
+                "want_fire", "want_lookup", "want_memo", "want_breaker",
+                "want_rollout", "want_lane", "want_trap", "want_fault",
+                "want_span",
+            )
+        )
+
+    def test_span_nesting_depth(self):
+        rec = TraceRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        kinds = [(e[1], e[2], e[3]) for e in rec.events]
+        assert kinds == [
+            ("span_begin", "outer", 0),
+            ("span_begin", "inner", 1),
+            ("span_end", "inner", 1),
+            ("span_end", "outer", 0),
+        ]
+
+    def test_summary_counts_by_kind(self):
+        rec = TraceRecorder()
+        rec.now = 7
+        rec.emit("hook_fire", ("h", 1, "dispatch"))
+        rec.emit("hook_fire", ("h", 2, "memo"))
+        rec.emit("trap", ("h", "p", "crash"))
+        s = rec.summary()
+        assert s["events"] == 3
+        assert s["t_last"] == 7
+        assert s["by_kind"] == {"hook_fire": 2, "trap": 1}
+        assert not s["maybe_wrapped"]
+
+
+class TestCanonicalExport:
+    def test_event_to_dict_names_fields(self):
+        d = event_to_dict(3, (9, "table_lookup", "tab", (1, 2), "exact"))
+        assert d == {"seq": 3, "t": 9, "kind": "table_lookup",
+                     "table": "tab", "key": (1, 2), "source": "exact"}
+
+    def test_every_kind_has_fields(self):
+        for kind in EVENT_KINDS:
+            assert kind in EVENT_FIELDS
+            assert all(isinstance(f, str) for f in EVENT_FIELDS[kind])
+
+    def test_jsonl_is_sorted_compact_and_parseable(self):
+        rec = TraceRecorder()
+        rec.now = 1
+        rec.emit("table_lookup", ("tab", (5,), "exact"))
+        line = rec.canonical_jsonl().strip()
+        obj = json.loads(line)
+        assert obj == {"seq": 0, "t": 1, "kind": "table_lookup",
+                       "table": "tab", "key": [5], "source": "exact"}
+        # keys sorted, no whitespace: the byte-stable wire contract
+        assert line == json.dumps(obj, sort_keys=True,
+                                  separators=(",", ":"))
+
+    def test_empty_stream_exports_empty(self):
+        rec = TraceRecorder()
+        assert rec.canonical() == []
+        assert rec.canonical_jsonl() == ""
+
+
+class TestActivation:
+    def test_recording_installs_and_removes(self):
+        assert active_recorder() is None
+        with recording() as rec:
+            assert active_recorder() is rec
+            assert obs_trace.ACTIVE is rec
+        assert active_recorder() is None
+
+    def test_double_activate_rejected(self):
+        with recording():
+            with pytest.raises(RuntimeError, match="already active"):
+                obs_trace.activate(TraceRecorder())
+
+    def test_deactivates_on_exception(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with recording():
+                raise RuntimeError("boom")
+        assert active_recorder() is None
+
+    def test_recording_accepts_existing_recorder(self):
+        rec = TraceRecorder(capacity=5)
+        with recording(rec) as got:
+            assert got is rec
+
+
+class TestHookInstrumentation:
+    def test_dispatch_fire_emits_lookup_and_fire(self):
+        hooks, schema = _hook_fixture()
+        with recording() as rec:
+            verdict = hooks.fire("obs_hook", schema.new_context(pid=3))
+        assert verdict == 3
+        by_kind = rec.summary()["by_kind"]
+        assert by_kind["hook_fire"] == 1
+        assert by_kind["table_lookup"] == 1
+        fire = next(e for e in rec.events if e[1] == "hook_fire")
+        assert fire[2:] == ("obs_hook", 3, "dispatch")
+        lookup = next(e for e in rec.events if e[1] == "table_lookup")
+        assert lookup[2:] == ("obs_tab", (3,), "exact")
+
+    def test_table_miss_attributed(self):
+        hooks, schema = _hook_fixture(n_entries=2)
+        with recording() as rec:
+            hooks.fire("obs_hook", schema.new_context(pid=99))
+        lookup = next(e for e in rec.events if e[1] == "table_lookup")
+        assert lookup[2:] == ("obs_tab", (99,), "miss")
+
+    def test_memo_hit_emits_single_fire_event(self):
+        hooks, schema = _hook_fixture()
+        hook = hooks.hook("obs_hook")
+        hook.enable_memo()
+        ctx = schema.new_context(pid=3)
+        hook.fire(ctx)  # warm: miss + dispatch
+        with recording() as rec:
+            assert hook.fire(schema.new_context(pid=3)) == 3
+        # a memoized fire is exactly one event — no lookup, no memo event
+        assert [e[1] for e in rec.events] == ["hook_fire"]
+        assert rec.events[0][2:] == ("obs_hook", 3, "memo")
+
+    def test_memo_miss_emits_memo_event(self):
+        hooks, schema = _hook_fixture()
+        hook = hooks.hook("obs_hook")
+        hook.enable_memo()
+        with recording() as rec:
+            hook.fire(schema.new_context(pid=4))
+        kinds = [e[1] for e in rec.events]
+        assert kinds == ["memo", "table_lookup", "hook_fire"]
+        memo_ev = rec.events[0]
+        assert memo_ev[2:] == ("obs_hook", "miss")
+
+    def test_untraced_fire_identical_verdicts(self):
+        hooks, schema = _hook_fixture()
+        plain = [hooks.fire("obs_hook", schema.new_context(pid=p))
+                 for p in (1, 2, 99)]
+        with recording():
+            traced = [hooks.fire("obs_hook", schema.new_context(pid=p))
+                      for p in (1, 2, 99)]
+        assert plain == traced
+
+    def test_kind_gate_suppresses_lookup_events(self):
+        hooks, schema = _hook_fixture()
+        with recording(kinds={"hook_fire"}) as rec:
+            hooks.fire("obs_hook", schema.new_context(pid=1))
+        assert [e[1] for e in rec.events] == ["hook_fire"]
+
+
+class TestSubsystemInstrumentation:
+    def test_breaker_transitions_traced(self):
+        breaker = CircuitBreaker(
+            SupervisorConfig(fault_threshold=1, fault_window=10,
+                             base_backoff=2),
+            name="prog_x",
+        )
+        with recording() as rec:
+            breaker.admit()
+            breaker.record_fault()
+        transitions = [e for e in rec.events if e[1] == "breaker"]
+        assert transitions
+        assert transitions[0][2] == "prog_x"
+        assert (transitions[0][3], transitions[0][4]) == ("closed", "open")
+
+    def test_fault_injection_traced(self):
+        injector = FaultInjector(FaultPlan.uniform(1.0, seed=7))
+        with recording() as rec:
+            with pytest.raises(FaultInjected):
+                injector.maybe_inject("obs_hook", "prog_y")
+        fault = next(e for e in rec.events if e[1] == "fault_injected")
+        assert fault[2] == "obs_hook"
+        assert fault[3] == "prog_y"
+        assert fault[4] in ("helper_fault", "map_corrupt",
+                            "budget_exhaust", "model_saturate")
+
+    def test_rollout_transitions_traced(self):
+        plan = RolloutPlan(target="candidate_v2")
+        with recording() as rec:
+            plan.to("shadow", tick=1, reason="staged ok")
+            plan.to("canary", tick=5, reason="shadow ok")
+        rollouts = [e for e in rec.events if e[1] == "rollout"]
+        assert [(e[3], e[4], e[5]) for e in rollouts] == [
+            ("staged", "shadow", 1), ("shadow", "canary", 5),
+        ]
+        assert all(e[2] == "candidate_v2" for e in rollouts)
+
+    def test_trap_contained_and_traced(self):
+        from repro.core.supervisor import DatapathSupervisor
+
+        hooks, schema = _hook_fixture()
+        hooks.supervise(DatapathSupervisor())
+        hooks.inject_faults(FaultInjector(FaultPlan.uniform(1.0, seed=7)))
+        with recording() as rec:
+            verdict = hooks.fire("obs_hook", schema.new_context(pid=1))
+        assert verdict is None  # trap contained, no fallback installed
+        kinds = rec.summary()["by_kind"]
+        assert kinds.get("fault_injected") == 1
+        assert kinds.get("trap") == 1
+        trap = next(e for e in rec.events if e[1] == "trap")
+        assert trap[2] == "obs_hook"
+        assert trap[3] == "obs_prog"
+        assert trap[4] in ("helper_fault", "map_corrupt",
+                           "budget_exhaust", "model_saturate")

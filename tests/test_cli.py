@@ -115,6 +115,51 @@ class TestRolloutCommand:
         assert capsys.readouterr().out == first
 
 
+class TestTraceCommand:
+    def test_record_writes_canonical_jsonl(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "rollout.jsonl"
+        assert main(["trace", "record", "rollout", "--out", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        lines = out.read_text().splitlines()
+        assert lines
+        for i, line in enumerate(lines):
+            obj = json.loads(line)
+            assert obj["seq"] == i
+
+    def test_summarize_counts_kinds(self, tmp_path, capsys):
+        out = tmp_path / "rollout.jsonl"
+        main(["trace", "record", "rollout", "--out", str(out)])
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "rollout" in text
+        assert "events" in text
+
+    def test_diff_clean_against_committed_goldens(self, capsys):
+        assert main(["trace", "diff"]) == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_diff_reports_drift_against_stale_dir(self, tmp_path, capsys):
+        (tmp_path / "rollout.jsonl").write_text(
+            '{"kind":"hook_fire","seq":0,"t":0}\n')
+        code = main(["trace", "diff", "rollout",
+                     "--goldens-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DRIFT" in out
+        assert "--update-goldens" in out
+
+    def test_update_then_diff_round_trips(self, tmp_path, capsys):
+        assert main(["trace", "diff", "rollout", "--goldens-dir",
+                     str(tmp_path), "--update-goldens"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", "rollout",
+                     "--goldens-dir", str(tmp_path)]) == 0
+        assert "no drift" in capsys.readouterr().out
+
+
 class TestAblationCommand:
     def test_privacy_ablation_runs(self, capsys):
         assert main(["ablation", "privacy"]) == 0
