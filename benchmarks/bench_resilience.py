@@ -168,3 +168,216 @@ def test_unsupervised_crash_is_attributed():
         run_trace(workload, prefetcher, device=RemoteMemoryModel(),
                   cache_pages=TABLE1_CACHE_PAGES[workload.name])
     assert excinfo.value.program is not None
+
+
+# -- standalone smoke/full (CI gate + BENCH_resilience.json) ----------------
+
+#: The datapath fire path must not pay for journaling: a kernel driven
+#: by a RecoverableControlPlane must fire within this factor of one
+#: driven by the plain ControlPlane (same ceiling as the hot-path
+#: tracing gate).
+FIRE_PARITY_CEILING_PCT = 10.0
+
+
+def _journal_overhead(smoke: bool, seed: int) -> dict:
+    """Control-plane op cost and datapath fire parity, plain vs journaled.
+
+    Journaling is control-plane-only by design; the fire measurement is
+    the proof (the journaled world runs the *identical* hook code).
+    """
+    import time
+
+    import numpy as np
+
+    from repro.harness.recovery_experiment import (
+        _make_schema, _model_program, _train_tree,
+    )
+    from repro.core.supervisor import DatapathSupervisor
+    from repro.core.verifier import AttachPolicy
+    from repro.kernel.hooks import HookRegistry
+    from repro.kernel.syscalls import RmtSyscallInterface
+    from repro.recovery import RecoverableControlPlane, RecoveryStore
+
+    n_ops = 200 if smoke else 1_000
+    n_fires = 2_000 if smoke else 10_000
+    tree = _train_tree(seed)
+
+    def build(journaled: bool):
+        schema = _make_schema()
+        hooks = HookRegistry()
+        hooks.declare("test_hook", schema, AttachPolicy("test_hook"))
+        hooks.supervise(DatapathSupervisor())
+        if journaled:
+            cp = RecoverableControlPlane(
+                hooks.helpers, hook_registry=hooks,
+                store=RecoveryStore(), checkpoint_every=50,
+            )
+            cp.attach_supervisor(hooks.supervisor)
+            iface = RmtSyscallInterface(hooks, control_plane=cp)
+        else:
+            iface = RmtSyscallInterface(hooks)
+        iface.install(_model_program(schema, tree, "prog"),
+                      mode="interpret")
+        return schema, hooks, iface.control_plane
+
+    def time_ops(cp) -> float:
+        t0 = time.perf_counter()
+        for i in range(n_ops):
+            cp.add_entry("prog", "tab", [1000 + i], "act")
+        return (time.perf_counter() - t0) / n_ops * 1e6
+
+    def one_round(schema, hooks, pids) -> float:
+        t0 = time.perf_counter()
+        for pid in pids:
+            hooks.fire("test_hook",
+                       schema.new_context(pid=int(pid), page=0))
+        return (time.perf_counter() - t0) / len(pids) * 1e6
+
+    schema_p, hooks_p, cp_plain = build(journaled=False)
+    schema_j, hooks_j, cp_journal = build(journaled=True)
+    plain_op_us = time_ops(cp_plain)
+    journal_op_us = time_ops(cp_journal)
+    # Fire parity: interleave the two worlds round-robin (best of 4
+    # after a shared warm-up round) so drift hits both arms equally.
+    rng = np.random.default_rng(seed)
+    pids = rng.integers(0, 8, size=n_fires)
+    one_round(schema_p, hooks_p, pids[: n_fires // 4])
+    one_round(schema_j, hooks_j, pids[: n_fires // 4])
+    plain_fire_us = journal_fire_us = float("inf")
+    for _ in range(4):
+        plain_fire_us = min(plain_fire_us,
+                            one_round(schema_p, hooks_p, pids))
+        journal_fire_us = min(journal_fire_us,
+                              one_round(schema_j, hooks_j, pids))
+    return {
+        "n_ops": n_ops,
+        "n_fires": n_fires,
+        "plain_op_us": plain_op_us,
+        "journaled_op_us": journal_op_us,
+        "op_overhead_pct": (journal_op_us / plain_op_us - 1.0) * 100.0,
+        "plain_fire_us": plain_fire_us,
+        "journaled_fire_us": journal_fire_us,
+        "fire_overhead_pct":
+            (journal_fire_us / plain_fire_us - 1.0) * 100.0,
+        "checkpoints": cp_journal.checkpoints_taken,
+        "journal_records": cp_journal.journal.stats()["records"],
+    }
+
+
+def run_resilience_bench(smoke: bool = False, seed: int = 0) -> dict:
+    """All three resilience pillars as one pure-data result dict."""
+    from repro.harness.recovery_experiment import run_recovery_experiment
+
+    containment = run_prefetch_resilience(
+        fault_rates=(0.0, 0.05),
+        scale=0.3 if smoke else 0.5,
+        seed=seed,
+    )
+    recovery = run_recovery_experiment(
+        max_offsets=4 if smoke else None, seed=seed,
+    )
+    journal = _journal_overhead(smoke, seed)
+    return {
+        "suite": "resilience",
+        "smoke": smoke,
+        "seed": seed,
+        "containment": [cell.row() for cell in containment],
+        "recovery": {
+            name: payload["summary"]
+            for name, payload in recovery.items()
+            if isinstance(payload, dict)
+        },
+        "recovery_converged": recovery["converged"],
+        "journal": journal,
+    }
+
+
+def _check_resilience(results: dict) -> list[str]:
+    failures = []
+    for cell in results["containment"]:
+        if cell["supervised"] and not cell["completed"]:
+            failures.append(
+                f"supervised {cell['workload']} @ {cell['fault_rate']} "
+                f"did not complete ({cell['crashed_with']})"
+            )
+    if not results["recovery_converged"]:
+        for name, summary in results["recovery"].items():
+            if not summary.get("all_converged", True):
+                failures.append(
+                    f"recovery sweep {name!r}: "
+                    f"{summary['diverged']} crash offsets diverged"
+                )
+    fire_pct = results["journal"]["fire_overhead_pct"]
+    if fire_pct > FIRE_PARITY_CEILING_PCT:
+        failures.append(
+            f"journaled fire path {fire_pct:.1f}% over plain "
+            f"(> {FIRE_PARITY_CEILING_PCT:.0f}% ceiling)"
+        )
+    return failures
+
+
+def _report_resilience(results: dict) -> None:
+    print("== containment (supervised completion under faults) ==")
+    for cell in results["containment"]:
+        tag = "ok " if cell["completed"] else "DIED"
+        print(f"  {tag} {cell['case_study']:9s} {cell['workload']:12s} "
+              f"rate={cell['fault_rate']:.2f} "
+              f"supervised={cell['supervised']} "
+              f"quarantines={cell['quarantines']}")
+    print("== recovery (crash at every journal offset) ==")
+    for name, summary in results["recovery"].items():
+        print(f"  {name:10s} offsets={summary['crash_points']} "
+              f"crashes={summary['triggered']} "
+              f"converged={summary['converged']} "
+              f"torn-aborted={summary['aborted']} "
+              f"deduped={summary['deduped']}")
+    j = results["journal"]
+    print("== journal overhead ==")
+    print(f"  control-plane op: {j['plain_op_us']:.1f} -> "
+          f"{j['journaled_op_us']:.1f} us ({j['op_overhead_pct']:+.1f}%, "
+          f"{j['checkpoints']} checkpoints, "
+          f"{j['journal_records']} records)")
+    print(f"  datapath fire:    {j['plain_fire_us']:.1f} -> "
+          f"{j['journaled_fire_us']:.1f} us "
+          f"({j['fire_overhead_pct']:+.1f}%, ceiling "
+          f"{FIRE_PARITY_CEILING_PCT:.0f}%)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+    import json
+    import sys as _sys
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        description="Resilience + crash-recovery benchmark (standalone)"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="scaled-down run with the CI pass/fail gates")
+    parser.add_argument("--full", action="store_true",
+                        help="full-scale run; writes BENCH_resilience.json")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_resilience.json",
+                        help="JSON path for --full results")
+    args = parser.parse_args(argv)
+    if not (args.smoke or args.full):
+        parser.error("pick --smoke or --full (or run under pytest)")
+
+    results = run_resilience_bench(smoke=args.smoke and not args.full,
+                                   seed=args.seed)
+    _report_resilience(results)
+    failures = _check_resilience(results)
+    for failure in failures:
+        print(f"FAIL  {failure}")
+    if args.full and not failures:
+        Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    print(f"\n{'FAILED' if failures else 'OK'}: resilience gates "
+          f"({len(failures)} failure(s))")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys as _sys
+
+    _sys.exit(main())

@@ -18,7 +18,10 @@ tooling:
 * ``trace``               — the observability layer: record a golden
   scenario's canonical trace, summarize a trace file, or diff the
   scenarios against the committed goldens (``--update-goldens``
-  regenerates them after an intentional behaviour change).
+  regenerates them after an intentional behaviour change),
+* ``recover``             — run the crash-loop recovery sweep: kill the
+  control plane at every journal offset, restore + reconcile, and
+  verify the end state converges with the no-crash run.
 """
 
 from __future__ import annotations
@@ -260,6 +263,45 @@ def _cmd_hotpath(args) -> int:
     return 0
 
 
+def _cmd_recover(args) -> int:
+    import json as _json
+
+    from .harness.recovery_experiment import SCENARIOS, run_crash_sweep
+
+    scenarios = (sorted(SCENARIOS) if args.scenario == "all"
+                 else [args.scenario])
+    results = {}
+    failed = False
+    for scenario in scenarios:
+        sweep = run_crash_sweep(scenario, max_offsets=args.max_offsets,
+                                seed=args.seed)
+        summary = sweep.summary()
+        results[scenario] = {
+            "summary": summary,
+            "cells": [c.row() for c in sweep.cells],
+        }
+        if not args.json:
+            print(f"{scenario}: crash surface {summary['crash_points']} "
+                  f"offsets, {summary['triggered']} crashes injected")
+            print(f"  converged {summary['converged']}"
+                  f"/{summary['triggered']}  "
+                  f"rolled-forward {summary['rolled_forward']}  "
+                  f"torn-aborted {summary['aborted']}  "
+                  f"deduped {summary['deduped']}")
+            for cell in sweep.cells:
+                if cell.triggered and not cell.converged:
+                    print(f"  DIVERGED lsn={cell.lsn} op={cell.op} "
+                          f"kind={cell.kind}: {cell.error}")
+        if not sweep.converged:
+            failed = True
+    if args.json:
+        report = {"converged": not failed, "scenarios": results}
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    elif not failed:
+        print("all crash offsets recovered to the no-crash end state")
+    return 1 if failed else 0
+
+
 _DIFF_PREVIEW_LINES = 40
 
 
@@ -419,6 +461,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="override the golden directory "
                          "(default: tests/goldens/)")
     td.set_defaults(fn=_cmd_trace)
+
+    pv = sub.add_parser("recover",
+                        help="crash-loop sweep: crash at every journal "
+                             "offset, recover, assert convergence")
+    pv.add_argument("--scenario", default="all",
+                    choices=["resilience", "rollout", "all"])
+    pv.add_argument("--max-offsets", type=int, default=None,
+                    help="sample at most N crash offsets per scenario")
+    pv.add_argument("--seed", type=int, default=0)
+    pv.add_argument("--json", action="store_true",
+                    help="emit the full cell table as JSON")
+    pv.set_defaults(fn=_cmd_recover)
     return parser
 
 

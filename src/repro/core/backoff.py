@@ -1,0 +1,97 @@
+"""Shared deterministic exponential backoff.
+
+Two subsystems need the same shape of delay policy: the circuit
+breaker quarantines a tripping program for exponentially longer logical
+windows (:mod:`repro.core.supervisor`), and the recovery layer retries
+transient control-plane apply failures with growing delays
+(:mod:`repro.recovery.recoverable`).  Both run on *logical* clocks, so
+the policy must be a pure function of its inputs — no wall time, and
+jitter (when enabled) comes from a seeded PRNG stream so a retried run
+replays bit-identically.
+
+The schedule is the classic capped geometric series::
+
+    delay(n) = min(base * factor**n, cap)        # n = completed advances
+
+with optional proportional jitter: each :meth:`delay` draw adds up to
+``jitter * current`` extra ticks from the seeded stream.  ``reset()``
+returns to ``base`` and (deliberately) does *not* rewind the jitter
+stream — two resets at different points in a run still produce a
+deterministic overall sequence, which is what the golden traces need.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["ExponentialBackoff"]
+
+
+class ExponentialBackoff:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    ``current`` is the raw (jitter-free) delay the *next* failure pays;
+    :meth:`advance` grows it, :meth:`reset` returns it to ``base``.
+    The breaker reads/doubles ``current`` directly; retry loops use
+    :meth:`next_delay` (draw the jittered delay, then grow).
+    """
+
+    __slots__ = ("base", "cap", "factor", "jitter", "current", "attempts",
+                 "_rng")
+
+    def __init__(
+        self,
+        base: int = 1,
+        cap: int = 1 << 30,
+        *,
+        factor: int = 2,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if base < 1:
+            raise ValueError(f"base must be >= 1, got {base}")
+        if cap < base:
+            raise ValueError(f"cap {cap} must be >= base {base}")
+        if factor < 1:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.base = base
+        self.cap = cap
+        self.factor = factor
+        self.jitter = jitter
+        self.current = base
+        self.attempts = 0
+        self._rng = random.Random(seed)
+
+    def delay(self) -> int:
+        """The delay for the current attempt, with jitter applied.
+
+        Draws from the seeded stream only when jitter is enabled, so a
+        jitter-free policy (the circuit breaker) never touches the RNG.
+        """
+        if self.jitter == 0.0:
+            return self.current
+        return self.current + int(self._rng.random() * self.jitter
+                                  * self.current)
+
+    def advance(self) -> int:
+        """Grow the delay for the next failure; returns the new current."""
+        self.attempts += 1
+        self.current = min(self.current * self.factor, self.cap)
+        return self.current
+
+    def next_delay(self) -> int:
+        """Retry-loop convenience: draw the jittered delay, then grow."""
+        d = self.delay()
+        self.advance()
+        return d
+
+    def reset(self) -> None:
+        """Back to ``base`` (success/close); the jitter stream runs on."""
+        self.current = self.base
+        self.attempts = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ExponentialBackoff(base={self.base}, cap={self.cap}, "
+                f"current={self.current}, attempts={self.attempts})")

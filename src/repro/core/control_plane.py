@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..ml.online import AccuracyTracker
+from ..obs import trace as obs_trace
+from ..obs.events import TABLE_UPDATE
 from .context import ExecutionContext
 from .errors import ControlPlaneError, VerifierError
 from .helpers import HelperRegistry
@@ -269,6 +271,22 @@ class ControlPlane:
 
     # -- entry management (the paper's control-plane API) ------------------
 
+    @staticmethod
+    def _note_table_update(program_name: str, table, op: str,
+                           action: str) -> None:
+        """Emit one ``table_update`` event for a runtime table mutation.
+
+        Every entry-mutating control-plane call (add / modify / remove)
+        goes through here so golden traces capture the *full* mutation
+        history symmetrically — an entry that appears must also be seen
+        leaving.  Program-construction inserts (builder time) are not
+        control-plane mutations and stay silent.
+        """
+        rec = obs_trace.ACTIVE
+        if rec is not None and rec.want_table_update:
+            rec.emit(TABLE_UPDATE,
+                     (program_name, table.name, op, action, len(table)))
+
     def add_entry(
         self,
         program_name: str,
@@ -291,11 +309,46 @@ class ControlPlane:
                 f"entry references unknown model id {model_ref}"
             )
         table = dp.program.pipeline.table(table_name)
-        return table.insert_exact(key_values, action, priority, **action_data)
+        entry = table.insert_exact(key_values, action, priority, **action_data)
+        self._note_table_update(program_name, table, "add", action)
+        return entry
+
+    def add_entries(
+        self,
+        program_name: str,
+        table_name: str,
+        entries: list[tuple],
+    ) -> list[TableEntry]:
+        """Insert a batch of exact-match entries in one call.
+
+        Each element is ``(key_values, action, priority, action_data)``
+        (the trailing two optional).  The batch is applied in order and
+        is *not* atomic at the datapath — a crash mid-batch leaves a
+        torn prefix, which is exactly the failure mode the recovery
+        layer's journal + reconciler exists to repair.
+        """
+        out = []
+        for spec in entries:
+            key_values, action = spec[0], spec[1]
+            priority = spec[2] if len(spec) > 2 else 0
+            action_data = spec[3] if len(spec) > 3 else {}
+            out.append(self.add_entry(program_name, table_name, key_values,
+                                      action, priority, **action_data))
+        return out
 
     def remove_entry(self, program_name: str, table_name: str, entry_id: int) -> bool:
         dp = self.datapath(program_name)
-        return dp.program.pipeline.table(table_name).remove(entry_id)
+        table = dp.program.pipeline.table(table_name)
+        removed = None
+        for entry in table.entries:
+            if entry.entry_id == entry_id:
+                removed = entry
+                break
+        ok = table.remove(entry_id)
+        if ok and removed is not None:
+            self._note_table_update(program_name, table, "remove",
+                                    removed.action)
+        return ok
 
     def modify_entry(
         self, program_name: str, table_name: str, entry_id: int, **action_data
@@ -312,6 +365,8 @@ class ControlPlane:
             if entry.entry_id == entry_id:
                 entry.action_data.update(action_data)
                 table.note_modified()
+                self._note_table_update(program_name, table, "modify",
+                                        entry.action)
                 return entry
         raise ControlPlaneError(
             f"entry {entry_id} not found in {program_name}.{table_name}"

@@ -32,6 +32,8 @@ __all__ = [
     "FaultInjected",
     "DatapathQuarantined",
     "ControlPlaneError",
+    "ControlPlaneCrash",
+    "TransientApplyError",
     "PrivacyBudgetExceeded",
 ]
 
@@ -135,6 +137,41 @@ class DatapathQuarantined(RmtError):
 
 class ControlPlaneError(RmtError):
     """Invalid control-plane operation (unknown table, bad entry, ...)."""
+
+
+class ControlPlaneCrash(RmtError):
+    """The control-plane process died mid-operation (simulated).
+
+    Raised by the crash injector (:mod:`repro.kernel.faults`) at a
+    journal offset to model a user-space control-plane crash: the
+    in-kernel datapath keeps serving, but whatever the crashed operation
+    had (or had not) applied is now unknown to any future control plane
+    until ``restore()`` replays the intent journal.  ``kind`` is one of
+    ``CRASH_KINDS``; ``lsn`` is the journal sequence number of the
+    interrupted intent; ``op`` names the operation.
+    """
+
+    def __init__(self, message: str = "", *, kind: str = "crash",
+                 op: str = "", lsn: int | None = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.op = op
+        self.lsn = lsn
+
+
+class TransientApplyError(RmtError):
+    """A control-plane apply failed transiently (retry-able).
+
+    Models a lost ack / busy datapath / momentary helper failure: the
+    operation did *not* apply, and retrying after a backoff is expected
+    to succeed.  The recoverable control plane retries these with the
+    shared :class:`repro.core.backoff.ExponentialBackoff` policy before
+    surfacing the failure.
+    """
+
+    def __init__(self, message: str = "", *, op: str = "") -> None:
+        super().__init__(message)
+        self.op = op
 
 
 class PrivacyBudgetExceeded(RmtError):

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 
 from ..obs import trace as obs_trace
 from ..obs.events import BREAKER
+from .backoff import ExponentialBackoff
 from .control_plane import RmtDatapath
 from .errors import DatapathQuarantined, FaultInjected, RmtRuntimeError
 
@@ -101,11 +102,20 @@ class CircuitBreaker:
         self.name = name  # program name, for trace attribution
         self.state = BreakerState.CLOSED
         self.clock = 0
-        self.backoff = self.config.base_backoff
+        # Quarantine-length policy: shared capped-doubling schedule
+        # (jitter-free — breaker windows must be exactly reproducible).
+        self._backoff = ExponentialBackoff(
+            base=self.config.base_backoff, cap=self.config.max_backoff
+        )
         self.trips = 0
         self._fault_clocks: deque[int] = deque()
         self._opened_at = 0
         self._probes_ok = 0
+
+    @property
+    def backoff(self) -> int:
+        """Current quarantine length in ticks (doubles on repeat trips)."""
+        return self._backoff.current
 
     def _transition(self, to: str) -> None:
         rec = obs_trace.ACTIVE
@@ -174,7 +184,7 @@ class CircuitBreaker:
 
     def _open(self, double: bool) -> None:
         if double:
-            self.backoff = min(self.backoff * 2, self.config.max_backoff)
+            self._backoff.advance()
         self._transition(BreakerState.OPEN)
         self._opened_at = self.clock
         self.trips += 1
@@ -183,7 +193,7 @@ class CircuitBreaker:
     def _close(self) -> None:
         if self.state != BreakerState.CLOSED:
             self._transition(BreakerState.CLOSED)
-        self.backoff = self.config.base_backoff
+        self._backoff.reset()
         self._fault_clocks.clear()
         self._probes_ok = 0
 

@@ -133,6 +133,11 @@ class RolloutPlan:
         self.state = RolloutState.STAGED
         self.target = target  # hook/program the rollout replaces (traces)
         self.transitions: list[Transition] = []
+        #: Optional observer called with each Transition *after* it is
+        #: taken.  The recovery layer subscribes here to journal rollout
+        #: lifecycle facts (a rollout that crashes between transitions
+        #: is "torn" and must recover to ROLLED_BACK, never half-canary).
+        self.on_transition = None
 
     @property
     def terminal(self) -> bool:
@@ -151,6 +156,8 @@ class RolloutPlan:
         if rec is not None and rec.want_rollout:
             rec.emit(ROLLOUT, (self.target, self.state, state, tick, reason))
         self.state = state
+        if self.on_transition is not None:
+            self.on_transition(transition)
         return transition
 
     def log(self) -> list[dict]:

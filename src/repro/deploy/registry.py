@@ -139,6 +139,46 @@ class ModelRegistry:
         artifacts.append(artifact)
         return artifact
 
+    def adopt(
+        self,
+        track: str,
+        *,
+        version: int,
+        content_hash: str,
+        family: str,
+        model: object,
+        metadata: dict | None = None,
+        status: str = ArtifactStatus.STAGED,
+        pinned: bool = False,
+        created_tick: int = 0,
+    ) -> ModelArtifact:
+        """Re-create an artifact from its checkpointed wire form.
+
+        The recovery layer rebuilds registry tracks from a checkpoint;
+        unlike :meth:`register`, ``adopt`` preserves the original
+        version number and status so the restored lineage matches what
+        the crashed control plane had.  Adopting an existing version is
+        a no-op (idempotent replay).
+        """
+        artifacts = self._tracks.setdefault(track, [])
+        for artifact in artifacts:
+            if artifact.version == version:
+                return artifact
+        artifact = ModelArtifact(
+            track=track,
+            version=version,
+            content_hash=content_hash,
+            family=family,
+            model=model,
+            metadata=dict(metadata or {}),
+            status=status,
+            created_tick=created_tick,
+            pinned=pinned,
+        )
+        artifacts.append(artifact)
+        artifacts.sort(key=lambda a: a.version)
+        return artifact
+
     # -- lookup ----------------------------------------------------------
 
     def tracks(self) -> list[str]:

@@ -1,0 +1,449 @@
+"""Crash-loop recovery: kill the control plane at every journal offset.
+
+The acceptance experiment for the recovery subsystem.  Each scenario is
+a deterministic *tape* of control-plane operations (install programs,
+batch table updates, model pushes and rollbacks, a full staged rollout
+to promotion).  The sweep first runs the tape with no faults to learn
+two things: the set of journal intent LSNs (the crash surface) and the
+converged end state (:func:`repro.recovery.state_summary`).  Then, for
+every intent LSN × crash kind, it rebuilds a fresh world, arms the
+:class:`~repro.kernel.faults.CrashInjector` at exactly that offset,
+runs the tape until the control plane dies, recovers with
+:func:`repro.recovery.recover`, resumes the tape from the crashed step
+(idempotency keys make re-execution safe), and asserts the end state is
+**identical** to the no-crash run:
+
+* same program fingerprints (table contents bit-exact), all attached
+  and verified;
+* same live model hash per registry track — never an unverified or
+  half-promoted candidate;
+* no torn rollouts: every lane detached, every plan terminal.
+
+Crashing is only possible at journaled operations by construction, so
+sweeping every intent LSN is exhaustive over the crash surface.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import ContextSchema
+from ..core.bytecode import BytecodeProgram, Instruction
+from ..core.errors import ControlPlaneCrash
+from ..core.isa import Opcode
+from ..core.program import ProgramBuilder
+from ..core.supervisor import DatapathSupervisor
+from ..core.tables import MatchActionTable
+from ..core.verifier import AttachPolicy
+from ..deploy import RolloutConfig
+from ..kernel.faults import CrashInjector, CrashPlan
+from ..kernel.hooks import HookRegistry
+from ..kernel.syscalls import RmtSyscallInterface
+from ..ml import IntegerDecisionTree
+from ..recovery import RecoveryStore, recover, state_summary
+
+__all__ = [
+    "SCENARIOS",
+    "SWEEP_KINDS",
+    "RecoveryCell",
+    "RecoverySweepResult",
+    "run_crash_sweep",
+    "run_recovery_experiment",
+]
+
+#: Kinds armed at every intent LSN; ``torn_batch`` is added only at
+#: batch operations (it fires mid-apply between two entries).
+SWEEP_KINDS = ("crash_before_commit", "crash_after_apply", "stale_ack")
+
+_I = Instruction
+_OP = Opcode
+
+
+def _make_schema() -> ContextSchema:
+    s = ContextSchema("test_hook")
+    s.add_field("pid")
+    s.add_field("page")
+    s.add_field("scratch", writable=True)
+    return s
+
+
+def _train_tree(seed: int, flip: bool = False) -> IntegerDecisionTree:
+    rng = np.random.default_rng(seed)
+    x = rng.integers(-20, 20, size=(400, 5))
+    y = ((2 * x[:, 0] + x[:, 1] - x[:, 2]) > 0).astype(np.int64)
+    if flip:
+        y = 1 - y
+    return IntegerDecisionTree(max_depth=6).fit(x, y)
+
+
+def _model_program(schema, model, name):
+    builder = ProgramBuilder(name, "test_hook", schema)
+    table = builder.add_table(MatchActionTable("tab", ["pid"]))
+    builder.add_model(0, model)
+    builder.add_action(BytecodeProgram("act", [
+        _I(_OP.VEC_ZERO, dst=0, imm=5),
+        _I(_OP.ML_INFER, dst=0, src=0, imm=0),
+        _I(_OP.EXIT),
+    ]))
+    table.insert_exact([5], "act")
+    return builder.build()
+
+
+@dataclass
+class _World:
+    """One fresh kernel + recoverable control plane + syscall surface."""
+
+    seed: int
+    store: RecoveryStore = field(default_factory=RecoveryStore)
+    schema: ContextSchema = None
+    hooks: HookRegistry = None
+    cp: object = None
+    iface: RmtSyscallInterface = None
+
+    def __post_init__(self) -> None:
+        from ..recovery import RecoverableControlPlane
+
+        self.schema = _make_schema()
+        self.hooks = HookRegistry()
+        self.hooks.declare("test_hook", self.schema,
+                           AttachPolicy("test_hook"))
+        self.hooks.supervise(DatapathSupervisor())
+        self.cp = RecoverableControlPlane(
+            self.hooks.helpers, hook_registry=self.hooks,
+            store=self.store, checkpoint_every=5,
+        )
+        self.cp.attach_supervisor(self.hooks.supervisor)
+        self.iface = RmtSyscallInterface(self.hooks, control_plane=self.cp)
+
+    def recover_in_place(self) -> tuple:
+        """Abandon the crashed control plane, rebuild from the store."""
+        cp, restore_report, reconcile_report = recover(self.store,
+                                                       self.hooks)
+        cp.crash_injector = None  # single-crash model per run
+        self.cp = cp
+        self.iface = RmtSyscallInterface(self.hooks, control_plane=cp)
+        return restore_report, reconcile_report
+
+    # -- tape helpers (idempotent lookups) ----------------------------
+
+    def entry_id(self, program: str, key: int) -> int | None:
+        table = self.cp.datapath(program).program.pipeline.table("tab")
+        for entry in table.entries:
+            if entry.patterns[0].value == key:
+                return entry.entry_id
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Scenario tapes.  Every step is idempotent under re-execution: ops carry
+# stable op_ids (deduplicated against the journal) and lookups tolerate
+# already-applied state, so a resumed tape converges to the same end
+# state no matter where the crash landed.
+# ---------------------------------------------------------------------------
+
+
+def _resilience_tape(seed: int):
+    """Programs, batched table churn, model push/rollback, quarantine."""
+    v1 = _train_tree(seed)
+    v2 = _train_tree(seed + 1)
+    v3 = _train_tree(seed + 2)
+
+    def install_alpha(w):
+        if "alpha" not in w.cp.installed:
+            w.iface.install(_model_program(w.schema, v1, "alpha"),
+                            mode="interpret", op_id="t0")
+
+    def install_beta(w):
+        if "beta" not in w.cp.installed:
+            w.iface.install(_model_program(w.schema, v1, "beta"),
+                            mode="interpret", op_id="t1")
+
+    def add_single(w):
+        w.cp.add_entry("alpha", "tab", [7], "act", op_id="t2")
+
+    def add_batch(w):
+        w.cp.add_entries("alpha", "tab",
+                         [([8], "act"), ([9], "act", 3), ([10], "act")],
+                         op_id="t3")
+
+    def modify(w):
+        eid = w.entry_id("alpha", 9)
+        if eid is not None:
+            w.cp.modify_entry("alpha", "tab", eid, hint=4, op_id="t4")
+
+    def remove(w):
+        eid = w.entry_id("alpha", 8)
+        if eid is not None:
+            w.cp.remove_entry("alpha", "tab", eid, op_id="t5")
+
+    def push_v2(w):
+        w.cp.push_model("alpha", 0, v2, op_id="t6")
+
+    def push_v3(w):
+        w.cp.push_model("alpha", 0, v3, op_id="t7")
+
+    def roll_back(w):
+        live = w.cp.registry.live("alpha")
+        if live is not None and live.model is not v2:
+            w.cp.rollback_model("alpha", 0, op_id="t8")
+
+    def quarantine(w):
+        w.cp.quarantine("alpha", op_id="t9")
+
+    def release(w):
+        w.cp.release("alpha", op_id="t10")
+
+    def uninstall_beta(w):
+        if "beta" in w.cp.installed:
+            w.cp.uninstall("beta", op_id="t11")
+
+    return [install_alpha, install_beta, add_single, add_batch, modify,
+            remove, push_v2, push_v3, roll_back, quarantine, release,
+            uninstall_beta]
+
+
+def _rollout_tape(seed: int):
+    """Install, then drive a staged candidate all the way to PROMOTED.
+
+    The drive step is an *ensure-promoted* loop: if a crash tore the
+    rollout (recovery aborts any non-terminal lane), the resumed step
+    re-stages the same candidate under a fresh idempotency key and
+    drives it through shadow/canary again.  The final live hash is the
+    convergence criterion — a recovered world must end serving exactly
+    the candidate the no-crash world promoted, with the full gate
+    sequence re-run rather than skipped.
+    """
+    primary = _train_tree(seed)
+    candidate = _train_tree(seed + 7)
+
+    def config():
+        return RolloutConfig(shadow_min_samples=6, canary_min_samples=3,
+                             ramp=(0.5, 1.0), min_trap_samples=100, seed=0)
+
+    def install(w):
+        if "prog" not in w.cp.installed:
+            w.iface.install(_model_program(w.schema, primary, "prog"),
+                            mode="interpret", op_id="r0")
+
+    def add_entry(w):
+        w.cp.add_entry("prog", "tab", [7], "act", op_id="r1")
+
+    def ensure_promoted(w):
+        from ..deploy.registry import model_fingerprint
+
+        want_hash, _ = model_fingerprint(candidate)
+        for attempt in range(6):
+            live = w.cp.registry.live("prog")
+            if live is not None and live.content_hash == want_hash:
+                return
+            rollout = w.cp.rollout("prog")
+            if rollout is None or not rollout.active:
+                rollout = w.cp.stage_model(
+                    "prog", 0, candidate, config=config(),
+                    op_id=f"r2:attempt{attempt}",
+                )
+                if rollout is None:
+                    # Deduplicated stage whose lane died in the crash:
+                    # the next attempt number stages afresh.
+                    continue
+            for _ in range(60):
+                if rollout.plan.terminal:
+                    break
+                w.hooks.fire("test_hook",
+                             w.schema.new_context(pid=5, page=0))
+                rollout.observe_outcome(True, True)
+        raise AssertionError("candidate failed to promote in 6 attempts")
+
+    def release(w):
+        w.cp.release("prog", op_id="r3")
+
+    return [install, add_entry, ensure_promoted, release]
+
+
+SCENARIOS = {
+    "resilience": _resilience_tape,
+    "rollout": _rollout_tape,
+}
+
+
+# ---------------------------------------------------------------------------
+# The sweep.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryCell:
+    """One (crash offset, crash kind) run through crash → recover → resume."""
+
+    scenario: str
+    lsn: int
+    op: str
+    kind: str
+    step: int
+    triggered: bool
+    converged: bool
+    repairs: dict = field(default_factory=dict)
+    rolled_forward: int = 0
+    aborted: int = 0
+    deduped: int = 0
+    error: str = ""
+
+    def row(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "lsn": self.lsn,
+            "op": self.op,
+            "kind": self.kind,
+            "step": self.step,
+            "triggered": self.triggered,
+            "converged": self.converged,
+            "repairs": dict(self.repairs),
+            "rolled_forward": self.rolled_forward,
+            "aborted": self.aborted,
+            "deduped": self.deduped,
+            "error": self.error,
+        }
+
+
+@dataclass
+class RecoverySweepResult:
+    scenario: str
+    baseline_summary: dict
+    crash_points: int
+    cells: list = field(default_factory=list)
+
+    @property
+    def converged(self) -> bool:
+        return all(c.converged for c in self.cells if c.triggered)
+
+    def summary(self) -> dict:
+        triggered = [c for c in self.cells if c.triggered]
+        return {
+            "scenario": self.scenario,
+            "crash_points": self.crash_points,
+            "cells": len(self.cells),
+            "triggered": len(triggered),
+            "converged": sum(c.converged for c in triggered),
+            "diverged": sum(not c.converged for c in triggered),
+            "rolled_forward": sum(c.rolled_forward for c in triggered),
+            "aborted": sum(c.aborted for c in triggered),
+            "deduped": sum(c.deduped for c in triggered),
+            "all_converged": self.converged,
+        }
+
+
+def _run_tape(world, tape, start: int = 0):
+    """Run tape steps; returns the index of the step that crashed."""
+    for idx in range(start, len(tape)):
+        try:
+            tape[idx](world)
+        except ControlPlaneCrash:
+            return idx
+    return None
+
+
+def _baseline(scenario: str, seed: int):
+    """No-fault run: crash surface (intent LSNs) + converged end state."""
+    world = _World(seed)
+    tape = SCENARIOS[scenario](seed)
+    boundaries = []
+    for step in tape:
+        boundaries.append(world.cp.journal.next_lsn)
+        step(world)
+    points = []
+    for record in world.cp.journal.records():
+        if record["phase"] != "intent":
+            continue
+        step = bisect_right(boundaries, record["lsn"]) - 1
+        points.append((record["lsn"], record["op"], max(step, 0)))
+    return state_summary(world.cp, world.hooks), points
+
+
+def _mismatch(got: dict, want: dict) -> str:
+    keys = sorted(set(got) | set(want))
+    diffs = [k for k in keys if got.get(k) != want.get(k)]
+    return f"diverged on {diffs}" if diffs else ""
+
+
+def run_crash_sweep(
+    scenario: str = "resilience",
+    kinds=SWEEP_KINDS,
+    max_offsets: int | None = None,
+    seed: int = 0,
+) -> RecoverySweepResult:
+    """Crash at every intent LSN × kind; assert recovery converges."""
+    baseline, points = _baseline(scenario, seed)
+    if max_offsets is not None and len(points) > max_offsets:
+        stride = len(points) / max_offsets
+        points = [points[int(i * stride)] for i in range(max_offsets)]
+    result = RecoverySweepResult(scenario=scenario,
+                                 baseline_summary=baseline,
+                                 crash_points=len(points))
+
+    for lsn, op, step in points:
+        cell_kinds = list(kinds)
+        if op == "add_entries":
+            cell_kinds.append("torn_batch")
+        for kind in cell_kinds:
+            cell = RecoveryCell(scenario=scenario, lsn=lsn, op=op,
+                                kind=kind, step=step, triggered=False,
+                                converged=False)
+            result.cells.append(cell)
+            world = _World(seed)
+            tape = SCENARIOS[scenario](seed)
+            injector = CrashInjector(CrashPlan(seed=seed))
+            world.cp.crash_injector = injector
+            injector.arm(lsn, kind,
+                         batch_index=1 if kind == "torn_batch" else None)
+            crashed_at = _run_tape(world, tape)
+            if crashed_at is None:
+                # The armed offset was never reached (e.g. an entry
+                # lookup skipped the op) — nothing to recover.
+                cell.converged = True
+                continue
+            cell.triggered = True
+            restore_report, reconcile_report = world.recover_in_place()
+            cell.rolled_forward = len(restore_report.rolled_forward)
+            cell.aborted = len(restore_report.aborted)
+            cell.repairs = {
+                action: len(targets) for action, targets in
+                reconcile_report.as_dict()["repairs"].items()
+            }
+            try:
+                again = _run_tape(world, tape, start=crashed_at)
+            except Exception as exc:  # resume must never die
+                cell.error = f"{type(exc).__name__}: {exc}"
+                continue
+            if again is not None:
+                cell.error = "second crash without injector"
+                continue
+            cell.deduped = world.cp.deduped_ops
+            got = state_summary(world.cp, world.hooks)
+            cell.converged = got == baseline
+            if not cell.converged:
+                cell.error = _mismatch(got, baseline)
+    return result
+
+
+def run_recovery_experiment(
+    scenarios=("resilience", "rollout"),
+    max_offsets: int | None = None,
+    seed: int = 0,
+) -> dict:
+    """Run the sweep for each scenario; returns a pure-data report."""
+    results = {}
+    for scenario in scenarios:
+        sweep = run_crash_sweep(scenario, max_offsets=max_offsets,
+                                seed=seed)
+        results[scenario] = {
+            "summary": sweep.summary(),
+            "cells": [c.row() for c in sweep.cells],
+        }
+    results["converged"] = all(
+        r["summary"]["all_converged"] for r in results.values()
+        if isinstance(r, dict) and "summary" in r
+    )
+    return results

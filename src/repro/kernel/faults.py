@@ -39,18 +39,21 @@ import random
 import zlib
 from dataclasses import dataclass, field, fields
 
-from ..core.errors import FaultInjected
+from ..core.errors import ControlPlaneCrash, FaultInjected, TransientApplyError
 from ..obs import trace as obs_trace
 from ..obs.events import FAULT_INJECTED
 from .storage import StorageModel
 
 __all__ = [
     "FAULT_KINDS",
+    "CRASH_KINDS",
     "FaultRates",
     "StorageFaultProfile",
     "FaultPlan",
     "FaultInjector",
     "FaultyStorageModel",
+    "CrashPlan",
+    "CrashInjector",
 ]
 
 #: The injectable datapath fault scenarios.
@@ -208,6 +211,178 @@ class FaultInjector:
             "injected": self.injected,
             "by_kind": dict(self.by_kind),
             "by_program": dict(self.by_program),
+        }
+
+
+#: Control-plane crash scenarios, keyed to the write-ahead journal's
+#: commit protocol (see :mod:`repro.recovery.journal`):
+#:
+#: * ``crash_before_commit`` — the process dies after the intent record
+#:   is durable but before the operation applied (nothing happened;
+#:   recovery must roll the intent forward).
+#: * ``crash_after_apply`` — the operation applied to the datapath but
+#:   the commit record never landed (recovery must detect the applied
+#:   state and commit idempotently, not double-apply).
+#: * ``torn_batch`` — a multi-entry batch died mid-way: a prefix of the
+#:   entries is live, the rest are not (recovery must complete the
+#:   batch bit-exactly).
+#: * ``stale_ack`` — the commit record landed but the caller never saw
+#:   the ack (a retried operation must dedupe against the journal).
+CRASH_KINDS = (
+    "crash_before_commit",
+    "crash_after_apply",
+    "torn_batch",
+    "stale_ack",
+)
+
+_CRASH_MESSAGES = {
+    "crash_before_commit": "control plane crashed before commit",
+    "crash_after_apply": "control plane crashed after apply, before commit",
+    "torn_batch": "control plane crashed mid-batch (torn prefix applied)",
+    "stale_ack": "control plane crashed after commit (ack lost)",
+}
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """When the simulated control-plane process dies.
+
+    Two modes, combinable:
+
+    * **seeded** — ``crash_rate`` per journaled operation, kind drawn
+      uniformly from ``kinds`` on the seeded stream (soak testing);
+    * **armed** — :meth:`CrashInjector.arm` pins one crash at an exact
+      journal LSN, which is what the crash-loop experiment uses to
+      visit every journal offset deterministically.
+
+    ``transient_rate`` independently injects retry-able
+    :class:`~repro.core.errors.TransientApplyError` failures at the
+    apply step; ``max_consecutive_transients`` bounds how many strike
+    the same operation in a row, so a retry loop with enough attempts
+    always converges.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    kinds: tuple[str, ...] = CRASH_KINDS
+    transient_rate: float = 0.0
+    max_consecutive_transients: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crash_rate <= 1.0:
+            raise ValueError(f"crash_rate {self.crash_rate} outside [0, 1]")
+        if not 0.0 <= self.transient_rate <= 1.0:
+            raise ValueError(
+                f"transient_rate {self.transient_rate} outside [0, 1]"
+            )
+        unknown = set(self.kinds) - set(CRASH_KINDS)
+        if unknown:
+            raise ValueError(f"unknown crash kinds: {sorted(unknown)}")
+        if self.max_consecutive_transients < 0:
+            raise ValueError("max_consecutive_transients must be >= 0")
+
+
+class CrashInjector:
+    """Kills the (simulated) control plane at journal protocol points.
+
+    The recoverable control plane calls the ``on_*`` hooks at each step
+    of the intent→apply→commit protocol; a hit raises
+    :class:`~repro.core.errors.ControlPlaneCrash`, which the harness
+    treats as process death — the in-memory control plane is abandoned
+    and a fresh one is restored from the durable journal.
+    """
+
+    def __init__(self, plan: CrashPlan | None = None) -> None:
+        self.plan = plan or CrashPlan()
+        self._rng = random.Random((self.plan.seed << 32) ^ 0x5EED)
+        #: Armed one-shot crash: (lsn, kind, batch_index | None).
+        self._armed: tuple[int, str, int | None] | None = None
+        self.crashes = 0
+        self.transients = 0
+        self.by_kind: dict[str, int] = {}
+        self._consecutive_transients = 0
+
+    # -- arming (deterministic crash-loop mode) ---------------------------
+
+    def arm(self, lsn: int, kind: str, batch_index: int | None = None) -> None:
+        """Pin exactly one crash at journal sequence number ``lsn``."""
+        if kind not in CRASH_KINDS:
+            raise ValueError(f"unknown crash kind {kind!r}")
+        self._armed = (lsn, kind, batch_index)
+
+    def disarm(self) -> None:
+        self._armed = None
+
+    # -- internals --------------------------------------------------------
+
+    def _crash(self, kind: str, op: str, lsn: int) -> None:
+        self.crashes += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        rec = obs_trace.ACTIVE
+        if rec is not None and rec.want_fault:
+            rec.emit(FAULT_INJECTED, ("control_plane", op, kind))
+        raise ControlPlaneCrash(
+            f"{_CRASH_MESSAGES[kind]} [op {op} lsn {lsn}]",
+            kind=kind, op=op, lsn=lsn,
+        )
+
+    def _check(self, phase_kind: str, op: str, lsn: int) -> None:
+        armed = self._armed
+        if armed is not None:
+            if armed[0] == lsn and armed[1] == phase_kind:
+                self._armed = None
+                self._crash(phase_kind, op, lsn)
+            return
+        if self.plan.crash_rate and phase_kind in self.plan.kinds:
+            if self._rng.random() < self.plan.crash_rate:
+                self._crash(phase_kind, op, lsn)
+
+    # -- protocol hooks (called by the recoverable control plane) ---------
+
+    def on_intent(self, lsn: int, op: str) -> None:
+        """After the intent record is durable, before apply."""
+        self._check("crash_before_commit", op, lsn)
+
+    def on_applied(self, lsn: int, op: str) -> None:
+        """After apply succeeded, before the commit record."""
+        self._check("crash_after_apply", op, lsn)
+
+    def on_commit(self, lsn: int, op: str) -> None:
+        """After the commit record is durable (the ack may still be lost)."""
+        self._check("stale_ack", op, lsn)
+
+    def mid_batch(self, lsn: int, op: str, index: int, total: int) -> None:
+        """Between elements of a multi-entry batch apply."""
+        armed = self._armed
+        if armed is not None:
+            if armed[0] == lsn and armed[1] == "torn_batch" and (
+                    armed[2] is None or armed[2] == index):
+                self._armed = None
+                self._crash("torn_batch", op, lsn)
+            return
+        if self.plan.crash_rate and "torn_batch" in self.plan.kinds:
+            if self._rng.random() < self.plan.crash_rate:
+                self._crash("torn_batch", op, lsn)
+
+    def maybe_transient(self, op: str) -> None:
+        """Raise a retry-able apply failure on the seeded stream."""
+        if not self.plan.transient_rate:
+            return
+        if (self._consecutive_transients
+                < self.plan.max_consecutive_transients
+                and self._rng.random() < self.plan.transient_rate):
+            self._consecutive_transients += 1
+            self.transients += 1
+            raise TransientApplyError(
+                f"injected: transient apply failure [op {op}]", op=op
+            )
+        self._consecutive_transients = 0
+
+    def stats(self) -> dict:
+        return {
+            "crashes": self.crashes,
+            "transients": self.transients,
+            "by_kind": dict(self.by_kind),
         }
 
 

@@ -39,9 +39,18 @@ class InstallResult:
 class RmtSyscallInterface:
     """The kernel's RMT syscall surface, bound to its hook registry."""
 
-    def __init__(self, hooks: HookRegistry) -> None:
+    def __init__(self, hooks: HookRegistry,
+                 control_plane: ControlPlane | None = None) -> None:
         self.hooks = hooks
-        self.control_plane = ControlPlane(hooks.helpers, hook_registry=hooks)
+        # An injected control plane (e.g. the recovery layer's
+        # journaling RecoverableControlPlane) is adopted as-is; it is
+        # re-bound to this kernel's hook registry so uninstall/rollouts
+        # manage the right hooks.
+        if control_plane is None:
+            control_plane = ControlPlane(hooks.helpers, hook_registry=hooks)
+        else:
+            control_plane.attach_hook_registry(hooks)
+        self.control_plane = control_plane
         if hooks.supervisor is not None:
             self.control_plane.attach_supervisor(hooks.supervisor)
         self.installs = 0
@@ -62,11 +71,13 @@ class RmtSyscallInterface:
         self.control_plane.attach_supervisor(supervisor)
         return supervisor
 
-    def install(self, program: RmtProgram, mode: str = "jit") -> InstallResult:
+    def install(self, program: RmtProgram, mode: str = "jit",
+                op_id: str | None = None) -> InstallResult:
         """Verify and attach a program at its declared hook point.
 
         Every action crosses the boundary as machine-independent words and
-        is decoded kernel-side before verification.
+        is decoded kernel-side before verification.  ``op_id`` is an
+        optional idempotency key forwarded to journaling control planes.
         """
         if not self.hooks.has_hook(program.attach_point):
             raise ControlPlaneError(
@@ -93,7 +104,8 @@ class RmtSyscallInterface:
             raise ControlPlaneError(f"program {program.name!r} already installed")
         # Admit through the control plane (it re-runs the verifier; cheap
         # and keeps a single admission path).
-        self.control_plane.install(program, hook.policy, mode=mode)
+        kwargs = {"op_id": op_id} if op_id is not None else {}
+        self.control_plane.install(program, hook.policy, mode=mode, **kwargs)
         datapath = self.control_plane.datapath(program.name)
         self.hooks.attach(program.attach_point, datapath)
         self.installs += 1

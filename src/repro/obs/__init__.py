@@ -27,6 +27,8 @@ from .metrics import (
     MetricsRegistry,
     collect_control_plane,
     collect_hooks,
+    collect_journal,
+    collect_recovery,
 )
 from .trace import TraceRecorder, active_recorder, recording
 
@@ -41,6 +43,8 @@ __all__ = [
     "active_recorder",
     "collect_control_plane",
     "collect_hooks",
+    "collect_journal",
+    "collect_recovery",
     "event_to_dict",
     "recording",
 ]

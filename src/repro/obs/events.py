@@ -71,6 +71,27 @@ TRAP = "trap"
 #: The fault injector fired on its seeded draw.
 FAULT_INJECTED = "fault_injected"
 
+#: A control-plane table mutation (``add`` / ``modify`` / ``remove``)
+#: applied to an installed program's match-action table.  ``size`` is
+#: the table's entry count after the mutation.  Emitted symmetrically
+#: from every entry-mutating control-plane call so golden traces pin
+#: the full mutation history, not just inserts.
+TABLE_UPDATE = "table_update"
+
+#: Write-ahead intent-journal activity.  ``phase`` is ``intent``
+#: (durably recorded before apply), ``commit`` (apply acknowledged),
+#: ``fact`` (an already-committed observation, e.g. a rollout
+#: transition), or ``replay`` (the record was re-applied during
+#: restore).  ``lsn`` is the journal sequence number.
+JOURNAL = "journal"
+
+#: A reconcile repair: the recovery layer found live datapath state
+#: diverging from restored control-plane intent and fixed it.
+#: ``action`` names the repair (``reinstalled`` / ``adopted`` /
+#: ``replaced`` / ``detached_orphan`` / ``aborted_rollout`` /
+#: ``rolled_back_unverified`` ...), ``target`` the program or rollout.
+RECONCILE = "reconcile"
+
 #: Span delimiters emitted by harness code to structure a trace
 #: (e.g. one span per experiment cell).  Spans nest; ``depth`` is the
 #: nesting level at entry.
@@ -87,6 +108,9 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     LANE: ("target", "lane", "tick"),
     TRAP: ("hook", "program", "kind"),
     FAULT_INJECTED: ("hook", "program", "kind"),
+    TABLE_UPDATE: ("program", "table", "op", "action", "size"),
+    JOURNAL: ("op", "phase", "lsn"),
+    RECONCILE: ("action", "target"),
     SPAN_BEGIN: ("name", "depth"),
     SPAN_END: ("name", "depth"),
 }

@@ -314,3 +314,56 @@ def collect_rollout(rollout, metrics: MetricsRegistry | None = None
     _ingest(metrics, "rmt.rollout.shadow", status["shadow"], labels)
     _ingest(metrics, "rmt.rollout.canary", status["canary"], labels)
     return metrics
+
+
+def collect_journal(control_plane, metrics: MetricsRegistry | None = None
+                    ) -> MetricsRegistry:
+    """Snapshot ``RecoverableControlPlane.recovery_stats()`` into
+    ``rmt.journal.*`` / ``rmt.recovery.*``."""
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    st = control_plane.recovery_stats()
+    journal = st["journal"]
+    metrics.counter("rmt.journal.records").value = journal["records"]
+    metrics.counter("rmt.journal.intents").value = journal["intents"]
+    metrics.counter("rmt.journal.commits").value = journal["commits"]
+    metrics.counter("rmt.journal.aborts").value = journal["aborts"]
+    metrics.counter("rmt.journal.facts").value = journal["facts"]
+    metrics.gauge("rmt.journal.in_doubt").set(journal["in_doubt"])
+    metrics.counter("rmt.journal.recovered_commits").value = (
+        journal["recovered_commits"]
+    )
+    metrics.counter("rmt.recovery.checkpoints").value = st["checkpoints"]
+    metrics.counter("rmt.recovery.retries").value = st["retries"]
+    metrics.counter("rmt.recovery.retry_backoff_ticks").value = (
+        st["retry_backoff_ticks"]
+    )
+    metrics.counter("rmt.recovery.deduped_ops").value = st["deduped_ops"]
+    return metrics
+
+
+def collect_recovery(restore_report, reconcile_report,
+                     metrics: MetricsRegistry | None = None
+                     ) -> MetricsRegistry:
+    """Snapshot one restore+reconcile pass into ``rmt.recovery.*``."""
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    restored = restore_report.as_dict()
+    metrics.gauge("rmt.recovery.checkpoint_lsn").set(
+        restored["checkpoint_lsn"]
+    )
+    metrics.counter("rmt.recovery.replayed").value = restored["replayed"]
+    metrics.counter("rmt.recovery.rolled_forward").value = len(
+        restored["rolled_forward"]
+    )
+    metrics.counter("rmt.recovery.aborted").value = len(restored["aborted"])
+    metrics.counter("rmt.recovery.skipped").value = len(restored["skipped"])
+    metrics.counter("rmt.recovery.opaque_programs").value = len(
+        restored["opaque_programs"]
+    )
+    for action, targets in reconcile_report.as_dict()["repairs"].items():
+        metrics.counter(
+            "rmt.recovery.repairs", action=action
+        ).value = len(targets)
+    metrics.counter("rmt.recovery.adopted").value = len(
+        reconcile_report.adopted
+    )
+    return metrics

@@ -58,6 +58,9 @@ _KIND_GATES = {
     "lane": "want_lane",
     "trap": "want_trap",
     "fault_injected": "want_fault",
+    "table_update": "want_table_update",
+    "journal": "want_journal",
+    "reconcile": "want_reconcile",
     "span_begin": "want_span",
     "span_end": "want_span",
 }
@@ -81,6 +84,9 @@ class TraceRecorder:
         "want_lane",
         "want_trap",
         "want_fault",
+        "want_table_update",
+        "want_journal",
+        "want_reconcile",
         "want_span",
     )
 

@@ -1,0 +1,56 @@
+"""Crash recovery for the control plane: journal, checkpoint, reconcile.
+
+The paper's split — a crash-prone userspace controller steering durable
+kernel datapaths — means the control plane must be rebuildable from its
+own write-ahead record.  This package provides:
+
+* :class:`IntentJournal` / :class:`RecoveryStore` — intent→apply→commit
+  write-ahead logging with canonical one-line JSON records;
+* :class:`RecoverableControlPlane` — a :class:`~repro.core.control_plane.
+  ControlPlane` whose mutating ops are journaled, idempotency-keyed,
+  retried on transient faults, and periodically checkpointed;
+* :func:`restore` / :class:`Reconciler` / :func:`recover` — rebuild
+  intent from checkpoint + journal tail, then diff and repair the live
+  kernel state (reinstall missing programs, replace drifted ones, abort
+  torn rollouts, detach orphans);
+* :func:`state_summary` — the canonical convergence fingerprint the
+  crash-loop experiment asserts on.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    capture_checkpoint,
+    deserialize_policy,
+    program_fingerprint,
+    serialize_policy,
+)
+from .journal import IntentJournal, RecoveryStore, decode_record, encode_record
+from .reconcile import (
+    Reconciler,
+    ReconcileReport,
+    RestoreReport,
+    recover,
+    restore,
+    state_summary,
+)
+from .recoverable import RecoverableControlPlane, ReplaySkip
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "IntentJournal",
+    "RecoveryStore",
+    "RecoverableControlPlane",
+    "Reconciler",
+    "ReconcileReport",
+    "ReplaySkip",
+    "RestoreReport",
+    "capture_checkpoint",
+    "decode_record",
+    "deserialize_policy",
+    "encode_record",
+    "program_fingerprint",
+    "recover",
+    "restore",
+    "serialize_policy",
+    "state_summary",
+]

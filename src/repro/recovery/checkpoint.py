@@ -1,0 +1,162 @@
+"""Versioned checkpoints of control-plane state.
+
+A checkpoint is a pure-data snapshot of everything the control plane
+*intends* to be true of the kernel: installed program payloads (via
+:func:`repro.core.serialize.program_to_payload`, so table contents ride
+along bit-exactly), the model-registry tracks with their artifact wire
+forms and statuses, rollout plan states, and the breaker/quarantine
+picture.  ``restore()`` loads the latest checkpoint and replays the
+journal tail over it — the classic checkpoint-plus-log recipe — so
+checkpoint cadence only bounds replay length, never correctness.
+
+Programs whose models have no wire format (hand-built test doubles,
+adversarial models) are checkpointed as *opaque*: name, attach point
+and fingerprint only.  Restore cannot rebuild them from bytes, so the
+reconciler either adopts the live datapath (the kernel survived the
+crash) or reports the program lost — never serves a guessed
+reconstruction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..core.serialize import (
+    _serialize_model,
+    _serialize_table,
+    program_to_payload,
+)
+from ..core.verifier import AttachPolicy
+from ..ml.cost_model import CostBudget
+
+__all__ = ["CHECKPOINT_VERSION", "capture_checkpoint",
+           "program_fingerprint", "serialize_policy", "deserialize_policy"]
+
+CHECKPOINT_VERSION = 1
+
+
+def program_fingerprint(program) -> str:
+    """Content hash of a program's full wire form (tables included).
+
+    The primary identity check the reconciler diffs on: two programs
+    with the same fingerprint have bit-identical payloads — same
+    actions, same table entries, same tensors, same models.  Programs
+    with unserializable models fall back to a structural hash (name,
+    action words, table contents, model cost signatures) so table drift
+    is still detectable.
+    """
+    try:
+        payload = program_to_payload(program)
+    except Exception:
+        payload = {
+            "fallback": True,
+            "name": program.name,
+            "attach_point": program.attach_point,
+            "actions": {name: action.to_words()
+                        for name, action in sorted(program.actions.items())},
+            "tables": [_serialize_table(t) for t in program.pipeline],
+            "models": {
+                str(mid): (model.cost_signature()
+                           if hasattr(model, "cost_signature")
+                           else type(model).__name__)
+                for mid, model in sorted(program.models.items())
+            },
+        }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+
+def serialize_policy(policy: AttachPolicy) -> dict:
+    budget = policy.cost_budget
+    return {
+        "attach_point": policy.attach_point,
+        "max_insns_per_action": policy.max_insns_per_action,
+        "max_dynamic_insns": policy.max_dynamic_insns,
+        "verdict_min": policy.verdict_min,
+        "verdict_max": policy.verdict_max,
+        "cost_budget": {
+            "max_ops": budget.max_ops,
+            "max_memory_bytes": budget.max_memory_bytes,
+            "max_latency_ns": budget.max_latency_ns,
+            "max_layers": budget.max_layers,
+        },
+    }
+
+
+def deserialize_policy(data: dict) -> AttachPolicy:
+    return AttachPolicy(
+        attach_point=data["attach_point"],
+        cost_budget=CostBudget(**data["cost_budget"]),
+        max_insns_per_action=data["max_insns_per_action"],
+        max_dynamic_insns=data["max_dynamic_insns"],
+        verdict_min=data["verdict_min"],
+        verdict_max=data["verdict_max"],
+    )
+
+
+def _serialize_artifact(artifact) -> dict:
+    try:
+        model_wire = _serialize_model(artifact.model)
+    except Exception:
+        model_wire = None
+    return {
+        "version": artifact.version,
+        "content_hash": artifact.content_hash,
+        "family": artifact.family,
+        "status": artifact.status,
+        "pinned": artifact.pinned,
+        "created_tick": artifact.created_tick,
+        "metadata": dict(artifact.metadata),
+        "model": model_wire,
+    }
+
+
+def capture_checkpoint(control_plane) -> dict:
+    """Snapshot a control plane's intended state as a pure-data dict.
+
+    ``journal_lsn`` is the highest journal LSN the snapshot covers;
+    restore replays only records after it.
+    """
+    programs: dict[str, dict] = {}
+    for name in control_plane.installed:
+        dp = control_plane.datapath(name)
+        entry: dict = {
+            "attach_point": dp.program.attach_point,
+            "mode": dp.mode,
+            "fingerprint": program_fingerprint(dp.program),
+            "policy": serialize_policy(dp.policy),
+        }
+        try:
+            entry["payload"] = program_to_payload(dp.program)
+        except Exception as exc:
+            entry["payload"] = None
+            entry["opaque"] = str(exc)
+        programs[name] = entry
+
+    registry = control_plane.registry
+    tracks = {
+        track: [_serialize_artifact(a) for a in registry.history(track)]
+        for track in registry.tracks()
+    }
+
+    rollouts = {
+        target: rollout.state
+        for target, rollout in sorted(control_plane._rollouts.items())
+    }
+
+    supervisor = control_plane.supervisor
+    quarantined = list(supervisor.quarantined) if supervisor else []
+
+    journal = getattr(control_plane, "journal", None)
+    journal_lsn = journal.next_lsn - 1 if journal is not None else -1
+
+    return {
+        "version": CHECKPOINT_VERSION,
+        "journal_lsn": journal_lsn,
+        "programs": programs,
+        "registry": {"tracks": tracks, "clock": registry.clock},
+        "rollouts": rollouts,
+        "quarantined": quarantined,
+    }

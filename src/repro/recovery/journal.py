@@ -1,0 +1,268 @@
+"""The write-ahead intent journal and its durable backing store.
+
+The recovery contract (docs/RECOVERY.md) splits a control-plane
+mutation into three durable steps::
+
+    intent record  ──►  apply to the datapath  ──►  commit record
+
+A crash between any two steps is recoverable: an *intent* with no
+*commit* is in doubt (the apply may or may not have happened) and is
+rolled forward idempotently by ``restore()``; a commit with a lost ack
+is deduplicated by the caller-supplied ``op_id``.  Rollout lifecycle
+transitions are journaled as single already-true *fact* records — they
+are observations of a state machine that already moved, not intents.
+
+Serialization is the same canonical discipline as the golden traces
+and :mod:`repro.core.serialize`: one compact sorted-key JSON object per
+line, so journals are byte-stable, diffable, and safe to hash.
+
+:class:`RecoveryStore` is the durability boundary.  It deliberately
+holds *encoded lines*, not live dicts — everything the journal knows
+must survive the round-trip through bytes, exactly like a file on disk
+(and :meth:`RecoveryStore.save`/:meth:`RecoveryStore.load` give it a
+real file form for the CLI).  The store object outlives the control
+plane: the crash harness abandons the crashed ``ControlPlane`` and
+hands the same store to ``restore()``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..obs import trace as obs_trace
+from ..obs.events import JOURNAL
+
+__all__ = ["RecoveryStore", "IntentJournal", "encode_record",
+           "decode_record"]
+
+#: Journal wire-format version (bump on incompatible record changes).
+JOURNAL_VERSION = 1
+
+
+def encode_record(record: dict) -> str:
+    """Canonical one-line wire form (sorted keys, compact separators)."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def decode_record(line: str) -> dict:
+    return json.loads(line)
+
+
+class RecoveryStore:
+    """Durable backing for the journal and its checkpoints.
+
+    In-memory by default (the simulated "disk" that survives a
+    control-plane crash); ``save``/``load`` provide a real file form.
+    """
+
+    def __init__(self) -> None:
+        self.journal_lines: list[str] = []
+        self.checkpoint_lines: list[str] = []
+
+    # -- journal ----------------------------------------------------------
+
+    def append_journal(self, record: dict) -> None:
+        self.journal_lines.append(encode_record(record))
+
+    def journal_records(self) -> list[dict]:
+        return [decode_record(line) for line in self.journal_lines]
+
+    # -- checkpoints ------------------------------------------------------
+
+    def append_checkpoint(self, payload: dict) -> None:
+        self.checkpoint_lines.append(encode_record(payload))
+
+    def latest_checkpoint(self) -> dict | None:
+        if not self.checkpoint_lines:
+            return None
+        return decode_record(self.checkpoint_lines[-1])
+
+    # -- file form --------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """One JSON header line, then the raw journal/checkpoint lines."""
+        header = encode_record({
+            "format": "repro-recovery-store",
+            "version": JOURNAL_VERSION,
+            "journal": len(self.journal_lines),
+            "checkpoints": len(self.checkpoint_lines),
+        })
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(header + "\n")
+            for line in self.journal_lines:
+                fh.write(line + "\n")
+            for line in self.checkpoint_lines:
+                fh.write(line + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "RecoveryStore":
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [line.rstrip("\n") for line in fh if line.strip()]
+        if not lines:
+            return cls()
+        header = decode_record(lines[0])
+        if header.get("format") != "repro-recovery-store":
+            raise ValueError(f"{path} is not a recovery store")
+        store = cls()
+        n_journal = int(header.get("journal", 0))
+        store.journal_lines = lines[1:1 + n_journal]
+        store.checkpoint_lines = lines[1 + n_journal:]
+        return store
+
+
+class IntentJournal:
+    """LSN-stamped write-ahead journal over a :class:`RecoveryStore`.
+
+    Record shapes (all carry ``lsn``)::
+
+        {"lsn", "phase": "intent",     "op", "args", "op_id"?}
+        {"lsn", "phase": "commit",     "op", "txn", "recovered"?}
+        {"lsn", "phase": "fact",       "op", "args"}
+        {"lsn", "phase": "checkpoint", "checkpoint_lsn"}
+
+    ``txn`` on a commit is the LSN of the intent it acknowledges;
+    ``op_id`` is an optional caller idempotency key — a retried
+    operation whose first attempt committed (the ``stale_ack`` crash)
+    is detected by its key and skipped.
+    """
+
+    def __init__(self, store: RecoveryStore | None = None) -> None:
+        self.store = store or RecoveryStore()
+        self.next_lsn = 0
+        #: LSNs of intents with no commit yet (in-doubt when crashed).
+        self._open_intents: dict[int, str] = {}
+        #: Idempotency keys of committed operations.
+        self.committed_op_ids: set[str] = set()
+        self.intents = 0
+        self.commits = 0
+        self.aborts = 0
+        self.facts = 0
+        self.recovered_commits = 0
+        self._rehydrate()
+
+    def _rehydrate(self) -> None:
+        """Rebuild counters/indexes from a pre-existing store (restore)."""
+        for record in self.store.journal_records():
+            self.next_lsn = max(self.next_lsn, record["lsn"] + 1)
+            phase = record["phase"]
+            if phase == "intent":
+                self.intents += 1
+                self._open_intents[record["lsn"]] = record["op"]
+            elif phase == "commit":
+                self.commits += 1
+                self._open_intents.pop(record["txn"], None)
+                op_id = record.get("op_id")
+                if op_id:
+                    self.committed_op_ids.add(op_id)
+            elif phase == "abort":
+                self.aborts += 1
+                self._open_intents.pop(record["txn"], None)
+            elif phase == "fact":
+                self.facts += 1
+
+    def _emit(self, op: str, phase: str, lsn: int) -> None:
+        rec = obs_trace.ACTIVE
+        if rec is not None and rec.want_journal:
+            rec.emit(JOURNAL, (op, phase, lsn))
+
+    def _stamp(self) -> int:
+        lsn = self.next_lsn
+        self.next_lsn += 1
+        return lsn
+
+    # -- the write path ---------------------------------------------------
+
+    def intent(self, op: str, args: dict, op_id: str | None = None) -> int:
+        """Durably record the intent to perform ``op``; returns its LSN."""
+        lsn = self._stamp()
+        record = {"lsn": lsn, "phase": "intent", "op": op, "args": args}
+        if op_id is not None:
+            record["op_id"] = op_id
+        self.store.append_journal(record)
+        self._open_intents[lsn] = op
+        self.intents += 1
+        self._emit(op, "intent", lsn)
+        return lsn
+
+    def commit(self, txn: int, op: str, op_id: str | None = None,
+               recovered: bool = False) -> int:
+        """Acknowledge that the intent at LSN ``txn`` fully applied."""
+        lsn = self._stamp()
+        record = {"lsn": lsn, "phase": "commit", "op": op, "txn": txn}
+        if op_id is not None:
+            record["op_id"] = op_id
+            self.committed_op_ids.add(op_id)
+        if recovered:
+            record["recovered"] = True
+            self.recovered_commits += 1
+        self.store.append_journal(record)
+        self._open_intents.pop(txn, None)
+        self.commits += 1
+        self._emit(op, "commit", lsn)
+        return lsn
+
+    def abort(self, txn: int, op: str, reason: str) -> int:
+        """Close an intent whose apply failed with a *real* error.
+
+        An aborted intent is resolved — restore neither rolls it
+        forward nor treats it as in doubt.  Crashes never abort: a
+        crashed apply leaves the intent open on purpose.
+        """
+        lsn = self._stamp()
+        self.store.append_journal(
+            {"lsn": lsn, "phase": "abort", "op": op, "txn": txn,
+             "reason": reason}
+        )
+        self._open_intents.pop(txn, None)
+        self.aborts += 1
+        self._emit(op, "abort", lsn)
+        return lsn
+
+    def fact(self, op: str, args: dict) -> int:
+        """Record an already-true observation (rollout transitions)."""
+        lsn = self._stamp()
+        self.store.append_journal(
+            {"lsn": lsn, "phase": "fact", "op": op, "args": args}
+        )
+        self.facts += 1
+        self._emit(op, "fact", lsn)
+        return lsn
+
+    def checkpoint_marker(self, checkpoint_lsn: int) -> int:
+        """Mark that a checkpoint covering everything < its LSN exists."""
+        lsn = self._stamp()
+        self.store.append_journal(
+            {"lsn": lsn, "phase": "checkpoint",
+             "checkpoint_lsn": checkpoint_lsn}
+        )
+        self._emit("checkpoint", "fact", lsn)
+        return lsn
+
+    # -- the read path (restore) ------------------------------------------
+
+    def is_committed(self, op_id: str) -> bool:
+        return op_id in self.committed_op_ids
+
+    def records(self) -> list[dict]:
+        return self.store.journal_records()
+
+    def tail(self, after_lsn: int) -> list[dict]:
+        """Records strictly after ``after_lsn`` (the checkpoint cut)."""
+        return [r for r in self.store.journal_records()
+                if r["lsn"] > after_lsn]
+
+    def in_doubt(self) -> list[int]:
+        """LSNs of intents whose commit never landed, in order."""
+        return sorted(self._open_intents)
+
+    def stats(self) -> dict:
+        return {
+            "records": len(self.store.journal_lines),
+            "next_lsn": self.next_lsn,
+            "intents": self.intents,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "facts": self.facts,
+            "in_doubt": len(self._open_intents),
+            "recovered_commits": self.recovered_commits,
+        }

@@ -1,0 +1,418 @@
+"""Restore from the journal, then reconcile intent against the kernel.
+
+``restore()`` is the ARIES-shaped half: load the latest checkpoint,
+replay the committed journal tail over it in LSN order, then resolve
+the in-doubt intents — every op except staging is rolled **forward**
+(its applier is idempotent, so "applied then crashed before commit" and
+"crashed before applying" converge to the same state), while an
+in-doubt ``stage_model``/``stage_program`` is aborted (a rollout is
+runtime state; resurrecting a half-staged lane could route live
+traffic through an unvetted candidate).
+
+``Reconciler`` is the drift-repair half: the kernel's
+:class:`~repro.kernel.hooks.HookRegistry` survives a control-plane
+crash, so the restored *intent* must be diffed against the *live*
+datapaths.  Live programs whose fingerprint matches intent are adopted
+(runtime stats survive); drifted ones are replaced bit-exactly from
+the journal; missing ones are reinstalled; orphans are detached.  Torn
+rollouts — a stage with no terminal transition fact — always recover
+to ROLLED_BACK, never a half-canary.
+
+``recover()`` = restore + reconcile, the one-call form the harness and
+the ``repro recover`` CLI use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.control_plane import ControlPlane
+from ..core.errors import ControlPlaneError, VerifierError
+from ..core.serialize import _deserialize_model, payload_to_program
+from ..deploy.plan import RolloutState
+from ..deploy.registry import ArtifactStatus
+from ..obs import trace as obs_trace
+from ..obs.events import RECONCILE
+from .checkpoint import deserialize_policy, program_fingerprint
+from .journal import RecoveryStore
+from .recoverable import RecoverableControlPlane, ReplaySkip
+
+__all__ = ["RestoreReport", "ReconcileReport", "restore", "Reconciler",
+           "recover", "state_summary"]
+
+_TERMINAL = {RolloutState.PROMOTED, RolloutState.ROLLED_BACK}
+
+
+def _emit_reconcile(action: str, target: str) -> None:
+    rec = obs_trace.ACTIVE
+    if rec is not None and rec.want_reconcile:
+        rec.emit(RECONCILE, (action, target))
+
+
+@dataclass
+class RestoreReport:
+    """What restore() did: replayed, rolled forward, skipped, torn."""
+
+    checkpoint_lsn: int = -1
+    replayed: int = 0
+    rolled_forward: list[dict] = field(default_factory=list)
+    aborted: list[dict] = field(default_factory=list)
+    skipped: list[dict] = field(default_factory=list)
+    #: target -> last known rollout state (from checkpoint + facts).
+    rollout_ledger: dict = field(default_factory=dict)
+    #: target -> staged-candidate content hash (for torn cleanup).
+    stage_hashes: dict = field(default_factory=dict)
+    #: programs checkpointed without a payload (cannot rebuild).
+    opaque_programs: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "checkpoint_lsn": self.checkpoint_lsn,
+            "replayed": self.replayed,
+            "rolled_forward": list(self.rolled_forward),
+            "aborted": list(self.aborted),
+            "skipped": list(self.skipped),
+            "rollout_ledger": dict(self.rollout_ledger),
+            "opaque_programs": dict(self.opaque_programs),
+        }
+
+
+@dataclass
+class ReconcileReport:
+    """Each repair the reconciler performed, by kind."""
+
+    repairs: list[tuple[str, str]] = field(default_factory=list)
+    adopted: list[str] = field(default_factory=list)
+
+    def add(self, action: str, target: str) -> None:
+        self.repairs.append((action, target))
+        _emit_reconcile(action, target)
+
+    def count(self, action: str) -> int:
+        return sum(1 for a, _ in self.repairs if a == action)
+
+    def as_dict(self) -> dict:
+        by_action: dict[str, list[str]] = {}
+        for action, target in self.repairs:
+            by_action.setdefault(action, []).append(target)
+        return {"repairs": by_action, "adopted": list(self.adopted)}
+
+
+def _load_checkpoint(cp: RecoverableControlPlane, checkpoint: dict,
+                     report: RestoreReport) -> None:
+    for name, entry in sorted(checkpoint.get("programs", {}).items()):
+        payload = entry.get("payload")
+        if payload is None:
+            report.opaque_programs[name] = {
+                "attach_point": entry["attach_point"],
+                "fingerprint": entry.get("fingerprint"),
+                "mode": entry.get("mode", "interpret"),
+            }
+            continue
+        program = payload_to_program(payload)
+        policy = deserialize_policy(entry["policy"])
+        # Base-class install: no journaling, no hook attach — the
+        # reconciler decides how the datapath meets the kernel.
+        ControlPlane.install(cp, program, policy,
+                             mode=entry.get("mode", "interpret"))
+
+    tracks = checkpoint.get("registry", {}).get("tracks", {})
+    for track, artifacts in sorted(tracks.items()):
+        for wire in artifacts:
+            model = (_deserialize_model(wire["model"])
+                     if wire.get("model") else None)
+            cp.registry.adopt(
+                track,
+                version=wire["version"],
+                content_hash=wire["content_hash"],
+                family=wire["family"],
+                model=model,
+                metadata=wire.get("metadata"),
+                status=wire["status"],
+                pinned=wire.get("pinned", False),
+                created_tick=wire.get("created_tick", 0),
+            )
+    cp.registry.clock = max(cp.registry.clock,
+                            checkpoint.get("registry", {}).get("clock", 0))
+
+    for target, state in checkpoint.get("rollouts", {}).items():
+        report.rollout_ledger[target] = state
+
+    if cp.supervisor is not None:
+        for name in checkpoint.get("quarantined", []):
+            cp.supervisor.quarantine(name)
+
+
+def restore(
+    store: RecoveryStore,
+    hooks=None,
+    helpers=None,
+    **cp_kwargs,
+) -> tuple[RecoverableControlPlane, RestoreReport]:
+    """Rebuild a control plane from its durable store.
+
+    The returned control plane reflects journaled *intent* only; run
+    :class:`Reconciler` (or use :func:`recover`) to repair the live
+    kernel against it.
+    """
+    if helpers is None and hooks is not None:
+        helpers = hooks.helpers
+    cp = RecoverableControlPlane(helpers, hook_registry=hooks,
+                                 store=store, **cp_kwargs)
+    if hooks is not None and hooks.supervisor is not None:
+        cp.attach_supervisor(hooks.supervisor)
+
+    report = RestoreReport()
+    cp.replaying = True
+    try:
+        checkpoint = store.latest_checkpoint()
+        cut = -1
+        if checkpoint is not None:
+            cut = checkpoint["journal_lsn"]
+            report.checkpoint_lsn = cut
+            _load_checkpoint(cp, checkpoint, report)
+
+        records = cp.journal.records()
+        intents = {r["lsn"]: r for r in records if r["phase"] == "intent"}
+
+        def note_stage(record: dict) -> None:
+            args = record["args"]
+            target = args["program"]
+            report.rollout_ledger[target] = RolloutState.STAGED
+            if args.get("hash"):
+                report.stage_hashes[target] = args["hash"]
+
+        # 1. Committed tail, in journal order.
+        for record in (r for r in records if r["lsn"] > cut):
+            phase = record["phase"]
+            if phase == "fact" and record["op"] == "rollout_transition":
+                args = record["args"]
+                report.rollout_ledger[args["target"]] = args["to"]
+                continue
+            if phase != "commit":
+                continue
+            intent = intents.get(record["txn"])
+            if intent is None:
+                continue
+            op, args = intent["op"], intent["args"]
+            if op in ("stage_model", "stage_program"):
+                note_stage(intent)
+                # Re-read any facts journaled *inside* the stage apply
+                # (the intent→commit window) — they precede this commit
+                # and were already folded in by the fact branch above.
+            try:
+                cp.replay_op(op, args)
+                report.replayed += 1
+            except ReplaySkip as exc:
+                report.skipped.append(
+                    {"lsn": intent["lsn"], "op": op, "reason": str(exc)}
+                )
+
+        # 2. In-doubt intents: roll forward, except staging (torn).
+        for lsn in cp.journal.in_doubt():
+            intent = intents[lsn]
+            op, args = intent["op"], intent["args"]
+            if op in ("stage_model", "stage_program"):
+                # Never resurrect a half-staged rollout.
+                note_stage(intent)
+                cp.journal.abort(lsn, op, "recovered: in-doubt staging "
+                                          "aborted")
+                report.aborted.append({"lsn": lsn, "op": op,
+                                       "reason": "in-doubt staging"})
+                continue
+            try:
+                cp.replay_op(op, args)
+            except ReplaySkip as exc:
+                cp.journal.abort(lsn, op, f"recovered: {exc}")
+                report.skipped.append(
+                    {"lsn": lsn, "op": op, "reason": str(exc)}
+                )
+            except (VerifierError, ControlPlaneError) as exc:
+                cp.journal.abort(lsn, op, f"recovered: {exc}")
+                report.aborted.append(
+                    {"lsn": lsn, "op": op, "reason": str(exc)}
+                )
+            else:
+                cp.journal.commit(lsn, op, intent.get("op_id"),
+                                  recovered=True)
+                report.rolled_forward.append({"lsn": lsn, "op": op})
+    finally:
+        cp.replaying = False
+    return cp, report
+
+
+class Reconciler:
+    """Diff restored intent against live kernel state and repair it."""
+
+    def __init__(self, control_plane: RecoverableControlPlane, hooks,
+                 restore_report: RestoreReport | None = None) -> None:
+        self.cp = control_plane
+        self.hooks = hooks
+        self.restore_report = restore_report or RestoreReport()
+
+    def reconcile(self) -> ReconcileReport:
+        report = ReconcileReport()
+        self._clear_lanes(report)
+        self._abort_torn_rollouts(report)
+        self._reconcile_programs(report)
+        return report
+
+    # -- rollouts ---------------------------------------------------------
+
+    def _clear_lanes(self, report: ReconcileReport) -> None:
+        """No rollout object survives a crash: detach every live lane.
+
+        The restored control plane has no ``ModelRollout`` driver for
+        them, so a lane left attached would shadow/canary forever with
+        nobody evaluating its gates.
+        """
+        for name in self.hooks.names:
+            hook = self.hooks.hook(name)
+            for rollout in list(hook.rollouts):
+                hook.detach_rollout(rollout)
+                report.add("detached_lane", rollout.target)
+
+    def _abort_torn_rollouts(self, report: ReconcileReport) -> None:
+        ledger = self.restore_report.rollout_ledger
+        for target in sorted(ledger):
+            state = ledger[target]
+            if state in _TERMINAL:
+                continue
+            self.cp.journal.fact("rollout_transition", {
+                "target": target,
+                "from": state,
+                "to": RolloutState.ROLLED_BACK,
+                "tick": -1,
+                "reason": "recovered: torn rollout aborted",
+            })
+            ledger[target] = RolloutState.ROLLED_BACK
+            stage_hash = self.restore_report.stage_hashes.get(target)
+            if stage_hash:
+                artifact = self.cp.registry.by_hash(target, stage_hash)
+                if (artifact is not None
+                        and artifact.status == ArtifactStatus.STAGED):
+                    self.cp.registry.mark_rolled_back(target,
+                                                     artifact.version)
+            report.add("aborted_rollout", target)
+
+    # -- programs ---------------------------------------------------------
+
+    def _live_datapaths(self) -> dict:
+        live = {}
+        for name in self.hooks.names:
+            for dp in self.hooks.hook(name).datapaths:
+                live[dp.program.name] = (name, dp)
+        return live
+
+    def _reconcile_programs(self, report: ReconcileReport) -> None:
+        live = self._live_datapaths()
+
+        # Opaque programs (no rebuildable payload): adopt live state if
+        # the kernel still has it, otherwise it is lost.
+        for name, info in sorted(
+                self.restore_report.opaque_programs.items()):
+            found = live.pop(name, None)
+            if found is None:
+                report.add("lost_program", name)
+                continue
+            _hook_name, dp = found
+            self.cp._datapaths[name] = dp
+            report.adopted.append(name)
+            report.add("adopted_opaque", name)
+
+        for name in list(self.cp.installed):
+            dp = self.cp.datapath(name)
+            attach_point = dp.program.attach_point
+            if not self.hooks.has_hook(attach_point):
+                report.add("missing_hook", name)
+                continue
+            found = live.pop(name, None)
+            if found is None:
+                # The kernel lost the program (or never applied the
+                # install): attach the restored datapath.
+                self.hooks.attach(attach_point, dp)
+                report.add("reinstalled", name)
+                continue
+            live_hook, live_dp = found
+            if live_hook != attach_point:
+                self.hooks.detach(live_hook, name)
+                self.hooks.attach(attach_point, dp)
+                report.add("moved", name)
+                continue
+            if (program_fingerprint(live_dp.program)
+                    == program_fingerprint(dp.program)):
+                # Bit-identical: adopt the live object so runtime stats
+                # and JIT state survive the recovery.
+                self.cp._datapaths[name] = live_dp
+                report.adopted.append(name)
+            else:
+                hook = self.hooks.hook(attach_point)
+                hook.datapaths = [
+                    dp if d is live_dp else d for d in hook.datapaths
+                ]
+                report.add("replaced_drifted", name)
+
+        # Anything still live but absent from intent is an orphan.
+        for name in sorted(live):
+            hook_name, _dp = live[name]
+            self.hooks.detach(hook_name, name)
+            if self.hooks.supervisor is not None:
+                self.hooks.supervisor.forget(name)
+            report.add("detached_orphan", name)
+
+
+def recover(
+    store: RecoveryStore,
+    hooks,
+    **cp_kwargs,
+) -> tuple[RecoverableControlPlane, RestoreReport, ReconcileReport]:
+    """One-call crash recovery: restore intent, then repair the kernel."""
+    cp, restore_report = restore(store, hooks=hooks, **cp_kwargs)
+    reconcile_report = Reconciler(cp, hooks, restore_report).reconcile()
+    return cp, restore_report, reconcile_report
+
+
+def state_summary(control_plane, hooks) -> dict:
+    """Canonical convergence summary the crash-loop experiment compares.
+
+    Everything here is intent-equivalent state: program fingerprints
+    (which pin table contents bit-exactly), attachment, live model
+    hashes per registry track, active rollout lanes, and the quarantine
+    set.  Runtime counters (fires, traps, clocks) are deliberately
+    excluded — a recovered run has a different fault history by
+    construction.
+    """
+    attached = set()
+    lanes = []
+    for name in hooks.names:
+        hook = hooks.hook(name)
+        for dp in hook.datapaths:
+            attached.add(dp.program.name)
+        for rollout in hook.rollouts:
+            lanes.append((name, rollout.target))
+    programs = {}
+    for name in control_plane.installed:
+        dp = control_plane.datapath(name)
+        programs[name] = {
+            "fingerprint": program_fingerprint(dp.program),
+            "attach_point": dp.program.attach_point,
+            "attached": name in attached,
+            "verified": bool(dp.program.verified),
+        }
+    registry = control_plane.registry
+    live_hashes = {}
+    for track in registry.tracks():
+        artifact = registry.live(track)
+        live_hashes[track] = (artifact.content_hash
+                              if artifact is not None else None)
+    active_rollouts = sorted(
+        target for target, rollout in control_plane._rollouts.items()
+        if rollout.active
+    )
+    return {
+        "programs": programs,
+        "registry_live": live_hashes,
+        "active_rollouts": active_rollouts,
+        "lanes": sorted(lanes),
+        "quarantined": list(control_plane.quarantined),
+    }

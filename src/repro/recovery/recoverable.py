@@ -1,0 +1,608 @@
+"""A :class:`ControlPlane` whose every mutation is write-ahead journaled.
+
+``RecoverableControlPlane`` wraps each mutating operation in the
+intent→apply→commit protocol of :mod:`repro.recovery.journal`:
+
+1. the intent record (op name + pure-data args, serialized with the
+   same wire forms as :mod:`repro.core.serialize`) is made durable;
+2. the crash injector gets its ``on_intent`` shot, then the apply runs
+   — retrying :class:`~repro.core.errors.TransientApplyError` with the
+   shared :class:`~repro.core.backoff.ExponentialBackoff` policy;
+3. the commit record acknowledges the apply; every
+   ``checkpoint_every`` commits a full checkpoint is captured.
+
+An apply that fails with a *real* error (verifier rejection, unknown
+table) writes an ``abort`` record so restore knows the intent is
+resolved; a crash writes nothing, leaving the intent **in doubt** for
+``restore()`` to roll forward.
+
+Idempotency keys: callers that may retry after a crash (the crash-loop
+harness, an operator CLI) pass ``op_id=...``; an op whose first attempt
+committed but whose ack was lost (the ``stale_ack`` crash) is detected
+by its key and skipped instead of double-applied.
+
+Datapath cost: **zero**.  Journaling wraps control-plane calls only —
+the hook fire path (:mod:`repro.kernel.hooks`) is untouched, which is
+what keeps the bench_hotpath ceiling intact.
+"""
+
+from __future__ import annotations
+
+from ..core.backoff import ExponentialBackoff
+from ..core.control_plane import ControlPlane
+from ..core.errors import (
+    ControlPlaneCrash,
+    ControlPlaneError,
+    TransientApplyError,
+)
+from ..core.serialize import (
+    _deserialize_model,
+    _serialize_model,
+    payload_to_program,
+    program_to_payload,
+)
+from ..deploy.registry import model_fingerprint
+from .checkpoint import capture_checkpoint, serialize_policy, \
+    deserialize_policy
+from .journal import IntentJournal, RecoveryStore
+
+__all__ = ["RecoverableControlPlane", "ReplaySkip"]
+
+
+class ReplaySkip(Exception):
+    """A journal record that cannot be re-applied from bytes alone
+    (opaque model, vanished hook).  Restore records it and moves on —
+    the reconciler decides whether live state can cover the gap."""
+
+
+def _serialize_model_or_none(model) -> dict | None:
+    try:
+        return _serialize_model(model)
+    except Exception:
+        return None
+
+
+def _entry_identity(entry) -> dict:
+    return {
+        "patterns": [
+            {"value": p.value, "mask": p.mask, "wildcard": p.is_wildcard}
+            for p in entry.patterns
+        ],
+        "action": entry.action,
+        "priority": entry.priority,
+        "action_data": dict(entry.action_data),
+    }
+
+
+class RecoverableControlPlane(ControlPlane):
+    """Control plane with write-ahead journaling + checkpoint cadence."""
+
+    def __init__(
+        self,
+        helpers=None,
+        hook_registry=None,
+        *,
+        store: RecoveryStore | None = None,
+        checkpoint_every: int = 16,
+        crash_injector=None,
+        retry_attempts: int = 4,
+        retry_backoff: ExponentialBackoff | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(helpers, hook_registry)
+        self.store = store or RecoveryStore()
+        self.journal = IntentJournal(self.store)
+        self.checkpoint_every = checkpoint_every
+        self.crash_injector = crash_injector
+        self.retry_attempts = retry_attempts
+        self._retry_backoff = retry_backoff or ExponentialBackoff(
+            base=1, cap=64, jitter=0.5, seed=seed
+        )
+        #: True while restore() is rebuilding state — the journaled
+        #: wrappers pass straight through (replay must never re-journal
+        #: or re-crash).
+        self.replaying = False
+        self.retries = 0
+        self.retry_backoff_ticks = 0
+        self.deduped_ops = 0
+        self.checkpoints_taken = 0
+        self._commits_since_checkpoint = 0
+
+    # -- the intent→apply→commit wrapper ----------------------------------
+
+    def _apply_with_retries(self, op: str, lsn: int, apply_fn):
+        inj = self.crash_injector
+        attempts = 0
+        while True:
+            try:
+                if inj is not None:
+                    inj.maybe_transient(op)
+                result = apply_fn(lsn)
+            except TransientApplyError:
+                attempts += 1
+                if attempts > self.retry_attempts:
+                    raise
+                self.retries += 1
+                self.retry_backoff_ticks += self._retry_backoff.next_delay()
+                continue
+            self._retry_backoff.reset()
+            return result
+
+    def _journaled(self, op: str, args: dict, apply_fn,
+                   op_id: str | None = None):
+        if self.replaying:
+            return apply_fn(-1)
+        if op_id is not None and self.journal.is_committed(op_id):
+            self.deduped_ops += 1
+            return None
+        lsn = self.journal.intent(op, args, op_id)
+        inj = self.crash_injector
+        if inj is not None:
+            inj.on_intent(lsn, op)
+        try:
+            result = self._apply_with_retries(op, lsn, apply_fn)
+        except ControlPlaneCrash:
+            raise
+        except Exception as exc:
+            self.journal.abort(lsn, op, f"{type(exc).__name__}: {exc}")
+            raise
+        if inj is not None:
+            inj.on_applied(lsn, op)
+        self.journal.commit(lsn, op, op_id)
+        self._maybe_checkpoint()
+        if inj is not None:
+            inj.on_commit(lsn, op)
+        return result
+
+    def _maybe_checkpoint(self) -> None:
+        self._commits_since_checkpoint += 1
+        if self._commits_since_checkpoint < self.checkpoint_every:
+            return
+        self.checkpoint()
+
+    def checkpoint(self) -> dict:
+        """Capture and persist a checkpoint now; returns the payload."""
+        payload = capture_checkpoint(self)
+        self.store.append_checkpoint(payload)
+        self.journal.checkpoint_marker(payload["journal_lsn"])
+        self.checkpoints_taken += 1
+        self._commits_since_checkpoint = 0
+        return payload
+
+    # -- journaled operations ---------------------------------------------
+
+    def install(self, program, policy, mode: str = "interpret",
+                op_id: str | None = None):
+        try:
+            payload = program_to_payload(program)
+        except Exception as exc:
+            payload = None
+            opaque = str(exc)
+        else:
+            opaque = None
+        args = {
+            "name": program.name,
+            "attach_point": program.attach_point,
+            "mode": mode,
+            "policy": serialize_policy(policy),
+            "payload": payload,
+        }
+        if opaque is not None:
+            args["opaque"] = opaque
+        return self._journaled(
+            "install", args,
+            lambda lsn: ControlPlane.install(self, program, policy, mode),
+            op_id=op_id,
+        )
+
+    def uninstall(self, program_name: str, op_id: str | None = None) -> None:
+        return self._journaled(
+            "uninstall", {"program": program_name},
+            lambda lsn: ControlPlane.uninstall(self, program_name),
+            op_id=op_id,
+        )
+
+    def add_entry(self, program_name, table_name, key_values, action,
+                  priority: int = 0, op_id: str | None = None,
+                  **action_data):
+        args = {
+            "program": program_name,
+            "table": table_name,
+            "key_values": list(key_values),
+            "action": action,
+            "priority": priority,
+            "action_data": dict(action_data),
+        }
+        return self._journaled(
+            "add_entry", args,
+            lambda lsn: ControlPlane.add_entry(
+                self, program_name, table_name, key_values, action,
+                priority, **action_data,
+            ),
+            op_id=op_id,
+        )
+
+    def add_entries(self, program_name, table_name, entries,
+                    op_id: str | None = None):
+        specs = []
+        for spec in entries:
+            specs.append({
+                "key_values": list(spec[0]),
+                "action": spec[1],
+                "priority": spec[2] if len(spec) > 2 else 0,
+                "action_data": dict(spec[3]) if len(spec) > 3 else {},
+            })
+        args = {"program": program_name, "table": table_name,
+                "entries": specs}
+
+        def apply(lsn):
+            inj = self.crash_injector
+            out = []
+            n = len(specs)
+            for i, s in enumerate(specs):
+                if inj is not None and not self.replaying:
+                    inj.mid_batch(lsn, "add_entries", i, n)
+                out.append(ControlPlane.add_entry(
+                    self, program_name, table_name, s["key_values"],
+                    s["action"], s["priority"], **s["action_data"],
+                ))
+            return out
+
+        return self._journaled("add_entries", args, apply, op_id=op_id)
+
+    def remove_entry(self, program_name, table_name, entry_id,
+                     op_id: str | None = None) -> bool:
+        dp = self.datapath(program_name)
+        table = dp.program.pipeline.table(table_name)
+        target = None
+        for entry in table.entries:
+            if entry.entry_id == entry_id:
+                target = entry
+                break
+        if target is None:
+            # Nothing would change; no intent to journal.
+            return ControlPlane.remove_entry(
+                self, program_name, table_name, entry_id
+            )
+        args = {"program": program_name, "table": table_name,
+                "entry": _entry_identity(target)}
+        return self._journaled(
+            "remove_entry", args,
+            lambda lsn: ControlPlane.remove_entry(
+                self, program_name, table_name, entry_id
+            ),
+            op_id=op_id,
+        )
+
+    def modify_entry(self, program_name, table_name, entry_id,
+                     op_id: str | None = None, **action_data):
+        dp = self.datapath(program_name)
+        table = dp.program.pipeline.table(table_name)
+        target = None
+        for entry in table.entries:
+            if entry.entry_id == entry_id:
+                target = entry
+                break
+        if target is None:
+            raise ControlPlaneError(
+                f"entry {entry_id} not found in {program_name}.{table_name}"
+            )
+        match = _entry_identity(target)
+        match.pop("action_data")  # the part the update mutates
+        args = {"program": program_name, "table": table_name,
+                "match": match, "updates": dict(action_data)}
+        return self._journaled(
+            "modify_entry", args,
+            lambda lsn: ControlPlane.modify_entry(
+                self, program_name, table_name, entry_id, **action_data
+            ),
+            op_id=op_id,
+        )
+
+    def push_model(self, program_name, model_id, model,
+                   metadata: dict | None = None,
+                   op_id: str | None = None) -> None:
+        content_hash, _family = model_fingerprint(model)
+        args = {
+            "program": program_name,
+            "model_id": model_id,
+            "model": _serialize_model_or_none(model),
+            "hash": content_hash,
+            "metadata": dict(metadata or {}),
+        }
+        return self._journaled(
+            "push_model", args,
+            lambda lsn: ControlPlane.push_model(
+                self, program_name, model_id, model, metadata
+            ),
+            op_id=op_id,
+        )
+
+    def rollback_model(self, program_name, model_id,
+                       op_id: str | None = None) -> None:
+        live = self.registry.live(program_name)
+        args = {
+            "program": program_name,
+            "model_id": model_id,
+            "from_hash": live.content_hash if live is not None else None,
+        }
+        return self._journaled(
+            "rollback_model", args,
+            lambda lsn: ControlPlane.rollback_model(
+                self, program_name, model_id
+            ),
+            op_id=op_id,
+        )
+
+    def quarantine(self, program_name, op_id: str | None = None) -> None:
+        return self._journaled(
+            "quarantine", {"program": program_name},
+            lambda lsn: ControlPlane.quarantine(self, program_name),
+            op_id=op_id,
+        )
+
+    def release(self, program_name, op_id: str | None = None) -> None:
+        return self._journaled(
+            "release", {"program": program_name},
+            lambda lsn: ControlPlane.release(self, program_name),
+            op_id=op_id,
+        )
+
+    # -- rollout lifecycle -------------------------------------------------
+
+    def _record_transition(self, target: str, transition) -> None:
+        self.journal.fact("rollout_transition", {
+            "target": target,
+            "from": transition.frm,
+            "to": transition.to,
+            "tick": transition.tick,
+            "reason": transition.reason,
+        })
+
+    def _subscribe_rollout(self, target: str, rollout) -> None:
+        """Journal transitions already taken, then observe the rest."""
+        for transition in rollout.plan.transitions:
+            self._record_transition(target, transition)
+        rollout.plan.on_transition = (
+            lambda t, _target=target: self._record_transition(_target, t)
+        )
+
+    def stage_model(self, program_name, model_id, model,
+                    metadata: dict | None = None, config=None,
+                    mode: str | None = None, helper_env_factory=None,
+                    batch_plan=None, op_id: str | None = None):
+        content_hash, _family = model_fingerprint(model)
+        args = {
+            "program": program_name,
+            "model_id": model_id,
+            "model": _serialize_model_or_none(model),
+            "hash": content_hash,
+            "metadata": dict(metadata or {}),
+        }
+
+        def apply(lsn):
+            rollout = ControlPlane.stage_model(
+                self, program_name, model_id, model, metadata=metadata,
+                config=config, mode=mode,
+                helper_env_factory=helper_env_factory,
+                batch_plan=batch_plan,
+            )
+            self._subscribe_rollout(program_name, rollout)
+            return rollout
+
+        return self._journaled("stage_model", args, apply, op_id=op_id)
+
+    def stage_program(self, target_name, candidate_program, artifact_model,
+                      metadata: dict | None = None, config=None,
+                      mode: str | None = None, helper_env_factory=None,
+                      batch_plan=None, op_id: str | None = None):
+        content_hash, _family = model_fingerprint(artifact_model)
+        try:
+            candidate_payload = program_to_payload(candidate_program)
+        except Exception:
+            candidate_payload = None
+        args = {
+            "program": target_name,
+            "candidate": candidate_payload,
+            "model": _serialize_model_or_none(artifact_model),
+            "hash": content_hash,
+            "metadata": dict(metadata or {}),
+        }
+
+        def apply(lsn):
+            rollout = ControlPlane.stage_program(
+                self, target_name, candidate_program, artifact_model,
+                metadata=metadata, config=config, mode=mode,
+                helper_env_factory=helper_env_factory,
+                batch_plan=batch_plan,
+            )
+            self._subscribe_rollout(target_name, rollout)
+            return rollout
+
+        return self._journaled("stage_program", args, apply, op_id=op_id)
+
+    # -- replay appliers (restore-side; all idempotent) --------------------
+
+    @staticmethod
+    def _find_entry(table, identity: dict, with_data: bool = True):
+        for entry in table.entries:
+            if entry.action != identity["action"]:
+                continue
+            if entry.priority != identity["priority"]:
+                continue
+            patterns = [
+                {"value": p.value, "mask": p.mask, "wildcard": p.is_wildcard}
+                for p in entry.patterns
+            ]
+            if patterns != identity["patterns"]:
+                continue
+            if with_data and dict(entry.action_data) != identity.get(
+                    "action_data", {}):
+                continue
+            return entry
+        return None
+
+    def _replay_install(self, args: dict) -> bool:
+        name = args["name"]
+        if name in self._datapaths:
+            return False
+        if args.get("payload") is None:
+            raise ReplaySkip(
+                f"install of {name!r} is opaque "
+                f"({args.get('opaque', 'no payload')})"
+            )
+        program = payload_to_program(args["payload"])
+        policy = deserialize_policy(args["policy"])
+        ControlPlane.install(self, program, policy, mode=args["mode"])
+        return True
+
+    def _replay_uninstall(self, args: dict) -> bool:
+        name = args["program"]
+        if name not in self._datapaths:
+            return False
+        # CP-side removal only: live hooks are the reconciler's job
+        # (a committed uninstall already detached the live hook before
+        # the crash; the restored snapshot never re-attached it).
+        self._rollouts.pop(name, None)
+        self._datapaths.pop(name, None)
+        self._watchdogs.pop(name, None)
+        return True
+
+    def _replay_add_entry(self, args: dict) -> bool:
+        table = self.datapath(args["program"]).program.pipeline.table(
+            args["table"]
+        )
+        identity = {
+            "patterns": [{"value": int(v), "mask": 0, "wildcard": False}
+                         for v in args["key_values"]],
+            "action": args["action"],
+            "priority": args["priority"],
+            "action_data": args["action_data"],
+        }
+        if self._find_entry(table, identity) is not None:
+            return False
+        ControlPlane.add_entry(
+            self, args["program"], args["table"], args["key_values"],
+            args["action"], args["priority"], **args["action_data"],
+        )
+        return True
+
+    def _replay_add_entries(self, args: dict) -> int:
+        applied = 0
+        for spec in args["entries"]:
+            applied += self._replay_add_entry({
+                "program": args["program"],
+                "table": args["table"],
+                **spec,
+            })
+        return applied
+
+    def _replay_remove_entry(self, args: dict) -> bool:
+        table = self.datapath(args["program"]).program.pipeline.table(
+            args["table"]
+        )
+        entry = self._find_entry(table, args["entry"])
+        if entry is None:
+            return False
+        return ControlPlane.remove_entry(
+            self, args["program"], args["table"], entry.entry_id
+        )
+
+    def _replay_modify_entry(self, args: dict) -> bool:
+        table = self.datapath(args["program"]).program.pipeline.table(
+            args["table"]
+        )
+        entry = self._find_entry(table, args["match"], with_data=False)
+        if entry is None:
+            return False
+        ControlPlane.modify_entry(
+            self, args["program"], args["table"], entry.entry_id,
+            **args["updates"],
+        )
+        return True
+
+    def _replay_push_model(self, args: dict) -> bool:
+        live = self.registry.live(args["program"])
+        if live is not None and live.content_hash == args["hash"]:
+            return False
+        if args.get("model") is None:
+            raise ReplaySkip(
+                f"push_model on {args['program']!r} has no wire form"
+            )
+        model = _deserialize_model(args["model"])
+        ControlPlane.push_model(
+            self, args["program"], args["model_id"], model,
+            args.get("metadata") or None,
+        )
+        return True
+
+    def _replay_rollback_model(self, args: dict) -> bool:
+        live = self.registry.live(args["program"])
+        if live is None or live.content_hash != args.get("from_hash"):
+            return False  # already rolled past the journaled live version
+        ControlPlane.rollback_model(
+            self, args["program"], args["model_id"]
+        )
+        return True
+
+    def _replay_quarantine(self, args: dict) -> bool:
+        if self.supervisor is None:
+            raise ReplaySkip("no supervisor to quarantine on")
+        self.supervisor.quarantine(args["program"])
+        return True
+
+    def _replay_release(self, args: dict) -> bool:
+        if self.supervisor is None:
+            raise ReplaySkip("no supervisor to release on")
+        self.supervisor.release(args["program"])
+        return True
+
+    def _replay_stage_model(self, args: dict) -> bool:
+        # A committed stage is NOT re-staged (lanes are runtime state,
+        # not intent); it only lands the staged artifact on the registry
+        # track so later facts can resolve it.  The restore ledger
+        # decides whether the rollout finished or died torn.
+        if args.get("model") is None:
+            return False
+        if self.registry.by_hash(args["program"], args["hash"]) is not None:
+            return False
+        model = _deserialize_model(args["model"])
+        self.registry.register(args["program"], model,
+                               dict(args.get("metadata") or {}))
+        return True
+
+    _replay_stage_program = _replay_stage_model
+
+    #: Dispatch table for restore(); ops absent here (facts, markers)
+    #: are handled by the restore driver itself.
+    REPLAY_OPS = {
+        "install": _replay_install,
+        "uninstall": _replay_uninstall,
+        "add_entry": _replay_add_entry,
+        "add_entries": _replay_add_entries,
+        "remove_entry": _replay_remove_entry,
+        "modify_entry": _replay_modify_entry,
+        "push_model": _replay_push_model,
+        "rollback_model": _replay_rollback_model,
+        "quarantine": _replay_quarantine,
+        "release": _replay_release,
+        "stage_model": _replay_stage_model,
+        "stage_program": _replay_stage_program,
+    }
+
+    def replay_op(self, op: str, args: dict):
+        """Re-apply one journaled operation (idempotent)."""
+        try:
+            applier = self.REPLAY_OPS[op]
+        except KeyError:
+            raise ReplaySkip(f"no replay applier for op {op!r}") from None
+        return applier(self, args)
+
+    def recovery_stats(self) -> dict:
+        return {
+            "journal": self.journal.stats(),
+            "checkpoints": self.checkpoints_taken,
+            "retries": self.retries,
+            "retry_backoff_ticks": self.retry_backoff_ticks,
+            "deduped_ops": self.deduped_ops,
+        }

@@ -1,0 +1,95 @@
+"""The shared exponential-backoff policy (breakers + recovery retries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backoff import ExponentialBackoff
+
+
+class TestGrowth:
+    def test_doubles_until_the_cap(self):
+        backoff = ExponentialBackoff(base=2, cap=16)
+        seen = []
+        for _ in range(6):
+            seen.append(backoff.delay())
+            backoff.advance()
+        assert seen == [2, 4, 8, 16, 16, 16]
+        assert backoff.attempts == 6
+
+    def test_custom_factor(self):
+        backoff = ExponentialBackoff(base=1, cap=100, factor=3)
+        assert [backoff.next_delay() for _ in range(4)] == [1, 3, 9, 27]
+
+    def test_reset_returns_to_base_and_clears_attempts(self):
+        backoff = ExponentialBackoff(base=2, cap=64)
+        for _ in range(4):
+            backoff.advance()
+        backoff.reset()
+        assert backoff.delay() == 2
+        assert backoff.attempts == 0
+
+
+class TestJitter:
+    def test_zero_jitter_is_deterministic_without_rng(self):
+        a = ExponentialBackoff(base=4, cap=64, seed=1)
+        b = ExponentialBackoff(base=4, cap=64, seed=2)
+        assert [a.next_delay() for _ in range(5)] == [
+            b.next_delay() for _ in range(5)
+        ]
+
+    def test_seeded_jitter_is_reproducible(self):
+        a = ExponentialBackoff(base=8, cap=512, jitter=0.5, seed=7)
+        b = ExponentialBackoff(base=8, cap=512, jitter=0.5, seed=7)
+        assert [a.next_delay() for _ in range(8)] == [
+            b.next_delay() for _ in range(8)
+        ]
+
+    def test_jitter_bounded_by_fraction_of_current(self):
+        backoff = ExponentialBackoff(base=8, cap=1024, jitter=0.25, seed=3)
+        for _ in range(8):
+            current = backoff.current
+            delay = backoff.next_delay()
+            assert current <= delay <= current + int(0.25 * current)
+
+    def test_different_seeds_diverge(self):
+        a = ExponentialBackoff(base=64, cap=1 << 20, jitter=1.0, seed=1)
+        b = ExponentialBackoff(base=64, cap=1 << 20, jitter=1.0, seed=2)
+        assert [a.next_delay() for _ in range(8)] != [
+            b.next_delay() for _ in range(8)
+        ]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"base": 0},
+        {"base": 4, "cap": 2},
+        {"base": 1, "factor": 0.5},
+        {"base": 1, "jitter": -0.1},
+        {"base": 1, "jitter": 1.5},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExponentialBackoff(**kwargs)
+
+
+class TestBreakerIntegration:
+    def test_circuit_breaker_uses_the_shared_policy(self):
+        from repro.core.supervisor import CircuitBreaker, SupervisorConfig
+
+        config = SupervisorConfig(base_backoff=4, max_backoff=8)
+        breaker = CircuitBreaker(config, name="prog")
+        assert breaker.backoff == 4
+        breaker.trip()  # first open: base-length quarantine window
+        assert breaker.backoff == 4
+        # Serve the quarantine, then fail the half-open probe: doubled.
+        while not breaker.admit():
+            pass
+        breaker.record_fault()
+        assert breaker.backoff == 8
+        while not breaker.admit():
+            pass
+        breaker.record_fault()
+        assert breaker.backoff == 8  # capped at max_backoff
+        breaker.reset()
+        assert breaker.backoff == 4

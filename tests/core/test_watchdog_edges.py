@@ -1,0 +1,125 @@
+"""AccuracyWatchdog edge cases: empty windows, exact thresholds,
+hysteresis boundaries, and recovery after a quarantine round-trip."""
+
+from __future__ import annotations
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.control_plane import AccuracyWatchdog, ControlPlane
+from repro.core.isa import Opcode
+from repro.core.supervisor import DatapathSupervisor
+from repro.core.verifier import AttachPolicy
+from repro.ml.online import AccuracyTracker
+
+I = Instruction
+OP = Opcode
+
+RETURN_PAGE = [
+    I(OP.LD_CTXT, dst=0, imm=1),
+    I(OP.EXIT),
+]
+
+
+def make_watchdog(threshold, *, window=4, min_samples=4, margin=0.25):
+    calls = {"degraded": 0, "recovered": 0}
+    watchdog = AccuracyWatchdog(
+        threshold=threshold,
+        tracker=AccuracyTracker(window=window),
+        on_degraded=lambda: calls.__setitem__(
+            "degraded", calls["degraded"] + 1),
+        on_recovered=lambda: calls.__setitem__(
+            "recovered", calls["recovered"] + 1),
+        margin=margin,
+        min_samples=min_samples,
+    )
+    return watchdog, calls
+
+
+class TestZeroSamples:
+    def test_empty_tracker_reports_zero_not_nan(self):
+        tracker = AccuracyTracker(window=8)
+        assert tracker.windowed_accuracy == 0.0
+        assert tracker.n_windowed == 0
+
+    def test_watchdog_with_no_outcomes_never_fires(self):
+        # Even a threshold of 1.0 (accuracy is "always too low") must
+        # not degrade before a single outcome arrives.
+        watchdog, calls = make_watchdog(1.0, min_samples=1)
+        assert not watchdog.degraded
+        assert watchdog.transitions == 0
+        assert calls == {"degraded": 0, "recovered": 0}
+
+    def test_report_outcome_without_watchdog_is_a_noop(self, builder):
+        builder.add_action(BytecodeProgram("act", RETURN_PAGE))
+        cp = ControlPlane()
+        cp.install(builder.build(), AttachPolicy("test_hook"))
+        cp.report_outcome("prog", False)  # no watchdog attached: fine
+
+
+class TestMinSamplesGating:
+    def test_no_degrade_below_min_samples(self):
+        watchdog, calls = make_watchdog(0.9, window=16, min_samples=8)
+        for _ in range(7):
+            watchdog.record(False)  # accuracy 0.0, but under-sampled
+        assert not watchdog.degraded
+        assert calls["degraded"] == 0
+
+    def test_degrades_exactly_at_min_samples(self):
+        watchdog, calls = make_watchdog(0.9, window=16, min_samples=8)
+        for _ in range(8):
+            watchdog.record(False)
+        assert watchdog.degraded
+        assert calls["degraded"] == 1
+        assert watchdog.transitions == 1
+
+
+class TestExactBoundaries:
+    def test_accuracy_equal_to_threshold_does_not_degrade(self):
+        # Degrade requires accuracy strictly below the threshold.
+        watchdog, calls = make_watchdog(0.5)
+        for correct in (True, True, False, False):  # exactly 0.5
+            watchdog.record(correct)
+        assert not watchdog.degraded
+        assert calls["degraded"] == 0
+
+    def test_accuracy_equal_to_recovery_bar_stays_degraded(self):
+        # Recovery requires accuracy strictly above threshold + margin.
+        watchdog, calls = make_watchdog(0.5, margin=0.25)
+        for correct in (True, True, False, False):
+            watchdog.record(correct)
+        watchdog.record(False)  # window TFFF -> 0.25 < 0.5: degrade
+        assert watchdog.degraded
+        for _ in range(3):
+            watchdog.record(True)  # window FTTT -> exactly 0.75
+        assert watchdog.tracker.windowed_accuracy == 0.75
+        assert watchdog.degraded  # 0.75 is not > threshold + margin
+        assert calls["recovered"] == 0
+        watchdog.record(True)  # window TTTT -> 1.0 > 0.75: recover
+        assert not watchdog.degraded
+        assert calls["recovered"] == 1
+        assert watchdog.transitions == 2
+
+
+class TestQuarantineRoundTrip:
+    def test_watchdog_drives_quarantine_then_release(self, builder):
+        builder.add_action(BytecodeProgram("act", RETURN_PAGE))
+        cp = ControlPlane()
+        cp.attach_supervisor(DatapathSupervisor())
+        cp.install(builder.build(), AttachPolicy("test_hook"))
+        cp.attach_watchdog(
+            "prog",
+            threshold=0.5,
+            on_degraded=lambda: cp.quarantine("prog"),
+            on_recovered=lambda: cp.release("prog"),
+            window=4,
+            min_samples=4,
+        )
+        for _ in range(4):
+            cp.report_outcome("prog", False)
+        assert cp.quarantined == ["prog"]
+        # Outcomes keep flowing while quarantined (e.g. from a shadow
+        # lane); once the window clears the hysteresis bar, the
+        # recovery callback lifts the quarantine.
+        for _ in range(4):
+            cp.report_outcome("prog", True)
+        assert cp.quarantined == []
+        assert cp.supervisor_state("prog") == "closed"

@@ -1,0 +1,77 @@
+"""Table-update trace symmetry: an entry seen arriving must also be
+seen modified and leaving, with the same event shape each way."""
+
+from __future__ import annotations
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.context import ContextSchema
+from repro.core.control_plane import ControlPlane
+from repro.core.isa import Opcode
+from repro.core.program import ProgramBuilder
+from repro.core.tables import MatchActionTable
+from repro.core.verifier import AttachPolicy
+from repro.obs import EVENT_FIELDS, event_to_dict, recording
+
+I = Instruction
+OP = Opcode
+
+
+def _install():
+    schema = ContextSchema("test_hook")
+    schema.add_field("pid")
+    schema.add_field("page")
+    builder = ProgramBuilder("prog", "test_hook", schema)
+    builder.add_table(MatchActionTable("tab", ["pid"]))
+    builder.add_action(BytecodeProgram("act", [
+        I(OP.LD_CTXT, dst=0, imm=1),
+        I(OP.EXIT),
+    ]))
+    cp = ControlPlane()
+    cp.install(builder.build(), AttachPolicy("test_hook"))
+    return cp
+
+
+def table_updates(recorder):
+    return [event_to_dict(seq, e) for seq, e in enumerate(recorder.events)
+            if e[1] == "table_update"]
+
+
+class TestSymmetry:
+    def test_add_modify_remove_emit_the_same_shape(self):
+        cp = _install()
+        with recording(kinds={"table_update"}) as recorder:
+            entry = cp.add_entry("prog", "tab", [7], "act")
+            cp.modify_entry("prog", "tab", entry.entry_id, hint=3)
+            cp.remove_entry("prog", "tab", entry.entry_id)
+        events = table_updates(recorder)
+        assert [e["op"] for e in events] == ["add", "modify", "remove"]
+        fields = set(EVENT_FIELDS["table_update"])
+        for event in events:
+            assert event["program"] == "prog"
+            assert event["table"] == "tab"
+            assert event["action"] == "act"
+            assert fields <= set(event)
+        # Size tracks table occupancy through the full mutation history.
+        assert [e["size"] for e in events] == [1, 1, 0]
+
+    def test_batch_add_emits_one_event_per_entry(self):
+        cp = _install()
+        with recording(kinds={"table_update"}) as recorder:
+            cp.add_entries("prog", "tab",
+                           [([1], "act"), ([2], "act"), ([3], "act")])
+        events = table_updates(recorder)
+        assert [e["op"] for e in events] == ["add", "add", "add"]
+        assert [e["size"] for e in events] == [1, 2, 3]
+
+    def test_failed_remove_emits_nothing(self):
+        cp = _install()
+        with recording(kinds={"table_update"}) as recorder:
+            assert not cp.remove_entry("prog", "tab", 999_999)
+        assert table_updates(recorder) == []
+
+    def test_builder_time_inserts_stay_silent(self):
+        # Program construction is not a control-plane mutation.
+        with recording(kinds={"table_update"}) as recorder:
+            cp = _install()
+            cp.datapath("prog")
+        assert table_updates(recorder) == []

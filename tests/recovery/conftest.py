@@ -1,0 +1,85 @@
+"""Shared world builder for the recovery tests.
+
+One hook, one supervisor, one :class:`RecoverableControlPlane` over an
+in-memory :class:`RecoveryStore` — the store plays the disk that
+survives a control-plane crash, so tests "crash" by abandoning the
+control plane object and handing the same store to ``recover()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.isa import Opcode
+from repro.core.program import ProgramBuilder
+from repro.core.supervisor import DatapathSupervisor
+from repro.core.tables import MatchActionTable
+from repro.core.verifier import AttachPolicy
+from repro.kernel.hooks import HookRegistry
+from repro.kernel.syscalls import RmtSyscallInterface
+from repro.recovery import RecoverableControlPlane, RecoveryStore
+
+I = Instruction
+OP = Opcode
+
+
+def model_program(schema, model, name="prog"):
+    builder = ProgramBuilder(name, "test_hook", schema)
+    table = builder.add_table(MatchActionTable("tab", ["pid"]))
+    builder.add_model(0, model)
+    builder.add_action(BytecodeProgram("act", [
+        I(OP.VEC_ZERO, dst=0, imm=5),
+        I(OP.ML_INFER, dst=0, src=0, imm=0),
+        I(OP.EXIT),
+    ]))
+    table.insert_exact([5], "act")
+    return builder.build()
+
+
+@dataclass
+class World:
+    store: RecoveryStore
+    schema: object
+    hooks: HookRegistry
+    cp: RecoverableControlPlane
+    iface: RmtSyscallInterface
+
+    def entry_id(self, program: str, key: int, table: str = "tab"):
+        tbl = self.cp.datapath(program).program.pipeline.table(table)
+        for entry in tbl.entries:
+            if entry.patterns[0].value == key:
+                return entry.entry_id
+        return None
+
+
+@pytest.fixture()
+def mk_world(schema):
+    """Factory: fresh kernel + journaled control plane over a store."""
+
+    def build(store: RecoveryStore | None = None, **cp_kwargs) -> World:
+        store = store or RecoveryStore()
+        hooks = HookRegistry()
+        hooks.declare("test_hook", schema, AttachPolicy("test_hook"))
+        hooks.supervise(DatapathSupervisor())
+        cp_kwargs.setdefault("checkpoint_every", 4)
+        cp = RecoverableControlPlane(hooks.helpers, hook_registry=hooks,
+                                     store=store, **cp_kwargs)
+        cp.attach_supervisor(hooks.supervisor)
+        iface = RmtSyscallInterface(hooks, control_plane=cp)
+        return World(store=store, schema=schema, hooks=hooks, cp=cp,
+                     iface=iface)
+
+    return build
+
+
+@pytest.fixture()
+def world(mk_world, trained_tree):
+    """A world with one installed model program and a table entry."""
+    w = mk_world()
+    w.iface.install(model_program(w.schema, trained_tree), mode="interpret",
+                    op_id="install")
+    w.cp.add_entry("prog", "tab", [7], "act", op_id="seed-entry")
+    return w

@@ -1,0 +1,183 @@
+"""Checkpoint capture and restore(): state survives the byte round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.verifier import AttachPolicy
+from repro.deploy.registry import ArtifactStatus
+from repro.ml.cost_model import CostBudget
+from repro.recovery import (
+    capture_checkpoint,
+    deserialize_policy,
+    program_fingerprint,
+    restore,
+    serialize_policy,
+    state_summary,
+)
+from tests.recovery.conftest import model_program
+
+
+class TestPolicyRoundTrip:
+    def test_fields_survive(self):
+        policy = AttachPolicy(
+            "test_hook",
+            cost_budget=CostBudget(max_ops=123, max_memory_bytes=456,
+                                   max_latency_ns=789, max_layers=2),
+            max_insns_per_action=17,
+            verdict_min=-3,
+            verdict_max=9,
+        )
+        back = deserialize_policy(serialize_policy(policy))
+        assert back.attach_point == "test_hook"
+        assert back.max_insns_per_action == 17
+        assert back.verdict_min == -3
+        assert back.verdict_max == 9
+        assert back.cost_budget.max_ops == 123
+        assert back.cost_budget.max_layers == 2
+
+
+class TestFingerprint:
+    def test_stable_across_serialize_round_trip(self, schema,
+                                                trained_tree):
+        from repro.core.serialize import (
+            payload_to_program,
+            program_to_payload,
+        )
+
+        program = model_program(schema, trained_tree)
+        clone = payload_to_program(program_to_payload(program))
+        assert program_fingerprint(program) == program_fingerprint(clone)
+
+    def test_table_contents_are_part_of_identity(self, schema,
+                                                 trained_tree):
+        a = model_program(schema, trained_tree)
+        b = model_program(schema, trained_tree)
+        assert program_fingerprint(a) == program_fingerprint(b)
+        b.pipeline.table("tab").insert_exact([99], "act")
+        assert program_fingerprint(a) != program_fingerprint(b)
+
+    def test_opaque_models_fall_back_to_structural_hash(self, schema):
+        class OpaqueModel:
+            def predict_one(self, features):
+                return 0
+
+            def cost_signature(self):
+                # A kind the verifier's cost model accepts, on a class
+                # the serializer does not know: verifiable, not
+                # checkpointable.
+                return {"kind": "decision_tree", "depth": 2,
+                        "n_nodes": 3}
+
+        program = model_program(schema, OpaqueModel())
+        assert isinstance(program_fingerprint(program), str)
+
+
+class TestCaptureCheckpoint:
+    def test_snapshot_contains_intended_state(self, world, trained_tree):
+        world.cp.push_model("prog", 0, trained_tree, op_id="push")
+        world.cp.quarantine("prog", op_id="q")
+        checkpoint = capture_checkpoint(world.cp)
+        entry = checkpoint["programs"]["prog"]
+        assert entry["payload"] is not None
+        assert entry["fingerprint"] == program_fingerprint(
+            world.cp.datapath("prog").program
+        )
+        track = checkpoint["registry"]["tracks"]["prog"]
+        assert track[0]["status"] == ArtifactStatus.LIVE
+        assert checkpoint["quarantined"] == ["prog"]
+        assert checkpoint["journal_lsn"] == world.cp.journal.next_lsn - 1
+
+    def test_opaque_program_checkpointed_without_payload(self, mk_world):
+        class OpaqueModel:
+            def predict_one(self, features):
+                return 0
+
+            def cost_signature(self):
+                # A kind the verifier's cost model accepts, on a class
+                # the serializer does not know: verifiable, not
+                # checkpointable.
+                return {"kind": "decision_tree", "depth": 2,
+                        "n_nodes": 3}
+
+        w = mk_world()
+        w.iface.install(model_program(w.schema, OpaqueModel()),
+                        mode="interpret")
+        checkpoint = capture_checkpoint(w.cp)
+        entry = checkpoint["programs"]["prog"]
+        assert entry["payload"] is None
+        assert "opaque" in entry
+
+
+class TestRestore:
+    def test_checkpoint_only_restore(self, world, trained_tree,
+                                     mk_world):
+        world.cp.push_model("prog", 0, trained_tree, op_id="push")
+        world.cp.checkpoint()
+        cp2, report = restore(world.store, hooks=world.hooks)
+        assert report.checkpoint_lsn >= 0
+        assert cp2.installed == ["prog"]
+        live = cp2.registry.live("prog")
+        assert live is not None
+        assert live.version == 1
+        assert (program_fingerprint(cp2.datapath("prog").program)
+                == program_fingerprint(world.cp.datapath("prog").program))
+
+    def test_journal_tail_replays_over_checkpoint(self, world):
+        world.cp.checkpoint()
+        world.cp.add_entry("prog", "tab", [40], "act", op_id="after-ckpt")
+        cp2, report = restore(world.store, hooks=world.hooks)
+        assert report.replayed >= 1
+        table = cp2.datapath("prog").program.pipeline.table("tab")
+        assert any(e.patterns[0].value == 40 for e in table.entries)
+
+    def test_in_doubt_intent_rolls_forward(self, world):
+        # Fake a crash between apply and commit: journal the intent by
+        # hand, never commit it.
+        world.cp.journal.intent("add_entry", {
+            "program": "prog", "table": "tab", "key_values": [41],
+            "action": "act", "priority": 0, "action_data": {},
+        }, op_id="doubted")
+        cp2, report = restore(world.store, hooks=world.hooks)
+        assert [r["op"] for r in report.rolled_forward] == ["add_entry"]
+        assert cp2.journal.is_committed("doubted")
+        assert cp2.journal.stats()["recovered_commits"] == 1
+        table = cp2.datapath("prog").program.pipeline.table("tab")
+        assert any(e.patterns[0].value == 41 for e in table.entries)
+
+    def test_in_doubt_stage_is_aborted_not_resurrected(self, world,
+                                                       trained_tree):
+        from repro.deploy.registry import model_fingerprint
+
+        content_hash, _ = model_fingerprint(trained_tree)
+        world.cp.journal.intent("stage_model", {
+            "program": "prog", "model_id": 0, "model": None,
+            "hash": content_hash, "metadata": {},
+        }, op_id="torn-stage")
+        cp2, report = restore(world.store, hooks=world.hooks)
+        assert [r["op"] for r in report.aborted] == ["stage_model"]
+        assert not cp2.journal.is_committed("torn-stage")
+        assert cp2.journal.in_doubt() == []
+        assert report.rollout_ledger["prog"] == "staged"
+
+    def test_quarantine_state_restores(self, world):
+        world.cp.quarantine("prog", op_id="q")
+        cp2, _report = restore(world.store, hooks=world.hooks)
+        assert cp2.quarantined == ["prog"]
+
+    def test_uninstall_replays_to_absence(self, world):
+        world.cp.uninstall("prog", op_id="un")
+        cp2, _report = restore(world.store, hooks=world.hooks)
+        assert cp2.installed == []
+
+    def test_restored_summary_matches_crashed_intent(self, world,
+                                                     trained_tree):
+        world.cp.push_model("prog", 0, trained_tree, op_id="push")
+        want = state_summary(world.cp, world.hooks)
+        cp2, _report = restore(world.store, hooks=world.hooks)
+        got = state_summary(cp2, world.hooks)
+        # Programs + registry match; attachment is the reconciler's job.
+        assert got["programs"]["prog"]["fingerprint"] == (
+            want["programs"]["prog"]["fingerprint"]
+        )
+        assert got["registry_live"] == want["registry_live"]

@@ -1,0 +1,125 @@
+"""The write-ahead intent journal: records, rehydration, durability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.recovery import (
+    IntentJournal,
+    RecoveryStore,
+    decode_record,
+    encode_record,
+)
+
+
+class TestCanonicalEncoding:
+    def test_sorted_keys_compact_separators(self):
+        line = encode_record({"b": 1, "a": {"z": 2, "y": 3}})
+        assert line == '{"a":{"y":3,"z":2},"b":1}'
+
+    def test_round_trip(self):
+        record = {"lsn": 3, "phase": "intent", "op": "x",
+                  "args": {"k": [1, 2]}}
+        assert decode_record(encode_record(record)) == record
+
+    def test_store_holds_encoded_lines_not_objects(self):
+        store = RecoveryStore()
+        journal = IntentJournal(store)
+        journal.intent("add_entry", {"k": 1})
+        assert all(isinstance(line, str) for line in store.journal_lines)
+        assert json.loads(store.journal_lines[0])["op"] == "add_entry"
+
+
+class TestProtocol:
+    def test_intent_then_commit_closes_the_txn(self):
+        journal = IntentJournal()
+        lsn = journal.intent("push_model", {"program": "p"})
+        assert journal.in_doubt() == [lsn]
+        journal.commit(lsn, "push_model")
+        assert journal.in_doubt() == []
+        assert journal.stats()["commits"] == 1
+
+    def test_lsns_are_dense_and_monotonic(self):
+        journal = IntentJournal()
+        lsns = [journal.intent("op", {}) for _ in range(3)]
+        commit_lsn = journal.commit(lsns[0], "op")
+        assert lsns == [0, 1, 2]
+        assert commit_lsn == 3
+
+    def test_abort_resolves_an_intent_without_commit(self):
+        journal = IntentJournal()
+        lsn = journal.intent("add_entry", {})
+        journal.abort(lsn, "add_entry", "VerifierError: no")
+        assert journal.in_doubt() == []
+        assert journal.stats()["aborts"] == 1
+
+    def test_op_id_dedup(self):
+        journal = IntentJournal()
+        lsn = journal.intent("add_entry", {}, op_id="k1")
+        assert not journal.is_committed("k1")
+        journal.commit(lsn, "add_entry", op_id="k1")
+        assert journal.is_committed("k1")
+
+    def test_facts_never_open_intents(self):
+        journal = IntentJournal()
+        journal.fact("rollout_transition", {"to": "shadow"})
+        assert journal.in_doubt() == []
+        assert journal.stats()["facts"] == 1
+
+    def test_tail_is_strictly_after_the_cut(self):
+        journal = IntentJournal()
+        a = journal.intent("op", {})
+        journal.commit(a, "op")
+        b = journal.intent("op2", {})
+        tail = journal.tail(after_lsn=a)
+        assert [r["lsn"] for r in tail] == [a + 1, b]
+
+
+class TestRehydration:
+    def test_counters_and_in_doubt_survive_the_round_trip(self):
+        store = RecoveryStore()
+        first = IntentJournal(store)
+        a = first.intent("op_a", {}, op_id="ka")
+        first.commit(a, "op_a", op_id="ka")
+        b = first.intent("op_b", {})  # left in doubt: the "crash"
+        first.fact("rollout_transition", {"to": "shadow"})
+
+        second = IntentJournal(store)
+        assert second.next_lsn == first.next_lsn
+        assert second.in_doubt() == [b]
+        assert second.is_committed("ka")
+        stats = second.stats()
+        assert stats["intents"] == 2
+        assert stats["commits"] == 1
+        assert stats["facts"] == 1
+
+    def test_aborted_intents_rehydrate_as_resolved(self):
+        store = RecoveryStore()
+        first = IntentJournal(store)
+        lsn = first.intent("op", {})
+        first.abort(lsn, "op", "bad")
+        assert IntentJournal(store).in_doubt() == []
+
+
+class TestFileForm:
+    def test_save_load_round_trip(self, tmp_path):
+        store = RecoveryStore()
+        journal = IntentJournal(store)
+        lsn = journal.intent("op", {"k": 1}, op_id="x")
+        journal.commit(lsn, "op", op_id="x")
+        store.append_checkpoint({"version": 1, "journal_lsn": lsn})
+
+        path = str(tmp_path / "store.jsonl")
+        store.save(path)
+        loaded = RecoveryStore.load(path)
+        assert loaded.journal_lines == store.journal_lines
+        assert loaded.latest_checkpoint() == store.latest_checkpoint()
+        assert IntentJournal(loaded).is_committed("x")
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text('{"format":"something-else"}\n')
+        with pytest.raises(ValueError, match="not a recovery store"):
+            RecoveryStore.load(str(path))

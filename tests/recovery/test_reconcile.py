@@ -1,0 +1,166 @@
+"""The reconciler: intent vs live kernel state, and its repairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deploy import RolloutConfig
+from repro.deploy.registry import ArtifactStatus
+from repro.ml import IntegerDecisionTree
+from repro.recovery import recover, state_summary
+from tests.recovery.conftest import model_program
+
+
+def repairs_of(report, action):
+    return [t for a, t in report.repairs if a == action]
+
+
+def quick_config():
+    return RolloutConfig(shadow_min_samples=6, canary_min_samples=3,
+                         ramp=(0.5, 1.0), min_trap_samples=100, seed=0)
+
+
+class TestAdoption:
+    def test_matching_live_datapath_is_adopted_in_place(self, world):
+        live_dp = world.hooks.hook("test_hook").datapaths[0]
+        live_dp.invocations = 17  # runtime state worth keeping
+        cp2, _rr, cr = recover(world.store, world.hooks)
+        assert cr.adopted == ["prog"]
+        assert cp2.datapath("prog") is live_dp
+        assert cp2.datapath("prog").invocations == 17
+
+
+class TestRepairs:
+    def test_missing_program_is_reinstalled(self, world):
+        world.hooks.detach("test_hook", "prog")  # the kernel "lost" it
+        cp2, _rr, cr = recover(world.store, world.hooks)
+        assert repairs_of(cr, "reinstalled") == ["prog"]
+        hook_dp = world.hooks.hook("test_hook").datapaths[0]
+        assert hook_dp is cp2.datapath("prog")
+        assert hook_dp.program.verified
+
+    def test_orphan_program_is_detached(self, world, schema,
+                                        trained_tree):
+        from repro.core.control_plane import RmtDatapath
+        from repro.core.verifier import AttachPolicy, Verifier
+
+        ghost = model_program(schema, trained_tree, name="ghost")
+        policy = AttachPolicy("test_hook")
+        Verifier(policy, world.hooks.helpers).verify_or_raise(ghost)
+        world.hooks.attach("test_hook",
+                           RmtDatapath(ghost, policy,
+                                       world.hooks.helpers))
+        _cp2, _rr, cr = recover(world.store, world.hooks)
+        assert repairs_of(cr, "detached_orphan") == ["ghost"]
+        names = [dp.program.name
+                 for dp in world.hooks.hook("test_hook").datapaths]
+        assert names == ["prog"]
+
+    def test_drifted_table_is_replaced_bit_exactly(self, world):
+        live_dp = world.hooks.hook("test_hook").datapaths[0]
+        # Unjournaled mutation: the kernel's table no longer matches
+        # intent (7 was journaled, 666 was not).
+        live_dp.program.pipeline.table("tab").insert_exact([666], "bad")
+        cp2, _rr, cr = recover(world.store, world.hooks)
+        assert repairs_of(cr, "replaced_drifted") == ["prog"]
+        table = (world.hooks.hook("test_hook").datapaths[0]
+                 .program.pipeline.table("tab"))
+        values = sorted(e.patterns[0].value for e in table.entries)
+        assert values == [5, 7]  # journaled intent, bit-exact
+        assert cp2.datapath("prog") is not live_dp
+
+
+class TestTornRollouts:
+    def test_torn_rollout_recovers_to_rolled_back(self, world,
+                                                  linear_int_dataset):
+        x, y = linear_int_dataset
+        candidate = IntegerDecisionTree(max_depth=6).fit(x, 1 - y)
+        rollout = world.cp.stage_model("prog", 0, candidate,
+                                       config=quick_config(),
+                                       op_id="stage")
+        assert rollout.state == "shadow"  # mid-flight, lane attached
+        assert world.hooks.hook("test_hook").rollouts
+
+        cp2, rr, cr = recover(world.store, world.hooks)
+        assert repairs_of(cr, "aborted_rollout") == ["prog"]
+        assert repairs_of(cr, "detached_lane") == ["prog"]
+        assert world.hooks.hook("test_hook").rollouts == []
+        assert rr.rollout_ledger["prog"] == "rolled_back"
+        staged = cp2.registry.history("prog")[-1]
+        assert staged.status == ArtifactStatus.ROLLED_BACK
+        # Nothing unverified serves: the primary model still does.
+        assert cp2.registry.live("prog") is None
+        summary = state_summary(cp2, world.hooks)
+        assert summary["active_rollouts"] == []
+        assert summary["lanes"] == []
+
+    def test_abort_is_journaled_as_a_fact(self, world,
+                                          linear_int_dataset):
+        x, y = linear_int_dataset
+        candidate = IntegerDecisionTree(max_depth=6).fit(x, 1 - y)
+        world.cp.stage_model("prog", 0, candidate, config=quick_config(),
+                             op_id="stage")
+        cp2, _rr, _cr = recover(world.store, world.hooks)
+        facts = [r for r in cp2.journal.records()
+                 if r["phase"] == "fact"
+                 and r["op"] == "rollout_transition"]
+        assert facts[-1]["args"]["to"] == "rolled_back"
+        assert "torn" in facts[-1]["args"]["reason"]
+
+    def test_second_recovery_sees_terminal_rollout(self, world,
+                                                   linear_int_dataset):
+        """The abort fact makes torn-rollout recovery idempotent."""
+        x, y = linear_int_dataset
+        candidate = IntegerDecisionTree(max_depth=6).fit(x, 1 - y)
+        world.cp.stage_model("prog", 0, candidate, config=quick_config(),
+                             op_id="stage")
+        _cp2, _rr, _cr = recover(world.store, world.hooks)
+        _cp3, rr3, cr3 = recover(world.store, world.hooks)
+        assert rr3.rollout_ledger["prog"] == "rolled_back"
+        assert repairs_of(cr3, "aborted_rollout") == []
+
+
+class TestOpaquePrograms:
+    def test_live_opaque_program_is_adopted(self, mk_world):
+        class OpaqueModel:
+            def predict_one(self, features):
+                return 0
+
+            def cost_signature(self):
+                # A kind the verifier's cost model accepts, on a class
+                # the serializer does not know: verifiable, not
+                # checkpointable.
+                return {"kind": "decision_tree", "depth": 2,
+                        "n_nodes": 3}
+
+        w = mk_world()
+        w.iface.install(model_program(w.schema, OpaqueModel()),
+                        mode="interpret")
+        w.cp.checkpoint()
+        live_dp = w.hooks.hook("test_hook").datapaths[0]
+        cp2, rr, cr = recover(w.store, w.hooks)
+        assert "prog" in rr.opaque_programs
+        assert repairs_of(cr, "adopted_opaque") == ["prog"]
+        assert cp2.datapath("prog") is live_dp
+
+    def test_lost_opaque_program_is_reported_not_guessed(self, mk_world):
+        class OpaqueModel:
+            def predict_one(self, features):
+                return 0
+
+            def cost_signature(self):
+                # A kind the verifier's cost model accepts, on a class
+                # the serializer does not know: verifiable, not
+                # checkpointable.
+                return {"kind": "decision_tree", "depth": 2,
+                        "n_nodes": 3}
+
+        w = mk_world()
+        w.iface.install(model_program(w.schema, OpaqueModel()),
+                        mode="interpret")
+        w.cp.checkpoint()
+        w.hooks.detach("test_hook", "prog")  # kernel lost it too
+        cp2, _rr, cr = recover(w.store, w.hooks)
+        assert repairs_of(cr, "lost_program") == ["prog"]
+        assert cp2.installed == []
+        assert w.hooks.hook("test_hook").datapaths == []

@@ -1,0 +1,188 @@
+"""RecoverableControlPlane: journaling wrapper, retries, idempotency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ControlPlaneCrash, ControlPlaneError
+from repro.kernel.faults import CrashInjector, CrashPlan
+
+
+def ops_of(world, phase):
+    return [r["op"] for r in world.cp.journal.records()
+            if r["phase"] == phase]
+
+
+class TestJournaledOps:
+    def test_each_mutation_writes_intent_then_commit(self, world,
+                                                     trained_tree):
+        # The fixture already installed + added an entry.
+        assert ops_of(world, "intent") == ["install", "add_entry"]
+        assert ops_of(world, "commit") == ["install", "add_entry"]
+        world.cp.push_model("prog", 0, trained_tree)
+        assert ops_of(world, "intent")[-1] == "push_model"
+        assert world.cp.journal.in_doubt() == []
+
+    def test_args_are_pure_data(self, world):
+        for record in world.cp.journal.records():
+            # Canonical line = encodable; decoding the stored line is
+            # the proof nothing live leaked into the journal.
+            assert isinstance(record.get("args", {}), dict)
+
+    def test_entry_identity_is_structural_not_entry_id(self, world):
+        eid = world.entry_id("prog", 7)
+        world.cp.remove_entry("prog", "tab", eid, op_id="rm")
+        record = next(r for r in world.cp.journal.records()
+                      if r["phase"] == "intent"
+                      and r["op"] == "remove_entry")
+        assert "entry_id" not in str(record["args"])
+        assert record["args"]["entry"]["patterns"][0]["value"] == 7
+
+    def test_real_failure_writes_abort_not_in_doubt(self, world):
+        with pytest.raises(ControlPlaneError):
+            world.cp.add_entry("ghost", "tab", [1], "act", op_id="bad")
+        assert ops_of(world, "abort") == ["add_entry"]
+        assert world.cp.journal.in_doubt() == []
+        assert not world.cp.journal.is_committed("bad")
+
+    def test_op_id_dedup_skips_reapply(self, world):
+        before = len(world.cp.journal.records())
+        result = world.cp.add_entry("prog", "tab", [7], "act",
+                                    op_id="seed-entry")
+        assert result is None
+        assert world.cp.deduped_ops == 1
+        assert len(world.cp.journal.records()) == before
+
+    def test_replaying_flag_bypasses_journal(self, world):
+        before = len(world.cp.journal.records())
+        world.cp.replaying = True
+        try:
+            world.cp.add_entry("prog", "tab", [99], "act")
+        finally:
+            world.cp.replaying = False
+        assert len(world.cp.journal.records()) == before
+
+
+class TestCheckpointCadence:
+    def test_checkpoint_every_n_commits(self, mk_world, trained_tree):
+        from tests.recovery.conftest import model_program
+
+        w = mk_world(checkpoint_every=2)
+        w.iface.install(model_program(w.schema, trained_tree),
+                        mode="interpret")
+        assert w.cp.checkpoints_taken == 0
+        w.cp.add_entry("prog", "tab", [7], "act")
+        assert w.cp.checkpoints_taken == 1
+        checkpoint = w.store.latest_checkpoint()
+        assert checkpoint["journal_lsn"] == w.cp.journal.next_lsn - 2
+
+    def test_checkpoint_marker_lands_in_journal(self, mk_world,
+                                                trained_tree):
+        from tests.recovery.conftest import model_program
+
+        w = mk_world(checkpoint_every=1)
+        w.iface.install(model_program(w.schema, trained_tree),
+                        mode="interpret")
+        phases = [r["phase"] for r in w.cp.journal.records()]
+        assert phases == ["intent", "commit", "checkpoint"]
+
+
+class TestCrashInjection:
+    @pytest.mark.parametrize("kind,applied", [
+        ("crash_before_commit", False),
+        ("crash_after_apply", True),
+    ])
+    def test_crash_leaves_intent_in_doubt(self, world, kind, applied):
+        injector = CrashInjector(CrashPlan(seed=0))
+        world.cp.crash_injector = injector
+        injector.arm(world.cp.journal.next_lsn, kind)
+        with pytest.raises(ControlPlaneCrash):
+            world.cp.add_entry("prog", "tab", [42], "act", op_id="k")
+        assert len(world.cp.journal.in_doubt()) == 1
+        assert not world.cp.journal.is_committed("k")
+        assert (world.entry_id("prog", 42) is not None) == applied
+
+    def test_stale_ack_crashes_after_durable_commit(self, world):
+        injector = CrashInjector(CrashPlan(seed=0))
+        world.cp.crash_injector = injector
+        injector.arm(world.cp.journal.next_lsn, "stale_ack")
+        with pytest.raises(ControlPlaneCrash):
+            world.cp.add_entry("prog", "tab", [42], "act", op_id="k")
+        assert world.cp.journal.in_doubt() == []
+        assert world.cp.journal.is_committed("k")
+
+    def test_torn_batch_applies_a_prefix(self, world):
+        injector = CrashInjector(CrashPlan(seed=0))
+        world.cp.crash_injector = injector
+        injector.arm(world.cp.journal.next_lsn, "torn_batch",
+                     batch_index=1)
+        with pytest.raises(ControlPlaneCrash):
+            world.cp.add_entries("prog", "tab",
+                                 [([20], "act"), ([21], "act"),
+                                  ([22], "act")], op_id="batch")
+        assert world.entry_id("prog", 20) is not None
+        assert world.entry_id("prog", 21) is None
+        assert len(world.cp.journal.in_doubt()) == 1
+
+
+class TestTransientRetries:
+    def test_transients_retry_with_backoff_and_converge(self, world):
+        injector = CrashInjector(
+            CrashPlan(seed=3, transient_rate=1.0,
+                      max_consecutive_transients=2)
+        )
+        world.cp.crash_injector = injector
+        world.cp.add_entry("prog", "tab", [50], "act")
+        assert world.entry_id("prog", 50) is not None
+        assert world.cp.retries > 0
+        assert world.cp.retry_backoff_ticks > 0
+        assert world.cp.journal.in_doubt() == []
+
+    def test_exhausted_retries_reraise(self, mk_world, trained_tree):
+        from tests.recovery.conftest import model_program
+        from repro.core.errors import TransientApplyError
+
+        w = mk_world(retry_attempts=1)
+        w.iface.install(model_program(w.schema, trained_tree),
+                        mode="interpret")
+        injector = CrashInjector(
+            CrashPlan(seed=3, transient_rate=1.0,
+                      max_consecutive_transients=10)
+        )
+        w.cp.crash_injector = injector
+        with pytest.raises(TransientApplyError):
+            w.cp.add_entry("prog", "tab", [50], "act")
+        # A transient that exhausted retries is a real failure: aborted.
+        assert w.cp.journal.in_doubt() == []
+        assert w.cp.journal.stats()["aborts"] == 1
+
+
+class TestRolloutFacts:
+    def test_transitions_journal_as_facts(self, world, linear_int_dataset):
+        import numpy as np
+
+        from repro.deploy import RolloutConfig
+        from repro.ml import IntegerDecisionTree
+
+        x, y = linear_int_dataset
+        candidate = IntegerDecisionTree(max_depth=6).fit(x, y)
+        rollout = world.cp.stage_model(
+            "prog", 0, candidate,
+            config=RolloutConfig(shadow_min_samples=6,
+                                 canary_min_samples=3, ramp=(0.5, 1.0),
+                                 min_trap_samples=100, seed=0),
+            op_id="stage",
+        )
+        for _ in range(40):
+            if rollout.plan.terminal:
+                break
+            world.hooks.fire("test_hook",
+                             world.schema.new_context(pid=5, page=0))
+            rollout.observe_outcome(True, True)
+        facts = [r["args"]["to"] for r in world.cp.journal.records()
+                 if r["phase"] == "fact"
+                 and r["op"] == "rollout_transition"]
+        assert facts[0] == "shadow"
+        assert facts[-1] == "promoted"
+        # The internal promotion push is journaled like any mutation.
+        assert "push_model" in ops_of(world, "commit")

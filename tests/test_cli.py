@@ -173,3 +173,21 @@ class TestAblationCommand:
     def test_unknown_ablation_rejected(self):
         with pytest.raises(SystemExit):
             main(["ablation", "bogus"])
+
+
+class TestRecoverCommand:
+    def test_rollout_sweep_converges(self, capsys):
+        assert main(["recover", "--scenario", "rollout",
+                     "--max-offsets", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rollout" in out
+        assert "all crash offsets recovered" in out
+
+    def test_json_report_is_parseable(self, capsys):
+        import json
+
+        assert main(["recover", "--scenario", "resilience",
+                     "--max-offsets", "2", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["converged"] is True
+        assert "resilience" in report["scenarios"]
