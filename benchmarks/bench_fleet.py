@@ -1,0 +1,245 @@
+"""Fleet serving — sharded datapaths, coordinated rollouts, rebalancing.
+
+The fleet contract, made measurable:
+
+* a **poisoned** candidate in a fleet-wide staged rollout halts at the
+  first ramp stage (one node); every shard routed to an *unstaged* node
+  serves bit-identically to the no-rollout baseline (JCT delta exactly
+  zero — per-node seeded RNGs mean unaffected nodes never see a
+  different draw);
+* a **good** candidate ramps 1 node → fleet fraction → everywhere and
+  commits through the quorum push, converging every node and the
+  central registry on the candidate's content hash;
+* a node **killed mid-rollout** is excused from its ramp stage, its
+  shards rebalance to the survivors, and after recovery + registry
+  catch-up the fleet's ``state_summary`` equals the no-crash run's;
+* throughput **scales** with fleet size on the same workload.
+
+Run standalone for the CI smoke: ``python benchmarks/bench_fleet.py
+--smoke``, or ``--full`` to regenerate ``BENCH_fleet.json`` (adds the
+1/2/4/8-node scaling sweep).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.harness.fleet_experiment import (
+    run_fleet_crash,
+    run_fleet_rollout,
+    run_fleet_scaling,
+    run_fleet_serving,
+)
+
+#: Stream length for the smoke cells (full 384 in the harness default).
+SMOKE_ACCESSES = 192
+
+#: The 2-node cell must beat 1 node by at least this factor for the
+#: scaling gate to pass (perfect would be 2.0; shard imbalance eats some).
+SCALING_FLOOR_2_NODES = 1.3
+
+
+# -- pytest-benchmark cells -------------------------------------------------
+
+
+def test_fleet_serving_drains(benchmark, record_rows):
+    report = benchmark.pedantic(
+        run_fleet_serving,
+        kwargs={"n_nodes": 4, "seed": 0, "accesses_per_stream": SMOKE_ACCESSES},
+        rounds=1, iterations=1,
+    )
+    record_rows("fleet[serving]", {
+        "makespan_ns": report["makespan_ns"],
+        "throughput_per_s": report["throughput_per_s"],
+        "nodes": report["nodes"],
+    })
+    assert report["makespan_ns"] > 0
+    assert all(cell["served"] > 0 for cell in report["nodes"].values()), (
+        "some node served nothing — ring assignment is degenerate"
+    )
+
+
+def test_fleet_poisoned_rollout_halts_contained(benchmark, record_rows):
+    result = benchmark.pedantic(
+        run_fleet_rollout,
+        kwargs={"seed": 0, "n_nodes": 4, "poisoned": True},
+        rounds=1, iterations=1,
+    )
+    record_rows("fleet[rollout][poisoned]", {
+        k: result[k] for k in ("state", "halted_stage", "halt_reason",
+                               "staged_nodes", "jct_delta_unaffected_max_ns")
+    })
+    assert result["state"] == "halted", result["halt_reason"]
+    assert result["halted_stage"] == 0, (
+        f"poisoned candidate survived to stage {result['halted_stage']}"
+    )
+    assert result["jct_delta_unaffected_max_ns"] == 0, (
+        "a shard on an unstaged node felt the halted rollout"
+    )
+    assert result["promoted_nodes"] == []
+
+
+def test_fleet_good_rollout_commits(benchmark, record_rows):
+    result = benchmark.pedantic(
+        run_fleet_rollout,
+        kwargs={"seed": 0, "n_nodes": 4, "poisoned": False},
+        rounds=1, iterations=1,
+    )
+    record_rows("fleet[rollout][good]", {
+        k: result[k] for k in ("state", "promoted_nodes", "commit")
+    })
+    assert result["state"] == "committed", result["halt_reason"]
+    assert result["commit"]["committed"]
+    live_hashes = set(result["node_live"].values())
+    assert live_hashes == {result["central_live"]}, (
+        f"fleet diverged after commit: {result['node_live']}"
+    )
+    assert result["central_live"] == result["candidate_hash"]
+
+
+def test_fleet_crash_converges(benchmark, record_rows):
+    result = benchmark.pedantic(
+        run_fleet_crash,
+        kwargs={"seed": 0, "n_nodes": 4},
+        rounds=1, iterations=1,
+    )
+    record_rows("fleet[crash]", {
+        k: result[k] for k in ("victim", "excused", "crash_state",
+                               "converged", "moved_shards")
+    })
+    assert result["crash_state"] == "committed", (
+        "rollout did not survive the mid-ramp node kill"
+    )
+    assert result["victim"] in result["excused"]
+    assert result["converged"], f"state mismatch: {result['mismatch']}"
+    assert result["victim_restarts"] == 1
+
+
+def test_fleet_rollout_deterministic(benchmark, record_rows):
+    first = run_fleet_rollout(seed=0, n_nodes=4, poisoned=True)
+    second = benchmark.pedantic(
+        run_fleet_rollout,
+        kwargs={"seed": 0, "n_nodes": 4, "poisoned": True},
+        rounds=1, iterations=1,
+    )
+    record_rows("fleet[determinism]", {"transitions": first["transitions"]})
+    assert first == second
+
+
+# -- standalone smoke/full (CI gate + BENCH_fleet.json) ---------------------
+
+
+def _run(seed: int, full: bool) -> dict:
+    results = {
+        "seed": seed,
+        "poisoned": run_fleet_rollout(seed=seed, n_nodes=4, poisoned=True),
+        "good": run_fleet_rollout(seed=seed, n_nodes=4, poisoned=False),
+        "crash": run_fleet_crash(seed=seed, n_nodes=4),
+    }
+    if full:
+        results["scaling"] = run_fleet_scaling(seed=seed)
+    else:
+        results["scaling"] = run_fleet_scaling(
+            node_counts=(1, 2), seed=seed,
+            accesses_per_stream=SMOKE_ACCESSES,
+        )
+    return results
+
+
+def _check_results(results: dict) -> list[str]:
+    failures = []
+    poisoned = results["poisoned"]
+    if poisoned["state"] != "halted" or poisoned["halted_stage"] != 0:
+        failures.append(
+            f"poisoned rollout reached state {poisoned['state']} "
+            f"stage {poisoned['halted_stage']} (want halted at 0)"
+        )
+    if poisoned["jct_delta_unaffected_max_ns"] != 0:
+        failures.append(
+            f"unaffected shards moved by "
+            f"{poisoned['jct_delta_unaffected_max_ns']}ns during the halt"
+        )
+    good = results["good"]
+    if good["state"] != "committed":
+        failures.append(f"good rollout ended {good['state']}: "
+                        f"{good['halt_reason']}")
+    elif set(good["node_live"].values()) != {good["candidate_hash"]}:
+        failures.append(f"fleet live hashes diverged: {good['node_live']}")
+    crash = results["crash"]
+    if not crash["converged"]:
+        failures.append(f"crash run did not converge: {crash['mismatch']}")
+    if crash["victim"] not in crash["excused"]:
+        failures.append(
+            f"killed node {crash['victim']} was not excused "
+            f"(excused={crash['excused']})"
+        )
+    cells = results["scaling"]["cells"]
+    if len(cells) >= 2 and cells[1]["speedup"] < SCALING_FLOOR_2_NODES:
+        failures.append(
+            f"2-node speedup {cells[1]['speedup']:.2f}x < "
+            f"{SCALING_FLOOR_2_NODES}x floor"
+        )
+    return failures
+
+
+def _report(results: dict) -> None:
+    poisoned = results["poisoned"]
+    print(f"== poisoned rollout: {poisoned['state']} at stage "
+          f"{poisoned['halted_stage']} "
+          f"(staged {poisoned['staged_nodes']}, unaffected shard "
+          f"JCT delta {poisoned['jct_delta_unaffected_max_ns']}ns)")
+    print(f"   reason: {poisoned['halt_reason']}")
+    good = results["good"]
+    commit = good["commit"] or {}
+    print(f"== good rollout: {good['state']} "
+          f"(promoted {good['promoted_nodes']}, "
+          f"push {len(commit.get('acked', []))} acked, "
+          f"quorum {commit.get('quorum')})")
+    crash = results["crash"]
+    print(f"== crash: killed {crash['victim']} at "
+          f"{crash['kill_at_ns']}ns -> excused {crash['excused']}, "
+          f"rollout {crash['crash_state']}, "
+          f"{crash['moved_shards']} shards moved, "
+          f"converged={crash['converged']}")
+    print("== scaling ==")
+    for cell in results["scaling"]["cells"]:
+        print(f"   {cell['nodes']} node(s): "
+              f"makespan {cell['makespan_ns'] / 1e6:8.2f}ms  "
+              f"{cell['throughput_per_s']:12,.0f} accesses/s  "
+              f"{cell['speedup']:5.2f}x")
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Fleet serving benchmark (standalone mode)"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="scaled-down run with the CI pass/fail gates")
+    parser.add_argument("--full", action="store_true",
+                        help="full-scale run; writes BENCH_fleet.json")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", default="BENCH_fleet.json",
+                        help="JSON path for --full results")
+    args = parser.parse_args(argv)
+    if not (args.smoke or args.full):
+        parser.error("pick --smoke or --full (or run under pytest)")
+
+    results = _run(args.seed, full=args.full)
+    _report(results)
+    failures = _check_results(results)
+    for failure in failures:
+        print(f"FAIL  {failure}")
+    if args.full and not failures:
+        Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    print(f"\n{'FAILED' if failures else 'OK'}: fleet gates "
+          f"({len(failures)} failure(s))")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -21,7 +21,11 @@ tooling:
   regenerates them after an intentional behaviour change),
 * ``recover``             — run the crash-loop recovery sweep: kill the
   control plane at every journal offset, restore + reconcile, and
-  verify the end state converges with the no-crash run.
+  verify the end state converges with the no-crash run,
+* ``fleet``               — the multi-node serving subsystem: drain the
+  sharded workload mix (``status``), drive a fleet-wide staged rollout
+  (``rollout``), or kill a node mid-rollout and verify the fleet
+  converges after recovery (``kill-node``).
 """
 
 from __future__ import annotations
@@ -372,6 +376,73 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    import json as _json
+
+    from .harness.fleet_experiment import (
+        run_fleet_crash,
+        run_fleet_rollout,
+        run_fleet_serving,
+    )
+
+    if args.fleet_cmd == "status":
+        report = run_fleet_serving(args.nodes, args.seed,
+                                   accesses_per_stream=args.accesses)
+        if args.json:
+            print(_json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        stats = report["fleet"]
+        print(f"fleet: {stats['alive']}/{stats['nodes']} nodes alive, "
+              f"{stats['shards']} shards, seed={args.seed}")
+        print(f"makespan: {report['makespan_ns'] / 1e6:.2f}ms  "
+              f"throughput: {report['throughput_per_s']:,.0f} accesses/s")
+        for node_id, cell in report["nodes"].items():
+            assigned = stats["assignment"].get(node_id, 0)
+            print(f"  {node_id}: {assigned} shard(s), "
+                  f"{cell['served']} served, hit rate {cell['hit_rate']:.1%}")
+        return 0
+
+    if args.fleet_cmd == "rollout":
+        result = run_fleet_rollout(
+            args.seed, args.nodes, poisoned=args.candidate == "poisoned",
+            accesses_per_stream=args.accesses,
+        )
+        if args.json:
+            print(_json.dumps(result, indent=2, sort_keys=True))
+            return 0
+        print(f"fleet rollout: candidate={args.candidate} "
+              f"nodes={args.nodes} seed={args.seed}")
+        print(f"final state: {result['state']}" + (
+            f" ({result['halt_reason']})" if result["halt_reason"] else ""))
+        for row in result["transitions"]:
+            print(f"  stage {row['stage']}  {row['from']:>7s} -> "
+                  f"{row['to']:<9s} {row['reason']}")
+        print(f"unaffected shards: {len(result['unaffected_shards'])} "
+              f"(max JCT delta "
+              f"{result['jct_delta_unaffected_max_ns']}ns)")
+        if result["commit"]:
+            print(f"commit: {result['commit']}")
+        # Containment failed or a good candidate was refused: exit nonzero.
+        expected = "halted" if args.candidate == "poisoned" else "committed"
+        return 0 if result["state"] == expected else 1
+
+    result = run_fleet_crash(args.seed, args.nodes,
+                             accesses_per_stream=args.accesses)
+    if args.json:
+        print(_json.dumps(result, indent=2, sort_keys=True))
+        return 0 if result["converged"] else 1
+    print(f"fleet kill-node: nodes={args.nodes} seed={args.seed}")
+    print(f"killed {result['victim']} at {result['kill_at_ns']}ns "
+          f"(mid-rollout); excused={result['excused']}")
+    print(f"rollout finished {result['crash_state']} "
+          f"(baseline {result['baseline_state']}); "
+          f"{result['moved_shards']} shard moves over "
+          f"{result['rebalances']} rebalances")
+    print(f"converged after rejoin: {result['converged']}" + (
+        f"  mismatch={result['mismatch']}" if result["mismatch"] else ""))
+    return 0 if result["converged"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -437,7 +508,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run one golden scenario, print (or write) "
                               "its canonical JSONL trace")
     tr.add_argument("scenario",
-                    choices=("table1", "table2", "resilience", "rollout"))
+                    choices=("table1", "table2", "resilience", "rollout",
+                             "fleet"))
     tr.add_argument("--seed", type=int, default=0)
     tr.add_argument("--out", default=None,
                     help="write the trace here instead of stdout")
@@ -453,7 +525,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="re-run the golden scenarios and diff "
                               "against tests/goldens/")
     td.add_argument("scenario", nargs="?", default=None,
-                    choices=("table1", "table2", "resilience", "rollout"),
+                    choices=("table1", "table2", "resilience", "rollout",
+                             "fleet"),
                     help="one scenario (default: all)")
     td.add_argument("--update-goldens", action="store_true",
                     help="rewrite the goldens from the current run")
@@ -473,6 +546,30 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--json", action="store_true",
                     help="emit the full cell table as JSON")
     pv.set_defaults(fn=_cmd_recover)
+
+    pf = sub.add_parser("fleet",
+                        help="multi-node serving: shard status, fleet-wide "
+                             "rollouts, node-kill recovery")
+    fsub = pf.add_subparsers(dest="fleet_cmd", required=True)
+    for name, helptext in (
+        ("status", "drain the sharded workload mix and print per-node "
+                   "serving stats"),
+        ("rollout", "ramp a candidate across the fleet "
+                    "(1 node -> fraction -> all)"),
+        ("kill-node", "kill a node mid-rollout; verify recovery + "
+                      "rebalance converge"),
+    ):
+        fp = fsub.add_parser(name, help=helptext)
+        fp.add_argument("--nodes", type=int, default=4)
+        fp.add_argument("--seed", type=int, default=0)
+        fp.add_argument("--accesses", type=int, default=None,
+                        help="cap accesses per shard (default: full streams)")
+        fp.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON")
+        if name == "rollout":
+            fp.add_argument("--candidate", choices=("good", "poisoned"),
+                            default="poisoned")
+        fp.set_defaults(fn=_cmd_fleet)
     return parser
 
 

@@ -459,6 +459,26 @@ class ControlPlane:
         artifact = self.registry.register(program_name, model, lineage)
         self.registry.promote(program_name, artifact.version)
 
+    def verify_model(self, program_name: str, model_id: int,
+                     model: object) -> VerificationReport:
+        """Verify a candidate model against an installed program without
+        mutating anything.
+
+        Builds the shared-state candidate clone (same one staged rollouts
+        use) and runs it through the program verifier.  This is the
+        dry-run behind a distribution *prepare*: a node acks an artifact
+        push only if the candidate would pass admission here, so a quorum
+        commit never lands a model the datapath would refuse to serve.
+        Raises :class:`VerifierError` on rejection.
+        """
+        dp = self.datapath(program_name)
+        if model_id not in dp.program.models:
+            raise KeyError(
+                f"program {program_name!r} has no model id {model_id}"
+            )
+        candidate = self._candidate_program(dp.program, model_id, model)
+        return Verifier(dp.policy, self.helpers).verify_or_raise(candidate)
+
     def rollback_model(self, program_name: str, model_id: int) -> None:
         """Registry-driven rollback: restore the previous live version.
 

@@ -96,6 +96,20 @@ class ModelArtifact:
             "metadata": dict(self.metadata),
         }
 
+    def push_spec(self) -> dict:
+        """Everything a remote node needs to adopt this artifact: the
+        identity fields plus the model object itself.  Node-side adoption
+        keys on ``(track, version, content_hash)``, so two fleets pushing
+        the same spec converge on identical registry state."""
+        return {
+            "track": self.track,
+            "version": self.version,
+            "content_hash": self.content_hash,
+            "family": self.family,
+            "model": self.model,
+            "metadata": dict(self.metadata),
+        }
+
 
 class ModelRegistry:
     """Per-track artifact ledger with promote / rollback / pin."""

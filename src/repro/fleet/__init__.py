@@ -1,0 +1,44 @@
+"""Fleet serving: sharded multi-node datapaths under one coordinator.
+
+The paper's prototype is one learned datapath inside one kernel; a
+deployment is a *fleet* of them.  This package is the coordination
+layer above everything the tree already has — each :class:`FleetNode`
+bundles one simulated kernel (hook registry + supervisor + recoverable
+control plane + syscall surface) with its own derived RNG and obs
+state, and the :class:`FleetController` runs membership heartbeats on
+the shared virtual clock, shards workload streams across nodes with a
+consistent-hash ring, and rebalances with minimal disruption when
+nodes join, leave, or die.
+
+Model movement is fleet-native: :class:`ArtifactDistributor` pushes
+content-addressed artifacts from a central
+:class:`~repro.deploy.registry.ModelRegistry` to every node with
+per-node verify acks and a quorum commit, and :class:`FleetRollout`
+ramps a candidate across *nodes* (1 node -> fraction -> all), driving
+each node's local shadow/canary lane and halting the fleet — with
+unaffected shards still serving — the moment any node's guardrails
+roll the candidate back.
+"""
+
+from .controller import FleetController
+from .distribution import ArtifactDistributor, PushReport
+from .node import FLEET_HOOK, FLEET_PROGRAM, FleetNode, build_serve_program
+from .ring import ConsistentHashRing
+from .rollout import FleetRollout, FleetRolloutConfig, FleetRolloutState
+from .streams import ShardStream, fleet_streams
+
+__all__ = [
+    "ArtifactDistributor",
+    "ConsistentHashRing",
+    "FLEET_HOOK",
+    "FLEET_PROGRAM",
+    "FleetController",
+    "FleetNode",
+    "FleetRollout",
+    "FleetRolloutConfig",
+    "FleetRolloutState",
+    "PushReport",
+    "ShardStream",
+    "build_serve_program",
+    "fleet_streams",
+]

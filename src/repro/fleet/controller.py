@@ -1,0 +1,321 @@
+"""Fleet controller: membership, heartbeats, sharded serving.
+
+The controller is the fleet's event loop, built on the shared
+:class:`~repro.kernel.sim.Simulator` virtual clock:
+
+* **membership** — a repeating heartbeat (:meth:`Simulator.
+  schedule_every`) polls every node for its metric snapshot; a node
+  that misses ``suspect_after`` beats is *suspect*, ``dead_after``
+  beats *dead*.  Death removes the node from the routing ring and
+  rebalances; :meth:`rejoin` recovers the node from its durable store,
+  catches it up from the central registry, and rebalances it back in.
+  Every transition is a ``fleet_membership`` trace event on the shared
+  clock;
+* **sharding** — workload streams route to nodes via the
+  :class:`~repro.fleet.ring.ConsistentHashRing`; ``fleet_route``
+  events fire only when a shard's owner actually changes, so a
+  rebalance's event count is its disruption measure;
+* **serving** — each alive node runs a chunked serve loop: take up to
+  ``chunk`` accesses round-robin across its assigned shards, charge
+  the summed latency, and reschedule itself that far in the virtual
+  future.  Makespan falls out of the clock when the last shard drains;
+* **rollout drive** — an attached :class:`~repro.fleet.rollout.
+  FleetRollout` is polled once per heartbeat, so fleet ramp decisions
+  happen on membership cadence, from the same snapshots.
+"""
+
+from __future__ import annotations
+
+from ..kernel.sim import NS_PER_MS, Simulator
+from ..obs import trace as obs_trace
+from ..obs.events import FLEET_MEMBERSHIP, FLEET_ROUTE
+from .node import FleetNode
+from .ring import ConsistentHashRing
+from .rollout import FleetRollout
+from .streams import ShardStream
+
+__all__ = ["FleetController"]
+
+
+class FleetController:
+    """Coordinates nodes, shards, and rollouts on one virtual clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nodes: dict[str, FleetNode],
+        streams: list[ShardStream],
+        seed: int = 0,
+        heartbeat_ns: int = 2 * NS_PER_MS,
+        suspect_after: int = 2,
+        dead_after: int = 4,
+        chunk: int = 32,
+        replicas: int = 64,
+    ) -> None:
+        if not nodes:
+            raise ValueError("fleet needs at least one node")
+        self.sim = sim
+        self.nodes = dict(nodes)
+        self.streams = {stream.key: stream for stream in streams}
+        self.heartbeat_ns = heartbeat_ns
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.chunk = chunk
+        self.ring = ConsistentHashRing(seed=seed, replicas=replicas)
+        self.membership: dict[str, str] = {}
+        self._missed: dict[str, int] = {}
+        self._owner: dict[str, str] = {}
+        self._assignment: dict[str, list[str]] = {}
+        self._serving: set[str] = set()  # nodes with a scheduled serve event
+        self._beats: dict[str, dict] = {}  # last heartbeat snapshot per node
+        self.fleet_rollout: FleetRollout | None = None
+        self._hb = None
+        # Cumulative counters (collect_fleet exports these).
+        self.heartbeats = 0
+        self.missed_heartbeats = 0
+        self.rebalances = 0
+        self.moved_shards = 0
+        self.deaths = 0
+        self.rejoins = 0
+        for node_id in sorted(self.nodes):
+            self.ring.add_node(node_id)
+            self._member(node_id, "join")
+            self._member(node_id, "alive")
+            self._missed[node_id] = 0
+        self.rebalance(initial=True)
+
+    # -- membership -------------------------------------------------------
+
+    def _member(self, node_id: str, to: str) -> None:
+        frm = self.membership.get(node_id, "none")
+        self.membership[node_id] = to
+        data = (node_id, frm, to, self.sim.now)
+        rec = obs_trace.ACTIVE
+        if rec is not None and rec.want_fleet:
+            rec.emit(FLEET_MEMBERSHIP, data)
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.recorder.emit(FLEET_MEMBERSHIP, data)
+
+    def start(self) -> None:
+        """Begin heartbeats and serving; idempotent."""
+        if self._hb is None:
+            self._hb = self.sim.schedule_every(self.heartbeat_ns,
+                                               self._heartbeat)
+        for node_id in sorted(self.nodes):
+            self._kick(node_id)
+
+    def shutdown(self) -> None:
+        """Cancel the heartbeat cycle so the simulator can drain."""
+        if self._hb is not None:
+            self._hb.cancel()
+            self._hb = None
+
+    def _heartbeat(self, now: int) -> None:
+        self.heartbeats += 1
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            status = self.membership[node_id]
+            if node.alive:
+                self._beats[node_id] = node.heartbeat()
+                self._missed[node_id] = 0
+                if status == "suspect":
+                    self._member(node_id, "alive")
+            elif status != "dead":
+                self._missed[node_id] += 1
+                self.missed_heartbeats += 1
+                if self._missed[node_id] >= self.dead_after:
+                    self._on_death(node_id)
+                elif (self._missed[node_id] >= self.suspect_after
+                        and status == "alive"):
+                    self._member(node_id, "suspect")
+        if self.fleet_rollout is not None and self.fleet_rollout.active:
+            self.fleet_rollout.poll()
+
+    def _on_death(self, node_id: str) -> None:
+        self._member(node_id, "dead")
+        self.deaths += 1
+        if node_id in self.ring:
+            self.ring.remove_node(node_id)
+        self._serving.discard(node_id)
+        self.rebalance()
+
+    def kill_node(self, node_id: str) -> None:
+        """Crash a node now; heartbeats will notice and rebalance."""
+        self.nodes[node_id].kill()
+        self._serving.discard(node_id)
+
+    def rejoin(self, node_id: str, distributor=None,
+               track: str | None = None) -> tuple:
+        """Recover a dead node, catch it up, and rebalance it back in."""
+        node = self.nodes[node_id]
+        reports = node.restart()
+        if distributor is not None and track is not None:
+            distributor.catch_up(track, node)
+        self._missed[node_id] = 0
+        self._member(node_id, "rejoin")
+        self._member(node_id, "alive")
+        self.rejoins += 1
+        if node_id not in self.ring:
+            self.ring.add_node(node_id)
+        self.rebalance()
+        return reports
+
+    # -- sharding ---------------------------------------------------------
+
+    def rebalance(self, initial: bool = False) -> int:
+        """Re-route every shard; returns how many changed owner."""
+        assignment = self.ring.assignment(self.streams)
+        moved = 0
+        for node_id, keys in sorted(assignment.items()):
+            for key in keys:
+                if self._owner.get(key) != node_id:
+                    moved += 1
+                    self._owner[key] = node_id
+                    data = (key, node_id, self.sim.now)
+                    rec = obs_trace.ACTIVE
+                    if rec is not None and rec.want_fleet:
+                        rec.emit(FLEET_ROUTE, data)
+        self._assignment = assignment
+        if not initial:
+            self.rebalances += 1
+            self.moved_shards += moved
+        # Wake any idle node that now has runnable work.
+        for node_id in sorted(assignment):
+            self._kick(node_id)
+        return moved
+
+    def assignment(self) -> dict[str, list[str]]:
+        return {node: list(keys)
+                for node, keys in sorted(self._assignment.items())}
+
+    # -- serving ----------------------------------------------------------
+
+    def _runnable(self, node_id: str) -> list[ShardStream]:
+        return [self.streams[key]
+                for key in self._assignment.get(node_id, [])
+                if not self.streams[key].done]
+
+    def _kick(self, node_id: str) -> None:
+        """Schedule a serve chunk for an idle node with pending work."""
+        node = self.nodes.get(node_id)
+        if (node is None or not node.alive or node_id in self._serving
+                or not self._runnable(node_id)):
+            return
+        self._serving.add(node_id)
+        self.sim.schedule(0, lambda: self._serve_chunk(node_id))
+
+    def _serve_chunk(self, node_id: str) -> None:
+        self._serving.discard(node_id)
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive:
+            return
+        runnable = self._runnable(node_id)
+        if not runnable:
+            return
+        elapsed = 0
+        budget = self.chunk
+        while budget > 0 and runnable:
+            for stream in list(runnable):
+                if budget == 0:
+                    break
+                page, compute_ns = stream.next_access()
+                latency = node.serve(stream.pid, page, compute_ns)
+                stream.busy_ns += latency
+                elapsed += latency
+                budget -= 1
+                if stream.done:
+                    stream.done_at = self.sim.now + elapsed
+                    runnable.remove(stream)
+        self._serving.add(node_id)
+        self.sim.schedule(max(elapsed, 1),
+                          lambda: self._serve_chunk(node_id))
+
+    # -- run loop ---------------------------------------------------------
+
+    def reset_streams(self) -> None:
+        """Rewind every shard for another serving pass (rollouts that
+        need more scored traffic than one drain provides)."""
+        for stream in self.streams.values():
+            stream.reset()
+
+    def drained(self) -> bool:
+        """All shards served (vacuously true with nobody left to serve)."""
+        if not self.ring.nodes:
+            return True
+        return all(stream.done for stream in self.streams.values())
+
+    def run(self, max_events: int = 5_000_000,
+            extra_heartbeats: int = 0, shutdown: bool = True) -> int:
+        """Drive the simulator until the fleet drains; returns makespan.
+
+        ``extra_heartbeats`` keeps the clock running past the drain
+        point (e.g. so an in-flight fleet rollout can finish deciding);
+        with ``shutdown`` the heartbeat cycle is then cancelled and the
+        queue drained — pass ``shutdown=False`` to keep the fleet warm
+        for another pass (``reset_streams`` + ``run``).
+        """
+        self.start()
+        events = 0
+        while not self.drained():
+            if not self.sim.step():
+                break
+            events += 1
+            if events >= max_events:
+                raise RuntimeError(
+                    f"fleet did not drain within {max_events} events"
+                )
+        makespan = max(
+            [stream.done_at or 0 for stream in self.streams.values()],
+            default=self.sim.now,
+        )
+        if extra_heartbeats:
+            self.sim.run_until(
+                self.sim.now + extra_heartbeats * self.heartbeat_ns
+            )
+        if shutdown:
+            self.shutdown()
+            self.sim.run(max_events=10_000)  # drain tail serve chunks
+        return makespan
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance the virtual clock by a fixed window (serving as we go)."""
+        self.start()
+        self.sim.run_until(self.sim.now + duration_ns)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def alive_nodes(self) -> list[str]:
+        return sorted(nid for nid, node in self.nodes.items() if node.alive)
+
+    def stats(self) -> dict:
+        return {
+            "nodes": len(self.nodes),
+            "alive": len(self.alive_nodes),
+            "shards": len(self.streams),
+            "membership": dict(sorted(self.membership.items())),
+            "assignment": {node: len(keys)
+                           for node, keys in sorted(self._assignment.items())},
+            "heartbeats": self.heartbeats,
+            "missed_heartbeats": self.missed_heartbeats,
+            "rebalances": self.rebalances,
+            "moved_shards": self.moved_shards,
+            "deaths": self.deaths,
+            "rejoins": self.rejoins,
+            "served": {nid: self.nodes[nid].served
+                       for nid in sorted(self.nodes)},
+        }
+
+    def state_summary(self) -> dict:
+        """Fleet-wide convergence fingerprint: per-node intent state +
+        membership + shard placement.  Runtime counters excluded, same
+        discipline as :func:`repro.recovery.state_summary`."""
+        return {
+            "membership": dict(sorted(self.membership.items())),
+            "assignment": self.assignment(),
+            "nodes": {
+                nid: self.nodes[nid].state_summary()
+                for nid in self.alive_nodes
+            },
+        }

@@ -1,0 +1,154 @@
+"""Artifact distribution: quorum-committed model pushes to fleet nodes.
+
+The fleet's model movement is a two-phase protocol over the central
+:class:`~repro.deploy.registry.ModelRegistry`:
+
+1. **prepare** — the artifact's :meth:`push_spec` goes to every alive
+   node, which dry-runs admission (:meth:`ControlPlane.verify_model`)
+   and answers ack or nack.  Nothing on the node changes.
+2. **commit / abort** — with acks from a quorum (majority of alive
+   nodes by default), every *acked* node applies the push through its
+   journaled ``push_model`` (idempotent by op id, so a node that
+   crashes mid-commit replays it on recovery); the central artifact is
+   promoted to live.  Short of quorum, no node commits and the central
+   artifact is marked rolled back.
+
+Every protocol step lands in the trace as a ``fleet_push`` event
+(``node="*"`` for the fleet-wide commit/abort marker) and in the
+touched node's private recorder, so a push's full per-node history is
+reconstructible from either end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..deploy.registry import ArtifactStatus, ModelRegistry
+from ..obs import trace as obs_trace
+from ..obs.events import FLEET_PUSH
+from .node import FleetNode
+
+__all__ = ["ArtifactDistributor", "PushReport"]
+
+
+@dataclass
+class PushReport:
+    """Outcome of one quorum push."""
+
+    track: str
+    version: int
+    content_hash: str
+    committed: bool
+    acked: list[str] = field(default_factory=list)
+    nacked: dict[str, str] = field(default_factory=dict)
+    skipped: list[str] = field(default_factory=list)
+    quorum: int = 0
+
+    def row(self) -> dict:
+        return {
+            "track": self.track,
+            "version": self.version,
+            "hash": self.content_hash[:12],
+            "committed": self.committed,
+            "acked": list(self.acked),
+            "nacked": dict(self.nacked),
+            "skipped": list(self.skipped),
+            "quorum": self.quorum,
+        }
+
+
+def _emit_push(node: FleetNode | None, track: str, version: int,
+               node_id: str, phase: str) -> None:
+    data = (track, version, node_id, phase)
+    rec = obs_trace.ACTIVE
+    if rec is not None and rec.want_fleet:
+        rec.emit(FLEET_PUSH, data)
+    if node is not None:
+        node.recorder.emit(FLEET_PUSH, data)
+
+
+class ArtifactDistributor:
+    """Pushes content-addressed artifacts from one central registry."""
+
+    def __init__(self, registry: ModelRegistry | None = None,
+                 quorum: int | None = None) -> None:
+        self.registry = registry if registry is not None else ModelRegistry()
+        #: Fixed quorum size; None means majority of alive targets.
+        self.fixed_quorum = quorum
+        self.pushes = 0
+        self.commits = 0
+        self.aborts = 0
+
+    def _quorum(self, alive: int) -> int:
+        if self.fixed_quorum is not None:
+            return self.fixed_quorum
+        return alive // 2 + 1
+
+    def push(self, track: str, model: object, nodes,
+             metadata: dict | None = None) -> PushReport:
+        """Two-phase push of *model* to *nodes*; returns the report.
+
+        Dead nodes are skipped (they catch up on rejoin) and do not
+        count toward the quorum denominator.
+        """
+        self.pushes += 1
+        artifact = self.registry.register(track, model, dict(metadata or {}))
+        spec = artifact.push_spec()
+        targets = sorted(nodes, key=lambda n: n.node_id)
+        alive = [n for n in targets if n.alive]
+        report = PushReport(
+            track=track, version=artifact.version,
+            content_hash=artifact.content_hash, committed=False,
+            skipped=[n.node_id for n in targets if not n.alive],
+            quorum=self._quorum(len(alive)),
+        )
+        for node in alive:
+            _emit_push(node, track, artifact.version, node.node_id, "prepare")
+            ok, reason = node.prepare_artifact(spec)
+            if ok:
+                report.acked.append(node.node_id)
+                _emit_push(node, track, artifact.version, node.node_id, "ack")
+            else:
+                report.nacked[node.node_id] = reason
+                _emit_push(node, track, artifact.version, node.node_id, "nack")
+        if len(report.acked) >= report.quorum and alive:
+            for node in alive:
+                if node.node_id in report.acked:
+                    node.commit_artifact(spec)
+                    _emit_push(node, track, artifact.version, node.node_id,
+                               "commit")
+            self.registry.promote(track, artifact.version)
+            report.committed = True
+            self.commits += 1
+            _emit_push(None, track, artifact.version, "*", "commit")
+        else:
+            artifact.status = ArtifactStatus.ROLLED_BACK
+            self.aborts += 1
+            _emit_push(None, track, artifact.version, "*", "abort")
+        return report
+
+    def catch_up(self, track: str, node: FleetNode) -> bool:
+        """Bring one (re)joined node to the central live artifact.
+
+        Returns True when a push was applied; False when the node was
+        already serving the live hash (or there is nothing live).
+        """
+        live = self.registry.live(track)
+        if live is None or not node.alive:
+            return False
+        if node.live_hash() == live.content_hash:
+            return False
+        spec = live.push_spec()
+        _emit_push(node, track, live.version, node.node_id, "prepare")
+        ok, _reason = node.prepare_artifact(spec)
+        if not ok:
+            _emit_push(node, track, live.version, node.node_id, "nack")
+            return False
+        _emit_push(node, track, live.version, node.node_id, "ack")
+        node.commit_artifact(spec)
+        _emit_push(node, track, live.version, node.node_id, "commit")
+        return True
+
+    def stats(self) -> dict:
+        return {"pushes": self.pushes, "commits": self.commits,
+                "aborts": self.aborts}

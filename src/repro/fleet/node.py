@@ -1,0 +1,320 @@
+"""One fleet node: a simulated kernel + recoverable control plane.
+
+A :class:`FleetNode` is the unit the fleet coordinates — the same
+stack the single-node experiments build by hand (hook registry,
+supervisor, :class:`~repro.recovery.RecoverableControlPlane` over a
+durable :class:`~repro.recovery.RecoveryStore`, syscall surface), plus:
+
+* its own RNG derived from ``(root_seed, "node", node_id)`` via
+  :mod:`repro.core.seeding` — node 3's latency jitter never shifts
+  because node 2 served one more access, which is what keeps
+  *unaffected* shards bit-identical across fleet scenarios;
+* a per-node obs surface: a private metrics registry refreshed on
+  every heartbeat and a private trace ring the controller feeds this
+  node's membership/push history into;
+* the serving program itself: a delta-prefetch datapath (4-delta
+  history in, predicted next page delta out) the fleet's artifact
+  pushes and staged rollouts target.
+
+``kill()`` drops the live kernel state but keeps the durable store, so
+``restart()`` is the real recovery path: rebuild hooks, run
+:func:`repro.recovery.recover`, and let the reconciler abort whatever
+rollout the crash tore.
+"""
+
+from __future__ import annotations
+
+from ..core import ContextSchema
+from ..core.bytecode import BytecodeProgram, Instruction
+from ..core.isa import Opcode
+from ..core.program import ProgramBuilder
+from ..core.seeding import spawn_rng
+from ..core.supervisor import DatapathSupervisor
+from ..core.tables import MatchActionTable, MatchPattern, TableEntry
+from ..core.verifier import AttachPolicy
+from ..kernel.hooks import HookRegistry
+from ..kernel.syscalls import RmtSyscallInterface
+from ..obs import MetricsRegistry, TraceRecorder
+from ..recovery import RecoverableControlPlane, RecoveryStore, recover
+from ..recovery import state_summary as _cp_state_summary
+
+__all__ = ["FLEET_HOOK", "FLEET_PROGRAM", "FleetNode", "build_serve_program"]
+
+FLEET_HOOK = "fleet_serve"
+FLEET_PROGRAM = "fleet_serve"
+
+#: Serve-latency model (sim-ns): a correct delta prediction means the
+#: next page was prefetched in time, a miss pays the major-fault cost.
+HIT_NS = 500
+MISS_NS = 8_000
+#: Uniform per-access jitter bound drawn from the node's private RNG.
+JITTER_NS = 200
+
+#: How many recent deltas the datapath sees (context fields d0..d3).
+HISTORY = 4
+
+_I = Instruction
+_OP = Opcode
+
+
+def _serve_schema() -> ContextSchema:
+    schema = ContextSchema(FLEET_HOOK)
+    schema.add_field("pid")
+    schema.add_field("page")
+    for i in range(HISTORY):
+        schema.add_field(f"d{i}")
+    schema.add_field("scratch", writable=True)
+    return schema
+
+
+def build_serve_program(schema: ContextSchema, model: object,
+                        name: str = FLEET_PROGRAM):
+    """The fleet serving datapath: history vector -> model -> verdict.
+
+    One wildcard table entry serves every pid — shard-to-node placement
+    is the ring's job, not the datapath's — and the action gathers the
+    d0..d3 context fields into a feature vector for the model call.
+    """
+    builder = ProgramBuilder(name, FLEET_HOOK, schema)
+    table = builder.add_table(MatchActionTable("route", ["pid"]))
+    builder.add_model(0, model)
+    instructions = [_I(_OP.VEC_ZERO, dst=0, imm=HISTORY)]
+    for i in range(HISTORY):
+        fid = schema.field(f"d{i}").field_id
+        instructions.append(_I(_OP.LD_CTXT, dst=1, imm=fid))
+        instructions.append(_I(_OP.VEC_SET, dst=0, src=1, imm=i))
+    instructions.append(_I(_OP.ML_INFER, dst=0, src=0, imm=0))
+    instructions.append(_I(_OP.EXIT))
+    builder.add_action(BytecodeProgram("predict", instructions))
+    table.insert(TableEntry(patterns=(MatchPattern.wildcard(),),
+                            action="predict"))
+    return builder.build()
+
+
+class FleetNode:
+    """One simulated machine serving shards under fleet coordination."""
+
+    def __init__(self, node_id: str, root_seed: int, model: object,
+                 checkpoint_every: int = 8) -> None:
+        self.node_id = node_id
+        self.root_seed = int(root_seed)
+        self.checkpoint_every = checkpoint_every
+        self.rng = spawn_rng(root_seed, "node", node_id)
+        self.store = RecoveryStore()
+        self.metrics = MetricsRegistry()
+        self.recorder = TraceRecorder(capacity=4096)
+        self._boot_model = model
+        self.alive = False
+        self.restarts = 0
+        # Serving counters (runtime state, reset by kill/restart).
+        self.served = 0
+        self.hits = 0
+        self.busy_ns = 0
+        self._last_page: dict[int, int] = {}
+        self._history: dict[int, list[int]] = {}
+        self._build(fresh=True)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _declare_hooks(self) -> None:
+        self.schema = _serve_schema()
+        self.hooks = HookRegistry()
+        self.hooks.declare(
+            FLEET_HOOK, self.schema,
+            AttachPolicy(FLEET_HOOK, verdict_min=-4096, verdict_max=4096),
+        )
+        self.hooks.supervise(DatapathSupervisor())
+
+    def _build(self, fresh: bool) -> None:
+        self._declare_hooks()
+        #: The last staged rollout lane.  The control plane detaches and
+        #: forgets a lane the moment it turns terminal, but the fleet
+        #: needs to *read* that terminal verdict (promoted vs rolled
+        #: back) on the next heartbeat — so the node keeps the handle.
+        self.lane = None
+        if fresh:
+            self.cp = RecoverableControlPlane(
+                self.hooks.helpers, hook_registry=self.hooks,
+                store=self.store, checkpoint_every=self.checkpoint_every,
+            )
+            self.cp.attach_supervisor(self.hooks.supervisor)
+            self.iface = RmtSyscallInterface(self.hooks, control_plane=self.cp)
+            self.iface.install(
+                build_serve_program(self.schema, self._boot_model),
+                mode="interpret", op_id=f"{self.node_id}:boot",
+            )
+            self.last_recovery = None
+        else:
+            cp, restore_report, reconcile_report = recover(
+                self.store, self.hooks,
+                checkpoint_every=self.checkpoint_every,
+            )
+            self.cp = cp
+            self.iface = RmtSyscallInterface(self.hooks, control_plane=cp)
+            self.last_recovery = (restore_report, reconcile_report)
+        self.alive = True
+
+    def kill(self) -> None:
+        """Crash: lose the live kernel, keep the durable store."""
+        self.alive = False
+        self.cp = None
+        self.iface = None
+        self.hooks = None
+        self.lane = None
+        self._last_page.clear()
+        self._history.clear()
+
+    def restart(self) -> tuple:
+        """Recover from the durable store; returns the recovery reports."""
+        if self.alive:
+            raise RuntimeError(f"node {self.node_id!r} is already alive")
+        self._build(fresh=False)
+        self.restarts += 1
+        return self.last_recovery
+
+    # -- serving ----------------------------------------------------------
+
+    def serve(self, pid: int, page: int, compute_ns: int) -> int:
+        """Serve one page access; returns the latency charged (ns).
+
+        The datapath predicts this access's delta from the previous
+        ``HISTORY`` deltas; a correct prediction is a prefetch hit.
+        Ground truth also scores any rollout lane attached to the hook,
+        on both routed (canary) and shadowed fires.
+        """
+        if not self.alive:
+            raise RuntimeError(f"node {self.node_id!r} is dead")
+        last = self._last_page.get(pid)
+        self._last_page[pid] = page
+        if last is None:
+            # First access of this pid on this node: nothing to predict.
+            self._history[pid] = []
+            latency = compute_ns + MISS_NS + self.rng.randrange(JITTER_NS)
+            self.served += 1
+            self.busy_ns += latency
+            return latency
+        actual = page - last
+        history = self._history[pid]
+        ctx_fields = {f"d{i}": history[i] if i < len(history) else 0
+                      for i in range(HISTORY)}
+        ctx = self.schema.new_context(pid=pid, page=page, **ctx_fields)
+        verdict = self.hooks.fire(FLEET_HOOK, ctx)
+        history.insert(0, actual)
+        del history[HISTORY:]
+        hit = verdict is not None and verdict == actual
+        self._score_rollout(verdict, actual, ctx)
+        latency = (compute_ns + (HIT_NS if hit else MISS_NS)
+                   + self.rng.randrange(JITTER_NS))
+        self.served += 1
+        self.hits += hit
+        self.busy_ns += latency
+        return latency
+
+    def _score_rollout(self, primary_verdict, actual: int, ctx) -> None:
+        """Feed one paired ground-truth outcome to the active lane.
+
+        Scoring is paired on *every* fire: on unrouted fires the lane
+        shadowed the candidate, and on routed fires (where the candidate
+        served and the primary never ran) the node invokes the primary
+        on a copied context itself.  Unpaired scoring would compare the
+        two models on different access subsets — with heterogeneous
+        shards (a predictable video stream next to an unpredictable
+        matrix walk) that turns routing luck into a guardrail breach.
+        """
+        rollout = self.lane
+        if rollout is None or not rollout.active:
+            return
+        sample = rollout.last_sample
+        if sample is None or sample.pending or sample.tick != rollout.tick:
+            return
+        candidate_ok = (sample.candidate_verdict is not None
+                        and sample.candidate_verdict == actual)
+        if sample.routed:
+            dp = self.cp.datapath(FLEET_PROGRAM)
+            try:
+                primary_verdict = dp.invoke(ctx.copy())
+            except Exception:
+                primary_verdict = None
+        primary_ok = (primary_verdict is not None
+                      and primary_verdict == actual)
+        rollout.observe_outcome(candidate_ok, primary_ok)
+
+    # -- fleet surface (what the coordinator calls) -----------------------
+
+    def prepare_artifact(self, spec: dict) -> tuple[bool, str]:
+        """Distribution *prepare*: dry-run verify, no state change."""
+        if not self.alive:
+            return False, "node dead"
+        try:
+            self.cp.verify_model(FLEET_PROGRAM, 0, spec["model"])
+        except Exception as exc:
+            return False, f"{type(exc).__name__}: {exc}"
+        return True, "verified"
+
+    def commit_artifact(self, spec: dict) -> None:
+        """Distribution *commit*: journaled push, idempotent by op id."""
+        metadata = {**spec["metadata"],
+                    "fleet_version": spec["version"],
+                    "origin": "fleet_push"}
+        self.cp.push_model(
+            FLEET_PROGRAM, 0, spec["model"], metadata=metadata,
+            op_id=f"fleet-push:{spec['track']}:v{spec['version']}",
+        )
+
+    def live_hash(self) -> str | None:
+        artifact = self.cp.registry.live(FLEET_PROGRAM)
+        return artifact.content_hash if artifact is not None else None
+
+    def stage_candidate(self, model: object, config) -> object:
+        self.lane = self.cp.stage_model(
+            FLEET_PROGRAM, 0, model, config=config,
+            op_id=f"{self.node_id}:stage:{config.seed}",
+        )
+        return self.lane
+
+    def rollout_state(self) -> str | None:
+        """Lane state including *terminal* verdicts the control plane
+        has already forgotten (it detaches promoted/rolled-back lanes)."""
+        rollout = self.cp.rollout(FLEET_PROGRAM)
+        if rollout is not None:
+            return rollout.state
+        return self.lane.state if self.lane is not None else None
+
+    def heartbeat(self) -> dict:
+        """Refresh the node's metrics registry; return the beat payload."""
+        from ..obs import collect_control_plane, collect_hooks
+
+        self.metrics = MetricsRegistry()
+        collect_hooks(self.hooks, self.metrics)
+        collect_control_plane(self.cp, self.metrics)
+        self.metrics.gauge("node.served", node=self.node_id).set(self.served)
+        self.metrics.gauge("node.hits", node=self.node_id).set(self.hits)
+        self.metrics.gauge("node.busy_ns", node=self.node_id).set(self.busy_ns)
+        return {
+            "node": self.node_id,
+            "served": self.served,
+            "hits": self.hits,
+            "busy_ns": self.busy_ns,
+            "live_hash": self.live_hash(),
+            "rollout_state": self.rollout_state(),
+        }
+
+    def state_summary(self) -> dict:
+        """This node's convergence fingerprint (intent state only)."""
+        return _cp_state_summary(self.cp, self.hooks)
+
+    def status(self) -> dict:
+        out = {
+            "node": self.node_id,
+            "alive": self.alive,
+            "served": self.served,
+            "hits": self.hits,
+            "hit_rate": round(self.hits / self.served, 4) if self.served else 0.0,
+            "busy_ns": self.busy_ns,
+            "restarts": self.restarts,
+        }
+        if self.alive:
+            live = self.cp.registry.live(FLEET_PROGRAM)
+            out["live_model"] = live.summary() if live is not None else None
+            out["rollout_state"] = self.rollout_state()
+        return out

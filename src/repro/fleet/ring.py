@@ -1,0 +1,95 @@
+"""Consistent-hash routing ring for workload sharding.
+
+Classic Karger-style consistent hashing with virtual nodes: each
+physical node owns ``replicas`` points on a 64-bit circle, and a shard
+key routes to the first node point clockwise from the key's hash.  Two
+properties matter to the fleet and are pinned by property tests
+(``tests/fleet/test_ring.py``):
+
+* **balance** — with enough virtual nodes the per-node shard counts
+  stay within a constant factor of the mean;
+* **minimal disruption** — adding a node moves only the keys that now
+  route *to it*; removing a node moves only the keys it owned.  No
+  other key changes owner, which is what keeps a rebalance from
+  stampeding every node's working set.
+
+Hashing is SHA-256 (same derivation discipline as
+:mod:`repro.core.seeding`) seeded by the ring's own seed, so the whole
+assignment is a pure function of ``(seed, members, keys)`` — no
+process-global ``hash()``, which Python randomizes per process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _hash64(material: str) -> int:
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class ConsistentHashRing:
+    """Seeded consistent-hash ring with virtual-node replicas."""
+
+    def __init__(self, seed: int = 0, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.seed = int(seed)
+        self.replicas = int(replicas)
+        #: Sorted (point, node_id) pairs — the circle.
+        self._points: list[tuple[int, str]] = []
+        self._members: set[str] = set()
+
+    # -- membership -------------------------------------------------------
+
+    def add_node(self, node_id: str) -> None:
+        if node_id in self._members:
+            raise ValueError(f"node {node_id!r} already on the ring")
+        self._members.add(node_id)
+        for replica in range(self.replicas):
+            point = _hash64(f"{self.seed}:node:{node_id}:{replica}")
+            self._points.append((point, node_id))
+        self._points.sort()
+
+    def remove_node(self, node_id: str) -> None:
+        if node_id not in self._members:
+            raise ValueError(f"node {node_id!r} not on the ring")
+        self._members.discard(node_id)
+        self._points = [p for p in self._points if p[1] != node_id]
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._members
+
+    # -- routing ----------------------------------------------------------
+
+    def key_point(self, key: str) -> int:
+        return _hash64(f"{self.seed}:key:{key}")
+
+    def route(self, key: str) -> str:
+        """The node owning *key*: first point clockwise from its hash."""
+        if not self._points:
+            raise LookupError("ring has no nodes")
+        idx = bisect_right(self._points, (self.key_point(key), ""))
+        if idx == len(self._points):
+            idx = 0  # wrap past the top of the circle
+        return self._points[idx][1]
+
+    def assignment(self, keys) -> dict[str, list]:
+        """Owner -> sorted keys, with every member present (maybe empty)."""
+        out: dict[str, list] = {node: [] for node in self._members}
+        for key in keys:
+            out[self.route(key)].append(key)
+        for owned in out.values():
+            owned.sort()
+        return out

@@ -1,0 +1,314 @@
+"""Fleet-wide staged rollout: ramp a candidate across *nodes*.
+
+Where :class:`~repro.deploy.rollout.ModelRollout` ramps a candidate
+across a traffic fraction on one datapath, the fleet rollout ramps it
+across node counts — 1 node, then a fraction of the fleet, then all of
+it — by staging the candidate on each stage's nodes through their own
+local shadow/canary lane.  The blast radius of a bad model is the
+current stage by construction: shards routed to unstaged nodes never
+see the candidate at all.
+
+State machine (``fleet_rollout`` trace events mirror every edge)::
+
+    RAMPING ──(stage gates pass node by node)──► COMMITTED
+       │
+       └──(any node lane rolls back, or the aggregated
+           accuracy guardrail breaches)────────► HALTED
+
+* a node's **local** guardrail rollback halts the whole fleet rollout:
+  every still-active lane is aborted and every node that already
+  promoted the candidate in an earlier stage is rolled back;
+* the **aggregated** guardrail compares mean candidate accuracy across
+  staged nodes against mean primary accuracy on the same nodes, over
+  the canary windows the heartbeat snapshots expose — a candidate that
+  looks marginal on every node but bad in aggregate still halts;
+* a staged node that *dies* is excused from its stage (the membership
+  layer owns dying nodes; they catch up from the central registry on
+  rejoin) — death is not evidence against the model;
+* COMMITTED quorum-pushes the candidate through the
+  :class:`~repro.fleet.distribution.ArtifactDistributor`, making the
+  central registry's live version the fleet's converged state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.seeding import derive_seed
+from ..deploy import RolloutConfig
+from ..obs import trace as obs_trace
+from ..obs.events import FLEET_ROLLOUT
+from .distribution import ArtifactDistributor, PushReport
+from .node import FleetNode
+
+__all__ = ["FleetRollout", "FleetRolloutConfig", "FleetRolloutState"]
+
+
+class FleetRolloutState:
+    """Lifecycle states (plain strings, like RolloutState)."""
+
+    RAMPING = "ramping"
+    COMMITTED = "committed"
+    HALTED = "halted"
+
+
+@dataclass(frozen=True)
+class FleetRolloutConfig:
+    """Knobs of the node-granular ramp."""
+
+    seed: int = 0
+    #: Fleet fractions after the mandatory 1-node first stage; the ramp
+    #: is ``[1 node] + [ceil(f * fleet)] for f in stage_fractions``.
+    stage_fractions: tuple[float, ...] = (0.25, 1.0)
+    #: Aggregated-accuracy margin: mean candidate accuracy across staged
+    #: nodes may trail mean primary accuracy by at most this much.
+    guardrail_margin: float = 0.1
+    #: Scored outcomes (summed across staged nodes) before the
+    #: aggregated guardrail engages.
+    guardrail_min_samples: int = 24
+    #: Per-node lane knobs (the local canary does the fine-grained work).
+    #: Samples and margin are sized for real-trace traffic: routed fires
+    #: score only the candidate while shadowed fires score both, so the
+    #: two windowed accuracies cover *different* access subsets and a
+    #: tight margin at small samples would halt equal-quality models on
+    #: sampling noise alone.  A poisoned model (accuracy ~0) clears the
+    #: margin by an order of magnitude regardless.
+    node_canary_min_samples: int = 48
+    node_canary_margin: float = 0.12
+    node_ramp: tuple[float, ...] = (0.5, 1.0)
+    node_accuracy_window: int = 64
+
+    def __post_init__(self) -> None:
+        for fraction in self.stage_fractions:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(
+                    f"stage fraction {fraction} outside (0, 1]"
+                )
+        if self.stage_fractions and self.stage_fractions[-1] != 1.0:
+            raise ValueError("the final stage fraction must be 1.0")
+
+    def node_config(self, node_id: str) -> RolloutConfig:
+        """The local lane config for one node — seed derived per node so
+        canary hash splits are independent across the fleet."""
+        return RolloutConfig(
+            seed=derive_seed(self.seed, "fleet-rollout", node_id),
+            skip_shadow=True,
+            ramp=self.node_ramp,
+            canary_min_samples=self.node_canary_min_samples,
+            canary_margin=self.node_canary_margin,
+            accuracy_window=self.node_accuracy_window,
+            min_trap_samples=1_000_000,  # traps aren't this model's failure mode
+            auto_advance=True,
+        )
+
+
+class FleetRollout:
+    """One candidate's guarded journey across the fleet."""
+
+    def __init__(self, track: str, candidate: object,
+                 nodes: dict[str, FleetNode],
+                 distributor: ArtifactDistributor,
+                 config: FleetRolloutConfig | None = None) -> None:
+        self.track = track
+        self.candidate = candidate
+        self.nodes = nodes
+        self.distributor = distributor
+        self.config = config or FleetRolloutConfig()
+        self.state = FleetRolloutState.RAMPING
+        self.stage = -1  # start() enters stage 0
+        self.halt_reason: str | None = None
+        self.commit_report: PushReport | None = None
+        self.transitions: list[dict] = []
+        #: Node ids per stage, fixed at construction from the then-alive
+        #: membership — cumulative prefixes of the sorted alive ids.
+        alive = sorted(nid for nid, node in nodes.items() if node.alive)
+        if not alive:
+            raise ValueError("fleet rollout needs at least one alive node")
+        counts = [1] + [
+            max(1, math.ceil(fraction * len(alive)))
+            for fraction in self.config.stage_fractions
+        ]
+        # Strictly increasing prefix sizes; equal stages collapse.
+        sizes: list[int] = []
+        for count in counts:
+            count = min(count, len(alive))
+            if not sizes or count > sizes[-1]:
+                sizes.append(count)
+        self.stage_sets: list[list[str]] = [alive[:size] for size in sizes]
+        #: Nodes excused from their stage because they died mid-ramp.
+        self.excused: list[str] = []
+        #: Nodes that promoted the candidate locally.
+        self.promoted: list[str] = []
+
+    # -- plumbing ---------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self.state == FleetRolloutState.RAMPING
+
+    def _emit(self, frm: str, to: str, reason: str) -> None:
+        self.transitions.append(
+            {"from": frm, "to": to, "stage": max(self.stage, 0),
+             "reason": reason}
+        )
+        rec = obs_trace.ACTIVE
+        if rec is not None and rec.want_fleet:
+            rec.emit(FLEET_ROLLOUT,
+                     (self.track, frm, to, max(self.stage, 0), reason))
+
+    def _stage_nodes(self) -> list[str]:
+        """Current stage's node ids, minus excused ones."""
+        if not 0 <= self.stage < len(self.stage_sets):
+            return []
+        return [nid for nid in self.stage_sets[self.stage]
+                if nid not in self.excused]
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        if self.stage != -1:
+            raise RuntimeError("fleet rollout already started")
+        self.stage = 0
+        self._emit("staged", "ramping",
+                   f"stage 0: {len(self._stage_nodes())} node(s)")
+        self._stage_candidates(self._stage_nodes())
+
+    def _stage_candidates(self, node_ids) -> None:
+        for nid in node_ids:
+            node = self.nodes[nid]
+            if not node.alive:
+                self._excuse(nid)
+                continue
+            if node.rollout_state() in ("promoted",) or (
+                    node.live_hash() is not None
+                    and nid in self.promoted):
+                continue  # already carried the candidate to live
+            node.stage_candidate(self.candidate,
+                                 self.config.node_config(nid))
+
+    def _excuse(self, node_id: str) -> None:
+        if node_id not in self.excused:
+            self.excused.append(node_id)
+            self._emit("ramping", "ramping",
+                       f"node {node_id} dead, excused from stage")
+
+    # -- heartbeat drive --------------------------------------------------
+
+    def poll(self) -> str:
+        """Advance the fleet state machine; called on every heartbeat."""
+        if not self.active:
+            return self.state
+        stage_ids = list(self._stage_nodes())
+        for nid in stage_ids:
+            node = self.nodes[nid]
+            if not node.alive:
+                self._excuse(nid)
+                continue
+            state = node.rollout_state()
+            if state == "rolled_back":
+                lane = node.lane
+                reason = (lane.plan.transitions[-1].reason
+                          if lane is not None and lane.plan.transitions
+                          else "local guardrail")
+                self._halt(f"node {nid} rolled back ({reason})")
+                return self.state
+            if state == "promoted" and nid not in self.promoted:
+                self.promoted.append(nid)
+        breach = self._aggregate_breach()
+        if breach is not None:
+            self._halt(f"aggregated guardrail: {breach}")
+            return self.state
+        live_ids = [nid for nid in self._stage_nodes()
+                    if self.nodes[nid].alive]
+        if live_ids and all(nid in self.promoted for nid in live_ids):
+            self._advance()
+        elif not live_ids and self.stage >= 0:
+            # Every node of this stage died; fall through to the next
+            # stage rather than stalling the ramp forever.
+            self._advance()
+        return self.state
+
+    def _aggregate_breach(self) -> str | None:
+        """Mean candidate vs mean primary accuracy across staged lanes."""
+        cand_parts: list[float] = []
+        prim_parts: list[float] = []
+        samples = 0
+        for nid in self._stage_nodes():
+            node = self.nodes[nid]
+            if not node.alive:
+                continue
+            lane = node.lane
+            if lane is None or not lane.active:
+                continue
+            stats = lane.canary.stats()
+            if lane.canary.candidate.n_windowed == 0:
+                continue
+            cand_parts.append(stats["candidate_accuracy"])
+            prim_parts.append(stats["primary_accuracy"])
+            samples += lane.scored
+        if samples < self.config.guardrail_min_samples or not cand_parts:
+            return None
+        cand_mean = sum(cand_parts) / len(cand_parts)
+        prim_mean = sum(prim_parts) / len(prim_parts) if prim_parts else 0.0
+        if cand_mean < prim_mean - self.config.guardrail_margin:
+            return (f"mean candidate accuracy {cand_mean:.3f} trails mean "
+                    f"primary {prim_mean:.3f} across {len(cand_parts)} "
+                    f"staged node(s)")
+        return None
+
+    def _advance(self) -> None:
+        if self.stage + 1 >= len(self.stage_sets):
+            self._commit()
+            return
+        previous = set(self.stage_sets[self.stage])
+        self.stage += 1
+        fresh = [nid for nid in self.stage_sets[self.stage]
+                 if nid not in previous]
+        self._emit("ramping", "ramping",
+                   f"stage {self.stage}: +{len(fresh)} node(s)")
+        self._stage_candidates(fresh)
+
+    def _commit(self) -> None:
+        alive = [node for node in self.nodes.values() if node.alive]
+        self.commit_report = self.distributor.push(
+            self.track, self.candidate, alive,
+            metadata={"origin": "fleet_rollout"},
+        )
+        self.state = FleetRolloutState.COMMITTED
+        self._emit("ramping", "committed",
+                   f"all stages promoted; quorum push "
+                   f"{len(self.commit_report.acked)}/{len(alive)} acked")
+
+    def _halt(self, reason: str) -> None:
+        self.halt_reason = reason
+        for nid in set(sum(self.stage_sets[:self.stage + 1], [])):
+            node = self.nodes.get(nid)
+            if node is None or not node.alive:
+                continue
+            lane = node.lane
+            if lane is not None and lane.active:
+                lane.abort(f"fleet halt: {reason}")
+            elif nid in self.promoted:
+                node.cp.rollback_model(
+                    self.track, 0,
+                    op_id=f"fleet-halt:{self.config.seed}:{nid}",
+                )
+        self.state = FleetRolloutState.HALTED
+        self._emit("ramping", "halted", reason)
+
+    # -- introspection ----------------------------------------------------
+
+    def status(self) -> dict:
+        return {
+            "track": self.track,
+            "state": self.state,
+            "stage": self.stage,
+            "stages": [list(s) for s in self.stage_sets],
+            "promoted": list(self.promoted),
+            "excused": list(self.excused),
+            "halt_reason": self.halt_reason,
+            "transitions": [dict(t) for t in self.transitions],
+            "commit": (self.commit_report.row()
+                       if self.commit_report is not None else None),
+        }

@@ -1,0 +1,125 @@
+"""Workload shards: replayable access streams the ring routes to nodes.
+
+A :class:`ShardStream` wraps one :class:`~repro.workloads.TraceWorkload`
+with a stable shard key and a replay cursor.  The standard fleet
+workload mix (:func:`fleet_streams`) covers the paper's two Table-1
+memory traces plus the PARSEC task graphs rendered as access streams —
+sequential video rows, strided convolution windows, and phased
+task-granular walks — so the sharded serving fleet sees the same
+locality spectrum the single-node prefetch experiments do.
+
+Streams are truncated to ``accesses_per_stream`` so a full fleet run
+(16 shards x 4 scaling points) stays in benchmark territory; the cap is
+recorded on the stream so reports can say what was dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..workloads import (
+    TraceWorkload,
+    matrix_conv_trace,
+    parsec_access_trace,
+    video_resize_trace,
+)
+
+__all__ = ["ShardStream", "fleet_streams"]
+
+#: Default per-stream access cap (see module docstring).
+DEFAULT_ACCESSES_PER_STREAM = 384
+
+
+@dataclass
+class ShardStream:
+    """One shard: a keyed, replayable slice of page-access workload."""
+
+    key: str
+    workload: TraceWorkload
+    cursor: int = 0
+    #: Virtual completion time (ns); set by the controller at drain.
+    done_at: int | None = None
+    #: Total serve latency charged to this shard (its JCT numerator).
+    busy_ns: int = 0
+
+    @property
+    def pid(self) -> int:
+        return self.workload.pid
+
+    @property
+    def total(self) -> int:
+        return len(self.workload.accesses)
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.cursor
+
+    @property
+    def done(self) -> bool:
+        return self.cursor >= self.total
+
+    def next_access(self) -> tuple[int, int]:
+        """Consume one access: ``(page, compute_ns)``."""
+        page = self.workload.accesses[self.cursor]
+        self.cursor += 1
+        return page, self.workload.compute_ns_per_access
+
+    def reset(self) -> None:
+        self.cursor = 0
+        self.done_at = None
+        self.busy_ns = 0
+
+
+def _truncate(workload: TraceWorkload, cap: int) -> TraceWorkload:
+    if len(workload.accesses) <= cap:
+        return workload
+    return TraceWorkload(
+        name=workload.name,
+        pid=workload.pid,
+        accesses=workload.accesses[:cap],
+        compute_ns_per_access=workload.compute_ns_per_access,
+        metadata={**workload.metadata, "truncated_from": len(workload.accesses)},
+    )
+
+
+def fleet_streams(
+    seed: int = 0,
+    video_streams: int = 6,
+    matrix_streams: int = 4,
+    accesses_per_stream: int = DEFAULT_ACCESSES_PER_STREAM,
+) -> list[ShardStream]:
+    """The standard fleet workload mix, keyed for the routing ring.
+
+    Pids are disjoint across shards (each shard is its own process in
+    the simulated kernels), and every parameter that varies between
+    same-family shards varies *deterministically* with the shard index,
+    so the mix is a pure function of ``seed``.
+    """
+    streams: list[ShardStream] = []
+    pid = 100
+    for i in range(video_streams):
+        workload = video_resize_trace(
+            n_frames=4 + i % 3, rows_per_frame=32, pid=pid,
+        )
+        streams.append(
+            ShardStream(f"video:{i}", _truncate(workload, accesses_per_stream))
+        )
+        pid += 1
+    for i in range(matrix_streams):
+        workload = matrix_conv_trace(
+            matrix_rows=48, row_pages=12 + 2 * (i % 2), pid=pid,
+        )
+        streams.append(
+            ShardStream(f"matrix:{i}", _truncate(workload, accesses_per_stream))
+        )
+        pid += 1
+    for benchmark in ("blackscholes", "streamcluster", "fib", "matmul"):
+        workload = parsec_access_trace(benchmark, pid=pid, seed=seed)
+        streams.append(
+            ShardStream(
+                f"parsec:{benchmark}",
+                _truncate(workload, accesses_per_stream),
+            )
+        )
+        pid += 1
+    return streams

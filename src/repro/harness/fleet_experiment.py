@@ -1,0 +1,336 @@
+"""Fleet serving experiments: shard, rollout, crash, scale.
+
+The acceptance experiments for the fleet subsystem, all seed-
+reproducible on the shared virtual clock:
+
+* :func:`run_fleet_serving` — shard the standard workload mix across N
+  nodes and drain it; per-shard JCT and fleet makespan fall out of the
+  clock.
+* :func:`run_fleet_rollout` — ramp a candidate across nodes (1 ->
+  fraction -> all).  A *poisoned* candidate must halt at the 1-node
+  stage with every shard on unstaged nodes serving bit-identically to
+  the no-rollout baseline (their JCT delta is exactly zero — same RNG
+  draws, same assignment); a good candidate must commit fleet-wide.
+* :func:`run_fleet_crash` — kill a node mid-rollout.  The fleet
+  detects the death by missed heartbeats, excuses the node from its
+  ramp stage, rebalances its shards, finishes the rollout, then the
+  node rejoins via :func:`repro.recovery.recover` + registry catch-up
+  — and the fleet :meth:`state_summary` converges to the no-crash
+  run's.
+* :func:`run_fleet_scaling` — the same workload at 1/2/4/8 nodes; the
+  makespan scaling curve is the ``BENCH_fleet.json`` payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.seeding import derive_seed, spawn_generator
+from ..deploy.registry import model_fingerprint
+from ..fleet import (
+    FLEET_PROGRAM,
+    ArtifactDistributor,
+    FleetController,
+    FleetNode,
+    FleetRollout,
+    FleetRolloutConfig,
+    fleet_streams,
+)
+from ..kernel.sim import NS_PER_MS, Simulator
+from ..ml import IntegerDecisionTree
+from .rollout_experiment import PoisonedDeltaModel
+
+__all__ = [
+    "FleetWorld",
+    "PoisonedDeltaModel",
+    "build_fleet",
+    "fleet_state_summary",
+    "run_fleet_crash",
+    "run_fleet_experiment",
+    "run_fleet_rollout",
+    "run_fleet_scaling",
+    "run_fleet_serving",
+    "train_fleet_model",
+]
+
+#: Serving passes allowed for a fleet rollout to reach a decision.
+MAX_ROLLOUT_PASSES = 10
+
+
+def train_fleet_model(seed: int, flavor: str = "v1") -> IntegerDecisionTree:
+    """A delta-prefetch tree: 4-delta history in, next delta out.
+
+    Training data is constant-stride histories (the dominant pattern in
+    the fleet mix) plus a jump-contaminated slice, so the tree learns
+    "continue the recent stride" robustly.  ``flavor`` derives an
+    independent sample — v2 is the same task trained on more data, a
+    plausible improved candidate.
+    """
+    gen = spawn_generator(seed, "fleet-model", flavor)
+    n = 1200 if flavor != "v1" else 800
+    strides = gen.integers(-8, 13, size=n)
+    x = np.stack([strides] * 4, axis=1)
+    # A slice of histories where the oldest delta was a cross-row jump —
+    # the tree must learn to trust the recent deltas.
+    jumps = gen.integers(0, n, size=n // 6)
+    x[jumps, 3] = gen.integers(-200, 200, size=len(jumps))
+    y = strides.astype(np.int64)
+    return IntegerDecisionTree(max_depth=8).fit(x, y)
+
+
+@dataclass
+class FleetWorld:
+    """One built fleet: simulator, nodes, controller, distributor."""
+
+    seed: int
+    sim: Simulator
+    nodes: dict[str, FleetNode]
+    controller: FleetController
+    distributor: ArtifactDistributor
+    model_v1: IntegerDecisionTree
+    initial_push: dict = field(default_factory=dict)
+
+
+def build_fleet(
+    n_nodes: int = 4,
+    seed: int = 0,
+    heartbeat_ns: int = 2 * NS_PER_MS,
+    accesses_per_stream: int | None = None,
+) -> FleetWorld:
+    """Build N nodes, shard the standard mix, distribute the v1 model."""
+    model_v1 = train_fleet_model(seed)
+    nodes = {
+        f"node-{i}": FleetNode(f"node-{i}", seed, model_v1)
+        for i in range(n_nodes)
+    }
+    sim = Simulator()
+    stream_kwargs = {}
+    if accesses_per_stream is not None:
+        stream_kwargs["accesses_per_stream"] = accesses_per_stream
+    streams = fleet_streams(seed, **stream_kwargs)
+    controller = FleetController(
+        sim, nodes, streams,
+        seed=derive_seed(seed, "ring"), heartbeat_ns=heartbeat_ns,
+    )
+    distributor = ArtifactDistributor()
+    report = distributor.push(
+        FLEET_PROGRAM, model_v1, list(nodes.values()),
+        metadata={"origin": "fleet_bootstrap"},
+    )
+    if not report.committed:
+        raise RuntimeError(f"bootstrap push failed: {report.row()}")
+    return FleetWorld(
+        seed=seed, sim=sim, nodes=nodes, controller=controller,
+        distributor=distributor, model_v1=model_v1,
+        initial_push=report.row(),
+    )
+
+
+def fleet_state_summary(world: FleetWorld) -> dict:
+    """Fleet convergence fingerprint plus the central live hash."""
+    summary = world.controller.state_summary()
+    live = world.distributor.registry.live(FLEET_PROGRAM)
+    summary["central_live"] = live.content_hash if live is not None else None
+    return summary
+
+
+def _serving_report(world: FleetWorld, makespan: int) -> dict:
+    streams = world.controller.streams
+    total = sum(stream.total for stream in streams.values())
+    return {
+        "makespan_ns": makespan,
+        "total_accesses": total,
+        "throughput_per_s": round(total / (makespan / 1e9), 2) if makespan
+        else 0.0,
+        "jct_ns": {key: stream.done_at
+                   for key, stream in sorted(streams.items())},
+        "stream_busy_ns": {key: stream.busy_ns
+                           for key, stream in sorted(streams.items())},
+        "nodes": {nid: {"served": node.served, "hits": node.hits,
+                        "hit_rate": round(node.hits / node.served, 4)
+                        if node.served else 0.0}
+                  for nid, node in sorted(world.nodes.items())},
+        "fleet": world.controller.stats(),
+    }
+
+
+def run_fleet_serving(n_nodes: int = 4, seed: int = 0,
+                      accesses_per_stream: int | None = None) -> dict:
+    """Baseline: drain the sharded mix on N nodes, no rollout."""
+    world = build_fleet(n_nodes, seed,
+                        accesses_per_stream=accesses_per_stream)
+    makespan = world.controller.run()
+    return _serving_report(world, makespan)
+
+
+def _drive_rollout(world: FleetWorld, rollout: FleetRollout) -> dict:
+    """Serve passes until the fleet rollout reaches a terminal state.
+
+    The first pass's per-shard JCTs are the ones compared against the
+    no-rollout baseline (later passes rewind the streams).
+    """
+    world.controller.fleet_rollout = rollout
+    rollout.start()
+    makespan = world.controller.run(shutdown=False)
+    first_pass_jct = {key: stream.done_at for key, stream
+                      in sorted(world.controller.streams.items())}
+    passes = 1
+    while rollout.active and passes < MAX_ROLLOUT_PASSES:
+        world.controller.reset_streams()
+        world.controller.run(shutdown=False)
+        passes += 1
+    world.controller.shutdown()
+    world.sim.run(max_events=10_000)
+    return {"makespan_ns": makespan, "first_pass_jct": first_pass_jct,
+            "passes": passes}
+
+
+def run_fleet_rollout(seed: int = 0, n_nodes: int = 4,
+                      poisoned: bool = True,
+                      accesses_per_stream: int | None = None) -> dict:
+    """Fleet-wide staged rollout; poisoned candidates must halt early.
+
+    The report carries the per-shard JCT delta against a no-rollout
+    baseline, split by whether the shard was routed to a staged node —
+    the acceptance check is that *unaffected* shards are within noise
+    (in this simulation: exactly zero, since their nodes' RNG streams
+    and assignments are untouched by the staged node's lane).
+    """
+    baseline = run_fleet_serving(n_nodes, seed,
+                                 accesses_per_stream=accesses_per_stream)
+    world = build_fleet(n_nodes, seed,
+                        accesses_per_stream=accesses_per_stream)
+    candidate = (PoisonedDeltaModel() if poisoned
+                 else train_fleet_model(seed, "v2"))
+    rollout = FleetRollout(
+        FLEET_PROGRAM, candidate, world.nodes, world.distributor,
+        FleetRolloutConfig(seed=derive_seed(seed, "fleet-rollout")),
+    )
+    drive = _drive_rollout(world, rollout)
+    staged = set()
+    for stage_set in rollout.stage_sets[:max(rollout.stage, 0) + 1]:
+        staged.update(stage_set)
+    assignment = world.controller.assignment()
+    affected_keys = {key for nid in staged
+                     for key in assignment.get(nid, [])}
+    deltas = {
+        key: drive["first_pass_jct"][key] - baseline["jct_ns"][key]
+        for key in baseline["jct_ns"]
+    }
+    unaffected = {key: delta for key, delta in deltas.items()
+                  if key not in affected_keys}
+    candidate_hash, _ = model_fingerprint(candidate)
+    return {
+        "poisoned": poisoned,
+        "state": rollout.state,
+        "halted_stage": rollout.stage,
+        "halt_reason": rollout.halt_reason,
+        "staged_nodes": sorted(staged),
+        "promoted_nodes": sorted(rollout.promoted),
+        "transitions": rollout.status()["transitions"],
+        "passes": drive["passes"],
+        "candidate_hash": candidate_hash[:12],
+        "central_live": (world.distributor.registry.live(FLEET_PROGRAM)
+                         .content_hash[:12]),
+        "node_live": {nid: (node.live_hash() or "")[:12]
+                      for nid, node in sorted(world.nodes.items())},
+        "jct_delta_ns": deltas,
+        "unaffected_shards": sorted(unaffected),
+        "jct_delta_unaffected_max_ns": max(
+            (abs(d) for d in unaffected.values()), default=0
+        ),
+        "commit": (rollout.commit_report.row()
+                   if rollout.commit_report is not None else None),
+    }
+
+
+def run_fleet_crash(seed: int = 0, n_nodes: int = 4,
+                    accesses_per_stream: int | None = None) -> dict:
+    """Kill a node mid-rollout; the fleet must converge to the no-crash
+    baseline's state summary after recovery + rebalance + catch-up."""
+    candidate_flavor = "v2"
+
+    def _rollout_world():
+        world = build_fleet(n_nodes, seed,
+                            accesses_per_stream=accesses_per_stream)
+        candidate = train_fleet_model(seed, candidate_flavor)
+        rollout = FleetRollout(
+            FLEET_PROGRAM, candidate, world.nodes, world.distributor,
+            FleetRolloutConfig(seed=derive_seed(seed, "fleet-rollout")),
+        )
+        return world, rollout
+
+    # No-crash run: the convergence target.
+    world, rollout = _rollout_world()
+    _drive_rollout(world, rollout)
+    baseline_summary = fleet_state_summary(world)
+    baseline_state = rollout.state
+
+    # Crash run: kill the last-staged node once the final stage starts
+    # (stage 0 completes within the first heartbeat window at fleet
+    # scale, so 1.5 beats lands mid-final-stage) — the rollout must
+    # excuse it and commit on the surviving stage nodes.
+    world, rollout = _rollout_world()
+    victim = rollout.stage_sets[-1][-1]
+    kill_at = 3 * world.controller.heartbeat_ns // 2
+    world.sim.schedule(kill_at, lambda: world.controller.kill_node(victim))
+    _drive_rollout(world, rollout)
+    mid_membership = dict(world.controller.stats()["membership"])
+    crash_state = rollout.state
+    # Rejoin: recover from the durable store, catch up, rebalance in.
+    world.controller.rejoin(victim, world.distributor, FLEET_PROGRAM)
+    crash_summary = fleet_state_summary(world)
+    converged = crash_summary == baseline_summary
+    mismatch = []
+    if not converged:
+        keys = set(crash_summary) | set(baseline_summary)
+        mismatch = sorted(
+            k for k in keys
+            if crash_summary.get(k) != baseline_summary.get(k)
+        )
+    return {
+        "victim": victim,
+        "kill_at_ns": kill_at,
+        "baseline_state": baseline_state,
+        "crash_state": crash_state,
+        "membership_after_kill": mid_membership,
+        "excused": rollout.status()["excused"],
+        "victim_restarts": world.nodes[victim].restarts,
+        "rebalances": world.controller.rebalances,
+        "moved_shards": world.controller.moved_shards,
+        "converged": converged,
+        "mismatch": mismatch,
+        "fleet": world.controller.stats(),
+    }
+
+
+def run_fleet_scaling(node_counts=(1, 2, 4, 8), seed: int = 0,
+                      accesses_per_stream: int | None = None) -> dict:
+    """The same workload at each fleet size; the throughput curve."""
+    cells = []
+    for n_nodes in node_counts:
+        report = run_fleet_serving(n_nodes, seed,
+                                   accesses_per_stream=accesses_per_stream)
+        cells.append({
+            "nodes": n_nodes,
+            "makespan_ns": report["makespan_ns"],
+            "throughput_per_s": report["throughput_per_s"],
+            "total_accesses": report["total_accesses"],
+        })
+    base = cells[0]["makespan_ns"]
+    for cell in cells:
+        cell["speedup"] = round(base / cell["makespan_ns"], 3)
+    return {"seed": seed, "cells": cells}
+
+
+def run_fleet_experiment(seed: int = 0, n_nodes: int = 4) -> dict:
+    """The full fleet acceptance run (CLI ``repro fleet status`` body)."""
+    return {
+        "seed": seed,
+        "serving": run_fleet_serving(n_nodes, seed),
+        "poisoned_rollout": run_fleet_rollout(seed, n_nodes, poisoned=True),
+        "good_rollout": run_fleet_rollout(seed, n_nodes, poisoned=False),
+        "crash": run_fleet_crash(seed, n_nodes),
+    }

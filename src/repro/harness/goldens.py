@@ -1,7 +1,7 @@
 """Golden-trace regression harness.
 
-Re-runs the four experiment harnesses (Table 1, Table 2, resilience,
-rollout) at small scale under an active trace recorder, canonicalizes
+Re-runs the five experiment harnesses (Table 1, Table 2, resilience,
+rollout, fleet) at small scale under an active trace recorder, canonicalizes
 the event stream (sim-time and seeds only — wall-clock never enters an
 event), and diffs the canonical JSONL against the goldens committed in
 ``tests/goldens/``.  A byte difference in any golden means a future PR
@@ -18,7 +18,10 @@ Each scenario records the event kinds that pin its layer:
 * ``resilience`` — containment kinds (fires, traps, injections,
   breaker transitions) under 8% fault injection;
 * ``rollout`` — lifecycle kinds (lane routing, plan transitions,
-  candidate traps) of a poisoned canary being rolled back.
+  candidate traps) of a poisoned canary being rolled back;
+* ``fleet`` — fleet kinds (membership transitions, shard routing,
+  artifact pushes, fleet-rollout edges) of a 3-node fleet halting a
+  poisoned fleet rollout, losing a node mid-run, and rejoining it.
 
 Update workflow (after an intentional behaviour change)::
 
@@ -135,6 +138,37 @@ def _build_rollout(seed: int) -> Callable[[TraceRecorder], None]:
     return run
 
 
+def _build_fleet(seed: int) -> Callable[[TraceRecorder], None]:
+    from ..core.seeding import derive_seed
+    from ..fleet import FLEET_PROGRAM, FleetRollout, FleetRolloutConfig
+    from .fleet_experiment import PoisonedDeltaModel, build_fleet
+
+    def run(rec: TraceRecorder) -> None:
+        # Construction happens inside the span: the membership joins,
+        # initial shard routes, and bootstrap quorum push are part of
+        # the pinned behaviour.  The scenario then halts a poisoned
+        # fleet rollout at stage 0, kills a node mid-run (missed
+        # heartbeats -> dead -> rebalance), and rejoins it.
+        with rec.span(f"fleet:poisoned+kill:seed{seed}"):
+            world = build_fleet(3, seed, accesses_per_stream=96)
+            rollout = FleetRollout(
+                FLEET_PROGRAM, PoisonedDeltaModel(),
+                world.nodes, world.distributor,
+                FleetRolloutConfig(seed=derive_seed(seed, "fleet-golden")),
+            )
+            world.controller.fleet_rollout = rollout
+            rollout.start()
+            world.sim.schedule(
+                3 * world.controller.heartbeat_ns // 2,
+                lambda: world.controller.kill_node("node-2"),
+            )
+            world.controller.run()
+            world.controller.rejoin("node-2", world.distributor,
+                                    FLEET_PROGRAM)
+
+    return run
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One golden cell: how to run it and which kinds it records."""
@@ -173,6 +207,15 @@ SCENARIOS: dict[str, Scenario] = {
         kinds=frozenset({"lane", "rollout", "trap", "breaker",
                          "fault_injected", "span_begin", "span_end"}),
         build=_build_rollout,
+    ),
+    "fleet": Scenario(
+        name="fleet",
+        description="fleet serving: membership, routing, quorum pushes, "
+                    "fleet rollout halt + node-kill recovery",
+        kinds=frozenset({"fleet_membership", "fleet_route", "fleet_push",
+                         "fleet_rollout", "rollout",
+                         "span_begin", "span_end"}),
+        build=_build_fleet,
     ),
 }
 

@@ -27,6 +27,7 @@ from ..core.control_plane import RmtDatapath
 from ..core.maps import VectorMap
 from ..core.model_compiler import compile_mlp_action, mlp_batch_forward
 from ..core.program import ProgramBuilder
+from ..core.seeding import spawn_generator
 from ..core.tables import MatchActionTable, MatchKind, MatchPattern, TableEntry
 from ..core.verifier import AttachPolicy
 from ..deploy.shadow import ShadowBatchPlan, ShadowEvaluator
@@ -78,7 +79,7 @@ def build_lookup_table(shape: str, size: int, seed: int = 0):
     * ``mixed``   — LPM entries over a wildcard catch-all at priorities
       that force the index/residual merge to arbitrate.
     """
-    rng = np.random.default_rng(seed)
+    rng = spawn_generator(seed, "lookup", shape)
     schema = _lookup_schema()
     if shape == "exact":
         table = MatchActionTable("t_exact", ["key"])
@@ -221,7 +222,7 @@ def bench_memo(
     table entries, so the memoized run settles into pure cache hits.
     Verdict streams are asserted identical before anything is timed.
     """
-    rng = np.random.default_rng(seed)
+    rng = spawn_generator(seed, "memo-fires")
     pids = rng.integers(0, n_keys, size=n_fires)
     hooks, schema = _memo_fixture(n_entries, seed=seed)
     hook = hooks.hook("hotpath_hook")
@@ -291,7 +292,7 @@ def bench_trace_overhead(
 
     from ..obs.trace import TraceRecorder, recording
 
-    rng = np.random.default_rng(seed)
+    rng = spawn_generator(seed, "trace-fires")
     pids = rng.integers(0, n_keys, size=n_fires)
     hooks, schema = _memo_fixture(n_entries, seed=seed)
     hook = hooks.hook("hotpath_hook")
@@ -358,7 +359,7 @@ def bench_trace_overhead(
 
 def _shadow_fixture(n_features: int = 4, seed: int = 0):
     """A compiled-MLP datapath plus its feature map and batch plan."""
-    rng = np.random.default_rng(seed)
+    rng = spawn_generator(seed, "shadow-fixture")
     x = rng.normal(size=(400, n_features)) * 10
     y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
     qmlp = QuantizedMLP.from_float(

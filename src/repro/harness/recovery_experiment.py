@@ -35,6 +35,7 @@ from ..core.bytecode import BytecodeProgram, Instruction
 from ..core.errors import ControlPlaneCrash
 from ..core.isa import Opcode
 from ..core.program import ProgramBuilder
+from ..core.seeding import spawn_generator
 from ..core.supervisor import DatapathSupervisor
 from ..core.tables import MatchActionTable
 from ..core.verifier import AttachPolicy
@@ -71,7 +72,7 @@ def _make_schema() -> ContextSchema:
 
 
 def _train_tree(seed: int, flip: bool = False) -> IntegerDecisionTree:
-    rng = np.random.default_rng(seed)
+    rng = spawn_generator(seed, "recovery-tree", int(flip))
     x = rng.integers(-20, 20, size=(400, 5))
     y = ((2 * x[:, 0] + x[:, 1] - x[:, 2]) > 0).astype(np.int64)
     if flip:

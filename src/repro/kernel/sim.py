@@ -22,7 +22,8 @@ from typing import Callable
 
 from ..obs import trace as obs_trace
 
-__all__ = ["Event", "Simulator", "NS_PER_US", "NS_PER_MS", "NS_PER_SEC"]
+__all__ = ["Event", "RepeatingEvent", "Simulator",
+           "NS_PER_US", "NS_PER_MS", "NS_PER_SEC"]
 
 NS_PER_US = 1_000
 NS_PER_MS = 1_000_000
@@ -52,6 +53,42 @@ class Event:
             self.sim._note_cancelled()
 
 
+class RepeatingEvent:
+    """Handle for a periodic callback (heartbeats, watchdog ticks).
+
+    Reschedules itself after each firing until :meth:`cancel` — the
+    periodic-timer idiom the fleet controller's membership heartbeats
+    run on.  The callback receives the virtual time it fired at.
+    """
+
+    def __init__(self, sim: "Simulator", interval_ns: int,
+                 fn: Callable[[int], None], first_at: int) -> None:
+        if interval_ns < 1:
+            raise ValueError(f"interval must be >= 1ns, got {interval_ns}")
+        self.sim = sim
+        self.interval_ns = int(interval_ns)
+        self.fn = fn
+        self.fires = 0
+        self.cancelled = False
+        self._event = sim.schedule_at(first_at, self._fire)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fires += 1
+        self.fn(self.sim.now)
+        if not self.cancelled:
+            self._event = self.sim.schedule(self.interval_ns, self._fire)
+
+    def cancel(self) -> None:
+        """Stop the cycle; the pending occurrence is tombstoned."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+
+
 class Simulator:
     """Deterministic event-queue simulator with a nanosecond clock."""
 
@@ -78,6 +115,19 @@ class Simulator:
         event = Event(time=int(time_ns), seq=next(self._seq), fn=fn, sim=self)
         heapq.heappush(self._queue, event)
         return event
+
+    def schedule_every(self, interval_ns: int, fn: Callable[[int], None],
+                       start_delay_ns: int | None = None) -> RepeatingEvent:
+        """Schedule ``fn(now)`` every ``interval_ns`` until cancelled.
+
+        The first firing lands ``start_delay_ns`` from now (default: one
+        interval).  Returns the :class:`RepeatingEvent` handle; callers
+        must cancel it for :meth:`run` to drain.
+        """
+        delay = interval_ns if start_delay_ns is None else start_delay_ns
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay {delay})")
+        return RepeatingEvent(self, interval_ns, fn, first_at=self.now + delay)
 
     def _note_cancelled(self) -> None:
         """Called by :meth:`Event.cancel`; compacts when tombstones win."""

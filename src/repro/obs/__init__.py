@@ -26,6 +26,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     collect_control_plane,
+    collect_fleet,
     collect_hooks,
     collect_journal,
     collect_recovery,
@@ -42,6 +43,7 @@ __all__ = [
     "TraceRecorder",
     "active_recorder",
     "collect_control_plane",
+    "collect_fleet",
     "collect_hooks",
     "collect_journal",
     "collect_recovery",

@@ -92,6 +92,27 @@ JOURNAL = "journal"
 #: ``rolled_back_unverified`` ...), ``target`` the program or rollout.
 RECONCILE = "reconcile"
 
+#: Fleet membership transition (``join`` / ``alive`` / ``suspect`` /
+#: ``dead`` / ``rejoin``) for one node, stamped with the shared virtual
+#: clock.  Nodes are named by their stable string ids — never by object
+#: identity or spawn order.
+FLEET_MEMBERSHIP = "fleet_membership"
+
+#: The consistent-hash ring (re)assigned one workload shard to a node.
+#: Emitted only when the owner actually changes, so a rebalance's event
+#: count *is* its disruption measure.
+FLEET_ROUTE = "fleet_route"
+
+#: Artifact distribution protocol step: ``phase`` is ``prepare`` (sent
+#: to a node), ``ack`` / ``nack`` (the node's verify verdict),
+#: ``commit`` (quorum reached, node applied it) or ``abort`` (quorum
+#: failed).  ``node`` is ``*`` for the fleet-wide commit/abort marker.
+FLEET_PUSH = "fleet_push"
+
+#: Fleet rollout state machine transition (stage index ramps the
+#: candidate across nodes: 1 node -> fraction -> all).
+FLEET_ROLLOUT = "fleet_rollout"
+
 #: Span delimiters emitted by harness code to structure a trace
 #: (e.g. one span per experiment cell).  Spans nest; ``depth`` is the
 #: nesting level at entry.
@@ -111,6 +132,10 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     TABLE_UPDATE: ("program", "table", "op", "action", "size"),
     JOURNAL: ("op", "phase", "lsn"),
     RECONCILE: ("action", "target"),
+    FLEET_MEMBERSHIP: ("node", "from", "to", "clock"),
+    FLEET_ROUTE: ("shard", "node", "clock"),
+    FLEET_PUSH: ("track", "version", "node", "phase"),
+    FLEET_ROLLOUT: ("track", "from", "to", "stage", "reason"),
     SPAN_BEGIN: ("name", "depth"),
     SPAN_END: ("name", "depth"),
 }

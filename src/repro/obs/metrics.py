@@ -341,6 +341,32 @@ def collect_journal(control_plane, metrics: MetricsRegistry | None = None
     return metrics
 
 
+def collect_fleet(controller, metrics: MetricsRegistry | None = None
+                  ) -> MetricsRegistry:
+    """Snapshot ``FleetController.stats()`` into ``fleet.*``.
+
+    Membership states export as per-node gauges (1 for the current
+    state), ring assignment as a per-node shard count, and the
+    controller's cumulative counters (rebalances, moved shards, missed
+    heartbeats, pushes, kills) as counters.
+    """
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    st = controller.stats()
+    metrics.gauge("fleet.nodes").set(st["nodes"])
+    metrics.gauge("fleet.nodes_alive").set(st["alive"])
+    metrics.gauge("fleet.shards").set(st["shards"])
+    for node_id, status in st["membership"].items():
+        metrics.gauge("fleet.member", node=node_id, status=status).set(1)
+    for node_id, count in st["assignment"].items():
+        metrics.gauge("fleet.assigned_shards", node=node_id).set(count)
+    for field in ("heartbeats", "missed_heartbeats", "rebalances",
+                  "moved_shards", "deaths", "rejoins"):
+        metrics.counter(f"fleet.{field}").value = st[field]
+    for node_id, served in st["served"].items():
+        metrics.counter("fleet.accesses_served", node=node_id).value = served
+    return metrics
+
+
 def collect_recovery(restore_report, reconcile_report,
                      metrics: MetricsRegistry | None = None
                      ) -> MetricsRegistry:

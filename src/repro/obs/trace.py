@@ -61,6 +61,10 @@ _KIND_GATES = {
     "table_update": "want_table_update",
     "journal": "want_journal",
     "reconcile": "want_reconcile",
+    "fleet_membership": "want_fleet",
+    "fleet_route": "want_fleet",
+    "fleet_push": "want_fleet",
+    "fleet_rollout": "want_fleet",
     "span_begin": "want_span",
     "span_end": "want_span",
 }
@@ -87,6 +91,7 @@ class TraceRecorder:
         "want_table_update",
         "want_journal",
         "want_reconcile",
+        "want_fleet",
         "want_span",
     )
 

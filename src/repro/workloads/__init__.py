@@ -6,6 +6,7 @@ from .parsec import (
     blackscholes,
     fib_calculation,
     matrix_multiply,
+    parsec_access_trace,
     streamcluster,
     table2_workloads,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "matrix_conv_trace",
     "matrix_multiply",
     "mixed_flows",
+    "parsec_access_trace",
     "phased_trace",
     "random_trace",
     "sequential_trace",

@@ -33,6 +33,7 @@ __all__ = [
     "streamcluster",
     "fib_calculation",
     "matrix_multiply",
+    "parsec_access_trace",
     "table2_workloads",
 ]
 
@@ -133,6 +134,52 @@ def matrix_multiply(
         for i in range(n_stragglers)
     )
     return specs
+
+
+def parsec_access_trace(
+    benchmark: str = "blackscholes",
+    pages_per_task: int = 24,
+    pid: int = 12,
+    compute_ns: int = 1_500,
+    seed: int = 0,
+):
+    """A PARSEC benchmark's task graph rendered as a page-access trace.
+
+    The fleet shards *memory* workload streams, so Table 2's scheduler
+    benchmarks need a page-access view: each task, in arrival order,
+    walks a contiguous per-task working set sized by its CPU demand
+    (one page per 4ms of work, floored at ``pages_per_task``).  The
+    result keeps the benchmark's phase structure — fan-out waves become
+    long sequential runs, the fib cascade becomes many short ones —
+    which is exactly the locality spectrum the prefetch models see.
+    """
+    from .traces import TraceWorkload, _space
+
+    builders = {
+        "blackscholes": blackscholes,
+        "streamcluster": streamcluster,
+        "fib": fib_calculation,
+        "matmul": matrix_multiply,
+    }
+    if benchmark not in builders:
+        raise ValueError(
+            f"unknown benchmark {benchmark!r}; choose from "
+            f"{sorted(builders)}"
+        )
+    tasks = sorted(builders[benchmark](seed=seed),
+                   key=lambda t: (t.arrival_ns, t.name))
+    sizes = [max(pages_per_task, t.work_ns // (4 * NS_PER_MS)) for t in tasks]
+    _, base = _space(pid, int(sum(sizes)) + 1)
+    accesses: list[int] = []
+    cursor = base
+    for size in sizes:
+        accesses.extend(range(cursor, cursor + int(size)))
+        cursor += int(size)
+    return TraceWorkload(
+        name=f"parsec[{benchmark}]", pid=pid, accesses=accesses,
+        compute_ns_per_access=compute_ns,
+        metadata={"benchmark": benchmark, "tasks": len(tasks)},
+    )
 
 
 def table2_workloads(seed: int = 0) -> dict[str, list[TaskSpec]]:

@@ -1,0 +1,138 @@
+"""FleetController: heartbeats, failure detection, rebalance, drain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import FLEET_PROGRAM
+from repro.harness.fleet_experiment import build_fleet
+
+
+@pytest.fixture()
+def world():
+    return build_fleet(3, seed=0, accesses_per_stream=64)
+
+
+class TestMembership:
+    def test_boot_membership_all_alive(self, world):
+        assert world.controller.membership == {
+            "node-0": "alive", "node-1": "alive", "node-2": "alive",
+        }
+
+    def test_heartbeats_accumulate_on_the_clock(self, world):
+        world.controller.start()
+        world.sim.run_until(5 * world.controller.heartbeat_ns)
+        assert world.controller.heartbeats == 5
+        world.controller.shutdown()
+
+    def test_killed_node_declared_dead_after_missed_beats(self, world):
+        ctl = world.controller
+        ctl.start()
+        ctl.kill_node("node-1")
+        # dead_after beats must elapse before the verdict.
+        world.sim.run_until((ctl.dead_after - 1) * ctl.heartbeat_ns)
+        assert ctl.membership["node-1"] in ("alive", "suspect")
+        world.sim.run_until((ctl.dead_after + 1) * ctl.heartbeat_ns)
+        assert ctl.membership["node-1"] == "dead"
+        assert ctl.deaths == 1
+        assert "node-1" not in ctl.ring
+        ctl.shutdown()
+
+    def test_rejoin_restores_membership_and_placement(self, world):
+        ctl = world.controller
+        before = ctl.assignment()
+        ctl.start()
+        ctl.kill_node("node-1")
+        world.sim.run_until((ctl.dead_after + 1) * ctl.heartbeat_ns)
+        assert "node-1" not in ctl.assignment()
+        ctl.rejoin("node-1", world.distributor, FLEET_PROGRAM)
+        assert ctl.membership["node-1"] == "alive"
+        assert ctl.rejoins == 1
+        assert world.nodes["node-1"].restarts == 1
+        # Hash placement is memoryless: rejoining restores the old map.
+        assert ctl.assignment() == before
+        ctl.shutdown()
+
+
+class TestRebalance:
+    def test_death_moves_only_the_dead_nodes_shards(self, world):
+        ctl = world.controller
+        before = ctl.assignment()
+        lost = set(before["node-1"])
+        ctl.start()
+        ctl.kill_node("node-1")
+        world.sim.run_until((ctl.dead_after + 1) * ctl.heartbeat_ns)
+        after = ctl.assignment()
+        moved = {
+            key for node_id, keys in after.items() for key in keys
+            if key not in before.get(node_id, [])
+        }
+        assert moved == lost, "surviving nodes' shards must not move"
+        assert ctl.moved_shards == len(lost)
+        ctl.shutdown()
+
+    def test_noop_rebalance_moves_nothing(self, world):
+        assert world.controller.rebalance() == 0
+
+
+class TestServing:
+    def test_run_drains_every_shard(self, world):
+        makespan = world.controller.run()
+        assert world.controller.drained()
+        assert makespan > 0
+        for stream in world.controller.streams.values():
+            assert stream.done and stream.done_at is not None
+            assert stream.done_at <= makespan
+
+    def test_served_totals_match_stream_sizes(self, world):
+        world.controller.run()
+        total = sum(s.total for s in world.controller.streams.values())
+        assert sum(n.served for n in world.nodes.values()) == total
+
+    def test_reset_streams_allows_second_pass(self, world):
+        world.controller.run(shutdown=False)
+        served_once = sum(n.served for n in world.nodes.values())
+        world.controller.reset_streams()
+        assert not world.controller.drained()
+        world.controller.run()
+        assert sum(n.served for n in world.nodes.values()) == 2 * served_once
+
+    def test_death_mid_run_still_drains(self, world):
+        ctl = world.controller
+        world.sim.schedule(ctl.heartbeat_ns // 2,
+                           lambda: ctl.kill_node("node-0"))
+        # extra_heartbeats keeps the clock running past the drain point
+        # so the missed-beat counter can reach the death verdict.
+        ctl.run(extra_heartbeats=ctl.dead_after + 1)
+        assert ctl.drained()
+        assert ctl.membership["node-0"] == "dead"
+        assert world.nodes["node-0"].served < sum(
+            n.served for n in world.nodes.values())
+
+
+class TestIntrospection:
+    def test_stats_shape(self, world):
+        stats = world.controller.stats()
+        assert stats["nodes"] == 3 and stats["alive"] == 3
+        assert stats["shards"] == len(world.controller.streams)
+        assert sum(stats["assignment"].values()) == stats["shards"]
+
+    def test_state_summary_excludes_runtime_counters(self, world):
+        before = world.controller.state_summary()
+        world.controller.run()
+        assert world.controller.state_summary() == before
+
+
+class TestCollectFleet:
+    def test_exports_counters_and_membership(self, world):
+        from repro.obs import collect_fleet
+
+        world.controller.run()
+        metrics = collect_fleet(world.controller)
+        assert metrics.get("fleet.nodes").value == 3
+        assert metrics.get("fleet.nodes_alive").value == 3
+        for node_id in world.nodes:
+            assert metrics.get("fleet.member", node=node_id,
+                               status="alive").value == 1
+        served = sum(metrics.query("fleet.accesses_served").values())
+        assert served == sum(n.served for n in world.nodes.values())

@@ -1,0 +1,96 @@
+"""ArtifactDistributor: two-phase quorum pushes and rejoin catch-up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deploy.registry import ArtifactStatus
+from repro.fleet import FLEET_PROGRAM, ArtifactDistributor, FleetNode
+from repro.harness.fleet_experiment import train_fleet_model
+
+
+@pytest.fixture()
+def model():
+    return train_fleet_model(0)
+
+
+@pytest.fixture()
+def nodes(model):
+    return [FleetNode(f"n{i}", 0, model) for i in range(4)]
+
+
+class _BadModel:
+    """Fails admission: no predict_one, no cost signature."""
+
+
+class TestQuorumPush:
+    def test_all_alive_commit(self, nodes, model):
+        dist = ArtifactDistributor()
+        report = dist.push(FLEET_PROGRAM, model, nodes)
+        assert report.committed
+        assert report.acked == [n.node_id for n in nodes]
+        assert report.nacked == {} and report.skipped == []
+        assert report.quorum == 3
+        live = dist.registry.live(FLEET_PROGRAM)
+        assert live is not None
+        for node in nodes:
+            assert node.live_hash() == live.content_hash
+
+    def test_dead_nodes_skipped_not_counted(self, nodes, model):
+        nodes[0].kill()
+        dist = ArtifactDistributor()
+        report = dist.push(FLEET_PROGRAM, model, nodes)
+        assert report.committed
+        assert report.skipped == ["n0"]
+        assert report.quorum == 2  # majority of the 3 alive, not of 4
+
+    def test_no_quorum_aborts_everywhere(self, nodes, model):
+        for node in nodes[1:]:
+            node.kill()
+        dist = ArtifactDistributor(quorum=2)  # 1 alive node can't reach it
+        report = dist.push(FLEET_PROGRAM, model, nodes)
+        assert not report.committed
+        assert nodes[0].live_hash() is None  # prepare never mutates
+        artifact = dist.registry.artifact(FLEET_PROGRAM, report.version)
+        assert artifact.status is ArtifactStatus.ROLLED_BACK
+        assert dist.registry.live(FLEET_PROGRAM) is None
+
+    def test_nack_keeps_node_unchanged(self, nodes, model):
+        dist = ArtifactDistributor()
+        dist.push(FLEET_PROGRAM, model, nodes)
+        before = nodes[0].live_hash()
+        report = dist.push(FLEET_PROGRAM, _BadModel(), nodes)
+        assert not report.committed
+        assert set(report.nacked) == {n.node_id for n in nodes}
+        assert nodes[0].live_hash() == before
+
+    def test_stats_track_outcomes(self, nodes, model):
+        dist = ArtifactDistributor()
+        dist.push(FLEET_PROGRAM, model, nodes)
+        dist.push(FLEET_PROGRAM, _BadModel(), nodes)
+        assert dist.stats() == {"pushes": 2, "commits": 1, "aborts": 1}
+
+
+class TestCatchUp:
+    def test_rejoined_node_catches_up(self, nodes, model):
+        dist = ArtifactDistributor()
+        dist.push(FLEET_PROGRAM, model, nodes)
+        nodes[3].kill()
+        v2 = train_fleet_model(0, "v2")
+        report = dist.push(FLEET_PROGRAM, v2, nodes)
+        assert report.committed and report.skipped == ["n3"]
+        nodes[3].restart()
+        assert nodes[3].live_hash() != dist.registry.live(
+            FLEET_PROGRAM).content_hash
+        assert dist.catch_up(FLEET_PROGRAM, nodes[3])
+        assert nodes[3].live_hash() == dist.registry.live(
+            FLEET_PROGRAM).content_hash
+
+    def test_catch_up_is_idempotent(self, nodes, model):
+        dist = ArtifactDistributor()
+        dist.push(FLEET_PROGRAM, model, nodes)
+        assert not dist.catch_up(FLEET_PROGRAM, nodes[0])
+
+    def test_catch_up_without_live_artifact(self, nodes):
+        dist = ArtifactDistributor()
+        assert not dist.catch_up(FLEET_PROGRAM, nodes[0])

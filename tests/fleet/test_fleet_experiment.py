@@ -1,0 +1,111 @@
+"""End-to-end fleet experiments at reduced scale.
+
+These are the acceptance scenarios of the fleet subsystem run small
+enough for unit-test budgets (the full-scale versions live in
+``benchmarks/bench_fleet.py``): poisoned-rollout containment, node-kill
+convergence, and strict seed determinism.
+"""
+
+from __future__ import annotations
+
+from repro.harness.fleet_experiment import (
+    build_fleet,
+    fleet_state_summary,
+    run_fleet_crash,
+    run_fleet_rollout,
+    run_fleet_scaling,
+    run_fleet_serving,
+)
+
+ACCESSES = 96  # per shard; keeps each world under a second
+
+
+class TestServing:
+    def test_serving_drains_and_reports(self):
+        report = run_fleet_serving(n_nodes=2, seed=0,
+                                   accesses_per_stream=ACCESSES)
+        assert report["makespan_ns"] > 0
+        assert report["total_accesses"] == sum(
+            s["served"] for s in report["nodes"].values())
+        assert set(report["jct_ns"]) == set(report["stream_busy_ns"])
+        assert all(v > 0 for v in report["jct_ns"].values())
+
+    def test_serving_deterministic(self):
+        a = run_fleet_serving(n_nodes=2, seed=0,
+                              accesses_per_stream=ACCESSES)
+        b = run_fleet_serving(n_nodes=2, seed=0,
+                              accesses_per_stream=ACCESSES)
+        assert a == b
+
+    def test_seed_changes_the_world(self):
+        a = run_fleet_serving(n_nodes=2, seed=0,
+                              accesses_per_stream=ACCESSES)
+        b = run_fleet_serving(n_nodes=2, seed=1,
+                              accesses_per_stream=ACCESSES)
+        assert a != b
+
+
+class TestBuild:
+    def test_bootstrap_push_reaches_every_node(self):
+        world = build_fleet(3, seed=0, accesses_per_stream=ACCESSES)
+        assert world.initial_push["committed"]
+        central = world.distributor.registry.live(
+            "fleet_serve").content_hash
+        for node in world.nodes.values():
+            assert node.live_hash() == central
+
+    def test_state_summary_reflects_membership(self):
+        world = build_fleet(2, seed=0, accesses_per_stream=ACCESSES)
+        summary = fleet_state_summary(world)
+        assert set(summary["nodes"]) == {"node-0", "node-1"}
+        assert summary["central_live"] is not None
+
+
+class TestRolloutScenario:
+    def test_poisoned_halts_with_containment(self):
+        result = run_fleet_rollout(seed=0, n_nodes=3, poisoned=True,
+                                   accesses_per_stream=ACCESSES)
+        assert result["state"] == "halted"
+        assert result["halted_stage"] == 0
+        assert result["promoted_nodes"] == []
+        # Shards outside the halted stage never felt the candidate.
+        assert len(result["unaffected_shards"]) > 0
+        assert result["jct_delta_unaffected_max_ns"] == 0
+        # The poisoned hash never went live anywhere.
+        assert all(h != result["candidate_hash"]
+                   for h in result["node_live"].values())
+
+    def test_good_candidate_commits_fleet_wide(self):
+        result = run_fleet_rollout(seed=0, n_nodes=3, poisoned=False,
+                                   accesses_per_stream=ACCESSES)
+        assert result["state"] == "committed", result["halt_reason"]
+        assert result["commit"]["committed"]
+        hashes = set(result["node_live"].values())
+        assert hashes == {result["central_live"]} == {
+            result["candidate_hash"]}
+
+    def test_rollout_deterministic(self):
+        a = run_fleet_rollout(seed=0, n_nodes=3,
+                              accesses_per_stream=ACCESSES)
+        b = run_fleet_rollout(seed=0, n_nodes=3,
+                              accesses_per_stream=ACCESSES)
+        assert a == b
+
+
+class TestCrashScenario:
+    def test_kill_recover_converges_to_baseline(self):
+        result = run_fleet_crash(seed=0, n_nodes=3,
+                                 accesses_per_stream=ACCESSES)
+        assert result["crash_state"] == "committed"
+        assert result["victim"] in result["excused"]
+        assert result["victim_restarts"] == 1
+        assert result["converged"], result["mismatch"]
+
+
+class TestScaling:
+    def test_more_nodes_more_throughput(self):
+        result = run_fleet_scaling(node_counts=(1, 2), seed=0,
+                                   accesses_per_stream=ACCESSES)
+        cells = {c["nodes"]: c for c in result["cells"]}
+        assert cells[1]["speedup"] == 1.0
+        assert cells[2]["speedup"] > 1.0

@@ -1,0 +1,142 @@
+"""FleetRollout: stage sets, halt propagation, excusal, commit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import (
+    FLEET_PROGRAM,
+    ArtifactDistributor,
+    FleetNode,
+    FleetRollout,
+    FleetRolloutConfig,
+)
+from repro.harness.fleet_experiment import PoisonedDeltaModel, train_fleet_model
+
+
+@pytest.fixture()
+def model():
+    return train_fleet_model(0)
+
+
+def _fleet(n, model):
+    nodes = {f"node-{i}": FleetNode(f"node-{i}", 0, model) for i in range(n)}
+    dist = ArtifactDistributor()
+    report = dist.push(FLEET_PROGRAM, model, list(nodes.values()))
+    assert report.committed
+    return nodes, dist
+
+
+def _serve_all(nodes, node_ids=None, n=60):
+    """Push some scored traffic through each (or the named) node(s)."""
+    for nid, node in nodes.items():
+        if node_ids is not None and nid not in node_ids:
+            continue
+        page = 1000
+        for _ in range(n):
+            node.serve(7, page, 1000)
+            page += 3
+
+
+class TestStageSets:
+    def test_default_ramp_1_then_quarter_then_all(self, model):
+        nodes, dist = _fleet(8, model)
+        rollout = FleetRollout(FLEET_PROGRAM, model, nodes, dist)
+        assert [len(s) for s in rollout.stage_sets] == [1, 2, 8]
+        # Cumulative prefixes of the sorted alive ids.
+        assert rollout.stage_sets[0] == ["node-0"]
+        assert rollout.stage_sets[1] == ["node-0", "node-1"]
+
+    def test_tiny_fleet_collapses_equal_stages(self, model):
+        nodes, dist = _fleet(1, model)
+        rollout = FleetRollout(FLEET_PROGRAM, model, nodes, dist)
+        assert [len(s) for s in rollout.stage_sets] == [1]
+
+    def test_dead_nodes_never_staged(self, model):
+        nodes, dist = _fleet(4, model)
+        nodes["node-0"].kill()
+        rollout = FleetRollout(FLEET_PROGRAM, model, nodes, dist)
+        staged = set(sum(rollout.stage_sets, []))
+        assert "node-0" not in staged and len(staged) == 3
+
+    def test_all_dead_rejected(self, model):
+        nodes, dist = _fleet(2, model)
+        for node in nodes.values():
+            node.kill()
+        with pytest.raises(ValueError, match="alive"):
+            FleetRollout(FLEET_PROGRAM, model, nodes, dist)
+
+    def test_double_start_rejected(self, model):
+        nodes, dist = _fleet(2, model)
+        rollout = FleetRollout(FLEET_PROGRAM, model, nodes, dist)
+        rollout.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            rollout.start()
+
+
+class TestHalt:
+    def test_poisoned_candidate_halts_at_stage_zero(self, model):
+        nodes, dist = _fleet(4, model)
+        rollout = FleetRollout(FLEET_PROGRAM, PoisonedDeltaModel(),
+                               nodes, dist, FleetRolloutConfig(seed=3))
+        rollout.start()
+        first = rollout.stage_sets[0]
+        while rollout.active:
+            _serve_all(nodes, node_ids=first)
+            rollout.poll()
+        assert rollout.state == "halted"
+        assert rollout.stage == 0
+        assert "rolled back" in rollout.halt_reason
+        # Unstaged nodes never carried a lane at all.
+        for nid in set(nodes) - set(first):
+            assert nodes[nid].lane is None
+            assert nodes[nid].served == 0
+
+    def test_halt_aborts_active_lanes_fleet_wide(self, model):
+        nodes, dist = _fleet(2, model)
+        rollout = FleetRollout(FLEET_PROGRAM, model, nodes, dist,
+                               FleetRolloutConfig(seed=3))
+        rollout.start()
+        rollout._halt("operator abort")
+        assert rollout.state == "halted"
+        assert nodes["node-0"].rollout_state() == "rolled_back"
+
+    def test_halted_poll_is_terminal(self, model):
+        nodes, dist = _fleet(2, model)
+        rollout = FleetRollout(FLEET_PROGRAM, model, nodes, dist)
+        rollout.start()
+        rollout._halt("operator abort")
+        assert rollout.poll() == "halted"
+        assert not rollout.active
+
+
+class TestExcusal:
+    def test_dead_staged_node_is_excused_not_blamed(self, model):
+        nodes, dist = _fleet(4, model)
+        rollout = FleetRollout(FLEET_PROGRAM, model, nodes, dist,
+                               FleetRolloutConfig(seed=3))
+        rollout.start()
+        victim = rollout.stage_sets[0][0]
+        nodes[victim].kill()
+        rollout.poll()
+        assert victim in rollout.excused
+        assert rollout.active, "death must not read as a model failure"
+
+
+class TestCommit:
+    def test_good_candidate_ramps_to_commit(self, model):
+        nodes, dist = _fleet(4, model)
+        candidate = train_fleet_model(0, "v2")
+        rollout = FleetRollout(FLEET_PROGRAM, candidate, nodes, dist,
+                               FleetRolloutConfig(seed=3))
+        rollout.start()
+        for _ in range(40):
+            _serve_all(nodes, node_ids=rollout.stage_sets[rollout.stage])
+            if rollout.poll() != "ramping":
+                break
+        assert rollout.state == "committed", rollout.halt_reason
+        assert rollout.promoted == sorted(nodes)
+        assert rollout.commit_report.committed
+        live = dist.registry.live(FLEET_PROGRAM).content_hash
+        for node in nodes.values():
+            assert node.live_hash() == live

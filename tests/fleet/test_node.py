@@ -1,0 +1,147 @@
+"""FleetNode: serving, lane bookkeeping, crash/recovery round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.seeding import spawn_rng
+from repro.fleet import FLEET_PROGRAM, FleetNode
+from repro.fleet.rollout import FleetRolloutConfig
+from repro.harness.fleet_experiment import PoisonedDeltaModel, train_fleet_model
+
+
+@pytest.fixture()
+def model():
+    return train_fleet_model(0)
+
+
+@pytest.fixture()
+def node(model):
+    return FleetNode("n0", 0, model)
+
+
+def _serve_stride(node, pid=5, n=40, stride=3, start=100, compute_ns=1000):
+    page = start
+    for _ in range(n):
+        node.serve(pid, page, compute_ns)
+        page += stride
+
+
+class TestServing:
+    def test_first_access_is_unscored_miss(self, node):
+        latency = node.serve(5, 100, 1000)
+        assert latency >= 1000
+        assert node.served == 1 and node.hits == 0
+
+    def test_constant_stride_mostly_hits(self, node):
+        _serve_stride(node, n=40)
+        # First two accesses can't hit (no history), the rest should.
+        assert node.hits >= 30
+
+    def test_latency_includes_seeded_jitter(self, model):
+        a = FleetNode("n0", 0, model)
+        b = FleetNode("n0", 0, model)
+        la = [a.serve(5, 100 + 3 * i, 1000) for i in range(10)]
+        lb = [b.serve(5, 100 + 3 * i, 1000) for i in range(10)]
+        assert la == lb, "same node id + root seed must serve identically"
+
+    def test_distinct_nodes_draw_distinct_jitter(self, model):
+        a = FleetNode("n0", 0, model)
+        b = FleetNode("n1", 0, model)
+        la = [a.serve(5, 100 + 3 * i, 1000) for i in range(10)]
+        lb = [b.serve(5, 100 + 3 * i, 1000) for i in range(10)]
+        assert la != lb
+
+    def test_rng_derivation_matches_seeding_helper(self, node):
+        expected = spawn_rng(0, "node", "n0")
+        assert node.rng.randrange(10**9) == expected.randrange(10**9)
+
+    def test_dead_node_refuses_to_serve(self, node):
+        node.kill()
+        with pytest.raises(RuntimeError, match="dead"):
+            node.serve(5, 100, 1000)
+
+
+class TestLifecycle:
+    def test_kill_then_restart_recovers_program(self, node):
+        _serve_stride(node, n=10)
+        live_before = node.live_hash()
+        node.kill()
+        assert not node.alive
+        node.restart()
+        assert node.alive and node.restarts == 1
+        assert node.live_hash() == live_before
+        _serve_stride(node, n=10)  # serves again after recovery
+
+    def test_restart_alive_node_rejected(self, node):
+        with pytest.raises(RuntimeError, match="already alive"):
+            node.restart()
+
+    def test_heartbeat_payload(self, node):
+        _serve_stride(node, n=5)
+        beat = node.heartbeat()
+        assert beat["node"] == "n0"
+        assert beat["served"] == 5
+        assert beat["live_hash"] == node.live_hash()
+        assert beat["rollout_state"] is None
+
+
+class TestLane:
+    def test_poisoned_candidate_rolls_back_locally(self, node, model):
+        node.commit_artifact({"track": FLEET_PROGRAM, "version": 1,
+                              "model": model, "metadata": {}})
+        live_before = node.live_hash()
+        config = FleetRolloutConfig(seed=1)
+        node.stage_candidate(PoisonedDeltaModel(), config.node_config("n0"))
+        assert node.rollout_state() == "canary"
+        _serve_stride(node, n=200)
+        assert node.rollout_state() == "rolled_back"
+        # Primary still serves: the rollback never touched it.
+        assert node.live_hash() == live_before
+
+    def test_terminal_state_survives_cp_detach(self, node):
+        """The control plane forgets terminal lanes; the node must not."""
+        config = FleetRolloutConfig(seed=1)
+        node.stage_candidate(PoisonedDeltaModel(), config.node_config("n0"))
+        _serve_stride(node, n=200)
+        assert node.cp.rollout(FLEET_PROGRAM) is None
+        assert node.rollout_state() == "rolled_back"
+
+    def test_equal_candidate_promotes(self, node):
+        config = FleetRolloutConfig(seed=1)
+        node.stage_candidate(train_fleet_model(0, "v2"),
+                             config.node_config("n0"))
+        _serve_stride(node, n=400)
+        assert node.rollout_state() == "promoted"
+
+
+class TestArtifacts:
+    def test_prepare_acks_valid_model(self, node, model):
+        spec = {"track": FLEET_PROGRAM, "version": 2, "model": model,
+                "metadata": {}, "content_hash": "x", "family": "y"}
+        ok, reason = node.prepare_artifact(spec)
+        assert ok, reason
+
+    def test_prepare_nacks_when_dead(self, node, model):
+        node.kill()
+        ok, reason = node.prepare_artifact({"model": model})
+        assert not ok and reason == "node dead"
+
+    def test_commit_swaps_live_model(self, node):
+        v2 = train_fleet_model(0, "v2")
+        spec = {"track": FLEET_PROGRAM, "version": 2, "model": v2,
+                "metadata": {}, "content_hash": "x", "family": "y"}
+        before = node.live_hash()
+        node.commit_artifact(spec)
+        assert node.live_hash() != before
+
+    def test_commit_is_idempotent_by_op_id(self, node):
+        v2 = train_fleet_model(0, "v2")
+        spec = {"track": FLEET_PROGRAM, "version": 2, "model": v2,
+                "metadata": {}, "content_hash": "x", "family": "y"}
+        node.commit_artifact(spec)
+        live = node.live_hash()
+        journal_len = len(node.store.journal_lines)
+        node.commit_artifact(spec)  # same op id: replayed as no-op
+        assert node.live_hash() == live
+        assert len(node.store.journal_lines) == journal_len

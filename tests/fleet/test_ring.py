@@ -1,0 +1,119 @@
+"""Consistent-hash ring: balance and minimal-disruption properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.ring import ConsistentHashRing
+
+
+def _ring(node_ids, seed=0, replicas=64):
+    ring = ConsistentHashRing(seed=seed, replicas=replicas)
+    for node_id in node_ids:
+        ring.add_node(node_id)
+    return ring
+
+
+_node_sets = st.sets(
+    st.integers(min_value=0, max_value=30).map(lambda i: f"node-{i}"),
+    min_size=2, max_size=10,
+)
+_keys = st.lists(
+    st.integers(min_value=0, max_value=10_000).map(lambda i: f"shard:{i}"),
+    min_size=16, max_size=96, unique=True,
+)
+
+
+class TestBasics:
+    def test_route_is_deterministic(self):
+        ring = _ring(["a", "b", "c"])
+        assert ring.route("k1") == ring.route("k1")
+
+    def test_duplicate_add_rejected(self):
+        ring = _ring(["a"])
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+
+    def test_remove_missing_rejected(self):
+        ring = _ring(["a"])
+        with pytest.raises(ValueError):
+            ring.remove_node("b")
+
+    def test_route_on_empty_ring_rejected(self):
+        ring = ConsistentHashRing()
+        with pytest.raises(LookupError):
+            ring.route("k")
+
+    def test_assignment_covers_every_member(self):
+        ring = _ring(["a", "b", "c", "d"])
+        assignment = ring.assignment([f"k{i}" for i in range(8)])
+        assert set(assignment) == {"a", "b", "c", "d"}
+        assert sum(len(v) for v in assignment.values()) == 8
+
+    def test_seed_changes_placement(self):
+        keys = [f"k{i}" for i in range(64)]
+        a = _ring(["a", "b", "c"], seed=0).assignment(keys)
+        b = _ring(["a", "b", "c"], seed=1).assignment(keys)
+        assert a != b
+
+
+class TestBalanceProperty:
+    @given(nodes=_node_sets, keys=_keys)
+    @settings(max_examples=40, deadline=None)
+    def test_no_node_hoards_the_keyspace(self, nodes, keys):
+        """With vnode replication, no node owns a grossly outsized key
+        share: bounded by 4x the fair share (+1 for integer slack)."""
+        ring = _ring(sorted(nodes), replicas=64)
+        assignment = ring.assignment(keys)
+        fair = len(keys) / len(nodes)
+        worst = max(len(owned) for owned in assignment.values())
+        assert worst <= 4 * fair + 1, (
+            f"{worst} keys on one node vs fair share {fair:.1f} "
+            f"({len(nodes)} nodes, {len(keys)} keys)"
+        )
+
+
+class TestMinimalDisruption:
+    @given(nodes=_node_sets, keys=_keys)
+    @settings(max_examples=40, deadline=None)
+    def test_join_moves_keys_only_to_the_joiner(self, nodes, keys):
+        """Adding a node only reroutes keys *to the new node*; every
+        other key keeps its owner."""
+        ring = _ring(sorted(nodes))
+        before = {key: ring.route(key) for key in keys}
+        ring.add_node("joiner")
+        for key in keys:
+            after = ring.route(key)
+            assert after == before[key] or after == "joiner", (
+                f"{key} moved {before[key]} -> {after}, not to the joiner"
+            )
+
+    @given(nodes=_node_sets, keys=_keys)
+    @settings(max_examples=40, deadline=None)
+    def test_leave_moves_only_the_leavers_keys(self, nodes, keys):
+        """Removing a node strands only the keys it owned."""
+        node_list = sorted(nodes)
+        ring = _ring(node_list)
+        before = {key: ring.route(key) for key in keys}
+        leaver = node_list[0]
+        ring.remove_node(leaver)
+        for key in keys:
+            after = ring.route(key)
+            if before[key] == leaver:
+                assert after != leaver
+            else:
+                assert after == before[key], (
+                    f"{key} moved {before[key]} -> {after} though "
+                    f"{leaver!r} never owned it"
+                )
+
+    @given(nodes=_node_sets, keys=_keys)
+    @settings(max_examples=20, deadline=None)
+    def test_join_then_leave_restores_placement(self, nodes, keys):
+        ring = _ring(sorted(nodes))
+        before = {key: ring.route(key) for key in keys}
+        ring.add_node("transient")
+        ring.remove_node("transient")
+        assert {key: ring.route(key) for key in keys} == before

@@ -191,3 +191,50 @@ class TestRecoverCommand:
         report = json.loads(capsys.readouterr().out)
         assert report["converged"] is True
         assert "resilience" in report["scenarios"]
+
+
+class TestFleetCommand:
+    def test_status_prints_per_node_table(self, capsys):
+        assert main(["fleet", "status", "--nodes", "2",
+                     "--accesses", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 nodes alive" in out
+        assert "node-0" in out and "node-1" in out
+        assert "throughput" in out
+
+    def test_status_json_is_parseable(self, capsys):
+        import json
+
+        assert main(["fleet", "status", "--nodes", "2",
+                     "--accesses", "96", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["makespan_ns"] > 0
+        assert set(report["nodes"]) == {"node-0", "node-1"}
+
+    def test_poisoned_rollout_halts(self, capsys):
+        assert main(["fleet", "rollout", "--nodes", "3",
+                     "--accesses", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "final state: halted" in out
+        assert "unaffected shards" in out
+
+    def test_good_rollout_commits(self, capsys):
+        assert main(["fleet", "rollout", "--nodes", "3",
+                     "--accesses", "96", "--candidate", "good"]) == 0
+        out = capsys.readouterr().out
+        assert "final state: committed" in out
+
+    def test_kill_node_converges(self, capsys):
+        assert main(["fleet", "kill-node", "--nodes", "3",
+                     "--accesses", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "converged after rejoin: True" in out
+
+    def test_kill_node_json(self, capsys):
+        import json
+
+        assert main(["fleet", "kill-node", "--nodes", "3",
+                     "--accesses", "96", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["converged"] is True
+        assert report["victim"] in report["excused"]
