@@ -31,6 +31,7 @@ from repro.harness.fleet_experiment import (
     run_fleet_rollout,
     run_fleet_scaling,
     run_fleet_serving,
+    run_fleet_tier_comparison,
 )
 
 #: Stream length for the smoke cells (full 384 in the harness default).
@@ -39,6 +40,12 @@ SMOKE_ACCESSES = 192
 #: The 2-node cell must beat 1 node by at least this factor for the
 #: scaling gate to pass (perfect would be 2.0; shard imbalance eats some).
 SCALING_FLOOR_2_NODES = 1.3
+
+#: Minimum wall-clock improvement the hot-path stack (compiled tier +
+#: memo + batched fires) must deliver when draining the 8-node fleet,
+#: with the virtual makespan and every per-node counter identical —
+#: verdicts are bit-equal, only host time moves.
+FLEET_WALL_IMPROVEMENT_FLOOR_PCT = 20.0
 
 
 # -- pytest-benchmark cells -------------------------------------------------
@@ -117,6 +124,26 @@ def test_fleet_crash_converges(benchmark, record_rows):
     assert result["victim_restarts"] == 1
 
 
+def test_fleet_tier_wall_clock(benchmark, record_rows):
+    result = benchmark.pedantic(
+        run_fleet_tier_comparison,
+        kwargs={"n_nodes": 8, "seed": 0,
+                "accesses_per_stream": SMOKE_ACCESSES},
+        rounds=1, iterations=1,
+    )
+    record_rows("fleet[tiers]", {
+        k: result[k] for k in ("identical_results", "wall_speedup",
+                               "wall_improvement_pct")
+    })
+    assert result["identical_results"], (
+        "compiled+memo+batched fleet produced different simulated results"
+    )
+    assert result["wall_improvement_pct"] >= FLEET_WALL_IMPROVEMENT_FLOOR_PCT, (
+        f"hot-path stack saved only {result['wall_improvement_pct']:.1f}% "
+        f"wall (floor {FLEET_WALL_IMPROVEMENT_FLOOR_PCT:.0f}%)"
+    )
+
+
 def test_fleet_rollout_deterministic(benchmark, record_rows):
     first = run_fleet_rollout(seed=0, n_nodes=4, poisoned=True)
     second = benchmark.pedantic(
@@ -140,10 +167,14 @@ def _run(seed: int, full: bool) -> dict:
     }
     if full:
         results["scaling"] = run_fleet_scaling(seed=seed)
+        results["tiers"] = run_fleet_tier_comparison(n_nodes=8, seed=seed)
     else:
         results["scaling"] = run_fleet_scaling(
             node_counts=(1, 2), seed=seed,
             accesses_per_stream=SMOKE_ACCESSES,
+        )
+        results["tiers"] = run_fleet_tier_comparison(
+            n_nodes=8, seed=seed, accesses_per_stream=SMOKE_ACCESSES,
         )
     return results
 
@@ -181,6 +212,18 @@ def _check_results(results: dict) -> list[str]:
             f"2-node speedup {cells[1]['speedup']:.2f}x < "
             f"{SCALING_FLOOR_2_NODES}x floor"
         )
+    tiers = results["tiers"]
+    if not tiers["identical_results"]:
+        failures.append(
+            "compiled+memo+batched fleet drained to different simulated "
+            "results than the interpreter baseline"
+        )
+    if tiers["wall_improvement_pct"] < FLEET_WALL_IMPROVEMENT_FLOOR_PCT:
+        failures.append(
+            f"hot-path stack saved only {tiers['wall_improvement_pct']:.1f}% "
+            f"fleet wall-clock (floor "
+            f"{FLEET_WALL_IMPROVEMENT_FLOOR_PCT:.0f}%)"
+        )
     return failures
 
 
@@ -209,6 +252,12 @@ def _report(results: dict) -> None:
               f"makespan {cell['makespan_ns'] / 1e6:8.2f}ms  "
               f"{cell['throughput_per_s']:12,.0f} accesses/s  "
               f"{cell['speedup']:5.2f}x")
+    tiers = results["tiers"]
+    print(f"== tiers: {tiers['nodes']}-node drain "
+          f"{tiers['baseline']['wall_s']:.3f}s -> "
+          f"{tiers['optimized']['wall_s']:.3f}s wall "
+          f"({tiers['wall_improvement_pct']:.1f}% saved, "
+          f"identical results: {tiers['identical_results']})")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -231,6 +231,9 @@ def _cmd_inventory(args) -> int:
 
 
 def _cmd_hotpath(args) -> int:
+    if getattr(args, "hotpath_cmd", None) == "tiers":
+        return _cmd_hotpath_tiers(args)
+
     from .harness.hotpath import bench_lookup, bench_memo, bench_shadow
 
     sizes = (64,) if args.quick else (64, 256)
@@ -264,6 +267,40 @@ def _cmd_hotpath(args) -> int:
     print(f"  {shadow['eager_us_per_fire']:.1f} -> "
           f"{shadow['batched_us_per_fire']:.1f} us/fire "
           f"({shadow['overhead_reduction_pct']:.1f}% overhead reduction)")
+    return 0
+
+
+def _cmd_hotpath_tiers(args) -> int:
+    from .harness.hotpath import bench_tiers
+
+    result = bench_tiers(n_fires=4_000 if args.quick else 20_000,
+                         seed=args.seed)
+    print(f"tier ladder ({result['fires']} fires, "
+          f"{result['distinct_keys']} distinct keys, "
+          f"{result['table_entries']} entries/stage; verdicts "
+          f"bit-identical across tiers before timing):")
+    for row in result["ladder"]:
+        invoke = (f"  invoke {row['invoke_ns_per_fire']:7.0f}ns "
+                  f"({row['invoke_speedup_vs_interpret']:.1f}x)"
+                  if "invoke_ns_per_fire" in row else "")
+        print(f"  {row['tier']:14s} hook {row['ns_per_fire']:7.0f}ns "
+              f"({row['speedup_vs_interpret']:.1f}x){invoke}")
+
+    print("\nfire_many chunking (compiled tier + verdict memo):")
+    for row in result["batch"]:
+        print(f"  batch {row['batch']:4d}  {row['ns_per_fire']:7.0f}ns/fire "
+              f"({row['speedup_vs_per_fire']:.2f}x vs per-fire)")
+
+    stats = result["compiled"]
+    print("\ncompiled-unit attribution (tier_stats):")
+    print(f"  fires: {stats['compiled_fires']} compiled, "
+          f"{stats['interp_fires']} interpreted, "
+          f"{stats['deopt_fires']} through a deopt")
+    print(f"  specializations: {stats['specializations']}  "
+          f"deopts: {stats['deopts']}  "
+          f"invalidations: {stats['invalidations']}")
+    print(f"  inline caches: {stats['ic_hits']} hits, "
+          f"{stats['ic_misses']} misses")
     return 0
 
 
@@ -498,6 +535,14 @@ def build_parser() -> argparse.ArgumentParser:
     ph.add_argument("--quick", action="store_true")
     ph.add_argument("--seed", type=int, default=0)
     ph.set_defaults(fn=_cmd_hotpath)
+    hsub = ph.add_subparsers(dest="hotpath_cmd", required=False)
+    hp = hsub.add_parser("tiers",
+                         help="execution-tier ladder: interpret -> jit -> "
+                              "compiled per-fire cost, fire_many chunking, "
+                              "and per-tier fire attribution")
+    hp.add_argument("--quick", action="store_true")
+    hp.add_argument("--seed", type=int, default=0)
+    hp.set_defaults(fn=_cmd_hotpath)
 
     pt = sub.add_parser("trace",
                         help="observability: record / summarize / diff "
@@ -509,7 +554,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "its canonical JSONL trace")
     tr.add_argument("scenario",
                     choices=("table1", "table2", "resilience", "rollout",
-                             "fleet"))
+                             "fleet", "compile"))
     tr.add_argument("--seed", type=int, default=0)
     tr.add_argument("--out", default=None,
                     help="write the trace here instead of stdout")
@@ -526,7 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "against tests/goldens/")
     td.add_argument("scenario", nargs="?", default=None,
                     choices=("table1", "table2", "resilience", "rollout",
-                             "fleet"),
+                             "fleet", "compile"),
                     help="one scenario (default: all)")
     td.add_argument("--update-goldens", action="store_true",
                     help="rewrite the goldens from the current run")

@@ -1,0 +1,329 @@
+"""The compiled execution tier: whole-fire program specialization.
+
+The interpreter walks bytecode per instruction; the JIT compiles each
+*action* but still pays the generic pipeline walk (table lookup, entry
+publishing, RuntimeEnv allocation, verdict clamping) on every fire.
+This module removes that remaining dispatch: it specializes one
+verified ``(program, table-generation)`` pair into a single
+straight-line Python closure covering the whole fire —
+
+* the pipeline walk is unrolled stage by stage at compile time,
+* each match site gets a **monomorphic inline cache** (last key →
+  handler) backed by a **polymorphic** dict cache, falling back to the
+  PR-3 indexed :meth:`~repro.core.tables.MatchActionTable.lookup` only
+  on cache misses,
+* actions are compiled with a ``(ctx, henv)`` calling convention so no
+  :class:`~repro.core.interpreter.RuntimeEnv` is allocated per fire,
+* constants (verdict clamp bounds, field ids, entry publish pairs) and
+  helper/table/model bindings are hoisted into closure locals.
+
+**Guards and deoptimization.**  A specialization is only valid for the
+epoch it was compiled against — the same sources the
+:class:`~repro.kernel.hooks.VerdictMemo` tracks.  Table generations and
+the context schema are checked at closure entry on *every* fire; a miss
+returns the :data:`DEOPT` sentinel and the datapath serves that fire
+through the interpreter (the unit is invalidated and re-specialized
+lazily on the next fire).  Datapath ``config_epoch`` moves (model/tensor
+hot-swaps) invalidate the unit eagerly via
+:meth:`~repro.core.control_plane.RmtDatapath.rejit`.  Breaker state and
+rollout-lane activity are hook-level concerns: supervision and lanes
+wrap :meth:`invoke` exactly as they do for the other tiers, so a
+compiled datapath behind an open breaker or a canary lane behaves
+bit-identically to an interpreted one.
+
+A cached handler can never be stale within a valid specialization: any
+entry insert/remove/modify bumps the table generation, which fails the
+entry guard before the next compiled fire.
+
+**Accounting.**  The compiled tier deliberately skips the per-fire
+``perf_counter_ns`` self-timing of the classic invoke path (two clock
+reads cost more than a cached fire); ``overhead_ns`` stays zero and
+wall-clock is measured at the benchmark level.  Inline-cache hits skip
+the table's per-lookup counters the same way memo hits skip datapath
+accounting; their count is folded into ``table.cached_hits`` and the
+datapath's ``tier`` stats at sync points (stats, deopt, invalidate).
+"""
+
+from __future__ import annotations
+
+from ..obs import trace as obs_trace
+from ..obs.events import COMPILE
+from .context import ContextSchema
+from .jit import JitCompiler
+
+__all__ = ["DEOPT", "CompiledUnit", "TierActionCompiler", "specialize"]
+
+#: Returned by a compiled unit's ``fire`` when an entry guard missed
+#: (stale table generation or foreign context schema).  Distinct from
+#: any verdict — verdicts are ints or None.
+DEOPT = object()
+
+#: Cached handler for a match-site miss on a table with no default
+#: action: the stage is skipped entirely.
+_SKIP = object()
+
+#: Initial monomorphic-cache key; compares unequal to every real key.
+_NOKEY = object()
+
+#: Polymorphic cache capacity per match site.  A site that blows past
+#: this is megamorphic; the cache is cleared and refilled rather than
+#: evicted entry-by-entry (clears are counted, and the indexed lookup
+#: underneath is already fast).
+IC_CAPACITY = 1024
+
+
+class TierActionCompiler(JitCompiler):
+    """Action codegen for the compiled tier: ``(ctx, henv)`` convention.
+
+    Inherits every opcode lowering from :class:`JitCompiler` (semantics
+    stay bit-identical to the interpreter by construction) but drops the
+    RuntimeEnv: context loads go straight to the flat value array (the
+    verifier proved every ``LD_CTXT`` field id valid for the program's
+    schema, and the unit's schema guard keeps foreign contexts out).
+    """
+
+    signature = "def _action(ctx, henv):"
+    prologue = ("vals = ctx._values",)
+    helper_env_expr = "henv"
+    recurse_args = "ctx, henv"
+
+    def _emit_ld_ctxt(self, d: int, imm: int) -> list[str]:
+        return [f"r{d} = vals[{imm}]"]
+
+
+def _schemas_equivalent(a: ContextSchema, b: ContextSchema) -> bool:
+    """Same field layout (names, ids, writability) — the properties the
+    generated code baked in as integer indexes."""
+    if a is b:
+        return True
+    if a.n_fields != b.n_fields:
+        return False
+    return all(
+        fa.name == fb.name and fa.writable == fb.writable
+        for fa, fb in zip(a._fields, b._fields)
+    )
+
+
+class CompiledUnit:
+    """One specialization: a guarded whole-fire closure plus its caches.
+
+    ``fire(ctx, helper_env)`` returns the clamped verdict (or None), or
+    :data:`DEOPT` if an entry guard missed.  The owning datapath
+    disambiguates a deopt (stale generations → invalidate; foreign but
+    layout-equivalent schema → adopt; truly foreign → interpreter).
+    """
+
+    __slots__ = ("program_name", "fire", "counts", "namespace",
+                 "_tables", "_site_stats", "_synced_hits", "guards")
+
+    def __init__(self, program_name: str, fire, namespace: dict,
+                 tables: list, site_stats: list, guards: tuple) -> None:
+        self.program_name = program_name
+        self.fire = fire
+        self.namespace = namespace
+        #: ``[invocations, actions_run]`` — folded into the datapath's
+        #: counters at sync points (a list-item add beats an attribute
+        #: store on the per-fire path).
+        self.counts = [0, 0]
+        self._tables = tables
+        #: Per match site: ``[ic_hits, ic_misses, ic_clears]``.
+        self._site_stats = site_stats
+        self._synced_hits = [0] * len(site_stats)
+        #: ``(table_name, generation)`` pairs this unit is valid for.
+        self.guards = guards
+
+    @property
+    def schema(self) -> ContextSchema:
+        return self.namespace["_schema"]
+
+    def adopt_schema(self, schema: ContextSchema) -> bool:
+        """Rebind the schema guard to a layout-equivalent schema object.
+
+        Recovery reconstructs programs (and their schemas) from the
+        journal, so a restarted node's contexts carry a different schema
+        *object* with the identical layout; adopting it keeps the unit
+        hot instead of deoptimizing every fire.  Returns False for a
+        genuinely foreign layout.
+        """
+        if not _schemas_equivalent(self.schema, schema):
+            return False
+        self.namespace["_schema"] = schema
+        return True
+
+    def sync(self) -> None:
+        """Fold per-site inline-cache hits into ``table.cached_hits``."""
+        for i, stats in enumerate(self._site_stats):
+            delta = stats[0] - self._synced_hits[i]
+            if delta:
+                self._tables[i].cached_hits += delta
+                self._synced_hits[i] = delta + self._synced_hits[i]
+
+    @property
+    def ic_hits(self) -> int:
+        return sum(s[0] for s in self._site_stats)
+
+    @property
+    def ic_misses(self) -> int:
+        return sum(s[1] for s in self._site_stats)
+
+    def stats(self) -> dict:
+        return {
+            "program": self.program_name,
+            "stages": len(self._tables),
+            "guards": [list(g) for g in self.guards],
+            "fires": self.counts[0],
+            "actions_run": self.counts[1],
+            "ic_hits": self.ic_hits,
+            "ic_misses": self.ic_misses,
+            "ic_clears": sum(s[2] for s in self._site_stats),
+            "ic_entries": sum(
+                len(self.namespace[f"_ic{i}"]) for i in range(len(self._tables))
+            ),
+        }
+
+
+def _make_resolver(table, schema: ContextSchema, action_fns: dict,
+                   ic: dict, site_stats: list, capacity: int):
+    """The match-site slow path: one real (indexed, counted, traced)
+    lookup, then build and cache the handler for this key."""
+    has_field = schema.has_field
+    field_id = schema.field_id
+    default = table.default_action
+
+    def resolve(ctx, key):
+        site_stats[1] += 1
+        entry = table.lookup(ctx)
+        if entry is not None:
+            publish = tuple(
+                (field_id(name), int(value))
+                for name, value in entry.action_data.items()
+                if has_field(name)
+            )
+            handler = (action_fns[entry.action], publish)
+        elif default is not None:
+            handler = (action_fns[default], ())
+        else:
+            handler = _SKIP
+        if len(ic) >= capacity:
+            ic.clear()
+            site_stats[2] += 1
+        ic[key] = handler
+        return handler
+
+    return resolve
+
+
+def _clamp_expr(policy, value: str) -> str:
+    """Inline the verdict clamp with the policy bounds as constants."""
+    lo, hi = policy.verdict_min, policy.verdict_max
+    if lo is not None and hi is not None:
+        return f"{lo} if {value} < {lo} else ({hi} if {value} > {hi} else {value})"
+    if lo is not None:
+        return f"{lo} if {value} < {lo} else {value}"
+    if hi is not None:
+        return f"{hi} if {value} > {hi} else {value}"
+    return value
+
+
+def specialize(datapath, ic_capacity: int = IC_CAPACITY) -> CompiledUnit:
+    """Specialize a datapath's program against its current epoch.
+
+    Action compilation is cached on the datapath per ``config_epoch``
+    (a table mutation deopt only needs fresh guards and caches, not a
+    recompile of every action); the whole-fire closure is regenerated
+    each time because the table generations are baked into its guard.
+    """
+    program = datapath.program
+    schema = program.schema
+    cache = getattr(datapath, "_tier_action_cache", None)
+    if cache is not None and cache[0] == datapath.config_epoch:
+        action_fns = cache[1]
+    else:
+        jitted = TierActionCompiler(datapath.helpers).compile_program(program)
+        action_fns = {name: jitted.function(name)
+                      for name in program.actions}
+        datapath._tier_action_cache = (datapath.config_epoch, action_fns)
+
+    tables = list(program.pipeline)
+    namespace: dict[str, object] = {
+        "_DEOPT": DEOPT,
+        "_SKIP": _SKIP,
+        "_schema": schema,
+    }
+    site_stats: list[list[int]] = []
+    guards = []
+    guard_terms = ["ctx.schema is not _schema"]
+    lines: list[str] = []
+    for i, table in enumerate(tables):
+        # Force the index build now so the specialized fire path never
+        # sees a lazily-invalidated index (generation is stable between
+        # here and the guard capture below — this is single-threaded
+        # control-plane code).
+        if table._indexed_generation != table.generation:
+            table._build_indexes()
+        namespace[f"_tab{i}"] = table
+        namespace[f"_mono{i}"] = [_NOKEY, None]
+        namespace[f"_ic{i}"] = {}
+        stats = [0, 0, 0]
+        site_stats.append(stats)
+        namespace[f"_resolve{i}"] = _make_resolver(
+            table, schema, action_fns, namespace[f"_ic{i}"], stats,
+            ic_capacity,
+        )
+        guards.append((table.name, table.generation))
+        guard_terms.append(f"_tab{i}.generation != {table.generation}")
+        key_ids = [schema.field_id(name) for name in table.key_fields]
+        if len(key_ids) == 1:
+            key_expr = f"vals[{key_ids[0]}]"
+        else:
+            key_expr = "(" + ", ".join(f"vals[{f}]" for f in key_ids) + ")"
+        lines += [
+            f"    _k = {key_expr}",
+            f"    _m = _mono{i}",
+            "    if _m[0] == _k:",
+            "        _h = _m[1]",
+            f"        _st{i}[0] += 1",
+            "    else:",
+            f"        _h = _ic{i}.get(_k)",
+            "        if _h is None:",
+            f"            _h = _resolve{i}(ctx, _k)",
+            "        else:",
+            f"            _st{i}[0] += 1",
+            "        _m[0] = _k",
+            "        _m[1] = _h",
+            "    if _h is not _SKIP:",
+            "        _p = _h[1]",
+            "        if _p:",
+            "            for _f, _v in _p:",
+            "                vals[_f] = _v",
+            "        _r = _h[0](ctx, henv)",
+            "        _c[1] += 1",
+            f"        verdict = {_clamp_expr(datapath.policy, '_r')}",
+        ]
+        namespace[f"_st{i}"] = stats
+
+    source = "\n".join(
+        [
+            "def _fire(ctx, henv):",
+            f"    if {' or '.join(guard_terms)}:",
+            "        return _DEOPT",
+            "    vals = ctx._values",
+            "    _c[0] += 1",
+            "    verdict = None",
+        ]
+        + lines
+        + ["    return verdict"]
+    )
+    unit = CompiledUnit(program.name, None, namespace, tables, site_stats,
+                        tuple(guards))
+    namespace["_c"] = unit.counts
+    code = compile(source, filename=f"<rmt-tier:{program.name}>", mode="exec")
+    exec(code, namespace)  # noqa: S102 - deliberate codegen
+    fire = namespace["_fire"]
+    fire.__name__ = f"rmt_compiled_{program.name}"
+    fire.__rmt_source__ = source  # kept for tests and debugging
+    unit.fire = fire
+    rec = obs_trace.ACTIVE
+    if rec is not None and rec.want_compile:
+        rec.emit(COMPILE, (program.name, "specialize", f"stages={len(tables)}"))
+    return unit

@@ -29,7 +29,8 @@ from typing import Callable
 
 from ..ml.online import AccuracyTracker
 from ..obs import trace as obs_trace
-from ..obs.events import TABLE_UPDATE
+from ..obs.events import COMPILE, TABLE_UPDATE
+from .compile_tier import DEOPT, specialize
 from .context import ExecutionContext
 from .errors import ControlPlaneError, VerifierError
 from .helpers import HelperRegistry
@@ -39,17 +40,38 @@ from .program import RmtProgram
 from .tables import TableEntry
 from .verifier import AttachPolicy, VerificationReport, Verifier
 
-__all__ = ["RmtDatapath", "ControlPlane", "AccuracyWatchdog"]
+__all__ = ["RmtDatapath", "ControlPlane", "AccuracyWatchdog", "TIER_LADDER"]
 
 
 _datapath_instances = itertools.count(1)
 
 
+#: The execution-tier ladder, slowest to fastest.  Tier selection is an
+#: explicit control-plane policy (the ``mode`` argument to ``install``),
+#: not a heuristic — the paper's reconfigurability story wants the
+#: operator to see and choose where each program executes.
+TIER_LADDER = ("interpret", "jit", "compiled")
+
+
 class RmtDatapath:
     """Executes one installed program at its hook point.
 
-    ``mode`` is ``"interpret"`` or ``"jit"``; the JIT tier requires the
-    program to have passed verification (the compiler enforces it).
+    ``mode`` selects the execution tier (see :data:`TIER_LADDER`):
+
+    ``interpret``
+        Bytecode walked per instruction — always available, the deopt
+        target for the tiers above.
+    ``jit``
+        Each action compiled to Python source; the generic pipeline
+        walk (lookup, publish, RuntimeEnv) still runs per fire.
+    ``compiled``
+        The whole fire specialized into one guarded closure with inline
+        caches at each match site (:mod:`repro.core.compile_tier`);
+        guard misses deoptimize that fire to the interpreter and
+        re-specialize lazily.
+
+    Both compiled tiers require the program to have passed verification
+    (the compilers enforce it).
     """
 
     def __init__(
@@ -59,8 +81,10 @@ class RmtDatapath:
         helpers: HelperRegistry | None = None,
         mode: str = "interpret",
     ) -> None:
-        if mode not in ("interpret", "jit"):
-            raise ValueError(f"mode must be 'interpret' or 'jit', got {mode!r}")
+        if mode not in TIER_LADDER:
+            raise ValueError(
+                f"mode must be one of {TIER_LADDER}, got {mode!r}"
+            )
         self.program = program
         self.policy = policy
         self.helpers = helpers
@@ -69,12 +93,27 @@ class RmtDatapath:
         self._jitted: JittedProgram | None = None
         if mode == "jit":
             self._jitted = JitCompiler(helpers).compile_program(program)
+        #: Live specialization for the compiled tier (built lazily on
+        #: first invoke; dropped on guard miss or config-epoch bump).
+        self._compiled = None
         self.invocations = 0
         self.actions_run = 0
         # Self-accounting of the datapath's own overhead — the "OS tax"
         # this mechanism adds, which the paper's whole premise is about
-        # keeping small relative to the decisions it improves.
+        # keeping small relative to the decisions it improves.  The
+        # compiled tier skips this self-timing (two clock reads cost
+        # more than a cached fire); its wall-clock is measured at the
+        # benchmark layer instead.
         self.overhead_ns = 0
+        # Compiled-tier lifetime counters (survive re-specialization).
+        self.tier_specializations = 0
+        self.tier_deopts = 0
+        self.tier_deopt_fires = 0
+        self.tier_invalidations = 0
+        self._tier_compiled_fires = 0
+        self._tier_compiled_actions = 0
+        self._tier_ic_hits = 0
+        self._tier_ic_misses = 0
         #: Unique per construction — two datapaths never share an id, so
         #: swapping a whole datapath at a hook changes any epoch that
         #: includes it.
@@ -88,15 +127,92 @@ class RmtDatapath:
 
         Always bumps ``config_epoch`` — the interpreter tier binds
         nothing at compile time, but the swap still changes what the
-        program computes, and memo caches key off the epoch.
+        program computes, and memo caches key off the epoch.  The
+        compiled tier invalidates eagerly: its action functions bound
+        the old model objects, so the unit must not serve another fire.
         """
         self.config_epoch += 1
         if self.mode == "jit":
             self._jitted = JitCompiler(self.helpers).compile_program(self.program)
+        elif self._compiled is not None:
+            self._retire_unit()
+            self.tier_invalidations += 1
+            rec = obs_trace.ACTIVE
+            if rec is not None and rec.want_compile:
+                rec.emit(COMPILE,
+                         (self.program.name, "invalidate", "config_epoch"))
+
+    # -- compiled tier ------------------------------------------------------
+
+    def _specialize(self):
+        unit = specialize(self)
+        self._compiled = unit
+        self.tier_specializations += 1
+        return unit
+
+    def _sync_tier(self) -> None:
+        """Fold the live unit's counters into the datapath totals."""
+        unit = self._compiled
+        if unit is not None:
+            unit.sync()
+            fires, actions = unit.counts
+            if fires or actions:
+                self.invocations += fires
+                self.actions_run += actions
+                self._tier_compiled_fires += fires
+                self._tier_compiled_actions += actions
+                unit.counts[0] = 0
+                unit.counts[1] = 0
+
+    def _retire_unit(self) -> None:
+        """Fold and drop the live specialization."""
+        unit = self._compiled
+        self._sync_tier()
+        self._tier_ic_hits += unit.ic_hits
+        self._tier_ic_misses += unit.ic_misses
+        self._compiled = None
+
+    def _deopt_fire(self, unit, ctx: ExecutionContext,
+                    helper_env: object) -> int | None:
+        """A guard missed: serve this fire through the interpreter.
+
+        Foreign-but-equivalent context schemas (e.g. a program rebuilt
+        by crash recovery) are *adopted* — the unit stays hot.  Stale
+        table generations invalidate the unit; the next compiled fire
+        re-specializes against the new generations.
+        """
+        if ctx.schema is not unit.schema and unit.adopt_schema(ctx.schema):
+            verdict = unit.fire(ctx, helper_env)
+            if verdict is not DEOPT:
+                return verdict
+        detail = ("schema" if ctx.schema is not unit.schema
+                  else "table_generation")
+        self.tier_deopts += 1
+        self.tier_deopt_fires += 1
+        rec = obs_trace.ACTIVE
+        if rec is not None and rec.want_compile:
+            rec.emit(COMPILE, (self.program.name, "deopt", detail))
+        if detail == "table_generation":
+            self._retire_unit()
+        return self._invoke_classic(ctx, helper_env)
 
     def invoke(self, ctx: ExecutionContext, helper_env: object = None) -> int | None:
         """Run the pipeline against a context; returns the clamped verdict
         of the last stage that executed an action, or None."""
+        # The compiled-tier fast path is inlined here: one string
+        # compare, two attribute loads and the specialized closure call.
+        if self.mode == "compiled":
+            unit = self._compiled
+            if unit is None:
+                unit = self._specialize()
+            verdict = unit.fire(ctx, helper_env)
+            if verdict is DEOPT:
+                return self._deopt_fire(unit, ctx, helper_env)
+            return verdict
+        return self._invoke_classic(ctx, helper_env)
+
+    def _invoke_classic(self, ctx: ExecutionContext,
+                        helper_env: object = None) -> int | None:
         started = time.perf_counter_ns()
         self.invocations += 1
         verdict: int | None = None
@@ -131,7 +247,32 @@ class RmtDatapath:
             if ctx.schema.has_field(key):
                 ctx.set(key, int(value))
 
+    def tier_stats(self) -> dict:
+        """Per-tier execution attribution for this datapath.
+
+        ``compiled_fires`` vs ``interp_fires`` is the observable tier
+        split: a compiled-mode datapath whose deopt counters climb is
+        paying for churn (table mutations, model pushes) rather than
+        serving from its specialization.
+        """
+        self._sync_tier()
+        unit = self._compiled
+        return {
+            "mode": self.mode,
+            "compiled_fires": self._tier_compiled_fires,
+            "compiled_actions": self._tier_compiled_actions,
+            "interp_fires": self.invocations - self._tier_compiled_fires,
+            "specializations": self.tier_specializations,
+            "deopts": self.tier_deopts,
+            "deopt_fires": self.tier_deopt_fires,
+            "invalidations": self.tier_invalidations,
+            "ic_hits": self._tier_ic_hits + (unit.ic_hits if unit else 0),
+            "ic_misses": (self._tier_ic_misses
+                          + (unit.ic_misses if unit else 0)),
+        }
+
     def stats(self) -> dict:
+        self._sync_tier()
         return {
             "program": self.program.name,
             "mode": self.mode,
@@ -142,6 +283,7 @@ class RmtDatapath:
                 self.overhead_ns / self.invocations / 1e3
                 if self.invocations else 0.0
             ),
+            "tier": self.tier_stats(),
             "tables": [t.stats() for t in self.program.pipeline],
         }
 
@@ -255,6 +397,37 @@ class ControlPlane:
         self._watchdogs.pop(program_name, None)
         if self.supervisor is not None:
             self.supervisor.forget(program_name)
+
+    def set_tier(self, program_name: str, mode: str) -> None:
+        """Re-tier an installed program in place.
+
+        Tier selection is an explicit, observable policy: the change
+        takes effect on the next fire, a live compiled specialization
+        is retired (emitting a ``compile``/``invalidate`` event), and
+        per-tier attribution keeps accumulating across the switch so
+        ``tier_stats`` shows the full history.
+        """
+        dp = self.datapath(program_name)
+        if mode not in TIER_LADDER:
+            raise ControlPlaneError(
+                f"mode must be one of {TIER_LADDER}, got {mode!r}"
+            )
+        if mode == dp.mode:
+            return
+        if dp._compiled is not None:
+            dp._retire_unit()
+            dp.tier_invalidations += 1
+            rec = obs_trace.ACTIVE
+            if rec is not None and rec.want_compile:
+                rec.emit(COMPILE, (program_name, "invalidate", "tier_change"))
+        dp.mode = mode
+        dp._jitted = (JitCompiler(dp.helpers).compile_program(dp.program)
+                      if mode == "jit" else None)
+
+    def tier_report(self) -> dict:
+        """Per-program tier attribution across every installed program."""
+        return {name: dp.tier_stats()
+                for name, dp in sorted(self._datapaths.items())}
 
     def datapath(self, program_name: str) -> RmtDatapath:
         try:

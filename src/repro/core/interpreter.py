@@ -80,6 +80,88 @@ class RuntimeEnv:
     entry_data: dict = field(default_factory=dict)
 
 
+# Opcode values as plain ints: the dispatch chain below compares small
+# ints instead of looking up enum members on every instruction, and the
+# decoded form below stores them so no IntEnum boxing survives into the
+# hot loop.
+_EXIT = int(Opcode.EXIT)
+_JMP = int(Opcode.JMP)
+_JEQ = int(Opcode.JEQ)
+_JNE = int(Opcode.JNE)
+_JLT = int(Opcode.JLT)
+_JLE = int(Opcode.JLE)
+_JGT = int(Opcode.JGT)
+_JGE = int(Opcode.JGE)
+_JEQ_IMM = int(Opcode.JEQ_IMM)
+_JGE_IMM = int(Opcode.JGE_IMM)
+_CALL = int(Opcode.CALL)
+_TAIL_CALL = int(Opcode.TAIL_CALL)
+_MOV = int(Opcode.MOV)
+_MOV_IMM = int(Opcode.MOV_IMM)
+_ADD = int(Opcode.ADD)
+_SUB = int(Opcode.SUB)
+_MUL = int(Opcode.MUL)
+_DIV = int(Opcode.DIV)
+_MOD = int(Opcode.MOD)
+_AND = int(Opcode.AND)
+_OR = int(Opcode.OR)
+_XOR = int(Opcode.XOR)
+_LSH = int(Opcode.LSH)
+_RSH = int(Opcode.RSH)
+_NEG = int(Opcode.NEG)
+_ADD_IMM = int(Opcode.ADD_IMM)
+_SUB_IMM = int(Opcode.SUB_IMM)
+_MUL_IMM = int(Opcode.MUL_IMM)
+_AND_IMM = int(Opcode.AND_IMM)
+_OR_IMM = int(Opcode.OR_IMM)
+_LSH_IMM = int(Opcode.LSH_IMM)
+_RSH_IMM = int(Opcode.RSH_IMM)
+_MIN = int(Opcode.MIN)
+_MAX = int(Opcode.MAX)
+_ABS = int(Opcode.ABS)
+_LD_CTXT = int(Opcode.LD_CTXT)
+_ST_CTXT = int(Opcode.ST_CTXT)
+_MATCH_CTXT = int(Opcode.MATCH_CTXT)
+_MAP_LOOKUP = int(Opcode.MAP_LOOKUP)
+_MAP_UPDATE = int(Opcode.MAP_UPDATE)
+_MAP_DELETE = int(Opcode.MAP_DELETE)
+_MAP_PEEK = int(Opcode.MAP_PEEK)
+_HIST_PUSH = int(Opcode.HIST_PUSH)
+_VEC_LD = int(Opcode.VEC_LD)
+_VEC_LD_HIST = int(Opcode.VEC_LD_HIST)
+_VEC_ZERO = int(Opcode.VEC_ZERO)
+_VEC_SET = int(Opcode.VEC_SET)
+_SCALAR_VAL = int(Opcode.SCALAR_VAL)
+_MAT_MUL = int(Opcode.MAT_MUL)
+_VEC_ADD = int(Opcode.VEC_ADD)
+_VEC_MOV = int(Opcode.VEC_MOV)
+_VEC_SCALE = int(Opcode.VEC_SCALE)
+_VEC_MUL_T = int(Opcode.VEC_MUL_T)
+_VEC_RELU = int(Opcode.VEC_RELU)
+_VEC_SHIFT = int(Opcode.VEC_SHIFT)
+_VEC_ARGMAX = int(Opcode.VEC_ARGMAX)
+_ML_INFER = int(Opcode.ML_INFER)
+
+
+def _decode(action: BytecodeProgram) -> tuple:
+    """The action's instructions as flat ``(op, dst, src, offset, imm)``
+    int tuples, built once and cached on the action.
+
+    One tuple unpack per instruction replaces five attribute loads on a
+    frozen dataclass.  The cache never goes stale: instruction lists are
+    immutable after program construction (model hot-swaps replace model
+    objects or whole programs, never bytecode in place).
+    """
+    decoded = getattr(action, "_decoded", None)
+    if decoded is None:
+        decoded = tuple(
+            (int(i.opcode), i.dst, i.src, i.offset, i.imm)
+            for i in action.instructions
+        )
+        action._decoded = decoded
+    return decoded
+
+
 class Interpreter:
     """Executes verified bytecode actions against a runtime environment."""
 
@@ -95,130 +177,145 @@ class Interpreter:
         regs = [0] * N_SCALAR_REGS
         vregs: list[np.ndarray] = [np.zeros(0, dtype=np.int64)] * N_VECTOR_REGS
         program = env.program
-        instructions = action.instructions
-        n = len(instructions)
+        decoded = _decode(action)
+        n = len(decoded)
         pc = 0
+        # Hot bindings: the per-instruction loop touches only locals.
+        # ``executed`` shadows ``env.insns_executed`` and is written back
+        # on every exit path (the finally), so budget accounting across
+        # tail calls and traps matches the env exactly.  Helpers cannot
+        # reach the env, so ``budget`` and ``trace`` cannot move mid-run.
+        executed = env.insns_executed
+        budget = env.insn_budget
+        trace = env.trace
+        wrap64 = _wrap64
         try:
             while pc < n:
-                env.insns_executed += 1
-                if env.insns_executed > env.insn_budget:
+                executed += 1
+                if executed > budget:
                     raise RmtRuntimeError(
-                        f"instruction budget {env.insn_budget} exhausted in "
+                        f"instruction budget {budget} exhausted in "
                         f"{action.name!r}"
                     )
-                instr = instructions[pc]
-                if env.trace is not None:
-                    env.trace.append(f"{action.name}:{pc}: {instr}")
-                op = instr.opcode
-                dst, src, offset, imm = instr.dst, instr.src, instr.offset, instr.imm
+                if trace is not None:
+                    trace.append(
+                        f"{action.name}:{pc}: {action.instructions[pc]}"
+                    )
+                op, dst, src, offset, imm = decoded[pc]
 
-                # -- control flow -------------------------------------------
-                if op is Opcode.EXIT:
+                # -- context loads + ALU (the common fast ops) ---------------
+                if op == _LD_CTXT:
+                    regs[dst] = env.ctx.load(imm)
+                elif op == _MOV_IMM:
+                    regs[dst] = imm
+                elif op == _MOV:
+                    regs[dst] = regs[src]
+                elif op == _EXIT:
                     return regs[RET_REG]
-                if op is Opcode.JMP:
+                elif op == _JMP:
                     pc += 1 + offset
                     continue
-                if Opcode.JEQ <= op <= Opcode.JGE_IMM:
+                elif _JEQ <= op <= _JGE_IMM:
                     a = regs[dst]
-                    b = imm if op >= Opcode.JEQ_IMM else regs[src]
-                    base = op if op < Opcode.JEQ_IMM else Opcode(op - 6)
+                    if op >= _JEQ_IMM:
+                        b = imm
+                        base = op - 6
+                    else:
+                        b = regs[src]
+                        base = op
                     taken = (
-                        (base is Opcode.JEQ and a == b)
-                        or (base is Opcode.JNE and a != b)
-                        or (base is Opcode.JLT and a < b)
-                        or (base is Opcode.JLE and a <= b)
-                        or (base is Opcode.JGT and a > b)
-                        or (base is Opcode.JGE and a >= b)
+                        (base == _JEQ and a == b)
+                        or (base == _JNE and a != b)
+                        or (base == _JLT and a < b)
+                        or (base == _JLE and a <= b)
+                        or (base == _JGT and a > b)
+                        or (base == _JGE and a >= b)
                     )
                     pc += 1 + offset if taken else 1
                     continue
-                if op is Opcode.CALL:
+                elif op == _CALL:
+                    env.insns_executed = executed
                     regs[RET_REG] = self._call_helper(env, imm, regs)
                     pc += 1
                     continue
-                if op is Opcode.TAIL_CALL:
+                elif op == _TAIL_CALL:
                     target = program.action_by_id(imm)
-                    return self._run(target, env, depth + 1)
-
-                # -- ALU ------------------------------------------------------
-                if op is Opcode.MOV:
-                    regs[dst] = regs[src]
-                elif op is Opcode.MOV_IMM:
-                    regs[dst] = imm
-                elif op is Opcode.ADD:
-                    regs[dst] = _wrap64(regs[dst] + regs[src])
-                elif op is Opcode.SUB:
-                    regs[dst] = _wrap64(regs[dst] - regs[src])
-                elif op is Opcode.MUL:
-                    regs[dst] = _wrap64(regs[dst] * regs[src])
-                elif op is Opcode.DIV:
+                    env.insns_executed = executed
+                    result = self._run(target, env, depth + 1)
+                    executed = env.insns_executed
+                    return result
+                elif op == _ADD:
+                    regs[dst] = wrap64(regs[dst] + regs[src])
+                elif op == _SUB:
+                    regs[dst] = wrap64(regs[dst] - regs[src])
+                elif op == _MUL:
+                    regs[dst] = wrap64(regs[dst] * regs[src])
+                elif op == _DIV:
                     divisor = regs[src]
                     # eBPF semantics: division by zero yields 0; the quotient
                     # truncates toward zero (C semantics).
-                    regs[dst] = 0 if divisor == 0 else _wrap64(
+                    regs[dst] = 0 if divisor == 0 else wrap64(
                         _truncdiv(regs[dst], divisor)
                     )
-                elif op is Opcode.MOD:
+                elif op == _MOD:
                     divisor = regs[src]
-                    regs[dst] = 0 if divisor == 0 else _wrap64(
+                    regs[dst] = 0 if divisor == 0 else wrap64(
                         _truncmod(regs[dst], divisor)
                     )
-                elif op is Opcode.AND:
-                    regs[dst] = _wrap64(regs[dst] & regs[src])
-                elif op is Opcode.OR:
-                    regs[dst] = _wrap64(regs[dst] | regs[src])
-                elif op is Opcode.XOR:
-                    regs[dst] = _wrap64(regs[dst] ^ regs[src])
-                elif op is Opcode.LSH:
-                    regs[dst] = _wrap64(regs[dst] << (regs[src] & 63))
-                elif op is Opcode.RSH:
-                    regs[dst] = _wrap64(regs[dst] >> (regs[src] & 63))
-                elif op is Opcode.NEG:
-                    regs[dst] = _wrap64(-regs[dst])
-                elif op is Opcode.ADD_IMM:
-                    regs[dst] = _wrap64(regs[dst] + imm)
-                elif op is Opcode.SUB_IMM:
-                    regs[dst] = _wrap64(regs[dst] - imm)
-                elif op is Opcode.MUL_IMM:
-                    regs[dst] = _wrap64(regs[dst] * imm)
-                elif op is Opcode.AND_IMM:
-                    regs[dst] = _wrap64(regs[dst] & imm)
-                elif op is Opcode.OR_IMM:
-                    regs[dst] = _wrap64(regs[dst] | imm)
-                elif op is Opcode.LSH_IMM:
-                    regs[dst] = _wrap64(regs[dst] << (imm & 63))
-                elif op is Opcode.RSH_IMM:
-                    regs[dst] = _wrap64(regs[dst] >> (imm & 63))
-                elif op is Opcode.MIN:
+                elif op == _AND:
+                    regs[dst] = wrap64(regs[dst] & regs[src])
+                elif op == _OR:
+                    regs[dst] = wrap64(regs[dst] | regs[src])
+                elif op == _XOR:
+                    regs[dst] = wrap64(regs[dst] ^ regs[src])
+                elif op == _LSH:
+                    regs[dst] = wrap64(regs[dst] << (regs[src] & 63))
+                elif op == _RSH:
+                    regs[dst] = wrap64(regs[dst] >> (regs[src] & 63))
+                elif op == _NEG:
+                    regs[dst] = wrap64(-regs[dst])
+                elif op == _ADD_IMM:
+                    regs[dst] = wrap64(regs[dst] + imm)
+                elif op == _SUB_IMM:
+                    regs[dst] = wrap64(regs[dst] - imm)
+                elif op == _MUL_IMM:
+                    regs[dst] = wrap64(regs[dst] * imm)
+                elif op == _AND_IMM:
+                    regs[dst] = wrap64(regs[dst] & imm)
+                elif op == _OR_IMM:
+                    regs[dst] = wrap64(regs[dst] | imm)
+                elif op == _LSH_IMM:
+                    regs[dst] = wrap64(regs[dst] << (imm & 63))
+                elif op == _RSH_IMM:
+                    regs[dst] = wrap64(regs[dst] >> (imm & 63))
+                elif op == _MIN:
                     regs[dst] = min(regs[dst], regs[src])
-                elif op is Opcode.MAX:
+                elif op == _MAX:
                     regs[dst] = max(regs[dst], regs[src])
-                elif op is Opcode.ABS:
-                    regs[dst] = _wrap64(abs(regs[dst]))
+                elif op == _ABS:
+                    regs[dst] = wrap64(abs(regs[dst]))
 
-                # -- context ---------------------------------------------------
-                elif op is Opcode.LD_CTXT:
-                    regs[dst] = env.ctx.load(imm)
-                elif op is Opcode.ST_CTXT:
+                # -- context stores / rematch ---------------------------------
+                elif op == _ST_CTXT:
                     try:
                         env.ctx.store(imm, regs[src])
                     except (IndexError, PermissionError) as exc:
                         raise RmtRuntimeError(str(exc)) from exc
-                elif op is Opcode.MATCH_CTXT:
+                elif op == _MATCH_CTXT:
                     table = program.table_by_id(imm)
                     entry = table.lookup(env.ctx)
                     regs[dst] = -1 if entry is None else entry.entry_id
 
                 # -- maps --------------------------------------------------------
-                elif op is Opcode.MAP_LOOKUP:
-                    regs[dst] = _wrap64(int(self._map(env, imm).lookup(regs[src])))
-                elif op is Opcode.MAP_UPDATE:
+                elif op == _MAP_LOOKUP:
+                    regs[dst] = wrap64(int(self._map(env, imm).lookup(regs[src])))
+                elif op == _MAP_UPDATE:
                     self._map(env, imm).update(regs[dst], regs[src])
-                elif op is Opcode.MAP_DELETE:
+                elif op == _MAP_DELETE:
                     self._map(env, imm).delete(regs[dst])
-                elif op is Opcode.MAP_PEEK:
+                elif op == _MAP_PEEK:
                     regs[dst] = 1 if self._map(env, imm).contains(regs[src]) else 0
-                elif op is Opcode.HIST_PUSH:
+                elif op == _HIST_PUSH:
                     hist = self._map(env, imm)
                     if not isinstance(hist, HistoryMap):
                         raise RmtRuntimeError(
@@ -227,23 +324,23 @@ class Interpreter:
                     hist.push(regs[dst], regs[src])
 
                 # -- ML ISA ---------------------------------------------------
-                elif op is Opcode.VEC_LD:
+                elif op == _VEC_LD:
                     vmap = self._map(env, imm)
                     if not isinstance(vmap, VectorMap):
                         raise RmtRuntimeError(f"VEC_LD on non-vector map id {imm}")
                     vregs[dst] = vmap.get_vector(regs[src])
-                elif op is Opcode.VEC_LD_HIST:
+                elif op == _VEC_LD_HIST:
                     hist = self._map(env, offset)
                     if not isinstance(hist, HistoryMap):
                         raise RmtRuntimeError(
                             f"VEC_LD_HIST on non-history map id {offset}"
                         )
                     vregs[dst] = hist.window(regs[src], imm)
-                elif op is Opcode.VEC_ZERO:
+                elif op == _VEC_ZERO:
                     if imm < 0:
                         raise RmtRuntimeError(f"VEC_ZERO with negative length {imm}")
                     vregs[dst] = np.zeros(imm, dtype=np.int64)
-                elif op is Opcode.VEC_SET:
+                elif op == _VEC_SET:
                     vec = vregs[dst]
                     if not 0 <= imm < vec.shape[0]:
                         raise RmtRuntimeError(
@@ -253,7 +350,7 @@ class Interpreter:
                     vec = vec.copy()
                     vec[imm] = regs[src]
                     vregs[dst] = vec
-                elif op is Opcode.SCALAR_VAL:
+                elif op == _SCALAR_VAL:
                     vec = vregs[src]
                     if not 0 <= imm < vec.shape[0]:
                         raise RmtRuntimeError(
@@ -261,7 +358,7 @@ class Interpreter:
                             f"(len {vec.shape[0]})"
                         )
                     regs[dst] = int(vec[imm])
-                elif op is Opcode.MAT_MUL:
+                elif op == _MAT_MUL:
                     weight = self._tensor(env, imm)
                     if weight.ndim != 2:
                         raise RmtRuntimeError(f"MAT_MUL tensor {imm} is not 2-D")
@@ -269,7 +366,7 @@ class Interpreter:
                         vregs[dst] = int_matvec(weight, vregs[src])
                     except ValueError as exc:
                         raise RmtRuntimeError(str(exc)) from exc
-                elif op is Opcode.VEC_ADD:
+                elif op == _VEC_ADD:
                     bias = self._tensor(env, imm)
                     if bias.shape != vregs[dst].shape:
                         raise RmtRuntimeError(
@@ -277,14 +374,14 @@ class Interpreter:
                             f"vs v{dst} {vregs[dst].shape}"
                         )
                     vregs[dst] = int_add_bias(vregs[dst], bias)
-                elif op is Opcode.VEC_MOV:
+                elif op == _VEC_MOV:
                     vregs[dst] = vregs[src].copy()
-                elif op is Opcode.VEC_SCALE:
+                elif op == _VEC_SCALE:
                     # 32-bit-saturated activations x 31-bit multiplier fits
                     # in the int64 accumulator (2^31 * 2^31 = 2^62 < 2^63).
                     wide = vregs[dst].astype(np.int64) * imm
                     vregs[dst] = saturate(requantize_shift(wide, offset), 32)
-                elif op is Opcode.VEC_MUL_T:
+                elif op == _VEC_MUL_T:
                     factors = self._tensor(env, imm)
                     if factors.shape != vregs[dst].shape:
                         raise RmtRuntimeError(
@@ -293,23 +390,23 @@ class Interpreter:
                         )
                     wide = vregs[dst].astype(np.int64) * factors
                     vregs[dst] = saturate(requantize_shift(wide, offset), 32)
-                elif op is Opcode.VEC_RELU:
+                elif op == _VEC_RELU:
                     vregs[dst] = int_relu(vregs[dst])
-                elif op is Opcode.VEC_SHIFT:
+                elif op == _VEC_SHIFT:
                     vregs[dst] = requantize_shift(vregs[dst], imm)
-                elif op is Opcode.VEC_ARGMAX:
+                elif op == _VEC_ARGMAX:
                     if vregs[src].shape[0] == 0:
                         raise RmtRuntimeError(f"VEC_ARGMAX of empty v{src}")
                     regs[dst] = int_argmax(vregs[src])
-                elif op is Opcode.ML_INFER:
+                elif op == _ML_INFER:
                     model = program.models.get(imm)
                     if model is None:
                         raise RmtRuntimeError(
                             f"ML_INFER: unknown model id {imm} in {program.name!r}"
                         )
-                    regs[dst] = _wrap64(int(model.predict_one(vregs[src])))
+                    regs[dst] = wrap64(int(model.predict_one(vregs[src])))
                 else:  # pragma: no cover - the verifier rejects unknown opcodes
-                    raise RmtRuntimeError(f"unhandled opcode {op.name}")
+                    raise RmtRuntimeError(f"unhandled opcode {Opcode(op).name}")
 
                 pc += 1
 
@@ -320,6 +417,8 @@ class Interpreter:
             # Trap attribution: charge the fault to this program/action/pc
             # so the supervisor's per-program accounting is exact.
             raise exc.attribute(program=program.name, action=action.name, pc=pc)
+        finally:
+            env.insns_executed = executed
 
     # ------------------------------------------------------------------
 

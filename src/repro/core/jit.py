@@ -140,6 +140,15 @@ class JittedProgram:
 class JitCompiler:
     """Compiles verified RMT programs to Python functions."""
 
+    #: Calling convention of the generated actions.  The compiled tier
+    #: (:mod:`repro.core.compile_tier`) overrides these to take
+    #: ``(ctx, henv)`` directly, skipping the per-fire RuntimeEnv
+    #: allocation the ``env``-based convention requires.
+    signature = "def _action(env):"
+    prologue = ("ctx = env.ctx",)
+    helper_env_expr = "env.helper_env"
+    recurse_args = "env"
+
     def __init__(self, helpers: HelperRegistry | None = None) -> None:
         self.helpers = helpers
 
@@ -182,11 +191,9 @@ class JitCompiler:
             "_Err": RmtRuntimeError,
             "_functions": functions,
         }
-        lines: list[str] = [
-            "def _action(env):",
-            "    ctx = env.ctx",
-            "    _t = 0",
-        ]
+        lines: list[str] = [self.signature]
+        lines.extend(f"    {stmt}" for stmt in self.prologue)
+        lines.append("    _t = 0")
 
         instructions = action.instructions
         leaders = self._leaders(action)
@@ -247,13 +254,13 @@ class JitCompiler:
             spec = self.helpers.by_id(imm)
             ns[f"_h{imm}"] = spec.fn
             args = ", ".join(f"r{r}" for r in ARG_REGS[: spec.n_args])
-            call = f"_h{imm}(env.helper_env{', ' + args if args else ''})"
+            call = f"_h{imm}({self.helper_env_expr}{', ' + args if args else ''})"
             return [f"r0 = _w(int({call} or 0))"]
         if op is Opcode.TAIL_CALL:
             target_name = next(
                 n for n, aid in program.action_ids.items() if aid == imm
             )
-            return [f"return _functions[{target_name!r}](env)"]
+            return [f"return _functions[{target_name!r}]({self.recurse_args})"]
 
         # -- ALU ----------------------------------------------------------
         _BIN = {
@@ -295,7 +302,7 @@ class JitCompiler:
 
         # -- context -------------------------------------------------------
         if op is Opcode.LD_CTXT:
-            return [f"r{d} = ctx.load({imm})"]
+            return self._emit_ld_ctxt(d, imm)
         if op is Opcode.ST_CTXT:
             return [f"_st_ctxt(ctx, {imm}, r{s})"]
         if op is Opcode.MATCH_CTXT:
@@ -369,3 +376,6 @@ class JitCompiler:
             return [f"r{d} = _w(int(_mdl{imm}.predict_one(v{s})))"]
 
         raise RmtRuntimeError(f"JIT: unhandled opcode {op.name}")  # pragma: no cover
+
+    def _emit_ld_ctxt(self, d: int, imm: int) -> list[str]:
+        return [f"r{d} = ctx.load({imm})"]

@@ -231,6 +231,10 @@ class MatchActionTable:
         self.exact_hits = 0
         self.indexed_hits = 0
         self.scan_hits = 0
+        # Lookups answered by a compiled-tier inline cache without
+        # entering :meth:`lookup` (the cache's validity is guarded by
+        # ``generation``, so a cached answer is never stale).
+        self.cached_hits = 0
 
     # -- entry management (the control-plane API calls these) -----------
 
@@ -462,6 +466,7 @@ class MatchActionTable:
             "exact_hits": self.exact_hits,
             "indexed_hits": self.indexed_hits,
             "scan_hits": self.scan_hits,
+            "cached_hits": self.cached_hits,
             "hit_rate": 0.0 if self.lookups == 0
             else 1.0 - self.misses / self.lookups,
         }

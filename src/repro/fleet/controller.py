@@ -213,20 +213,32 @@ class FleetController:
         runnable = self._runnable(node_id)
         if not runnable:
             return
-        elapsed = 0
+        # Gather up to ``chunk`` accesses in the round-robin order the
+        # per-access loop used, serve them as one batch, then distribute
+        # latencies in the same order — ``done_at``/``busy_ns``
+        # arithmetic is unchanged (a finished stream's last access in
+        # ``order`` is its finishing access, so the final overwrite of
+        # ``done_at`` lands on exactly the value the per-access loop
+        # assigned once).
+        accesses: list[tuple[int, int, int]] = []
+        order: list = []
         budget = self.chunk
         while budget > 0 and runnable:
             for stream in list(runnable):
                 if budget == 0:
                     break
                 page, compute_ns = stream.next_access()
-                latency = node.serve(stream.pid, page, compute_ns)
-                stream.busy_ns += latency
-                elapsed += latency
+                accesses.append((stream.pid, page, compute_ns))
+                order.append(stream)
                 budget -= 1
                 if stream.done:
-                    stream.done_at = self.sim.now + elapsed
                     runnable.remove(stream)
+        elapsed = 0
+        for stream, latency in zip(order, node.serve_many(accesses)):
+            stream.busy_ns += latency
+            elapsed += latency
+            if stream.done:
+                stream.done_at = self.sim.now + elapsed
         self._serving.add(node_id)
         self.sim.schedule(max(elapsed, 1),
                           lambda: self._serve_chunk(node_id))

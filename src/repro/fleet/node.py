@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from ..core import ContextSchema
 from ..core.bytecode import BytecodeProgram, Instruction
+from ..core.context import ExecutionContext
 from ..core.isa import Opcode
 from ..core.program import ProgramBuilder
 from ..core.seeding import spawn_rng
@@ -92,13 +93,26 @@ def build_serve_program(schema: ContextSchema, model: object,
 
 
 class FleetNode:
-    """One simulated machine serving shards under fleet coordination."""
+    """One simulated machine serving shards under fleet coordination.
+
+    ``mode`` selects the serving datapath's execution tier (the journal
+    records it, so a recovered node comes back on the same tier);
+    ``memo`` turns on verdict memoization at the serve hook; ``batch``
+    lets :meth:`serve_many` amortize hook dispatch across a chunk.  All
+    three default on — they are bit-identical to the interpreted,
+    unbatched path (the fleet benchmark's differential proves it) and
+    only change wall-clock.
+    """
 
     def __init__(self, node_id: str, root_seed: int, model: object,
-                 checkpoint_every: int = 8) -> None:
+                 checkpoint_every: int = 8, mode: str = "compiled",
+                 memo: bool = True, batch: bool = True) -> None:
         self.node_id = node_id
         self.root_seed = int(root_seed)
         self.checkpoint_every = checkpoint_every
+        self.mode = mode
+        self.memo = memo
+        self.batch = batch
         self.rng = spawn_rng(root_seed, "node", node_id)
         self.store = RecoveryStore()
         self.metrics = MetricsRegistry()
@@ -119,11 +133,16 @@ class FleetNode:
     def _declare_hooks(self) -> None:
         self.schema = _serve_schema()
         self.hooks = HookRegistry()
-        self.hooks.declare(
+        self._serve_hook = self.hooks.declare(
             FLEET_HOOK, self.schema,
             AttachPolicy(FLEET_HOOK, verdict_min=-4096, verdict_max=4096),
         )
         self.hooks.supervise(DatapathSupervisor())
+        # Field ids for the fast batched context build in serve_many.
+        fid = self.schema.field_id
+        self._fid_pid = fid("pid")
+        self._fid_page = fid("page")
+        self._fid_hist = tuple(fid(f"d{i}") for i in range(HISTORY))
 
     def _build(self, fresh: bool) -> None:
         self._declare_hooks()
@@ -141,7 +160,7 @@ class FleetNode:
             self.iface = RmtSyscallInterface(self.hooks, control_plane=self.cp)
             self.iface.install(
                 build_serve_program(self.schema, self._boot_model),
-                mode="interpret", op_id=f"{self.node_id}:boot",
+                mode=self.mode, op_id=f"{self.node_id}:boot",
             )
             self.last_recovery = None
         else:
@@ -152,6 +171,10 @@ class FleetNode:
             self.cp = cp
             self.iface = RmtSyscallInterface(self.hooks, control_plane=cp)
             self.last_recovery = (restore_report, reconcile_report)
+        if self.memo:
+            # Memoization is runtime (unjournaled) hook state, so the
+            # restart path re-enables it too.
+            self.cp.enable_memo(FLEET_PROGRAM)
         self.alive = True
 
     def kill(self) -> None:
@@ -209,6 +232,80 @@ class FleetNode:
         self.hits += hit
         self.busy_ns += latency
         return latency
+
+    def serve_many(self, accesses) -> list[int]:
+        """Serve a chunk of ``(pid, page, compute_ns)`` accesses.
+
+        Bit-identical to calling :meth:`serve` per access — same
+        latencies, same counters, same RNG stream — but the hook fires
+        through :meth:`~repro.kernel.hooks.HookPoint.fire_many`, which
+        amortizes memo-epoch and guard checks across the chunk, and
+        contexts are built through precomputed field ids instead of the
+        name-based schema API.
+
+        The identity argument: history deltas depend only on the page
+        sequence (never on verdicts), so every context can be built up
+        front; verdicts depend only on contexts, so the whole chunk can
+        fire at once; and the per-access jitter draws happen afterwards
+        in access order, so the RNG sequence is unchanged.  With a live
+        rollout lane the batch degrades to per-access serving — paired
+        lane scoring needs ``lane.last_sample`` after each fire.
+        """
+        if not self.alive:
+            raise RuntimeError(f"node {self.node_id!r} is dead")
+        if not self.batch or (self.lane is not None and self.lane.active):
+            return [self.serve(pid, page, compute_ns)
+                    for pid, page, compute_ns in accesses]
+        schema = self.schema
+        fid_pid = self._fid_pid
+        fid_page = self._fid_page
+        fid_hist = self._fid_hist
+        n_hist = len(fid_hist)
+        last_page = self._last_page
+        histories = self._history
+        plan: list[tuple] = []
+        contexts: list[ExecutionContext] = []
+        for pid, page, compute_ns in accesses:
+            last = last_page.get(pid)
+            last_page[pid] = page
+            if last is None:
+                histories[pid] = []
+                plan.append((None, 0, compute_ns))
+                continue
+            actual = page - last
+            history = histories[pid]
+            ctx = ExecutionContext(schema)
+            vals = ctx._values
+            vals[fid_pid] = pid
+            vals[fid_page] = page
+            for i, delta in enumerate(history[:n_hist]):
+                vals[fid_hist[i]] = delta
+            plan.append((ctx, actual, compute_ns))
+            contexts.append(ctx)
+            history.insert(0, actual)
+            del history[HISTORY:]
+        verdicts = self._serve_hook.fire_many(contexts)
+        rng = self.rng
+        latencies: list[int] = []
+        served = hits = busy = 0
+        vi = 0
+        for ctx, actual, compute_ns in plan:
+            if ctx is None:
+                latency = compute_ns + MISS_NS + rng.randrange(JITTER_NS)
+            else:
+                verdict = verdicts[vi]
+                vi += 1
+                hit = verdict is not None and verdict == actual
+                hits += hit
+                latency = (compute_ns + (HIT_NS if hit else MISS_NS)
+                           + rng.randrange(JITTER_NS))
+            served += 1
+            busy += latency
+            latencies.append(latency)
+        self.served += served
+        self.hits += hits
+        self.busy_ns += busy
+        return latencies
 
     def _score_rollout(self, primary_verdict, actual: int, ctx) -> None:
         """Feed one paired ground-truth outcome to the active lane.

@@ -1,7 +1,8 @@
 """Golden-trace regression harness.
 
-Re-runs the five experiment harnesses (Table 1, Table 2, resilience,
-rollout, fleet) at small scale under an active trace recorder, canonicalizes
+Re-runs the six golden scenarios (Table 1, Table 2, resilience,
+rollout, fleet, compile) at small scale under an active trace recorder,
+canonicalizes
 the event stream (sim-time and seeds only — wall-clock never enters an
 event), and diffs the canonical JSONL against the goldens committed in
 ``tests/goldens/``.  A byte difference in any golden means a future PR
@@ -21,7 +22,12 @@ Each scenario records the event kinds that pin its layer:
   candidate traps) of a poisoned canary being rolled back;
 * ``fleet`` — fleet kinds (membership transitions, shard routing,
   artifact pushes, fleet-rollout edges) of a 3-node fleet halting a
-  poisoned fleet rollout, losing a node mid-run, and rejoining it.
+  poisoned fleet rollout, losing a node mid-run, and rejoining it;
+* ``compile`` — compiled-tier lifecycle (specialize / deopt /
+  invalidate, with the table mutations and fires that drive them) of
+  one program walking the mutation matrix: entry add + remove
+  (generation-guard deopts), a model push (eager config-epoch
+  invalidation), and a tier round-trip.
 
 Update workflow (after an intentional behaviour change)::
 
@@ -169,6 +175,75 @@ def _build_fleet(seed: int) -> Callable[[TraceRecorder], None]:
     return run
 
 
+def _build_compile(seed: int) -> Callable[[TraceRecorder], None]:
+    from ..core.bytecode import BytecodeProgram, Instruction
+    from ..core.context import ContextSchema
+    from ..core.isa import Opcode
+    from ..core.program import ProgramBuilder
+    from ..core.tables import MatchActionTable
+    from ..core.verifier import AttachPolicy
+    from ..kernel.hooks import HookRegistry
+    from ..kernel.syscalls import RmtSyscallInterface
+
+    I, OP = Instruction, Opcode
+
+    class _Const:
+        # Constant-verdict model; the seed shifts the verdict, so the
+        # canonical bytes depend on the seed by construction.
+        def __init__(self, verdict: int):
+            self.verdict = verdict
+
+        def predict_one(self, _features) -> int:
+            return self.verdict
+
+        def cost_signature(self) -> dict:
+            return {"kind": "decision_tree", "depth": 1, "n_nodes": 1}
+
+    def run(rec: TraceRecorder) -> None:
+        with rec.span(f"compile:lifecycle:seed{seed}"):
+            schema = ContextSchema("golden_hook")
+            schema.add_field("pid")
+            builder = ProgramBuilder("golden_prog", "golden_hook", schema)
+            table = builder.add_table(MatchActionTable("tab", ["pid"]))
+            builder.add_model(0, _Const(3 + seed))
+            builder.add_action(BytecodeProgram("lo", [
+                I(OP.MOV_IMM, dst=0, imm=1), I(OP.EXIT)]))
+            builder.add_action(BytecodeProgram("ml", [
+                I(OP.VEC_ZERO, dst=0, imm=5),
+                I(OP.ML_INFER, dst=0, src=0, imm=0),
+                I(OP.EXIT)]))
+            table.insert_exact([5], "lo")
+            table.insert_exact([6], "ml")
+
+            hooks = HookRegistry()
+            hooks.declare("golden_hook", schema,
+                          AttachPolicy("golden_hook"))
+            iface = RmtSyscallInterface(hooks)
+            iface.install(builder.build(), mode="compiled")
+            cp = iface.control_plane
+
+            def fire(pid: int) -> None:
+                hooks.fire("golden_hook", schema.new_context(pid=pid))
+
+            fire(5)  # lazy specialize + first compiled fire
+            fire(6)  # second call site -> inline cache goes polymorphic
+            fire(7)  # table miss, still compiled
+            entry = cp.add_entry("golden_prog", "tab", [7], "lo")
+            fire(7)  # generation guard miss -> deopt(table_generation)
+            fire(7)  # re-specialized against the mutated table
+            cp.remove_entry("golden_prog", "tab", entry.entry_id)
+            fire(7)  # deopt again, back to a miss
+            fire(5)  # re-specialize
+            cp.push_model("golden_prog", 0, _Const(9 + seed))
+            fire(6)  # eager invalidate(config_epoch): no deopt, new verdict
+            cp.set_tier("golden_prog", "interpret")  # invalidate(tier_change)
+            fire(6)
+            cp.set_tier("golden_prog", "compiled")
+            fire(6)  # final specialize back at the top of the ladder
+
+    return run
+
+
 @dataclass(frozen=True)
 class Scenario:
     """One golden cell: how to run it and which kinds it records."""
@@ -216,6 +291,15 @@ SCENARIOS: dict[str, Scenario] = {
                          "fleet_rollout", "rollout",
                          "span_begin", "span_end"}),
         build=_build_fleet,
+    ),
+    "compile": Scenario(
+        name="compile",
+        description="compiled tier: specialize, guarded deopt on table "
+                    "mutation, eager invalidation on model push and "
+                    "tier change",
+        kinds=frozenset({"compile", "table_update", "hook_fire",
+                         "span_begin", "span_end"}),
+        build=_build_compile,
     ),
 }
 

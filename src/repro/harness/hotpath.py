@@ -41,6 +41,7 @@ __all__ = [
     "bench_lookup",
     "bench_memo",
     "bench_shadow",
+    "bench_tiers",
     "bench_trace_overhead",
     "bench_e2e",
     "run_hotpath_bench",
@@ -186,7 +187,7 @@ def bench_lookup(
 # ---------------------------------------------------------------------------
 
 
-def _memo_fixture(n_entries: int, seed: int = 0):
+def _memo_fixture(n_entries: int, seed: int = 0, mode: str = "interpret"):
     """A hook with one memo-safe program: exact table over ``pid``, the
     action returns ``pid`` (so verdicts are checkable per fire)."""
     from ..core.bytecode import BytecodeProgram, Instruction
@@ -206,7 +207,7 @@ def _memo_fixture(n_entries: int, seed: int = 0):
     ]))
     for i in range(n_entries):
         table.insert_exact([i], "act")
-    RmtSyscallInterface(hooks).install(builder.build(), mode="interpret")
+    RmtSyscallInterface(hooks).install(builder.build(), mode=mode)
     return hooks, schema
 
 
@@ -259,6 +260,181 @@ def bench_memo(
         "memo_fires_per_s": n_fires / memo_s,
         "speedup": plain_s / memo_s if memo_s > 0 else float("inf"),
         "memo": stats,
+    }
+
+
+def _tier_fixture(n_entries: int, mode: str, seed: int = 0):
+    """A two-stage pipeline with ALU-heavy actions, installed at ``mode``.
+
+    The memo fixture's two-instruction action underestimates every
+    tier's VM cost, so the tier ladder gets its own representative
+    workload: two exact-match stages (``pid`` then ``page``), each
+    action ten arithmetic instructions mixing both fields.  Returns
+    ``(hooks, schema)``; the hook is ``"hotpath_tier"``.
+    """
+    from ..core.bytecode import BytecodeProgram, Instruction
+    from ..core.isa import Opcode
+
+    schema = ContextSchema("hotpath_tier")
+    schema.add_field("pid")
+    schema.add_field("page")
+    hooks = HookRegistry()
+    hooks.declare("hotpath_tier", schema, AttachPolicy("hotpath_tier"))
+    builder = ProgramBuilder("tier_prog", "hotpath_tier", schema)
+    stage0 = builder.add_table(MatchActionTable("stage0", ["pid"]))
+    stage1 = builder.add_table(MatchActionTable("stage1", ["page"]))
+    pid_id = schema.field_id("pid")
+    page_id = schema.field_id("page")
+
+    def mix_action(name: str, salt: int) -> BytecodeProgram:
+        return BytecodeProgram(name, [
+            Instruction(Opcode.LD_CTXT, dst=0, imm=pid_id),
+            Instruction(Opcode.LD_CTXT, dst=1, imm=page_id),
+            Instruction(Opcode.MOV_IMM, dst=2, imm=salt),
+            Instruction(Opcode.XOR, dst=0, src=1),
+            Instruction(Opcode.LSH_IMM, dst=1, imm=3),
+            Instruction(Opcode.ADD, dst=0, src=1),
+            Instruction(Opcode.ADD, dst=0, src=2),
+            Instruction(Opcode.RSH_IMM, dst=0, imm=2),
+            Instruction(Opcode.MUL_IMM, dst=0, imm=5),
+            Instruction(Opcode.AND_IMM, dst=0, imm=0xFFFFF),
+            Instruction(Opcode.EXIT),
+        ])
+
+    builder.add_action(mix_action("mix0", 17))
+    builder.add_action(mix_action("mix1", 40503))
+    for i in range(n_entries):
+        stage0.insert_exact([i], "mix0")
+        stage1.insert_exact([i], "mix1")
+    RmtSyscallInterface(hooks).install(builder.build(), mode=mode)
+    return hooks, schema
+
+
+def bench_tiers(
+    n_entries: int = 64,
+    n_keys: int = 256,
+    n_fires: int = 20_000,
+    batch_sizes: tuple[int, ...] = (1, 16, 64, 256),
+    seed: int = 0,
+) -> dict:
+    """Per-fire cost down the execution-tier ladder, plus a batch sweep.
+
+    Ladder rows: ``interpret``, ``jit``, ``compiled``, ``compiled+memo``
+    — the same program installed at each tier, fired over the same
+    context stream.  Every tier's verdict stream is asserted
+    bit-identical to the interpreter's before anything is timed (the
+    compiled tier's whole contract is *nothing changes but time*).  The
+    batch sweep then runs :meth:`HookPoint.fire_many` over the
+    compiled+memo configuration at several chunk sizes, against the
+    per-fire loop as baseline.
+    """
+    rng = spawn_generator(seed, "tier-fires")
+    pool_pids = rng.integers(0, 2 * n_entries, size=n_keys)
+    pool_pages = rng.integers(0, 2 * n_entries, size=n_keys)
+    picks = rng.integers(0, n_keys, size=n_fires)
+
+    def _fixture(mode: str):
+        hooks, schema = _tier_fixture(n_entries, mode, seed=seed)
+        hook = hooks.hook("hotpath_tier")
+        contexts = [
+            schema.new_context(pid=int(pool_pids[i]), page=int(pool_pages[i]))
+            for i in picks
+        ]
+        return hook, contexts
+
+    def _timed(fn) -> float:
+        best = float("inf")
+        for _ in range(_REPEATS):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    baseline: list | None = None
+    ladder = []
+    compiled_stats = None
+    for mode, memo in (("interpret", False), ("jit", False),
+                       ("compiled", False), ("compiled", True)):
+        hook, contexts = _fixture(mode)
+        if memo:
+            hook.enable_memo(capacity=2 * n_keys)
+        verdicts = [hook.fire(ctx) for ctx in contexts]
+        if baseline is None:
+            baseline = verdicts
+        elif verdicts != baseline:
+            raise AssertionError(
+                f"tier {mode!r} (memo={memo}) verdicts diverged from "
+                f"the interpreter"
+            )
+
+        def run(hook=hook, contexts=contexts) -> None:
+            for ctx in contexts:
+                hook.fire(ctx)
+
+        elapsed = _timed(run)
+        row = {
+            "tier": f"{mode}+memo" if memo else mode,
+            "ns_per_fire": 1e9 * elapsed / n_fires,
+            "fires_per_s": n_fires / elapsed,
+        }
+        if not memo:
+            # Invoke-level cost: the datapath alone, without the hook's
+            # constant dispatch/trace overhead — this is the number the
+            # tier contract is about (memo lives at the hook, so it has
+            # no invoke-level row).
+            dp = hook.datapaths[0]
+            if [dp.invoke(ctx, None) for ctx in contexts] != verdicts:
+                raise AssertionError(
+                    f"tier {mode!r} invoke verdicts diverged from hook fire"
+                )
+
+            def run_invoke(dp=dp, contexts=contexts) -> None:
+                for ctx in contexts:
+                    dp.invoke(ctx, None)
+
+            row["invoke_ns_per_fire"] = 1e9 * _timed(run_invoke) / n_fires
+        ladder.append(row)
+        if mode == "compiled" and not memo:
+            compiled_stats = hook.datapaths[0].tier_stats()
+    interp_ns = ladder[0]["ns_per_fire"]
+    interp_invoke_ns = ladder[0]["invoke_ns_per_fire"]
+    for row in ladder:
+        row["speedup_vs_interpret"] = interp_ns / row["ns_per_fire"]
+        if "invoke_ns_per_fire" in row:
+            row["invoke_speedup_vs_interpret"] = (
+                interp_invoke_ns / row["invoke_ns_per_fire"]
+            )
+
+    hook, contexts = _fixture("compiled")
+    hook.enable_memo(capacity=2 * n_keys)
+    per_fire_s = _timed(lambda: [hook.fire(ctx) for ctx in contexts])
+    batches = []
+    for size in batch_sizes:
+
+        def run_batched(hook=hook, contexts=contexts, size=size) -> list:
+            out = []
+            for i in range(0, len(contexts), size):
+                out.extend(hook.fire_many(contexts[i:i + size]))
+            return out
+
+        if run_batched() != baseline:
+            raise AssertionError(
+                f"fire_many(batch={size}) verdicts diverged from per-fire"
+            )
+        elapsed = _timed(run_batched)
+        batches.append({
+            "batch": size,
+            "ns_per_fire": 1e9 * elapsed / n_fires,
+            "fires_per_s": n_fires / elapsed,
+            "speedup_vs_per_fire": per_fire_s / elapsed,
+        })
+    return {
+        "fires": n_fires,
+        "distinct_keys": n_keys,
+        "table_entries": n_entries,
+        "ladder": ladder,
+        "batch": batches,
+        "compiled": compiled_stats,
     }
 
 
@@ -496,6 +672,9 @@ def run_hotpath_bench(smoke: bool = False, seed: int = 0) -> dict:
         "seed": seed,
         "lookup": bench_lookup(sizes=sizes, seed=seed),
         "memo": bench_memo(
+            n_fires=4_000 if smoke else 20_000, seed=seed
+        ),
+        "tiers": bench_tiers(
             n_fires=4_000 if smoke else 20_000, seed=seed
         ),
         "shadow": bench_shadow(

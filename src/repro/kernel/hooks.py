@@ -288,6 +288,97 @@ class HookPoint:
                 return verdict
         return self._dispatch(ctx, helper_env)
 
+    def fire_many(
+        self, contexts, helper_env: object = None
+    ) -> list[int | None]:
+        """Fire a chunk of contexts, amortizing per-fire setup.
+
+        Bit-identical to ``[self.fire(ctx) for ctx in contexts]`` — same
+        verdicts, same counters, same trace events — but the batch pays
+        trace gating, memo-epoch computation and breaker-state checks
+        once instead of per fire.  The amortizations are only sound on
+        the fast path, so the batch degrades to per-fire dispatch
+        exactly when ``fire`` itself would leave it:
+
+        * an armed fault injector or any rollout lane (their per-fire
+          draws and routing decisions cannot be batched) — the whole
+          chunk runs per-fire;
+        * a non-closed breaker at batch entry (half-open probes have
+          per-fire side effects) — the whole chunk runs per-fire;
+        * a trap contained mid-batch (the breaker charge moves the memo
+          epoch) — the remaining contexts run per-fire.
+        """
+        if self.injector is not None or self.rollouts:
+            return [self.fire(ctx, helper_env) for ctx in contexts]
+        supervisor = self.supervisor
+        if supervisor is not None and any(
+            supervisor.state(dp.program.name) != "closed"
+            for dp in self.datapaths
+        ):
+            return [self.fire(ctx, helper_env) for ctx in contexts]
+        memo = self.memo
+        rec = obs_trace.ACTIVE
+        verdicts: list[int | None] = []
+        append = verdicts.append
+        if memo is None:
+            if supervisor is not None:
+                # Supervised, unmemoized: per-fire work (admit, breaker
+                # clocks) is irreducible; ``_dispatch`` per context is
+                # already the whole fire.
+                return [self._dispatch(ctx, helper_env) for ctx in contexts]
+            datapaths = self.datapaths
+            want_fire = rec is not None and rec.want_fire
+            name = self.name
+            for ctx in contexts:
+                self.fires += 1
+                verdict: int | None = None
+                for datapath in datapaths:
+                    result = datapath.invoke(ctx, helper_env)
+                    if result is not None:
+                        verdict = result
+                if want_fire:
+                    rec.push((rec.now, HOOK_FIRE, name, verdict, "dispatch"))
+                append(verdict)
+            return verdicts
+        # One epoch refresh covers the whole batch: with no injector, no
+        # lanes and closed breakers, only a contained trap can move the
+        # epoch mid-batch — and a trap aborts the lean loop below.
+        if rec is not None and rec.want_memo:
+            invalidations = memo.invalidations
+            memo.refresh(self._memo_epoch())
+            if memo.invalidations != invalidations:
+                rec.emit(MEMO, (self.name, "invalidate"))
+        else:
+            memo.refresh(self._memo_epoch())
+        key_for = memo.key_for
+        get = memo.get
+        put = memo.put
+        name = self.name
+        want_fire = rec is not None and rec.want_fire
+        want_memo = rec is not None and rec.want_memo
+        for i, ctx in enumerate(contexts):
+            key = key_for(ctx)
+            cached = get(key)
+            if cached is not _MISS:
+                memo.hits += 1
+                self.fires += 1
+                if want_fire:
+                    rec.push((rec.now, HOOK_FIRE, name, cached, "memo"))
+                append(cached)
+                continue
+            memo.misses += 1
+            if want_memo:
+                rec.emit(MEMO, (self.name, "miss"))
+            traps_before = self.contained_traps
+            verdict = self._dispatch(ctx, helper_env)
+            put(key, verdict)
+            append(verdict)
+            if self.contained_traps != traps_before:
+                for late in contexts[i + 1:]:
+                    append(self.fire(late, helper_env))
+                break
+        return verdicts
+
     def _dispatch(
         self, ctx: ExecutionContext, helper_env: object = None
     ) -> int | None:
@@ -467,6 +558,9 @@ class HookRegistry:
 
     def fire(self, name: str, ctx: ExecutionContext, helper_env=None) -> int | None:
         return self.hook(name).fire(ctx, helper_env)
+
+    def fire_many(self, name: str, contexts, helper_env=None) -> list[int | None]:
+        return self.hook(name).fire_many(contexts, helper_env)
 
     # -- containment wiring ------------------------------------------------
 

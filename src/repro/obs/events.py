@@ -113,6 +113,16 @@ FLEET_PUSH = "fleet_push"
 #: candidate across nodes: 1 node -> fraction -> all).
 FLEET_ROLLOUT = "fleet_rollout"
 
+#: Compiled-tier lifecycle step for one program's datapath.  ``phase``
+#: is ``specialize`` (a compiled unit was built for the current table
+#: generations), ``deopt`` (a guard missed mid-tier and the fire fell
+#: back to the interpreter; ``detail`` names the failed guard source,
+#: e.g. ``table_generation`` / ``config_epoch``) or ``invalidate``
+#: (the control plane dropped the unit without serving a fire).
+#: Specialization is lazy, so a ``deopt`` is always followed by a
+#: ``specialize`` on the next compiled-tier fire.
+COMPILE = "compile"
+
 #: Span delimiters emitted by harness code to structure a trace
 #: (e.g. one span per experiment cell).  Spans nest; ``depth`` is the
 #: nesting level at entry.
@@ -136,6 +146,7 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     FLEET_ROUTE: ("shard", "node", "clock"),
     FLEET_PUSH: ("track", "version", "node", "phase"),
     FLEET_ROLLOUT: ("track", "from", "to", "stage", "reason"),
+    COMPILE: ("program", "phase", "detail"),
     SPAN_BEGIN: ("name", "depth"),
     SPAN_END: ("name", "depth"),
 }

@@ -193,7 +193,7 @@ _HOOK_COUNTERS = ("fires", "fallback_fires", "contained_traps",
                   "shadow_fires", "canary_fires", "shadow_overhead_ns")
 _MEMO_COUNTERS = ("hits", "misses", "invalidations", "bypasses")
 _TABLE_COUNTERS = ("lookups", "misses", "exact_hits", "indexed_hits",
-                   "scan_hits")
+                   "scan_hits", "cached_hits")
 
 
 def collect_hooks(hooks, metrics: MetricsRegistry | None = None
@@ -235,6 +235,9 @@ def collect_control_plane(control_plane,
             metrics.counter(f"rmt.datapath.{field}", **labels).value = (
                 dp_stats[field]
             )
+        # Per-tier fire attribution (compiled vs interpreted, deopt and
+        # inline-cache traffic) — the observable side of tier policy.
+        _ingest(metrics, "rmt.tier", dp_stats["tier"], labels)
         for table in dp_stats["tables"]:
             tlabels = {"program": name, "table": table["name"]}
             for field in _TABLE_COUNTERS:

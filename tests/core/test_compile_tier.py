@@ -1,0 +1,645 @@
+"""Compiled datapath tier: specialization, inline caches, guarded deopt.
+
+The compiled tier's whole contract is *bit-identical verdicts, less
+time*.  These tests pin that contract from every angle the control
+plane can attack it: table mutations (generation guards), model pushes
+(eager invalidation), tier switches, schema adoption after rebuilds,
+supervision and fault injection, and the batched ``fire_many`` entry
+point — each time with the interpreter as the oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.compile_tier import specialize
+from repro.core.context import ContextSchema
+from repro.core.control_plane import TIER_LADDER, ControlPlane, RmtDatapath
+from repro.core.dsl import compile_source
+from repro.core.errors import ControlPlaneError, DslError
+from repro.core.isa import Opcode
+from repro.core.program import ProgramBuilder
+from repro.core.tables import MatchActionTable
+from repro.core.verifier import AttachPolicy, Verifier
+from repro.kernel.faults import FaultInjected
+from repro.kernel.hooks import HookRegistry
+from repro.kernel.syscalls import RmtSyscallInterface
+
+I = Instruction
+OP = Opcode
+
+
+def _const_model(verdict: int):
+    class _Const:
+        @staticmethod
+        def predict_one(v):
+            return verdict
+
+        @staticmethod
+        def cost_signature():
+            return {"kind": "decision_tree", "depth": 1, "n_nodes": 1}
+
+    return _Const()
+
+
+def two_action_program(schema, name="prog"):
+    """Exact table over ``pid``; actions "lo"/"hi" return 1/2."""
+    builder = ProgramBuilder(name, "test_hook", schema)
+    table = builder.add_table(MatchActionTable("tab", ["pid"]))
+    builder.add_action(BytecodeProgram("lo", [
+        I(OP.MOV_IMM, dst=0, imm=1), I(OP.EXIT)]))
+    builder.add_action(BytecodeProgram("hi", [
+        I(OP.MOV_IMM, dst=0, imm=2), I(OP.EXIT)]))
+    table.insert_exact([5], "lo")
+    return builder.build()
+
+
+def model_program(schema, model, name="prog"):
+    builder = ProgramBuilder(name, "test_hook", schema)
+    table = builder.add_table(MatchActionTable("tab", ["pid"]))
+    builder.add_model(0, model)
+    builder.add_action(BytecodeProgram("act", [
+        I(OP.VEC_ZERO, dst=0, imm=5),
+        I(OP.ML_INFER, dst=0, src=0, imm=0),
+        I(OP.EXIT),
+    ]))
+    table.insert_exact([5], "act")
+    return builder.build()
+
+
+def publishing_program(schema, name="prog"):
+    """Entry ``action_data`` publishes into ``scratch`` before the
+    action reads it back — covers the compiled publish path."""
+    builder = ProgramBuilder(name, "test_hook", schema)
+    table = builder.add_table(MatchActionTable("tab", ["pid"]))
+    builder.add_action(BytecodeProgram("echo", [
+        I(OP.LD_CTXT, dst=0, imm=schema.field_id("scratch")),
+        I(OP.EXIT),
+    ]))
+    table.insert_exact([5], "echo", scratch=42)
+    return builder.build()
+
+
+@pytest.fixture()
+def hooks(schema):
+    registry = HookRegistry()
+    registry.declare("test_hook", schema, AttachPolicy("test_hook"))
+    return registry
+
+
+def _install(hooks, schema, mode, program=None):
+    iface = RmtSyscallInterface(hooks)
+    iface.install(program if program is not None
+                  else two_action_program(schema), mode=mode)
+    return iface
+
+
+class TestTierLadder:
+    def test_ladder_names_every_mode(self):
+        assert TIER_LADDER == ("interpret", "jit", "compiled")
+
+    def test_unknown_mode_rejected_at_construction(self, schema):
+        with pytest.raises(ValueError, match="turbo"):
+            RmtDatapath(two_action_program(schema),
+                        AttachPolicy("test_hook"), mode="turbo")
+
+    def test_set_tier_rejects_unknown_mode(self, hooks, schema):
+        iface = _install(hooks, schema, "interpret")
+        with pytest.raises(ControlPlaneError, match="turbo"):
+            iface.control_plane.set_tier("prog", "turbo")
+
+    def test_specialization_is_lazy(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled")
+        dp = iface.control_plane.datapath("prog")
+        assert dp.tier_stats()["specializations"] == 0
+        hooks.fire("test_hook", schema.new_context(pid=5))
+        assert dp.tier_stats()["specializations"] == 1
+
+    def test_set_tier_walks_the_ladder_without_diverging(self, hooks, schema):
+        iface = _install(hooks, schema, "interpret")
+        cp = iface.control_plane
+        pids = (5, 6, 5, 7, 5)
+        want = [hooks.fire("test_hook", schema.new_context(pid=p))
+                for p in pids]
+        for mode in ("jit", "compiled", "interpret", "compiled"):
+            cp.set_tier("prog", mode)
+            got = [hooks.fire("test_hook", schema.new_context(pid=p))
+                   for p in pids]
+            assert got == want, f"tier {mode} diverged"
+            assert cp.datapath("prog").tier_stats()["mode"] == mode
+
+    def test_leaving_compiled_retires_the_unit(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled")
+        cp = iface.control_plane
+        hooks.fire("test_hook", schema.new_context(pid=5))
+        dp = cp.datapath("prog")
+        assert dp._compiled is not None
+        cp.set_tier("prog", "interpret")
+        assert dp._compiled is None
+        assert dp.tier_stats()["invalidations"] == 1
+
+    def test_set_tier_same_mode_is_a_noop(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled")
+        cp = iface.control_plane
+        hooks.fire("test_hook", schema.new_context(pid=5))
+        cp.set_tier("prog", "compiled")
+        assert cp.datapath("prog")._compiled is not None
+
+    def test_tier_report_covers_installed_programs(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled")
+        report = iface.control_plane.tier_report()
+        assert set(report) == {"prog"}
+        assert report["prog"]["mode"] == "compiled"
+
+
+class TestCompiledServing:
+    def test_hit_miss_and_repeat_match_interpreter(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled")
+        ref = RmtDatapath(two_action_program(schema),
+                          AttachPolicy("test_hook"), mode="interpret")
+        for pid in (5, 6, 5, 5, 9, 5):
+            got = hooks.fire("test_hook", schema.new_context(pid=pid))
+            want = ref.invoke(schema.new_context(pid=pid))
+            assert got == want
+
+    def test_entry_data_published_identically(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled",
+                         publishing_program(schema))
+        ctx = schema.new_context(pid=5)
+        assert hooks.fire("test_hook", ctx) == 42
+        assert ctx.get("scratch") == 42  # the publish is a side effect
+        ref_ctx = schema.new_context(pid=5)
+        ref = RmtDatapath(publishing_program(schema),
+                          AttachPolicy("test_hook"), mode="interpret")
+        assert ref.invoke(ref_ctx) == 42
+        assert ref_ctx.as_dict() == ctx.as_dict()
+
+    def test_verdict_clamped_like_interpreter(self, schema):
+        policy = AttachPolicy("test_hook", verdict_min=0, verdict_max=1)
+        program = two_action_program(schema)
+        Verifier(policy).verify_or_raise(program)
+        compiled = RmtDatapath(program, policy, mode="compiled")
+        interp = RmtDatapath(program, policy, mode="interpret")
+        got = compiled.invoke(schema.new_context(pid=5))
+        assert got == interp.invoke(schema.new_context(pid=5)) == 1
+
+    def test_inline_cache_hits_accumulate(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled")
+        dp = iface.control_plane.datapath("prog")
+        for _ in range(5):
+            hooks.fire("test_hook", schema.new_context(pid=5))
+        stats = dp.tier_stats()
+        # First fire resolves the site (miss); the rest hit the cache.
+        assert stats["ic_misses"] == 1
+        assert stats["ic_hits"] == 4
+        assert stats["compiled_fires"] == 5
+        assert stats["interp_fires"] == 0
+
+    def test_compiled_fires_fold_into_datapath_stats(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled")
+        dp = iface.control_plane.datapath("prog")
+        for pid in (5, 5, 6):
+            hooks.fire("test_hook", schema.new_context(pid=pid))
+        stats = dp.stats()
+        assert stats["invocations"] == 3
+        assert stats["actions_run"] == 2  # pid=6 missed the table
+        assert stats["tier"]["compiled_fires"] == 3
+
+    def test_cached_hits_surface_on_the_table(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled")
+        dp = iface.control_plane.datapath("prog")
+        for _ in range(4):
+            hooks.fire("test_hook", schema.new_context(pid=5))
+        dp._sync_tier()
+        table = dp.program.pipeline.table("tab")
+        assert table.cached_hits == 3  # the resolver miss isn't cached
+
+    def test_specialize_keeps_generated_source(self, schema):
+        program = two_action_program(schema)
+        policy = AttachPolicy("test_hook")
+        Verifier(policy).verify_or_raise(program)
+        dp = RmtDatapath(program, policy, mode="compiled")
+        unit = specialize(dp)
+        source = unit.fire.__rmt_source__
+        assert "def _fire(ctx, henv):" in source
+        assert "_DEOPT" in source  # the guard is in the generated body
+
+
+class TestDeopt:
+    def test_add_entry_deopts_then_respecializes(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled")
+        cp = iface.control_plane
+        dp = cp.datapath("prog")
+        ctx = lambda: schema.new_context(pid=5)  # noqa: E731
+        assert hooks.fire("test_hook", ctx()) == 1
+        cp.add_entry("prog", "tab", [5], "hi", priority=5)
+        assert hooks.fire("test_hook", ctx()) == 2  # new entry wins
+        stats = dp.tier_stats()
+        assert stats["deopts"] == 1
+        assert stats["deopt_fires"] == 1
+        assert stats["specializations"] == 1  # re-specialization is lazy
+        assert hooks.fire("test_hook", ctx()) == 2  # compiled again
+        stats = dp.tier_stats()
+        assert stats["specializations"] == 2
+        assert stats["compiled_fires"] == 2
+
+    def test_remove_entry_deopts_and_restores(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled")
+        cp = iface.control_plane
+        entry = cp.add_entry("prog", "tab", [5], "hi", priority=5)
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) == 2
+        assert cp.remove_entry("prog", "tab", entry.entry_id)
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) == 1
+        assert cp.datapath("prog").tier_stats()["deopts"] == 1
+
+    def test_modify_entry_deopts(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled",
+                         publishing_program(schema))
+        cp = iface.control_plane
+        entry = cp.datapath("prog").program.pipeline.table("tab").entries[0]
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) == 42
+        cp.modify_entry("prog", "tab", entry.entry_id, scratch=99)
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) == 99
+        assert cp.datapath("prog").tier_stats()["deopts"] == 1
+
+    def test_push_model_invalidates_eagerly(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled",
+                         model_program(schema, _const_model(3)))
+        cp = iface.control_plane
+        dp = cp.datapath("prog")
+        ctx = lambda: schema.new_context(pid=5)  # noqa: E731
+        assert hooks.fire("test_hook", ctx()) == 3
+        cp.push_model("prog", 0, _const_model(4))
+        assert dp._compiled is None  # retired before the next fire
+        assert hooks.fire("test_hook", ctx()) == 4
+        stats = dp.tier_stats()
+        assert stats["invalidations"] == 1
+        assert stats["deopts"] == 0  # eager invalidation, no guard miss
+        assert stats["specializations"] == 2
+
+    def test_equivalent_foreign_schema_is_adopted(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled")
+        dp = iface.control_plane.datapath("prog")
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) == 1
+        twin = ContextSchema("test_hook")
+        twin.add_field("pid")
+        twin.add_field("page")
+        twin.add_field("scratch", writable=True)
+        assert dp.invoke(twin.new_context(pid=5)) == 1
+        stats = dp.tier_stats()
+        assert stats["deopts"] == 0  # adopted, not deoptimized
+        assert stats["compiled_fires"] == 2
+        assert dp.invoke(schema.new_context(pid=5)) == 1  # twin is bound now
+
+    def test_inequivalent_schema_serves_interpreted(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled")
+        dp = iface.control_plane.datapath("prog")
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) == 1
+        stranger = ContextSchema("test_hook")
+        stranger.add_field("pid")
+        stranger.add_field("page")
+        stranger.add_field("scratch")  # not writable: not equivalent
+        assert dp.invoke(stranger.new_context(pid=5)) == 1
+        stats = dp.tier_stats()
+        assert stats["deopts"] == 1
+        assert stats["specializations"] == 1  # the unit survived
+        assert dp.invoke(schema.new_context(pid=5)) == 1  # still compiled
+        # first fire + this one compiled; the stranger fire was interpreted
+        assert dp.tier_stats()["compiled_fires"] == 2
+        assert dp.tier_stats()["interp_fires"] == 1
+
+    def test_quarantine_roundtrip_under_injected_faults(self, hooks, schema):
+        iface = _install(hooks, schema, "compiled")
+        iface.enable_supervision()
+        cp = iface.control_plane
+        hook = hooks.hook("test_hook")
+
+        class _Script:
+            def __init__(self, script):
+                self.script = list(script)
+
+            def maybe_inject(self, hook_name, program_name):
+                if self.script and self.script.pop(0):
+                    raise FaultInjected("scripted", kind="helper_fault")
+
+        hook.injector = _Script([True] * 10)
+        refused = [hooks.fire("test_hook", schema.new_context(pid=5))
+                   for _ in range(10)]
+        assert all(v is None for v in refused)
+        assert "prog" in cp.supervisor.quarantined
+        cp.release("prog")
+        hook.injector = None
+        assert hooks.fire("test_hook", schema.new_context(pid=5)) == 1
+
+    def test_mutation_storm_never_diverges(self, hooks, schema):
+        """Interleave fires with every mutating control-plane verb and
+        compare against an identically-driven interpreter install."""
+        compiled = _install(hooks, schema, "compiled")
+        interp_hooks = HookRegistry()
+        interp_hooks.declare("test_hook", schema, AttachPolicy("test_hook"))
+        interp = _install(interp_hooks, schema, "interpret")
+        pids = (5, 6, 7, 5)
+
+        def drive(iface, registry):
+            cp = iface.control_plane
+            out = []
+            out += [registry.fire("test_hook", schema.new_context(pid=p))
+                    for p in pids]
+            e1 = cp.add_entry("prog", "tab", [6], "hi")
+            out += [registry.fire("test_hook", schema.new_context(pid=p))
+                    for p in pids]
+            cp.add_entry("prog", "tab", [5], "hi", priority=9)
+            out += [registry.fire("test_hook", schema.new_context(pid=p))
+                    for p in pids]
+            cp.remove_entry("prog", "tab", e1.entry_id)
+            out += [registry.fire("test_hook", schema.new_context(pid=p))
+                    for p in pids]
+            return out
+
+        assert drive(compiled, hooks) == drive(interp, interp_hooks)
+
+
+class TestFireMany:
+    def _twin_installs(self, schema, program_factory=two_action_program,
+                       mode="compiled"):
+        sides = []
+        for _ in range(2):
+            registry = HookRegistry()
+            registry.declare("test_hook", schema, AttachPolicy("test_hook"))
+            iface = RmtSyscallInterface(registry)
+            iface.install(program_factory(schema), mode=mode)
+            sides.append((registry, iface))
+        return sides
+
+    def test_matches_per_fire_loop(self, schema):
+        (batched, _), (looped, _) = self._twin_installs(schema)
+        contexts = [schema.new_context(pid=p)
+                    for p in (5, 6, 5, 9, 5, 5, 7)]
+        many = batched.hook("test_hook").fire_many(contexts)
+        one = [looped.fire("test_hook", schema.new_context(pid=c.get("pid")))
+               for c in contexts]
+        assert many == one
+        assert (batched.hook("test_hook").fires
+                == looped.hook("test_hook").fires)
+
+    def test_matches_with_memo(self, schema):
+        (batched, _), (looped, _) = self._twin_installs(schema)
+        pids = (5, 6, 5, 5, 9, 5, 6, 6)
+        batched.hook("test_hook").enable_memo()
+        memo_loop = looped.hook("test_hook").enable_memo()
+        many = batched.hook("test_hook").fire_many(
+            [schema.new_context(pid=p) for p in pids]
+        )
+        one = [looped.fire("test_hook", schema.new_context(pid=p))
+               for p in pids]
+        assert many == one
+        memo_batch = batched.hook("test_hook").memo
+        assert memo_batch.hits == memo_loop.hits
+        assert memo_batch.misses == memo_loop.misses
+
+    def test_empty_batch(self, hooks, schema):
+        _install(hooks, schema, "compiled")
+        assert hooks.hook("test_hook").fire_many([]) == []
+
+    def test_supervised_batch_matches_per_fire(self, schema):
+        sides = self._twin_installs(schema)
+        for _, iface in sides:
+            iface.enable_supervision()
+        (batched, _), (looped, _) = sides
+        contexts = [schema.new_context(pid=p) for p in (5, 6, 5, 5)]
+        many = batched.hook("test_hook").fire_many(contexts)
+        one = [looped.fire("test_hook", schema.new_context(pid=c.get("pid")))
+               for c in contexts]
+        assert many == one
+
+    def test_armed_injector_degrades_to_per_fire(self, schema):
+        sides = self._twin_installs(schema)
+        for registry, iface in sides:
+            iface.enable_supervision()
+            registry.hook("test_hook").injector = type(
+                "Never", (), {"maybe_inject": lambda self, h, p: None}
+            )()
+        (batched, _), (looped, _) = sides
+        pids = (5, 6, 5)
+        many = batched.hook("test_hook").fire_many(
+            [schema.new_context(pid=p) for p in pids]
+        )
+        one = [looped.fire("test_hook", schema.new_context(pid=p))
+               for p in pids]
+        assert many == one
+
+    def test_trap_mid_batch_serves_the_rest_per_fire(self, schema):
+        """A contained trap moves the memo epoch mid-batch; the batch
+        must fall back to per-fire serving for the tail."""
+
+        def trap_program(schema, name="prog"):
+            builder = ProgramBuilder(name, "test_hook", schema)
+            table = builder.add_table(MatchActionTable("tab", ["pid"]))
+            builder.add_action(BytecodeProgram("act", [
+                I(OP.LD_CTXT, dst=1, imm=schema.field_id("pid")),
+                I(OP.CALL, imm=7),
+                I(OP.EXIT),
+            ]))
+            for pid in range(8):
+                table.insert_exact([pid], "act")
+            return builder.build()
+
+        from repro.core.errors import RmtRuntimeError
+
+        def boom(env, pid):
+            if pid == 3:
+                raise RmtRuntimeError("scripted trap at pid=3")
+            return pid * 10
+
+        sides = []
+        for _ in range(2):
+            registry = HookRegistry()
+            registry.helpers.register(7, "boom", 1, boom)
+            registry.helpers.grant("test_hook", "boom")
+            registry.declare("test_hook", schema, AttachPolicy("test_hook"))
+            iface = RmtSyscallInterface(registry)
+            iface.install(trap_program(schema), mode="compiled")
+            iface.enable_supervision()
+            registry.hook("test_hook").enable_memo(force=True)
+            sides.append(registry)
+        batched, looped = sides
+        pids = (1, 2, 3, 4, 5, 1)
+        many = batched.hook("test_hook").fire_many(
+            [schema.new_context(pid=p) for p in pids]
+        )
+        one = [looped.fire("test_hook", schema.new_context(pid=p))
+               for p in pids]
+        assert many == one
+        assert batched.hook("test_hook").contained_traps == 1
+        assert (batched.hook("test_hook").contained_traps
+                == looped.hook("test_hook").contained_traps)
+
+    def test_registry_delegate(self, hooks, schema):
+        _install(hooks, schema, "compiled")
+        verdicts = hooks.fire_many(
+            "test_hook", [schema.new_context(pid=p) for p in (5, 6)]
+        )
+        assert verdicts == [1, None]
+
+
+class TestRecoveryInterplay:
+    def test_mid_serve_mutation_with_memo_and_batch(self, hooks, schema):
+        """The fleet-node configuration: compiled + memo + batched,
+        mutated between batches — verdicts must track the mutation."""
+        iface = _install(hooks, schema, "compiled")
+        cp = iface.control_plane
+        hook = hooks.hook("test_hook")
+        hook.enable_memo()
+        contexts = lambda: [schema.new_context(pid=p)  # noqa: E731
+                            for p in (5, 5, 6)]
+        assert hook.fire_many(contexts()) == [1, 1, None]
+        cp.add_entry("prog", "tab", [5], "hi", priority=5)
+        cp.add_entry("prog", "tab", [6], "lo")
+        assert hook.fire_many(contexts()) == [2, 2, 1]
+        dp = cp.datapath("prog")
+        assert dp.tier_stats()["deopts"] == 1  # one guard miss per storm
+
+
+# -- hypothesis differentials ------------------------------------------------
+
+_FIELDS = ("a", "b", "c")
+_OUT = "out"
+
+_ops = st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^"])
+_cmps = st.sampled_from(["<", "<=", ">", ">=", "==", "!="])
+
+
+def _expr_strategy(names: tuple[str, ...]):
+    leaf = st.one_of(
+        st.integers(-100, 100).map(str),
+        st.sampled_from([f"ctxt.{f}" for f in _FIELDS]),
+        *([st.sampled_from(list(names))] if names else []),
+    )
+    return st.recursive(
+        leaf,
+        lambda kids: st.builds(
+            lambda op, l_, r_: f"({l_} {op} {r_})", _ops, kids, kids
+        ),
+        max_leaves=6,
+    )
+
+
+@st.composite
+def programs(draw):
+    lines = []
+    locals_so_far: tuple[str, ...] = ()
+    for i in range(draw(st.integers(0, 3))):
+        name = f"v{i}"
+        expr = draw(_expr_strategy(locals_so_far))
+        lines.append(f"{name} = {expr};")
+        locals_so_far = locals_so_far + (name,)
+    if draw(st.booleans()):
+        lines.append(
+            f"ctxt.{_OUT} = {draw(_expr_strategy(locals_so_far))};"
+        )
+
+    def branch(depth: int) -> list[str]:
+        if depth <= 0 or draw(st.booleans()):
+            return [f"return {draw(_expr_strategy(locals_so_far))};"]
+        lhs = draw(st.one_of(
+            st.integers(-100, 100).map(str),
+            st.sampled_from([f"ctxt.{f}" for f in _FIELDS]),
+            *([st.sampled_from(list(locals_so_far))]
+              if locals_so_far else []),
+        ))
+        cond = (f"({lhs} {draw(_cmps)} "
+                f"{draw(_expr_strategy(locals_so_far))})")
+        return (
+            [f"if {cond} {{"] + branch(depth - 1)
+            + ["} else {"] + branch(depth - 1) + ["}"]
+        )
+
+    lines.extend(branch(draw(st.integers(0, 2))))
+    body = "\n".join(lines)
+    env = {f: draw(st.integers(-(1 << 16), 1 << 16)) for f in _FIELDS}
+    return body, env
+
+
+class TestCompiledDifferential:
+    @settings(max_examples=100, deadline=None)
+    @given(programs())
+    def test_random_programs_agree(self, case):
+        body, env = case
+        schema = ContextSchema("test_hook")
+        for name in _FIELDS:
+            schema.add_field(name)
+        schema.add_field(_OUT, writable=True)
+        source = f"""
+            table t {{ match = a; default_action = f; }}
+            action f() {{
+                {body}
+            }}
+        """
+        try:
+            program = compile_source(source, "p", "test_hook", schema)
+        except DslError as exc:
+            if "too complex" in str(exc):
+                assume(False)
+            raise
+        policy = AttachPolicy("test_hook")
+        Verifier(policy).verify_or_raise(program)
+
+        ctx_interp = schema.new_context(**env)
+        got_interp = RmtDatapath(
+            program, policy, mode="interpret"
+        ).invoke(ctx_interp)
+        ctx_compiled = schema.new_context(**env)
+        got_compiled = RmtDatapath(
+            program, policy, mode="compiled"
+        ).invoke(ctx_compiled)
+
+        assert got_interp == got_compiled, (
+            f"verdict diverged (interp={got_interp}, "
+            f"compiled={got_compiled}) on:\n{body}\nwith {env}"
+        )
+        assert ctx_interp.as_dict() == ctx_compiled.as_dict(), (
+            f"context side effects diverged on:\n{body}\nwith {env}"
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(0, 9), min_size=1, max_size=30),
+        st.lists(st.tuples(st.integers(0, 9), st.booleans()),
+                 max_size=5),
+    )
+    def test_random_mutations_agree(self, pids, mutations):
+        """Random fire streams interleaved with random table mutations:
+        the compiled tier (deopting and re-specializing as generations
+        move) must match a twin interpreter install verb-for-verb."""
+        schema = ContextSchema("test_hook")
+        schema.add_field("pid")
+        schema.add_field("page")
+        schema.add_field("scratch", writable=True)
+        sides = []
+        for mode in ("compiled", "interpret"):
+            cp = ControlPlane()
+            cp.install(two_action_program(schema),
+                       AttachPolicy("test_hook"), mode=mode)
+            sides.append(cp)
+
+        def drive(cp):
+            dp = cp.datapath("prog")
+            out = []
+            added = []
+            out += [dp.invoke(schema.new_context(pid=p)) for p in pids]
+            for pid, add in mutations:
+                if add or not added:
+                    added.append(
+                        cp.add_entry("prog", "tab", [pid], "hi", priority=3)
+                    )
+                else:
+                    cp.remove_entry("prog", "tab",
+                                    added.pop().entry_id)
+                out += [dp.invoke(schema.new_context(pid=p)) for p in pids]
+            return out
+
+        compiled_out, interp_out = drive(sides[0]), drive(sides[1])
+        assert compiled_out == interp_out
