@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Flake check: the tier-1 suite must be hash-seed independent.
+
+Python randomizes ``hash()`` for strings per process via
+``PYTHONHASHSEED``, so any test that implicitly depends on dict/set
+iteration order of string keys (golden traces, state summaries,
+registry listings, fleet assignment) can pass on one seed and fail on
+another — the classic heisenflake.  This script runs the full tier-1
+suite once per seed, collects the per-test outcome from pytest's
+report lines, and fails if the *set* of passing tests differs between
+any two seeds (naming exactly which tests flipped).
+
+Usage::
+
+    python scripts/flake_check.py                 # seeds 0, 1, 42
+    python scripts/flake_check.py --seeds 7 13    # custom seeds
+    python scripts/flake_check.py -k conformance  # subset, faster
+
+Exit codes: 0 = identical outcomes on every seed, 1 = flakes found,
+2 = a run failed to produce a report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SEEDS = (0, 1, 42)
+
+
+def run_suite(seed: int, extra_args: list[str]) -> dict[str, str]:
+    """Run tier-1 under one hash seed; return {test_id: outcome}."""
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(seed)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    command = [
+        sys.executable, "-m", "pytest", "--tb=no", "-p", "no:cacheprovider",
+        "--no-header", "-rN", "--color=no",
+        # One line per test, machine-parseable: "path::test PASSED".
+        "-v",
+    ] + extra_args
+    proc = subprocess.run(command, cwd=REPO_ROOT, env=env,
+                          capture_output=True, text=True)
+    outcomes: dict[str, str] = {}
+    for line in proc.stdout.splitlines():
+        parts = line.split(" ")
+        if len(parts) < 2 or "::" not in parts[0]:
+            continue
+        verdict = parts[1].strip()
+        if verdict in ("PASSED", "FAILED", "ERROR", "SKIPPED", "XFAIL",
+                       "XPASS"):
+            outcomes[parts[0]] = verdict
+    if not outcomes:
+        print(f"seed {seed}: no test report parsed "
+              f"(pytest exit {proc.returncode})", file=sys.stderr)
+        tail = proc.stdout.strip().splitlines()[-5:]
+        for line in tail:
+            print(f"  {line}", file=sys.stderr)
+        raise RuntimeError(f"empty report for seed {seed}")
+    return outcomes
+
+
+def diff_outcomes(baseline_seed: int, baseline: dict[str, str],
+                  seed: int, outcomes: dict[str, str]) -> list[str]:
+    problems = []
+    for test in sorted(set(baseline) | set(outcomes)):
+        a = baseline.get(test, "<missing>")
+        b = outcomes.get(test, "<missing>")
+        if a != b:
+            problems.append(
+                f"{test}: {a} under PYTHONHASHSEED={baseline_seed}, "
+                f"{b} under PYTHONHASHSEED={seed}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, nargs="+",
+                        default=list(DEFAULT_SEEDS),
+                        help="PYTHONHASHSEED values to sweep "
+                             f"(default: {' '.join(map(str, DEFAULT_SEEDS))})")
+    parser.add_argument("-k", dest="keyword", default=None,
+                        help="pytest -k filter, for a faster subset sweep")
+    args = parser.parse_args(argv)
+    if len(args.seeds) < 2:
+        parser.error("need at least two seeds to compare")
+
+    extra = ["-k", args.keyword] if args.keyword else []
+    runs: dict[int, dict[str, str]] = {}
+    for seed in args.seeds:
+        try:
+            runs[seed] = run_suite(seed, extra)
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        passed = sum(1 for v in runs[seed].values() if v == "PASSED")
+        print(f"PYTHONHASHSEED={seed}: {len(runs[seed])} tests, "
+              f"{passed} passed")
+
+    baseline_seed = args.seeds[0]
+    flakes: list[str] = []
+    for seed in args.seeds[1:]:
+        flakes.extend(diff_outcomes(baseline_seed, runs[baseline_seed],
+                                    seed, runs[seed]))
+    if flakes:
+        print(f"\nFLAKY: {len(flakes)} test(s) changed outcome across "
+              f"hash seeds:")
+        for line in flakes:
+            print(f"  {line}")
+        return 1
+    print("\nno flakes: identical outcomes under every hash seed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

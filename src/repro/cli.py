@@ -25,7 +25,18 @@ tooling:
 * ``fleet``               — the multi-node serving subsystem: drain the
   sharded workload mix (``status``), drive a fleet-wide staged rollout
   (``rollout``), or kill a node mid-rollout and verify the fleet
-  converges after recovery (``kill-node``).
+  converges after recovery (``kill-node``),
+* ``conformance``         — model-based chaos testing: replay seeded op
+  tapes against the real stack at every execution tier with crash
+  interleavings, diff observable state against the pure reference
+  model after every op, and chaos-drive the fleet's quorum-push
+  atomicity invariant.  Exits nonzero on any divergence.
+
+Every command exits 0 on success.  Expected failures (a diverging
+conformance seed, golden-trace drift, a crash offset that fails to
+converge) exit 1; operator errors (bad arguments, missing or corrupt
+input files) exit 2 with a one-line ``error:`` message, never a
+traceback.
 """
 
 from __future__ import annotations
@@ -35,11 +46,35 @@ import sys
 
 from .core.context import ContextSchema
 from .core.dsl import compile_source
-from .core.errors import DslError, VerifierError
+from .core.errors import DslError, RmtError, VerifierError
 from .core.isa import OPCODE_SPECS, Opcode
 from .core.verifier import AttachPolicy, Verifier
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
+def _seed_int(text: str) -> int:
+    """argparse type: a non-negative RNG seed."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"seeds are non-negative, got {value}")
+    return value
 
 
 def _cmd_table1(args) -> int:
@@ -480,6 +515,52 @@ def _cmd_fleet(args) -> int:
     return 0 if result["converged"] else 1
 
 
+_CONFORMANCE_TIERS = ("interpret", "jit", "compiled")
+
+
+def _cmd_conformance(args) -> int:
+    import json as _json
+
+    from .harness.conformance_experiment import run_conformance_sweep
+
+    tiers = (_CONFORMANCE_TIERS if args.tier == "all" else (args.tier,))
+    memo_modes = (False,) if args.no_memo else (False, True)
+
+    def progress(seed, result):
+        status = "ok" if result.ok else "DIVERGED"
+        print(f"  seed {seed}: {result.runs} runs, {result.ops_run} ops, "
+              f"{result.crashes_injected} crashes injected  [{status}]")
+
+    result = run_conformance_sweep(
+        n_seeds=args.seeds, n_ops=args.ops, seed0=args.seed, tiers=tiers,
+        crash=not args.no_crash, memo_modes=memo_modes,
+        fleet_rounds=args.fleet_rounds,
+        progress=None if args.json else progress)
+    if args.json:
+        print(_json.dumps(result.summary(), indent=2, sort_keys=True))
+        return 0 if result.ok else 1
+
+    summary = result.summary()
+    print(f"conformance: {summary['seeds']} seed(s) x {args.ops} ops, "
+          f"tiers={','.join(tiers)}, "
+          f"crash={'off' if args.no_crash else 'on'}")
+    print(f"  {summary['runs']} replays, {summary['ops_run']} ops applied, "
+          f"{summary['crashes_injected']} crashes injected")
+    for row in summary["divergences"]:
+        print(f"  DIVERGED seed={row['seed']} tier={row['tier']} "
+              f"memo={row['memo']} op[{row['op_index']}]={row['op']}: "
+              f"{row['kind']} {row['detail']}")
+        print(f"    reproduce: python -m repro conformance run "
+              f"--seed {row['seed']} --ops {args.ops} "
+              f"--tier {row['tier']}")
+    for row in summary["invariant_violations"]:
+        print(f"  VIOLATED {row['invariant']}: {row['detail']}")
+    if result.ok:
+        print("  no divergence from the reference model")
+        return 0
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -509,7 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--skip-shadow", action="store_true",
                     help="go straight to canary (demonstrates the "
                          "canary-stage rollback path)")
-    pr.add_argument("--seed", type=int, default=0,
+    pr.add_argument("--seed", type=_seed_int, default=0,
                     help="canary hash-split seed (default: 0)")
     pr.add_argument("--quick", action="store_true")
     pr.set_defaults(fn=_cmd_rollout)
@@ -533,7 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="hot-path microbenchmarks: per-table index "
                              "and per-hook verdict-cache stats")
     ph.add_argument("--quick", action="store_true")
-    ph.add_argument("--seed", type=int, default=0)
+    ph.add_argument("--seed", type=_seed_int, default=0)
     ph.set_defaults(fn=_cmd_hotpath)
     hsub = ph.add_subparsers(dest="hotpath_cmd", required=False)
     hp = hsub.add_parser("tiers",
@@ -541,7 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "compiled per-fire cost, fire_many chunking, "
                               "and per-tier fire attribution")
     hp.add_argument("--quick", action="store_true")
-    hp.add_argument("--seed", type=int, default=0)
+    hp.add_argument("--seed", type=_seed_int, default=0)
     hp.set_defaults(fn=_cmd_hotpath)
 
     pt = sub.add_parser("trace",
@@ -555,7 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("scenario",
                     choices=("table1", "table2", "resilience", "rollout",
                              "fleet", "compile"))
-    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--seed", type=_seed_int, default=0)
     tr.add_argument("--out", default=None,
                     help="write the trace here instead of stdout")
     tr.set_defaults(fn=_cmd_trace)
@@ -587,7 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["resilience", "rollout", "all"])
     pv.add_argument("--max-offsets", type=int, default=None,
                     help="sample at most N crash offsets per scenario")
-    pv.add_argument("--seed", type=int, default=0)
+    pv.add_argument("--seed", type=_seed_int, default=0)
     pv.add_argument("--json", action="store_true",
                     help="emit the full cell table as JSON")
     pv.set_defaults(fn=_cmd_recover)
@@ -606,7 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         fp = fsub.add_parser(name, help=helptext)
         fp.add_argument("--nodes", type=int, default=4)
-        fp.add_argument("--seed", type=int, default=0)
+        fp.add_argument("--seed", type=_seed_int, default=0)
         fp.add_argument("--accesses", type=int, default=None,
                         help="cap accesses per shard (default: full streams)")
         fp.add_argument("--json", action="store_true",
@@ -615,12 +696,49 @@ def build_parser() -> argparse.ArgumentParser:
             fp.add_argument("--candidate", choices=("good", "poisoned"),
                             default="poisoned")
         fp.set_defaults(fn=_cmd_fleet)
+
+    pk = sub.add_parser("conformance",
+                        help="model-based chaos testing against the pure "
+                             "reference oracle")
+    ksub = pk.add_subparsers(dest="conformance_cmd", required=True)
+    kr = ksub.add_parser("run",
+                         help="replay seeded op tapes across tiers with "
+                              "crash interleavings; exit 1 on divergence")
+    kr.add_argument("--seed", type=_seed_int, default=0,
+                    help="first tape seed (default: 0)")
+    kr.add_argument("--seeds", type=_positive_int, default=1,
+                    help="sweep N consecutive seeds (default: 1)")
+    kr.add_argument("--ops", type=_positive_int, default=40,
+                    help="ops per tape (default: 40)")
+    kr.add_argument("--tier", choices=("all",) + _CONFORMANCE_TIERS,
+                    default="all",
+                    help="execution tier to replay at (default: all)")
+    kr.add_argument("--no-crash", action="store_true",
+                    help="disable crash interleavings")
+    kr.add_argument("--no-memo", action="store_true",
+                    help="replay only with memoization off")
+    kr.add_argument("--fleet-rounds", type=int, default=6,
+                    help="fleet quorum-push chaos rounds per seed "
+                         "(0 disables; default: 6)")
+    kr.add_argument("--json", action="store_true",
+                    help="emit the full report as JSON")
+    kr.set_defaults(fn=_cmd_conformance)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    # Operator errors (missing files, corrupt stores, bad specs) surface
+    # as one actionable line on stderr, never a traceback.
+    try:
+        return args.fn(args)
+    except KeyError as exc:
+        print(f"error: input is missing required field {exc}",
+              file=sys.stderr)
+        return 2
+    except (RmtError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,58 @@
+"""Model-based conformance testing with a reference oracle.
+
+The stack now spans four execution tiers, a crash-recovery journal and
+a sharded fleet; this package checks that all of them implement *one*
+control-plane semantics.  A seeded tape of ops from a closed grammar
+(:mod:`.ops`) is replayed against the real kernel at each tier with
+crash and fault interleavings (:mod:`.driver`) while a pure-Python
+reference model (:mod:`.refmodel`) predicts every observable — any
+disagreement is reported with the minimal op prefix that reproduces
+it.  Cross-layer invariants (tier bit-identity, restore convergence,
+fleet push atomicity) live in :mod:`.invariants`.
+
+Entry points: the hypothesis state machine under ``tests/conformance``
+shrinks counterexamples at CI time, ``repro conformance run`` replays
+one seed from the command line, and
+:func:`repro.harness.conformance_experiment.run_conformance_sweep`
+drives the N-seed × M-op × tier × crash-point sweep.
+"""
+
+from .driver import (
+    ConformanceReport,
+    ConformanceWorld,
+    Divergence,
+    run_tape,
+    run_tape_dicts,
+)
+from .invariants import (
+    CostBombModel,
+    InvariantViolation,
+    check_fleet_quorum,
+    check_never_unverified,
+    check_restore_convergence,
+    check_tiers_bit_identical,
+)
+from .ops import (
+    CRASHABLE_OPS,
+    OP_KINDS,
+    Op,
+    conf_model,
+    generate_crash_plan,
+    generate_tape,
+    model_provider,
+    tape_from_dicts,
+    tape_to_dicts,
+)
+from .refmodel import PROBES, PROGRAMS, TIERS, RefModel
+
+__all__ = [
+    "ConformanceReport", "ConformanceWorld", "Divergence",
+    "run_tape", "run_tape_dicts",
+    "CostBombModel",
+    "InvariantViolation", "check_fleet_quorum", "check_never_unverified",
+    "check_restore_convergence", "check_tiers_bit_identical",
+    "CRASHABLE_OPS", "OP_KINDS", "Op", "conf_model",
+    "generate_crash_plan", "generate_tape", "model_provider",
+    "tape_from_dicts", "tape_to_dicts",
+    "PROBES", "PROGRAMS", "TIERS", "RefModel",
+]

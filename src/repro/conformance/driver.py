@@ -1,0 +1,516 @@
+"""The conformance driver: replay a tape against the real stack.
+
+A :class:`ConformanceWorld` holds one real kernel (hook registry,
+supervisor, recoverable control plane, syscall surface) plus one
+:class:`~.refmodel.RefModel`, both seeded identically.  ``apply()``
+executes each op on both sides — arming a :class:`CrashInjector` at
+the op's intent LSN when the crash plan says so, recovering in place
+and re-running under the same idempotency key when it fires — then:
+
+1. fires every :data:`~.refmodel.PROBES` context at every installed
+   program and compares verdicts (the probe stream doubles as the
+   bit-identical payload compared across tiers), and
+2. collects the real observable state (``state_summary`` plus tier
+   mode via ``tier_stats``, memo flag, and raw table contents) and
+   structurally diffs it against ``RefModel.expected_state()``.
+
+The first mismatch stops the run; the resulting :class:`Divergence`
+carries the *minimal op prefix* (every op up to and including the
+offender, as JSON dicts) so the failure replays from two integers or
+one pinned tape file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import ContextSchema
+from ..core.bytecode import BytecodeProgram, Instruction
+from ..core.errors import ControlPlaneCrash, FaultInjected
+from ..core.isa import Opcode
+from ..core.program import ProgramBuilder
+from ..core.supervisor import DatapathSupervisor, SupervisorConfig
+from ..core.tables import MatchActionTable
+from ..core.verifier import AttachPolicy
+from ..deploy import RolloutConfig
+from ..kernel.faults import CrashInjector, CrashPlan
+from ..kernel.hooks import HookRegistry
+from ..kernel.syscalls import RmtSyscallInterface
+from ..recovery import RecoverableControlPlane, RecoveryStore, recover
+from ..recovery import state_summary
+from .ops import CRASHABLE_OPS, Op, model_provider, tape_from_dicts
+from .refmodel import (
+    FAULT_THRESHOLD,
+    PROBES,
+    PROGRAMS,
+    RAMP,
+    RefModel,
+    SHADOW_MIN_SAMPLES,
+    CANARY_MIN_SAMPLES,
+    TIERS,
+    VERDICT_MAX,
+    VERDICT_MIN,
+    attach_point,
+)
+
+__all__ = [
+    "ConformanceWorld", "ConformanceReport", "Divergence",
+    "run_tape", "run_tape_dicts",
+]
+
+_I = Instruction
+_OP = Opcode
+
+TABLE = "tab"
+ACTION = "act"
+
+#: checkpoint_every for conformance control planes: never.  Recovery
+#: must converge from the journal alone, which keeps replay semantics
+#: (quarantine ordering, tier ops) fully observable instead of being
+#: absorbed into whichever checkpoint happened to land last.
+_CHECKPOINT_NEVER = 10**9
+
+
+def _make_schema(hook_name: str) -> ContextSchema:
+    schema = ContextSchema(hook_name)
+    schema.add_field("pid")
+    schema.add_field("page")
+    schema.add_field("hint", writable=True)
+    return schema
+
+
+def build_program(schema: ContextSchema, model, name: str):
+    """The conformance datapath: verdict = clamp(model(pid, page)).
+
+    No helpers, maps or context writes, so the program is memo-safe and
+    identical across tiers by construction — any tier-dependent verdict
+    is a real bug, not a modelling artifact.
+    """
+    builder = ProgramBuilder(name, attach_point(name), schema)
+    table = builder.add_table(MatchActionTable(TABLE, ["pid"]))
+    builder.add_model(0, model)
+    pid_field = schema.field("pid").field_id
+    page_field = schema.field("page").field_id
+    builder.add_action(BytecodeProgram(ACTION, [
+        _I(_OP.VEC_ZERO, dst=0, imm=2),
+        _I(_OP.LD_CTXT, dst=1, imm=pid_field),
+        _I(_OP.VEC_SET, dst=0, src=1, imm=0),
+        _I(_OP.LD_CTXT, dst=1, imm=page_field),
+        _I(_OP.VEC_SET, dst=0, src=1, imm=1),
+        _I(_OP.ML_INFER, dst=0, src=0, imm=0),
+        _I(_OP.EXIT),
+    ]))
+    return builder.build()
+
+
+@dataclass
+class Divergence:
+    """One disagreement between the real stack and the reference model."""
+
+    op_index: int
+    op: dict
+    kind: str        # "verdict" | "state"
+    detail: str
+    expected: object
+    got: object
+    prefix: list = field(default_factory=list)  # minimal reproducing tape
+
+    def row(self) -> dict:
+        return {
+            "op_index": self.op_index,
+            "op": self.op,
+            "kind": self.kind,
+            "detail": self.detail,
+            "expected": repr(self.expected),
+            "got": repr(self.got),
+            "prefix_len": len(self.prefix),
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of one tape replay at one (tier, memo) point."""
+
+    seed: int
+    tier: str
+    memo: bool
+    ops_run: int = 0
+    checks: int = 0
+    crashes_injected: int = 0
+    divergences: list = field(default_factory=list)
+    verdict_stream: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> dict:
+        return {
+            "seed": self.seed,
+            "tier": self.tier,
+            "memo": self.memo,
+            "ops_run": self.ops_run,
+            "checks": self.checks,
+            "crashes_injected": self.crashes_injected,
+            "ok": self.ok,
+            "divergences": [d.row() for d in self.divergences],
+        }
+
+
+class _OneShotFault:
+    """Duck-typed FaultInjector: trap exactly one targeted dispatch."""
+
+    def __init__(self, program_name: str) -> None:
+        self.program_name = program_name
+        self.armed = True
+        self.injected = 0
+
+    def maybe_inject(self, hook_name: str, program_name: str) -> None:
+        if self.armed and program_name == self.program_name:
+            self.armed = False
+            self.injected += 1
+            raise FaultInjected(
+                "conformance: injected datapath fault",
+                kind="conformance", program=program_name,
+            )
+
+
+class ConformanceWorld:
+    """One real kernel + one reference model, fed the same ops."""
+
+    def __init__(self, seed: int, tier: str = "interpret",
+                 memo: bool = False) -> None:
+        if tier not in TIERS:
+            raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
+        self.seed = seed
+        self.tier = tier
+        self.memo_default = memo
+        self.provider = model_provider(seed)
+        self.ref = RefModel(seed, self.provider, memo_default=memo,
+                            tier=tier)
+        self.store = RecoveryStore()
+        self.schemas: dict[str, ContextSchema] = {}
+        self.op_index = 0
+        self.verdict_stream: list = []
+        self._build_kernel(fresh_store=True)
+
+    # -- kernel construction -------------------------------------------------
+
+    def _build_hooks(self) -> None:
+        self.hooks = HookRegistry()
+        for name in PROGRAMS:
+            point = attach_point(name)
+            schema = _make_schema(point)
+            self.schemas[point] = schema
+            self.hooks.declare(point, schema, AttachPolicy(
+                point, verdict_min=VERDICT_MIN, verdict_max=VERDICT_MAX))
+        # Infinite fault window + backoff: breaker state is a pure
+        # function of traps-since-close and explicit quarantine ops,
+        # which is exactly what the reference model computes.
+        self.hooks.supervise(DatapathSupervisor(SupervisorConfig(
+            fault_threshold=FAULT_THRESHOLD,
+            fault_window=10**9, base_backoff=10**9, max_backoff=10**9)))
+
+    def _build_kernel(self, fresh_store: bool) -> None:
+        self._build_hooks()
+        if fresh_store:
+            self.cp = RecoverableControlPlane(
+                self.hooks.helpers, hook_registry=self.hooks,
+                store=self.store, checkpoint_every=_CHECKPOINT_NEVER)
+            self.cp.attach_supervisor(self.hooks.supervisor)
+        else:
+            cp, _, _ = recover(self.store, self.hooks,
+                               checkpoint_every=_CHECKPOINT_NEVER)
+            cp.crash_injector = None
+            self.cp = cp
+        self.iface = RmtSyscallInterface(self.hooks, control_plane=self.cp)
+
+    def _recover_in_place(self) -> None:
+        """Crash recovery against the surviving kernel objects."""
+        cp, _, _ = recover(self.store, self.hooks,
+                           checkpoint_every=_CHECKPOINT_NEVER)
+        cp.crash_injector = None
+        self.cp = cp
+        self.iface = RmtSyscallInterface(self.hooks, control_plane=cp)
+
+    # -- op application --------------------------------------------------
+
+    def apply(self, op: Op, crash_kind: str | None = None) -> list:
+        """Run one op on both sides; return any divergences (and stop
+        recording state into the streams once one is found)."""
+        divergences: list[Divergence] = []
+        if op.kind in ("fire", "fault"):
+            got = self._execute(op)
+            want = self.ref.apply(op)
+            if got != want:
+                divergences.append(self._divergence(
+                    op, "verdict", f"{op.kind} verdict", want, got))
+        elif crash_kind is not None and op.kind in CRASHABLE_OPS:
+            crashed = self._execute_with_crash(op, crash_kind)
+            self.ref.apply(op, crash_kind=crash_kind if crashed else None)
+        else:
+            self._execute(op)
+            self.ref.apply(op)
+        divergences.extend(self._check(op))
+        self.op_index += 1
+        return divergences
+
+    def _execute_with_crash(self, op: Op, crash_kind: str) -> bool:
+        injector = CrashInjector(CrashPlan(seed=self.seed))
+        self.cp.crash_injector = injector
+        batch_index = 1 if crash_kind == "torn_batch" else None
+        injector.arm(self.cp.journal.next_lsn, crash_kind,
+                     batch_index=batch_index)
+        crashed = False
+        try:
+            self._execute(op)
+        except ControlPlaneCrash:
+            crashed = True
+        finally:
+            self.cp.crash_injector = None
+        if crashed:
+            self._recover_in_place()
+            # Re-run under the same idempotency key: committed and
+            # rolled-forward ops dedupe; an aborted in-doubt stage runs
+            # fresh.  This is the client retry the journal is built for.
+            self._execute(op)
+        return crashed
+
+    def _execute(self, op: Op):
+        return getattr(self, f"_run_{op.kind}")(op.args)
+
+    def _op_id(self) -> str:
+        return f"op{self.op_index}"
+
+    def _mode(self, mode: str) -> str:
+        return self.tier if mode == "base" else mode
+
+    def _entry_id(self, name: str, key: int):
+        table = self.cp.datapath(name).program.pipeline.table(TABLE)
+        for entry in table.entries:
+            if entry.patterns[0].value == key:
+                return entry.entry_id
+        return None
+
+    def _rollout_config(self, name: str, model_id: int) -> RolloutConfig:
+        return RolloutConfig(
+            seed=self.ref.lane_seed(name, model_id),
+            shadow_min_samples=SHADOW_MIN_SAMPLES,
+            canary_min_samples=CANARY_MIN_SAMPLES,
+            ramp=RAMP,
+            min_trap_samples=10**6,
+            auto_advance=False,
+        )
+
+    # Individual op executors ------------------------------------------------
+
+    def _run_install(self, a):
+        # The name check covers the post-crash re-run: an in-doubt
+        # install is rolled forward, so the client retry is a no-op
+        # (the journaled op_id would dedupe, but the syscall layer
+        # rejects a duplicate name before the control plane is
+        # consulted).  Memoization is re-enabled either way — it is
+        # unjournaled hook state the crash threw away.
+        if a["name"] not in self.cp.installed:
+            point = attach_point(a["name"])
+            program = build_program(self.schemas[point],
+                                    self.provider(a["model_id"]),
+                                    a["name"])
+            self.iface.install(program, mode=self._mode(a["mode"]),
+                               op_id=self._op_id())
+        if self.memo_default:
+            self.cp.enable_memo(a["name"])
+
+    def _run_uninstall(self, a):
+        self.cp.uninstall(a["name"], op_id=self._op_id())
+
+    def _run_add_entry(self, a):
+        self.cp.add_entry(a["name"], TABLE, [a["key"]], ACTION,
+                          op_id=self._op_id(), **(a.get("action_data") or {}))
+
+    def _run_add_batch(self, a):
+        rows = [([key], ACTION) for key in a["keys"]]
+        self.cp.add_entries(a["name"], TABLE, rows, op_id=self._op_id())
+
+    def _run_remove_entry(self, a):
+        entry_id = self._entry_id(a["name"], a["key"])
+        if entry_id is not None:  # already gone on a post-crash re-run
+            self.cp.remove_entry(a["name"], TABLE, entry_id,
+                                 op_id=self._op_id())
+
+    def _run_modify_entry(self, a):
+        entry_id = self._entry_id(a["name"], a["key"])
+        if entry_id is not None:
+            self.cp.modify_entry(a["name"], TABLE, entry_id,
+                                 op_id=self._op_id(), hint=a["hint"])
+
+    def _run_push_model(self, a):
+        self.cp.push_model(a["name"], 0, self.provider(a["model_id"]),
+                           op_id=self._op_id())
+
+    def _run_rollback_model(self, a):
+        self.cp.rollback_model(a["name"], 0, op_id=self._op_id())
+
+    def _run_quarantine(self, a):
+        self.cp.quarantine(a["name"], op_id=self._op_id())
+
+    def _run_release(self, a):
+        self.cp.release(a["name"], op_id=self._op_id())
+
+    def _run_set_tier(self, a):
+        self.cp.set_tier(a["name"], self._mode(a["mode"]),
+                         op_id=self._op_id())
+
+    def _run_set_memo(self, a):
+        if a["on"]:
+            self.cp.enable_memo(a["name"])
+        else:
+            self.cp.disable_memo(a["name"])
+
+    def _run_stage(self, a):
+        self.cp.stage_model(a["name"], 0, self.provider(a["model_id"]),
+                            config=self._rollout_config(a["name"],
+                                                        a["model_id"]),
+                            op_id=self._op_id())
+
+    def _run_score(self, a):
+        rollout = self.cp.rollout(a["name"])
+        if rollout is None:  # lane died in a crash; no-op on both sides
+            return
+        for _ in range(a["count"]):
+            rollout.observe_outcome(True, True)
+
+    def _run_advance(self, a):
+        if self.cp.rollout(a["name"]) is not None:
+            self.cp.advance_rollout(a["name"])
+
+    def _run_abort_rollout(self, a):
+        if self.cp.rollout(a["name"]) is not None:
+            self.cp.abort_rollout(a["name"], "conformance abort")
+
+    def _run_fire(self, a):
+        return self._fire(a["name"], a["pid"], a["page"])
+
+    def _run_fault(self, a):
+        injector = _OneShotFault(a["name"])
+        self.hooks.inject_faults(injector)
+        try:
+            return self._fire(a["name"], a["pid"], a["page"])
+        finally:
+            self.hooks.inject_faults(None)
+
+    def _run_crash_restart(self, a):
+        """Full process death: every kernel object is rebuilt from the
+        journal; only the store survives."""
+        self.schemas = {}
+        self._build_kernel(fresh_store=False)
+        if self.memo_default:
+            for name in sorted(self.cp.installed):
+                self.cp.enable_memo(name)
+
+    def _fire(self, name: str, pid: int, page: int):
+        point = attach_point(name)
+        ctx = self.schemas[point].new_context(pid=pid, page=page)
+        return self.hooks.fire(point, ctx)
+
+    # -- observation + diffing -------------------------------------------
+
+    def observe_state(self) -> dict:
+        base = state_summary(self.cp, self.hooks)
+        programs = {}
+        for name in sorted(base["programs"]):
+            info = base["programs"][name]
+            dp = self.cp.datapath(name)
+            hook = self.hooks.hook(info["attach_point"])
+            table = dp.program.pipeline.table(TABLE)
+            programs[name] = {
+                "attach_point": info["attach_point"],
+                "attached": info["attached"],
+                "verified": info["verified"],
+                "mode": dp.tier_stats()["mode"],
+                "memo": hook.memo is not None,
+                "entries": {
+                    int(entry.patterns[0].value):
+                        {k: int(v) for k, v in entry.action_data.items()}
+                    for entry in sorted(
+                        table.entries,
+                        key=lambda e: int(e.patterns[0].value))
+                },
+            }
+        return {
+            "programs": programs,
+            "registry_live": dict(base["registry_live"]),
+            "active_rollouts": sorted(base["active_rollouts"]),
+            "lanes": sorted(tuple(lane) for lane in base["lanes"]),
+            "quarantined": sorted(base["quarantined"]),
+        }
+
+    def _check(self, op: Op) -> list:
+        divergences: list[Divergence] = []
+        for name in self.ref.installed():
+            for pid, page in PROBES:
+                got = self._fire(name, pid, page)
+                want = self.ref.probe(name, pid, page)
+                self.verdict_stream.append(got)
+                if got != want and not divergences:
+                    divergences.append(self._divergence(
+                        op, "verdict",
+                        f"probe {name}(pid={pid}, page={page})",
+                        want, got))
+        expected = self.ref.expected_state()
+        observed = self.observe_state()
+        if observed != expected and not divergences:
+            detail, want, got = _first_diff(expected, observed)
+            divergences.append(self._divergence(
+                op, "state", detail, want, got))
+        return divergences
+
+    def _divergence(self, op: Op, kind: str, detail: str,
+                    expected, got) -> Divergence:
+        return Divergence(
+            op_index=self.op_index, op=op.to_dict(), kind=kind,
+            detail=detail, expected=expected, got=got,
+            prefix=[],  # filled by run_tape with the full prefix
+        )
+
+
+def _first_diff(expected, observed, path: str = "state"):
+    """Descend to the first differing leaf for a readable report."""
+    if isinstance(expected, dict) and isinstance(observed, dict):
+        for key in sorted(set(expected) | set(observed), key=str):
+            if key not in expected:
+                return f"{path}.{key}", "<absent>", observed[key]
+            if key not in observed:
+                return f"{path}.{key}", expected[key], "<absent>"
+            if expected[key] != observed[key]:
+                return _first_diff(expected[key], observed[key],
+                                   f"{path}.{key}")
+        return path, expected, observed
+    return path, expected, observed
+
+
+def run_tape(seed: int, tape, tier: str = "interpret", memo: bool = False,
+             crash_plan=None) -> ConformanceReport:
+    """Replay ``tape`` at one (tier, memo) point; stop at first divergence."""
+    world = ConformanceWorld(seed, tier=tier, memo=memo)
+    crashes = dict(crash_plan or [])
+    report = ConformanceReport(seed=seed, tier=tier, memo=memo)
+    for index, op in enumerate(tape):
+        crash_kind = crashes.get(index)
+        if crash_kind is not None:
+            report.crashes_injected += 1
+        divergences = world.apply(op, crash_kind=crash_kind)
+        report.ops_run += 1
+        report.checks += 1
+        if divergences:
+            for div in divergences:
+                div.prefix = [o.to_dict() for o in tape[:index + 1]]
+            report.divergences.extend(divergences)
+            break
+    report.verdict_stream = list(world.verdict_stream)
+    return report
+
+
+def run_tape_dicts(seed: int, rows, **kwargs) -> ConformanceReport:
+    """Replay a JSON-shaped tape (e.g. a pinned regression tape)."""
+    return run_tape(seed, tape_from_dicts(rows), **kwargs)

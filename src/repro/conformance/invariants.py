@@ -1,0 +1,176 @@
+"""Cross-layer invariants checked over conformance runs.
+
+Where :mod:`.driver` asks "does the real stack match the reference
+model after this op", the checks here ask the global questions that
+hold across *any* legal history:
+
+* **never serve unverified** — every attached datapath passed the
+  verifier; admission is the paper's safety contract, so this is
+  checked continuously (every op's state diff carries ``verified``)
+  and re-asserted here over a finished report.
+* **restore converges** — a full journal restore of a finished world
+  lands exactly on the reference model's post-restart prediction.
+* **tiers bit-identical** — replaying one tape at interpret/jit/
+  compiled (memo on or off) must produce byte-for-byte the same
+  verdict stream; tiers are an implementation ladder, not a semantics
+  knob.
+* **fleet quorum atomicity** — a two-phase push either commits on a
+  quorum (every acked node serves the pushed hash) or aborts with no
+  alive node's live model changed; there is no half-committed state,
+  and a rejoining node catches up to the committed artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.seeding import spawn_rng
+from ..fleet import ArtifactDistributor, FleetNode
+from .driver import ConformanceWorld
+from .ops import Op, conf_model
+
+__all__ = [
+    "InvariantViolation", "check_never_unverified",
+    "check_restore_convergence", "check_tiers_bit_identical",
+    "check_fleet_quorum", "CostBombModel",
+]
+
+
+@dataclass
+class InvariantViolation:
+    """One broken cross-layer invariant."""
+
+    invariant: str
+    detail: str
+    context: dict = field(default_factory=dict)
+
+    def row(self) -> dict:
+        return {"invariant": self.invariant, "detail": self.detail,
+                **self.context}
+
+
+def check_never_unverified(world: ConformanceWorld) -> list:
+    """Every attached program must have passed admission."""
+    violations = []
+    state = world.observe_state()
+    for name, info in state["programs"].items():
+        if info["attached"] and not info["verified"]:
+            violations.append(InvariantViolation(
+                "never_serve_unverified",
+                f"program {name!r} is attached but not verified",
+                {"program": name}))
+    return violations
+
+
+def check_restore_convergence(world: ConformanceWorld) -> list:
+    """A full journal restore must land on the refmodel's prediction."""
+    divergences = world.apply(Op("crash_restart", {}))
+    return [InvariantViolation(
+        "journal_restore_converges",
+        f"post-restore {d.kind} mismatch at {d.detail}: "
+        f"expected {d.expected!r}, got {d.got!r}",
+        {"seed": world.seed, "tier": world.tier})
+        for d in divergences]
+
+
+def check_tiers_bit_identical(reports) -> list:
+    """All replays of one tape must emit identical verdict streams."""
+    reports = [r for r in reports if r.ok]
+    if len(reports) < 2:
+        return []
+    violations = []
+    baseline = reports[0]
+    for other in reports[1:]:
+        if other.verdict_stream == baseline.verdict_stream:
+            continue
+        position = next(
+            (i for i, (a, b) in enumerate(zip(baseline.verdict_stream,
+                                              other.verdict_stream))
+             if a != b),
+            min(len(baseline.verdict_stream), len(other.verdict_stream)))
+        violations.append(InvariantViolation(
+            "tiers_bit_identical",
+            f"seed {baseline.seed}: verdict stream diverges at probe "
+            f"{position}: {baseline.tier}/memo={baseline.memo} vs "
+            f"{other.tier}/memo={other.memo}",
+            {"seed": baseline.seed, "probe": position}))
+    return violations
+
+
+class CostBombModel:
+    """A candidate every node must NACK: its declared cost signature
+    blows the admission budget, so prepare's dry-run verify fails while
+    the central registry can still fingerprint and register it."""
+
+    @staticmethod
+    def predict_one(features) -> int:
+        return 0
+
+    @staticmethod
+    def cost_signature() -> dict:
+        return {"kind": "decision_tree", "depth": 10**6, "n_nodes": 10**9}
+
+
+def check_fleet_quorum(seed: int, rounds: int = 6, n_nodes: int = 3) -> list:
+    """Chaos-drive quorum pushes; assert per-push atomicity.
+
+    Each round optionally kills or restarts a node, then pushes either
+    a verifiable model or a :class:`CostBombModel`.  After every push:
+    committed ⇒ acks reached quorum and every acked node serves the
+    pushed hash; aborted ⇒ no alive node's live hash moved.  Rejoining
+    nodes must catch up to the committed artifact.
+    """
+    rng = spawn_rng(seed, "conf-fleet")
+    nodes = [FleetNode(f"node{i}", seed, conf_model(seed, 0),
+                       mode="interpret", memo=False, batch=False)
+             for i in range(n_nodes)]
+    distributor = ArtifactDistributor()
+    track = "fleet_serve"
+    violations = []
+
+    def fail(detail, **ctx):
+        violations.append(InvariantViolation(
+            "fleet_quorum_atomicity", detail, {"seed": seed, **ctx}))
+
+    for round_index in range(rounds):
+        # Membership churn first: maybe kill one, maybe rejoin one.
+        alive = [n for n in nodes if n.alive]
+        dead = [n for n in nodes if not n.alive]
+        if dead and rng.random() < 0.6:
+            node = rng.choice(dead)
+            node.restart()
+            distributor.catch_up(track, node)
+            live = distributor.registry.live(track)
+            if live is not None and node.live_hash() != live.content_hash:
+                fail(f"rejoined {node.node_id} did not catch up",
+                     round=round_index, node=node.node_id)
+        elif len(alive) > 1 and rng.random() < 0.4:
+            rng.choice(alive).kill()
+
+        poisoned = rng.random() < 0.3
+        model = (CostBombModel() if poisoned
+                 else conf_model(seed, rng.choice(range(1, 6))))
+        before = {n.node_id: n.live_hash() for n in nodes if n.alive}
+        report = distributor.push(track, model, nodes,
+                                  metadata={"round": round_index})
+        if report.committed:
+            if poisoned:
+                fail("cost-bomb artifact committed", round=round_index)
+            if len(report.acked) < report.quorum:
+                fail(f"committed below quorum: {len(report.acked)} "
+                     f"< {report.quorum}", round=round_index)
+            for node in nodes:
+                if node.alive and node.node_id in report.acked \
+                        and node.live_hash() != report.content_hash:
+                    fail(f"acked node {node.node_id} serves "
+                         f"{node.live_hash()!r}, push committed "
+                         f"{report.content_hash!r}",
+                         round=round_index, node=node.node_id)
+        else:
+            for node in nodes:
+                if node.alive and node.live_hash() != before.get(
+                        node.node_id, node.live_hash()):
+                    fail(f"aborted push moved {node.node_id} to "
+                         f"{node.live_hash()!r}",
+                         round=round_index, node=node.node_id)
+    return violations

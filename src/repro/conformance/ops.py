@@ -1,0 +1,220 @@
+"""The closed op grammar and seeded tape generation.
+
+A *tape* is a finite list of :class:`Op` records drawn from a closed
+grammar over two programs, four table keys and six candidate models.
+Generation is legality-aware: it threads a :class:`RefModel` through
+the draw so every emitted op is valid when it is reached (no staging
+over an active lane, no rollback without a retired predecessor), which
+keeps tapes dense in interesting transitions instead of rejected calls.
+
+Everything is derived from one root seed via :func:`derive_seed`, so a
+tape — and the crash plan layered over it — is a pure function of
+``(seed, n_ops)`` and can be regenerated anywhere from the two ints.
+Tapes also serialise to JSON (:func:`tape_to_dicts`), which is how
+regression tapes are pinned under ``tests/conformance/tapes/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..core.seeding import spawn_generator, spawn_rng
+from ..ml import IntegerDecisionTree
+from .refmodel import (
+    KEY_POOL,
+    MODEL_POOL,
+    PROGRAMS,
+    RefModel,
+    SWEEP_KINDS,
+    TIERS,
+)
+
+__all__ = [
+    "Op", "OP_KINDS", "CRASHABLE_OPS", "conf_model", "model_provider",
+    "generate_tape", "generate_crash_plan", "tape_to_dicts",
+    "tape_from_dicts",
+]
+
+#: Every kind the grammar can emit (and the driver can execute).
+OP_KINDS = (
+    "install", "uninstall",
+    "add_entry", "add_batch", "remove_entry", "modify_entry",
+    "push_model", "rollback_model",
+    "quarantine", "release",
+    "set_tier", "set_memo",
+    "stage", "score", "advance", "abort_rollout",
+    "fire", "fault", "crash_restart",
+)
+
+#: Ops that journal exactly one intent, i.e. where a mid-op crash can
+#: be armed at a known LSN.  ``advance`` is excluded: promotion nests a
+#: second, un-keyed ``push_model`` and is not idempotently re-runnable.
+CRASHABLE_OPS = frozenset({
+    "install", "uninstall",
+    "add_entry", "add_batch", "remove_entry", "modify_entry",
+    "push_model", "rollback_model",
+    "quarantine", "release",
+    "set_tier", "stage",
+})
+
+
+@dataclass(frozen=True)
+class Op:
+    """One grammar op: a kind plus its JSON-safe arguments."""
+
+    kind: str
+    args: dict
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **self.args}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Op":
+        data = dict(data)
+        return cls(kind=data.pop("kind"), args=data)
+
+
+def tape_to_dicts(tape) -> list[dict]:
+    return [op.to_dict() for op in tape]
+
+
+def tape_from_dicts(rows) -> list:
+    return [Op.from_dict(row) for row in rows]
+
+
+# ---------------------------------------------------------------------------
+# Candidate models
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=None)
+def conf_model(root_seed: int, model_id: int) -> IntegerDecisionTree:
+    """Train candidate ``model_id`` for a conformance world.
+
+    Labels are a 4-region function of (pid, page) shifted by the model
+    id, so the six pool members are behaviourally (and therefore
+    fingerprint-) distinct, a depth-4 tree learns each exactly, and the
+    0..6 label range exercises the attach policy's verdict clamp.
+    """
+    gen = spawn_generator(root_seed, "conf-model", model_id)
+    x = gen.integers(0, 16, size=(240, 2))
+    y = (((x[:, 0] >= 8) * 2 + (x[:, 1] >= 8) + model_id) % 7)
+    return IntegerDecisionTree(max_depth=4).fit(x, y.astype(np.int64))
+
+
+def model_provider(root_seed: int):
+    """mid -> trained model, for :class:`RefModel` and the driver."""
+    return lambda model_id: conf_model(root_seed, model_id)
+
+
+# ---------------------------------------------------------------------------
+# Tape generation
+# ---------------------------------------------------------------------------
+
+def generate_tape(seed: int, n_ops: int) -> list:
+    """Generate a legal op tape of length ``n_ops`` from ``seed``."""
+    if n_ops < 1:
+        raise ValueError(f"n_ops must be >= 1, got {n_ops}")
+    rng = spawn_rng(seed, "conf-tape")
+    ref = RefModel(seed, model_provider(seed))
+    tape = []
+    while len(tape) < n_ops:
+        op = _draw(rng, ref, allow_restart=len(tape) >= 4)
+        ref.apply(op)
+        tape.append(op)
+    return tape
+
+
+def _draw(rng, ref: RefModel, allow_restart: bool) -> Op:
+    """Draw one op legal in the current reference state."""
+    installed = ref.installed()
+    free = [p for p in PROGRAMS if p not in ref.programs]
+    lanes = sorted(ref.rollouts)
+    idle = [p for p in installed if p not in ref.rollouts]
+    choices: list[tuple[int, str, dict]] = []
+
+    def add(weight, kind, **args):
+        choices.append((weight, kind, args))
+
+    for name in free:
+        add(8, "install", name=name, mode="base",
+            model_id=rng.choice(MODEL_POOL))
+    for name in installed:
+        free_keys = ref.free_keys(name)
+        keyed = sorted(ref.programs[name].entries)
+        if free_keys:
+            data = ({"hint": rng.randrange(8)}
+                    if rng.random() < 0.5 else {})
+            add(8, "add_entry", name=name, key=rng.choice(free_keys),
+                action_data=data)
+        if len(free_keys) >= 2:
+            count = rng.randint(2, min(3, len(free_keys)))
+            add(4, "add_batch", name=name,
+                keys=sorted(rng.sample(free_keys, count)))
+        if keyed:
+            add(3, "remove_entry", name=name, key=rng.choice(keyed))
+            add(3, "modify_entry", name=name, key=rng.choice(keyed),
+                hint=rng.randrange(8))
+        add(2, "quarantine", name=name)
+        add(5 if ref.is_quarantined(name) else 1, "release", name=name)
+        add(3, "set_tier", name=name,
+            mode=rng.choice(("base",) + TIERS))
+        add(2, "set_memo", name=name,
+            on=not ref.programs[name].memo)
+        add(8, "fire", name=name, pid=rng.choice(KEY_POOL + (4,)),
+            page=rng.randrange(3))
+        add(3, "fault", name=name, pid=rng.choice(KEY_POOL),
+            page=rng.randrange(3))
+        add(1, "uninstall", name=name)
+    for name in idle:
+        add(4, "push_model", name=name, model_id=rng.choice(MODEL_POOL))
+        if ref.can_rollback(name):
+            add(3, "rollback_model", name=name)
+        add(4, "stage", name=name, model_id=rng.choice(MODEL_POOL))
+    for name in lanes:
+        add(8, "score", name=name, count=rng.randint(1, 4))
+        add(6, "advance", name=name)
+        add(1, "abort_rollout", name=name)
+    if allow_restart:
+        add(1, "crash_restart")
+
+    total = sum(w for w, _, _ in choices)
+    pick = rng.random() * total
+    for weight, kind, args in choices:
+        pick -= weight
+        if pick < 0:
+            return Op(kind, args)
+    return Op(*choices[-1][1:])  # float-edge fallback
+
+
+def generate_crash_plan(seed: int, tape, max_crashes: int = 2) -> list:
+    """Pick up to ``max_crashes`` (op_index, crash_kind) interleavings.
+
+    Only journaled single-intent ops are crashable; ``torn_batch`` is
+    only armed at batch inserts, where a mid-batch LSN exists.
+
+    ``set_tier`` is excluded even though it journals: a same-mode call
+    dedupes *without* journaling, and whether the mode matches depends
+    on the world tier (a ``base`` install resolves differently per
+    tier).  An armed crash that fires in one tier's replay but not
+    another's changes the effective input, which would break the
+    cross-tier bit-identical invariant without any real bug.  Pinned
+    tapes may still crash a ``set_tier`` explicitly — they replay at a
+    pinned tier.
+    """
+    rng = spawn_rng(seed, "conf-crash")
+    crashable = [i for i, op in enumerate(tape)
+                 if op.kind in CRASHABLE_OPS and op.kind != "set_tier"]
+    if not crashable:
+        return []
+    chosen = sorted(rng.sample(crashable,
+                               min(max_crashes, len(crashable))))
+    plan = []
+    for index in chosen:
+        kinds = list(SWEEP_KINDS)
+        if tape[index].kind == "add_batch":
+            kinds.append("torn_batch")
+        plan.append((index, rng.choice(kinds)))
+    return plan

@@ -1,0 +1,462 @@
+"""The reference oracle: control-plane semantics in ~300 lines.
+
+A :class:`RefModel` is a pure-Python shadow of everything observable
+about one conformance world — installed programs, table contents,
+execution tier, memoization flag, registry live hashes, rollout lane
+state, quarantine status — plus a *prediction* of every hook verdict.
+The driver (:mod:`.driver`) applies each tape op to the real stack and
+to this model, then diffs; the model is deliberately naive (dicts and
+ints, no journals, no caches, no datapaths), so when the two disagree
+the real stack is the suspect.
+
+The model shares exactly two artifacts with the implementation: the
+trained model objects themselves (inference is the *payload* of the
+system, not the semantics under test) and :func:`route_hash` (the
+canary split is spec'd as that hash; re-deriving it here would test a
+constant against itself either way).  Everything else — clamping,
+table hit/miss, breaker arithmetic, rollout gates, journal recovery —
+is re-stated independently from first principles.
+
+Crash semantics are part of the spec.  ``apply(op, crash_kind=...)``
+models a mid-op crash + in-place recovery: the journal's roll-forward
+guarantees the op lands exactly once, recovery detaches every lane and
+aborts every rollout, explicit (journaled) quarantine/release ops are
+re-applied in order while trap-driven breaker state survives only if
+no explicit op shadows it.  ``crash_restart`` models full process
+death: memoization and trap-driven quarantine evaporate (runtime
+state), while programs, entries, tiers and registry tracks are
+journal-durable and must all come back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.seeding import derive_seed
+from ..deploy.canary import route_hash
+from ..deploy.registry import model_fingerprint
+
+__all__ = [
+    "RefModel", "RefProgram", "RefRollout", "attach_point",
+    "PROGRAMS", "KEY_POOL", "PROBES", "MODEL_POOL", "TIERS",
+    "SHADOW_MIN_SAMPLES", "CANARY_MIN_SAMPLES", "RAMP",
+    "FAULT_THRESHOLD", "VERDICT_MIN", "VERDICT_MAX", "SWEEP_KINDS",
+]
+
+#: The closed world the grammar ranges over.
+PROGRAMS = ("alpha", "beta")
+KEY_POOL = (3, 5, 7, 9)
+#: (pid, page) contexts fired after every op; pid 4 never has an entry,
+#: so the table-miss path is probed continuously.
+PROBES = ((3, 1), (5, 1), (5, 2), (7, 0), (9, 2), (4, 1))
+MODEL_POOL = (0, 1, 2, 3, 4, 5)
+TIERS = ("interpret", "jit", "compiled")
+
+#: Rollout gate parameters — the driver builds its RolloutConfig from
+#: these same constants, so the gate arithmetic below is the spec.
+SHADOW_MIN_SAMPLES = 4
+CANARY_MIN_SAMPLES = 3
+RAMP = (0.5, 1.0)
+
+#: Supervisor parameters.  The driver pins fault_window and backoff to
+#: effectively-infinite values, so breaker state is a pure function of
+#: (traps since last close, explicit quarantine/release ops).
+FAULT_THRESHOLD = 3
+
+#: Verdict clamp installed via AttachPolicy; models emit 0..6 so the
+#: upper clamp is exercised.
+VERDICT_MIN = 0
+VERDICT_MAX = 5
+
+#: Mid-op crash kinds the sweep arms (torn_batch is added at batch ops).
+SWEEP_KINDS = ("crash_before_commit", "crash_after_apply", "stale_ack")
+
+_SPLIT_DENOM = 10_000
+
+
+def attach_point(name: str) -> str:
+    """Each conformance program owns its own hook point."""
+    return f"conf_{name}"
+
+
+@dataclass
+class RefProgram:
+    """Observable state of one installed program."""
+
+    name: str
+    mode: str
+    model_id: int
+    entries: dict = field(default_factory=dict)  # pid key -> action_data
+    memo: bool = False
+
+    @property
+    def attach_point(self) -> str:
+        return attach_point(self.name)
+
+
+@dataclass
+class RefRollout:
+    """Observable state of one active shadow/canary lane."""
+
+    target: str
+    model_id: int
+    seed: int
+    state: str = "shadow"  # "shadow" | "canary"
+    samples: int = 0       # scored outcomes at the current gate
+    stage: int = 0         # index into RAMP while in canary
+    tick: int = 0          # lane logical clock (one per hook fire)
+
+
+class RefModel:
+    """Predicts observable state + verdicts for a conformance world."""
+
+    def __init__(self, seed: int, model_provider=None,
+                 memo_default: bool = False,
+                 tier: str = "interpret") -> None:
+        self.seed = seed
+        self.provider = model_provider
+        self.memo_default = memo_default
+        self.tier = tier  # what the symbolic "base" mode resolves to
+        self.programs: dict[str, RefProgram] = {}
+        #: Registry tracks: name -> ordered [model_id, status] pairs,
+        #: status in {"live", "retired", "other"} ("other" collapses
+        #: staged/rolled_back — indistinguishable for live-hash and
+        #: rollback-legality purposes).
+        self.tracks: dict[str, list[list]] = {}
+        self.rollouts: dict[str, RefRollout] = {}
+        #: Trap-driven breaker state (runtime; lost on full restart).
+        self.trap_count: dict[str, int] = {}
+        self.runtime_open: set[str] = set()
+        #: Last journaled explicit quarantine/release per program since
+        #: its last (journaled) uninstall — what replay re-applies.
+        self.journal_breaker: dict[str, str] = {}
+        self._hash_cache: dict[int, str] = {}
+
+    # -- introspection (generation + driver legality) ---------------------
+
+    def installed(self) -> list[str]:
+        return sorted(self.programs)
+
+    def is_quarantined(self, name: str) -> bool:
+        return name in self.runtime_open
+
+    def live_mid(self, track: str):
+        for mid, status in self.tracks.get(track, []):
+            if status == "live":
+                return mid
+        return None
+
+    def can_rollback(self, track: str) -> bool:
+        """registry.rollback legality: a live version with an earlier
+        *retired* version to fall back to."""
+        artifacts = self.tracks.get(track, [])
+        live_index = None
+        for i, (mid, status) in enumerate(artifacts):
+            if status == "live":
+                live_index = i
+                break
+        if live_index is None:
+            return False
+        return any(status == "retired"
+                   for mid, status in artifacts[:live_index])
+
+    def free_keys(self, name: str) -> list[int]:
+        prog = self.programs[name]
+        return [k for k in KEY_POOL if k not in prog.entries]
+
+    def lane_seed(self, name: str, model_id: int) -> int:
+        return derive_seed(self.seed, "conf-lane", name, model_id)
+
+    # -- verdict prediction ------------------------------------------------
+
+    def _clamped(self, model_id: int, pid: int, page: int) -> int:
+        raw = int(self.provider(model_id).predict_one([pid, page]))
+        return max(VERDICT_MIN, min(VERDICT_MAX, raw))
+
+    def _lane_routed(self, rollout: RefRollout | None) -> bool:
+        """Advance the lane clock for one fire; True if canary-routed."""
+        if rollout is None:
+            return False
+        rollout.tick += 1
+        if rollout.state != "canary":
+            return False
+        fraction = RAMP[rollout.stage]
+        return (route_hash(rollout.seed, rollout.tick)
+                < int(fraction * _SPLIT_DENOM))
+
+    def probe(self, name: str, pid: int, page: int):
+        """Predicted verdict of one plain hook fire."""
+        prog = self.programs.get(name)
+        if prog is None:
+            return None  # empty hook: nothing to dispatch
+        rollout = self.rollouts.get(name)
+        routed = self._lane_routed(rollout)
+        if routed:
+            # Routed fires bypass the primary's breaker entirely.
+            return self._table_verdict(prog, rollout.model_id, pid, page)
+        if name in self.runtime_open:
+            return None  # breaker refuses admission; no fallback is set
+        return self._table_verdict(prog, prog.model_id, pid, page)
+
+    def fault_fire(self, name: str, pid: int, page: int):
+        """Predicted verdict of one fire with a one-shot fault armed."""
+        prog = self.programs[name]
+        rollout = self.rollouts.get(name)
+        routed = self._lane_routed(rollout)
+        if routed:
+            # The routed lane never consults the injector: the candidate
+            # serves and the fault is *not* consumed (the one-shot
+            # injector is detached with the op, so it simply fizzles).
+            return self._table_verdict(prog, rollout.model_id, pid, page)
+        if name in self.runtime_open:
+            # Admission is refused before the injector runs.
+            return None
+        # Injected trap: contained, verdict suppressed, breaker charged.
+        self.trap_count[name] = self.trap_count.get(name, 0) + 1
+        if self.trap_count[name] >= FAULT_THRESHOLD:
+            self.runtime_open.add(name)
+            self.trap_count[name] = 0  # _open() clears the fault clocks
+        return None
+
+    def _table_verdict(self, prog: RefProgram, model_id: int,
+                       pid: int, page: int):
+        if pid not in prog.entries:
+            return None  # table miss, no default action: stage skipped
+        return self._clamped(model_id, pid, page)
+
+    # -- op application ------------------------------------------------------
+
+    def apply(self, op, crash_kind: str | None = None):
+        """Apply one op; returns the predicted verdict for fire/fault.
+
+        ``crash_kind`` models a mid-op crash followed by in-place
+        recovery and re-execution under the same idempotency key: the
+        journal's roll-forward/dedupe protocol lands the op exactly
+        once, *except* a staged rollout (in-doubt staging is aborted;
+        a committed one is torn down by the reconciler and the re-run
+        dedupes to a no-op).
+        """
+        if crash_kind is not None:
+            self.on_inplace_recovery()
+            if op.kind == "stage" and crash_kind == "stale_ack":
+                # Committed, then the reconciler aborted the torn lane;
+                # the re-run hits the dedupe path: artifact registered,
+                # no active rollout.
+                self._register(op.args["name"], op.args["model_id"])
+                return None
+        return getattr(self, f"_op_{op.kind}")(op.args)
+
+    # Individual op semantics ------------------------------------------------
+
+    def _op_install(self, a):
+        name = a["name"]
+        self.programs[name] = RefProgram(
+            name=name, mode=self._mode(a["mode"]),
+            model_id=a["model_id"], memo=self.memo_default,
+        )
+        self.trap_count[name] = 0
+
+    def _mode(self, mode: str) -> str:
+        return self.tier if mode == "base" else mode
+
+    def _op_uninstall(self, a):
+        name = a["name"]
+        if name in self.rollouts:
+            self._abort_rollout(name)  # uninstall aborts the lane first
+        del self.programs[name]
+        # supervisor.forget: both runtime and journal-replayed breaker
+        # state dies with the program.
+        self.trap_count.pop(name, None)
+        self.runtime_open.discard(name)
+        self.journal_breaker.pop(name, None)
+
+    def _op_add_entry(self, a):
+        self.programs[a["name"]].entries[a["key"]] = dict(
+            a.get("action_data") or {})
+
+    def _op_add_batch(self, a):
+        entries = self.programs[a["name"]].entries
+        for key in a["keys"]:
+            entries[key] = {}
+
+    def _op_remove_entry(self, a):
+        self.programs[a["name"]].entries.pop(a["key"], None)
+
+    def _op_modify_entry(self, a):
+        # modify_entry merges into action_data (dict.update semantics).
+        self.programs[a["name"]].entries[a["key"]]["hint"] = a["hint"]
+
+    def _op_push_model(self, a):
+        name, mid = a["name"], a["model_id"]
+        self.programs[name].model_id = mid
+        self._promote(name, mid)
+
+    def _op_rollback_model(self, a):
+        name = a["name"]
+        artifacts = self.tracks[name]
+        live_index = next(i for i, (m, s) in enumerate(artifacts)
+                          if s == "live")
+        previous = None
+        for i in range(live_index):
+            if artifacts[i][1] == "retired":
+                previous = i  # newest retired below the live version
+        artifacts[live_index][1] = "other"  # rolled_back
+        artifacts[previous][1] = "live"
+        self.programs[name].model_id = artifacts[previous][0]
+
+    def _op_quarantine(self, a):
+        name = a["name"]
+        self.journal_breaker[name] = "open"
+        self.runtime_open.add(name)
+        self.trap_count[name] = 0  # trip() clears the fault clocks
+
+    def _op_release(self, a):
+        name = a["name"]
+        self.journal_breaker[name] = "closed"
+        self.runtime_open.discard(name)
+        self.trap_count[name] = 0  # reset() clears the fault clocks
+
+    def _op_set_tier(self, a):
+        self.programs[a["name"]].mode = self._mode(a["mode"])
+
+    def _op_set_memo(self, a):
+        self.programs[a["name"]].memo = bool(a["on"])
+
+    def _op_stage(self, a):
+        name, mid = a["name"], a["model_id"]
+        self._register(name, mid)
+        # stage_model() starts the lane immediately: STAGED -> SHADOW.
+        self.rollouts[name] = RefRollout(
+            target=name, model_id=mid, seed=self.lane_seed(name, mid))
+
+    def _op_score(self, a):
+        rollout = self.rollouts.get(a["name"])
+        if rollout is None:
+            return  # lane died in a crash; scoring is a no-op
+        rollout.samples += a["count"]
+
+    def _op_advance(self, a):
+        rollout = self.rollouts.get(a["name"])
+        if rollout is None:
+            return
+        if rollout.state == "shadow":
+            if rollout.samples >= SHADOW_MIN_SAMPLES:
+                rollout.state = "canary"
+                rollout.samples = 0
+                rollout.stage = 0
+        else:  # canary: all-true outcomes never breach a guardrail
+            if rollout.samples >= CANARY_MIN_SAMPLES:
+                if rollout.stage == len(RAMP) - 1:
+                    self._promote_rollout(a["name"])
+                else:
+                    rollout.stage += 1
+                    rollout.samples = 0
+
+    def _op_abort_rollout(self, a):
+        if a["name"] in self.rollouts:
+            self._abort_rollout(a["name"])
+
+    def _op_fire(self, a):
+        return self.probe(a["name"], a["pid"], a["page"])
+
+    def _op_fault(self, a):
+        return self.fault_fire(a["name"], a["pid"], a["page"])
+
+    def _op_crash_restart(self, a):
+        """Full process death + journal recovery into a fresh kernel."""
+        for name in list(self.rollouts):
+            self._abort_rollout(name)
+        self.runtime_open = {
+            name for name, state in self.journal_breaker.items()
+            if state == "open" and name in self.programs
+        }
+        for name, prog in self.programs.items():
+            self.trap_count[name] = 0
+            # Memoization is runtime hook state: gone unless the driver
+            # re-enables it (memo_default mirrors that policy).
+            prog.memo = self.memo_default
+
+    # -- recovery semantics ----------------------------------------------
+
+    def on_inplace_recovery(self) -> None:
+        """Crash mid-op, recover against the *surviving* kernel.
+
+        The hook registry, its memo caches and the supervisor object all
+        survive; recovery detaches every lane (aborting rollouts) and
+        replays journaled quarantine/release ops in order onto the
+        surviving breakers — so a program with any explicit breaker op
+        on record snaps to the last one (replay wins over trap-driven
+        state), while a program with none keeps its runtime state.
+        """
+        for name in list(self.rollouts):
+            self._abort_rollout(name)
+        for name in self.programs:
+            state = self.journal_breaker.get(name)
+            if state is None:
+                continue
+            if state == "open":
+                self.runtime_open.add(name)
+            else:
+                self.runtime_open.discard(name)
+            self.trap_count[name] = 0
+
+    # -- registry/rollout internals -----------------------------------------
+
+    def _register(self, track: str, mid: int) -> None:
+        artifacts = self.tracks.setdefault(track, [])
+        if not any(m == mid for m, _ in artifacts):
+            artifacts.append([mid, "other"])
+
+    def _promote(self, track: str, mid: int) -> None:
+        self._register(track, mid)
+        artifacts = self.tracks[track]
+        for pair in artifacts:
+            if pair[1] == "live" and pair[0] != mid:
+                pair[1] = "retired"
+        for pair in artifacts:
+            if pair[0] == mid:
+                pair[1] = "live"
+
+    def _promote_rollout(self, name: str) -> None:
+        rollout = self.rollouts.pop(name)
+        self.programs[name].model_id = rollout.model_id
+        self._promote(name, rollout.model_id)
+
+    def _abort_rollout(self, name: str) -> None:
+        # mark_rolled_back only touches *staged* artifacts; in the
+        # collapsed status space that is a no-op, so aborting just
+        # removes the lane.
+        self.rollouts.pop(name, None)
+
+    # -- expected observable state -------------------------------------------
+
+    def _hash(self, mid: int) -> str:
+        if mid not in self._hash_cache:
+            self._hash_cache[mid] = model_fingerprint(self.provider(mid))[0]
+        return self._hash_cache[mid]
+
+    def expected_state(self) -> dict:
+        programs = {}
+        for name in sorted(self.programs):
+            prog = self.programs[name]
+            programs[name] = {
+                "attach_point": prog.attach_point,
+                "attached": True,
+                "verified": True,
+                "mode": prog.mode,
+                "memo": prog.memo,
+                "entries": {key: dict(data)
+                            for key, data in sorted(prog.entries.items())},
+            }
+        registry_live = {}
+        for track in sorted(self.tracks):
+            mid = self.live_mid(track)
+            registry_live[track] = None if mid is None else self._hash(mid)
+        return {
+            "programs": programs,
+            "registry_live": registry_live,
+            "active_rollouts": sorted(self.rollouts),
+            "lanes": sorted(
+                (attach_point(name), name) for name in self.rollouts),
+            "quarantined": sorted(self.runtime_open),
+        }

@@ -109,7 +109,7 @@ def _serialize_model(model) -> dict:
 def _deserialize_model(data: dict):
     from ..ml.mlp import QuantizedMLP
 
-    family = data["family"]
+    family = data.get("family")
     if family == "tree_table":
         return TableTreeModel(data["rows"], data["depth"])
     if family == "quantized_mlp":
@@ -206,13 +206,38 @@ def program_to_payload(program: RmtProgram) -> dict:
 
 
 def payload_to_program(payload: dict) -> RmtProgram:
-    """Reconstruct an installable program from its wire form."""
+    """Reconstruct an installable program from its wire form.
+
+    The payload crosses the user/kernel boundary as untrusted data, so
+    *any* structural defect — missing fields, wrong types, truncated
+    tables, an unknown map kind — must surface as a clean
+    :class:`ControlPlaneError` naming the defect, never as a raw
+    ``KeyError``/``TypeError`` escaping from the decoder (and never as
+    a silently mis-built program).
+    """
+    if not isinstance(payload, dict):
+        raise ControlPlaneError(
+            f"program payload must be a dict, got {type(payload).__name__}")
     version = payload.get("version")
     if version != PAYLOAD_VERSION:
         raise ControlPlaneError(
             f"unsupported payload version {version!r} "
             f"(expected {PAYLOAD_VERSION})"
         )
+    try:
+        return _decode_program(payload)
+    except ControlPlaneError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError, AttributeError,
+            MemoryError) as exc:
+        # MemoryError is the table layer's E2BIG ("table full"): under a
+        # corrupted max_entries it fires during decode, where it means
+        # the payload lies about its own capacity.
+        raise ControlPlaneError(
+            f"malformed program payload: {exc!r}") from exc
+
+
+def _decode_program(payload: dict) -> RmtProgram:
     schema = ContextSchema(payload["schema"]["name"])
     for field in payload["schema"]["fields"]:
         schema.add_field(field["name"], writable=field["writable"])

@@ -349,13 +349,29 @@ class FleetNode:
         return True, "verified"
 
     def commit_artifact(self, spec: dict) -> None:
-        """Distribution *commit*: journaled push, idempotent by op id."""
+        """Distribution *commit*: journaled push, idempotent by content.
+
+        Re-delivery of a commit the node already applied is a no-op
+        (it is serving the hash).  A *re-promotion* of a version this
+        node served earlier (rollback-by-push, or a catch-up after the
+        fleet moved back) must still land, so the spent idempotency key
+        gets a retry suffix — reusing it would make the journal dedupe
+        the push and leave the node silently serving the wrong model.
+        """
+        content_hash = spec.get("content_hash")
+        if content_hash is not None and self.live_hash() == content_hash:
+            return
         metadata = {**spec["metadata"],
                     "fleet_version": spec["version"],
                     "origin": "fleet_push"}
+        base = f"fleet-push:{spec['track']}:v{spec['version']}"
+        op_id, attempt = base, 0
+        while self.cp.journal.is_committed(op_id):
+            attempt += 1
+            op_id = f"{base}:r{attempt}"
         self.cp.push_model(
             FLEET_PROGRAM, 0, spec["model"], metadata=metadata,
-            op_id=f"fleet-push:{spec['track']}:v{spec['version']}",
+            op_id=op_id,
         )
 
     def live_hash(self) -> str | None:

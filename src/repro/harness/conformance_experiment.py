@@ -1,0 +1,100 @@
+"""The conformance seed-sweep: N seeds × M ops × tiers × crash points.
+
+One *case* is a seed: a generated tape plus a crash plan, replayed at
+every requested (tier, memo) point.  Each replay diffs the real stack
+against the reference model after every op; across replays of one seed
+the verdict streams must be bit-identical (tiers and memoization are
+performance ladders, not semantics).  The sweep also chaos-drives the
+fleet's quorum-push atomicity invariant per seed.
+
+This is the standing gate: the CI ``conformance-smoke`` job runs a
+small sweep on every change, and ``repro conformance run`` exposes the
+same entry point for reproducing a reported seed locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..conformance import (
+    check_fleet_quorum,
+    check_tiers_bit_identical,
+    generate_crash_plan,
+    generate_tape,
+    run_tape,
+)
+from ..conformance.refmodel import TIERS
+
+__all__ = ["ConformanceSweepResult", "run_conformance_case",
+           "run_conformance_sweep"]
+
+
+@dataclass
+class ConformanceSweepResult:
+    """Aggregate outcome of one sweep."""
+
+    seeds: int = 0
+    runs: int = 0
+    ops_run: int = 0
+    crashes_injected: int = 0
+    divergences: list = field(default_factory=list)   # annotated dict rows
+    invariant_violations: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.invariant_violations
+
+    def summary(self) -> dict:
+        return {
+            "seeds": self.seeds,
+            "runs": self.runs,
+            "ops_run": self.ops_run,
+            "crashes_injected": self.crashes_injected,
+            "ok": self.ok,
+            "divergences": list(self.divergences),
+            "invariant_violations": [v.row()
+                                     for v in self.invariant_violations],
+        }
+
+
+def run_conformance_case(seed: int, n_ops: int, tiers=TIERS,
+                         memo_modes=(False, True), crash: bool = True):
+    """Replay one seed's tape across the (tier, memo) matrix.
+
+    Returns ``(reports, violations)``: one report per matrix point plus
+    any cross-replay bit-identity violations.
+    """
+    tape = generate_tape(seed, n_ops)
+    crash_plan = generate_crash_plan(seed, tape) if crash else []
+    reports = [run_tape(seed, tape, tier=tier, memo=memo,
+                        crash_plan=crash_plan)
+               for tier in tiers for memo in memo_modes]
+    return reports, check_tiers_bit_identical(reports)
+
+
+def run_conformance_sweep(n_seeds: int = 50, n_ops: int = 40,
+                          seed0: int = 0, tiers=TIERS,
+                          memo_modes=(False, True), crash: bool = True,
+                          fleet_rounds: int = 6,
+                          progress=None) -> ConformanceSweepResult:
+    """The full gate: every seed, every tier/memo point, plus fleet."""
+    result = ConformanceSweepResult()
+    for seed in range(seed0, seed0 + n_seeds):
+        reports, violations = run_conformance_case(
+            seed, n_ops, tiers=tiers, memo_modes=memo_modes, crash=crash)
+        result.seeds += 1
+        result.invariant_violations.extend(violations)
+        for report in reports:
+            result.runs += 1
+            result.ops_run += report.ops_run
+            result.crashes_injected += report.crashes_injected
+            result.divergences.extend(
+                {**d.row(), "seed": report.seed, "tier": report.tier,
+                 "memo": report.memo}
+                for d in report.divergences)
+        if fleet_rounds > 0:
+            result.invariant_violations.extend(
+                check_fleet_quorum(seed, rounds=fleet_rounds))
+        if progress is not None:
+            progress(seed, result)
+    return result

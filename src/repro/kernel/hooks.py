@@ -554,6 +554,12 @@ class HookRegistry:
         hook.datapaths = [
             dp for dp in hook.datapaths if dp.program.name != program_name
         ]
+        if not hook.datapaths and hook.memo is not None:
+            # An empty hook must not keep a verdict memo: enable_memo
+            # refuses to create one, and a leftover cache would leak
+            # memoization onto the next attached program without its
+            # memo-safety ever being checked.
+            hook.disable_memo()
         return len(hook.datapaths) < before
 
     def fire(self, name: str, ctx: ExecutionContext, helper_env=None) -> int | None:

@@ -345,6 +345,13 @@ class Reconciler:
                 # and JIT state survive the recovery.
                 self.cp._datapaths[name] = live_dp
                 report.adopted.append(name)
+                if live_dp.mode != dp.mode:
+                    # The fingerprint ignores execution tier, but the
+                    # journal replayed a committed set_tier onto the
+                    # restored datapath; re-tier the adopted live
+                    # object or the committed op is silently lost.
+                    ControlPlane.set_tier(self.cp, name, dp.mode)
+                    report.add("retiered", name)
             else:
                 hook = self.hooks.hook(attach_point)
                 hook.datapaths = [

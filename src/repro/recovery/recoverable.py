@@ -202,6 +202,25 @@ class RecoverableControlPlane(ControlPlane):
             op_id=op_id,
         )
 
+    def set_tier(self, program_name: str, mode: str,
+                 op_id: str | None = None) -> None:
+        """Journaled re-tier: a program's execution mode is intent.
+
+        Without this a ``set_tier`` survives only until the next
+        restart (or until a crash whose recovery rebuilds the datapath
+        from an older checkpoint) — the conformance sweep caught the
+        silent revert.  A same-mode call is a no-op and journals
+        nothing, matching the base class's early return.
+        """
+        dp = self.datapath(program_name)
+        if mode == dp.mode:
+            return ControlPlane.set_tier(self, program_name, mode)
+        return self._journaled(
+            "set_tier", {"program": program_name, "mode": mode},
+            lambda lsn: ControlPlane.set_tier(self, program_name, mode),
+            op_id=op_id,
+        )
+
     def add_entry(self, program_name, table_name, key_values, action,
                   priority: int = 0, op_id: str | None = None,
                   **action_data):
@@ -466,6 +485,20 @@ class RecoverableControlPlane(ControlPlane):
         self._rollouts.pop(name, None)
         self._datapaths.pop(name, None)
         self._watchdogs.pop(name, None)
+        # A live uninstall also forgets supervision state; replay must
+        # match, or a pre-uninstall quarantine leaks onto a later
+        # reinstall of the same name (breaker stuck open forever).
+        if self.supervisor is not None:
+            self.supervisor.forget(name)
+        return True
+
+    def _replay_set_tier(self, args: dict) -> bool:
+        name = args["program"]
+        if name not in self._datapaths:
+            return False
+        if self._datapaths[name].mode == args["mode"]:
+            return False
+        ControlPlane.set_tier(self, name, args["mode"])
         return True
 
     def _replay_add_entry(self, args: dict) -> bool:
@@ -522,9 +555,19 @@ class RecoverableControlPlane(ControlPlane):
         return True
 
     def _replay_push_model(self, args: dict) -> bool:
+        # Dedupe only when the push fully landed: the registry's live
+        # hash alone is a lie across an uninstall/reinstall cycle — the
+        # track (lineage) survives the uninstall, but the reinstalled
+        # program is back on its payload model, so a journaled re-push
+        # of the previously-live version must still re-apply.
         live = self.registry.live(args["program"])
         if live is not None and live.content_hash == args["hash"]:
-            return False
+            dp = self._datapaths.get(args["program"])
+            current = (dp.program.models.get(args["model_id"])
+                       if dp is not None else None)
+            if (current is not None
+                    and model_fingerprint(current)[0] == args["hash"]):
+                return False
         if args.get("model") is None:
             raise ReplaySkip(
                 f"push_model on {args['program']!r} has no wire form"
@@ -578,6 +621,7 @@ class RecoverableControlPlane(ControlPlane):
     REPLAY_OPS = {
         "install": _replay_install,
         "uninstall": _replay_uninstall,
+        "set_tier": _replay_set_tier,
         "add_entry": _replay_add_entry,
         "add_entries": _replay_add_entries,
         "remove_entry": _replay_remove_entry,

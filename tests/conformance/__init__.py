@@ -1,0 +1,1 @@
+"""The conformance subsystem: oracle, tapes, driver, invariants."""

@@ -1,0 +1,129 @@
+"""The conformance driver: real stack vs oracle, end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance import (
+    ConformanceWorld,
+    Op,
+    generate_crash_plan,
+    generate_tape,
+    run_tape,
+    run_tape_dicts,
+)
+from repro.conformance.driver import ACTION, TABLE
+from repro.conformance.refmodel import TIERS
+
+
+def install(world, name="alpha", model_id=0, mode="base"):
+    divs = world.apply(Op("install", {"name": name, "mode": mode,
+                                      "model_id": model_id}))
+    assert divs == []
+
+
+class TestCleanReplay:
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_small_tape_matches_oracle(self, tier):
+        tape = generate_tape(0, 15)
+        report = run_tape(0, tape, tier=tier)
+        assert report.ok, report.divergences[0]
+        assert report.ops_run == 15
+        assert report.verdict_stream  # probes actually ran
+
+    def test_memo_on_matches_oracle(self):
+        report = run_tape(1, generate_tape(1, 15), memo=True)
+        assert report.ok, report.divergences[0]
+
+    def test_crash_interleavings_match_oracle(self):
+        tape = generate_tape(2, 20)
+        plan = generate_crash_plan(2, tape)
+        assert plan, "seed 2 must arm at least one crash for this test"
+        report = run_tape(2, tape, crash_plan=plan)
+        assert report.ok, report.divergences[0]
+        assert report.crashes_injected == len(plan)
+
+    def test_dict_tape_replay(self):
+        from repro.conformance import tape_to_dicts
+        rows = tape_to_dicts(generate_tape(3, 10))
+        assert run_tape_dicts(3, rows).ok
+
+
+class TestDivergenceMachinery:
+    """The detector itself must fire — tamper with one side and make
+    sure the diff, the detail string and the minimal prefix all land."""
+
+    def test_smuggled_entry_is_caught(self):
+        world = ConformanceWorld(0)
+        install(world)
+        # Bypass the oracle: mutate the real table behind its back.
+        world.cp.add_entry("alpha", TABLE, [3], ACTION)
+        divs = world.apply(Op("fire", {"name": "alpha", "pid": 4,
+                                       "page": 0}))
+        assert divs
+        assert divs[0].kind == "verdict"
+        assert "probe" in divs[0].detail
+
+    def test_state_diff_names_the_leaf(self):
+        world = ConformanceWorld(0)
+        install(world)
+        world.ref.programs["alpha"].mode = "jit"  # oracle now lies
+        divs = world.apply(Op("fire", {"name": "alpha", "pid": 4,
+                                       "page": 0}))
+        kinds = {d.kind for d in divs}
+        assert "state" in kinds
+        state_div = next(d for d in divs if d.kind == "state")
+        assert state_div.detail == "state.programs.alpha.mode"
+        assert state_div.expected == "jit"
+        assert state_div.got == "interpret"
+
+    def test_run_tape_pins_minimal_prefix(self, monkeypatch):
+        monkeypatch.setattr(ConformanceWorld, "_run_fault",
+                            lambda self, a: 99)
+        tape = [
+            Op("install", {"name": "alpha", "mode": "base", "model_id": 0}),
+            Op("add_entry", {"name": "alpha", "key": 3}),
+            Op("fault", {"name": "alpha", "pid": 3, "page": 1}),
+            Op("fire", {"name": "alpha", "pid": 3, "page": 1}),
+        ]
+        report = run_tape(0, tape)
+        assert not report.ok
+        div = report.divergences[0]
+        assert div.op_index == 2
+        assert div.got == 99
+        # The prefix replays the failure and nothing after it.
+        assert div.prefix == [op.to_dict() for op in tape[:3]]
+        assert report.ops_run == 3  # first divergence stops the run
+
+
+class TestWorldMechanics:
+    def test_rejects_unknown_tier(self):
+        with pytest.raises(ValueError, match="unknown tier"):
+            ConformanceWorld(0, tier="turbo")
+
+    def test_observe_state_shape(self):
+        world = ConformanceWorld(0)
+        install(world, model_id=1)
+        state = world.observe_state()
+        assert state["programs"]["alpha"]["mode"] == "interpret"
+        assert state["programs"]["alpha"]["entries"] == {}
+        assert state["active_rollouts"] == []
+
+    def test_crash_restart_rebuilds_kernel(self):
+        world = ConformanceWorld(0)
+        install(world)
+        old_cp = world.cp
+        divs = world.apply(Op("add_entry", {"name": "alpha", "key": 5}))
+        assert divs == []
+        divs = world.apply(Op("crash_restart", {}))
+        assert divs == []
+        assert world.cp is not old_cp
+        assert world.observe_state()["programs"]["alpha"]["entries"] == {5: {}}
+
+    def test_verdict_stream_accumulates_probes(self):
+        world = ConformanceWorld(0)
+        install(world)
+        world.apply(Op("fire", {"name": "alpha", "pid": 3, "page": 1}))
+        from repro.conformance.refmodel import PROBES
+        # install + fire both probe every installed program.
+        assert len(world.verdict_stream) == 2 * len(PROBES)

@@ -1,0 +1,128 @@
+"""Cross-layer invariants: verified-only serving, restore convergence,
+tier bit-identity, fleet quorum atomicity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance import (
+    ConformanceWorld,
+    CostBombModel,
+    Op,
+    check_fleet_quorum,
+    check_never_unverified,
+    check_restore_convergence,
+    check_tiers_bit_identical,
+    conf_model,
+    generate_tape,
+    run_tape,
+)
+from repro.conformance.driver import ConformanceReport
+from repro.fleet import FLEET_PROGRAM, FleetNode
+
+
+def run_world(seed, n_ops, **kwargs):
+    world = ConformanceWorld(seed, **kwargs)
+    for op in generate_tape(seed, n_ops):
+        divergences = world.apply(op)
+        assert not divergences, divergences[0]
+    return world
+
+
+class TestNeverUnverified:
+    def test_clean_world_passes(self):
+        assert check_never_unverified(run_world(0, 12)) == []
+
+    def test_detects_an_unverified_attachment(self):
+        world = run_world(0, 1)
+        # Forge the failure observe_state would report: admission is
+        # structural, so the only way to see it is to fake the summary.
+        world.observe_state = lambda: {"programs": {
+            "alpha": {"attached": True, "verified": False}}}
+        violations = check_never_unverified(world)
+        assert violations and violations[0].invariant == \
+            "never_serve_unverified"
+
+
+class TestRestoreConvergence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_finished_worlds_restore_cleanly(self, seed):
+        assert check_restore_convergence(run_world(seed, 15)) == []
+
+    def test_memo_world_restores_cleanly(self):
+        assert check_restore_convergence(
+            run_world(3, 15, memo=True)) == []
+
+
+class TestTierBitIdentity:
+    def test_real_replays_are_identical(self):
+        tape = generate_tape(5, 15)
+        reports = [run_tape(5, tape, tier=tier)
+                   for tier in ("interpret", "jit", "compiled")]
+        assert check_tiers_bit_identical(reports) == []
+        assert len({tuple(r.verdict_stream) for r in reports}) == 1
+
+    def test_detects_a_diverging_stream(self):
+        a = ConformanceReport(seed=0, tier="interpret", memo=False,
+                              verdict_stream=[1, 2, 3])
+        b = ConformanceReport(seed=0, tier="jit", memo=False,
+                              verdict_stream=[1, 5, 3])
+        violations = check_tiers_bit_identical([a, b])
+        assert len(violations) == 1
+        assert violations[0].context["probe"] == 1
+
+    def test_failed_reports_are_excluded(self):
+        a = ConformanceReport(seed=0, tier="interpret", memo=False,
+                              verdict_stream=[1])
+        b = ConformanceReport(seed=0, tier="jit", memo=False,
+                              verdict_stream=[9],
+                              divergences=["already reported"])
+        assert check_tiers_bit_identical([a, b]) == []
+
+
+class TestFleetQuorum:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_chaos_rounds_hold_atomicity(self, seed):
+        assert check_fleet_quorum(seed, rounds=5) == []
+
+    def test_cost_bomb_is_nacked_by_prepare(self):
+        node = FleetNode("n0", 0, conf_model(0, 0), mode="interpret",
+                         memo=False, batch=False)
+        ok, reason = node.prepare_artifact({
+            "track": FLEET_PROGRAM, "version": 2,
+            "model": CostBombModel(), "metadata": {}})
+        assert not ok
+        assert reason  # an actionable NACK, not a bare False
+
+    def test_cost_bomb_push_aborts_fleet_wide(self):
+        from repro.fleet import ArtifactDistributor
+        nodes = [FleetNode(f"n{i}", 0, conf_model(0, 0), mode="interpret",
+                           memo=False, batch=False) for i in range(3)]
+        distributor = ArtifactDistributor()
+        before = [n.live_hash() for n in nodes]
+        report = distributor.push("fleet_serve", CostBombModel(), nodes)
+        assert not report.committed
+        assert [n.live_hash() for n in nodes] == before
+
+
+class TestSweepHarness:
+    def test_small_sweep_is_clean(self):
+        from repro.harness.conformance_experiment import (
+            run_conformance_sweep,
+        )
+        result = run_conformance_sweep(n_seeds=2, n_ops=12,
+                                       fleet_rounds=2)
+        assert result.ok, result.summary()
+        # 2 seeds x 3 tiers x 2 memo modes
+        assert result.runs == 12
+        assert result.ops_run == 12 * 12
+        summary = result.summary()
+        assert summary["ok"] and summary["seeds"] == 2
+
+    def test_case_returns_matrix_reports(self):
+        from repro.harness.conformance_experiment import (
+            run_conformance_case,
+        )
+        reports, violations = run_conformance_case(
+            0, 10, tiers=("interpret",), memo_modes=(False,))
+        assert len(reports) == 1 and violations == []

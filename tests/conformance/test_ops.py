@@ -1,0 +1,90 @@
+"""Tape generation: determinism, legality, serialisation, crash plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance import (
+    CRASHABLE_OPS,
+    OP_KINDS,
+    generate_crash_plan,
+    generate_tape,
+    tape_from_dicts,
+    tape_to_dicts,
+)
+from repro.conformance.ops import Op
+from repro.conformance.refmodel import RefModel, SWEEP_KINDS
+from repro.conformance.ops import model_provider
+
+
+class TestGeneration:
+    def test_deterministic_from_seed(self):
+        assert generate_tape(11, 60) == generate_tape(11, 60)
+
+    def test_distinct_seeds_distinct_tapes(self):
+        assert generate_tape(1, 60) != generate_tape(2, 60)
+
+    def test_requested_length(self):
+        assert len(generate_tape(0, 37)) == 37
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generate_tape(0, 0)
+
+    def test_only_known_kinds(self):
+        for op in generate_tape(5, 120):
+            assert op.kind in OP_KINDS
+
+    def test_tapes_are_legal_for_the_oracle(self):
+        """Every generated op must apply cleanly to a fresh RefModel —
+        generation and replay thread the same legality state."""
+        for seed in range(5):
+            ref = RefModel(seed, model_provider(seed))
+            for op in generate_tape(seed, 80):
+                ref.apply(op)  # raises on an illegal op
+
+    def test_grammar_reaches_the_interesting_ops(self):
+        kinds = {op.kind for seed in range(8)
+                 for op in generate_tape(seed, 80)}
+        for wanted in ("install", "uninstall", "stage", "advance",
+                       "push_model", "quarantine", "fault",
+                       "crash_restart", "set_tier", "set_memo"):
+            assert wanted in kinds, f"grammar never emitted {wanted!r}"
+
+
+class TestSerialisation:
+    def test_json_round_trip(self):
+        tape = generate_tape(3, 50)
+        rows = tape_to_dicts(tape)
+        assert tape_from_dicts(rows) == tape
+        import json
+        assert json.loads(json.dumps(rows)) == rows  # JSON-safe args
+
+    def test_op_round_trip_keeps_args(self):
+        op = Op("add_entry", {"name": "alpha", "key": 3,
+                              "action_data": {"hint": 2}})
+        assert Op.from_dict(op.to_dict()) == op
+
+
+class TestCrashPlans:
+    def test_deterministic(self):
+        tape = generate_tape(4, 60)
+        assert generate_crash_plan(4, tape) == generate_crash_plan(4, tape)
+
+    def test_targets_only_crashable_ops(self):
+        for seed in range(6):
+            tape = generate_tape(seed, 60)
+            for index, kind in generate_crash_plan(seed, tape):
+                assert tape[index].kind in CRASHABLE_OPS
+                if kind == "torn_batch":
+                    assert tape[index].kind == "add_batch"
+                else:
+                    assert kind in SWEEP_KINDS
+
+    def test_empty_when_nothing_crashable(self):
+        tape = [Op("fire", {"name": "alpha", "pid": 3, "page": 1})]
+        assert generate_crash_plan(0, tape) == []
+
+    def test_respects_max_crashes(self):
+        tape = generate_tape(2, 60)
+        assert len(generate_crash_plan(2, tape, max_crashes=1)) == 1

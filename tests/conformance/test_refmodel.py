@@ -1,0 +1,257 @@
+"""The reference oracle's own semantics (no real kernel involved)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance import Op, conf_model, model_provider
+from repro.conformance.refmodel import (
+    CANARY_MIN_SAMPLES,
+    FAULT_THRESHOLD,
+    KEY_POOL,
+    MODEL_POOL,
+    PROBES,
+    RefModel,
+    SHADOW_MIN_SAMPLES,
+    VERDICT_MAX,
+    VERDICT_MIN,
+    attach_point,
+)
+
+
+def make_ref(seed=0, **kwargs) -> RefModel:
+    return RefModel(seed, model_provider(seed), **kwargs)
+
+
+def installed_ref(seed=0, name="alpha", model_id=0, keys=KEY_POOL,
+                  **kwargs) -> RefModel:
+    ref = make_ref(seed, **kwargs)
+    ref.apply(Op("install", {"name": name, "mode": "base",
+                             "model_id": model_id}))
+    for key in keys:
+        ref.apply(Op("add_entry", {"name": name, "key": key}))
+    return ref
+
+
+class TestVerdicts:
+    def test_miss_key_returns_none(self):
+        ref = installed_ref(keys=(3,))
+        assert ref.probe("alpha", 5, 1) is None
+        assert ref.probe("alpha", 4, 0) is None
+
+    def test_hit_is_clamped_model_output(self):
+        ref = installed_ref()
+        for mid in MODEL_POOL:
+            ref.apply(Op("push_model", {"name": "alpha", "model_id": mid}))
+            for pid, page in PROBES:
+                verdict = ref.probe("alpha", pid, page)
+                if pid in KEY_POOL:
+                    assert VERDICT_MIN <= verdict <= VERDICT_MAX
+                else:
+                    assert verdict is None
+
+    def test_upper_clamp_is_reachable(self):
+        """The 0..6 label range must actually exercise the clamp."""
+        raws, clamped = set(), set()
+        ref = installed_ref()
+        for mid in MODEL_POOL:
+            for pid in KEY_POOL:
+                for page in range(3):
+                    raws.add(int(conf_model(0, mid).predict_one([pid, page])))
+                    ref.programs["alpha"].model_id = mid
+                    clamped.add(ref.probe("alpha", pid, page))
+        assert max(raws) > VERDICT_MAX
+        assert max(clamped) == VERDICT_MAX
+
+    def test_uninstalled_program_predicts_none(self):
+        ref = make_ref()
+        assert ref.probe("alpha", 3, 1) is None
+
+
+class TestBreaker:
+    def test_opens_at_threshold_and_resets_count(self):
+        ref = installed_ref()
+        for _ in range(FAULT_THRESHOLD - 1):
+            assert ref.fault_fire("alpha", 3, 1) is None
+            assert not ref.is_quarantined("alpha")
+        ref.fault_fire("alpha", 3, 1)
+        assert ref.is_quarantined("alpha")
+        assert ref.trap_count["alpha"] == 0
+
+    def test_open_breaker_refuses_probes(self):
+        ref = installed_ref()
+        ref.apply(Op("quarantine", {"name": "alpha"}))
+        assert ref.probe("alpha", 3, 1) is None
+
+    def test_release_closes(self):
+        ref = installed_ref()
+        ref.apply(Op("quarantine", {"name": "alpha"}))
+        ref.apply(Op("release", {"name": "alpha"}))
+        assert not ref.is_quarantined("alpha")
+        assert ref.probe("alpha", 3, 1) is not None
+
+    def test_trap_quarantine_is_runtime_only(self):
+        """Trap-driven open state dies with the process; an explicit
+        (journaled) quarantine survives a full restart."""
+        ref = installed_ref()
+        for _ in range(FAULT_THRESHOLD):
+            ref.fault_fire("alpha", 3, 1)
+        ref.apply(Op("crash_restart", {}))
+        assert not ref.is_quarantined("alpha")
+
+        ref.apply(Op("quarantine", {"name": "alpha"}))
+        ref.apply(Op("crash_restart", {}))
+        assert ref.is_quarantined("alpha")
+
+    def test_uninstall_forgets_breaker_state(self):
+        ref = installed_ref()
+        ref.apply(Op("quarantine", {"name": "alpha"}))
+        ref.apply(Op("uninstall", {"name": "alpha"}))
+        ref.apply(Op("install", {"name": "alpha", "mode": "base",
+                                 "model_id": 0}))
+        ref.apply(Op("crash_restart", {}))
+        assert not ref.is_quarantined("alpha")
+
+
+class TestRegistry:
+    def test_push_promotes_and_retires(self):
+        ref = installed_ref()
+        ref.apply(Op("push_model", {"name": "alpha", "model_id": 1}))
+        ref.apply(Op("push_model", {"name": "alpha", "model_id": 2}))
+        assert ref.live_mid("alpha") == 2
+        assert ref.tracks["alpha"] == [[1, "retired"], [2, "live"]]
+
+    def test_rollback_legality(self):
+        ref = installed_ref()
+        assert not ref.can_rollback("alpha")
+        ref.apply(Op("push_model", {"name": "alpha", "model_id": 1}))
+        assert not ref.can_rollback("alpha")  # nothing retired below it
+        ref.apply(Op("push_model", {"name": "alpha", "model_id": 2}))
+        assert ref.can_rollback("alpha")
+
+    def test_rollback_restores_newest_retired(self):
+        ref = installed_ref()
+        for mid in (1, 2, 3):
+            ref.apply(Op("push_model", {"name": "alpha", "model_id": mid}))
+        ref.apply(Op("rollback_model", {"name": "alpha"}))
+        assert ref.live_mid("alpha") == 2
+        assert ref.programs["alpha"].model_id == 2
+
+
+class TestRolloutGates:
+    def _staged(self):
+        ref = installed_ref()
+        ref.apply(Op("stage", {"name": "alpha", "model_id": 1}))
+        return ref
+
+    def test_shadow_gate_needs_samples(self):
+        ref = self._staged()
+        ref.apply(Op("score", {"name": "alpha",
+                               "count": SHADOW_MIN_SAMPLES - 1}))
+        ref.apply(Op("advance", {"name": "alpha"}))
+        assert ref.rollouts["alpha"].state == "shadow"
+        ref.apply(Op("score", {"name": "alpha", "count": 1}))
+        ref.apply(Op("advance", {"name": "alpha"}))
+        assert ref.rollouts["alpha"].state == "canary"
+        assert ref.rollouts["alpha"].samples == 0
+
+    def test_full_ladder_promotes(self):
+        ref = self._staged()
+        ref.apply(Op("score", {"name": "alpha",
+                               "count": SHADOW_MIN_SAMPLES}))
+        ref.apply(Op("advance", {"name": "alpha"}))
+        for _ in range(2):  # RAMP has two stages
+            ref.apply(Op("score", {"name": "alpha",
+                                   "count": CANARY_MIN_SAMPLES}))
+            ref.apply(Op("advance", {"name": "alpha"}))
+        assert "alpha" not in ref.rollouts
+        assert ref.programs["alpha"].model_id == 1
+        assert ref.live_mid("alpha") == 1
+
+    def test_crash_aborts_lane(self):
+        ref = self._staged()
+        ref.on_inplace_recovery()
+        assert "alpha" not in ref.rollouts
+        # The staged artifact stays registered, just never promoted.
+        assert ref.live_mid("alpha") is None
+        assert ref.tracks["alpha"] == [[1, "other"]]
+
+
+class TestCrashSemantics:
+    def test_inplace_recovery_replays_journaled_breaker_ops(self):
+        ref = installed_ref()
+        # Journaled release, then trap-driven open: replay wins.
+        ref.apply(Op("release", {"name": "alpha"}))
+        for _ in range(FAULT_THRESHOLD):
+            ref.fault_fire("alpha", 3, 1)
+        assert ref.is_quarantined("alpha")
+        ref.on_inplace_recovery()
+        assert not ref.is_quarantined("alpha")
+
+    def test_inplace_recovery_keeps_runtime_state_without_ops(self):
+        ref = installed_ref()
+        for _ in range(FAULT_THRESHOLD):
+            ref.fault_fire("alpha", 3, 1)
+        ref.on_inplace_recovery()
+        assert ref.is_quarantined("alpha")  # nothing journaled to replay
+
+    def test_restart_resets_memo_to_default(self):
+        ref = installed_ref(memo_default=False)
+        ref.apply(Op("set_memo", {"name": "alpha", "on": True}))
+        ref.apply(Op("crash_restart", {}))
+        assert ref.programs["alpha"].memo is False
+
+    def test_stage_stale_ack_registers_without_lane(self):
+        ref = installed_ref()
+        ref.apply(Op("stage", {"name": "alpha", "model_id": 1}),
+                  crash_kind="stale_ack")
+        assert "alpha" not in ref.rollouts
+        assert ref.tracks["alpha"] == [[1, "other"]]
+
+
+class TestExpectedState:
+    def test_shape_and_symbolic_mode(self):
+        ref = make_ref(tier="jit")
+        ref.apply(Op("install", {"name": "beta", "mode": "base",
+                                 "model_id": 2}))
+        state = ref.expected_state()
+        assert set(state) == {"programs", "registry_live",
+                              "active_rollouts", "lanes", "quarantined"}
+        prog = state["programs"]["beta"]
+        assert prog["mode"] == "jit"  # "base" resolves to the world tier
+        assert prog["attach_point"] == attach_point("beta")
+        assert prog["attached"] and prog["verified"]
+
+    def test_registry_live_uses_fingerprint(self):
+        ref = installed_ref()
+        ref.apply(Op("push_model", {"name": "alpha", "model_id": 3}))
+        from repro.deploy.registry import model_fingerprint
+        assert (ref.expected_state()["registry_live"]["alpha"]
+                == model_fingerprint(conf_model(0, 3))[0])
+
+
+class TestModelPool:
+    def test_pool_members_are_fingerprint_distinct(self):
+        from repro.deploy.registry import model_fingerprint
+        hashes = {model_fingerprint(conf_model(0, mid))[0]
+                  for mid in MODEL_POOL}
+        assert len(hashes) == len(MODEL_POOL)
+
+    def test_training_is_deterministic(self):
+        conf_model.cache_clear()
+        a = conf_model(7, 2)
+        conf_model.cache_clear()
+        b = conf_model(7, 2)
+        from repro.deploy.registry import model_fingerprint
+        assert model_fingerprint(a) == model_fingerprint(b)
+
+    def test_probe_pool_covers_miss_and_hit(self):
+        pids = {pid for pid, _ in PROBES}
+        assert 4 in pids  # the permanent table miss
+        assert pids - {4} <= set(KEY_POOL)
+
+
+def test_unknown_op_kind_raises():
+    ref = installed_ref()
+    with pytest.raises(AttributeError):
+        ref.apply(Op("frobnicate", {}))

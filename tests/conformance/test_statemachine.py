@@ -1,0 +1,165 @@
+"""Hypothesis drives the conformance world directly.
+
+Where the tape generator explores with its own weighted grammar, the
+state machine lets hypothesis pick the op sequence — and, on failure,
+shrink it to a minimal counterexample.  Every rule asserts that the
+real stack still matches the reference oracle after the op; the
+probe-after-every-op diff inside ``ConformanceWorld.apply`` is the
+invariant.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, assume, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    precondition,
+    rule,
+)
+
+from repro.conformance import ConformanceWorld, Op
+from repro.conformance.refmodel import (
+    KEY_POOL,
+    MODEL_POOL,
+    PROGRAMS,
+    TIERS,
+)
+
+names = st.sampled_from(PROGRAMS)
+models = st.sampled_from(MODEL_POOL)
+keys = st.sampled_from(KEY_POOL)
+pages = st.integers(min_value=0, max_value=2)
+
+
+class ConformanceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.world = ConformanceWorld(seed=99)
+        self.ref = self.world.ref
+
+    def _apply(self, kind, **args):
+        divergences = self.world.apply(Op(kind, args))
+        assert not divergences, divergences[0]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @rule(name=names, mid=models)
+    def install(self, name, mid):
+        assume(name not in self.ref.programs)
+        self._apply("install", name=name, mode="base", model_id=mid)
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names)
+    def uninstall(self, name):
+        assume(name in self.ref.programs)
+        self._apply("uninstall", name=name)
+
+    # -- table plumbing ------------------------------------------------------
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names, key=keys, hint=st.integers(0, 7))
+    def add_entry(self, name, key, hint):
+        assume(name in self.ref.programs)
+        assume(key in self.ref.free_keys(name))
+        self._apply("add_entry", name=name, key=key,
+                    action_data={"hint": hint})
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names, key=keys)
+    def remove_entry(self, name, key):
+        assume(name in self.ref.programs)
+        assume(key in self.ref.programs[name].entries)
+        self._apply("remove_entry", name=name, key=key)
+
+    # -- supervision + runtime knobs -----------------------------------------
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names)
+    def quarantine(self, name):
+        assume(name in self.ref.programs)
+        self._apply("quarantine", name=name)
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names)
+    def release(self, name):
+        assume(name in self.ref.programs)
+        self._apply("release", name=name)
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names, mode=st.sampled_from(("base",) + TIERS))
+    def set_tier(self, name, mode):
+        assume(name in self.ref.programs)
+        self._apply("set_tier", name=name, mode=mode)
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names)
+    def toggle_memo(self, name):
+        assume(name in self.ref.programs)
+        self._apply("set_memo", name=name,
+                    on=not self.ref.programs[name].memo)
+
+    # -- models + rollouts -----------------------------------------------
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names, mid=models)
+    def push_model(self, name, mid):
+        assume(name in self.ref.programs and name not in self.ref.rollouts)
+        self._apply("push_model", name=name, model_id=mid)
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names)
+    def rollback_model(self, name):
+        assume(name in self.ref.programs and name not in self.ref.rollouts)
+        assume(self.ref.can_rollback(name))
+        self._apply("rollback_model", name=name)
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names, mid=models)
+    def stage(self, name, mid):
+        assume(name in self.ref.programs and name not in self.ref.rollouts)
+        self._apply("stage", name=name, model_id=mid)
+
+    @precondition(lambda self: self.ref.rollouts)
+    @rule(name=names, count=st.integers(1, 4))
+    def score(self, name, count):
+        assume(name in self.ref.rollouts)
+        self._apply("score", name=name, count=count)
+
+    @precondition(lambda self: self.ref.rollouts)
+    @rule(name=names)
+    def advance(self, name):
+        assume(name in self.ref.rollouts)
+        self._apply("advance", name=name)
+
+    # -- datapath traffic ------------------------------------------------------
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names, pid=st.sampled_from(KEY_POOL + (4,)), page=pages)
+    def fire(self, name, pid, page):
+        assume(name in self.ref.programs)
+        self._apply("fire", name=name, pid=pid, page=page)
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names, pid=keys, page=pages)
+    def fault(self, name, pid, page):
+        assume(name in self.ref.programs)
+        self._apply("fault", name=name, pid=pid, page=page)
+
+    # -- chaos ----------------------------------------------------------------
+
+    @rule()
+    def crash_restart(self):
+        self._apply("crash_restart")
+
+
+ConformanceMachine.TestCase.settings = settings(
+    max_examples=12,
+    stateful_step_count=25,
+    deadline=None,
+    derandomize=True,  # CI determinism; the seed sweep covers breadth
+    suppress_health_check=[HealthCheck.filter_too_much,
+                           HealthCheck.too_slow],
+)
+
+TestConformanceMachine = ConformanceMachine.TestCase

@@ -1,0 +1,52 @@
+"""Pinned regression tapes — one per bug the conformance sweep found.
+
+Each JSON file under ``tapes/`` is a minimal op prefix that diverged
+from the reference oracle before its fix landed.  They replay here at
+every tier so a regression reports the exact op and state leaf that
+went wrong (see ``docs/CONFORMANCE.md`` for the pinning workflow).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.conformance import run_tape_dicts
+from repro.conformance.refmodel import TIERS
+
+TAPES_DIR = Path(__file__).parent / "tapes"
+TAPES = sorted(TAPES_DIR.glob("*.json"))
+
+
+def _load(path: Path) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def test_tapes_are_present():
+    assert TAPES, "regression tapes directory must not be empty"
+
+
+@pytest.mark.parametrize("path", TAPES, ids=lambda p: p.stem)
+def test_pinned_tape_replays_clean(path):
+    tape = _load(path)
+    report = run_tape_dicts(
+        tape["seed"], tape["ops"], tier=tape["tier"], memo=tape["memo"],
+        crash_plan=[tuple(pair) for pair in tape["crash_plan"]])
+    assert report.ok, (
+        f"{path.name} regressed: {report.divergences[0].detail} "
+        f"(expected {report.divergences[0].expected!r}, "
+        f"got {report.divergences[0].got!r})")
+    assert report.ops_run == len(tape["ops"])
+
+
+@pytest.mark.parametrize("path", TAPES, ids=lambda p: p.stem)
+@pytest.mark.parametrize("tier", TIERS)
+def test_pinned_tape_holds_at_every_tier(path, tier):
+    tape = _load(path)
+    report = run_tape_dicts(
+        tape["seed"], tape["ops"], tier=tier, memo=tape["memo"],
+        crash_plan=[tuple(pair) for pair in tape["crash_plan"]])
+    assert report.ok, f"{path.name} regressed at tier {tier}"

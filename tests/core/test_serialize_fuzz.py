@@ -1,0 +1,217 @@
+"""Fuzzing the wire decoder: garbage in, *clean errors* out.
+
+``payload_to_program`` sits on the user/kernel boundary, so it decodes
+untrusted bytes.  The contract under fuzz: for any corrupted payload —
+truncated JSON, bit-flipped characters, deleted fields, type-confused
+values — the decoder either raises an :class:`RmtError` (the clean,
+catchable family) or successfully builds a program that still has to
+pass the verifier.  It must never escape with a raw ``KeyError`` /
+``TypeError`` / ``IndexError``, and never crash the process.
+
+All corruption is seeded, so a failure reproduces from the test name.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.bytecode import BytecodeProgram, Instruction
+from repro.core.errors import ControlPlaneError, RmtError
+from repro.core.isa import Opcode
+from repro.core.maps import RingBuffer, VectorMap
+from repro.core.program import RmtProgram
+from repro.core.serialize import (
+    PAYLOAD_VERSION,
+    payload_to_program,
+    program_to_payload,
+)
+from repro.core.tables import (
+    MatchActionTable,
+    MatchKind,
+    MatchPattern,
+    TableEntry,
+)
+
+I = Instruction
+OP = Opcode
+
+
+@pytest.fixture()
+def payload(builder, trained_tree, quantized_mlp) -> dict:
+    """A payload exercising every serializable component."""
+    builder.add_map("ring", RingBuffer("ring", capacity=128))
+    builder.add_map("features", VectorMap("features", width=4))
+    ranged = MatchActionTable(
+        "ranged", ["page"], [MatchKind.RANGE], default_action="fallback")
+    builder.add_table(ranged)
+    ranged.insert(TableEntry(
+        patterns=(MatchPattern.range(10, 20),), action="act",
+        action_data={"ml": 0}, priority=3))
+    builder._pipeline.table("tab").insert_exact([5], "act", pf_steps=2)
+    builder.add_model(0, trained_tree)
+    builder.add_model(1, quantized_mlp)
+    builder.add_tensor(0, np.array([[1, 2], [3, 4]], dtype=np.int64))
+    builder.add_action(BytecodeProgram("act", [
+        I(OP.LD_CTXT, dst=0, imm=1), I(OP.EXIT)]))
+    builder.add_action(BytecodeProgram("fallback", [
+        I(OP.MOV_IMM, dst=0, imm=0), I(OP.EXIT)]))
+    return program_to_payload(builder.build())
+
+
+def decode_or_clean_error(data) -> RmtProgram | None:
+    """The property under test: RmtError or a built program, only."""
+    try:
+        program = payload_to_program(data)
+    except RmtError:
+        return None  # the clean refusal — always acceptable
+    assert isinstance(program, RmtProgram)
+    return program
+
+
+class TestTruncation:
+    def test_every_prefix_is_handled(self, payload):
+        text = json.dumps(payload)
+        step = max(1, len(text) // 200)  # ~200 cut points, spread evenly
+        for cut in range(0, len(text), step):
+            prefix = text[:cut]
+            try:
+                data = json.loads(prefix)
+            except ValueError:
+                continue  # clean JSON refusal happens before the decoder
+            decode_or_clean_error(data)
+
+    def test_truncated_collections_raise_cleanly(self, payload):
+        """Chop the *arrays* rather than the text: structurally valid
+        JSON with missing rows must still fail cleanly (or decode)."""
+        for key in ("actions", "tables", "models", "schema"):
+            mutant = json.loads(json.dumps(payload))
+            if key == "schema":
+                mutant["schema"]["fields"] = []
+            else:
+                mutant[key] = mutant[key][:1]
+            decode_or_clean_error(mutant)
+
+    def test_empty_tree_rows_refused(self, payload):
+        mutant = json.loads(json.dumps(payload))
+        for model in mutant["models"]:
+            if model["family"] == "tree_table":
+                model["rows"] = []
+        with pytest.raises(RmtError):
+            payload_to_program(mutant)
+
+
+class TestBitFlips:
+    def test_seeded_character_flips(self, payload):
+        text = json.dumps(payload)
+        rng = random.Random(0)
+        flipped_outcomes = {"json_refused": 0, "clean_error": 0,
+                            "decoded": 0}
+        for _ in range(300):
+            pos = rng.randrange(len(text))
+            mutant_text = (text[:pos]
+                           + chr(ord(text[pos]) ^ (1 << rng.randrange(7)))
+                           + text[pos + 1:])
+            try:
+                data = json.loads(mutant_text)
+            except ValueError:
+                flipped_outcomes["json_refused"] += 1
+                continue
+            if decode_or_clean_error(data) is None:
+                flipped_outcomes["clean_error"] += 1
+            else:
+                flipped_outcomes["decoded"] += 1
+        # The sweep must actually exercise the decoder's error paths,
+        # not just bounce off the JSON parser.
+        assert flipped_outcomes["clean_error"] + \
+            flipped_outcomes["decoded"] > 0
+
+    def test_flipped_instruction_words_never_crash(self, payload):
+        rng = random.Random(1)
+        for _ in range(100):
+            mutant = json.loads(json.dumps(payload))
+            action = rng.choice(mutant["actions"])
+            index = rng.randrange(len(action["words"]))
+            action["words"][index] ^= 1 << rng.randrange(60)
+            decode_or_clean_error(mutant)
+
+
+class TestTypeConfusion:
+    CONFUSIONS = (None, "bogus", 17, [], {}, -3.5, True)
+
+    def _paths(self, node, prefix=()):
+        if isinstance(node, dict):
+            for key, value in node.items():
+                yield prefix + (key,)
+                yield from self._paths(value, prefix + (key,))
+        elif isinstance(node, list):
+            for index, value in enumerate(node):
+                yield prefix + (index,)
+                yield from self._paths(value, prefix + (index,))
+
+    def _set(self, node, path, value):
+        for step in path[:-1]:
+            node = node[step]
+        node[path[-1]] = value
+
+    def _delete(self, node, path):
+        for step in path[:-1]:
+            node = node[step]
+        if isinstance(node, dict):
+            del node[path[-1]]
+        else:
+            node.pop(path[-1])
+
+    def test_every_field_survives_replacement(self, payload):
+        rng = random.Random(2)
+        paths = list(self._paths(payload))
+        clean_errors = 0
+        for path in paths:
+            mutant = json.loads(json.dumps(payload))
+            self._set(mutant, path, rng.choice(self.CONFUSIONS))
+            if decode_or_clean_error(mutant) is None:
+                clean_errors += 1
+        assert clean_errors > len(paths) // 4, \
+            "type confusion almost never refused — decoder too lax?"
+
+    def test_every_field_survives_deletion(self, payload):
+        for path in list(self._paths(payload)):
+            mutant = json.loads(json.dumps(payload))
+            self._delete(mutant, path)
+            decode_or_clean_error(mutant)
+
+
+class TestTopLevelGarbage:
+    @pytest.mark.parametrize("garbage", (
+        None, 42, "payload", [1, 2, 3], (), {"version": PAYLOAD_VERSION},
+        {}, {"version": 99}, {"version": "1"},
+    ))
+    def test_refused_with_control_plane_error(self, garbage):
+        with pytest.raises(ControlPlaneError):
+            payload_to_program(garbage)
+
+    def test_unknown_model_family_named_in_error(self, payload):
+        mutant = json.loads(json.dumps(payload))
+        mutant["models"][0]["family"] = "oracle_v9"
+        with pytest.raises(ControlPlaneError, match="oracle_v9"):
+            payload_to_program(mutant)
+
+    def test_unknown_map_kind_refused(self, payload):
+        mutant = json.loads(json.dumps(payload))
+        mutant["maps"][0]["kind"] = "bloom"
+        with pytest.raises(ControlPlaneError):
+            payload_to_program(mutant)
+
+    def test_ragged_tensor_refused(self, payload):
+        mutant = json.loads(json.dumps(payload))
+        mutant["tensors"][0]["data"] = [[1, 2], [3]]
+        with pytest.raises(ControlPlaneError):
+            payload_to_program(mutant)
+
+    def test_clean_payload_still_decodes(self, payload):
+        """The hardening must not refuse the happy path."""
+        program = payload_to_program(json.loads(json.dumps(payload)))
+        assert program.name == "prog"

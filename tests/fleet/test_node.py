@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.seeding import spawn_rng
+from repro.deploy.registry import model_fingerprint
 from repro.fleet import FLEET_PROGRAM, FleetNode
 from repro.fleet.rollout import FleetRolloutConfig
 from repro.harness.fleet_experiment import PoisonedDeltaModel, train_fleet_model
@@ -137,11 +138,31 @@ class TestArtifacts:
 
     def test_commit_is_idempotent_by_op_id(self, node):
         v2 = train_fleet_model(0, "v2")
+        content_hash, family = model_fingerprint(v2)
         spec = {"track": FLEET_PROGRAM, "version": 2, "model": v2,
-                "metadata": {}, "content_hash": "x", "family": "y"}
+                "metadata": {}, "content_hash": content_hash,
+                "family": family}
         node.commit_artifact(spec)
         live = node.live_hash()
         journal_len = len(node.store.journal_lines)
-        node.commit_artifact(spec)  # same op id: replayed as no-op
+        node.commit_artifact(spec)  # re-delivery: already serving, no-op
         assert node.live_hash() == live
         assert len(node.store.journal_lines) == journal_len
+
+    def test_repromotion_lands_despite_spent_op_id(self, node, model):
+        """Pushing v_old back after a newer push must not journal-dedupe
+        into a no-op (the conformance fleet invariant caught this)."""
+        v2 = train_fleet_model(0, "v2")
+        old_hash, old_family = model_fingerprint(model)
+        new_hash, new_family = model_fingerprint(v2)
+        old_spec = {"track": FLEET_PROGRAM, "version": 1, "model": model,
+                    "metadata": {}, "content_hash": old_hash,
+                    "family": old_family}
+        new_spec = {"track": FLEET_PROGRAM, "version": 2, "model": v2,
+                    "metadata": {}, "content_hash": new_hash,
+                    "family": new_family}
+        node.commit_artifact(old_spec)
+        node.commit_artifact(new_spec)
+        assert node.live_hash() == new_hash
+        node.commit_artifact(old_spec)  # rollback-by-push
+        assert node.live_hash() == old_hash

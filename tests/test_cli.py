@@ -238,3 +238,89 @@ class TestFleetCommand:
         report = json.loads(capsys.readouterr().out)
         assert report["converged"] is True
         assert report["victim"] in report["excused"]
+
+
+class TestConformanceCommand:
+    def test_clean_seed_exits_zero(self, capsys):
+        assert main(["conformance", "run", "--seed", "0", "--ops", "12",
+                     "--fleet-rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "no divergence from the reference model" in out
+        assert "crashes injected" in out
+
+    def test_json_report_is_parseable(self, capsys):
+        import json
+
+        assert main(["conformance", "run", "--seed", "1", "--ops", "10",
+                     "--tier", "interpret", "--no-memo", "--no-crash",
+                     "--fleet-rounds", "0", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["runs"] == 1
+        assert report["ops_run"] == 10
+        assert report["crashes_injected"] == 0
+
+    def test_divergence_exits_one_with_repro_line(self, capsys,
+                                                  monkeypatch):
+        from repro.conformance.driver import ConformanceWorld
+
+        monkeypatch.setattr(ConformanceWorld, "_run_fault",
+                            lambda self, a: 99)
+        code = main(["conformance", "run", "--seed", "0", "--ops", "40",
+                     "--tier", "interpret", "--no-memo", "--no-crash",
+                     "--fleet-rounds", "0"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DIVERGED" in out
+        assert "reproduce: python -m repro conformance run" in out
+
+    def test_bad_ops_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["conformance", "run", "--ops", "0"])
+        assert exc.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+
+class TestErrorPaths:
+    """Operator errors: one actionable line on stderr, exit 2, and
+    never a traceback."""
+
+    def test_negative_seed_rejected_everywhere(self, capsys):
+        for command in (["rollout"], ["recover"],
+                        ["fleet", "status"], ["conformance", "run"]):
+            with pytest.raises(SystemExit) as exc:
+                main(command + ["--seed", "-1"])
+            assert exc.value.code == 2
+            assert "non-negative" in capsys.readouterr().err
+
+    def test_non_integer_seed_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["recover", "--seed", "banana"])
+        assert exc.value.code == 2
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_missing_trace_file(self, capsys):
+        assert main(["trace", "summarize", "/nonexistent/t.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_corrupt_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text("{not json at all\n")
+        assert main(["trace", "summarize", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_truncated_trace_event(self, tmp_path, capsys):
+        path = tmp_path / "missing_fields.jsonl"
+        path.write_text('{"seq": 0}\n')  # no "kind"/"t": corrupt store
+        assert main(["trace", "summarize", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "missing required field" in err
+        assert "Traceback" not in err
+
+    def test_compile_directory_instead_of_file(self, tmp_path, capsys):
+        assert main(["compile", str(tmp_path)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
