@@ -13,11 +13,15 @@ The fleet contract, made measurable:
 * a node **killed mid-rollout** is excused from its ramp stage, its
   shards rebalance to the survivors, and after recovery + registry
   catch-up the fleet's ``state_summary`` equals the no-crash run's;
-* throughput **scales** with fleet size on the same workload.
+* throughput **scales** with fleet size on the same workload;
+* the fleet is **partition tolerant**: a loss sweep (0/5/20%) and an
+  asymmetric cut+heal must all land a committed mid-run push, converge
+  to the clean run's fingerprint unaided, and show **zero** split-brain
+  commits in the fleet-wide journal scan.
 
 Run standalone for the CI smoke: ``python benchmarks/bench_fleet.py
 --smoke``, or ``--full`` to regenerate ``BENCH_fleet.json`` (adds the
-1/2/4/8-node scaling sweep).
+1/2/4/8-node scaling sweep and the tier × memo partition matrix).
 """
 
 from __future__ import annotations
@@ -33,9 +37,18 @@ from repro.harness.fleet_experiment import (
     run_fleet_serving,
     run_fleet_tier_comparison,
 )
+from repro.harness.partition_experiment import (
+    run_fleet_partition,
+    run_partition_sweep,
+)
 
 #: Stream length for the smoke cells (full 384 in the harness default).
 SMOKE_ACCESSES = 192
+
+#: Stream length for the partition cells — each cell drives a clean
+#: *and* a faulted fleet through the full cut/push/heal/settle
+#: schedule, so the smoke keeps them short.
+PARTITION_ACCESSES = 96
 
 #: The 2-node cell must beat 1 node by at least this factor for the
 #: scaling gate to pass (perfect would be 2.0; shard imbalance eats some).
@@ -144,6 +157,33 @@ def test_fleet_tier_wall_clock(benchmark, record_rows):
     )
 
 
+def test_fleet_partition_heals_without_split_brain(benchmark, record_rows):
+    result = benchmark.pedantic(
+        run_fleet_partition,
+        kwargs={"seed": 0, "n_nodes": 4, "loss": 0.05, "cut": "asym",
+                "accesses_per_stream": PARTITION_ACCESSES},
+        rounds=1, iterations=1,
+    )
+    record_rows("fleet[partition][asym]", {
+        k: result[k] for k in ("ok", "converged", "settled",
+                               "settle_rounds", "split_brain",
+                               "unexpected_hashes")
+    })
+    assert result["push"]["committed"], (
+        "mid-partition push aborted: the quorum side should carry it"
+    )
+    assert result["settled"] and result["converged"], (
+        f"fleet did not self-heal: mismatch={result['mismatch']}"
+    )
+    assert result["split_brain"] == [], (
+        f"split-brain commits in the journal scan: {result['split_brain']}"
+    )
+    assert result["unexpected_hashes"] == [], (
+        f"nodes committed artifacts the registry never did: "
+        f"{result['unexpected_hashes']}"
+    )
+
+
 def test_fleet_rollout_deterministic(benchmark, record_rows):
     first = run_fleet_rollout(seed=0, n_nodes=4, poisoned=True)
     second = benchmark.pedantic(
@@ -168,6 +208,7 @@ def _run(seed: int, full: bool) -> dict:
     if full:
         results["scaling"] = run_fleet_scaling(seed=seed)
         results["tiers"] = run_fleet_tier_comparison(n_nodes=8, seed=seed)
+        results["partition"] = run_partition_sweep(seed=seed, matrix=True)
     else:
         results["scaling"] = run_fleet_scaling(
             node_counts=(1, 2), seed=seed,
@@ -175,6 +216,10 @@ def _run(seed: int, full: bool) -> dict:
         )
         results["tiers"] = run_fleet_tier_comparison(
             n_nodes=8, seed=seed, accesses_per_stream=SMOKE_ACCESSES,
+        )
+        results["partition"] = run_partition_sweep(
+            seed=seed, matrix=False,
+            accesses_per_stream=PARTITION_ACCESSES,
         )
     return results
 
@@ -224,6 +269,24 @@ def _check_results(results: dict) -> list[str]:
             f"fleet wall-clock (floor "
             f"{FLEET_WALL_IMPROVEMENT_FLOOR_PCT:.0f}%)"
         )
+    partition = results["partition"]
+    if partition["split_brain_total"]:
+        failures.append(
+            f"{partition['split_brain_total']} split-brain commit(s) in "
+            f"the partition sweep's fleet-wide journal scan"
+        )
+    for cell in partition["failures"]:
+        failures.append(
+            f"partition cell loss={cell['loss']} cut={cell['cut']} "
+            f"mode={cell['mode']} failed "
+            f"(converged={cell['converged']}, settled={cell['settled']}, "
+            f"mismatch={cell['mismatch']}); reproduce with: "
+            f"python -m repro fleet "
+            + (f"partition --cut {cell['cut']}" if cell["cut"]
+               else "net-stats")
+            + f" --seed {partition['seed']} "
+              f"--nodes {partition['n_nodes']} --loss {cell['loss']}"
+        )
     return failures
 
 
@@ -258,6 +321,19 @@ def _report(results: dict) -> None:
           f"{tiers['optimized']['wall_s']:.3f}s wall "
           f"({tiers['wall_improvement_pct']:.1f}% saved, "
           f"identical results: {tiers['identical_results']})")
+    partition = results["partition"]
+    print(f"== partition sweep: {partition['total']} cell(s), "
+          f"{partition['failed']} failed, "
+          f"{partition['split_brain_total']} split-brain commit(s)")
+    for cell in partition["cells"]:
+        push = cell["push"] or {}
+        tag = "ok " if cell["ok"] else "FAIL"
+        print(f"   {tag} loss={cell['loss']:<5} cut={str(cell['cut']):5s} "
+              f"mode={cell['mode']:9s} "
+              f"push={'committed' if push.get('committed') else 'aborted'} "
+              f"epoch={push.get('epoch')} "
+              f"settle={cell['settle_rounds']} "
+              f"repairs={cell['fleet']['repairs']}")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -265,7 +265,8 @@ def _journal_overhead(smoke: bool, seed: int) -> dict:
 
 
 def run_resilience_bench(smoke: bool = False, seed: int = 0) -> dict:
-    """All three resilience pillars as one pure-data result dict."""
+    """All four resilience pillars as one pure-data result dict."""
+    from repro.harness.partition_experiment import run_fleet_partition
     from repro.harness.recovery_experiment import run_recovery_experiment
 
     containment = run_prefetch_resilience(
@@ -277,6 +278,12 @@ def run_resilience_bench(smoke: bool = False, seed: int = 0) -> dict:
         max_offsets=4 if smoke else None, seed=seed,
     )
     journal = _journal_overhead(smoke, seed)
+    # Network faults alongside the datapath/crash ones: one lossy
+    # asymmetric cut+heal cell — the fleet bench owns the full sweep.
+    partition = run_fleet_partition(
+        seed, n_nodes=3, loss=0.05, cut="asym",
+        accesses_per_stream=96 if smoke else None,
+    )
     return {
         "suite": "resilience",
         "smoke": smoke,
@@ -289,6 +296,11 @@ def run_resilience_bench(smoke: bool = False, seed: int = 0) -> dict:
         },
         "recovery_converged": recovery["converged"],
         "journal": journal,
+        "partition": {
+            key: partition[key] for key in (
+                "ok", "converged", "settled", "settle_rounds",
+                "split_brain", "unexpected_hashes", "mismatch")
+        },
     }
 
 
@@ -312,6 +324,16 @@ def _check_resilience(results: dict) -> list[str]:
         failures.append(
             f"journaled fire path {fire_pct:.1f}% over plain "
             f"(> {FIRE_PARITY_CEILING_PCT:.0f}% ceiling)"
+        )
+    partition = results["partition"]
+    if not partition["ok"]:
+        failures.append(
+            f"partition cell failed (converged={partition['converged']}, "
+            f"settled={partition['settled']}, "
+            f"split_brain={len(partition['split_brain'])}, "
+            f"mismatch={partition['mismatch']}); reproduce with: "
+            f"python -m repro fleet partition --cut asym --nodes 3 "
+            f"--loss 0.05 --seed {results['seed']}"
         )
     return failures
 
@@ -341,6 +363,12 @@ def _report_resilience(results: dict) -> None:
           f"{j['journaled_fire_us']:.1f} us "
           f"({j['fire_overhead_pct']:+.1f}%, ceiling "
           f"{FIRE_PARITY_CEILING_PCT:.0f}%)")
+    p = results["partition"]
+    print("== partition (lossy asymmetric cut + heal) ==")
+    print(f"  settled={p['settled']} after {p['settle_rounds']} round(s), "
+          f"converged={p['converged']}, "
+          f"split-brain commits={len(p['split_brain'])}, "
+          f"unverified artifacts={len(p['unexpected_hashes'])}")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -498,21 +498,120 @@ def _cmd_fleet(args) -> int:
         expected = "halted" if args.candidate == "poisoned" else "committed"
         return 0 if result["state"] == expected else 1
 
-    result = run_fleet_crash(args.seed, args.nodes,
-                             accesses_per_stream=args.accesses)
-    if args.json:
-        print(_json.dumps(result, indent=2, sort_keys=True))
+    if args.fleet_cmd == "kill-node":
+        result = run_fleet_crash(args.seed, args.nodes,
+                                 accesses_per_stream=args.accesses)
+        if args.json:
+            print(_json.dumps(result, indent=2, sort_keys=True))
+            return 0 if result["converged"] else 1
+        print(f"fleet kill-node: nodes={args.nodes} seed={args.seed}")
+        print(f"killed {result['victim']} at {result['kill_at_ns']}ns "
+              f"(mid-rollout); excused={result['excused']}")
+        print(f"rollout finished {result['crash_state']} "
+              f"(baseline {result['baseline_state']}); "
+              f"{result['moved_shards']} shard moves over "
+              f"{result['rebalances']} rebalances")
+        print(f"converged after rejoin: {result['converged']}" + (
+            f"  mismatch={result['mismatch']}" if result["mismatch"] else ""))
         return 0 if result["converged"] else 1
-    print(f"fleet kill-node: nodes={args.nodes} seed={args.seed}")
-    print(f"killed {result['victim']} at {result['kill_at_ns']}ns "
-          f"(mid-rollout); excused={result['excused']}")
-    print(f"rollout finished {result['crash_state']} "
-          f"(baseline {result['baseline_state']}); "
-          f"{result['moved_shards']} shard moves over "
-          f"{result['rebalances']} rebalances")
-    print(f"converged after rejoin: {result['converged']}" + (
-        f"  mismatch={result['mismatch']}" if result["mismatch"] else ""))
-    return 0 if result["converged"] else 1
+
+    return _cmd_fleet_net(args)
+
+
+def _fleet_cell_lines(result: dict) -> list[str]:
+    """Human summary of one partition-experiment cell."""
+    push = result["push"] or {}
+    lines = [
+        f"push v{push.get('version', '?')}: "
+        + ("committed" if push.get("committed") else "ABORTED")
+        + f" (acked={len(push.get('acked', []))}, "
+          f"quorum={push.get('quorum', '?')}, "
+          f"epoch={push.get('epoch', '?')})",
+        f"healed + settled: {result['settled']} "
+        f"(settle rounds: {result['settle_rounds']}); "
+        f"converged to clean fingerprint: {result['converged']}",
+        f"split-brain commits: {len(result['split_brain'])}; "
+        f"unverified artifacts on nodes: "
+        f"{len(result['unexpected_hashes'])}",
+    ]
+    stats = result["fleet"]
+    lines.append(
+        f"fleet: deaths={stats['deaths']} "
+        f"resurrections={stats['resurrections']} "
+        f"repairs={stats['repairs']} flaps={stats['flaps']} "
+        f"fence_epoch={stats['fence_epoch']}")
+    if result["mismatch"]:
+        lines.append(f"MISMATCHED fingerprint keys: "
+                     f"{', '.join(result['mismatch'])}")
+    return lines
+
+
+def _cmd_fleet_net(args) -> int:
+    """``fleet partition|heal|net-stats``: the transport-fault surface."""
+    import json as _json
+
+    from .harness.partition_experiment import run_fleet_partition
+
+    if not 0.0 <= args.loss <= 0.9:
+        raise ValueError(f"--loss {args.loss} out of range [0, 0.9]")
+
+    if args.fleet_cmd == "partition":
+        result = run_fleet_partition(
+            args.seed, args.nodes, loss=args.loss, cut=args.cut,
+            accesses_per_stream=args.accesses)
+        if args.json:
+            print(_json.dumps(result, indent=2, sort_keys=True))
+            return 0 if result["ok"] else 1
+        print(f"fleet partition: cut={args.cut} loss={args.loss:.0%} "
+              f"nodes={args.nodes} seed={args.seed} "
+              f"(victim: {result['victim']})")
+        for line in _fleet_cell_lines(result):
+            print(f"  {line}")
+        return 0 if result["ok"] else 1
+
+    if args.fleet_cmd == "heal":
+        cells = {cut: run_fleet_partition(
+            args.seed, args.nodes, loss=args.loss, cut=cut,
+            accesses_per_stream=args.accesses)
+            for cut in ("sym", "asym")}
+        ok = all(cell["ok"] for cell in cells.values())
+        if args.json:
+            print(_json.dumps({"ok": ok, "cells": cells},
+                              indent=2, sort_keys=True))
+            return 0 if ok else 1
+        print(f"fleet heal: loss={args.loss:.0%} nodes={args.nodes} "
+              f"seed={args.seed} — cut, heal, converge (both shapes)")
+        for cut, result in cells.items():
+            print(f"  [{cut}]")
+            for line in _fleet_cell_lines(result):
+                print(f"    {line}")
+        return 0 if ok else 1
+
+    # net-stats: one lossy (uncut) run, reported from the wire's side.
+    result = run_fleet_partition(args.seed, args.nodes, loss=args.loss,
+                                 accesses_per_stream=args.accesses)
+    net = result["net"]
+    if args.json:
+        print(_json.dumps({"ok": result["ok"], "loss": args.loss,
+                           "net": net, "fleet": result["fleet"]},
+                          indent=2, sort_keys=True))
+        return 0 if result["ok"] else 1
+    print(f"fleet net-stats: loss={args.loss:.0%} nodes={args.nodes} "
+          f"seed={args.seed}")
+    injector = net.pop("injector", None)
+    for key in sorted(net):
+        print(f"  {key}: {net[key]}")
+    if injector:
+        print(f"  injector: {len(injector['partitions'])} open cut(s), "
+              f"{injector['healed_partitions']} healed, "
+              f"{injector['degraded_links']} degraded link(s), "
+              f"default fault rate {injector['default_total_rate']}")
+    print(f"  fence epoch: {result['fleet']['fence_epoch']}  "
+          f"repairs: {result['fleet']['repairs']}")
+    print(f"  push committed: {bool(result['push'] and result['push']['committed'])}  "
+          f"converged: {result['converged']}  "
+          f"split-brain: {len(result['split_brain'])}")
+    return 0 if result["ok"] else 1
 
 
 _CONFORMANCE_TIERS = ("interpret", "jit", "compiled")
@@ -675,7 +774,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     pf = sub.add_parser("fleet",
                         help="multi-node serving: shard status, fleet-wide "
-                             "rollouts, node-kill recovery")
+                             "rollouts, node-kill recovery, partition "
+                             "tolerance")
     fsub = pf.add_subparsers(dest="fleet_cmd", required=True)
     for name, helptext in (
         ("status", "drain the sharded workload mix and print per-node "
@@ -684,6 +784,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "(1 node -> fraction -> all)"),
         ("kill-node", "kill a node mid-rollout; verify recovery + "
                       "rebalance converge"),
+        ("partition", "cut one node off mid-push; verify atomicity, "
+                      "fence uniqueness and self-healing"),
+        ("heal", "both partition shapes (sym + asym), healed mid-run; "
+                 "verify the fleet converges unaided"),
+        ("net-stats", "drive a lossy (uncut) run; print the transport's "
+                      "wire counters"),
     ):
         fp = fsub.add_parser(name, help=helptext)
         fp.add_argument("--nodes", type=int, default=4)
@@ -695,6 +801,16 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "rollout":
             fp.add_argument("--candidate", choices=("good", "poisoned"),
                             default="poisoned")
+        if name in ("partition", "heal", "net-stats"):
+            fp.add_argument("--loss", type=float,
+                            default=0.05 if name != "net-stats" else 0.2,
+                            help="per-link fault rate during the window "
+                                 "(default: %(default)s)")
+        if name == "partition":
+            fp.add_argument("--cut", choices=("sym", "asym"),
+                            default="asym",
+                            help="partition shape: both directions or "
+                                 "victim-outbound only (default: asym)")
         fp.set_defaults(fn=_cmd_fleet)
 
     pk = sub.add_parser("conformance",

@@ -31,13 +31,19 @@ from .invariants import (
     check_never_unverified,
     check_restore_convergence,
     check_tiers_bit_identical,
+    fence_uniqueness_violations,
+    fleet_commit_ledger,
+    unexpected_commit_hashes,
 )
 from .ops import (
     CRASHABLE_OPS,
+    FLEET_OP_KINDS,
     OP_KINDS,
     Op,
     conf_model,
     generate_crash_plan,
+    generate_fleet_crash_plan,
+    generate_fleet_tape,
     generate_tape,
     model_provider,
     tape_from_dicts,
@@ -51,8 +57,11 @@ __all__ = [
     "CostBombModel",
     "InvariantViolation", "check_fleet_quorum", "check_never_unverified",
     "check_restore_convergence", "check_tiers_bit_identical",
-    "CRASHABLE_OPS", "OP_KINDS", "Op", "conf_model",
-    "generate_crash_plan", "generate_tape", "model_provider",
+    "fence_uniqueness_violations", "fleet_commit_ledger",
+    "unexpected_commit_hashes",
+    "CRASHABLE_OPS", "FLEET_OP_KINDS", "OP_KINDS", "Op", "conf_model",
+    "generate_crash_plan", "generate_fleet_crash_plan",
+    "generate_fleet_tape", "generate_tape", "model_provider",
     "tape_from_dicts", "tape_to_dicts",
     "PROBES", "PROGRAMS", "TIERS", "RefModel",
 ]

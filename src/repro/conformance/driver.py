@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 from ..core import ContextSchema
 from ..core.bytecode import BytecodeProgram, Instruction
-from ..core.errors import ControlPlaneCrash, FaultInjected
+from ..core.errors import ControlPlaneCrash, FaultInjected, VerifierError
 from ..core.isa import Opcode
 from ..core.program import ProgramBuilder
 from ..core.supervisor import DatapathSupervisor, SupervisorConfig
@@ -38,7 +38,13 @@ from ..kernel.hooks import HookRegistry
 from ..kernel.syscalls import RmtSyscallInterface
 from ..recovery import RecoverableControlPlane, RecoveryStore, recover
 from ..recovery import state_summary
-from .ops import CRASHABLE_OPS, Op, model_provider, tape_from_dicts
+from .ops import (
+    CRASHABLE_OPS,
+    CostBombModel,
+    Op,
+    model_provider,
+    tape_from_dicts,
+)
 from .refmodel import (
     FAULT_THRESHOLD,
     PROBES,
@@ -239,7 +245,7 @@ class ConformanceWorld:
         """Run one op on both sides; return any divergences (and stop
         recording state into the streams once one is found)."""
         divergences: list[Divergence] = []
-        if op.kind in ("fire", "fault"):
+        if op.kind in ("fire", "fault", "fire_many", "push_reject"):
             got = self._execute(op)
             want = self.ref.apply(op)
             if got != want:
@@ -351,6 +357,17 @@ class ConformanceWorld:
     def _run_rollback_model(self, a):
         self.cp.rollback_model(a["name"], 0, op_id=self._op_id())
 
+    def _run_push_reject(self, a):
+        """Push a candidate the verifier must refuse.  The compared
+        "verdict" is the rejection itself; any state motion (registry
+        entry, live-hash change) is caught by the post-op diff."""
+        try:
+            self.cp.push_model(a["name"], 0, CostBombModel(),
+                               op_id=self._op_id())
+        except VerifierError:
+            return "rejected"
+        return "accepted"
+
     def _run_quarantine(self, a):
         self.cp.quarantine(a["name"], op_id=self._op_id())
 
@@ -398,6 +415,13 @@ class ConformanceWorld:
             return self._fire(a["name"], a["pid"], a["page"])
         finally:
             self.hooks.inject_faults(None)
+
+    def _run_fire_many(self, a):
+        point = attach_point(a["name"])
+        schema = self.schemas[point]
+        contexts = [schema.new_context(pid=pid, page=page)
+                    for pid, page in a["contexts"]]
+        return self.hooks.fire_many(point, contexts)
 
     def _run_crash_restart(self, a):
         """Full process death: every kernel object is rebuilt from the

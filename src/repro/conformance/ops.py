@@ -33,20 +33,31 @@ from .refmodel import (
 )
 
 __all__ = [
-    "Op", "OP_KINDS", "CRASHABLE_OPS", "conf_model", "model_provider",
-    "generate_tape", "generate_crash_plan", "tape_to_dicts",
-    "tape_from_dicts",
+    "Op", "OP_KINDS", "CRASHABLE_OPS", "FLEET_OP_KINDS", "CostBombModel",
+    "conf_model", "model_provider",
+    "generate_tape", "generate_crash_plan",
+    "generate_fleet_tape", "generate_fleet_crash_plan",
+    "tape_to_dicts", "tape_from_dicts",
 ]
 
 #: Every kind the grammar can emit (and the driver can execute).
 OP_KINDS = (
     "install", "uninstall",
     "add_entry", "add_batch", "remove_entry", "modify_entry",
-    "push_model", "rollback_model",
+    "push_model", "rollback_model", "push_reject",
     "quarantine", "release",
     "set_tier", "set_memo",
     "stage", "score", "advance", "abort_rollout",
-    "fire", "fault", "crash_restart",
+    "fire", "fault", "fire_many", "crash_restart",
+)
+
+#: The fleet chaos grammar :func:`generate_fleet_tape` draws from —
+#: executed by :func:`~repro.conformance.invariants.check_fleet_quorum`
+#: against a transport-backed distributor, not by the single-node driver.
+FLEET_OP_KINDS = (
+    "fleet_kill", "fleet_restart",
+    "fleet_push", "fleet_push_bomb",
+    "fleet_partition", "fleet_heal",
 )
 
 #: Ops that journal exactly one intent, i.e. where a mid-op crash can
@@ -88,6 +99,21 @@ def tape_from_dicts(rows) -> list:
 # ---------------------------------------------------------------------------
 # Candidate models
 # ---------------------------------------------------------------------------
+
+class CostBombModel:
+    """A candidate every verifier must NACK: its declared cost signature
+    blows the admission budget, so a dry-run verify (fleet prepare) and
+    a direct ``push_model`` (the ``push_reject`` op) both fail while the
+    central registry can still fingerprint and register it."""
+
+    @staticmethod
+    def predict_one(features) -> int:
+        return 0
+
+    @staticmethod
+    def cost_signature() -> dict:
+        return {"kind": "decision_tree", "depth": 10**6, "n_nodes": 10**9}
+
 
 @lru_cache(maxsize=None)
 def conf_model(root_seed: int, model_id: int) -> IntegerDecisionTree:
@@ -165,11 +191,15 @@ def _draw(rng, ref: RefModel, allow_restart: bool) -> Op:
             on=not ref.programs[name].memo)
         add(8, "fire", name=name, pid=rng.choice(KEY_POOL + (4,)),
             page=rng.randrange(3))
+        add(3, "fire_many", name=name,
+            contexts=[[rng.choice(KEY_POOL + (4,)), rng.randrange(3)]
+                      for _ in range(rng.randint(2, 4))])
         add(3, "fault", name=name, pid=rng.choice(KEY_POOL),
             page=rng.randrange(3))
         add(1, "uninstall", name=name)
     for name in idle:
         add(4, "push_model", name=name, model_id=rng.choice(MODEL_POOL))
+        add(2, "push_reject", name=name)
         if ref.can_rollback(name):
             add(3, "rollback_model", name=name)
         add(4, "stage", name=name, model_id=rng.choice(MODEL_POOL))
@@ -218,3 +248,95 @@ def generate_crash_plan(seed: int, tape, max_crashes: int = 2) -> list:
             kinds.append("torn_batch")
         plan.append((index, rng.choice(kinds)))
     return plan
+
+
+# ---------------------------------------------------------------------------
+# Fleet tape generation
+# ---------------------------------------------------------------------------
+
+def generate_fleet_tape(seed: int, n_ops: int, n_nodes: int = 3) -> list:
+    """Generate a fleet chaos tape: kill/restart churn, quorum pushes
+    (clean and poisoned), one named partition at a time, heals.
+
+    Node references are integer indexes into the runner's node list.
+    Legality is threaded like :func:`generate_tape` — never kill the
+    last alive node, only restart dead ones, one cut at a time — but
+    the *runner* still tolerates illegal ops as no-ops, because armed
+    crashes kill nodes the tape believed alive.
+    """
+    if n_ops < 1:
+        raise ValueError(f"n_ops must be >= 1, got {n_ops}")
+    if n_nodes < 2:
+        raise ValueError(f"n_nodes must be >= 2, got {n_nodes}")
+    rng = spawn_rng(seed, "conf-fleet-tape")
+    alive = set(range(n_nodes))
+    cut = False
+    tape = []
+    while len(tape) < n_ops:
+        choices: list[tuple[int, str, dict]] = []
+
+        def add(weight, kind, **args):
+            choices.append((weight, kind, args))
+
+        add(6, "fleet_push", model_id=rng.choice(MODEL_POOL[1:]))
+        add(2, "fleet_push_bomb")
+        if len(alive) > 1:
+            add(3, "fleet_kill", node=rng.choice(sorted(alive)))
+            if not cut:
+                add(2, "fleet_partition", node=rng.choice(sorted(alive)),
+                    cut=rng.choice(("sym", "asym")))
+        dead = sorted(set(range(n_nodes)) - alive)
+        if dead:
+            add(4, "fleet_restart", node=rng.choice(dead))
+        if cut:
+            add(4, "fleet_heal")
+
+        total = sum(w for w, _, _ in choices)
+        pick = rng.random() * total
+        op = None
+        for weight, kind, args in choices:
+            pick -= weight
+            if pick < 0:
+                op = Op(kind, args)
+                break
+        if op is None:
+            op = Op(*choices[-1][1:])  # float-edge fallback
+        if op.kind == "fleet_kill":
+            alive.discard(op.args["node"])
+        elif op.kind == "fleet_restart":
+            alive.add(op.args["node"])
+        elif op.kind == "fleet_partition":
+            cut = True
+        elif op.kind == "fleet_heal":
+            cut = False
+        tape.append(op)
+    return tape
+
+
+def generate_fleet_crash_plan(seed: int, tape, n_nodes: int = 3,
+                              max_crashes: int = 2) -> list:
+    """Pick up to ``max_crashes`` ``(op_index, node_index, crash_kind)``
+    entries, each aimed at a fleet node's *journal* during a push.
+
+    Only plain ``fleet_push`` ops are targeted: a cost-bomb push aborts
+    at prepare, so no commit ever reaches a node journal and an armed
+    crash would never fire.  The target is drawn from the nodes the
+    tape believes alive when the push starts — its journaled
+    ``push_model`` commit is where the crash lands.
+    """
+    rng = spawn_rng(seed, "conf-fleet-crash")
+    live = set(range(n_nodes))
+    candidates: list[tuple[int, tuple[int, ...]]] = []
+    for index, op in enumerate(tape):
+        if op.kind == "fleet_kill":
+            live.discard(op.args["node"])
+        elif op.kind == "fleet_restart":
+            live.add(op.args["node"])
+        elif op.kind == "fleet_push" and live:
+            candidates.append((index, tuple(sorted(live))))
+    if not candidates:
+        return []
+    chosen = sorted(rng.sample(candidates,
+                               min(max_crashes, len(candidates))))
+    return [(index, rng.choice(targets), rng.choice(SWEEP_KINDS))
+            for index, targets in chosen]

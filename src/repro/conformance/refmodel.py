@@ -291,6 +291,12 @@ class RefModel:
         self.programs[name].model_id = mid
         self._promote(name, mid)
 
+    def _op_push_reject(self, a):
+        """An inadmissible candidate: the verifier NACKs, the failed
+        swap rolls back, and *nothing* observable moves — no registry
+        entry, no live-hash change, no breaker charge."""
+        return "rejected"
+
     def _op_rollback_model(self, a):
         name = a["name"]
         artifacts = self.tracks[name]
@@ -361,6 +367,13 @@ class RefModel:
 
     def _op_fault(self, a):
         return self.fault_fire(a["name"], a["pid"], a["page"])
+
+    def _op_fire_many(self, a):
+        """Batched fires are spec'd bit-identical to per-context fires —
+        same verdicts, same lane-clock advance — so the prediction is
+        literally the per-fire one, folded."""
+        return [self.probe(a["name"], pid, page)
+                for pid, page in a["contexts"]]
 
     def _op_crash_restart(self, a):
         """Full process death + journal recovery into a fresh kernel."""

@@ -18,6 +18,15 @@ ramps a candidate across *nodes* (1 node -> fraction -> all), driving
 each node's local shadow/canary lane and halting the fleet — with
 unaffected shards still serving — the moment any node's guardrails
 roll the candidate back.
+
+All coordinator↔node traffic rides the :class:`FleetTransport` — a
+seeded, sim-clock message layer whose :class:`NetFaultInjector`
+degrades individual links (drop/delay/duplicate/reorder) and arms
+named symmetric or asymmetric partitions.  Epoch fencing
+(:class:`FenceEpochClock` + per-node journaled high-water marks) keeps
+a partitioned-then-healed node from applying stale instructions, and
+the controller's per-heartbeat anti-entropy pass repairs divergent
+survivors without operator intervention.
 """
 
 from .controller import FleetController
@@ -26,17 +35,29 @@ from .node import FLEET_HOOK, FLEET_PROGRAM, FleetNode, build_serve_program
 from .ring import ConsistentHashRing
 from .rollout import FleetRollout, FleetRolloutConfig, FleetRolloutState
 from .streams import ShardStream, fleet_streams
+from .transport import (
+    DropMessage,
+    FenceEpochClock,
+    FleetTransport,
+    NetFaultInjector,
+    PendingCall,
+)
 
 __all__ = [
     "ArtifactDistributor",
     "ConsistentHashRing",
+    "DropMessage",
     "FLEET_HOOK",
     "FLEET_PROGRAM",
+    "FenceEpochClock",
     "FleetController",
     "FleetNode",
     "FleetRollout",
     "FleetRolloutConfig",
     "FleetRolloutState",
+    "FleetTransport",
+    "NetFaultInjector",
+    "PendingCall",
     "PushReport",
     "ShardStream",
     "build_serve_program",

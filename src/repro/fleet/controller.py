@@ -1,24 +1,46 @@
 """Fleet controller: membership, heartbeats, sharded serving.
 
 The controller is the fleet's event loop, built on the shared
-:class:`~repro.kernel.sim.Simulator` virtual clock:
+:class:`~repro.kernel.sim.Simulator` virtual clock.  Every interaction
+with a node — heartbeats, serve chunks, repair pushes — is an RPC on
+the :class:`~repro.fleet.transport.FleetTransport` (a clean transport
+delivers inline, so an un-degraded fleet is bit-identical to the old
+direct-call one):
 
 * **membership** — a repeating heartbeat (:meth:`Simulator.
-  schedule_every`) polls every node for its metric snapshot; a node
-  that misses ``suspect_after`` beats is *suspect*, ``dead_after``
-  beats *dead*.  Death removes the node from the routing ring and
-  rebalances; :meth:`rejoin` recovers the node from its durable store,
-  catches it up from the central registry, and rebalances it back in.
-  Every transition is a ``fleet_membership`` trace event on the shared
-  clock;
+  schedule_every`) sends every node a fire-and-forget heartbeat RPC
+  (the next beat *is* the retry) and judges freshness by which replies
+  have landed; a node that misses ``suspect_after`` beats is *suspect*,
+  ``dead_after`` beats *dead*.  Suspicion carries **hysteresis**: a
+  fresh beat while suspect drains the missed-beat bucket by one and
+  only ``recover_after`` consecutive fresh beats restore *alive*, so a
+  flapping link oscillates inside the suspect band instead of driving
+  a ring rebalance per flap.  Death removes the node from the routing
+  ring, bumps the fence epoch, and rebalances.  Dead nodes keep
+  receiving heartbeats — ``resurrect_after`` consecutive replies from
+  a partitioned-then-healed node bring it back (epoch bump, re-ring,
+  rebalance) with **no operator rejoin**; :meth:`rejoin` remains the
+  path for real crashes, whose processes cannot answer.  Every
+  transition is a ``fleet_membership`` trace event on the shared clock;
+* **anti-entropy** — each fresh heartbeat's ``live_hash`` is diffed
+  against the central registry's live artifact; a divergent survivor
+  gets an async catch-up push (one outstanding per node), so partition
+  damage heals on membership cadence.  Repair is suppressed while a
+  fleet rollout is ramping or committing — staged lanes *intentionally*
+  diverge;
 * **sharding** — workload streams route to nodes via the
   :class:`~repro.fleet.ring.ConsistentHashRing`; ``fleet_route``
   events fire only when a shard's owner actually changes, so a
   rebalance's event count is its disruption measure;
 * **serving** — each alive node runs a chunked serve loop: take up to
-  ``chunk`` accesses round-robin across its assigned shards, charge
-  the summed latency, and reschedule itself that far in the virtual
-  future.  Makespan falls out of the clock when the last shard drains;
+  ``chunk`` accesses round-robin across its assigned shards, ship them
+  as one ``serve_chunk`` RPC (epoch-fenced, idempotent by chunk id,
+  retried on the transport's backoff), charge the replied latencies,
+  and reschedule that far in the virtual future.  A chunk whose RPC
+  fails or is fenced stale **rewinds** its streams' cursors — its
+  accesses were never served and must be re-issued to whoever owns the
+  shards by then.  Makespan falls out of the clock when the last shard
+  drains;
 * **rollout drive** — an attached :class:`~repro.fleet.rollout.
   FleetRollout` is polled once per heartbeat, so fleet ramp decisions
   happen on membership cadence, from the same snapshots.
@@ -26,13 +48,15 @@ The controller is the fleet's event loop, built on the shared
 
 from __future__ import annotations
 
+from ..core.seeding import derive_seed
 from ..kernel.sim import NS_PER_MS, Simulator
 from ..obs import trace as obs_trace
 from ..obs.events import FLEET_MEMBERSHIP, FLEET_ROUTE
-from .node import FleetNode
+from .node import FLEET_PROGRAM, FleetNode
 from .ring import ConsistentHashRing
 from .rollout import FleetRollout
 from .streams import ShardStream
+from .transport import CONTROLLER, FenceEpochClock, FleetTransport
 
 __all__ = ["FleetController"]
 
@@ -51,6 +75,12 @@ class FleetController:
         dead_after: int = 4,
         chunk: int = 32,
         replicas: int = 64,
+        recover_after: int = 2,
+        resurrect_after: int = 2,
+        transport: FleetTransport | None = None,
+        distributor=None,
+        epoch_clock: FenceEpochClock | None = None,
+        track: str = FLEET_PROGRAM,
     ) -> None:
         if not nodes:
             raise ValueError("fleet needs at least one node")
@@ -60,14 +90,34 @@ class FleetController:
         self.heartbeat_ns = heartbeat_ns
         self.suspect_after = suspect_after
         self.dead_after = dead_after
+        self.recover_after = recover_after
+        self.resurrect_after = resurrect_after
         self.chunk = chunk
+        self.track = track
+        self.transport = transport if transport is not None else \
+            FleetTransport(sim, seed=derive_seed(seed, "transport"))
+        #: Set for anti-entropy repair (usually by ``build_fleet``);
+        #: None leaves divergent survivors to operator ``rejoin``.
+        self.distributor = distributor
+        self.epochs = epoch_clock if epoch_clock is not None else (
+            distributor.epochs if distributor is not None
+            else FenceEpochClock())
         self.ring = ConsistentHashRing(seed=seed, replicas=replicas)
         self.membership: dict[str, str] = {}
         self._missed: dict[str, int] = {}
+        self._streak: dict[str, int] = {}  # consecutive fresh beats
+        self._fresh: dict[str, dict] = {}  # replies since the last beat
         self._owner: dict[str, str] = {}
         self._assignment: dict[str, list[str]] = {}
         self._serving: set[str] = set()  # nodes with a scheduled serve event
         self._beats: dict[str, dict] = {}  # last heartbeat snapshot per node
+        #: In-flight serve chunks: node -> (order, per-key access counts);
+        #: their stream keys are locked out of ``_runnable`` until the
+        #: RPC settles, so a rebalance cannot double-serve them.
+        self._inflight: dict[str, tuple[list, dict]] = {}
+        self._inflight_keys: set[str] = set()
+        self._repairing: set[str] = set()
+        self._chunk_seq = 0
         self.fleet_rollout: FleetRollout | None = None
         self._hb = None
         # Cumulative counters (collect_fleet exports these).
@@ -77,11 +127,18 @@ class FleetController:
         self.moved_shards = 0
         self.deaths = 0
         self.rejoins = 0
+        self.resurrections = 0
+        self.repairs = 0
+        self.flaps = 0
+        self.abandoned_chunks = 0
+        self.stale_chunks = 0
         for node_id in sorted(self.nodes):
+            self.transport.ensure_node(self.nodes[node_id])
             self.ring.add_node(node_id)
             self._member(node_id, "join")
             self._member(node_id, "alive")
             self._missed[node_id] = 0
+            self._streak[node_id] = 0
         self.rebalance(initial=True)
 
     # -- membership -------------------------------------------------------
@@ -113,31 +170,83 @@ class FleetController:
 
     def _heartbeat(self, now: int) -> None:
         self.heartbeats += 1
+        epoch = self.epochs.current
         for node_id in sorted(self.nodes):
-            node = self.nodes[node_id]
-            status = self.membership[node_id]
-            if node.alive:
-                self._beats[node_id] = node.heartbeat()
-                self._missed[node_id] = 0
-                if status == "suspect":
-                    self._member(node_id, "alive")
-            elif status != "dead":
-                self._missed[node_id] += 1
-                self.missed_heartbeats += 1
-                if self._missed[node_id] >= self.dead_after:
-                    self._on_death(node_id)
-                elif (self._missed[node_id] >= self.suspect_after
-                        and status == "alive"):
-                    self._member(node_id, "suspect")
+            self.transport.send(
+                CONTROLLER, node_id, "heartbeat", {"epoch": epoch},
+                on_reply=lambda beat, nid=node_id: self._on_beat(nid, beat),
+                timeout_ns=0,  # the next beat is the retry
+            )
+            # On a clean link the reply just landed inline; on a faulty
+            # one we judge whatever arrived since the previous beat.
+            beat = self._fresh.pop(node_id, None)
+            if beat is not None:
+                self._fresh_beat(node_id, beat)
+            else:
+                self._missed_beat(node_id)
         if self.fleet_rollout is not None and self.fleet_rollout.active:
             self.fleet_rollout.poll()
+
+    def _on_beat(self, node_id: str, beat: dict) -> None:
+        self._fresh[node_id] = beat
+        self._beats[node_id] = beat
+
+    def _fresh_beat(self, node_id: str, beat: dict) -> None:
+        self._streak[node_id] += 1
+        status = self.membership[node_id]
+        if status == "alive":
+            self._missed[node_id] = 0
+        elif status == "suspect":
+            # Leaky bucket: one fresh beat forgives one missed beat;
+            # only a sustained streak re-promotes to alive.  A flapping
+            # link therefore idles in the suspect band instead of
+            # cycling alive -> suspect -> dead -> rebalance.
+            self._missed[node_id] = max(0, self._missed[node_id] - 1)
+            if self._streak[node_id] >= self.recover_after:
+                self._missed[node_id] = 0
+                self._member(node_id, "alive")
+                self._kick(node_id)
+        elif status == "dead":
+            if self._streak[node_id] >= self.resurrect_after:
+                self._resurrect(node_id)
+        self._maybe_repair(node_id, beat)
+
+    def _missed_beat(self, node_id: str) -> None:
+        self._streak[node_id] = 0
+        status = self.membership[node_id]
+        if status == "dead":
+            return
+        self._missed[node_id] += 1
+        self.missed_heartbeats += 1
+        if self._missed[node_id] >= self.dead_after:
+            self._on_death(node_id)
+        elif (self._missed[node_id] >= self.suspect_after
+                and status == "alive"):
+            self.flaps += 1
+            self._member(node_id, "suspect")
 
     def _on_death(self, node_id: str) -> None:
         self._member(node_id, "dead")
         self.deaths += 1
+        self.epochs.bump()  # new membership generation
         if node_id in self.ring:
             self.ring.remove_node(node_id)
         self._serving.discard(node_id)
+        self.rebalance()
+
+    def _resurrect(self, node_id: str) -> None:
+        """A dead-marked node answered again: the partition healed.
+
+        Membership alone comes back here — model divergence is the
+        anti-entropy pass's job (this very beat's ``live_hash`` diff
+        already scheduled a catch-up if one is needed).
+        """
+        self._missed[node_id] = 0
+        self._member(node_id, "alive")
+        self.resurrections += 1
+        self.epochs.bump()
+        if node_id not in self.ring:
+            self.ring.add_node(node_id)
         self.rebalance()
 
     def kill_node(self, node_id: str) -> None:
@@ -150,16 +259,53 @@ class FleetController:
         """Recover a dead node, catch it up, and rebalance it back in."""
         node = self.nodes[node_id]
         reports = node.restart()
+        distributor = distributor if distributor is not None \
+            else self.distributor
+        track = track if track is not None else (
+            self.track if distributor is not None else None)
         if distributor is not None and track is not None:
             distributor.catch_up(track, node)
         self._missed[node_id] = 0
+        self._streak[node_id] = 0
         self._member(node_id, "rejoin")
         self._member(node_id, "alive")
         self.rejoins += 1
+        self.epochs.bump()
         if node_id not in self.ring:
             self.ring.add_node(node_id)
         self.rebalance()
         return reports
+
+    # -- anti-entropy -----------------------------------------------------
+
+    def _maybe_repair(self, node_id: str, beat: dict) -> None:
+        """Diff one fresh beat against the central expectation."""
+        if self.distributor is None or node_id in self._repairing:
+            return
+        rollout = self.fleet_rollout
+        if rollout is not None and rollout.state in ("ramping",
+                                                     "committing"):
+            return  # staged lanes intentionally diverge mid-ramp
+        if getattr(self.distributor, "pending_pushes", 0):
+            # A settling push means "central live" is mid-transition: a
+            # node that already committed the incoming version would
+            # diff as divergent and be repaired *backwards*.
+            return
+        live = self.distributor.registry.live(self.track)
+        if live is None or beat.get("live_hash") == live.content_hash:
+            return
+        self._repairing.add(node_id)
+        self.repairs += 1
+        node = self.nodes[node_id]
+        if self.distributor.transport is not None:
+            self.distributor.catch_up_async(
+                self.track, node,
+                on_done=lambda ok: self._repairing.discard(node_id))
+        else:
+            try:
+                self.distributor.catch_up(self.track, node)
+            finally:
+                self._repairing.discard(node_id)
 
     # -- sharding ---------------------------------------------------------
 
@@ -194,12 +340,15 @@ class FleetController:
     def _runnable(self, node_id: str) -> list[ShardStream]:
         return [self.streams[key]
                 for key in self._assignment.get(node_id, [])
-                if not self.streams[key].done]
+                if not self.streams[key].done
+                and key not in self._inflight_keys]
 
     def _kick(self, node_id: str) -> None:
         """Schedule a serve chunk for an idle node with pending work."""
         node = self.nodes.get(node_id)
-        if (node is None or not node.alive or node_id in self._serving
+        if (node is None or not node.alive
+                or self.membership.get(node_id) == "dead"
+                or node_id in self._serving
                 or not self._runnable(node_id)):
             return
         self._serving.add(node_id)
@@ -208,18 +357,19 @@ class FleetController:
     def _serve_chunk(self, node_id: str) -> None:
         self._serving.discard(node_id)
         node = self.nodes.get(node_id)
-        if node is None or not node.alive:
+        if (node is None or not node.alive
+                or self.membership.get(node_id) == "dead"):
             return
         runnable = self._runnable(node_id)
         if not runnable:
             return
         # Gather up to ``chunk`` accesses in the round-robin order the
-        # per-access loop used, serve them as one batch, then distribute
-        # latencies in the same order — ``done_at``/``busy_ns``
-        # arithmetic is unchanged (a finished stream's last access in
-        # ``order`` is its finishing access, so the final overwrite of
-        # ``done_at`` lands on exactly the value the per-access loop
-        # assigned once).
+        # per-access loop used, ship them as one RPC, then distribute
+        # the replied latencies in the same order — ``done_at``/
+        # ``busy_ns`` arithmetic is unchanged (a finished stream's last
+        # access in ``order`` is its finishing access, so the final
+        # overwrite of ``done_at`` lands on exactly the value the
+        # per-access loop assigned once).
         accesses: list[tuple[int, int, int]] = []
         order: list = []
         budget = self.chunk
@@ -233,15 +383,66 @@ class FleetController:
                 budget -= 1
                 if stream.done:
                     runnable.remove(stream)
+        counts: dict[str, int] = {}
+        for stream in order:
+            counts[stream.key] = counts.get(stream.key, 0) + 1
+        self._inflight[node_id] = (order, counts)
+        self._inflight_keys.update(counts)
+        self._chunk_seq += 1
+        self._serving.add(node_id)
+        self.transport.send(
+            CONTROLLER, node_id, "serve_chunk",
+            {"chunk_id": self._chunk_seq,
+             "epoch": self.epochs.current,
+             "accesses": accesses},
+            on_reply=lambda reply: self._finish_chunk(node_id, reply),
+            on_fail=lambda reason: self._abandon_chunk(node_id),
+        )
+
+    def _clear_inflight(self, node_id: str) -> tuple[list, dict]:
+        order, counts = self._inflight.pop(node_id)
+        self._inflight_keys.difference_update(counts)
+        return order, counts
+
+    def _finish_chunk(self, node_id: str, reply: dict) -> None:
+        order, counts = self._clear_inflight(node_id)
+        if reply.get("stale"):
+            # Fenced out: the chunk crossed an epoch bump in flight (a
+            # zombie serve).  Nothing ran — rewind and re-issue under
+            # the current epoch.
+            self.stale_chunks += 1
+            self._rewind(counts)
+            self._serving.discard(node_id)
+            self._rekick_owners(counts, node_id)
+            return
         elapsed = 0
-        for stream, latency in zip(order, node.serve_many(accesses)):
+        for stream, latency in zip(order, reply["latencies"]):
             stream.busy_ns += latency
             elapsed += latency
             if stream.done:
                 stream.done_at = self.sim.now + elapsed
-        self._serving.add(node_id)
         self.sim.schedule(max(elapsed, 1),
                           lambda: self._serve_chunk(node_id))
+
+    def _abandon_chunk(self, node_id: str) -> None:
+        """Every retry timed out: the accesses were (as far as the
+        controller can know) never served.  Rewind so the current shard
+        owners re-issue them."""
+        order, counts = self._clear_inflight(node_id)
+        self.abandoned_chunks += 1
+        self._rewind(counts)
+        self._serving.discard(node_id)
+        self._rekick_owners(counts, node_id)
+
+    def _rewind(self, counts: dict[str, int]) -> None:
+        for key, n in counts.items():
+            self.streams[key].rewind(n)
+
+    def _rekick_owners(self, counts: dict[str, int], node_id: str) -> None:
+        owners = {self._owner.get(key) for key in counts}
+        owners.add(node_id)
+        for owner in sorted(o for o in owners if o):
+            self._kick(owner)
 
     # -- run loop ---------------------------------------------------------
 
@@ -253,6 +454,8 @@ class FleetController:
 
     def drained(self) -> bool:
         """All shards served (vacuously true with nobody left to serve)."""
+        if self._inflight_keys:
+            return False
         if not self.ring.nodes:
             return True
         return all(stream.done for stream in self.streams.values())
@@ -315,6 +518,12 @@ class FleetController:
             "moved_shards": self.moved_shards,
             "deaths": self.deaths,
             "rejoins": self.rejoins,
+            "resurrections": self.resurrections,
+            "repairs": self.repairs,
+            "flaps": self.flaps,
+            "abandoned_chunks": self.abandoned_chunks,
+            "stale_chunks": self.stale_chunks,
+            "fence_epoch": self.epochs.current,
             "served": {nid: self.nodes[nid].served
                        for nid in sorted(self.nodes)},
         }
@@ -322,7 +531,9 @@ class FleetController:
     def state_summary(self) -> dict:
         """Fleet-wide convergence fingerprint: per-node intent state +
         membership + shard placement.  Runtime counters excluded, same
-        discipline as :func:`repro.recovery.state_summary`."""
+        discipline as :func:`repro.recovery.state_summary` — and fence
+        epochs excluded on purpose: a faulted run bumps more epochs than
+        its baseline while converging to the same intent state."""
         return {
             "membership": dict(sorted(self.membership.items())),
             "assignment": self.assignment(),

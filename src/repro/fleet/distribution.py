@@ -13,6 +13,25 @@ The fleet's model movement is a two-phase protocol over the central
    promoted to live.  Short of quorum, no node commits and the central
    artifact is marked rolled back.
 
+Given a :class:`~repro.fleet.transport.FleetTransport`, both phases
+ride RPCs instead of direct method calls, which changes the failure
+model in two load-bearing ways:
+
+* every push **bumps the fence epoch** and stamps it into the spec, so
+  a commit that the reorder buffer replays after a newer push is NACKed
+  by the node's fence instead of regressing its live model — and "at
+  most one committed version per (track, epoch)" holds by construction;
+* a node whose *prepare* never answers counts as a nack (it cannot
+  join the quorum), but a node whose *commit* is lost after the quorum
+  decided is only **lagging**: the decision is already durable in the
+  central registry, so the push stays committed and the laggard is
+  repaired by commit retries and the controller's anti-entropy
+  catch-up rather than by blocking the fleet.
+
+Without a transport the distributor runs in its original loopback
+mode — direct synchronous method calls, no fencing — which is what the
+standalone unit tests and the conformance chaos loop drive.
+
 Every protocol step lands in the trace as a ``fleet_push`` event
 (``node="*"`` for the fleet-wide commit/abort marker) and in the
 touched node's private recorder, so a push's full per-node history is
@@ -27,6 +46,7 @@ from ..deploy.registry import ArtifactStatus, ModelRegistry
 from ..obs import trace as obs_trace
 from ..obs.events import FLEET_PUSH
 from .node import FleetNode
+from .transport import CONTROLLER, FenceEpochClock, FleetTransport
 
 __all__ = ["ArtifactDistributor", "PushReport"]
 
@@ -43,6 +63,14 @@ class PushReport:
     nacked: dict[str, str] = field(default_factory=dict)
     skipped: list[str] = field(default_factory=list)
     quorum: int = 0
+    #: Fence epoch the push was stamped with (0 in loopback mode).
+    epoch: int = 0
+    #: Acked nodes whose *commit* was not confirmed — the quorum had
+    #: already decided, so they converge via retry/catch-up instead of
+    #: holding the push hostage.
+    lagging: list[str] = field(default_factory=list)
+    #: True while transport RPCs are still in flight.
+    pending: bool = False
 
     def row(self) -> dict:
         return {
@@ -53,7 +81,9 @@ class PushReport:
             "acked": list(self.acked),
             "nacked": dict(self.nacked),
             "skipped": list(self.skipped),
+            "lagging": list(self.lagging),
             "quorum": self.quorum,
+            "epoch": self.epoch,
         }
 
 
@@ -71,68 +101,236 @@ class ArtifactDistributor:
     """Pushes content-addressed artifacts from one central registry."""
 
     def __init__(self, registry: ModelRegistry | None = None,
-                 quorum: int | None = None) -> None:
+                 quorum: int | None = None,
+                 transport: FleetTransport | None = None,
+                 epoch_clock: FenceEpochClock | None = None) -> None:
         self.registry = registry if registry is not None else ModelRegistry()
         #: Fixed quorum size; None means majority of alive targets.
         self.fixed_quorum = quorum
+        self.transport = transport
+        #: Shared with the controller when one exists — membership
+        #: generations and pushes advance the same fence.
+        self.epochs = epoch_clock if epoch_clock is not None \
+            else FenceEpochClock()
         self.pushes = 0
         self.commits = 0
         self.aborts = 0
+        self.catch_ups = 0
+        #: In-flight transport pushes.  Anti-entropy checks this: while
+        #: a push is settling, "central live" is in transition and a
+        #: node that already committed the new version would look
+        #: divergent — repairing it would roll it *back*.
+        self.pending_pushes = 0
 
     def _quorum(self, alive: int) -> int:
         if self.fixed_quorum is not None:
             return self.fixed_quorum
         return alive // 2 + 1
 
+    @staticmethod
+    def _mark_aborted(artifact) -> None:
+        """Demote a push's artifact after an abort — but only if this
+        push *minted* it.  The registry dedupes by content hash, so a
+        re-push of already-committed content hands back the committed
+        artifact; an abort of the re-push must not rewrite that earlier
+        decision's durable status (live/retired stays what it was)."""
+        if artifact.status == ArtifactStatus.STAGED:
+            artifact.status = ArtifactStatus.ROLLED_BACK
+
+    # -- push -------------------------------------------------------------
+
     def push(self, track: str, model: object, nodes,
              metadata: dict | None = None) -> PushReport:
         """Two-phase push of *model* to *nodes*; returns the report.
 
         Dead nodes are skipped (they catch up on rejoin) and do not
-        count toward the quorum denominator.
+        count toward the quorum denominator.  With a transport this is
+        the synchronous wrapper over :meth:`push_async` — only legal
+        outside a simulator event (bootstrap, tests, the CLI); inside
+        one, use :meth:`push_async` and let the callback land.
         """
+        report = self.push_async(track, model, nodes, metadata)
+        if report.pending:
+            self._pump(report)
+        return report
+
+    def push_async(self, track: str, model: object, nodes,
+                   metadata: dict | None = None,
+                   on_done=None) -> PushReport:
+        """Start a push; resolves inline on a clean transport (or in
+        loopback mode), otherwise when the RPCs settle."""
         self.pushes += 1
         artifact = self.registry.register(track, model, dict(metadata or {}))
-        spec = artifact.push_spec()
+        epoch = self.epochs.bump() if self.transport is not None else 0
+        spec = dict(artifact.push_spec())
+        if epoch:
+            spec["epoch"] = epoch
         targets = sorted(nodes, key=lambda n: n.node_id)
         alive = [n for n in targets if n.alive]
         report = PushReport(
             track=track, version=artifact.version,
             content_hash=artifact.content_hash, committed=False,
             skipped=[n.node_id for n in targets if not n.alive],
-            quorum=self._quorum(len(alive)),
+            quorum=self._quorum(len(alive)), epoch=epoch,
         )
+        if self.transport is None:
+            self._push_loopback(report, artifact, spec, alive)
+            if on_done is not None:
+                on_done(report)
+            return report
+        report.pending = True
+        self.pending_pushes += 1
+        self._prepare_phase(report, artifact, spec, alive, on_done)
+        return report
+
+    def _push_loopback(self, report: PushReport, artifact, spec: dict,
+                       alive: list[FleetNode]) -> None:
+        """The original direct-call protocol (no transport, no fence)."""
+        track, version = report.track, report.version
         for node in alive:
-            _emit_push(node, track, artifact.version, node.node_id, "prepare")
+            _emit_push(node, track, version, node.node_id, "prepare")
             ok, reason = node.prepare_artifact(spec)
             if ok:
                 report.acked.append(node.node_id)
-                _emit_push(node, track, artifact.version, node.node_id, "ack")
+                _emit_push(node, track, version, node.node_id, "ack")
             else:
                 report.nacked[node.node_id] = reason
-                _emit_push(node, track, artifact.version, node.node_id, "nack")
+                _emit_push(node, track, version, node.node_id, "nack")
         if len(report.acked) >= report.quorum and alive:
             for node in alive:
                 if node.node_id in report.acked:
                     node.commit_artifact(spec)
-                    _emit_push(node, track, artifact.version, node.node_id,
-                               "commit")
-            self.registry.promote(track, artifact.version)
+                    _emit_push(node, track, version, node.node_id, "commit")
+            self.registry.promote(track, version)
             report.committed = True
             self.commits += 1
-            _emit_push(None, track, artifact.version, "*", "commit")
+            _emit_push(None, track, version, "*", "commit")
         else:
-            artifact.status = ArtifactStatus.ROLLED_BACK
+            self._mark_aborted(artifact)
             self.aborts += 1
-            _emit_push(None, track, artifact.version, "*", "abort")
-        return report
+            _emit_push(None, track, version, "*", "abort")
+
+    def _prepare_phase(self, report: PushReport, artifact, spec: dict,
+                       alive: list[FleetNode], on_done) -> None:
+        track, version = report.track, report.version
+        state = {"outstanding": len(alive)}
+
+        def settle() -> None:
+            state["outstanding"] -= 1
+            if state["outstanding"]:
+                return
+            if len(report.acked) >= report.quorum and alive:
+                self._commit_phase(report, spec, alive, on_done)
+            else:
+                self._mark_aborted(artifact)
+                self.aborts += 1
+                _emit_push(None, track, version, "*", "abort")
+                report.pending = False
+                self.pending_pushes -= 1
+                if on_done is not None:
+                    on_done(report)
+
+        if not alive:
+            state["outstanding"] = 1
+            settle()
+            return
+        for node in alive:
+            nid = node.node_id
+            self.transport.ensure_node(node)
+            _emit_push(node, track, version, nid, "prepare")
+
+            def on_reply(reply, node=node, nid=nid) -> None:
+                if reply.get("stale"):
+                    report.nacked[nid] = (
+                        f"stale epoch: node at {reply['epoch']}")
+                    _emit_push(node, track, version, nid, "nack")
+                elif reply.get("ok"):
+                    report.acked.append(nid)
+                    _emit_push(node, track, version, nid, "ack")
+                else:
+                    report.nacked[nid] = reply.get("reason", "nack")
+                    _emit_push(node, track, version, nid, "nack")
+                settle()
+
+            def on_fail(reason, node=node, nid=nid) -> None:
+                report.nacked[nid] = f"unreachable: {reason}"
+                _emit_push(node, track, version, nid, "nack")
+                settle()
+
+            self.transport.send(
+                CONTROLLER, nid, "prepare", {"spec": spec, "epoch": epoch_of(spec)},
+                on_reply=on_reply, on_fail=on_fail,
+            )
+
+    def _commit_phase(self, report: PushReport, spec: dict,
+                      alive: list[FleetNode], on_done) -> None:
+        """The quorum has decided: commit everywhere it can reach.
+
+        A lost commit puts its node on ``report.lagging`` — never back
+        to uncommitted.  The central promote (the durable decision
+        record) happens once every commit RPC has settled, which on a
+        clean transport is inline and in the loopback protocol's exact
+        event order.
+        """
+        track, version = report.track, report.version
+        acked_nodes = [n for n in alive if n.node_id in report.acked]
+        state = {"outstanding": len(acked_nodes)}
+
+        def settle() -> None:
+            state["outstanding"] -= 1
+            if state["outstanding"]:
+                return
+            self.registry.promote(track, version)
+            report.committed = True
+            self.commits += 1
+            _emit_push(None, track, version, "*", "commit")
+            report.pending = False
+            self.pending_pushes -= 1
+            if on_done is not None:
+                on_done(report)
+
+        for node in acked_nodes:
+            nid = node.node_id
+
+            def on_reply(reply, node=node, nid=nid) -> None:
+                if reply.get("stale"):
+                    report.lagging.append(nid)
+                    _emit_push(node, track, version, nid, "nack")
+                else:
+                    _emit_push(node, track, version, nid, "commit")
+                settle()
+
+            def on_fail(reason, node=node, nid=nid) -> None:
+                report.lagging.append(nid)
+                _emit_push(node, track, version, nid, "nack")
+                settle()
+
+            self.transport.send(
+                CONTROLLER, nid, "commit",
+                {"spec": spec, "epoch": epoch_of(spec)},
+                on_reply=on_reply, on_fail=on_fail,
+            )
+
+    # -- catch-up ---------------------------------------------------------
 
     def catch_up(self, track: str, node: FleetNode) -> bool:
         """Bring one (re)joined node to the central live artifact.
 
         Returns True when a push was applied; False when the node was
-        already serving the live hash (or there is nothing live).
+        already serving the live hash (or there is nothing live).  With
+        a transport this is the synchronous wrapper — use
+        :meth:`catch_up_async` from inside simulator events.
         """
+        if self.transport is None:
+            return self._catch_up_loopback(track, node)
+        result = {}
+        pending = self.catch_up_async(
+            track, node, on_done=lambda ok: result.setdefault("ok", ok))
+        if pending is not None and "ok" not in result:
+            self.transport.wait(pending)
+        return bool(result.get("ok"))
+
+    def _catch_up_loopback(self, track: str, node: FleetNode) -> bool:
         live = self.registry.live(track)
         if live is None or not node.alive:
             return False
@@ -147,8 +345,78 @@ class ArtifactDistributor:
         _emit_push(node, track, live.version, node.node_id, "ack")
         node.commit_artifact(spec)
         _emit_push(node, track, live.version, node.node_id, "commit")
+        self.catch_ups += 1
         return True
+
+    def catch_up_async(self, track: str, node: FleetNode,
+                       on_done=None):
+        """Repair one divergent node over the transport.
+
+        Stamps the *current* fence epoch without bumping it — catch-up
+        re-delivers an existing decision, it is not a new one, and a
+        bump here would fence out in-flight traffic of the epoch it
+        rode in on.  Returns the prepare's pending call (None when
+        there is nothing to do).
+        """
+        live = self.registry.live(track)
+        if live is None or not node.alive \
+                or node.live_hash() == live.content_hash:
+            if on_done is not None:
+                on_done(False)
+            return None
+        epoch = self.epochs.current
+        spec = {**live.push_spec(), "epoch": epoch}
+        nid = node.node_id
+        self.transport.ensure_node(node)
+        track_, version = track, live.version
+
+        def finish(ok: bool) -> None:
+            if ok:
+                self.catch_ups += 1
+            if on_done is not None:
+                on_done(ok)
+
+        def on_commit_reply(reply) -> None:
+            if reply.get("stale"):
+                _emit_push(node, track_, version, nid, "nack")
+                finish(False)
+                return
+            _emit_push(node, track_, version, nid, "commit")
+            finish(True)
+
+        def on_prepare_reply(reply) -> None:
+            if reply.get("stale") or not reply.get("ok"):
+                _emit_push(node, track_, version, nid, "nack")
+                finish(False)
+                return
+            _emit_push(node, track_, version, nid, "ack")
+            self.transport.send(
+                CONTROLLER, nid, "commit", {"spec": spec, "epoch": epoch},
+                on_reply=on_commit_reply,
+                on_fail=lambda reason: finish(False),
+            )
+
+        _emit_push(node, track_, version, nid, "prepare")
+        return self.transport.send(
+            CONTROLLER, nid, "prepare", {"spec": spec, "epoch": epoch},
+            on_reply=on_prepare_reply,
+            on_fail=lambda reason: finish(False),
+        )
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _pump(self, report: PushReport) -> None:
+        sim = self.transport.sim
+        while report.pending:
+            if sim is None or not sim.step():
+                raise RuntimeError(
+                    f"push of {report.track} v{report.version} stuck "
+                    f"pending with an idle simulator")
 
     def stats(self) -> dict:
         return {"pushes": self.pushes, "commits": self.commits,
                 "aborts": self.aborts}
+
+
+def epoch_of(spec: dict):
+    return spec.get("epoch")

@@ -27,6 +27,7 @@ from __future__ import annotations
 from ..core import ContextSchema
 from ..core.bytecode import BytecodeProgram, Instruction
 from ..core.context import ExecutionContext
+from ..core.errors import ControlPlaneCrash
 from ..core.isa import Opcode
 from ..core.program import ProgramBuilder
 from ..core.seeding import spawn_rng
@@ -36,8 +37,14 @@ from ..core.verifier import AttachPolicy
 from ..kernel.hooks import HookRegistry
 from ..kernel.syscalls import RmtSyscallInterface
 from ..obs import MetricsRegistry, TraceRecorder
-from ..recovery import RecoverableControlPlane, RecoveryStore, recover
+from ..recovery import (
+    RecoverableControlPlane,
+    RecoveryStore,
+    highest_fence_epoch,
+    recover,
+)
 from ..recovery import state_summary as _cp_state_summary
+from .transport import DropMessage
 
 __all__ = ["FLEET_HOOK", "FLEET_PROGRAM", "FleetNode", "build_serve_program"]
 
@@ -53,6 +60,11 @@ JITTER_NS = 200
 
 #: How many recent deltas the datapath sees (context fields d0..d3).
 HISTORY = 4
+
+#: How many serve-chunk replies a node retains for duplicate-delivery
+#: dedupe.  Chunk ids arrive roughly in order, so a small window is
+#: enough to absorb any duplicate the injector's delay bound can land.
+CHUNK_CACHE = 64
 
 _I = Instruction
 _OP = Opcode
@@ -126,6 +138,12 @@ class FleetNode:
         self.busy_ns = 0
         self._last_page: dict[int, int] = {}
         self._history: dict[int, list[int]] = {}
+        #: Highest coordinator fence epoch this node has observed (also
+        #: journaled as a ``fence_epoch`` fact, so it survives kill()).
+        self.fence_epoch = 0
+        self.stale_rejections = 0
+        #: chunk_id -> cached reply, for duplicate serve-chunk delivery.
+        self._chunk_replies: dict[int, dict] = {}
         self._build(fresh=True)
 
     # -- lifecycle --------------------------------------------------------
@@ -151,6 +169,7 @@ class FleetNode:
         #: needs to *read* that terminal verdict (promoted vs rolled
         #: back) on the next heartbeat — so the node keeps the handle.
         self.lane = None
+        self._lane_op = None
         if fresh:
             self.cp = RecoverableControlPlane(
                 self.hooks.helpers, hook_registry=self.hooks,
@@ -171,6 +190,11 @@ class FleetNode:
             self.cp = cp
             self.iface = RmtSyscallInterface(self.hooks, control_plane=cp)
             self.last_recovery = (restore_report, reconcile_report)
+            # Fencing state outlives the crash: a restarted node must
+            # keep NACKing epochs it already saw die, or a partitioned
+            # coordinator generation could feed it stale commits.
+            self.fence_epoch = max(self.fence_epoch,
+                                   highest_fence_epoch(self.store))
         if self.memo:
             # Memoization is runtime (unjournaled) hook state, so the
             # restart path re-enables it too.
@@ -184,8 +208,10 @@ class FleetNode:
         self.iface = None
         self.hooks = None
         self.lane = None
+        self._lane_op = None
         self._last_page.clear()
         self._history.clear()
+        self._chunk_replies.clear()
 
     def restart(self) -> tuple:
         """Recover from the durable store; returns the recovery reports."""
@@ -336,6 +362,111 @@ class FleetNode:
                       and primary_verdict == actual)
         rollout.observe_outcome(candidate_ok, primary_ok)
 
+    # -- fencing + transport surface --------------------------------------
+
+    def observe_epoch(self, epoch) -> bool:
+        """Accept/refuse a coordinator fence epoch.
+
+        ``None`` (a legacy direct call with no fencing in play) and the
+        current epoch pass; a *newer* epoch passes after being journaled
+        as a ``fence_epoch`` fact — durability first, so the acceptance
+        itself survives a crash; an older epoch is refused.
+        """
+        if epoch is None:
+            return True
+        epoch = int(epoch)
+        if epoch < self.fence_epoch:
+            self.stale_rejections += 1
+            return False
+        if epoch > self.fence_epoch:
+            self.cp.journal.fact("fence_epoch", {"epoch": epoch})
+            self.fence_epoch = epoch
+        return True
+
+    def _stale(self) -> dict:
+        return {"stale": True, "node": self.node_id,
+                "epoch": self.fence_epoch}
+
+    def handle_rpc(self, method: str, payload: dict):
+        """The node's transport endpoint.
+
+        A dead node raises :class:`DropMessage` — on the wire that is
+        indistinguishable from a lost packet, which is the point: the
+        coordinator's timeout/suspect machinery owns the difference.
+        Mutating methods are *fenced*: a stale epoch gets a
+        ``{"stale": True}`` NACK and no state change.  Heartbeats are
+        never NACKed — they are how a healed node learns the current
+        epoch in the first place.
+        """
+        if not self.alive:
+            raise DropMessage(self.node_id)
+        epoch = payload.get("epoch")
+        if method == "heartbeat":
+            self.observe_epoch(epoch)
+            beat = self.heartbeat()
+            beat["epoch"] = self.fence_epoch
+            return beat
+        if method == "rollout_state":
+            return self.rollout_snapshot()
+        if not self.observe_epoch(epoch):
+            return self._stale()
+        try:
+            return self._dispatch_rpc(method, payload)
+        except ControlPlaneCrash:
+            # An armed crash inside a journaled apply is process death:
+            # the in-memory kernel is gone (the durable store survives
+            # for restart()), and on the wire the host simply went
+            # silent mid-request — the caller's timeout owns the rest.
+            # Unwinding the raw exception instead would tear through the
+            # distributor's settle accounting and hang the push.
+            self.kill()
+            raise DropMessage(self.node_id) from None
+
+    def _dispatch_rpc(self, method: str, payload: dict):
+        if method == "serve_chunk":
+            return self._serve_chunk_rpc(payload)
+        if method == "prepare":
+            ok, reason = self.prepare_artifact(payload["spec"])
+            return {"ok": ok, "reason": reason, "node": self.node_id}
+        if method == "commit":
+            self.commit_artifact(payload["spec"])
+            return {"ok": True, "node": self.node_id,
+                    "live_hash": self.live_hash()}
+        if method == "stage":
+            lane = self.stage_candidate(payload["model"], payload["config"])
+            return {"ok": True, "state": lane.state}
+        if method == "abort_lane":
+            if self.lane is not None and self.lane.active:
+                self.lane.abort(payload.get("reason", "fleet abort"))
+            return {"ok": True}
+        if method == "rollback":
+            op_id = payload["op_id"]
+            if not self.cp.journal.is_committed(op_id):
+                self.cp.rollback_model(payload["track"], 0, op_id=op_id)
+            return {"ok": True, "live_hash": self.live_hash()}
+        raise KeyError(f"unknown fleet rpc {method!r}")
+
+    def _serve_chunk_rpc(self, payload: dict) -> dict:
+        """Serve one chunk, idempotent by ``chunk_id``.
+
+        A duplicated chunk message must not serve the accesses twice
+        (double-counted latency, RNG stream shifted, cursors burned) —
+        the cached reply is returned instead, bounded by
+        :data:`CHUNK_CACHE`.
+        """
+        chunk_id = payload["chunk_id"]
+        cached = self._chunk_replies.get(chunk_id)
+        if cached is not None:
+            return cached
+        latencies = self.serve_many(
+            [tuple(access) for access in payload["accesses"]])
+        reply = {"chunk_id": chunk_id, "latencies": latencies,
+                 "node": self.node_id}
+        self._chunk_replies[chunk_id] = reply
+        while len(self._chunk_replies) > CHUNK_CACHE:
+            self._chunk_replies.pop(next(iter(self._chunk_replies)))
+        return reply
+
     # -- fleet surface (what the coordinator calls) -----------------------
 
     def prepare_artifact(self, spec: dict) -> tuple[bool, str]:
@@ -379,10 +510,15 @@ class FleetNode:
         return artifact.content_hash if artifact is not None else None
 
     def stage_candidate(self, model: object, config) -> object:
+        op_id = f"{self.node_id}:stage:{config.seed}"
+        if (self.lane is not None and self.lane.active
+                and self._lane_op == op_id):
+            # Duplicate stage delivery: the lane is already running.
+            return self.lane
         self.lane = self.cp.stage_model(
-            FLEET_PROGRAM, 0, model, config=config,
-            op_id=f"{self.node_id}:stage:{config.seed}",
+            FLEET_PROGRAM, 0, model, config=config, op_id=op_id,
         )
+        self._lane_op = op_id
         return self.lane
 
     def rollout_state(self) -> str | None:
@@ -392,6 +528,28 @@ class FleetNode:
         if rollout is not None:
             return rollout.state
         return self.lane.state if self.lane is not None else None
+
+    def rollout_snapshot(self) -> dict:
+        """Everything the fleet rollout's poll needs, as one payload —
+        the read side of driving a ramp over a lossy transport."""
+        snap = {
+            "node": self.node_id,
+            "state": self.rollout_state(),
+            "live_hash": self.live_hash(),
+            "epoch": self.fence_epoch,
+        }
+        lane = self.lane
+        if lane is not None:
+            if lane.plan.transitions:
+                snap["lane_reason"] = lane.plan.transitions[-1].reason
+            if lane.active and lane.canary.candidate.n_windowed:
+                stats = lane.canary.stats()
+                snap["canary"] = {
+                    "candidate_accuracy": stats["candidate_accuracy"],
+                    "primary_accuracy": stats["primary_accuracy"],
+                    "scored": lane.scored,
+                }
+        return snap
 
     def heartbeat(self) -> dict:
         """Refresh the node's metrics registry; return the beat payload."""

@@ -10,8 +10,8 @@ see the candidate at all.
 
 State machine (``fleet_rollout`` trace events mirror every edge)::
 
-    RAMPING ──(stage gates pass node by node)──► COMMITTED
-       │
+    RAMPING ──(stage gates pass node by node)──► COMMITTING ──► COMMITTED
+       │                                             (async quorum push)
        └──(any node lane rolls back, or the aggregated
            accuracy guardrail breaches)────────► HALTED
 
@@ -20,7 +20,7 @@ State machine (``fleet_rollout`` trace events mirror every edge)::
   promoted the candidate in an earlier stage is rolled back;
 * the **aggregated** guardrail compares mean candidate accuracy across
   staged nodes against mean primary accuracy on the same nodes, over
-  the canary windows the heartbeat snapshots expose — a candidate that
+  the canary windows the rollout snapshots expose — a candidate that
   looks marginal on every node but bad in aggregate still halts;
 * a staged node that *dies* is excused from its stage (the membership
   layer owns dying nodes; they catch up from the central registry on
@@ -28,6 +28,15 @@ State machine (``fleet_rollout`` trace events mirror every edge)::
 * COMMITTED quorum-pushes the candidate through the
   :class:`~repro.fleet.distribution.ArtifactDistributor`, making the
   central registry's live version the fleet's converged state.
+
+Given a :class:`~repro.fleet.transport.FleetTransport`, every
+stage/poll/abort/rollback interaction is an RPC: staging retries until
+it lands, the poll reads each node's latest *snapshot* (a delayed reply
+just means the guardrail judges slightly old evidence — never crashes),
+and the terminal quorum push runs asynchronously through a COMMITTING
+state.  On a clean transport all of it resolves inline and the state
+machine takes the exact same edges as the direct-call version —
+COMMITTING is never observable without real faults.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from ..obs import trace as obs_trace
 from ..obs.events import FLEET_ROLLOUT
 from .distribution import ArtifactDistributor, PushReport
 from .node import FleetNode
+from .transport import CONTROLLER
 
 __all__ = ["FleetRollout", "FleetRolloutConfig", "FleetRolloutState"]
 
@@ -49,6 +59,7 @@ class FleetRolloutState:
     """Lifecycle states (plain strings, like RolloutState)."""
 
     RAMPING = "ramping"
+    COMMITTING = "committing"
     COMMITTED = "committed"
     HALTED = "halted"
 
@@ -109,12 +120,22 @@ class FleetRollout:
     def __init__(self, track: str, candidate: object,
                  nodes: dict[str, FleetNode],
                  distributor: ArtifactDistributor,
-                 config: FleetRolloutConfig | None = None) -> None:
+                 config: FleetRolloutConfig | None = None,
+                 *, transport=None, liveness_fn=None) -> None:
         self.track = track
         self.candidate = candidate
         self.nodes = nodes
         self.distributor = distributor
         self.config = config or FleetRolloutConfig()
+        #: Defaults to the distributor's transport so the two layers
+        #: cannot disagree about which fabric a push rides.
+        self.transport = transport if transport is not None \
+            else distributor.transport
+        #: Reachability oracle — the controller wires its *membership*
+        #: view in, so a partitioned-unreachable node is excused the
+        #: same way a dead one is; standalone rollouts fall back to the
+        #: node's own liveness bit.
+        self._liveness_fn = liveness_fn
         self.state = FleetRolloutState.RAMPING
         self.stage = -1  # start() enters stage 0
         self.halt_reason: str | None = None
@@ -140,12 +161,24 @@ class FleetRollout:
         self.excused: list[str] = []
         #: Nodes that promoted the candidate locally.
         self.promoted: list[str] = []
+        #: Transport-mode bookkeeping: which nodes have a confirmed
+        #: staged lane, which stage RPCs are in flight, and the latest
+        #: rollout snapshot per node (poll reads these, never the node).
+        self._staged: set[str] = set()
+        self._stage_inflight: set[str] = set()
+        self._snapshots: dict[str, dict] = {}
+        self._commit_from = "ramping"
 
     # -- plumbing ---------------------------------------------------------
 
     @property
     def active(self) -> bool:
         return self.state == FleetRolloutState.RAMPING
+
+    def _alive(self, node_id: str) -> bool:
+        if self._liveness_fn is not None:
+            return bool(self._liveness_fn(node_id))
+        return self.nodes[node_id].alive
 
     def _emit(self, frm: str, to: str, reason: str) -> None:
         self.transitions.append(
@@ -176,16 +209,41 @@ class FleetRollout:
 
     def _stage_candidates(self, node_ids) -> None:
         for nid in node_ids:
-            node = self.nodes[nid]
-            if not node.alive:
+            if not self._alive(nid):
                 self._excuse(nid)
                 continue
+            self._stage_one(nid)
+
+    def _stage_one(self, nid: str) -> None:
+        node = self.nodes[nid]
+        if self.transport is None:
             if node.rollout_state() in ("promoted",) or (
                     node.live_hash() is not None
                     and nid in self.promoted):
-                continue  # already carried the candidate to live
+                return  # already carried the candidate to live
             node.stage_candidate(self.candidate,
                                  self.config.node_config(nid))
+            self._staged.add(nid)
+            return
+        if nid in self._staged or nid in self._stage_inflight \
+                or nid in self.promoted:
+            return
+        self._stage_inflight.add(nid)
+
+        def on_reply(reply) -> None:
+            self._stage_inflight.discard(nid)
+            if not reply.get("stale"):
+                self._staged.add(nid)
+
+        self.transport.ensure_node(node)
+        self.transport.send(
+            CONTROLLER, nid, "stage",
+            {"model": self.candidate,
+             "config": self.config.node_config(nid),
+             "epoch": self.distributor.epochs.current},
+            on_reply=on_reply,
+            on_fail=lambda reason: self._stage_inflight.discard(nid),
+        )
 
     def _excuse(self, node_id: str) -> None:
         if node_id not in self.excused:
@@ -195,32 +253,51 @@ class FleetRollout:
 
     # -- heartbeat drive --------------------------------------------------
 
+    def _poll_snapshot(self, nid: str) -> dict | None:
+        """Freshest rollout snapshot for one node.
+
+        Direct mode reads the node; transport mode issues the RPC and
+        judges whatever reply has *already* landed — a delayed snapshot
+        ages the evidence by one poll, it never blocks the heartbeat.
+        """
+        if self.transport is None:
+            return self.nodes[nid].rollout_snapshot()
+        self.transport.send(
+            CONTROLLER, nid, "rollout_state", {},
+            on_reply=lambda snap: self._snapshots.__setitem__(nid, snap),
+            timeout_ns=0,
+        )
+        return self._snapshots.get(nid)
+
     def poll(self) -> str:
         """Advance the fleet state machine; called on every heartbeat."""
         if not self.active:
             return self.state
         stage_ids = list(self._stage_nodes())
+        snaps: dict[str, dict] = {}
         for nid in stage_ids:
-            node = self.nodes[nid]
-            if not node.alive:
+            if not self._alive(nid):
                 self._excuse(nid)
                 continue
-            state = node.rollout_state()
+            if nid not in self._staged and nid not in self.promoted:
+                self._stage_one(nid)  # retry a lost stage RPC
+            snap = self._poll_snapshot(nid)
+            if snap is None:
+                continue
+            snaps[nid] = snap
+            state = snap.get("state")
             if state == "rolled_back":
-                lane = node.lane
-                reason = (lane.plan.transitions[-1].reason
-                          if lane is not None and lane.plan.transitions
-                          else "local guardrail")
+                reason = snap.get("lane_reason", "local guardrail")
                 self._halt(f"node {nid} rolled back ({reason})")
                 return self.state
             if state == "promoted" and nid not in self.promoted:
                 self.promoted.append(nid)
-        breach = self._aggregate_breach()
+        breach = self._aggregate_breach(snaps)
         if breach is not None:
             self._halt(f"aggregated guardrail: {breach}")
             return self.state
         live_ids = [nid for nid in self._stage_nodes()
-                    if self.nodes[nid].alive]
+                    if self._alive(nid)]
         if live_ids and all(nid in self.promoted for nid in live_ids):
             self._advance()
         elif not live_ids and self.stage >= 0:
@@ -229,24 +306,18 @@ class FleetRollout:
             self._advance()
         return self.state
 
-    def _aggregate_breach(self) -> str | None:
+    def _aggregate_breach(self, snaps: dict[str, dict]) -> str | None:
         """Mean candidate vs mean primary accuracy across staged lanes."""
         cand_parts: list[float] = []
         prim_parts: list[float] = []
         samples = 0
         for nid in self._stage_nodes():
-            node = self.nodes[nid]
-            if not node.alive:
+            canary = snaps.get(nid, {}).get("canary")
+            if canary is None:
                 continue
-            lane = node.lane
-            if lane is None or not lane.active:
-                continue
-            stats = lane.canary.stats()
-            if lane.canary.candidate.n_windowed == 0:
-                continue
-            cand_parts.append(stats["candidate_accuracy"])
-            prim_parts.append(stats["primary_accuracy"])
-            samples += lane.scored
+            cand_parts.append(canary["candidate_accuracy"])
+            prim_parts.append(canary["primary_accuracy"])
+            samples += canary["scored"]
         if samples < self.config.guardrail_min_samples or not cand_parts:
             return None
         cand_mean = sum(cand_parts) / len(cand_parts)
@@ -270,21 +341,53 @@ class FleetRollout:
         self._stage_candidates(fresh)
 
     def _commit(self) -> None:
-        alive = [node for node in self.nodes.values() if node.alive]
-        self.commit_report = self.distributor.push(
+        alive = [node for node in self.nodes.values()
+                 if node.alive and self._alive(node.node_id)]
+        if self.transport is None:
+            self.commit_report = self.distributor.push(
+                self.track, self.candidate, alive,
+                metadata={"origin": "fleet_rollout"},
+            )
+            self.state = FleetRolloutState.COMMITTED
+            self._emit("ramping", "committed",
+                       f"all stages promoted; quorum push "
+                       f"{len(self.commit_report.acked)}/{len(alive)} acked")
+            return
+        self._commit_from = "ramping"
+        self.state = FleetRolloutState.COMMITTING
+        self.distributor.push_async(
             self.track, self.candidate, alive,
             metadata={"origin": "fleet_rollout"},
+            on_done=lambda report: self._commit_done(report, len(alive)),
         )
-        self.state = FleetRolloutState.COMMITTED
-        self._emit("ramping", "committed",
-                   f"all stages promoted; quorum push "
-                   f"{len(self.commit_report.acked)}/{len(alive)} acked")
+        if self.state == FleetRolloutState.COMMITTING:
+            # The push did not resolve inline — real faults in play.
+            self._emit("ramping", "committing", "quorum push in flight")
+            self._commit_from = "committing"
+
+    def _commit_done(self, report: PushReport, n_targets: int) -> None:
+        self.commit_report = report
+        if report.committed:
+            self.state = FleetRolloutState.COMMITTED
+            self._emit(self._commit_from, "committed",
+                       f"all stages promoted; quorum push "
+                       f"{len(report.acked)}/{n_targets} acked")
+        else:
+            # Quorum refused/unreachable at the very end; the central
+            # registry still points at the old live, so anti-entropy
+            # walks every promoted node back to it.
+            self.state = FleetRolloutState.HALTED
+            self.halt_reason = "commit push missed quorum"
+            self._emit(self._commit_from, "halted", self.halt_reason)
 
     def _halt(self, reason: str) -> None:
         self.halt_reason = reason
         for nid in set(sum(self.stage_sets[:self.stage + 1], [])):
             node = self.nodes.get(nid)
             if node is None or not node.alive:
+                continue
+            if self.transport is not None:
+                self._halt_rpc(node, nid, reason)
                 continue
             lane = node.lane
             if lane is not None and lane.active:
@@ -296,6 +399,22 @@ class FleetRollout:
                 )
         self.state = FleetRolloutState.HALTED
         self._emit("ramping", "halted", reason)
+
+    def _halt_rpc(self, node: FleetNode, nid: str, reason: str) -> None:
+        """Best-effort halt over the wire.  An unreachable node keeps
+        its lane until anti-entropy repairs it against the (never
+        promoted) central live — halting must not block on a partition."""
+        epoch = self.distributor.epochs.current
+        self.transport.ensure_node(node)
+        if nid in self.promoted:
+            self.transport.send(
+                CONTROLLER, nid, "rollback",
+                {"track": self.track, "epoch": epoch,
+                 "op_id": f"fleet-halt:{self.config.seed}:{nid}"})
+        else:
+            self.transport.send(
+                CONTROLLER, nid, "abort_lane",
+                {"reason": f"fleet halt: {reason}", "epoch": epoch})
 
     # -- introspection ----------------------------------------------------
 

@@ -64,6 +64,21 @@ class ShardStream:
         self.cursor += 1
         return page, self.workload.compute_ns_per_access
 
+    def rewind(self, n: int) -> None:
+        """Un-consume the last *n* accesses.
+
+        The controller rewinds a shard's cursor when a serve chunk it
+        packed is abandoned (RPC timed out through every retry, or the
+        node NACKed a stale epoch): the accesses were never served, so
+        they must be re-issued — to whichever node owns the shard by
+        then — or the stream would silently drop work.
+        """
+        if n < 0:
+            raise ValueError("rewind wants a non-negative count")
+        self.cursor = max(0, self.cursor - n)
+        if n:
+            self.done_at = None
+
     def reset(self) -> None:
         self.cursor = 0
         self.done_at = None

@@ -1,0 +1,468 @@
+"""The fleet's message layer: seeded faults, RPC retries, fencing clock.
+
+Every controller↔node interaction — heartbeats, serve-loop drive,
+prepare/commit pushes, rollout staging and polls, catch-up — flows
+through one :class:`FleetTransport` as a named RPC, so the network
+between the learned control plane and the kernels it reconfigures is a
+*first-class fault surface* instead of a perfect method call:
+
+* a :class:`NetFaultInjector` degrades individual directed links with
+  seeded drop/delay/duplicate/reorder draws (per-link RNG streams, so
+  one link's loss never shifts another's draws) and arms **named
+  partitions** — symmetric or asymmetric — that block whole link sets
+  until healed;
+* RPCs carry a timeout and retry budget; retries back off on the
+  shared :class:`~repro.core.backoff.ExponentialBackoff`, and a call
+  that exhausts its budget *fails* instead of hanging the virtual
+  clock;
+* the **clean-link fast path is synchronous**: with no faults and no
+  delay armed on a link, a send invokes the endpoint handler and the
+  reply callback inline, in the same simulator event — a fleet with an
+  un-degraded network is bit-identical to the direct-call fleet it
+  replaced.  This is also what lets a sim-less loopback transport
+  (unit tests driving an :class:`~repro.fleet.distribution.
+  ArtifactDistributor` directly) work at all.
+
+:class:`FenceEpochClock` is the tiny monotonic counter behind epoch
+fencing: the coordinator bumps it on every membership generation *and*
+every push, stamps the epoch into every fenced message, and nodes NACK
+anything stale — which closes the split-brain window where a
+partitioned-then-healed node (or a zombie serve chunk held by the
+reorder buffer) applies an instruction from a dead generation.
+
+Only *abnormal* message outcomes (drop/block/duplicate/reorder/delay,
+timeouts, retries, stale NACKs) emit ``fleet_net`` trace events — the
+clean-path hot loop pays one dict lookup and no allocation.
+"""
+
+from __future__ import annotations
+
+from ..core.backoff import ExponentialBackoff
+from ..core.seeding import derive_seed, spawn_rng
+from ..kernel.faults import NetFaultProfile
+from ..obs import trace as obs_trace
+from ..obs.events import FLEET_NET
+
+__all__ = [
+    "DropMessage",
+    "FenceEpochClock",
+    "FleetTransport",
+    "NetFaultInjector",
+    "PendingCall",
+    "StaleEpochError",
+]
+
+#: Endpoint name the coordinator sends from.
+CONTROLLER = "controller"
+
+
+class DropMessage(Exception):
+    """Raised by an endpoint handler to model 'host did not answer'
+    (dead process, kernel wedged).  The transport treats it exactly
+    like a network drop: no reply, the caller's timeout decides."""
+
+
+class StaleEpochError(Exception):
+    """A fenced call was NACKed for carrying a stale epoch."""
+
+
+class FenceEpochClock:
+    """Monotonic fence-epoch source for one coordination domain."""
+
+    __slots__ = ("current", "bumps")
+
+    def __init__(self, start: int = 1) -> None:
+        self.current = int(start)
+        self.bumps = 0
+
+    def bump(self) -> int:
+        self.current += 1
+        self.bumps += 1
+        return self.current
+
+
+class NetFaultInjector:
+    """Seeded per-link fault draws plus named partitions.
+
+    Fate draws come from a per-directed-link RNG stream derived as
+    ``(seed, "net", src, dst)`` — the same discipline as per-node serve
+    jitter, so degrading the controller→node-2 link never shifts the
+    fault pattern on any other link.  A link whose effective profile is
+    all-zero performs **no draws at all**, keeping the clean fleet
+    bit-identical to the pre-transport one.
+    """
+
+    def __init__(self, seed: int = 0,
+                 default: NetFaultProfile | None = None) -> None:
+        self.seed = int(seed)
+        self.default = default or NetFaultProfile()
+        self._links: dict[tuple[str, str], NetFaultProfile] = {}
+        #: name -> (frozenset_a, frozenset_b, symmetric)
+        self.partitions: dict[str, tuple[frozenset, frozenset, bool]] = {}
+        self._rngs: dict[tuple[str, str], object] = {}
+        self.healed_partitions = 0
+
+    # -- configuration ------------------------------------------------
+
+    def set_default(self, profile: NetFaultProfile) -> None:
+        self.default = profile
+
+    def set_link(self, src: str, dst: str,
+                 profile: NetFaultProfile) -> None:
+        """Override one directed link; asymmetric loss is two calls
+        (or one, leaving the reverse direction on the default)."""
+        self._links[(src, dst)] = profile
+
+    def clear_link(self, src: str, dst: str) -> None:
+        self._links.pop((src, dst), None)
+
+    def profile(self, src: str, dst: str) -> NetFaultProfile:
+        return self._links.get((src, dst), self.default)
+
+    # -- partitions ---------------------------------------------------
+
+    def partition(self, name: str, side_a, side_b,
+                  symmetric: bool = True) -> None:
+        """Arm a named partition blocking ``side_a``→``side_b`` (and the
+        reverse when ``symmetric``).  Arming an existing name replaces
+        it, so tests can tighten/loosen a cut without heal/re-arm."""
+        if not name:
+            raise ValueError("partition needs a non-empty name")
+        a, b = frozenset(side_a), frozenset(side_b)
+        if not a or not b:
+            raise ValueError(f"partition {name!r} needs two non-empty sides")
+        if a & b:
+            raise ValueError(
+                f"partition {name!r} sides overlap: {sorted(a & b)}")
+        self.partitions[name] = (a, b, bool(symmetric))
+
+    def isolate(self, name: str, node_ids, peers,
+                symmetric: bool = True) -> None:
+        """Convenience: cut ``node_ids`` off from ``peers`` (asymmetric
+        = only traffic *toward* the isolated nodes is lost — they can
+        still talk out, the classic one-way partition)."""
+        others = [p for p in peers if p not in set(node_ids)]
+        self.partition(name, others, node_ids, symmetric=symmetric)
+
+    def heal(self, name: str) -> bool:
+        """Remove a named partition; returns False if it wasn't armed."""
+        if self.partitions.pop(name, None) is None:
+            return False
+        self.healed_partitions += 1
+        return True
+
+    def heal_all(self) -> int:
+        healed = len(self.partitions)
+        self.healed_partitions += healed
+        self.partitions.clear()
+        return healed
+
+    def blocked(self, src: str, dst: str) -> str | None:
+        """The name of the partition blocking src→dst, else None."""
+        for name, (a, b, symmetric) in self.partitions.items():
+            if src in a and dst in b:
+                return name
+            if symmetric and src in b and dst in a:
+                return name
+        return None
+
+    # -- fate ---------------------------------------------------------
+
+    def _rng(self, src: str, dst: str):
+        rng = self._rngs.get((src, dst))
+        if rng is None:
+            rng = self._rngs[(src, dst)] = spawn_rng(
+                self.seed, "net", src, dst)
+        return rng
+
+    def fate(self, src: str, dst: str) -> tuple[str, int, int]:
+        """One message's fate on the src→dst link.
+
+        Returns ``(outcome, delay_ns, duplicate_delay_ns)`` where
+        outcome is ``deliver``/``drop``/``block`` and a non-zero
+        duplicate delay means a second copy lands that far out.  Draw
+        order per link is fixed (drop, delay, duplicate, reorder) so
+        the stream is a pure function of the link's message sequence.
+        """
+        blocked_by = self.blocked(src, dst)
+        if blocked_by is not None:
+            return "block", 0, 0
+        profile = self.profile(src, dst)
+        if profile.total == 0.0:
+            return "deliver", 0, 0
+        rng = self._rng(src, dst)
+        if profile.drop and rng.random() < profile.drop:
+            return "drop", 0, 0
+        delay = 0
+        if profile.delay and rng.random() < profile.delay:
+            delay = 1 + rng.randrange(profile.delay_ns)
+        duplicate = 0
+        if profile.duplicate and rng.random() < profile.duplicate:
+            duplicate = 1 + rng.randrange(profile.delay_ns)
+        if profile.reorder and rng.random() < profile.reorder:
+            delay += 1 + rng.randrange(profile.reorder_ns)
+        return "deliver", delay, duplicate
+
+    def stats(self) -> dict:
+        return {
+            "partitions": sorted(self.partitions),
+            "healed_partitions": self.healed_partitions,
+            "degraded_links": len(self._links),
+            "default_total_rate": round(self.default.total, 6),
+        }
+
+
+class PendingCall:
+    """One in-flight RPC: resolves to a value or a failure reason."""
+
+    __slots__ = ("src", "dst", "method", "done", "value", "failed",
+                 "reason", "attempts", "_on_reply", "_on_fail")
+
+    def __init__(self, src: str, dst: str, method: str,
+                 on_reply=None, on_fail=None) -> None:
+        self.src = src
+        self.dst = dst
+        self.method = method
+        self.done = False
+        self.value = None
+        self.failed = False
+        self.reason: str | None = None
+        self.attempts = 0
+        self._on_reply = on_reply
+        self._on_fail = on_fail
+
+    def _resolve(self, value) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.value = value
+        if self._on_reply is not None:
+            self._on_reply(value)
+
+    def _fail(self, reason: str) -> None:
+        if self.done:
+            return
+        self.done = True
+        self.failed = True
+        self.reason = reason
+        if self._on_fail is not None:
+            self._on_fail(reason)
+
+
+class FleetTransport:
+    """Simulated RPC fabric between the coordinator and fleet nodes.
+
+    ``sim=None`` builds a *loopback* transport: handlers run inline and
+    no faults can be armed (arming one raises) — the mode standalone
+    distributor/rollout unit tests run in.  With a simulator, message
+    latency, duplicate copies, timeouts, and retry backoff are all
+    events on the shared virtual clock.
+    """
+
+    def __init__(self, sim=None, seed: int = 0,
+                 injector: NetFaultInjector | None = None,
+                 timeout_ns: int = 2_000_000,
+                 retries: int = 2,
+                 retry_backoff_ns: int = 500_000) -> None:
+        if sim is None and injector is not None:
+            raise ValueError("a fault injector needs a simulator clock")
+        self.sim = sim
+        self.seed = int(seed)
+        self.injector = injector if injector is not None else (
+            NetFaultInjector(derive_seed(seed, "net-injector"))
+            if sim is not None else None)
+        self.timeout_ns = int(timeout_ns)
+        self.retries = int(retries)
+        self.retry_backoff_ns = int(retry_backoff_ns)
+        self._endpoints: dict[str, object] = {}
+        self._backoffs: dict[tuple[str, str], ExponentialBackoff] = {}
+        self.counters = {
+            "sent": 0, "delivered": 0, "dropped": 0, "blocked": 0,
+            "duplicated": 0, "delayed": 0, "reply_dropped": 0,
+            "timeouts": 0, "retries": 0, "failed": 0, "late": 0,
+            "stale_nacks": 0,
+        }
+
+    # -- endpoints ----------------------------------------------------
+
+    def register(self, name: str, handler) -> None:
+        """Bind ``handler(method, payload) -> reply`` to an endpoint."""
+        self._endpoints[name] = handler
+
+    def ensure_node(self, node) -> None:
+        """Register a :class:`FleetNode`'s RPC surface if absent."""
+        if node.node_id not in self._endpoints:
+            self.register(node.node_id, node.handle_rpc)
+
+    @property
+    def endpoints(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    # -- trace / stats ------------------------------------------------
+
+    def _emit(self, src: str, dst: str, method: str, outcome: str) -> None:
+        rec = obs_trace.ACTIVE
+        if rec is not None and rec.want_net:
+            rec.emit(FLEET_NET, (src, dst, method, outcome))
+
+    def stats(self) -> dict:
+        out = dict(self.counters)
+        if self.injector is not None:
+            out["injector"] = self.injector.stats()
+        return out
+
+    # -- sending ------------------------------------------------------
+
+    def send(self, src: str, dst: str, method: str, payload: dict,
+             on_reply=None, on_fail=None,
+             timeout_ns: int | None = None,
+             retries: int | None = None) -> PendingCall:
+        """Issue one RPC; returns the :class:`PendingCall`.
+
+        With ``timeout_ns`` (defaulting to the transport's) the call
+        retries up to ``retries`` times on the per-(src,dst) backoff
+        before failing with ``"timeout"``.  Pass ``timeout_ns=0`` for
+        fire-and-forget semantics: no timeout event is ever scheduled
+        and an unanswered call simply stays pending (heartbeats do
+        this — the next beat *is* the retry).
+        """
+        pending = PendingCall(src, dst, method,
+                              on_reply=on_reply, on_fail=on_fail)
+        timeout = self.timeout_ns if timeout_ns is None else timeout_ns
+        budget = self.retries if retries is None else retries
+        self._attempt(pending, payload, timeout, budget)
+        return pending
+
+    def call(self, src: str, dst: str, method: str, payload: dict):
+        """Synchronous RPC for out-of-event callers (bootstrap pushes,
+        operator catch-up): send, pump the clock to resolution, return
+        the reply or raise on failure."""
+        pending = self.send(src, dst, method, payload)
+        self.wait(pending)
+        if pending.failed:
+            raise TimeoutError(
+                f"rpc {method} {src}->{dst} failed: {pending.reason}")
+        return pending.value
+
+    def wait(self, pending_or_list) -> None:
+        """Pump the simulator until the given call(s) resolve.
+
+        Only legal outside an event callback (the run loop's turf);
+        every armed timeout guarantees bounded virtual time to
+        resolution, so this cannot spin forever.
+        """
+        calls = (pending_or_list if isinstance(pending_or_list, list)
+                 else [pending_or_list])
+        while any(not call.done for call in calls):
+            if self.sim is None or not self.sim.step():
+                undone = [c for c in calls if not c.done]
+                raise RuntimeError(
+                    f"transport idle with {len(undone)} unresolved "
+                    f"call(s): {undone[0].method} "
+                    f"{undone[0].src}->{undone[0].dst} (no timeout armed?)")
+
+    # -- delivery mechanics -------------------------------------------
+
+    def _attempt(self, pending: PendingCall, payload: dict,
+                 timeout: int, budget: int) -> None:
+        pending.attempts += 1
+        self.counters["sent"] += 1
+        src, dst, method = pending.src, pending.dst, pending.method
+        injector = self.injector
+        if injector is None:
+            self._deliver(pending, payload)
+        else:
+            outcome, delay, duplicate = injector.fate(src, dst)
+            if outcome == "deliver":
+                if delay:
+                    self.counters["delayed"] += 1
+                    self._emit(src, dst, method, "delay")
+                    self.sim.schedule(
+                        delay, lambda: self._deliver(pending, payload))
+                else:
+                    self._deliver(pending, payload)
+                if duplicate:
+                    self.counters["duplicated"] += 1
+                    self._emit(src, dst, method, "duplicate")
+                    self.sim.schedule(
+                        delay + duplicate,
+                        lambda: self._deliver(pending, payload))
+            else:
+                key = "blocked" if outcome == "block" else "dropped"
+                self.counters[key] += 1
+                self._emit(src, dst, method, outcome)
+        if pending.done or timeout <= 0:
+            return
+        self.sim.schedule(
+            timeout, lambda: self._timed_out(pending, payload,
+                                             timeout, budget))
+
+    def _timed_out(self, pending: PendingCall, payload: dict,
+                   timeout: int, budget: int) -> None:
+        if pending.done:
+            return
+        self.counters["timeouts"] += 1
+        self._emit(pending.src, pending.dst, pending.method, "timeout")
+        if pending.attempts > budget:
+            self.counters["failed"] += 1
+            pending._fail("timeout")
+            return
+        self.counters["retries"] += 1
+        self._emit(pending.src, pending.dst, pending.method, "retry")
+        backoff = self._backoff(pending.src, pending.dst)
+        self.sim.schedule(
+            backoff.next_delay(),
+            lambda: self._attempt(pending, payload, timeout, budget))
+
+    def _backoff(self, src: str, dst: str) -> ExponentialBackoff:
+        backoff = self._backoffs.get((src, dst))
+        if backoff is None:
+            backoff = ExponentialBackoff(
+                base=self.retry_backoff_ns,
+                cap=64 * self.retry_backoff_ns,
+                jitter=0.25,
+                seed=derive_seed(self.seed, "net-backoff", src, dst),
+            )
+            self._backoffs[(src, dst)] = backoff
+        return backoff
+
+    def _deliver(self, pending: PendingCall, payload: dict) -> None:
+        src, dst, method = pending.src, pending.dst, pending.method
+        handler = self._endpoints.get(dst)
+        if handler is None:
+            raise KeyError(f"no transport endpoint {dst!r} "
+                           f"(have: {self.endpoints})")
+        try:
+            reply = handler(method, payload)
+        except DropMessage:
+            self.counters["dropped"] += 1
+            self._emit(src, dst, method, "host_drop")
+            return
+        if isinstance(reply, dict) and reply.get("stale"):
+            self.counters["stale_nacks"] += 1
+            self._emit(src, dst, method, "stale_nack")
+        # The reply rides the reverse link through the same injector.
+        if self.injector is not None:
+            outcome, delay, duplicate = self.injector.fate(dst, src)
+            if outcome != "deliver":
+                key = "blocked" if outcome == "block" else "reply_dropped"
+                self.counters[key] += 1
+                self._emit(dst, src, method, f"reply_{outcome}")
+                return
+            if delay:
+                self.counters["delayed"] += 1
+                self._emit(dst, src, method, "reply_delay")
+                self.sim.schedule(delay,
+                                  lambda: self._complete(pending, reply))
+                return
+            # A duplicated reply is indistinguishable from a single one
+            # (PendingCall resolves once), so it is not modelled.
+        self._complete(pending, reply)
+
+    def _complete(self, pending: PendingCall, reply) -> None:
+        if pending.done:
+            self.counters["late"] += 1
+            self._emit(pending.dst, pending.src, pending.method, "late")
+            return
+        self.counters["delivered"] += 1
+        pending._resolve(reply)

@@ -32,12 +32,16 @@ from ..deploy.registry import model_fingerprint
 from ..fleet import (
     FLEET_PROGRAM,
     ArtifactDistributor,
+    FenceEpochClock,
     FleetController,
     FleetNode,
     FleetRollout,
     FleetRolloutConfig,
+    FleetTransport,
+    NetFaultInjector,
     fleet_streams,
 )
+from ..kernel.faults import NetFaultProfile
 from ..kernel.sim import NS_PER_MS, Simulator
 from ..ml import IntegerDecisionTree
 from .rollout_experiment import PoisonedDeltaModel
@@ -92,6 +96,8 @@ class FleetWorld:
     distributor: ArtifactDistributor
     model_v1: IntegerDecisionTree
     initial_push: dict = field(default_factory=dict)
+    transport: FleetTransport | None = None
+    injector: NetFaultInjector | None = None
 
 
 def build_fleet(
@@ -102,6 +108,7 @@ def build_fleet(
     mode: str = "compiled",
     memo: bool = True,
     batch: bool = True,
+    net: NetFaultProfile | None = None,
 ) -> FleetWorld:
     """Build N nodes, shard the standard mix, distribute the v1 model.
 
@@ -109,6 +116,12 @@ def build_fleet(
     (execution tier, verdict memoization, batched hook fires) — fleet
     verdicts, and therefore every simulated result, are identical
     across all settings; only wall-clock moves.
+
+    All coordinator traffic rides one :class:`FleetTransport` sharing a
+    :class:`NetFaultInjector` and a :class:`FenceEpochClock` between
+    controller and distributor.  ``net`` arms a default per-link fault
+    profile — applied *after* the bootstrap push, so every world boots
+    from the same converged state and faults only perturb the run.
     """
     model_v1 = train_fleet_model(seed)
     nodes = {
@@ -121,21 +134,30 @@ def build_fleet(
     if accesses_per_stream is not None:
         stream_kwargs["accesses_per_stream"] = accesses_per_stream
     streams = fleet_streams(seed, **stream_kwargs)
+    injector = NetFaultInjector(seed=derive_seed(seed, "net"))
+    transport = FleetTransport(sim, seed=derive_seed(seed, "transport"),
+                               injector=injector)
+    epochs = FenceEpochClock()
+    distributor = ArtifactDistributor(transport=transport,
+                                      epoch_clock=epochs)
     controller = FleetController(
         sim, nodes, streams,
         seed=derive_seed(seed, "ring"), heartbeat_ns=heartbeat_ns,
+        transport=transport, distributor=distributor, epoch_clock=epochs,
     )
-    distributor = ArtifactDistributor()
     report = distributor.push(
         FLEET_PROGRAM, model_v1, list(nodes.values()),
         metadata={"origin": "fleet_bootstrap"},
     )
     if not report.committed:
         raise RuntimeError(f"bootstrap push failed: {report.row()}")
+    if net is not None:
+        injector.set_default(net)
     return FleetWorld(
         seed=seed, sim=sim, nodes=nodes, controller=controller,
         distributor=distributor, model_v1=model_v1,
         initial_push=report.row(),
+        transport=transport, injector=injector,
     )
 
 

@@ -1,0 +1,289 @@
+"""Partition experiments: lossy links, network cuts, and healing.
+
+The robustness acceptance for the fleet transport layer.  Each run
+builds two fleets from the same seed — one on a clean network, one
+with faults armed — drives both through the *same* virtual schedule
+(mid-run v2 push at the same sim time), heals the faulted one, and
+checks three properties:
+
+1. **no unverified serving** — every model a node ever committed via
+   the fleet push path is one the central registry actually committed;
+   an aborted push's artifact never reaches a node's live slot;
+2. **no split brain** — scanning every node's journal, at most one
+   committed content hash exists per (program, fence epoch) across the
+   whole fleet;
+3. **convergence** — after the partition heals, the fleet's
+   :func:`fleet_state_summary` fingerprint equals the clean run's,
+   with *no* operator ``rejoin``: suspect hysteresis resurrects the
+   cut-off node and anti-entropy repairs its model.
+
+``cut`` picks the partition shape: ``"sym"`` blocks both directions,
+``"asym"`` blocks only the victim's *outbound* traffic (the classic
+one-way failure: it hears every instruction, its acks die in the
+network, the controller declares it dead and bumps the fence epoch
+while it keeps applying what it can).
+
+:func:`run_partition_sweep` is the CI gate body: a loss-rate sweep
+(0/5/20%), one symmetric and one asymmetric cut+heal, and the
+fence-epoch invariant re-checked across the tier × memo matrix.
+"""
+
+from __future__ import annotations
+
+from ..conformance.invariants import (
+    fence_uniqueness_violations,
+    fleet_commit_ledger,
+    unexpected_commit_hashes,
+)
+from ..fleet import FLEET_PROGRAM
+from ..fleet.transport import CONTROLLER
+from ..kernel.faults import NetFaultProfile
+from ..kernel.sim import NS_PER_MS
+from .fleet_experiment import (
+    FleetWorld,
+    build_fleet,
+    fleet_state_summary,
+    train_fleet_model,
+)
+
+__all__ = [
+    "fleet_commit_ledger",
+    "run_fleet_partition",
+    "run_partition_sweep",
+    "split_brain_violations",
+]
+
+#: Simulator events allowed while draining one run (loss + retries
+#: inflate the event count well past a clean drain's).
+MAX_DRAIN_EVENTS = 5_000_000
+
+#: Post-heal heartbeat rounds allowed for resurrection + anti-entropy
+#: repair to converge the fleet before the run is declared stuck.
+MAX_SETTLE_ROUNDS = 64
+
+
+# -- journal forensics ----------------------------------------------------
+# The scanners live in repro.conformance.invariants — one canonical
+# definition shared by the conformance gate and this experiment — and
+# fleet_commit_ledger is re-exported above for callers of this module.
+
+def split_brain_violations(world: FleetWorld) -> list[dict]:
+    """Fleet-wide fence check: at most one committed content hash per
+    (program, fence epoch) across every node's journal."""
+    return fence_uniqueness_violations(world.nodes)
+
+
+def _unexpected_hashes(world: FleetWorld) -> list[dict]:
+    """Journaled fleet-push commits whose hash the central registry
+    never committed (an aborted or unknown artifact reached a node)."""
+    return unexpected_commit_hashes(world.nodes,
+                                    world.distributor.registry,
+                                    FLEET_PROGRAM)
+
+
+# -- the experiment -------------------------------------------------------
+
+def _settled(world: FleetWorld) -> bool:
+    """All members alive and every node serving the central live hash."""
+    controller = world.controller
+    if any(state != "alive" for state in controller.membership.values()):
+        return False
+    live = world.distributor.registry.live(FLEET_PROGRAM)
+    if live is None:
+        return False
+    return all(node.alive and node.live_hash() == live.content_hash
+               for node in world.nodes.values())
+
+
+def _drive(world: FleetWorld, *, loss: float, cut: str | None,
+           victim: str, t_cut: int, t_push: int, t_heal: int) -> dict:
+    """One scheduled run: fault window, mid-run v2 push, heal, settle."""
+    sim, controller, injector = world.sim, world.controller, world.injector
+    model_v2 = train_fleet_model(world.seed, "v2")
+    push_box: dict = {}
+
+    def arm() -> None:
+        peers = [CONTROLLER, *world.transport.endpoints]
+        if loss:
+            injector.set_default(NetFaultProfile.lossy(loss))
+        if cut == "sym":
+            injector.isolate("exp-cut", [victim], peers, symmetric=True)
+        elif cut == "asym":
+            # One-way cut: the victim hears everything, its replies die
+            # in the network — the controller declares it dead while it
+            # keeps applying whatever reaches it.
+            others = [e for e in peers if e != victim]
+            injector.partition("exp-cut", [victim], others, symmetric=False)
+
+    def push() -> None:
+        push_box["report"] = world.distributor.push_async(
+            FLEET_PROGRAM, model_v2, list(world.nodes.values()),
+            metadata={"origin": "fleet_partition_experiment"},
+        )
+
+    def heal() -> None:
+        injector.heal_all()
+        injector.set_default(NetFaultProfile())
+
+    if loss or cut:
+        sim.schedule(t_cut - sim.now, arm)
+    sim.schedule(t_push - sim.now, push)
+    sim.schedule(t_heal - sim.now, heal)
+
+    controller.start()
+    sim.run_until(t_heal)
+    events = 0
+    while not controller.drained():
+        if not sim.step():
+            break
+        events += 1
+        if events >= MAX_DRAIN_EVENTS:
+            raise RuntimeError(
+                f"partition run did not drain within {MAX_DRAIN_EVENTS} "
+                f"events (seed={world.seed}, loss={loss}, cut={cut})")
+    settle_rounds = 0
+    while not _settled(world) and settle_rounds < MAX_SETTLE_ROUNDS:
+        sim.run_until(sim.now + controller.heartbeat_ns)
+        settle_rounds += 1
+    # Two more beats so in-flight repairs/pushes fully resolve.
+    sim.run_until(sim.now + 2 * controller.heartbeat_ns)
+    summary = fleet_state_summary(world)
+    controller.shutdown()
+    sim.run(max_events=50_000)
+    report = push_box.get("report")
+    return {
+        "summary": summary,
+        "push": report.row() if report is not None else None,
+        "push_pending": bool(report is not None and report.pending),
+        "settled": _settled(world),
+        "settle_rounds": settle_rounds,
+        "makespan_ns": max((s.done_at or 0
+                            for s in controller.streams.values()), default=0),
+    }
+
+
+def run_fleet_partition(seed: int = 0, n_nodes: int = 4,
+                        loss: float = 0.0, cut: str | None = None,
+                        mode: str = "compiled", memo: bool = True,
+                        batch: bool = True,
+                        accesses_per_stream: int | None = None) -> dict:
+    """Clean run vs faulted run from one seed; the three checks.
+
+    ``loss`` arms a symmetric per-link lossy profile
+    (:meth:`NetFaultProfile.lossy`) for the fault window; ``cut`` adds
+    a named partition around the last node.  Both are healed mid-run
+    and the faulted fleet must settle back to the clean fingerprint on
+    its own.
+    """
+    if cut not in (None, "sym", "asym"):
+        raise ValueError(f"unknown cut {cut!r} (want None, 'sym', 'asym')")
+    hb = 2 * NS_PER_MS
+    schedule = {
+        "t_cut": 2 * hb + hb // 2,
+        "t_push": 4 * hb + hb // 2,
+        "t_heal": 10 * hb + hb // 2,
+    }
+    victim = f"node-{n_nodes - 1}"
+
+    def _world() -> FleetWorld:
+        return build_fleet(n_nodes, seed, heartbeat_ns=hb,
+                           accesses_per_stream=accesses_per_stream,
+                           mode=mode, memo=memo, batch=batch)
+
+    base_world = _world()
+    baseline = _drive(base_world, loss=0.0, cut=None, victim=victim,
+                      **schedule)
+    fault_world = _world()
+    faulted = _drive(fault_world, loss=loss, cut=cut, victim=victim,
+                     **schedule)
+
+    converged = faulted["summary"] == baseline["summary"]
+    mismatch = []
+    if not converged:
+        keys = set(faulted["summary"]) | set(baseline["summary"])
+        mismatch = sorted(k for k in keys if faulted["summary"].get(k)
+                          != baseline["summary"].get(k))
+    split_brain = split_brain_violations(fault_world)
+    unexpected = _unexpected_hashes(fault_world)
+    stats = fault_world.controller.stats()
+    ok = (converged and not split_brain and not unexpected
+          and faulted["settled"] and not faulted["push_pending"]
+          and bool(faulted["push"]) and faulted["push"]["committed"])
+    return {
+        "seed": seed,
+        "n_nodes": n_nodes,
+        "loss": loss,
+        "cut": cut,
+        "mode": mode,
+        "memo": memo,
+        "victim": victim if cut else None,
+        "schedule_ns": schedule,
+        "ok": ok,
+        "converged": converged,
+        "mismatch": mismatch,
+        "split_brain": split_brain,
+        "unexpected_hashes": unexpected,
+        "settled": faulted["settled"],
+        "settle_rounds": faulted["settle_rounds"],
+        "push": faulted["push"],
+        "baseline_push": baseline["push"],
+        "baseline_makespan_ns": baseline["makespan_ns"],
+        "fault_makespan_ns": faulted["makespan_ns"],
+        "fleet": {key: stats[key] for key in (
+            "deaths", "resurrections", "repairs", "flaps",
+            "abandoned_chunks", "stale_chunks", "fence_epoch")},
+        "net": fault_world.transport.stats(),
+    }
+
+
+#: The tier × memo matrix the fence invariant is re-checked across.
+TIER_MEMO_MATRIX = (
+    ("interpret", False), ("interpret", True),
+    ("jit", False), ("jit", True),
+    ("compiled", False), ("compiled", True),
+)
+
+
+def run_partition_sweep(seed: int = 0, n_nodes: int = 4,
+                        losses=(0.0, 0.05, 0.2),
+                        accesses_per_stream: int | None = None,
+                        matrix: bool = True) -> dict:
+    """The CI partition gate: loss sweep + cut/heal + tier matrix.
+
+    Every cell must report ``ok`` — committed push, post-heal
+    convergence to the clean fingerprint, zero split-brain commits,
+    zero unverified artifacts on any node.
+    """
+    cells = []
+    for loss in losses:
+        cells.append(run_fleet_partition(
+            seed, n_nodes, loss=loss,
+            accesses_per_stream=accesses_per_stream))
+    for cut in ("sym", "asym"):
+        cells.append(run_fleet_partition(
+            seed, n_nodes, loss=0.05, cut=cut,
+            accesses_per_stream=accesses_per_stream))
+    if matrix:
+        for mode, memo in TIER_MEMO_MATRIX:
+            cells.append(run_fleet_partition(
+                seed, n_nodes, loss=0.05, cut="asym",
+                mode=mode, memo=memo,
+                accesses_per_stream=accesses_per_stream))
+    failures = [
+        {"loss": cell["loss"], "cut": cell["cut"], "mode": cell["mode"],
+         "memo": cell["memo"], "converged": cell["converged"],
+         "split_brain": cell["split_brain"],
+         "unexpected_hashes": cell["unexpected_hashes"],
+         "mismatch": cell["mismatch"], "settled": cell["settled"]}
+        for cell in cells if not cell["ok"]
+    ]
+    return {
+        "seed": seed,
+        "n_nodes": n_nodes,
+        "cells": cells,
+        "total": len(cells),
+        "failed": len(failures),
+        "failures": failures,
+        "ok": not failures,
+        "split_brain_total": sum(len(c["split_brain"]) for c in cells),
+    }

@@ -47,7 +47,9 @@ from .storage import StorageModel
 __all__ = [
     "FAULT_KINDS",
     "CRASH_KINDS",
+    "NET_FAULT_KINDS",
     "FaultRates",
+    "NetFaultProfile",
     "StorageFaultProfile",
     "FaultPlan",
     "FaultInjector",
@@ -58,6 +60,11 @@ __all__ = [
 
 #: The injectable datapath fault scenarios.
 FAULT_KINDS = ("helper_fault", "map_corrupt", "budget_exhaust", "model_saturate")
+
+#: The injectable network fault scenarios (one per
+#: :class:`NetFaultProfile` rate, plus the scripted partitions the
+#: :class:`~repro.fleet.transport.NetFaultInjector` arms by name).
+NET_FAULT_KINDS = ("drop", "delay", "duplicate", "reorder", "partition")
 
 _KIND_MESSAGES = {
     "helper_fault": "injected: helper call failed (EFAULT)",
@@ -96,6 +103,46 @@ class FaultRates:
 
     def items(self) -> list[tuple[str, float]]:
         return [(kind, getattr(self, kind)) for kind in FAULT_KINDS]
+
+
+@dataclass(frozen=True)
+class NetFaultProfile:
+    """Per-link message fault rates for the fleet transport.
+
+    A link is one *directed* (src, dst) endpoint pair; asymmetric
+    degradation (requests lost, replies fine) is just two different
+    profiles.  ``delay_ns``/``reorder_ns`` bound the uniform extra
+    latency drawn when the corresponding rate fires — reorder is
+    deliberately a *larger* delay window, big enough for a held message
+    to land after messages sent later.
+    """
+
+    drop: float = 0.0
+    delay: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    #: Max extra latency (ns) a delayed message pays.
+    delay_ns: int = 500_000
+    #: Max hold (ns) for a reordered message.
+    reorder_ns: int = 4_000_000
+
+    def __post_init__(self) -> None:
+        for kind in ("drop", "delay", "duplicate", "reorder"):
+            rate = getattr(self, kind)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{kind} rate {rate} outside [0, 1]")
+        if self.delay_ns < 1 or self.reorder_ns < 1:
+            raise ValueError("delay_ns and reorder_ns must be >= 1")
+
+    @classmethod
+    def lossy(cls, rate: float) -> "NetFaultProfile":
+        """The standard degraded link of the partition sweep: ``rate``
+        of each of drop/delay/duplicate, and half that for reorder."""
+        return cls(drop=rate, delay=rate, duplicate=rate, reorder=rate / 2)
+
+    @property
+    def total(self) -> float:
+        return self.drop + self.delay + self.duplicate + self.reorder
 
 
 @dataclass(frozen=True)

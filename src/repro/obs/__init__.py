@@ -27,6 +27,7 @@ from .metrics import (
     MetricsRegistry,
     collect_control_plane,
     collect_fleet,
+    collect_fleet_net,
     collect_hooks,
     collect_journal,
     collect_recovery,
@@ -44,6 +45,7 @@ __all__ = [
     "active_recorder",
     "collect_control_plane",
     "collect_fleet",
+    "collect_fleet_net",
     "collect_hooks",
     "collect_journal",
     "collect_recovery",

@@ -113,6 +113,15 @@ FLEET_PUSH = "fleet_push"
 #: candidate across nodes: 1 node -> fraction -> all).
 FLEET_ROLLOUT = "fleet_rollout"
 
+#: An *abnormal* transport outcome on one directed controller↔node
+#: link: ``drop`` / ``block`` (named partition) / ``delay`` /
+#: ``duplicate`` / ``host_drop`` (endpoint dead) / ``reply_drop`` /
+#: ``reply_block`` / ``reply_delay`` / ``timeout`` / ``retry`` /
+#: ``late`` (reply after resolution) / ``stale_nack`` (epoch fence
+#: refused the message).  Clean deliveries are deliberately *not*
+#: traced — the healthy serve loop would drown every other kind.
+FLEET_NET = "fleet_net"
+
 #: Compiled-tier lifecycle step for one program's datapath.  ``phase``
 #: is ``specialize`` (a compiled unit was built for the current table
 #: generations), ``deopt`` (a guard missed mid-tier and the fire fell
@@ -146,6 +155,7 @@ EVENT_FIELDS: dict[str, tuple[str, ...]] = {
     FLEET_ROUTE: ("shard", "node", "clock"),
     FLEET_PUSH: ("track", "version", "node", "phase"),
     FLEET_ROLLOUT: ("track", "from", "to", "stage", "reason"),
+    FLEET_NET: ("src", "dst", "method", "outcome"),
     COMPILE: ("program", "phase", "detail"),
     SPAN_BEGIN: ("name", "depth"),
     SPAN_END: ("name", "depth"),

@@ -363,10 +363,34 @@ def collect_fleet(controller, metrics: MetricsRegistry | None = None
     for node_id, count in st["assignment"].items():
         metrics.gauge("fleet.assigned_shards", node=node_id).set(count)
     for field in ("heartbeats", "missed_heartbeats", "rebalances",
-                  "moved_shards", "deaths", "rejoins"):
-        metrics.counter(f"fleet.{field}").value = st[field]
+                  "moved_shards", "deaths", "rejoins", "resurrections",
+                  "repairs", "flaps", "abandoned_chunks", "stale_chunks"):
+        metrics.counter(f"fleet.{field}").value = st.get(field, 0)
+    metrics.gauge("fleet.fence_epoch").set(st.get("fence_epoch", 0))
     for node_id, served in st["served"].items():
         metrics.counter("fleet.accesses_served", node=node_id).value = served
+    return metrics
+
+
+def collect_fleet_net(transport, metrics: MetricsRegistry | None = None
+                      ) -> MetricsRegistry:
+    """Snapshot ``FleetTransport.stats()`` into ``fleet.net.*``.
+
+    Transport counters (sent/delivered/dropped/...) export as counters;
+    the injector's armed-partition and degraded-link counts as gauges.
+    """
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    st = transport.stats()
+    injector = st.pop("injector", None)
+    for field, value in sorted(st.items()):
+        metrics.counter(f"fleet.net.{field}").value = value
+    if injector is not None:
+        metrics.gauge("fleet.net.partitions_armed").set(
+            len(injector["partitions"]))
+        metrics.counter("fleet.net.partitions_healed").value = (
+            injector["healed_partitions"])
+        metrics.gauge("fleet.net.degraded_links").set(
+            injector["degraded_links"])
     return metrics
 
 

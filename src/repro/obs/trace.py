@@ -65,6 +65,7 @@ _KIND_GATES = {
     "fleet_route": "want_fleet",
     "fleet_push": "want_fleet",
     "fleet_rollout": "want_fleet",
+    "fleet_net": "want_net",
     "compile": "want_compile",
     "span_begin": "want_span",
     "span_end": "want_span",
@@ -93,6 +94,7 @@ class TraceRecorder:
         "want_journal",
         "want_reconcile",
         "want_fleet",
+        "want_net",
         "want_compile",
         "want_span",
     )

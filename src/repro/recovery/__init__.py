@@ -24,7 +24,13 @@ from .checkpoint import (
     program_fingerprint,
     serialize_policy,
 )
-from .journal import IntentJournal, RecoveryStore, decode_record, encode_record
+from .journal import (
+    IntentJournal,
+    RecoveryStore,
+    decode_record,
+    encode_record,
+    highest_fence_epoch,
+)
 from .reconcile import (
     Reconciler,
     ReconcileReport,
@@ -48,6 +54,7 @@ __all__ = [
     "decode_record",
     "deserialize_policy",
     "encode_record",
+    "highest_fence_epoch",
     "program_fingerprint",
     "recover",
     "restore",

@@ -33,7 +33,7 @@ from ..obs import trace as obs_trace
 from ..obs.events import JOURNAL
 
 __all__ = ["RecoveryStore", "IntentJournal", "encode_record",
-           "decode_record"]
+           "decode_record", "highest_fence_epoch"]
 
 #: Journal wire-format version (bump on incompatible record changes).
 JOURNAL_VERSION = 1
@@ -108,6 +108,25 @@ class RecoveryStore:
         store.journal_lines = lines[1:1 + n_journal]
         store.checkpoint_lines = lines[1 + n_journal:]
         return store
+
+
+def highest_fence_epoch(store: RecoveryStore) -> int:
+    """The highest ``fence_epoch`` fact persisted in *store* (0 if none).
+
+    Fence epochs are journaled as facts the moment a node observes a
+    newer coordinator generation — *before* it acts on the fenced
+    message — so a restarted node can never be tricked into accepting a
+    pre-partition epoch it already saw die.  The scan walks the full
+    journal rather than the checkpoint tail: fence facts must survive a
+    checkpoint cut (the checkpoint payload knows nothing about them).
+    """
+    highest = 0
+    for record in store.journal_records():
+        if record["phase"] == "fact" and record["op"] == "fence_epoch":
+            epoch = int(record["args"].get("epoch", 0))
+            if epoch > highest:
+                highest = epoch
+    return highest
 
 
 class IntentJournal:

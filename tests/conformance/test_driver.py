@@ -127,3 +127,45 @@ class TestWorldMechanics:
         from repro.conformance.refmodel import PROBES
         # install + fire both probe every installed program.
         assert len(world.verdict_stream) == 2 * len(PROBES)
+
+
+class TestNewOps:
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_fire_many_matches_per_fire_prediction(self, tier):
+        world = ConformanceWorld(0, tier=tier)
+        install(world)
+        contexts = [[3, 1], [4, 0], [5, 2], [3, 1]]
+        divs = world.apply(Op("fire_many", {"name": "alpha",
+                                            "contexts": contexts}))
+        assert divs == [], divs and divs[0]
+
+    def test_fire_many_on_quarantined_program(self):
+        world = ConformanceWorld(0)
+        install(world)
+        divs = world.apply(Op("fault", {"name": "alpha", "pid": 3,
+                                        "page": 1}))
+        assert divs == []
+        # Quarantined: every batched fire degrades to None, and the
+        # oracle must predict exactly that.
+        divs = world.apply(Op("fire_many", {"name": "alpha",
+                                            "contexts": [[3, 1], [4, 2]]}))
+        assert divs == []
+
+    @pytest.mark.parametrize("memo", [False, True])
+    def test_push_reject_leaves_no_trace(self, memo):
+        world = ConformanceWorld(0, memo=memo)
+        install(world)
+        divs = world.apply(Op("push_reject", {"name": "alpha"}))
+        assert divs == []
+        # The rejected swap rolled back: a follow-up fire still agrees.
+        divs = world.apply(Op("fire", {"name": "alpha", "pid": 4,
+                                       "page": 1}))
+        assert divs == []
+
+    def test_push_reject_survives_crash_restart(self):
+        world = ConformanceWorld(1)
+        install(world)
+        assert world.apply(Op("push_reject", {"name": "alpha"})) == []
+        assert world.apply(Op("crash_restart", {})) == []
+        assert world.apply(Op("fire", {"name": "alpha", "pid": 3,
+                                       "page": 0})) == []

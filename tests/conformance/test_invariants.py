@@ -85,6 +85,35 @@ class TestFleetQuorum:
     def test_chaos_rounds_hold_atomicity(self, seed):
         assert check_fleet_quorum(seed, rounds=5) == []
 
+    def test_explicit_tape_with_crashes_and_partitions(self):
+        """A hand-built worst-case schedule: a push with a node crashing
+        inside its journaled commit, a push under an open partition, a
+        poisoned push, and a crash after apply — all must settle with
+        atomicity, convergence and fence uniqueness intact."""
+        tape = [
+            Op("fleet_push", {"model_id": 1}),
+            Op("fleet_partition", {"node": 2, "cut": "sym"}),
+            Op("fleet_push", {"model_id": 2}),
+            Op("fleet_heal", {}),
+            Op("fleet_push_bomb", {}),
+            Op("fleet_push", {"model_id": 3}),
+        ]
+        plan = [(0, 1, "crash_before_commit"),
+                (5, 2, "crash_after_apply")]
+        assert check_fleet_quorum(7, tape=tape, crash_plan=plan) == []
+
+    def test_generated_plans_actually_arm_crashes(self):
+        """At least one small-seed tape must carry a non-empty crash
+        plan, or the chaos sweep silently stops exercising node-journal
+        crashes."""
+        from repro.conformance import (
+            generate_fleet_crash_plan,
+            generate_fleet_tape,
+        )
+        assert any(
+            generate_fleet_crash_plan(seed, generate_fleet_tape(seed, 15))
+            for seed in range(3))
+
     def test_cost_bomb_is_nacked_by_prepare(self):
         node = FleetNode("n0", 0, conf_model(0, 0), mode="interpret",
                          memo=False, batch=False)
@@ -103,6 +132,96 @@ class TestFleetQuorum:
         report = distributor.push("fleet_serve", CostBombModel(), nodes)
         assert not report.committed
         assert [n.live_hash() for n in nodes] == before
+
+    def test_aborted_repush_keeps_committed_artifact_live(self):
+        """Regression: the registry dedupes artifacts by content hash,
+        so a re-push of already-committed content hands the abort path
+        the *committed* artifact — demoting it would rewrite a durable
+        decision and make every node's journaled commit look unknown.
+        The abort needs alive-but-unreachable nodes (dead ones are
+        skipped from the quorum denominator), so partition two of
+        three behind a transport."""
+        from repro.conformance import unexpected_commit_hashes
+        from repro.core.seeding import derive_seed
+        from repro.fleet import ArtifactDistributor
+        from repro.fleet.transport import (
+            CONTROLLER,
+            FenceEpochClock,
+            FleetTransport,
+            NetFaultInjector,
+        )
+        from repro.kernel.sim import Simulator
+        sim = Simulator()
+        injector = NetFaultInjector(seed=derive_seed(0, "abort-net"))
+        transport = FleetTransport(sim, seed=derive_seed(0, "abort-rpc"),
+                                   injector=injector)
+        distributor = ArtifactDistributor(transport=transport,
+                                          epoch_clock=FenceEpochClock())
+        model = conf_model(0, 1)
+        nodes = [FleetNode(f"n{i}", 0, conf_model(0, 0), mode="interpret",
+                           memo=False, batch=False) for i in range(3)]
+        for node in nodes:
+            transport.ensure_node(node)
+        first = distributor.push(FLEET_PROGRAM, model, nodes)
+        assert first.committed
+        live = distributor.registry.live(FLEET_PROGRAM)
+        assert live is not None
+        # Cut off two nodes, then re-push the *same* content: prepare
+        # cannot reach quorum (2 of 3 time out), the push aborts.
+        injector.isolate("cut", ["n1", "n2"],
+                         [CONTROLLER, "n0", "n1", "n2"], symmetric=True)
+        second = distributor.push(FLEET_PROGRAM, model, nodes)
+        assert not second.committed
+        # The abort must not have demoted the earlier committed artifact.
+        still_live = distributor.registry.live(FLEET_PROGRAM)
+        assert still_live is not None
+        assert still_live.content_hash == live.content_hash
+        node_map = {n.node_id: n for n in nodes}
+        assert unexpected_commit_hashes(node_map, distributor.registry,
+                                        FLEET_PROGRAM) == []
+
+
+class TestFenceForensics:
+    def test_clean_fleet_has_unique_epochs(self):
+        from repro.conformance import fence_uniqueness_violations
+        from repro.fleet import ArtifactDistributor
+        nodes = [FleetNode(f"n{i}", 0, conf_model(0, 0), mode="interpret",
+                           memo=False, batch=False) for i in range(3)]
+        distributor = ArtifactDistributor()
+        assert distributor.push(FLEET_PROGRAM, conf_model(0, 1),
+                                nodes).committed
+        node_map = {n.node_id: n for n in nodes}
+        assert fence_uniqueness_violations(node_map) == []
+
+    def test_forged_split_brain_is_detected(self):
+        """Two nodes committing *different* content under the same fence
+        epoch is the structural definition of split brain — forge it by
+        driving commit_artifact directly and the journal scan must name
+        the epoch and both hashes."""
+        from repro.conformance import (
+            fence_uniqueness_violations,
+            fleet_commit_ledger,
+        )
+        nodes = {f"n{i}": FleetNode(f"n{i}", 0, conf_model(0, 0),
+                                    mode="interpret", memo=False,
+                                    batch=False) for i in range(2)}
+        for i, node in enumerate(nodes.values()):
+            assert node.observe_epoch(7)
+            node.commit_artifact({
+                "track": FLEET_PROGRAM, "version": 2,
+                "model": conf_model(0, i + 1), "metadata": {}})
+        ledgers = {nid: fleet_commit_ledger(node)
+                   for nid, node in nodes.items()}
+        # Each ledger attributes its commit to the admitting epoch.
+        for rows in ledgers.values():
+            assert [(program, epoch) for program, epoch, _ in rows] \
+                == [(FLEET_PROGRAM, 7)]
+        violations = fence_uniqueness_violations(nodes)
+        assert len(violations) == 1
+        row = violations[0]
+        assert row["program"] == FLEET_PROGRAM and row["epoch"] == 7
+        assert len(row["hashes"]) == 2
+        assert sorted(sum(row["hashes"].values(), [])) == ["n0", "n1"]
 
 
 class TestSweepHarness:

@@ -6,8 +6,11 @@ import pytest
 
 from repro.conformance import (
     CRASHABLE_OPS,
+    FLEET_OP_KINDS,
     OP_KINDS,
     generate_crash_plan,
+    generate_fleet_crash_plan,
+    generate_fleet_tape,
     generate_tape,
     tape_from_dicts,
     tape_to_dicts,
@@ -47,9 +50,18 @@ class TestGeneration:
         kinds = {op.kind for seed in range(8)
                  for op in generate_tape(seed, 80)}
         for wanted in ("install", "uninstall", "stage", "advance",
-                       "push_model", "quarantine", "fault",
-                       "crash_restart", "set_tier", "set_memo"):
+                       "push_model", "push_reject", "quarantine", "fault",
+                       "fire_many", "crash_restart", "set_tier", "set_memo"):
             assert wanted in kinds, f"grammar never emitted {wanted!r}"
+
+    def test_fire_many_contexts_are_json_safe_pairs(self):
+        for seed in range(4):
+            for op in generate_tape(seed, 80):
+                if op.kind != "fire_many":
+                    continue
+                assert 2 <= len(op.args["contexts"]) <= 4
+                for pid, page in op.args["contexts"]:
+                    assert isinstance(pid, int) and isinstance(page, int)
 
 
 class TestSerialisation:
@@ -88,3 +100,77 @@ class TestCrashPlans:
     def test_respects_max_crashes(self):
         tape = generate_tape(2, 60)
         assert len(generate_crash_plan(2, tape, max_crashes=1)) == 1
+
+
+class TestFleetTapes:
+    def test_deterministic_from_seed(self):
+        assert generate_fleet_tape(11, 30) == generate_fleet_tape(11, 30)
+        assert generate_fleet_tape(1, 30) != generate_fleet_tape(2, 30)
+
+    def test_only_known_kinds(self):
+        for seed in range(6):
+            for op in generate_fleet_tape(seed, 40):
+                assert op.kind in FLEET_OP_KINDS
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            generate_fleet_tape(0, 0)
+        with pytest.raises(ValueError):
+            generate_fleet_tape(0, 10, n_nodes=1)
+
+    def test_tape_threads_liveness_and_cuts(self):
+        """The generator never kills the last node, never restarts a
+        live one, and keeps at most one named cut open at a time."""
+        for seed in range(6):
+            n_nodes = 3
+            alive = set(range(n_nodes))
+            cut = False
+            for op in generate_fleet_tape(seed, 50, n_nodes=n_nodes):
+                if op.kind == "fleet_kill":
+                    assert op.args["node"] in alive and len(alive) > 1
+                    alive.discard(op.args["node"])
+                elif op.kind == "fleet_restart":
+                    assert op.args["node"] not in alive
+                    alive.add(op.args["node"])
+                elif op.kind == "fleet_partition":
+                    assert not cut and op.args["node"] in alive
+                    assert op.args["cut"] in ("sym", "asym")
+                    cut = True
+                elif op.kind == "fleet_heal":
+                    assert cut
+                    cut = False
+
+    def test_json_round_trip(self):
+        tape = generate_fleet_tape(3, 30)
+        assert tape_from_dicts(tape_to_dicts(tape)) == tape
+
+    def test_crash_plan_deterministic(self):
+        tape = generate_fleet_tape(4, 40)
+        assert (generate_fleet_crash_plan(4, tape)
+                == generate_fleet_crash_plan(4, tape))
+
+    def test_crash_plan_targets_live_push_nodes(self):
+        """Crashes land only on plain pushes (bombs abort before any
+        journal commit) and only on nodes the tape believes alive."""
+        for seed in range(6):
+            n_nodes = 3
+            tape = generate_fleet_tape(seed, 40, n_nodes=n_nodes)
+            plan = generate_fleet_crash_plan(seed, tape, n_nodes=n_nodes)
+            assert plan == sorted(plan)
+            alive_at = []
+            alive = set(range(n_nodes))
+            for op in tape:
+                alive_at.append(set(alive))
+                if op.kind == "fleet_kill":
+                    alive.discard(op.args["node"])
+                elif op.kind == "fleet_restart":
+                    alive.add(op.args["node"])
+            for op_index, node_index, crash_kind in plan:
+                assert tape[op_index].kind == "fleet_push"
+                assert node_index in alive_at[op_index]
+                assert crash_kind in SWEEP_KINDS
+
+    def test_crash_plan_empty_without_pushes(self):
+        tape = [Op("fleet_kill", {"node": 1}),
+                Op("fleet_restart", {"node": 1})]
+        assert generate_fleet_crash_plan(0, tape) == []

@@ -109,6 +109,12 @@ class ConformanceMachine(RuleBasedStateMachine):
 
     @precondition(lambda self: self.ref.programs)
     @rule(name=names)
+    def push_reject(self, name):
+        assume(name in self.ref.programs and name not in self.ref.rollouts)
+        self._apply("push_reject", name=name)
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names)
     def rollback_model(self, name):
         assume(name in self.ref.programs and name not in self.ref.rollouts)
         assume(self.ref.can_rollback(name))
@@ -145,6 +151,16 @@ class ConformanceMachine(RuleBasedStateMachine):
     def fault(self, name, pid, page):
         assume(name in self.ref.programs)
         self._apply("fault", name=name, pid=pid, page=page)
+
+    @precondition(lambda self: self.ref.programs)
+    @rule(name=names,
+          contexts=st.lists(st.tuples(st.sampled_from(KEY_POOL + (4,)),
+                                      pages),
+                            min_size=1, max_size=4))
+    def fire_many(self, name, contexts):
+        assume(name in self.ref.programs)
+        self._apply("fire_many", name=name,
+                    contexts=[list(pair) for pair in contexts])
 
     # -- chaos ----------------------------------------------------------------
 

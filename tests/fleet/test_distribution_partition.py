@@ -1,0 +1,224 @@
+"""Quorum pushes under partitions and loss: commit/abort safety, heal +
+catch-up convergence, and the membership flap-hysteresis regression."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.seeding import derive_seed
+from repro.fleet import FLEET_PROGRAM, ArtifactDistributor, FleetNode
+from repro.fleet.transport import (
+    CONTROLLER,
+    FenceEpochClock,
+    FleetTransport,
+    NetFaultInjector,
+)
+from repro.harness.fleet_experiment import build_fleet, train_fleet_model
+from repro.harness.partition_experiment import (
+    run_fleet_partition,
+    run_partition_sweep,
+)
+from repro.kernel.faults import NetFaultProfile
+from repro.kernel.sim import Simulator
+
+MODEL_V1 = train_fleet_model(0)
+MODEL_V2 = train_fleet_model(0, flavor="v2")
+
+
+def build_cluster(seed=0, n=3, default=None):
+    """Three bare nodes behind one faultable transport; no controller."""
+    sim = Simulator()
+    injector = NetFaultInjector(seed=derive_seed(seed, "dist-net"),
+                                default=default)
+    transport = FleetTransport(sim, seed=derive_seed(seed, "dist-rpc"),
+                               injector=injector)
+    distributor = ArtifactDistributor(transport=transport,
+                                      epoch_clock=FenceEpochClock())
+    nodes = {
+        f"n{i}": FleetNode(f"n{i}", seed, MODEL_V1,
+                           mode="interpret", memo=False, batch=False)
+        for i in range(n)
+    }
+    peers = [CONTROLLER] + sorted(nodes)
+    return SimpleNamespace(sim=sim, injector=injector, transport=transport,
+                           distributor=distributor, nodes=nodes, peers=peers)
+
+
+def live_hashes(cluster):
+    return {nid: node.live_hash()
+            for nid, node in sorted(cluster.nodes.items())}
+
+
+class TestPartitionedPush:
+    def test_minority_cut_commits_and_victim_catches_up(self):
+        cluster = build_cluster()
+        targets = list(cluster.nodes.values())
+        cluster.injector.isolate("cut", ["n2"], cluster.peers,
+                                 symmetric=False)
+        report = cluster.distributor.push(FLEET_PROGRAM, MODEL_V2, targets)
+        assert report.committed
+        assert report.acked == ["n0", "n1"]
+        assert "n2" in report.nacked
+        assert cluster.nodes["n0"].live_hash() == report.content_hash
+        assert cluster.nodes["n2"].live_hash() != report.content_hash
+
+        cluster.injector.heal_all()
+        assert cluster.distributor.catch_up(FLEET_PROGRAM,
+                                            cluster.nodes["n2"])
+        assert cluster.nodes["n2"].live_hash() == report.content_hash
+        assert cluster.distributor.catch_ups == 1
+        # Idempotent: a converged node is not pushed again.
+        assert not cluster.distributor.catch_up(FLEET_PROGRAM,
+                                                cluster.nodes["n2"])
+
+    def test_majority_cut_aborts_without_state_change(self):
+        cluster = build_cluster()
+        targets = list(cluster.nodes.values())
+        first = cluster.distributor.push(FLEET_PROGRAM, MODEL_V1, targets)
+        assert first.committed
+
+        cluster.injector.isolate("cut", ["n1", "n2"], cluster.peers,
+                                 symmetric=True)
+        second = cluster.distributor.push(FLEET_PROGRAM, MODEL_V2, targets)
+        assert not second.committed
+        assert cluster.distributor.aborts == 1
+        # Central live and every node still serve the old artifact:
+        # alive-but-unreachable nodes count in the quorum denominator,
+        # so a majority cut cannot half-apply a push.
+        live = cluster.distributor.registry.live(FLEET_PROGRAM)
+        assert live.content_hash == first.content_hash
+        assert set(live_hashes(cluster).values()) == {first.content_hash}
+
+    def test_healed_fleet_never_serves_the_pre_push_model(self):
+        cluster = build_cluster()
+        targets = list(cluster.nodes.values())
+        first = cluster.distributor.push(FLEET_PROGRAM, MODEL_V1, targets)
+        cluster.injector.isolate("cut", ["n2"], cluster.peers,
+                                 symmetric=True)
+        second = cluster.distributor.push(FLEET_PROGRAM, MODEL_V2, targets)
+        assert second.committed
+
+        cluster.injector.heal_all()
+        for node in targets:
+            cluster.distributor.catch_up(FLEET_PROGRAM, node)
+        hashes = set(live_hashes(cluster).values())
+        assert hashes == {second.content_hash}
+        assert first.content_hash not in hashes
+
+    def test_commit_epoch_fences_the_previous_generation(self):
+        """Each push bumps the fence; replaying the old epoch at any
+        node is NACKed rather than applied."""
+        cluster = build_cluster()
+        targets = list(cluster.nodes.values())
+        first = cluster.distributor.push(FLEET_PROGRAM, MODEL_V1, targets)
+        second = cluster.distributor.push(FLEET_PROGRAM, MODEL_V2, targets)
+        assert second.epoch > first.epoch
+        reply = cluster.transport.call(
+            CONTROLLER, "n0", "commit",
+            {"spec": {}, "epoch": first.epoch})
+        assert reply.get("stale") is True
+        assert cluster.transport.counters["stale_nacks"] == 1
+
+
+class TestLossyPushProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           loss=st.sampled_from([0.05, 0.2, 0.4]))
+    def test_push_settles_and_heals_to_convergence(self, seed, loss):
+        """Whatever a lossy fabric does to a push, it must (a) settle
+        to a definite commit/abort, (b) keep the committed hash equal
+        to central live, and (c) converge fleet-wide once the network
+        is clean and anti-entropy runs."""
+        cluster = build_cluster(seed=seed,
+                                default=NetFaultProfile.lossy(loss))
+        targets = list(cluster.nodes.values())
+        reports = [
+            cluster.distributor.push(FLEET_PROGRAM, MODEL_V1, targets),
+            cluster.distributor.push(FLEET_PROGRAM, MODEL_V2, targets),
+        ]
+        for report in reports:
+            assert not report.pending
+            if report.committed:
+                assert len(report.acked) >= report.quorum
+        assert cluster.distributor.pending_pushes == 0
+
+        cluster.injector.set_default(NetFaultProfile())
+        cluster.injector.heal_all()
+        live = cluster.distributor.registry.live(FLEET_PROGRAM)
+        for node in targets:
+            cluster.distributor.catch_up(FLEET_PROGRAM, node)
+        if live is not None:
+            assert set(live_hashes(cluster).values()) == {live.content_hash}
+        else:
+            assert set(live_hashes(cluster).values()) == {None}
+
+    def test_lossy_push_is_deterministic(self):
+        def run():
+            cluster = build_cluster(seed=42,
+                                    default=NetFaultProfile.lossy(0.3))
+            targets = list(cluster.nodes.values())
+            rows = [cluster.distributor.push(FLEET_PROGRAM, model,
+                                             targets).row()
+                    for model in (MODEL_V1, MODEL_V2)]
+            return rows, dict(cluster.transport.counters), cluster.sim.now
+
+        assert run() == run()
+
+
+class TestPartitionExperiment:
+    @pytest.mark.parametrize("cut", ["sym", "asym"])
+    def test_lossy_cut_heals_without_split_brain(self, cut):
+        result = run_fleet_partition(1, n_nodes=3, loss=0.05, cut=cut,
+                                     accesses_per_stream=48)
+        assert result["ok"], result
+        assert result["converged"]
+        assert result["split_brain"] == []
+        assert result["unexpected_hashes"] == []
+        assert result["net"]["injector"]["healed_partitions"] >= 1
+
+    def test_sweep_smoke_is_clean(self):
+        sweep = run_partition_sweep(0, n_nodes=3, losses=(0.05,),
+                                    accesses_per_stream=48, matrix=False)
+        assert sweep["failures"] == []
+        assert sweep["split_brain_total"] == 0
+        assert all(cell["ok"] for cell in sweep["cells"])
+
+
+class TestFlapHysteresis:
+    def test_flapping_link_never_triggers_rebalance(self):
+        """Regression: a link that drops two beats then recovers must
+        idle in the suspect band — no death, no shard migration — no
+        matter how many times it flaps."""
+        world = build_fleet(3, seed=0, accesses_per_stream=64,
+                            mode="interpret", memo=False, batch=False)
+        controller = world.controller
+        hb = controller.heartbeat_ns
+        peers = [CONTROLLER] + sorted(world.nodes)
+        moved_before = controller.moved_shards
+
+        def block():
+            world.injector.isolate("flap", ["node-2"], peers,
+                                   symmetric=True)
+
+        def heal():
+            world.injector.heal("flap")
+
+        controller.start()
+        # 3 cycles of (2 blocked beats, 3 clean beats): enough missed
+        # beats to suspect each cycle, never the 4 straight needed to
+        # die, and enough fresh beats to re-promote in between.
+        for i in range(3):
+            world.sim.schedule((5 * i) * hb + hb + hb // 2, block)
+            world.sim.schedule((5 * i) * hb + 3 * hb + hb // 2, heal)
+        world.sim.run_until(18 * hb)
+
+        assert controller.deaths == 0
+        assert controller.resurrections == 0
+        assert controller.moved_shards == moved_before
+        assert controller.flaps >= 2
+        assert controller.membership["node-2"] in ("alive", "suspect")
+        assert world.nodes["node-2"].alive

@@ -1,0 +1,272 @@
+"""The fleet message layer: injector determinism, partitions, RPC
+retries/backoff, fencing, and crash-as-silence semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.seeding import derive_seed
+from repro.fleet import FleetNode
+from repro.fleet.transport import (
+    CONTROLLER,
+    DropMessage,
+    FenceEpochClock,
+    FleetTransport,
+    NetFaultInjector,
+)
+from repro.harness.fleet_experiment import train_fleet_model
+from repro.kernel.faults import NetFaultProfile
+from repro.kernel.sim import Simulator
+
+
+def make_transport(seed=0, **kwargs):
+    sim = Simulator()
+    injector = NetFaultInjector(seed=derive_seed(seed, "test-net"))
+    transport = FleetTransport(sim, seed=derive_seed(seed, "test-rpc"),
+                               injector=injector, **kwargs)
+    return sim, injector, transport
+
+
+class TestFenceEpochClock:
+    def test_bump_is_monotonic(self):
+        clock = FenceEpochClock()
+        seen = [clock.current]
+        for _ in range(5):
+            seen.append(clock.bump())
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+        assert clock.bumps == 5
+
+
+class TestInjectorFate:
+    def test_clean_link_never_draws(self):
+        """An all-zero profile must perform no RNG draws at all — that
+        is what keeps the clean fleet bit-identical to the
+        pre-transport one."""
+        injector = NetFaultInjector(seed=7)
+        for _ in range(50):
+            assert injector.fate("a", "b") == ("deliver", 0, 0)
+        assert injector._rngs == {}
+
+    def test_fates_deterministic_per_seed(self):
+        def stream(seed):
+            injector = NetFaultInjector(
+                seed=seed, default=NetFaultProfile.lossy(0.3))
+            return [injector.fate("a", "b") for _ in range(40)]
+
+        assert stream(3) == stream(3)
+        assert stream(3) != stream(4)
+
+    def test_links_draw_independently(self):
+        """Interleaving draws on another link must not shift this
+        link's fate stream (per-directed-link RNGs)."""
+        profile = NetFaultProfile.lossy(0.3)
+        alone = NetFaultInjector(seed=5, default=profile)
+        baseline = [alone.fate("a", "b") for _ in range(30)]
+        mixed = NetFaultInjector(seed=5, default=profile)
+        interleaved = []
+        for _ in range(30):
+            mixed.fate("c", "d")
+            interleaved.append(mixed.fate("a", "b"))
+            mixed.fate("b", "a")
+        assert interleaved == baseline
+
+    def test_link_override_and_clear(self):
+        injector = NetFaultInjector(seed=0)
+        injector.set_link("a", "b", NetFaultProfile(drop=1.0))
+        assert injector.fate("a", "b")[0] == "drop"
+        assert injector.fate("b", "a")[0] == "deliver"  # directed
+        injector.clear_link("a", "b")
+        assert injector.fate("a", "b")[0] == "deliver"
+
+
+class TestPartitions:
+    def test_symmetric_blocks_both_directions(self):
+        injector = NetFaultInjector()
+        injector.partition("cut", ["a"], ["b", "c"], symmetric=True)
+        assert injector.blocked("a", "b") == "cut"
+        assert injector.blocked("b", "a") == "cut"
+        assert injector.blocked("b", "c") is None
+
+    def test_asymmetric_blocks_one_direction(self):
+        injector = NetFaultInjector()
+        injector.partition("cut", ["a"], ["b"], symmetric=False)
+        assert injector.blocked("a", "b") == "cut"
+        assert injector.blocked("b", "a") is None
+
+    def test_isolate_asymmetric_cuts_inbound_only(self):
+        """Asymmetric isolate is the classic one-way failure: traffic
+        *toward* the victim dies, its own sends still leave."""
+        injector = NetFaultInjector()
+        injector.isolate("cut", ["n1"], ["ctl", "n1", "n2"],
+                         symmetric=False)
+        assert injector.blocked("ctl", "n1") == "cut"
+        assert injector.blocked("n1", "ctl") is None
+
+    def test_heal_and_heal_all_count(self):
+        injector = NetFaultInjector()
+        injector.partition("x", ["a"], ["b"])
+        injector.partition("y", ["c"], ["d"])
+        assert injector.heal("x") is True
+        assert injector.heal("x") is False
+        assert injector.heal_all() == 1
+        assert injector.healed_partitions == 2
+        assert injector.blocked("a", "b") is None
+
+    def test_rejects_degenerate_sides(self):
+        injector = NetFaultInjector()
+        with pytest.raises(ValueError):
+            injector.partition("", ["a"], ["b"])
+        with pytest.raises(ValueError):
+            injector.partition("cut", [], ["b"])
+        with pytest.raises(ValueError):
+            injector.partition("cut", ["a", "b"], ["b"])
+
+
+class TestTransportDelivery:
+    def test_loopback_rejects_injector(self):
+        with pytest.raises(ValueError):
+            FleetTransport(None, injector=NetFaultInjector())
+
+    def test_clean_path_is_inline_synchronous(self):
+        """With no faults armed, the reply callback runs inside send()
+        itself — same simulator event, no scheduling."""
+        sim, _, transport = make_transport()
+        transport.register("echo", lambda method, payload: payload["x"])
+        got = []
+        pending = transport.send(CONTROLLER, "echo", "ping", {"x": 42},
+                                 on_reply=got.append)
+        assert got == [42] and pending.done and pending.value == 42
+        assert sim.now == 0
+
+    def test_unknown_endpoint_is_a_hard_error(self):
+        _, _, transport = make_transport()
+        with pytest.raises(KeyError, match="ghost"):
+            transport.send(CONTROLLER, "ghost", "ping", {})
+
+    def test_retry_succeeds_after_transient_loss(self):
+        """First attempt dies on a fully lossy link; the link recovers
+        and the retry (after backoff) lands the reply."""
+        sim, injector, transport = make_transport()
+        transport.register("echo", lambda method, payload: "pong")
+        injector.set_link(CONTROLLER, "echo", NetFaultProfile(drop=1.0))
+        pending = transport.send(CONTROLLER, "echo", "ping", {})
+        sim.schedule(transport.timeout_ns + 1,
+                     lambda: injector.clear_link(CONTROLLER, "echo"))
+        transport.wait(pending)
+        assert pending.value == "pong"
+        assert pending.attempts == 2
+        assert transport.counters["retries"] == 1
+        assert transport.counters["timeouts"] == 1
+
+    def test_exhausted_budget_fails_instead_of_hanging(self):
+        sim, injector, transport = make_transport()
+        transport.register("echo", lambda method, payload: "pong")
+        injector.partition("cut", [CONTROLLER], ["echo"])
+        pending = transport.send(CONTROLLER, "echo", "ping", {})
+        transport.wait(pending)
+        assert pending.failed and pending.reason == "timeout"
+        assert pending.attempts == transport.retries + 1
+        assert transport.counters["failed"] == 1
+        assert transport.counters["blocked"] == pending.attempts
+        assert sim.now > 0  # timeouts burned real virtual time
+
+    def test_fire_and_forget_never_times_out(self):
+        sim, injector, transport = make_transport()
+        transport.register("echo", lambda method, payload: "pong")
+        injector.partition("cut", [CONTROLLER], ["echo"])
+        pending = transport.send(CONTROLLER, "echo", "ping", {},
+                                 timeout_ns=0)
+        sim.run(max_events=1000)
+        assert not pending.done  # still pending, not failed
+        assert transport.counters["timeouts"] == 0
+
+    def test_call_raises_on_failure(self):
+        _, injector, transport = make_transport()
+        transport.register("echo", lambda method, payload: "pong")
+        injector.partition("cut", [CONTROLLER], ["echo"])
+        with pytest.raises(TimeoutError, match="timeout"):
+            transport.call(CONTROLLER, "echo", "ping", {})
+
+    def test_handler_drop_message_is_silence(self):
+        """DropMessage from a handler counts as a network drop: no
+        reply, the timeout machinery decides."""
+        def dead(method, payload):
+            raise DropMessage("dead-host")
+
+        _, _, transport = make_transport()
+        transport.register("dead", dead)
+        pending = transport.send(CONTROLLER, "dead", "ping", {})
+        transport.wait(pending)
+        assert pending.failed
+        assert transport.counters["dropped"] == pending.attempts
+
+    def test_backoff_is_shared_per_link(self):
+        _, _, transport = make_transport()
+        assert transport._backoff("a", "b") is transport._backoff("a", "b")
+        assert transport._backoff("a", "b") is not transport._backoff("b", "a")
+
+    def test_lossy_link_resolves_deterministically(self):
+        def run(seed):
+            sim, injector, transport = make_transport(seed=seed)
+            injector.set_default(NetFaultProfile.lossy(0.25))
+            transport.register("echo", lambda method, payload: payload["i"])
+            values = []
+            for i in range(20):
+                pending = transport.send(CONTROLLER, "echo", "ping",
+                                         {"i": i})
+                transport.wait(pending)
+                values.append(pending.value if not pending.failed
+                              else f"fail@{i}")
+            return values, dict(transport.counters), sim.now
+
+        assert run(11) == run(11)
+
+
+def conf_node(node_id="n0", seed=0):
+    return FleetNode(node_id, seed, train_fleet_model(seed),
+                     mode="interpret", memo=False, batch=False)
+
+
+class TestFencing:
+    def test_stale_epoch_is_nacked_without_state_change(self):
+        node = conf_node()
+        assert node.observe_epoch(5)
+        sim, _, transport = make_transport()
+        transport.ensure_node(node)
+        reply = transport.call(CONTROLLER, "n0", "abort_lane",
+                               {"epoch": 3})
+        assert reply == {"stale": True, "node": "n0", "epoch": 5}
+        assert node.stale_rejections == 1
+        assert transport.counters["stale_nacks"] == 1
+
+    def test_heartbeat_is_never_fenced(self):
+        """A healed node learns the current epoch *from* heartbeats, so
+        they must pass even when the node is ahead of the sender."""
+        node = conf_node()
+        assert node.observe_epoch(9)
+        _, _, transport = make_transport()
+        transport.ensure_node(node)
+        beat = transport.call(CONTROLLER, "n0", "heartbeat", {"epoch": 2})
+        assert "stale" not in beat
+        assert beat["epoch"] == 9  # reply teaches the caller
+        assert transport.counters["stale_nacks"] == 0
+
+    def test_fence_epoch_survives_kill_restart(self):
+        node = conf_node()
+        assert node.observe_epoch(7)
+        node.kill()
+        node.restart()
+        assert node.fence_epoch == 7
+        assert not node.observe_epoch(6)
+        assert node.observe_epoch(7) and node.observe_epoch(8)
+
+    def test_epoch_acceptance_is_journaled_before_use(self):
+        """The fence fact lands in the journal at acceptance time, so a
+        crash immediately after still refuses the dead generation."""
+        node = conf_node()
+        assert node.observe_epoch(4)
+        facts = [record for record in node.store.journal_records()
+                 if record["phase"] == "fact"
+                 and record["op"] == "fence_epoch"]
+        assert [f["args"]["epoch"] for f in facts] == [4]

@@ -239,6 +239,73 @@ class TestFleetCommand:
         assert report["converged"] is True
         assert report["victim"] in report["excused"]
 
+    def test_partition_converges_with_zero_split_brain(self, capsys):
+        assert main(["fleet", "partition", "--nodes", "3",
+                     "--accesses", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "cut=asym" in out
+        assert "committed" in out
+        assert "converged to clean fingerprint: True" in out
+        assert "split-brain commits: 0" in out
+
+    def test_partition_json(self, capsys):
+        import json
+
+        assert main(["fleet", "partition", "--nodes", "3", "--cut", "sym",
+                     "--accesses", "40", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["cut"] == "sym"
+        assert report["split_brain"] == []
+        assert report["push"]["committed"] is True
+
+    def test_heal_covers_both_cut_shapes(self, capsys):
+        assert main(["fleet", "heal", "--nodes", "3",
+                     "--accesses", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "[sym]" in out and "[asym]" in out
+        assert out.count("healed + settled: True") == 2
+
+    def test_net_stats_reports_wire_counters(self, capsys):
+        assert main(["fleet", "net-stats", "--nodes", "3",
+                     "--accesses", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "sent:" in out and "dropped:" in out
+        assert "retries:" in out
+        assert "fence epoch:" in out
+
+    def test_net_stats_json(self, capsys):
+        import json
+
+        assert main(["fleet", "net-stats", "--nodes", "3",
+                     "--accesses", "40", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["net"]["sent"] > 0
+
+    def test_partition_failure_exits_one(self, capsys, monkeypatch):
+        from repro.harness import partition_experiment
+
+        real = partition_experiment.run_fleet_partition
+
+        def sabotaged(*args, **kwargs):
+            result = real(*args, **kwargs)
+            result["ok"] = False
+            result["split_brain"] = [{"program": "fleet_serve",
+                                      "epoch": 3, "hashes": {}}]
+            return result
+
+        monkeypatch.setattr("repro.harness.partition_experiment."
+                            "run_fleet_partition", sabotaged)
+        assert main(["fleet", "partition", "--nodes", "3",
+                     "--accesses", "40"]) == 1
+
+    def test_out_of_range_loss_is_an_operator_error(self, capsys):
+        assert main(["fleet", "partition", "--loss", "1.5"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "out of range" in err
+
 
 class TestConformanceCommand:
     def test_clean_seed_exits_zero(self, capsys):
